@@ -1,0 +1,107 @@
+//! Experiment E1 (Table 1): cost of each primitive action and its inverse.
+//!
+//! The paper's claim is architectural — reversal via inverse actions is
+//! *immediate* (no re-analysis). These benches put numbers on "immediate":
+//! each action+inverse pair is a few structural operations, microseconds,
+//! versus the milliseconds of a representation rebuild (see `analyses`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pivot_lang::parser::parse;
+use pivot_lang::{ExprKind, Loc};
+use pivot_undo::ActionLog;
+use pivot_workload::{gen_program, WorkloadCfg};
+
+fn medium_program() -> pivot_lang::Program {
+    gen_program(11, &WorkloadCfg { fragments: 16, noise_ratio: 0.5, ..Default::default() })
+}
+
+fn bench_actions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_actions");
+
+    g.bench_function("delete_plus_inverse", |b| {
+        let p = medium_program();
+        let target = p.body[p.body.len() / 2];
+        b.iter_batched(
+            || (p.clone(), ActionLog::new()),
+            |(mut p, mut log)| {
+                log.delete(&mut p, target).unwrap();
+                let k = log.actions.pop().unwrap().kind;
+                ActionLog::apply_inverse(&mut p, &k).unwrap();
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("move_plus_inverse", |b| {
+        let p = medium_program();
+        let target = p.body[p.body.len() / 2];
+        b.iter_batched(
+            || (p.clone(), ActionLog::new()),
+            |(mut p, mut log)| {
+                log.move_stmt(&mut p, target, Loc::root_start()).unwrap();
+                let k = log.actions.pop().unwrap().kind;
+                ActionLog::apply_inverse(&mut p, &k).unwrap();
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("copy_plus_inverse", |b| {
+        let p = medium_program();
+        let target = p.body[p.body.len() / 2];
+        b.iter_batched(
+            || (p.clone(), ActionLog::new()),
+            |(mut p, mut log)| {
+                let loc = p.loc_of(target).unwrap();
+                log.copy(&mut p, target, loc).unwrap();
+                let k = log.actions.pop().unwrap().kind;
+                ActionLog::apply_inverse(&mut p, &k).unwrap();
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("modify_plus_inverse", |b| {
+        let p = parse("x = a + b * c - d\n").unwrap();
+        let e = p.stmt_expr_roots(p.body[0])[0];
+        b.iter_batched(
+            || (p.clone(), ActionLog::new()),
+            |(mut p, mut log)| {
+                log.modify_expr(&mut p, e, ExprKind::Const(1)).unwrap();
+                let k = log.actions.pop().unwrap().kind;
+                ActionLog::apply_inverse(&mut p, &k).unwrap();
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+
+    // History bookkeeping: annotation table construction (Figure 2).
+    let mut g = c.benchmark_group("table2_history");
+    g.bench_function("annotation_table_64_actions", |b| {
+        let mut p = medium_program();
+        let mut log = ActionLog::new();
+        let stmts = p.body.clone();
+        for (i, &s) in stmts.iter().enumerate().take(64) {
+            if i % 2 == 0 {
+                let _ = log.delete(&mut p, s);
+            } else {
+                let _ = log.move_stmt(&mut p, s, Loc::root_start());
+            }
+        }
+        b.iter(|| log.annotations());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_actions
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment E3 (Table 3): cost of the safety and reversibility condition
+//! checks — the per-candidate work whose *count* the regional strategy and
+//! the interaction heuristic minimize. Also benches opportunity detection
+//! per transformation kind.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_undo::revers::check_reversible;
+use pivot_undo::safety::still_safe;
+use pivot_undo::{catalog, ALL_KINDS};
+use pivot_workload::{prepare, WorkloadCfg};
+
+fn bench_detection(c: &mut Criterion) {
+    let cfg = WorkloadCfg { fragments: 16, noise_ratio: 0.5, ..Default::default() };
+    let prepared = prepare(21, &cfg, 24);
+    let s = &prepared.session;
+    assert!(prepared.applied.len() >= 12);
+
+    let mut g = c.benchmark_group("table3_conditions");
+    g.bench_function("safety_check_one", |b| {
+        let record = s.history.get(prepared.applied[2]).clone();
+        b.iter(|| still_safe(&s.prog, &s.rep, &s.log, &record))
+    });
+    g.bench_function("safety_check_all_applied", |b| {
+        b.iter(|| {
+            s.history
+                .active()
+                .filter(|r| still_safe(&s.prog, &s.rep, &s.log, r))
+                .count()
+        })
+    });
+    g.bench_function("reversibility_check_one", |b| {
+        let record = s.history.get(prepared.applied[2]).clone();
+        b.iter(|| check_reversible(&s.prog, &s.log, &s.history, &record).is_ok())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("opportunity_detection");
+    let fresh = pivot_workload::gen_program(21, &cfg);
+    let rep = pivot_ir::Rep::build(&fresh);
+    for kind in ALL_KINDS {
+        g.bench_function(kind.abbrev(), |b| b.iter(|| catalog::find(&fresh, &rep, kind).len()));
+    }
+    g.bench_function("all_kinds", |b| b.iter(|| catalog::find_all(&fresh, &rep).len()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_detection
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment E9: edit-driven invalidation — selective removal of unsafe
+//! transformations versus reverting everything and re-deriving (the
+//! "redoing all transformations in response to program edits" the paper's
+//! introduction argues against).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use pivot_undo::engine::Strategy;
+use pivot_workload::{gen_edit, prepare, WorkloadCfg};
+
+fn bench_edits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edit_invalidation");
+    g.sample_size(10);
+    for frags in [8usize, 16, 32] {
+        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() };
+        let seed = 0xED17 ^ frags as u64;
+        let edited = || {
+            let mut p = prepare(seed, &cfg, frags * 2);
+            let edit = gen_edit(&p.session, 5);
+            p.session.edit(&edit).expect("edit applies");
+            p
+        };
+        let n = edited().session.history.active_len();
+
+        g.bench_with_input(BenchmarkId::new("find_unsafe", n), &n, |b, _| {
+            b.iter_batched(
+                edited,
+                |p| p.session.find_unsafe().len(),
+                BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("selective_removal", n), &n, |b, _| {
+            b.iter_batched(
+                edited,
+                |mut p| p.session.remove_unsafe(Strategy::Regional).removed.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("revert_all_and_redo", n), &n, |b, _| {
+            b.iter_batched(
+                edited,
+                |mut p| p.session.revert_all_and_redo().1,
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_edits
+}
+criterion_main!(benches);

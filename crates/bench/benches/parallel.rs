@@ -1,0 +1,37 @@
+//! Experiment E10 (ablation beyond the paper): parallel vs sequential
+//! screening of candidate transformations' safety — the independent
+//! per-candidate checks fan out over crossbeam scoped threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pivot_undo::parcheck::{screen_parallel, screen_sequential};
+use pivot_workload::{prepare, WorkloadCfg};
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_safety_screen");
+    g.sample_size(20);
+    for frags in [16usize, 48] {
+        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.2, ..Default::default() };
+        let prepared = prepare(0xFA2 ^ frags as u64, &cfg, frags * 2);
+        let s = &prepared.session;
+        let records: Vec<&pivot_undo::AppliedXform> = s.history.active().collect();
+        let n = records.len();
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| screen_sequential(&s.prog, &s.rep, &s.log, &records))
+        });
+        for threads in [2usize, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("parallel_{threads}"), n),
+                &n,
+                |b, _| b.iter(|| screen_parallel(&s.prog, &s.rep, &s.log, &records, threads)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_parallel
+}
+criterion_main!(benches);

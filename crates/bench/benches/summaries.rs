@@ -1,0 +1,74 @@
+//! Experiment E6 (Figure 3): dependence summaries on region nodes.
+//!
+//! The paper's claim: with each data dependence annotated on the least
+//! common region node of its source and sink, legality questions like "can
+//! these two loops fuse?" are answered from the inter-region dependences on
+//! one region node, "without visiting all nodes under the two loops". The
+//! bench compares the summary-screened check against the full pairwise
+//! access test, sweeping loop body size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pivot_lang::builder::{add, c, ix, v, ProgramBuilder};
+use pivot_lang::Program;
+use pivot_ir::depend::{build_ddg, fusion_dep_legal};
+use pivot_ir::pdg::Pdg;
+
+/// Two adjacent conformable loops with `n` independent statements each and
+/// a single cross-loop dependence (the paper's d2).
+fn two_loops(n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.do_loop("i", c(1), c(50), |b| {
+        for k in 0..n {
+            b.assign_ix(&format!("A{k}"), vec![v("i")], add(v("i"), c(k as i64)));
+        }
+        b.assign_ix("X", vec![v("i")], v("i"));
+    });
+    b.do_loop("i", c(1), c(50), |b| {
+        for k in 0..n {
+            b.assign_ix(&format!("B{k}"), vec![v("i")], add(v("i"), c(k as i64)));
+        }
+        b.assign_ix("Y", vec![v("i")], ix("X", vec![v("i")]));
+    });
+    b.write(ix("Y", vec![c(1)]));
+    b.finish()
+}
+
+fn bench_summaries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure3_fusion_screen");
+    for n in [4usize, 16, 64, 128] {
+        let p = two_loops(n);
+        let (l1, l2) = (p.body[0], p.body[1]);
+        let ddg = build_ddg(&p);
+        let pdg = Pdg::build(&p, &ddg);
+        // Sanity: both paths agree (also asserted in unit tests).
+        assert_eq!(
+            pdg.fusion_screen(&p, &ddg, l1, l2),
+            fusion_dep_legal(&p, l1, l2)
+        );
+        g.bench_with_input(BenchmarkId::new("summary_screen", n), &n, |b, _| {
+            b.iter(|| pdg.fusion_screen(&p, &ddg, l1, l2))
+        });
+        g.bench_with_input(BenchmarkId::new("full_pairwise", n), &n, |b, _| {
+            b.iter(|| fusion_dep_legal(&p, l1, l2))
+        });
+    }
+    g.finish();
+
+    // Summary construction cost (amortized across many queries in practice).
+    let mut g = c.benchmark_group("figure3_summary_build");
+    for n in [16usize, 64] {
+        let p = two_loops(n);
+        let ddg = build_ddg(&p);
+        g.bench_with_input(BenchmarkId::new("pdg_with_summaries", n), &n, |b, _| {
+            b.iter(|| Pdg::build(&p, &ddg).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_summaries
+}
+criterion_main!(benches);

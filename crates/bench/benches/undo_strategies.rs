@@ -1,0 +1,87 @@
+//! Experiments E7/E8 (Figure 4 + the study the paper defers): wall-clock
+//! cost of undoing one mid-sequence transformation under each strategy,
+//! versus the reverse-order baseline (with and without redo), sweeping the
+//! number of applied transformations.
+//!
+//! Expected shape (recorded in EXPERIMENTS.md): Regional ≈ NoHeuristic ≪
+//! FullScan as unrelated transformations grow; reverse+redo pays the full
+//! re-derivation bill.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use pivot_undo::engine::Strategy;
+use pivot_workload::{prepare, Prepared, WorkloadCfg};
+
+fn setup(frags: usize) -> (WorkloadCfg, u64) {
+    (WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() }, 0xBEEF ^ frags as u64)
+}
+
+fn bench_undo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("undo_one_midsequence");
+    g.sample_size(10);
+    for frags in [8usize, 16, 32] {
+        let (cfg, seed) = setup(frags);
+        let probe: Prepared = prepare(seed, &cfg, frags * 2);
+        let n = probe.applied.len();
+        assert!(n >= 4, "workload too small");
+        let target = probe.applied[n / 4];
+
+        for strategy in [Strategy::Regional, Strategy::NoHeuristic, Strategy::FullScan] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), n),
+                &n,
+                |b, _| {
+                    b.iter_batched(
+                        || prepare(seed, &cfg, frags * 2),
+                        |mut p| p.session.undo(target, strategy).expect("undo").undone.len(),
+                        BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("ReverseOrder", n), &n, |b, _| {
+            b.iter_batched(
+                || prepare(seed, &cfg, frags * 2),
+                |mut p| p.session.undo_reverse_to(target).expect("undo").undone.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("ReversePlusRedo", n), &n, |b, _| {
+            b.iter_batched(
+                || prepare(seed, &cfg, frags * 2),
+                |mut p| p.session.undo_reverse_redo(target).expect("undo").1,
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+
+    // Undo of the LAST transformation (the immediate case shared with
+    // reverse-order undo; the paper's in-order scheme [5]).
+    let mut g = c.benchmark_group("undo_last");
+    g.sample_size(10);
+    let (cfg, seed) = setup(16);
+    let probe = prepare(seed, &cfg, 32);
+    let last = *probe.applied.last().unwrap();
+    g.bench_function("independent", |b| {
+        b.iter_batched(
+            || prepare(seed, &cfg, 32),
+            |mut p| p.session.undo(last, Strategy::Regional).expect("undo").undone.len(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("reverse", |b| {
+        b.iter_batched(
+            || prepare(seed, &cfg, 32),
+            |mut p| p.session.undo_reverse_to(last).expect("undo").undone.len(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_undo
+}
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Shared helpers for the Criterion benches (kept minimal; the real content
+//! lives in `benches/`).
+#![warn(missing_docs)]

@@ -1,0 +1,341 @@
+//! # pivot-cli
+//!
+//! Command-line front end for the PIVOT undo engine. The binary is `pivot`;
+//! all behaviour lives here so it can be integration-tested without
+//! spawning processes.
+//!
+//! ```text
+//! pivot show <file>                  parse and pretty-print a program
+//! pivot run <file> [ints…]           interpret; prints the output stream
+//! pivot ops <file>                   list applicable transformations
+//! pivot opt <file> [KINDS] [max=N]   greedily apply transformations
+//! pivot script <file> <script>       drive a session from a command script
+//! pivot tables                       print the regenerated paper tables
+//! ```
+//!
+//! Script commands (one per line, `#` comments):
+//!
+//! ```text
+//! ops                  list opportunities (indices are stable until next ops)
+//! apply <n>            apply opportunity n from the last `ops`
+//! apply <KIND>         apply the first opportunity of a kind (CSE, INX, …)
+//! undo <n>             undo transformation #n (independent order)
+//! history              print the history line
+//! show                 print the program
+//! annotations          print Figure 2 style annotations
+//! unsafe               list transformations invalidated by edits
+//! insert-after <line> <code>   edit: insert code after the statement at a line
+//! check                assert engine consistency
+//! ```
+
+#![warn(missing_docs)]
+
+use pivot_undo::engine::{Session, Strategy};
+use pivot_undo::{XformId, XformKind};
+use std::fmt::Write as _;
+
+/// CLI failure.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: pivot <command> [args]
+  show <file>                  parse and pretty-print a program
+  run <file> [ints…]           interpret; prints the output stream
+  ops <file>                   list applicable transformations
+  opt <file> [KINDS] [max=N]   greedily apply transformations (KINDS = e.g. CSE,CTP)
+  script <file> <script>       drive a session from a command script
+  tables                       print the regenerated paper tables
+";
+
+/// Execute a CLI invocation (`args` excludes the binary name). Returns the
+/// text that `main` prints.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let mut out = String::new();
+    match args.first().map(String::as_str) {
+        Some("show") => {
+            let prog = load(args.get(1))?;
+            out.push_str(&pivot_lang::printer::to_source(&prog));
+        }
+        Some("run") => {
+            let prog = load(args.get(1))?;
+            let inputs: Vec<i64> = args[2..]
+                .iter()
+                .map(|a| a.parse::<i64>().map_err(|_| err(format!("bad input `{a}`"))))
+                .collect::<Result<_, _>>()?;
+            let outputs = pivot_lang::interp::run_default(&prog, &inputs)
+                .map_err(|e| err(format!("runtime error: {e}")))?;
+            for v in outputs {
+                let _ = writeln!(out, "{v}");
+            }
+        }
+        Some("ops") => {
+            let prog = load(args.get(1))?;
+            let session = Session::new(prog);
+            for (i, o) in session.find_all().iter().enumerate() {
+                let _ = writeln!(out, "[{i}] {}", o.description);
+            }
+        }
+        Some("opt") => {
+            let prog = load(args.get(1))?;
+            let mut kinds: Vec<XformKind> = pivot_undo::ALL_KINDS.to_vec();
+            let mut max = 64usize;
+            for a in &args[2..] {
+                if let Some(n) = a.strip_prefix("max=") {
+                    max = n.parse().map_err(|_| err(format!("bad max `{n}`")))?;
+                } else {
+                    kinds = a
+                        .split(',')
+                        .map(|k| {
+                            XformKind::from_abbrev(k).ok_or_else(|| err(format!("unknown kind `{k}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            let mut session = Session::new(prog);
+            let mut applied = 0usize;
+            'outer: while applied < max {
+                for &k in &kinds {
+                    if applied >= max {
+                        break 'outer;
+                    }
+                    if session.apply_kind(k).is_some() {
+                        applied += 1;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            let _ = writeln!(out, "# applied: {}", session.history.summary());
+            out.push_str(&session.source());
+        }
+        Some("script") => {
+            let prog = load(args.get(1))?;
+            let script_path = args.get(2).ok_or_else(|| err("script: missing script file"))?;
+            let script = std::fs::read_to_string(script_path)
+                .map_err(|e| err(format!("cannot read {script_path}: {e}")))?;
+            let mut session = Session::new(prog);
+            run_script(&mut session, &script, &mut out)?;
+        }
+        Some("tables") => {
+            out.push_str("== Table 3 (generated from specifications) ==\n");
+            out.push_str(&pivot_undo::spec::render_table3());
+            out.push_str("\n== Table 4 (static) ==\n");
+            out.push_str(&pivot_undo::interact::render(&pivot_undo::interact::default_matrix()));
+        }
+        Some("help") | None => out.push_str(USAGE),
+        Some(other) => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+    Ok(out)
+}
+
+fn load(path: Option<&String>) -> Result<pivot_lang::Program, CliError> {
+    let path = path.ok_or_else(|| err("missing program file"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    pivot_lang::parser::parse(&src).map_err(|e| err(format!("{path}: {e}")))
+}
+
+/// Execute a session script (see module docs for the command set).
+pub fn run_script(session: &mut Session, script: &str, out: &mut String) -> Result<(), CliError> {
+    let mut last_ops = Vec::new();
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap();
+        let fail = |m: String| err(format!("script line {}: {m}", lineno + 1));
+        match cmd {
+            "ops" => {
+                last_ops = session.find_all();
+                for (i, o) in last_ops.iter().enumerate() {
+                    let _ = writeln!(out, "[{i}] {}", o.description);
+                }
+            }
+            "apply" => {
+                let what = parts.next().ok_or_else(|| fail("apply needs an argument".into()))?;
+                if let Ok(n) = what.parse::<usize>() {
+                    let opp = last_ops
+                        .get(n)
+                        .cloned()
+                        .ok_or_else(|| fail(format!("no opportunity [{n}] (run `ops`)")))?;
+                    let id = session
+                        .apply(&opp)
+                        .map_err(|e| fail(format!("stale opportunity: {e}")))?;
+                    let _ = writeln!(out, "applied #{}", id.0);
+                } else {
+                    let kind = XformKind::from_abbrev(what)
+                        .ok_or_else(|| fail(format!("unknown kind `{what}`")))?;
+                    match session.apply_kind(kind) {
+                        Some(id) => {
+                            let _ = writeln!(out, "applied #{}", id.0);
+                        }
+                        None => {
+                            let _ = writeln!(out, "no {kind} opportunity");
+                        }
+                    }
+                }
+            }
+            "undo" => {
+                let n: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| fail("undo needs a transformation number".into()))?;
+                if n == 0 || n as usize > session.history.records.len() {
+                    return Err(fail(format!("no transformation #{n}")));
+                }
+                match session.undo(XformId(n), Strategy::Regional) {
+                    Ok(r) => {
+                        let _ = writeln!(out, "undone: {:?}", r.undone);
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "cannot undo #{n}: {e}");
+                    }
+                }
+            }
+            "history" => {
+                let _ = writeln!(out, "{}", session.history.summary());
+            }
+            "show" => out.push_str(&session.source()),
+            "annotations" => {
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    session.log.render_annotations(&session.prog, &session.history.stamp_order())
+                );
+            }
+            "unsafe" => {
+                let _ = writeln!(out, "{:?}", session.find_unsafe());
+            }
+            "insert-after" => {
+                let line_no: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| fail("insert-after needs a line number".into()))?;
+                let code: String = parts.collect::<Vec<_>>().join(" ");
+                if code.is_empty() {
+                    return Err(fail("insert-after needs code".into()));
+                }
+                let target = session
+                    .prog
+                    .attached_stmts()
+                    .into_iter()
+                    .find(|&s| session.prog.stmt(s).label == line_no)
+                    .ok_or_else(|| fail(format!("no statement labelled {line_no}")))?;
+                let loc = session.prog.loc_of(target).map_err(|e| fail(e.to_string()))?;
+                let parent = loc.parent;
+                let edit = pivot_undo::Edit::Insert {
+                    src: format!("{code}\n"),
+                    at: pivot_lang::Loc { parent, anchor: pivot_lang::AnchorPos::After(target) },
+                };
+                session.edit(&edit).map_err(|e| fail(e.to_string()))?;
+                let _ = writeln!(out, "edited.");
+            }
+            "check" => {
+                session.assert_consistent();
+                let _ = writeln!(out, "consistent.");
+            }
+            other => return Err(fail(format!("unknown script command `{other}`"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(src: &str) -> Session {
+        Session::from_source(src).unwrap()
+    }
+
+    #[test]
+    fn script_apply_and_undo_by_kind() {
+        let mut s = session("d = e + f\nr = e + f\nwrite r\nwrite d\n");
+        let mut out = String::new();
+        run_script(&mut s, "ops\napply CSE\nundo 1\nhistory\nshow\ncheck\n", &mut out).unwrap();
+        assert!(out.contains("applied #1"), "{out}");
+        assert!(out.contains("!cse(1)"), "{out}");
+        assert!(out.contains("r = e + f"), "{out}");
+        assert!(out.contains("consistent."), "{out}");
+    }
+
+    #[test]
+    fn script_apply_by_index() {
+        let mut s = session("c = 1\nx = c + 2\nwrite x\n");
+        let mut out = String::new();
+        run_script(&mut s, "ops\napply 0\nshow\n", &mut out).unwrap();
+        assert!(out.contains("applied #1"), "{out}");
+    }
+
+    #[test]
+    fn script_edit_and_unsafe() {
+        let mut s = session("d = e + f\nr = e + f\nwrite r\nwrite d\n");
+        let mut out = String::new();
+        run_script(
+            &mut s,
+            "apply CSE\ninsert-after 1 e = 0\nunsafe\nundo 1\nshow\n",
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("[x1]"), "the CSE must be invalidated: {out}");
+        assert!(out.contains("r = e + f"), "{out}");
+    }
+
+    #[test]
+    fn script_errors_are_reported_with_lines() {
+        let mut s = session("x = 1\n");
+        let mut out = String::new();
+        let e = run_script(&mut s, "frobnicate\n", &mut out).unwrap_err();
+        assert!(e.0.contains("line 1"), "{e}");
+        let e = run_script(&mut s, "\n\napply ZZZ\n", &mut out).unwrap_err();
+        assert!(e.0.contains("line 3"), "{e}");
+    }
+
+    #[test]
+    fn cli_tables_and_help() {
+        let out = run_cli(&["tables".into()]).unwrap();
+        assert!(out.contains("Table 3"));
+        assert!(out.contains("DCE"));
+        let out = run_cli(&[]).unwrap();
+        assert!(out.contains("usage"));
+        assert!(run_cli(&["nonsense".into()]).is_err());
+    }
+
+    #[test]
+    fn cli_file_commands() {
+        let dir = std::env::temp_dir().join("pivot_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("prog.pv");
+        std::fs::write(&f, "read x\nwrite x + 2 * 3\n").unwrap();
+        let fs = f.to_string_lossy().to_string();
+        let out = run_cli(&["show".into(), fs.clone()]).unwrap();
+        assert!(out.contains("write x + 2 * 3"));
+        let out = run_cli(&["run".into(), fs.clone(), "4".into()]).unwrap();
+        assert_eq!(out.trim(), "10");
+        let out = run_cli(&["ops".into(), fs.clone()]).unwrap();
+        assert!(out.contains("CFO"), "{out}");
+        let out = run_cli(&["opt".into(), fs.clone(), "CFO".into()]).unwrap();
+        assert!(out.contains("write x + 6"), "{out}");
+        // Script file end-to-end.
+        let sf = dir.join("script.txt");
+        std::fs::write(&sf, "apply CFO\nshow\n").unwrap();
+        let out =
+            run_cli(&["script".into(), fs, sf.to_string_lossy().to_string()]).unwrap();
+        assert!(out.contains("write x + 6"), "{out}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The `pivot` binary: thin wrapper over [`pivot_cli::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pivot_cli::run_cli(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("pivot: {e}");
+            std::process::exit(1);
+        }
+    }
+}

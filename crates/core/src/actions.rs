@@ -1,0 +1,725 @@
+//! Primitive actions and their inverses (Table 1 of the paper), order
+//! stamps, the action log, and history annotations (Figure 2).
+//!
+//! Every transformation is realized as a sequence of these five primitives:
+//!
+//! | Action                         | Inverse action                 |
+//! |--------------------------------|--------------------------------|
+//! | `Delete(a)`                    | `Add(orig_location, a)`        |
+//! | `Copy(a, location, c)`         | `Delete(c)`                    |
+//! | `Move(a, location)`            | `Move(a, orig_location)`       |
+//! | `Add(location, a)`             | `Delete(a)`                    |
+//! | `Modify(exp(a), new_exp)`      | `Modify(new_exp(a), exp)`      |
+//!
+//! Each applied action carries an **order stamp** linking it to the
+//! transformation that caused it; annotations derived from the log (`md_t`,
+//! `mv_t`, `del_t`, `cp_t`, `add_t`) are what the undo algorithm inspects to
+//! find *affecting* transformations (Figure 4, lines 7–9).
+//!
+//! `Modify` comes in two concrete forms: replacing an expression node's
+//! payload, and replacing a loop header (variable/bounds/step) — the paper's
+//! `Modify(L1, L2)` for loop interchange.
+
+use pivot_lang::{EditError, ExprId, ExprKind, Loc, Program, StmtId, Sym};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Global order stamp of a primitive action.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Stamp(pub u64);
+
+impl fmt::Debug for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A loop header snapshot (for the header-swap form of `Modify`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopHeader {
+    /// Induction variable.
+    pub var: Sym,
+    /// Lower bound expression.
+    pub lo: ExprId,
+    /// Upper bound expression.
+    pub hi: ExprId,
+    /// Optional step expression.
+    pub step: Option<ExprId>,
+}
+
+/// A primitive action, with enough recorded context to build its inverse.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ActionKind {
+    /// Attach a (previously detached) statement at `loc`.
+    Add {
+        /// The attached statement.
+        stmt: StmtId,
+        /// Where it was attached.
+        loc: Loc,
+    },
+    /// Detach a statement; `orig` is where it was (kept for restoration).
+    Delete {
+        /// The detached statement.
+        stmt: StmtId,
+        /// Its original location.
+        orig: Loc,
+    },
+    /// Move a statement from `from` to `to`.
+    Move {
+        /// The moved statement.
+        stmt: StmtId,
+        /// Original location.
+        from: Loc,
+        /// Destination.
+        to: Loc,
+    },
+    /// Deep-copy statement `src`, attaching the copy at `loc`.
+    Copy {
+        /// Source statement.
+        src: StmtId,
+        /// The copy's root.
+        copy: StmtId,
+        /// Where the copy was attached.
+        loc: Loc,
+    },
+    /// Replace an expression node's payload in place.
+    ModifyExpr {
+        /// Target expression node.
+        expr: ExprId,
+        /// Previous payload.
+        old: ExprKind,
+        /// New payload.
+        new: ExprKind,
+    },
+    /// Replace a loop statement's header (var/bounds/step).
+    ModifyHeader {
+        /// Target loop statement.
+        stmt: StmtId,
+        /// Previous header.
+        old: LoopHeader,
+        /// New header.
+        new: LoopHeader,
+    },
+}
+
+/// Annotation tag derived from an action (Figure 2's `md`, `mv`, `del`,
+/// `cp`, `add`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActionTag {
+    /// `add`
+    Add,
+    /// `del`
+    Del,
+    /// `mv`
+    Mv,
+    /// `cp`
+    Cp,
+    /// `md`
+    Md,
+}
+
+impl ActionTag {
+    /// The Figure 2 abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ActionTag::Add => "add",
+            ActionTag::Del => "del",
+            ActionTag::Mv => "mv",
+            ActionTag::Cp => "cp",
+            ActionTag::Md => "md",
+        }
+    }
+}
+
+/// A node that can carry annotations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeRef {
+    /// A statement node (APDG level).
+    Stmt(StmtId),
+    /// An expression node (ADAG level).
+    Expr(ExprId),
+}
+
+impl ActionKind {
+    /// Annotation tag of this action.
+    pub fn tag(&self) -> ActionTag {
+        match self {
+            ActionKind::Add { .. } => ActionTag::Add,
+            ActionKind::Delete { .. } => ActionTag::Del,
+            ActionKind::Move { .. } => ActionTag::Mv,
+            ActionKind::Copy { .. } => ActionTag::Cp,
+            ActionKind::ModifyExpr { .. } | ActionKind::ModifyHeader { .. } => ActionTag::Md,
+        }
+    }
+
+    /// The nodes this action annotates / directly touches.
+    pub fn touched(&self) -> Vec<NodeRef> {
+        match self {
+            ActionKind::Add { stmt, .. } => vec![NodeRef::Stmt(*stmt)],
+            ActionKind::Delete { stmt, .. } => vec![NodeRef::Stmt(*stmt)],
+            ActionKind::Move { stmt, .. } => vec![NodeRef::Stmt(*stmt)],
+            ActionKind::Copy { src, copy, .. } => {
+                vec![NodeRef::Stmt(*src), NodeRef::Stmt(*copy)]
+            }
+            ActionKind::ModifyExpr { expr, .. } => vec![NodeRef::Expr(*expr)],
+            ActionKind::ModifyHeader { stmt, .. } => vec![NodeRef::Stmt(*stmt)],
+        }
+    }
+
+    /// Statements whose neighbourhood changed (for affected-region
+    /// computation): the action's own statements plus location parents and
+    /// anchors.
+    pub fn touched_context(&self) -> Vec<StmtId> {
+        fn loc_stmts(loc: &Loc, out: &mut Vec<StmtId>) {
+            if let pivot_lang::Parent::Block(s, _) = loc.parent {
+                out.push(s);
+            }
+            if let pivot_lang::AnchorPos::After(a) = loc.anchor {
+                out.push(a);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            ActionKind::Add { stmt, loc } => {
+                out.push(*stmt);
+                loc_stmts(loc, &mut out);
+            }
+            ActionKind::Delete { stmt, orig } => {
+                out.push(*stmt);
+                loc_stmts(orig, &mut out);
+            }
+            ActionKind::Move { stmt, from, to } => {
+                out.push(*stmt);
+                loc_stmts(from, &mut out);
+                loc_stmts(to, &mut out);
+            }
+            ActionKind::Copy { src, copy, loc } => {
+                out.push(*src);
+                out.push(*copy);
+                loc_stmts(loc, &mut out);
+            }
+            ActionKind::ModifyExpr { .. } | ActionKind::ModifyHeader { .. } => {}
+        }
+        out
+    }
+}
+
+/// A stamped, applied action.
+#[derive(Clone, Debug)]
+pub struct StampedAction {
+    /// Order stamp.
+    pub stamp: Stamp,
+    /// The action.
+    pub kind: ActionKind,
+}
+
+/// Errors from applying actions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ActionError {
+    /// Structural editing failed.
+    Edit(EditError),
+    /// A `ModifyExpr` found the node in an unexpected state (its current
+    /// payload differs from the recorded one) — an affecting transformation
+    /// has intervened.
+    ExprMismatch(ExprId),
+    /// A `ModifyExpr` target is no longer reachable from a live statement —
+    /// a later transformation replaced an enclosing expression or detached
+    /// the owning statement.
+    ExprUnreachable(ExprId),
+    /// A `ModifyHeader` target is not a loop or has an unexpected header.
+    HeaderMismatch(StmtId),
+    /// A structural post-pattern condition failed (e.g. loops no longer
+    /// tightly nested for an interchange) around this statement.
+    PostPatternInvalidated(StmtId),
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionError::Edit(e) => write!(f, "{e}"),
+            ActionError::ExprMismatch(e) => write!(f, "expression {e} changed since recorded"),
+            ActionError::ExprUnreachable(e) => {
+                write!(f, "expression {e} is no longer reachable from live code")
+            }
+            ActionError::HeaderMismatch(s) => write!(f, "loop header of {s} changed since recorded"),
+            ActionError::PostPatternInvalidated(s) => {
+                write!(f, "post pattern around statement {s} no longer holds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+impl From<EditError> for ActionError {
+    fn from(e: EditError) -> Self {
+        ActionError::Edit(e)
+    }
+}
+
+/// The log of **active** primitive actions, with annotation lookup. Undoing
+/// a transformation removes its actions from the log (the annotations are
+/// "deleted from the program representation", as the paper puts it).
+#[derive(Clone, Debug, Default)]
+pub struct ActionLog {
+    /// Active actions, in stamp order.
+    pub actions: Vec<StampedAction>,
+    next_stamp: u64,
+}
+
+impl ActionLog {
+    /// Fresh empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next stamp value (not yet assigned).
+    pub fn next_stamp(&self) -> Stamp {
+        Stamp(self.next_stamp)
+    }
+
+    fn stamp(&mut self) -> Stamp {
+        let s = Stamp(self.next_stamp);
+        self.next_stamp += 1;
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Forward application (each returns the recorded, stamped action)
+    // ------------------------------------------------------------------
+
+    /// Apply `Add`: attach a detached statement.
+    pub fn add(&mut self, prog: &mut Program, stmt: StmtId, loc: Loc) -> Result<Stamp, ActionError> {
+        prog.attach(stmt, loc)?;
+        let s = self.stamp();
+        self.actions.push(StampedAction { stamp: s, kind: ActionKind::Add { stmt, loc } });
+        Ok(s)
+    }
+
+    /// Apply `Delete`: detach a statement (kept as a tombstone).
+    pub fn delete(&mut self, prog: &mut Program, stmt: StmtId) -> Result<Stamp, ActionError> {
+        let orig = prog.detach(stmt)?;
+        let s = self.stamp();
+        self.actions.push(StampedAction { stamp: s, kind: ActionKind::Delete { stmt, orig } });
+        Ok(s)
+    }
+
+    /// Apply `Move`.
+    pub fn move_stmt(
+        &mut self,
+        prog: &mut Program,
+        stmt: StmtId,
+        to: Loc,
+    ) -> Result<Stamp, ActionError> {
+        let from = prog.move_stmt(stmt, to)?;
+        let s = self.stamp();
+        self.actions.push(StampedAction { stamp: s, kind: ActionKind::Move { stmt, from, to } });
+        Ok(s)
+    }
+
+    /// Apply `Copy`: deep-copy `src` and attach the copy at `loc`. Returns
+    /// the copy's root.
+    pub fn copy(
+        &mut self,
+        prog: &mut Program,
+        src: StmtId,
+        loc: Loc,
+    ) -> Result<(Stamp, StmtId), ActionError> {
+        let copy = prog.deep_copy_stmt(src);
+        prog.attach(copy, loc)?;
+        let s = self.stamp();
+        self.actions.push(StampedAction { stamp: s, kind: ActionKind::Copy { src, copy, loc } });
+        Ok((s, copy))
+    }
+
+    /// Apply `Modify` on an expression node.
+    pub fn modify_expr(
+        &mut self,
+        prog: &mut Program,
+        expr: ExprId,
+        new: ExprKind,
+    ) -> Result<Stamp, ActionError> {
+        let old = prog.replace_expr_kind(expr, new.clone());
+        let s = self.stamp();
+        self.actions.push(StampedAction { stamp: s, kind: ActionKind::ModifyExpr { expr, old, new } });
+        Ok(s)
+    }
+
+    /// Apply `Modify` on a loop header.
+    pub fn modify_header(
+        &mut self,
+        prog: &mut Program,
+        stmt: StmtId,
+        new: LoopHeader,
+    ) -> Result<Stamp, ActionError> {
+        let old = read_header(prog, stmt).ok_or(ActionError::HeaderMismatch(stmt))?;
+        write_header(prog, stmt, &new);
+        let s = self.stamp();
+        self.actions.push(StampedAction { stamp: s, kind: ActionKind::ModifyHeader { stmt, old, new } });
+        Ok(s)
+    }
+
+    // ------------------------------------------------------------------
+    // Inverses
+    // ------------------------------------------------------------------
+
+    /// Can the inverse of `kind` be performed right now? `Ok(())` or the
+    /// reason it cannot — this is the machine form of Table 3's
+    /// "disabling conditions of reversibility".
+    pub fn inverse_applicable(prog: &Program, kind: &ActionKind) -> Result<(), ActionError> {
+        match kind {
+            ActionKind::Add { stmt, loc } => {
+                // The added statement must still sit in the block we put it
+                // in (benign sibling insertions shift anchors, which is
+                // fine; a later cross-block Move is an affecting change).
+                if prog.stmt(*stmt).parent != Some(loc.parent) {
+                    return Err(EditError::Detached(*stmt).into());
+                }
+                Ok(())
+            }
+            ActionKind::Delete { stmt, orig } => {
+                if prog.stmt(*stmt).is_attached() {
+                    return Err(EditError::AlreadyAttached(*stmt).into());
+                }
+                prog.resolve_loc(*orig).map(|_| ()).map_err(ActionError::from)
+            }
+            ActionKind::Move { stmt, from, to } => {
+                if !prog.stmt(*stmt).is_attached() || !prog.is_live(*stmt) {
+                    return Err(EditError::Detached(*stmt).into());
+                }
+                // The statement must still be where this Move put it.
+                if prog.stmt(*stmt).parent != Some(to.parent) {
+                    return Err(EditError::Detached(*stmt).into());
+                }
+                prog.resolve_loc(*from).map(|_| ()).map_err(ActionError::from)
+            }
+            ActionKind::Copy { copy, loc, .. } => {
+                if prog.stmt(*copy).parent != Some(loc.parent) {
+                    return Err(EditError::Detached(*copy).into());
+                }
+                Ok(())
+            }
+            ActionKind::ModifyExpr { expr, new, .. } => {
+                if prog.expr(*expr).kind != *new {
+                    return Err(ActionError::ExprMismatch(*expr));
+                }
+                // The node must still sit in live code: its owner attached
+                // and the node reachable from the owner's expression roots
+                // (a later Modify of an enclosing expression orphans it).
+                let owner = prog.expr(*expr).owner;
+                if !prog.is_live(owner) || !prog.stmt_exprs(owner).contains(expr) {
+                    return Err(ActionError::ExprUnreachable(*expr));
+                }
+                Ok(())
+            }
+            ActionKind::ModifyHeader { stmt, new, .. } => {
+                match read_header(prog, *stmt) {
+                    Some(h) if h == *new => Ok(()),
+                    _ => Err(ActionError::HeaderMismatch(*stmt)),
+                }
+            }
+        }
+    }
+
+    /// Perform the inverse of an action (Table 1). Does **not** allocate a
+    /// new stamp: inverses erase history rather than extend it.
+    pub fn apply_inverse(prog: &mut Program, kind: &ActionKind) -> Result<(), ActionError> {
+        Self::inverse_applicable(prog, kind)?;
+        match kind {
+            ActionKind::Add { stmt, .. } => {
+                prog.detach(*stmt)?;
+            }
+            ActionKind::Delete { stmt, orig } => {
+                prog.attach(*stmt, *orig)?;
+            }
+            ActionKind::Move { stmt, from, .. } => {
+                prog.move_stmt(*stmt, *from)?;
+            }
+            ActionKind::Copy { copy, .. } => {
+                prog.detach(*copy)?;
+            }
+            ActionKind::ModifyExpr { expr, old, .. } => {
+                prog.replace_expr_kind(*expr, old.clone());
+            }
+            ActionKind::ModifyHeader { stmt, old, .. } => {
+                write_header(prog, *stmt, old);
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove the actions with the given stamps from the active log
+    /// (deleting their annotations).
+    pub fn retire(&mut self, stamps: &[Stamp]) {
+        self.actions.retain(|a| !stamps.contains(&a.stamp));
+    }
+
+    /// Actions recorded with the given stamps, in stamp order.
+    pub fn actions_with(&self, stamps: &[Stamp]) -> Vec<&StampedAction> {
+        self.actions.iter().filter(|a| stamps.contains(&a.stamp)).collect()
+    }
+
+    /// Annotation table (Figure 2): node → stamped tags, in stamp order.
+    pub fn annotations(&self) -> HashMap<NodeRef, Vec<(Stamp, ActionTag)>> {
+        let mut out: HashMap<NodeRef, Vec<(Stamp, ActionTag)>> = HashMap::new();
+        for a in &self.actions {
+            for n in a.kind.touched() {
+                out.entry(n).or_default().push((a.stamp, a.kind.tag()));
+            }
+        }
+        out
+    }
+
+    /// The most recent action (stamp ≥ `after`) that touched any of `nodes`
+    /// or their structural context. Used to *blame* a reversibility failure
+    /// on the transformation that caused it.
+    pub fn latest_touching(&self, nodes: &[NodeRef], after: Stamp) -> Option<Stamp> {
+        self.actions
+            .iter()
+            .rev()
+            .find(|a| {
+                a.stamp >= after
+                    && (a.kind.touched().iter().any(|n| nodes.contains(n))
+                        || a.kind
+                            .touched_context()
+                            .iter()
+                            .any(|s| nodes.contains(&NodeRef::Stmt(*s))))
+            })
+            .map(|a| a.stamp)
+    }
+
+    /// Render annotations in the Figure 2 style (e.g. `md3`, `mv4`),
+    /// mapping stamps through `stamp_order` (stamp → transformation order
+    /// number) when provided.
+    pub fn render_annotations(
+        &self,
+        prog: &Program,
+        stamp_order: &HashMap<Stamp, usize>,
+    ) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for a in &self.actions {
+            let ord = stamp_order
+                .get(&a.stamp)
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| format!("{}", a.stamp));
+            for n in a.kind.touched() {
+                let target = match n {
+                    NodeRef::Stmt(s) => format!("stmt {}", prog.stmt(s).label),
+                    NodeRef::Expr(e) => {
+                        format!("expr {}", pivot_lang::printer::expr_to_string(prog, e))
+                    }
+                };
+                lines.push(format!("{}{} on {}", a.kind.tag().abbrev(), ord, target));
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+/// Read a loop header snapshot.
+pub fn read_header(prog: &Program, stmt: StmtId) -> Option<LoopHeader> {
+    match &prog.stmt(stmt).kind {
+        pivot_lang::StmtKind::DoLoop { var, lo, hi, step, .. } => {
+            Some(LoopHeader { var: *var, lo: *lo, hi: *hi, step: *step })
+        }
+        _ => None,
+    }
+}
+
+/// Write a loop header snapshot (body untouched); fixes expression owners.
+pub fn write_header(prog: &mut Program, stmt: StmtId, h: &LoopHeader) {
+    if let pivot_lang::StmtKind::DoLoop { var, lo, hi, step, .. } = &mut prog.stmt_mut(stmt).kind {
+        *var = h.var;
+        *lo = h.lo;
+        *hi = h.hi;
+        *step = h.step;
+    } else {
+        panic!("write_header target {stmt} is not a loop");
+    }
+    prog.set_owner_rec(h.lo, stmt);
+    prog.set_owner_rec(h.hi, stmt);
+    if let Some(st) = h.step {
+        prog.set_owner_rec(st, stmt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    #[test]
+    fn delete_then_inverse_restores() {
+        let src = "a = 1\nb = 2\nc = 3\n";
+        let mut p = parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let target = p.body[1];
+        log.delete(&mut p, target).unwrap();
+        assert_eq!(to_source(&p), "a = 1\nc = 3\n");
+        let act = log.actions.last().unwrap().kind.clone();
+        ActionLog::apply_inverse(&mut p, &act).unwrap();
+        assert_eq!(to_source(&p), src);
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn move_then_inverse_restores() {
+        let src = "a = 1\nb = 2\nc = 3\n";
+        let mut p = parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let b = p.body[1];
+        log.move_stmt(&mut p, b, Loc::root_start()).unwrap();
+        assert_eq!(to_source(&p), "b = 2\na = 1\nc = 3\n");
+        let act = log.actions.last().unwrap().kind.clone();
+        ActionLog::apply_inverse(&mut p, &act).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+
+    #[test]
+    fn copy_then_inverse_deletes_copy() {
+        let src = "a = 1\n";
+        let mut p = parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let a = p.body[0];
+        let (_, copy) = log
+            .copy(&mut p, a, Loc::after(pivot_lang::Parent::Root, a))
+            .unwrap();
+        assert_eq!(to_source(&p), "a = 1\na = 1\n");
+        assert_ne!(copy, a);
+        let act = log.actions.last().unwrap().kind.clone();
+        ActionLog::apply_inverse(&mut p, &act).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+
+    #[test]
+    fn modify_expr_then_inverse_restores() {
+        let src = "x = e + f\n";
+        let mut p = parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let rhs = match p.stmt(p.body[0]).kind {
+            pivot_lang::StmtKind::Assign { value, .. } => value,
+            _ => unreachable!(),
+        };
+        log.modify_expr(&mut p, rhs, ExprKind::Const(42)).unwrap();
+        assert_eq!(to_source(&p), "x = 42\n");
+        let act = log.actions.last().unwrap().kind.clone();
+        ActionLog::apply_inverse(&mut p, &act).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+
+    #[test]
+    fn modify_header_swaps_loops() {
+        let src = "do i = 1, 100\n  do j = 1, 50\n    A(i, j) = 0\n  enddo\nenddo\n";
+        let mut p = parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let outer = p.body[0];
+        let inner = match &p.stmt(outer).kind {
+            pivot_lang::StmtKind::DoLoop { body, .. } => body[0],
+            _ => unreachable!(),
+        };
+        let h_outer = read_header(&p, outer).unwrap();
+        let h_inner = read_header(&p, inner).unwrap();
+        log.modify_header(&mut p, outer, h_inner).unwrap();
+        log.modify_header(&mut p, inner, h_outer).unwrap();
+        assert_eq!(
+            to_source(&p),
+            "do j = 1, 50\n  do i = 1, 100\n    A(i, j) = 0\n  enddo\nenddo\n"
+        );
+        p.assert_consistent();
+        // Reverse in reverse order.
+        let a2 = log.actions[1].kind.clone();
+        let a1 = log.actions[0].kind.clone();
+        ActionLog::apply_inverse(&mut p, &a2).unwrap();
+        ActionLog::apply_inverse(&mut p, &a1).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+
+    #[test]
+    fn inverse_of_delete_blocked_when_context_deleted() {
+        let mut p = parse("do i = 1, 3\n  x = 1\n  y = 2\nenddo\n").unwrap();
+        let mut log = ActionLog::new();
+        let lp = p.body[0];
+        let x = match &p.stmt(lp).kind {
+            pivot_lang::StmtKind::DoLoop { body, .. } => body[0],
+            _ => unreachable!(),
+        };
+        log.delete(&mut p, x).unwrap();
+        let del_x = log.actions.last().unwrap().kind.clone();
+        // Now delete the whole loop (the context of x's original location).
+        log.delete(&mut p, lp).unwrap();
+        // The inverse Add of x can no longer resolve its location.
+        let err = ActionLog::inverse_applicable(&p, &del_x).unwrap_err();
+        assert!(matches!(err, ActionError::Edit(EditError::UnresolvableLoc(_))));
+    }
+
+    #[test]
+    fn inverse_of_modify_blocked_by_later_modify() {
+        let mut p = parse("x = e + f\n").unwrap();
+        let mut log = ActionLog::new();
+        let rhs = match p.stmt(p.body[0]).kind {
+            pivot_lang::StmtKind::Assign { value, .. } => value,
+            _ => unreachable!(),
+        };
+        log.modify_expr(&mut p, rhs, ExprKind::Const(1)).unwrap();
+        let first = log.actions.last().unwrap().kind.clone();
+        log.modify_expr(&mut p, rhs, ExprKind::Const(2)).unwrap();
+        let err = ActionLog::inverse_applicable(&p, &first).unwrap_err();
+        assert_eq!(err, ActionError::ExprMismatch(rhs));
+    }
+
+    #[test]
+    fn annotations_follow_actions() {
+        let mut p = parse("a = 1\nb = 2\n").unwrap();
+        let mut log = ActionLog::new();
+        let a = p.body[0];
+        let dest = Loc::after(pivot_lang::Parent::Root, p.body[1]);
+        log.move_stmt(&mut p, a, dest).unwrap();
+        let ann = log.annotations();
+        let tags = &ann[&NodeRef::Stmt(a)];
+        assert_eq!(tags.len(), 1);
+        assert_eq!(tags[0].1, ActionTag::Mv);
+    }
+
+    #[test]
+    fn retire_removes_annotations() {
+        let mut p = parse("a = 1\n").unwrap();
+        let mut log = ActionLog::new();
+        let a = p.body[0];
+        let s = log.delete(&mut p, a).unwrap();
+        assert_eq!(log.annotations().len(), 1);
+        log.retire(&[s]);
+        assert!(log.annotations().is_empty());
+        assert!(log.actions.is_empty());
+    }
+
+    #[test]
+    fn blame_finds_latest_toucher() {
+        let mut p = parse("a = 1\nb = 2\nc = 3\n").unwrap();
+        let mut log = ActionLog::new();
+        let b = p.body[1];
+        let s1 = log.delete(&mut p, b).unwrap();
+        let c = p.body[1]; // c shifted up
+        let s2 = log.move_stmt(&mut p, c, Loc::root_start()).unwrap();
+        assert_eq!(log.latest_touching(&[NodeRef::Stmt(b)], Stamp(0)), Some(s1));
+        assert_eq!(log.latest_touching(&[NodeRef::Stmt(c)], Stamp(0)), Some(s2));
+        assert_eq!(log.latest_touching(&[NodeRef::Stmt(b)], Stamp(s1.0 + 1)), None);
+    }
+
+    #[test]
+    fn stamps_are_monotonic() {
+        let mut p = parse("a = 1\nb = 2\n").unwrap();
+        let mut log = ActionLog::new();
+        let first = p.body[0];
+        let s1 = log.delete(&mut p, first).unwrap();
+        let second = p.body[0];
+        let s2 = log.delete(&mut p, second).unwrap();
+        assert!(s2 > s1);
+    }
+}

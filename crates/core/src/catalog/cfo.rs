@@ -1,0 +1,150 @@
+//! Constant folding (CFO).
+//!
+//! Replaces an operator node whose operands are all literal constants by the
+//! computed constant, one node per application (innermost first so nested
+//! folds cascade across applications). Division/modulus by a zero constant
+//! is never folded (it must keep faulting at runtime); division by a nonzero
+//! constant folds fine.
+
+use super::{Applied, Opportunity};
+use crate::actions::{ActionError, ActionLog};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::Rep;
+use pivot_lang::{ExprKind, Program};
+
+/// Detect foldable constant operations (innermost nodes only, so each
+/// opportunity is applicable independently).
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for s in prog.attached_stmts() {
+        for e in prog.stmt_exprs(s) {
+            let kind = &prog.expr(e).kind;
+            let value = match kind {
+                ExprKind::Unary(op, a) => match prog.expr(*a).kind {
+                    ExprKind::Const(v) => Some(op.eval(v)),
+                    _ => None,
+                },
+                ExprKind::Binary(op, a, b) => {
+                    match (&prog.expr(*a).kind, &prog.expr(*b).kind) {
+                        (ExprKind::Const(x), ExprKind::Const(y)) => op.eval(*x, *y),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(v) = value {
+                out.push(Opportunity {
+                    params: XformParams::Cfo {
+                        stmt: s,
+                        expr: e,
+                        old_kind: kind.clone(),
+                        value: v,
+                    },
+                    description: format!(
+                        "CFO: fold `{}` to {} (line {})",
+                        pivot_lang::printer::expr_to_string(prog, e),
+                        v,
+                        prog.stmt(s).label
+                    ),
+                });
+            }
+        }
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Apply: `Modify(exp, folded_const)`.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Cfo { stmt, expr, ref old_kind, value } = opp.params else {
+        unreachable!("cfo::apply called with non-CFO params")
+    };
+    let pre = Pattern::capture(prog, "Expr e: const op const", &[stmt]);
+    if prog.expr(expr).kind != *old_kind {
+        return Err(ActionError::ExprMismatch(expr));
+    }
+    let s1 = log.modify_expr(prog, expr, ExprKind::Const(value))?;
+    let post = Pattern::capture(prog, "Expr e == folded const", &[stmt]);
+    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn finds_innermost_folds() {
+        let (p, rep) = setup("x = 2 * 3 + a\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        assert!(matches!(opps[0].params, XformParams::Cfo { value: 6, .. }));
+    }
+
+    #[test]
+    fn zero_divisor_not_folded_nonzero_is() {
+        let (p, rep) = setup("x = 1 / 0\ny = 6 / 2\nz = 7 % 0\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        assert!(matches!(opps[0].params, XformParams::Cfo { value: 3, .. }));
+    }
+
+    #[test]
+    fn folds_relational_and_unary() {
+        let (p, rep) = setup("if (2 < 3) then\n  x = 1\nendif\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        assert!(matches!(opps[0].params, XformParams::Cfo { value: 1, .. }));
+    }
+
+    #[test]
+    fn cascading_folds_across_applications() {
+        let src = "x = 1 + 2 + 3\n";
+        let (mut p, mut rep) = setup(src);
+        let mut log = ActionLog::new();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1); // only (1+2) is innermost-constant
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "x = 3 + 3\n");
+        rep.refresh(&p);
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "x = 6\n");
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let src = "read a\nwrite a + 2 * 21\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[5]).unwrap();
+        let mut log = ActionLog::new();
+        for opp in find(&p, &rep) {
+            apply(&mut p, &mut log, &opp).unwrap();
+        }
+        let after = pivot_lang::interp::run_default(&p, &[5]).unwrap();
+        assert_eq!(before, after);
+        assert!(to_source(&p).contains("a + 42"));
+    }
+
+    #[test]
+    fn stale_opportunity_rejected() {
+        let (mut p, rep) = setup("x = 1 + 2\n");
+        let opps = find(&p, &rep);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        // Applying the same opportunity again must fail (node changed).
+        assert!(apply(&mut p, &mut log, &opps[0]).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Common subexpression elimination (CSE).
+//!
+//! Table 2 row: pre_pattern `Stmt S_i: A = B op C; Stmt S_j: D = B op C`,
+//! primitive action `Modify(exp(S_j, B op C), A)`, post_pattern
+//! `Stmt S_j: D = A`.
+//!
+//! Global CSE: the reused occurrence may be any structurally equal
+//! subexpression in a statement dominated by the defining statement, with
+//! the value relationship `A == B op C` intact on every intervening path
+//! (no redefinition of `A`, `B` or `C`).
+
+use super::{value_intact, Applied, Opportunity};
+use crate::actions::{ActionError, ActionLog};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::{access, Rep};
+use pivot_lang::equiv::exprs_equal_in;
+use pivot_lang::{ExprKind, Program, StmtKind, Sym};
+
+/// Detect global CSE opportunities.
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    let stmts = prog.attached_stmts();
+    for &def in &stmts {
+        let StmtKind::Assign { target, value } = &prog.stmt(def).kind else { continue };
+        if !target.is_scalar() {
+            continue;
+        }
+        let rhs = *value;
+        // The defining RHS must be a non-faulting arithmetic operation.
+        let ExprKind::Binary(op, ..) = prog.expr(rhs).kind else { continue };
+        if !op.is_arithmetic() || access::expr_can_fault(prog, rhs) {
+            continue;
+        }
+        let a = target.var;
+        // Symbols whose redefinition breaks A == B op C. Array reads in the
+        // expression make it ineligible unless the arrays are watched too.
+        let mut watched: Vec<Sym> = vec![a];
+        prog.expr_uses(rhs, &mut watched);
+        watched.sort_unstable();
+        watched.dedup();
+        // A defining statement like A = A + 1 can never offer its RHS value
+        // through A afterwards.
+        let mut rhs_syms = Vec::new();
+        prog.expr_uses(rhs, &mut rhs_syms);
+        if rhs_syms.contains(&a) {
+            continue;
+        }
+        for &use_stmt in &stmts {
+            if use_stmt == def {
+                continue;
+            }
+            for e in prog.stmt_exprs(use_stmt) {
+                if !matches!(prog.expr(e).kind, ExprKind::Binary(..)) {
+                    continue;
+                }
+                if !exprs_equal_in(prog, rhs, e) {
+                    continue;
+                }
+                if !value_intact(prog, rep, def, use_stmt, &watched) {
+                    continue;
+                }
+                let reaching_at_use = super::reaching_snapshot(prog, rep, use_stmt, &watched);
+                out.push(Opportunity {
+                    params: XformParams::Cse {
+                        def_stmt: def,
+                        use_stmt,
+                        expr: e,
+                        result_var: a,
+                        operand_syms: watched.clone(),
+                        old_kind: prog.expr(e).kind.clone(),
+                        reaching_at_use,
+                    },
+                    description: format!(
+                        "CSE: reuse `{} = {}` (line {}) at line {}",
+                        prog.symbols.name(a),
+                        pivot_lang::printer::expr_to_string(prog, rhs),
+                        prog.stmt(def).label,
+                        prog.stmt(use_stmt).label
+                    ),
+                });
+            }
+        }
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Apply: `Modify(exp(S_j, B op C), A)`.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Cse { def_stmt, use_stmt, expr, result_var, ref old_kind, .. } = opp.params
+    else {
+        unreachable!("cse::apply called with non-CSE params")
+    };
+    if prog.expr(expr).kind != *old_kind {
+        return Err(ActionError::ExprMismatch(expr));
+    }
+    let pre = Pattern::capture(
+        prog,
+        "Stmt S_i: A = B op C; Stmt S_j: D = B op C",
+        &[def_stmt, use_stmt],
+    );
+    let s1 = log.modify_expr(prog, expr, ExprKind::Var(result_var))?;
+    let post = Pattern::capture(prog, "Stmt S_j: D = A", &[def_stmt, use_stmt]);
+    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn figure1_cse_site() {
+        let (p, rep) = setup(
+            "D = E + F\nC = 1\ndo i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\n",
+        );
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let XformParams::Cse { def_stmt, use_stmt, .. } = opps[0].params else { unreachable!() };
+        assert_eq!(p.stmt(def_stmt).label, 1);
+        assert_eq!(p.stmt(use_stmt).label, 6);
+    }
+
+    #[test]
+    fn apply_rewrites_to_var() {
+        let (mut p, rep) = setup("d = e + f\nr = e + f\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "d = e + f\nr = d\n");
+    }
+
+    #[test]
+    fn blocked_by_operand_redefinition() {
+        let (p, rep) = setup("d = e + f\ne = 0\nr = e + f\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn blocked_by_result_redefinition() {
+        let (p, rep) = setup("d = e + f\nd = 0\nr = e + f\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn blocked_without_domination() {
+        let (p, rep) = setup("read c\nif (c > 0) then\n  d = e + f\nendif\nr = e + f\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn self_referential_definition_ineligible() {
+        let (p, rep) = setup("a = a + b\nr = a + b\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn subexpression_occurrence_found() {
+        let (p, rep) = setup("d = e + f\nr = (e + f) * 2\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut p = p;
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "d = e + f\nr = d * 2\n");
+    }
+
+    #[test]
+    fn array_expression_blocked_by_store() {
+        let (p, rep) = setup("d = A(i) + 1\nA(i) = 0\nr = A(i) + 1\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let src = "read e\nread f\nd = e + f\nr = e + f\nwrite d\nwrite r\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[3, 4]).unwrap();
+        let mut log = ActionLog::new();
+        for opp in find(&p, &rep) {
+            apply(&mut p, &mut log, &opp).unwrap();
+        }
+        let after = pivot_lang::interp::run_default(&p, &[3, 4]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn commutative_forms_not_unified() {
+        // Structural (syntactic) match only: f + e is not matched by e + f.
+        // (Matching modulo commutativity is a legal extension; the paper's
+        // pre_pattern is syntactic.)
+        let (p, rep) = setup("d = e + f\nr = f + e\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+}

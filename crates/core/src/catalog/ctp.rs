@@ -1,0 +1,169 @@
+//! Constant propagation (CTP).
+//!
+//! Table 2 row: pre_pattern `Stmt S_i: type(opr_2) == const; Stmt S_j:
+//! opr(pos) == S_i.opr_2`, primitive action `Modify(opr(S_j,pos),
+//! S_i.opr_2)`, post_pattern `opr(pos) = S_i.opr_2`.
+//!
+//! A use of `x` at `S_j` is replaced by the constant `c` when `S_i : x = c`
+//! is the sole reaching definition of that use. One operand occurrence per
+//! opportunity, matching the paper's `opr(S_j, pos)` granularity.
+
+use super::{var_use_exprs, Applied, Opportunity};
+use crate::actions::{ActionError, ActionLog};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::Rep;
+use pivot_lang::{ExprKind, Program, StmtKind};
+
+/// Detect constant propagation opportunities.
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for def in prog.attached_stmts() {
+        let StmtKind::Assign { target, value } = &prog.stmt(def).kind else { continue };
+        if !target.is_scalar() {
+            continue;
+        }
+        let ExprKind::Const(c) = prog.expr(*value).kind else { continue };
+        let x = target.var;
+        for &use_stmt in rep.chains.uses_of(def, x) {
+            if rep.chains.sole_def(use_stmt, x) != Some(def) {
+                continue;
+            }
+            for e in var_use_exprs(prog, use_stmt, x) {
+                let reaching_at_use = super::reaching_snapshot(prog, rep, use_stmt, &[x]);
+                out.push(Opportunity {
+                    params: XformParams::Ctp {
+                        def_stmt: def,
+                        use_stmt,
+                        expr: e,
+                        var: x,
+                        value: c,
+                        reaching_at_use,
+                    },
+                    description: format!(
+                        "CTP: propagate {} = {} into line {}",
+                        prog.symbols.name(x),
+                        c,
+                        prog.stmt(use_stmt).label
+                    ),
+                });
+            }
+        }
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Apply: `Modify(opr(S_j,pos), const)`.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Ctp { def_stmt, use_stmt, expr, var, value, .. } = opp.params.clone() else {
+        unreachable!("ctp::apply called with non-CTP params")
+    };
+    if prog.expr(expr).kind != (ExprKind::Var(var)) {
+        return Err(ActionError::ExprMismatch(expr));
+    }
+    let pre = Pattern::capture(
+        prog,
+        "Stmt S_i: type(opr_2) == const; Stmt S_j: opr(pos) == S_i.opr_2",
+        &[def_stmt, use_stmt],
+    );
+    let s1 = log.modify_expr(prog, expr, ExprKind::Const(value))?;
+    let post = Pattern::capture(prog, "Stmt S_j: opr(pos) = S_i.opr_2", &[def_stmt, use_stmt]);
+    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn finds_simple_propagation() {
+        let (p, rep) = setup("c = 1\nx = c + 2\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        assert!(matches!(opps[0].params, XformParams::Ctp { value: 1, .. }));
+    }
+
+    #[test]
+    fn figure1_ctp_site() {
+        let (p, rep) = setup(
+            "D = E + F\nC = 1\ndo i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\n",
+        );
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let XformParams::Ctp { use_stmt, value, .. } = opps[0].params else { unreachable!() };
+        assert_eq!(prog_label(&p, use_stmt), 5);
+        assert_eq!(value, 1);
+    }
+
+    fn prog_label(p: &Program, s: pivot_lang::StmtId) -> u32 {
+        p.stmt(s).label
+    }
+
+    #[test]
+    fn two_reaching_defs_block_propagation() {
+        let (p, rep) = setup("read k\nif (k > 0) then\n  c = 1\nelse\n  c = 2\nendif\nx = c\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn each_occurrence_is_separate() {
+        let (p, rep) = setup("c = 3\nx = c + c\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 2);
+    }
+
+    #[test]
+    fn subscript_uses_are_propagated() {
+        let (p, rep) = setup("k = 2\nA(k) = 5\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        let mut p = p;
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "k = 2\nA(2) = 5\n");
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let src = "c = 1\ndo i = 1, 3\n  A(i) = c + i\nenddo\nwrite A(2)\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let mut log = ActionLog::new();
+        for opp in find(&p, &rep) {
+            apply(&mut p, &mut log, &opp).unwrap();
+        }
+        assert!(to_source(&p).contains("A(i) = 1 + i"));
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn redefined_var_not_propagated_past_redef() {
+        let (p, rep) = setup("c = 1\nc = 2\nx = c\n");
+        let opps = find(&p, &rep);
+        // Only c = 2 propagates into x = c.
+        assert_eq!(opps.len(), 1);
+        assert!(matches!(opps[0].params, XformParams::Ctp { value: 2, .. }));
+    }
+
+    #[test]
+    fn loop_carried_redef_blocks() {
+        // c is redefined inside the loop, so the use next iteration has two
+        // reaching defs.
+        let (p, rep) = setup("c = 1\ndo i = 1, 3\n  x = c\n  c = i\nenddo\nwrite x\n");
+        let opps = find(&p, &rep);
+        assert!(opps.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Dead code elimination (DCE).
+//!
+//! Table 2 row: pre_pattern `Stmt S_i; /*dead code*/`, primitive action
+//! `Delete(S_i)`, post_pattern `Del_stmt S_i; ptr orig_loc`.
+//!
+//! A scalar assignment is dead when its target is not live after it. The
+//! RHS must be fault-free (no division) so removal cannot suppress a
+//! runtime error, and the statement must not perform I/O.
+
+use super::{Applied, Opportunity};
+use crate::actions::{ActionError, ActionLog};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::access;
+use pivot_ir::Rep;
+use pivot_lang::{Program, StmtKind};
+
+/// Detect dead scalar assignments.
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for s in prog.attached_stmts() {
+        let StmtKind::Assign { target, value } = &prog.stmt(s).kind else { continue };
+        if !target.is_scalar() {
+            continue; // whole-array liveness is too coarse to prove death
+        }
+        if access::expr_can_fault(prog, *value) {
+            continue;
+        }
+        if rep.live.is_live_after(prog, &rep.cfg, s, target.var) {
+            continue;
+        }
+        out.push(Opportunity {
+            params: XformParams::Dce { stmt: s, target: target.var },
+            description: format!(
+                "DCE: delete dead `{}` (line {})",
+                pivot_lang::printer::render_stmt_str(prog, s, Default::default()).trim_end(),
+                prog.stmt(s).label
+            ),
+        });
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Apply: `Delete(S_i)`.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Dce { stmt, target } = opp.params else {
+        unreachable!("dce::apply called with non-DCE params")
+    };
+    let pre = Pattern::capture(prog, "Stmt S_i; /*dead code*/", &[stmt]);
+    let s1 = log.delete(prog, stmt)?;
+    let post = Pattern::capture(prog, "Del_stmt S_i; ptr orig_loc", &[stmt]);
+    Ok(Applied {
+        params: XformParams::Dce { stmt, target },
+        pre,
+        post,
+        stamps: vec![s1],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn finds_dead_assignment() {
+        let (p, rep) = setup("x = 1\ny = 2\nwrite y\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        assert!(matches!(opps[0].params, XformParams::Dce { stmt, .. } if stmt == p.body[0]));
+    }
+
+    #[test]
+    fn live_assignment_not_dead() {
+        let (p, rep) = setup("x = 1\nwrite x\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn faulting_rhs_not_removed() {
+        let (p, rep) = setup("read d\nx = 1 / d\nwrite 0\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn overwritten_def_is_dead() {
+        let (p, rep) = setup("x = 1\nx = 2\nwrite x\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        assert!(matches!(opps[0].params, XformParams::Dce { stmt, .. } if stmt == p.body[0]));
+    }
+
+    #[test]
+    fn may_use_in_branch_keeps_alive() {
+        let (p, rep) = setup("x = 1\nread c\nif (c > 0) then\n  write x\nendif\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn apply_deletes_and_preserves_semantics() {
+        let src = "x = 1\ny = 2\nwrite y\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let opps = find(&p, &rep);
+        let mut log = ActionLog::new();
+        let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "y = 2\nwrite y\n");
+        assert_eq!(applied.stamps.len(), 1);
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn dead_chain_found_iteratively() {
+        // x feeds only y, y is dead: removing y exposes x.
+        let (mut p, mut rep) = setup("x = 1\ny = x\nwrite 0\n");
+        let mut log = ActionLog::new();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1, "only y is dead initially");
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        rep.refresh(&p);
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1, "x becomes dead after removing y");
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "write 0\n");
+    }
+}

@@ -1,0 +1,181 @@
+//! Loop fusion (FUS).
+//!
+//! Fuses adjacent, conformable loops when no fusion-prevented dependence
+//! exists ([`pivot_ir::depend::fusion_legal`], screened in practice through
+//! the region summaries of Figure 3). Realized as `Move` of each statement
+//! of the second body to the end of the first body, then `Delete(L2)` —
+//! all reversible by the standard inverses.
+
+use super::{Applied, Opportunity};
+use crate::actions::{ActionError, ActionLog};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::{depend, loops, Rep};
+use pivot_lang::{BlockRole, Loc, Parent, Program, StmtId};
+
+/// Detect legal fusions of adjacent sibling loops.
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for l1 in prog.attached_stmts() {
+        if !loops::is_loop(prog, l1) {
+            continue;
+        }
+        let Some(l2) = prog.next_sibling(l1) else { continue };
+        if !loops::is_loop(prog, l2) {
+            continue;
+        }
+        if !depend::fusion_legal(prog, l1, l2) {
+            continue;
+        }
+        out.push(Opportunity {
+            params: XformParams::Fus {
+                l1,
+                l2,
+                moved: loops::loop_body(prog, l2).cloned().unwrap_or_default(),
+                body1: loops::loop_body(prog, l1).cloned().unwrap_or_default(),
+            },
+            description: format!(
+                "FUS: fuse loops at lines {} and {}",
+                prog.stmt(l1).label,
+                prog.stmt(l2).label
+            ),
+        });
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Apply: move `L2`'s body into `L1`, delete `L2`.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Fus { l1, l2, ref moved, ref body1 } = opp.params else {
+        unreachable!("fus::apply called with non-FUS params")
+    };
+    let pre = Pattern::capture(prog, "Adjacent conformable Loops (L1, L2)", &[l1, l2]);
+    let mut stamps = Vec::new();
+    let mut anchor: Option<StmtId> = loops::loop_body(prog, l1).and_then(|b| b.last().copied());
+    for &s in moved {
+        let dest = match anchor {
+            Some(a) => Loc::after(Parent::Block(l1, BlockRole::LoopBody), a),
+            None => Loc { parent: Parent::Block(l1, BlockRole::LoopBody), anchor: pivot_lang::AnchorPos::Start },
+        };
+        stamps.push(log.move_stmt(prog, s, dest)?);
+        anchor = Some(s);
+    }
+    stamps.push(log.delete(prog, l2)?);
+    let post = Pattern::capture(prog, "Loop L1 (fused); Del_stmt L2", &[l1, l2]);
+    Ok(Applied {
+        params: XformParams::Fus { l1, l2, moved: moved.clone(), body1: body1.clone() },
+        pre,
+        post,
+        stamps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn finds_and_applies_simple_fusion() {
+        let (mut p, rep) = setup(
+            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n",
+        );
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "do i = 1, 10\n  A(i) = 1\n  B(i) = A(i)\nenddo\n");
+        assert_eq!(applied.stamps.len(), 2); // one move + one delete
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn backward_dep_blocks() {
+        let (p, rep) = setup(
+            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i + 1)\nenddo\n",
+        );
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn non_adjacent_blocks() {
+        let (p, rep) = setup(
+            "do i = 1, 10\n  A(i) = 1\nenddo\nx = 0\ndo i = 1, 10\n  B(i) = 2\nenddo\nwrite x\n",
+        );
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn different_bounds_block() {
+        let (p, rep) = setup(
+            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 9\n  B(i) = 2\nenddo\n",
+        );
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let src = "\
+do i = 1, 6
+  A(i) = i * i
+enddo
+do i = 1, 6
+  B(i) = A(i) + 1
+enddo
+write B(5)
+write A(6)
+";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn multi_statement_bodies_fuse_in_order() {
+        let (mut p, rep) = setup(
+            "do i = 1, 5\n  A(i) = 1\n  B(i) = 2\nenddo\ndo i = 1, 5\n  C(i) = 3\n  D(i) = 4\nenddo\n",
+        );
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(
+            to_source(&p),
+            "do i = 1, 5\n  A(i) = 1\n  B(i) = 2\n  C(i) = 3\n  D(i) = 4\nenddo\n"
+        );
+    }
+
+    #[test]
+    fn empty_second_body_fuses() {
+        let (mut p, rep) = setup("do i = 1, 5\n  A(i) = 1\nenddo\ndo i = 1, 5\nenddo\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "do i = 1, 5\n  A(i) = 1\nenddo\n");
+    }
+
+    #[test]
+    fn scalar_def_in_body_blocks() {
+        let (p, rep) = setup(
+            "do i = 1, 5\n  t = i\n  A(i) = t\nenddo\ndo i = 1, 5\n  B(i) = 1\nenddo\n",
+        );
+        assert!(find(&p, &rep).is_empty());
+    }
+}

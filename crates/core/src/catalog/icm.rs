@@ -1,0 +1,260 @@
+//! Invariant code motion (ICM).
+//!
+//! Table 2 row: pre_pattern `Loop L1; Stmt S_i`, primitive action
+//! `Move(S_i, L1.prev)`, post_pattern `Stmt S_i; ptr orig_location`.
+//!
+//! Conditions (conservative, each necessary for semantics preservation in
+//! this language):
+//! * `S_i` is an assignment, a **direct** child of the loop body
+//!   (executes unconditionally every iteration);
+//! * its RHS (and any target subscripts) are fault-free and loop-invariant:
+//!   no scalar read is defined anywhere in the loop subtree (the induction
+//!   variable is defined by the header, so using it disqualifies), and no
+//!   array read is written in the loop subtree;
+//! * scalar target: defined **only** by `S_i` within the loop and not used
+//!   in the loop before `S_i` (in execution order of one iteration);
+//! * array target (the Figure 1 case, `A(j) = B(j) + 1` hoisted out of the
+//!   inner `i` loop): the array is not otherwise accessed — read or
+//!   written — anywhere in the loop subtree, so the repeated store is
+//!   idempotent and unobserved within the loop;
+//! * the loop provably executes at least once (constant bounds), so hoisting
+//!   cannot introduce an assignment that never happened.
+
+use super::{Applied, Opportunity};
+use crate::actions::{ActionError, ActionLog};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::{access, loops, Rep};
+use pivot_lang::{Program, StmtId, StmtKind, Sym};
+
+/// Detect hoistable invariant statements.
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for lp in prog.attached_stmts() {
+        if !loops::is_loop(prog, lp) {
+            continue;
+        }
+        let Some(bounds) = loops::const_bounds(prog, lp) else { continue };
+        if bounds.trip_count() < 1 {
+            continue;
+        }
+        let body: Vec<StmtId> = loops::loop_body(prog, lp).cloned().unwrap_or_default();
+        let loop_du = access::subtree_def_use(prog, lp);
+        for (pos_in_body, &s) in body.iter().enumerate() {
+            let StmtKind::Assign { target, value } = &prog.stmt(s).kind else { continue };
+            let t = target.var;
+            let is_array = !target.is_scalar();
+            if access::expr_can_fault(prog, *value)
+                || target.subs.iter().any(|&e| access::expr_can_fault(prog, e))
+            {
+                continue;
+            }
+            // RHS (and subscript) invariance.
+            let du = access::stmt_def_use(prog, s);
+            if du.use_scalars.iter().any(|&u| loop_du.defines_scalar(u)) {
+                continue;
+            }
+            if du.use_arrays.iter().any(|&a| loop_du.def_arrays.contains(&a)) {
+                continue;
+            }
+            if is_array {
+                // The array must not be accessed by any *other* statement of
+                // the loop subtree (read or write), making the repeated
+                // store idempotent and unobserved.
+                let touched_elsewhere = prog.subtree(lp).iter().any(|&q| {
+                    if q == lp || q == s {
+                        return false;
+                    }
+                    let qdu = access::stmt_def_use(prog, q);
+                    qdu.def_arrays.contains(&t) || qdu.use_arrays.contains(&t)
+                });
+                if touched_elsewhere {
+                    continue;
+                }
+            } else {
+                // Unique definition of t inside the loop.
+                let defs_of_t = prog
+                    .subtree(lp)
+                    .iter()
+                    .filter(|&&q| q != lp && access::stmt_def_use(prog, q).defines_scalar(t))
+                    .count();
+                if defs_of_t != 1 {
+                    continue;
+                }
+                if t == loops::loop_var(prog, lp).expect("lp is a loop") {
+                    continue;
+                }
+                // No use of t earlier in the iteration: scan the subtree in
+                // pre-order up to s, plus the loop header itself.
+                if used_before(prog, lp, s, t, pos_in_body, &body) {
+                    continue;
+                }
+            }
+            let mut operand_syms = du.use_scalars.clone();
+            operand_syms.sort_unstable();
+            operand_syms.dedup();
+            out.push(Opportunity {
+                params: XformParams::Icm {
+                    stmt: s,
+                    loop_stmt: lp,
+                    target: t,
+                    operand_syms,
+                    array_reads: du.use_arrays.clone(),
+                },
+                description: format!(
+                    "ICM: hoist `{}` (line {}) out of loop at line {}",
+                    pivot_lang::printer::render_stmt_str(prog, s, Default::default()).trim_end(),
+                    prog.stmt(s).label,
+                    prog.stmt(lp).label
+                ),
+            });
+        }
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Is `t` used anywhere in the loop before `s` executes within an iteration?
+/// Conservative: any use in the loop header, in a body statement preceding
+/// `s`, or in a nested construct preceding `s`, counts.
+fn used_before(
+    prog: &Program,
+    lp: StmtId,
+    s: StmtId,
+    t: Sym,
+    pos_in_body: usize,
+    body: &[StmtId],
+) -> bool {
+    // Header uses (bounds/step).
+    if access::stmt_def_use(prog, lp).uses(t) {
+        return true;
+    }
+    for &q in &body[..pos_in_body] {
+        for sub in prog.subtree(q) {
+            if access::stmt_def_use(prog, sub).uses(t) {
+                return true;
+            }
+        }
+    }
+    let _ = s;
+    false
+}
+
+/// Apply: `Move(S_i, L1.prev)`.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Icm { stmt, loop_stmt, .. } = opp.params else {
+        unreachable!("icm::apply called with non-ICM params")
+    };
+    let pre = Pattern::capture(prog, "Loop L1; Stmt S_i", &[loop_stmt, stmt]);
+    // Insert at the loop's current slot: the statement lands just before it.
+    let dest = prog.loc_of(loop_stmt).map_err(crate::actions::ActionError::from)?;
+    let s1 = log.move_stmt(prog, stmt, dest)?;
+    let post = Pattern::capture(prog, "Stmt S_i; ptr orig_location", &[stmt, loop_stmt]);
+    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn figure1_icm_site() {
+        let (p, rep) = setup(
+            "do i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    x = E + F\n    R(i, j) = x\n  enddo\nenddo\n",
+        );
+        let opps = find(&p, &rep);
+        // x = E + F is invariant in the j-loop (and transitively the i-loop
+        // after one hoist — found per current nesting only).
+        assert_eq!(opps.len(), 1);
+        let XformParams::Icm { stmt, loop_stmt, .. } = opps[0].params else { unreachable!() };
+        assert_eq!(p.stmt(stmt).label, 4);
+        assert_eq!(p.stmt(loop_stmt).label, 2);
+    }
+
+    #[test]
+    fn apply_moves_before_loop() {
+        let (mut p, rep) = setup("do i = 1, 10\n  x = e + f\n  A(i) = x\nenddo\n");
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(to_source(&p), "x = e + f\ndo i = 1, 10\n  A(i) = x\nenddo\n");
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn induction_use_not_invariant() {
+        let (p, rep) = setup("do i = 1, 10\n  x = i + 1\n  A(i) = x\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn operand_defined_in_loop_not_invariant() {
+        let (p, rep) = setup("do i = 1, 10\n  e = i\n  x = e + f\n  A(i) = x\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn array_read_written_in_loop_not_invariant() {
+        let (p, rep) = setup("do i = 1, 10\n  x = B(1) + 1\n  B(i) = x\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn zero_trip_loop_not_hoisted() {
+        let (p, rep) = setup("do i = 5, 1\n  x = e + f\n  A(i) = x\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn non_const_bounds_not_hoisted() {
+        let (p, rep) = setup("read n\ndo i = 1, n\n  x = e + f\n  A(i) = x\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn conditional_statement_not_hoisted() {
+        let (p, rep) = setup(
+            "do i = 1, 10\n  if (i > 5) then\n    x = e + f\n  endif\n  A(i) = x\nenddo\n",
+        );
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn use_before_def_not_hoisted() {
+        let (p, rep) = setup("do i = 1, 10\n  A(i) = x\n  x = e + f\nenddo\nwrite x\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn second_def_in_loop_not_hoisted() {
+        let (p, rep) = setup(
+            "do i = 1, 10\n  x = e + f\n  A(i) = x\n  if (i > 5) then\n    x = 0\n  endif\nenddo\n",
+        );
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let src = "read e\ndo i = 1, 5\n  x = e + 3\n  A(i) = x + i\nenddo\nwrite A(4)\nwrite x\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[10]).unwrap();
+        let mut log = ActionLog::new();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        let after = pivot_lang::interp::run_default(&p, &[10]).unwrap();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,177 @@
+//! Loop interchange (INX).
+//!
+//! Table 2 row: pre_pattern `Tight Loops (L1, L2)`, primitive actions
+//! `Copy(L1, Ltmp); Modify(L1, L2); Modify(L2, Ltmp)`, post_pattern
+//! `Tight Loops (L2, L1)`.
+//!
+//! Realized as a pair of header `Modify`s (the paper's `Ltmp` is the saved
+//! `old` header inside the first `Modify` record — the action log *is* the
+//! temporary). Legality comes from [`pivot_ir::depend::interchange_legal`]:
+//! tightly nested, rectangular, no `( <, > )` dependence, no reorder
+//! hazards. Additionally the outer bounds must not use the inner induction
+//! variable (the swap would capture it).
+
+use super::{Applied, Opportunity};
+use crate::actions::{read_header, ActionError, ActionLog};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::{depend, loops, Rep};
+use pivot_lang::{Program, StmtKind};
+
+/// Detect legal interchanges of tightly nested pairs.
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for outer in prog.attached_stmts() {
+        let Some(inner) = loops::tightly_nested_inner(prog, outer) else { continue };
+        if !depend::interchange_legal(prog, outer, inner) {
+            continue;
+        }
+        // The outer bounds must not reference the inner induction variable.
+        let iv = loops::loop_var(prog, inner).expect("inner is a loop");
+        if let StmtKind::DoLoop { lo, hi, step, .. } = &prog.stmt(outer).kind {
+            let mut used = Vec::new();
+            prog.expr_uses(*lo, &mut used);
+            prog.expr_uses(*hi, &mut used);
+            if let Some(st) = step {
+                prog.expr_uses(*st, &mut used);
+            }
+            if used.contains(&iv) {
+                continue;
+            }
+        }
+        // Distinct induction variables (same-var nests are degenerate).
+        if loops::loop_var(prog, outer) == loops::loop_var(prog, inner) {
+            continue;
+        }
+        out.push(Opportunity {
+            params: XformParams::Inx { outer, inner },
+            description: format!(
+                "INX: interchange loops at lines {} and {}",
+                prog.stmt(outer).label,
+                prog.stmt(inner).label
+            ),
+        });
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Apply: swap the two loop headers via two `Modify` actions.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Inx { outer, inner } = opp.params else {
+        unreachable!("inx::apply called with non-INX params")
+    };
+    let pre = Pattern::capture(prog, "Tight Loops (L1, L2)", &[outer, inner]);
+    let h_outer = read_header(prog, outer).ok_or(ActionError::HeaderMismatch(outer))?;
+    let h_inner = read_header(prog, inner).ok_or(ActionError::HeaderMismatch(inner))?;
+    let s1 = log.modify_header(prog, outer, h_inner)?;
+    let s2 = log.modify_header(prog, inner, h_outer)?;
+    let post = Pattern::capture(prog, "Tight Loops (L2, L1)", &[outer, inner]);
+    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1, s2] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn figure1_inx_site() {
+        let (p, rep) = setup(
+            "do i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\n",
+        );
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+    }
+
+    #[test]
+    fn apply_swaps_headers() {
+        let (mut p, rep) = setup(
+            "do i = 1, 100\n  do j = 1, 50\n    A(i, j) = 0\n  enddo\nenddo\n",
+        );
+        let opps = find(&p, &rep);
+        let mut log = ActionLog::new();
+        let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(
+            to_source(&p),
+            "do j = 1, 50\n  do i = 1, 100\n    A(i, j) = 0\n  enddo\nenddo\n"
+        );
+        assert_eq!(applied.stamps.len(), 2);
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn illegal_dependence_blocks() {
+        let (p, rep) = setup(
+            "do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n",
+        );
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn non_tight_nest_blocks() {
+        let (p, rep) = setup(
+            "do i = 1, 9\n  x = 0\n  do j = 1, 8\n    A(i, j) = 1\n  enddo\nenddo\n",
+        );
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn triangular_nest_blocks() {
+        let (p, rep) = setup("do i = 1, 9\n  do j = 1, i\n    A(i, j) = 1\n  enddo\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let src = "\
+do i = 1, 4
+  do j = 1, 3
+    A(i, j) = 10 * i + j
+  enddo
+enddo
+write A(2, 3)
+write A(4, 1)
+write i
+write j
+";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let mut log = ActionLog::new();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reduction_with_all_eq_dep_is_interchangeable() {
+        let src = "\
+do i = 1, 3
+  do j = 1, 3
+    S(i, j) = S(i, j) + 1
+  enddo
+enddo
+write S(2, 2)
+";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,211 @@
+//! Loop unrolling (LUR).
+//!
+//! Unrolls a constant-bound loop by a factor dividing its trip count:
+//! the body is copied `factor − 1` times (`Copy` actions), each occurrence
+//! of the induction variable in copy `m` is rewritten to `var + m·step`
+//! (`Modify` actions), and the header step becomes `factor·step` (a header
+//! `Modify`). All actions invert by the standard Table 1 inverses.
+
+use super::{Applied, Opportunity};
+use crate::actions::{read_header, ActionError, ActionLog, LoopHeader};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::{access, loops, Rep};
+use pivot_lang::{BinOp, BlockRole, ExprKind, Loc, Parent, Program, StmtId};
+
+/// Default unroll factor.
+pub const FACTOR: i64 = 2;
+
+/// Detect unrollable loops (factor [`FACTOR`]).
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for lp in prog.attached_stmts() {
+        if !loops::is_loop(prog, lp) {
+            continue;
+        }
+        let Some(bounds) = loops::const_bounds(prog, lp) else { continue };
+        let trip = bounds.trip_count();
+        if trip < FACTOR || trip % FACTOR != 0 {
+            continue;
+        }
+        let var = loops::loop_var(prog, lp).expect("lp is a loop");
+        let body = loops::loop_body(prog, lp).cloned().unwrap_or_default();
+        if body.is_empty() {
+            continue;
+        }
+        // The body must not redefine the induction variable, and nested
+        // compound statements are excluded (copy-substitution into nested
+        // headers is legal but the detector stays conservative).
+        let subtree_ok = body.iter().all(|&s| {
+            matches!(
+                prog.stmt(s).kind,
+                pivot_lang::StmtKind::Assign { .. }
+                    | pivot_lang::StmtKind::Read { .. }
+                    | pivot_lang::StmtKind::Write { .. }
+            ) && !access::stmt_def_use(prog, s).defines_scalar(var)
+        });
+        if !subtree_ok {
+            continue;
+        }
+        out.push(Opportunity {
+            params: XformParams::Lur {
+                loop_stmt: lp,
+                factor: FACTOR,
+                orig_step: bounds.step,
+                orig_body: body.clone(),
+                copies: Vec::new(),
+            },
+            description: format!(
+                "LUR: unroll loop at line {} by {}",
+                prog.stmt(lp).label,
+                FACTOR
+            ),
+        });
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Apply: `Copy` body ×(factor−1), `Modify` induction uses, `Modify` header.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Lur { loop_stmt, factor, orig_step, .. } = opp.params else {
+        unreachable!("lur::apply called with non-LUR params")
+    };
+    let pre = Pattern::capture(prog, "Loop L1 (trip % k == 0)", &[loop_stmt]);
+    let var = loops::loop_var(prog, loop_stmt).expect("loop");
+    let body = loops::loop_body(prog, loop_stmt).cloned().unwrap_or_default();
+    let mut stamps = Vec::new();
+    let mut copies = Vec::new();
+    let mut anchor = *body.last().expect("unrollable body is non-empty");
+    for m in 1..factor {
+        for &s in &body {
+            let dest = Loc::after(Parent::Block(loop_stmt, BlockRole::LoopBody), anchor);
+            let (st, copy) = log.copy(prog, s, dest)?;
+            stamps.push(st);
+            copies.push(copy);
+            anchor = copy;
+            // Rewrite every `var` occurrence in the copy to `var + m*step`.
+            for e in super::var_use_exprs(prog, copy, var) {
+                let base = prog.alloc_expr(ExprKind::Var(var), copy);
+                let off = prog.alloc_expr(ExprKind::Const(m * orig_step), copy);
+                stamps.push(log.modify_expr(prog, e, ExprKind::Binary(BinOp::Add, base, off))?);
+            }
+        }
+    }
+    // Header: step becomes factor*step.
+    let old = read_header(prog, loop_stmt).ok_or(ActionError::HeaderMismatch(loop_stmt))?;
+    let new_step = prog.alloc_expr(ExprKind::Const(factor * orig_step), loop_stmt);
+    let new = LoopHeader { step: Some(new_step), ..old };
+    stamps.push(log.modify_header(prog, loop_stmt, new)?);
+    let post = Pattern::capture(prog, "Loop L1 unrolled; copies + stepped header", &[loop_stmt]);
+    Ok(Applied {
+        params: XformParams::Lur { loop_stmt, factor, orig_step, orig_body: body, copies },
+        pre,
+        post,
+        stamps,
+    })
+}
+
+/// Collect `var` occurrences in one statement only (copies are simple
+/// statements, no subtrees).
+#[allow(dead_code)]
+fn occurrences(prog: &Program, s: StmtId, var: pivot_lang::Sym) -> Vec<pivot_lang::ExprId> {
+    super::var_use_exprs(prog, s, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn finds_divisible_loop() {
+        let (p, rep) = setup("do i = 1, 10\n  A(i) = i\nenddo\n");
+        assert_eq!(find(&p, &rep).len(), 1);
+    }
+
+    #[test]
+    fn indivisible_trip_blocks() {
+        let (p, rep) = setup("do i = 1, 9\n  A(i) = i\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn nested_compound_blocks() {
+        let (p, rep) = setup("do i = 1, 10\n  if (i > 5) then\n    A(i) = 1\n  endif\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn induction_redef_blocks() {
+        let (p, rep) = setup("do i = 1, 10\n  i = i + 1\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn apply_shape() {
+        let (mut p, rep) = setup("do i = 1, 4\n  A(i) = i\nenddo\n");
+        let opps = find(&p, &rep);
+        let mut log = ActionLog::new();
+        let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(
+            to_source(&p),
+            "do i = 1, 4, 2\n  A(i) = i\n  A(i + 1) = i + 1\nenddo\n"
+        );
+        let XformParams::Lur { copies, .. } = applied.params else { unreachable!() };
+        assert_eq!(copies.len(), 1);
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let src = "s = 0\ndo i = 1, 8\n  s = s + i * i\nenddo\nwrite s\nwrite i\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn stepped_loop_unrolls() {
+        let src = "do i = 0, 10, 2\n  A(i) = i\nenddo\nwrite A(8)\nwrite i\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert!(to_source(&p).contains("do i = 0, 10, 4"));
+        assert!(to_source(&p).contains("A(i + 2) = i + 2"));
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn io_in_body_unrolls_in_order() {
+        let src = "do i = 1, 4\n  write i\nenddo\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,311 @@
+//! The transformation catalog (Table 2): detection and application of the
+//! ten transformations, each realized as a sequence of primitive actions.
+//!
+//! Detection (`find_*`) consults the two-level representation and returns
+//! [`Opportunity`] values whose application is guaranteed
+//! semantics-preserving (checked by interpreter-equivalence tests).
+//! Application performs primitive actions through the [`ActionLog`], so the
+//! resulting history is transformation-independent.
+
+use crate::actions::{ActionError, ActionLog, Stamp};
+use crate::kind::XformKind;
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::Rep;
+use pivot_lang::{Program, StmtId, Sym};
+
+pub mod cfo;
+pub mod cpp;
+pub mod cse;
+pub mod ctp;
+pub mod dce;
+pub mod fus;
+pub mod icm;
+pub mod inx;
+pub mod lur;
+pub mod smi;
+
+/// A detected, applicable transformation instance.
+#[derive(Clone, Debug)]
+pub struct Opportunity {
+    /// Typed parameters (sites). For LUR/SMI some fields are completed at
+    /// application time (copy roots, the fresh outer loop).
+    pub params: XformParams,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl Opportunity {
+    /// Which transformation.
+    pub fn kind(&self) -> XformKind {
+        self.params.kind()
+    }
+}
+
+/// Result of applying an opportunity.
+#[derive(Clone, Debug)]
+pub struct Applied {
+    /// Completed parameters.
+    pub params: XformParams,
+    /// Captured pre-pattern.
+    pub pre: Pattern,
+    /// Captured post-pattern.
+    pub post: Pattern,
+    /// Stamps of the performed actions, in order.
+    pub stamps: Vec<Stamp>,
+}
+
+/// Find opportunities of one kind.
+pub fn find(prog: &Program, rep: &Rep, kind: XformKind) -> Vec<Opportunity> {
+    match kind {
+        XformKind::Dce => dce::find(prog, rep),
+        XformKind::Cse => cse::find(prog, rep),
+        XformKind::Ctp => ctp::find(prog, rep),
+        XformKind::Cpp => cpp::find(prog, rep),
+        XformKind::Cfo => cfo::find(prog, rep),
+        XformKind::Icm => icm::find(prog, rep),
+        XformKind::Lur => lur::find(prog, rep),
+        XformKind::Smi => smi::find(prog, rep),
+        XformKind::Fus => fus::find(prog, rep),
+        XformKind::Inx => inx::find(prog, rep),
+    }
+}
+
+/// Find opportunities of every kind, in Table 4 order.
+pub fn find_all(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    crate::kind::ALL_KINDS.iter().flat_map(|&k| find(prog, rep, k)).collect()
+}
+
+/// Apply an opportunity through the action log.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    match &opp.params {
+        XformParams::Dce { .. } => dce::apply(prog, log, opp),
+        XformParams::Cse { .. } => cse::apply(prog, log, opp),
+        XformParams::Ctp { .. } => ctp::apply(prog, log, opp),
+        XformParams::Cpp { .. } => cpp::apply(prog, log, opp),
+        XformParams::Cfo { .. } => cfo::apply(prog, log, opp),
+        XformParams::Icm { .. } => icm::apply(prog, log, opp),
+        XformParams::Inx { .. } => inx::apply(prog, log, opp),
+        XformParams::Fus { .. } => fus::apply(prog, log, opp),
+        XformParams::Lur { .. } => lur::apply(prog, log, opp),
+        XformParams::Smi { .. } => smi::apply(prog, log, opp),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared detection helpers
+// ---------------------------------------------------------------------
+
+/// Is the relationship established at `from` (e.g. `A = B op C`, `x = const`,
+/// `x = y`) still intact when control reaches `to`?
+///
+/// True iff `from` dominates `to` and **no path from `from` to `to` that
+/// avoids re-executing `from`** passes a definition of any symbol in `syms`.
+/// (Re-executing `from` re-establishes the relationship, so paths through
+/// `from` are fine.) Computed as a small must-availability analysis at
+/// statement granularity.
+pub fn value_intact(prog: &Program, rep: &Rep, from: StmtId, to: StmtId, syms: &[Sym]) -> bool {
+    if from == to || !rep.stmt_dominates(from, to) {
+        return false;
+    }
+    let cfg = &rep.cfg;
+    let n = cfg.len();
+    let (bf, bt) = match (cfg.block_of(from), cfg.block_of(to)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    // Per-block boolean dataflow: "intact" holds at block entry/exit.
+    // Transfer walks the block's statements: a def of a watched symbol
+    // clears it, executing `from` sets it.
+    let transfer = |b: pivot_ir::cfg::BlockId, mut state: bool| -> bool {
+        for &s in &cfg.block(b).stmts {
+            if s == from {
+                state = true;
+                continue;
+            }
+            let du = pivot_ir::access::stmt_def_use(prog, s);
+            if syms.iter().any(|&y| du.defines(y)) {
+                state = false;
+            }
+        }
+        state
+    };
+    // Must-analysis: IN = AND of predecessor OUTs; start at top (true),
+    // entry IN = false (nothing is intact before `from` ever runs — but
+    // domination guarantees every path to `to` passes `from`).
+    let mut ins = vec![true; n];
+    let mut outs = vec![true; n];
+    ins[cfg.entry.index()] = false;
+    let order = cfg.rpo();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let bi = b.index();
+            if b != cfg.entry {
+                let mut v = true;
+                for &p in &cfg.block(b).preds {
+                    v &= outs[p.index()];
+                }
+                if ins[bi] != v {
+                    ins[bi] = v;
+                    changed = true;
+                }
+            }
+            let o = transfer(b, ins[bi]);
+            if outs[bi] != o {
+                outs[bi] = o;
+                changed = true;
+            }
+        }
+    }
+    // Evaluate at the program point just before `to`.
+    let mut state = ins[bt.index()];
+    for &s in &cfg.block(bt).stmts {
+        if s == to {
+            break;
+        }
+        if s == from {
+            state = true;
+            continue;
+        }
+        let du = pivot_ir::access::stmt_def_use(prog, s);
+        if syms.iter().any(|&y| du.defines(y)) {
+            state = false;
+        }
+    }
+    let _ = bf;
+    state
+}
+
+/// Snapshot, per watched symbol, of the definitions reaching `use_stmt`
+/// (sorted). Stored in rewrite params so the safety check can detect *new*
+/// reaching definitions (edits on the def-use path) even after the defining
+/// statement was legally deleted.
+pub fn reaching_snapshot(
+    prog: &Program,
+    rep: &Rep,
+    use_stmt: StmtId,
+    syms: &[Sym],
+) -> Vec<(Sym, Vec<StmtId>)> {
+    syms.iter()
+        .map(|&y| {
+            let mut defs = rep.reach.defs_reaching(prog, &rep.cfg, use_stmt, y);
+            defs.sort_unstable();
+            defs.dedup();
+            (y, defs)
+        })
+        .collect()
+}
+
+/// Expression nodes within `stmt` whose payload is exactly `Var(sym)`.
+pub fn var_use_exprs(prog: &Program, stmt: StmtId, sym: Sym) -> Vec<pivot_lang::ExprId> {
+    prog.stmt_exprs(stmt)
+        .into_iter()
+        .filter(|&e| matches!(prog.expr(e).kind, pivot_lang::ExprKind::Var(v) if v == sym))
+        .collect()
+}
+
+/// Deterministic ordering key for opportunities: positions of site stmts.
+pub(crate) fn sort_opps(rep: &Rep, opps: &mut [Opportunity]) {
+    opps.sort_by_key(|o| {
+        let sites = o.params.site_stmts();
+        let first = sites.iter().filter_map(|&s| rep.position(s)).min().unwrap_or(usize::MAX);
+        let exprs = o.params.site_exprs();
+        (first, exprs.first().map(|e| e.index()).unwrap_or(0))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn value_intact_straight_line() {
+        let (p, rep) = setup("x = a + b\ny = 1\nz = x\n");
+        let ss = p.attached_stmts();
+        let a = p.symbols.get("a").unwrap();
+        let x = p.symbols.get("x").unwrap();
+        assert!(value_intact(&p, &rep, ss[0], ss[2], &[a, x]));
+    }
+
+    #[test]
+    fn value_intact_broken_by_redef() {
+        let (p, rep) = setup("x = a + b\na = 1\nz = x\n");
+        let ss = p.attached_stmts();
+        let a = p.symbols.get("a").unwrap();
+        assert!(!value_intact(&p, &rep, ss[0], ss[2], &[a]));
+    }
+
+    #[test]
+    fn value_intact_requires_domination() {
+        let (p, rep) = setup("read c\nif (c > 0) then\n  x = a\nendif\nz = x\n");
+        let ss = p.attached_stmts();
+        let a = p.symbols.get("a").unwrap();
+        assert!(!value_intact(&p, &rep, ss[2], ss[3], &[a]));
+    }
+
+    #[test]
+    fn value_intact_branch_kill() {
+        let (p, rep) = setup("x = a\nread c\nif (c > 0) then\n  a = 2\nendif\nz = x + a\n");
+        let ss = p.attached_stmts();
+        let a = p.symbols.get("a").unwrap();
+        // One path kills a.
+        assert!(!value_intact(&p, &rep, ss[0], ss[4], &[a]));
+        // But x itself is fine.
+        let x = p.symbols.get("x").unwrap();
+        assert!(value_intact(&p, &rep, ss[0], ss[4], &[x]));
+    }
+
+    #[test]
+    fn value_intact_loop_back_path() {
+        // The def of `a` later in the loop body kills intactness for the
+        // use at the top of the next iteration.
+        let (p, rep) = setup("x = a\ndo i = 1, 5\n  y = x\n  a = i\n  x = a\nenddo\n");
+        let ss = p.attached_stmts();
+        // From the in-loop x = a (ss[4]) to the use y = x (ss[2]): path goes
+        // around the loop; nothing between redefines x or a on that path
+        // except... a = i (ss[3]) is *before* ss[4] in the body, so the
+        // back path ss[4] → header → ss[2] is clean for x.
+        let x = p.symbols.get("x").unwrap();
+        // ss[4] does not dominate ss[2] (it executes after it within the
+        // iteration), so intactness must be refused even though the back
+        // path itself is clean.
+        assert!(!value_intact(&p, &rep, ss[4], ss[2], &[x]));
+        // From x = a (ss[0], before the loop) to y = x: the loop body
+        // redefines x on the back path, so NOT intact.
+        assert!(!value_intact(&p, &rep, ss[0], ss[2], &[x]));
+    }
+
+    #[test]
+    fn value_intact_reestablished_by_from() {
+        // `from` inside the loop re-executes every iteration, so the def of
+        // `a` before it in the same body does not break intactness at the
+        // use after it.
+        let (p, rep) = setup("do i = 1, 5\n  a = i\n  x = a\n  y = x\nenddo\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        let a = p.symbols.get("a").unwrap();
+        assert!(value_intact(&p, &rep, ss[2], ss[3], &[x, a]));
+    }
+
+    #[test]
+    fn var_use_exprs_finds_occurrences() {
+        let (p, _rep) = setup("y = x + x * 2\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        assert_eq!(var_use_exprs(&p, ss[0], x).len(), 2);
+        let y = p.symbols.get("y").unwrap();
+        assert!(var_use_exprs(&p, ss[0], y).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Strip mining (SMI).
+//!
+//! Splits a unit-step constant-bound loop into an outer strip loop and the
+//! original loop iterating one strip: `do i = lo, hi` becomes
+//!
+//! ```text
+//! do is = lo, hi, s
+//!   do i = is, is + s - 1
+//!     ...
+//!   enddo
+//! enddo
+//! ```
+//!
+//! where `s` divides the trip count. Primitive actions: `Add` (the new
+//! outer loop), `Move` (the original loop into it), header `Modify` (the
+//! inner bounds).
+
+use super::{Applied, Opportunity};
+use crate::actions::{read_header, ActionError, ActionLog, LoopHeader};
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::{access, loops, Rep};
+use pivot_lang::{BinOp, BlockRole, ExprKind, Loc, Parent, Program, StmtKind};
+
+/// Default strip length.
+pub const STRIP: i64 = 4;
+
+/// Detect strip-minable loops (strip [`STRIP`]).
+pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for lp in prog.attached_stmts() {
+        if !loops::is_loop(prog, lp) {
+            continue;
+        }
+        let Some(bounds) = loops::const_bounds(prog, lp) else { continue };
+        if bounds.step != 1 {
+            continue;
+        }
+        let trip = bounds.trip_count();
+        if trip < STRIP || trip % STRIP != 0 {
+            continue;
+        }
+        // The loop body must not use or define a variable that would collide
+        // with the fresh strip variable — guaranteed by `fresh`, nothing to
+        // check. But the body must not redefine its own induction variable.
+        let var = loops::loop_var(prog, lp).expect("lp is a loop");
+        let body_defines_var = prog
+            .subtree(lp)
+            .iter()
+            .any(|&s| s != lp && access::stmt_def_use(prog, s).defines_scalar(var));
+        if body_defines_var {
+            continue;
+        }
+        out.push(Opportunity {
+            // `outer` and `strip_var` are completed at apply time.
+            params: XformParams::Smi {
+                outer: lp,
+                inner: lp,
+                strip: STRIP,
+                strip_var: var,
+            },
+            description: format!(
+                "SMI: strip-mine loop at line {} by {}",
+                prog.stmt(lp).label,
+                STRIP
+            ),
+        });
+    }
+    super::sort_opps(rep, &mut out);
+    out
+}
+
+/// Apply: `Add(outer)`, `Move(inner into outer)`, `Modify(inner bounds)`.
+pub fn apply(
+    prog: &mut Program,
+    log: &mut ActionLog,
+    opp: &Opportunity,
+) -> Result<Applied, ActionError> {
+    let XformParams::Smi { inner, strip, .. } = opp.params else {
+        unreachable!("smi::apply called with non-SMI params")
+    };
+    let pre = Pattern::capture(prog, "Loop L1 (unit step, trip % s == 0)", &[inner]);
+    let old = read_header(prog, inner).ok_or(ActionError::HeaderMismatch(inner))?;
+    // Fresh strip variable named after the original (`i` → `i_s`).
+    let base = format!("{}_s", prog.symbols.name(old.var));
+    let strip_var = prog.symbols.fresh(&base);
+    // Build the outer loop: do is = lo', hi', strip  (bounds cloned so the
+    // inner keeps its own expression nodes).
+    let outer = prog.alloc_stmt(StmtKind::Write { value: pivot_lang::ExprId(0) });
+    let lo2 = prog.clone_expr(old.lo, outer);
+    let hi2 = prog.clone_expr(old.hi, outer);
+    let step2 = prog.alloc_expr(ExprKind::Const(strip), outer);
+    prog.stmt_mut(outer).kind = StmtKind::DoLoop {
+        var: strip_var,
+        lo: lo2,
+        hi: hi2,
+        step: Some(step2),
+        body: Vec::new(),
+    };
+    let slot = prog.loc_of(inner).map_err(ActionError::from)?;
+    let mut stamps = Vec::new();
+    stamps.push(log.add(prog, outer, slot)?);
+    stamps.push(log.move_stmt(
+        prog,
+        inner,
+        Loc { parent: Parent::Block(outer, BlockRole::LoopBody), anchor: pivot_lang::AnchorPos::Start },
+    )?);
+    // Inner bounds: is .. is + s - 1, step 1 (explicit).
+    let n_lo = prog.alloc_expr(ExprKind::Var(strip_var), inner);
+    let base_v = prog.alloc_expr(ExprKind::Var(strip_var), inner);
+    let off = prog.alloc_expr(ExprKind::Const(strip - 1), inner);
+    let n_hi = prog.alloc_expr(ExprKind::Binary(BinOp::Add, base_v, off), inner);
+    let new = LoopHeader { var: old.var, lo: n_lo, hi: n_hi, step: old.step };
+    stamps.push(log.modify_header(prog, inner, new)?);
+    let post = Pattern::capture(prog, "Loops (L_strip, L1)", &[outer, inner]);
+    Ok(Applied {
+        params: XformParams::Smi { outer, inner, strip, strip_var },
+        pre,
+        post,
+        stamps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::printer::to_source;
+
+    fn setup(src: &str) -> (Program, Rep) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        (p, rep)
+    }
+
+    #[test]
+    fn finds_divisible_unit_step_loop() {
+        let (p, rep) = setup("do i = 1, 8\n  A(i) = i\nenddo\n");
+        assert_eq!(find(&p, &rep).len(), 1);
+    }
+
+    #[test]
+    fn non_unit_step_blocks() {
+        let (p, rep) = setup("do i = 1, 8, 2\n  A(i) = i\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn indivisible_blocks() {
+        let (p, rep) = setup("do i = 1, 7\n  A(i) = i\nenddo\n");
+        assert!(find(&p, &rep).is_empty());
+    }
+
+    #[test]
+    fn apply_shape() {
+        let (mut p, rep) = setup("do i = 1, 8\n  A(i) = i\nenddo\n");
+        let opps = find(&p, &rep);
+        let mut log = ActionLog::new();
+        let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
+        assert_eq!(
+            to_source(&p),
+            "do i_s = 1, 8, 4\n  do i = i_s, i_s + 3\n    A(i) = i\n  enddo\nenddo\n"
+        );
+        assert_eq!(applied.stamps.len(), 3);
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let src = "s = 0\ndo i = 1, 8\n  s = s + i\nenddo\nwrite s\nwrite i\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fresh_variable_avoids_collision() {
+        let src = "i_s = 99\ndo i = 1, 4\n  A(i) = i\nenddo\nwrite i_s\n";
+        let (mut p, rep) = setup(src);
+        let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        let opps = find(&p, &rep);
+        assert_eq!(opps.len(), 1);
+        let mut log = ActionLog::new();
+        let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
+        let XformParams::Smi { strip_var, .. } = applied.params else { unreachable!() };
+        assert_eq!(p.symbols.name(strip_var), "i_s_1");
+        let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn strip_mining_enables_interchange() {
+        // After strip mining, the (strip, inner) pair is NOT tightly nested
+        // in the interchangeable sense — it is: outer body = [inner]. The
+        // classic SMI→INX enabling interaction of Table 4.
+        let (mut p, rep) = setup("do i = 1, 8\n  A(i) = 1\nenddo\n");
+        let opps = find(&p, &rep);
+        let mut log = ActionLog::new();
+        apply(&mut p, &mut log, &opps[0]).unwrap();
+        let rep2 = Rep::build(&p);
+        // Tightly nested now.
+        let outer = p.body[0];
+        assert!(pivot_ir::loops::tightly_nested_inner(&p, outer).is_some());
+        let _ = rep2;
+    }
+}

@@ -1,0 +1,369 @@
+//! Program edits and edit-driven invalidation (Section 1, Section 4.2).
+//!
+//! "When a program is modified by edits, the safety conditions of a
+//! transformation can be altered such that the transformation is no longer
+//! applicable … this kind of transformation is defined to be **unsafe** and
+//! needs to be removed. However, all other transformations may be
+//! unaffected and should remain in the code."
+//!
+//! [`Session::edit`] applies a user edit (insert/delete/replace) outside the
+//! transformation history; [`Session::find_unsafe`] identifies the
+//! transformations the edit invalidated; [`Session::remove_unsafe`] removes
+//! exactly those via the UNDO machinery. The baseline the paper argues
+//! against — re-deriving everything — is [`Session::revert_all_and_redo`].
+
+use crate::engine::{Session, Strategy, UndoError, UndoReport};
+use crate::history::{XformId, XformState};
+use crate::safety::still_safe;
+use pivot_lang::parser::{parse_expr_into, parse_stmts_into, ParseError};
+use pivot_lang::{AnchorPos, Loc, Program, StmtId, StmtKind};
+use std::fmt;
+
+/// A user edit.
+///
+/// ```
+/// use pivot_undo::engine::{Session, Strategy};
+/// use pivot_undo::{Edit, XformKind};
+///
+/// let mut s = Session::from_source("c = 1\nx = c + 2\nwrite x\n").unwrap();
+/// s.apply_kind(XformKind::Ctp).unwrap();          // x = 1 + 2
+/// let def = s.prog.body[0];
+/// s.edit(&Edit::ReplaceRhs { stmt: def, src: "7".into() }).unwrap();
+/// assert_eq!(s.find_unsafe().len(), 1);           // the stale propagation
+/// s.remove_unsafe(Strategy::Regional);
+/// assert!(s.source().contains("x = c + 2"));      // reverted
+/// assert!(s.source().contains("c = 7"));          // the edit stands
+/// ```
+#[derive(Clone, Debug)]
+pub enum Edit {
+    /// Insert parsed statements at a location.
+    Insert {
+        /// Source text of the statements.
+        src: String,
+        /// Where to insert.
+        at: Loc,
+    },
+    /// Delete a statement (and its subtree) outright.
+    Delete(StmtId),
+    /// Replace the right-hand side of an assignment (or the value of a
+    /// `write`) with a newly parsed expression.
+    ReplaceRhs {
+        /// Target statement.
+        stmt: StmtId,
+        /// New expression source.
+        src: String,
+    },
+}
+
+/// Errors from applying an edit.
+#[derive(Debug)]
+pub enum EditApplyError {
+    /// The edit's source text failed to parse.
+    Parse(ParseError),
+    /// Structural failure (bad location, detached target, …).
+    Structure(pivot_lang::EditError),
+    /// The target statement cannot take this edit (e.g. `ReplaceRhs` on a
+    /// loop).
+    WrongTarget(StmtId),
+}
+
+impl fmt::Display for EditApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditApplyError::Parse(e) => write!(f, "{e}"),
+            EditApplyError::Structure(e) => write!(f, "{e}"),
+            EditApplyError::WrongTarget(s) => write!(f, "statement {s} cannot take this edit"),
+        }
+    }
+}
+
+impl std::error::Error for EditApplyError {}
+
+impl From<ParseError> for EditApplyError {
+    fn from(e: ParseError) -> Self {
+        EditApplyError::Parse(e)
+    }
+}
+
+impl From<pivot_lang::EditError> for EditApplyError {
+    fn from(e: pivot_lang::EditError) -> Self {
+        EditApplyError::Structure(e)
+    }
+}
+
+/// Outcome of removing edit-invalidated transformations.
+#[derive(Clone, Debug, Default)]
+pub struct InvalidationReport {
+    /// Transformations found unsafe by the screen.
+    pub unsafe_found: Vec<XformId>,
+    /// Transformations actually removed (including cascades).
+    pub removed: Vec<XformId>,
+    /// Records retired without mechanical reversal because the edit
+    /// destroyed their reversal context.
+    pub retired: Vec<XformId>,
+    /// Safety checks run.
+    pub safety_checks: usize,
+}
+
+impl Session {
+    /// Apply a user edit. Edits are **not** transformations: they bypass the
+    /// action log (there is nothing to undo them to) and simply change the
+    /// program, after which [`Session::find_unsafe`] reports the damage.
+    /// Also refreshes the analyses and the session's `original` snapshot —
+    /// the edited source is the new ground truth the undo round-trip
+    /// restores to.
+    pub fn edit(&mut self, edit: &Edit) -> Result<Vec<StmtId>, EditApplyError> {
+        let touched = match edit {
+            Edit::Insert { src, at } => {
+                let stmts = parse_stmts_into(&mut self.prog, src)?;
+                let mut loc = *at;
+                for &s in &stmts {
+                    self.prog.attach(s, loc)?;
+                    loc = Loc { parent: loc.parent, anchor: AnchorPos::After(s) };
+                }
+                stmts
+            }
+            Edit::Delete(s) => {
+                self.prog.detach(*s)?;
+                vec![*s]
+            }
+            Edit::ReplaceRhs { stmt, src } => {
+                let value_slot = match &self.prog.stmt(*stmt).kind {
+                    StmtKind::Assign { value, .. } | StmtKind::Write { value } => *value,
+                    _ => return Err(EditApplyError::WrongTarget(*stmt)),
+                };
+                let new_expr = parse_expr_into(&mut self.prog, src, *stmt)?;
+                let new_kind = self.prog.expr(new_expr).kind.clone();
+                self.prog.replace_expr_kind(value_slot, new_kind);
+                vec![*stmt]
+            }
+        };
+        self.rep.refresh(&self.prog);
+        self.original = edited_snapshot(&self.prog);
+        Ok(touched)
+    }
+
+    /// Screen all active transformations for edit-destroyed safety.
+    pub fn find_unsafe(&self) -> Vec<XformId> {
+        self.history
+            .active()
+            .filter(|r| !still_safe(&self.prog, &self.rep, &self.log, r))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Parallel variant of [`Session::find_unsafe`].
+    pub fn find_unsafe_parallel(&self, threads: usize) -> Vec<XformId> {
+        let records: Vec<&crate::history::AppliedXform> = self.history.active().collect();
+        let verdicts =
+            crate::parcheck::screen_parallel(&self.prog, &self.rep, &self.log, &records, threads);
+        records
+            .iter()
+            .zip(verdicts)
+            .filter(|(_, safe)| !safe)
+            .map(|(r, _)| r.id)
+            .collect()
+    }
+
+    /// Remove exactly the edit-invalidated transformations (paper: "only
+    /// unsafe transformations should be identified and removed"). Records
+    /// whose reversal the edit made impossible are retired in place.
+    pub fn remove_unsafe(&mut self, strategy: Strategy) -> InvalidationReport {
+        let mut report = InvalidationReport::default();
+        loop {
+            let unsafe_now = self.find_unsafe();
+            report.safety_checks += self.history.active_len();
+            let Some(&first) = unsafe_now.first() else { break };
+            if report.unsafe_found.is_empty() {
+                report.unsafe_found = unsafe_now.clone();
+            }
+            match self.undo(first, strategy) {
+                Ok(UndoReport { undone, .. }) => report.removed.extend(undone),
+                Err(UndoError::Stuck(id, _)) => {
+                    self.retire_without_reversal(id);
+                    report.retired.push(id);
+                }
+                Err(UndoError::AlreadyUndone(_)) => {}
+                Err(UndoError::DepthExceeded) => break,
+            }
+        }
+        report
+    }
+
+    /// Retire a record whose mechanical reversal is impossible (its context
+    /// was destroyed by an edit): drop its actions and mark it undone. The
+    /// program is left as-is — the edit superseded the transformed code.
+    pub fn retire_without_reversal(&mut self, id: XformId) {
+        let stamps = self.history.get(id).stamps.clone();
+        self.log.retire(&stamps);
+        self.history.get_mut(id).state = XformState::Undone;
+    }
+
+    /// Baseline: reverse-undo **all** active transformations, then re-apply
+    /// each element of the old plan (same kind, same primary site) that is
+    /// still legal. Returns (number undone, number redone, opportunities
+    /// searched) — the searching is the redundant analysis cost the paper's
+    /// selective removal avoids.
+    pub fn revert_all_and_redo(&mut self) -> (usize, usize, usize) {
+        let mut plan: Vec<XformId> = self.history.active().map(|r| r.id).collect();
+        plan.sort();
+        let mut undone = 0usize;
+        while let Some(last) = self.history.last_active() {
+            match self.undo_reverse_to(last) {
+                Ok(r) => undone += r.undone.len(),
+                Err(_) => {
+                    self.retire_without_reversal(last);
+                    undone += 1;
+                }
+            }
+        }
+        let mut redone = 0usize;
+        let mut searched = 0usize;
+        for old_id in plan {
+            let old = self.history.get(old_id).clone();
+            let opps = self.find(old.kind);
+            searched += opps.len();
+            let site = crate::engine::primary_site(&old.params);
+            if let Some(opp) =
+                opps.iter().find(|o| crate::engine::primary_site(&o.params) == site)
+            {
+                if self.apply(opp).is_ok() {
+                    redone += 1;
+                }
+            }
+        }
+        (undone, redone, searched)
+    }
+}
+
+/// Snapshot of the current program as the new "original" (structural clone).
+fn edited_snapshot(prog: &Program) -> Program {
+    prog.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::XformKind;
+    use pivot_lang::Parent;
+
+    #[test]
+    fn insert_edit_invalidates_cse_only() {
+        // Two independent CSEs; the edit redefines e0 between def0 and
+        // use0, killing only the first.
+        let src = "\
+d0 = e0 + f0
+r0 = e0 + f0
+write r0
+write d0
+d1 = e1 + f1
+r1 = e1 + f1
+write r1
+write d1
+";
+        let mut s = Session::from_source(src).unwrap();
+        let a = s.apply_kind(XformKind::Cse).unwrap();
+        let b = s.apply_kind(XformKind::Cse).unwrap();
+        assert_eq!(s.history.active_len(), 2);
+        // Edit: insert `e0 = 0` right after the first definition.
+        let d0 = s.prog.body[0];
+        s.edit(&Edit::Insert {
+            src: "e0 = 0\n".into(),
+            at: Loc::after(Parent::Root, d0),
+        })
+        .unwrap();
+        let bad = s.find_unsafe();
+        assert_eq!(bad, vec![a]);
+        let report = s.remove_unsafe(Strategy::Regional);
+        assert_eq!(report.removed, vec![a]);
+        assert!(report.retired.is_empty());
+        // The surviving CSE is still applied.
+        assert_eq!(s.history.get(b).state, XformState::Active);
+        assert!(s.source().contains("r1 = d1"));
+        assert!(s.source().contains("r0 = e0 + f0"));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn parallel_unsafe_screen_agrees() {
+        let src = "\
+d0 = e0 + f0
+r0 = e0 + f0
+write r0
+write d0
+";
+        let mut s = Session::from_source(src).unwrap();
+        s.apply_kind(XformKind::Cse).unwrap();
+        let d0 = s.prog.body[0];
+        s.edit(&Edit::Insert { src: "e0 = 0\n".into(), at: Loc::after(Parent::Root, d0) })
+            .unwrap();
+        assert_eq!(s.find_unsafe(), s.find_unsafe_parallel(4));
+    }
+
+    #[test]
+    fn replace_rhs_edit() {
+        let mut s = Session::from_source("c = 1\nx = c + 2\nwrite x\n").unwrap();
+        let ctp = s.apply_kind(XformKind::Ctp).unwrap();
+        assert!(s.source().contains("x = 1 + 2"));
+        // Edit the defining constant.
+        let def = s.prog.body[0];
+        s.edit(&Edit::ReplaceRhs { stmt: def, src: "7".into() }).unwrap();
+        let bad = s.find_unsafe();
+        assert_eq!(bad, vec![ctp]);
+        let report = s.remove_unsafe(Strategy::Regional);
+        assert_eq!(report.removed, vec![ctp]);
+        // The use is restored to the variable; the edit stands.
+        assert!(s.source().contains("c = 7"));
+        assert!(s.source().contains("x = c + 2"));
+    }
+
+    #[test]
+    fn delete_edit_retires_unreversible_transformation() {
+        // DCE deleted a statement inside a loop; the edit deletes the whole
+        // loop: the DCE can never be mechanically reversed — it is retired.
+        let mut s =
+            Session::from_source("do i = 1, 3\n  x = 1\n  y = i\n  write y\nenddo\n").unwrap();
+        let dce = s.apply_kind(XformKind::Dce).unwrap(); // x = 1 is dead
+        let lp = s.prog.body[0];
+        s.edit(&Edit::Delete(lp)).unwrap();
+        // The DCE is safe (nothing uses x) — check reversibility instead:
+        // an undo request gets Stuck, and remove via retire works.
+        match s.undo(dce, Strategy::Regional) {
+            Err(UndoError::Stuck(id, _)) => {
+                s.retire_without_reversal(id);
+            }
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+        assert_eq!(s.history.get(dce).state, XformState::Undone);
+        assert!(s.log.actions.is_empty());
+    }
+
+    #[test]
+    fn revert_all_and_redo_baseline() {
+        let src = "\
+d0 = e0 + f0
+r0 = e0 + f0
+write r0
+write d0
+d1 = e1 + f1
+r1 = e1 + f1
+write r1
+write d1
+";
+        let mut s = Session::from_source(src).unwrap();
+        s.apply_kind(XformKind::Cse).unwrap();
+        s.apply_kind(XformKind::Cse).unwrap();
+        let d0 = s.prog.body[0];
+        s.edit(&Edit::Insert { src: "e0 = 0\n".into(), at: Loc::after(Parent::Root, d0) })
+            .unwrap();
+        let (undone, redone, searched) = s.revert_all_and_redo();
+        assert_eq!(undone, 2);
+        // The unaffected CSE (plus anything newly enabled by the edit, e.g.
+        // propagating `e0 = 0`) redoes; the invalidated CSE must not.
+        assert!(redone >= 1);
+        assert!(searched >= redone);
+        assert!(!s.source().contains("r0 = d0"), "invalidated CSE must not reappear");
+        assert!(s.source().contains("r1 = d1"), "valid CSE redone");
+        assert!(s.source().contains("r0 = e0 + f0"), "invalidated CSE left unapplied");
+    }
+}

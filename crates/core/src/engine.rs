@@ -1,0 +1,602 @@
+//! The undo engine: [`Session`] and the paper's UNDO algorithm (Figure 4).
+//!
+//! ```text
+//! UNDO(t_i):
+//!   while post_pattern(t_i) is invalidated:          (lines 4–11)
+//!     find the disabling condition, the causing action, the causing
+//!     transformation t_j; UNDO(t_j)                  — affecting transforms
+//!   perform inverse actions of t_i                   (line 12)
+//!   dependence_and_data_flow_update                  (line 13)
+//!   determine affected region                        (line 15)
+//!   for t_k in affected region, k > i:               (lines 16–29)
+//!     if reverse-destroy[t_i, t_k] marked:           (line 20, heuristic)
+//!       if !safety(t_k): UNDO(t_k)                   — affected transforms
+//! ```
+//!
+//! Three strategies isolate the paper's two pruning devices:
+//! [`Strategy::Regional`] (both), [`Strategy::NoHeuristic`] (region only),
+//! [`Strategy::FullScan`] (neither — the "examine all the following
+//! transformations" baseline the paper calls too time consuming).
+//! [`Session::undo_reverse_to`] is the prior-work baseline (reverse
+//! application order, ref \[5\]), and [`Session::undo_reverse_redo`] its fair
+//! variant that re-applies the surviving transformations afterwards.
+
+use crate::actions::{ActionError, ActionKind, ActionLog};
+use crate::catalog::{self, Opportunity};
+use crate::history::{History, XformId, XformState};
+use crate::interact::{self, Matrix};
+use crate::kind::XformKind;
+use crate::pattern::XformParams;
+use crate::region::affected_region;
+use crate::revers::check_reversible;
+use crate::safety::still_safe;
+use pivot_ir::Rep;
+use pivot_lang::{Program, StmtId};
+use std::fmt;
+
+/// Candidate-filtering strategy for the affected-transformation scan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Affected region + interaction-table heuristic (the paper).
+    Regional,
+    /// Affected region only (ablation: no Table 4 filter).
+    NoHeuristic,
+    /// Examine every subsequent transformation (baseline).
+    FullScan,
+}
+
+/// Statistics and outcome of one undo request.
+#[derive(Clone, Debug, Default)]
+pub struct UndoReport {
+    /// Transformations undone, in removal order (target last or interleaved
+    /// with its cascade).
+    pub undone: Vec<XformId>,
+    /// Subsequent transformations examined for region/heuristic membership.
+    pub candidates_considered: usize,
+    /// Full safety re-checks actually run.
+    pub safety_checks: usize,
+    /// Reversibility checks run.
+    pub reversibility_checks: usize,
+    /// Affecting-transformation chases (Figure 4 lines 7–10).
+    pub affecting_chases: usize,
+    /// Representation rebuilds performed.
+    pub rep_rebuilds: u64,
+}
+
+/// Why an undo failed.
+#[derive(Clone, Debug)]
+pub enum UndoError {
+    /// The transformation was already undone.
+    AlreadyUndone(XformId),
+    /// Irreversible and no affecting transformation identified (e.g. the
+    /// blocking change was a program edit).
+    Stuck(XformId, ActionError),
+    /// Cascade depth exceeded (defensive bound).
+    DepthExceeded,
+}
+
+impl fmt::Display for UndoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UndoError::AlreadyUndone(x) => write!(f, "{x} is already undone"),
+            UndoError::Stuck(x, e) => write!(f, "{x} cannot be reversed: {e}"),
+            UndoError::DepthExceeded => write!(f, "undo cascade exceeded depth bound"),
+        }
+    }
+}
+
+impl std::error::Error for UndoError {}
+
+/// An interactive transformation session over one program: the paper's
+/// user-facing model (apply transformations, undo any of them later).
+///
+/// ```
+/// use pivot_undo::engine::{Session, Strategy};
+/// use pivot_undo::XformKind;
+///
+/// let mut s = Session::from_source("d = e + f\nr = e + f\nwrite r\nwrite d\n").unwrap();
+/// let cse = s.apply_kind(XformKind::Cse).unwrap();
+/// assert!(s.source().contains("r = d"));
+/// // Independent-order undo: any transformation, any time.
+/// s.undo(cse, Strategy::Regional).unwrap();
+/// assert!(s.source().contains("r = e + f"));
+/// assert!(pivot_lang::equiv::programs_equal(&s.prog, &s.original));
+/// ```
+#[derive(Clone)]
+pub struct Session {
+    /// The program being transformed.
+    pub prog: Program,
+    /// The two-level representation (rebuilt after structural changes).
+    pub rep: Rep,
+    /// Active primitive actions (annotations).
+    pub log: ActionLog,
+    /// Applied-transformation history.
+    pub history: History,
+    /// Interaction matrix used by the Regional strategy.
+    pub matrix: Matrix,
+    /// Snapshot of the program at session start (round-trip oracle).
+    pub original: Program,
+}
+
+impl Session {
+    /// Start a session on a program.
+    pub fn new(prog: Program) -> Session {
+        let rep = Rep::build(&prog);
+        let original = prog.clone();
+        Session {
+            prog,
+            rep,
+            log: ActionLog::new(),
+            history: History::new(),
+            matrix: interact::default_matrix(),
+            original,
+        }
+    }
+
+    /// Parse source and start a session.
+    pub fn from_source(src: &str) -> Result<Session, pivot_lang::parser::ParseError> {
+        Ok(Session::new(pivot_lang::parser::parse(src)?))
+    }
+
+    /// Current program source.
+    pub fn source(&self) -> String {
+        pivot_lang::printer::to_source(&self.prog)
+    }
+
+    /// Opportunities of one kind in the current program.
+    pub fn find(&self, kind: XformKind) -> Vec<Opportunity> {
+        catalog::find(&self.prog, &self.rep, kind)
+    }
+
+    /// Opportunities of every kind.
+    pub fn find_all(&self) -> Vec<Opportunity> {
+        catalog::find_all(&self.prog, &self.rep)
+    }
+
+    /// Apply an opportunity; records history and refreshes the
+    /// representation.
+    pub fn apply(&mut self, opp: &Opportunity) -> Result<XformId, ActionError> {
+        let applied = catalog::apply(&mut self.prog, &mut self.log, opp)?;
+        self.rep.refresh(&self.prog);
+        Ok(self.history.record(opp.kind(), applied.params, applied.pre, applied.post, applied.stamps))
+    }
+
+    /// Apply the first available opportunity of `kind`, if any.
+    pub fn apply_kind(&mut self, kind: XformKind) -> Option<XformId> {
+        let opps = self.find(kind);
+        let opp = opps.first()?;
+        self.apply(opp).ok()
+    }
+
+    /// Fork the session: an independent copy with the same program, history
+    /// and annotations. The paper's intended workflow — "the user can try
+    /// different alternatives and undo unpromising transformations" —
+    /// becomes: fork, explore a transformation sequence, keep whichever
+    /// session wins.
+    pub fn fork(&self) -> Session {
+        self.clone()
+    }
+
+    /// The paper's UNDO (Figure 4): remove `target` in an order independent
+    /// of application order.
+    pub fn undo(&mut self, target: XformId, strategy: Strategy) -> Result<UndoReport, UndoError> {
+        if self.history.get(target).state == XformState::Undone {
+            return Err(UndoError::AlreadyUndone(target));
+        }
+        let mut report = UndoReport::default();
+        let before = self.rep.builds;
+        self.undo_rec(target, strategy, &mut report, 0)?;
+        report.rep_rebuilds = self.rep.builds - before;
+        Ok(report)
+    }
+
+    fn undo_rec(
+        &mut self,
+        t: XformId,
+        strategy: Strategy,
+        report: &mut UndoReport,
+        depth: usize,
+    ) -> Result<(), UndoError> {
+        if depth > self.history.records.len() + 4 {
+            return Err(UndoError::DepthExceeded);
+        }
+        if self.history.get(t).state == XformState::Undone {
+            return Ok(()); // removed by an earlier cascade step
+        }
+        // Lines 4–11: chase affecting transformations until reversible.
+        let mut guard = 0usize;
+        loop {
+            report.reversibility_checks += 1;
+            let record = self.history.get(t).clone();
+            match check_reversible(&self.prog, &self.log, &self.history, &record) {
+                Ok(()) => break,
+                Err(irr) => match irr.affecting {
+                    Some(a) if a != t && self.history.get(a).state == XformState::Active => {
+                        report.affecting_chases += 1;
+                        self.undo_rec(a, strategy, report, depth + 1)?;
+                    }
+                    _ => return Err(UndoError::Stuck(t, irr.error)),
+                },
+            }
+            guard += 1;
+            if guard > self.history.records.len() + 4 {
+                return Err(UndoError::DepthExceeded);
+            }
+        }
+        // Line 12: perform the inverse actions, newest first.
+        let record = self.history.get(t).clone();
+        let mut reversed: Vec<ActionKind> = Vec::new();
+        for sa in self.log.actions_with(&record.stamps).into_iter().rev() {
+            reversed.push(sa.kind.clone());
+        }
+        for kind in &reversed {
+            ActionLog::apply_inverse(&mut self.prog, kind)
+                .expect("inverse applicability was just verified");
+        }
+        self.log.retire(&record.stamps);
+        self.history.get_mut(t).state = XformState::Undone;
+        report.undone.push(t);
+        // Line 13: dependence and data flow update.
+        self.rep.refresh(&self.prog);
+        // Line 15: affected region.
+        let region = affected_region(&self.prog, &self.rep, &reversed);
+        // Lines 16–29: affected transformations (only k > i can be
+        // affected; the interaction table and region prune candidates).
+        let candidates = self.history.active_after(t);
+        for tk in candidates {
+            report.candidates_considered += 1;
+            let rk = self.history.get(tk);
+            let in_scope = match strategy {
+                Strategy::FullScan => true,
+                Strategy::NoHeuristic => {
+                    region.overlaps(&live_sites(&self.prog, &rk.params), &rk.params.watched_syms())
+                }
+                Strategy::Regional => {
+                    interact::may_affect(&self.matrix, record.kind, rk.kind)
+                        && region.overlaps(&live_sites(&self.prog, &rk.params), &rk.params.watched_syms())
+                }
+            };
+            if !in_scope {
+                continue;
+            }
+            report.safety_checks += 1;
+            let rk = self.history.get(tk).clone();
+            if !still_safe(&self.prog, &self.rep, &self.log, &rk) {
+                self.undo_rec(tk, strategy, report, depth + 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Undo the most recent active transformation (the paper's in-order
+    /// undo \[5\]: "the first time the undo command is issued, the last
+    /// transformation is undone; consecutive repetitions … continue to
+    /// reverse earlier transformations"). `Ok(None)` when the history is
+    /// empty. The last transformation has
+    /// no affecting successors, so this is immediate unless a program edit
+    /// destroyed its reversal context (surfaced as [`UndoError::Stuck`]).
+    pub fn undo_last(&mut self) -> Result<Option<UndoReport>, UndoError> {
+        match self.history.last_active() {
+            None => Ok(None),
+            Some(last) => self.undo(last, Strategy::Regional).map(Some),
+        }
+    }
+
+    /// Baseline (ref \[5\]): undo in reverse application order until `target`
+    /// is removed. No analysis is needed — the last transformation is
+    /// always immediately reversible — but every later transformation is
+    /// removed along the way.
+    pub fn undo_reverse_to(&mut self, target: XformId) -> Result<UndoReport, UndoError> {
+        if self.history.get(target).state == XformState::Undone {
+            return Err(UndoError::AlreadyUndone(target));
+        }
+        let mut report = UndoReport::default();
+        let before = self.rep.builds;
+        loop {
+            let last = self.history.last_active().expect("target is still active");
+            let record = self.history.get(last).clone();
+            let mut reversed: Vec<ActionKind> = Vec::new();
+            for sa in self.log.actions_with(&record.stamps).into_iter().rev() {
+                reversed.push(sa.kind.clone());
+            }
+            for kind in &reversed {
+                ActionLog::apply_inverse(&mut self.prog, kind)
+                    .map_err(|e| UndoError::Stuck(last, e))?;
+            }
+            self.log.retire(&record.stamps);
+            self.history.get_mut(last).state = XformState::Undone;
+            report.undone.push(last);
+            self.rep.refresh(&self.prog);
+            if last == target {
+                break;
+            }
+        }
+        report.rep_rebuilds = self.rep.builds - before;
+        Ok(report)
+    }
+
+    /// Fair reverse-order baseline: undo to `target`, then try to re-apply
+    /// each collaterally removed transformation (same kind, same primary
+    /// site) in the original order. Returns the report plus the number of
+    /// transformations successfully re-applied — re-finding them is the
+    /// redundant analysis the paper's technique avoids.
+    pub fn undo_reverse_redo(&mut self, target: XformId) -> Result<(UndoReport, usize), UndoError> {
+        let report = self.undo_reverse_to(target)?;
+        let mut redone = 0usize;
+        let collateral: Vec<XformId> =
+            report.undone.iter().copied().filter(|&x| x != target).collect();
+        // Original application order.
+        let mut ordered = collateral;
+        ordered.sort();
+        for old_id in ordered {
+            let old = self.history.get(old_id).clone();
+            let site = primary_site(&old.params);
+            let opps = self.find(old.kind);
+            if let Some(opp) = opps.iter().find(|o| primary_site(&o.params) == site) {
+                if self.apply(opp).is_ok() {
+                    redone += 1;
+                }
+            }
+        }
+        Ok((report, redone))
+    }
+
+    /// History/annotation/program consistency check (test support): every
+    /// logged action's stamp belongs to an active transformation, and the
+    /// program invariants hold.
+    pub fn assert_consistent(&self) {
+        self.prog.assert_consistent();
+        for a in &self.log.actions {
+            let owner = self
+                .history
+                .owner_of(a.stamp)
+                .unwrap_or_else(|| panic!("orphan action stamp {}", a.stamp));
+            assert_eq!(
+                self.history.get(owner).state,
+                XformState::Active,
+                "logged action {} belongs to undone {}",
+                a.stamp,
+                owner
+            );
+        }
+        for r in self.history.active() {
+            for s in &r.stamps {
+                assert!(
+                    self.log.actions.iter().any(|a| a.stamp == *s),
+                    "active {} lost its action {}",
+                    r.id,
+                    s
+                );
+            }
+        }
+    }
+}
+
+/// Sites of a transformation that are still live (detached sites cannot be
+/// region members; their influence is tracked via symbols).
+fn live_sites(prog: &Program, params: &XformParams) -> Vec<StmtId> {
+    params.site_stmts().into_iter().filter(|&s| prog.is_live(s)).collect()
+}
+
+/// The site that identifies a transformation instance across
+/// remove-and-redo (the defining statement / loop).
+pub(crate) fn primary_site(params: &XformParams) -> StmtId {
+    match params {
+        XformParams::Dce { stmt, .. } => *stmt,
+        XformParams::Cse { expr, .. }
+        | XformParams::Ctp { expr, .. }
+        | XformParams::Cpp { expr, .. } => {
+            // The modified occurrence node identifies the instance.
+            StmtId(expr.0)
+        }
+        XformParams::Cfo { expr, .. } => StmtId(expr.0),
+        XformParams::Icm { stmt, .. } => *stmt,
+        XformParams::Inx { outer, .. } => *outer,
+        XformParams::Fus { l1, .. } => *l1,
+        XformParams::Lur { loop_stmt, .. } => *loop_stmt,
+        XformParams::Smi { inner, .. } => *inner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::equiv::programs_equal;
+
+    const FIG1: &str = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+";
+
+    /// Apply the paper's Figure 1 sequence: cse(1) ctp(2) inx(3) icm(4).
+    fn figure1_session() -> (Session, [XformId; 4]) {
+        let mut s = Session::from_source(FIG1).unwrap();
+        let cse = s.apply_kind(XformKind::Cse).expect("cse applies");
+        let ctp = s.apply_kind(XformKind::Ctp).expect("ctp applies");
+        let inx = s.apply_kind(XformKind::Inx).expect("inx applies");
+        let icm = s.apply_kind(XformKind::Icm).expect("icm applies");
+        (s, [cse, ctp, inx, icm])
+    }
+
+    #[test]
+    fn figure1_sequence_applies() {
+        let (s, _) = figure1_session();
+        assert_eq!(s.history.summary(), "cse(1) ctp(2) inx(3) icm(4)");
+        let src = s.source();
+        // Interchanged loops with the hoisted statement in between.
+        assert_eq!(
+            src,
+            "\
+D = E + F
+C = 1
+do j = 1, 50
+  A(j) = B(j) + 1
+  do i = 1, 100
+    R(i, j) = D
+  enddo
+enddo
+"
+        );
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn paper_example_undo_inx_cascades_icm() {
+        // Section 5.2: undoing INX requires undoing ICM first.
+        let (mut s, [_, _, inx, icm]) = figure1_session();
+        let report = s.undo(inx, Strategy::Regional).unwrap();
+        assert!(report.undone.contains(&inx));
+        assert!(report.undone.contains(&icm), "ICM is an affecting transformation");
+        assert_eq!(report.undone.len(), 2, "CSE and CTP must survive");
+        assert!(report.affecting_chases >= 1);
+        s.assert_consistent();
+        // CSE and CTP still in the code.
+        assert!(s.source().contains("R(i, j) = D"));
+        assert!(s.source().contains("A(j) = B(j) + 1"));
+        // Loops back in original order.
+        assert!(s.source().contains("do i = 1, 100"));
+    }
+
+    #[test]
+    fn paper_example_cse_ctp_undo_immediately() {
+        let (mut s, [cse, ctp, ..]) = figure1_session();
+        let r1 = s.undo(cse, Strategy::Regional).unwrap();
+        assert_eq!(r1.undone, vec![cse]);
+        assert!(s.source().contains("R(i, j) = E + F"));
+        let r2 = s.undo(ctp, Strategy::Regional).unwrap();
+        assert_eq!(r2.undone, vec![ctp]);
+        assert!(s.source().contains("A(j) = B(j) + C"));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn undo_all_any_order_restores_original() {
+        // Undo in a scrambled order; the program must return to the source.
+        let orders: [[usize; 4]; 4] =
+            [[2, 0, 1, 3], [3, 2, 1, 0], [0, 1, 2, 3], [1, 3, 0, 2]];
+        for order in orders {
+            let (mut s, ids) = figure1_session();
+            for &i in &order {
+                match s.undo(ids[i], Strategy::Regional) {
+                    Ok(_) => {}
+                    Err(UndoError::AlreadyUndone(_)) => {}
+                    Err(e) => panic!("undo failed for order {order:?}: {e}"),
+                }
+            }
+            assert!(
+                programs_equal(&s.prog, &s.original),
+                "order {order:?} failed to restore:\n{}",
+                s.source()
+            );
+            s.assert_consistent();
+            assert!(s.log.actions.is_empty());
+        }
+    }
+
+    #[test]
+    fn reverse_baseline_removes_everything_after() {
+        let (mut s, [cse, _ctp, _inx, _icm]) = figure1_session();
+        let report = s.undo_reverse_to(cse).unwrap();
+        assert_eq!(report.undone.len(), 4, "reverse order removes all four");
+        assert!(programs_equal(&s.prog, &s.original));
+    }
+
+    #[test]
+    fn reverse_redo_recovers_some() {
+        let (mut s, [cse, ..]) = figure1_session();
+        let (report, redone) = s.undo_reverse_redo(cse).unwrap();
+        assert_eq!(report.undone.len(), 4);
+        // CTP re-applies at the same site; INX re-applies; ICM depends on
+        // CTP+INX state — at least two must come back.
+        assert!(redone >= 2, "expected ≥2 redone, got {redone}");
+        assert!(s.history.active_len() >= 2);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn undoing_target_twice_errors() {
+        let (mut s, [cse, ..]) = figure1_session();
+        s.undo(cse, Strategy::Regional).unwrap();
+        assert!(matches!(
+            s.undo(cse, Strategy::Regional),
+            Err(UndoError::AlreadyUndone(_))
+        ));
+    }
+
+    #[test]
+    fn strategies_agree_on_outcome() {
+        for strategy in [Strategy::Regional, Strategy::NoHeuristic, Strategy::FullScan] {
+            let (mut s, [_, _, inx, _]) = figure1_session();
+            let report = s.undo(inx, strategy).unwrap();
+            assert_eq!(report.undone.len(), 2, "strategy {strategy:?}");
+            assert!(s.source().contains("do i = 1, 100"));
+        }
+    }
+
+    #[test]
+    fn regional_considers_fewer_checks_than_fullscan() {
+        // Build a program with many unrelated transformations, then undo
+        // the first: Regional should run fewer safety checks.
+        let mut src = String::from("d0 = e0 + f0\nr0 = e0 + f0\nwrite r0\nwrite d0\n");
+        for k in 1..8 {
+            src.push_str(&format!("d{k} = e{k} + f{k}\nr{k} = e{k} + f{k}\nwrite r{k}\nwrite d{k}\n"));
+        }
+        let build = || {
+            let mut s = Session::from_source(&src).unwrap();
+            let mut ids = Vec::new();
+            loop {
+                let opps = s.find(XformKind::Cse);
+                match opps.first() {
+                    Some(o) => {
+                        let o = o.clone();
+                        ids.push(s.apply(&o).unwrap());
+                    }
+                    None => break,
+                }
+            }
+            (s, ids)
+        };
+        let (mut s_reg, ids) = build();
+        assert!(ids.len() >= 8, "expected ≥8 CSEs, got {}", ids.len());
+        let reg = s_reg.undo(ids[0], Strategy::Regional).unwrap();
+        let (mut s_full, ids2) = build();
+        let full = s_full.undo(ids2[0], Strategy::FullScan).unwrap();
+        assert_eq!(reg.undone, full.undone);
+        assert!(
+            reg.safety_checks < full.safety_checks,
+            "regional {} !< fullscan {}",
+            reg.safety_checks,
+            full.safety_checks
+        );
+    }
+
+    #[test]
+    fn dce_undo_checks_affected_dce_chain() {
+        // x feeds y; removing y's use made x dead; DCE'd both. Undoing the
+        // *first* DCE (y) restores a use of x — the later DCE of x becomes
+        // unsafe and must cascade.
+        let mut s = Session::from_source("x = 1\ny = x\nwrite 0\n").unwrap();
+        let d1 = s.apply_kind(XformKind::Dce).expect("y = x is dead");
+        let d2 = s.apply_kind(XformKind::Dce).expect("x = 1 becomes dead");
+        assert_eq!(s.source(), "write 0\n");
+        let report = s.undo(d1, Strategy::Regional).unwrap();
+        assert!(report.undone.contains(&d1));
+        assert!(report.undone.contains(&d2), "restoring y = x revives x's use");
+        assert!(programs_equal(&s.prog, &s.original));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn undo_last_is_trivially_reversible() {
+        let (mut s, [.., icm]) = figure1_session();
+        let report = s.undo(icm, Strategy::Regional).unwrap();
+        assert_eq!(report.undone, vec![icm]);
+        assert_eq!(report.affecting_chases, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Transformation history: the record of applied transformations, their
+//! stamped primitive actions and patterns — "sufficient information …
+//! to keep a history of all existing transformations" (Section 4.1).
+
+use crate::actions::Stamp;
+use crate::kind::XformKind;
+use crate::pattern::{Pattern, XformParams};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an applied transformation (its application order number,
+/// 1-based like the paper's `cse(1) ctp(2) inx(3) icm(4)`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XformId(pub u32);
+
+impl XformId {
+    /// Raw index into the history.
+    pub fn index(self) -> usize {
+        self.0 as usize - 1
+    }
+}
+
+impl fmt::Debug for XformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for XformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Lifecycle state of a recorded transformation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum XformState {
+    /// Applied and present in the code.
+    Active,
+    /// Removed by undo.
+    Undone,
+}
+
+/// One applied transformation.
+#[derive(Clone, Debug)]
+pub struct AppliedXform {
+    /// Order number.
+    pub id: XformId,
+    /// Which transformation.
+    pub kind: XformKind,
+    /// Typed parameters.
+    pub params: XformParams,
+    /// Pattern matched before application (Table 2 `pre_pattern`).
+    pub pre: Pattern,
+    /// Pattern produced by application (Table 2 `post_pattern`).
+    pub post: Pattern,
+    /// Stamps of the primitive actions performed, in order.
+    pub stamps: Vec<Stamp>,
+    /// Lifecycle state.
+    pub state: XformState,
+}
+
+impl AppliedXform {
+    /// First (lowest) action stamp.
+    pub fn first_stamp(&self) -> Stamp {
+        *self.stamps.first().expect("every transformation performs at least one action")
+    }
+}
+
+/// The full history.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// All records, in application order (index = `XformId - 1`).
+    pub records: Vec<AppliedXform>,
+    /// Stamp → transformation.
+    stamp_owner: HashMap<Stamp, XformId>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a newly applied transformation.
+    pub fn record(
+        &mut self,
+        kind: XformKind,
+        params: XformParams,
+        pre: Pattern,
+        post: Pattern,
+        stamps: Vec<Stamp>,
+    ) -> XformId {
+        let id = XformId(self.records.len() as u32 + 1);
+        for &s in &stamps {
+            self.stamp_owner.insert(s, id);
+        }
+        self.records.push(AppliedXform { id, kind, params, pre, post, stamps, state: XformState::Active });
+        id
+    }
+
+    /// Borrow a record.
+    pub fn get(&self, id: XformId) -> &AppliedXform {
+        &self.records[id.index()]
+    }
+
+    /// Mutably borrow a record.
+    pub fn get_mut(&mut self, id: XformId) -> &mut AppliedXform {
+        &mut self.records[id.index()]
+    }
+
+    /// The transformation that performed the action with this stamp.
+    pub fn owner_of(&self, stamp: Stamp) -> Option<XformId> {
+        self.stamp_owner.get(&stamp).copied()
+    }
+
+    /// Active transformations, in application order.
+    pub fn active(&self) -> impl Iterator<Item = &AppliedXform> {
+        self.records.iter().filter(|r| r.state == XformState::Active)
+    }
+
+    /// Active transformations applied **after** `id`, in application order —
+    /// the candidate set for affected-transformation checks (Figure 4,
+    /// line 18: only `k > i` can be affected).
+    pub fn active_after(&self, id: XformId) -> Vec<XformId> {
+        self.records
+            .iter()
+            .filter(|r| r.state == XformState::Active && r.id > id)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// The last active transformation, if any (the reverse-order baseline
+    /// undoes this one first).
+    pub fn last_active(&self) -> Option<XformId> {
+        self.records.iter().rev().find(|r| r.state == XformState::Active).map(|r| r.id)
+    }
+
+    /// Number of active transformations.
+    pub fn active_len(&self) -> usize {
+        self.records.iter().filter(|r| r.state == XformState::Active).count()
+    }
+
+    /// Stamp → application-order map for the Figure 2 rendering.
+    pub fn stamp_order(&self) -> HashMap<Stamp, usize> {
+        let mut out = HashMap::new();
+        for r in &self.records {
+            for &s in &r.stamps {
+                out.insert(s, r.id.0 as usize);
+            }
+        }
+        out
+    }
+
+    /// One-line-per-transformation summary (`cse(1) ctp(2) …`).
+    pub fn summary(&self) -> String {
+        self.records
+            .iter()
+            .map(|r| {
+                let mark = match r.state {
+                    XformState::Active => "",
+                    XformState::Undone => "!",
+                };
+                format!("{}{}({})", mark, r.kind.abbrev().to_lowercase(), r.id.0)
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::StmtId;
+
+    fn dummy_record(h: &mut History, kind: XformKind, stamp: u64) -> XformId {
+        let p = parse("a = 1\n").unwrap();
+        h.record(
+            kind,
+            XformParams::Dce { stmt: StmtId(0), target: pivot_lang::Sym(0) },
+            Pattern::capture(&p, "pre", &[]),
+            Pattern::capture(&p, "post", &[]),
+            vec![Stamp(stamp)],
+        )
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut h = History::new();
+        let a = dummy_record(&mut h, XformKind::Cse, 0);
+        let b = dummy_record(&mut h, XformKind::Ctp, 1);
+        assert_eq!(a, XformId(1));
+        assert_eq!(b, XformId(2));
+        assert_eq!(h.owner_of(Stamp(0)), Some(a));
+        assert_eq!(h.owner_of(Stamp(1)), Some(b));
+        assert_eq!(h.owner_of(Stamp(99)), None);
+        assert_eq!(h.get(a).kind, XformKind::Cse);
+    }
+
+    #[test]
+    fn active_after_filters() {
+        let mut h = History::new();
+        let a = dummy_record(&mut h, XformKind::Cse, 0);
+        let b = dummy_record(&mut h, XformKind::Ctp, 1);
+        let c = dummy_record(&mut h, XformKind::Inx, 2);
+        assert_eq!(h.active_after(a), vec![b, c]);
+        h.get_mut(b).state = XformState::Undone;
+        assert_eq!(h.active_after(a), vec![c]);
+        assert_eq!(h.active_len(), 2);
+        assert_eq!(h.last_active(), Some(c));
+    }
+
+    #[test]
+    fn summary_format() {
+        let mut h = History::new();
+        let a = dummy_record(&mut h, XformKind::Cse, 0);
+        dummy_record(&mut h, XformKind::Inx, 1);
+        h.get_mut(a).state = XformState::Undone;
+        assert_eq!(h.summary(), "!cse(1) inx(2)");
+    }
+}

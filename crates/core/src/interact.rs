@@ -1,0 +1,177 @@
+//! Transformation interactions (Table 4): the perform-create /
+//! reverse-destroy matrix.
+//!
+//! `matrix[row][col] == true` means *performing* the row transformation can
+//! enable the column transformation — and therefore *reversing* the row
+//! transformation can destroy the safety of a later column transformation
+//! (the reverse-destroy dependencies exactly replicate the perform-create
+//! dependencies, per the paper quoting \[13\]).
+//!
+//! The paper prints five rows (DCE, CSE, CTP, ICM, INX); [`paper_rows`]
+//! transcribes them. [`default_matrix`] completes the 10×10 matrix for the five
+//! kinds the paper lists only as columns, with justifications in the match
+//! arms of [`justification`]. The empirical harness
+//! (`examples/matrix.rs` + `tests/interaction_matrix.rs`) re-derives
+//! entries from the implementation and cross-checks against this table.
+
+use crate::kind::{XformKind, ALL_KINDS};
+
+/// A 10×10 enabling matrix in Table 4 order (see [`ALL_KINDS`]).
+pub type Matrix = [[bool; 10]; 10];
+
+fn row(marks: [u8; 10]) -> [bool; 10] {
+    marks.map(|m| m == b'x')
+}
+
+/// The five rows printed in the paper's Table 4, transcribed verbatim
+/// (`x` = enables, `-` = does not). Order of both axes:
+/// DCE CSE CTP CPP CFO ICM LUR SMI FUS INX.
+pub const fn paper_rows() -> [(XformKind, [u8; 10]); 5] {
+    [
+        (XformKind::Dce, *b"xx-x-x--xx"),
+        (XformKind::Cse, *b"-x-x----x-"),
+        (XformKind::Ctp, *b"xx--xx-xxx"),
+        (XformKind::Icm, *b"-x---x--xx"),
+        (XformKind::Inx, *b"-----x--xx"),
+    ]
+}
+
+/// The full default matrix: paper rows where given, completed rows for
+/// CPP, CFO, LUR, SMI, FUS (justified in [`justification`]).
+pub fn default_matrix() -> Matrix {
+    let mut m = [[false; 10]; 10];
+    for (k, marks) in paper_rows() {
+        m[k.index()] = row(marks);
+    }
+    //                      DCE CSE CTP CPP CFO ICM LUR SMI FUS INX
+    m[XformKind::Cpp.index()] = row(*b"xx-x------");
+    m[XformKind::Cfo.index()] = row(*b"-xx-x---x-");
+    m[XformKind::Lur.index()] = row(*b"-xxx----x-");
+    m[XformKind::Smi.index()] = row(*b"-----x----");
+    m[XformKind::Fus.index()] = row(*b"--------xx");
+    m
+}
+
+/// Why each non-paper row entry is set (documentation / harness text).
+pub fn justification(from: XformKind, to: XformKind) -> &'static str {
+    use XformKind::*;
+    match (from, to) {
+        (Cpp, Dce) => "propagating a copy's source makes the copy assignment dead",
+        (Cpp, Cse) => "renaming operands can align expressions into common subexpressions",
+        (Cpp, Cpp) => "a propagated copy exposes further copy chains",
+        (Cfo, Cse) => "folded subexpressions can become structurally equal",
+        (Cfo, Ctp) => "folding an RHS to a literal creates a constant definition",
+        (Cfo, Cfo) => "folding an operand enables folding its parent",
+        (Cfo, Fus) => "folding a bound makes adjacent loops structurally conformable",
+        (Lur, Cse) => "copies of the body materialize repeated subexpressions",
+        (Lur, Ctp) => "copies materialize repeated constant definitions",
+        (Lur, Cpp) => "copies materialize repeated copy statements",
+        (Lur, Fus) => "matching unrolled headers become conformable",
+        (Smi, Icm) => "statements hoisted within the strip nest re-anchor on the new loops",
+        (Fus, Fus) => "fusing two loops makes the result adjacent to a third",
+        (Fus, Inx) => "fusing inner loops can create a tight nest",
+        _ => "",
+    }
+}
+
+/// Render a matrix in the paper's Table 4 layout.
+pub fn render(m: &Matrix) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "     ");
+    for k in ALL_KINDS {
+        let _ = write!(s, " {:>3}", k.abbrev());
+    }
+    s.push('\n');
+    for r in ALL_KINDS {
+        let _ = write!(s, "{:>4} ", r.abbrev());
+        for c in ALL_KINDS {
+            let _ = write!(s, " {:>3}", if m[r.index()][c.index()] { "x" } else { "-" });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Does undoing `undone` possibly destroy a later `candidate`, per the
+/// matrix heuristic? (Figure 4, line 20.)
+pub fn may_affect(m: &Matrix, undone: XformKind, candidate: XformKind) -> bool {
+    m[undone.index()][candidate.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use XformKind::*;
+
+    #[test]
+    fn paper_rows_match_table4() {
+        let m = default_matrix();
+        // Spot-check the paper's printed entries.
+        assert!(may_affect(&m, Dce, Dce));
+        assert!(may_affect(&m, Dce, Cse));
+        assert!(!may_affect(&m, Dce, Ctp));
+        assert!(may_affect(&m, Dce, Cpp));
+        assert!(!may_affect(&m, Dce, Cfo));
+        assert!(may_affect(&m, Dce, Icm));
+        assert!(!may_affect(&m, Dce, Lur));
+        assert!(!may_affect(&m, Dce, Smi));
+        assert!(may_affect(&m, Dce, Fus));
+        assert!(may_affect(&m, Dce, Inx));
+
+        assert!(!may_affect(&m, Cse, Dce));
+        assert!(may_affect(&m, Cse, Cse));
+        assert!(may_affect(&m, Cse, Cpp));
+        assert!(may_affect(&m, Cse, Fus));
+        assert!(!may_affect(&m, Cse, Inx));
+
+        assert!(may_affect(&m, Ctp, Dce));
+        assert!(may_affect(&m, Ctp, Cfo));
+        assert!(may_affect(&m, Ctp, Smi));
+        assert!(!may_affect(&m, Ctp, Ctp));
+        assert!(!may_affect(&m, Ctp, Cpp));
+
+        assert!(may_affect(&m, Icm, Cse));
+        assert!(may_affect(&m, Icm, Icm));
+        assert!(may_affect(&m, Icm, Fus));
+        assert!(may_affect(&m, Icm, Inx));
+        assert!(!may_affect(&m, Icm, Dce));
+
+        assert!(may_affect(&m, Inx, Icm));
+        assert!(may_affect(&m, Inx, Fus));
+        assert!(may_affect(&m, Inx, Inx));
+        assert!(!may_affect(&m, Inx, Dce));
+    }
+
+    #[test]
+    fn completed_rows_have_justifications() {
+        let m = default_matrix();
+        for from in [Cpp, Cfo, Lur, Smi, Fus] {
+            for to in ALL_KINDS {
+                if m[from.index()][to.index()] {
+                    assert!(
+                        !justification(from, to).is_empty(),
+                        "missing justification for {from} → {to}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let m = default_matrix();
+        let s = render(&m);
+        assert_eq!(s.lines().count(), 11);
+        assert!(s.contains("DCE"));
+        assert!(s.contains("INX"));
+    }
+
+    #[test]
+    fn row_helper() {
+        let r = row(*b"x-x-x-x-x-");
+        assert_eq!(r.iter().filter(|&&b| b).count(), 5);
+        assert!(r[0]);
+        assert!(!r[1]);
+    }
+}

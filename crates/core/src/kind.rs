@@ -1,0 +1,132 @@
+//! The transformation catalog's kind enumeration (Tables 2 and 4 of the
+//! paper: DCE, CSE, CTP, CPP, CFO, ICM, LUR, SMI, FUS, INX).
+
+use std::fmt;
+
+/// The ten transformations of the paper's interaction table (Table 4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum XformKind {
+    /// Dead code elimination.
+    Dce,
+    /// Common subexpression elimination.
+    Cse,
+    /// Constant propagation.
+    Ctp,
+    /// Copy propagation.
+    Cpp,
+    /// Constant folding.
+    Cfo,
+    /// Invariant code motion.
+    Icm,
+    /// Loop unrolling.
+    Lur,
+    /// Strip mining.
+    Smi,
+    /// Loop fusion.
+    Fus,
+    /// Loop interchange.
+    Inx,
+}
+
+/// All kinds, in the paper's Table 4 column order.
+pub const ALL_KINDS: [XformKind; 10] = [
+    XformKind::Dce,
+    XformKind::Cse,
+    XformKind::Ctp,
+    XformKind::Cpp,
+    XformKind::Cfo,
+    XformKind::Icm,
+    XformKind::Lur,
+    XformKind::Smi,
+    XformKind::Fus,
+    XformKind::Inx,
+];
+
+impl XformKind {
+    /// The paper's three-letter abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            XformKind::Dce => "DCE",
+            XformKind::Cse => "CSE",
+            XformKind::Ctp => "CTP",
+            XformKind::Cpp => "CPP",
+            XformKind::Cfo => "CFO",
+            XformKind::Icm => "ICM",
+            XformKind::Lur => "LUR",
+            XformKind::Smi => "SMI",
+            XformKind::Fus => "FUS",
+            XformKind::Inx => "INX",
+        }
+    }
+
+    /// Full name.
+    pub fn name(self) -> &'static str {
+        match self {
+            XformKind::Dce => "dead code elimination",
+            XformKind::Cse => "common subexpression elimination",
+            XformKind::Ctp => "constant propagation",
+            XformKind::Cpp => "copy propagation",
+            XformKind::Cfo => "constant folding",
+            XformKind::Icm => "invariant code motion",
+            XformKind::Lur => "loop unrolling",
+            XformKind::Smi => "strip mining",
+            XformKind::Fus => "loop fusion",
+            XformKind::Inx => "loop interchange",
+        }
+    }
+
+    /// True for the parallelizing (high-level/PDG) transformations; false
+    /// for the traditional (low-level/DAG) optimizations.
+    pub fn is_high_level(self) -> bool {
+        matches!(
+            self,
+            XformKind::Icm | XformKind::Lur | XformKind::Smi | XformKind::Fus | XformKind::Inx
+        )
+    }
+
+    /// Index in [`ALL_KINDS`] (row/column number in Table 4).
+    pub fn index(self) -> usize {
+        ALL_KINDS.iter().position(|&k| k == self).expect("kind is in ALL_KINDS")
+    }
+
+    /// Parse a three-letter abbreviation (case-insensitive).
+    pub fn from_abbrev(s: &str) -> Option<XformKind> {
+        let up = s.to_ascii_uppercase();
+        ALL_KINDS.into_iter().find(|k| k.abbrev() == up)
+    }
+}
+
+impl fmt::Display for XformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbrev_roundtrip() {
+        for k in ALL_KINDS {
+            assert_eq!(XformKind::from_abbrev(k.abbrev()), Some(k));
+            assert_eq!(XformKind::from_abbrev(&k.abbrev().to_lowercase()), Some(k));
+        }
+        assert_eq!(XformKind::from_abbrev("XYZ"), None);
+    }
+
+    #[test]
+    fn indices_match_order() {
+        for (i, k) in ALL_KINDS.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn level_split() {
+        assert!(!XformKind::Dce.is_high_level());
+        assert!(!XformKind::Cfo.is_high_level());
+        assert!(XformKind::Inx.is_high_level());
+        assert_eq!(ALL_KINDS.iter().filter(|k| k.is_high_level()).count(), 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! # pivot-undo
+//!
+//! Reproduction of Dow, Soffa & Chang, *"Undoing Code Transformations in an
+//! Independent Order"* (ICPP 1994): a transformation-independent undo
+//! facility for optimizing/parallelizing compilers.
+//!
+//! The library lets a client apply any of ten classic transformations
+//! (Table 2/4 of the paper: DCE, CSE, CTP, CPP, CFO, ICM, LUR, SMI, FUS,
+//! INX) to a program and then **undo any one of them, in any order** — not
+//! just the reverse application order. The engine:
+//!
+//! 1. checks the transformation's `post_pattern` to decide whether it is
+//!    *immediately reversible*; if not, identifies (via order-stamped
+//!    annotations, Figure 2) and recursively removes the **affecting**
+//!    transformations that block it;
+//! 2. performs the transformation's inverse primitive actions (Table 1);
+//! 3. recomputes dependence/data-flow information;
+//! 4. finds **affected** transformations — subsequently applied
+//!    transformations whose safety the removal destroyed — restricting the
+//!    search with the event-driven *regional* filter (Section 4.4) and the
+//!    perform-create/reverse-destroy interaction table (Table 4), and
+//!    removes them too.
+//!
+//! Entry point: [`engine::Session`].
+
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod edits;
+pub mod engine;
+pub mod parcheck;
+pub mod interact;
+pub mod region;
+pub mod catalog;
+pub mod history;
+pub mod kind;
+pub mod pattern;
+pub mod revers;
+pub mod safety;
+pub mod spec;
+
+pub use actions::{ActionError, ActionKind, ActionLog, Stamp};
+pub use catalog::{Applied, Opportunity};
+pub use history::{AppliedXform, History, XformId, XformState};
+pub use kind::{XformKind, ALL_KINDS};
+pub use pattern::{Pattern, XformParams};
+pub use edits::{Edit, InvalidationReport};
+pub use engine::{Session, Strategy, UndoError, UndoReport};

@@ -1,0 +1,289 @@
+//! Pre- and post-patterns of transformations (Table 2 of the paper), and the
+//! typed per-transformation parameters the safety/reversibility machinery
+//! consumes.
+//!
+//! A `pre_pattern` records the code shape a transformation matched (used to
+//! decide whether the transformation **remains safe**); a `post_pattern`
+//! records the shape it produced (used to decide whether it is
+//! **immediately reversible**). Both carry rendered snapshots for the
+//! Table 2 display harness.
+
+use crate::kind::XformKind;
+use pivot_lang::{ExprId, ExprKind, StmtId, Sym};
+
+/// Typed parameters of an applied (or planned) transformation.
+#[derive(Clone, Debug)]
+pub enum XformParams {
+    /// Dead code elimination: delete `stmt` (defines `target`, dead after).
+    Dce {
+        /// The dead assignment.
+        stmt: StmtId,
+        /// Its (scalar) target.
+        target: Sym,
+    },
+    /// Common subexpression elimination: at `use_stmt`, the expression node
+    /// `expr` (equal to `def_stmt`'s RHS) is replaced by `result_var`.
+    Cse {
+        /// `S_i : A = B op C`.
+        def_stmt: StmtId,
+        /// `S_j : D = B op C` (the statement holding the replaced node).
+        use_stmt: StmtId,
+        /// The replaced expression node.
+        expr: ExprId,
+        /// `A`.
+        result_var: Sym,
+        /// Symbols of `B op C` (whose redefinition invalidates the reuse).
+        operand_syms: Vec<Sym>,
+        /// The original payload of `expr` (`B op C`).
+        old_kind: ExprKind,
+        /// Defs of the watched symbols reaching `use_stmt` at application
+        /// time (per symbol, sorted). A *new* reaching definition later —
+        /// an edit on the def-use path — is a safety-disabling condition
+        /// even when the defining statement was legally deleted.
+        reaching_at_use: Vec<(Sym, Vec<StmtId>)>,
+    },
+    /// Constant propagation: replace the use `expr` of `var` in `use_stmt`
+    /// by the constant `value` defined at `def_stmt`.
+    Ctp {
+        /// `S_i : x = const`.
+        def_stmt: StmtId,
+        /// The statement containing the replaced operand.
+        use_stmt: StmtId,
+        /// The replaced operand node.
+        expr: ExprId,
+        /// `x`.
+        var: Sym,
+        /// The propagated constant.
+        value: i64,
+        /// Defs of `x` reaching `use_stmt` at application time.
+        reaching_at_use: Vec<(Sym, Vec<StmtId>)>,
+    },
+    /// Copy propagation: replace the use `expr` of `from` in `use_stmt` by
+    /// `to` (defined by `def_stmt : from = to`).
+    Cpp {
+        /// `S_i : x = y`.
+        def_stmt: StmtId,
+        /// The statement containing the replaced operand.
+        use_stmt: StmtId,
+        /// The replaced operand node.
+        expr: ExprId,
+        /// `x`.
+        from: Sym,
+        /// `y`.
+        to: Sym,
+        /// Defs of `x` and `y` reaching `use_stmt` at application time.
+        reaching_at_use: Vec<(Sym, Vec<StmtId>)>,
+    },
+    /// Constant folding: replace `expr` (in `stmt`) by `value`.
+    Cfo {
+        /// Containing statement.
+        stmt: StmtId,
+        /// The folded node.
+        expr: ExprId,
+        /// Original payload.
+        old_kind: ExprKind,
+        /// Folded value.
+        value: i64,
+    },
+    /// Invariant code motion: `stmt` moved out of `loop_stmt`.
+    Icm {
+        /// The hoisted statement.
+        stmt: StmtId,
+        /// The loop it was hoisted from.
+        loop_stmt: StmtId,
+        /// The hoisted statement's (scalar) target.
+        target: Sym,
+        /// Scalar symbols the RHS reads.
+        operand_syms: Vec<Sym>,
+        /// Arrays the RHS reads.
+        array_reads: Vec<Sym>,
+    },
+    /// Loop interchange of the tightly nested pair `(outer, inner)`.
+    Inx {
+        /// Outer loop statement.
+        outer: StmtId,
+        /// Inner loop statement.
+        inner: StmtId,
+    },
+    /// Loop fusion: `l2`'s body moved into `l1`; `l2` deleted.
+    Fus {
+        /// Surviving loop.
+        l1: StmtId,
+        /// Deleted loop.
+        l2: StmtId,
+        /// Statements moved from `l2` (in order).
+        moved: Vec<StmtId>,
+        /// `l1`'s original body (in order).
+        body1: Vec<StmtId>,
+    },
+    /// Loop unrolling of `loop_stmt` by `factor`.
+    Lur {
+        /// The unrolled loop.
+        loop_stmt: StmtId,
+        /// Unroll factor.
+        factor: i64,
+        /// Original step.
+        orig_step: i64,
+        /// The body as it was before unrolling (in order).
+        orig_body: Vec<StmtId>,
+        /// Root statements of the copies, in order.
+        copies: Vec<StmtId>,
+    },
+    /// Strip mining of `inner` by `strip`, wrapped in the new loop `outer`.
+    Smi {
+        /// The introduced outer loop.
+        outer: StmtId,
+        /// The original (now inner) loop.
+        inner: StmtId,
+        /// Strip length.
+        strip: i64,
+        /// The fresh outer induction variable.
+        strip_var: Sym,
+    },
+}
+
+impl XformParams {
+    /// Which transformation these parameters belong to.
+    pub fn kind(&self) -> XformKind {
+        match self {
+            XformParams::Dce { .. } => XformKind::Dce,
+            XformParams::Cse { .. } => XformKind::Cse,
+            XformParams::Ctp { .. } => XformKind::Ctp,
+            XformParams::Cpp { .. } => XformKind::Cpp,
+            XformParams::Cfo { .. } => XformKind::Cfo,
+            XformParams::Icm { .. } => XformKind::Icm,
+            XformParams::Inx { .. } => XformKind::Inx,
+            XformParams::Fus { .. } => XformKind::Fus,
+            XformParams::Lur { .. } => XformKind::Lur,
+            XformParams::Smi { .. } => XformKind::Smi,
+        }
+    }
+
+    /// The site statements of the pattern (the `S_i`, `S_j`, `L1`, `L2` of
+    /// Table 2), used for region membership tests.
+    pub fn site_stmts(&self) -> Vec<StmtId> {
+        match self {
+            XformParams::Dce { stmt, .. } => vec![*stmt],
+            XformParams::Cse { def_stmt, use_stmt, .. } => vec![*def_stmt, *use_stmt],
+            XformParams::Ctp { def_stmt, use_stmt, .. } => vec![*def_stmt, *use_stmt],
+            XformParams::Cpp { def_stmt, use_stmt, .. } => vec![*def_stmt, *use_stmt],
+            XformParams::Cfo { stmt, .. } => vec![*stmt],
+            XformParams::Icm { stmt, loop_stmt, .. } => vec![*stmt, *loop_stmt],
+            XformParams::Inx { outer, inner } => vec![*outer, *inner],
+            XformParams::Fus { l1, l2, .. } => vec![*l1, *l2],
+            XformParams::Lur { loop_stmt, .. } => vec![*loop_stmt],
+            XformParams::Smi { outer, inner, .. } => vec![*outer, *inner],
+        }
+    }
+
+    /// Expression nodes the pattern pins (modified operands/subexpressions).
+    pub fn site_exprs(&self) -> Vec<ExprId> {
+        match self {
+            XformParams::Cse { expr, .. }
+            | XformParams::Ctp { expr, .. }
+            | XformParams::Cpp { expr, .. }
+            | XformParams::Cfo { expr, .. } => vec![*expr],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Symbols whose definitions elsewhere can disturb this transformation
+    /// (used by the affected-region screen).
+    pub fn watched_syms(&self) -> Vec<Sym> {
+        match self {
+            XformParams::Dce { target, .. } => vec![*target],
+            XformParams::Cse { result_var, operand_syms, .. } => {
+                let mut v = operand_syms.clone();
+                v.push(*result_var);
+                v
+            }
+            XformParams::Ctp { var, .. } => vec![*var],
+            XformParams::Cpp { from, to, .. } => vec![*from, *to],
+            XformParams::Cfo { .. } => Vec::new(),
+            XformParams::Icm { target, operand_syms, array_reads, .. } => {
+                let mut v = operand_syms.clone();
+                v.push(*target);
+                v.extend(array_reads);
+                v
+            }
+            XformParams::Inx { .. }
+            | XformParams::Fus { .. }
+            | XformParams::Lur { .. }
+            | XformParams::Smi { .. } => Vec::new(),
+        }
+    }
+}
+
+/// A recorded pattern (pre or post): rendered snapshot plus the description
+/// used for the Table 2 harness.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    /// One-line shape description (e.g. `Stmt S_i: A = B op C; Stmt S_j: D = B op C`).
+    pub shape: String,
+    /// Rendered source snapshots of the site statements at capture time.
+    pub snapshots: Vec<(StmtId, String)>,
+}
+
+impl Pattern {
+    /// Capture a pattern: shape text plus current renderings of `stmts`.
+    pub fn capture(prog: &pivot_lang::Program, shape: impl Into<String>, stmts: &[StmtId]) -> Self {
+        let snapshots = stmts
+            .iter()
+            .map(|&s| {
+                let text = if prog.stmt(s).is_attached() && prog.is_live(s) {
+                    pivot_lang::printer::render_stmt_str(prog, s, Default::default())
+                        .trim_end()
+                        .to_owned()
+                } else {
+                    format!("<detached {s}>")
+                };
+                (s, text)
+            })
+            .collect();
+        Pattern { shape: shape.into(), snapshots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    #[test]
+    fn params_kind_and_sites() {
+        let p = XformParams::Inx { outer: StmtId(1), inner: StmtId(2) };
+        assert_eq!(p.kind(), XformKind::Inx);
+        assert_eq!(p.site_stmts(), vec![StmtId(1), StmtId(2)]);
+        assert!(p.site_exprs().is_empty());
+
+        let q = XformParams::Ctp {
+            def_stmt: StmtId(0),
+            use_stmt: StmtId(3),
+            expr: ExprId(7),
+            var: Sym(0),
+            value: 5,
+            reaching_at_use: Vec::new(),
+        };
+        assert_eq!(q.kind(), XformKind::Ctp);
+        assert_eq!(q.site_exprs(), vec![ExprId(7)]);
+        assert_eq!(q.watched_syms(), vec![Sym(0)]);
+    }
+
+    #[test]
+    fn pattern_capture_renders() {
+        let p = parse("a = 1\nb = 2\n").unwrap();
+        let pat = Pattern::capture(&p, "Stmt S_i; /*dead code*/", &[p.body[0]]);
+        assert_eq!(pat.shape, "Stmt S_i; /*dead code*/");
+        assert_eq!(pat.snapshots.len(), 1);
+        assert_eq!(pat.snapshots[0].1, "a = 1");
+    }
+
+    #[test]
+    fn pattern_capture_detached() {
+        let mut p = parse("a = 1\n").unwrap();
+        let s = p.body[0];
+        p.detach(s).unwrap();
+        let pat = Pattern::capture(&p, "x", &[s]);
+        assert!(pat.snapshots[0].1.contains("detached"));
+    }
+}

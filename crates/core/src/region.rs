@@ -1,0 +1,192 @@
+//! Event-driven regional undo (Section 4.4): affected-region computation.
+//!
+//! "An affected region is defined as the region of a program with code
+//! changes … or data flow or data/control dependence changes." After an
+//! undo performs its inverse actions, only transformations whose sites fall
+//! in the affected region need safety re-checks; everything else is
+//! *unrelated* and skipped without analysis — that skip is the technique's
+//! measured payoff (bench `undo_strategies`).
+//!
+//! The affected statement set is:
+//! 1. the statements touched by the inverse actions and their location
+//!    contexts (code changes), widened to the full subtree of the PDG
+//!    region(s) containing them (the paper's region node granularity);
+//! 2. statements one DDG dependence away from (1) (data dependence
+//!    changes), found via the region summaries;
+//! 3. statements reading or writing a symbol defined/used by the restored
+//!    code (data flow changes).
+
+use crate::actions::{ActionKind, NodeRef};
+use pivot_ir::{access, Rep};
+use pivot_lang::{Program, StmtId, Sym};
+use std::collections::HashSet;
+
+/// The affected region after an undo's inverse actions.
+#[derive(Clone, Debug, Default)]
+pub struct AffectedRegion {
+    /// Affected statements (live ones).
+    pub stmts: HashSet<StmtId>,
+    /// Symbols whose data flow changed.
+    pub syms: HashSet<Sym>,
+}
+
+impl AffectedRegion {
+    /// Does the region contain this statement?
+    pub fn contains_stmt(&self, s: StmtId) -> bool {
+        self.stmts.contains(&s)
+    }
+
+    /// Does a transformation with these sites/symbols overlap the region?
+    pub fn overlaps(&self, sites: &[StmtId], watched: &[Sym]) -> bool {
+        sites.iter().any(|s| self.stmts.contains(s))
+            || watched.iter().any(|y| self.syms.contains(y))
+    }
+}
+
+/// Compute the affected region of a set of reversed actions, against the
+/// *post-undo* program and representation.
+pub fn affected_region(
+    prog: &Program,
+    rep: &Rep,
+    reversed: &[ActionKind],
+) -> AffectedRegion {
+    let mut seed: HashSet<StmtId> = HashSet::new();
+    let mut syms: HashSet<Sym> = HashSet::new();
+    for a in reversed {
+        for n in a.touched() {
+            match n {
+                NodeRef::Stmt(s) => {
+                    seed.insert(s);
+                }
+                NodeRef::Expr(e) => {
+                    seed.insert(prog.expr(e).owner);
+                }
+            }
+        }
+        for s in a.touched_context() {
+            seed.insert(s);
+        }
+    }
+    // Symbols whose flow the restored/removed code changes: definitions
+    // (reaching-def changes) and uses (liveness changes — a restored use
+    // can revive a symbol another transformation relied on being dead).
+    for &s in &seed {
+        let mut absorb = |du: access::DefUse| {
+            syms.extend(du.def_scalars);
+            syms.extend(du.def_arrays);
+            syms.extend(du.use_scalars);
+            syms.extend(du.use_arrays);
+        };
+        absorb(access::stmt_def_use(prog, s));
+        // Nested content of restored subtrees counts too.
+        if prog.is_live(s) {
+            for sub in prog.subtree(s) {
+                absorb(access::stmt_def_use(prog, sub));
+            }
+        }
+    }
+    // Widen each live seed statement to its region subtree.
+    let mut stmts: HashSet<StmtId> = HashSet::new();
+    for &s in &seed {
+        if !prog.is_live(s) {
+            continue;
+        }
+        stmts.insert(s);
+        // Region node = innermost enclosing compound statement (or root);
+        // take the whole subtree under it.
+        match prog.enclosing_stmt(s) {
+            Some(owner) => stmts.extend(prog.subtree(owner)),
+            None => {
+                // Root region: widen to the statement's own subtree plus
+                // immediate siblings (not the whole program — the root
+                // region's "members" are its direct children; their nested
+                // content joins via dependences below).
+                stmts.extend(prog.subtree(s));
+                if let Some(prev) = prog.prev_sibling(s) {
+                    stmts.insert(prev);
+                }
+                if let Some(next) = prog.next_sibling(s) {
+                    stmts.insert(next);
+                }
+            }
+        }
+    }
+    // One dependence hop (both directions).
+    let mut hop: HashSet<StmtId> = HashSet::new();
+    for d in &rep.ddg(prog).deps {
+        if stmts.contains(&d.src) {
+            hop.insert(d.dst);
+        }
+        if stmts.contains(&d.dst) {
+            hop.insert(d.src);
+        }
+    }
+    stmts.extend(hop);
+    AffectedRegion { stmts, syms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+    use pivot_lang::Loc;
+
+    #[test]
+    fn delete_inverse_region_covers_restored_context() {
+        // Restoring `x = 1` at root start: the region covers the restored
+        // statement, its neighbours and x-flow.
+        let mut p = parse("x = 1\ny = x\nz = 9\nwrite z\n").unwrap();
+        let ss = p.attached_stmts();
+        let x_assign = ss[0];
+        let orig = p.detach(x_assign).unwrap();
+        p.attach(x_assign, orig).unwrap();
+        let rep = Rep::build(&p);
+        // The reversed action set for undoing a DCE of x_assign is the
+        // inverse Add — model as the Delete record whose inverse restored it.
+        let reversed = vec![ActionKind::Delete { stmt: x_assign, orig }];
+        let region = affected_region(&p, &rep, &reversed);
+        assert!(region.contains_stmt(x_assign));
+        assert!(region.contains_stmt(ss[1]), "y = x is one flow hop away");
+        let x = p.symbols.get("x").unwrap();
+        assert!(region.syms.contains(&x));
+        // The unrelated tail is NOT in the region.
+        assert!(!region.contains_stmt(ss[3]));
+    }
+
+    #[test]
+    fn loop_body_region_widens_to_loop_subtree() {
+        let p = parse(
+            "do i = 1, 5\n  a = 1\n  b = 2\nenddo\ndo j = 1, 5\n  c = 3\nenddo\nwrite c\n",
+        )
+        .unwrap();
+        let ss = p.attached_stmts();
+        let rep = Rep::build(&p);
+        let reversed = vec![ActionKind::ModifyExpr {
+            expr: match p.stmt(ss[1]).kind {
+                pivot_lang::StmtKind::Assign { value, .. } => value,
+                _ => unreachable!(),
+            },
+            old: pivot_lang::ExprKind::Const(0),
+            new: pivot_lang::ExprKind::Const(1),
+        }];
+        let region = affected_region(&p, &rep, &reversed);
+        // The whole first loop subtree is affected…
+        assert!(region.contains_stmt(ss[0]));
+        assert!(region.contains_stmt(ss[1]));
+        assert!(region.contains_stmt(ss[2]));
+        // …the second loop is not.
+        assert!(!region.contains_stmt(ss[4]));
+    }
+
+    #[test]
+    fn overlaps_by_symbol() {
+        let region = AffectedRegion {
+            stmts: HashSet::new(),
+            syms: [Sym(3)].into_iter().collect(),
+        };
+        assert!(region.overlaps(&[], &[Sym(3)]));
+        assert!(!region.overlaps(&[], &[Sym(4)]));
+        assert!(!region.overlaps(&[StmtId(1)], &[]));
+        let _ = Loc::root_start();
+    }
+}

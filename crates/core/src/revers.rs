@@ -1,0 +1,640 @@
+//! Reversibility conditions (Table 3, right column) and blame assignment.
+//!
+//! A transformation is **immediately reversible** when every recorded
+//! primitive action's inverse can be performed right now (checked in
+//! reverse order, simulating the rollback). The check is fully
+//! transformation-independent: it derives from the stamped actions, not
+//! from per-transformation code — the paper's central design point.
+//!
+//! When a check fails, the blame step identifies the *affecting transformation*:
+//! the latest subsequent action that touched the failing node or its
+//! location context (Figure 4, lines 7–9), resolved to its owning
+//! transformation through the order stamps.
+
+use crate::actions::{ActionError, ActionKind, ActionLog, NodeRef, Stamp};
+use crate::history::{AppliedXform, History, XformId};
+use pivot_lang::{Loc, Program};
+
+/// Why a transformation is not immediately reversible.
+#[derive(Clone, Debug)]
+pub struct Irreversible {
+    /// The failing inverse action's own stamp.
+    pub failing_stamp: Stamp,
+    /// The concrete failure.
+    pub error: ActionError,
+    /// The transformation blamed for the failure (the affecting
+    /// transformation that must be undone first), when identifiable.
+    pub affecting: Option<XformId>,
+}
+
+/// Check whether `record` is immediately reversible in `prog`.
+///
+/// Simulates the inverse sequence **in reverse action order**, tracking the
+/// structural effects the earlier inverses would have, so a transformation
+/// whose actions stack on each other (e.g. FUS's moves + delete) validates
+/// correctly. The simulation is pure: `prog` is cloned.
+pub fn check_reversible(
+    prog: &Program,
+    log: &ActionLog,
+    history: &History,
+    record: &AppliedXform,
+) -> Result<(), Irreversible> {
+    // Structural post-pattern conditions beyond the per-action inverses
+    // (e.g. INX's `Tight Loops (L2, L1)`: un-interchanging with a statement
+    // between the headers would change how often it executes).
+    if let Err(offending) = structural_post(prog, record) {
+        let after = Stamp(record.first_stamp().0 + 1);
+        let affecting = log
+            .latest_touching(&offending, after)
+            .and_then(|s| history.owner_of(s))
+            .filter(|&o| o != record.id);
+        let at = match offending.first() {
+            Some(NodeRef::Stmt(s)) => *s,
+            _ => record.params.site_stmts()[0],
+        };
+        return Err(Irreversible {
+            failing_stamp: record.first_stamp(),
+            error: ActionError::PostPatternInvalidated(at),
+            affecting,
+        });
+    }
+    // Later transformations that worked *inside* structures this undo will
+    // discard (the inverse of Copy/Add is Delete) are affecting: their
+    // history would dangle if we deleted the subtree from under them. They
+    // must be reversed first, while the structure still exists.
+    if let Some((stamp, affecting)) = later_work_in_doomed_subtrees(prog, log, history, record) {
+        return Err(Irreversible {
+            failing_stamp: stamp,
+            error: ActionError::PostPatternInvalidated(record.params.site_stmts()[0]),
+            affecting: Some(affecting),
+        });
+    }
+    // Copy-embedding conflicts (Table 3: "Copy context of the location,
+    // e.g. copy the loop it belongs to by LUR"): a later active Copy whose
+    // source contains a node this record modified — or the context one of
+    // its restorations targets — duplicated the transformed state. Undoing
+    // here would leave the stale duplicate; the copier must be reversed
+    // first.
+    if let Some((stamp, affecting)) = later_copy_embeds(prog, log, history, record) {
+        return Err(Irreversible {
+            failing_stamp: stamp,
+            error: ActionError::PostPatternInvalidated(record.params.site_stmts()[0]),
+            affecting: Some(affecting),
+        });
+    }
+    // Node-history conflicts: a node (expression or loop header) this undo
+    // will rewrite back may carry *later* active modifications — even
+    // net-neutral ones (e.g. two interchanges swapping a header away and
+    // back after an unroll re-stepped it). Node histories must unwind
+    // last-in-first-out, so the latest later modifier is affecting.
+    if let Some((stamp, affecting)) = later_modification_of_same_node(log, history, record) {
+        return Err(Irreversible {
+            failing_stamp: stamp,
+            error: ActionError::PostPatternInvalidated(record.params.site_stmts()[0]),
+            affecting: Some(affecting),
+        });
+    }
+    // Slot-order conflicts: when a later transformation removed a statement
+    // from the *same anchored slot* one of our inverses will restore into,
+    // the two restorations are order-ambiguous; correctness requires the
+    // later-removed statement back first (it sat closer to the anchor when
+    // we removed ours). The later remover is therefore affecting.
+    if let Some((stamp, affecting)) = conflicting_slot_restoration(log, history, record) {
+        return Err(Irreversible {
+            failing_stamp: stamp,
+            error: ActionError::PostPatternInvalidated(record.params.site_stmts()[0]),
+            affecting: Some(affecting),
+        });
+    }
+    let mut sim = prog.clone();
+    for sa in log.actions_with(&record.stamps).into_iter().rev() {
+        match ActionLog::inverse_applicable(&sim, &sa.kind) {
+            Ok(()) => {
+                ActionLog::apply_inverse(&mut sim, &sa.kind)
+                    .expect("applicable inverse must apply in simulation");
+            }
+            Err(error) => {
+                let affecting = blame(&sim, log, history, record, &sa.kind, &error);
+                return Err(Irreversible { failing_stamp: sa.stamp, error, affecting });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Find the latest active action of a *later* transformation that touched a
+/// node inside a subtree this record's inverses will discard (the copies of
+/// LUR, the added outer loop of SMI, …). Returns `(that action's stamp, its
+/// owning transformation)`.
+fn later_work_in_doomed_subtrees(
+    prog: &Program,
+    log: &ActionLog,
+    history: &History,
+    record: &AppliedXform,
+) -> Option<(Stamp, XformId)> {
+    use std::collections::HashSet;
+    // Subtrees whose inverse is Delete.
+    let mut doomed_stmts: HashSet<pivot_lang::StmtId> = HashSet::new();
+    for sa in log.actions_with(&record.stamps) {
+        let root = match &sa.kind {
+            ActionKind::Copy { copy, .. } => Some(*copy),
+            ActionKind::Add { stmt, .. } => Some(*stmt),
+            _ => None,
+        };
+        if let Some(root) = root {
+            if prog.is_live(root) {
+                doomed_stmts.extend(prog.subtree(root));
+            }
+        }
+    }
+    if doomed_stmts.is_empty() {
+        return None;
+    }
+    let doomed_exprs: HashSet<pivot_lang::ExprId> = doomed_stmts
+        .iter()
+        .flat_map(|&s| prog.stmt_exprs(s))
+        .collect();
+    let last = *record.stamps.last()?;
+    log.actions
+        .iter()
+        .rev()
+        .filter(|a| a.stamp > last && !record.stamps.contains(&a.stamp))
+        .find_map(|a| {
+            let hits = a.kind.touched().iter().any(|n| match n {
+                NodeRef::Stmt(s) => doomed_stmts.contains(s),
+                NodeRef::Expr(e) => doomed_exprs.contains(e),
+            });
+            if hits {
+                let owner = history.owner_of(a.stamp)?;
+                if owner != record.id {
+                    return Some((a.stamp, owner));
+                }
+            }
+            None
+        })
+}
+
+/// Find a later active Copy whose source subtree contains a statement this
+/// record modified or restores into (the duplicated code embeds our
+/// transformed state). Returns `(its stamp, its owner)`.
+fn later_copy_embeds(
+    prog: &Program,
+    log: &ActionLog,
+    history: &History,
+    record: &AppliedXform,
+) -> Option<(Stamp, XformId)> {
+    // Statements whose content/neighbourhood this record's undo changes.
+    let mut owners: Vec<(Stamp, pivot_lang::StmtId)> = Vec::new();
+    let add_loc = |stamp: Stamp, loc: &Loc, owners: &mut Vec<(Stamp, pivot_lang::StmtId)>| {
+        if let pivot_lang::Parent::Block(s, _) = loc.parent {
+            owners.push((stamp, s));
+        }
+        if let pivot_lang::AnchorPos::After(a) = loc.anchor {
+            owners.push((stamp, a));
+        }
+    };
+    for sa in log.actions_with(&record.stamps) {
+        match &sa.kind {
+            ActionKind::ModifyExpr { expr, .. } => {
+                owners.push((sa.stamp, prog.expr(*expr).owner));
+            }
+            ActionKind::ModifyHeader { stmt, .. } => owners.push((sa.stamp, *stmt)),
+            ActionKind::Delete { orig, .. } => add_loc(sa.stamp, orig, &mut owners),
+            ActionKind::Move { from, .. } => add_loc(sa.stamp, from, &mut owners),
+            _ => {}
+        }
+    }
+    if owners.is_empty() {
+        return None;
+    }
+    log.actions.iter().rev().find_map(|later| {
+        if record.stamps.contains(&later.stamp) {
+            return None;
+        }
+        let ActionKind::Copy { src, .. } = &later.kind else { return None };
+        let hit = owners.iter().any(|&(stamp, o)| {
+            later.stamp > stamp && (o == *src || prog.is_ancestor(*src, o))
+        });
+        if hit {
+            let owner = history.owner_of(later.stamp)?;
+            if owner != record.id {
+                return Some((later.stamp, owner));
+            }
+        }
+        None
+    })
+}
+
+/// Find the latest active action of a later transformation that modified a
+/// node this record also modified. Returns `(its stamp, its owner)`.
+fn later_modification_of_same_node(
+    log: &ActionLog,
+    history: &History,
+    record: &AppliedXform,
+) -> Option<(Stamp, XformId)> {
+    let ours: Vec<(Stamp, NodeRef)> = log
+        .actions_with(&record.stamps)
+        .into_iter()
+        .filter_map(|a| match &a.kind {
+            ActionKind::ModifyExpr { expr, .. } => Some((a.stamp, NodeRef::Expr(*expr))),
+            ActionKind::ModifyHeader { stmt, .. } => Some((a.stamp, NodeRef::Stmt(*stmt))),
+            _ => None,
+        })
+        .collect();
+    if ours.is_empty() {
+        return None;
+    }
+    log.actions.iter().rev().find_map(|later| {
+        if record.stamps.contains(&later.stamp) {
+            return None;
+        }
+        let node = match &later.kind {
+            ActionKind::ModifyExpr { expr, .. } => NodeRef::Expr(*expr),
+            ActionKind::ModifyHeader { stmt, .. } => NodeRef::Stmt(*stmt),
+            _ => return None,
+        };
+        if ours.iter().any(|&(s, n)| n == node && later.stamp > s) {
+            let owner = history.owner_of(later.stamp)?;
+            if owner != record.id {
+                return Some((later.stamp, owner));
+            }
+        }
+        None
+    })
+}
+
+/// Find a later active removal (Delete or Move-away) from the same anchored
+/// slot one of this record's restorations targets. Returns `(its stamp, its
+/// owner)`.
+fn conflicting_slot_restoration(
+    log: &ActionLog,
+    history: &History,
+    record: &AppliedXform,
+) -> Option<(Stamp, XformId)> {
+    let restore_slots: Vec<(Stamp, Loc)> = log
+        .actions_with(&record.stamps)
+        .into_iter()
+        .filter_map(|a| match &a.kind {
+            ActionKind::Delete { orig, .. } => Some((a.stamp, *orig)),
+            ActionKind::Move { from, .. } => Some((a.stamp, *from)),
+            _ => None,
+        })
+        .collect();
+    if restore_slots.is_empty() {
+        return None;
+    }
+    for later in &log.actions {
+        if record.stamps.contains(&later.stamp) {
+            continue;
+        }
+        // (a) a later removal from the same anchored slot: restorations are
+        // order-ambiguous; the later-removed statement must return first.
+        let removed_from = match &later.kind {
+            ActionKind::Delete { orig, .. } => Some(*orig),
+            ActionKind::Move { from, .. } => Some(*from),
+            _ => None,
+        };
+        if let Some(slot) = removed_from {
+            for &(our_stamp, our_slot) in &restore_slots {
+                if later.stamp > our_stamp
+                    && slot.parent == our_slot.parent
+                    && slot.anchor == our_slot.anchor
+                {
+                    if let Some(owner) = history.owner_of(later.stamp) {
+                        if owner != record.id {
+                            return Some((later.stamp, owner));
+                        }
+                    }
+                }
+            }
+        }
+        // (b) a later header Modify on the loop owning the slot: restoring
+        // into a re-headed loop (interchanged or re-stepped) would give the
+        // statement a different iteration context — the re-header goes
+        // first.
+        if let ActionKind::ModifyHeader { stmt, .. } = &later.kind {
+            for &(our_stamp, our_slot) in &restore_slots {
+                if later.stamp > our_stamp
+                    && matches!(our_slot.parent, pivot_lang::Parent::Block(p, _) if p == *stmt)
+                {
+                    if let Some(owner) = history.owner_of(later.stamp) {
+                        if owner != record.id {
+                            return Some((later.stamp, owner));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Kind-specific structural post-pattern conditions (Table 2's post
+/// patterns beyond raw action inverses). On failure returns the offending
+/// nodes, for blame.
+fn structural_post(prog: &Program, record: &AppliedXform) -> Result<(), Vec<NodeRef>> {
+    use crate::pattern::XformParams;
+    use pivot_ir::loops;
+    match &record.params {
+        XformParams::Inx { outer, inner } => {
+            // `Tight Loops (L2, L1)`: anything between the headers would
+            // change execution count when un-interchanged.
+            if prog.is_live(*outer) && loops::is_tightly_nested(prog, *outer, *inner) {
+                Ok(())
+            } else {
+                let offending: Vec<NodeRef> = if prog.is_live(*outer) {
+                    loops::loop_body(prog, *outer)
+                        .map(|b| {
+                            b.iter().filter(|&&s| s != *inner).map(|&s| NodeRef::Stmt(s)).collect()
+                        })
+                        .unwrap_or_default()
+                } else {
+                    vec![NodeRef::Stmt(*outer)]
+                };
+                Err(if offending.is_empty() { vec![NodeRef::Stmt(*outer)] } else { offending })
+            }
+        }
+        XformParams::Smi { outer, inner, .. } => {
+            // The strip loop must still wrap exactly the original loop.
+            if prog.is_live(*outer) && loops::is_tightly_nested(prog, *outer, *inner) {
+                Ok(())
+            } else {
+                let offending: Vec<NodeRef> = if prog.is_live(*outer) {
+                    loops::loop_body(prog, *outer)
+                        .map(|b| {
+                            b.iter().filter(|&&s| s != *inner).map(|&s| NodeRef::Stmt(s)).collect()
+                        })
+                        .unwrap_or_default()
+                } else {
+                    vec![NodeRef::Stmt(*outer)]
+                };
+                Err(if offending.is_empty() { vec![NodeRef::Stmt(*outer)] } else { offending })
+            }
+        }
+        XformParams::Fus { l1, .. } => {
+            // Foreign statements in the fused body stay in `l1` when
+            // un-fusing (position-faithful), so no interloper condition is
+            // needed — only liveness of the surviving loop.
+            if prog.is_live(*l1) {
+                Ok(())
+            } else {
+                Err(vec![NodeRef::Stmt(*l1)])
+            }
+        }
+        XformParams::Lur { loop_stmt, orig_body, copies, .. } => {
+            // The unrolled body must contain only original statements and
+            // copies: anything else (placed by a later transformation) must
+            // be evicted first — it would keep executing under the restored
+            // step at the wrong frequency.
+            if !prog.is_live(*loop_stmt) {
+                return Err(vec![NodeRef::Stmt(*loop_stmt)]);
+            }
+            let body_now = loops::loop_body(prog, *loop_stmt).cloned().unwrap_or_default();
+            let interlopers: Vec<NodeRef> = body_now
+                .iter()
+                .filter(|s| !orig_body.contains(s) && !copies.contains(s))
+                .map(|&s| NodeRef::Stmt(s))
+                .collect();
+            if interlopers.is_empty() {
+                Ok(())
+            } else {
+                Err(interlopers)
+            }
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Identify the transformation whose action caused the failure: the latest
+/// active action with a stamp after `record`'s first action that touched
+/// the failing node or its location context.
+fn blame(
+    sim: &Program,
+    log: &ActionLog,
+    history: &History,
+    record: &AppliedXform,
+    failing: &ActionKind,
+    error: &ActionError,
+) -> Option<XformId> {
+    let after = Stamp(record.first_stamp().0 + 1);
+    // Nodes whose state the failing inverse depends on.
+    let mut nodes: Vec<NodeRef> = failing.touched();
+    // Location context: the inverse of Delete needs the original location's
+    // parent/anchor; Move needs its `from` context.
+    let add_loc = |loc: &Loc, nodes: &mut Vec<NodeRef>| {
+        if let pivot_lang::Parent::Block(s, _) = loc.parent {
+            nodes.push(NodeRef::Stmt(s));
+        }
+        if let pivot_lang::AnchorPos::After(a) = loc.anchor {
+            nodes.push(NodeRef::Stmt(a));
+        }
+    };
+    match failing {
+        ActionKind::Delete { orig, .. } => add_loc(orig, &mut nodes),
+        ActionKind::Move { from, .. } => add_loc(from, &mut nodes),
+        _ => {}
+    }
+    // An unreachable expression was orphaned either by detaching its owner
+    // (watch the owner statement) or by a later Modify of an enclosing
+    // expression (watch every expression whose recorded `old` payload
+    // reaches ours).
+    if let ActionError::ExprUnreachable(e) = error {
+        nodes.push(NodeRef::Stmt(sim.expr(*e).owner));
+        for sa in &log.actions {
+            if sa.stamp < after {
+                continue;
+            }
+            match &sa.kind {
+                ActionKind::ModifyExpr { expr, old, .. }
+                    if old_subtree_reaches(sim, old, *e) => {
+                        nodes.push(NodeRef::Expr(*expr));
+                    }
+                ActionKind::ModifyHeader { stmt, old, .. } => {
+                    // A header Modify orphans the old bounds/step subtrees.
+                    let mut roots = vec![old.lo, old.hi];
+                    if let Some(st) = old.step {
+                        roots.push(st);
+                    }
+                    let reaches = roots.iter().any(|&r| {
+                        r == *e || old_subtree_reaches(sim, &sim.expr(r).kind.clone(), *e)
+                    });
+                    if reaches {
+                        nodes.push(NodeRef::Stmt(*stmt));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let stamp = log.latest_touching(&nodes, after)?;
+    let owner = history.owner_of(stamp)?;
+    if owner == record.id {
+        None
+    } else {
+        Some(owner)
+    }
+}
+
+/// Does the expression subtree described by `kind` (a recorded payload)
+/// reach node `target` in the current arena?
+fn old_subtree_reaches(prog: &Program, kind: &pivot_lang::ExprKind, target: pivot_lang::ExprId) -> bool {
+    let mut stack = Vec::new();
+    collect(kind, &mut stack);
+    while let Some(e) = stack.pop() {
+        if e == target {
+            return true;
+        }
+        collect(&prog.expr(e).kind, &mut stack);
+    }
+    false
+}
+
+fn collect(kind: &pivot_lang::ExprKind, out: &mut Vec<pivot_lang::ExprId>) {
+    use pivot_lang::ExprKind as E;
+    match kind {
+        E::Const(_) | E::Var(_) => {}
+        E::Index(_, subs) => out.extend(subs.iter().copied()),
+        E::Unary(_, a) => out.push(*a),
+        E::Binary(_, a, b) => {
+            out.push(*a);
+            out.push(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionLog;
+    use crate::catalog;
+    use crate::history::History;
+    use crate::kind::XformKind;
+    use pivot_ir::Rep;
+    use pivot_lang::parser::parse;
+
+    fn apply_kind(
+        prog: &mut Program,
+        rep: &mut Rep,
+        log: &mut ActionLog,
+        hist: &mut History,
+        kind: XformKind,
+    ) -> XformId {
+        let opps = catalog::find(prog, rep, kind);
+        assert!(!opps.is_empty(), "expected an opportunity for {kind}");
+        let applied = catalog::apply(prog, log, &opps[0]).unwrap();
+        rep.refresh(prog);
+        hist.record(kind, applied.params, applied.pre, applied.post, applied.stamps)
+    }
+
+    #[test]
+    fn single_transformation_is_reversible() {
+        let mut p = parse("x = 1\ny = 2\nwrite y\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let id = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Dce);
+        assert!(check_reversible(&p, &log, &hist, hist.get(id)).is_ok());
+    }
+
+    #[test]
+    fn paper_example_inx_blocked_by_icm() {
+        // Section 5.2 / Figure 1: ICM moves a statement between the
+        // interchanged loops, invalidating INX's post pattern (`Tight
+        // Loops`); the blame is ICM.
+        let mut p = parse(
+            "do i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + 1\n    R(i, j) = E + F\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let inx = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Inx);
+        // After interchange, hoist A(j) = B(j) + 1 out of the (new) inner
+        // i-loop — it lands between the two loop headers.
+        let icm = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Icm);
+        // INX is no longer immediately reversible…
+        let err = check_reversible(&p, &log, &hist, hist.get(inx)).unwrap_err();
+        // …and the affecting transformation is the ICM.
+        assert_eq!(err.affecting, Some(icm));
+        // ICM itself is immediately reversible.
+        assert!(check_reversible(&p, &log, &hist, hist.get(icm)).is_ok());
+    }
+
+    #[test]
+    fn fusion_multi_action_reversibility() {
+        let mut p = parse(
+            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n",
+        )
+        .unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let id = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Fus);
+        // All inverses chain: delete-inverse re-adds L2, then move-inverses
+        // return the body. The simulation must validate the whole chain.
+        assert!(check_reversible(&p, &log, &hist, hist.get(id)).is_ok());
+    }
+
+    #[test]
+    fn lur_blocked_by_later_work_inside_copies() {
+        // LUR creates copies; a later CTP rewrites an operand inside a
+        // copy. Undoing LUR would delete the copy (and the CTP's history
+        // with it) — the CTP is affecting and must be reversed first.
+        let mut p = parse("do i = 1, 4\n  kc = 7\n  A(i) = kc + i\nenddo\nwrite A(1)\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let lur = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Lur);
+        // Find a CTP whose use expression lives inside a copy.
+        let lur_params = hist.get(lur).params.clone();
+        let copies = match lur_params {
+            crate::pattern::XformParams::Lur { copies, .. } => copies,
+            _ => unreachable!(),
+        };
+        let opps = crate::catalog::find(&p, &rep, XformKind::Ctp);
+        let inside = opps
+            .iter()
+            .find(|o| match &o.params {
+                crate::pattern::XformParams::Ctp { use_stmt, .. } => copies.contains(use_stmt),
+                _ => false,
+            })
+            .expect("a CTP use inside a copy exists");
+        let applied = crate::catalog::apply(&mut p, &mut log, inside).unwrap();
+        rep.refresh(&p);
+        let ctp =
+            hist.record(XformKind::Ctp, applied.params, applied.pre, applied.post, applied.stamps);
+        let err = check_reversible(&p, &log, &hist, hist.get(lur)).unwrap_err();
+        assert_eq!(err.affecting, Some(ctp), "the in-copy CTP blocks LUR's reversal");
+        assert!(check_reversible(&p, &log, &hist, hist.get(ctp)).is_ok());
+    }
+
+    #[test]
+    fn ctp_into_bound_blocked_by_later_smi() {
+        // CTP propagates n into the loop bound; SMI then replaces the inner
+        // header, orphaning the propagated operand. Undoing CTP must blame
+        // SMI (header-modify orphaning).
+        let mut p = parse("n = 8\ndo i = 1, n\n  A(i) = i\nenddo\nwrite A(2)\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let ctp = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Ctp);
+        let smi = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Smi);
+        let err = check_reversible(&p, &log, &hist, hist.get(ctp)).unwrap_err();
+        assert_eq!(err.affecting, Some(smi), "SMI orphaned the propagated bound");
+        assert!(check_reversible(&p, &log, &hist, hist.get(smi)).is_ok());
+    }
+
+    #[test]
+    fn ctp_blocked_by_later_cfo() {
+        let mut p = parse("c = 1\nx = c + 2\nwrite x\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let ctp = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Ctp);
+        // x = 1 + 2 now folds; the fold modifies the node CTP modified.
+        let cfo = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Cfo);
+        let err = check_reversible(&p, &log, &hist, hist.get(ctp)).unwrap_err();
+        assert_eq!(err.affecting, Some(cfo));
+        assert!(check_reversible(&p, &log, &hist, hist.get(cfo)).is_ok());
+    }
+}

@@ -1,0 +1,614 @@
+//! Safety conditions of applied transformations (Table 3).
+//!
+//! A transformation is **safe** while it preserves the meaning of the source
+//! program. Removing another transformation (or editing the program) can
+//! destroy that safety; [`still_safe`] re-evaluates the disabling conditions
+//! of one applied transformation against the *current* program — the check
+//! on line 22–23 of the paper's UNDO algorithm (Figure 4).
+//!
+//! Per-kind conditions (each is the negation of the corresponding
+//! pre-condition, per the paper's construction):
+//!
+//! * **DCE** — unsafe if the deleted statement's value would now be used:
+//!   some statement reached by a restoration at the original location uses
+//!   the target before redefining it (`∃ S_l ∋ (S_i δ S_l)`).
+//! * **CTP/CPP/CSE** — unsafe if the def-use relationship the rewrite relied
+//!   on no longer holds (defining statement gone/changed, domination lost,
+//!   or an intervening definition appeared).
+//! * **CFO** — always safe (a constant is a constant).
+//! * **ICM** — unsafe if the hoisted statement's operands or target are now
+//!   defined inside the loop, or the loop no longer provably iterates.
+//! * **INX** — unsafe if the interchanged nest now carries a dependence
+//!   that interchange would reverse, or gained reorder hazards.
+//! * **FUS** — unsafe if the fused iterations now carry a backward
+//!   dependence between the original bodies, or gained hazards.
+//! * **LUR/SMI** — unsafe if the header arithmetic no longer matches
+//!   (bounds changed so the factor/strip no longer divides the trip count).
+
+use crate::history::AppliedXform;
+use crate::pattern::XformParams;
+use pivot_ir::{access, depend, loops, Rep};
+use pivot_lang::{Program, StmtId, StmtKind, Sym};
+
+/// Re-evaluate the safety of an applied transformation against the current
+/// program. `true` = still safe (leave it); `false` = must be undone.
+/// The action `log` supplies recorded original locations (e.g. of a DCE'd
+/// statement).
+pub fn still_safe(
+    prog: &Program,
+    rep: &Rep,
+    log: &crate::actions::ActionLog,
+    record: &AppliedXform,
+) -> bool {
+    match &record.params {
+        XformParams::Dce { stmt, target } => {
+            // Recover the deleted statement's original location from the
+            // recorded Delete action.
+            let orig = log.actions_with(&record.stamps).into_iter().find_map(|a| match &a.kind {
+                crate::actions::ActionKind::Delete { stmt: s, orig } if s == stmt => Some(*orig),
+                _ => None,
+            });
+            match orig {
+                Some(orig) => dce_safe_at(prog, rep, orig, *target),
+                None => true, // record retired: nothing to protect
+            }
+        }
+        XformParams::Ctp { def_stmt, use_stmt, var, value, reaching_at_use, .. } => {
+            rewrite_safe(prog, rep, log, record, *def_stmt, *use_stmt, &[*var], reaching_at_use, |p, d| {
+                matches!(
+                    &p.stmt(d).kind,
+                    StmtKind::Assign { target, value: v }
+                        if target.is_scalar()
+                            && target.var == *var
+                            && matches!(p.expr(*v).kind, pivot_lang::ExprKind::Const(c) if c == *value)
+                )
+            })
+        }
+        XformParams::Cpp { def_stmt, use_stmt, from, to, reaching_at_use, .. } => {
+            rewrite_safe(prog, rep, log, record, *def_stmt, *use_stmt, &[*from, *to], reaching_at_use, |p, d| {
+                matches!(
+                    &p.stmt(d).kind,
+                    StmtKind::Assign { target, value: v }
+                        if target.is_scalar()
+                            && target.var == *from
+                            && matches!(p.expr(*v).kind, pivot_lang::ExprKind::Var(y) if y == *to)
+                )
+            })
+        }
+        XformParams::Cse {
+            def_stmt, use_stmt, result_var, operand_syms, old_kind, reaching_at_use, ..
+        } => {
+            let watched = operand_syms.clone();
+            rewrite_safe(prog, rep, log, record, *def_stmt, *use_stmt, &watched, reaching_at_use, |p, d| {
+                match &p.stmt(d).kind {
+                    StmtKind::Assign { target, value } => {
+                        target.is_scalar()
+                            && target.var == *result_var
+                            && kinds_structurally_equal(p, *value, old_kind)
+                    }
+                    _ => false,
+                }
+            })
+        }
+        XformParams::Cfo { .. } => true,
+        XformParams::Icm { stmt, loop_stmt, target, operand_syms, array_reads } => {
+            let after = record.stamps.last().copied().unwrap_or(crate::actions::Stamp(0));
+            icm_safe(prog, rep, log, after, *stmt, *loop_stmt, *target, operand_syms, array_reads)
+        }
+        XformParams::Inx { outer, inner } => inx_safe(prog, log, *outer, *inner),
+        XformParams::Fus { l1, moved, body1, .. } => fus_safe(prog, *l1, body1, moved),
+        XformParams::Lur { loop_stmt, factor, orig_step, orig_body, copies } => {
+            let after = record.stamps.last().copied().unwrap_or(crate::actions::Stamp(0));
+            lur_safe(prog, log, after, *loop_stmt, *factor, *orig_step, orig_body, copies)
+        }
+        XformParams::Smi { outer, inner, strip, .. } => {
+            let after = record.stamps.last().copied().unwrap_or(crate::actions::Stamp(0));
+            smi_safe(prog, log, after, *outer, *inner, *strip)
+        }
+    }
+}
+
+/// Structural comparison between a live expression and a recorded
+/// `ExprKind` snapshot — equal when the live tree matches the snapshot's
+/// tree shape (the snapshot's child IDs are resolved in the same arena).
+fn kinds_structurally_equal(prog: &Program, live: pivot_lang::ExprId, snap: &pivot_lang::ExprKind) -> bool {
+    use pivot_lang::ExprKind as E;
+    match (&prog.expr(live).kind, snap) {
+        (E::Const(a), E::Const(b)) => a == b,
+        (E::Var(a), E::Var(b)) => a == b,
+        (E::Index(a, xs), E::Index(b, ys)) => {
+            a == b
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(&x, &y)| pivot_lang::equiv::exprs_equal_in(prog, x, y))
+        }
+        (E::Unary(oa, a), E::Unary(ob, b)) => {
+            oa == ob && pivot_lang::equiv::exprs_equal_in(prog, *a, *b)
+        }
+        (E::Binary(oa, al, ar), E::Binary(ob, bl, br)) => {
+            oa == ob
+                && pivot_lang::equiv::exprs_equal_in(prog, *al, *bl)
+                && pivot_lang::equiv::exprs_equal_in(prog, *ar, *br)
+        }
+        _ => false,
+    }
+}
+
+/// Common safety skeleton for the three def-use rewrites (CTP/CPP/CSE).
+///
+/// Safety is judged *relative to the restorable source*: changes caused by
+/// later **transformations** (which the undo machinery keeps coherent via
+/// cascades) do not destroy it, whereas changes caused by **edits** do:
+///
+/// * use statement deleted (by anyone) — the rewritten code no longer
+///   executes; the rewrite is vacuously safe;
+/// * defining statement deleted by an active transformation (the classic
+///   CTP→DCE chain) — safe: undoing this rewrite would cascade-restore the
+///   definition first;
+/// * defining statement deleted or reshaped by an edit — unsafe;
+/// * defining statement reshaped by active transformation Modifies —
+///   value-preserving, safe;
+/// * otherwise: the def must dominate the use with no watched symbol
+///   defined on any intervening path (an undo of an earlier transformation
+///   that restores such a definition — the reverse-destroy case — lands
+///   here and correctly reports unsafe).
+#[allow(clippy::too_many_arguments)]
+fn rewrite_safe(
+    prog: &Program,
+    rep: &Rep,
+    log: &crate::actions::ActionLog,
+    record: &AppliedXform,
+    def_stmt: StmtId,
+    use_stmt: StmtId,
+    watched: &[Sym],
+    reaching_at_use: &[(Sym, Vec<StmtId>)],
+    def_shape_ok: impl Fn(&Program, StmtId) -> bool,
+) -> bool {
+    if !prog.is_live(use_stmt) {
+        return true; // vacuous: the rewritten code is gone
+    }
+    if !prog.is_live(def_stmt) {
+        if !deleted_by_transformation(log, def_stmt) {
+            return false; // an edit removed the definition
+        }
+        // The def was legally deleted (e.g. the CTP→DCE chain). The rewrite
+        // stays safe only while no *new* definition of a watched symbol has
+        // appeared on a path to the use: every def reaching the use must
+        // already have been reaching it at application time.
+        return no_new_reaching_defs(prog, rep, use_stmt, reaching_at_use);
+    }
+    if !def_shape_ok(prog, def_stmt) {
+        // A shape change is excused only when an active transformation's
+        // value-preserving Modify explains it; and even then, only the
+        // *shape* is excused — the path condition below must still hold.
+        let after = record.stamps.last().copied().unwrap_or(crate::actions::Stamp(0));
+        if !reshaped_by_transformation(prog, log, def_stmt, after) {
+            return false;
+        }
+    }
+    crate::catalog::value_intact(prog, rep, def_stmt, use_stmt, watched)
+}
+
+/// Do the watched symbols have only definitions reaching `use_stmt` that
+/// were already reaching it at application time (per the recorded
+/// snapshot)?
+fn no_new_reaching_defs(
+    prog: &Program,
+    rep: &Rep,
+    use_stmt: StmtId,
+    snapshot: &[(Sym, Vec<StmtId>)],
+) -> bool {
+    for (sym, recorded) in snapshot {
+        let now = rep.reach.defs_reaching(prog, &rep.cfg, use_stmt, *sym);
+        if now.iter().any(|d| !recorded.contains(d)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Is this (detached) statement held by an active logged `Delete`?
+fn deleted_by_transformation(log: &crate::actions::ActionLog, stmt: StmtId) -> bool {
+    log.actions
+        .iter()
+        .any(|a| matches!(a.kind, crate::actions::ActionKind::Delete { stmt: s, .. } if s == stmt))
+}
+
+/// Was this statement's content modified by active logged actions after
+/// `after` (value-preserving transformation rewrites)?
+fn reshaped_by_transformation(
+    prog: &Program,
+    log: &crate::actions::ActionLog,
+    stmt: StmtId,
+    after: crate::actions::Stamp,
+) -> bool {
+    log.actions.iter().any(|a| {
+        a.stamp > after
+            && match &a.kind {
+                crate::actions::ActionKind::ModifyExpr { expr, .. } => {
+                    prog.expr(*expr).owner == stmt
+                }
+                crate::actions::ActionKind::ModifyHeader { stmt: s, .. } => *s == stmt,
+                _ => false,
+            }
+    })
+}
+
+/// DCE safety given the recorded original location: the deleted statement
+/// would still be dead if restored there — i.e. its target is not live at
+/// that point. An unresolvable original location (its anchor or context was
+/// itself removed — possibly by a later transformation whose tombstone the
+/// undo machinery can chase) is conservatively **unsafe**: we cannot prove
+/// the value unneeded, and the cascade either restores the context first or
+/// retires the record when an edit truly destroyed it.
+pub fn dce_safe_at(prog: &Program, rep: &Rep, orig: pivot_lang::Loc, target: Sym) -> bool {
+    if prog.resolve_loc(orig).is_err() {
+        return false;
+    }
+    let live_there = match orig.anchor {
+        pivot_lang::AnchorPos::After(prev) => rep.live.is_live_after(prog, &rep.cfg, prev, target),
+        pivot_lang::AnchorPos::Start => match orig.parent {
+            pivot_lang::Parent::Block(h, _) => rep.live.is_live_after(prog, &rep.cfg, h, target),
+            pivot_lang::Parent::Root => live_at_entry(prog, rep, target),
+        },
+    };
+    !live_there
+}
+
+fn live_at_entry(prog: &Program, rep: &Rep, target: Sym) -> bool {
+    let entry = rep.cfg.entry;
+    let _ = prog;
+    rep.live.sol.ins[entry.index()].contains(target.index())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn icm_safe(
+    prog: &Program,
+    rep: &Rep,
+    log: &crate::actions::ActionLog,
+    after: crate::actions::Stamp,
+    stmt: StmtId,
+    loop_stmt: StmtId,
+    target: Sym,
+    operand_syms: &[Sym],
+    array_reads: &[Sym],
+) -> bool {
+    let _ = rep;
+    if !prog.is_live(stmt) || !prog.is_live(loop_stmt) {
+        return false;
+    }
+    if !loops::is_loop(prog, loop_stmt) {
+        return false;
+    }
+    match loops::const_bounds(prog, loop_stmt) {
+        Some(b) if b.trip_count() >= 1 => {}
+        // Non-constant or zero-trip bounds are acceptable only when an
+        // active transformation re-headed the loop (our catalog's header
+        // rewrites preserve the iteration space, e.g. strip mining the
+        // loop the statement was hoisted from); an edit is not excused.
+        _ if reshaped_by_transformation(prog, log, loop_stmt, after) => {}
+        _ => return false,
+    }
+    let du = access::subtree_def_use(prog, loop_stmt);
+    let array_target = match &prog.stmt(stmt).kind {
+        StmtKind::Assign { target: t, .. } => !t.is_scalar(),
+        _ => return false,
+    };
+    if array_target {
+        // The loop must still not touch the hoisted array at all.
+        if du.def_arrays.contains(&target) || du.use_arrays.contains(&target) {
+            return false;
+        }
+    } else if du.defines_scalar(target) {
+        return false;
+    }
+    if operand_syms.iter().any(|&s| du.defines_scalar(s)) {
+        return false;
+    }
+    if array_reads.iter().any(|&a| du.def_arrays.contains(&a)) {
+        return false;
+    }
+    true
+}
+
+/// Is statement `s` positioned by an **active** logged action (a Move, Add
+/// or Copy performed by a still-applied transformation)? Such statements
+/// are vouched for: the owning transformation's own safety conditions
+/// justify their placement. Statements with no active record (edits,
+/// restorations from undone transformations) are foreign.
+fn placed_by_transformation(log: &crate::actions::ActionLog, s: StmtId) -> bool {
+    log.actions.iter().any(|a| match &a.kind {
+        crate::actions::ActionKind::Move { stmt, .. } => *stmt == s,
+        crate::actions::ActionKind::Add { stmt, .. } => *stmt == s,
+        crate::actions::ActionKind::Copy { copy, .. } => *copy == s,
+        _ => false,
+    })
+}
+
+fn inx_safe(prog: &Program, log: &crate::actions::ActionLog, outer: StmtId, inner: StmtId) -> bool {
+    if !prog.is_live(outer) || !prog.is_live(inner) {
+        return false;
+    }
+    if !loops::is_loop(prog, outer) || !loops::is_loop(prog, inner) {
+        return false;
+    }
+    // The interchanged nest must still tolerate its (already performed)
+    // interchange: legality is direction-symmetric, so we re-run the
+    // screen on the current nest when it is still tightly nested. If tight
+    // nesting was broken, every statement between the headers must be
+    // vouched for by an active transformation (e.g. an ICM hoist) — a
+    // foreign statement (edit, or a restoration from an undo) would change
+    // its execution count if the interchange were kept or reversed.
+    if loops::is_tightly_nested(prog, outer, inner) {
+        depend::interchange_legal(prog, outer, inner)
+    } else {
+        let between_ok = loops::loop_body(prog, outer)
+            .map(|b| {
+                b.iter().all(|&s| s == inner || placed_by_transformation(log, s))
+            })
+            .unwrap_or(false);
+        between_ok && depend::interchange_legal_loose(prog, outer, inner)
+    }
+}
+
+fn fus_safe(prog: &Program, l1: StmtId, body1: &[StmtId], moved: &[StmtId]) -> bool {
+    if !prog.is_live(l1) || !loops::is_loop(prog, l1) {
+        return false;
+    }
+    let Some(var) = loops::loop_var(prog, l1) else { return false };
+    // All original statements must still be in the fused loop.
+    let body_now: Vec<StmtId> = loops::loop_body(prog, l1).cloned().unwrap_or_default();
+    for s in body1.iter().chain(moved) {
+        if !body_now.contains(s) {
+            // Part of the fusion was dismantled by someone else — treat the
+            // remaining structure as safe only if no cross-set statements
+            // remain to conflict; conservatively unsafe.
+            return false;
+        }
+    }
+    // No backward dependence from a first-body statement to a moved one.
+    let acc1 = depend::collect_accesses(prog, body1);
+    let acc2 = depend::collect_accesses(prog, moved);
+    let level = depend::Level {
+        var_src: var,
+        var_dst: var,
+        bounds: loops::const_bounds(prog, l1),
+    };
+    for a in &acc1 {
+        for b in &acc2 {
+            if a.var != b.var || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            match depend::test_pair(prog, a, b, std::slice::from_ref(&level), &[]) {
+                depend::PairResult::Independent => {}
+                depend::PairResult::Dep(dirs) => {
+                    if dirs[0].allows(depend::Dir::Gt) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lur_safe(
+    prog: &Program,
+    log: &crate::actions::ActionLog,
+    after: crate::actions::Stamp,
+    loop_stmt: StmtId,
+    factor: i64,
+    orig_step: i64,
+    orig_body: &[StmtId],
+    copies: &[StmtId],
+) -> bool {
+    if !prog.is_live(loop_stmt) {
+        return false;
+    }
+    // Every body statement must be an original member, a copy, or vouched
+    // by an active transformation: a foreign statement would execute at the
+    // unrolled frequency (once per `factor` original iterations).
+    let body_ok = loops::loop_body(prog, loop_stmt)
+        .map(|b| {
+            b.iter().all(|&s| {
+                orig_body.contains(&s) || copies.contains(&s) || placed_by_transformation(log, s)
+            })
+        })
+        .unwrap_or(false);
+    if !body_ok {
+        return false;
+    }
+    // A header that a later active transformation re-wrote (e.g. an
+    // interchange swapping it away) is vouched for by that transformation's
+    // own legality; only unexplained (edit) changes are disabling.
+    if reshaped_by_transformation(prog, log, loop_stmt, after) {
+        return true;
+    }
+    match loops::const_bounds(prog, loop_stmt) {
+        Some(b) => {
+            // Current header should have step factor*orig_step and the trip
+            // arithmetic must still cover the original range exactly.
+            if b.step != factor * orig_step {
+                return false;
+            }
+            let orig = loops::ConstBounds { lo: b.lo, hi: b.hi, step: orig_step };
+            orig.trip_count() % factor == 0
+        }
+        None => false,
+    }
+}
+
+fn smi_safe(
+    prog: &Program,
+    log: &crate::actions::ActionLog,
+    after: crate::actions::Stamp,
+    outer: StmtId,
+    inner: StmtId,
+    strip: i64,
+) -> bool {
+    if !prog.is_live(outer) || !prog.is_live(inner) {
+        return false;
+    }
+    // Statements beside the inner loop in the strip nest must be vouched
+    // for (a foreign statement would run once per strip, not per
+    // iteration).
+    let body_ok = loops::loop_body(prog, outer)
+        .map(|b| b.iter().all(|&s| s == inner || placed_by_transformation(log, s)))
+        .unwrap_or(false);
+    if !body_ok {
+        return false;
+    }
+    if reshaped_by_transformation(prog, log, outer, after)
+        || reshaped_by_transformation(prog, log, inner, after)
+    {
+        return true; // a later transformation re-headed the nest and vouches
+    }
+    match loops::const_bounds(prog, outer) {
+        Some(b) if b.step == strip => {
+            let orig = loops::ConstBounds { lo: b.lo, hi: b.hi, step: 1 };
+            orig.trip_count() % strip == 0
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionLog;
+    use crate::catalog;
+    use crate::history::History;
+    use crate::kind::XformKind;
+    use pivot_lang::parser::parse;
+
+    /// Apply the first opportunity of `kind` and return its history record.
+    fn apply_one(
+        prog: &mut Program,
+        rep: &mut Rep,
+        log: &mut ActionLog,
+        hist: &mut History,
+        kind: XformKind,
+    ) -> crate::history::XformId {
+        let opps = catalog::find(prog, rep, kind);
+        assert!(!opps.is_empty(), "expected an opportunity for {kind}");
+        let applied = catalog::apply(prog, log, &opps[0]).unwrap();
+        rep.refresh(prog);
+        hist.record(kind, applied.params, applied.pre, applied.post, applied.stamps)
+    }
+
+    #[test]
+    fn ctp_unsafe_after_def_changes() {
+        let mut p = parse("c = 1\nx = c + 2\nwrite x\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Ctp);
+        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        // Change the defining constant (simulating an edit / another undo).
+        let def = p.body[0];
+        let rhs = match p.stmt(def).kind {
+            StmtKind::Assign { value, .. } => value,
+            _ => unreachable!(),
+        };
+        p.replace_expr_kind(rhs, pivot_lang::ExprKind::Const(9));
+        rep.refresh(&p);
+        assert!(!still_safe(&p, &rep, &log, hist.get(id)));
+    }
+
+    #[test]
+    fn cse_unsafe_after_operand_def_inserted() {
+        let mut p = parse("d = e + f\nr = e + f\nwrite r\nwrite d\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Cse);
+        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        // Insert `e = 0` between def and use (as an edit would).
+        let s = p.alloc_stmt(StmtKind::Write { value: pivot_lang::ExprId(0) });
+        let zero = p.alloc_expr(pivot_lang::ExprKind::Const(0), s);
+        let e_sym = p.symbols.get("e").unwrap();
+        p.stmt_mut(s).kind = StmtKind::Assign {
+            target: pivot_lang::LValue::scalar(e_sym),
+            value: zero,
+        };
+        p.attach(s, pivot_lang::Loc::after(pivot_lang::Parent::Root, p.body[0])).unwrap();
+        rep.refresh(&p);
+        assert!(!still_safe(&p, &rep, &log, hist.get(id)));
+    }
+
+    #[test]
+    fn icm_unsafe_after_operand_defined_in_loop() {
+        let mut p = parse("do i = 1, 10\n  x = e + f\n  A(i) = x\nenddo\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Icm);
+        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        // Insert `e = i` into the loop body.
+        let lp = p.body[1];
+        let s = p.alloc_stmt(StmtKind::Write { value: pivot_lang::ExprId(0) });
+        let i_sym = p.symbols.get("i").unwrap();
+        let iv = p.alloc_expr(pivot_lang::ExprKind::Var(i_sym), s);
+        let e_sym = p.symbols.get("e").unwrap();
+        p.stmt_mut(s).kind =
+            StmtKind::Assign { target: pivot_lang::LValue::scalar(e_sym), value: iv };
+        p.attach(
+            s,
+            pivot_lang::Loc {
+                parent: pivot_lang::Parent::Block(lp, pivot_lang::BlockRole::LoopBody),
+                anchor: pivot_lang::AnchorPos::Start,
+            },
+        )
+        .unwrap();
+        rep.refresh(&p);
+        assert!(!still_safe(&p, &rep, &log, hist.get(id)));
+    }
+
+    #[test]
+    fn cfo_always_safe() {
+        let mut p = parse("x = 1 + 2\nwrite x\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Cfo);
+        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+    }
+
+    #[test]
+    fn dce_safe_at_detects_new_use() {
+        let p = parse("x = 0\nwrite y\n").unwrap();
+        let rep = Rep::build(&p);
+        let y = p.symbols.get("y").unwrap();
+        let x = p.symbols.get("x").unwrap();
+        // A deleted assignment whose original slot was at the start: x is
+        // not live there (never used) → still dead, safe; y is live there
+        // (the write consumes it) → a restored `y = …` would be used,
+        // unsafe.
+        let orig = pivot_lang::Loc::root_start();
+        assert!(dce_safe_at(&p, &rep, orig, x));
+        assert!(!dce_safe_at(&p, &rep, orig, y));
+        // And if an intervening redefinition kills the value, the deletion
+        // stays safe.
+        let q = parse("x = 0\ny = 2\nwrite y\n").unwrap();
+        let qrep = Rep::build(&q);
+        let qy = q.symbols.get("y").unwrap();
+        assert!(dce_safe_at(&q, &qrep, pivot_lang::Loc::root_start(), qy));
+    }
+
+    #[test]
+    fn lur_smi_safety_bound_checks() {
+        let mut p = parse("do i = 1, 8\n  A(i) = i\nenddo\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Lur);
+        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        // Tamper with the upper bound: 1..7 is 7 iterations, not divisible.
+        let lp = p.body[0];
+        if let StmtKind::DoLoop { hi, .. } = p.stmt(lp).kind {
+            p.replace_expr_kind(hi, pivot_lang::ExprKind::Const(7));
+        }
+        rep.refresh(&p);
+        assert!(!still_safe(&p, &rep, &log, hist.get(id)));
+    }
+}

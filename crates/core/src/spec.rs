@@ -1,0 +1,725 @@
+//! Transformation specifications and derived disabling conditions — the
+//! paper's stated future work (Section 6): "investigate techniques to
+//! automatically generate code for the detection of the disabling actions
+//! of the safety and reversibility conditions of transformations from the
+//! transformation specifications."
+//!
+//! Each transformation is specified as a conjunction of reusable
+//! [`Cond`]itions over *roles* (the `S_i`, `S_j`, `L1`, `L2` of Table 2).
+//! From the specification the module mechanically derives:
+//!
+//! * a **checker** ([`eval_spec`]) that re-evaluates the pre-conditions
+//!   against the current program for an applied instance — the
+//!   specification-driven counterpart of the hand-written
+//!   [`crate::safety::still_safe`];
+//! * the **safety-disabling conditions** ([`derive_disabling`]): the
+//!   negation of each pre-condition, annotated with the primitive actions
+//!   that can establish the negation — regenerating Table 3's rows the way
+//!   Section 4.2 describes ("the safety-disabling conditions of a
+//!   transformation are determined by negating the pre-condition").
+//!
+//! Actions that only *edits* can perform (because a legal transformation
+//! "cannot interfere or sever definition-use chains") carry the paper's `†`
+//! marker via [`DisablingAction::edit_only`].
+
+use crate::actions::ActionTag;
+use crate::history::AppliedXform;
+use crate::kind::XformKind;
+use crate::pattern::XformParams;
+use pivot_ir::{access, depend, loops, Rep};
+use pivot_lang::{Program, StmtId, Sym};
+
+/// A role in a transformation's pattern, resolved against an applied
+/// instance's parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// The primary statement (`S_i`: the dead/defining/hoisted statement).
+    Si,
+    /// The secondary statement (`S_j`: the use site).
+    Sj,
+    /// The (outer) loop (`L1`).
+    L1,
+    /// The inner/second loop (`L2`).
+    L2,
+}
+
+/// A symbol role.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SymRole {
+    /// The defined/target symbol (`v` of `S_i`).
+    Target,
+    /// The symbols the relationship watches (operands, copy source, …).
+    Watched,
+}
+
+/// A reusable pre-condition over roles.
+#[derive(Clone, Debug)]
+pub enum Cond {
+    /// `¬∃ S_l ∋ (S_i δ S_l)` — the target symbol is not live at the
+    /// statement's (original) position.
+    TargetDeadAt(Role),
+    /// The relationship established at `def` still holds at `use`:
+    /// `def` dominates `use` and no watched symbol is defined on any
+    /// intervening path.
+    ValueIntactBetween(Role, Role),
+    /// The watched symbols are not defined anywhere inside the loop's
+    /// subtree (loop-invariance).
+    InvariantIn(SymRole, Role),
+    /// The loop has constant bounds with at least `min` iterations.
+    ConstTrip(Role, i64),
+    /// The loop's trip count is divisible by `k`.
+    TripDivisible(Role, i64),
+    /// The unrolled header is consistent: current step = factor·orig_step
+    /// and the original trip count divides by the factor.
+    UnrollConsistent,
+    /// The strip nest is consistent: outer step = strip and the original
+    /// trip count divides by the strip.
+    StripConsistent,
+    /// `(L1, L2)` are tightly nested.
+    TightNest,
+    /// Interchanging `(L1, L2)` carries no `(<,>)` dependence or hazard.
+    InterchangeLegal,
+    /// Fusing `(L1, L2)` carries no backward dependence or hazard.
+    FusionLegal,
+}
+
+impl Cond {
+    /// Human-readable pre-condition text (for the generated Table 3 rows).
+    pub fn describe(&self) -> String {
+        match self {
+            Cond::TargetDeadAt(r) => format!("target of {r:?} is dead after it"),
+            Cond::ValueIntactBetween(a, b) => {
+                format!("value relationship of {a:?} intact at {b:?} (dominates; no watched def between)")
+            }
+            Cond::InvariantIn(s, r) => format!("{s:?} symbols not defined inside {r:?}"),
+            Cond::ConstTrip(r, n) => format!("{r:?} has constant bounds with trip ≥ {n}"),
+            Cond::TripDivisible(r, k) => format!("{r:?} trip count divisible by {k}"),
+            Cond::UnrollConsistent => {
+                "unrolled header consistent (step = k·s, original trip % k == 0)".into()
+            }
+            Cond::StripConsistent => {
+                "strip nest consistent (outer step = s, original trip % s == 0)".into()
+            }
+            Cond::TightNest => "L1 and L2 tightly nested".into(),
+            Cond::InterchangeLegal => "no (<,>) dependence across (L1, L2)".into(),
+            Cond::FusionLegal => "no backward dependence from L1's body to L2's".into(),
+        }
+    }
+}
+
+/// A transformation specification: its pre-conditions as a conjunction.
+#[derive(Clone, Debug)]
+pub struct XformSpec {
+    /// The transformation.
+    pub kind: XformKind,
+    /// Pre-conditions (all must hold).
+    pub preconds: Vec<Cond>,
+}
+
+/// The specification of each catalog transformation.
+pub fn spec_of(kind: XformKind) -> XformSpec {
+    use Cond::*;
+    let preconds = match kind {
+        XformKind::Dce => vec![TargetDeadAt(Role::Si)],
+        XformKind::Cse | XformKind::Ctp | XformKind::Cpp => {
+            vec![ValueIntactBetween(Role::Si, Role::Sj)]
+        }
+        XformKind::Cfo => vec![], // a folded constant has no context conditions
+        XformKind::Icm => vec![
+            InvariantIn(SymRole::Watched, Role::L1),
+            InvariantIn(SymRole::Target, Role::L1),
+            ConstTrip(Role::L1, 1),
+        ],
+        XformKind::Lur => vec![UnrollConsistent],
+        XformKind::Smi => vec![StripConsistent, TightNest],
+        XformKind::Fus => vec![FusionLegal],
+        XformKind::Inx => vec![TightNest, InterchangeLegal],
+    };
+    XformSpec { kind, preconds }
+}
+
+/// A primitive action that can establish a negated pre-condition.
+#[derive(Clone, Debug)]
+pub struct DisablingAction {
+    /// Which primitive action.
+    pub tag: ActionTag,
+    /// What it does to disable the condition.
+    pub how: String,
+    /// True when only a program edit can legally perform it (the paper's
+    /// `†`: a legal transformation cannot sever def-use chains).
+    pub edit_only: bool,
+}
+
+/// One derived row entry of Table 3.
+#[derive(Clone, Debug)]
+pub struct DisablingCondition {
+    /// The negated pre-condition.
+    pub negated: String,
+    /// The actions that can establish it.
+    pub actions: Vec<DisablingAction>,
+}
+
+/// Mechanically derive the safety-disabling conditions of a specification:
+/// negate each pre-condition and enumerate the primitive actions able to
+/// establish the negation (Section 4.2's construction).
+pub fn derive_disabling(spec: &XformSpec) -> Vec<DisablingCondition> {
+    let act = |tag: ActionTag, how: &str, edit_only: bool| DisablingAction {
+        tag,
+        how: how.to_owned(),
+        edit_only,
+    };
+    spec.preconds
+        .iter()
+        .map(|c| match c {
+            Cond::TargetDeadAt(_) => DisablingCondition {
+                negated: "∃ S_l ∋ (S_i δ S_l): a statement now uses the deleted value".into(),
+                actions: vec![
+                    act(ActionTag::Add, "add a statement that uses the value", false),
+                    act(ActionTag::Md, "modify a statement into a use of the value", false),
+                    act(ActionTag::Mv, "move a use onto a path S_i reaches", true),
+                ],
+            },
+            Cond::ValueIntactBetween(..) => DisablingCondition {
+                negated: "a watched symbol is (re)defined on a path from S_i to S_j, \
+                          or S_i no longer dominates S_j"
+                    .into(),
+                actions: vec![
+                    act(ActionTag::Add, "add a definition of a watched symbol between", false),
+                    act(ActionTag::Md, "modify a statement into such a definition", false),
+                    act(ActionTag::Mv, "move a definition between S_i and S_j", true),
+                    act(ActionTag::Del, "delete S_i (severs the relationship)", true),
+                ],
+            },
+            Cond::InvariantIn(..) => DisablingCondition {
+                negated: "a watched/target symbol is now defined inside the loop".into(),
+                actions: vec![
+                    act(ActionTag::Add, "add a definition inside the loop body", false),
+                    act(ActionTag::Mv, "move a definition into the loop", false),
+                    act(ActionTag::Md, "modify a body statement into such a definition", false),
+                ],
+            },
+            Cond::ConstTrip(..)
+            | Cond::TripDivisible(..)
+            | Cond::UnrollConsistent
+            | Cond::StripConsistent => DisablingCondition {
+                negated: "the loop bounds no longer give the required constant trip".into(),
+                actions: vec![act(
+                    ActionTag::Md,
+                    "modify the loop header bounds/step",
+                    false,
+                )],
+            },
+            Cond::TightNest => DisablingCondition {
+                negated: "a statement now sits between the loop headers".into(),
+                actions: vec![
+                    act(ActionTag::Mv, "move a statement between the headers (e.g. ICM)", false),
+                    act(ActionTag::Add, "add a statement between the headers", false),
+                ],
+            },
+            Cond::InterchangeLegal => DisablingCondition {
+                negated: "a dependence with direction (<,>) now crosses the nest".into(),
+                actions: vec![
+                    act(ActionTag::Add, "add an access creating the dependence", false),
+                    act(ActionTag::Md, "modify subscripts into the dependence", false),
+                ],
+            },
+            Cond::FusionLegal => DisablingCondition {
+                negated: "a backward dependence now flows between the fused bodies".into(),
+                actions: vec![
+                    act(ActionTag::Add, "add an access creating the dependence", false),
+                    act(ActionTag::Md, "modify subscripts into the dependence", false),
+                ],
+            },
+        })
+        .collect()
+}
+
+/// Evaluate a specification's pre-conditions against an applied instance in
+/// the current program — the generated checker. Returns `None` when a role
+/// cannot be resolved anymore (site deleted), which callers treat as
+/// "re-evaluate with the hand-written checker" ([`crate::safety::still_safe`]
+/// handles those cases with its transformation-vouching rules).
+pub fn eval_spec(
+    prog: &Program,
+    rep: &Rep,
+    record: &AppliedXform,
+) -> Option<bool> {
+    let spec = spec_of(record.kind);
+    let b = Bindings::from_params(&record.params)?;
+    for c in &spec.preconds {
+        match eval_cond(prog, rep, c, &b)? {
+            true => {}
+            false => return Some(false),
+        }
+    }
+    Some(true)
+}
+
+/// Role bindings extracted from applied parameters.
+struct Bindings {
+    si: Option<StmtId>,
+    sj: Option<StmtId>,
+    l1: Option<StmtId>,
+    l2: Option<StmtId>,
+    target: Option<Sym>,
+    watched: Vec<Sym>,
+    factor: i64,
+    orig_step: i64,
+    strip: i64,
+}
+
+impl Bindings {
+    fn from_params(p: &XformParams) -> Option<Bindings> {
+        let mut b = Bindings {
+            si: None,
+            sj: None,
+            l1: None,
+            l2: None,
+            target: None,
+            watched: vec![],
+            factor: 1,
+            orig_step: 1,
+            strip: 1,
+        };
+        match p {
+            XformParams::Dce { stmt, target } => {
+                b.si = Some(*stmt);
+                b.target = Some(*target);
+            }
+            XformParams::Cse { def_stmt, use_stmt, result_var, operand_syms, .. } => {
+                b.si = Some(*def_stmt);
+                b.sj = Some(*use_stmt);
+                b.target = Some(*result_var);
+                b.watched = operand_syms.clone();
+            }
+            XformParams::Ctp { def_stmt, use_stmt, var, .. } => {
+                b.si = Some(*def_stmt);
+                b.sj = Some(*use_stmt);
+                b.target = Some(*var);
+                b.watched = vec![*var];
+            }
+            XformParams::Cpp { def_stmt, use_stmt, from, to, .. } => {
+                b.si = Some(*def_stmt);
+                b.sj = Some(*use_stmt);
+                b.target = Some(*from);
+                b.watched = vec![*from, *to];
+            }
+            XformParams::Cfo { stmt, .. } => {
+                b.si = Some(*stmt);
+            }
+            XformParams::Icm { stmt, loop_stmt, target, operand_syms, .. } => {
+                b.si = Some(*stmt);
+                b.l1 = Some(*loop_stmt);
+                b.target = Some(*target);
+                b.watched = operand_syms.clone();
+            }
+            XformParams::Inx { outer, inner } => {
+                b.l1 = Some(*outer);
+                b.l2 = Some(*inner);
+            }
+            XformParams::Fus { l1, l2, .. } => {
+                b.l1 = Some(*l1);
+                b.l2 = Some(*l2);
+            }
+            XformParams::Lur { loop_stmt, factor, orig_step, .. } => {
+                b.l1 = Some(*loop_stmt);
+                b.factor = *factor;
+                b.orig_step = *orig_step;
+            }
+            XformParams::Smi { outer, inner, strip, .. } => {
+                b.l1 = Some(*outer);
+                b.l2 = Some(*inner);
+                b.strip = *strip;
+            }
+        }
+        Some(b)
+    }
+
+    fn stmt(&self, r: Role) -> Option<StmtId> {
+        match r {
+            Role::Si => self.si,
+            Role::Sj => self.sj,
+            Role::L1 => self.l1,
+            Role::L2 => self.l2,
+        }
+    }
+}
+
+fn eval_cond(prog: &Program, rep: &Rep, c: &Cond, b: &Bindings) -> Option<bool> {
+    Some(match c {
+        Cond::TargetDeadAt(r) => {
+            let s = b.stmt(*r)?;
+            let t = b.target?;
+            if !prog.is_live(s) {
+                return None; // deleted site: defer to the hand-written checker
+            }
+            !rep.live.is_live_after(prog, &rep.cfg, s, t)
+        }
+        Cond::ValueIntactBetween(a, u) => {
+            let def = b.stmt(*a)?;
+            let use_ = b.stmt(*u)?;
+            if !prog.is_live(def) || !prog.is_live(use_) {
+                return None;
+            }
+            let mut syms = b.watched.clone();
+            if let Some(t) = b.target {
+                syms.push(t);
+            }
+            crate::catalog::value_intact(prog, rep, def, use_, &syms)
+        }
+        Cond::InvariantIn(which, r) => {
+            let lp = b.stmt(*r)?;
+            if !prog.is_live(lp) || !loops::is_loop(prog, lp) {
+                return None;
+            }
+            let du = access::subtree_def_use(prog, lp);
+            match which {
+                SymRole::Target => b.target.map(|t| !du.defines_scalar(t))?,
+                SymRole::Watched => b.watched.iter().all(|&s| !du.defines_scalar(s)),
+            }
+        }
+        Cond::ConstTrip(r, min) => {
+            let lp = b.stmt(*r)?;
+            if !prog.is_live(lp) {
+                return None;
+            }
+            match loops::const_bounds(prog, lp) {
+                Some(bounds) => bounds.trip_count() >= *min,
+                None => false,
+            }
+        }
+        Cond::TripDivisible(r, k) => {
+            let lp = b.stmt(*r)?;
+            if !prog.is_live(lp) {
+                return None;
+            }
+            match loops::const_bounds(prog, lp) {
+                Some(bounds) => bounds.trip_count() % k == 0,
+                None => false,
+            }
+        }
+        Cond::UnrollConsistent => {
+            let lp = b.l1?;
+            if !prog.is_live(lp) {
+                return None;
+            }
+            match loops::const_bounds(prog, lp) {
+                Some(bounds) => {
+                    bounds.step == b.factor * b.orig_step && {
+                        let orig = loops::ConstBounds {
+                            lo: bounds.lo,
+                            hi: bounds.hi,
+                            step: b.orig_step,
+                        };
+                        orig.trip_count() % b.factor == 0
+                    }
+                }
+                None => false,
+            }
+        }
+        Cond::StripConsistent => {
+            let lp = b.l1?;
+            if !prog.is_live(lp) {
+                return None;
+            }
+            match loops::const_bounds(prog, lp) {
+                Some(bounds) => {
+                    bounds.step == b.strip && {
+                        let orig =
+                            loops::ConstBounds { lo: bounds.lo, hi: bounds.hi, step: 1 };
+                        orig.trip_count() % b.strip == 0
+                    }
+                }
+                None => false,
+            }
+        }
+        Cond::TightNest => {
+            let (l1, l2) = (b.l1?, b.l2?);
+            if !prog.is_live(l1) {
+                return None;
+            }
+            loops::is_tightly_nested(prog, l1, l2)
+        }
+        Cond::InterchangeLegal => {
+            let (l1, l2) = (b.l1?, b.l2?);
+            if !prog.is_live(l1) || !prog.is_live(l2) {
+                return None;
+            }
+            depend::interchange_legal_loose(prog, l1, l2)
+        }
+        Cond::FusionLegal => {
+            let (l1, l2) = (b.l1?, b.l2?);
+            if !prog.is_live(l1) {
+                return None;
+            }
+            // After fusion l2 is deleted; the fused-form condition is the
+            // backward-dependence check inside l1 handled by still_safe.
+            // At specification level we check it only pre-application.
+            if prog.is_live(l2) {
+                depend::fusion_dep_legal(prog, l1, l2)
+            } else {
+                return None;
+            }
+        }
+    })
+}
+
+/// The primitive-action shapes each transformation performs (from the
+/// catalog's apply functions) — the input for reversibility derivation.
+pub fn action_shapes(kind: XformKind) -> Vec<ActionTag> {
+    match kind {
+        XformKind::Dce => vec![ActionTag::Del],
+        XformKind::Cse | XformKind::Ctp | XformKind::Cpp | XformKind::Cfo => vec![ActionTag::Md],
+        XformKind::Icm => vec![ActionTag::Mv],
+        XformKind::Inx => vec![ActionTag::Md, ActionTag::Md],
+        XformKind::Fus => vec![ActionTag::Mv, ActionTag::Del],
+        XformKind::Lur => vec![ActionTag::Cp, ActionTag::Md, ActionTag::Md],
+        XformKind::Smi => vec![ActionTag::Add, ActionTag::Mv, ActionTag::Md],
+    }
+}
+
+/// Derive the reversibility-disabling conditions of a transformation from
+/// its action shapes (Table 3's right column, generated): for each action
+/// kind, the generic conditions under which its inverse cannot be performed.
+pub fn derive_reversibility_disabling(kind: XformKind) -> Vec<DisablingCondition> {
+    let act = |tag: ActionTag, how: &str| DisablingAction {
+        tag,
+        how: how.to_owned(),
+        edit_only: false,
+    };
+    let mut out = Vec::new();
+    let mut seen = Vec::new();
+    for tag in action_shapes(kind) {
+        if seen.contains(&tag) {
+            continue; // one generic row per action kind
+        }
+        seen.push(tag);
+        out.push(match tag {
+            ActionTag::Del => DisablingCondition {
+                negated: "the original location of the deleted statement cannot be \
+                          determined"
+                    .into(),
+                actions: vec![
+                    act(ActionTag::Del, "delete the context of the location"),
+                    act(ActionTag::Cp, "copy the context of the location (e.g. by LUR)"),
+                    act(ActionTag::Mv, "move the anchor out of the block"),
+                ],
+            },
+            ActionTag::Mv => DisablingCondition {
+                negated: "the statement is no longer where the Move put it, or its \
+                          original location cannot be determined"
+                    .into(),
+                actions: vec![
+                    act(ActionTag::Mv, "move the statement again"),
+                    act(ActionTag::Del, "delete the statement or its original context"),
+                    act(ActionTag::Cp, "copy the original context"),
+                ],
+            },
+            ActionTag::Md => DisablingCondition {
+                negated: "the modified node no longer carries the recorded state or is \
+                          unreachable from live code"
+                    .into(),
+                actions: vec![
+                    act(ActionTag::Md, "modify the same node again"),
+                    act(ActionTag::Md, "modify an enclosing expression (orphans the node)"),
+                    act(ActionTag::Del, "delete the owning statement"),
+                    act(ActionTag::Cp, "copy the owning statement (duplicates the state)"),
+                ],
+            },
+            ActionTag::Cp => DisablingCondition {
+                negated: "the copy is no longer intact in the block it was placed in".into(),
+                actions: vec![
+                    act(ActionTag::Md, "modify inside the copy"),
+                    act(ActionTag::Del, "delete the copy"),
+                    act(ActionTag::Mv, "move the copy to another block"),
+                ],
+            },
+            ActionTag::Add => DisablingCondition {
+                negated: "the added statement is no longer in the block it was added to".into(),
+                actions: vec![
+                    act(ActionTag::Mv, "move the added statement to another block"),
+                    act(ActionTag::Md, "work inside the added subtree"),
+                ],
+            },
+        });
+    }
+    out
+}
+
+/// Render the generated Table 3 (all rows) as text.
+pub fn render_table3() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for kind in crate::kind::ALL_KINDS {
+        let spec = spec_of(kind);
+        let _ = writeln!(out, "{} ({})", kind, kind.name());
+        if spec.preconds.is_empty() {
+            let _ = writeln!(out, "  (no context pre-conditions — never disabled)");
+            continue;
+        }
+        for (c, d) in spec.preconds.iter().zip(derive_disabling(&spec)) {
+            let _ = writeln!(out, "  pre : {}", c.describe());
+            let _ = writeln!(out, "  ¬pre: {}", d.negated);
+            for a in d.actions {
+                let dagger = if a.edit_only { " †" } else { "" };
+                let _ = writeln!(out, "        {} — {}{}", a.tag.abbrev(), a.how, dagger);
+            }
+        }
+        for d in derive_reversibility_disabling(kind) {
+            let _ = writeln!(out, "  rev : {}", d.negated);
+            for a in d.actions {
+                let _ = writeln!(out, "        {} — {}", a.tag.abbrev(), a.how);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionLog;
+    use crate::catalog;
+    use crate::history::History;
+    use pivot_lang::parser::parse;
+
+    fn apply_one(src: &str, kind: XformKind) -> (Program, Rep, ActionLog, History, crate::history::XformId) {
+        let mut prog = parse(src).unwrap();
+        let mut rep = Rep::build(&prog);
+        let mut log = ActionLog::new();
+        let mut hist = History::new();
+        let opps = catalog::find(&prog, &rep, kind);
+        assert!(!opps.is_empty(), "no {kind} opportunity in:\n{src}");
+        let a = catalog::apply(&mut prog, &mut log, &opps[0]).unwrap();
+        rep.refresh(&prog);
+        let id = hist.record(kind, a.params, a.pre, a.post, a.stamps);
+        (prog, rep, log, hist, id)
+    }
+
+    #[test]
+    fn every_kind_has_a_spec_and_derivation() {
+        for kind in crate::kind::ALL_KINDS {
+            let spec = spec_of(kind);
+            let derived = derive_disabling(&spec);
+            assert_eq!(spec.preconds.len(), derived.len());
+            for d in &derived {
+                assert!(!d.negated.is_empty());
+                assert!(!d.actions.is_empty() || spec.preconds.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn freshly_applied_instances_satisfy_their_specs() {
+        let samples: &[(XformKind, &str)] = &[
+            (XformKind::Dce, "x = 1\ny = 2\nwrite y\n"),
+            (XformKind::Ctp, "c = 1\nx = c + 2\nwrite x\n"),
+            (XformKind::Cse, "d = e + f\nr = e + f\nwrite r\nwrite d\n"),
+            (XformKind::Cpp, "read y\nx = y\nwrite x + 1\n"),
+            (XformKind::Cfo, "x = 2 * 3\nwrite x\n"),
+            (XformKind::Icm, "do i = 1, 8\n  x = a + b\n  A(i) = x + i\nenddo\nwrite A(1)\n"),
+            (XformKind::Inx, "do i = 1, 10\n  do j = 1, 5\n    A(i, j) = 0\n  enddo\nenddo\n"),
+            (XformKind::Lur, "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n"),
+            (XformKind::Smi, "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n"),
+        ];
+        for (kind, src) in samples {
+            let (prog, rep, _log, hist, id) = apply_one(src, *kind);
+            let v = eval_spec(&prog, &rep, hist.get(id));
+            // DCE's site is deleted (None → deferred); the rest must hold.
+            match kind {
+                XformKind::Dce => assert_eq!(v, None),
+                _ => assert_eq!(v, Some(true), "{kind} spec fails right after applying"),
+            }
+        }
+    }
+
+    #[test]
+    fn spec_detects_ctp_disabling_edit() {
+        let (mut prog, mut rep, _log, hist, id) =
+            apply_one("c = 1\nx = c + 2\nwrite x\n", XformKind::Ctp);
+        // Edit: insert c = 9 between def and use.
+        let def = prog.body[0];
+        let stmts = pivot_lang::parser::parse_stmts_into(&mut prog, "c = 9\n").unwrap();
+        prog.attach(stmts[0], pivot_lang::Loc::after(pivot_lang::Parent::Root, def)).unwrap();
+        rep.refresh(&prog);
+        assert_eq!(eval_spec(&prog, &rep, hist.get(id)), Some(false));
+    }
+
+    #[test]
+    fn spec_detects_icm_disabling_edit() {
+        let (mut prog, mut rep, _log, hist, id) = apply_one(
+            "do i = 1, 8\n  x = a + b\n  A(i) = x + i\nenddo\nwrite A(1)\n",
+            XformKind::Icm,
+        );
+        let lp = prog.body[1];
+        let stmts = pivot_lang::parser::parse_stmts_into(&mut prog, "a = i\n").unwrap();
+        prog.attach(
+            stmts[0],
+            pivot_lang::Loc {
+                parent: pivot_lang::Parent::Block(lp, pivot_lang::BlockRole::LoopBody),
+                anchor: pivot_lang::AnchorPos::Start,
+            },
+        )
+        .unwrap();
+        rep.refresh(&prog);
+        assert_eq!(eval_spec(&prog, &rep, hist.get(id)), Some(false));
+    }
+
+    #[test]
+    fn spec_detects_lur_bound_edit() {
+        let (mut prog, mut rep, _log, hist, id) =
+            apply_one("do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n", XformKind::Lur);
+        let lp = prog.body[0];
+        if let pivot_lang::StmtKind::DoLoop { hi, .. } = prog.stmt(lp).kind {
+            prog.replace_expr_kind(hi, pivot_lang::ExprKind::Const(7));
+        }
+        rep.refresh(&prog);
+        assert_eq!(eval_spec(&prog, &rep, hist.get(id)), Some(false));
+    }
+
+    #[test]
+    fn reversibility_rows_cover_all_action_shapes() {
+        for kind in crate::kind::ALL_KINDS {
+            let shapes = action_shapes(kind);
+            assert!(!shapes.is_empty());
+            let rows = derive_reversibility_disabling(kind);
+            // One row per distinct action kind.
+            let mut distinct = shapes.clone();
+            distinct.dedup();
+            let mut uniq = Vec::new();
+            for s in shapes {
+                if !uniq.contains(&s) {
+                    uniq.push(s);
+                }
+            }
+            assert_eq!(rows.len(), uniq.len(), "{kind}");
+            for r in rows {
+                assert!(!r.negated.is_empty());
+                assert!(!r.actions.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn dce_reversibility_row_matches_paper() {
+        // The paper's printed DCE reversibility row: original location
+        // undeterminable via Delete/Copy of the context.
+        let rows = derive_reversibility_disabling(XformKind::Dce);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].negated.contains("original location"));
+        let tags: Vec<_> = rows[0].actions.iter().map(|a| a.tag).collect();
+        assert!(tags.contains(&ActionTag::Del));
+        assert!(tags.contains(&ActionTag::Cp));
+    }
+
+    #[test]
+    fn render_table3_contains_all_kinds_and_dagger() {
+        let t = render_table3();
+        for k in crate::kind::ALL_KINDS {
+            assert!(t.contains(k.abbrev()), "{k} missing:\n{t}");
+        }
+        assert!(t.contains('†'), "edit-only actions marked");
+        assert!(t.contains("¬pre"));
+        assert!(t.contains("rev :"), "reversibility rows present");
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-statement definition/use summaries.
+//!
+//! Every analysis (reaching definitions, liveness, dependence testing, the
+//! transformation detectors) needs to know what a statement defines and uses.
+//! Arrays are handled at two precisions: a coarse whole-array summary here
+//! (sound for scalar dataflow), and subscript-precise access descriptors in
+//! [`crate::depend`] for dependence testing.
+
+use pivot_lang::{ExprKind, Program, StmtId, StmtKind, Sym};
+
+/// What a single statement defines and uses, at whole-variable granularity.
+#[derive(Clone, Debug, Default)]
+pub struct DefUse {
+    /// Scalars definitely defined (assign target, read target, loop variable).
+    pub def_scalars: Vec<Sym>,
+    /// Arrays possibly written (one element).
+    pub def_arrays: Vec<Sym>,
+    /// Scalars read.
+    pub use_scalars: Vec<Sym>,
+    /// Arrays read (some element).
+    pub use_arrays: Vec<Sym>,
+    /// True if the statement performs I/O (`read`/`write`), which pins its
+    /// relative order (legal transformations may not reorder I/O).
+    pub io: bool,
+}
+
+impl DefUse {
+    /// True if `sym` is in the definite scalar defs.
+    pub fn defines_scalar(&self, sym: Sym) -> bool {
+        self.def_scalars.contains(&sym)
+    }
+
+    /// True if `sym` is used as a scalar or read as an array.
+    pub fn uses(&self, sym: Sym) -> bool {
+        self.use_scalars.contains(&sym) || self.use_arrays.contains(&sym)
+    }
+
+    /// True if `sym` is defined (scalar or array element).
+    pub fn defines(&self, sym: Sym) -> bool {
+        self.def_scalars.contains(&sym) || self.def_arrays.contains(&sym)
+    }
+}
+
+fn collect_expr(prog: &Program, e: pivot_lang::ExprId, du: &mut DefUse) {
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match &prog.expr(e).kind {
+            ExprKind::Const(_) => {}
+            ExprKind::Var(v) => du.use_scalars.push(*v),
+            ExprKind::Index(a, subs) => {
+                du.use_arrays.push(*a);
+                stack.extend(subs.iter().copied());
+            }
+            ExprKind::Unary(_, a) => stack.push(*a),
+            ExprKind::Binary(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+        }
+    }
+}
+
+fn dedup(v: &mut Vec<Sym>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+/// Compute the def/use summary of one statement.
+///
+/// For compound statements (`do`, `if`) this covers only the **header**: the
+/// loop bounds/step and induction variable, or the branch condition — not the
+/// body. Body statements have their own summaries; analyses that need a
+/// subtree summary use [`subtree_def_use`].
+pub fn stmt_def_use(prog: &Program, id: StmtId) -> DefUse {
+    let mut du = DefUse::default();
+    match &prog.stmt(id).kind {
+        StmtKind::Assign { target, value } => {
+            collect_expr(prog, *value, &mut du);
+            for &s in &target.subs {
+                collect_expr(prog, s, &mut du);
+            }
+            if target.is_scalar() {
+                du.def_scalars.push(target.var);
+            } else {
+                du.def_arrays.push(target.var);
+            }
+        }
+        StmtKind::Read { target } => {
+            for &s in &target.subs {
+                collect_expr(prog, s, &mut du);
+            }
+            if target.is_scalar() {
+                du.def_scalars.push(target.var);
+            } else {
+                du.def_arrays.push(target.var);
+            }
+            du.io = true;
+        }
+        StmtKind::Write { value } => {
+            collect_expr(prog, *value, &mut du);
+            du.io = true;
+        }
+        StmtKind::DoLoop { var, lo, hi, step, .. } => {
+            collect_expr(prog, *lo, &mut du);
+            collect_expr(prog, *hi, &mut du);
+            if let Some(st) = step {
+                collect_expr(prog, *st, &mut du);
+            }
+            du.def_scalars.push(*var);
+        }
+        StmtKind::If { cond, .. } => {
+            collect_expr(prog, *cond, &mut du);
+        }
+    }
+    dedup(&mut du.def_scalars);
+    dedup(&mut du.def_arrays);
+    dedup(&mut du.use_scalars);
+    dedup(&mut du.use_arrays);
+    du
+}
+
+/// Def/use summary of a whole statement subtree (header plus all nested
+/// statements). Used for loop-invariance and region-level screening.
+pub fn subtree_def_use(prog: &Program, id: StmtId) -> DefUse {
+    let mut du = DefUse::default();
+    for s in prog.subtree(id) {
+        let one = stmt_def_use(prog, s);
+        du.def_scalars.extend(one.def_scalars);
+        du.def_arrays.extend(one.def_arrays);
+        du.use_scalars.extend(one.use_scalars);
+        du.use_arrays.extend(one.use_arrays);
+        du.io |= one.io;
+    }
+    dedup(&mut du.def_scalars);
+    dedup(&mut du.def_arrays);
+    dedup(&mut du.use_scalars);
+    dedup(&mut du.use_arrays);
+    du
+}
+
+/// True if the expression subtree contains a division or modulus (which can
+/// fault) — code containing one must not be deleted, duplicated onto new
+/// paths, or hoisted past a guard.
+pub fn expr_can_fault(prog: &Program, e: pivot_lang::ExprId) -> bool {
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match &prog.expr(e).kind {
+            ExprKind::Binary(op, a, b) => {
+                if matches!(op, pivot_lang::BinOp::Div | pivot_lang::BinOp::Mod) {
+                    return true;
+                }
+                stack.push(*a);
+                stack.push(*b);
+            }
+            ExprKind::Unary(_, a) => stack.push(*a),
+            ExprKind::Index(_, subs) => stack.extend(subs.iter().copied()),
+            _ => {}
+        }
+    }
+    false
+}
+
+/// True if any expression of the statement (header only) can fault.
+pub fn stmt_can_fault(prog: &Program, id: StmtId) -> bool {
+    prog.stmt_expr_roots(id).into_iter().any(|e| expr_can_fault(prog, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    fn prog_and_stmts(src: &str) -> (Program, Vec<StmtId>) {
+        let p = parse(src).unwrap();
+        let ss = p.attached_stmts();
+        (p, ss)
+    }
+
+    fn names(p: &Program, syms: &[Sym]) -> Vec<String> {
+        let mut v: Vec<String> = syms.iter().map(|&s| p.symbols.name(s).to_owned()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn assign_def_use() {
+        let (p, ss) = prog_and_stmts("x = a + b * x\n");
+        let du = stmt_def_use(&p, ss[0]);
+        assert_eq!(names(&p, &du.def_scalars), vec!["x"]);
+        assert_eq!(names(&p, &du.use_scalars), vec!["a", "b", "x"]);
+        assert!(!du.io);
+    }
+
+    #[test]
+    fn array_assign_def_use() {
+        let (p, ss) = prog_and_stmts("A(i + 1) = B(j) + c\n");
+        let du = stmt_def_use(&p, ss[0]);
+        assert_eq!(names(&p, &du.def_arrays), vec!["A"]);
+        assert_eq!(names(&p, &du.use_arrays), vec!["B"]);
+        assert_eq!(names(&p, &du.use_scalars), vec!["c", "i", "j"]);
+        assert!(du.def_scalars.is_empty());
+    }
+
+    #[test]
+    fn read_write_are_io() {
+        let (p, ss) = prog_and_stmts("read x\nwrite x + 1\n");
+        let r = stmt_def_use(&p, ss[0]);
+        assert!(r.io);
+        assert_eq!(names(&p, &r.def_scalars), vec!["x"]);
+        let w = stmt_def_use(&p, ss[1]);
+        assert!(w.io);
+        assert_eq!(names(&p, &w.use_scalars), vec!["x"]);
+        assert!(w.def_scalars.is_empty());
+    }
+
+    #[test]
+    fn loop_header_defines_induction_var() {
+        let (p, ss) = prog_and_stmts("do i = lo, hi, st\n  x = i\nenddo\n");
+        let du = stmt_def_use(&p, ss[0]);
+        assert_eq!(names(&p, &du.def_scalars), vec!["i"]);
+        assert_eq!(names(&p, &du.use_scalars), vec!["hi", "lo", "st"]);
+        // Header summary does not include the body.
+        assert!(!du.defines_scalar(p.symbols.get("x").unwrap()));
+    }
+
+    #[test]
+    fn subtree_summary_includes_body() {
+        let (p, ss) = prog_and_stmts("do i = 1, 9\n  x = A(i)\n  B(i) = x\nenddo\n");
+        let du = subtree_def_use(&p, ss[0]);
+        assert_eq!(names(&p, &du.def_scalars), vec!["i", "x"]);
+        assert_eq!(names(&p, &du.def_arrays), vec!["B"]);
+        assert_eq!(names(&p, &du.use_arrays), vec!["A"]);
+    }
+
+    #[test]
+    fn fault_detection() {
+        let (p, ss) = prog_and_stmts("x = a / b\ny = a + b\nz = A(i % 2)\n");
+        assert!(stmt_can_fault(&p, ss[0]));
+        assert!(!stmt_can_fault(&p, ss[1]));
+        assert!(stmt_can_fault(&p, ss[2]));
+    }
+
+    #[test]
+    fn if_header_uses_condition_only() {
+        let (p, ss) = prog_and_stmts("if (x > 0) then\n  y = 1\nendif\n");
+        let du = stmt_def_use(&p, ss[0]);
+        assert_eq!(names(&p, &du.use_scalars), vec!["x"]);
+        assert!(du.def_scalars.is_empty());
+    }
+}

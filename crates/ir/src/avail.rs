@@ -1,0 +1,289 @@
+//! Available expressions.
+//!
+//! Forward must-analysis over canonical expression keys. An expression is
+//! *available* at a point if it has been computed on every path from entry
+//! and none of its operands redefined since. Candidate discovery for global
+//! common subexpression elimination starts here.
+//!
+//! Canonical keys normalize commutative operands, so `E + F` and `F + E`
+//! share a fact.
+
+use crate::access::stmt_def_use;
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, Direction, Meet, Problem, Solution};
+use pivot_lang::{ExprId, ExprKind, Program, StmtId, Sym};
+use std::collections::HashMap;
+
+/// Canonical structural key of an expression.
+pub type ExprKey = String;
+
+/// Build the canonical key of an expression subtree. Commutative operator
+/// operands are ordered by key so `E + F` ≡ `F + E`.
+pub fn expr_key(prog: &Program, e: ExprId) -> ExprKey {
+    match &prog.expr(e).kind {
+        ExprKind::Const(c) => format!("{c}"),
+        ExprKind::Var(v) => prog.symbols.name(*v).to_owned(),
+        ExprKind::Index(a, subs) => {
+            let subs: Vec<_> = subs.iter().map(|&s| expr_key(prog, s)).collect();
+            format!("{}[{}]", prog.symbols.name(*a), subs.join(","))
+        }
+        ExprKind::Unary(op, a) => format!("({} {})", op.symbol(), expr_key(prog, a.to_owned())),
+        ExprKind::Binary(op, a, b) => {
+            let (mut ka, mut kb) = (expr_key(prog, *a), expr_key(prog, *b));
+            if op.is_commutative() && kb < ka {
+                std::mem::swap(&mut ka, &mut kb);
+            }
+            format!("({} {ka} {kb})", op.symbol())
+        }
+    }
+}
+
+/// Which symbols an expression depends on (operands, subscripts, arrays).
+fn expr_deps(prog: &Program, e: ExprId) -> Vec<Sym> {
+    let mut v = Vec::new();
+    prog.expr_uses(e, &mut v);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// A fact in the available-expression universe.
+#[derive(Clone, Debug)]
+pub struct AvailFact {
+    /// Canonical key.
+    pub key: ExprKey,
+    /// Symbols whose redefinition kills the fact.
+    pub deps: Vec<Sym>,
+    /// Representative occurrences `(stmt, expr)` in the program.
+    pub occurrences: Vec<(StmtId, ExprId)>,
+}
+
+/// Available-expressions analysis result.
+#[derive(Clone, Debug)]
+pub struct AvailExprs {
+    /// Fact table.
+    pub facts: Vec<AvailFact>,
+    /// Key → fact index.
+    pub index: HashMap<ExprKey, usize>,
+    /// Symbol → facts killed by a definition of it.
+    killed_by: HashMap<Sym, Vec<usize>>,
+    /// Block-level solution.
+    pub sol: Solution,
+}
+
+/// Is this expression a candidate fact? We track binary arithmetic
+/// expressions (the paper's `B op C` shape), excluding faulting operators so
+/// CSE never duplicates or removes a potential fault site, and excluding
+/// trivial operands-only expressions.
+fn is_candidate(prog: &Program, e: ExprId) -> bool {
+    match &prog.expr(e).kind {
+        ExprKind::Binary(op, ..) => {
+            op.is_arithmetic() && !matches!(op, pivot_lang::BinOp::Div | pivot_lang::BinOp::Mod)
+        }
+        _ => false,
+    }
+}
+
+/// Compute available expressions over the CFG.
+pub fn compute(prog: &Program, cfg: &Cfg) -> AvailExprs {
+    // Universe: all candidate expressions in attached statements.
+    let mut facts: Vec<AvailFact> = Vec::new();
+    let mut index: HashMap<ExprKey, usize> = HashMap::new();
+    for s in prog.attached_stmts() {
+        for e in prog.stmt_exprs(s) {
+            if is_candidate(prog, e) {
+                let key = expr_key(prog, e);
+                let f = *index.entry(key.clone()).or_insert_with(|| {
+                    facts.push(AvailFact {
+                        key,
+                        deps: expr_deps(prog, e),
+                        occurrences: Vec::new(),
+                    });
+                    facts.len() - 1
+                });
+                facts[f].occurrences.push((s, e));
+            }
+        }
+    }
+    let universe = facts.len();
+    // Dep → facts killed by a def of that symbol.
+    let mut killed_by: HashMap<Sym, Vec<usize>> = HashMap::new();
+    for (i, f) in facts.iter().enumerate() {
+        for &d in &f.deps {
+            killed_by.entry(d).or_default().push(i);
+        }
+    }
+
+    let n = cfg.len();
+    let mut gen: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+    let mut kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+    for b in cfg.ids() {
+        let g = &mut gen[b.index()];
+        let k = &mut kill[b.index()];
+        for &s in &cfg.block(b).stmts {
+            apply_stmt(prog, s, &facts, &index, &killed_by, g, k);
+        }
+    }
+    let prob = Problem {
+        direction: Direction::Forward,
+        meet: Meet::Intersect,
+        universe,
+        gen,
+        kill,
+        boundary: BitSet::new(universe),
+    };
+    let sol = solve(cfg, &prob);
+    AvailExprs { facts, index, killed_by, sol }
+}
+
+fn apply_stmt(
+    prog: &Program,
+    s: StmtId,
+    facts: &[AvailFact],
+    index: &HashMap<ExprKey, usize>,
+    killed_by: &HashMap<Sym, Vec<usize>>,
+    gen: &mut BitSet,
+    kill: &mut BitSet,
+) {
+    // Expressions evaluated by this statement become available...
+    for e in prog.stmt_exprs(s) {
+        if is_candidate(prog, e) {
+            if let Some(&f) = index.get(&expr_key(prog, e)) {
+                gen.insert(f);
+                kill.remove(f);
+            }
+        }
+    }
+    // ...then the statement's definitions kill dependent expressions.
+    let du = stmt_def_use(prog, s);
+    for sym in du.def_scalars.iter().chain(&du.def_arrays) {
+        if let Some(killed) = killed_by.get(sym) {
+            for &f in killed {
+                gen.remove(f);
+                kill.insert(f);
+            }
+        }
+    }
+    let _ = facts;
+}
+
+impl AvailExprs {
+    /// Facts available immediately **before** statement `s`.
+    pub fn avail_before(&self, prog: &Program, cfg: &Cfg, s: StmtId) -> BitSet {
+        let b = cfg.block_of(s).expect("statement must be in the CFG");
+        let universe = self.facts.len();
+        let mut cur = self.sol.ins[b.index()].clone();
+        let mut gen = BitSet::new(universe);
+        let mut kill = BitSet::new(universe);
+        for &t in &cfg.block(b).stmts {
+            if t == s {
+                break;
+            }
+            apply_stmt(prog, t, &self.facts, &self.index, &self.killed_by, &mut gen, &mut kill);
+        }
+        cur.subtract(&kill);
+        cur.union_with(&gen);
+        cur
+    }
+
+    /// Is the expression with canonical key `key` available before `s`?
+    pub fn is_avail_before(&self, prog: &Program, cfg: &Cfg, s: StmtId, key: &str) -> bool {
+        match self.index.get(key) {
+            Some(&f) => self.avail_before(prog, cfg, s).contains(f),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use pivot_lang::parser::parse;
+
+    fn setup(src: &str) -> (Program, Cfg, AvailExprs) {
+        let p = parse(src).unwrap();
+        let cfg = build(&p);
+        let av = compute(&p, &cfg);
+        (p, cfg, av)
+    }
+
+    #[test]
+    fn straight_line_availability() {
+        let (p, cfg, av) = setup("d = e + f\nr = e + f\n");
+        let ss = p.attached_stmts();
+        assert!(av.is_avail_before(&p, &cfg, ss[1], "(+ e f)"));
+        assert!(!av.is_avail_before(&p, &cfg, ss[0], "(+ e f)"));
+    }
+
+    #[test]
+    fn commutative_normalization() {
+        let (p, cfg, av) = setup("d = e + f\nr = f + e\n");
+        let ss = p.attached_stmts();
+        // Same canonical key for both orders.
+        assert!(av.is_avail_before(&p, &cfg, ss[1], "(+ e f)"));
+        assert_eq!(av.facts.len(), 1);
+        assert_eq!(av.facts[0].occurrences.len(), 2);
+    }
+
+    #[test]
+    fn redefinition_kills() {
+        let (p, cfg, av) = setup("d = e + f\ne = 1\nr = e + f\n");
+        let ss = p.attached_stmts();
+        assert!(!av.is_avail_before(&p, &cfg, ss[2], "(+ e f)"));
+    }
+
+    #[test]
+    fn must_hold_on_all_paths() {
+        let (p, cfg, av) = setup(
+            "read c\nif (c > 0) then\n  d = e + f\nendif\nr = e + f\n",
+        );
+        let ss = p.attached_stmts();
+        // Only computed on the then-path: not available at the join.
+        assert!(!av.is_avail_before(&p, &cfg, ss[3], "(+ e f)"));
+    }
+
+    #[test]
+    fn available_when_computed_on_both_paths() {
+        let (p, cfg, av) = setup(
+            "read c\nif (c > 0) then\n  d = e + f\nelse\n  g = e + f\nendif\nr = e + f\n",
+        );
+        let ss = p.attached_stmts();
+        assert!(av.is_avail_before(&p, &cfg, ss[4], "(+ e f)"));
+    }
+
+    #[test]
+    fn array_write_kills_expressions_over_array() {
+        let (p, cfg, av) = setup("d = A(i) + 1\nA(j) = 0\nr = A(i) + 1\n");
+        let ss = p.attached_stmts();
+        assert!(!av.is_avail_before(&p, &cfg, ss[2], "(+ 1 A[i])"));
+    }
+
+    #[test]
+    fn division_not_tracked() {
+        let (p, _cfg, av) = setup("d = e / f\nr = e / f\n");
+        assert!(av.facts.is_empty());
+        let _ = p;
+    }
+
+    #[test]
+    fn loop_invariant_expression_available_in_body_after_predef() {
+        let (p, cfg, av) = setup("d = e + f\ndo i = 1, 5\n  r = e + f\nenddo\n");
+        let ss = p.attached_stmts();
+        assert!(av.is_avail_before(&p, &cfg, ss[2], "(+ e f)"));
+    }
+
+    #[test]
+    fn expr_key_shapes() {
+        let p = parse("x = a + b * c\ny = R(i, j) - 1\n").unwrap();
+        let ss = p.attached_stmts();
+        let rhs = |s| match p.stmt(s).kind {
+            pivot_lang::StmtKind::Assign { value, .. } => value,
+            _ => unreachable!(),
+        };
+        // Commutative operands sort by key text: '(' < 'a'.
+        assert_eq!(expr_key(&p, rhs(ss[0])), "(+ (* b c) a)");
+        assert_eq!(expr_key(&p, rhs(ss[1])), "(- R[i,j] 1)");
+    }
+}

@@ -1,0 +1,224 @@
+//! Dense bitset used by the dataflow framework.
+//!
+//! Word-packed, allocation-light, with the bulk operations dataflow needs
+//! (`union_with`, `intersect_with`, `subtract`) returning whether the set
+//! changed — the termination test of the iterative solver.
+
+/// A fixed-universe dense bitset.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Set bit `i`. Returns true if it was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old != self.words[w]
+    }
+
+    /// Clear bit `i`. Returns true if it was previously set.
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] &= !(1 << b);
+        old != self.words[w]
+    }
+
+    /// Test bit `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Set all bits (universal set).
+    pub fn fill(&mut self) {
+        self.words.fill(!0);
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// `self |= other`. Returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= old != *a;
+        }
+        changed
+    }
+
+    /// `self &= other`. Returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a &= b;
+            changed |= old != *a;
+        }
+        changed
+    }
+
+    /// `self -= other` (clear every bit set in `other`).
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Copy `other` into `self`.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over set bit indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Build from indices; the universe is sized to the maximum index + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(129));
+        assert!(!s.remove(129));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        b.insert(5);
+        b.insert(99);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn intersect_and_subtract() {
+        let mut a: BitSet = [1, 2, 3, 70].into_iter().collect();
+        let mut b = BitSet::new(a.universe());
+        b.insert(2);
+        b.insert(70);
+        assert!(a.intersect_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 70]);
+        a.subtract(&b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn fill_respects_universe() {
+        let mut s = BitSet::new(67);
+        s.fill();
+        assert_eq!(s.count(), 67);
+        assert!(s.contains(66));
+    }
+
+    #[test]
+    fn fill_multiple_of_64() {
+        let mut s = BitSet::new(128);
+        s.fill();
+        assert_eq!(s.count(), 128);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: BitSet = [64, 0, 7, 128].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 7, 64, 128]);
+    }
+
+    #[test]
+    fn copy_from() {
+        let a: BitSet = [1, 5].into_iter().collect();
+        let mut b = BitSet::new(a.universe());
+        b.insert(3);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let mut s = BitSet::new(0);
+        s.fill();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Control flow graph construction from the structured AST.
+//!
+//! Every `do` header and `if` condition gets its own block; maximal runs of
+//! simple statements form basic blocks. The CFG is the substrate for the
+//! low-level analyses (reaching definitions, liveness, dominators) and for
+//! control-dependence computation in the PDG (the paper's high-level
+//! representation).
+
+use pivot_lang::{Program, StmtId, StmtKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a CFG basic block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Role of a block, used by the PDG construction and for debugging dumps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockKind {
+    /// Unique entry block (empty).
+    Entry,
+    /// Unique exit block (empty).
+    Exit,
+    /// Plain run of simple statements.
+    Body,
+    /// `do` loop header; holds exactly the loop statement. Has two
+    /// successors: the loop body (taken while iterating) and the loop exit.
+    LoopHeader(StmtId),
+    /// `if` condition; holds exactly the if statement. Successors are the
+    /// then-entry and else-entry (or join when a branch is empty).
+    IfCond(StmtId),
+    /// Empty join/latch block introduced by lowering.
+    Join,
+}
+
+/// A basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Block role.
+    pub kind: BlockKind,
+    /// Statements executed in this block, in order. For header blocks this
+    /// is the single compound statement (its header effects only).
+    pub stmts: Vec<StmtId>,
+    /// Successor edges.
+    pub succs: Vec<BlockId>,
+    /// Predecessor edges.
+    pub preds: Vec<BlockId>,
+}
+
+/// Control flow graph of a program (or a subtree).
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// Entry block (no predecessors).
+    pub entry: BlockId,
+    /// Exit block (no successors).
+    pub exit: BlockId,
+    /// Map from statement to its containing block.
+    pub stmt_block: HashMap<StmtId, BlockId>,
+}
+
+impl Cfg {
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the graph has no blocks (never happens after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Borrow a block.
+    #[inline]
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// All block ids.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Block containing a statement.
+    pub fn block_of(&self, s: StmtId) -> Option<BlockId> {
+        self.stmt_block.get(&s).copied()
+    }
+
+    /// Reverse postorder from the entry (forward analyses iterate in this
+    /// order for fast convergence).
+    pub fn rpo(&self) -> Vec<BlockId> {
+        let mut order = self.postorder();
+        order.reverse();
+        order
+    }
+
+    /// Postorder from the entry.
+    pub fn postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut out = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit phase marker.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &self.blocks[b.index()].succs;
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                out.push(b);
+                stack.pop();
+            }
+        }
+        out
+    }
+
+    /// Human-readable dump (tests, examples).
+    pub fn dump(&self, prog: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for b in self.ids() {
+            let blk = self.block(b);
+            let _ = write!(s, "{b} {:?}", blk.kind);
+            if !blk.stmts.is_empty() {
+                let labels: Vec<String> =
+                    blk.stmts.iter().map(|&st| prog.stmt(st).label.to_string()).collect();
+                let _ = write!(s, " [{}]", labels.join(","));
+            }
+            let succs: Vec<String> = blk.succs.iter().map(|x| x.to_string()).collect();
+            let _ = writeln!(s, " -> {}", succs.join(","));
+        }
+        s
+    }
+}
+
+struct Builder<'p> {
+    prog: &'p Program,
+    blocks: Vec<Block>,
+    stmt_block: HashMap<StmtId, BlockId>,
+}
+
+impl<'p> Builder<'p> {
+    fn new_block(&mut self, kind: BlockKind) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { kind, stmts: Vec::new(), succs: Vec::new(), preds: Vec::new() });
+        id
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        self.blocks[from.index()].succs.push(to);
+        self.blocks[to.index()].preds.push(from);
+    }
+
+    /// Lower a statement list starting in `cur`; returns the block control
+    /// falls out of.
+    fn lower_block(&mut self, stmts: &[StmtId], mut cur: BlockId) -> BlockId {
+        for &s in stmts {
+            cur = self.lower_stmt(s, cur);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, s: StmtId, cur: BlockId) -> BlockId {
+        match &self.prog.stmt(s).kind {
+            StmtKind::Assign { .. } | StmtKind::Read { .. } | StmtKind::Write { .. } => {
+                // Append to the current block if it is a plain body block;
+                // otherwise start a new one.
+                let target = if matches!(self.blocks[cur.index()].kind, BlockKind::Body) {
+                    cur
+                } else {
+                    let b = self.new_block(BlockKind::Body);
+                    self.edge(cur, b);
+                    b
+                };
+                self.blocks[target.index()].stmts.push(s);
+                self.stmt_block.insert(s, target);
+                target
+            }
+            StmtKind::DoLoop { body, .. } => {
+                let body = body.clone();
+                let header = self.new_block(BlockKind::LoopHeader(s));
+                self.blocks[header.index()].stmts.push(s);
+                self.stmt_block.insert(s, header);
+                self.edge(cur, header);
+                let body_entry = self.new_block(BlockKind::Join);
+                self.edge(header, body_entry);
+                let body_end = self.lower_block(&body, body_entry);
+                // Latch back to the header.
+                self.edge(body_end, header);
+                let after = self.new_block(BlockKind::Join);
+                self.edge(header, after);
+                after
+            }
+            StmtKind::If { then_body, else_body, .. } => {
+                let (then_body, else_body) = (then_body.clone(), else_body.clone());
+                let cond = self.new_block(BlockKind::IfCond(s));
+                self.blocks[cond.index()].stmts.push(s);
+                self.stmt_block.insert(s, cond);
+                self.edge(cur, cond);
+                let join = self.new_block(BlockKind::Join);
+                let then_entry = self.new_block(BlockKind::Join);
+                self.edge(cond, then_entry);
+                let then_end = self.lower_block(&then_body, then_entry);
+                self.edge(then_end, join);
+                let else_entry = self.new_block(BlockKind::Join);
+                self.edge(cond, else_entry);
+                let else_end = self.lower_block(&else_body, else_entry);
+                self.edge(else_end, join);
+                join
+            }
+        }
+    }
+}
+
+/// Build the CFG of the whole (live) program.
+pub fn build(prog: &Program) -> Cfg {
+    let mut b = Builder { prog, blocks: Vec::new(), stmt_block: HashMap::new() };
+    let entry = b.new_block(BlockKind::Entry);
+    let last = b.lower_block(&prog.body.clone(), entry);
+    let exit = b.new_block(BlockKind::Exit);
+    b.edge(last, exit);
+    Cfg { blocks: b.blocks, entry, exit, stmt_block: b.stmt_block }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    #[test]
+    fn straight_line_single_body_block() {
+        let p = parse("a = 1\nb = 2\nc = 3\n").unwrap();
+        let cfg = build(&p);
+        // entry -> body -> exit
+        assert_eq!(cfg.len(), 3);
+        let body = cfg.block(BlockId(1));
+        assert_eq!(body.stmts.len(), 3);
+        assert_eq!(cfg.block(cfg.entry).preds.len(), 0);
+        assert_eq!(cfg.block(cfg.exit).succs.len(), 0);
+    }
+
+    #[test]
+    fn loop_shape() {
+        let p = parse("do i = 1, 5\n  x = i\nenddo\ny = 1\n").unwrap();
+        let cfg = build(&p);
+        let lp = p.body[0];
+        let header = cfg.block_of(lp).unwrap();
+        assert!(matches!(cfg.block(header).kind, BlockKind::LoopHeader(s) if s == lp));
+        // Header has two successors (body entry, after) and two preds
+        // (entry-side, latch).
+        assert_eq!(cfg.block(header).succs.len(), 2);
+        assert_eq!(cfg.block(header).preds.len(), 2);
+        // All blocks reachable; exit reachable.
+        let rpo = cfg.rpo();
+        assert_eq!(rpo.len(), cfg.len());
+        assert_eq!(rpo[0], cfg.entry);
+    }
+
+    #[test]
+    fn if_shape_with_else() {
+        let p = parse("read x\nif (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\nwrite y\n").unwrap();
+        let cfg = build(&p);
+        let iff = p.body[1];
+        let cond = cfg.block_of(iff).unwrap();
+        assert!(matches!(cfg.block(cond).kind, BlockKind::IfCond(_)));
+        assert_eq!(cfg.block(cond).succs.len(), 2);
+        // Both branch statements are in different blocks.
+        let stmts = p.attached_stmts();
+        let y1 = stmts[2];
+        let y2 = stmts[3];
+        assert_ne!(cfg.block_of(y1), cfg.block_of(y2));
+    }
+
+    #[test]
+    fn empty_else_still_two_way() {
+        let p = parse("if (x > 0) then\n  y = 1\nendif\n").unwrap();
+        let cfg = build(&p);
+        let iff = p.body[0];
+        let cond = cfg.block_of(iff).unwrap();
+        assert_eq!(cfg.block(cond).succs.len(), 2);
+        let rpo = cfg.rpo();
+        assert_eq!(rpo.len(), cfg.len());
+    }
+
+    #[test]
+    fn nested_loops_all_reachable() {
+        let p = parse("do i = 1, 5\n  do j = 1, 5\n    A(i, j) = 0\n  enddo\nenddo\n").unwrap();
+        let cfg = build(&p);
+        assert_eq!(cfg.postorder().len(), cfg.len());
+        // Every attached statement is mapped to a block.
+        for s in p.attached_stmts() {
+            assert!(cfg.block_of(s).is_some(), "unmapped stmt {s}");
+        }
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let p = parse("do i = 1, 3\n  if (i > 1) then\n    x = i\n  endif\nenddo\n").unwrap();
+        let cfg = build(&p);
+        for b in cfg.ids() {
+            for &s in &cfg.block(b).succs {
+                assert!(cfg.block(s).preds.contains(&b));
+            }
+            for &pd in &cfg.block(b).preds {
+                assert!(cfg.block(pd).succs.contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn dump_is_parseable_text() {
+        let p = parse("a = 1\n").unwrap();
+        let cfg = build(&p);
+        let d = cfg.dump(&p);
+        assert!(d.contains("Entry"));
+        assert!(d.contains("Exit"));
+    }
+}

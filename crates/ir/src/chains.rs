@@ -1,0 +1,174 @@
+//! Def-use and use-def chains.
+//!
+//! Built on reaching definitions: for every use `(stmt, sym)` the set of
+//! definitions that may reach it, and the inverse map. The paper's legality
+//! rule — "a legal optimization … cannot interfere or sever definition-use
+//! chains" — is enforced by the transformation layer using exactly these
+//! chains.
+
+use crate::access::stmt_def_use;
+use crate::cfg::Cfg;
+use crate::reaching::ReachingDefs;
+use pivot_lang::{Program, StmtId, Sym};
+use std::collections::HashMap;
+
+/// Def-use / use-def chains.
+#[derive(Clone, Debug, Default)]
+pub struct Chains {
+    /// For each use site `(stmt, sym)`: the definitions possibly supplying it.
+    pub ud: HashMap<(StmtId, Sym), Vec<StmtId>>,
+    /// For each def site `(stmt, sym)`: the uses it possibly supplies.
+    pub du: HashMap<(StmtId, Sym), Vec<StmtId>>,
+}
+
+/// Compute chains for the whole live program. Each block is walked once,
+/// threading the reaching set through its statements.
+pub fn compute(prog: &Program, cfg: &Cfg, rd: &ReachingDefs) -> Chains {
+    let mut chains = Chains::default();
+    for b in cfg.ids() {
+        let mut reach = rd.sol.ins[b.index()].clone();
+        for &s in &cfg.block(b).stmts {
+            let du = stmt_def_use(prog, s);
+            // Record uses against current reaching defs.
+            for &sym in du.use_scalars.iter().chain(&du.use_arrays) {
+                if let Some(facts) = rd.by_sym.get(&sym) {
+                    for &f in facts {
+                        if reach.contains(f) {
+                            let d = rd.sites[f].stmt;
+                            chains.ud.entry((s, sym)).or_default().push(d);
+                            chains.du.entry((d, sym)).or_default().push(s);
+                        }
+                    }
+                }
+            }
+            // Apply the statement's transfer.
+            for sym in du.def_scalars {
+                if let Some(facts) = rd.by_sym.get(&sym) {
+                    for &f in facts {
+                        if rd.sites[f].stmt != s {
+                            reach.remove(f);
+                        }
+                    }
+                }
+                if let Some(&f) = rd.site_index.get(&(s, sym)) {
+                    reach.insert(f);
+                }
+            }
+            for sym in du.def_arrays {
+                if let Some(&f) = rd.site_index.get(&(s, sym)) {
+                    reach.insert(f);
+                }
+            }
+        }
+    }
+    for v in chains.ud.values_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+    for v in chains.du.values_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+    chains
+}
+
+impl Chains {
+    /// The unique definition reaching use `(stmt, sym)`, if exactly one.
+    pub fn sole_def(&self, stmt: StmtId, sym: Sym) -> Option<StmtId> {
+        match self.ud.get(&(stmt, sym)).map(Vec::as_slice) {
+            Some([d]) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// All uses supplied by the definition of `sym` at `stmt`.
+    pub fn uses_of(&self, stmt: StmtId, sym: Sym) -> &[StmtId] {
+        self.du.get(&(stmt, sym)).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use crate::reaching;
+    use pivot_lang::parser::parse;
+
+    fn setup(src: &str) -> (Program, Chains) {
+        let p = parse(src).unwrap();
+        let cfg = build(&p);
+        let rd = reaching::compute(&p, &cfg);
+        let ch = compute(&p, &cfg, &rd);
+        (p, ch)
+    }
+
+    #[test]
+    fn simple_chain() {
+        let (p, ch) = setup("x = 1\ny = x + x\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        assert_eq!(ch.sole_def(ss[1], x), Some(ss[0]));
+        assert_eq!(ch.uses_of(ss[0], x), &[ss[1]]);
+    }
+
+    #[test]
+    fn two_defs_no_sole_def() {
+        let (p, ch) = setup("read c\nif (c > 0) then\n  x = 1\nelse\n  x = 2\nendif\ny = x\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        assert_eq!(ch.sole_def(ss[4], x), None);
+        let mut defs = ch.ud.get(&(ss[4], x)).cloned().unwrap();
+        defs.sort();
+        assert_eq!(defs, vec![ss[2], ss[3]]);
+    }
+
+    #[test]
+    fn dead_def_has_no_uses() {
+        let (p, ch) = setup("x = 1\nx = 2\nwrite x\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        assert!(ch.uses_of(ss[0], x).is_empty());
+        assert_eq!(ch.uses_of(ss[1], x), &[ss[2]]);
+    }
+
+    #[test]
+    fn loop_carried_chain() {
+        let (p, ch) = setup("s = 0\ndo i = 1, 5\n  s = s + i\nenddo\nwrite s\n");
+        let ss = p.attached_stmts();
+        let s_sym = p.symbols.get("s").unwrap();
+        // The accumulation both uses the init def and its own previous value.
+        let mut defs = ch.ud.get(&(ss[2], s_sym)).cloned().unwrap();
+        defs.sort();
+        assert_eq!(defs, vec![ss[0], ss[2]]);
+        // The write sees both defs too.
+        let mut defs = ch.ud.get(&(ss[3], s_sym)).cloned().unwrap();
+        defs.sort();
+        assert_eq!(defs, vec![ss[0], ss[2]]);
+    }
+
+    #[test]
+    fn induction_variable_chain() {
+        let (p, ch) = setup("do i = 1, 5\n  x = i\nenddo\n");
+        let ss = p.attached_stmts();
+        let i = p.symbols.get("i").unwrap();
+        assert_eq!(ch.sole_def(ss[1], i), Some(ss[0]));
+    }
+
+    #[test]
+    fn array_use_links_all_may_defs() {
+        let (p, ch) = setup("A(1) = 1\nA(2) = 2\nwrite A(1)\n");
+        let ss = p.attached_stmts();
+        let a = p.symbols.get("A").unwrap();
+        let mut defs = ch.ud.get(&(ss[2], a)).cloned().unwrap();
+        defs.sort();
+        assert_eq!(defs, vec![ss[0], ss[1]]);
+    }
+
+    #[test]
+    fn subscript_use_in_lvalue() {
+        let (p, ch) = setup("i = 3\nA(i) = 7\n");
+        let ss = p.attached_stmts();
+        let i = p.symbols.get("i").unwrap();
+        assert_eq!(ch.sole_def(ss[1], i), Some(ss[0]));
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-basic-block DAG with value numbering — the paper's low-level
+//! representation (the "ADAG" once history annotations are attached).
+//!
+//! A dag for an expression represents the data dependences in the
+//! expression; statements of a block are folded into one DAG showing how the
+//! value computed at one statement is used by subsequent statements
+//! (Section 3 of the paper). Value numbering shares structurally identical
+//! computations, so locally common subexpressions appear as node reuse.
+
+use pivot_lang::{BinOp, ExprId, ExprKind, Program, StmtId, StmtKind, Sym, UnOp};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// DAG node identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DagId(pub u32);
+
+impl DagId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// DAG node payload.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DagNode {
+    /// Constant leaf.
+    Const(i64),
+    /// Initial (block-entry) value of a scalar.
+    Initial(Sym),
+    /// Initial value of an array element; the version number distinguishes
+    /// reads separated by stores to the array.
+    ArrayRead(Sym, Vec<DagId>, u32),
+    /// Unary operation.
+    Unary(UnOp, DagId),
+    /// Binary operation (commutative operands normalized).
+    Binary(BinOp, DagId, DagId),
+}
+
+/// A value-numbered DAG for one basic block.
+#[derive(Clone, Debug, Default)]
+pub struct BlockDag {
+    /// Nodes in creation order.
+    pub nodes: Vec<DagNode>,
+    /// Value-number table.
+    table: HashMap<DagNode, DagId>,
+    /// Current binding of each scalar.
+    bindings: HashMap<Sym, DagId>,
+    /// Current version of each array (bumped by stores).
+    array_version: HashMap<Sym, u32>,
+    /// Node computed by each assignment statement.
+    pub stmt_value: HashMap<StmtId, DagId>,
+    /// How many times each node was *requested* (shared nodes ⇒ local CSE).
+    pub hits: Vec<u32>,
+}
+
+impl BlockDag {
+    fn intern(&mut self, node: DagNode) -> DagId {
+        if let Some(&id) = self.table.get(&node) {
+            self.hits[id.index()] += 1;
+            return id;
+        }
+        let id = DagId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.hits.push(1);
+        self.table.insert(node, id);
+        id
+    }
+
+    fn eval(&mut self, prog: &Program, e: ExprId) -> DagId {
+        match prog.expr(e).kind.clone() {
+            ExprKind::Const(c) => self.intern(DagNode::Const(c)),
+            ExprKind::Var(v) => match self.bindings.get(&v) {
+                Some(&id) => {
+                    self.hits[id.index()] += 1;
+                    id
+                }
+                None => self.intern(DagNode::Initial(v)),
+            },
+            ExprKind::Index(a, subs) => {
+                let subs: Vec<DagId> = subs.iter().map(|&s| self.eval(prog, s)).collect();
+                let ver = *self.array_version.get(&a).unwrap_or(&0);
+                self.intern(DagNode::ArrayRead(a, subs, ver))
+            }
+            ExprKind::Unary(op, a) => {
+                let a = self.eval(prog, a);
+                self.intern(DagNode::Unary(op, a))
+            }
+            ExprKind::Binary(op, a, b) => {
+                let mut a = self.eval(prog, a);
+                let mut b = self.eval(prog, b);
+                if op.is_commutative() && b < a {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                self.intern(DagNode::Binary(op, a, b))
+            }
+        }
+    }
+
+    /// Nodes whose value was requested more than once — locally common
+    /// subexpressions (excluding trivial leaves).
+    pub fn shared_ops(&self) -> Vec<DagId> {
+        (0..self.nodes.len() as u32)
+            .map(DagId)
+            .filter(|&id| {
+                self.hits[id.index()] > 1
+                    && matches!(self.nodes[id.index()], DagNode::Binary(..) | DagNode::Unary(..))
+            })
+            .collect()
+    }
+
+    /// Render for debugging/examples.
+    pub fn dump(&self, prog: &Program) -> String {
+        let mut s = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = write!(s, "n{i}: ");
+            match n {
+                DagNode::Const(c) => {
+                    let _ = write!(s, "const {c}");
+                }
+                DagNode::Initial(v) => {
+                    let _ = write!(s, "init {}", prog.symbols.name(*v));
+                }
+                DagNode::ArrayRead(a, subs, ver) => {
+                    let subs: Vec<String> = subs.iter().map(|d| format!("n{}", d.0)).collect();
+                    let _ = write!(s, "{}[{}]@v{}", prog.symbols.name(*a), subs.join(","), ver);
+                }
+                DagNode::Unary(op, a) => {
+                    let _ = write!(s, "{} n{}", op.symbol(), a.0);
+                }
+                DagNode::Binary(op, a, b) => {
+                    let _ = write!(s, "n{} {} n{}", a.0, op.symbol(), b.0);
+                }
+            }
+            if self.hits[i] > 1 {
+                let _ = write!(s, "  (x{})", self.hits[i]);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Build the DAG of a statement sequence (normally one basic block's simple
+/// statements). `read`/`write` participate as uses/defs of their operands.
+pub fn build(prog: &Program, stmts: &[StmtId]) -> BlockDag {
+    let mut dag = BlockDag::default();
+    for &s in stmts {
+        match &prog.stmt(s).kind {
+            StmtKind::Assign { target, value } => {
+                let v = dag.eval(prog, *value);
+                dag.stmt_value.insert(s, v);
+                if target.is_scalar() {
+                    dag.bindings.insert(target.var, v);
+                } else {
+                    for &sub in &target.subs {
+                        dag.eval(prog, sub);
+                    }
+                    *dag.array_version.entry(target.var).or_insert(0) += 1;
+                }
+            }
+            StmtKind::Read { target } => {
+                // A read produces an unknown value: model as a fresh initial
+                // leaf distinguished by the statement.
+                let fresh = DagId(dag.nodes.len() as u32);
+                dag.nodes.push(DagNode::Initial(target.var));
+                dag.hits.push(1);
+                dag.stmt_value.insert(s, fresh);
+                if target.is_scalar() {
+                    dag.bindings.insert(target.var, fresh);
+                } else {
+                    *dag.array_version.entry(target.var).or_insert(0) += 1;
+                }
+            }
+            StmtKind::Write { value } => {
+                let v = dag.eval(prog, *value);
+                dag.stmt_value.insert(s, v);
+            }
+            // Compound statements do not appear inside a basic block.
+            StmtKind::DoLoop { .. } | StmtKind::If { .. } => {}
+        }
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    fn stmts(p: &Program) -> Vec<StmtId> {
+        p.attached_stmts()
+    }
+
+    #[test]
+    fn shares_common_subexpression() {
+        let p = parse("d = e + f\nr = e + f\n").unwrap();
+        let ss = stmts(&p);
+        let dag = build(&p, &ss);
+        assert_eq!(dag.stmt_value[&ss[0]], dag.stmt_value[&ss[1]]);
+        assert_eq!(dag.shared_ops().len(), 1);
+    }
+
+    #[test]
+    fn commutative_sharing() {
+        let p = parse("d = e + f\nr = f + e\n").unwrap();
+        let ss = stmts(&p);
+        let dag = build(&p, &ss);
+        assert_eq!(dag.stmt_value[&ss[0]], dag.stmt_value[&ss[1]]);
+    }
+
+    #[test]
+    fn redefinition_breaks_sharing() {
+        let p = parse("d = e + f\ne = 1\nr = e + f\n").unwrap();
+        let ss = stmts(&p);
+        let dag = build(&p, &ss);
+        assert_ne!(dag.stmt_value[&ss[0]], dag.stmt_value[&ss[2]]);
+    }
+
+    #[test]
+    fn copy_tracks_binding() {
+        let p = parse("x = e\ny = x + 1\nz = e + 1\n").unwrap();
+        let ss = stmts(&p);
+        let dag = build(&p, &ss);
+        // x is bound to init(e), so x+1 and e+1 share a node.
+        assert_eq!(dag.stmt_value[&ss[1]], dag.stmt_value[&ss[2]]);
+    }
+
+    #[test]
+    fn array_store_invalidates_reads() {
+        let p = parse("x = A(i)\nA(j) = 0\ny = A(i)\n").unwrap();
+        let ss = stmts(&p);
+        let dag = build(&p, &ss);
+        assert_ne!(dag.stmt_value[&ss[0]], dag.stmt_value[&ss[2]]);
+    }
+
+    #[test]
+    fn array_reads_share_when_no_store() {
+        let p = parse("x = A(i)\ny = A(i)\n").unwrap();
+        let ss = stmts(&p);
+        let dag = build(&p, &ss);
+        assert_eq!(dag.stmt_value[&ss[0]], dag.stmt_value[&ss[1]]);
+    }
+
+    #[test]
+    fn read_produces_unknown() {
+        let p = parse("read x\ny = x\nread x\nz = x\n").unwrap();
+        let ss = stmts(&p);
+        let dag = build(&p, &ss);
+        assert_ne!(dag.stmt_value[&ss[1]], dag.stmt_value[&ss[3]]);
+    }
+
+    #[test]
+    fn dump_mentions_sharing() {
+        let p = parse("d = e + f\nr = e + f\n").unwrap();
+        let ss = stmts(&p);
+        let dag = build(&p, &ss);
+        let d = dag.dump(&p);
+        assert!(d.contains("(x"), "expected share marker in:\n{d}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Generic iterative bit-vector dataflow framework.
+//!
+//! Forward or backward, may (union) or must (intersection) problems over
+//! per-block `gen`/`kill` sets. Blocks are iterated in (reverse) postorder
+//! with a worklist, the standard fast-converging scheme.
+
+use crate::bitset::BitSet;
+use crate::cfg::{BlockId, Cfg};
+
+/// Direction of propagation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Information flows along edges (e.g. reaching definitions).
+    Forward,
+    /// Information flows against edges (e.g. liveness).
+    Backward,
+}
+
+/// Meet operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Meet {
+    /// Union — "may" problems.
+    Union,
+    /// Intersection — "must" problems (e.g. available expressions).
+    Intersect,
+}
+
+/// A dataflow problem: universe size, per-block transfer sets, boundary
+/// condition.
+pub struct Problem {
+    /// Propagation direction.
+    pub direction: Direction,
+    /// Meet operator.
+    pub meet: Meet,
+    /// Universe size (number of facts).
+    pub universe: usize,
+    /// Per-block generated facts.
+    pub gen: Vec<BitSet>,
+    /// Per-block killed facts.
+    pub kill: Vec<BitSet>,
+    /// Value at the boundary (IN of entry for forward, OUT of exit for
+    /// backward).
+    pub boundary: BitSet,
+}
+
+/// Solution: IN and OUT per block.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Facts at block entry.
+    pub ins: Vec<BitSet>,
+    /// Facts at block exit.
+    pub outs: Vec<BitSet>,
+}
+
+/// Solve the problem over `cfg` to a fixed point.
+pub fn solve(cfg: &Cfg, p: &Problem) -> Solution {
+    let n = cfg.len();
+    assert_eq!(p.gen.len(), n, "gen sets must cover all blocks");
+    assert_eq!(p.kill.len(), n, "kill sets must cover all blocks");
+    let init = |is_boundary: bool| -> BitSet {
+        if is_boundary {
+            p.boundary.clone()
+        } else {
+            match p.meet {
+                Meet::Union => BitSet::new(p.universe),
+                Meet::Intersect => {
+                    let mut s = BitSet::new(p.universe);
+                    s.fill();
+                    s
+                }
+            }
+        }
+    };
+
+    let (order, boundary_block) = match p.direction {
+        Direction::Forward => (cfg.rpo(), cfg.entry),
+        Direction::Backward => {
+            let mut o = cfg.rpo();
+            o.reverse();
+            (o, cfg.exit)
+        }
+    };
+
+    let mut ins: Vec<BitSet> = (0..n).map(|_| BitSet::new(p.universe)).collect();
+    let mut outs: Vec<BitSet> = (0..n).map(|_| BitSet::new(p.universe)).collect();
+    // Initialize the meet input side.
+    for b in cfg.ids() {
+        let v = init(b == boundary_block);
+        match p.direction {
+            Direction::Forward => ins[b.index()] = v,
+            Direction::Backward => outs[b.index()] = v,
+        }
+    }
+
+    let mut changed = true;
+    let mut tmp = BitSet::new(p.universe);
+    while changed {
+        changed = false;
+        for &b in &order {
+            let bi = b.index();
+            // Meet over inputs.
+            if b != boundary_block {
+                let inputs: &[BlockId] = match p.direction {
+                    Direction::Forward => &cfg.block(b).preds,
+                    Direction::Backward => &cfg.block(b).succs,
+                };
+                if !inputs.is_empty() {
+                    let first = inputs[0].index();
+                    match p.direction {
+                        Direction::Forward => tmp.copy_from(&outs[first]),
+                        Direction::Backward => tmp.copy_from(&ins[first]),
+                    }
+                    for &q in &inputs[1..] {
+                        let other = match p.direction {
+                            Direction::Forward => &outs[q.index()],
+                            Direction::Backward => &ins[q.index()],
+                        };
+                        match p.meet {
+                            Meet::Union => {
+                                tmp.union_with(other);
+                            }
+                            Meet::Intersect => {
+                                tmp.intersect_with(other);
+                            }
+                        }
+                    }
+                    let dst = match p.direction {
+                        Direction::Forward => &mut ins[bi],
+                        Direction::Backward => &mut outs[bi],
+                    };
+                    if *dst != tmp {
+                        dst.copy_from(&tmp);
+                        changed = true;
+                    }
+                }
+            }
+            // Transfer: OUT = gen ∪ (IN − kill)   (or IN for backward).
+            let (src, dst) = match p.direction {
+                Direction::Forward => (&ins[bi], &mut outs[bi]),
+                Direction::Backward => (&outs[bi], &mut ins[bi]),
+            };
+            tmp.copy_from(src);
+            tmp.subtract(&p.kill[bi]);
+            tmp.union_with(&p.gen[bi]);
+            if *dst != tmp {
+                dst.copy_from(&tmp);
+                changed = true;
+            }
+        }
+    }
+    Solution { ins, outs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use pivot_lang::parser::parse;
+
+    /// A tiny hand-rolled "constant reachability" forward-may problem: fact k
+    /// generated in the block containing statement labelled k+1.
+    #[test]
+    fn forward_may_propagates_through_loop() {
+        let p = parse("a = 1\ndo i = 1, 3\n  b = 2\nenddo\nc = 3\n").unwrap();
+        let cfg = build(&p);
+        let n = cfg.len();
+        let stmts = p.attached_stmts();
+        let universe = stmts.len();
+        let mut gen: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+        let kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+        for (k, &s) in stmts.iter().enumerate() {
+            if let Some(b) = cfg.block_of(s) {
+                gen[b.index()].insert(k);
+            }
+        }
+        let prob = Problem {
+            direction: Direction::Forward,
+            meet: Meet::Union,
+            universe,
+            gen,
+            kill,
+            boundary: BitSet::new(universe),
+        };
+        let sol = solve(&cfg, &prob);
+        // At exit, every fact has been generated on some path.
+        let exit_in = &sol.ins[cfg.exit.index()];
+        assert_eq!(exit_in.count(), universe);
+        // Fact for `c = 3` (index 3) must NOT reach the loop body.
+        let body_b = cfg.block_of(stmts[2]).unwrap();
+        assert!(!sol.ins[body_b.index()].contains(3));
+        // Fact for `b = 2` reaches the loop header via the latch.
+        let header_b = cfg.block_of(stmts[1]).unwrap();
+        assert!(sol.ins[header_b.index()].contains(2));
+    }
+
+    #[test]
+    fn intersect_meet_requires_all_paths() {
+        let p = parse("read x\nif (x > 0) then\n  a = 1\nelse\n  b = 2\nendif\nc = 3\n").unwrap();
+        let cfg = build(&p);
+        let n = cfg.len();
+        let stmts = p.attached_stmts();
+        let universe = stmts.len();
+        let mut gen: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+        let kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+        for (k, &s) in stmts.iter().enumerate() {
+            if let Some(b) = cfg.block_of(s) {
+                gen[b.index()].insert(k);
+            }
+        }
+        let prob = Problem {
+            direction: Direction::Forward,
+            meet: Meet::Intersect,
+            universe,
+            gen,
+            kill,
+            boundary: BitSet::new(universe),
+        };
+        let sol = solve(&cfg, &prob);
+        let c_b = cfg.block_of(stmts[4]).unwrap();
+        let at_c = &sol.ins[c_b.index()];
+        // read x (0) and the if header (1) are on all paths...
+        assert!(at_c.contains(0));
+        assert!(at_c.contains(1));
+        // ...but each branch arm is only on one path.
+        assert!(!at_c.contains(2));
+        assert!(!at_c.contains(3));
+    }
+
+    #[test]
+    fn backward_propagation() {
+        let p = parse("a = 1\nb = 2\n").unwrap();
+        let cfg = build(&p);
+        let n = cfg.len();
+        let universe = 1usize;
+        let gen: Vec<BitSet> = (0..n)
+            .map(|i| {
+                let mut s = BitSet::new(universe);
+                if BlockId(i as u32) == cfg.exit {
+                    s.insert(0);
+                }
+                s
+            })
+            .collect();
+        let kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+        let prob = Problem {
+            direction: Direction::Backward,
+            meet: Meet::Union,
+            universe,
+            gen,
+            kill,
+            boundary: BitSet::new(universe),
+        };
+        let sol = solve(&cfg, &prob);
+        // The fact generated at exit flows backwards to the entry.
+        assert!(sol.ins[cfg.entry.index()].contains(0));
+    }
+}

@@ -1,0 +1,1080 @@
+//! Data dependence analysis: array subscript tests (ZIV, strong SIV, weak
+//! SIV/GCD, MIV/GCD), direction vectors, scalar dependences, and the
+//! legality screens for loop interchange and fusion.
+//!
+//! Precision notes (documented simplifications, standard for this class of
+//! tester):
+//! * per-dimension tests only (no coupled-subscript Delta test) — coupled
+//!   subscripts merge conservatively;
+//! * symbolic terms must cancel syntactically, otherwise the dimension is
+//!   unconstrained;
+//! * scalar (non-induction) definitions inside a nest conservatively block
+//!   interchange/fusion.
+
+use crate::linear::{linearize, Linear};
+use crate::loops::{common_loops, const_bounds, loop_body, loop_var, ConstBounds};
+use pivot_lang::{ExprId, Program, StmtId, StmtKind, Sym};
+
+/// Dependence kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DepKind {
+    /// True/flow dependence (write → read).
+    Flow,
+    /// Anti dependence (read → write).
+    Anti,
+    /// Output dependence (write → write).
+    Output,
+}
+
+/// Direction of a dependence at one loop level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Source iteration earlier (`<`).
+    Lt,
+    /// Same iteration (`=`).
+    Eq,
+    /// Source iteration later (`>`).
+    Gt,
+    /// Unknown (`*`).
+    Star,
+}
+
+impl Dir {
+    /// Symbol for dumps.
+    pub fn symbol(self) -> char {
+        match self {
+            Dir::Lt => '<',
+            Dir::Eq => '=',
+            Dir::Gt => '>',
+            Dir::Star => '*',
+        }
+    }
+
+    /// Can this direction be `d` for some iteration pair?
+    pub fn allows(self, d: Dir) -> bool {
+        self == Dir::Star || self == d
+    }
+}
+
+/// One array access site.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// Containing statement.
+    pub stmt: StmtId,
+    /// Array symbol.
+    pub var: Sym,
+    /// Subscript expressions.
+    pub subs: Vec<ExprId>,
+    /// True for a store.
+    pub is_write: bool,
+}
+
+/// Collect all array accesses in a statement subtree (or several).
+pub fn collect_accesses(prog: &Program, roots: &[StmtId]) -> Vec<Access> {
+    let mut out = Vec::new();
+    for &root in roots {
+        for s in prog.subtree(root) {
+            collect_stmt_accesses(prog, s, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_expr_accesses(prog: &Program, e: ExprId, stmt: StmtId, out: &mut Vec<Access>) {
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match &prog.expr(e).kind {
+            pivot_lang::ExprKind::Index(a, subs) => {
+                out.push(Access { stmt, var: *a, subs: subs.clone(), is_write: false });
+                stack.extend(subs.iter().copied());
+            }
+            pivot_lang::ExprKind::Unary(_, a) => stack.push(*a),
+            pivot_lang::ExprKind::Binary(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_stmt_accesses(prog: &Program, s: StmtId, out: &mut Vec<Access>) {
+    match &prog.stmt(s).kind {
+        StmtKind::Assign { target, value } => {
+            collect_expr_accesses(prog, *value, s, out);
+            for &sub in &target.subs {
+                collect_expr_accesses(prog, sub, s, out);
+            }
+            if !target.is_scalar() {
+                out.push(Access {
+                    stmt: s,
+                    var: target.var,
+                    subs: target.subs.clone(),
+                    is_write: true,
+                });
+            }
+        }
+        StmtKind::Read { target } => {
+            for &sub in &target.subs {
+                collect_expr_accesses(prog, sub, s, out);
+            }
+            if !target.is_scalar() {
+                out.push(Access {
+                    stmt: s,
+                    var: target.var,
+                    subs: target.subs.clone(),
+                    is_write: true,
+                });
+            }
+        }
+        StmtKind::Write { value } => collect_expr_accesses(prog, *value, s, out),
+        StmtKind::DoLoop { lo, hi, step, .. } => {
+            collect_expr_accesses(prog, *lo, s, out);
+            collect_expr_accesses(prog, *hi, s, out);
+            if let Some(st) = step {
+                collect_expr_accesses(prog, *st, s, out);
+            }
+        }
+        StmtKind::If { cond, .. } => collect_expr_accesses(prog, *cond, s, out),
+    }
+}
+
+/// One alignment level for the pair test: induction variable as seen by the
+/// source access, by the destination access, and known bounds (assumed to be
+/// the same iteration space for both — callers ensure conformability).
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// Induction variable in the source's subscripts.
+    pub var_src: Sym,
+    /// Induction variable in the destination's subscripts.
+    pub var_dst: Sym,
+    /// Constant bounds, when known.
+    pub bounds: Option<ConstBounds>,
+}
+
+/// Result of testing one access pair.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PairResult {
+    /// Proven independent.
+    Independent,
+    /// Possible dependence with this direction constraint per level
+    /// (outermost first).
+    Dep(Vec<Dir>),
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Test a pair of accesses to the same array across aligned loop levels.
+/// `other_loop_vars` are induction variables of loops enclosing either
+/// access that are *not* alignment levels (their occurrence in a subscript
+/// makes the dimension unconstrained).
+pub fn test_pair(
+    prog: &Program,
+    src: &Access,
+    dst: &Access,
+    levels: &[Level],
+    other_loop_vars: &[Sym],
+) -> PairResult {
+    debug_assert_eq!(src.var, dst.var);
+    if src.subs.len() != dst.subs.len() {
+        // Ragged use of the same array: be conservative.
+        return PairResult::Dep(vec![Dir::Star; levels.len()]);
+    }
+    // None = unconstrained so far.
+    let mut constraint: Vec<Option<Dir>> = vec![None; levels.len()];
+    for (sa, sb) in src.subs.iter().zip(&dst.subs) {
+        let (la, lb) = match (linearize(prog, *sa), linearize(prog, *sb)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => continue, // non-affine: no information from this dimension
+        };
+        match test_dimension(&la, &lb, levels, other_loop_vars) {
+            DimResult::Independent => return PairResult::Independent,
+            DimResult::NoConstraint => {}
+            DimResult::Constrain(level, d) => match constraint[level] {
+                None => constraint[level] = Some(d),
+                Some(prev) if prev == d => {}
+                Some(_) => return PairResult::Independent, // conflicting equalities
+            },
+        }
+    }
+    PairResult::Dep(constraint.into_iter().map(|c| c.unwrap_or(Dir::Star)).collect())
+}
+
+enum DimResult {
+    Independent,
+    NoConstraint,
+    Constrain(usize, Dir),
+}
+
+fn test_dimension(
+    la: &Linear,
+    lb: &Linear,
+    levels: &[Level],
+    other_loop_vars: &[Sym],
+) -> DimResult {
+    // If a subscript mentions a loop variable that is not an alignment
+    // level, the dimension gives no information.
+    for (&s, &c) in la.coeffs.iter() {
+        if c != 0 && other_loop_vars.contains(&s) && !levels.iter().any(|l| l.var_src == s) {
+            return DimResult::NoConstraint;
+        }
+    }
+    for (&s, &c) in lb.coeffs.iter() {
+        if c != 0 && other_loop_vars.contains(&s) && !levels.iter().any(|l| l.var_dst == s) {
+            return DimResult::NoConstraint;
+        }
+    }
+    // Coefficients per level.
+    let src_vars: Vec<Sym> = levels.iter().map(|l| l.var_src).collect();
+    let dst_vars: Vec<Sym> = levels.iter().map(|l| l.var_dst).collect();
+    let ak: Vec<i64> = levels.iter().map(|l| la.coeff(l.var_src)).collect();
+    let bk: Vec<i64> = levels.iter().map(|l| lb.coeff(l.var_dst)).collect();
+    // Symbolic residues: everything except the level variables.
+    let ra = la.without(&src_vars);
+    let rb = lb.without(&dst_vars);
+    let diff = rb.sub(&ra); // rb - ra
+    if !diff.coeffs.is_empty() {
+        // Uncancelled symbolic terms: unknown relation.
+        return DimResult::NoConstraint;
+    }
+    let c = diff.constant; // equation: Σ ak·i_k − Σ bk·i'_k = c
+    let involved: Vec<usize> =
+        (0..levels.len()).filter(|&k| ak[k] != 0 || bk[k] != 0).collect();
+    match involved.as_slice() {
+        [] => {
+            // ZIV.
+            if c != 0 {
+                DimResult::Independent
+            } else {
+                DimResult::NoConstraint
+            }
+        }
+        [k] => {
+            let k = *k;
+            let (a, b) = (ak[k], bk[k]);
+            if a == b {
+                // Strong SIV: a(i − i') = c ⇒ i' − i = −c/a.
+                if c % a != 0 {
+                    return DimResult::Independent;
+                }
+                let d_val = -c / a; // i' − i in value space
+                let lv = &levels[k];
+                let step = lv.bounds.map(|b| b.step).unwrap_or(1);
+                if step != 0 && d_val % step != 0 {
+                    return DimResult::Independent;
+                }
+                let d_iter = if step != 0 { d_val / step } else { d_val };
+                if let Some(bounds) = lv.bounds {
+                    if d_iter.abs() >= bounds.trip_count().max(0) {
+                        return DimResult::Independent;
+                    }
+                }
+                let dir = match d_iter.cmp(&0) {
+                    std::cmp::Ordering::Greater => Dir::Lt,
+                    std::cmp::Ordering::Equal => Dir::Eq,
+                    std::cmp::Ordering::Less => Dir::Gt,
+                };
+                DimResult::Constrain(k, dir)
+            } else {
+                // Weak SIV: GCD feasibility only.
+                let g = gcd(a, b);
+                if g != 0 && c % g != 0 {
+                    DimResult::Independent
+                } else {
+                    DimResult::NoConstraint
+                }
+            }
+        }
+        many => {
+            // MIV: GCD test across all involved coefficients.
+            let mut g = 0;
+            for &k in many {
+                g = gcd(g, ak[k]);
+                g = gcd(g, bk[k]);
+            }
+            if g != 0 && c % g != 0 {
+                DimResult::Independent
+            } else {
+                DimResult::NoConstraint
+            }
+        }
+    }
+}
+
+/// A dependence edge of the DDG.
+#[derive(Clone, Debug)]
+pub struct Dependence {
+    /// Source statement (temporally first).
+    pub src: StmtId,
+    /// Destination statement.
+    pub dst: StmtId,
+    /// Kind.
+    pub kind: DepKind,
+    /// Variable carrying the dependence.
+    pub var: Sym,
+    /// Direction per common loop, outermost first.
+    pub dirs: Vec<Dir>,
+}
+
+impl Dependence {
+    /// Loop-carried if any level is not `=`.
+    pub fn is_carried(&self) -> bool {
+        self.dirs.iter().any(|d| !matches!(d, Dir::Eq))
+    }
+}
+
+/// The data dependence graph of (part of) a program.
+#[derive(Clone, Debug, Default)]
+pub struct Ddg {
+    /// All dependence edges.
+    pub deps: Vec<Dependence>,
+}
+
+/// Pre-order position map for textual ordering.
+fn positions(prog: &Program) -> std::collections::HashMap<StmtId, usize> {
+    prog.attached_stmts().into_iter().enumerate().map(|(i, s)| (s, i)).collect()
+}
+
+fn kind_of(src_write: bool, dst_write: bool) -> DepKind {
+    match (src_write, dst_write) {
+        (true, false) => DepKind::Flow,
+        (false, true) => DepKind::Anti,
+        (true, true) => DepKind::Output,
+        (false, false) => unreachable!("read-read pairs are filtered out"),
+    }
+}
+
+/// Build the DDG of the live program: array dependences via subscript tests,
+/// scalar dependences via textual/common-loop reasoning.
+pub fn build_ddg(prog: &Program) -> Ddg {
+    let mut ddg = Ddg::default();
+    let pos = positions(prog);
+    let roots: Vec<StmtId> = prog.body.clone();
+    let accesses = collect_accesses(prog, &roots);
+    // Array dependences.
+    for (i, a) in accesses.iter().enumerate() {
+        for b in accesses.iter().skip(i + 1) {
+            if a.var != b.var || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            // Orient by textual position: src = textually earlier.
+            let (src, dst) =
+                if pos.get(&a.stmt) <= pos.get(&b.stmt) { (a, b) } else { (b, a) };
+            let common = common_loops(prog, src.stmt, dst.stmt);
+            let levels: Vec<Level> = common
+                .iter()
+                .map(|&l| Level {
+                    var_src: loop_var(prog, l).expect("common loop"),
+                    var_dst: loop_var(prog, l).expect("common loop"),
+                    bounds: const_bounds(prog, l),
+                })
+                .collect();
+            let other: Vec<Sym> = prog
+                .enclosing_loops(src.stmt)
+                .into_iter()
+                .chain(prog.enclosing_loops(dst.stmt))
+                .filter(|l| !common.contains(l))
+                .filter_map(|l| loop_var(prog, l))
+                .collect();
+            match test_pair(prog, src, dst, &levels, &other) {
+                PairResult::Independent => {}
+                PairResult::Dep(dirs) => {
+                    emit_oriented(&mut ddg, prog, &pos, src, dst, dirs);
+                }
+            }
+        }
+    }
+    // Scalar flow/anti/output dependences (coarse, for the PDG summaries).
+    scalar_deps(prog, &pos, &mut ddg);
+    ddg
+}
+
+/// Emit a dependence in the correct orientation(s) given the direction
+/// constraint computed for (src = textually earlier).
+fn emit_oriented(
+    ddg: &mut Ddg,
+    _prog: &Program,
+    pos: &std::collections::HashMap<StmtId, usize>,
+    src: &Access,
+    dst: &Access,
+    dirs: Vec<Dir>,
+) {
+    let leading = dirs.iter().find(|d| !matches!(d, Dir::Eq)).copied();
+    match leading {
+        None => {
+            // Loop-independent: meaningful only in textual order.
+            if pos[&src.stmt] < pos[&dst.stmt]
+                || (src.stmt == dst.stmt && src.is_write != dst.is_write)
+            {
+                ddg.deps.push(Dependence {
+                    src: src.stmt,
+                    dst: dst.stmt,
+                    kind: if src.stmt == dst.stmt {
+                        // Within one statement the read happens first.
+                        DepKind::Anti
+                    } else {
+                        kind_of(src.is_write, dst.is_write)
+                    },
+                    var: src.var,
+                    dirs,
+                });
+            }
+        }
+        Some(Dir::Lt) => {
+            ddg.deps.push(Dependence {
+                src: src.stmt,
+                dst: dst.stmt,
+                kind: kind_of(src.is_write, dst.is_write),
+                var: src.var,
+                dirs,
+            });
+        }
+        Some(Dir::Gt) => {
+            // Really a dependence from dst to src: flip.
+            let flipped: Vec<Dir> = dirs
+                .iter()
+                .map(|d| match d {
+                    Dir::Lt => Dir::Gt,
+                    Dir::Gt => Dir::Lt,
+                    x => *x,
+                })
+                .collect();
+            ddg.deps.push(Dependence {
+                src: dst.stmt,
+                dst: src.stmt,
+                kind: kind_of(dst.is_write, src.is_write),
+                var: src.var,
+                dirs: flipped,
+            });
+        }
+        Some(_) => {
+            // Star first: both orientations possible.
+            ddg.deps.push(Dependence {
+                src: src.stmt,
+                dst: dst.stmt,
+                kind: kind_of(src.is_write, dst.is_write),
+                var: src.var,
+                dirs: dirs.clone(),
+            });
+            if src.stmt != dst.stmt {
+                let flipped: Vec<Dir> = dirs
+                    .iter()
+                    .map(|d| match d {
+                        Dir::Lt => Dir::Gt,
+                        Dir::Gt => Dir::Lt,
+                        x => *x,
+                    })
+                    .collect();
+                ddg.deps.push(Dependence {
+                    src: dst.stmt,
+                    dst: src.stmt,
+                    kind: kind_of(dst.is_write, src.is_write),
+                    var: src.var,
+                    dirs: flipped,
+                });
+            }
+        }
+    }
+}
+
+/// Coarse scalar dependences: def→use (flow), use→def (anti), def→def
+/// (output), with direction vectors from textual order: textually forward
+/// pairs are loop-independent (`=` at all common levels); textually backward
+/// pairs are carried by the innermost common loop.
+///
+/// Statements are indexed per symbol, so the cost is Σ_sym |defs(sym)| ×
+/// |touchers(sym)| rather than a full statement-pair sweep.
+fn scalar_deps(
+    prog: &Program,
+    pos: &std::collections::HashMap<StmtId, usize>,
+    ddg: &mut Ddg,
+) {
+    use crate::access::stmt_def_use;
+    use std::collections::BTreeMap;
+    let stmts = prog.attached_stmts();
+    let dus: Vec<_> = stmts.iter().map(|&s| stmt_def_use(prog, s)).collect();
+    // Per-symbol indices of defining / using statement positions (ordered
+    // maps keep the DDG deterministic).
+    let mut defs_of: BTreeMap<Sym, Vec<usize>> = BTreeMap::new();
+    let mut users_of: BTreeMap<Sym, Vec<usize>> = BTreeMap::new();
+    for (i, du) in dus.iter().enumerate() {
+        for &sym in &du.def_scalars {
+            defs_of.entry(sym).or_default().push(i);
+        }
+        for &sym in &du.use_scalars {
+            users_of.entry(sym).or_default().push(i);
+        }
+    }
+    let empty: Vec<usize> = Vec::new();
+    for (&sym, defs) in &defs_of {
+        let users = users_of.get(&sym).unwrap_or(&empty);
+        for &i in defs {
+            let si = stmts[i];
+            // def → use (flow) and, for textual-forward def pairs, def → def
+            // (output).
+            for (&j, is_def_pair) in users
+                .iter()
+                .map(|j| (j, false))
+                .chain(defs.iter().map(|j| (j, true)))
+            {
+                if i == j {
+                    continue;
+                }
+                let sj = stmts[j];
+                let common = common_loops(prog, si, sj);
+                let forward = pos[&si] < pos[&sj];
+                if !forward && common.is_empty() {
+                    continue; // no path from si back to sj
+                }
+                let mut dirs = vec![Dir::Eq; common.len()];
+                if !forward {
+                    // Carried: iteration must advance at the innermost
+                    // common loop.
+                    if let Some(last) = dirs.last_mut() {
+                        *last = Dir::Lt;
+                    }
+                }
+                if is_def_pair {
+                    if forward {
+                        ddg.deps.push(Dependence {
+                            src: si,
+                            dst: sj,
+                            kind: DepKind::Output,
+                            var: sym,
+                            dirs,
+                        });
+                    }
+                } else {
+                    ddg.deps.push(Dependence {
+                        src: si,
+                        dst: sj,
+                        kind: DepKind::Flow,
+                        var: sym,
+                        dirs,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legality screens
+// ---------------------------------------------------------------------
+
+/// Does the subtree contain I/O or scalar (non-induction) definitions?
+/// Either conservatively blocks reordering transformations.
+fn has_reorder_hazard(prog: &Program, root: StmtId, induction_ok: &[Sym]) -> bool {
+    use crate::access::stmt_def_use;
+    for s in prog.subtree(root) {
+        let du = stmt_def_use(prog, s);
+        if du.io {
+            return true;
+        }
+        for d in du.def_scalars {
+            if !induction_ok.contains(&d) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is interchanging the tightly nested pair `(outer, inner)` legal?
+///
+/// Illegal iff some dependence between body statements could have direction
+/// `(<, >)` on `(outer, inner)` — interchange would reverse it (the paper's
+/// INX pre-condition). Scalar definitions and I/O in the body are
+/// conservative hazards.
+pub fn interchange_legal(prog: &Program, outer: StmtId, inner: StmtId) -> bool {
+    if !crate::loops::is_tightly_nested(prog, outer, inner) {
+        return false;
+    }
+    interchange_legal_loose(prog, outer, inner)
+}
+
+/// The dependence/hazard part of the interchange check, without requiring
+/// tight nesting — used by the undo layer's safety re-check, where an
+/// already-interchanged nest may have gained statements between the loops
+/// (which breaks its *reversibility* but not its *safety*).
+pub fn interchange_legal_loose(prog: &Program, outer: StmtId, inner: StmtId) -> bool {
+    let (ov, iv) = match (loop_var(prog, outer), loop_var(prog, inner)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    if !prog.is_ancestor(outer, inner) {
+        return false;
+    }
+    if has_reorder_hazard(prog, inner, &[ov, iv]) {
+        return false;
+    }
+    // Bounds of the inner loop must not depend on the outer variable
+    // (non-rectangular nests are not interchanged).
+    if let StmtKind::DoLoop { lo, hi, step, .. } = &prog.stmt(inner).kind {
+        let mut used = Vec::new();
+        prog.expr_uses(*lo, &mut used);
+        prog.expr_uses(*hi, &mut used);
+        if let Some(st) = step {
+            prog.expr_uses(*st, &mut used);
+        }
+        if used.contains(&ov) {
+            return false;
+        }
+    }
+    let body: Vec<StmtId> = loop_body(prog, inner).cloned().unwrap_or_default();
+    let accesses = collect_accesses(prog, &body);
+    let levels = [outer, inner].map(|l| Level {
+        var_src: loop_var(prog, l).unwrap(),
+        var_dst: loop_var(prog, l).unwrap(),
+        bounds: const_bounds(prog, l),
+    });
+    for (i, a) in accesses.iter().enumerate() {
+        for b in accesses.iter().skip(i) {
+            if a.var != b.var || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            // Extra (deeper) loops around a/b within the body:
+            let other: Vec<Sym> = prog
+                .enclosing_loops(a.stmt)
+                .into_iter()
+                .chain(prog.enclosing_loops(b.stmt))
+                .filter(|&l| l != outer && l != inner)
+                .filter_map(|l| loop_var(prog, l))
+                .collect();
+            for (src, dst) in [(a, b), (b, a)] {
+                match test_pair(prog, src, dst, &levels, &other) {
+                    PairResult::Independent => {}
+                    PairResult::Dep(dirs) => {
+                        if dirs[0].allows(Dir::Lt) && dirs[1].allows(Dir::Gt) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Is fusing adjacent conformable loops `(l1, l2)` legal?
+///
+/// Prevented iff some dependence from an `l1` access to an `l2` access could
+/// be *backward* after fusion (destination iteration earlier than source),
+/// i.e. the aligned direction allows `>` — this is the "fusion-prevented
+/// dependence" the paper screens via region summaries (Figure 3).
+pub fn fusion_legal(prog: &Program, l1: StmtId, l2: StmtId) -> bool {
+    if !crate::loops::adjacent(prog, l1, l2) || !crate::loops::conformable(prog, l1, l2) {
+        return false;
+    }
+    let v1 = loop_var(prog, l1).expect("conformable implies loops");
+    let v2 = loop_var(prog, l2).expect("conformable implies loops");
+    if has_reorder_hazard(prog, l1, &[v1]) || has_reorder_hazard(prog, l2, &[v2]) {
+        return false;
+    }
+    fusion_dep_legal(prog, l1, l2)
+}
+
+/// The dependence-only part of the fusion check (assumes adjacency,
+/// conformability and hazard checks already done). Exposed separately so the
+/// PDG region-summary screen (Figure 3) can be compared against it.
+pub fn fusion_dep_legal(prog: &Program, l1: StmtId, l2: StmtId) -> bool {
+    let v1 = loop_var(prog, l1).expect("loop");
+    let v2 = loop_var(prog, l2).expect("loop");
+    let b1: Vec<StmtId> = loop_body(prog, l1).cloned().unwrap_or_default();
+    let b2: Vec<StmtId> = loop_body(prog, l2).cloned().unwrap_or_default();
+    let acc1 = collect_accesses(prog, &b1);
+    let acc2 = collect_accesses(prog, &b2);
+    let level = Level { var_src: v1, var_dst: v2, bounds: const_bounds(prog, l1) };
+    for a in &acc1 {
+        for b in &acc2 {
+            if a.var != b.var || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            let other: Vec<Sym> = prog
+                .enclosing_loops(a.stmt)
+                .into_iter()
+                .chain(prog.enclosing_loops(b.stmt))
+                .filter(|&l| l != l1 && l != l2)
+                .filter_map(|l| loop_var(prog, l))
+                .collect();
+            match test_pair(prog, a, b, std::slice::from_ref(&level), &other) {
+                PairResult::Independent => {}
+                PairResult::Dep(dirs) => {
+                    if dirs[0].allows(Dir::Gt) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    #[test]
+    fn ziv_independent() {
+        let p = parse("do i = 1, 10\n  A(1) = A(2) + 1\nenddo\n").unwrap();
+        let ddg = build_ddg(&p);
+        // A(1) write vs A(2) read: independent — only the write-write pair
+        // with itself could remain; check no flow dep on A.
+        let a = p.symbols.get("A").unwrap();
+        assert!(!ddg.deps.iter().any(|d| d.var == a && d.kind == DepKind::Flow));
+    }
+
+    #[test]
+    fn strong_siv_distance_one() {
+        let p = parse("do i = 2, 9\n  A(i) = A(i - 1) + 1\nenddo\n").unwrap();
+        let ddg = build_ddg(&p);
+        let a = p.symbols.get("A").unwrap();
+        let flow: Vec<_> = ddg
+            .deps
+            .iter()
+            .filter(|d| d.var == a && d.kind == DepKind::Flow)
+            .collect();
+        assert_eq!(flow.len(), 1);
+        assert_eq!(flow[0].dirs, vec![Dir::Lt]);
+        assert!(flow[0].is_carried());
+    }
+
+    #[test]
+    fn strong_siv_too_far_is_independent() {
+        let p = parse("do i = 1, 5\n  A(i) = A(i - 100) + 1\nenddo\n").unwrap();
+        let ddg = build_ddg(&p);
+        let a = p.symbols.get("A").unwrap();
+        assert!(!ddg.deps.iter().any(|d| d.var == a && d.kind == DepKind::Flow));
+    }
+
+    #[test]
+    fn gcd_independent() {
+        // 2i vs 2i+1: parity differs, never equal.
+        let p = parse("do i = 1, 10\n  A(2 * i) = A(2 * i + 1) + 1\nenddo\n").unwrap();
+        let ddg = build_ddg(&p);
+        let a = p.symbols.get("A").unwrap();
+        assert!(!ddg.deps.iter().any(|d| d.var == a && d.kind != DepKind::Output));
+    }
+
+    #[test]
+    fn loop_independent_same_index() {
+        let p = parse("do i = 1, 10\n  A(i) = 1\n  x = A(i)\n  write x\nenddo\n").unwrap();
+        let ddg = build_ddg(&p);
+        let a = p.symbols.get("A").unwrap();
+        let flow: Vec<_> = ddg
+            .deps
+            .iter()
+            .filter(|d| d.var == a && d.kind == DepKind::Flow)
+            .collect();
+        assert_eq!(flow.len(), 1);
+        assert_eq!(flow[0].dirs, vec![Dir::Eq]);
+        assert!(!flow[0].is_carried());
+    }
+
+    #[test]
+    fn backward_textual_pair_flips_to_carried() {
+        // Read of A(i+1) textually precedes the write A(i); the real flow
+        // dependence is write(i) → read at i+1? No: write A(i) at iteration
+        // k writes index k; read A(i+1) at iteration k reads k+1 — the read
+        // at iteration k sees the value written at iteration k+1 only if the
+        // write happens first, which it does not; so the dependence is
+        // anti: read(k) before write(k+1), carried with direction <.
+        let p = parse("do i = 1, 9\n  x = A(i + 1)\n  A(i) = x\n  write x\nenddo\n").unwrap();
+        let ddg = build_ddg(&p);
+        let a = p.symbols.get("A").unwrap();
+        let deps: Vec<_> = ddg.deps.iter().filter(|d| d.var == a).collect();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DepKind::Anti);
+        assert_eq!(deps[0].dirs, vec![Dir::Lt]);
+    }
+
+    #[test]
+    fn two_dim_directions() {
+        // A(i, j) = A(i - 1, j + 1): flow dep with (<, >).
+        let p = parse(
+            "do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let ddg = build_ddg(&p);
+        let a = p.symbols.get("A").unwrap();
+        let flow: Vec<_> = ddg
+            .deps
+            .iter()
+            .filter(|d| d.var == a && d.kind == DepKind::Flow)
+            .collect();
+        assert_eq!(flow.len(), 1);
+        assert_eq!(flow[0].dirs, vec![Dir::Lt, Dir::Gt]);
+    }
+
+    #[test]
+    fn interchange_blocked_by_lt_gt() {
+        let p = parse(
+            "do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let outer = p.body[0];
+        let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
+        assert!(!interchange_legal(&p, outer, inner));
+    }
+
+    #[test]
+    fn interchange_allowed_without_cross_dep() {
+        let p = parse(
+            "do i = 1, 10\n  do j = 1, 10\n    A(i, j) = B(i, j) + 1\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let outer = p.body[0];
+        let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
+        assert!(interchange_legal(&p, outer, inner));
+    }
+
+    #[test]
+    fn interchange_allowed_with_all_eq_dep() {
+        let p = parse(
+            "do i = 1, 10\n  do j = 1, 10\n    A(i, j) = A(i, j) + 1\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let outer = p.body[0];
+        let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
+        assert!(interchange_legal(&p, outer, inner));
+    }
+
+    #[test]
+    fn interchange_blocked_by_scalar_def() {
+        let p = parse(
+            "do i = 1, 10\n  do j = 1, 10\n    t = B(i, j)\n    A(i, j) = t\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let outer = p.body[0];
+        let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
+        assert!(!interchange_legal(&p, outer, inner));
+    }
+
+    #[test]
+    fn interchange_blocked_for_non_rectangular() {
+        let p = parse(
+            "do i = 1, 10\n  do j = 1, i\n    A(i, j) = 1\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let outer = p.body[0];
+        let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
+        assert!(!interchange_legal(&p, outer, inner));
+    }
+
+    #[test]
+    fn fusion_legal_independent_arrays() {
+        let p = parse(
+            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = 2\nenddo\n",
+        )
+        .unwrap();
+        assert!(fusion_legal(&p, p.body[0], p.body[1]));
+    }
+
+    #[test]
+    fn fusion_legal_same_index_flow() {
+        // A(i) produced then consumed at the same index: forward dep, legal.
+        let p = parse(
+            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n",
+        )
+        .unwrap();
+        assert!(fusion_legal(&p, p.body[0], p.body[1]));
+    }
+
+    #[test]
+    fn fusion_prevented_by_backward_dep() {
+        // Second loop reads A(i+1), written by the first loop at a later
+        // iteration after fusion: prevented.
+        let p = parse(
+            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i + 1)\nenddo\n",
+        )
+        .unwrap();
+        assert!(!fusion_legal(&p, p.body[0], p.body[1]));
+    }
+
+    #[test]
+    fn fusion_requires_adjacency_and_conformability() {
+        let p = parse(
+            "do i = 1, 10\n  A(i) = 1\nenddo\nx = 0\ndo i = 1, 10\n  B(i) = 2\nenddo\ndo j = 1, 9\n  C(j) = 3\nenddo\n",
+        )
+        .unwrap();
+        assert!(!fusion_legal(&p, p.body[0], p.body[2])); // not adjacent
+        assert!(!fusion_legal(&p, p.body[2], p.body[3])); // not conformable
+    }
+
+    #[test]
+    fn io_blocks_fusion() {
+        let p = parse(
+            "do i = 1, 10\n  write i\nenddo\ndo i = 1, 10\n  A(i) = 1\nenddo\n",
+        )
+        .unwrap();
+        assert!(!fusion_legal(&p, p.body[0], p.body[1]));
+    }
+}
+
+#[cfg(test)]
+mod oracle_tests {
+    //! Oracle validation: for small constant-bound nests, enumerate the
+    //! iteration space and check every verdict of the subscript tester
+    //! against ground truth.
+
+    use super::*;
+    use pivot_lang::parser::parse;
+    use proptest::prelude::*;
+
+    /// Evaluate an affine subscript a*i + b*j + c at concrete (i, j).
+    fn eval(a: i64, b: i64, c: i64, i: i64, j: i64) -> i64 {
+        a * i + b * j + c
+    }
+
+    /// Ground truth for a 2-deep nest `do i = 1, n { do j = 1, m }` with a
+    /// write `A(a1*i + b1*j + c1)` and a read `A(a2*i + b2*j + c2)`:
+    /// the set of direction pairs (cmp(i, i'), cmp(j, j')) over all
+    /// (write-iteration, read-iteration) pairs hitting the same address.
+    #[allow(clippy::too_many_arguments)]
+    fn truth(
+        n: i64,
+        m: i64,
+        (a1, b1, c1): (i64, i64, i64),
+        (a2, b2, c2): (i64, i64, i64),
+    ) -> Vec<(std::cmp::Ordering, std::cmp::Ordering)> {
+        let mut out = Vec::new();
+        for i in 1..=n {
+            for j in 1..=m {
+                for i2 in 1..=n {
+                    for j2 in 1..=m {
+                        if eval(a1, b1, c1, i, j) == eval(a2, b2, c2, i2, j2) {
+                            out.push((i.cmp(&i2), j.cmp(&j2)));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn dir_allows(d: Dir, o: std::cmp::Ordering) -> bool {
+        match (d, o) {
+            (Dir::Star, _) => true,
+            (Dir::Lt, std::cmp::Ordering::Less) => true,
+            (Dir::Eq, std::cmp::Ordering::Equal) => true,
+            (Dir::Gt, std::cmp::Ordering::Greater) => true,
+            _ => false,
+        }
+    }
+
+    fn sub_src(a: i64, b: i64, c: i64) -> String {
+        format!("{a} * i + {b} * j + {c}")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn pair_test_is_sound_against_enumeration(
+            a1 in -2i64..=2, b1 in -2i64..=2, c1 in -3i64..=3,
+            a2 in -2i64..=2, b2 in -2i64..=2, c2 in -3i64..=3,
+        ) {
+            let (n, m) = (4i64, 3i64);
+            let src = format!(
+                "do i = 1, {n}\n  do j = 1, {m}\n    A({}) = A({}) + 1\n  enddo\nenddo\n",
+                sub_src(a1, b1, c1),
+                sub_src(a2, b2, c2),
+            );
+            let p = parse(&src).unwrap();
+            let outer = p.body[0];
+            let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
+            let body = crate::loops::loop_body(&p, inner).cloned().unwrap();
+            let accesses = collect_accesses(&p, &body);
+            let write = accesses.iter().find(|a| a.is_write).unwrap();
+            let read = accesses.iter().find(|a| !a.is_write).unwrap();
+            let levels = [outer, inner].map(|l| Level {
+                var_src: crate::loops::loop_var(&p, l).unwrap(),
+                var_dst: crate::loops::loop_var(&p, l).unwrap(),
+                bounds: crate::loops::const_bounds(&p, l),
+            });
+            let verdict = test_pair(&p, write, read, &levels, &[]);
+            let ground = truth(n, m, (a1, b1, c1), (a2, b2, c2));
+            match verdict {
+                PairResult::Independent => {
+                    prop_assert!(
+                        ground.is_empty(),
+                        "tester claims independence but {:?} conflict pairs exist \
+                         for A({}) vs A({})",
+                        ground.len(), sub_src(a1, b1, c1), sub_src(a2, b2, c2)
+                    );
+                }
+                // Precision on the strong-SIV family: single-variable equal
+                // coefficients must be decided exactly.
+                PairResult::Dep(_)
+                    if ground.is_empty()
+                        && a1 == a2
+                        && a1 != 0
+                        && b1 == 0
+                        && b2 == 0 =>
+                {
+                    prop_assert!(
+                        false,
+                        "strong SIV should prove independence for A({}) vs A({})",
+                        sub_src(a1, b1, c1), sub_src(a2, b2, c2)
+                    );
+                }
+                PairResult::Dep(dirs) => {
+                    // Soundness: every real conflict must be covered by the
+                    // direction constraint.
+                    for (oi, oj) in &ground {
+                        prop_assert!(
+                            dir_allows(dirs[0], *oi) && dir_allows(dirs[1], *oj),
+                            "conflict ({oi:?},{oj:?}) not covered by {:?} \
+                             for A({}) vs A({})",
+                            dirs, sub_src(a1, b1, c1), sub_src(a2, b2, c2)
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn interchange_legality_is_sound_against_enumeration(
+            a1 in -1i64..=1, b1 in -1i64..=1, c1 in -2i64..=2,
+            a2 in -1i64..=1, b2 in -1i64..=1, c2 in -2i64..=2,
+        ) {
+            // When the screen says an interchange is legal, interpreting the
+            // original and interchanged nests must agree.
+            let (n, m) = (4i64, 3i64);
+            let src = format!(
+                "do i = 1, {n}\n  do j = 1, {m}\n    A({li}) = A({ri}) + i + 10 * j\n  enddo\nenddo\nwrite A(0)\nwrite A(1)\nwrite A(2)\nwrite A(3)\nwrite A(-1)\nwrite A(-2)\nwrite A(5)\nwrite A(7)\n",
+                li = sub_src(a1, b1, c1),
+                ri = sub_src(a2, b2, c2),
+            );
+            let swapped = format!(
+                "do j = 1, {m}\n  do i = 1, {n}\n    A({li}) = A({ri}) + i + 10 * j\n  enddo\nenddo\nwrite A(0)\nwrite A(1)\nwrite A(2)\nwrite A(3)\nwrite A(-1)\nwrite A(-2)\nwrite A(5)\nwrite A(7)\n",
+                li = sub_src(a1, b1, c1),
+                ri = sub_src(a2, b2, c2),
+            );
+            let p = parse(&src).unwrap();
+            let outer = p.body[0];
+            let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
+            if interchange_legal(&p, outer, inner) {
+                let q = parse(&swapped).unwrap();
+                let before = pivot_lang::interp::run_default(&p, &[]).unwrap();
+                let after = pivot_lang::interp::run_default(&q, &[]).unwrap();
+                prop_assert_eq!(
+                    before, after,
+                    "legal interchange changed semantics for A({}) = A({})",
+                    sub_src(a1, b1, c1), sub_src(a2, b2, c2)
+                );
+            }
+        }
+    }
+}

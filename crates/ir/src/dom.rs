@@ -1,0 +1,224 @@
+//! Dominators and postdominators.
+//!
+//! Iterative algorithm of Cooper, Harvey & Kennedy ("A Simple, Fast
+//! Dominance Algorithm") over reverse postorder. Postdominators run the same
+//! algorithm on the reversed graph from the exit. Postdominance is what the
+//! PDG's control dependence construction consumes.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// Dominator (or postdominator) tree.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each block; `idom[root] == root`; blocks
+    /// unreachable from the root have `None`.
+    pub idom: Vec<Option<BlockId>>,
+    /// The root (entry for dominators, exit for postdominators).
+    pub root: BlockId,
+}
+
+impl DomTree {
+    /// Immediate dominator, if the block is reachable and not the root.
+    pub fn parent(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(p) if p != b => Some(p),
+            Some(_) => None, // root
+            None => None,
+        }
+    }
+
+    /// Does `a` dominate `b` (reflexively)?
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(p) if p != cur => cur = p,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Strict domination.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+fn intersect(idom: &[Option<usize>], rpo_num: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo_num[a] > rpo_num[b] {
+            a = idom[a].expect("processed node has idom");
+        }
+        while rpo_num[b] > rpo_num[a] {
+            b = idom[b].expect("processed node has idom");
+        }
+    }
+    a
+}
+
+fn compute(
+    n: usize,
+    root: BlockId,
+    order: &[BlockId],
+    preds: impl Fn(BlockId) -> Vec<BlockId>,
+) -> DomTree {
+    // order = reverse postorder from root over the (possibly reversed) graph.
+    let mut rpo_num = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        rpo_num[b.index()] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root.index()] = Some(root.index());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let bi = b.index();
+            let mut new_idom: Option<usize> = None;
+            for p in preds(b) {
+                let pi = p.index();
+                if idom[pi].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => pi,
+                    Some(cur) => intersect(&idom, &rpo_num, cur, pi),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[bi] != Some(ni) {
+                    idom[bi] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    DomTree {
+        idom: idom
+            .into_iter()
+            .map(|o| o.map(|i| BlockId(i as u32)))
+            .collect(),
+        root,
+    }
+}
+
+/// Compute the dominator tree from the entry.
+pub fn dominators(cfg: &Cfg) -> DomTree {
+    let order = cfg.rpo();
+    compute(cfg.len(), cfg.entry, &order, |b| cfg.block(b).preds.clone())
+}
+
+/// Compute the postdominator tree from the exit (dominators of the reverse
+/// graph).
+pub fn postdominators(cfg: &Cfg) -> DomTree {
+    // Reverse postorder on the reversed graph = DFS from exit over preds.
+    let n = cfg.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<(BlockId, usize)> = vec![(cfg.exit, 0)];
+    visited[cfg.exit.index()] = true;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let preds = &cfg.block(b).preds;
+        if *next < preds.len() {
+            let p = preds[*next];
+            *next += 1;
+            if !visited[p.index()] {
+                visited[p.index()] = true;
+                stack.push((p, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    compute(n, cfg.exit, &post, |b| cfg.block(b).succs.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use pivot_lang::parser::parse;
+
+    #[test]
+    fn straight_line_chain() {
+        let p = parse("a = 1\nb = 2\n").unwrap();
+        let cfg = build(&p);
+        let dom = dominators(&cfg);
+        // entry dominates everything.
+        for b in cfg.ids() {
+            assert!(dom.dominates(cfg.entry, b));
+        }
+        let pdom = postdominators(&cfg);
+        for b in cfg.ids() {
+            assert!(pdom.dominates(cfg.exit, b));
+        }
+    }
+
+    #[test]
+    fn if_branches_not_dominating_join() {
+        let p = parse("read x\nif (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\nwrite y\n").unwrap();
+        let cfg = build(&p);
+        let dom = dominators(&cfg);
+        let stmts = p.attached_stmts();
+        let cond_b = cfg.block_of(stmts[1]).unwrap();
+        let then_b = cfg.block_of(stmts[2]).unwrap();
+        let else_b = cfg.block_of(stmts[3]).unwrap();
+        let write_b = cfg.block_of(stmts[4]).unwrap();
+        assert!(dom.dominates(cond_b, then_b));
+        assert!(dom.dominates(cond_b, else_b));
+        assert!(dom.dominates(cond_b, write_b));
+        assert!(!dom.dominates(then_b, write_b));
+        assert!(!dom.dominates(else_b, write_b));
+        // Postdominance: the write block postdominates the branches.
+        let pdom = postdominators(&cfg);
+        assert!(pdom.dominates(write_b, then_b));
+        assert!(pdom.dominates(write_b, cond_b));
+        assert!(!pdom.dominates(then_b, cond_b));
+    }
+
+    #[test]
+    fn loop_header_dominates_body_but_body_does_not_postdominate_header() {
+        let p = parse("do i = 1, 5\n  x = i\nenddo\nwrite x\n").unwrap();
+        let cfg = build(&p);
+        let dom = dominators(&cfg);
+        let pdom = postdominators(&cfg);
+        let lp = p.body[0];
+        let body_stmt = match &p.stmt(lp).kind {
+            pivot_lang::StmtKind::DoLoop { body, .. } => body[0],
+            _ => unreachable!(),
+        };
+        let hb = cfg.block_of(lp).unwrap();
+        let bb = cfg.block_of(body_stmt).unwrap();
+        assert!(dom.dominates(hb, bb));
+        assert!(!dom.dominates(bb, hb));
+        // The body does not postdominate the header (the loop may exit).
+        assert!(!pdom.dominates(bb, hb));
+        // The header postdominates the body (the latch returns to it).
+        assert!(pdom.dominates(hb, bb));
+    }
+
+    #[test]
+    fn idom_parent_chains_terminate() {
+        let p = parse(
+            "do i = 1, 3\n  if (i > 1) then\n    do j = 1, 2\n      x = j\n    enddo\n  endif\nenddo\n",
+        )
+        .unwrap();
+        let cfg = build(&p);
+        let dom = dominators(&cfg);
+        for b in cfg.ids() {
+            let mut cur = b;
+            let mut hops = 0;
+            while let Some(pn) = dom.parent(cur) {
+                cur = pn;
+                hops += 1;
+                assert!(hops <= cfg.len(), "idom chain too long");
+            }
+            assert_eq!(cur, cfg.entry);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # pivot-ir
+//!
+//! Program-analysis substrate for the PIVOT undo reproduction (Dow, Soffa &
+//! Chang, *"Undoing Code Transformations in an Independent Order"*,
+//! ICPP 1994): everything the paper's transformation and undo machinery
+//! consumes but does not itself define.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`bitset`] — dense bitsets for the dataflow solver;
+//! * [`access`] — per-statement def/use summaries;
+//! * [`mod@cfg`] / [`dom`] — control flow graph, dominators, postdominators;
+//! * [`dataflow`] — generic iterative bit-vector framework;
+//! * [`reaching`] / [`live`] / [`avail`] / [`chains`] — the classic scalar
+//!   analyses (reaching definitions, liveness, available expressions,
+//!   def-use chains);
+//! * [`dag`] — per-block value-numbered DAGs (the paper's low-level
+//!   representation, an ADAG once annotated);
+//! * [`linear`] / [`loops`] / [`depend`] — affine subscripts, loop
+//!   structure, dependence testing with direction vectors, and the
+//!   interchange/fusion legality screens;
+//! * [`pdg`] — control dependence, region nodes, LCR, and data-dependence
+//!   summaries on region nodes (Figure 3);
+//! * [`twolevel`] — [`twolevel::Rep`], the integrated two-level
+//!   representation of Section 3.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod avail;
+pub mod bitset;
+pub mod cfg;
+pub mod chains;
+pub mod dag;
+pub mod dataflow;
+pub mod depend;
+pub mod dom;
+pub mod linear;
+pub mod live;
+pub mod loops;
+pub mod pdg;
+pub mod reaching;
+pub mod twolevel;
+
+pub use twolevel::Rep;

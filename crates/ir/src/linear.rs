@@ -1,0 +1,186 @@
+//! Affine (linear) forms of subscript expressions.
+//!
+//! Dependence tests need subscripts as `c0 + Σ ci·vi`. Expressions that do
+//! not fit (products of variables, division, array reads) yield `None` and
+//! the dependence tester falls back to "assume dependence".
+
+use pivot_lang::{BinOp, ExprId, ExprKind, Program, Sym, UnOp};
+use std::collections::BTreeMap;
+
+/// An affine form `constant + Σ coeff·sym`. Zero coefficients are not stored.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Linear {
+    /// Constant term.
+    pub constant: i64,
+    /// Per-symbol coefficients (sorted map for deterministic iteration).
+    pub coeffs: BTreeMap<Sym, i64>,
+}
+
+impl Linear {
+    /// The constant form.
+    pub fn constant(c: i64) -> Self {
+        Linear { constant: c, coeffs: BTreeMap::new() }
+    }
+
+    /// The form `1·sym`.
+    pub fn var(sym: Sym) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(sym, 1);
+        Linear { constant: 0, coeffs }
+    }
+
+    /// Coefficient of `sym` (0 when absent).
+    pub fn coeff(&self, sym: Sym) -> i64 {
+        self.coeffs.get(&sym).copied().unwrap_or(0)
+    }
+
+    /// True if the form has no variable terms.
+    pub fn is_const(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    fn add(mut self, other: &Linear) -> Self {
+        self.constant = self.constant.wrapping_add(other.constant);
+        for (&s, &c) in &other.coeffs {
+            let e = self.coeffs.entry(s).or_insert(0);
+            *e = e.wrapping_add(c);
+            if *e == 0 {
+                self.coeffs.remove(&s);
+            }
+        }
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Self {
+        if k == 0 {
+            return Linear::constant(0);
+        }
+        self.constant = self.constant.wrapping_mul(k);
+        for c in self.coeffs.values_mut() {
+            *c = c.wrapping_mul(k);
+        }
+        self
+    }
+
+    fn negate(self) -> Self {
+        self.scale(-1)
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &Linear) -> Linear {
+        self.clone().add(&other.clone().negate())
+    }
+
+    /// The form restricted to symbols **not** in `vars` (the symbolic part).
+    pub fn without(&self, vars: &[Sym]) -> Linear {
+        Linear {
+            constant: self.constant,
+            coeffs: self
+                .coeffs
+                .iter()
+                .filter(|(s, _)| !vars.contains(s))
+                .map(|(&s, &c)| (s, c))
+                .collect(),
+        }
+    }
+}
+
+/// Extract the affine form of an expression, if it is affine.
+pub fn linearize(prog: &Program, e: ExprId) -> Option<Linear> {
+    match &prog.expr(e).kind {
+        ExprKind::Const(c) => Some(Linear::constant(*c)),
+        ExprKind::Var(v) => Some(Linear::var(*v)),
+        ExprKind::Index(..) => None,
+        ExprKind::Unary(UnOp::Neg, a) => Some(linearize(prog, *a)?.negate()),
+        ExprKind::Unary(UnOp::Not, _) => None,
+        ExprKind::Binary(op, a, b) => {
+            let la = linearize(prog, *a)?;
+            let lb = linearize(prog, *b)?;
+            match op {
+                BinOp::Add => Some(la.add(&lb)),
+                BinOp::Sub => Some(la.add(&lb.negate())),
+                BinOp::Mul => {
+                    if la.is_const() {
+                        Some(lb.scale(la.constant))
+                    } else if lb.is_const() {
+                        Some(la.scale(lb.constant))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    fn rhs(p: &Program) -> ExprId {
+        match p.stmt(p.body[0]).kind {
+            pivot_lang::StmtKind::Assign { value, .. } => value,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn simple_forms() {
+        let p = parse("x = 2 * i + 3\n").unwrap();
+        let l = linearize(&p, rhs(&p)).unwrap();
+        let i = p.symbols.get("i").unwrap();
+        assert_eq!(l.constant, 3);
+        assert_eq!(l.coeff(i), 2);
+    }
+
+    #[test]
+    fn subtraction_and_negation() {
+        let p = parse("x = 10 - 2 * (j - 1)\n").unwrap();
+        let l = linearize(&p, rhs(&p)).unwrap();
+        let j = p.symbols.get("j").unwrap();
+        assert_eq!(l.constant, 12);
+        assert_eq!(l.coeff(j), -2);
+    }
+
+    #[test]
+    fn cancellation_removes_entry() {
+        let p = parse("x = i - i + 5\n").unwrap();
+        let l = linearize(&p, rhs(&p)).unwrap();
+        assert!(l.is_const());
+        assert_eq!(l.constant, 5);
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        for src in ["x = i * j\n", "x = i / 2\n", "x = A(i)\n", "x = i % 3\n"] {
+            let p = parse(src).unwrap();
+            assert!(linearize(&p, rhs(&p)).is_none(), "{src}");
+        }
+    }
+
+    #[test]
+    fn sub_and_without() {
+        let p = parse("x = 2 * i + j + 7\n").unwrap();
+        let l = linearize(&p, rhs(&p)).unwrap();
+        let i = p.symbols.get("i").unwrap();
+        let j = p.symbols.get("j").unwrap();
+        let diff = l.sub(&Linear::var(j));
+        assert_eq!(diff.coeff(j), 0);
+        assert_eq!(diff.coeff(i), 2);
+        let sym = l.without(&[i]);
+        assert_eq!(sym.coeff(i), 0);
+        assert_eq!(sym.coeff(j), 1);
+        assert_eq!(sym.constant, 7);
+    }
+
+    #[test]
+    fn unary_neg() {
+        let p = parse("x = -i + 4\n").unwrap();
+        let l = linearize(&p, rhs(&p)).unwrap();
+        let i = p.symbols.get("i").unwrap();
+        assert_eq!(l.coeff(i), -1);
+        assert_eq!(l.constant, 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Live-variable analysis.
+//!
+//! Backward may-analysis over symbols (scalars, and arrays at whole-array
+//! granularity). Only definite (scalar) definitions kill liveness; an array
+//! store never kills its array. Nothing is live at program exit: the only
+//! observables are `write` statements, which appear as uses.
+//!
+//! This is the safety oracle for dead code elimination (Table 3, DCE row):
+//! a scalar assignment is dead iff its target is not live after it.
+
+use crate::access::stmt_def_use;
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, Direction, Meet, Problem, Solution};
+use pivot_lang::{Program, StmtId, Sym};
+
+/// Liveness analysis result. Facts are symbol indices ([`Sym::index`]).
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Block-level solution.
+    pub sol: Solution,
+    universe: usize,
+}
+
+/// Compute liveness over the CFG.
+pub fn compute(prog: &Program, cfg: &Cfg) -> Liveness {
+    let universe = prog.symbols.len();
+    let n = cfg.len();
+    let mut gen: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+    let mut kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+    for b in cfg.ids() {
+        // Compose backwards: process statements in reverse order.
+        let g = &mut gen[b.index()];
+        let k = &mut kill[b.index()];
+        for &s in cfg.block(b).stmts.iter().rev() {
+            apply_stmt_backward(prog, s, g, k);
+        }
+    }
+    let prob = Problem {
+        direction: Direction::Backward,
+        meet: Meet::Union,
+        universe,
+        gen,
+        kill,
+        boundary: BitSet::new(universe),
+    };
+    Liveness { sol: solve(cfg, &prob), universe }
+}
+
+/// live_before = (live_after − definite_defs) ∪ uses, applied to running
+/// (gen, kill) composition.
+fn apply_stmt_backward(prog: &Program, s: StmtId, gen: &mut BitSet, kill: &mut BitSet) {
+    let du = stmt_def_use(prog, s);
+    for sym in du.def_scalars {
+        gen.remove(sym.index());
+        kill.insert(sym.index());
+    }
+    for sym in du.use_scalars.iter().chain(&du.use_arrays) {
+        gen.insert(sym.index());
+        kill.remove(sym.index());
+    }
+    // Array defs neither gen nor kill (may-defs); their subscript uses are
+    // already in `use_scalars`.
+}
+
+impl Liveness {
+    /// Symbols live immediately **after** statement `s`.
+    pub fn live_after(&self, prog: &Program, cfg: &Cfg, s: StmtId) -> BitSet {
+        let b = cfg.block_of(s).expect("statement must be in the CFG");
+        let mut cur = self.sol.outs[b.index()].clone();
+        let mut gen = BitSet::new(self.universe);
+        let mut kill = BitSet::new(self.universe);
+        let stmts = &cfg.block(b).stmts;
+        for &t in stmts.iter().rev() {
+            if t == s {
+                break;
+            }
+            apply_stmt_backward(prog, t, &mut gen, &mut kill);
+        }
+        cur.subtract(&kill);
+        cur.union_with(&gen);
+        cur
+    }
+
+    /// Is `sym` live immediately after `s`?
+    pub fn is_live_after(&self, prog: &Program, cfg: &Cfg, s: StmtId, sym: Sym) -> bool {
+        self.live_after(prog, cfg, s).contains(sym.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use pivot_lang::parser::parse;
+
+    fn setup(src: &str) -> (Program, Cfg, Liveness) {
+        let p = parse(src).unwrap();
+        let cfg = build(&p);
+        let lv = compute(&p, &cfg);
+        (p, cfg, lv)
+    }
+
+    #[test]
+    fn dead_when_never_used() {
+        let (p, cfg, lv) = setup("x = 1\ny = 2\nwrite y\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        let y = p.symbols.get("y").unwrap();
+        assert!(!lv.is_live_after(&p, &cfg, ss[0], x));
+        assert!(lv.is_live_after(&p, &cfg, ss[1], y));
+    }
+
+    #[test]
+    fn dead_when_overwritten_before_use() {
+        let (p, cfg, lv) = setup("x = 1\nx = 2\nwrite x\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        assert!(!lv.is_live_after(&p, &cfg, ss[0], x));
+        assert!(lv.is_live_after(&p, &cfg, ss[1], x));
+    }
+
+    #[test]
+    fn live_through_branch() {
+        let (p, cfg, lv) = setup("x = 1\nread c\nif (c > 0) then\n  write x\nendif\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        // x is (may-)live after its def: one path uses it.
+        assert!(lv.is_live_after(&p, &cfg, ss[0], x));
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        let (p, cfg, lv) = setup("s = 0\ndo i = 1, 5\n  s = s + i\nenddo\nwrite s\n");
+        let ss = p.attached_stmts();
+        let s_sym = p.symbols.get("s").unwrap();
+        // After the accumulation statement, s is live (next iteration or exit).
+        assert!(lv.is_live_after(&p, &cfg, ss[2], s_sym));
+        assert!(lv.is_live_after(&p, &cfg, ss[0], s_sym));
+    }
+
+    #[test]
+    fn array_store_does_not_kill() {
+        let (p, cfg, lv) = setup("A(1) = 1\nA(2) = 2\nwrite A(1)\n");
+        let ss = p.attached_stmts();
+        let a = p.symbols.get("A").unwrap();
+        assert!(lv.is_live_after(&p, &cfg, ss[0], a));
+        assert!(lv.is_live_after(&p, &cfg, ss[1], a));
+    }
+
+    #[test]
+    fn subscripts_are_uses() {
+        let (p, cfg, lv) = setup("i = 1\nA(i) = 0\n write A(1)\n");
+        let ss = p.attached_stmts();
+        let i = p.symbols.get("i").unwrap();
+        assert!(lv.is_live_after(&p, &cfg, ss[0], i));
+    }
+
+    #[test]
+    fn loop_bounds_are_uses() {
+        let (p, cfg, lv) = setup("n = 10\ndo i = 1, n\n  x = i\nenddo\nwrite x\n");
+        let ss = p.attached_stmts();
+        let n = p.symbols.get("n").unwrap();
+        assert!(lv.is_live_after(&p, &cfg, ss[0], n));
+    }
+
+    #[test]
+    fn nothing_live_at_exit_without_writes() {
+        let (p, cfg, lv) = setup("x = 1\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        assert!(!lv.is_live_after(&p, &cfg, ss[0], x));
+    }
+}

@@ -1,0 +1,194 @@
+//! Loop structure utilities: bounds, trip counts, tight nesting, adjacency,
+//! conformability — the pre-condition vocabulary of the high-level
+//! transformations (ICM, INX, FUS, LUR, SMI).
+
+use pivot_lang::{Program, StmtId, StmtKind, Sym};
+
+/// Constant-bound description of a `do` loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConstBounds {
+    /// Lower bound.
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+    /// Step (never 0).
+    pub step: i64,
+}
+
+impl ConstBounds {
+    /// Number of iterations executed.
+    pub fn trip_count(&self) -> i64 {
+        if self.step > 0 {
+            if self.lo > self.hi {
+                0
+            } else {
+                (self.hi - self.lo) / self.step + 1
+            }
+        } else if self.lo < self.hi {
+            0
+        } else {
+            (self.lo - self.hi) / (-self.step) + 1
+        }
+    }
+}
+
+/// Is this statement a `do` loop?
+pub fn is_loop(prog: &Program, s: StmtId) -> bool {
+    matches!(prog.stmt(s).kind, StmtKind::DoLoop { .. })
+}
+
+/// The induction variable of a loop.
+pub fn loop_var(prog: &Program, s: StmtId) -> Option<Sym> {
+    match &prog.stmt(s).kind {
+        StmtKind::DoLoop { var, .. } => Some(*var),
+        _ => None,
+    }
+}
+
+/// The body of a loop.
+pub fn loop_body(prog: &Program, s: StmtId) -> Option<&Vec<StmtId>> {
+    match &prog.stmt(s).kind {
+        StmtKind::DoLoop { body, .. } => Some(body),
+        _ => None,
+    }
+}
+
+/// Constant bounds of a loop, if all of lo/hi/step are literal constants.
+pub fn const_bounds(prog: &Program, s: StmtId) -> Option<ConstBounds> {
+    match &prog.stmt(s).kind {
+        StmtKind::DoLoop { lo, hi, step, .. } => {
+            let lo = prog.const_eval(*lo)?;
+            let hi = prog.const_eval(*hi)?;
+            let step = match step {
+                Some(e) => prog.const_eval(*e)?,
+                None => 1,
+            };
+            if step == 0 {
+                return None;
+            }
+            Some(ConstBounds { lo, hi, step })
+        }
+        _ => None,
+    }
+}
+
+/// Tight nesting: the outer loop's body is exactly one statement, which is
+/// an inner `do` loop. Returns the inner loop.
+pub fn tightly_nested_inner(prog: &Program, outer: StmtId) -> Option<StmtId> {
+    match loop_body(prog, outer)?.as_slice() {
+        [only] if is_loop(prog, *only) => Some(*only),
+        _ => None,
+    }
+}
+
+/// Are `(outer, inner)` a tightly nested pair?
+pub fn is_tightly_nested(prog: &Program, outer: StmtId, inner: StmtId) -> bool {
+    tightly_nested_inner(prog, outer) == Some(inner)
+}
+
+/// Two loops are *conformable* for fusion when their headers iterate the
+/// same space: structurally equal lo/hi/step and the same induction variable.
+pub fn conformable(prog: &Program, l1: StmtId, l2: StmtId) -> bool {
+    use pivot_lang::equiv::exprs_equal_in;
+    match (&prog.stmt(l1).kind, &prog.stmt(l2).kind) {
+        (
+            StmtKind::DoLoop { var: v1, lo: lo1, hi: h1, step: s1, .. },
+            StmtKind::DoLoop { var: v2, lo: lo2, hi: h2, step: s2, .. },
+        ) => {
+            v1 == v2
+                && exprs_equal_in(prog, *lo1, *lo2)
+                && exprs_equal_in(prog, *h1, *h2)
+                && match (s1, s2) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => exprs_equal_in(prog, *a, *b),
+                    _ => false,
+                }
+        }
+        _ => false,
+    }
+}
+
+/// Adjacent sibling loops: `l2` immediately follows `l1` in the same block.
+pub fn adjacent(prog: &Program, l1: StmtId, l2: StmtId) -> bool {
+    prog.next_sibling(l1) == Some(l2)
+}
+
+/// The loop nest (enclosing `do` loops, **outermost first**) common to two
+/// statements.
+pub fn common_loops(prog: &Program, a: StmtId, b: StmtId) -> Vec<StmtId> {
+    let mut la = prog.enclosing_loops(a); // innermost first
+    let mut lb = prog.enclosing_loops(b);
+    la.reverse();
+    lb.reverse();
+    la.into_iter().zip(lb).take_while(|(x, y)| x == y).map(|(x, _)| x).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    #[test]
+    fn trip_counts() {
+        assert_eq!(ConstBounds { lo: 1, hi: 100, step: 1 }.trip_count(), 100);
+        assert_eq!(ConstBounds { lo: 0, hi: 10, step: 3 }.trip_count(), 4);
+        assert_eq!(ConstBounds { lo: 5, hi: 1, step: 1 }.trip_count(), 0);
+        assert_eq!(ConstBounds { lo: 5, hi: 1, step: -2 }.trip_count(), 3);
+        assert_eq!(ConstBounds { lo: 1, hi: 5, step: -1 }.trip_count(), 0);
+    }
+
+    #[test]
+    fn const_bounds_extraction() {
+        let p = parse("do i = 1, 100\nenddo\ndo j = 0, 10, 2\nenddo\ndo k = 1, n\nenddo\n").unwrap();
+        assert_eq!(
+            const_bounds(&p, p.body[0]),
+            Some(ConstBounds { lo: 1, hi: 100, step: 1 })
+        );
+        assert_eq!(
+            const_bounds(&p, p.body[1]),
+            Some(ConstBounds { lo: 0, hi: 10, step: 2 })
+        );
+        assert_eq!(const_bounds(&p, p.body[2]), None);
+    }
+
+    #[test]
+    fn tight_nesting_detection() {
+        let p = parse(
+            "do i = 1, 5\n  do j = 1, 5\n    A(i, j) = 0\n  enddo\nenddo\ndo k = 1, 5\n  x = k\n  do m = 1, 2\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let outer1 = p.body[0];
+        let inner1 = loop_body(&p, outer1).unwrap()[0];
+        assert!(is_tightly_nested(&p, outer1, inner1));
+        let outer2 = p.body[1];
+        assert_eq!(tightly_nested_inner(&p, outer2), None);
+    }
+
+    #[test]
+    fn conformable_loops() {
+        let p = parse(
+            "do i = 1, 10\n  A(i) = 0\nenddo\ndo i = 1, 10\n  B(i) = 0\nenddo\ndo j = 1, 10\n  C(j) = 0\nenddo\ndo i = 1, 11\n  D(i) = 0\nenddo\n",
+        )
+        .unwrap();
+        assert!(conformable(&p, p.body[0], p.body[1]));
+        assert!(!conformable(&p, p.body[0], p.body[2])); // different var
+        assert!(!conformable(&p, p.body[0], p.body[3])); // different hi
+        assert!(adjacent(&p, p.body[0], p.body[1]));
+        assert!(!adjacent(&p, p.body[1], p.body[0]));
+    }
+
+    #[test]
+    fn common_loop_nest() {
+        let p = parse(
+            "do i = 1, 5\n  do j = 1, 5\n    A(i, j) = 1\n    B(i, j) = 2\n  enddo\n  x = i\nenddo\n",
+        )
+        .unwrap();
+        let outer = p.body[0];
+        let inner = loop_body(&p, outer).unwrap()[0];
+        let a = loop_body(&p, inner).unwrap()[0];
+        let b = loop_body(&p, inner).unwrap()[1];
+        let x = loop_body(&p, outer).unwrap()[1];
+        assert_eq!(common_loops(&p, a, b), vec![outer, inner]);
+        assert_eq!(common_loops(&p, a, x), vec![outer]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Program Dependence Graph: control dependence, region nodes, the control
+//! dependence tree, the least-common-region (LCR) operator, and data
+//! dependence summaries on region nodes (the paper's Figure 3).
+//!
+//! Two constructions are provided and cross-checked:
+//! * [`control_dependence`] — the general Ferrante/Ottenstein/Warren
+//!   algorithm on the CFG via postdominance frontiers;
+//! * [`Pdg::build`] — the region-node tree derived from the structured AST
+//!   (equivalent for structured programs, and the form the undo machinery
+//!   navigates).
+//!
+//! Each data dependence is annotated on the least common region node of its
+//! source and sink. Region summaries let legality screens (e.g. loop fusion)
+//! consult only the inter-region dependences on one region node instead of
+//! visiting every node under the candidate loops — the paper's Section 4.4
+//! argument, measured in benches.
+
+use crate::cfg::{BlockId, Cfg};
+use crate::depend::Ddg;
+use crate::dom::DomTree;
+use pivot_lang::{BlockRole, Parent, Program, StmtId, StmtKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a region node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// What a region hangs from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionParent {
+    /// The root region (whole program).
+    Root,
+    /// Region controlled by a predicate statement (`do` or `if`) with the
+    /// given branch role.
+    Under(StmtId, BlockRole),
+}
+
+/// A region node of the PDG.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Attachment.
+    pub parent: RegionParent,
+    /// Member statements, in program order. Compound members (`do`/`if`)
+    /// own further regions.
+    pub members: Vec<StmtId>,
+    /// Depth in the region tree (root = 0).
+    pub depth: u32,
+}
+
+/// The PDG region tree plus dependence summaries.
+#[derive(Clone, Debug)]
+pub struct Pdg {
+    /// Region nodes; `RegionId(0)` is the root.
+    pub regions: Vec<Region>,
+    /// Region directly containing each statement.
+    pub region_of: HashMap<StmtId, RegionId>,
+    /// Regions owned by each compound statement (loop body, then, else).
+    pub regions_of_stmt: HashMap<(StmtId, BlockRole), RegionId>,
+    /// For each region: indices into the DDG's `deps` whose LCR it is.
+    pub summaries: Vec<Vec<usize>>,
+}
+
+impl Pdg {
+    /// Build the region tree from the structured program and annotate `ddg`'s
+    /// dependences on region nodes.
+    pub fn build(prog: &Program, ddg: &Ddg) -> Pdg {
+        let mut pdg = Pdg {
+            regions: vec![Region { parent: RegionParent::Root, members: Vec::new(), depth: 0 }],
+            region_of: HashMap::new(),
+            regions_of_stmt: HashMap::new(),
+            summaries: Vec::new(),
+        };
+        let root = RegionId(0);
+        let body: Vec<StmtId> = prog.body.clone();
+        pdg.fill_region(prog, root, &body);
+        pdg.summaries = vec![Vec::new(); pdg.regions.len()];
+        for (i, d) in ddg.deps.iter().enumerate() {
+            if let Some(r) = pdg.lcr(d.src, d.dst) {
+                pdg.summaries[r.index()].push(i);
+            }
+        }
+        pdg
+    }
+
+    fn new_region(&mut self, parent: RegionParent, depth: u32) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Region { parent, members: Vec::new(), depth });
+        id
+    }
+
+    fn fill_region(&mut self, prog: &Program, r: RegionId, stmts: &[StmtId]) {
+        for &s in stmts {
+            self.regions[r.index()].members.push(s);
+            self.region_of.insert(s, r);
+            let depth = self.regions[r.index()].depth + 1;
+            match &prog.stmt(s).kind {
+                StmtKind::DoLoop { body, .. } => {
+                    let body = body.clone();
+                    let sub = self.new_region(RegionParent::Under(s, BlockRole::LoopBody), depth);
+                    self.regions_of_stmt.insert((s, BlockRole::LoopBody), sub);
+                    self.fill_region(prog, sub, &body);
+                }
+                StmtKind::If { then_body, else_body, .. } => {
+                    let (tb, eb) = (then_body.clone(), else_body.clone());
+                    let t = self.new_region(RegionParent::Under(s, BlockRole::Then), depth);
+                    self.regions_of_stmt.insert((s, BlockRole::Then), t);
+                    self.fill_region(prog, t, &tb);
+                    let e = self.new_region(RegionParent::Under(s, BlockRole::Else), depth);
+                    self.regions_of_stmt.insert((s, BlockRole::Else), e);
+                    self.fill_region(prog, e, &eb);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Chain of regions from the one containing `s` up to the root.
+    pub fn region_chain(&self, s: StmtId) -> Vec<RegionId> {
+        let mut out = Vec::new();
+        let mut cur = match self.region_of.get(&s) {
+            Some(&r) => r,
+            None => return out,
+        };
+        loop {
+            out.push(cur);
+            match self.regions[cur.index()].parent {
+                RegionParent::Root => break,
+                RegionParent::Under(owner, _) => {
+                    cur = *self.region_of.get(&owner).expect("owner stmt has a region");
+                }
+            }
+        }
+        out
+    }
+
+    /// Least common region of two statements (the paper's `LCR(s_i, s_j)`).
+    pub fn lcr(&self, a: StmtId, b: StmtId) -> Option<RegionId> {
+        let ca = self.region_chain(a);
+        let cb = self.region_chain(b);
+        if ca.is_empty() || cb.is_empty() {
+            return None;
+        }
+        // Chains end at the root; find the deepest region present in both.
+        let set: std::collections::HashSet<RegionId> = cb.into_iter().collect();
+        ca.into_iter().find(|r| set.contains(r))
+    }
+
+    /// Dependence indices summarized on region `r`.
+    pub fn summary(&self, r: RegionId) -> &[usize] {
+        &self.summaries[r.index()]
+    }
+
+    /// Figure 3 legality screen for fusing `(l1, l2)`: consult only the
+    /// dependences summarized on `LCR(l1, l2)`. If none of them connects the
+    /// two loop subtrees, fusion is dependence-legal without visiting any
+    /// node under the loops; otherwise run the precise aligned test.
+    pub fn fusion_screen(&self, prog: &Program, ddg: &Ddg, l1: StmtId, l2: StmtId) -> bool {
+        let Some(r) = self.lcr(l1, l2) else { return false };
+        let in1: std::collections::HashSet<StmtId> = prog.subtree(l1).into_iter().collect();
+        let in2: std::collections::HashSet<StmtId> = prog.subtree(l2).into_iter().collect();
+        let connecting = self.summary(r).iter().any(|&i| {
+            let d = &ddg.deps[i];
+            (in1.contains(&d.src) && in2.contains(&d.dst))
+                || (in2.contains(&d.src) && in1.contains(&d.dst))
+        });
+        if !connecting {
+            return true;
+        }
+        crate::depend::fusion_dep_legal(prog, l1, l2)
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if the PDG has no regions (never happens after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Render the region tree with summaries (examples, debugging).
+    pub fn dump(&self, prog: &Program, ddg: &Ddg) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, reg) in self.regions.iter().enumerate() {
+            let r = RegionId(i as u32);
+            let indent = "  ".repeat(reg.depth as usize);
+            let _ = write!(out, "{indent}{r}");
+            match reg.parent {
+                RegionParent::Root => {
+                    let _ = write!(out, " (root)");
+                }
+                RegionParent::Under(s, role) => {
+                    let _ = write!(out, " (under {} {:?})", prog.stmt(s).label, role);
+                }
+            }
+            let members: Vec<String> =
+                reg.members.iter().map(|&s| prog.stmt(s).label.to_string()).collect();
+            let _ = write!(out, " members=[{}]", members.join(","));
+            if !self.summaries[r.index()].is_empty() {
+                let deps: Vec<String> = self.summaries[r.index()]
+                    .iter()
+                    .map(|&di| {
+                        let d = &ddg.deps[di];
+                        format!(
+                            "{}→{} {:?}({})",
+                            prog.stmt(d.src).label,
+                            prog.stmt(d.dst).label,
+                            d.kind,
+                            prog.symbols.name(d.var)
+                        )
+                    })
+                    .collect();
+                let _ = write!(out, " deps={{{}}}", deps.join(", "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// CFG-based control dependence (validation path)
+// ---------------------------------------------------------------------
+
+/// Control dependence relation computed from the CFG: `cd[b]` lists the
+/// blocks `b` is control-dependent on (Ferrante-Ottenstein-Warren via
+/// postdominator walks on each edge).
+pub fn control_dependence(cfg: &Cfg, pdom: &DomTree) -> Vec<Vec<BlockId>> {
+    let mut cd: Vec<Vec<BlockId>> = vec![Vec::new(); cfg.len()];
+    for a in cfg.ids() {
+        if cfg.block(a).succs.len() < 2 {
+            // Only branch points (loop headers, if conditions) create
+            // control dependences; a single successor always postdominates.
+            continue;
+        }
+        let stop = pdom.parent(a); // ipdom(a), exclusive end of the walk
+        for &b in &cfg.block(a).succs {
+            let mut cur = Some(b);
+            while let Some(c) = cur {
+                if Some(c) == stop {
+                    break;
+                }
+                cd[c.index()].push(a);
+                cur = pdom.parent(c);
+            }
+        }
+    }
+    for v in &mut cd {
+        v.sort_unstable();
+        v.dedup();
+    }
+    cd
+}
+
+/// Statement-level control dependence derived from the CFG path: which
+/// predicate statements (loop headers / if conditions) each statement is
+/// control-dependent on.
+pub fn stmt_control_deps(prog: &Program, cfg: &Cfg, pdom: &DomTree) -> HashMap<StmtId, Vec<StmtId>> {
+    let cd = control_dependence(cfg, pdom);
+    let mut out: HashMap<StmtId, Vec<StmtId>> = HashMap::new();
+    for s in prog.attached_stmts() {
+        let b = match cfg.block_of(s) {
+            Some(b) => b,
+            None => continue,
+        };
+        let mut preds: Vec<StmtId> = cd[b.index()]
+            .iter()
+            .filter_map(|&c| match cfg.block(c).kind {
+                crate::cfg::BlockKind::LoopHeader(h) => Some(h),
+                crate::cfg::BlockKind::IfCond(h) => Some(h),
+                _ => None,
+            })
+            .collect();
+        preds.sort_unstable();
+        preds.dedup();
+        out.insert(s, preds);
+    }
+    out
+}
+
+/// Structural control dependence (what the region tree encodes): the chain
+/// of enclosing compound statements, with loop headers additionally
+/// self-dependent (the back edge makes a loop header control its own
+/// re-execution).
+pub fn structural_control_deps(prog: &Program) -> HashMap<StmtId, Vec<StmtId>> {
+    let mut out = HashMap::new();
+    for s in prog.attached_stmts() {
+        let mut deps: Vec<StmtId> = prog.ancestors(s);
+        if matches!(prog.stmt(s).kind, StmtKind::DoLoop { .. }) {
+            deps.push(s);
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        out.insert(s, deps);
+    }
+    out
+}
+
+/// Does this parent role indicate a statement directly in the root body?
+pub fn at_root(prog: &Program, s: StmtId) -> bool {
+    prog.stmt(s).parent == Some(Parent::Root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use crate::depend::build_ddg;
+    use crate::dom;
+    use pivot_lang::parser::parse;
+
+    fn setup(src: &str) -> (Program, Ddg, Pdg) {
+        let p = parse(src).unwrap();
+        let ddg = build_ddg(&p);
+        let pdg = Pdg::build(&p, &ddg);
+        (p, ddg, pdg)
+    }
+
+    #[test]
+    fn region_tree_shape_figure1() {
+        let (p, _ddg, pdg) = setup(
+            "D = E + F\nC = 1\ndo i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\n",
+        );
+        // Root region + loop i body + loop j body = 3 regions.
+        assert_eq!(pdg.len(), 3);
+        let ss = p.attached_stmts();
+        assert_eq!(pdg.region_of[&ss[0]], RegionId(0));
+        assert_eq!(pdg.region_of[&ss[2]], RegionId(0));
+        let ri = pdg.region_of[&ss[3]]; // inner loop stmt sits in outer body region
+        assert_eq!(pdg.regions[ri.index()].depth, 1);
+        let rj = pdg.region_of[&ss[4]];
+        assert_eq!(pdg.regions[rj.index()].depth, 2);
+    }
+
+    #[test]
+    fn lcr_computation() {
+        let (p, _ddg, pdg) = setup(
+            "do i = 1, 5\n  A(i) = 1\nenddo\ndo j = 1, 5\n  B(j) = A(j)\nenddo\n",
+        );
+        let ss = p.attached_stmts();
+        let (a_set, b_read) = (ss[1], ss[3]);
+        // LCR of statements in the two loop bodies is the root region.
+        assert_eq!(pdg.lcr(a_set, b_read), Some(RegionId(0)));
+        // LCR of a statement with itself is its own region.
+        assert_eq!(pdg.lcr(a_set, a_set), pdg.region_of.get(&a_set).copied());
+        // LCR of a body statement and its loop is the loop's region.
+        assert_eq!(pdg.lcr(ss[0], a_set), Some(RegionId(0)));
+    }
+
+    #[test]
+    fn figure3_summary_on_root() {
+        // Mirrors Figure 3: dep between the two loops (d2) summarized on the
+        // root region; intra-loop deps summarized inside.
+        let (p, ddg, pdg) = setup(
+            "do i = 1, 5\n  A(i) = 1\n  x = A(i)\n  write x\nenddo\ndo j = 1, 5\n  B(j) = A(j)\nenddo\n",
+        );
+        let ss = p.attached_stmts();
+        let a = p.symbols.get("A").unwrap();
+        // Find the inter-loop dep A(i)→A(j).
+        let inter = ddg
+            .deps
+            .iter()
+            .position(|d| d.var == a && d.src == ss[1] && d.dst == ss[5])
+            .expect("inter-loop dep must exist");
+        assert!(pdg.summary(RegionId(0)).contains(&inter));
+        // The intra-loop A-flow dep is NOT on the root.
+        let intra = ddg
+            .deps
+            .iter()
+            .position(|d| d.var == a && d.src == ss[1] && d.dst == ss[2])
+            .expect("intra-loop dep must exist");
+        assert!(!pdg.summary(RegionId(0)).contains(&intra));
+    }
+
+    #[test]
+    fn fusion_screen_agrees_with_precise_test() {
+        let legal = "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n";
+        let illegal = "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i + 1)\nenddo\n";
+        let disjoint = "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = 2\nenddo\n";
+        for (src, expect) in [(legal, true), (illegal, false), (disjoint, true)] {
+            let (p, ddg, pdg) = setup(src);
+            let got = pdg.fusion_screen(&p, &ddg, p.body[0], p.body[1]);
+            assert_eq!(got, expect, "screen mismatch for:\n{src}");
+            assert_eq!(
+                crate::depend::fusion_dep_legal(&p, p.body[0], p.body[1]),
+                expect,
+                "precise test mismatch for:\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn cfg_control_dependence_matches_structure() {
+        let src = "read x\nif (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\ndo i = 1, 3\n  z = i\nenddo\nwrite y\n";
+        let p = parse(src).unwrap();
+        let cfgr = cfg::build(&p);
+        let pdom = dom::postdominators(&cfgr);
+        let from_cfg = stmt_control_deps(&p, &cfgr, &pdom);
+        let structural = structural_control_deps(&p);
+        for s in p.attached_stmts() {
+            assert_eq!(
+                from_cfg.get(&s),
+                structural.get(&s),
+                "control deps disagree for stmt label {}",
+                p.stmt(s).label
+            );
+        }
+    }
+
+    #[test]
+    fn loop_header_self_dependence() {
+        let p = parse("do i = 1, 3\n  x = i\nenddo\n").unwrap();
+        let cfgr = cfg::build(&p);
+        let pdom = dom::postdominators(&cfgr);
+        let cds = stmt_control_deps(&p, &cfgr, &pdom);
+        let lp = p.body[0];
+        // The loop header is control dependent on itself (back edge).
+        assert!(cds[&lp].contains(&lp));
+        // The body statement is control dependent on the header.
+        let body = p.attached_stmts()[1];
+        assert_eq!(cds[&body], vec![lp]);
+    }
+
+    #[test]
+    fn dump_contains_regions_and_deps() {
+        let (p, ddg, pdg) = setup("do i = 1, 5\n  A(i) = 1\nenddo\ndo j = 1, 5\n  B(j) = A(j)\nenddo\n");
+        let d = pdg.dump(&p, &ddg);
+        assert!(d.contains("R0"));
+        assert!(d.contains("Flow"));
+    }
+}

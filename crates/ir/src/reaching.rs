@@ -1,0 +1,259 @@
+//! Reaching definitions.
+//!
+//! Def sites are `(statement, symbol)` pairs. Scalar definitions are
+//! definite (they kill all other defs of the symbol); array-element
+//! definitions are *may*-defs (they kill nothing, and any array def site
+//! reaches any later use of the array unless a definite kill intervenes —
+//! there are none for arrays in this language).
+
+use crate::access::stmt_def_use;
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, Direction, Meet, Problem, Solution};
+use pivot_lang::{Program, StmtId, Sym};
+use std::collections::HashMap;
+
+/// A single definition site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DefSite {
+    /// Defining statement.
+    pub stmt: StmtId,
+    /// Defined symbol.
+    pub sym: Sym,
+    /// True if this is an array-element (may) definition.
+    pub is_array: bool,
+}
+
+/// Reaching-definitions analysis result.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    /// All definition sites, indexed by fact number.
+    pub sites: Vec<DefSite>,
+    /// Fact number of a `(stmt, sym)` definition.
+    pub site_index: HashMap<(StmtId, Sym), usize>,
+    /// Fact numbers per symbol.
+    pub by_sym: HashMap<Sym, Vec<usize>>,
+    /// Block-level solution (facts at block entry/exit).
+    pub sol: Solution,
+}
+
+/// Enumerate definition sites of the live program.
+pub fn def_sites(prog: &Program) -> Vec<DefSite> {
+    let mut out = Vec::new();
+    for s in prog.attached_stmts() {
+        let du = stmt_def_use(prog, s);
+        for sym in du.def_scalars {
+            out.push(DefSite { stmt: s, sym, is_array: false });
+        }
+        for sym in du.def_arrays {
+            out.push(DefSite { stmt: s, sym, is_array: true });
+        }
+    }
+    out
+}
+
+/// Compute reaching definitions over the CFG.
+pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
+    let sites = def_sites(prog);
+    let universe = sites.len();
+    let mut site_index = HashMap::with_capacity(universe);
+    let mut by_sym: HashMap<Sym, Vec<usize>> = HashMap::new();
+    for (i, d) in sites.iter().enumerate() {
+        site_index.insert((d.stmt, d.sym), i);
+        by_sym.entry(d.sym).or_default().push(i);
+    }
+
+    let n = cfg.len();
+    let mut gen: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+    let mut kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+    for b in cfg.ids() {
+        let (g, k) = block_transfer(prog, cfg, b, &sites, &site_index, &by_sym, universe);
+        gen[b.index()] = g;
+        kill[b.index()] = k;
+    }
+    let prob = Problem {
+        direction: Direction::Forward,
+        meet: Meet::Union,
+        universe,
+        gen,
+        kill,
+        boundary: BitSet::new(universe),
+    };
+    let sol = solve(cfg, &prob);
+    ReachingDefs { sites, site_index, by_sym, sol }
+}
+
+/// Compose the transfer function of a block from its statements in order.
+fn block_transfer(
+    prog: &Program,
+    cfg: &Cfg,
+    b: crate::cfg::BlockId,
+    sites: &[DefSite],
+    site_index: &HashMap<(StmtId, Sym), usize>,
+    by_sym: &HashMap<Sym, Vec<usize>>,
+    universe: usize,
+) -> (BitSet, BitSet) {
+    let mut gen = BitSet::new(universe);
+    let mut kill = BitSet::new(universe);
+    for &s in &cfg.block(b).stmts {
+        apply_stmt(prog, s, sites, site_index, by_sym, &mut gen, &mut kill);
+    }
+    (gen, kill)
+}
+
+/// Apply one statement's transfer to running (gen, kill) sets.
+fn apply_stmt(
+    prog: &Program,
+    s: StmtId,
+    sites: &[DefSite],
+    site_index: &HashMap<(StmtId, Sym), usize>,
+    by_sym: &HashMap<Sym, Vec<usize>>,
+    gen: &mut BitSet,
+    kill: &mut BitSet,
+) {
+    let du = stmt_def_use(prog, s);
+    for sym in du.def_scalars {
+        // Definite def: kill all other defs of sym, then gen this one.
+        if let Some(facts) = by_sym.get(&sym) {
+            for &f in facts {
+                if sites[f].stmt != s {
+                    gen.remove(f);
+                    kill.insert(f);
+                }
+            }
+        }
+        if let Some(&f) = site_index.get(&(s, sym)) {
+            gen.insert(f);
+            kill.remove(f);
+        }
+    }
+    for sym in du.def_arrays {
+        // May-def: gen without killing.
+        if let Some(&f) = site_index.get(&(s, sym)) {
+            gen.insert(f);
+        }
+    }
+}
+
+impl ReachingDefs {
+    /// Facts reaching the **entry of** statement `s` (before it executes),
+    /// computed by walking its block from the block's IN.
+    pub fn reaching_before(&self, prog: &Program, cfg: &Cfg, s: StmtId) -> BitSet {
+        let b = cfg.block_of(s).expect("statement must be in the CFG");
+        let mut cur = self.sol.ins[b.index()].clone();
+        let mut gen = BitSet::new(cur.universe());
+        let mut kill = BitSet::new(cur.universe());
+        for &t in &cfg.block(b).stmts {
+            if t == s {
+                break;
+            }
+            apply_stmt(prog, t, &self.sites, &self.site_index, &self.by_sym, &mut gen, &mut kill);
+        }
+        cur.subtract(&kill);
+        cur.union_with(&gen);
+        cur
+    }
+
+    /// Statements whose definition of `sym` reaches the entry of `s`.
+    pub fn defs_reaching(&self, prog: &Program, cfg: &Cfg, s: StmtId, sym: Sym) -> Vec<StmtId> {
+        let reach = self.reaching_before(prog, cfg, s);
+        self.by_sym
+            .get(&sym)
+            .map(|facts| {
+                facts
+                    .iter()
+                    .filter(|&&f| reach.contains(f))
+                    .map(|&f| self.sites[f].stmt)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use pivot_lang::parser::parse;
+
+    fn setup(src: &str) -> (Program, Cfg, ReachingDefs) {
+        let p = parse(src).unwrap();
+        let cfg = build(&p);
+        let rd = compute(&p, &cfg);
+        (p, cfg, rd)
+    }
+
+    #[test]
+    fn later_def_kills_earlier() {
+        let (p, cfg, rd) = setup("x = 1\nx = 2\nwrite x\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        let defs = rd.defs_reaching(&p, &cfg, ss[2], x);
+        assert_eq!(defs, vec![ss[1]]);
+    }
+
+    #[test]
+    fn branch_merges_defs() {
+        let (p, cfg, rd) = setup(
+            "read c\nif (c > 0) then\n  x = 1\nelse\n  x = 2\nendif\nwrite x\n",
+        );
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        let mut defs = rd.defs_reaching(&p, &cfg, ss[4], x);
+        defs.sort();
+        assert_eq!(defs, vec![ss[2], ss[3]]);
+    }
+
+    #[test]
+    fn loop_carried_def_reaches_header_and_body() {
+        let (p, cfg, rd) = setup("x = 0\ndo i = 1, 5\n  x = x + 1\nenddo\nwrite x\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        // At the body statement, both the init and the loop-carried def reach.
+        let mut defs = rd.defs_reaching(&p, &cfg, ss[2], x);
+        defs.sort();
+        assert_eq!(defs, vec![ss[0], ss[2]]);
+        // After the loop, both still reach (the loop may run zero times as
+        // far as the analysis knows).
+        let mut defs = rd.defs_reaching(&p, &cfg, ss[3], x);
+        defs.sort();
+        assert_eq!(defs, vec![ss[0], ss[2]]);
+    }
+
+    #[test]
+    fn array_defs_accumulate() {
+        let (p, cfg, rd) = setup("A(1) = 1\nA(2) = 2\nwrite A(1)\n");
+        let ss = p.attached_stmts();
+        let a = p.symbols.get("A").unwrap();
+        let mut defs = rd.defs_reaching(&p, &cfg, ss[2], a);
+        defs.sort();
+        // Both may-defs reach: array stores do not kill each other.
+        assert_eq!(defs, vec![ss[0], ss[1]]);
+    }
+
+    #[test]
+    fn within_block_ordering() {
+        let (p, cfg, rd) = setup("x = 1\ny = x\nx = 2\nz = x\n");
+        let ss = p.attached_stmts();
+        let x = p.symbols.get("x").unwrap();
+        assert_eq!(rd.defs_reaching(&p, &cfg, ss[1], x), vec![ss[0]]);
+        assert_eq!(rd.defs_reaching(&p, &cfg, ss[3], x), vec![ss[2]]);
+    }
+
+    #[test]
+    fn loop_header_defines_induction() {
+        let (p, cfg, rd) = setup("do i = 1, 5\n  x = i\nenddo\nwrite i\n");
+        let ss = p.attached_stmts();
+        let i = p.symbols.get("i").unwrap();
+        let defs = rd.defs_reaching(&p, &cfg, ss[1], i);
+        assert_eq!(defs, vec![ss[0]]);
+    }
+
+    #[test]
+    fn def_sites_enumeration() {
+        let p = parse("x = 1\nA(i) = 2\nread y\ndo k = 1, 2\nenddo\n").unwrap();
+        let sites = def_sites(&p);
+        assert_eq!(sites.len(), 4);
+        assert_eq!(sites.iter().filter(|d| d.is_array).count(), 1);
+    }
+}

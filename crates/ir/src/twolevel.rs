@@ -1,0 +1,203 @@
+//! The two-level program representation (paper, Section 3).
+//!
+//! [`Rep`] bundles the low level (CFG, DAGs, scalar dataflow) and the high
+//! level (DDG, PDG with region summaries) over one [`Program`], so
+//! optimizing and parallelizing transformations can be freely intermixed and
+//! each can consult the level it needs. The transformation layer adds
+//! history annotations on top (making the DAG an ADAG and the PDG an APDG).
+//!
+//! `Rep` is a derived artifact: it is (re)built from the program, never
+//! edited directly. The undo engine rebuilds it after structural changes —
+//! what the paper calls `Dependence_and_data_flow_update` (Figure 4,
+//! line 13).
+
+use crate::avail::{self, AvailExprs};
+use crate::cfg::{self, Cfg};
+use crate::chains::{self, Chains};
+use crate::dag::{self, BlockDag};
+use crate::depend::{self, Ddg};
+use crate::dom::{self, DomTree};
+use crate::live::{self, Liveness};
+use crate::pdg::Pdg;
+use crate::reaching::{self, ReachingDefs};
+use pivot_lang::{Program, StmtId};
+use std::collections::HashMap;
+
+/// The integrated two-level representation.
+#[derive(Clone, Debug)]
+pub struct Rep {
+    /// Control flow graph (low level).
+    pub cfg: Cfg,
+    /// Dominator tree.
+    pub dom: DomTree,
+    /// Postdominator tree.
+    pub pdom: DomTree,
+    /// Reaching definitions.
+    pub reach: ReachingDefs,
+    /// Live variables.
+    pub live: Liveness,
+    /// Available expressions (lazy: only candidate discovery and the DAG
+    /// demos consume it).
+    avail: std::sync::OnceLock<AvailExprs>,
+    /// Def-use / use-def chains.
+    pub chains: Chains,
+    /// High-level layer (DDG + PDG with region summaries), built lazily on
+    /// first use: the scalar transformations and their undo paths never
+    /// touch it, so apply-heavy sessions skip the most expensive analysis.
+    high: std::sync::OnceLock<(Ddg, Pdg)>,
+    /// Pre-order position of every attached statement.
+    pub pos: HashMap<StmtId, usize>,
+    /// How many times this representation has been (re)built — benches use
+    /// this to count `Dependence_and_data_flow_update` work.
+    pub builds: u64,
+}
+
+impl Rep {
+    /// Build the representation for the current program. The low-level
+    /// layer (CFG, dominators, scalar dataflow, chains) is built eagerly;
+    /// the high-level layer (DDG, PDG) on first access via
+    /// [`Rep::ddg`]/[`Rep::pdg`].
+    pub fn build(prog: &Program) -> Rep {
+        let cfg = cfg::build(prog);
+        let dom = dom::dominators(&cfg);
+        let pdom = dom::postdominators(&cfg);
+        let reach = reaching::compute(prog, &cfg);
+        let live = live::compute(prog, &cfg);
+        let chains = chains::compute(prog, &cfg, &reach);
+        let pos = prog.attached_stmts().into_iter().enumerate().map(|(i, s)| (s, i)).collect();
+        Rep {
+            cfg,
+            dom,
+            pdom,
+            reach,
+            live,
+            avail: std::sync::OnceLock::new(),
+            chains,
+            high: std::sync::OnceLock::new(),
+            pos,
+            builds: 1,
+        }
+    }
+
+    /// Available expressions (built on first access).
+    pub fn avail(&self, prog: &Program) -> &AvailExprs {
+        self.avail.get_or_init(|| avail::compute(prog, &self.cfg))
+    }
+
+    fn high(&self, prog: &Program) -> &(Ddg, Pdg) {
+        self.high.get_or_init(|| {
+            let ddg = depend::build_ddg(prog);
+            let pdg = Pdg::build(prog, &ddg);
+            (ddg, pdg)
+        })
+    }
+
+    /// The data dependence graph (built on first access).
+    pub fn ddg(&self, prog: &Program) -> &Ddg {
+        &self.high(prog).0
+    }
+
+    /// The PDG with region summaries (built on first access).
+    pub fn pdg(&self, prog: &Program) -> &Pdg {
+        &self.high(prog).1
+    }
+
+    /// Rebuild after a program change (`Dependence_and_data_flow_update`).
+    pub fn refresh(&mut self, prog: &Program) {
+        let builds = self.builds + 1;
+        *self = Rep::build(prog);
+        self.builds = builds;
+    }
+
+    /// Textual (pre-order) position of a statement, if attached.
+    pub fn position(&self, s: StmtId) -> Option<usize> {
+        self.pos.get(&s).copied()
+    }
+
+    /// Does statement `a` precede `b` in program pre-order?
+    pub fn before(&self, a: StmtId, b: StmtId) -> bool {
+        match (self.position(a), self.position(b)) {
+            (Some(x), Some(y)) => x < y,
+            _ => false,
+        }
+    }
+
+    /// Does statement `a` dominate statement `b`? (Every execution of `b` is
+    /// preceded by an execution of `a`.) Within one block, order decides.
+    pub fn stmt_dominates(&self, a: StmtId, b: StmtId) -> bool {
+        let (ba, bb) = match (self.cfg.block_of(a), self.cfg.block_of(b)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return false,
+        };
+        if ba == bb {
+            let stmts = &self.cfg.block(ba).stmts;
+            let ia = stmts.iter().position(|&s| s == a);
+            let ib = stmts.iter().position(|&s| s == b);
+            return ia <= ib;
+        }
+        self.dom.dominates(ba, bb)
+    }
+
+    /// Build the DAG of the block containing `s` (the low-level view the
+    /// ADAG annotations attach to).
+    pub fn block_dag_of(&self, prog: &Program, s: StmtId) -> Option<BlockDag> {
+        let b = self.cfg.block_of(s)?;
+        Some(dag::build(prog, &self.cfg.block(b).stmts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    #[test]
+    fn builds_all_layers() {
+        let p = parse(
+            "D = E + F\nC = 1\ndo i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\n",
+        )
+        .unwrap();
+        let rep = Rep::build(&p);
+        assert!(rep.cfg.len() >= 5);
+        assert_eq!(rep.pdg(&p).len(), 3);
+        assert_eq!(rep.builds, 1);
+        assert_eq!(rep.pos.len(), p.attached_len());
+    }
+
+    #[test]
+    fn refresh_counts_builds() {
+        let p = parse("a = 1\n").unwrap();
+        let mut rep = Rep::build(&p);
+        rep.refresh(&p);
+        rep.refresh(&p);
+        assert_eq!(rep.builds, 3);
+    }
+
+    #[test]
+    fn before_and_dominates() {
+        let p = parse("a = 1\nread c\nif (c > 0) then\n  b = 2\nendif\nd = 3\n").unwrap();
+        let rep = Rep::build(&p);
+        let ss = p.attached_stmts();
+        assert!(rep.before(ss[0], ss[1]));
+        assert!(!rep.before(ss[1], ss[0]));
+        // a dominates everything below it.
+        assert!(rep.stmt_dominates(ss[0], ss[3]));
+        assert!(rep.stmt_dominates(ss[0], ss[4]));
+        // The then-branch statement does not dominate the following one.
+        assert!(!rep.stmt_dominates(ss[3], ss[4]));
+        // Same-block ordering.
+        assert!(rep.stmt_dominates(ss[0], ss[1]));
+        assert!(!rep.stmt_dominates(ss[1], ss[0]));
+        // Reflexive.
+        assert!(rep.stmt_dominates(ss[0], ss[0]));
+    }
+
+    #[test]
+    fn block_dag_shares() {
+        let p = parse("d = e + f\nr = e + f\n").unwrap();
+        let rep = Rep::build(&p);
+        let ss = p.attached_stmts();
+        let dag = rep.block_dag_of(&p, ss[0]).unwrap();
+        assert_eq!(dag.shared_ops().len(), 1);
+    }
+}

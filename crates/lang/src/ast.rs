@@ -1,0 +1,318 @@
+//! AST node definitions.
+//!
+//! The language is a small Fortran-flavoured structured language matching the
+//! programs in the paper (Figure 1): scalar and array assignments, counted
+//! `do` loops, structured `if`, and `read`/`write` for observable I/O.
+//!
+//! Nodes do not own their children directly; statement bodies are `Vec<StmtId>`
+//! and expression operands are `ExprId`s into the program arenas. This makes
+//! the primitive actions of the paper (Delete / Copy / Move / Add / Modify)
+//! cheap, reversible splices.
+
+use crate::ids::{ExprId, StmtId, Sym};
+
+/// Binary operators. Relational operators are included so `if` conditions are
+/// ordinary expressions (value 0 = false, nonzero = true).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating integer division)
+    Div,
+    /// `%` (remainder)
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinOp {
+    /// Source spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        }
+    }
+
+    /// True for `+ - * / %`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+
+    /// True for operators where `a op b == b op a` on all integer inputs.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// Evaluate the operator on constant operands. Division or modulus by
+    /// zero yields `None` (the transformation layer refuses to fold those).
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical not `!` (0 ↦ 1, nonzero ↦ 0).
+    Not,
+}
+
+impl UnOp {
+    /// Source spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        }
+    }
+
+    /// Evaluate on a constant operand.
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => (a == 0) as i64,
+        }
+    }
+}
+
+/// Expression node payload.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    Const(i64),
+    /// Scalar variable reference.
+    Var(Sym),
+    /// Array element reference `A(i, j, ...)`.
+    Index(Sym, Vec<ExprId>),
+    /// Unary operation.
+    Unary(UnOp, ExprId),
+    /// Binary operation.
+    Binary(BinOp, ExprId, ExprId),
+}
+
+/// An expression arena node. `owner` tracks the statement the expression
+/// currently belongs to, so history annotations on expressions can be mapped
+/// back to program regions.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// The expression payload. `Modify` swaps this in place, preserving the ID.
+    pub kind: ExprKind,
+    /// Statement that currently owns this expression node.
+    pub owner: StmtId,
+}
+
+/// Assignment target: scalar `X` or array element `A(i, j)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LValue {
+    /// Target variable or array name.
+    pub var: Sym,
+    /// Subscript expressions; empty for scalars.
+    pub subs: Vec<ExprId>,
+}
+
+impl LValue {
+    /// A scalar target.
+    pub fn scalar(var: Sym) -> Self {
+        LValue { var, subs: Vec::new() }
+    }
+
+    /// True if this is a plain scalar variable.
+    pub fn is_scalar(&self) -> bool {
+        self.subs.is_empty()
+    }
+}
+
+/// Which child block of a structured statement a child sits in.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BlockRole {
+    /// Body of a `do` loop.
+    LoopBody,
+    /// `then` branch of an `if`.
+    Then,
+    /// `else` branch of an `if`.
+    Else,
+}
+
+/// Where a statement is attached.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Parent {
+    /// Directly in the program's top-level body.
+    Root,
+    /// Inside a block of another statement.
+    Block(StmtId, BlockRole),
+}
+
+/// Statement node payload.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// `target = value`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: ExprId,
+    },
+    /// `do var = lo, hi [, step] ... enddo`
+    DoLoop {
+        /// Induction variable.
+        var: Sym,
+        /// Lower bound expression.
+        lo: ExprId,
+        /// Upper bound expression (inclusive).
+        hi: ExprId,
+        /// Step expression; `None` means 1.
+        step: Option<ExprId>,
+        /// Loop body.
+        body: Vec<StmtId>,
+    },
+    /// `if (cond) then ... [else ...] endif`
+    If {
+        /// Condition expression.
+        cond: ExprId,
+        /// `then` branch.
+        then_body: Vec<StmtId>,
+        /// `else` branch (possibly empty).
+        else_body: Vec<StmtId>,
+    },
+    /// `read target` — consumes one value from the input stream.
+    Read {
+        /// Destination.
+        target: LValue,
+    },
+    /// `write value` — appends one value to the output stream.
+    Write {
+        /// Value written.
+        value: ExprId,
+    },
+}
+
+impl StmtKind {
+    /// Short tag for diagnostics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StmtKind::Assign { .. } => "assign",
+            StmtKind::DoLoop { .. } => "do",
+            StmtKind::If { .. } => "if",
+            StmtKind::Read { .. } => "read",
+            StmtKind::Write { .. } => "write",
+        }
+    }
+}
+
+/// A statement arena node.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// The statement payload.
+    pub kind: StmtKind,
+    /// Current attachment point; `None` while detached (deleted/in-flight).
+    pub parent: Option<Parent>,
+    /// Stable source label, used by the printer. Labels follow the paper's
+    /// Figure 1 convention of numbering source lines.
+    pub label: u32,
+}
+
+impl Stmt {
+    /// True if the statement is currently attached to the program tree.
+    /// Detached statements are tombstones kept for undo.
+    pub fn is_attached(&self) -> bool {
+        self.parent.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_matches_semantics() {
+        assert_eq!(BinOp::Add.eval(2, 3), Some(5));
+        assert_eq!(BinOp::Sub.eval(2, 3), Some(-1));
+        assert_eq!(BinOp::Mul.eval(4, 3), Some(12));
+        assert_eq!(BinOp::Div.eval(7, 2), Some(3));
+        assert_eq!(BinOp::Div.eval(7, 0), None);
+        assert_eq!(BinOp::Mod.eval(7, 0), None);
+        assert_eq!(BinOp::Mod.eval(7, 4), Some(3));
+        assert_eq!(BinOp::Lt.eval(1, 2), Some(1));
+        assert_eq!(BinOp::Ge.eval(1, 2), Some(0));
+    }
+
+    #[test]
+    fn binop_eval_wraps_instead_of_panicking() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(BinOp::Mul.eval(i64::MAX, 2), Some(-2));
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), Some(i64::MIN));
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(5), -5);
+        assert_eq!(UnOp::Not.eval(0), 1);
+        assert_eq!(UnOp::Not.eval(3), 0);
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(BinOp::Mul.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(!BinOp::Div.is_commutative());
+    }
+
+    #[test]
+    fn lvalue_scalar() {
+        let v = LValue::scalar(Sym(0));
+        assert!(v.is_scalar());
+        assert!(v.subs.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Programmatic program construction.
+//!
+//! Expressions are first described as owned [`ET`] trees (no arena IDs), then
+//! materialized into the program arena when the enclosing statement is built.
+//! This sidesteps the owner-before-statement chicken-and-egg problem and
+//! gives the workload generator and tests a compact DSL:
+//!
+//! ```
+//! use pivot_lang::builder::{ProgramBuilder, c, v, add, ix};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.assign("D", add(v("E"), v("F")));
+//! b.do_loop("i", c(1), c(100), |b| {
+//!     b.assign_ix("A", vec![v("i")], add(ix("B", vec![v("i")]), v("C")));
+//! });
+//! let prog = b.finish();
+//! assert_eq!(prog.body.len(), 2);
+//! ```
+
+use crate::ast::{BinOp, BlockRole, ExprKind, LValue, Parent, StmtKind, UnOp};
+use crate::ids::{ExprId, StmtId};
+use crate::program::{AnchorPos, Loc, Program};
+
+/// An owned expression tree, materialized into the arena per statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ET {
+    /// Integer literal.
+    C(i64),
+    /// Scalar variable by name.
+    V(String),
+    /// Array element by name.
+    Ix(String, Vec<ET>),
+    /// Unary operation.
+    Un(UnOp, Box<ET>),
+    /// Binary operation.
+    Bin(BinOp, Box<ET>, Box<ET>),
+}
+
+/// Literal constant.
+pub fn c(v: i64) -> ET {
+    ET::C(v)
+}
+
+/// Scalar variable.
+pub fn v(name: &str) -> ET {
+    ET::V(name.to_owned())
+}
+
+/// Array element.
+pub fn ix(name: &str, subs: Vec<ET>) -> ET {
+    ET::Ix(name.to_owned(), subs)
+}
+
+/// `a + b`
+pub fn add(a: ET, b: ET) -> ET {
+    ET::Bin(BinOp::Add, Box::new(a), Box::new(b))
+}
+
+/// `a - b`
+pub fn sub(a: ET, b: ET) -> ET {
+    ET::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+}
+
+/// `a * b`
+pub fn mul(a: ET, b: ET) -> ET {
+    ET::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+}
+
+/// `a / b`
+pub fn div(a: ET, b: ET) -> ET {
+    ET::Bin(BinOp::Div, Box::new(a), Box::new(b))
+}
+
+/// `a % b`
+pub fn modulo(a: ET, b: ET) -> ET {
+    ET::Bin(BinOp::Mod, Box::new(a), Box::new(b))
+}
+
+/// Binary operation with an explicit operator.
+pub fn bin(op: BinOp, a: ET, b: ET) -> ET {
+    ET::Bin(op, Box::new(a), Box::new(b))
+}
+
+/// Unary negation.
+pub fn neg(a: ET) -> ET {
+    ET::Un(UnOp::Neg, Box::new(a))
+}
+
+/// Fluent builder over a [`Program`].
+pub struct ProgramBuilder {
+    prog: Program,
+    /// Stack of open blocks; statements are appended to the top.
+    stack: Vec<Parent>,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Fresh builder with the root block open.
+    pub fn new() -> Self {
+        ProgramBuilder { prog: Program::new(), stack: vec![Parent::Root] }
+    }
+
+    fn materialize(&mut self, et: &ET, owner: StmtId) -> ExprId {
+        let kind = match et {
+            ET::C(v) => ExprKind::Const(*v),
+            ET::V(n) => ExprKind::Var(self.prog.symbols.intern(n)),
+            ET::Ix(n, subs) => {
+                let sym = self.prog.symbols.intern(n);
+                let subs = subs.iter().map(|s| self.materialize(s, owner)).collect();
+                ExprKind::Index(sym, subs)
+            }
+            ET::Un(op, a) => ExprKind::Unary(*op, self.materialize(a, owner)),
+            ET::Bin(op, a, b) => {
+                let a = self.materialize(a, owner);
+                let b = self.materialize(b, owner);
+                ExprKind::Binary(*op, a, b)
+            }
+        };
+        self.prog.alloc_expr(kind, owner)
+    }
+
+    fn append(&mut self, id: StmtId) {
+        let parent = *self.stack.last().expect("builder block stack never empty");
+        let blk = self.prog.block(parent);
+        let loc = match blk.last() {
+            None => Loc { parent, anchor: AnchorPos::Start },
+            Some(&last) => Loc { parent, anchor: AnchorPos::After(last) },
+        };
+        self.prog.attach(id, loc).expect("builder attach is always valid");
+    }
+
+    /// Append `name = value`.
+    pub fn assign(&mut self, name: &str, value: ET) -> StmtId {
+        let sym = self.prog.symbols.intern(name);
+        let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+        let value = self.materialize(&value, id);
+        self.prog.stmt_mut(id).kind =
+            StmtKind::Assign { target: LValue::scalar(sym), value };
+        self.append(id);
+        id
+    }
+
+    /// Append `name(subs...) = value`.
+    pub fn assign_ix(&mut self, name: &str, subs: Vec<ET>, value: ET) -> StmtId {
+        let sym = self.prog.symbols.intern(name);
+        let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+        let subs: Vec<ExprId> = subs.iter().map(|s| self.materialize(s, id)).collect();
+        let value = self.materialize(&value, id);
+        self.prog.stmt_mut(id).kind = StmtKind::Assign { target: LValue { var: sym, subs }, value };
+        self.append(id);
+        id
+    }
+
+    /// Append `read name`.
+    pub fn read(&mut self, name: &str) -> StmtId {
+        let sym = self.prog.symbols.intern(name);
+        let id = self.prog.alloc_stmt(StmtKind::Read { target: LValue::scalar(sym) });
+        self.append(id);
+        id
+    }
+
+    /// Append `read name(subs...)`.
+    pub fn read_ix(&mut self, name: &str, subs: Vec<ET>) -> StmtId {
+        let sym = self.prog.symbols.intern(name);
+        let id = self.prog.alloc_stmt(StmtKind::Read { target: LValue::scalar(sym) });
+        let subs: Vec<ExprId> = subs.iter().map(|s| self.materialize(s, id)).collect();
+        self.prog.stmt_mut(id).kind = StmtKind::Read { target: LValue { var: sym, subs } };
+        self.append(id);
+        id
+    }
+
+    /// Append `write value`.
+    pub fn write(&mut self, value: ET) -> StmtId {
+        let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+        let value = self.materialize(&value, id);
+        self.prog.stmt_mut(id).kind = StmtKind::Write { value };
+        self.append(id);
+        id
+    }
+
+    /// Append `do var = lo, hi` with body built by `f`.
+    pub fn do_loop(&mut self, var: &str, lo: ET, hi: ET, f: impl FnOnce(&mut Self)) -> StmtId {
+        self.do_loop_step(var, lo, hi, None, f)
+    }
+
+    /// Append `do var = lo, hi, step` with body built by `f`.
+    pub fn do_loop_step(
+        &mut self,
+        var: &str,
+        lo: ET,
+        hi: ET,
+        step: Option<ET>,
+        f: impl FnOnce(&mut Self),
+    ) -> StmtId {
+        let sym = self.prog.symbols.intern(var);
+        let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+        let lo = self.materialize(&lo, id);
+        let hi = self.materialize(&hi, id);
+        let step = step.map(|s| self.materialize(&s, id));
+        self.prog.stmt_mut(id).kind =
+            StmtKind::DoLoop { var: sym, lo, hi, step, body: Vec::new() };
+        self.append(id);
+        self.stack.push(Parent::Block(id, BlockRole::LoopBody));
+        f(self);
+        self.stack.pop();
+        id
+    }
+
+    /// Append `if (cond) then ... endif`.
+    pub fn if_then(&mut self, cond: ET, f: impl FnOnce(&mut Self)) -> StmtId {
+        self.if_then_else(cond, f, |_| {})
+    }
+
+    /// Append `if (cond) then ... else ... endif`.
+    pub fn if_then_else(
+        &mut self,
+        cond: ET,
+        f_then: impl FnOnce(&mut Self),
+        f_else: impl FnOnce(&mut Self),
+    ) -> StmtId {
+        let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+        let cond = self.materialize(&cond, id);
+        self.prog.stmt_mut(id).kind =
+            StmtKind::If { cond, then_body: Vec::new(), else_body: Vec::new() };
+        self.append(id);
+        self.stack.push(Parent::Block(id, BlockRole::Then));
+        f_then(self);
+        self.stack.pop();
+        self.stack.push(Parent::Block(id, BlockRole::Else));
+        f_else(self);
+        self.stack.pop();
+        id
+    }
+
+    /// Finish building; the program is invariant-checked in debug builds.
+    pub fn finish(self) -> Program {
+        debug_assert!(self.prog.check_invariants().is_empty());
+        self.prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = ProgramBuilder::new();
+        b.assign("D", add(v("E"), v("F")));
+        b.assign("C", c(1));
+        b.do_loop("i", c(1), c(100), |b| {
+            b.do_loop("j", c(1), c(50), |b| {
+                b.assign_ix("A", vec![v("j")], add(ix("B", vec![v("j")]), v("C")));
+                b.assign_ix("R", vec![v("i"), v("j")], add(v("E"), v("F")));
+            });
+        });
+        let p = b.finish();
+        p.assert_consistent();
+        assert_eq!(p.body.len(), 3);
+        assert_eq!(p.attached_len(), 6);
+    }
+
+    #[test]
+    fn if_then_else_blocks() {
+        let mut b = ProgramBuilder::new();
+        b.read("x");
+        b.if_then_else(
+            bin(BinOp::Gt, v("x"), c(0)),
+            |b| {
+                b.write(v("x"));
+            },
+            |b| {
+                b.write(neg(v("x")));
+            },
+        );
+        let p = b.finish();
+        assert_eq!(p.attached_len(), 4);
+    }
+
+    #[test]
+    fn step_loop() {
+        let mut b = ProgramBuilder::new();
+        b.do_loop_step("i", c(0), c(10), Some(c(2)), |b| {
+            b.write(v("i"));
+        });
+        let p = b.finish();
+        assert_eq!(p.attached_len(), 2);
+    }
+
+    #[test]
+    fn expression_helpers() {
+        assert_eq!(add(c(1), c(2)), ET::Bin(BinOp::Add, Box::new(ET::C(1)), Box::new(ET::C(2))));
+        assert_eq!(sub(c(1), c(2)), ET::Bin(BinOp::Sub, Box::new(ET::C(1)), Box::new(ET::C(2))));
+        assert_eq!(mul(c(1), c(2)), ET::Bin(BinOp::Mul, Box::new(ET::C(1)), Box::new(ET::C(2))));
+        assert_eq!(div(c(4), c(2)), ET::Bin(BinOp::Div, Box::new(ET::C(4)), Box::new(ET::C(2))));
+        assert_eq!(
+            modulo(c(4), c(2)),
+            ET::Bin(BinOp::Mod, Box::new(ET::C(4)), Box::new(ET::C(2)))
+        );
+    }
+}

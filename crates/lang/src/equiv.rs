@@ -1,0 +1,158 @@
+//! Structural program equality.
+//!
+//! Compares the *attached* trees of two programs by value, resolving symbols
+//! through each program's own symbol table (so two programs that evolved
+//! separately — e.g. an original parse vs. a transformed-then-undone copy —
+//! compare equal when their source forms agree). Arena IDs, tombstones and
+//! labels are ignored: this is exactly the paper's notion of the program
+//! being "restored".
+
+use crate::ast::{ExprKind, LValue, StmtKind};
+use crate::ids::{ExprId, StmtId, Sym};
+use crate::program::Program;
+
+/// True if the two programs have structurally identical attached trees.
+pub fn programs_equal(a: &Program, b: &Program) -> bool {
+    blocks_equal(a, &a.body, b, &b.body)
+}
+
+fn sym_eq(a: &Program, sa: Sym, b: &Program, sb: Sym) -> bool {
+    a.symbols.name(sa) == b.symbols.name(sb)
+}
+
+fn blocks_equal(a: &Program, ba: &[StmtId], b: &Program, bb: &[StmtId]) -> bool {
+    ba.len() == bb.len() && ba.iter().zip(bb).all(|(&x, &y)| stmts_equal(a, x, b, y))
+}
+
+fn lvalues_equal(a: &Program, la: &LValue, b: &Program, lb: &LValue) -> bool {
+    sym_eq(a, la.var, b, lb.var)
+        && la.subs.len() == lb.subs.len()
+        && la.subs.iter().zip(&lb.subs).all(|(&x, &y)| exprs_equal(a, x, b, y))
+}
+
+/// Structural statement equality across programs.
+pub fn stmts_equal(a: &Program, sa: StmtId, b: &Program, sb: StmtId) -> bool {
+    match (&a.stmt(sa).kind, &b.stmt(sb).kind) {
+        (
+            StmtKind::Assign { target: ta, value: va },
+            StmtKind::Assign { target: tb, value: vb },
+        ) => lvalues_equal(a, ta, b, tb) && exprs_equal(a, *va, b, *vb),
+        (StmtKind::Read { target: ta }, StmtKind::Read { target: tb }) => {
+            lvalues_equal(a, ta, b, tb)
+        }
+        (StmtKind::Write { value: va }, StmtKind::Write { value: vb }) => {
+            exprs_equal(a, *va, b, *vb)
+        }
+        (
+            StmtKind::DoLoop { var: va, lo: la, hi: ha, step: sa2, body: ba },
+            StmtKind::DoLoop { var: vb, lo: lb, hi: hb, step: sb2, body: bb },
+        ) => {
+            sym_eq(a, *va, b, *vb)
+                && exprs_equal(a, *la, b, *lb)
+                && exprs_equal(a, *ha, b, *hb)
+                && match (sa2, sb2) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => exprs_equal(a, *x, b, *y),
+                    _ => false,
+                }
+                && blocks_equal(a, ba, b, bb)
+        }
+        (
+            StmtKind::If { cond: ca, then_body: ta, else_body: ea },
+            StmtKind::If { cond: cb, then_body: tb, else_body: eb },
+        ) => {
+            exprs_equal(a, *ca, b, *cb)
+                && blocks_equal(a, ta, b, tb)
+                && blocks_equal(a, ea, b, eb)
+        }
+        _ => false,
+    }
+}
+
+/// Structural expression equality across programs.
+pub fn exprs_equal(a: &Program, ea: ExprId, b: &Program, eb: ExprId) -> bool {
+    match (&a.expr(ea).kind, &b.expr(eb).kind) {
+        (ExprKind::Const(x), ExprKind::Const(y)) => x == y,
+        (ExprKind::Var(x), ExprKind::Var(y)) => sym_eq(a, *x, b, *y),
+        (ExprKind::Index(x, xs), ExprKind::Index(y, ys)) => {
+            sym_eq(a, *x, b, *y)
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(&p, &q)| exprs_equal(a, p, b, q))
+        }
+        (ExprKind::Unary(ox, x), ExprKind::Unary(oy, y)) => ox == oy && exprs_equal(a, *x, b, *y),
+        (ExprKind::Binary(ox, xl, xr), ExprKind::Binary(oy, yl, yr)) => {
+            ox == oy && exprs_equal(a, *xl, b, *yl) && exprs_equal(a, *xr, b, *yr)
+        }
+        _ => false,
+    }
+}
+
+/// Structural expression equality within one program (e.g. "is this the same
+/// subexpression `B op C`" for CSE detection).
+pub fn exprs_equal_in(p: &Program, a: ExprId, b: ExprId) -> bool {
+    exprs_equal(p, a, p, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn identical_sources_compare_equal() {
+        let src = "a = 1\ndo i = 1, 5\n  b(i) = a + i\nenddo\nwrite b(3)\n";
+        let p = parse(src).unwrap();
+        let q = parse(src).unwrap();
+        assert!(programs_equal(&p, &q));
+    }
+
+    #[test]
+    fn symbol_numbering_differences_do_not_matter() {
+        // q interns an extra symbol first, shifting all Sym indices.
+        let p = parse("a = b + c\n").unwrap();
+        let mut q_src = Program::new();
+        q_src.symbols.intern("zzz");
+        let q = parse("a = b + c\n").unwrap();
+        assert!(programs_equal(&p, &q));
+    }
+
+    #[test]
+    fn different_structure_not_equal() {
+        let p = parse("a = 1\n").unwrap();
+        let q = parse("a = 2\n").unwrap();
+        let r = parse("b = 1\n").unwrap();
+        let s = parse("a = 1\nb = 2\n").unwrap();
+        assert!(!programs_equal(&p, &q));
+        assert!(!programs_equal(&p, &r));
+        assert!(!programs_equal(&p, &s));
+    }
+
+    #[test]
+    fn loop_step_mismatch() {
+        let p = parse("do i = 1, 5\nenddo\n").unwrap();
+        let q = parse("do i = 1, 5, 1\nenddo\n").unwrap();
+        assert!(!programs_equal(&p, &q));
+    }
+
+    #[test]
+    fn if_branch_mismatch() {
+        let p = parse("if (x > 0) then\n  y = 1\nendif\n").unwrap();
+        let q = parse("if (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\n").unwrap();
+        assert!(!programs_equal(&p, &q));
+    }
+
+    #[test]
+    fn within_program_expression_equality() {
+        let p = parse("a = e + f\nb = e + f\nc = f + e\n").unwrap();
+        let rhs: Vec<_> = p
+            .attached_stmts()
+            .iter()
+            .map(|&s| match p.stmt(s).kind {
+                crate::ast::StmtKind::Assign { value, .. } => value,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(exprs_equal_in(&p, rhs[0], rhs[1]));
+        assert!(!exprs_equal_in(&p, rhs[0], rhs[2])); // syntactic, not algebraic
+    }
+}

@@ -1,0 +1,94 @@
+//! Stable arena identifiers.
+//!
+//! Every statement and expression in a [`crate::Program`] lives in an arena
+//! and is addressed by a small copyable ID. IDs are **never reused**: a
+//! deleted statement stays in the arena as a tombstone (the paper's
+//! `Del_stmt S_i` with a pointer to its original location), so transformation
+//! history annotations keyed by ID can never dangle.
+
+use std::fmt;
+
+/// Identifier of a statement node in the statement arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+/// Identifier of an expression node in the expression arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// Interned symbol (variable or array name).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl StmtId {
+    /// Raw index into the statement arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ExprId {
+    /// Raw index into the expression arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Sym {
+    /// Raw index into the symbol table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_order() {
+        let a = StmtId(3);
+        let b = StmtId(7);
+        assert!(a < b);
+        assert_eq!(a.index(), 3);
+        assert_eq!(format!("{a:?}"), "s3");
+        let e = ExprId(11);
+        assert_eq!(e.index(), 11);
+        assert_eq!(format!("{e:?}"), "e11");
+        let s = Sym(2);
+        assert_eq!(s.index(), 2);
+    }
+}

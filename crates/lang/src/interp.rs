@@ -1,0 +1,319 @@
+//! Reference interpreter.
+//!
+//! The observable behaviour of a program is its `write` output stream given a
+//! `read` input stream. This is the semantic oracle for the whole repository:
+//! a transformation or an undo is *correct* iff the output stream is
+//! unchanged on all inputs (we check on randomized inputs in property tests).
+//!
+//! Semantics deliberately kept total and deterministic:
+//! * scalars and array cells read before assignment evaluate to 0;
+//! * arithmetic wraps (matching [`crate::ast::BinOp::eval`]);
+//! * division/modulus by zero is a runtime error (transformations never
+//!   introduce or remove one);
+//! * `do` bounds and step are evaluated once on entry, Fortran-style;
+//! * a step of 0 is a runtime error; execution is fuel-limited.
+
+use crate::ast::{ExprKind, LValue, StmtKind};
+use crate::ids::{ExprId, StmtId, Sym};
+use crate::program::Program;
+use std::collections::HashMap;
+
+/// Runtime errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// Division or modulus by zero.
+    DivByZero(StmtId),
+    /// `read` executed with the input stream exhausted.
+    InputExhausted(StmtId),
+    /// `do` loop step evaluated to zero.
+    ZeroStep(StmtId),
+    /// Fuel limit exceeded.
+    FuelExhausted,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::DivByZero(s) => write!(f, "division by zero at {s}"),
+            ExecError::InputExhausted(s) => write!(f, "input exhausted at {s}"),
+            ExecError::ZeroStep(s) => write!(f, "zero loop step at {s}"),
+            ExecError::FuelExhausted => write!(f, "execution fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execution limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum number of statement executions.
+    pub fuel: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { fuel: 10_000_000 }
+    }
+}
+
+/// Machine state during execution.
+struct Machine<'p> {
+    prog: &'p Program,
+    scalars: HashMap<Sym, i64>,
+    arrays: HashMap<(Sym, Vec<i64>), i64>,
+    input: std::slice::Iter<'p, i64>,
+    output: Vec<i64>,
+    fuel: u64,
+}
+
+/// Run a program over `input`, returning the output stream.
+pub fn run(prog: &Program, input: &[i64], limits: Limits) -> Result<Vec<i64>, ExecError> {
+    let mut m = Machine {
+        prog,
+        scalars: HashMap::new(),
+        arrays: HashMap::new(),
+        input: input.iter(),
+        output: Vec::new(),
+        fuel: limits.fuel,
+    };
+    m.run_block(&prog.body)?;
+    Ok(m.output)
+}
+
+/// Run with default limits.
+pub fn run_default(prog: &Program, input: &[i64]) -> Result<Vec<i64>, ExecError> {
+    run(prog, input, Limits::default())
+}
+
+impl<'p> Machine<'p> {
+    fn spend(&mut self) -> Result<(), ExecError> {
+        if self.fuel == 0 {
+            return Err(ExecError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn run_block(&mut self, blk: &[StmtId]) -> Result<(), ExecError> {
+        for &s in blk {
+            self.run_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn run_stmt(&mut self, id: StmtId) -> Result<(), ExecError> {
+        self.spend()?;
+        // Clone the kind cheaply: bodies are Vec<StmtId>, shared structure
+        // is immutable during execution.
+        match &self.prog.stmt(id).kind {
+            StmtKind::Assign { target, value } => {
+                let v = self.eval(*value, id)?;
+                self.store(target, v, id)?;
+            }
+            StmtKind::Read { target } => {
+                let v = *self.input.next().ok_or(ExecError::InputExhausted(id))?;
+                self.store(target, v, id)?;
+            }
+            StmtKind::Write { value } => {
+                let v = self.eval(*value, id)?;
+                self.output.push(v);
+            }
+            StmtKind::DoLoop { var, lo, hi, step, body } => {
+                let lo = self.eval(*lo, id)?;
+                let hi = self.eval(*hi, id)?;
+                let st = match step {
+                    Some(e) => self.eval(*e, id)?,
+                    None => 1,
+                };
+                if st == 0 {
+                    return Err(ExecError::ZeroStep(id));
+                }
+                let mut i = lo;
+                while (st > 0 && i <= hi) || (st < 0 && i >= hi) {
+                    self.scalars.insert(*var, i);
+                    self.run_block(body)?;
+                    // The body may assign the induction variable; like
+                    // Fortran, the loop control uses its own copy.
+                    i = i.wrapping_add(st);
+                    self.spend()?;
+                }
+                // Final value of the induction variable is the first value
+                // past the bound, visible after the loop.
+                self.scalars.insert(*var, i);
+            }
+            StmtKind::If { cond, then_body, else_body } => {
+                let c = self.eval(*cond, id)?;
+                if c != 0 {
+                    self.run_block(then_body)?;
+                } else {
+                    self.run_block(else_body)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, lv: &LValue, v: i64, id: StmtId) -> Result<(), ExecError> {
+        if lv.is_scalar() {
+            self.scalars.insert(lv.var, v);
+        } else {
+            let mut idx = Vec::with_capacity(lv.subs.len());
+            for &s in &lv.subs {
+                idx.push(self.eval(s, id)?);
+            }
+            self.arrays.insert((lv.var, idx), v);
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self, e: ExprId, id: StmtId) -> Result<i64, ExecError> {
+        Ok(match &self.prog.expr(e).kind {
+            ExprKind::Const(c) => *c,
+            ExprKind::Var(s) => self.scalars.get(s).copied().unwrap_or(0),
+            ExprKind::Index(a, subs) => {
+                let mut idx = Vec::with_capacity(subs.len());
+                for &s in subs {
+                    idx.push(self.eval(s, id)?);
+                }
+                self.arrays.get(&(*a, idx)).copied().unwrap_or(0)
+            }
+            ExprKind::Unary(op, a) => {
+                let a = self.eval(*a, id)?;
+                op.eval(a)
+            }
+            ExprKind::Binary(op, a, b) => {
+                let a = self.eval(*a, id)?;
+                let b = self.eval(*b, id)?;
+                op.eval(a, b).ok_or(ExecError::DivByZero(id))?
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn out(src: &str, input: &[i64]) -> Vec<i64> {
+        run_default(&parse(src).unwrap(), input).unwrap()
+    }
+
+    #[test]
+    fn straight_line() {
+        assert_eq!(out("a = 2\nb = a * 3\nwrite b\n", &[]), vec![6]);
+    }
+
+    #[test]
+    fn read_write_stream() {
+        assert_eq!(out("read x\nread y\nwrite x + y\nwrite x - y\n", &[10, 4]), vec![14, 6]);
+    }
+
+    #[test]
+    fn loop_accumulates() {
+        let src = "s = 0\ndo i = 1, 5\n  s = s + i\nenddo\nwrite s\n";
+        assert_eq!(out(src, &[]), vec![15]);
+    }
+
+    #[test]
+    fn loop_with_step_and_final_var() {
+        let src = "do i = 0, 10, 3\nenddo\nwrite i\n";
+        // iterations at 0,3,6,9 -> final i is 12
+        assert_eq!(out(src, &[]), vec![12]);
+    }
+
+    #[test]
+    fn downward_loop() {
+        let src = "s = 0\ndo i = 5, 1, -2\n  s = s * 10 + i\nenddo\nwrite s\n";
+        assert_eq!(out(src, &[]), vec![531]);
+    }
+
+    #[test]
+    fn empty_loop_body_runs_zero_times() {
+        let src = "x = 7\ndo i = 5, 1\n  x = 0\nenddo\nwrite x\n";
+        assert_eq!(out(src, &[]), vec![7]);
+    }
+
+    #[test]
+    fn bounds_evaluated_once() {
+        // n is halved inside the loop but the trip count uses the entry value.
+        let src = "n = 4\ns = 0\ndo i = 1, n\n  n = 1\n  s = s + 1\nenddo\nwrite s\n";
+        assert_eq!(out(src, &[]), vec![4]);
+    }
+
+    #[test]
+    fn arrays_default_zero_and_store() {
+        let src = "A(3) = 9\nwrite A(3)\nwrite A(4)\nB(1, 2) = 5\nwrite B(1, 2)\nwrite B(2, 1)\n";
+        assert_eq!(out(src, &[]), vec![9, 0, 5, 0]);
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let src = "read x\nif (x > 0) then\n  write 1\nelse\n  write 0\nendif\n";
+        assert_eq!(out(src, &[5]), vec![1]);
+        assert_eq!(out(src, &[-5]), vec![0]);
+        assert_eq!(out(src, &[0]), vec![0]);
+    }
+
+    #[test]
+    fn div_by_zero_is_error() {
+        let p = parse("read x\nwrite 1 / x\n").unwrap();
+        assert!(matches!(run_default(&p, &[0]), Err(ExecError::DivByZero(_))));
+        assert_eq!(run_default(&p, &[2]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn input_exhaustion_is_error() {
+        let p = parse("read x\nread y\n").unwrap();
+        assert!(matches!(run_default(&p, &[1]), Err(ExecError::InputExhausted(_))));
+    }
+
+    #[test]
+    fn zero_step_is_error() {
+        let p = parse("do i = 1, 5, 0\nenddo\n").unwrap();
+        assert!(matches!(run_default(&p, &[]), Err(ExecError::ZeroStep(_))));
+    }
+
+    #[test]
+    fn fuel_limit_enforced() {
+        let p = parse("do i = 1, 1000\n  x = 1\nenddo\n").unwrap();
+        assert!(matches!(
+            run(&p, &[], Limits { fuel: 10 }),
+            Err(ExecError::FuelExhausted)
+        ));
+    }
+
+    #[test]
+    fn negative_subscripts_are_distinct_cells() {
+        let src = "A(-1) = 7\nA(1) = 9\nwrite A(-1)\nwrite A(1)\nwrite A(0)\n";
+        assert_eq!(out(src, &[]), vec![7, 9, 0]);
+    }
+
+    #[test]
+    fn induction_variable_shadows_outer_scalar() {
+        // The loop variable is an ordinary scalar: it overwrites any prior
+        // value and keeps its final value after the loop.
+        let src = "i = 99\ndo i = 1, 3\nenddo\nwrite i\n";
+        assert_eq!(out(src, &[]), vec![4]);
+    }
+
+    #[test]
+    fn figure1_program_behaviour() {
+        let src = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+write A(1)
+write R(100, 50)
+write D
+";
+        // E and F default to 0, B defaults to 0, so A(1)=1, R=0, D=0.
+        assert_eq!(out(src, &[]), vec![1, 0, 0]);
+    }
+}

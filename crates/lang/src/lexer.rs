@@ -1,0 +1,325 @@
+//! Hand-written lexer for the source language.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `!`
+    Bang,
+    /// End of line (statement separator).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Newline => write!(f, "end of line"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error reporting.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// Token payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexical error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize source text. Comments run from `#` to end of line (`!` is the
+/// logical-not operator, not a comment starter). Consecutive newlines are
+/// collapsed into one `Newline` token.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut line: u32 = 1;
+    let mut it = src.chars().peekable();
+    let push = |tok: Tok, line: u32, out: &mut Vec<Spanned>| {
+        if tok == Tok::Newline
+            && matches!(out.last(), None | Some(Spanned { tok: Tok::Newline, .. })) {
+                return;
+            }
+        out.push(Spanned { tok, line });
+    };
+    while let Some(&ch) = it.peek() {
+        match ch {
+            '\n' => {
+                it.next();
+                push(Tok::Newline, line, &mut out);
+                line += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                it.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c) = it.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    it.next();
+                }
+            }
+            '0'..='9' => {
+                let mut v: i64 = 0;
+                while let Some(&c) = it.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        v = v.wrapping_mul(10).wrapping_add(d as i64);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                push(Tok::Int(v), line, &mut out);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = it.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                push(Tok::Ident(s), line, &mut out);
+            }
+            '=' => {
+                it.next();
+                if it.peek() == Some(&'=') {
+                    it.next();
+                    push(Tok::EqEq, line, &mut out);
+                } else {
+                    push(Tok::Assign, line, &mut out);
+                }
+            }
+            '<' => {
+                it.next();
+                if it.peek() == Some(&'=') {
+                    it.next();
+                    push(Tok::Le, line, &mut out);
+                } else {
+                    push(Tok::Lt, line, &mut out);
+                }
+            }
+            '>' => {
+                it.next();
+                if it.peek() == Some(&'=') {
+                    it.next();
+                    push(Tok::Ge, line, &mut out);
+                } else {
+                    push(Tok::Gt, line, &mut out);
+                }
+            }
+            '!' => {
+                it.next();
+                if it.peek() == Some(&'=') {
+                    it.next();
+                    push(Tok::Ne, line, &mut out);
+                } else {
+                    push(Tok::Bang, line, &mut out);
+                }
+            }
+            '(' => {
+                it.next();
+                push(Tok::LParen, line, &mut out);
+            }
+            ')' => {
+                it.next();
+                push(Tok::RParen, line, &mut out);
+            }
+            ',' => {
+                it.next();
+                push(Tok::Comma, line, &mut out);
+            }
+            '+' => {
+                it.next();
+                push(Tok::Plus, line, &mut out);
+            }
+            '-' => {
+                it.next();
+                push(Tok::Minus, line, &mut out);
+            }
+            '*' => {
+                it.next();
+                push(Tok::Star, line, &mut out);
+            }
+            '/' => {
+                it.next();
+                push(Tok::Slash, line, &mut out);
+            }
+            '%' => {
+                it.next();
+                push(Tok::Percent, line, &mut out);
+            }
+            other => return Err(LexError { ch: other, line }),
+        }
+    }
+    push(Tok::Newline, line, &mut out);
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            toks("D = E + F"),
+            vec![
+                Tok::Ident("D".into()),
+                Tok::Assign,
+                Tok::Ident("E".into()),
+                Tok::Plus,
+                Tok::Ident("F".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_do_header() {
+        assert_eq!(
+            toks("do i = 1, 100"),
+            vec![
+                Tok::Ident("do".into()),
+                Tok::Ident("i".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(100),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn collapses_blank_lines_and_comments() {
+        let t = toks("a = 1\n\n\n# comment line\nb = 2");
+        let newlines = t.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a <= b >= c == d != e < f > g"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Ident("c".into()),
+                Tok::EqEq,
+                Tok::Ident("d".into()),
+                Tok::Ne,
+                Tok::Ident("e".into()),
+                Tok::Lt,
+                Tok::Ident("f".into()),
+                Tok::Gt,
+                Tok::Ident("g".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("a = $").unwrap_err();
+        assert_eq!(err.ch, '$');
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let ts = lex("a = 1\nb = 2").unwrap();
+        let b_line = ts
+            .iter()
+            .find(|s| s.tok == Tok::Ident("b".into()))
+            .map(|s| s.line)
+            .unwrap();
+        assert_eq!(b_line, 2);
+    }
+}

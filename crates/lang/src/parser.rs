@@ -1,0 +1,542 @@
+//! Recursive-descent parser producing an arena [`Program`].
+//!
+//! Grammar (newline-separated statements):
+//!
+//! ```text
+//! program   := stmt*
+//! stmt      := assign | do | if | read | write
+//! assign    := lvalue '=' expr
+//! do        := 'do' IDENT '=' expr ',' expr [',' expr] NL stmt* 'enddo'
+//! if        := 'if' '(' expr ')' 'then' NL stmt* ['else' NL stmt*] 'endif'
+//! read      := 'read' lvalue
+//! write     := 'write' expr
+//! lvalue    := IDENT ['(' expr (',' expr)* ')']
+//! expr      := rel
+//! rel       := sum [('<'|'<='|'>'|'>='|'=='|'!=') sum]
+//! sum       := term (('+'|'-') term)*
+//! term      := unary (('*'|'/'|'%') unary)*
+//! unary     := ('-'|'!') unary | atom
+//! atom      := INT | lvalue-like | '(' expr ')'
+//! ```
+
+use crate::ast::{BinOp, ExprKind, LValue, StmtKind, UnOp};
+use crate::ids::{ExprId, StmtId};
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use crate::program::{AnchorPos, Loc, Program};
+use crate::ast::Parent;
+use std::fmt;
+
+/// Parse error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// Lexical error.
+    Lex(LexError),
+    /// Unexpected token.
+    Unexpected {
+        /// What was found.
+        found: String,
+        /// What the parser wanted.
+        expected: &'static str,
+        /// 1-based source line.
+        line: u32,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected, line } => {
+                write!(f, "line {line}: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parse source text into a fresh [`Program`].
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let mut prog = Program::new();
+    let body = parse_stmts_into(&mut prog, src)?;
+    for (i, &s) in body.iter().enumerate() {
+        let loc = if i == 0 {
+            Loc::root_start()
+        } else {
+            Loc { parent: Parent::Root, anchor: AnchorPos::After(body[i - 1]) }
+        };
+        prog.attach(s, loc).expect("fresh parse attach");
+    }
+    debug_assert!(prog.check_invariants().is_empty());
+    Ok(prog)
+}
+
+/// Parse statements into an **existing** program's arenas (sharing its
+/// symbol table). The returned statements are detached; the caller attaches
+/// them wherever it wants. Used by the edit subsystem to splice user-typed
+/// code into a transformed program.
+pub fn parse_stmts_into(prog: &mut Program, src: &str) -> Result<Vec<StmtId>, ParseError> {
+    let toks = lex(src)?;
+    let owned = std::mem::take(prog);
+    let mut p = Parser { toks, pos: 0, prog: owned };
+    p.skip_newlines();
+    let result = p.parse_block(&[]).and_then(|body| p.expect_eof().map(|()| body));
+    *prog = p.prog;
+    result
+}
+
+/// Parse a single expression into an existing program, owned by `owner`.
+pub fn parse_expr_into(
+    prog: &mut Program,
+    src: &str,
+    owner: StmtId,
+) -> Result<ExprId, ParseError> {
+    let toks = lex(src)?;
+    let owned = std::mem::take(prog);
+    let mut p = Parser { toks, pos: 0, prog: owned };
+    p.skip_newlines();
+    let result = p.parse_expr(owner).and_then(|e| p.expect_eof().map(|()| e));
+    *prog = p.prog;
+    result
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    prog: Program,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &'static str) -> ParseError {
+        ParseError::Unexpected {
+            found: self.peek().to_string(),
+            expected,
+            line: self.line(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, expected: &'static str) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(expected))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        self.skip_newlines();
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err("end of input"))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while *self.peek() == Tok::Newline {
+            self.bump();
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    /// Parse statements until one of `terminators` (keywords) or EOF.
+    /// Returned statements are detached; the caller attaches them.
+    fn parse_block(&mut self, terminators: &[&str]) -> Result<Vec<StmtId>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            if *self.peek() == Tok::Eof || terminators.iter().any(|t| self.at_keyword(t)) {
+                return Ok(out);
+            }
+            out.push(self.parse_stmt()?);
+        }
+    }
+
+    fn attach_block(&mut self, stmts: Vec<StmtId>, parent: Parent) {
+        for (i, &s) in stmts.iter().enumerate() {
+            let loc = if i == 0 {
+                Loc { parent, anchor: AnchorPos::Start }
+            } else {
+                Loc { parent, anchor: AnchorPos::After(stmts[i - 1]) }
+            };
+            self.prog.attach(s, loc).expect("fresh parse attach");
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<StmtId, ParseError> {
+        let line = self.line();
+        let id = match self.peek().clone() {
+            Tok::Ident(kw) if kw == "do" => self.parse_do()?,
+            Tok::Ident(kw) if kw == "if" => self.parse_if()?,
+            Tok::Ident(kw) if kw == "read" => {
+                self.bump();
+                let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+                let target = self.parse_lvalue(id)?;
+                self.prog.stmt_mut(id).kind = StmtKind::Read { target };
+                id
+            }
+            Tok::Ident(kw) if kw == "write" => {
+                self.bump();
+                let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+                let value = self.parse_expr(id)?;
+                self.prog.stmt_mut(id).kind = StmtKind::Write { value };
+                id
+            }
+            Tok::Ident(_) => {
+                let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+                let target = self.parse_lvalue(id)?;
+                self.expect(Tok::Assign, "`=`")?;
+                let value = self.parse_expr(id)?;
+                self.prog.stmt_mut(id).kind = StmtKind::Assign { target, value };
+                id
+            }
+            _ => return Err(self.err("a statement")),
+        };
+        self.prog.stmt_mut(id).label = line;
+        // Statement must end at a newline (or EOF / block keyword handled upstream).
+        match self.peek() {
+            Tok::Newline => {
+                self.bump();
+            }
+            Tok::Eof => {}
+            _ => return Err(self.err("end of statement")),
+        }
+        Ok(id)
+    }
+
+    fn parse_do(&mut self) -> Result<StmtId, ParseError> {
+        self.bump(); // `do`
+        let var = match self.bump() {
+            Tok::Ident(name) => self.prog.symbols.intern(&name),
+            _ => return Err(self.err("loop variable")),
+        };
+        let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+        self.expect(Tok::Assign, "`=`")?;
+        let lo = self.parse_expr(id)?;
+        self.expect(Tok::Comma, "`,`")?;
+        let hi = self.parse_expr(id)?;
+        let step = if *self.peek() == Tok::Comma {
+            self.bump();
+            Some(self.parse_expr(id)?)
+        } else {
+            None
+        };
+        self.expect(Tok::Newline, "end of line after do header")?;
+        let body = self.parse_block(&["enddo"])?;
+        if !self.at_keyword("enddo") {
+            return Err(self.err("`enddo`"));
+        }
+        self.bump();
+        self.prog.stmt_mut(id).kind = StmtKind::DoLoop { var, lo, hi, step, body: Vec::new() };
+        self.attach_block(body, Parent::Block(id, crate::ast::BlockRole::LoopBody));
+        Ok(id)
+    }
+
+    fn parse_if(&mut self) -> Result<StmtId, ParseError> {
+        self.bump(); // `if`
+        let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
+        self.expect(Tok::LParen, "`(`")?;
+        let cond = self.parse_expr(id)?;
+        self.expect(Tok::RParen, "`)`")?;
+        if !self.at_keyword("then") {
+            return Err(self.err("`then`"));
+        }
+        self.bump();
+        self.expect(Tok::Newline, "end of line after then")?;
+        let then_body = self.parse_block(&["else", "endif"])?;
+        let else_body = if self.at_keyword("else") {
+            self.bump();
+            self.expect(Tok::Newline, "end of line after else")?;
+            self.parse_block(&["endif"])?
+        } else {
+            Vec::new()
+        };
+        if !self.at_keyword("endif") {
+            return Err(self.err("`endif`"));
+        }
+        self.bump();
+        self.prog.stmt_mut(id).kind =
+            StmtKind::If { cond, then_body: Vec::new(), else_body: Vec::new() };
+        self.attach_block(then_body, Parent::Block(id, crate::ast::BlockRole::Then));
+        self.attach_block(else_body, Parent::Block(id, crate::ast::BlockRole::Else));
+        Ok(id)
+    }
+
+    fn parse_lvalue(&mut self, owner: StmtId) -> Result<LValue, ParseError> {
+        let var = match self.bump() {
+            Tok::Ident(name) => self.prog.symbols.intern(&name),
+            _ => return Err(self.err("a variable name")),
+        };
+        let mut subs = Vec::new();
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            loop {
+                subs.push(self.parse_expr(owner)?);
+                match self.bump() {
+                    Tok::Comma => continue,
+                    Tok::RParen => break,
+                    _ => return Err(self.err("`,` or `)`")),
+                }
+            }
+        }
+        Ok(LValue { var, subs })
+    }
+
+    fn parse_expr(&mut self, owner: StmtId) -> Result<ExprId, ParseError> {
+        let lhs = self.parse_sum(owner)?;
+        let op = match self.peek() {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::EqEq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_sum(owner)?;
+        Ok(self.prog.alloc_expr(ExprKind::Binary(op, lhs, rhs), owner))
+    }
+
+    fn parse_sum(&mut self, owner: StmtId) -> Result<ExprId, ParseError> {
+        let mut lhs = self.parse_term(owner)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_term(owner)?;
+            lhs = self.prog.alloc_expr(ExprKind::Binary(op, lhs, rhs), owner);
+        }
+    }
+
+    fn parse_term(&mut self, owner: StmtId) -> Result<ExprId, ParseError> {
+        let mut lhs = self.parse_unary(owner)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_unary(owner)?;
+            lhs = self.prog.alloc_expr(ExprKind::Binary(op, lhs, rhs), owner);
+        }
+    }
+
+    fn parse_unary(&mut self, owner: StmtId) -> Result<ExprId, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let a = self.parse_unary(owner)?;
+                // Fold `-LITERAL` into a negative constant so that printing a
+                // negative constant and re-parsing it is a fixpoint.
+                if let ExprKind::Const(v) = self.prog.expr(a).kind {
+                    self.prog.expr_mut(a).kind = ExprKind::Const(v.wrapping_neg());
+                    return Ok(a);
+                }
+                Ok(self.prog.alloc_expr(ExprKind::Unary(UnOp::Neg, a), owner))
+            }
+            Tok::Bang => {
+                self.bump();
+                let a = self.parse_unary(owner)?;
+                Ok(self.prog.alloc_expr(ExprKind::Unary(UnOp::Not, a), owner))
+            }
+            _ => self.parse_atom(owner),
+        }
+    }
+
+    fn parse_atom(&mut self, owner: StmtId) -> Result<ExprId, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(self.prog.alloc_expr(ExprKind::Const(v), owner))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr(owner)?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                let sym = self.prog.symbols.intern(&name);
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut subs = Vec::new();
+                    loop {
+                        subs.push(self.parse_expr(owner)?);
+                        match self.bump() {
+                            Tok::Comma => continue,
+                            Tok::RParen => break,
+                            _ => return Err(self.err("`,` or `)`")),
+                        }
+                    }
+                    Ok(self.prog.alloc_expr(ExprKind::Index(sym, subs), owner))
+                } else {
+                    Ok(self.prog.alloc_expr(ExprKind::Var(sym), owner))
+                }
+            }
+            _ => Err(self.err("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::to_source;
+
+    #[test]
+    fn roundtrips_figure1_program() {
+        let src = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+";
+        let p = parse(src).unwrap();
+        p.assert_consistent();
+        assert_eq!(to_source(&p), src);
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let src = "\
+read x
+if (x > 0) then
+  write x
+else
+  write -x
+endif
+";
+        let p = parse(src).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+
+    #[test]
+    fn parses_step_loop_and_precedence() {
+        let src = "\
+do i = 0, 10, 2
+  x = a + b * c - (d - e)
+enddo
+";
+        let p = parse(src).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+
+    #[test]
+    fn labels_match_source_lines() {
+        let src = "a = 1\nb = 2\ndo i = 1, 3\n  c = 3\nenddo\n";
+        let p = parse(src).unwrap();
+        let labels: Vec<u32> = p.attached_stmts().iter().map(|&s| p.stmt(s).label).collect();
+        assert_eq!(labels, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn error_on_missing_enddo() {
+        let err = parse("do i = 1, 3\n  x = 1\n").unwrap_err();
+        assert!(err.to_string().contains("enddo"), "{err}");
+    }
+
+    #[test]
+    fn error_on_garbage_statement() {
+        let err = parse("= 4\n").unwrap_err();
+        assert!(err.to_string().contains("statement"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("a = 1\nb = \n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let p = parse("# header\na = 1 # trailing\n# footer\n").unwrap();
+        assert_eq!(p.attached_len(), 1);
+    }
+
+    #[test]
+    fn relational_cannot_chain() {
+        assert!(parse("x = a < b < c\n").is_err());
+    }
+
+    #[test]
+    fn multidim_arrays() {
+        let src = "R(i, j, k) = R(k, j, i) + 1\n";
+        let p = parse(src).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+}
+
+#[cfg(test)]
+mod into_tests {
+    use super::*;
+    use crate::printer::to_source;
+
+    #[test]
+    fn parse_stmts_into_shares_symbols() {
+        let mut p = parse("a = 1\n").unwrap();
+        let a_sym = p.symbols.get("a").unwrap();
+        let new = parse_stmts_into(&mut p, "a = a + 1\nb = a\n").unwrap();
+        assert_eq!(new.len(), 2);
+        assert_eq!(p.symbols.get("a"), Some(a_sym));
+        // Detached until attached.
+        assert!(!p.stmt(new[0]).is_attached());
+        let last = p.body[0];
+        p.attach(new[0], Loc::after(Parent::Root, last)).unwrap();
+        p.attach(new[1], Loc::after(Parent::Root, new[0])).unwrap();
+        assert_eq!(to_source(&p), "a = 1\na = a + 1\nb = a\n");
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn parse_expr_into_owner() {
+        let mut p = parse("x = 1\n").unwrap();
+        let s = p.body[0];
+        let e = parse_expr_into(&mut p, "y * (z + 2)", s).unwrap();
+        assert_eq!(crate::printer::expr_to_string(&p, e), "y * (z + 2)");
+        assert_eq!(p.expr(e).owner, s);
+    }
+
+    #[test]
+    fn parse_expr_into_rejects_trailing() {
+        let mut p = parse("x = 1\n").unwrap();
+        let s = p.body[0];
+        assert!(parse_expr_into(&mut p, "y + 1 garbage more", s).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Pretty-printer: renders the arena program back to source text in the
+//! paper's Figure 1 style, optionally with statement labels.
+
+use crate::ast::{ExprKind, LValue, StmtKind};
+use crate::ids::{ExprId, StmtId};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Printing options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrintOptions {
+    /// Prefix each statement with its label (`3: do i = 1, 100`).
+    pub labels: bool,
+    /// Prefix each statement with its arena ID (`[s4]`), for debugging.
+    pub ids: bool,
+}
+
+/// Render the whole program to source.
+pub fn to_source(prog: &Program) -> String {
+    render(prog, PrintOptions::default())
+}
+
+/// Render with options.
+pub fn render(prog: &Program, opts: PrintOptions) -> String {
+    let mut out = String::new();
+    for &s in &prog.body {
+        render_stmt(prog, s, 0, opts, &mut out);
+    }
+    out
+}
+
+/// Render a single statement subtree.
+pub fn render_stmt_str(prog: &Program, id: StmtId, opts: PrintOptions) -> String {
+    let mut out = String::new();
+    render_stmt(prog, id, 0, opts, &mut out);
+    out
+}
+
+fn prefix(prog: &Program, id: StmtId, opts: PrintOptions, out: &mut String, indent: usize) {
+    if opts.labels {
+        let _ = write!(out, "{:>3}  ", prog.stmt(id).label);
+    }
+    if opts.ids {
+        let _ = write!(out, "[{id}] ");
+    }
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_stmt(prog: &Program, id: StmtId, indent: usize, opts: PrintOptions, out: &mut String) {
+    prefix(prog, id, opts, out, indent);
+    match &prog.stmt(id).kind {
+        StmtKind::Assign { target, value } => {
+            render_lvalue(prog, target, out);
+            out.push_str(" = ");
+            render_expr(prog, *value, 0, out);
+            out.push('\n');
+        }
+        StmtKind::Read { target } => {
+            out.push_str("read ");
+            render_lvalue(prog, target, out);
+            out.push('\n');
+        }
+        StmtKind::Write { value } => {
+            out.push_str("write ");
+            render_expr(prog, *value, 0, out);
+            out.push('\n');
+        }
+        StmtKind::DoLoop { var, lo, hi, step, body } => {
+            let _ = write!(out, "do {} = ", prog.symbols.name(*var));
+            render_expr(prog, *lo, 0, out);
+            out.push_str(", ");
+            render_expr(prog, *hi, 0, out);
+            if let Some(st) = step {
+                out.push_str(", ");
+                render_expr(prog, *st, 0, out);
+            }
+            out.push('\n');
+            for &c in body {
+                render_stmt(prog, c, indent + 1, opts, out);
+            }
+            prefix(prog, id, PrintOptions { labels: false, ids: false }, out, indent);
+            if opts.labels {
+                // keep columns aligned when labels are on
+            }
+            out.push_str("enddo\n");
+        }
+        StmtKind::If { cond, then_body, else_body } => {
+            out.push_str("if (");
+            render_expr(prog, *cond, 0, out);
+            out.push_str(") then\n");
+            for &c in then_body {
+                render_stmt(prog, c, indent + 1, opts, out);
+            }
+            if !else_body.is_empty() {
+                prefix(prog, id, PrintOptions::default(), out, indent);
+                out.push_str("else\n");
+                for &c in else_body {
+                    render_stmt(prog, c, indent + 1, opts, out);
+                }
+            }
+            prefix(prog, id, PrintOptions::default(), out, indent);
+            out.push_str("endif\n");
+        }
+    }
+}
+
+fn render_lvalue(prog: &Program, lv: &LValue, out: &mut String) {
+    out.push_str(prog.symbols.name(lv.var));
+    if !lv.subs.is_empty() {
+        out.push('(');
+        for (i, &s) in lv.subs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            render_expr(prog, s, 0, out);
+        }
+        out.push(')');
+    }
+}
+
+/// Binding strength used to decide parenthesization.
+fn binding(kind: &ExprKind) -> u8 {
+    use crate::ast::BinOp::*;
+    match kind {
+        ExprKind::Const(_) | ExprKind::Var(_) | ExprKind::Index(..) => 4,
+        ExprKind::Unary(..) => 3,
+        ExprKind::Binary(op, ..) => match op {
+            Mul | Div | Mod => 2,
+            Add | Sub => 1,
+            _ => 0,
+        },
+    }
+}
+
+/// Render an expression. `min_bind` is the minimum binding strength that can
+/// appear here without parentheses.
+pub fn render_expr(prog: &Program, id: ExprId, min_bind: u8, out: &mut String) {
+    let kind = &prog.expr(id).kind;
+    let b = binding(kind);
+    let need_parens = b < min_bind;
+    if need_parens {
+        out.push('(');
+    }
+    match kind {
+        ExprKind::Const(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Var(s) => out.push_str(prog.symbols.name(*s)),
+        ExprKind::Index(a, subs) => {
+            out.push_str(prog.symbols.name(*a));
+            out.push('(');
+            for (i, &s) in subs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_expr(prog, s, 0, out);
+            }
+            out.push(')');
+        }
+        ExprKind::Unary(op, a) => {
+            out.push_str(op.symbol());
+            render_expr(prog, *a, 3, out);
+        }
+        ExprKind::Binary(op, l, r) => {
+            render_expr(prog, *l, b, out);
+            let _ = write!(out, " {} ", op.symbol());
+            // Right operand of a non-commutative/non-associative operator
+            // needs strictly higher binding.
+            render_expr(prog, *r, b + 1, out);
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+/// Render just an expression subtree to a string.
+pub fn expr_to_string(prog: &Program, id: ExprId) -> String {
+    let mut s = String::new();
+    render_expr(prog, id, 0, &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn prints_figure1_shape() {
+        let mut b = ProgramBuilder::new();
+        b.assign("D", add(v("E"), v("F")));
+        b.assign("C", c(1));
+        b.do_loop("i", c(1), c(100), |b| {
+            b.do_loop("j", c(1), c(50), |b| {
+                b.assign_ix("A", vec![v("j")], add(ix("B", vec![v("j")]), v("C")));
+                b.assign_ix("R", vec![v("i"), v("j")], add(v("E"), v("F")));
+            });
+        });
+        let p = b.finish();
+        let src = to_source(&p);
+        let expected = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+";
+        assert_eq!(src, expected);
+    }
+
+    #[test]
+    fn parenthesizes_only_when_needed() {
+        let mut b = ProgramBuilder::new();
+        // (a + b) * c must keep parens; a + b * c must not gain them.
+        b.assign("x", mul(add(v("a"), v("b")), v("c")));
+        b.assign("y", add(v("a"), mul(v("b"), v("c"))));
+        b.assign("z", sub(v("a"), sub(v("b"), v("c"))));
+        let p = b.finish();
+        let src = to_source(&p);
+        assert!(src.contains("x = (a + b) * c"));
+        assert!(src.contains("y = a + b * c"));
+        assert!(src.contains("z = a - (b - c)"));
+    }
+
+    #[test]
+    fn unary_and_if() {
+        let mut b = ProgramBuilder::new();
+        b.if_then_else(
+            bin(crate::ast::BinOp::Ge, v("x"), c(0)),
+            |b| {
+                b.write(v("x"));
+            },
+            |b| {
+                b.write(neg(v("x")));
+            },
+        );
+        let p = b.finish();
+        let src = to_source(&p);
+        assert!(src.contains("if (x >= 0) then"));
+        assert!(src.contains("write -x"));
+        assert!(src.contains("else"));
+        assert!(src.contains("endif"));
+    }
+
+    #[test]
+    fn labels_prefix() {
+        let mut b = ProgramBuilder::new();
+        b.assign("x", c(1));
+        let p = b.finish();
+        let src = render(&p, PrintOptions { labels: true, ids: false });
+        assert!(src.trim_start().starts_with('1'));
+    }
+
+    #[test]
+    fn deep_nesting_indentation() {
+        let mut b = ProgramBuilder::new();
+        b.do_loop("i", c(1), c(2), |b| {
+            b.if_then(bin(crate::ast::BinOp::Gt, v("i"), c(0)), |b| {
+                b.do_loop("j", c(1), c(2), |b| {
+                    b.assign_ix("A", vec![v("i"), v("j")], c(0));
+                });
+            });
+        });
+        let p = b.finish();
+        let src = to_source(&p);
+        assert!(src.contains("\n      A(i, j) = 0\n"), "{src}");
+        assert!(src.contains("\n    enddo\n"), "{src}");
+        assert!(src.contains("\n  endif\n"), "{src}");
+        // Re-parse agrees.
+        let q = crate::parser::parse(&src).unwrap();
+        assert!(crate::equiv::programs_equal(&p, &q));
+    }
+
+    #[test]
+    fn step_printed() {
+        let mut b = ProgramBuilder::new();
+        b.do_loop_step("i", c(0), c(10), Some(c(2)), |b| {
+            b.write(v("i"));
+        });
+        let p = b.finish();
+        assert!(to_source(&p).contains("do i = 0, 10, 2"));
+    }
+}

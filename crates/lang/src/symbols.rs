@@ -1,0 +1,118 @@
+//! Symbol interning.
+
+use crate::ids::Sym;
+use std::collections::HashMap;
+
+/// Interns variable/array names to small copyable [`Sym`] handles.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolve a symbol back to its name.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no symbols are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Generate a fresh symbol not colliding with any interned name, using
+    /// `base` as a prefix (e.g. temporaries introduced by strip mining).
+    pub fn fresh(&mut self, base: &str) -> Sym {
+        if self.get(base).is_none() {
+            return self.intern(base);
+        }
+        let mut i = 1usize;
+        loop {
+            let cand = format!("{base}_{i}");
+            if self.get(&cand).is_none() {
+                return self.intern(&cand);
+            }
+            i += 1;
+        }
+    }
+
+    /// Iterate over `(Sym, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("A"), a);
+        assert_eq!(t.name(a), "A");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn get_without_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.get("X"), None);
+        let x = t.intern("X");
+        assert_eq!(t.get("X"), Some(x));
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let mut t = SymbolTable::new();
+        t.intern("t");
+        t.intern("t_1");
+        let f = t.fresh("t");
+        assert_eq!(t.name(f), "t_2");
+        let g = t.fresh("u");
+        assert_eq!(t.name(g), "u");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = SymbolTable::new();
+        t.intern("A");
+        t.intern("B");
+        let v: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(v, vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Program fragments that enable specific transformations.
+//!
+//! The 1994 paper has no public benchmark inputs, so workloads are seeded
+//! synthetic programs assembled from fragments, each designed to create an
+//! opportunity for one transformation kind (and often, transitively, for
+//! others — e.g. a CSE fragment's reuse becomes a CPP/DCE chain). The
+//! generator controls the mix, so benches can sweep "programs with many
+//! unrelated transformations" (the regional-undo sweet spot) as well as
+//! dense interaction chains.
+
+use pivot_lang::builder::{add, c, ix, mul, sub, v, ProgramBuilder, ET};
+use pivot_undo::XformKind;
+use rand::Rng;
+
+/// Emit one fragment enabling `kind` into the builder. `tag` uniquifies
+/// variable names so fragments are data-independent unless `shared` links
+/// them through a common array.
+pub fn emit(b: &mut ProgramBuilder, kind: XformKind, tag: usize, rng: &mut impl Rng) {
+    let n = |base: &str| format!("{base}{tag}");
+    match kind {
+        XformKind::Dce => {
+            // dead = expr; live = expr'; write live
+            b.assign(&n("dead"), add(v(&n("p")), c(rng.gen_range(1..9))));
+            b.assign(&n("live"), add(v(&n("p")), c(2)));
+            b.write(v(&n("live")));
+        }
+        XformKind::Cse => {
+            b.assign(&n("d"), add(v(&n("e")), v(&n("f"))));
+            b.assign(&n("r"), add(v(&n("e")), v(&n("f"))));
+            b.write(v(&n("r")));
+            b.write(v(&n("d")));
+        }
+        XformKind::Ctp => {
+            b.assign(&n("k"), c(rng.gen_range(1..50)));
+            b.assign(&n("u"), add(v(&n("k")), v(&n("w"))));
+            b.write(v(&n("u")));
+        }
+        XformKind::Cpp => {
+            b.read(&n("src"));
+            b.assign(&n("cp"), v(&n("src")));
+            b.write(add(v(&n("cp")), c(1)));
+        }
+        XformKind::Cfo => {
+            let x = rng.gen_range(2..20);
+            let y = rng.gen_range(2..20);
+            b.assign(&n("g"), add(mul(c(x), c(y)), v(&n("z"))));
+            b.write(v(&n("g")));
+        }
+        XformKind::Icm => {
+            let trip = rng.gen_range(2..6) * 2;
+            b.do_loop(&n("i"), c(1), c(trip), |b| {
+                b.assign(&n("inv"), add(v(&n("a")), v(&n("b"))));
+                b.assign_ix(&n("A"), vec![v(&n("i"))], add(v(&n("inv")), v(&n("i"))));
+            });
+            b.write(ix(&n("A"), vec![c(1)]));
+        }
+        XformKind::Lur => {
+            let trip = rng.gen_range(2..5) * 2;
+            b.do_loop(&n("i"), c(1), c(trip), |b| {
+                b.assign_ix(&n("U"), vec![v(&n("i"))], mul(v(&n("i")), c(3)));
+            });
+            b.write(ix(&n("U"), vec![c(2)]));
+        }
+        XformKind::Smi => {
+            let trip = rng.gen_range(2..5) * 4;
+            b.do_loop(&n("i"), c(1), c(trip), |b| {
+                b.assign_ix(&n("S"), vec![v(&n("i"))], sub(v(&n("i")), c(1)));
+            });
+            b.write(ix(&n("S"), vec![c(3)]));
+        }
+        XformKind::Fus => {
+            let trip = rng.gen_range(4..12);
+            b.do_loop(&n("i"), c(1), c(trip), |b| {
+                b.assign_ix(&n("F"), vec![v(&n("i"))], mul(v(&n("i")), c(2)));
+            });
+            b.do_loop(&n("i"), c(1), c(trip), |b| {
+                b.assign_ix(&n("G"), vec![v(&n("i"))], add(ix(&n("F"), vec![v(&n("i"))]), c(1)));
+            });
+            b.write(ix(&n("G"), vec![c(1)]));
+        }
+        XformKind::Inx => {
+            let t1 = rng.gen_range(3..8);
+            let t2 = rng.gen_range(3..8);
+            b.do_loop(&n("i"), c(1), c(t1), |b| {
+                b.do_loop(&n("j"), c(1), c(t2), |b| {
+                    b.assign_ix(
+                        &n("M"),
+                        vec![v(&n("i")), v(&n("j"))],
+                        add(ix(&n("N"), vec![v(&n("i")), v(&n("j"))]), c(1)),
+                    );
+                });
+            });
+            b.write(ix(&n("M"), vec![c(1), c(1)]));
+        }
+    }
+}
+
+/// The Figure 1 fragment (enables CSE, CTP, INX, then ICM) with a unique tag.
+pub fn figure1(b: &mut ProgramBuilder, tag: usize) {
+    let n = |base: &str| format!("{base}{tag}");
+    b.assign(&n("D"), add(v(&n("E")), v(&n("F"))));
+    b.assign(&n("C"), c(1));
+    b.do_loop(&n("i"), c(1), c(10), |b| {
+        b.do_loop(&n("j"), c(1), c(5), |b| {
+            b.assign_ix(&n("A"), vec![v(&n("j"))], add(ix(&n("B"), vec![v(&n("j"))]), v(&n("C"))));
+            b.assign_ix(
+                &n("R"),
+                vec![v(&n("i")), v(&n("j"))],
+                add(v(&n("E")), v(&n("F"))),
+            );
+        });
+    });
+    b.write(ix(&n("A"), vec![c(1)]));
+    b.write(ix(&n("R"), vec![c(2), c(3)]));
+    b.write(v(&n("D")));
+}
+
+/// A fragment with no transformation opportunities (filler/noise).
+pub fn noise(b: &mut ProgramBuilder, tag: usize, rng: &mut impl Rng) {
+    let n = |base: &str| format!("noi{base}{tag}");
+    b.read(&n("x"));
+    let k: ET = c(rng.gen_range(1..5));
+    b.assign(&n("y"), add(v(&n("x")), k));
+    b.write(v(&n("y")));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_undo::engine::Session;
+    use pivot_undo::ALL_KINDS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_fragment_enables_its_kind() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in ALL_KINDS {
+            let mut b = ProgramBuilder::new();
+            emit(&mut b, kind, 0, &mut rng);
+            let prog = b.finish();
+            let s = Session::new(prog);
+            let opps = s.find(kind);
+            assert!(
+                !opps.is_empty(),
+                "fragment for {kind} produced no opportunity:\n{}",
+                s.source()
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_fragment_enables_sequence() {
+        let mut b = ProgramBuilder::new();
+        figure1(&mut b, 0);
+        let mut s = Session::new(b.finish());
+        for k in [XformKind::Cse, XformKind::Ctp, XformKind::Inx, XformKind::Icm] {
+            assert!(s.apply_kind(k).is_some(), "{k} must apply to the figure1 fragment");
+        }
+    }
+
+    #[test]
+    fn noise_fragment_is_inert() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = ProgramBuilder::new();
+        noise(&mut b, 0, &mut rng);
+        let s = Session::new(b.finish());
+        assert!(s.find_all().is_empty(), "noise must enable nothing:\n{}", s.source());
+    }
+
+    #[test]
+    fn fragments_compose_independently() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut b = ProgramBuilder::new();
+        for (i, kind) in ALL_KINDS.into_iter().enumerate() {
+            emit(&mut b, kind, i, &mut rng);
+        }
+        let s = Session::new(b.finish());
+        for kind in ALL_KINDS {
+            assert!(!s.find(kind).is_empty(), "composed program lost {kind}");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Constructive witnesses for Table 4's enabling interactions.
+//!
+//! A *witness* for the cell `(from, to)` is a program in which no `to`
+//! opportunity exists at a particular site until one `from` instance is
+//! applied — demonstrating the perform-create dependency empirically rather
+//! than by transcription. [`derive_matrix`] replays every witness through
+//! the real engine and reports which cells were demonstrated; the
+//! cross-check against the paper's table is experiment E4.
+//!
+//! Not every marked cell has a single-step witness under this library's
+//! (deliberately conservative) pre-conditions — e.g. `CSE → FUS` needs a
+//! fusion test finer than ours. Such cells remain marked in the static
+//! table (the heuristic stays sound: extra marks only cost extra checks)
+//! and are listed as "not demonstrated" by the harness.
+
+use pivot_undo::engine::Session;
+use pivot_undo::interact::Matrix;
+use pivot_undo::XformKind;
+
+/// A registered witness program.
+pub struct Witness {
+    /// The enabling transformation.
+    pub from: XformKind,
+    /// The enabled transformation.
+    pub to: XformKind,
+    /// Program source.
+    pub source: &'static str,
+    /// One-line explanation.
+    pub note: &'static str,
+}
+
+/// All registered witnesses.
+pub fn witnesses() -> Vec<Witness> {
+    use XformKind::*;
+    vec![
+        Witness {
+            from: Dce,
+            to: Dce,
+            source: "x = 1\ny = x\nwrite 0\n",
+            note: "removing the dead y = x makes x = 1 dead",
+        },
+        Witness {
+            from: Dce,
+            to: Cse,
+            source: "d = e + f\nx = d\nd = 5\nr = e + f\nwrite x\nwrite r\n",
+            note: "removing the dead d = 5 re-establishes d == e + f at r",
+        },
+        Witness {
+            from: Dce,
+            to: Cpp,
+            source: "read y\nx = y\ny = 99\nwrite x\n",
+            note: "removing the dead y = 99 lets y propagate for x",
+        },
+        Witness {
+            from: Dce,
+            to: Icm,
+            source: "do i = 1, 4\n  x = a + b\n  A(i) = x\n  x = 9\nenddo\nwrite A(2)\n",
+            note: "removing the dead second def of x leaves one hoistable def",
+        },
+        Witness {
+            from: Dce,
+            to: Fus,
+            source: "do i = 1, 4\n  A(i) = 1\nenddo\nx = 5\ndo i = 1, 4\n  B(i) = 2\nenddo\nwrite B(1)\n",
+            note: "removing the dead statement between the loops makes them adjacent",
+        },
+        Witness {
+            from: Dce,
+            to: Inx,
+            source: "do i = 1, 4\n  x = 5\n  do j = 1, 4\n    A(i, j) = 1\n  enddo\nenddo\nwrite A(1, 1)\n",
+            note: "removing the dead statement restores tight nesting",
+        },
+        Witness {
+            from: Cse,
+            to: Cse,
+            source: "a = e + f\nb = e + f + g\nc = a + g\nwrite a\nwrite b\nwrite c\n",
+            note: "rewriting b's subexpression to a creates the common a + g",
+        },
+        Witness {
+            from: Cse,
+            to: Cpp,
+            source: "d = e + f\nr = e + f\nwrite r\nwrite d\n",
+            note: "the rewritten r = d is a copy to propagate",
+        },
+        Witness {
+            from: Ctp,
+            to: Dce,
+            source: "c = 1\nx = c + 2\nwrite x\n",
+            note: "after propagation c = 1 has no remaining uses",
+        },
+        Witness {
+            from: Ctp,
+            to: Cse,
+            source: "k = 5\nd = e + 5\nr = e + k\nwrite d\nwrite r\n",
+            note: "propagating k aligns r's expression with d's",
+        },
+        Witness {
+            from: Ctp,
+            to: Cfo,
+            source: "c = 2\nx = c * 3\nwrite x\n",
+            note: "the propagated constant makes the product foldable",
+        },
+        Witness {
+            from: Ctp,
+            to: Icm,
+            source: "n = 8\ndo i = 1, n\n  x = a + b\n  A(i) = x + i\nenddo\nwrite A(3)\n",
+            note: "propagating n gives the loop constant bounds (trip ≥ 1 provable)",
+        },
+        Witness {
+            from: Ctp,
+            to: Smi,
+            source: "n = 8\ndo i = 1, n\n  A(i) = i\nenddo\nwrite A(2)\n",
+            note: "propagating n makes the trip count constant and divisible",
+        },
+        Witness {
+            from: Ctp,
+            to: Fus,
+            source: "n = 5\ndo i = 1, 5\n  A(i) = 1\nenddo\ndo i = 1, n\n  B(i) = 2\nenddo\nwrite B(1)\n",
+            note: "propagating n makes the headers conformable",
+        },
+        Witness {
+            from: Ctp,
+            to: Inx,
+            source: "k = 1\ndo i = 2, 6\n  do j = 2, 6\n    A(i, j) = A(i - 1, j - k) + 1\n  enddo\nenddo\nwrite A(3, 3)\n",
+            note: "propagating k resolves the (*,*) direction to the legal (<,<)",
+        },
+        Witness {
+            from: Cpp,
+            to: Dce,
+            source: "read y\nx = y\nwrite x\n",
+            note: "after propagation the copy x = y is dead",
+        },
+        Witness {
+            from: Cpp,
+            to: Cse,
+            source: "read y\nx = y\nd = e + y\nr = e + x\nwrite d\nwrite r\n",
+            note: "renaming x to y aligns the two sums",
+        },
+        Witness {
+            from: Cpp,
+            to: Cpp,
+            source: "read y\nz = y\nx = z\nwrite x\n",
+            note: "propagating x ⇒ z exposes the use of z to the y-copy",
+        },
+        Witness {
+            from: Cfo,
+            to: Ctp,
+            source: "x = 2 * 3\ny = x + 1\nwrite y\n",
+            note: "folding makes x's definition a literal constant",
+        },
+        Witness {
+            from: Cfo,
+            to: Cfo,
+            source: "x = 1 + 2 + 3 + z\nwrite x\n",
+            note: "folding the inner sum makes the outer sum foldable",
+        },
+        Witness {
+            from: Cfo,
+            to: Fus,
+            source: "do i = 1, 6\n  A(i) = 1\nenddo\ndo i = 1, 2 * 3\n  B(i) = 2\nenddo\nwrite B(1)\n",
+            note: "folding the second bound makes the headers structurally equal",
+        },
+        Witness {
+            from: Lur,
+            to: Fus,
+            source: "do i = 1, 6, 2\n  A(i) = 1\nenddo\ndo i = 1, 6\n  B(i) = 2\nenddo\nwrite B(1)\n",
+            note: "unrolling the second loop matches the first loop's step",
+        },
+        Witness {
+            from: Lur,
+            to: Ctp,
+            source: "do i = 1, 4\n  kc = 7\n  A(i) = kc + i\nenddo\nwrite A(1)\n",
+            note: "each unrolled copy of kc = 7 is a fresh constant definition",
+        },
+        Witness {
+            from: Icm,
+            to: Inx,
+            source: "do i = 1, 6\n  x = a + b\n  do j = 1, 6\n    A(i, j) = x\n  enddo\nenddo\nwrite A(1, 1)\n",
+            note: "hoisting x = a + b out of the i-loop restores tight nesting",
+        },
+        Witness {
+            from: Icm,
+            to: Fus,
+            source: "do i = 1, 4\n  t = a + b\n  C(i) = t\nenddo\ndo i = 1, 4\n  D(i) = 2\nenddo\nwrite C(1)\nwrite D(1)\n",
+            note: "hoisting the scalar definition clears the fusion hazard",
+        },
+        Witness {
+            from: Icm,
+            to: Icm,
+            source: "do i = 1, 4\n  do j = 1, 4\n    x = a + b\n    B(i, j) = x + i + j\n  enddo\nenddo\nwrite B(2, 2)\n",
+            note: "hoisting out of the j-loop exposes invariance in the i-loop",
+        },
+        Witness {
+            from: Icm,
+            to: Cse,
+            source: "do i = 1, 4\n  d = e + f\n  A(i) = d + i\nenddo\nr = e + f\nwrite A(1)\nwrite r\n",
+            note: "hoisted above the loop, d = e + f dominates the later use",
+        },
+        Witness {
+            from: Inx,
+            to: Icm,
+            source: "do i = 1, 10\n  do j = 1, 5\n    A(j) = B(j) + 1\n    R(i, j) = E + F\n  enddo\nenddo\nwrite A(1)\nwrite R(2, 3)\n",
+            note: "Figure 1: after interchange, A(j) = B(j) + 1 is invariant in the inner i-loop",
+        },
+        Witness {
+            from: Lur,
+            to: Cse,
+            source: "do i = 1, 4\n  t = e + f\n  A(i) = t + i\nenddo\nwrite A(2)\n",
+            note: "the unrolled copy re-materializes e + f as a second occurrence",
+        },
+        Witness {
+            from: Lur,
+            to: Cpp,
+            source: "read s\ndo i = 1, 4\n  cv = s\n  A(i) = cv + i\nenddo\nwrite A(1)\n",
+            note: "each unrolled copy of cv = s is a fresh propagatable copy",
+        },
+        Witness {
+            from: Fus,
+            to: Inx,
+            source: "do k = 1, 4\n  do i = 1, 4\n    A(k, i) = 1\n  enddo\n  do i = 1, 4\n    B(k, i) = A(k, i)\n  enddo\nenddo\nwrite B(2, 2)\n",
+            note: "fusing the inner loops makes the k-nest tightly nested",
+        },
+        Witness {
+            from: Fus,
+            to: Fus,
+            source: "do i = 1, 4\n  A(i) = 1\nenddo\ndo i = 1, 4\n  B(i) = 2\nenddo\ndo i = 1, 4\n  C(i) = 3\nenddo\nwrite C(1)\n",
+            note: "fusing the first pair makes the result adjacent to the third loop",
+        },
+    ]
+}
+
+/// Result of replaying one witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WitnessResult {
+    /// Applying `from` created a brand-new `to` opportunity.
+    Demonstrated,
+    /// `to` was already applicable before `from` (witness too weak).
+    AlreadyEnabled,
+    /// `from` itself did not apply.
+    FromNotApplicable,
+    /// `from` applied but no new `to` appeared.
+    NotEnabled,
+}
+
+/// Replay a witness through the engine. An instance is identified by its
+/// parameter signature (sites and payload); a cell is demonstrated when an
+/// instance signature appears after applying `from` that did not exist
+/// before — i.e. `from` *created* a `to` opportunity (arena IDs are stable,
+/// so unchanged instances keep identical signatures).
+pub fn replay(w: &Witness) -> WitnessResult {
+    let mut s = match Session::from_source(w.source) {
+        Ok(s) => s,
+        Err(_) => return WitnessResult::FromNotApplicable,
+    };
+    let sig = |s: &Session| -> std::collections::HashSet<String> {
+        s.find(w.to).iter().map(|o| format!("{:?}", o.params)).collect()
+    };
+    let before = sig(&s);
+    if s.apply_kind(w.from).is_none() {
+        return WitnessResult::FromNotApplicable;
+    }
+    let after = sig(&s);
+    if after.difference(&before).next().is_some() {
+        WitnessResult::Demonstrated
+    } else if !after.is_empty() {
+        WitnessResult::AlreadyEnabled
+    } else {
+        WitnessResult::NotEnabled
+    }
+}
+
+/// Replay every witness; returns the empirically demonstrated matrix and
+/// the list of failures (should be empty).
+pub fn derive_matrix() -> (Matrix, Vec<(XformKind, XformKind, WitnessResult)>) {
+    let mut m: Matrix = [[false; 10]; 10];
+    let mut failures = Vec::new();
+    for w in witnesses() {
+        match replay(&w) {
+            WitnessResult::Demonstrated => m[w.from.index()][w.to.index()] = true,
+            other => failures.push((w.from, w.to, other)),
+        }
+    }
+    (m, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_undo::interact::default_matrix;
+
+    #[test]
+    fn all_witnesses_demonstrate() {
+        for w in witnesses() {
+            let r = replay(&w);
+            assert_eq!(
+                r,
+                WitnessResult::Demonstrated,
+                "witness {} → {} failed ({:?}): {}\n{}",
+                w.from,
+                w.to,
+                r,
+                w.note,
+                w.source
+            );
+        }
+    }
+
+    #[test]
+    fn demonstrated_cells_are_marked_in_static_table() {
+        let (derived, failures) = derive_matrix();
+        assert!(failures.is_empty(), "failures: {failures:?}");
+        let table = default_matrix();
+        for (r, row) in derived.iter().enumerate() {
+            for (c, &hit) in row.iter().enumerate() {
+                if hit {
+                    assert!(
+                        table[r][c],
+                        "witnessed {}→{} is unmarked in the static table",
+                        pivot_undo::ALL_KINDS[r],
+                        pivot_undo::ALL_KINDS[c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_rows_substantially_demonstrated() {
+        // Of the paper's five printed rows, most marks have constructive
+        // single-step witnesses under our (conservative) preconditions.
+        let (derived, _) = derive_matrix();
+        let count: usize =
+            derived.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
+        assert!(count >= 25, "only {count} cells demonstrated");
+    }
+}

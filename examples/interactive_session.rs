@@ -1,0 +1,151 @@
+//! Interactive transformation session — the text-mode equivalent of the
+//! PIVOT visualization environment's undo surface. Commands:
+//!
+//! ```text
+//! show                      print the current program
+//! ops                      list applicable transformations
+//! apply <n>                apply opportunity n from the last `ops`
+//! history                  list applied transformations
+//! undo <n>                 undo transformation #n (independent order)
+//! annotations              show Figure 2 style annotations
+//! regions                  show the PDG region tree with summaries
+//! edit <stmt-line> <expr>  replace the RHS of the assignment at a line
+//! unsafe                   list transformations invalidated by edits
+//! quit
+//! ```
+//!
+//! Reads from stdin; a scripted demo runs when stdin is not a TTY and empty:
+//! `echo "" | cargo run --example interactive_session` runs the demo.
+
+use pivot_undo::engine::{Session, Strategy};
+use std::io::{BufRead, Write as _};
+
+const DEMO: &str = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+";
+
+fn main() {
+    let mut session = Session::from_source(DEMO).expect("demo source parses");
+    let mut last_ops = session.find_all();
+    println!("PIVOT undo session — type `help` for commands. Demo program loaded:\n");
+    println!("{}", session.source());
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("pivot> ");
+        std::io::stdout().flush().ok();
+        let line = match lines.next() {
+            Some(Ok(l)) => l,
+            _ => {
+                // No interactive input: run the scripted demo once.
+                run_demo(&mut session);
+                return;
+            }
+        };
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            None => continue,
+            Some("help") => println!(
+                "commands: show ops apply <n> history undo <n> annotations regions \
+                 edit <line> <expr> unsafe quit"
+            ),
+            Some("show") => println!("{}", session.source()),
+            Some("ops") => {
+                last_ops = session.find_all();
+                for (i, o) in last_ops.iter().enumerate() {
+                    println!("  [{i}] {}", o.description);
+                }
+                if last_ops.is_empty() {
+                    println!("  (none)");
+                }
+            }
+            Some("apply") => match parts.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n < last_ops.len() => match session.apply(&last_ops[n].clone()) {
+                    Ok(id) => println!("applied as #{}", id.0),
+                    Err(e) => println!("stale opportunity ({e}); run `ops` again"),
+                },
+                _ => println!("usage: apply <index from ops>"),
+            },
+            Some("history") => println!("{}", session.history.summary()),
+            Some("undo") => match parts.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 && (n as usize) <= session.history.records.len() => {
+                    match session.undo(pivot_undo::XformId(n), Strategy::Regional) {
+                        Ok(r) => println!("undone: {:?}", r.undone),
+                        Err(e) => println!("cannot undo: {e}"),
+                    }
+                }
+                _ => println!("usage: undo <1-based transformation number>"),
+            },
+            Some("annotations") => println!(
+                "{}",
+                session.log.render_annotations(&session.prog, &session.history.stamp_order())
+            ),
+            Some("regions") => {
+                println!("{}", session.rep.pdg(&session.prog).dump(&session.prog, session.rep.ddg(&session.prog)))
+            }
+            Some("edit") => {
+                let (line_no, rest): (Option<u32>, Vec<&str>) =
+                    (parts.next().and_then(|n| n.parse().ok()), parts.collect());
+                match (line_no, rest.is_empty()) {
+                    (Some(ln), false) => {
+                        let target = session
+                            .prog
+                            .attached_stmts()
+                            .into_iter()
+                            .find(|&s| session.prog.stmt(s).label == ln);
+                        match target {
+                            Some(stmt) => {
+                                let e = pivot_undo::Edit::ReplaceRhs {
+                                    stmt,
+                                    src: rest.join(" "),
+                                };
+                                match session.edit(&e) {
+                                    Ok(_) => println!("edited."),
+                                    Err(err) => println!("edit failed: {err}"),
+                                }
+                            }
+                            None => println!("no statement labelled {ln}"),
+                        }
+                    }
+                    _ => println!("usage: edit <line> <expr>"),
+                }
+            }
+            Some("unsafe") => {
+                let bad = session.find_unsafe();
+                if bad.is_empty() {
+                    println!("all applied transformations remain safe");
+                } else {
+                    println!("invalidated: {bad:?} — `undo` them or they stay unsafe");
+                }
+            }
+            Some("quit") | Some("exit") => return,
+            Some(other) => println!("unknown command `{other}` (try `help`)"),
+        }
+    }
+}
+
+/// Scripted walkthrough used in non-interactive runs (also exercised by the
+/// integration tests).
+fn run_demo(session: &mut Session) {
+    println!("\n(no input — running scripted demo)\n");
+    use pivot_undo::XformKind::*;
+    for k in [Cse, Ctp, Inx, Icm] {
+        let id = session.apply_kind(k).expect("demo transformation applies");
+        println!("applied {}({})", k.abbrev().to_lowercase(), id.0);
+    }
+    println!("\n{}", session.source());
+    println!("history: {}\n", session.history.summary());
+    println!("undoing inx(3) in independent order…");
+    let r = session.undo(pivot_undo::XformId(3), Strategy::Regional).expect("undo works");
+    println!("removed {:?} (icm first — the affecting transformation)\n", r.undone);
+    println!("{}", session.source());
+    println!("history: {}", session.history.summary());
+}

@@ -1,0 +1,146 @@
+//! The experimental study the paper defers to future work (Section 6),
+//! run end-to-end: undo cost and selectivity across program sizes and
+//! strategies (experiment E8), plus the edit-invalidation comparison (E9).
+//!
+//! Prints one table per experiment; the Criterion benches measure the same
+//! code paths with statistical rigor — this harness reports the *counts*
+//! (work done, transformations preserved), which wall-clock numbers alone
+//! would hide.
+//!
+//! ```text
+//! cargo run --release --example study
+//! ```
+
+use pivot_undo::engine::Strategy;
+use pivot_workload::{gen_edit, prepare, WorkloadCfg};
+use std::time::Instant;
+
+fn main() {
+    undo_strategy_study();
+    reverse_vs_independent();
+    edit_study();
+}
+
+/// E8a: safety-check counts and wall time per strategy, sweeping the number
+/// of applied transformations.
+fn undo_strategy_study() {
+    println!("== E8a: undo one mid-sequence transformation — work per strategy ==");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "frags", "applied", "strategy", "candidates", "safety", "time"
+    );
+    for &frags in &[8usize, 16, 32, 64] {
+        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() };
+        for strategy in [Strategy::Regional, Strategy::NoHeuristic, Strategy::FullScan] {
+            let mut prepared = prepare(0xC0FFEE ^ frags as u64, &cfg, frags * 2);
+            let applied = prepared.applied.clone();
+            if applied.len() < 4 {
+                continue;
+            }
+            let target = applied[applied.len() / 4];
+            let t0 = Instant::now();
+            let report = prepared.session.undo(target, strategy).expect("undo");
+            let dt = t0.elapsed();
+            println!(
+                "{:>6} {:>8} {:>12} {:>12} {:>12} {:>9.2?}",
+                frags,
+                applied.len(),
+                format!("{strategy:?}"),
+                report.candidates_considered,
+                report.safety_checks,
+                dt
+            );
+        }
+    }
+    println!();
+}
+
+/// E8b: independent-order undo vs reverse-order undo(+redo): how many
+/// transformations survive.
+fn reverse_vs_independent() {
+    println!("== E8b: removing one early transformation — what survives ==");
+    println!(
+        "{:>6} {:>8} {:>22} {:>10} {:>10}",
+        "frags", "applied", "method", "removed", "surviving"
+    );
+    for &frags in &[8usize, 16, 32] {
+        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() };
+        // Independent order.
+        let mut p1 = prepare(7 + frags as u64, &cfg, frags * 2);
+        let n = p1.applied.len();
+        let target = p1.applied[0];
+        let r = p1.session.undo(target, Strategy::Regional).expect("undo");
+        println!(
+            "{:>6} {:>8} {:>22} {:>10} {:>10}",
+            frags,
+            n,
+            "independent (paper)",
+            r.undone.len(),
+            p1.session.history.active_len()
+        );
+        // Reverse order without redo.
+        let mut p2 = prepare(7 + frags as u64, &cfg, frags * 2);
+        let target = p2.applied[0];
+        let r = p2.session.undo_reverse_to(target).expect("reverse undo");
+        println!(
+            "{:>6} {:>8} {:>22} {:>10} {:>10}",
+            frags,
+            n,
+            "reverse order [5]",
+            r.undone.len(),
+            p2.session.history.active_len()
+        );
+        // Reverse order + redo.
+        let mut p3 = prepare(7 + frags as u64, &cfg, frags * 2);
+        let target = p3.applied[0];
+        let (r, redone) = p3.session.undo_reverse_redo(target).expect("reverse+redo");
+        println!(
+            "{:>6} {:>8} {:>22} {:>10} {:>10}",
+            frags,
+            n,
+            format!("reverse + redo ({redone})"),
+            r.undone.len(),
+            p3.session.history.active_len()
+        );
+    }
+    println!();
+}
+
+/// E9: edit invalidation — selective removal vs revert-all-and-redo.
+fn edit_study() {
+    println!("== E9: program edit — selective removal vs revert-all-and-redo ==");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "frags", "applied", "unsafe", "removed", "surviving", "time"
+    );
+    for &frags in &[8usize, 16, 32] {
+        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() };
+        let mut p = prepare(99 + frags as u64, &cfg, frags * 2);
+        let n = p.applied.len();
+        let edit = gen_edit(&p.session, 5);
+        p.session.edit(&edit).expect("edit");
+        let t0 = Instant::now();
+        let report = p.session.remove_unsafe(Strategy::Regional);
+        let dt = t0.elapsed();
+        println!(
+            "{:>6} {:>8} {:>10} {:>10} {:>12} {:>9.2?}",
+            frags,
+            n,
+            report.unsafe_found.len(),
+            report.removed.len() + report.retired.len(),
+            p.session.history.active_len(),
+            dt
+        );
+        // Baseline.
+        let mut b = prepare(99 + frags as u64, &cfg, frags * 2);
+        let edit = gen_edit(&b.session, 5);
+        b.session.edit(&edit).expect("edit");
+        let t0 = Instant::now();
+        let (undone, redone, searched) = b.session.revert_all_and_redo();
+        let dt = t0.elapsed();
+        println!(
+            "{:>6} {:>8} {:>10} {:>10} {:>12} {:>9.2?}  (baseline: undone {}, redone {}, searches {})",
+            frags, n, "-", "-", b.session.history.active_len(), dt, undone, redone, searched
+        );
+    }
+}

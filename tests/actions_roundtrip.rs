@@ -1,0 +1,152 @@
+//! Experiment E1 (Table 1): every primitive action composed with its
+//! inverse is the identity, on arbitrary programs and arbitrary action
+//! sequences — property-tested.
+
+use pivot_lang::equiv::programs_equal;
+use pivot_lang::printer::to_source;
+use pivot_lang::{ExprKind, Loc, Parent, Program};
+use pivot_undo::{ActionLog, ActionKind};
+use pivot_workload::{gen_program, WorkloadCfg};
+use proptest::prelude::*;
+
+/// Apply a pseudo-random applicable action; returns false if none applies.
+fn random_action(prog: &mut Program, log: &mut ActionLog, pick: u64) -> bool {
+    let stmts: Vec<_> = prog.attached_stmts();
+    if stmts.is_empty() {
+        return false;
+    }
+    let s = stmts[(pick % stmts.len() as u64) as usize];
+    match pick % 5 {
+        0 => log.delete(prog, s).is_ok(),
+        1 => {
+            // Move to the front of its own block.
+            let parent = prog.stmt(s).parent.unwrap();
+            log.move_stmt(prog, s, Loc { parent, anchor: pivot_lang::AnchorPos::Start }).is_ok()
+        }
+        2 => {
+            let loc = prog.loc_of(s).unwrap();
+            log.copy(prog, s, loc).is_ok()
+        }
+        3 => {
+            // Modify the first expression root to a constant.
+            match prog.stmt_expr_roots(s).first().copied() {
+                Some(e) => log.modify_expr(prog, e, ExprKind::Const(pick as i64 % 100)).is_ok(),
+                None => false,
+            }
+        }
+        _ => {
+            // Logged Delete followed by logged Add at root start (exercises
+            // Add; the pair inverts as Delete-inverse ∘ Add-inverse).
+            if prog.stmt(s).parent == Some(Parent::Root) && log.delete(prog, s).is_ok() {
+                return log.add(prog, s, Loc::root_start()).is_ok();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_action_sequences_invert_exactly(
+        seed in 0u64..500,
+        picks in proptest::collection::vec(0u64..1000, 1..12),
+    ) {
+        let cfg = WorkloadCfg { fragments: 4, noise_ratio: 0.3, ..Default::default() };
+        let mut prog = gen_program(seed, &cfg);
+        let original = prog.clone();
+        let mut log = ActionLog::new();
+        for p in picks {
+            random_action(&mut prog, &mut log, p);
+            prop_assert!(prog.check_invariants().is_empty());
+        }
+        // Invert everything in reverse order.
+        let actions: Vec<ActionKind> =
+            log.actions.iter().rev().map(|a| a.kind.clone()).collect();
+        for kind in actions {
+            ActionLog::apply_inverse(&mut prog, &kind)
+                .expect("reverse-order inverses always apply");
+        }
+        prop_assert!(
+            programs_equal(&prog, &original),
+            "round-trip mismatch:\n--- original ---\n{}\n--- got ---\n{}",
+            to_source(&original),
+            to_source(&prog)
+        );
+        prop_assert!(prog.check_invariants().is_empty());
+    }
+}
+
+#[test]
+fn each_action_kind_roundtrips_individually() {
+    let src = "a = 1\nb = a + 2\ndo i = 1, 3\n  c = i\nenddo\nwrite b\n";
+    // Delete.
+    {
+        let mut p = pivot_lang::parser::parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let t = p.body[0];
+        log.delete(&mut p, t).unwrap();
+        let k = log.actions.pop().unwrap().kind;
+        ActionLog::apply_inverse(&mut p, &k).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+    // Move.
+    {
+        let mut p = pivot_lang::parser::parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let t = p.body[2];
+        log.move_stmt(&mut p, t, Loc::root_start()).unwrap();
+        let k = log.actions.pop().unwrap().kind;
+        ActionLog::apply_inverse(&mut p, &k).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+    // Copy.
+    {
+        let mut p = pivot_lang::parser::parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let t = p.body[1];
+        let loc = p.loc_of(t).unwrap();
+        log.copy(&mut p, t, loc).unwrap();
+        let k = log.actions.pop().unwrap().kind;
+        ActionLog::apply_inverse(&mut p, &k).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+    // ModifyExpr.
+    {
+        let mut p = pivot_lang::parser::parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let t = p.body[1];
+        let e = p.stmt_expr_roots(t)[0];
+        log.modify_expr(&mut p, e, ExprKind::Const(9)).unwrap();
+        let k = log.actions.pop().unwrap().kind;
+        ActionLog::apply_inverse(&mut p, &k).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+    // ModifyHeader.
+    {
+        let mut p = pivot_lang::parser::parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let lp = p.body[2];
+        let old = pivot_undo::actions::read_header(&p, lp).unwrap();
+        let new_hi = p.alloc_expr(ExprKind::Const(7), lp);
+        let new = pivot_undo::actions::LoopHeader { hi: new_hi, ..old };
+        log.modify_header(&mut p, lp, new).unwrap();
+        assert!(to_source(&p).contains("do i = 1, 7"));
+        let k = log.actions.pop().unwrap().kind;
+        ActionLog::apply_inverse(&mut p, &k).unwrap();
+        assert_eq!(to_source(&p), src);
+    }
+    // Add (after a detach).
+    {
+        let mut p = pivot_lang::parser::parse(src).unwrap();
+        let mut log = ActionLog::new();
+        let t = p.body[0];
+        p.detach(t).unwrap();
+        log.add(&mut p, t, Loc::root_start()).unwrap();
+        assert_eq!(to_source(&p), src);
+        let k = log.actions.pop().unwrap().kind;
+        ActionLog::apply_inverse(&mut p, &k).unwrap();
+        assert!(!p.stmt(t).is_attached());
+    }
+}

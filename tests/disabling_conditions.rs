@@ -1,0 +1,353 @@
+//! Experiment E3 (Table 3): detection of disabling conditions of **safety**
+//! and **reversibility**, per condition class.
+//!
+//! The paper prints the DCE row of Table 3 and defers the rest to [6]; this
+//! suite covers, for each transformation in the catalog, at least one
+//! safety-disabling condition (a change makes the applied transformation
+//! unsafe) and one reversibility-disabling condition (a later action makes
+//! it non-immediately-reversible, with correct blame).
+
+use pivot_lang::parser::parse;
+use pivot_lang::{Loc, Parent, Program, StmtKind};
+use pivot_ir::Rep;
+use pivot_undo::actions::ActionLog;
+use pivot_undo::history::History;
+use pivot_undo::revers::check_reversible;
+use pivot_undo::safety::still_safe;
+use pivot_undo::{catalog, XformId, XformKind};
+
+struct Rig {
+    prog: Program,
+    rep: Rep,
+    log: ActionLog,
+    hist: History,
+}
+
+impl Rig {
+    fn new(src: &str) -> Rig {
+        let prog = parse(src).unwrap();
+        let rep = Rep::build(&prog);
+        Rig { prog, rep, log: ActionLog::new(), hist: History::new() }
+    }
+
+    fn apply(&mut self, kind: XformKind) -> XformId {
+        let opps = catalog::find(&self.prog, &self.rep, kind);
+        assert!(!opps.is_empty(), "no {kind} opportunity");
+        let a = catalog::apply(&mut self.prog, &mut self.log, &opps[0]).unwrap();
+        self.rep.refresh(&self.prog);
+        self.hist.record(kind, a.params, a.pre, a.post, a.stamps)
+    }
+
+    fn safe(&self, id: XformId) -> bool {
+        still_safe(&self.prog, &self.rep, &self.log, self.hist.get(id))
+    }
+
+    fn reversible(&self, id: XformId) -> bool {
+        check_reversible(&self.prog, &self.log, &self.hist, self.hist.get(id)).is_ok()
+    }
+
+    /// Simulate a program edit: insert parsed statements after `anchor_idx`
+    /// in the root body (or at start).
+    fn edit_insert(&mut self, src: &str, at_start: bool) {
+        let stmts = pivot_lang::parser::parse_stmts_into(&mut self.prog, src).unwrap();
+        let mut loc = if at_start {
+            Loc::root_start()
+        } else {
+            Loc::after(Parent::Root, *self.prog.body.first().unwrap())
+        };
+        for s in stmts {
+            self.prog.attach(s, loc).unwrap();
+            loc = Loc::after(loc.parent, s);
+        }
+        self.rep.refresh(&self.prog);
+    }
+}
+
+// ---------------------------------------------------------------------
+// DCE (the paper's printed Table 3 row)
+// ---------------------------------------------------------------------
+
+#[test]
+fn dce_safety_disabled_by_adding_a_use() {
+    // "Add a statement S_l that uses value computed by S_i."
+    let mut r = Rig::new("x = 1\ny = 2\nwrite y\n");
+    let dce = r.apply(XformKind::Dce); // deletes x = 1
+    assert!(r.safe(dce));
+    r.edit_insert("write x\n", false);
+    assert!(!r.safe(dce), "a new use of x disables the DCE's safety");
+}
+
+#[test]
+fn dce_safety_disabled_by_modifying_a_statement_into_a_use() {
+    // "Modify a statement S_l that uses value computed by S_i."
+    let mut r = Rig::new("x = 1\ny = 2\nwrite y\n");
+    let dce = r.apply(XformKind::Dce);
+    // Edit: make the surviving assignment read x.
+    let y_stmt = r.prog.body[0];
+    let e = pivot_lang::parser::parse_expr_into(&mut r.prog, "x + 1", y_stmt).unwrap();
+    let new_kind = r.prog.expr(e).kind.clone();
+    if let StmtKind::Assign { value, .. } = r.prog.stmt(y_stmt).kind {
+        r.prog.replace_expr_kind(value, new_kind);
+    }
+    r.rep.refresh(&r.prog);
+    assert!(!r.safe(dce));
+}
+
+#[test]
+fn dce_reversibility_disabled_by_deleting_location_context() {
+    // "Delete context of the location (e.g., delete the loop it belongs to)."
+    let mut r = Rig::new("do i = 1, 3\n  x = 1\n  write i\nenddo\n");
+    let dce = r.apply(XformKind::Dce); // deletes x = 1 inside the loop
+    assert!(r.reversible(dce));
+    // Edit: delete the loop.
+    let lp = r.prog.body[0];
+    r.prog.detach(lp).unwrap();
+    r.rep.refresh(&r.prog);
+    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(dce)).unwrap_err();
+    // An edit (not a transformation) destroyed the context: no blame.
+    assert_eq!(err.affecting, None);
+}
+
+#[test]
+fn dce_reversibility_disabled_by_copying_context() {
+    // "Copy context of the location (e.g., copy the loop it belongs to by
+    // LUR)" — realized here as: DCE inside a loop, then the loop is
+    // restructured so the anchored location no longer resolves.
+    let mut r = Rig::new("do i = 1, 3\n  y = i\n  x = 1\n  write y\nenddo\n");
+    let dce = r.apply(XformKind::Dce); // deletes x = 1 (anchor: after y = i)
+    assert!(r.reversible(dce));
+    // Edit: delete the anchor statement y = i.
+    let lp = r.prog.body[0];
+    let body = match &r.prog.stmt(lp).kind {
+        StmtKind::DoLoop { body, .. } => body.clone(),
+        _ => unreachable!(),
+    };
+    r.prog.detach(body[0]).unwrap();
+    r.rep.refresh(&r.prog);
+    assert!(!r.reversible(dce), "anchor removal invalidates the original location");
+}
+
+// ---------------------------------------------------------------------
+// Rewrites (CSE / CTP / CPP)
+// ---------------------------------------------------------------------
+
+#[test]
+fn cse_safety_disabled_by_operand_definition() {
+    let mut r = Rig::new("d = e + f\nr = e + f\nwrite r\nwrite d\n");
+    let cse = r.apply(XformKind::Cse);
+    assert!(r.safe(cse));
+    r.edit_insert("e = 0\n", false); // between def and use
+    assert!(!r.safe(cse));
+}
+
+#[test]
+fn cse_safety_disabled_by_result_definition() {
+    let mut r = Rig::new("d = e + f\nr = e + f\nwrite r\nwrite d\n");
+    let cse = r.apply(XformKind::Cse);
+    r.edit_insert("d = 0\n", false);
+    assert!(!r.safe(cse));
+}
+
+#[test]
+fn ctp_safety_disabled_by_constant_change() {
+    let mut r = Rig::new("c = 1\nx = c + 2\nwrite x\n");
+    let ctp = r.apply(XformKind::Ctp);
+    assert!(r.safe(ctp));
+    let def = r.prog.body[0];
+    if let StmtKind::Assign { value, .. } = r.prog.stmt(def).kind {
+        r.prog.replace_expr_kind(value, pivot_lang::ExprKind::Const(2));
+    }
+    r.rep.refresh(&r.prog);
+    assert!(!r.safe(ctp), "the propagated constant no longer matches its source");
+}
+
+#[test]
+fn cpp_safety_disabled_by_source_redefinition() {
+    let mut r = Rig::new("read y\nx = y\nwrite x + 1\n");
+    let cpp = r.apply(XformKind::Cpp);
+    assert!(r.safe(cpp));
+    // Insert y = 0 between the copy and the use.
+    let copy_stmt = r.prog.body[1];
+    let stmts = pivot_lang::parser::parse_stmts_into(&mut r.prog, "y = 0\n").unwrap();
+    r.prog.attach(stmts[0], Loc::after(Parent::Root, copy_stmt)).unwrap();
+    r.rep.refresh(&r.prog);
+    assert!(!r.safe(cpp));
+}
+
+#[test]
+fn rewrite_reversibility_disabled_by_later_modify() {
+    // Reversibility: a later transformation modifying the same node blocks
+    // the inverse Modify, and the blame identifies it.
+    let mut r = Rig::new("c = 1\nx = c + 2\nwrite x\n");
+    let ctp = r.apply(XformKind::Ctp);
+    let cfo = r.apply(XformKind::Cfo); // folds 1 + 2, consuming CTP's node
+    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(ctp)).unwrap_err();
+    assert_eq!(err.affecting, Some(cfo));
+    assert!(r.reversible(cfo));
+}
+
+// ---------------------------------------------------------------------
+// Loop transformations (ICM / INX / FUS / LUR / SMI)
+// ---------------------------------------------------------------------
+
+#[test]
+fn icm_safety_disabled_by_target_definition_in_loop() {
+    let mut r = Rig::new("do i = 1, 8\n  x = a + b\n  A(i) = x\nenddo\n");
+    let icm = r.apply(XformKind::Icm);
+    assert!(r.safe(icm));
+    // Edit: define x inside the loop.
+    let lp = r.prog.body[1];
+    let stmts = pivot_lang::parser::parse_stmts_into(&mut r.prog, "x = 0\n").unwrap();
+    r.prog
+        .attach(
+            stmts[0],
+            Loc {
+                parent: Parent::Block(lp, pivot_lang::BlockRole::LoopBody),
+                anchor: pivot_lang::AnchorPos::Start,
+            },
+        )
+        .unwrap();
+    r.rep.refresh(&r.prog);
+    assert!(!r.safe(icm));
+}
+
+#[test]
+fn icm_safety_disabled_by_bound_change_to_zero_trip() {
+    let mut r = Rig::new("do i = 1, 8\n  x = a + b\n  A(i) = x\nenddo\n");
+    let icm = r.apply(XformKind::Icm);
+    let lp = r.prog.body[1];
+    if let StmtKind::DoLoop { hi, .. } = r.prog.stmt(lp).kind {
+        r.prog.replace_expr_kind(hi, pivot_lang::ExprKind::Const(0));
+    }
+    r.rep.refresh(&r.prog);
+    assert!(!r.safe(icm), "a zero-trip loop must not have hoisted code");
+}
+
+#[test]
+fn inx_safety_disabled_by_new_blocking_dependence() {
+    let mut r = Rig::new(
+        "do i = 1, 10\n  do j = 1, 10\n    A(i, j) = B(i, j)\n  enddo\nenddo\n",
+    );
+    let inx = r.apply(XformKind::Inx);
+    assert!(r.safe(inx));
+    // Edit: add a (<,>)-carried dependence statement into the inner body.
+    let outer = r.prog.body[0];
+    let inner = match &r.prog.stmt(outer).kind {
+        StmtKind::DoLoop { body, .. } => body[0],
+        _ => unreachable!(),
+    };
+    let stmts =
+        pivot_lang::parser::parse_stmts_into(&mut r.prog, "C(i, j) = C(i - 1, j + 1)\n").unwrap();
+    r.prog
+        .attach(
+            stmts[0],
+            Loc {
+                parent: Parent::Block(inner, pivot_lang::BlockRole::LoopBody),
+                anchor: pivot_lang::AnchorPos::Start,
+            },
+        )
+        .unwrap();
+    r.rep.refresh(&r.prog);
+    // NOTE: after the interchange, outer iterates j and inner iterates i;
+    // the inserted dependence has direction (<,>) on the *current* nest.
+    assert!(!r.safe(inx));
+}
+
+#[test]
+fn inx_reversibility_disabled_by_statement_between_loops() {
+    // The Section 5.2 condition, driven by an edit rather than ICM.
+    let mut r = Rig::new(
+        "do i = 1, 10\n  do j = 1, 10\n    A(i, j) = 0\n  enddo\nenddo\n",
+    );
+    let inx = r.apply(XformKind::Inx);
+    assert!(r.reversible(inx));
+    let outer = r.prog.body[0];
+    let stmts = pivot_lang::parser::parse_stmts_into(&mut r.prog, "x = 1\n").unwrap();
+    r.prog
+        .attach(
+            stmts[0],
+            Loc {
+                parent: Parent::Block(outer, pivot_lang::BlockRole::LoopBody),
+                anchor: pivot_lang::AnchorPos::Start,
+            },
+        )
+        .unwrap();
+    r.rep.refresh(&r.prog);
+    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(inx)).unwrap_err();
+    assert_eq!(err.affecting, None, "an edit, not a transformation, is to blame");
+}
+
+#[test]
+fn fus_safety_disabled_by_new_backward_dependence() {
+    let mut r = Rig::new(
+        "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = 2\nenddo\nwrite B(3)\n",
+    );
+    let fus = r.apply(XformKind::Fus);
+    assert!(r.safe(fus));
+    // Edit the second body statement to read A(i + 1): a backward
+    // dependence in fused form.
+    let lp = r.prog.body[0];
+    let body = match &r.prog.stmt(lp).kind {
+        StmtKind::DoLoop { body, .. } => body.clone(),
+        _ => unreachable!(),
+    };
+    let b_stmt = body[1];
+    let e = pivot_lang::parser::parse_expr_into(&mut r.prog, "A(i + 1)", b_stmt).unwrap();
+    let kind = r.prog.expr(e).kind.clone();
+    if let StmtKind::Assign { value, .. } = r.prog.stmt(b_stmt).kind {
+        r.prog.replace_expr_kind(value, kind);
+    }
+    r.rep.refresh(&r.prog);
+    assert!(!r.safe(fus));
+}
+
+#[test]
+fn lur_safety_disabled_by_bound_change() {
+    let mut r = Rig::new("do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n");
+    let lur = r.apply(XformKind::Lur);
+    assert!(r.safe(lur));
+    let lp = r.prog.body[0];
+    if let StmtKind::DoLoop { hi, .. } = r.prog.stmt(lp).kind {
+        r.prog.replace_expr_kind(hi, pivot_lang::ExprKind::Const(7));
+    }
+    r.rep.refresh(&r.prog);
+    assert!(!r.safe(lur), "trip 7 is not divisible by the unroll factor");
+}
+
+#[test]
+fn smi_safety_disabled_by_dismantled_nest() {
+    let mut r = Rig::new("do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n");
+    let smi = r.apply(XformKind::Smi);
+    assert!(r.safe(smi));
+    // Edit: insert a statement into the outer strip loop (no longer a pure
+    // strip nest).
+    let outer = r.prog.body[0];
+    let stmts = pivot_lang::parser::parse_stmts_into(&mut r.prog, "x = 1\n").unwrap();
+    r.prog
+        .attach(
+            stmts[0],
+            Loc {
+                parent: Parent::Block(outer, pivot_lang::BlockRole::LoopBody),
+                anchor: pivot_lang::AnchorPos::Start,
+            },
+        )
+        .unwrap();
+    r.rep.refresh(&r.prog);
+    assert!(!r.safe(smi));
+}
+
+#[test]
+fn performing_never_destroys_earlier_safety() {
+    // Paper: "performing a transformation can never destroy the safety of
+    // already applied transformations."
+    let mut r = Rig::new(
+        "D = E + F\nC = 1\ndo i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\n",
+    );
+    let mut ids = Vec::new();
+    for k in [XformKind::Cse, XformKind::Ctp, XformKind::Inx, XformKind::Icm] {
+        ids.push(r.apply(k));
+        for &earlier in &ids {
+            assert!(r.safe(earlier), "{earlier} lost safety after applying {k}");
+        }
+    }
+}

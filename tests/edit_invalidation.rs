@@ -1,0 +1,124 @@
+//! Experiment E9: edit-driven invalidation. After an edit, selective
+//! removal (a) removes every unsafe transformation, (b) leaves a program
+//! semantically equal to the edited source, and (c) leaves all survivors
+//! safe. Property-tested against generated workloads and random edits.
+
+use pivot_lang::interp;
+use pivot_undo::engine::Strategy;
+use pivot_workload::{gen_edit, gen_inputs, prepare, WorkloadCfg};
+use proptest::prelude::*;
+
+fn cfg() -> WorkloadCfg {
+    WorkloadCfg { fragments: 8, noise_ratio: 0.3, ..Default::default() }
+}
+
+/// Apply an `Insert` edit to a clone of the pre-edit source program. The
+/// intended semantics of "user edits the transformed view" is the source
+/// with the same insertion — computable when the edit anchors on source
+/// statements (the aimed edits of `gen_edit` do).
+fn edit_source(
+    source: &pivot_lang::Program,
+    edit: &pivot_undo::Edit,
+) -> Option<pivot_lang::Program> {
+    let pivot_undo::Edit::Insert { src, at } = edit else { return None };
+    // Only anchors shared by both arenas are faithfully replayable.
+    match at.anchor {
+        pivot_lang::AnchorPos::Start => {}
+        pivot_lang::AnchorPos::After(s) => {
+            if s.index() >= source.stmt_arena_len() {
+                return None;
+            }
+        }
+    }
+    let mut p = source.clone();
+    let stmts = pivot_lang::parser::parse_stmts_into(&mut p, src).ok()?;
+    let mut loc = *at;
+    for s in stmts {
+        p.attach(s, loc).ok()?;
+        loc = pivot_lang::Loc::after(loc.parent, s);
+    }
+    Some(p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn selective_removal_is_sound_and_complete(seed in 0u64..200, eseed in 0u64..50) {
+        let mut p = prepare(seed, &cfg(), 12);
+        prop_assume!(p.applied.len() >= 4);
+        let source = p.session.original.clone();
+        let edit = gen_edit(&p.session, eseed);
+        // Intended semantics: the pre-edit source with the same insertion.
+        let intended = edit_source(&source, &edit);
+        p.session.edit(&edit).unwrap();
+        let inputs = gen_inputs(seed, 96);
+        p.session.remove_unsafe(Strategy::Regional);
+        // (a) nothing unsafe remains.
+        prop_assert!(p.session.find_unsafe().is_empty(),
+            "unsafe transformations remain after removal");
+        // (b) semantics match the edited *source* (when the edit anchors on
+        // source statements — otherwise the oracle is undefined and we only
+        // check (a) and (c)).
+        if let Some(intended) = intended {
+            if let Ok(expected) = interp::run_default(&intended, &inputs) {
+                let got = interp::run_default(&p.session.prog, &inputs).unwrap();
+                prop_assert_eq!(got, expected, "selective removal changed semantics");
+            }
+        }
+        // (c) consistency.
+        p.session.assert_consistent();
+    }
+
+    #[test]
+    fn parallel_and_sequential_unsafe_screens_agree(seed in 0u64..100, eseed in 0u64..50) {
+        let mut p = prepare(seed, &cfg(), 12);
+        prop_assume!(p.applied.len() >= 4);
+        let edit = gen_edit(&p.session, eseed);
+        p.session.edit(&edit).unwrap();
+        let seq = p.session.find_unsafe();
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(&seq, &p.session.find_unsafe_parallel(threads));
+        }
+    }
+
+    #[test]
+    fn baseline_and_selective_agree_semantically(seed in 0u64..80, eseed in 0u64..40) {
+        // Both strategies must produce semantically identical programs
+        // (they may differ syntactically in which optimizations remain).
+        let mut a = prepare(seed, &cfg(), 12);
+        prop_assume!(a.applied.len() >= 4);
+        let edit = gen_edit(&a.session, eseed);
+        a.session.edit(&edit).unwrap();
+        a.session.remove_unsafe(Strategy::Regional);
+
+        let mut b = prepare(seed, &cfg(), 12);
+        let edit = gen_edit(&b.session, eseed);
+        b.session.edit(&edit).unwrap();
+        b.session.revert_all_and_redo();
+
+        let inputs = gen_inputs(seed, 96);
+        let oa = interp::run_default(&a.session.prog, &inputs).unwrap();
+        let ob = interp::run_default(&b.session.prog, &inputs).unwrap();
+        prop_assert_eq!(oa, ob, "selective vs revert-all semantics diverged");
+    }
+}
+
+#[test]
+fn harmless_edit_invalidates_nothing() {
+    let mut p = prepare(3, &cfg(), 12);
+    let n = p.session.history.active_len();
+    assert!(n >= 4);
+    // Append a write of a fresh variable at the end: touches nothing.
+    let last = *p.session.prog.body.last().unwrap();
+    let edit = pivot_undo::Edit::Insert {
+        src: "zzz_fresh = 1\nwrite zzz_fresh\n".into(),
+        at: pivot_lang::Loc::after(pivot_lang::Parent::Root, last),
+    };
+    p.session.edit(&edit).unwrap();
+    assert!(p.session.find_unsafe().is_empty());
+    let report = p.session.remove_unsafe(Strategy::Regional);
+    assert!(report.removed.is_empty());
+    assert!(report.retired.is_empty());
+    assert_eq!(p.session.history.active_len(), n, "all transformations survive");
+}

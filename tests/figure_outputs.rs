@@ -1,0 +1,116 @@
+//! Golden checks for the regenerated figures: the exact textual artifacts
+//! the paper prints (Figure 1's transformed code, Figure 2's annotation
+//! tags, Table 4's paper rows) as rendered by the library, pinned so
+//! regressions in printing/annotation bookkeeping are caught.
+
+use pivot_undo::engine::Session;
+use pivot_undo::XformKind;
+
+const FIG1: &str = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+";
+
+fn transformed() -> Session {
+    let mut s = Session::from_source(FIG1).unwrap();
+    for k in [XformKind::Cse, XformKind::Ctp, XformKind::Inx, XformKind::Icm] {
+        s.apply_kind(k).unwrap();
+    }
+    s
+}
+
+#[test]
+fn figure1_transformed_source_golden() {
+    assert_eq!(
+        transformed().source(),
+        "\
+D = E + F
+C = 1
+do j = 1, 50
+  A(j) = B(j) + 1
+  do i = 1, 100
+    R(i, j) = D
+  enddo
+enddo
+"
+    );
+}
+
+#[test]
+fn figure2_annotation_tags_golden() {
+    let s = transformed();
+    let ann = s.log.render_annotations(&s.prog, &s.history.stamp_order());
+    // One modify per rewrite (cse=1, ctp=2), two header modifies for the
+    // interchange (3), one move for the hoist (4).
+    assert_eq!(ann.matches("md1").count(), 1, "{ann}");
+    assert_eq!(ann.matches("md2").count(), 1, "{ann}");
+    assert_eq!(ann.matches("md3").count(), 2, "{ann}");
+    assert_eq!(ann.matches("mv4").count(), 1, "{ann}");
+    // The CSE annotation sits on the replaced expression (now `D`).
+    assert!(ann.contains("md1 on expr D"), "{ann}");
+    // The CTP annotation sits on the propagated constant.
+    assert!(ann.contains("md2 on expr 1"), "{ann}");
+    // The ICM move annotates the hoisted statement (label 5).
+    assert!(ann.contains("mv4 on stmt 5"), "{ann}");
+}
+
+#[test]
+fn figure1_region_tree_golden() {
+    let s = Session::from_source(FIG1).unwrap();
+    let dump = s.rep.pdg(&s.prog).dump(&s.prog, s.rep.ddg(&s.prog));
+    // Three region nodes: root, i-loop body, j-loop body.
+    assert!(dump.contains("R0"));
+    assert!(dump.contains("R1"));
+    assert!(dump.contains("R2"));
+    assert!(dump.contains("(root)"));
+    assert!(dump.contains("members=[1,2,3]"), "{dump}");
+}
+
+#[test]
+fn table4_paper_rows_golden() {
+    use pivot_undo::interact::{paper_rows, render};
+    let mut m = [[false; 10]; 10];
+    for (k, marks) in paper_rows() {
+        for (i, &b) in marks.iter().enumerate() {
+            m[k.index()][i] = b == b'x';
+        }
+    }
+    let text = render(&m);
+    // The DCE row exactly as the paper prints it.
+    assert!(
+        text.contains(" DCE    x   x   -   x   -   x   -   -   x   x"),
+        "{text}"
+    );
+    assert!(
+        text.contains(" INX    -   -   -   -   -   x   -   -   x   x"),
+        "{text}"
+    );
+}
+
+#[test]
+fn table2_patterns_golden() {
+    // The recorded Table 2 shapes for the Figure 1 transformations.
+    let s = transformed();
+    let shapes: Vec<(&str, String, String)> = s
+        .history
+        .active()
+        .map(|r| (r.kind.abbrev(), r.pre.shape.clone(), r.post.shape.clone()))
+        .collect();
+    assert_eq!(shapes[0].0, "CSE");
+    assert_eq!(shapes[0].1, "Stmt S_i: A = B op C; Stmt S_j: D = B op C");
+    assert_eq!(shapes[0].2, "Stmt S_j: D = A");
+    assert_eq!(shapes[1].0, "CTP");
+    assert!(shapes[1].1.contains("type(opr_2) == const"));
+    assert_eq!(shapes[2].0, "INX");
+    assert_eq!(shapes[2].1, "Tight Loops (L1, L2)");
+    assert_eq!(shapes[2].2, "Tight Loops (L2, L1)");
+    assert_eq!(shapes[3].0, "ICM");
+    assert_eq!(shapes[3].1, "Loop L1; Stmt S_i");
+    assert!(shapes[3].2.contains("orig_location"));
+}

@@ -1,0 +1,158 @@
+//! Experiment E5/E7: exact reproduction of the paper's worked example
+//! (Figure 1, Figure 2, Section 5.2) and full independent-order semantics
+//! over all 24 undo permutations.
+
+use pivot_lang::equiv::programs_equal;
+use pivot_undo::engine::{Session, Strategy};
+use pivot_undo::{XformId, XformKind};
+
+const FIG1: &str = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+";
+
+fn figure1_session() -> (Session, [XformId; 4]) {
+    let mut s = Session::from_source(FIG1).unwrap();
+    let cse = s.apply_kind(XformKind::Cse).expect("cse(1)");
+    let ctp = s.apply_kind(XformKind::Ctp).expect("ctp(2)");
+    let inx = s.apply_kind(XformKind::Inx).expect("inx(3)");
+    let icm = s.apply_kind(XformKind::Icm).expect("icm(4)");
+    (s, [cse, ctp, inx, icm])
+}
+
+#[test]
+fn transformed_source_matches_figure1_lower_half() {
+    let (s, _) = figure1_session();
+    assert_eq!(
+        s.source(),
+        "\
+D = E + F
+C = 1
+do j = 1, 50
+  A(j) = B(j) + 1
+  do i = 1, 100
+    R(i, j) = D
+  enddo
+enddo
+"
+    );
+}
+
+#[test]
+fn annotations_mention_all_four_transformations() {
+    let (s, _) = figure1_session();
+    let rendered = s.log.render_annotations(&s.prog, &s.history.stamp_order());
+    // Figure 2: md for modifies (cse, ctp, inx headers) and mv for the icm.
+    assert!(rendered.contains("md1"), "cse annotation: {rendered}");
+    assert!(rendered.contains("md2"), "ctp annotation: {rendered}");
+    assert!(rendered.contains("md3"), "inx annotation: {rendered}");
+    assert!(rendered.contains("mv4"), "icm annotation: {rendered}");
+}
+
+#[test]
+fn section_5_2_cse_and_ctp_reverse_immediately() {
+    // "the post_patterns of CSE and CTP exist … CSE and CTP can be reversed
+    // immediately"; "the reversal of ICM can be immediately applied … since
+    // it is the last transformation applied".
+    let (s, [cse, ctp, _inx, icm]) = figure1_session();
+    for id in [cse, ctp, icm] {
+        let record = s.history.get(id).clone();
+        assert!(
+            pivot_undo::revers::check_reversible(&s.prog, &s.log, &s.history, &record).is_ok(),
+            "{id} should be immediately reversible"
+        );
+    }
+}
+
+#[test]
+fn section_5_2_inx_requires_icm_first() {
+    let (s, [_, _, inx, icm]) = figure1_session();
+    let record = s.history.get(inx).clone();
+    let err = pivot_undo::revers::check_reversible(&s.prog, &s.log, &s.history, &record)
+        .expect_err("INX post pattern (Tight Loops) is invalidated by mv4");
+    assert_eq!(err.affecting, Some(icm));
+}
+
+#[test]
+fn undo_inx_cascades_exactly_icm() {
+    let (mut s, [cse, ctp, inx, icm]) = figure1_session();
+    let report = s.undo(inx, Strategy::Regional).unwrap();
+    assert_eq!(report.undone, vec![icm, inx]);
+    assert_eq!(s.history.get(cse).state, pivot_undo::XformState::Active);
+    assert_eq!(s.history.get(ctp).state, pivot_undo::XformState::Active);
+    // The surviving rewrites are still in the code.
+    assert!(s.source().contains("R(i, j) = D"));
+    assert!(s.source().contains("A(j) = B(j) + 1"));
+    assert!(s.source().contains("do i = 1, 100"));
+}
+
+#[test]
+fn all_24_undo_orders_restore_the_source() {
+    // Exhaustive permutations of {cse, ctp, inx, icm}.
+    let perms = permutations(&[0, 1, 2, 3]);
+    assert_eq!(perms.len(), 24);
+    for perm in perms {
+        let (mut s, ids) = figure1_session();
+        for &i in &perm {
+            match s.undo(ids[i], Strategy::Regional) {
+                Ok(_) | Err(pivot_undo::UndoError::AlreadyUndone(_)) => {}
+                Err(e) => panic!("order {perm:?}: {e}"),
+            }
+        }
+        assert_eq!(s.source(), FIG1, "order {perm:?} failed to restore the source");
+        assert!(programs_equal(&s.prog, &s.original));
+        assert!(s.log.actions.is_empty(), "order {perm:?} left annotations behind");
+        s.assert_consistent();
+    }
+}
+
+#[test]
+fn every_intermediate_state_is_semantics_preserving() {
+    // After each undo step (any order), the program output equals the
+    // original program's output.
+    let input: Vec<i64> = vec![];
+    let expected = pivot_lang::interp::run_default(
+        &pivot_lang::parser::parse(FIG1).unwrap(),
+        &input,
+    )
+    .unwrap();
+    for perm in permutations(&[0, 1, 2, 3]) {
+        let (mut s, ids) = figure1_session();
+        for &i in &perm {
+            match s.undo(ids[i], Strategy::Regional) {
+                Ok(_) | Err(pivot_undo::UndoError::AlreadyUndone(_)) => {}
+                Err(e) => panic!("order {perm:?}: {e}"),
+            }
+            let now = pivot_lang::interp::run_default(&s.prog, &input).unwrap();
+            assert_eq!(now, expected, "order {perm:?} broke semantics mid-way");
+        }
+    }
+}
+
+#[test]
+fn history_summary_matches_paper_notation() {
+    let (s, _) = figure1_session();
+    assert_eq!(s.history.summary(), "cse(1) ctp(2) inx(3) icm(4)");
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}

@@ -1,0 +1,228 @@
+//! Experiment E7/E8 invariants, property-tested on generated workloads:
+//!
+//! 1. undoing all transformations in any order restores the source exactly;
+//! 2. every intermediate state preserves program semantics;
+//! 3. the set removed by independent-order undo of one target is a subset
+//!    of what reverse-order undo to the same target removes;
+//! 4. all three strategies remove the same set;
+//! 5. history/log/program stay mutually consistent throughout.
+
+use pivot_lang::equiv::programs_equal;
+use pivot_lang::interp;
+use pivot_undo::engine::Strategy;
+use pivot_undo::UndoError;
+use pivot_workload::{gen_inputs, prepare, WorkloadCfg};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn cfg() -> WorkloadCfg {
+    WorkloadCfg { fragments: 6, noise_ratio: 0.4, figure1_chains: 1, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_order_roundtrip_with_intermediate_semantics(seed in 0u64..300, shuffle in 0u64..1000) {
+        let mut prepared = prepare(seed, &cfg(), 10);
+        prop_assume!(prepared.applied.len() >= 3);
+        let inputs = gen_inputs(seed, 96);
+        let expected = interp::run_default(&prepared.session.original, &inputs).unwrap();
+        let mut order = prepared.applied.clone();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(shuffle));
+        for id in order {
+            match prepared.session.undo(id, Strategy::Regional) {
+                Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("undo {id}: {e}"))),
+            }
+            let now = interp::run_default(&prepared.session.prog, &inputs).unwrap();
+            prop_assert_eq!(&now, &expected, "semantics broke mid-undo");
+            prepared.session.assert_consistent();
+        }
+        prop_assert!(programs_equal(&prepared.session.prog, &prepared.session.original));
+        prop_assert!(prepared.session.log.actions.is_empty());
+    }
+
+    #[test]
+    fn independent_removes_subset_of_reverse(seed in 0u64..200, pick in 0usize..64) {
+        let prepared = prepare(seed, &cfg(), 10);
+        prop_assume!(prepared.applied.len() >= 3);
+        let target = prepared.applied[pick % prepared.applied.len()];
+
+        let mut a = prepare(seed, &cfg(), 10);
+        let ra = a.session.undo(target, Strategy::Regional)
+            .map_err(|e| TestCaseError::fail(format!("independent: {e}")))?;
+
+        let mut b = prepare(seed, &cfg(), 10);
+        let rb = b.session.undo_reverse_to(target)
+            .map_err(|e| TestCaseError::fail(format!("reverse: {e}")))?;
+
+        for id in &ra.undone {
+            prop_assert!(
+                rb.undone.contains(id),
+                "independent removed {id} which reverse (to the same target) kept"
+            );
+        }
+        prop_assert!(ra.undone.len() <= rb.undone.len());
+        // Both end in semantically original programs.
+        let inputs = gen_inputs(seed, 96);
+        let expected = interp::run_default(&a.session.original, &inputs).unwrap();
+        prop_assert_eq!(interp::run_default(&a.session.prog, &inputs).unwrap(), expected.clone());
+        prop_assert_eq!(interp::run_default(&b.session.prog, &inputs).unwrap(), expected);
+    }
+
+    #[test]
+    fn strategies_remove_identical_sets(seed in 0u64..150, pick in 0usize..64) {
+        let prepared = prepare(seed, &cfg(), 10);
+        prop_assume!(prepared.applied.len() >= 3);
+        let target = prepared.applied[pick % prepared.applied.len()];
+        let mut outcomes = Vec::new();
+        for strategy in [Strategy::Regional, Strategy::NoHeuristic, Strategy::FullScan] {
+            let mut p = prepare(seed, &cfg(), 10);
+            let mut undone = p.session.undo(target, strategy)
+                .map_err(|e| TestCaseError::fail(format!("{strategy:?}: {e}")))?
+                .undone;
+            undone.sort();
+            outcomes.push((strategy, undone, p.session.source()));
+        }
+        for w in outcomes.windows(2) {
+            prop_assert_eq!(
+                &w[0].1, &w[1].1,
+                "{:?} and {:?} removed different sets", w[0].0, w[1].0
+            );
+            prop_assert_eq!(&w[0].2, &w[1].2, "sources diverged");
+        }
+    }
+
+    #[test]
+    fn pruning_never_increases_safety_checks(seed in 0u64..100, pick in 0usize..64) {
+        let prepared = prepare(seed, &cfg(), 10);
+        prop_assume!(prepared.applied.len() >= 3);
+        let target = prepared.applied[pick % prepared.applied.len()];
+        let mut counts = Vec::new();
+        for strategy in [Strategy::Regional, Strategy::NoHeuristic, Strategy::FullScan] {
+            let mut p = prepare(seed, &cfg(), 10);
+            let r = p.session.undo(target, strategy)
+                .map_err(|e| TestCaseError::fail(format!("{strategy:?}: {e}")))?;
+            counts.push(r.safety_checks);
+        }
+        // Regional ≤ NoHeuristic ≤ FullScan.
+        prop_assert!(counts[0] <= counts[1], "heuristic increased checks: {counts:?}");
+        prop_assert!(counts[1] <= counts[2], "regional filter increased checks: {counts:?}");
+    }
+}
+
+#[test]
+fn figure1_chain_dense_interactions_roundtrip() {
+    // A workload made only of Figure 1 chains maximizes interactions.
+    let cfg = WorkloadCfg {
+        fragments: 0,
+        noise_ratio: 0.0,
+        kinds: None,
+        figure1_chains: 4,
+    };
+    for seed in 0..8u64 {
+        let mut prepared = prepare(seed, &cfg, 16);
+        assert!(prepared.applied.len() >= 8, "chains should apply many transformations");
+        let mut order = prepared.applied.clone();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed * 31 + 1));
+        for id in order {
+            match prepared.session.undo(id, Strategy::Regional) {
+                Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+                Err(e) => panic!("seed {seed}: {e}"),
+            }
+        }
+        assert!(programs_equal(&prepared.session.prog, &prepared.session.original));
+    }
+}
+
+#[test]
+fn forked_sessions_explore_alternatives_independently() {
+    // The paper's motivating workflow: try different alternatives by
+    // forking, keep the best.
+    let base = prepare(12, &cfg(), 4);
+    let mut a = base.session.fork();
+    let mut b = base.session.fork();
+    // Branch A: undo the first transformation; branch B: apply more.
+    let first = base.applied[0];
+    a.undo(first, Strategy::Regional).unwrap();
+    while b.session_apply_any() {}
+    // The branches diverged; the base-derived invariants hold in both.
+    a.assert_consistent();
+    b.assert_consistent();
+    assert!(a.history.active_len() < b.history.active_len());
+    // Both remain semantically equal to the source.
+    let inputs = gen_inputs(12, 96);
+    let expected = interp::run_default(&a.original, &inputs).unwrap();
+    assert_eq!(interp::run_default(&a.prog, &inputs).unwrap(), expected);
+    assert_eq!(interp::run_default(&b.prog, &inputs).unwrap(), expected);
+}
+
+trait ApplyAny {
+    fn session_apply_any(&mut self) -> bool;
+}
+
+impl ApplyAny for pivot_undo::engine::Session {
+    fn session_apply_any(&mut self) -> bool {
+        for k in pivot_undo::ALL_KINDS {
+            if self.apply_kind(k).is_some() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[test]
+fn interaction_heuristic_prunes_checks_beyond_region() {
+    // The dead statement reads `c`, so undoing its DCE puts `c` in the
+    // affected region; the later CTP (propagating c) overlaps the region —
+    // but DCE→CTP is unmarked in Table 4, so the Regional strategy skips
+    // the safety check entirely while NoHeuristic runs it. Outcomes agree.
+    use pivot_undo::engine::Session;
+    use pivot_undo::interact::{default_matrix, may_affect};
+    use pivot_undo::XformKind;
+    assert!(
+        !may_affect(&default_matrix(), XformKind::Dce, XformKind::Ctp),
+        "the paper's DCE row leaves CTP unmarked"
+    );
+    let src = "c = 5\nd = c + 1\nu = c + 2\nwrite u\n";
+    let build = || {
+        let mut s = Session::from_source(src).unwrap();
+        let dce = s.apply_kind(XformKind::Dce).expect("d = c + 1 is dead");
+        let ctp = s.apply_kind(XformKind::Ctp).expect("c propagates");
+        (s, dce, ctp)
+    };
+    let (mut a, dce, ctp_a) = build();
+    let ra = a.undo(dce, Strategy::Regional).unwrap();
+    let (mut b, dce_b, ctp_b) = build();
+    let rb = b.undo(dce_b, Strategy::NoHeuristic).unwrap();
+    assert_eq!(ra.undone, rb.undone);
+    assert_eq!(a.source(), b.source());
+    assert_eq!(ra.safety_checks, 0, "heuristic skips the unmarked CTP");
+    assert_eq!(rb.safety_checks, 1, "region alone still checks it");
+    // The CTP survives in both.
+    assert_eq!(a.history.get(ctp_a).state, pivot_undo::XformState::Active);
+    assert_eq!(b.history.get(ctp_b).state, pivot_undo::XformState::Active);
+}
+
+#[test]
+fn undo_last_repeats_like_the_in_order_scheme() {
+    // Consecutive undo_last calls reverse the whole sequence, newest first.
+    let mut p = prepare(33, &cfg(), 8);
+    let n = p.session.history.active_len();
+    assert!(n >= 4);
+    let mut undone = Vec::new();
+    while let Some(r) = p.session.undo_last().unwrap() {
+        assert_eq!(r.undone.len(), 1, "in-order undo is always immediate");
+        assert_eq!(r.affecting_chases, 0);
+        undone.extend(r.undone);
+    }
+    assert_eq!(undone.len(), n);
+    // Newest-first order.
+    for w in undone.windows(2) {
+        assert!(w[0] > w[1]);
+    }
+    assert!(programs_equal(&p.session.prog, &p.session.original));
+}
