@@ -12,7 +12,14 @@ use pivot_undo::ActionLog;
 use pivot_workload::{gen_program, WorkloadCfg};
 
 fn medium_program() -> pivot_lang::Program {
-    gen_program(11, &WorkloadCfg { fragments: 16, noise_ratio: 0.5, ..Default::default() })
+    gen_program(
+        11,
+        &WorkloadCfg {
+            fragments: 16,
+            noise_ratio: 0.5,
+            ..Default::default()
+        },
+    )
 }
 
 fn bench_actions(c: &mut Criterion) {

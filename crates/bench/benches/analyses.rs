@@ -10,17 +10,30 @@ use pivot_workload::{gen_program, WorkloadCfg};
 
 fn bench_layers(c: &mut Criterion) {
     let mut g = c.benchmark_group("rep_layers");
-    let p = gen_program(3, &WorkloadCfg { fragments: 16, noise_ratio: 0.5, ..Default::default() });
+    let p = gen_program(
+        3,
+        &WorkloadCfg {
+            fragments: 16,
+            noise_ratio: 0.5,
+            ..Default::default()
+        },
+    );
     let built_cfg = cfg::build(&p);
     let rd = reaching::compute(&p, &built_cfg);
 
     g.bench_function("cfg", |b| b.iter(|| cfg::build(&p)));
     g.bench_function("dominators", |b| b.iter(|| dom::dominators(&built_cfg)));
-    g.bench_function("postdominators", |b| b.iter(|| dom::postdominators(&built_cfg)));
-    g.bench_function("reaching_defs", |b| b.iter(|| reaching::compute(&p, &built_cfg)));
+    g.bench_function("postdominators", |b| {
+        b.iter(|| dom::postdominators(&built_cfg))
+    });
+    g.bench_function("reaching_defs", |b| {
+        b.iter(|| reaching::compute(&p, &built_cfg))
+    });
     g.bench_function("liveness", |b| b.iter(|| live::compute(&p, &built_cfg)));
     g.bench_function("avail_exprs", |b| b.iter(|| avail::compute(&p, &built_cfg)));
-    g.bench_function("du_chains", |b| b.iter(|| chains::compute(&p, &built_cfg, &rd)));
+    g.bench_function("du_chains", |b| {
+        b.iter(|| chains::compute(&p, &built_cfg, &rd))
+    });
     g.bench_function("ddg", |b| b.iter(|| depend::build_ddg(&p)));
     g.bench_function("block_dags", |b| {
         b.iter(|| {
@@ -37,7 +50,11 @@ fn bench_layers(c: &mut Criterion) {
     for frags in [4usize, 8, 16, 32, 64] {
         let p = gen_program(
             5,
-            &WorkloadCfg { fragments: frags, noise_ratio: 0.5, ..Default::default() },
+            &WorkloadCfg {
+                fragments: frags,
+                noise_ratio: 0.5,
+                ..Default::default()
+            },
         );
         let stmts = p.attached_len();
         g.bench_with_input(BenchmarkId::new("full_rep", stmts), &p, |b, p| {

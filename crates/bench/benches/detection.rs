@@ -10,7 +10,11 @@ use pivot_undo::{catalog, ALL_KINDS};
 use pivot_workload::{prepare, WorkloadCfg};
 
 fn bench_detection(c: &mut Criterion) {
-    let cfg = WorkloadCfg { fragments: 16, noise_ratio: 0.5, ..Default::default() };
+    let cfg = WorkloadCfg {
+        fragments: 16,
+        noise_ratio: 0.5,
+        ..Default::default()
+    };
     let prepared = prepare(21, &cfg, 24);
     let s = &prepared.session;
     assert!(prepared.applied.len() >= 12);
@@ -38,9 +42,13 @@ fn bench_detection(c: &mut Criterion) {
     let fresh = pivot_workload::gen_program(21, &cfg);
     let rep = pivot_ir::Rep::build(&fresh);
     for kind in ALL_KINDS {
-        g.bench_function(kind.abbrev(), |b| b.iter(|| catalog::find(&fresh, &rep, kind).len()));
+        g.bench_function(kind.abbrev(), |b| {
+            b.iter(|| catalog::find(&fresh, &rep, kind).len())
+        });
     }
-    g.bench_function("all_kinds", |b| b.iter(|| catalog::find_all(&fresh, &rep).len()));
+    g.bench_function("all_kinds", |b| {
+        b.iter(|| catalog::find_all(&fresh, &rep).len())
+    });
     g.finish();
 }
 

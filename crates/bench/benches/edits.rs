@@ -11,7 +11,11 @@ fn bench_edits(c: &mut Criterion) {
     let mut g = c.benchmark_group("edit_invalidation");
     g.sample_size(10);
     for frags in [8usize, 16, 32] {
-        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() };
+        let cfg = WorkloadCfg {
+            fragments: frags,
+            noise_ratio: 0.3,
+            ..Default::default()
+        };
         let seed = 0xED17 ^ frags as u64;
         let edited = || {
             let mut p = prepare(seed, &cfg, frags * 2);

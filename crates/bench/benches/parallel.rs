@@ -10,7 +10,11 @@ fn bench_parallel(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_safety_screen");
     g.sample_size(20);
     for frags in [16usize, 48] {
-        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.2, ..Default::default() };
+        let cfg = WorkloadCfg {
+            fragments: frags,
+            noise_ratio: 0.2,
+            ..Default::default()
+        };
         let prepared = prepare(0xFA2 ^ frags as u64, &cfg, frags * 2);
         let s = &prepared.session;
         let records: Vec<&pivot_undo::AppliedXform> = s.history.active().collect();

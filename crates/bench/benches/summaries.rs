@@ -8,10 +8,10 @@
 //! access test, sweeping loop body size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pivot_lang::builder::{add, c, ix, v, ProgramBuilder};
-use pivot_lang::Program;
 use pivot_ir::depend::{build_ddg, fusion_dep_legal};
 use pivot_ir::pdg::Pdg;
+use pivot_lang::builder::{add, c, ix, v, ProgramBuilder};
+use pivot_lang::Program;
 
 /// Two adjacent conformable loops with `n` independent statements each and
 /// a single cross-loop dependence (the paper's d2).

@@ -8,11 +8,20 @@
 //! re-derivation bill.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use pivot_obs::Recorder;
 use pivot_undo::engine::Strategy;
 use pivot_workload::{prepare, Prepared, WorkloadCfg};
+use std::sync::Arc;
 
 fn setup(frags: usize) -> (WorkloadCfg, u64) {
-    (WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() }, 0xBEEF ^ frags as u64)
+    (
+        WorkloadCfg {
+            fragments: frags,
+            noise_ratio: 0.3,
+            ..Default::default()
+        },
+        0xBEEF ^ frags as u64,
+    )
 }
 
 fn bench_undo(c: &mut Criterion) {
@@ -25,23 +34,29 @@ fn bench_undo(c: &mut Criterion) {
         assert!(n >= 4, "workload too small");
         let target = probe.applied[n / 4];
 
-        for strategy in [Strategy::Regional, Strategy::NoHeuristic, Strategy::FullScan] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{strategy:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter_batched(
-                        || prepare(seed, &cfg, frags * 2),
-                        |mut p| p.session.undo(target, strategy).expect("undo").undone.len(),
-                        BatchSize::PerIteration,
-                    )
-                },
-            );
+        for strategy in [
+            Strategy::Regional,
+            Strategy::NoHeuristic,
+            Strategy::FullScan,
+        ] {
+            g.bench_with_input(BenchmarkId::new(format!("{strategy:?}"), n), &n, |b, _| {
+                b.iter_batched(
+                    || prepare(seed, &cfg, frags * 2),
+                    |mut p| p.session.undo(target, strategy).expect("undo").undone.len(),
+                    BatchSize::PerIteration,
+                )
+            });
         }
         g.bench_with_input(BenchmarkId::new("ReverseOrder", n), &n, |b, _| {
             b.iter_batched(
                 || prepare(seed, &cfg, frags * 2),
-                |mut p| p.session.undo_reverse_to(target).expect("undo").undone.len(),
+                |mut p| {
+                    p.session
+                        .undo_reverse_to(target)
+                        .expect("undo")
+                        .undone
+                        .len()
+                },
                 BatchSize::PerIteration,
             )
         });
@@ -65,7 +80,13 @@ fn bench_undo(c: &mut Criterion) {
     g.bench_function("independent", |b| {
         b.iter_batched(
             || prepare(seed, &cfg, 32),
-            |mut p| p.session.undo(last, Strategy::Regional).expect("undo").undone.len(),
+            |mut p| {
+                p.session
+                    .undo(last, Strategy::Regional)
+                    .expect("undo")
+                    .undone
+                    .len()
+            },
             BatchSize::PerIteration,
         )
     });
@@ -77,6 +98,56 @@ fn bench_undo(c: &mut Criterion) {
         )
     });
     g.finish();
+
+    // Observability cost: the same mid-sequence undo with the default
+    // (disabled) tracer versus a JSONL recorder draining into a sink.
+    // Acceptance: the disabled path stays within noise (<5%) of the seed —
+    // it only adds one relaxed `enabled()` check per phase.
+    let mut g = c.benchmark_group("tracer_overhead");
+    g.sample_size(20);
+    let (cfg, seed) = setup(16);
+    let probe = prepare(seed, &cfg, 32);
+    let target = probe.applied[probe.applied.len() / 4];
+    g.bench_function("disabled", |b| {
+        b.iter_batched(
+            || prepare(seed, &cfg, 32),
+            |mut p| {
+                p.session
+                    .undo(target, Strategy::Regional)
+                    .expect("undo")
+                    .undone
+                    .len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("recorder", |b| {
+        b.iter_batched(
+            || {
+                let mut p = prepare(seed, &cfg, 32);
+                p.session
+                    .set_tracer(Arc::new(Recorder::new(std::io::sink())));
+                p
+            },
+            |mut p| {
+                p.session
+                    .undo(target, Strategy::Regional)
+                    .expect("undo")
+                    .undone
+                    .len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+
+    // One representative phase breakdown next to the numbers above.
+    let mut p = prepare(seed, &cfg, 32);
+    let report = p.session.undo(target, Strategy::Regional).expect("undo");
+    eprintln!(
+        "phase breakdown (Regional, 16 fragments):\n{}",
+        pivot_bench::phase_breakdown(&report)
+    );
 }
 
 criterion_group! {

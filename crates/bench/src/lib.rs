@@ -1,3 +1,53 @@
-//! Shared helpers for the Criterion benches (kept minimal; the real content
-//! lives in `benches/`).
+//! Shared helpers for the Criterion benches (the measurement content lives
+//! in `benches/`).
+
 #![warn(missing_docs)]
+
+use pivot_obs::Phase;
+use pivot_undo::engine::UndoReport;
+use std::fmt::Write as _;
+
+/// Render the per-phase wall-time breakdown of one undo request, with each
+/// phase's share of the whole-request time. The benches print this once per
+/// workload so the dominant phase (in practice `rep_rebuild`) is visible
+/// next to the strategy comparison.
+pub fn phase_breakdown(report: &UndoReport) -> String {
+    let total = report.phase_ns.get(Phase::Undo);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "undo total: {total} ns, {} removed",
+        report.undone.len()
+    );
+    for (phase, ns) in report.phase_ns.nonzero() {
+        if phase == Phase::Undo {
+            continue;
+        }
+        let pct = if total == 0 {
+            0.0
+        } else {
+            ns as f64 * 100.0 / total as f64
+        };
+        let _ = writeln!(out, "  {:<20} {ns:>10} ns ({pct:>4.1}%)", phase.name());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_undo::engine::{Session, Strategy};
+    use pivot_undo::XformKind;
+
+    #[test]
+    fn breakdown_lists_phases_with_shares() {
+        let mut s = Session::from_source("d = e + f\nr = e + f\nwrite r\nwrite d\n").unwrap();
+        let cse = s.apply_kind(XformKind::Cse).unwrap();
+        let report = s.undo(cse, Strategy::Regional).unwrap();
+        let text = phase_breakdown(&report);
+        assert!(text.starts_with("undo total:"), "{text}");
+        assert!(text.contains("rep_rebuild"), "{text}");
+        assert!(text.contains("inverse_action"), "{text}");
+        assert!(text.contains('%'), "{text}");
+    }
+}

@@ -9,7 +9,10 @@
 //! pivot run <file> [ints…]           interpret; prints the output stream
 //! pivot ops <file>                   list applicable transformations
 //! pivot opt <file> [KINDS] [max=N]   greedily apply transformations
-//! pivot script <file> <script>       drive a session from a command script
+//! pivot script <file> <script> [--trace <out.jsonl>]
+//!                                    drive a session from a command script,
+//!                                    optionally recording a JSONL trace of
+//!                                    every undo phase
 //! pivot tables                       print the regenerated paper tables
 //! ```
 //!
@@ -19,7 +22,10 @@
 //! ops                  list opportunities (indices are stable until next ops)
 //! apply <n>            apply opportunity n from the last `ops`
 //! apply <KIND>         apply the first opportunity of a kind (CSE, INX, …)
-//! undo <n>             undo transformation #n (independent order)
+//! undo <n>             undo transformation #n (independent order); prints
+//!                      the removal set and a phase/counter stat line
+//! explain <n>          print the cascade explanation tree for an undone #n
+//! stats                print the process-wide metrics registry
 //! history              print the history line
 //! show                 print the program
 //! annotations          print Figure 2 style annotations
@@ -30,9 +36,11 @@
 
 #![warn(missing_docs)]
 
+use pivot_obs::Recorder;
 use pivot_undo::engine::{Session, Strategy};
 use pivot_undo::{XformId, XformKind};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// CLI failure.
 #[derive(Debug)]
@@ -57,7 +65,8 @@ usage: pivot <command> [args]
   run <file> [ints…]           interpret; prints the output stream
   ops <file>                   list applicable transformations
   opt <file> [KINDS] [max=N]   greedily apply transformations (KINDS = e.g. CSE,CTP)
-  script <file> <script>       drive a session from a command script
+  script <file> <script> [--trace <out.jsonl>]
+                               drive a session from a command script
   tables                       print the regenerated paper tables
 ";
 
@@ -74,7 +83,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let prog = load(args.get(1))?;
             let inputs: Vec<i64> = args[2..]
                 .iter()
-                .map(|a| a.parse::<i64>().map_err(|_| err(format!("bad input `{a}`"))))
+                .map(|a| {
+                    a.parse::<i64>()
+                        .map_err(|_| err(format!("bad input `{a}`")))
+                })
                 .collect::<Result<_, _>>()?;
             let outputs = pivot_lang::interp::run_default(&prog, &inputs)
                 .map_err(|e| err(format!("runtime error: {e}")))?;
@@ -100,7 +112,8 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     kinds = a
                         .split(',')
                         .map(|k| {
-                            XformKind::from_abbrev(k).ok_or_else(|| err(format!("unknown kind `{k}`")))
+                            XformKind::from_abbrev(k)
+                                .ok_or_else(|| err(format!("unknown kind `{k}`")))
                         })
                         .collect::<Result<_, _>>()?;
                 }
@@ -124,17 +137,46 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         }
         Some("script") => {
             let prog = load(args.get(1))?;
-            let script_path = args.get(2).ok_or_else(|| err("script: missing script file"))?;
+            let script_path = args
+                .get(2)
+                .ok_or_else(|| err("script: missing script file"))?;
+            let mut trace_path = None;
+            let mut rest = args[3..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--trace" => {
+                        trace_path = Some(rest.next().ok_or_else(|| err("--trace needs a file"))?);
+                    }
+                    other => return Err(err(format!("script: unknown option `{other}`"))),
+                }
+            }
             let script = std::fs::read_to_string(script_path)
                 .map_err(|e| err(format!("cannot read {script_path}: {e}")))?;
             let mut session = Session::new(prog);
-            run_script(&mut session, &script, &mut out)?;
+            let recorder = match trace_path {
+                Some(p) => {
+                    let rec = Arc::new(
+                        Recorder::to_file(std::path::Path::new(p))
+                            .map_err(|e| err(format!("cannot create {p}: {e}")))?,
+                    );
+                    session.set_tracer(rec.clone());
+                    Some(rec)
+                }
+                None => None,
+            };
+            let result = run_script(&mut session, &script, &mut out);
+            if let Some(rec) = recorder {
+                let _ = rec.flush();
+            }
+            result?;
         }
         Some("tables") => {
             out.push_str("== Table 3 (generated from specifications) ==\n");
             out.push_str(&pivot_undo::spec::render_table3());
             out.push_str("\n== Table 4 (static) ==\n");
-            out.push_str(&pivot_undo::interact::render(&pivot_undo::interact::default_matrix()));
+            out.push_str(&pivot_undo::interact::render(
+                &pivot_undo::interact::default_matrix(),
+            ));
         }
         Some("help") | None => out.push_str(USAGE),
         Some(other) => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
@@ -167,7 +209,9 @@ pub fn run_script(session: &mut Session, script: &str, out: &mut String) -> Resu
                 }
             }
             "apply" => {
-                let what = parts.next().ok_or_else(|| fail("apply needs an argument".into()))?;
+                let what = parts
+                    .next()
+                    .ok_or_else(|| fail("apply needs an argument".into()))?;
                 if let Ok(n) = what.parse::<usize>() {
                     let opp = last_ops
                         .get(n)
@@ -201,12 +245,26 @@ pub fn run_script(session: &mut Session, script: &str, out: &mut String) -> Resu
                 match session.undo(XformId(n), Strategy::Regional) {
                     Ok(r) => {
                         let _ = writeln!(out, "undone: {:?}", r.undone);
+                        let _ = writeln!(out, "{r}");
                     }
                     Err(e) => {
                         let _ = writeln!(out, "cannot undo #{n}: {e}");
                     }
                 }
             }
+            "explain" => {
+                let n: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| fail("explain needs a transformation number".into()))?;
+                match session.explain(XformId(n)) {
+                    Some(tree) => out.push_str(&tree.render()),
+                    None => {
+                        let _ = writeln!(out, "#{n} has not been undone");
+                    }
+                }
+            }
+            "stats" => out.push_str(&pivot_obs::global().render()),
             "history" => {
                 let _ = writeln!(out, "{}", session.history.summary());
             }
@@ -215,7 +273,9 @@ pub fn run_script(session: &mut Session, script: &str, out: &mut String) -> Resu
                 let _ = writeln!(
                     out,
                     "{}",
-                    session.log.render_annotations(&session.prog, &session.history.stamp_order())
+                    session
+                        .log
+                        .render_annotations(&session.prog, &session.history.stamp_order())
                 );
             }
             "unsafe" => {
@@ -236,11 +296,17 @@ pub fn run_script(session: &mut Session, script: &str, out: &mut String) -> Resu
                     .into_iter()
                     .find(|&s| session.prog.stmt(s).label == line_no)
                     .ok_or_else(|| fail(format!("no statement labelled {line_no}")))?;
-                let loc = session.prog.loc_of(target).map_err(|e| fail(e.to_string()))?;
+                let loc = session
+                    .prog
+                    .loc_of(target)
+                    .map_err(|e| fail(e.to_string()))?;
                 let parent = loc.parent;
                 let edit = pivot_undo::Edit::Insert {
                     src: format!("{code}\n"),
-                    at: pivot_lang::Loc { parent, anchor: pivot_lang::AnchorPos::After(target) },
+                    at: pivot_lang::Loc {
+                        parent,
+                        anchor: pivot_lang::AnchorPos::After(target),
+                    },
                 };
                 session.edit(&edit).map_err(|e| fail(e.to_string()))?;
                 let _ = writeln!(out, "edited.");
@@ -267,7 +333,12 @@ mod tests {
     fn script_apply_and_undo_by_kind() {
         let mut s = session("d = e + f\nr = e + f\nwrite r\nwrite d\n");
         let mut out = String::new();
-        run_script(&mut s, "ops\napply CSE\nundo 1\nhistory\nshow\ncheck\n", &mut out).unwrap();
+        run_script(
+            &mut s,
+            "ops\napply CSE\nundo 1\nhistory\nshow\ncheck\n",
+            &mut out,
+        )
+        .unwrap();
         assert!(out.contains("applied #1"), "{out}");
         assert!(out.contains("!cse(1)"), "{out}");
         assert!(out.contains("r = e + f"), "{out}");
@@ -294,6 +365,22 @@ mod tests {
         .unwrap();
         assert!(out.contains("[x1]"), "the CSE must be invalidated: {out}");
         assert!(out.contains("r = e + f"), "{out}");
+    }
+
+    #[test]
+    fn script_undo_reports_stats_and_explains() {
+        let mut s = session("d = e + f\nr = e + f\nwrite r\nwrite d\n");
+        let mut out = String::new();
+        run_script(
+            &mut s,
+            "apply CSE\nundo 1\nexplain 1\nstats\nexplain 2\n",
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("undone 1 [#1]"), "{out}");
+        assert!(out.contains("#1 cse (requested by user)"), "{out}");
+        assert!(out.contains("undo.requests"), "{out}");
+        assert!(out.contains("#2 has not been undone"), "{out}");
     }
 
     #[test]
@@ -334,8 +421,36 @@ mod tests {
         // Script file end-to-end.
         let sf = dir.join("script.txt");
         std::fs::write(&sf, "apply CFO\nshow\n").unwrap();
-        let out =
-            run_cli(&["script".into(), fs, sf.to_string_lossy().to_string()]).unwrap();
+        let out = run_cli(&[
+            "script".into(),
+            fs.clone(),
+            sf.to_string_lossy().to_string(),
+        ])
+        .unwrap();
         assert!(out.contains("write x + 6"), "{out}");
+        // Script with --trace writes a JSONL file covering the undo phases.
+        let sf2 = dir.join("script_undo.txt");
+        std::fs::write(&sf2, "apply CFO\nundo 1\n").unwrap();
+        let tf = dir.join("trace.jsonl");
+        let out = run_cli(&[
+            "script".into(),
+            fs.clone(),
+            sf2.to_string_lossy().to_string(),
+            "--trace".into(),
+            tf.to_string_lossy().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("undone: [x1]"), "{out}");
+        let trace = std::fs::read_to_string(&tf).unwrap();
+        assert!(trace.lines().count() >= 2, "{trace}");
+        assert!(trace.contains("\"phase\":\"undo\""), "{trace}");
+        // Unknown options are rejected.
+        assert!(run_cli(&[
+            "script".into(),
+            fs,
+            sf.to_string_lossy().to_string(),
+            "--bogus".into()
+        ])
+        .is_err());
     }
 }

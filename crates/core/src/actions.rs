@@ -247,7 +247,9 @@ impl fmt::Display for ActionError {
             ActionError::ExprUnreachable(e) => {
                 write!(f, "expression {e} is no longer reachable from live code")
             }
-            ActionError::HeaderMismatch(s) => write!(f, "loop header of {s} changed since recorded"),
+            ActionError::HeaderMismatch(s) => {
+                write!(f, "loop header of {s} changed since recorded")
+            }
             ActionError::PostPatternInvalidated(s) => {
                 write!(f, "post pattern around statement {s} no longer holds")
             }
@@ -295,10 +297,18 @@ impl ActionLog {
     // ------------------------------------------------------------------
 
     /// Apply `Add`: attach a detached statement.
-    pub fn add(&mut self, prog: &mut Program, stmt: StmtId, loc: Loc) -> Result<Stamp, ActionError> {
+    pub fn add(
+        &mut self,
+        prog: &mut Program,
+        stmt: StmtId,
+        loc: Loc,
+    ) -> Result<Stamp, ActionError> {
         prog.attach(stmt, loc)?;
         let s = self.stamp();
-        self.actions.push(StampedAction { stamp: s, kind: ActionKind::Add { stmt, loc } });
+        self.actions.push(StampedAction {
+            stamp: s,
+            kind: ActionKind::Add { stmt, loc },
+        });
         Ok(s)
     }
 
@@ -306,7 +316,10 @@ impl ActionLog {
     pub fn delete(&mut self, prog: &mut Program, stmt: StmtId) -> Result<Stamp, ActionError> {
         let orig = prog.detach(stmt)?;
         let s = self.stamp();
-        self.actions.push(StampedAction { stamp: s, kind: ActionKind::Delete { stmt, orig } });
+        self.actions.push(StampedAction {
+            stamp: s,
+            kind: ActionKind::Delete { stmt, orig },
+        });
         Ok(s)
     }
 
@@ -319,7 +332,10 @@ impl ActionLog {
     ) -> Result<Stamp, ActionError> {
         let from = prog.move_stmt(stmt, to)?;
         let s = self.stamp();
-        self.actions.push(StampedAction { stamp: s, kind: ActionKind::Move { stmt, from, to } });
+        self.actions.push(StampedAction {
+            stamp: s,
+            kind: ActionKind::Move { stmt, from, to },
+        });
         Ok(s)
     }
 
@@ -334,7 +350,10 @@ impl ActionLog {
         let copy = prog.deep_copy_stmt(src);
         prog.attach(copy, loc)?;
         let s = self.stamp();
-        self.actions.push(StampedAction { stamp: s, kind: ActionKind::Copy { src, copy, loc } });
+        self.actions.push(StampedAction {
+            stamp: s,
+            kind: ActionKind::Copy { src, copy, loc },
+        });
         Ok((s, copy))
     }
 
@@ -347,7 +366,10 @@ impl ActionLog {
     ) -> Result<Stamp, ActionError> {
         let old = prog.replace_expr_kind(expr, new.clone());
         let s = self.stamp();
-        self.actions.push(StampedAction { stamp: s, kind: ActionKind::ModifyExpr { expr, old, new } });
+        self.actions.push(StampedAction {
+            stamp: s,
+            kind: ActionKind::ModifyExpr { expr, old, new },
+        });
         Ok(s)
     }
 
@@ -361,7 +383,10 @@ impl ActionLog {
         let old = read_header(prog, stmt).ok_or(ActionError::HeaderMismatch(stmt))?;
         write_header(prog, stmt, &new);
         let s = self.stamp();
-        self.actions.push(StampedAction { stamp: s, kind: ActionKind::ModifyHeader { stmt, old, new } });
+        self.actions.push(StampedAction {
+            stamp: s,
+            kind: ActionKind::ModifyHeader { stmt, old, new },
+        });
         Ok(s)
     }
 
@@ -387,7 +412,9 @@ impl ActionLog {
                 if prog.stmt(*stmt).is_attached() {
                     return Err(EditError::AlreadyAttached(*stmt).into());
                 }
-                prog.resolve_loc(*orig).map(|_| ()).map_err(ActionError::from)
+                prog.resolve_loc(*orig)
+                    .map(|_| ())
+                    .map_err(ActionError::from)
             }
             ActionKind::Move { stmt, from, to } => {
                 if !prog.stmt(*stmt).is_attached() || !prog.is_live(*stmt) {
@@ -397,7 +424,9 @@ impl ActionLog {
                 if prog.stmt(*stmt).parent != Some(to.parent) {
                     return Err(EditError::Detached(*stmt).into());
                 }
-                prog.resolve_loc(*from).map(|_| ()).map_err(ActionError::from)
+                prog.resolve_loc(*from)
+                    .map(|_| ())
+                    .map_err(ActionError::from)
             }
             ActionKind::Copy { copy, loc, .. } => {
                 if prog.stmt(*copy).parent != Some(loc.parent) {
@@ -418,12 +447,10 @@ impl ActionLog {
                 }
                 Ok(())
             }
-            ActionKind::ModifyHeader { stmt, new, .. } => {
-                match read_header(prog, *stmt) {
-                    Some(h) if h == *new => Ok(()),
-                    _ => Err(ActionError::HeaderMismatch(*stmt)),
-                }
-            }
+            ActionKind::ModifyHeader { stmt, new, .. } => match read_header(prog, *stmt) {
+                Some(h) if h == *new => Ok(()),
+                _ => Err(ActionError::HeaderMismatch(*stmt)),
+            },
         }
     }
 
@@ -462,7 +489,10 @@ impl ActionLog {
 
     /// Actions recorded with the given stamps, in stamp order.
     pub fn actions_with(&self, stamps: &[Stamp]) -> Vec<&StampedAction> {
-        self.actions.iter().filter(|a| stamps.contains(&a.stamp)).collect()
+        self.actions
+            .iter()
+            .filter(|a| stamps.contains(&a.stamp))
+            .collect()
     }
 
     /// Annotation table (Figure 2): node → stamped tags, in stamp order.
@@ -525,16 +555,24 @@ impl ActionLog {
 /// Read a loop header snapshot.
 pub fn read_header(prog: &Program, stmt: StmtId) -> Option<LoopHeader> {
     match &prog.stmt(stmt).kind {
-        pivot_lang::StmtKind::DoLoop { var, lo, hi, step, .. } => {
-            Some(LoopHeader { var: *var, lo: *lo, hi: *hi, step: *step })
-        }
+        pivot_lang::StmtKind::DoLoop {
+            var, lo, hi, step, ..
+        } => Some(LoopHeader {
+            var: *var,
+            lo: *lo,
+            hi: *hi,
+            step: *step,
+        }),
         _ => None,
     }
 }
 
 /// Write a loop header snapshot (body untouched); fixes expression owners.
 pub fn write_header(prog: &mut Program, stmt: StmtId, h: &LoopHeader) {
-    if let pivot_lang::StmtKind::DoLoop { var, lo, hi, step, .. } = &mut prog.stmt_mut(stmt).kind {
+    if let pivot_lang::StmtKind::DoLoop {
+        var, lo, hi, step, ..
+    } = &mut prog.stmt_mut(stmt).kind
+    {
         *var = h.var;
         *lo = h.lo;
         *hi = h.hi;
@@ -656,7 +694,10 @@ mod tests {
         log.delete(&mut p, lp).unwrap();
         // The inverse Add of x can no longer resolve its location.
         let err = ActionLog::inverse_applicable(&p, &del_x).unwrap_err();
-        assert!(matches!(err, ActionError::Edit(EditError::UnresolvableLoc(_))));
+        assert!(matches!(
+            err,
+            ActionError::Edit(EditError::UnresolvableLoc(_))
+        ));
     }
 
     #[test]
@@ -709,7 +750,10 @@ mod tests {
         let s2 = log.move_stmt(&mut p, c, Loc::root_start()).unwrap();
         assert_eq!(log.latest_touching(&[NodeRef::Stmt(b)], Stamp(0)), Some(s1));
         assert_eq!(log.latest_touching(&[NodeRef::Stmt(c)], Stamp(0)), Some(s2));
-        assert_eq!(log.latest_touching(&[NodeRef::Stmt(b)], Stamp(s1.0 + 1)), None);
+        assert_eq!(
+            log.latest_touching(&[NodeRef::Stmt(b)], Stamp(s1.0 + 1)),
+            None
+        );
     }
 
     #[test]

@@ -24,12 +24,10 @@ pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
                     ExprKind::Const(v) => Some(op.eval(v)),
                     _ => None,
                 },
-                ExprKind::Binary(op, a, b) => {
-                    match (&prog.expr(*a).kind, &prog.expr(*b).kind) {
-                        (ExprKind::Const(x), ExprKind::Const(y)) => op.eval(*x, *y),
-                        _ => None,
-                    }
-                }
+                ExprKind::Binary(op, a, b) => match (&prog.expr(*a).kind, &prog.expr(*b).kind) {
+                    (ExprKind::Const(x), ExprKind::Const(y)) => op.eval(*x, *y),
+                    _ => None,
+                },
                 _ => None,
             };
             if let Some(v) = value {
@@ -60,7 +58,13 @@ pub fn apply(
     log: &mut ActionLog,
     opp: &Opportunity,
 ) -> Result<Applied, ActionError> {
-    let XformParams::Cfo { stmt, expr, ref old_kind, value } = opp.params else {
+    let XformParams::Cfo {
+        stmt,
+        expr,
+        ref old_kind,
+        value,
+    } = opp.params
+    else {
         unreachable!("cfo::apply called with non-CFO params")
     };
     let pre = Pattern::capture(prog, "Expr e: const op const", &[stmt]);
@@ -69,7 +73,12 @@ pub fn apply(
     }
     let s1 = log.modify_expr(prog, expr, ExprKind::Const(value))?;
     let post = Pattern::capture(prog, "Expr e == folded const", &[stmt]);
-    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+    Ok(Applied {
+        params: opp.params.clone(),
+        pre,
+        post,
+        stamps: vec![s1],
+    })
 }
 
 #[cfg(test)]

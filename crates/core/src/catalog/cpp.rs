@@ -14,11 +14,15 @@ use pivot_lang::{ExprKind, Program, StmtKind};
 pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
     let mut out = Vec::new();
     for def in prog.attached_stmts() {
-        let StmtKind::Assign { target, value } = &prog.stmt(def).kind else { continue };
+        let StmtKind::Assign { target, value } = &prog.stmt(def).kind else {
+            continue;
+        };
         if !target.is_scalar() {
             continue;
         }
-        let ExprKind::Var(y) = prog.expr(*value).kind else { continue };
+        let ExprKind::Var(y) = prog.expr(*value).kind else {
+            continue;
+        };
         let x = target.var;
         if x == y {
             continue;
@@ -62,7 +66,15 @@ pub fn apply(
     log: &mut ActionLog,
     opp: &Opportunity,
 ) -> Result<Applied, ActionError> {
-    let XformParams::Cpp { def_stmt, use_stmt, expr, from, to, .. } = opp.params.clone() else {
+    let XformParams::Cpp {
+        def_stmt,
+        use_stmt,
+        expr,
+        from,
+        to,
+        ..
+    } = opp.params.clone()
+    else {
         unreachable!("cpp::apply called with non-CPP params")
     };
     if prog.expr(expr).kind != (ExprKind::Var(from)) {
@@ -75,7 +87,12 @@ pub fn apply(
     );
     let s1 = log.modify_expr(prog, expr, ExprKind::Var(to))?;
     let post = Pattern::capture(prog, "Stmt S_j: opr(pos) = y", &[def_stmt, use_stmt]);
-    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+    Ok(Applied {
+        params: opp.params.clone(),
+        pre,
+        post,
+        stamps: vec![s1],
+    })
 }
 
 #[cfg(test)]
@@ -95,7 +112,9 @@ mod tests {
         let (p, rep) = setup("read y\nx = y\nwrite x + 1\n");
         let opps = find(&p, &rep);
         assert_eq!(opps.len(), 1);
-        let XformParams::Cpp { from, to, .. } = opps[0].params else { unreachable!() };
+        let XformParams::Cpp { from, to, .. } = opps[0].params else {
+            unreachable!()
+        };
         assert_eq!(p.symbols.name(from), "x");
         assert_eq!(p.symbols.name(to), "y");
     }
@@ -108,9 +127,7 @@ mod tests {
 
     #[test]
     fn blocked_when_source_redefined_on_one_path() {
-        let (p, rep) = setup(
-            "read y\nx = y\nread c\nif (c > 0) then\n  y = 0\nendif\nwrite x\n",
-        );
+        let (p, rep) = setup("read y\nx = y\nread c\nif (c > 0) then\n  y = 0\nendif\nwrite x\n");
         assert!(find(&p, &rep).is_empty());
     }
 

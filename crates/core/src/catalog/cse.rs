@@ -21,13 +21,17 @@ pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
     let mut out = Vec::new();
     let stmts = prog.attached_stmts();
     for &def in &stmts {
-        let StmtKind::Assign { target, value } = &prog.stmt(def).kind else { continue };
+        let StmtKind::Assign { target, value } = &prog.stmt(def).kind else {
+            continue;
+        };
         if !target.is_scalar() {
             continue;
         }
         let rhs = *value;
         // The defining RHS must be a non-faulting arithmetic operation.
-        let ExprKind::Binary(op, ..) = prog.expr(rhs).kind else { continue };
+        let ExprKind::Binary(op, ..) = prog.expr(rhs).kind else {
+            continue;
+        };
         if !op.is_arithmetic() || access::expr_can_fault(prog, rhs) {
             continue;
         }
@@ -91,7 +95,14 @@ pub fn apply(
     log: &mut ActionLog,
     opp: &Opportunity,
 ) -> Result<Applied, ActionError> {
-    let XformParams::Cse { def_stmt, use_stmt, expr, result_var, ref old_kind, .. } = opp.params
+    let XformParams::Cse {
+        def_stmt,
+        use_stmt,
+        expr,
+        result_var,
+        ref old_kind,
+        ..
+    } = opp.params
     else {
         unreachable!("cse::apply called with non-CSE params")
     };
@@ -105,7 +116,12 @@ pub fn apply(
     );
     let s1 = log.modify_expr(prog, expr, ExprKind::Var(result_var))?;
     let post = Pattern::capture(prog, "Stmt S_j: D = A", &[def_stmt, use_stmt]);
-    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+    Ok(Applied {
+        params: opp.params.clone(),
+        pre,
+        post,
+        stamps: vec![s1],
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +143,12 @@ mod tests {
         );
         let opps = find(&p, &rep);
         assert_eq!(opps.len(), 1);
-        let XformParams::Cse { def_stmt, use_stmt, .. } = opps[0].params else { unreachable!() };
+        let XformParams::Cse {
+            def_stmt, use_stmt, ..
+        } = opps[0].params
+        else {
+            unreachable!()
+        };
         assert_eq!(p.stmt(def_stmt).label, 1);
         assert_eq!(p.stmt(use_stmt).label, 6);
     }

@@ -18,11 +18,15 @@ use pivot_lang::{ExprKind, Program, StmtKind};
 pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
     let mut out = Vec::new();
     for def in prog.attached_stmts() {
-        let StmtKind::Assign { target, value } = &prog.stmt(def).kind else { continue };
+        let StmtKind::Assign { target, value } = &prog.stmt(def).kind else {
+            continue;
+        };
         if !target.is_scalar() {
             continue;
         }
-        let ExprKind::Const(c) = prog.expr(*value).kind else { continue };
+        let ExprKind::Const(c) = prog.expr(*value).kind else {
+            continue;
+        };
         let x = target.var;
         for &use_stmt in rep.chains.uses_of(def, x) {
             if rep.chains.sole_def(use_stmt, x) != Some(def) {
@@ -59,7 +63,15 @@ pub fn apply(
     log: &mut ActionLog,
     opp: &Opportunity,
 ) -> Result<Applied, ActionError> {
-    let XformParams::Ctp { def_stmt, use_stmt, expr, var, value, .. } = opp.params.clone() else {
+    let XformParams::Ctp {
+        def_stmt,
+        use_stmt,
+        expr,
+        var,
+        value,
+        ..
+    } = opp.params.clone()
+    else {
         unreachable!("ctp::apply called with non-CTP params")
     };
     if prog.expr(expr).kind != (ExprKind::Var(var)) {
@@ -71,8 +83,17 @@ pub fn apply(
         &[def_stmt, use_stmt],
     );
     let s1 = log.modify_expr(prog, expr, ExprKind::Const(value))?;
-    let post = Pattern::capture(prog, "Stmt S_j: opr(pos) = S_i.opr_2", &[def_stmt, use_stmt]);
-    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+    let post = Pattern::capture(
+        prog,
+        "Stmt S_j: opr(pos) = S_i.opr_2",
+        &[def_stmt, use_stmt],
+    );
+    Ok(Applied {
+        params: opp.params.clone(),
+        pre,
+        post,
+        stamps: vec![s1],
+    })
 }
 
 #[cfg(test)]
@@ -102,7 +123,12 @@ mod tests {
         );
         let opps = find(&p, &rep);
         assert_eq!(opps.len(), 1);
-        let XformParams::Ctp { use_stmt, value, .. } = opps[0].params else { unreachable!() };
+        let XformParams::Ctp {
+            use_stmt, value, ..
+        } = opps[0].params
+        else {
+            unreachable!()
+        };
         assert_eq!(prog_label(&p, use_stmt), 5);
         assert_eq!(value, 1);
     }

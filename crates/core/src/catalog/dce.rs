@@ -18,7 +18,9 @@ use pivot_lang::{Program, StmtKind};
 pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
     let mut out = Vec::new();
     for s in prog.attached_stmts() {
-        let StmtKind::Assign { target, value } = &prog.stmt(s).kind else { continue };
+        let StmtKind::Assign { target, value } = &prog.stmt(s).kind else {
+            continue;
+        };
         if !target.is_scalar() {
             continue; // whole-array liveness is too coarse to prove death
         }
@@ -29,7 +31,10 @@ pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
             continue;
         }
         out.push(Opportunity {
-            params: XformParams::Dce { stmt: s, target: target.var },
+            params: XformParams::Dce {
+                stmt: s,
+                target: target.var,
+            },
             description: format!(
                 "DCE: delete dead `{}` (line {})",
                 pivot_lang::printer::render_stmt_str(prog, s, Default::default()).trim_end(),

@@ -19,7 +19,9 @@ pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
         if !loops::is_loop(prog, l1) {
             continue;
         }
-        let Some(l2) = prog.next_sibling(l1) else { continue };
+        let Some(l2) = prog.next_sibling(l1) else {
+            continue;
+        };
         if !loops::is_loop(prog, l2) {
             continue;
         }
@@ -50,7 +52,13 @@ pub fn apply(
     log: &mut ActionLog,
     opp: &Opportunity,
 ) -> Result<Applied, ActionError> {
-    let XformParams::Fus { l1, l2, ref moved, ref body1 } = opp.params else {
+    let XformParams::Fus {
+        l1,
+        l2,
+        ref moved,
+        ref body1,
+    } = opp.params
+    else {
         unreachable!("fus::apply called with non-FUS params")
     };
     let pre = Pattern::capture(prog, "Adjacent conformable Loops (L1, L2)", &[l1, l2]);
@@ -59,7 +67,10 @@ pub fn apply(
     for &s in moved {
         let dest = match anchor {
             Some(a) => Loc::after(Parent::Block(l1, BlockRole::LoopBody), a),
-            None => Loc { parent: Parent::Block(l1, BlockRole::LoopBody), anchor: pivot_lang::AnchorPos::Start },
+            None => Loc {
+                parent: Parent::Block(l1, BlockRole::LoopBody),
+                anchor: pivot_lang::AnchorPos::Start,
+            },
         };
         stamps.push(log.move_stmt(prog, s, dest)?);
         anchor = Some(s);
@@ -67,7 +78,12 @@ pub fn apply(
     stamps.push(log.delete(prog, l2)?);
     let post = Pattern::capture(prog, "Loop L1 (fused); Del_stmt L2", &[l1, l2]);
     Ok(Applied {
-        params: XformParams::Fus { l1, l2, moved: moved.clone(), body1: body1.clone() },
+        params: XformParams::Fus {
+            l1,
+            l2,
+            moved: moved.clone(),
+            body1: body1.clone(),
+        },
         pre,
         post,
         stamps,
@@ -88,23 +104,24 @@ mod tests {
 
     #[test]
     fn finds_and_applies_simple_fusion() {
-        let (mut p, rep) = setup(
-            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n",
-        );
+        let (mut p, rep) =
+            setup("do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n");
         let opps = find(&p, &rep);
         assert_eq!(opps.len(), 1);
         let mut log = ActionLog::new();
         let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
-        assert_eq!(to_source(&p), "do i = 1, 10\n  A(i) = 1\n  B(i) = A(i)\nenddo\n");
+        assert_eq!(
+            to_source(&p),
+            "do i = 1, 10\n  A(i) = 1\n  B(i) = A(i)\nenddo\n"
+        );
         assert_eq!(applied.stamps.len(), 2); // one move + one delete
         p.assert_consistent();
     }
 
     #[test]
     fn backward_dep_blocks() {
-        let (p, rep) = setup(
-            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i + 1)\nenddo\n",
-        );
+        let (p, rep) =
+            setup("do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i + 1)\nenddo\n");
         assert!(find(&p, &rep).is_empty());
     }
 
@@ -118,9 +135,7 @@ mod tests {
 
     #[test]
     fn different_bounds_block() {
-        let (p, rep) = setup(
-            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 9\n  B(i) = 2\nenddo\n",
-        );
+        let (p, rep) = setup("do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 9\n  B(i) = 2\nenddo\n");
         assert!(find(&p, &rep).is_empty());
     }
 
@@ -173,9 +188,8 @@ write A(6)
 
     #[test]
     fn scalar_def_in_body_blocks() {
-        let (p, rep) = setup(
-            "do i = 1, 5\n  t = i\n  A(i) = t\nenddo\ndo i = 1, 5\n  B(i) = 1\nenddo\n",
-        );
+        let (p, rep) =
+            setup("do i = 1, 5\n  t = i\n  A(i) = t\nenddo\ndo i = 1, 5\n  B(i) = 1\nenddo\n");
         assert!(find(&p, &rep).is_empty());
     }
 }

@@ -33,14 +33,18 @@ pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
         if !loops::is_loop(prog, lp) {
             continue;
         }
-        let Some(bounds) = loops::const_bounds(prog, lp) else { continue };
+        let Some(bounds) = loops::const_bounds(prog, lp) else {
+            continue;
+        };
         if bounds.trip_count() < 1 {
             continue;
         }
         let body: Vec<StmtId> = loops::loop_body(prog, lp).cloned().unwrap_or_default();
         let loop_du = access::subtree_def_use(prog, lp);
         for (pos_in_body, &s) in body.iter().enumerate() {
-            let StmtKind::Assign { target, value } = &prog.stmt(s).kind else { continue };
+            let StmtKind::Assign { target, value } = &prog.stmt(s).kind else {
+                continue;
+            };
             let t = target.var;
             let is_array = !target.is_scalar();
             if access::expr_can_fault(prog, *value)
@@ -53,7 +57,11 @@ pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
             if du.use_scalars.iter().any(|&u| loop_du.defines_scalar(u)) {
                 continue;
             }
-            if du.use_arrays.iter().any(|&a| loop_du.def_arrays.contains(&a)) {
+            if du
+                .use_arrays
+                .iter()
+                .any(|&a| loop_du.def_arrays.contains(&a))
+            {
                 continue;
             }
             if is_array {
@@ -145,15 +153,25 @@ pub fn apply(
     log: &mut ActionLog,
     opp: &Opportunity,
 ) -> Result<Applied, ActionError> {
-    let XformParams::Icm { stmt, loop_stmt, .. } = opp.params else {
+    let XformParams::Icm {
+        stmt, loop_stmt, ..
+    } = opp.params
+    else {
         unreachable!("icm::apply called with non-ICM params")
     };
     let pre = Pattern::capture(prog, "Loop L1; Stmt S_i", &[loop_stmt, stmt]);
     // Insert at the loop's current slot: the statement lands just before it.
-    let dest = prog.loc_of(loop_stmt).map_err(crate::actions::ActionError::from)?;
+    let dest = prog
+        .loc_of(loop_stmt)
+        .map_err(crate::actions::ActionError::from)?;
     let s1 = log.move_stmt(prog, stmt, dest)?;
     let post = Pattern::capture(prog, "Stmt S_i; ptr orig_location", &[stmt, loop_stmt]);
-    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1] })
+    Ok(Applied {
+        params: opp.params.clone(),
+        pre,
+        post,
+        stamps: vec![s1],
+    })
 }
 
 #[cfg(test)]
@@ -177,7 +195,12 @@ mod tests {
         // x = E + F is invariant in the j-loop (and transitively the i-loop
         // after one hoist — found per current nesting only).
         assert_eq!(opps.len(), 1);
-        let XformParams::Icm { stmt, loop_stmt, .. } = opps[0].params else { unreachable!() };
+        let XformParams::Icm {
+            stmt, loop_stmt, ..
+        } = opps[0].params
+        else {
+            unreachable!()
+        };
         assert_eq!(p.stmt(stmt).label, 4);
         assert_eq!(p.stmt(loop_stmt).label, 2);
     }
@@ -189,7 +212,10 @@ mod tests {
         assert_eq!(opps.len(), 1);
         let mut log = ActionLog::new();
         apply(&mut p, &mut log, &opps[0]).unwrap();
-        assert_eq!(to_source(&p), "x = e + f\ndo i = 1, 10\n  A(i) = x\nenddo\n");
+        assert_eq!(
+            to_source(&p),
+            "x = e + f\ndo i = 1, 10\n  A(i) = x\nenddo\n"
+        );
         p.assert_consistent();
     }
 
@@ -225,9 +251,8 @@ mod tests {
 
     #[test]
     fn conditional_statement_not_hoisted() {
-        let (p, rep) = setup(
-            "do i = 1, 10\n  if (i > 5) then\n    x = e + f\n  endif\n  A(i) = x\nenddo\n",
-        );
+        let (p, rep) =
+            setup("do i = 1, 10\n  if (i > 5) then\n    x = e + f\n  endif\n  A(i) = x\nenddo\n");
         assert!(find(&p, &rep).is_empty());
     }
 

@@ -21,7 +21,9 @@ use pivot_lang::{Program, StmtKind};
 pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
     let mut out = Vec::new();
     for outer in prog.attached_stmts() {
-        let Some(inner) = loops::tightly_nested_inner(prog, outer) else { continue };
+        let Some(inner) = loops::tightly_nested_inner(prog, outer) else {
+            continue;
+        };
         if !depend::interchange_legal(prog, outer, inner) {
             continue;
         }
@@ -70,7 +72,12 @@ pub fn apply(
     let s1 = log.modify_header(prog, outer, h_inner)?;
     let s2 = log.modify_header(prog, inner, h_outer)?;
     let post = Pattern::capture(prog, "Tight Loops (L2, L1)", &[outer, inner]);
-    Ok(Applied { params: opp.params.clone(), pre, post, stamps: vec![s1, s2] })
+    Ok(Applied {
+        params: opp.params.clone(),
+        pre,
+        post,
+        stamps: vec![s1, s2],
+    })
 }
 
 #[cfg(test)]
@@ -96,9 +103,8 @@ mod tests {
 
     #[test]
     fn apply_swaps_headers() {
-        let (mut p, rep) = setup(
-            "do i = 1, 100\n  do j = 1, 50\n    A(i, j) = 0\n  enddo\nenddo\n",
-        );
+        let (mut p, rep) =
+            setup("do i = 1, 100\n  do j = 1, 50\n    A(i, j) = 0\n  enddo\nenddo\n");
         let opps = find(&p, &rep);
         let mut log = ActionLog::new();
         let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
@@ -112,17 +118,15 @@ mod tests {
 
     #[test]
     fn illegal_dependence_blocks() {
-        let (p, rep) = setup(
-            "do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n",
-        );
+        let (p, rep) =
+            setup("do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n");
         assert!(find(&p, &rep).is_empty());
     }
 
     #[test]
     fn non_tight_nest_blocks() {
-        let (p, rep) = setup(
-            "do i = 1, 9\n  x = 0\n  do j = 1, 8\n    A(i, j) = 1\n  enddo\nenddo\n",
-        );
+        let (p, rep) =
+            setup("do i = 1, 9\n  x = 0\n  do j = 1, 8\n    A(i, j) = 1\n  enddo\nenddo\n");
         assert!(find(&p, &rep).is_empty());
     }
 

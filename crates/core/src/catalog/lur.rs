@@ -22,7 +22,9 @@ pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
         if !loops::is_loop(prog, lp) {
             continue;
         }
-        let Some(bounds) = loops::const_bounds(prog, lp) else { continue };
+        let Some(bounds) = loops::const_bounds(prog, lp) else {
+            continue;
+        };
         let trip = bounds.trip_count();
         if trip < FACTOR || trip % FACTOR != 0 {
             continue;
@@ -71,12 +73,20 @@ pub fn apply(
     log: &mut ActionLog,
     opp: &Opportunity,
 ) -> Result<Applied, ActionError> {
-    let XformParams::Lur { loop_stmt, factor, orig_step, .. } = opp.params else {
+    let XformParams::Lur {
+        loop_stmt,
+        factor,
+        orig_step,
+        ..
+    } = opp.params
+    else {
         unreachable!("lur::apply called with non-LUR params")
     };
     let pre = Pattern::capture(prog, "Loop L1 (trip % k == 0)", &[loop_stmt]);
     let var = loops::loop_var(prog, loop_stmt).expect("loop");
-    let body = loops::loop_body(prog, loop_stmt).cloned().unwrap_or_default();
+    let body = loops::loop_body(prog, loop_stmt)
+        .cloned()
+        .unwrap_or_default();
     let mut stamps = Vec::new();
     let mut copies = Vec::new();
     let mut anchor = *body.last().expect("unrollable body is non-empty");
@@ -98,11 +108,24 @@ pub fn apply(
     // Header: step becomes factor*step.
     let old = read_header(prog, loop_stmt).ok_or(ActionError::HeaderMismatch(loop_stmt))?;
     let new_step = prog.alloc_expr(ExprKind::Const(factor * orig_step), loop_stmt);
-    let new = LoopHeader { step: Some(new_step), ..old };
+    let new = LoopHeader {
+        step: Some(new_step),
+        ..old
+    };
     stamps.push(log.modify_header(prog, loop_stmt, new)?);
-    let post = Pattern::capture(prog, "Loop L1 unrolled; copies + stepped header", &[loop_stmt]);
+    let post = Pattern::capture(
+        prog,
+        "Loop L1 unrolled; copies + stepped header",
+        &[loop_stmt],
+    );
     Ok(Applied {
-        params: XformParams::Lur { loop_stmt, factor, orig_step, orig_body: body, copies },
+        params: XformParams::Lur {
+            loop_stmt,
+            factor,
+            orig_step,
+            orig_body: body,
+            copies,
+        },
         pre,
         post,
         stamps,
@@ -162,7 +185,9 @@ mod tests {
             to_source(&p),
             "do i = 1, 4, 2\n  A(i) = i\n  A(i + 1) = i + 1\nenddo\n"
         );
-        let XformParams::Lur { copies, .. } = applied.params else { unreachable!() };
+        let XformParams::Lur { copies, .. } = applied.params else {
+            unreachable!()
+        };
         assert_eq!(copies.len(), 1);
         p.assert_consistent();
     }

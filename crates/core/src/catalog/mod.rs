@@ -72,7 +72,10 @@ pub fn find(prog: &Program, rep: &Rep, kind: XformKind) -> Vec<Opportunity> {
 
 /// Find opportunities of every kind, in Table 4 order.
 pub fn find_all(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
-    crate::kind::ALL_KINDS.iter().flat_map(|&k| find(prog, rep, k)).collect()
+    crate::kind::ALL_KINDS
+        .iter()
+        .flat_map(|&k| find(prog, rep, k))
+        .collect()
 }
 
 /// Apply an opportunity through the action log.
@@ -213,7 +216,11 @@ pub fn var_use_exprs(prog: &Program, stmt: StmtId, sym: Sym) -> Vec<pivot_lang::
 pub(crate) fn sort_opps(rep: &Rep, opps: &mut [Opportunity]) {
     opps.sort_by_key(|o| {
         let sites = o.params.site_stmts();
-        let first = sites.iter().filter_map(|&s| rep.position(s)).min().unwrap_or(usize::MAX);
+        let first = sites
+            .iter()
+            .filter_map(|&s| rep.position(s))
+            .min()
+            .unwrap_or(usize::MAX);
         let exprs = o.params.site_exprs();
         (first, exprs.first().map(|e| e.index()).unwrap_or(0))
     });

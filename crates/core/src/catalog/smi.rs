@@ -31,7 +31,9 @@ pub fn find(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
         if !loops::is_loop(prog, lp) {
             continue;
         }
-        let Some(bounds) = loops::const_bounds(prog, lp) else { continue };
+        let Some(bounds) = loops::const_bounds(prog, lp) else {
+            continue;
+        };
         if bounds.step != 1 {
             continue;
         }
@@ -85,7 +87,9 @@ pub fn apply(
     let strip_var = prog.symbols.fresh(&base);
     // Build the outer loop: do is = lo', hi', strip  (bounds cloned so the
     // inner keeps its own expression nodes).
-    let outer = prog.alloc_stmt(StmtKind::Write { value: pivot_lang::ExprId(0) });
+    let outer = prog.alloc_stmt(StmtKind::Write {
+        value: pivot_lang::ExprId(0),
+    });
     let lo2 = prog.clone_expr(old.lo, outer);
     let hi2 = prog.clone_expr(old.hi, outer);
     let step2 = prog.alloc_expr(ExprKind::Const(strip), outer);
@@ -102,18 +106,31 @@ pub fn apply(
     stamps.push(log.move_stmt(
         prog,
         inner,
-        Loc { parent: Parent::Block(outer, BlockRole::LoopBody), anchor: pivot_lang::AnchorPos::Start },
+        Loc {
+            parent: Parent::Block(outer, BlockRole::LoopBody),
+            anchor: pivot_lang::AnchorPos::Start,
+        },
     )?);
     // Inner bounds: is .. is + s - 1, step 1 (explicit).
     let n_lo = prog.alloc_expr(ExprKind::Var(strip_var), inner);
     let base_v = prog.alloc_expr(ExprKind::Var(strip_var), inner);
     let off = prog.alloc_expr(ExprKind::Const(strip - 1), inner);
     let n_hi = prog.alloc_expr(ExprKind::Binary(BinOp::Add, base_v, off), inner);
-    let new = LoopHeader { var: old.var, lo: n_lo, hi: n_hi, step: old.step };
+    let new = LoopHeader {
+        var: old.var,
+        lo: n_lo,
+        hi: n_hi,
+        step: old.step,
+    };
     stamps.push(log.modify_header(prog, inner, new)?);
     let post = Pattern::capture(prog, "Loops (L_strip, L1)", &[outer, inner]);
     Ok(Applied {
-        params: XformParams::Smi { outer, inner, strip, strip_var },
+        params: XformParams::Smi {
+            outer,
+            inner,
+            strip,
+            strip_var,
+        },
         pre,
         post,
         stamps,
@@ -186,7 +203,9 @@ mod tests {
         assert_eq!(opps.len(), 1);
         let mut log = ActionLog::new();
         let applied = apply(&mut p, &mut log, &opps[0]).unwrap();
-        let XformParams::Smi { strip_var, .. } = applied.params else { unreachable!() };
+        let XformParams::Smi { strip_var, .. } = applied.params else {
+            unreachable!()
+        };
         assert_eq!(p.symbols.name(strip_var), "i_s_1");
         let after = pivot_lang::interp::run_default(&p, &[]).unwrap();
         assert_eq!(before, after);

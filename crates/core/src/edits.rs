@@ -119,7 +119,10 @@ impl Session {
                 let mut loc = *at;
                 for &s in &stmts {
                     self.prog.attach(s, loc)?;
-                    loc = Loc { parent: loc.parent, anchor: AnchorPos::After(s) };
+                    loc = Loc {
+                        parent: loc.parent,
+                        anchor: AnchorPos::After(s),
+                    };
                 }
                 stmts
             }
@@ -173,7 +176,9 @@ impl Session {
         loop {
             let unsafe_now = self.find_unsafe();
             report.safety_checks += self.history.active_len();
-            let Some(&first) = unsafe_now.first() else { break };
+            let Some(&first) = unsafe_now.first() else {
+                break;
+            };
             if report.unsafe_found.is_empty() {
                 report.unsafe_found = unsafe_now.clone();
             }
@@ -224,8 +229,9 @@ impl Session {
             let opps = self.find(old.kind);
             searched += opps.len();
             let site = crate::engine::primary_site(&old.params);
-            if let Some(opp) =
-                opps.iter().find(|o| crate::engine::primary_site(&o.params) == site)
+            if let Some(opp) = opps
+                .iter()
+                .find(|o| crate::engine::primary_site(&o.params) == site)
             {
                 if self.apply(opp).is_ok() {
                     redone += 1;
@@ -295,8 +301,11 @@ write d0
         let mut s = Session::from_source(src).unwrap();
         s.apply_kind(XformKind::Cse).unwrap();
         let d0 = s.prog.body[0];
-        s.edit(&Edit::Insert { src: "e0 = 0\n".into(), at: Loc::after(Parent::Root, d0) })
-            .unwrap();
+        s.edit(&Edit::Insert {
+            src: "e0 = 0\n".into(),
+            at: Loc::after(Parent::Root, d0),
+        })
+        .unwrap();
         assert_eq!(s.find_unsafe(), s.find_unsafe_parallel(4));
     }
 
@@ -307,7 +316,11 @@ write d0
         assert!(s.source().contains("x = 1 + 2"));
         // Edit the defining constant.
         let def = s.prog.body[0];
-        s.edit(&Edit::ReplaceRhs { stmt: def, src: "7".into() }).unwrap();
+        s.edit(&Edit::ReplaceRhs {
+            stmt: def,
+            src: "7".into(),
+        })
+        .unwrap();
         let bad = s.find_unsafe();
         assert_eq!(bad, vec![ctp]);
         let report = s.remove_unsafe(Strategy::Regional);
@@ -354,16 +367,25 @@ write d1
         s.apply_kind(XformKind::Cse).unwrap();
         s.apply_kind(XformKind::Cse).unwrap();
         let d0 = s.prog.body[0];
-        s.edit(&Edit::Insert { src: "e0 = 0\n".into(), at: Loc::after(Parent::Root, d0) })
-            .unwrap();
+        s.edit(&Edit::Insert {
+            src: "e0 = 0\n".into(),
+            at: Loc::after(Parent::Root, d0),
+        })
+        .unwrap();
         let (undone, redone, searched) = s.revert_all_and_redo();
         assert_eq!(undone, 2);
         // The unaffected CSE (plus anything newly enabled by the edit, e.g.
         // propagating `e0 = 0`) redoes; the invalidated CSE must not.
         assert!(redone >= 1);
         assert!(searched >= redone);
-        assert!(!s.source().contains("r0 = d0"), "invalidated CSE must not reappear");
+        assert!(
+            !s.source().contains("r0 = d0"),
+            "invalidated CSE must not reappear"
+        );
         assert!(s.source().contains("r1 = d1"), "valid CSE redone");
-        assert!(s.source().contains("r0 = e0 + f0"), "invalidated CSE left unapplied");
+        assert!(
+            s.source().contains("r0 = e0 + f0"),
+            "invalidated CSE left unapplied"
+        );
     }
 }

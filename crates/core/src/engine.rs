@@ -32,7 +32,11 @@ use crate::revers::check_reversible;
 use crate::safety::still_safe;
 use pivot_ir::Rep;
 use pivot_lang::{Program, StmtId};
+use pivot_obs::provenance::{CauseKind, ProvenanceNode, ProvenanceTree};
+use pivot_obs::trace::{FieldValue, NoopTracer, Phase, PhaseNanos, Tracer};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Candidate-filtering strategy for the affected-transformation scan.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,6 +49,17 @@ pub enum Strategy {
     FullScan,
 }
 
+impl Strategy {
+    /// Stable snake_case name (used in traces and metric labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Regional => "regional",
+            Strategy::NoHeuristic => "no_heuristic",
+            Strategy::FullScan => "full_scan",
+        }
+    }
+}
+
 /// Statistics and outcome of one undo request.
 #[derive(Clone, Debug, Default)]
 pub struct UndoReport {
@@ -52,15 +67,35 @@ pub struct UndoReport {
     /// with its cascade).
     pub undone: Vec<XformId>,
     /// Subsequent transformations examined for region/heuristic membership.
-    pub candidates_considered: usize,
+    pub candidates_considered: u64,
     /// Full safety re-checks actually run.
-    pub safety_checks: usize,
+    pub safety_checks: u64,
     /// Reversibility checks run.
-    pub reversibility_checks: usize,
+    pub reversibility_checks: u64,
     /// Affecting-transformation chases (Figure 4 lines 7–10).
-    pub affecting_chases: usize,
+    pub affecting_chases: u64,
     /// Representation rebuilds performed.
     pub rep_rebuilds: u64,
+    /// Wall time spent per Figure 4 phase.
+    pub phase_ns: PhaseNanos,
+}
+
+impl fmt::Display for UndoReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ids: Vec<String> = self.undone.iter().map(|x| x.to_string()).collect();
+        write!(
+            f,
+            "undone {} [{}] | {} chases, {} reversibility, {} candidates, {} safety checks, {} rebuilds | {} us",
+            self.undone.len(),
+            ids.join(" "),
+            self.affecting_chases,
+            self.reversibility_checks,
+            self.candidates_considered,
+            self.safety_checks,
+            self.rep_rebuilds,
+            self.phase_ns.get(Phase::Undo) / 1_000,
+        )
+    }
 }
 
 /// Why an undo failed.
@@ -116,6 +151,10 @@ pub struct Session {
     pub matrix: Matrix,
     /// Snapshot of the program at session start (round-trip oracle).
     pub original: Program,
+    /// Explanation trees, one per completed `undo` request (oldest first).
+    pub explanations: Vec<ProvenanceTree>,
+    /// Telemetry sink for the undo phases (default: the no-op tracer).
+    tracer: Arc<dyn Tracer>,
 }
 
 impl Session {
@@ -130,7 +169,29 @@ impl Session {
             history: History::new(),
             matrix: interact::default_matrix(),
             original,
+            explanations: Vec::new(),
+            tracer: Arc::new(NoopTracer),
         }
+    }
+
+    /// Route engine telemetry to `tracer` (e.g. a JSONL
+    /// [`pivot_obs::Recorder`]). Forked sessions inherit the tracer.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The session's current tracer.
+    pub fn tracer(&self) -> &Arc<dyn Tracer> {
+        &self.tracer
+    }
+
+    /// The explanation tree whose cascade removed transformation `x`, if
+    /// any (latest undo first).
+    pub fn explain(&self, x: XformId) -> Option<&ProvenanceTree> {
+        self.explanations
+            .iter()
+            .rev()
+            .find(|t| t.find(x.0).is_some())
     }
 
     /// Parse source and start a session.
@@ -158,7 +219,13 @@ impl Session {
     pub fn apply(&mut self, opp: &Opportunity) -> Result<XformId, ActionError> {
         let applied = catalog::apply(&mut self.prog, &mut self.log, opp)?;
         self.rep.refresh(&self.prog);
-        Ok(self.history.record(opp.kind(), applied.params, applied.pre, applied.post, applied.stamps))
+        Ok(self.history.record(
+            opp.kind(),
+            applied.params,
+            applied.pre,
+            applied.post,
+            applied.stamps,
+        ))
     }
 
     /// Apply the first available opportunity of `kind`, if any.
@@ -179,14 +246,51 @@ impl Session {
 
     /// The paper's UNDO (Figure 4): remove `target` in an order independent
     /// of application order.
+    ///
+    /// On success the cascade's explanation tree is appended to
+    /// [`Session::explanations`], phase timings land in the returned
+    /// report, and summary counters/histograms are recorded in the
+    /// process-wide [`pivot_obs::metrics`] registry. When a tracer is set
+    /// ([`Session::set_tracer`]), every phase additionally emits a span.
     pub fn undo(&mut self, target: XformId, strategy: Strategy) -> Result<UndoReport, UndoError> {
         if self.history.get(target).state == XformState::Undone {
             return Err(UndoError::AlreadyUndone(target));
         }
+        let t0 = Instant::now();
+        let kind = self.history.get(target).kind;
+        let span = self.tracer.enabled().then(|| {
+            self.tracer.span_start(
+                Phase::Undo,
+                &[
+                    ("xform", FieldValue::U64(u64::from(target.0))),
+                    ("kind", FieldValue::Str(kind.abbrev())),
+                    ("strategy", FieldValue::Str(strategy.name())),
+                ],
+            )
+        });
         let mut report = UndoReport::default();
         let before = self.rep.builds;
-        self.undo_rec(target, strategy, &mut report, 0)?;
+        let mut root = ProvenanceNode::new(target.0, kind_slug(kind), CauseKind::Requested);
+        let result = self.undo_rec(target, strategy, &mut report, 0, &mut root);
         report.rep_rebuilds = self.rep.builds - before;
+        report.phase_ns.add(Phase::Undo, elapsed_ns(t0));
+        if let Some(span) = span {
+            let undone: Vec<u64> = report.undone.iter().map(|x| u64::from(x.0)).collect();
+            self.tracer.span_end(
+                span,
+                Phase::Undo,
+                &[
+                    ("ok", FieldValue::Bool(result.is_ok())),
+                    ("undone", FieldValue::List(&undone)),
+                    ("candidates", FieldValue::U64(report.candidates_considered)),
+                    ("safety_checks", FieldValue::U64(report.safety_checks)),
+                    ("rep_rebuilds", FieldValue::U64(report.rep_rebuilds)),
+                ],
+            );
+        }
+        result?;
+        self.explanations.push(ProvenanceTree::new(root));
+        record_undo_metrics(&report);
         Ok(report)
     }
 
@@ -196,6 +300,7 @@ impl Session {
         strategy: Strategy,
         report: &mut UndoReport,
         depth: usize,
+        node: &mut ProvenanceNode,
     ) -> Result<(), UndoError> {
         if depth > self.history.records.len() + 4 {
             return Err(UndoError::DepthExceeded);
@@ -203,17 +308,62 @@ impl Session {
         if self.history.get(t).state == XformState::Undone {
             return Ok(()); // removed by an earlier cascade step
         }
+        let traced = self.tracer.enabled();
         // Lines 4–11: chase affecting transformations until reversible.
         let mut guard = 0usize;
         loop {
             report.reversibility_checks += 1;
             let record = self.history.get(t).clone();
-            match check_reversible(&self.prog, &self.log, &self.history, &record) {
+            let rc0 = Instant::now();
+            let span = traced.then(|| {
+                self.tracer.span_start(
+                    Phase::ReversibilityCheck,
+                    &[("xform", FieldValue::U64(u64::from(t.0)))],
+                )
+            });
+            let checked = check_reversible(&self.prog, &self.log, &self.history, &record);
+            report
+                .phase_ns
+                .add(Phase::ReversibilityCheck, elapsed_ns(rc0));
+            if let Some(span) = span {
+                let mut fields = vec![("reversible", FieldValue::Bool(checked.is_ok()))];
+                if let Err(irr) = &checked {
+                    if let Some(a) = irr.affecting {
+                        fields.push(("affecting", FieldValue::U64(u64::from(a.0))));
+                    }
+                }
+                self.tracer
+                    .span_end(span, Phase::ReversibilityCheck, &fields);
+            }
+            match checked {
                 Ok(()) => break,
                 Err(irr) => match irr.affecting {
                     Some(a) if a != t && self.history.get(a).state == XformState::Active => {
                         report.affecting_chases += 1;
-                        self.undo_rec(a, strategy, report, depth + 1)?;
+                        let blocker = self.history.get(a).clone();
+                        let mut child = ProvenanceNode::new(
+                            a.0,
+                            kind_slug(blocker.kind),
+                            CauseKind::Affecting {
+                                disabling: irr.error.to_string(),
+                                causing_action: causing_action_of(&self.log, &blocker),
+                            },
+                        );
+                        let span = traced.then(|| {
+                            self.tracer.span_start(
+                                Phase::AffectingChase,
+                                &[
+                                    ("blocked", FieldValue::U64(u64::from(t.0))),
+                                    ("affecting", FieldValue::U64(u64::from(a.0))),
+                                    ("kind", FieldValue::Str(blocker.kind.abbrev())),
+                                ],
+                            )
+                        });
+                        self.undo_rec(a, strategy, report, depth + 1, &mut child)?;
+                        if let Some(span) = span {
+                            self.tracer.span_end(span, Phase::AffectingChase, &[]);
+                        }
+                        node.children.push(child);
                     }
                     _ => return Err(UndoError::Stuck(t, irr.error)),
                 },
@@ -229,6 +379,16 @@ impl Session {
         for sa in self.log.actions_with(&record.stamps).into_iter().rev() {
             reversed.push(sa.kind.clone());
         }
+        let ia0 = Instant::now();
+        let span = traced.then(|| {
+            self.tracer.span_start(
+                Phase::InverseAction,
+                &[
+                    ("xform", FieldValue::U64(u64::from(t.0))),
+                    ("actions", FieldValue::U64(reversed.len() as u64)),
+                ],
+            )
+        });
         for kind in &reversed {
             ActionLog::apply_inverse(&mut self.prog, kind)
                 .expect("inverse applicability was just verified");
@@ -236,34 +396,103 @@ impl Session {
         self.log.retire(&record.stamps);
         self.history.get_mut(t).state = XformState::Undone;
         report.undone.push(t);
+        report.phase_ns.add(Phase::InverseAction, elapsed_ns(ia0));
+        if let Some(span) = span {
+            self.tracer.span_end(span, Phase::InverseAction, &[]);
+        }
         // Line 13: dependence and data flow update.
+        let rb0 = Instant::now();
+        let span = traced.then(|| self.tracer.span_start(Phase::RepRebuild, &[]));
         self.rep.refresh(&self.prog);
+        report.phase_ns.add(Phase::RepRebuild, elapsed_ns(rb0));
+        if let Some(span) = span {
+            self.tracer.span_end(
+                span,
+                Phase::RepRebuild,
+                &[("builds", FieldValue::U64(self.rep.builds))],
+            );
+        }
         // Line 15: affected region.
+        let rs0 = Instant::now();
+        let scan_span = traced.then(|| {
+            self.tracer.span_start(
+                Phase::RegionScan,
+                &[
+                    ("xform", FieldValue::U64(u64::from(t.0))),
+                    ("strategy", FieldValue::Str(strategy.name())),
+                ],
+            )
+        });
         let region = affected_region(&self.prog, &self.rep, &reversed);
         // Lines 16–29: affected transformations (only k > i can be
         // affected; the interaction table and region prune candidates).
         let candidates = self.history.active_after(t);
+        let scanned = candidates.len() as u64;
+        report.phase_ns.add(Phase::RegionScan, elapsed_ns(rs0));
         for tk in candidates {
             report.candidates_considered += 1;
             let rk = self.history.get(tk);
+            let heuristic_marked = interact::may_affect(&self.matrix, record.kind, rk.kind);
+            let region_member = region.overlaps(
+                &live_sites(&self.prog, &rk.params),
+                &rk.params.watched_syms(),
+            );
             let in_scope = match strategy {
                 Strategy::FullScan => true,
-                Strategy::NoHeuristic => {
-                    region.overlaps(&live_sites(&self.prog, &rk.params), &rk.params.watched_syms())
-                }
-                Strategy::Regional => {
-                    interact::may_affect(&self.matrix, record.kind, rk.kind)
-                        && region.overlaps(&live_sites(&self.prog, &rk.params), &rk.params.watched_syms())
-                }
+                Strategy::NoHeuristic => region_member,
+                Strategy::Regional => heuristic_marked && region_member,
             };
             if !in_scope {
                 continue;
             }
             report.safety_checks += 1;
             let rk = self.history.get(tk).clone();
-            if !still_safe(&self.prog, &self.rep, &self.log, &rk) {
-                self.undo_rec(tk, strategy, report, depth + 1)?;
+            let sc0 = Instant::now();
+            let span = traced.then(|| {
+                self.tracer.span_start(
+                    Phase::SafetyCheck,
+                    &[
+                        ("candidate", FieldValue::U64(u64::from(tk.0))),
+                        ("kind", FieldValue::Str(rk.kind.abbrev())),
+                        ("in_region", FieldValue::Bool(region_member)),
+                    ],
+                )
+            });
+            let safe = still_safe(&self.prog, &self.rep, &self.log, &rk);
+            report.phase_ns.add(Phase::SafetyCheck, elapsed_ns(sc0));
+            if let Some(span) = span {
+                self.tracer.span_end(
+                    span,
+                    Phase::SafetyCheck,
+                    &[("safe", FieldValue::Bool(safe))],
+                );
             }
+            if !safe {
+                let was_active = self.history.get(tk).state == XformState::Active;
+                let mut child = ProvenanceNode::new(
+                    tk.0,
+                    kind_slug(rk.kind),
+                    CauseKind::Affected {
+                        region_member,
+                        heuristic_marked,
+                        failed_predicate: safety_predicate_name(rk.kind).to_string(),
+                    },
+                );
+                self.undo_rec(tk, strategy, report, depth + 1, &mut child)?;
+                if was_active {
+                    node.children.push(child);
+                }
+            }
+        }
+        if let Some(span) = scan_span {
+            self.tracer.span_end(
+                span,
+                Phase::RegionScan,
+                &[
+                    ("candidates", FieldValue::U64(scanned)),
+                    ("region_stmts", FieldValue::U64(region.stmts.len() as u64)),
+                ],
+            );
         }
         Ok(())
     }
@@ -323,8 +552,12 @@ impl Session {
     pub fn undo_reverse_redo(&mut self, target: XformId) -> Result<(UndoReport, usize), UndoError> {
         let report = self.undo_reverse_to(target)?;
         let mut redone = 0usize;
-        let collateral: Vec<XformId> =
-            report.undone.iter().copied().filter(|&x| x != target).collect();
+        let collateral: Vec<XformId> = report
+            .undone
+            .iter()
+            .copied()
+            .filter(|&x| x != target)
+            .collect();
         // Original application order.
         let mut ordered = collateral;
         ordered.sort();
@@ -372,10 +605,68 @@ impl Session {
     }
 }
 
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Lowercase kind tag used in provenance nodes (matches history summaries).
+fn kind_slug(kind: XformKind) -> String {
+    kind.abbrev().to_ascii_lowercase()
+}
+
+/// Describe the causing action of an affecting transformation — the paper's
+/// "causing action" (Section 4.1): the latest primitive action the blocker
+/// stamped, e.g. `"mv t7"`.
+fn causing_action_of(log: &ActionLog, blocker: &crate::history::AppliedXform) -> String {
+    match log.actions_with(&blocker.stamps).into_iter().last() {
+        Some(sa) => format!("{} {}", sa.kind.tag().abbrev(), sa.stamp),
+        None => "retired action".to_owned(),
+    }
+}
+
+/// The safety predicate (Table 3) a cascaded removal failed, phrased for the
+/// explanation tree.
+fn safety_predicate_name(kind: XformKind) -> &'static str {
+    match kind {
+        XformKind::Dce => "target dead at original location",
+        XformKind::Cse => "shared expression def-use intact",
+        XformKind::Ctp => "constant def-use intact",
+        XformKind::Cpp => "copy def-use intact",
+        XformKind::Cfo => "operand still constant",
+        XformKind::Icm => "operands loop-invariant",
+        XformKind::Inx => "interchange still legal",
+        XformKind::Fus => "no backward dependence across fused bodies",
+        XformKind::Lur => "unroll factor divides trip count",
+        XformKind::Smi => "strip covers iteration space",
+    }
+}
+
+/// Record one completed undo request into the process-wide metrics registry.
+fn record_undo_metrics(report: &UndoReport) {
+    let m = pivot_obs::metrics::global();
+    m.counter("undo.requests").inc();
+    m.counter("undo.xforms_undone")
+        .add(report.undone.len() as u64);
+    m.counter("undo.candidates_scanned")
+        .add(report.candidates_considered);
+    m.counter("undo.safety_checks").add(report.safety_checks);
+    m.counter("undo.affecting_chases")
+        .add(report.affecting_chases);
+    m.counter("undo.rep_rebuilds").add(report.rep_rebuilds);
+    for (phase, ns) in report.phase_ns.nonzero() {
+        m.histogram(&format!("undo.phase.{}_ns", phase.name()))
+            .record_ns(ns);
+    }
+}
+
 /// Sites of a transformation that are still live (detached sites cannot be
 /// region members; their influence is tracked via symbols).
 fn live_sites(prog: &Program, params: &XformParams) -> Vec<StmtId> {
-    params.site_stmts().into_iter().filter(|&s| prog.is_live(s)).collect()
+    params
+        .site_stmts()
+        .into_iter()
+        .filter(|&s| prog.is_live(s))
+        .collect()
 }
 
 /// The site that identifies a transformation instance across
@@ -452,7 +743,10 @@ enddo
         let (mut s, [_, _, inx, icm]) = figure1_session();
         let report = s.undo(inx, Strategy::Regional).unwrap();
         assert!(report.undone.contains(&inx));
-        assert!(report.undone.contains(&icm), "ICM is an affecting transformation");
+        assert!(
+            report.undone.contains(&icm),
+            "ICM is an affecting transformation"
+        );
         assert_eq!(report.undone.len(), 2, "CSE and CTP must survive");
         assert!(report.affecting_chases >= 1);
         s.assert_consistent();
@@ -478,8 +772,7 @@ enddo
     #[test]
     fn undo_all_any_order_restores_original() {
         // Undo in a scrambled order; the program must return to the source.
-        let orders: [[usize; 4]; 4] =
-            [[2, 0, 1, 3], [3, 2, 1, 0], [0, 1, 2, 3], [1, 3, 0, 2]];
+        let orders: [[usize; 4]; 4] = [[2, 0, 1, 3], [3, 2, 1, 0], [0, 1, 2, 3], [1, 3, 0, 2]];
         for order in orders {
             let (mut s, ids) = figure1_session();
             for &i in &order {
@@ -531,7 +824,11 @@ enddo
 
     #[test]
     fn strategies_agree_on_outcome() {
-        for strategy in [Strategy::Regional, Strategy::NoHeuristic, Strategy::FullScan] {
+        for strategy in [
+            Strategy::Regional,
+            Strategy::NoHeuristic,
+            Strategy::FullScan,
+        ] {
             let (mut s, [_, _, inx, _]) = figure1_session();
             let report = s.undo(inx, strategy).unwrap();
             assert_eq!(report.undone.len(), 2, "strategy {strategy:?}");
@@ -545,7 +842,9 @@ enddo
         // the first: Regional should run fewer safety checks.
         let mut src = String::from("d0 = e0 + f0\nr0 = e0 + f0\nwrite r0\nwrite d0\n");
         for k in 1..8 {
-            src.push_str(&format!("d{k} = e{k} + f{k}\nr{k} = e{k} + f{k}\nwrite r{k}\nwrite d{k}\n"));
+            src.push_str(&format!(
+                "d{k} = e{k} + f{k}\nr{k} = e{k} + f{k}\nwrite r{k}\nwrite d{k}\n"
+            ));
         }
         let build = || {
             let mut s = Session::from_source(&src).unwrap();
@@ -587,7 +886,10 @@ enddo
         assert_eq!(s.source(), "write 0\n");
         let report = s.undo(d1, Strategy::Regional).unwrap();
         assert!(report.undone.contains(&d1));
-        assert!(report.undone.contains(&d2), "restoring y = x revives x's use");
+        assert!(
+            report.undone.contains(&d2),
+            "restoring y = x revives x's use"
+        );
         assert!(programs_equal(&s.prog, &s.original));
         s.assert_consistent();
     }

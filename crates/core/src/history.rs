@@ -63,7 +63,10 @@ pub struct AppliedXform {
 impl AppliedXform {
     /// First (lowest) action stamp.
     pub fn first_stamp(&self) -> Stamp {
-        *self.stamps.first().expect("every transformation performs at least one action")
+        *self
+            .stamps
+            .first()
+            .expect("every transformation performs at least one action")
     }
 }
 
@@ -95,7 +98,15 @@ impl History {
         for &s in &stamps {
             self.stamp_owner.insert(s, id);
         }
-        self.records.push(AppliedXform { id, kind, params, pre, post, stamps, state: XformState::Active });
+        self.records.push(AppliedXform {
+            id,
+            kind,
+            params,
+            pre,
+            post,
+            stamps,
+            state: XformState::Active,
+        });
         id
     }
 
@@ -116,7 +127,9 @@ impl History {
 
     /// Active transformations, in application order.
     pub fn active(&self) -> impl Iterator<Item = &AppliedXform> {
-        self.records.iter().filter(|r| r.state == XformState::Active)
+        self.records
+            .iter()
+            .filter(|r| r.state == XformState::Active)
     }
 
     /// Active transformations applied **after** `id`, in application order —
@@ -133,12 +146,19 @@ impl History {
     /// The last active transformation, if any (the reverse-order baseline
     /// undoes this one first).
     pub fn last_active(&self) -> Option<XformId> {
-        self.records.iter().rev().find(|r| r.state == XformState::Active).map(|r| r.id)
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.state == XformState::Active)
+            .map(|r| r.id)
     }
 
     /// Number of active transformations.
     pub fn active_len(&self) -> usize {
-        self.records.iter().filter(|r| r.state == XformState::Active).count()
+        self.records
+            .iter()
+            .filter(|r| r.state == XformState::Active)
+            .count()
     }
 
     /// Stamp → application-order map for the Figure 2 rendering.
@@ -178,7 +198,10 @@ mod tests {
         let p = parse("a = 1\n").unwrap();
         h.record(
             kind,
-            XformParams::Dce { stmt: StmtId(0), target: pivot_lang::Sym(0) },
+            XformParams::Dce {
+                stmt: StmtId(0),
+                target: pivot_lang::Sym(0),
+            },
             Pattern::capture(&p, "pre", &[]),
             Pattern::capture(&p, "post", &[]),
             vec![Stamp(stamp)],

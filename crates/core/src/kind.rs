@@ -86,7 +86,10 @@ impl XformKind {
 
     /// Index in [`ALL_KINDS`] (row/column number in Table 4).
     pub fn index(self) -> usize {
-        ALL_KINDS.iter().position(|&k| k == self).expect("kind is in ALL_KINDS")
+        ALL_KINDS
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind is in ALL_KINDS")
     }
 
     /// Parse a three-letter abbreviation (case-insensitive).

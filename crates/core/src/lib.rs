@@ -26,23 +26,23 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod catalog;
 pub mod edits;
 pub mod engine;
-pub mod parcheck;
-pub mod interact;
-pub mod region;
-pub mod catalog;
 pub mod history;
+pub mod interact;
 pub mod kind;
+pub mod parcheck;
 pub mod pattern;
+pub mod region;
 pub mod revers;
 pub mod safety;
 pub mod spec;
 
 pub use actions::{ActionError, ActionKind, ActionLog, Stamp};
 pub use catalog::{Applied, Opportunity};
+pub use edits::{Edit, InvalidationReport};
+pub use engine::{Session, Strategy, UndoError, UndoReport};
 pub use history::{AppliedXform, History, XformId, XformState};
 pub use kind::{XformKind, ALL_KINDS};
 pub use pattern::{Pattern, XformParams};
-pub use edits::{Edit, InvalidationReport};
-pub use engine::{Session, Strategy, UndoError, UndoReport};

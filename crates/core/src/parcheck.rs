@@ -20,7 +20,10 @@ pub fn screen_sequential(
     log: &ActionLog,
     records: &[&AppliedXform],
 ) -> Vec<bool> {
-    records.iter().map(|r| still_safe(prog, rep, log, r)).collect()
+    records
+        .iter()
+        .map(|r| still_safe(prog, rep, log, r))
+        .collect()
 }
 
 /// Parallel screen over `threads` workers (contiguous chunks). Results are
@@ -44,7 +47,9 @@ pub fn screen_parallel(
             handles.push((
                 ci,
                 scope.spawn(move |_| {
-                    recs.iter().map(|r| still_safe(prog, rep, log, r)).collect::<Vec<bool>>()
+                    recs.iter()
+                        .map(|r| still_safe(prog, rep, log, r))
+                        .collect::<Vec<bool>>()
                 }),
             ));
         }
@@ -66,7 +71,9 @@ mod tests {
     fn many_cse_session(n: usize) -> Session {
         let mut src = String::new();
         for k in 0..n {
-            src.push_str(&format!("d{k} = e{k} + f{k}\nr{k} = e{k} + f{k}\nwrite r{k}\nwrite d{k}\n"));
+            src.push_str(&format!(
+                "d{k} = e{k} + f{k}\nr{k} = e{k} + f{k}\nwrite r{k}\nwrite d{k}\n"
+            ));
         }
         let mut s = Session::from_source(&src).unwrap();
         while s.apply_kind(XformKind::Cse).is_some() {}
@@ -104,7 +111,8 @@ mod tests {
             })
             .unwrap();
         if let pivot_lang::StmtKind::Assign { value, .. } = s.prog.stmt(d2).kind {
-            s.prog.replace_expr_kind(value, pivot_lang::ExprKind::Const(0));
+            s.prog
+                .replace_expr_kind(value, pivot_lang::ExprKind::Const(0));
         }
         s.rep.refresh(&s.prog);
         let records: Vec<&crate::history::AppliedXform> = s.history.active().collect();
@@ -116,7 +124,10 @@ mod tests {
     fn empty_and_tiny_inputs() {
         let s = many_cse_session(1);
         let records: Vec<&crate::history::AppliedXform> = s.history.active().collect();
-        assert_eq!(screen_parallel(&s.prog, &s.rep, &s.log, &[], 4), Vec::<bool>::new());
+        assert_eq!(
+            screen_parallel(&s.prog, &s.rep, &s.log, &[], 4),
+            Vec::<bool>::new()
+        );
         let one = screen_parallel(&s.prog, &s.rep, &s.log, &records[..1], 4);
         assert_eq!(one.len(), 1);
     }

@@ -164,11 +164,19 @@ impl XformParams {
     pub fn site_stmts(&self) -> Vec<StmtId> {
         match self {
             XformParams::Dce { stmt, .. } => vec![*stmt],
-            XformParams::Cse { def_stmt, use_stmt, .. } => vec![*def_stmt, *use_stmt],
-            XformParams::Ctp { def_stmt, use_stmt, .. } => vec![*def_stmt, *use_stmt],
-            XformParams::Cpp { def_stmt, use_stmt, .. } => vec![*def_stmt, *use_stmt],
+            XformParams::Cse {
+                def_stmt, use_stmt, ..
+            } => vec![*def_stmt, *use_stmt],
+            XformParams::Ctp {
+                def_stmt, use_stmt, ..
+            } => vec![*def_stmt, *use_stmt],
+            XformParams::Cpp {
+                def_stmt, use_stmt, ..
+            } => vec![*def_stmt, *use_stmt],
             XformParams::Cfo { stmt, .. } => vec![*stmt],
-            XformParams::Icm { stmt, loop_stmt, .. } => vec![*stmt, *loop_stmt],
+            XformParams::Icm {
+                stmt, loop_stmt, ..
+            } => vec![*stmt, *loop_stmt],
             XformParams::Inx { outer, inner } => vec![*outer, *inner],
             XformParams::Fus { l1, l2, .. } => vec![*l1, *l2],
             XformParams::Lur { loop_stmt, .. } => vec![*loop_stmt],
@@ -192,7 +200,11 @@ impl XformParams {
     pub fn watched_syms(&self) -> Vec<Sym> {
         match self {
             XformParams::Dce { target, .. } => vec![*target],
-            XformParams::Cse { result_var, operand_syms, .. } => {
+            XformParams::Cse {
+                result_var,
+                operand_syms,
+                ..
+            } => {
                 let mut v = operand_syms.clone();
                 v.push(*result_var);
                 v
@@ -200,7 +212,12 @@ impl XformParams {
             XformParams::Ctp { var, .. } => vec![*var],
             XformParams::Cpp { from, to, .. } => vec![*from, *to],
             XformParams::Cfo { .. } => Vec::new(),
-            XformParams::Icm { target, operand_syms, array_reads, .. } => {
+            XformParams::Icm {
+                target,
+                operand_syms,
+                array_reads,
+                ..
+            } => {
                 let mut v = operand_syms.clone();
                 v.push(*target);
                 v.extend(array_reads);
@@ -240,7 +257,10 @@ impl Pattern {
                 (s, text)
             })
             .collect();
-        Pattern { shape: shape.into(), snapshots }
+        Pattern {
+            shape: shape.into(),
+            snapshots,
+        }
     }
 }
 
@@ -251,7 +271,10 @@ mod tests {
 
     #[test]
     fn params_kind_and_sites() {
-        let p = XformParams::Inx { outer: StmtId(1), inner: StmtId(2) };
+        let p = XformParams::Inx {
+            outer: StmtId(1),
+            inner: StmtId(2),
+        };
         assert_eq!(p.kind(), XformKind::Inx);
         assert_eq!(p.site_stmts(), vec![StmtId(1), StmtId(2)]);
         assert!(p.site_exprs().is_empty());

@@ -45,11 +45,7 @@ impl AffectedRegion {
 
 /// Compute the affected region of a set of reversed actions, against the
 /// *post-undo* program and representation.
-pub fn affected_region(
-    prog: &Program,
-    rep: &Rep,
-    reversed: &[ActionKind],
-) -> AffectedRegion {
+pub fn affected_region(prog: &Program, rep: &Rep, reversed: &[ActionKind]) -> AffectedRegion {
     let mut seed: HashSet<StmtId> = HashSet::new();
     let mut syms: HashSet<Sym> = HashSet::new();
     for a in reversed {
@@ -143,7 +139,10 @@ mod tests {
         let rep = Rep::build(&p);
         // The reversed action set for undoing a DCE of x_assign is the
         // inverse Add — model as the Delete record whose inverse restored it.
-        let reversed = vec![ActionKind::Delete { stmt: x_assign, orig }];
+        let reversed = vec![ActionKind::Delete {
+            stmt: x_assign,
+            orig,
+        }];
         let region = affected_region(&p, &rep, &reversed);
         assert!(region.contains_stmt(x_assign));
         assert!(region.contains_stmt(ss[1]), "y = x is one flow hop away");
@@ -155,10 +154,9 @@ mod tests {
 
     #[test]
     fn loop_body_region_widens_to_loop_subtree() {
-        let p = parse(
-            "do i = 1, 5\n  a = 1\n  b = 2\nenddo\ndo j = 1, 5\n  c = 3\nenddo\nwrite c\n",
-        )
-        .unwrap();
+        let p =
+            parse("do i = 1, 5\n  a = 1\n  b = 2\nenddo\ndo j = 1, 5\n  c = 3\nenddo\nwrite c\n")
+                .unwrap();
         let ss = p.attached_stmts();
         let rep = Rep::build(&p);
         let reversed = vec![ActionKind::ModifyExpr {

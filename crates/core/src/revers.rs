@@ -115,7 +115,11 @@ pub fn check_reversible(
             }
             Err(error) => {
                 let affecting = blame(&sim, log, history, record, &sa.kind, &error);
-                return Err(Irreversible { failing_stamp: sa.stamp, error, affecting });
+                return Err(Irreversible {
+                    failing_stamp: sa.stamp,
+                    error,
+                    affecting,
+                });
             }
         }
     }
@@ -211,10 +215,12 @@ fn later_copy_embeds(
         if record.stamps.contains(&later.stamp) {
             return None;
         }
-        let ActionKind::Copy { src, .. } = &later.kind else { return None };
-        let hit = owners.iter().any(|&(stamp, o)| {
-            later.stamp > stamp && (o == *src || prog.is_ancestor(*src, o))
-        });
+        let ActionKind::Copy { src, .. } = &later.kind else {
+            return None;
+        };
+        let hit = owners
+            .iter()
+            .any(|&(stamp, o)| later.stamp > stamp && (o == *src || prog.is_ancestor(*src, o)));
         if hit {
             let owner = history.owner_of(later.stamp)?;
             if owner != record.id {
@@ -345,13 +351,20 @@ fn structural_post(prog: &Program, record: &AppliedXform) -> Result<(), Vec<Node
                 let offending: Vec<NodeRef> = if prog.is_live(*outer) {
                     loops::loop_body(prog, *outer)
                         .map(|b| {
-                            b.iter().filter(|&&s| s != *inner).map(|&s| NodeRef::Stmt(s)).collect()
+                            b.iter()
+                                .filter(|&&s| s != *inner)
+                                .map(|&s| NodeRef::Stmt(s))
+                                .collect()
                         })
                         .unwrap_or_default()
                 } else {
                     vec![NodeRef::Stmt(*outer)]
                 };
-                Err(if offending.is_empty() { vec![NodeRef::Stmt(*outer)] } else { offending })
+                Err(if offending.is_empty() {
+                    vec![NodeRef::Stmt(*outer)]
+                } else {
+                    offending
+                })
             }
         }
         XformParams::Smi { outer, inner, .. } => {
@@ -362,13 +375,20 @@ fn structural_post(prog: &Program, record: &AppliedXform) -> Result<(), Vec<Node
                 let offending: Vec<NodeRef> = if prog.is_live(*outer) {
                     loops::loop_body(prog, *outer)
                         .map(|b| {
-                            b.iter().filter(|&&s| s != *inner).map(|&s| NodeRef::Stmt(s)).collect()
+                            b.iter()
+                                .filter(|&&s| s != *inner)
+                                .map(|&s| NodeRef::Stmt(s))
+                                .collect()
                         })
                         .unwrap_or_default()
                 } else {
                     vec![NodeRef::Stmt(*outer)]
                 };
-                Err(if offending.is_empty() { vec![NodeRef::Stmt(*outer)] } else { offending })
+                Err(if offending.is_empty() {
+                    vec![NodeRef::Stmt(*outer)]
+                } else {
+                    offending
+                })
             }
         }
         XformParams::Fus { l1, .. } => {
@@ -381,7 +401,12 @@ fn structural_post(prog: &Program, record: &AppliedXform) -> Result<(), Vec<Node
                 Err(vec![NodeRef::Stmt(*l1)])
             }
         }
-        XformParams::Lur { loop_stmt, orig_body, copies, .. } => {
+        XformParams::Lur {
+            loop_stmt,
+            orig_body,
+            copies,
+            ..
+        } => {
             // The unrolled body must contain only original statements and
             // copies: anything else (placed by a later transformation) must
             // be evicted first — it would keep executing under the restored
@@ -389,7 +414,9 @@ fn structural_post(prog: &Program, record: &AppliedXform) -> Result<(), Vec<Node
             if !prog.is_live(*loop_stmt) {
                 return Err(vec![NodeRef::Stmt(*loop_stmt)]);
             }
-            let body_now = loops::loop_body(prog, *loop_stmt).cloned().unwrap_or_default();
+            let body_now = loops::loop_body(prog, *loop_stmt)
+                .cloned()
+                .unwrap_or_default();
             let interlopers: Vec<NodeRef> = body_now
                 .iter()
                 .filter(|s| !orig_body.contains(s) && !copies.contains(s))
@@ -445,10 +472,9 @@ fn blame(
                 continue;
             }
             match &sa.kind {
-                ActionKind::ModifyExpr { expr, old, .. }
-                    if old_subtree_reaches(sim, old, *e) => {
-                        nodes.push(NodeRef::Expr(*expr));
-                    }
+                ActionKind::ModifyExpr { expr, old, .. } if old_subtree_reaches(sim, old, *e) => {
+                    nodes.push(NodeRef::Expr(*expr));
+                }
                 ActionKind::ModifyHeader { stmt, old, .. } => {
                     // A header Modify orphans the old bounds/step subtrees.
                     let mut roots = vec![old.lo, old.hi];
@@ -477,7 +503,11 @@ fn blame(
 
 /// Does the expression subtree described by `kind` (a recorded payload)
 /// reach node `target` in the current arena?
-fn old_subtree_reaches(prog: &Program, kind: &pivot_lang::ExprKind, target: pivot_lang::ExprId) -> bool {
+fn old_subtree_reaches(
+    prog: &Program,
+    kind: &pivot_lang::ExprKind,
+    target: pivot_lang::ExprId,
+) -> bool {
     let mut stack = Vec::new();
     collect(kind, &mut stack);
     while let Some(e) = stack.pop() {
@@ -523,7 +553,13 @@ mod tests {
         assert!(!opps.is_empty(), "expected an opportunity for {kind}");
         let applied = catalog::apply(prog, log, &opps[0]).unwrap();
         rep.refresh(prog);
-        hist.record(kind, applied.params, applied.pre, applied.post, applied.stamps)
+        hist.record(
+            kind,
+            applied.params,
+            applied.pre,
+            applied.post,
+            applied.stamps,
+        )
     }
 
     #[test]
@@ -562,10 +598,8 @@ mod tests {
 
     #[test]
     fn fusion_multi_action_reversibility() {
-        let mut p = parse(
-            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n",
-        )
-        .unwrap();
+        let mut p =
+            parse("do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n").unwrap();
         let mut rep = Rep::build(&p);
         let mut log = ActionLog::new();
         let mut hist = History::new();
@@ -601,10 +635,19 @@ mod tests {
             .expect("a CTP use inside a copy exists");
         let applied = crate::catalog::apply(&mut p, &mut log, inside).unwrap();
         rep.refresh(&p);
-        let ctp =
-            hist.record(XformKind::Ctp, applied.params, applied.pre, applied.post, applied.stamps);
+        let ctp = hist.record(
+            XformKind::Ctp,
+            applied.params,
+            applied.pre,
+            applied.post,
+            applied.stamps,
+        );
         let err = check_reversible(&p, &log, &hist, hist.get(lur)).unwrap_err();
-        assert_eq!(err.affecting, Some(ctp), "the in-copy CTP blocks LUR's reversal");
+        assert_eq!(
+            err.affecting,
+            Some(ctp),
+            "the in-copy CTP blocks LUR's reversal"
+        );
         assert!(check_reversible(&p, &log, &hist, hist.get(ctp)).is_ok());
     }
 
@@ -620,7 +663,11 @@ mod tests {
         let ctp = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Ctp);
         let smi = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Smi);
         let err = check_reversible(&p, &log, &hist, hist.get(ctp)).unwrap_err();
-        assert_eq!(err.affecting, Some(smi), "SMI orphaned the propagated bound");
+        assert_eq!(
+            err.affecting,
+            Some(smi),
+            "SMI orphaned the propagated bound"
+        );
         assert!(check_reversible(&p, &log, &hist, hist.get(smi)).is_ok());
     }
 

@@ -44,17 +44,37 @@ pub fn still_safe(
         XformParams::Dce { stmt, target } => {
             // Recover the deleted statement's original location from the
             // recorded Delete action.
-            let orig = log.actions_with(&record.stamps).into_iter().find_map(|a| match &a.kind {
-                crate::actions::ActionKind::Delete { stmt: s, orig } if s == stmt => Some(*orig),
-                _ => None,
-            });
+            let orig = log
+                .actions_with(&record.stamps)
+                .into_iter()
+                .find_map(|a| match &a.kind {
+                    crate::actions::ActionKind::Delete { stmt: s, orig } if s == stmt => {
+                        Some(*orig)
+                    }
+                    _ => None,
+                });
             match orig {
                 Some(orig) => dce_safe_at(prog, rep, orig, *target),
                 None => true, // record retired: nothing to protect
             }
         }
-        XformParams::Ctp { def_stmt, use_stmt, var, value, reaching_at_use, .. } => {
-            rewrite_safe(prog, rep, log, record, *def_stmt, *use_stmt, &[*var], reaching_at_use, |p, d| {
+        XformParams::Ctp {
+            def_stmt,
+            use_stmt,
+            var,
+            value,
+            reaching_at_use,
+            ..
+        } => rewrite_safe(
+            prog,
+            rep,
+            log,
+            record,
+            *def_stmt,
+            *use_stmt,
+            &[*var],
+            reaching_at_use,
+            |p, d| {
                 matches!(
                     &p.stmt(d).kind,
                     StmtKind::Assign { target, value: v }
@@ -62,10 +82,25 @@ pub fn still_safe(
                             && target.var == *var
                             && matches!(p.expr(*v).kind, pivot_lang::ExprKind::Const(c) if c == *value)
                 )
-            })
-        }
-        XformParams::Cpp { def_stmt, use_stmt, from, to, reaching_at_use, .. } => {
-            rewrite_safe(prog, rep, log, record, *def_stmt, *use_stmt, &[*from, *to], reaching_at_use, |p, d| {
+            },
+        ),
+        XformParams::Cpp {
+            def_stmt,
+            use_stmt,
+            from,
+            to,
+            reaching_at_use,
+            ..
+        } => rewrite_safe(
+            prog,
+            rep,
+            log,
+            record,
+            *def_stmt,
+            *use_stmt,
+            &[*from, *to],
+            reaching_at_use,
+            |p, d| {
                 matches!(
                     &p.stmt(d).kind,
                     StmtKind::Assign { target, value: v }
@@ -73,36 +108,93 @@ pub fn still_safe(
                             && target.var == *from
                             && matches!(p.expr(*v).kind, pivot_lang::ExprKind::Var(y) if y == *to)
                 )
-            })
-        }
+            },
+        ),
         XformParams::Cse {
-            def_stmt, use_stmt, result_var, operand_syms, old_kind, reaching_at_use, ..
+            def_stmt,
+            use_stmt,
+            result_var,
+            operand_syms,
+            old_kind,
+            reaching_at_use,
+            ..
         } => {
             let watched = operand_syms.clone();
-            rewrite_safe(prog, rep, log, record, *def_stmt, *use_stmt, &watched, reaching_at_use, |p, d| {
-                match &p.stmt(d).kind {
+            rewrite_safe(
+                prog,
+                rep,
+                log,
+                record,
+                *def_stmt,
+                *use_stmt,
+                &watched,
+                reaching_at_use,
+                |p, d| match &p.stmt(d).kind {
                     StmtKind::Assign { target, value } => {
                         target.is_scalar()
                             && target.var == *result_var
                             && kinds_structurally_equal(p, *value, old_kind)
                     }
                     _ => false,
-                }
-            })
+                },
+            )
         }
         XformParams::Cfo { .. } => true,
-        XformParams::Icm { stmt, loop_stmt, target, operand_syms, array_reads } => {
-            let after = record.stamps.last().copied().unwrap_or(crate::actions::Stamp(0));
-            icm_safe(prog, rep, log, after, *stmt, *loop_stmt, *target, operand_syms, array_reads)
+        XformParams::Icm {
+            stmt,
+            loop_stmt,
+            target,
+            operand_syms,
+            array_reads,
+        } => {
+            let after = record
+                .stamps
+                .last()
+                .copied()
+                .unwrap_or(crate::actions::Stamp(0));
+            icm_safe(
+                prog,
+                rep,
+                log,
+                after,
+                *stmt,
+                *loop_stmt,
+                *target,
+                operand_syms,
+                array_reads,
+            )
         }
         XformParams::Inx { outer, inner } => inx_safe(prog, log, *outer, *inner),
-        XformParams::Fus { l1, moved, body1, .. } => fus_safe(prog, *l1, body1, moved),
-        XformParams::Lur { loop_stmt, factor, orig_step, orig_body, copies } => {
-            let after = record.stamps.last().copied().unwrap_or(crate::actions::Stamp(0));
-            lur_safe(prog, log, after, *loop_stmt, *factor, *orig_step, orig_body, copies)
+        XformParams::Fus {
+            l1, moved, body1, ..
+        } => fus_safe(prog, *l1, body1, moved),
+        XformParams::Lur {
+            loop_stmt,
+            factor,
+            orig_step,
+            orig_body,
+            copies,
+        } => {
+            let after = record
+                .stamps
+                .last()
+                .copied()
+                .unwrap_or(crate::actions::Stamp(0));
+            lur_safe(
+                prog, log, after, *loop_stmt, *factor, *orig_step, orig_body, copies,
+            )
         }
-        XformParams::Smi { outer, inner, strip, .. } => {
-            let after = record.stamps.last().copied().unwrap_or(crate::actions::Stamp(0));
+        XformParams::Smi {
+            outer,
+            inner,
+            strip,
+            ..
+        } => {
+            let after = record
+                .stamps
+                .last()
+                .copied()
+                .unwrap_or(crate::actions::Stamp(0));
             smi_safe(prog, log, after, *outer, *inner, *strip)
         }
     }
@@ -111,7 +203,11 @@ pub fn still_safe(
 /// Structural comparison between a live expression and a recorded
 /// `ExprKind` snapshot — equal when the live tree matches the snapshot's
 /// tree shape (the snapshot's child IDs are resolved in the same arena).
-fn kinds_structurally_equal(prog: &Program, live: pivot_lang::ExprId, snap: &pivot_lang::ExprKind) -> bool {
+fn kinds_structurally_equal(
+    prog: &Program,
+    live: pivot_lang::ExprId,
+    snap: &pivot_lang::ExprKind,
+) -> bool {
     use pivot_lang::ExprKind as E;
     match (&prog.expr(live).kind, snap) {
         (E::Const(a), E::Const(b)) => a == b,
@@ -119,7 +215,10 @@ fn kinds_structurally_equal(prog: &Program, live: pivot_lang::ExprId, snap: &piv
         (E::Index(a, xs), E::Index(b, ys)) => {
             a == b
                 && xs.len() == ys.len()
-                && xs.iter().zip(ys).all(|(&x, &y)| pivot_lang::equiv::exprs_equal_in(prog, x, y))
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|(&x, &y)| pivot_lang::equiv::exprs_equal_in(prog, x, y))
         }
         (E::Unary(oa, a), E::Unary(ob, b)) => {
             oa == ob && pivot_lang::equiv::exprs_equal_in(prog, *a, *b)
@@ -180,7 +279,11 @@ fn rewrite_safe(
         // A shape change is excused only when an active transformation's
         // value-preserving Modify explains it; and even then, only the
         // *shape* is excused — the path condition below must still hold.
-        let after = record.stamps.last().copied().unwrap_or(crate::actions::Stamp(0));
+        let after = record
+            .stamps
+            .last()
+            .copied()
+            .unwrap_or(crate::actions::Stamp(0));
         if !reshaped_by_transformation(prog, log, def_stmt, after) {
             return false;
         }
@@ -343,7 +446,8 @@ fn inx_safe(prog: &Program, log: &crate::actions::ActionLog, outer: StmtId, inne
     } else {
         let between_ok = loops::loop_body(prog, outer)
             .map(|b| {
-                b.iter().all(|&s| s == inner || placed_by_transformation(log, s))
+                b.iter()
+                    .all(|&s| s == inner || placed_by_transformation(log, s))
             })
             .unwrap_or(false);
         between_ok && depend::interchange_legal_loose(prog, outer, inner)
@@ -354,7 +458,9 @@ fn fus_safe(prog: &Program, l1: StmtId, body1: &[StmtId], moved: &[StmtId]) -> b
     if !prog.is_live(l1) || !loops::is_loop(prog, l1) {
         return false;
     }
-    let Some(var) = loops::loop_var(prog, l1) else { return false };
+    let Some(var) = loops::loop_var(prog, l1) else {
+        return false;
+    };
     // All original statements must still be in the fused loop.
     let body_now: Vec<StmtId> = loops::loop_body(prog, l1).cloned().unwrap_or_default();
     for s in body1.iter().chain(moved) {
@@ -431,7 +537,11 @@ fn lur_safe(
             if b.step != factor * orig_step {
                 return false;
             }
-            let orig = loops::ConstBounds { lo: b.lo, hi: b.hi, step: orig_step };
+            let orig = loops::ConstBounds {
+                lo: b.lo,
+                hi: b.hi,
+                step: orig_step,
+            };
             orig.trip_count() % factor == 0
         }
         None => false,
@@ -453,7 +563,10 @@ fn smi_safe(
     // for (a foreign statement would run once per strip, not per
     // iteration).
     let body_ok = loops::loop_body(prog, outer)
-        .map(|b| b.iter().all(|&s| s == inner || placed_by_transformation(log, s)))
+        .map(|b| {
+            b.iter()
+                .all(|&s| s == inner || placed_by_transformation(log, s))
+        })
         .unwrap_or(false);
     if !body_ok {
         return false;
@@ -465,7 +578,11 @@ fn smi_safe(
     }
     match loops::const_bounds(prog, outer) {
         Some(b) if b.step == strip => {
-            let orig = loops::ConstBounds { lo: b.lo, hi: b.hi, step: 1 };
+            let orig = loops::ConstBounds {
+                lo: b.lo,
+                hi: b.hi,
+                step: 1,
+            };
             orig.trip_count() % strip == 0
         }
         _ => false,
@@ -493,7 +610,13 @@ mod tests {
         assert!(!opps.is_empty(), "expected an opportunity for {kind}");
         let applied = catalog::apply(prog, log, &opps[0]).unwrap();
         rep.refresh(prog);
-        hist.record(kind, applied.params, applied.pre, applied.post, applied.stamps)
+        hist.record(
+            kind,
+            applied.params,
+            applied.pre,
+            applied.post,
+            applied.stamps,
+        )
     }
 
     #[test]
@@ -524,14 +647,20 @@ mod tests {
         let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Cse);
         assert!(still_safe(&p, &rep, &log, hist.get(id)));
         // Insert `e = 0` between def and use (as an edit would).
-        let s = p.alloc_stmt(StmtKind::Write { value: pivot_lang::ExprId(0) });
+        let s = p.alloc_stmt(StmtKind::Write {
+            value: pivot_lang::ExprId(0),
+        });
         let zero = p.alloc_expr(pivot_lang::ExprKind::Const(0), s);
         let e_sym = p.symbols.get("e").unwrap();
         p.stmt_mut(s).kind = StmtKind::Assign {
             target: pivot_lang::LValue::scalar(e_sym),
             value: zero,
         };
-        p.attach(s, pivot_lang::Loc::after(pivot_lang::Parent::Root, p.body[0])).unwrap();
+        p.attach(
+            s,
+            pivot_lang::Loc::after(pivot_lang::Parent::Root, p.body[0]),
+        )
+        .unwrap();
         rep.refresh(&p);
         assert!(!still_safe(&p, &rep, &log, hist.get(id)));
     }
@@ -546,12 +675,16 @@ mod tests {
         assert!(still_safe(&p, &rep, &log, hist.get(id)));
         // Insert `e = i` into the loop body.
         let lp = p.body[1];
-        let s = p.alloc_stmt(StmtKind::Write { value: pivot_lang::ExprId(0) });
+        let s = p.alloc_stmt(StmtKind::Write {
+            value: pivot_lang::ExprId(0),
+        });
         let i_sym = p.symbols.get("i").unwrap();
         let iv = p.alloc_expr(pivot_lang::ExprKind::Var(i_sym), s);
         let e_sym = p.symbols.get("e").unwrap();
-        p.stmt_mut(s).kind =
-            StmtKind::Assign { target: pivot_lang::LValue::scalar(e_sym), value: iv };
+        p.stmt_mut(s).kind = StmtKind::Assign {
+            target: pivot_lang::LValue::scalar(e_sym),
+            value: iv,
+        };
         p.attach(
             s,
             pivot_lang::Loc {

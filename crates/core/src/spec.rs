@@ -175,7 +175,11 @@ pub fn derive_disabling(spec: &XformSpec) -> Vec<DisablingCondition> {
                 negated: "∃ S_l ∋ (S_i δ S_l): a statement now uses the deleted value".into(),
                 actions: vec![
                     act(ActionTag::Add, "add a statement that uses the value", false),
-                    act(ActionTag::Md, "modify a statement into a use of the value", false),
+                    act(
+                        ActionTag::Md,
+                        "modify a statement into a use of the value",
+                        false,
+                    ),
                     act(ActionTag::Mv, "move a use onto a path S_i reaches", true),
                 ],
             },
@@ -184,8 +188,16 @@ pub fn derive_disabling(spec: &XformSpec) -> Vec<DisablingCondition> {
                           or S_i no longer dominates S_j"
                     .into(),
                 actions: vec![
-                    act(ActionTag::Add, "add a definition of a watched symbol between", false),
-                    act(ActionTag::Md, "modify a statement into such a definition", false),
+                    act(
+                        ActionTag::Add,
+                        "add a definition of a watched symbol between",
+                        false,
+                    ),
+                    act(
+                        ActionTag::Md,
+                        "modify a statement into such a definition",
+                        false,
+                    ),
                     act(ActionTag::Mv, "move a definition between S_i and S_j", true),
                     act(ActionTag::Del, "delete S_i (severs the relationship)", true),
                 ],
@@ -193,9 +205,17 @@ pub fn derive_disabling(spec: &XformSpec) -> Vec<DisablingCondition> {
             Cond::InvariantIn(..) => DisablingCondition {
                 negated: "a watched/target symbol is now defined inside the loop".into(),
                 actions: vec![
-                    act(ActionTag::Add, "add a definition inside the loop body", false),
+                    act(
+                        ActionTag::Add,
+                        "add a definition inside the loop body",
+                        false,
+                    ),
                     act(ActionTag::Mv, "move a definition into the loop", false),
-                    act(ActionTag::Md, "modify a body statement into such a definition", false),
+                    act(
+                        ActionTag::Md,
+                        "modify a body statement into such a definition",
+                        false,
+                    ),
                 ],
             },
             Cond::ConstTrip(..)
@@ -212,22 +232,42 @@ pub fn derive_disabling(spec: &XformSpec) -> Vec<DisablingCondition> {
             Cond::TightNest => DisablingCondition {
                 negated: "a statement now sits between the loop headers".into(),
                 actions: vec![
-                    act(ActionTag::Mv, "move a statement between the headers (e.g. ICM)", false),
+                    act(
+                        ActionTag::Mv,
+                        "move a statement between the headers (e.g. ICM)",
+                        false,
+                    ),
                     act(ActionTag::Add, "add a statement between the headers", false),
                 ],
             },
             Cond::InterchangeLegal => DisablingCondition {
                 negated: "a dependence with direction (<,>) now crosses the nest".into(),
                 actions: vec![
-                    act(ActionTag::Add, "add an access creating the dependence", false),
-                    act(ActionTag::Md, "modify subscripts into the dependence", false),
+                    act(
+                        ActionTag::Add,
+                        "add an access creating the dependence",
+                        false,
+                    ),
+                    act(
+                        ActionTag::Md,
+                        "modify subscripts into the dependence",
+                        false,
+                    ),
                 ],
             },
             Cond::FusionLegal => DisablingCondition {
                 negated: "a backward dependence now flows between the fused bodies".into(),
                 actions: vec![
-                    act(ActionTag::Add, "add an access creating the dependence", false),
-                    act(ActionTag::Md, "modify subscripts into the dependence", false),
+                    act(
+                        ActionTag::Add,
+                        "add an access creating the dependence",
+                        false,
+                    ),
+                    act(
+                        ActionTag::Md,
+                        "modify subscripts into the dependence",
+                        false,
+                    ),
                 ],
             },
         })
@@ -239,11 +279,7 @@ pub fn derive_disabling(spec: &XformSpec) -> Vec<DisablingCondition> {
 /// cannot be resolved anymore (site deleted), which callers treat as
 /// "re-evaluate with the hand-written checker" ([`crate::safety::still_safe`]
 /// handles those cases with its transformation-vouching rules).
-pub fn eval_spec(
-    prog: &Program,
-    rep: &Rep,
-    record: &AppliedXform,
-) -> Option<bool> {
+pub fn eval_spec(prog: &Program, rep: &Rep, record: &AppliedXform) -> Option<bool> {
     let spec = spec_of(record.kind);
     let b = Bindings::from_params(&record.params)?;
     for c in &spec.preconds {
@@ -286,19 +322,36 @@ impl Bindings {
                 b.si = Some(*stmt);
                 b.target = Some(*target);
             }
-            XformParams::Cse { def_stmt, use_stmt, result_var, operand_syms, .. } => {
+            XformParams::Cse {
+                def_stmt,
+                use_stmt,
+                result_var,
+                operand_syms,
+                ..
+            } => {
                 b.si = Some(*def_stmt);
                 b.sj = Some(*use_stmt);
                 b.target = Some(*result_var);
                 b.watched = operand_syms.clone();
             }
-            XformParams::Ctp { def_stmt, use_stmt, var, .. } => {
+            XformParams::Ctp {
+                def_stmt,
+                use_stmt,
+                var,
+                ..
+            } => {
                 b.si = Some(*def_stmt);
                 b.sj = Some(*use_stmt);
                 b.target = Some(*var);
                 b.watched = vec![*var];
             }
-            XformParams::Cpp { def_stmt, use_stmt, from, to, .. } => {
+            XformParams::Cpp {
+                def_stmt,
+                use_stmt,
+                from,
+                to,
+                ..
+            } => {
                 b.si = Some(*def_stmt);
                 b.sj = Some(*use_stmt);
                 b.target = Some(*from);
@@ -307,7 +360,13 @@ impl Bindings {
             XformParams::Cfo { stmt, .. } => {
                 b.si = Some(*stmt);
             }
-            XformParams::Icm { stmt, loop_stmt, target, operand_syms, .. } => {
+            XformParams::Icm {
+                stmt,
+                loop_stmt,
+                target,
+                operand_syms,
+                ..
+            } => {
                 b.si = Some(*stmt);
                 b.l1 = Some(*loop_stmt);
                 b.target = Some(*target);
@@ -321,12 +380,22 @@ impl Bindings {
                 b.l1 = Some(*l1);
                 b.l2 = Some(*l2);
             }
-            XformParams::Lur { loop_stmt, factor, orig_step, .. } => {
+            XformParams::Lur {
+                loop_stmt,
+                factor,
+                orig_step,
+                ..
+            } => {
                 b.l1 = Some(*loop_stmt);
                 b.factor = *factor;
                 b.orig_step = *orig_step;
             }
-            XformParams::Smi { outer, inner, strip, .. } => {
+            XformParams::Smi {
+                outer,
+                inner,
+                strip,
+                ..
+            } => {
                 b.l1 = Some(*outer);
                 b.l2 = Some(*inner);
                 b.strip = *strip;
@@ -425,8 +494,11 @@ fn eval_cond(prog: &Program, rep: &Rep, c: &Cond, b: &Bindings) -> Option<bool> 
             match loops::const_bounds(prog, lp) {
                 Some(bounds) => {
                     bounds.step == b.strip && {
-                        let orig =
-                            loops::ConstBounds { lo: bounds.lo, hi: bounds.hi, step: 1 };
+                        let orig = loops::ConstBounds {
+                            lo: bounds.lo,
+                            hi: bounds.hi,
+                            step: 1,
+                        };
                         orig.trip_count() % b.strip == 0
                     }
                 }
@@ -501,7 +573,10 @@ pub fn derive_reversibility_disabling(kind: XformKind) -> Vec<DisablingCondition
                     .into(),
                 actions: vec![
                     act(ActionTag::Del, "delete the context of the location"),
-                    act(ActionTag::Cp, "copy the context of the location (e.g. by LUR)"),
+                    act(
+                        ActionTag::Cp,
+                        "copy the context of the location (e.g. by LUR)",
+                    ),
                     act(ActionTag::Mv, "move the anchor out of the block"),
                 ],
             },
@@ -511,7 +586,10 @@ pub fn derive_reversibility_disabling(kind: XformKind) -> Vec<DisablingCondition
                     .into(),
                 actions: vec![
                     act(ActionTag::Mv, "move the statement again"),
-                    act(ActionTag::Del, "delete the statement or its original context"),
+                    act(
+                        ActionTag::Del,
+                        "delete the statement or its original context",
+                    ),
                     act(ActionTag::Cp, "copy the original context"),
                 ],
             },
@@ -521,9 +599,15 @@ pub fn derive_reversibility_disabling(kind: XformKind) -> Vec<DisablingCondition
                     .into(),
                 actions: vec![
                     act(ActionTag::Md, "modify the same node again"),
-                    act(ActionTag::Md, "modify an enclosing expression (orphans the node)"),
+                    act(
+                        ActionTag::Md,
+                        "modify an enclosing expression (orphans the node)",
+                    ),
                     act(ActionTag::Del, "delete the owning statement"),
-                    act(ActionTag::Cp, "copy the owning statement (duplicates the state)"),
+                    act(
+                        ActionTag::Cp,
+                        "copy the owning statement (duplicates the state)",
+                    ),
                 ],
             },
             ActionTag::Cp => DisablingCondition {
@@ -583,7 +667,10 @@ mod tests {
     use crate::history::History;
     use pivot_lang::parser::parse;
 
-    fn apply_one(src: &str, kind: XformKind) -> (Program, Rep, ActionLog, History, crate::history::XformId) {
+    fn apply_one(
+        src: &str,
+        kind: XformKind,
+    ) -> (Program, Rep, ActionLog, History, crate::history::XformId) {
         let mut prog = parse(src).unwrap();
         let mut rep = Rep::build(&prog);
         let mut log = ActionLog::new();
@@ -617,10 +704,22 @@ mod tests {
             (XformKind::Cse, "d = e + f\nr = e + f\nwrite r\nwrite d\n"),
             (XformKind::Cpp, "read y\nx = y\nwrite x + 1\n"),
             (XformKind::Cfo, "x = 2 * 3\nwrite x\n"),
-            (XformKind::Icm, "do i = 1, 8\n  x = a + b\n  A(i) = x + i\nenddo\nwrite A(1)\n"),
-            (XformKind::Inx, "do i = 1, 10\n  do j = 1, 5\n    A(i, j) = 0\n  enddo\nenddo\n"),
-            (XformKind::Lur, "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n"),
-            (XformKind::Smi, "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n"),
+            (
+                XformKind::Icm,
+                "do i = 1, 8\n  x = a + b\n  A(i) = x + i\nenddo\nwrite A(1)\n",
+            ),
+            (
+                XformKind::Inx,
+                "do i = 1, 10\n  do j = 1, 5\n    A(i, j) = 0\n  enddo\nenddo\n",
+            ),
+            (
+                XformKind::Lur,
+                "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n",
+            ),
+            (
+                XformKind::Smi,
+                "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n",
+            ),
         ];
         for (kind, src) in samples {
             let (prog, rep, _log, hist, id) = apply_one(src, *kind);
@@ -640,7 +739,11 @@ mod tests {
         // Edit: insert c = 9 between def and use.
         let def = prog.body[0];
         let stmts = pivot_lang::parser::parse_stmts_into(&mut prog, "c = 9\n").unwrap();
-        prog.attach(stmts[0], pivot_lang::Loc::after(pivot_lang::Parent::Root, def)).unwrap();
+        prog.attach(
+            stmts[0],
+            pivot_lang::Loc::after(pivot_lang::Parent::Root, def),
+        )
+        .unwrap();
         rep.refresh(&prog);
         assert_eq!(eval_spec(&prog, &rep, hist.get(id)), Some(false));
     }
@@ -667,8 +770,10 @@ mod tests {
 
     #[test]
     fn spec_detects_lur_bound_edit() {
-        let (mut prog, mut rep, _log, hist, id) =
-            apply_one("do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n", XformKind::Lur);
+        let (mut prog, mut rep, _log, hist, id) = apply_one(
+            "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n",
+            XformKind::Lur,
+        );
         let lp = prog.body[0];
         if let pivot_lang::StmtKind::DoLoop { hi, .. } = prog.stmt(lp).kind {
             prog.replace_expr_kind(hi, pivot_lang::ExprKind::Const(7));

@@ -100,7 +100,9 @@ pub fn stmt_def_use(prog: &Program, id: StmtId) -> DefUse {
             collect_expr(prog, *value, &mut du);
             du.io = true;
         }
-        StmtKind::DoLoop { var, lo, hi, step, .. } => {
+        StmtKind::DoLoop {
+            var, lo, hi, step, ..
+        } => {
             collect_expr(prog, *lo, &mut du);
             collect_expr(prog, *hi, &mut du);
             if let Some(st) = step {
@@ -162,7 +164,9 @@ pub fn expr_can_fault(prog: &Program, e: pivot_lang::ExprId) -> bool {
 
 /// True if any expression of the statement (header only) can fault.
 pub fn stmt_can_fault(prog: &Program, id: StmtId) -> bool {
-    prog.stmt_expr_roots(id).into_iter().any(|e| expr_can_fault(prog, e))
+    prog.stmt_expr_roots(id)
+        .into_iter()
+        .any(|e| expr_can_fault(prog, e))
 }
 
 #[cfg(test)]

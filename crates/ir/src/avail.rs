@@ -134,7 +134,12 @@ pub fn compute(prog: &Program, cfg: &Cfg) -> AvailExprs {
         boundary: BitSet::new(universe),
     };
     let sol = solve(cfg, &prob);
-    AvailExprs { facts, index, killed_by, sol }
+    AvailExprs {
+        facts,
+        index,
+        killed_by,
+        sol,
+    }
 }
 
 fn apply_stmt(
@@ -180,7 +185,15 @@ impl AvailExprs {
             if t == s {
                 break;
             }
-            apply_stmt(prog, t, &self.facts, &self.index, &self.killed_by, &mut gen, &mut kill);
+            apply_stmt(
+                prog,
+                t,
+                &self.facts,
+                &self.index,
+                &self.killed_by,
+                &mut gen,
+                &mut kill,
+            );
         }
         cur.subtract(&kill);
         cur.union_with(&gen);
@@ -236,9 +249,7 @@ mod tests {
 
     #[test]
     fn must_hold_on_all_paths() {
-        let (p, cfg, av) = setup(
-            "read c\nif (c > 0) then\n  d = e + f\nendif\nr = e + f\n",
-        );
+        let (p, cfg, av) = setup("read c\nif (c > 0) then\n  d = e + f\nendif\nr = e + f\n");
         let ss = p.attached_stmts();
         // Only computed on the then-path: not available at the join.
         assert!(!av.is_avail_before(&p, &cfg, ss[3], "(+ e f)"));
@@ -246,9 +257,8 @@ mod tests {
 
     #[test]
     fn available_when_computed_on_both_paths() {
-        let (p, cfg, av) = setup(
-            "read c\nif (c > 0) then\n  d = e + f\nelse\n  g = e + f\nendif\nr = e + f\n",
-        );
+        let (p, cfg, av) =
+            setup("read c\nif (c > 0) then\n  d = e + f\nelse\n  g = e + f\nendif\nr = e + f\n");
         let ss = p.attached_stmts();
         assert!(av.is_avail_before(&p, &cfg, ss[4], "(+ e f)"));
     }

@@ -14,7 +14,10 @@ pub struct BitSet {
 impl BitSet {
     /// Empty set over a universe of `len` elements.
     pub fn new(len: usize) -> Self {
-        BitSet { words: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Universe size.

@@ -147,8 +147,11 @@ impl Cfg {
             let blk = self.block(b);
             let _ = write!(s, "{b} {:?}", blk.kind);
             if !blk.stmts.is_empty() {
-                let labels: Vec<String> =
-                    blk.stmts.iter().map(|&st| prog.stmt(st).label.to_string()).collect();
+                let labels: Vec<String> = blk
+                    .stmts
+                    .iter()
+                    .map(|&st| prog.stmt(st).label.to_string())
+                    .collect();
                 let _ = write!(s, " [{}]", labels.join(","));
             }
             let succs: Vec<String> = blk.succs.iter().map(|x| x.to_string()).collect();
@@ -167,7 +170,12 @@ struct Builder<'p> {
 impl<'p> Builder<'p> {
     fn new_block(&mut self, kind: BlockKind) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { kind, stmts: Vec::new(), succs: Vec::new(), preds: Vec::new() });
+        self.blocks.push(Block {
+            kind,
+            stmts: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
         id
     }
 
@@ -216,7 +224,11 @@ impl<'p> Builder<'p> {
                 self.edge(header, after);
                 after
             }
-            StmtKind::If { then_body, else_body, .. } => {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 let (then_body, else_body) = (then_body.clone(), else_body.clone());
                 let cond = self.new_block(BlockKind::IfCond(s));
                 self.blocks[cond.index()].stmts.push(s);
@@ -239,12 +251,21 @@ impl<'p> Builder<'p> {
 
 /// Build the CFG of the whole (live) program.
 pub fn build(prog: &Program) -> Cfg {
-    let mut b = Builder { prog, blocks: Vec::new(), stmt_block: HashMap::new() };
+    let mut b = Builder {
+        prog,
+        blocks: Vec::new(),
+        stmt_block: HashMap::new(),
+    };
     let entry = b.new_block(BlockKind::Entry);
     let last = b.lower_block(&prog.body.clone(), entry);
     let exit = b.new_block(BlockKind::Exit);
     b.edge(last, exit);
-    Cfg { blocks: b.blocks, entry, exit, stmt_block: b.stmt_block }
+    Cfg {
+        blocks: b.blocks,
+        entry,
+        exit,
+        stmt_block: b.stmt_block,
+    }
 }
 
 #[cfg(test)]

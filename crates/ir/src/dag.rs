@@ -104,7 +104,10 @@ impl BlockDag {
             .map(DagId)
             .filter(|&id| {
                 self.hits[id.index()] > 1
-                    && matches!(self.nodes[id.index()], DagNode::Binary(..) | DagNode::Unary(..))
+                    && matches!(
+                        self.nodes[id.index()],
+                        DagNode::Binary(..) | DagNode::Unary(..)
+                    )
             })
             .collect()
     }

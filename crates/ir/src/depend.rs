@@ -85,7 +85,12 @@ fn collect_expr_accesses(prog: &Program, e: ExprId, stmt: StmtId, out: &mut Vec<
     while let Some(e) = stack.pop() {
         match &prog.expr(e).kind {
             pivot_lang::ExprKind::Index(a, subs) => {
-                out.push(Access { stmt, var: *a, subs: subs.clone(), is_write: false });
+                out.push(Access {
+                    stmt,
+                    var: *a,
+                    subs: subs.clone(),
+                    is_write: false,
+                });
                 stack.extend(subs.iter().copied());
             }
             pivot_lang::ExprKind::Unary(_, a) => stack.push(*a),
@@ -205,7 +210,12 @@ pub fn test_pair(
             },
         }
     }
-    PairResult::Dep(constraint.into_iter().map(|c| c.unwrap_or(Dir::Star)).collect())
+    PairResult::Dep(
+        constraint
+            .into_iter()
+            .map(|c| c.unwrap_or(Dir::Star))
+            .collect(),
+    )
 }
 
 enum DimResult {
@@ -246,8 +256,9 @@ fn test_dimension(
         return DimResult::NoConstraint;
     }
     let c = diff.constant; // equation: Σ ak·i_k − Σ bk·i'_k = c
-    let involved: Vec<usize> =
-        (0..levels.len()).filter(|&k| ak[k] != 0 || bk[k] != 0).collect();
+    let involved: Vec<usize> = (0..levels.len())
+        .filter(|&k| ak[k] != 0 || bk[k] != 0)
+        .collect();
     match involved.as_slice() {
         [] => {
             // ZIV.
@@ -340,7 +351,11 @@ pub struct Ddg {
 
 /// Pre-order position map for textual ordering.
 fn positions(prog: &Program) -> std::collections::HashMap<StmtId, usize> {
-    prog.attached_stmts().into_iter().enumerate().map(|(i, s)| (s, i)).collect()
+    prog.attached_stmts()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i))
+        .collect()
 }
 
 fn kind_of(src_write: bool, dst_write: bool) -> DepKind {
@@ -366,8 +381,11 @@ pub fn build_ddg(prog: &Program) -> Ddg {
                 continue;
             }
             // Orient by textual position: src = textually earlier.
-            let (src, dst) =
-                if pos.get(&a.stmt) <= pos.get(&b.stmt) { (a, b) } else { (b, a) };
+            let (src, dst) = if pos.get(&a.stmt) <= pos.get(&b.stmt) {
+                (a, b)
+            } else {
+                (b, a)
+            };
             let common = common_loops(prog, src.stmt, dst.stmt);
             let levels: Vec<Level> = common
                 .iter()
@@ -492,11 +510,7 @@ fn emit_oriented(
 ///
 /// Statements are indexed per symbol, so the cost is Σ_sym |defs(sym)| ×
 /// |touchers(sym)| rather than a full statement-pair sweep.
-fn scalar_deps(
-    prog: &Program,
-    pos: &std::collections::HashMap<StmtId, usize>,
-    ddg: &mut Ddg,
-) {
+fn scalar_deps(prog: &Program, pos: &std::collections::HashMap<StmtId, usize>, ddg: &mut Ddg) {
     use crate::access::stmt_def_use;
     use std::collections::BTreeMap;
     let stmts = prog.attached_stmts();
@@ -692,7 +706,11 @@ pub fn fusion_dep_legal(prog: &Program, l1: StmtId, l2: StmtId) -> bool {
     let b2: Vec<StmtId> = loop_body(prog, l2).cloned().unwrap_or_default();
     let acc1 = collect_accesses(prog, &b1);
     let acc2 = collect_accesses(prog, &b2);
-    let level = Level { var_src: v1, var_dst: v2, bounds: const_bounds(prog, l1) };
+    let level = Level {
+        var_src: v1,
+        var_dst: v2,
+        bounds: const_bounds(prog, l1),
+    };
     for a in &acc1 {
         for b in &acc2 {
             if a.var != b.var || (!a.is_write && !b.is_write) {
@@ -730,7 +748,10 @@ mod tests {
         // A(1) write vs A(2) read: independent — only the write-write pair
         // with itself could remain; check no flow dep on A.
         let a = p.symbols.get("A").unwrap();
-        assert!(!ddg.deps.iter().any(|d| d.var == a && d.kind == DepKind::Flow));
+        assert!(!ddg
+            .deps
+            .iter()
+            .any(|d| d.var == a && d.kind == DepKind::Flow));
     }
 
     #[test]
@@ -753,7 +774,10 @@ mod tests {
         let p = parse("do i = 1, 5\n  A(i) = A(i - 100) + 1\nenddo\n").unwrap();
         let ddg = build_ddg(&p);
         let a = p.symbols.get("A").unwrap();
-        assert!(!ddg.deps.iter().any(|d| d.var == a && d.kind == DepKind::Flow));
+        assert!(!ddg
+            .deps
+            .iter()
+            .any(|d| d.var == a && d.kind == DepKind::Flow));
     }
 
     #[test]
@@ -762,7 +786,10 @@ mod tests {
         let p = parse("do i = 1, 10\n  A(2 * i) = A(2 * i + 1) + 1\nenddo\n").unwrap();
         let ddg = build_ddg(&p);
         let a = p.symbols.get("A").unwrap();
-        assert!(!ddg.deps.iter().any(|d| d.var == a && d.kind != DepKind::Output));
+        assert!(!ddg
+            .deps
+            .iter()
+            .any(|d| d.var == a && d.kind != DepKind::Output));
     }
 
     #[test]
@@ -800,10 +827,9 @@ mod tests {
     #[test]
     fn two_dim_directions() {
         // A(i, j) = A(i - 1, j + 1): flow dep with (<, >).
-        let p = parse(
-            "do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n",
-        )
-        .unwrap();
+        let p =
+            parse("do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n")
+                .unwrap();
         let ddg = build_ddg(&p);
         let a = p.symbols.get("A").unwrap();
         let flow: Vec<_> = ddg
@@ -817,10 +843,9 @@ mod tests {
 
     #[test]
     fn interchange_blocked_by_lt_gt() {
-        let p = parse(
-            "do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n",
-        )
-        .unwrap();
+        let p =
+            parse("do i = 2, 9\n  do j = 1, 8\n    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\n")
+                .unwrap();
         let outer = p.body[0];
         let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
         assert!(!interchange_legal(&p, outer, inner));
@@ -828,10 +853,8 @@ mod tests {
 
     #[test]
     fn interchange_allowed_without_cross_dep() {
-        let p = parse(
-            "do i = 1, 10\n  do j = 1, 10\n    A(i, j) = B(i, j) + 1\n  enddo\nenddo\n",
-        )
-        .unwrap();
+        let p = parse("do i = 1, 10\n  do j = 1, 10\n    A(i, j) = B(i, j) + 1\n  enddo\nenddo\n")
+            .unwrap();
         let outer = p.body[0];
         let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
         assert!(interchange_legal(&p, outer, inner));
@@ -839,10 +862,8 @@ mod tests {
 
     #[test]
     fn interchange_allowed_with_all_eq_dep() {
-        let p = parse(
-            "do i = 1, 10\n  do j = 1, 10\n    A(i, j) = A(i, j) + 1\n  enddo\nenddo\n",
-        )
-        .unwrap();
+        let p = parse("do i = 1, 10\n  do j = 1, 10\n    A(i, j) = A(i, j) + 1\n  enddo\nenddo\n")
+            .unwrap();
         let outer = p.body[0];
         let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
         assert!(interchange_legal(&p, outer, inner));
@@ -861,10 +882,7 @@ mod tests {
 
     #[test]
     fn interchange_blocked_for_non_rectangular() {
-        let p = parse(
-            "do i = 1, 10\n  do j = 1, i\n    A(i, j) = 1\n  enddo\nenddo\n",
-        )
-        .unwrap();
+        let p = parse("do i = 1, 10\n  do j = 1, i\n    A(i, j) = 1\n  enddo\nenddo\n").unwrap();
         let outer = p.body[0];
         let inner = crate::loops::tightly_nested_inner(&p, outer).unwrap();
         assert!(!interchange_legal(&p, outer, inner));
@@ -872,20 +890,16 @@ mod tests {
 
     #[test]
     fn fusion_legal_independent_arrays() {
-        let p = parse(
-            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = 2\nenddo\n",
-        )
-        .unwrap();
+        let p =
+            parse("do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = 2\nenddo\n").unwrap();
         assert!(fusion_legal(&p, p.body[0], p.body[1]));
     }
 
     #[test]
     fn fusion_legal_same_index_flow() {
         // A(i) produced then consumed at the same index: forward dep, legal.
-        let p = parse(
-            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n",
-        )
-        .unwrap();
+        let p =
+            parse("do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i)\nenddo\n").unwrap();
         assert!(fusion_legal(&p, p.body[0], p.body[1]));
     }
 
@@ -893,10 +907,8 @@ mod tests {
     fn fusion_prevented_by_backward_dep() {
         // Second loop reads A(i+1), written by the first loop at a later
         // iteration after fusion: prevented.
-        let p = parse(
-            "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i + 1)\nenddo\n",
-        )
-        .unwrap();
+        let p = parse("do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = A(i + 1)\nenddo\n")
+            .unwrap();
         assert!(!fusion_legal(&p, p.body[0], p.body[1]));
     }
 
@@ -912,10 +924,7 @@ mod tests {
 
     #[test]
     fn io_blocks_fusion() {
-        let p = parse(
-            "do i = 1, 10\n  write i\nenddo\ndo i = 1, 10\n  A(i) = 1\nenddo\n",
-        )
-        .unwrap();
+        let p = parse("do i = 1, 10\n  write i\nenddo\ndo i = 1, 10\n  A(i) = 1\nenddo\n").unwrap();
         assert!(!fusion_legal(&p, p.body[0], p.body[1]));
     }
 }
@@ -964,13 +973,13 @@ mod oracle_tests {
     }
 
     fn dir_allows(d: Dir, o: std::cmp::Ordering) -> bool {
-        match (d, o) {
-            (Dir::Star, _) => true,
-            (Dir::Lt, std::cmp::Ordering::Less) => true,
-            (Dir::Eq, std::cmp::Ordering::Equal) => true,
-            (Dir::Gt, std::cmp::Ordering::Greater) => true,
-            _ => false,
-        }
+        matches!(
+            (d, o),
+            (Dir::Star, _)
+                | (Dir::Lt, std::cmp::Ordering::Less)
+                | (Dir::Eq, std::cmp::Ordering::Equal)
+                | (Dir::Gt, std::cmp::Ordering::Greater)
+        )
     }
 
     fn sub_src(a: i64, b: i64, c: i64) -> String {

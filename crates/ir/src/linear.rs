@@ -19,14 +19,20 @@ pub struct Linear {
 impl Linear {
     /// The constant form.
     pub fn constant(c: i64) -> Self {
-        Linear { constant: c, coeffs: BTreeMap::new() }
+        Linear {
+            constant: c,
+            coeffs: BTreeMap::new(),
+        }
     }
 
     /// The form `1·sym`.
     pub fn var(sym: Sym) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(sym, 1);
-        Linear { constant: 0, coeffs }
+        Linear {
+            constant: 0,
+            coeffs,
+        }
     }
 
     /// Coefficient of `sym` (0 when absent).

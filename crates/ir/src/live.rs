@@ -44,7 +44,10 @@ pub fn compute(prog: &Program, cfg: &Cfg) -> Liveness {
         kill,
         boundary: BitSet::new(universe),
     };
-    Liveness { sol: solve(cfg, &prob), universe }
+    Liveness {
+        sol: solve(cfg, &prob),
+        universe,
+    }
 }
 
 /// live_before = (live_after − definite_defs) ∪ uses, applied to running

@@ -92,8 +92,20 @@ pub fn conformable(prog: &Program, l1: StmtId, l2: StmtId) -> bool {
     use pivot_lang::equiv::exprs_equal_in;
     match (&prog.stmt(l1).kind, &prog.stmt(l2).kind) {
         (
-            StmtKind::DoLoop { var: v1, lo: lo1, hi: h1, step: s1, .. },
-            StmtKind::DoLoop { var: v2, lo: lo2, hi: h2, step: s2, .. },
+            StmtKind::DoLoop {
+                var: v1,
+                lo: lo1,
+                hi: h1,
+                step: s1,
+                ..
+            },
+            StmtKind::DoLoop {
+                var: v2,
+                lo: lo2,
+                hi: h2,
+                step: s2,
+                ..
+            },
         ) => {
             v1 == v2
                 && exprs_equal_in(prog, *lo1, *lo2)
@@ -120,7 +132,11 @@ pub fn common_loops(prog: &Program, a: StmtId, b: StmtId) -> Vec<StmtId> {
     let mut lb = prog.enclosing_loops(b);
     la.reverse();
     lb.reverse();
-    la.into_iter().zip(lb).take_while(|(x, y)| x == y).map(|(x, _)| x).collect()
+    la.into_iter()
+        .zip(lb)
+        .take_while(|(x, y)| x == y)
+        .map(|(x, _)| x)
+        .collect()
 }
 
 #[cfg(test)]
@@ -130,23 +146,72 @@ mod tests {
 
     #[test]
     fn trip_counts() {
-        assert_eq!(ConstBounds { lo: 1, hi: 100, step: 1 }.trip_count(), 100);
-        assert_eq!(ConstBounds { lo: 0, hi: 10, step: 3 }.trip_count(), 4);
-        assert_eq!(ConstBounds { lo: 5, hi: 1, step: 1 }.trip_count(), 0);
-        assert_eq!(ConstBounds { lo: 5, hi: 1, step: -2 }.trip_count(), 3);
-        assert_eq!(ConstBounds { lo: 1, hi: 5, step: -1 }.trip_count(), 0);
+        assert_eq!(
+            ConstBounds {
+                lo: 1,
+                hi: 100,
+                step: 1
+            }
+            .trip_count(),
+            100
+        );
+        assert_eq!(
+            ConstBounds {
+                lo: 0,
+                hi: 10,
+                step: 3
+            }
+            .trip_count(),
+            4
+        );
+        assert_eq!(
+            ConstBounds {
+                lo: 5,
+                hi: 1,
+                step: 1
+            }
+            .trip_count(),
+            0
+        );
+        assert_eq!(
+            ConstBounds {
+                lo: 5,
+                hi: 1,
+                step: -2
+            }
+            .trip_count(),
+            3
+        );
+        assert_eq!(
+            ConstBounds {
+                lo: 1,
+                hi: 5,
+                step: -1
+            }
+            .trip_count(),
+            0
+        );
     }
 
     #[test]
     fn const_bounds_extraction() {
-        let p = parse("do i = 1, 100\nenddo\ndo j = 0, 10, 2\nenddo\ndo k = 1, n\nenddo\n").unwrap();
+        let p =
+            parse("do i = 1, 100\nenddo\ndo j = 0, 10, 2\nenddo\ndo k = 1, n\nenddo\n").unwrap();
         assert_eq!(
             const_bounds(&p, p.body[0]),
-            Some(ConstBounds { lo: 1, hi: 100, step: 1 })
+            Some(ConstBounds {
+                lo: 1,
+                hi: 100,
+                step: 1
+            })
         );
         assert_eq!(
             const_bounds(&p, p.body[1]),
-            Some(ConstBounds { lo: 0, hi: 10, step: 2 })
+            Some(ConstBounds {
+                lo: 0,
+                hi: 10,
+                step: 2
+            })
         );
         assert_eq!(const_bounds(&p, p.body[2]), None);
     }

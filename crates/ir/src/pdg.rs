@@ -85,7 +85,11 @@ impl Pdg {
     /// dependences on region nodes.
     pub fn build(prog: &Program, ddg: &Ddg) -> Pdg {
         let mut pdg = Pdg {
-            regions: vec![Region { parent: RegionParent::Root, members: Vec::new(), depth: 0 }],
+            regions: vec![Region {
+                parent: RegionParent::Root,
+                members: Vec::new(),
+                depth: 0,
+            }],
             region_of: HashMap::new(),
             regions_of_stmt: HashMap::new(),
             summaries: Vec::new(),
@@ -104,7 +108,11 @@ impl Pdg {
 
     fn new_region(&mut self, parent: RegionParent, depth: u32) -> RegionId {
         let id = RegionId(self.regions.len() as u32);
-        self.regions.push(Region { parent, members: Vec::new(), depth });
+        self.regions.push(Region {
+            parent,
+            members: Vec::new(),
+            depth,
+        });
         id
     }
 
@@ -120,7 +128,11 @@ impl Pdg {
                     self.regions_of_stmt.insert((s, BlockRole::LoopBody), sub);
                     self.fill_region(prog, sub, &body);
                 }
-                StmtKind::If { then_body, else_body, .. } => {
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     let (tb, eb) = (then_body.clone(), else_body.clone());
                     let t = self.new_region(RegionParent::Under(s, BlockRole::Then), depth);
                     self.regions_of_stmt.insert((s, BlockRole::Then), t);
@@ -175,7 +187,9 @@ impl Pdg {
     /// two loop subtrees, fusion is dependence-legal without visiting any
     /// node under the loops; otherwise run the precise aligned test.
     pub fn fusion_screen(&self, prog: &Program, ddg: &Ddg, l1: StmtId, l2: StmtId) -> bool {
-        let Some(r) = self.lcr(l1, l2) else { return false };
+        let Some(r) = self.lcr(l1, l2) else {
+            return false;
+        };
         let in1: std::collections::HashSet<StmtId> = prog.subtree(l1).into_iter().collect();
         let in2: std::collections::HashSet<StmtId> = prog.subtree(l2).into_iter().collect();
         let connecting = self.summary(r).iter().any(|&i| {
@@ -215,8 +229,11 @@ impl Pdg {
                     let _ = write!(out, " (under {} {:?})", prog.stmt(s).label, role);
                 }
             }
-            let members: Vec<String> =
-                reg.members.iter().map(|&s| prog.stmt(s).label.to_string()).collect();
+            let members: Vec<String> = reg
+                .members
+                .iter()
+                .map(|&s| prog.stmt(s).label.to_string())
+                .collect();
             let _ = write!(out, " members=[{}]", members.join(","));
             if !self.summaries[r.index()].is_empty() {
                 let deps: Vec<String> = self.summaries[r.index()]
@@ -277,7 +294,11 @@ pub fn control_dependence(cfg: &Cfg, pdom: &DomTree) -> Vec<Vec<BlockId>> {
 /// Statement-level control dependence derived from the CFG path: which
 /// predicate statements (loop headers / if conditions) each statement is
 /// control-dependent on.
-pub fn stmt_control_deps(prog: &Program, cfg: &Cfg, pdom: &DomTree) -> HashMap<StmtId, Vec<StmtId>> {
+pub fn stmt_control_deps(
+    prog: &Program,
+    cfg: &Cfg,
+    pdom: &DomTree,
+) -> HashMap<StmtId, Vec<StmtId>> {
     let cd = control_dependence(cfg, pdom);
     let mut out: HashMap<StmtId, Vec<StmtId>> = HashMap::new();
     for s in prog.attached_stmts() {
@@ -356,9 +377,8 @@ mod tests {
 
     #[test]
     fn lcr_computation() {
-        let (p, _ddg, pdg) = setup(
-            "do i = 1, 5\n  A(i) = 1\nenddo\ndo j = 1, 5\n  B(j) = A(j)\nenddo\n",
-        );
+        let (p, _ddg, pdg) =
+            setup("do i = 1, 5\n  A(i) = 1\nenddo\ndo j = 1, 5\n  B(j) = A(j)\nenddo\n");
         let ss = p.attached_stmts();
         let (a_set, b_read) = (ss[1], ss[3]);
         // LCR of statements in the two loop bodies is the root region.
@@ -445,7 +465,8 @@ mod tests {
 
     #[test]
     fn dump_contains_regions_and_deps() {
-        let (p, ddg, pdg) = setup("do i = 1, 5\n  A(i) = 1\nenddo\ndo j = 1, 5\n  B(j) = A(j)\nenddo\n");
+        let (p, ddg, pdg) =
+            setup("do i = 1, 5\n  A(i) = 1\nenddo\ndo j = 1, 5\n  B(j) = A(j)\nenddo\n");
         let d = pdg.dump(&p, &ddg);
         assert!(d.contains("R0"));
         assert!(d.contains("Flow"));

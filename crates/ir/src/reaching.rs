@@ -43,10 +43,18 @@ pub fn def_sites(prog: &Program) -> Vec<DefSite> {
     for s in prog.attached_stmts() {
         let du = stmt_def_use(prog, s);
         for sym in du.def_scalars {
-            out.push(DefSite { stmt: s, sym, is_array: false });
+            out.push(DefSite {
+                stmt: s,
+                sym,
+                is_array: false,
+            });
         }
         for sym in du.def_arrays {
-            out.push(DefSite { stmt: s, sym, is_array: true });
+            out.push(DefSite {
+                stmt: s,
+                sym,
+                is_array: true,
+            });
         }
     }
     out
@@ -80,7 +88,12 @@ pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
         boundary: BitSet::new(universe),
     };
     let sol = solve(cfg, &prob);
-    ReachingDefs { sites, site_index, by_sym, sol }
+    ReachingDefs {
+        sites,
+        site_index,
+        by_sym,
+        sol,
+    }
 }
 
 /// Compose the transfer function of a block from its statements in order.
@@ -147,7 +160,15 @@ impl ReachingDefs {
             if t == s {
                 break;
             }
-            apply_stmt(prog, t, &self.sites, &self.site_index, &self.by_sym, &mut gen, &mut kill);
+            apply_stmt(
+                prog,
+                t,
+                &self.sites,
+                &self.site_index,
+                &self.by_sym,
+                &mut gen,
+                &mut kill,
+            );
         }
         cur.subtract(&kill);
         cur.union_with(&gen);
@@ -194,9 +215,8 @@ mod tests {
 
     #[test]
     fn branch_merges_defs() {
-        let (p, cfg, rd) = setup(
-            "read c\nif (c > 0) then\n  x = 1\nelse\n  x = 2\nendif\nwrite x\n",
-        );
+        let (p, cfg, rd) =
+            setup("read c\nif (c > 0) then\n  x = 1\nelse\n  x = 2\nendif\nwrite x\n");
         let ss = p.attached_stmts();
         let x = p.symbols.get("x").unwrap();
         let mut defs = rd.defs_reaching(&p, &cfg, ss[4], x);

@@ -58,13 +58,22 @@ impl Rep {
     /// the high-level layer (DDG, PDG) on first access via
     /// [`Rep::ddg`]/[`Rep::pdg`].
     pub fn build(prog: &Program) -> Rep {
+        let t0 = std::time::Instant::now();
         let cfg = cfg::build(prog);
         let dom = dom::dominators(&cfg);
         let pdom = dom::postdominators(&cfg);
         let reach = reaching::compute(prog, &cfg);
         let live = live::compute(prog, &cfg);
         let chains = chains::compute(prog, &cfg, &reach);
-        let pos = prog.attached_stmts().into_iter().enumerate().map(|(i, s)| (s, i)).collect();
+        let pos = prog
+            .attached_stmts()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
+        let m = pivot_obs::metrics::global();
+        m.counter("ir.rep_builds").inc();
+        m.histogram("ir.build_ns").record(t0.elapsed());
         Rep {
             cfg,
             dom,
@@ -86,8 +95,12 @@ impl Rep {
 
     fn high(&self, prog: &Program) -> &(Ddg, Pdg) {
         self.high.get_or_init(|| {
+            let t0 = std::time::Instant::now();
             let ddg = depend::build_ddg(prog);
             let pdg = Pdg::build(prog, &ddg);
+            let m = pivot_obs::metrics::global();
+            m.counter("ir.high_builds").inc();
+            m.histogram("ir.high_ns").record(t0.elapsed());
             (ddg, pdg)
         })
     }

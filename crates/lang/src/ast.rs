@@ -164,7 +164,10 @@ pub struct LValue {
 impl LValue {
     /// A scalar target.
     pub fn scalar(var: Sym) -> Self {
-        LValue { var, subs: Vec::new() }
+        LValue {
+            var,
+            subs: Vec::new(),
+        }
     }
 
     /// True if this is a plain scalar variable.

@@ -102,7 +102,10 @@ impl Default for ProgramBuilder {
 impl ProgramBuilder {
     /// Fresh builder with the root block open.
     pub fn new() -> Self {
-        ProgramBuilder { prog: Program::new(), stack: vec![Parent::Root] }
+        ProgramBuilder {
+            prog: Program::new(),
+            stack: vec![Parent::Root],
+        }
     }
 
     fn materialize(&mut self, et: &ET, owner: StmtId) -> ExprId {
@@ -128,10 +131,18 @@ impl ProgramBuilder {
         let parent = *self.stack.last().expect("builder block stack never empty");
         let blk = self.prog.block(parent);
         let loc = match blk.last() {
-            None => Loc { parent, anchor: AnchorPos::Start },
-            Some(&last) => Loc { parent, anchor: AnchorPos::After(last) },
+            None => Loc {
+                parent,
+                anchor: AnchorPos::Start,
+            },
+            Some(&last) => Loc {
+                parent,
+                anchor: AnchorPos::After(last),
+            },
         };
-        self.prog.attach(id, loc).expect("builder attach is always valid");
+        self.prog
+            .attach(id, loc)
+            .expect("builder attach is always valid");
     }
 
     /// Append `name = value`.
@@ -139,8 +150,10 @@ impl ProgramBuilder {
         let sym = self.prog.symbols.intern(name);
         let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
         let value = self.materialize(&value, id);
-        self.prog.stmt_mut(id).kind =
-            StmtKind::Assign { target: LValue::scalar(sym), value };
+        self.prog.stmt_mut(id).kind = StmtKind::Assign {
+            target: LValue::scalar(sym),
+            value,
+        };
         self.append(id);
         id
     }
@@ -151,7 +164,10 @@ impl ProgramBuilder {
         let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
         let subs: Vec<ExprId> = subs.iter().map(|s| self.materialize(s, id)).collect();
         let value = self.materialize(&value, id);
-        self.prog.stmt_mut(id).kind = StmtKind::Assign { target: LValue { var: sym, subs }, value };
+        self.prog.stmt_mut(id).kind = StmtKind::Assign {
+            target: LValue { var: sym, subs },
+            value,
+        };
         self.append(id);
         id
     }
@@ -159,7 +175,9 @@ impl ProgramBuilder {
     /// Append `read name`.
     pub fn read(&mut self, name: &str) -> StmtId {
         let sym = self.prog.symbols.intern(name);
-        let id = self.prog.alloc_stmt(StmtKind::Read { target: LValue::scalar(sym) });
+        let id = self.prog.alloc_stmt(StmtKind::Read {
+            target: LValue::scalar(sym),
+        });
         self.append(id);
         id
     }
@@ -167,9 +185,13 @@ impl ProgramBuilder {
     /// Append `read name(subs...)`.
     pub fn read_ix(&mut self, name: &str, subs: Vec<ET>) -> StmtId {
         let sym = self.prog.symbols.intern(name);
-        let id = self.prog.alloc_stmt(StmtKind::Read { target: LValue::scalar(sym) });
+        let id = self.prog.alloc_stmt(StmtKind::Read {
+            target: LValue::scalar(sym),
+        });
         let subs: Vec<ExprId> = subs.iter().map(|s| self.materialize(s, id)).collect();
-        self.prog.stmt_mut(id).kind = StmtKind::Read { target: LValue { var: sym, subs } };
+        self.prog.stmt_mut(id).kind = StmtKind::Read {
+            target: LValue { var: sym, subs },
+        };
         self.append(id);
         id
     }
@@ -202,8 +224,13 @@ impl ProgramBuilder {
         let lo = self.materialize(&lo, id);
         let hi = self.materialize(&hi, id);
         let step = step.map(|s| self.materialize(&s, id));
-        self.prog.stmt_mut(id).kind =
-            StmtKind::DoLoop { var: sym, lo, hi, step, body: Vec::new() };
+        self.prog.stmt_mut(id).kind = StmtKind::DoLoop {
+            var: sym,
+            lo,
+            hi,
+            step,
+            body: Vec::new(),
+        };
         self.append(id);
         self.stack.push(Parent::Block(id, BlockRole::LoopBody));
         f(self);
@@ -225,8 +252,11 @@ impl ProgramBuilder {
     ) -> StmtId {
         let id = self.prog.alloc_stmt(StmtKind::Write { value: ExprId(0) });
         let cond = self.materialize(&cond, id);
-        self.prog.stmt_mut(id).kind =
-            StmtKind::If { cond, then_body: Vec::new(), else_body: Vec::new() };
+        self.prog.stmt_mut(id).kind = StmtKind::If {
+            cond,
+            then_body: Vec::new(),
+            else_body: Vec::new(),
+        };
         self.append(id);
         self.stack.push(Parent::Block(id, BlockRole::Then));
         f_then(self);
@@ -294,10 +324,22 @@ mod tests {
 
     #[test]
     fn expression_helpers() {
-        assert_eq!(add(c(1), c(2)), ET::Bin(BinOp::Add, Box::new(ET::C(1)), Box::new(ET::C(2))));
-        assert_eq!(sub(c(1), c(2)), ET::Bin(BinOp::Sub, Box::new(ET::C(1)), Box::new(ET::C(2))));
-        assert_eq!(mul(c(1), c(2)), ET::Bin(BinOp::Mul, Box::new(ET::C(1)), Box::new(ET::C(2))));
-        assert_eq!(div(c(4), c(2)), ET::Bin(BinOp::Div, Box::new(ET::C(4)), Box::new(ET::C(2))));
+        assert_eq!(
+            add(c(1), c(2)),
+            ET::Bin(BinOp::Add, Box::new(ET::C(1)), Box::new(ET::C(2)))
+        );
+        assert_eq!(
+            sub(c(1), c(2)),
+            ET::Bin(BinOp::Sub, Box::new(ET::C(1)), Box::new(ET::C(2)))
+        );
+        assert_eq!(
+            mul(c(1), c(2)),
+            ET::Bin(BinOp::Mul, Box::new(ET::C(1)), Box::new(ET::C(2)))
+        );
+        assert_eq!(
+            div(c(4), c(2)),
+            ET::Bin(BinOp::Div, Box::new(ET::C(4)), Box::new(ET::C(2)))
+        );
         assert_eq!(
             modulo(c(4), c(2)),
             ET::Bin(BinOp::Mod, Box::new(ET::C(4)), Box::new(ET::C(2)))

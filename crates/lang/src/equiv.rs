@@ -27,15 +27,25 @@ fn blocks_equal(a: &Program, ba: &[StmtId], b: &Program, bb: &[StmtId]) -> bool 
 fn lvalues_equal(a: &Program, la: &LValue, b: &Program, lb: &LValue) -> bool {
     sym_eq(a, la.var, b, lb.var)
         && la.subs.len() == lb.subs.len()
-        && la.subs.iter().zip(&lb.subs).all(|(&x, &y)| exprs_equal(a, x, b, y))
+        && la
+            .subs
+            .iter()
+            .zip(&lb.subs)
+            .all(|(&x, &y)| exprs_equal(a, x, b, y))
 }
 
 /// Structural statement equality across programs.
 pub fn stmts_equal(a: &Program, sa: StmtId, b: &Program, sb: StmtId) -> bool {
     match (&a.stmt(sa).kind, &b.stmt(sb).kind) {
         (
-            StmtKind::Assign { target: ta, value: va },
-            StmtKind::Assign { target: tb, value: vb },
+            StmtKind::Assign {
+                target: ta,
+                value: va,
+            },
+            StmtKind::Assign {
+                target: tb,
+                value: vb,
+            },
         ) => lvalues_equal(a, ta, b, tb) && exprs_equal(a, *va, b, *vb),
         (StmtKind::Read { target: ta }, StmtKind::Read { target: tb }) => {
             lvalues_equal(a, ta, b, tb)
@@ -44,8 +54,20 @@ pub fn stmts_equal(a: &Program, sa: StmtId, b: &Program, sb: StmtId) -> bool {
             exprs_equal(a, *va, b, *vb)
         }
         (
-            StmtKind::DoLoop { var: va, lo: la, hi: ha, step: sa2, body: ba },
-            StmtKind::DoLoop { var: vb, lo: lb, hi: hb, step: sb2, body: bb },
+            StmtKind::DoLoop {
+                var: va,
+                lo: la,
+                hi: ha,
+                step: sa2,
+                body: ba,
+            },
+            StmtKind::DoLoop {
+                var: vb,
+                lo: lb,
+                hi: hb,
+                step: sb2,
+                body: bb,
+            },
         ) => {
             sym_eq(a, *va, b, *vb)
                 && exprs_equal(a, *la, b, *lb)
@@ -58,12 +80,18 @@ pub fn stmts_equal(a: &Program, sa: StmtId, b: &Program, sb: StmtId) -> bool {
                 && blocks_equal(a, ba, b, bb)
         }
         (
-            StmtKind::If { cond: ca, then_body: ta, else_body: ea },
-            StmtKind::If { cond: cb, then_body: tb, else_body: eb },
+            StmtKind::If {
+                cond: ca,
+                then_body: ta,
+                else_body: ea,
+            },
+            StmtKind::If {
+                cond: cb,
+                then_body: tb,
+                else_body: eb,
+            },
         ) => {
-            exprs_equal(a, *ca, b, *cb)
-                && blocks_equal(a, ta, b, tb)
-                && blocks_equal(a, ea, b, eb)
+            exprs_equal(a, *ca, b, *cb) && blocks_equal(a, ta, b, tb) && blocks_equal(a, ea, b, eb)
         }
         _ => false,
     }

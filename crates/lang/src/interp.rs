@@ -119,7 +119,13 @@ impl<'p> Machine<'p> {
                 let v = self.eval(*value, id)?;
                 self.output.push(v);
             }
-            StmtKind::DoLoop { var, lo, hi, step, body } => {
+            StmtKind::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo = self.eval(*lo, id)?;
                 let hi = self.eval(*hi, id)?;
                 let st = match step {
@@ -142,7 +148,11 @@ impl<'p> Machine<'p> {
                 // past the bound, visible after the loop.
                 self.scalars.insert(*var, i);
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.eval(*cond, id)?;
                 if c != 0 {
                     self.run_block(then_body)?;
@@ -207,7 +217,10 @@ mod tests {
 
     #[test]
     fn read_write_stream() {
-        assert_eq!(out("read x\nread y\nwrite x + y\nwrite x - y\n", &[10, 4]), vec![14, 6]);
+        assert_eq!(
+            out("read x\nread y\nwrite x + y\nwrite x - y\n", &[10, 4]),
+            vec![14, 6]
+        );
     }
 
     #[test]
@@ -259,14 +272,20 @@ mod tests {
     #[test]
     fn div_by_zero_is_error() {
         let p = parse("read x\nwrite 1 / x\n").unwrap();
-        assert!(matches!(run_default(&p, &[0]), Err(ExecError::DivByZero(_))));
+        assert!(matches!(
+            run_default(&p, &[0]),
+            Err(ExecError::DivByZero(_))
+        ));
         assert_eq!(run_default(&p, &[2]).unwrap(), vec![0]);
     }
 
     #[test]
     fn input_exhaustion_is_error() {
         let p = parse("read x\nread y\n").unwrap();
-        assert!(matches!(run_default(&p, &[1]), Err(ExecError::InputExhausted(_))));
+        assert!(matches!(
+            run_default(&p, &[1]),
+            Err(ExecError::InputExhausted(_))
+        ));
     }
 
     #[test]

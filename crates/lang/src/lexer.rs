@@ -94,7 +94,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character `{}` on line {}",
+            self.ch, self.line
+        )
     }
 }
 
@@ -109,9 +113,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut it = src.chars().peekable();
     let push = |tok: Tok, line: u32, out: &mut Vec<Spanned>| {
         if tok == Tok::Newline
-            && matches!(out.last(), None | Some(Spanned { tok: Tok::Newline, .. })) {
-                return;
-            }
+            && matches!(
+                out.last(),
+                None | Some(Spanned {
+                    tok: Tok::Newline,
+                    ..
+                })
+            )
+        {
+            return;
+        }
         out.push(Spanned { tok, line });
     };
     while let Some(&ch) = it.peek() {
@@ -229,7 +240,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         }
     }
     push(Tok::Newline, line, &mut out);
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

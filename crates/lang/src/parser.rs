@@ -19,11 +19,11 @@
 //! atom      := INT | lvalue-like | '(' expr ')'
 //! ```
 
+use crate::ast::Parent;
 use crate::ast::{BinOp, ExprKind, LValue, StmtKind, UnOp};
 use crate::ids::{ExprId, StmtId};
 use crate::lexer::{lex, LexError, Spanned, Tok};
 use crate::program::{AnchorPos, Loc, Program};
-use crate::ast::Parent;
 use std::fmt;
 
 /// Parse error.
@@ -46,7 +46,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { found, expected, line } => {
+            ParseError::Unexpected {
+                found,
+                expected,
+                line,
+            } => {
                 write!(f, "line {line}: expected {expected}, found {found}")
             }
         }
@@ -69,7 +73,10 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
         let loc = if i == 0 {
             Loc::root_start()
         } else {
-            Loc { parent: Parent::Root, anchor: AnchorPos::After(body[i - 1]) }
+            Loc {
+                parent: Parent::Root,
+                anchor: AnchorPos::After(body[i - 1]),
+            }
         };
         prog.attach(s, loc).expect("fresh parse attach");
     }
@@ -84,22 +91,28 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
 pub fn parse_stmts_into(prog: &mut Program, src: &str) -> Result<Vec<StmtId>, ParseError> {
     let toks = lex(src)?;
     let owned = std::mem::take(prog);
-    let mut p = Parser { toks, pos: 0, prog: owned };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        prog: owned,
+    };
     p.skip_newlines();
-    let result = p.parse_block(&[]).and_then(|body| p.expect_eof().map(|()| body));
+    let result = p
+        .parse_block(&[])
+        .and_then(|body| p.expect_eof().map(|()| body));
     *prog = p.prog;
     result
 }
 
 /// Parse a single expression into an existing program, owned by `owner`.
-pub fn parse_expr_into(
-    prog: &mut Program,
-    src: &str,
-    owner: StmtId,
-) -> Result<ExprId, ParseError> {
+pub fn parse_expr_into(prog: &mut Program, src: &str, owner: StmtId) -> Result<ExprId, ParseError> {
     let toks = lex(src)?;
     let owned = std::mem::take(prog);
-    let mut p = Parser { toks, pos: 0, prog: owned };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        prog: owned,
+    };
     p.skip_newlines();
     let result = p.parse_expr(owner).and_then(|e| p.expect_eof().map(|()| e));
     *prog = p.prog;
@@ -181,9 +194,15 @@ impl Parser {
     fn attach_block(&mut self, stmts: Vec<StmtId>, parent: Parent) {
         for (i, &s) in stmts.iter().enumerate() {
             let loc = if i == 0 {
-                Loc { parent, anchor: AnchorPos::Start }
+                Loc {
+                    parent,
+                    anchor: AnchorPos::Start,
+                }
             } else {
-                Loc { parent, anchor: AnchorPos::After(stmts[i - 1]) }
+                Loc {
+                    parent,
+                    anchor: AnchorPos::After(stmts[i - 1]),
+                }
             };
             self.prog.attach(s, loc).expect("fresh parse attach");
         }
@@ -253,7 +272,13 @@ impl Parser {
             return Err(self.err("`enddo`"));
         }
         self.bump();
-        self.prog.stmt_mut(id).kind = StmtKind::DoLoop { var, lo, hi, step, body: Vec::new() };
+        self.prog.stmt_mut(id).kind = StmtKind::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body: Vec::new(),
+        };
         self.attach_block(body, Parent::Block(id, crate::ast::BlockRole::LoopBody));
         Ok(id)
     }
@@ -281,8 +306,11 @@ impl Parser {
             return Err(self.err("`endif`"));
         }
         self.bump();
-        self.prog.stmt_mut(id).kind =
-            StmtKind::If { cond, then_body: Vec::new(), else_body: Vec::new() };
+        self.prog.stmt_mut(id).kind = StmtKind::If {
+            cond,
+            then_body: Vec::new(),
+            else_body: Vec::new(),
+        };
         self.attach_block(then_body, Parent::Block(id, crate::ast::BlockRole::Then));
         self.attach_block(else_body, Parent::Block(id, crate::ast::BlockRole::Else));
         Ok(id)
@@ -462,7 +490,11 @@ enddo
     fn labels_match_source_lines() {
         let src = "a = 1\nb = 2\ndo i = 1, 3\n  c = 3\nenddo\n";
         let p = parse(src).unwrap();
-        let labels: Vec<u32> = p.attached_stmts().iter().map(|&s| p.stmt(s).label).collect();
+        let labels: Vec<u32> = p
+            .attached_stmts()
+            .iter()
+            .map(|&s| p.stmt(s).label)
+            .collect();
         assert_eq!(labels, vec![1, 2, 3, 4]);
     }
 

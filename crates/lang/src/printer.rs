@@ -67,7 +67,13 @@ fn render_stmt(prog: &Program, id: StmtId, indent: usize, opts: PrintOptions, ou
             render_expr(prog, *value, 0, out);
             out.push('\n');
         }
-        StmtKind::DoLoop { var, lo, hi, step, body } => {
+        StmtKind::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
             let _ = write!(out, "do {} = ", prog.symbols.name(*var));
             render_expr(prog, *lo, 0, out);
             out.push_str(", ");
@@ -80,13 +86,26 @@ fn render_stmt(prog: &Program, id: StmtId, indent: usize, opts: PrintOptions, ou
             for &c in body {
                 render_stmt(prog, c, indent + 1, opts, out);
             }
-            prefix(prog, id, PrintOptions { labels: false, ids: false }, out, indent);
+            prefix(
+                prog,
+                id,
+                PrintOptions {
+                    labels: false,
+                    ids: false,
+                },
+                out,
+                indent,
+            );
             if opts.labels {
                 // keep columns aligned when labels are on
             }
             out.push_str("enddo\n");
         }
-        StmtKind::If { cond, then_body, else_body } => {
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             out.push_str("if (");
             render_expr(prog, *cond, 0, out);
             out.push_str(") then\n");
@@ -253,7 +272,13 @@ enddo
         let mut b = ProgramBuilder::new();
         b.assign("x", c(1));
         let p = b.finish();
-        let src = render(&p, PrintOptions { labels: true, ids: false });
+        let src = render(
+            &p,
+            PrintOptions {
+                labels: true,
+                ids: false,
+            },
+        );
         assert!(src.trim_start().starts_with('1'));
     }
 

@@ -42,12 +42,18 @@ pub struct Loc {
 impl Loc {
     /// Slot at the start of the root body.
     pub fn root_start() -> Self {
-        Loc { parent: Parent::Root, anchor: AnchorPos::Start }
+        Loc {
+            parent: Parent::Root,
+            anchor: AnchorPos::Start,
+        }
     }
 
     /// Slot immediately after `s` within `parent`.
     pub fn after(parent: Parent, s: StmtId) -> Self {
-        Loc { parent, anchor: AnchorPos::After(s) }
+        Loc {
+            parent,
+            anchor: AnchorPos::After(s),
+        }
     }
 }
 
@@ -98,7 +104,10 @@ pub struct Program {
 impl Program {
     /// Empty program.
     pub fn new() -> Self {
-        Program { next_label: 1, ..Default::default() }
+        Program {
+            next_label: 1,
+            ..Default::default()
+        }
     }
 
     // ------------------------------------------------------------------
@@ -150,7 +159,11 @@ impl Program {
         let id = StmtId(self.stmts.len() as u32);
         let label = self.next_label;
         self.next_label += 1;
-        self.stmts.push(Stmt { kind, parent: None, label });
+        self.stmts.push(Stmt {
+            kind,
+            parent: None,
+            label,
+        });
         id
     }
 
@@ -274,7 +287,11 @@ impl Program {
             .iter()
             .position(|&s| s == id)
             .expect("attached statement must appear in its parent block");
-        let anchor = if idx == 0 { AnchorPos::Start } else { AnchorPos::After(blk[idx - 1]) };
+        let anchor = if idx == 0 {
+            AnchorPos::Start
+        } else {
+            AnchorPos::After(blk[idx - 1])
+        };
         Ok(Loc { parent, anchor })
     }
 
@@ -403,7 +420,8 @@ impl Program {
             Ok(()) => Ok(from),
             Err(e) => {
                 // Roll back: re-attach where it was.
-                self.attach(id, from).expect("rollback to original location");
+                self.attach(id, from)
+                    .expect("rollback to original location");
                 Err(e)
             }
         }
@@ -467,7 +485,13 @@ impl Program {
                 let value = self.clone_expr(value, new_id);
                 StmtKind::Write { value }
             }
-            StmtKind::DoLoop { var, lo, hi, step, body } => {
+            StmtKind::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo = self.clone_expr(lo, new_id);
                 let hi = self.clone_expr(hi, new_id);
                 let step = step.map(|s| self.clone_expr(s, new_id));
@@ -479,9 +503,19 @@ impl Program {
                         nc
                     })
                     .collect();
-                StmtKind::DoLoop { var, lo, hi, step, body }
+                StmtKind::DoLoop {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                }
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let cond = self.clone_expr(cond, new_id);
                 let then_body: Vec<StmtId> = then_body
                     .iter()
@@ -499,7 +533,11 @@ impl Program {
                         nc
                     })
                     .collect();
-                StmtKind::If { cond, then_body, else_body }
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }
             }
         };
         self.stmt_mut(new_id).kind = new_kind;
@@ -584,7 +622,11 @@ impl Program {
             out.push(s);
             match &self.stmt(s).kind {
                 StmtKind::DoLoop { body, .. } => self.walk_block(body, out),
-                StmtKind::If { then_body, else_body, .. } => {
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     self.walk_block(then_body, out);
                     self.walk_block(else_body, out);
                 }
@@ -598,7 +640,11 @@ impl Program {
         let mut out = vec![id];
         match &self.stmt(id).kind {
             StmtKind::DoLoop { body, .. } => self.walk_block(body, &mut out),
-            StmtKind::If { then_body, else_body, .. } => {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 self.walk_block(then_body, &mut out);
                 self.walk_block(else_body, &mut out);
             }
@@ -674,15 +720,34 @@ impl Program {
             match &self.stmt(id).kind {
                 StmtKind::DoLoop { body, .. } => {
                     for &c in body {
-                        note(c, Parent::Block(id, BlockRole::LoopBody), &mut errs, &mut membership);
+                        note(
+                            c,
+                            Parent::Block(id, BlockRole::LoopBody),
+                            &mut errs,
+                            &mut membership,
+                        );
                     }
                 }
-                StmtKind::If { then_body, else_body, .. } => {
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     for &c in then_body {
-                        note(c, Parent::Block(id, BlockRole::Then), &mut errs, &mut membership);
+                        note(
+                            c,
+                            Parent::Block(id, BlockRole::Then),
+                            &mut errs,
+                            &mut membership,
+                        );
                     }
                     for &c in else_body {
-                        note(c, Parent::Block(id, BlockRole::Else), &mut errs, &mut membership);
+                        note(
+                            c,
+                            Parent::Block(id, BlockRole::Else),
+                            &mut errs,
+                            &mut membership,
+                        );
                     }
                 }
                 _ => {}
@@ -723,7 +788,11 @@ impl Program {
     /// Panic with details if invariants are violated (test helper).
     pub fn assert_consistent(&self) {
         let errs = self.check_invariants();
-        assert!(errs.is_empty(), "program invariants violated:\n{}", errs.join("\n"));
+        assert!(
+            errs.is_empty(),
+            "program invariants violated:\n{}",
+            errs.join("\n")
+        );
     }
 }
 
@@ -753,7 +822,10 @@ mod tests {
         let i = p.symbols.intern("i");
         let s1 = p.alloc_stmt(StmtKind::Write { value: ExprId(0) });
         let c1 = p.alloc_expr(ExprKind::Const(1), s1);
-        p.stmt_mut(s1).kind = StmtKind::Assign { target: LValue::scalar(x), value: c1 };
+        p.stmt_mut(s1).kind = StmtKind::Assign {
+            target: LValue::scalar(x),
+            value: c1,
+        };
         let l = p.alloc_stmt(StmtKind::Write { value: ExprId(0) });
         let lo = p.alloc_expr(ExprKind::Const(1), l);
         let hi = p.alloc_expr(ExprKind::Const(10), l);
@@ -761,13 +833,27 @@ mod tests {
         let vx = p.alloc_expr(ExprKind::Var(x), s2);
         let c2 = p.alloc_expr(ExprKind::Const(2), s2);
         let add = p.alloc_expr(ExprKind::Binary(BinOp::Add, vx, c2), s2);
-        p.stmt_mut(s2).kind = StmtKind::Assign { target: LValue::scalar(y), value: add };
-        p.stmt_mut(l).kind =
-            StmtKind::DoLoop { var: i, lo, hi, step: None, body: vec![] };
+        p.stmt_mut(s2).kind = StmtKind::Assign {
+            target: LValue::scalar(y),
+            value: add,
+        };
+        p.stmt_mut(l).kind = StmtKind::DoLoop {
+            var: i,
+            lo,
+            hi,
+            step: None,
+            body: vec![],
+        };
         p.attach(s1, Loc::root_start()).unwrap();
         p.attach(l, Loc::after(Parent::Root, s1)).unwrap();
-        p.attach(s2, Loc { parent: Parent::Block(l, BlockRole::LoopBody), anchor: AnchorPos::Start })
-            .unwrap();
+        p.attach(
+            s2,
+            Loc {
+                parent: Parent::Block(l, BlockRole::LoopBody),
+                anchor: AnchorPos::Start,
+            },
+        )
+        .unwrap();
         p.assert_consistent();
         (p, s1, l)
     }
@@ -793,7 +879,10 @@ mod tests {
     #[test]
     fn attach_attached_fails() {
         let (mut p, s1, _) = mini();
-        assert_eq!(p.attach(s1, Loc::root_start()), Err(EditError::AlreadyAttached(s1)));
+        assert_eq!(
+            p.attach(s1, Loc::root_start()),
+            Err(EditError::AlreadyAttached(s1))
+        );
     }
 
     #[test]
@@ -808,7 +897,10 @@ mod tests {
         let (mut p, s1, l) = mini();
         let loc_l = p.loc_of(l).unwrap(); // After(s1)
         p.detach(s1).unwrap();
-        assert!(matches!(p.resolve_loc(loc_l), Err(EditError::UnresolvableLoc(_))));
+        assert!(matches!(
+            p.resolve_loc(loc_l),
+            Err(EditError::UnresolvableLoc(_))
+        ));
     }
 
     #[test]
@@ -819,7 +911,10 @@ mod tests {
         let loc = p.loc_of(inner).unwrap();
         p.detach(l).unwrap();
         // The loop is detached, so its body block is not a live parent.
-        assert!(matches!(p.resolve_loc(loc), Err(EditError::UnresolvableLoc(_))));
+        assert!(matches!(
+            p.resolve_loc(loc),
+            Err(EditError::UnresolvableLoc(_))
+        ));
     }
 
     #[test]
@@ -841,7 +936,13 @@ mod tests {
     fn move_into_own_subtree_is_cyclic() {
         let (mut p, _s1, l) = mini();
         let err = p
-            .move_stmt(l, Loc { parent: Parent::Block(l, BlockRole::LoopBody), anchor: AnchorPos::Start })
+            .move_stmt(
+                l,
+                Loc {
+                    parent: Parent::Block(l, BlockRole::LoopBody),
+                    anchor: AnchorPos::Start,
+                },
+            )
             .unwrap_err();
         assert_eq!(err, EditError::WouldCycle(l));
         // Rollback left the program intact.
@@ -871,7 +972,10 @@ mod tests {
         assert!(matches!(p.expr(rhs).kind, ExprKind::Const(42)));
         // Restore via the saved payload — children still live in the arena.
         p.replace_expr_kind(rhs, old);
-        assert!(matches!(p.expr(rhs).kind, ExprKind::Binary(BinOp::Add, _, _)));
+        assert!(matches!(
+            p.expr(rhs).kind,
+            ExprKind::Binary(BinOp::Add, _, _)
+        ));
         p.assert_consistent();
     }
 

@@ -1,0 +1,33 @@
+//! # pivot-obs
+//!
+//! Observability layer for the PIVOT undo reproduction. The paper's central
+//! claim is quantitative — regional undo with the interaction-table
+//! heuristic examines far fewer candidates than a full scan — and this
+//! crate provides the instruments that make the claim (and every future
+//! performance change) measurable:
+//!
+//! * [`trace`] — structured event tracing: a [`trace::Tracer`] trait with a
+//!   no-op default and a JSONL [`trace::Recorder`], emitting typed
+//!   spans/events for every phase of the paper's UNDO algorithm (Figure 4);
+//! * [`metrics`] — a registry of named atomic counters and coarse latency
+//!   histograms, cheap enough to stay on in production builds;
+//! * [`provenance`] — the causal record of an undo cascade: one edge per
+//!   removed transformation (*affecting* vs *affected*, with the disabling
+//!   condition or failed safety predicate), rendered as an explanation tree;
+//! * [`json`] — the minimal JSON writer the recorder serializes with (no
+//!   external dependencies anywhere in this crate).
+//!
+//! Everything here is deliberately below the engine in the dependency
+//! order: events are tagged with raw transformation numbers and kind
+//! strings, so `pivot-ir` and `pivot-undo` can both emit without cycles.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod provenance;
+pub mod trace;
+
+pub use metrics::{global, Registry};
+pub use provenance::{CauseKind, ProvenanceNode, ProvenanceTree};
+pub use trace::{FieldValue, NoopTracer, Phase, PhaseNanos, Recorder, SpanId, TraceField, Tracer};

@@ -1,0 +1,233 @@
+//! Named atomic counters and coarse latency histograms.
+//!
+//! The enabled path of a counter is one relaxed `fetch_add`; a histogram
+//! record is two relaxed adds plus one indexed add into a power-of-two
+//! bucket. Handles ([`Counter`], [`Histogram`]) are `Arc`s handed out by a
+//! [`Registry`]; hot call sites look them up once and cache them. A
+//! process-wide registry is available via [`global`] — the `pivot-ir`
+//! rebuild path and the CLI `stats` command use it — while anything that
+//! needs isolation (tests, benches) can own a private `Registry`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds; 40 buckets reach ~18 minutes).
+pub const BUCKETS: usize = 40;
+
+/// A monotonically increasing named counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A coarse (power-of-two buckets) latency histogram in nanoseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record a duration in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`].
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, ns.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample, ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, ns (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Approximate quantile (lower bound of the bucket holding it).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        self.max_ns()
+    }
+}
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, Arc<Counter>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A namespace of counters and histograms.
+#[derive(Default)]
+pub struct Registry {
+    state: Mutex<State>,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get (or create) the counter `name`. Cache the handle at hot sites.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut s = self.state.lock().unwrap();
+        Arc::clone(s.counters.entry(name.to_owned()).or_default())
+    }
+
+    /// Get (or create) the histogram `name`. Cache the handle at hot sites.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut s = self.state.lock().unwrap();
+        Arc::clone(s.histograms.entry(name.to_owned()).or_default())
+    }
+
+    /// Counter values, sorted by name.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        let s = self.state.lock().unwrap();
+        s.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Human-readable dump of every metric (the CLI `stats` command).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let s = self.state.lock().unwrap();
+        let mut out = String::new();
+        if !s.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, c) in &s.counters {
+                let _ = writeln!(out, "  {name:<32} {}", c.get());
+            }
+        }
+        if !s.histograms.is_empty() {
+            out.push_str("histograms (ns):\n");
+            for (name, h) in &s.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} n={} mean={} p50={} p90={} max={}",
+                    h.count(),
+                    h.mean_ns(),
+                    h.quantile_ns(0.50),
+                    h.quantile_ns(0.90),
+                    h.max_ns()
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter("x").get(), 5);
+        assert_eq!(r.counter_snapshot(), vec![("x".to_owned(), 5)]);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = Histogram::default();
+        for ns in [100u64, 200, 400, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 100_700);
+        assert_eq!(h.max_ns(), 100_000);
+        assert_eq!(h.mean_ns(), 25_175);
+        // p50 falls in the bucket of 128–255 ns (lower bound 128).
+        assert_eq!(h.quantile_ns(0.5), 128);
+        assert!(h.quantile_ns(1.0) >= 65_536);
+    }
+
+    #[test]
+    fn render_lists_everything() {
+        let r = Registry::new();
+        r.counter("undo.total").add(2);
+        r.histogram("undo.ns").record(Duration::from_micros(5));
+        let text = r.render();
+        assert!(text.contains("undo.total"));
+        assert!(text.contains("undo.ns"));
+        assert!(text.contains("n=1"));
+    }
+}

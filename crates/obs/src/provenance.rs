@@ -1,0 +1,243 @@
+//! Cascade provenance: *why* each transformation was removed.
+//!
+//! The paper's UNDO algorithm removes transformations for two distinct
+//! reasons. An **affecting** transformation must go first because it
+//! disables the reversibility of the one being undone (Figure 4, lines
+//! 7–10); an **affected** transformation goes afterwards because it lay in
+//! the affected region and its safety predicate no longer holds (lines
+//! 15–29). This module records one cause edge per removal and renders the
+//! whole cascade as an explanation tree — the `explain` script command.
+
+use std::fmt;
+
+/// Why a transformation was removed during an undo cascade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CauseKind {
+    /// The transformation the user asked to undo.
+    Requested,
+    /// Removed *before* its parent: it disabled the parent's reversibility.
+    Affecting {
+        /// The reversibility condition that failed (e.g. a stamp check).
+        disabling: String,
+        /// The action of this transformation that did the disabling.
+        causing_action: String,
+    },
+    /// Removed *after* its parent: a candidate from the affected region
+    /// whose safety predicate no longer held.
+    Affected {
+        /// Was the candidate inside the computed affected region?
+        region_member: bool,
+        /// Was it marked by the interaction-table heuristic?
+        heuristic_marked: bool,
+        /// The safety predicate that failed on the re-check.
+        failed_predicate: String,
+    },
+}
+
+impl CauseKind {
+    /// Short tag used in renders: `requested` / `affecting` / `affected`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CauseKind::Requested => "requested",
+            CauseKind::Affecting { .. } => "affecting",
+            CauseKind::Affected { .. } => "affected",
+        }
+    }
+}
+
+impl fmt::Display for CauseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CauseKind::Requested => write!(f, "requested by user"),
+            CauseKind::Affecting {
+                disabling,
+                causing_action,
+            } => {
+                write!(f, "affecting: {causing_action} disabled {disabling}")
+            }
+            CauseKind::Affected {
+                region_member,
+                heuristic_marked,
+                failed_predicate,
+            } => {
+                write!(f, "affected: {failed_predicate} no longer holds")?;
+                if *region_member {
+                    write!(f, " [in region]")?;
+                }
+                if *heuristic_marked {
+                    write!(f, " [heuristic]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One removed transformation and the removals it caused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceNode {
+    /// Transformation number (the engine's 1-based `XformId`).
+    pub xform: u32,
+    /// Transformation kind, e.g. `"cse"`, `"inx"`.
+    pub kind: String,
+    /// Why this node was removed.
+    pub cause: CauseKind,
+    /// Removals this one triggered (affecting chases and affected
+    /// candidates alike).
+    pub children: Vec<ProvenanceNode>,
+}
+
+impl ProvenanceNode {
+    /// Leaf node.
+    pub fn new(xform: u32, kind: impl Into<String>, cause: CauseKind) -> ProvenanceNode {
+        ProvenanceNode {
+            xform,
+            kind: kind.into(),
+            cause,
+            children: Vec::new(),
+        }
+    }
+
+    /// Depth-first search for the node describing `xform`.
+    pub fn find(&self, xform: u32) -> Option<&ProvenanceNode> {
+        if self.xform == xform {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(xform))
+    }
+
+    /// Total number of nodes in this subtree (= transformations removed).
+    pub fn size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(ProvenanceNode::size)
+            .sum::<usize>()
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, is_last: bool, is_root: bool) {
+        use std::fmt::Write as _;
+        if is_root {
+            let _ = writeln!(out, "#{} {} ({})", self.xform, self.kind, self.cause);
+        } else {
+            let branch = if is_last { "└─ " } else { "├─ " };
+            let _ = writeln!(
+                out,
+                "{prefix}{branch}#{} {} ({})",
+                self.xform, self.kind, self.cause
+            );
+        }
+        let child_prefix = if is_root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "   " } else { "│  " })
+        };
+        for (i, c) in self.children.iter().enumerate() {
+            c.render_into(out, &child_prefix, i + 1 == self.children.len(), false);
+        }
+    }
+}
+
+/// The explanation tree for one undo request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceTree {
+    /// The requested transformation (cause [`CauseKind::Requested`]).
+    pub root: ProvenanceNode,
+}
+
+impl ProvenanceTree {
+    /// Tree rooted at the transformation the user asked to undo.
+    pub fn new(root: ProvenanceNode) -> ProvenanceTree {
+        ProvenanceTree { root }
+    }
+
+    /// Find the node for `xform` anywhere in the tree.
+    pub fn find(&self, xform: u32) -> Option<&ProvenanceNode> {
+        self.root.find(xform)
+    }
+
+    /// Number of transformations the cascade removed.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// ASCII tree, one node per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(&mut out, "", true, true);
+        out
+    }
+}
+
+impl fmt::Display for ProvenanceTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProvenanceTree {
+        let mut root = ProvenanceNode::new(3, "inx", CauseKind::Requested);
+        let mut chase = ProvenanceNode::new(
+            4,
+            "icm",
+            CauseKind::Affecting {
+                disabling: "stamp(move) > stamp(3)".into(),
+                causing_action: "move s7".into(),
+            },
+        );
+        chase.children.push(ProvenanceNode::new(
+            5,
+            "dce",
+            CauseKind::Affected {
+                region_member: true,
+                heuristic_marked: true,
+                failed_predicate: "dead(s9)".into(),
+            },
+        ));
+        root.children.push(chase);
+        ProvenanceTree::new(root)
+    }
+
+    #[test]
+    fn render_shows_all_nodes_and_causes() {
+        let t = sample();
+        let text = t.render();
+        assert!(text.contains("#3 inx (requested by user)"));
+        assert!(text.contains("└─ #4 icm (affecting: move s7 disabled stamp(move) > stamp(3))"));
+        assert!(
+            text.contains("└─ #5 dce (affected: dead(s9) no longer holds [in region] [heuristic])")
+        );
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    fn find_walks_the_tree() {
+        let t = sample();
+        assert_eq!(t.find(5).unwrap().kind, "dce");
+        assert_eq!(t.find(4).unwrap().cause.tag(), "affecting");
+        assert!(t.find(99).is_none());
+    }
+
+    #[test]
+    fn branch_glyphs_for_siblings() {
+        let mut root = ProvenanceNode::new(1, "cse", CauseKind::Requested);
+        for (n, k) in [(2u32, "a"), (3, "b")] {
+            root.children.push(ProvenanceNode::new(
+                n,
+                k,
+                CauseKind::Affected {
+                    region_member: true,
+                    heuristic_marked: false,
+                    failed_predicate: "p".into(),
+                },
+            ));
+        }
+        let text = ProvenanceTree::new(root).render();
+        assert!(text.contains("├─ #2"));
+        assert!(text.contains("└─ #3"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Structured event tracing: spans and events for the phases of the
+//! paper's UNDO algorithm (Figure 4).
+//!
+//! The engine reports through a [`Tracer`]; the default [`NoopTracer`]
+//! compiles to nothing (every callback is an empty default method and the
+//! engine guards field construction behind [`Tracer::enabled`]), while
+//! [`Recorder`] serializes every span/event as one JSON object per line
+//! (JSONL).
+//!
+//! ## JSONL schema
+//!
+//! Every line is an object with:
+//!
+//! * `"ev"` — `"span_start"`, `"span_end"`, or `"event"`;
+//! * `"seq"` — line sequence number (monotonic from 0);
+//! * `"t_us"` — microseconds since the recorder was created (monotonic);
+//! * `"span"` — span id (`span_start`/`span_end` only; ends pair starts);
+//! * `"phase"` — phase name (`undo`, `affecting_chase`, `safety_check`,
+//!   `reversibility_check`, `region_scan`, `inverse_action`,
+//!   `rep_rebuild`) on spans; `"name"` — event name on events;
+//! * any number of typed payload fields (strings, integers, booleans,
+//!   arrays of unsigned integers), e.g. `"xform"`, `"kind"`, `"strategy"`.
+
+use crate::json::ObjectWriter;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Phases of the UNDO algorithm (Figure 4), used to label spans.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// One whole `undo(target)` request (lines 1–29).
+    Undo,
+    /// Chasing an affecting transformation (lines 7–10).
+    AffectingChase,
+    /// One safety re-check of a candidate (lines 22–23).
+    SafetyCheck,
+    /// One immediate-reversibility check (lines 4–5).
+    ReversibilityCheck,
+    /// Scanning the affected region for candidates (lines 15–29).
+    RegionScan,
+    /// Performing the inverse actions (line 12).
+    InverseAction,
+    /// Dependence and data flow update (line 13).
+    RepRebuild,
+}
+
+impl Phase {
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Undo => "undo",
+            Phase::AffectingChase => "affecting_chase",
+            Phase::SafetyCheck => "safety_check",
+            Phase::ReversibilityCheck => "reversibility_check",
+            Phase::RegionScan => "region_scan",
+            Phase::InverseAction => "inverse_action",
+            Phase::RepRebuild => "rep_rebuild",
+        }
+    }
+
+    /// All phases, in Figure 4 order.
+    pub const ALL: [Phase; 7] = [
+        Phase::Undo,
+        Phase::AffectingChase,
+        Phase::SafetyCheck,
+        Phase::ReversibilityCheck,
+        Phase::RegionScan,
+        Phase::InverseAction,
+        Phase::RepRebuild,
+    ];
+}
+
+/// Per-phase wall-time accumulator (nanoseconds), indexed by [`Phase`].
+/// Cheap enough to fill unconditionally; reports carry one of these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseNanos([u64; Phase::ALL.len()]);
+
+impl PhaseNanos {
+    /// Add `ns` to `phase`'s total.
+    pub fn add(&mut self, phase: Phase, ns: u64) {
+        self.0[phase as usize] += ns;
+    }
+
+    /// Total nanoseconds recorded for `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.0[phase as usize]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// `(phase, ns)` for every phase with a nonzero total.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL.into_iter().filter_map(|p| {
+            let ns = self.get(p);
+            (ns > 0).then_some((p, ns))
+        })
+    }
+}
+
+/// A typed payload field: `(key, value)`.
+pub type TraceField<'a> = (&'a str, FieldValue<'a>);
+
+/// Payload value types the schema supports.
+#[derive(Clone, Copy, Debug)]
+pub enum FieldValue<'a> {
+    /// String field.
+    Str(&'a str),
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Boolean field.
+    Bool(bool),
+    /// Array of unsigned integers (e.g. the undone transformation ids).
+    List(&'a [u64]),
+}
+
+/// Identifier pairing a `span_end` with its `span_start`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanId(pub u64);
+
+/// Sink for structured engine telemetry. All methods default to no-ops so
+/// implementors override only what they record; emitters should guard any
+/// expensive field construction behind [`Tracer::enabled`].
+pub trait Tracer: Send + Sync {
+    /// Does this tracer record anything? (`false` lets emitters skip field
+    /// construction entirely.)
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Open a span for `phase`.
+    fn span_start(&self, _phase: Phase, _fields: &[TraceField]) -> SpanId {
+        SpanId(0)
+    }
+
+    /// Close a span opened by [`Tracer::span_start`].
+    fn span_end(&self, _id: SpanId, _phase: Phase, _fields: &[TraceField]) {}
+
+    /// Emit a point event.
+    fn event(&self, _name: &str, _fields: &[TraceField]) {}
+}
+
+/// The default tracer: records nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+/// A clonable in-memory byte sink (for tests and benches).
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// Snapshot the written bytes as a string.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("trace output is UTF-8")
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A JSONL recorder over any [`Write`] sink.
+pub struct Recorder<W: Write + Send> {
+    sink: Mutex<W>,
+    epoch: Instant,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+}
+
+impl Recorder<SharedBuf> {
+    /// Recorder writing into memory; the returned [`SharedBuf`] reads it
+    /// back.
+    pub fn in_memory() -> (Recorder<SharedBuf>, SharedBuf) {
+        let buf = SharedBuf::default();
+        (Recorder::new(buf.clone()), buf)
+    }
+}
+
+impl Recorder<std::io::BufWriter<std::fs::File>> {
+    /// Recorder writing JSONL to `path` (truncates).
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Recorder::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> Recorder<W> {
+    /// Recorder over an arbitrary sink.
+    pub fn new(sink: W) -> Self {
+        Recorder {
+            sink: Mutex::new(sink),
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            next_span: AtomicU64::new(1),
+        }
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.sink.lock().unwrap().flush()
+    }
+
+    fn emit(&self, ev: &str, span: Option<SpanId>, label: (&str, &str), fields: &[TraceField]) {
+        let mut w = ObjectWriter::new();
+        w.str("ev", ev);
+        w.uint("seq", self.seq.fetch_add(1, Ordering::Relaxed));
+        w.uint(
+            "t_us",
+            self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
+        if let Some(id) = span {
+            w.uint("span", id.0);
+        }
+        w.str(label.0, label.1);
+        for (key, value) in fields {
+            match value {
+                FieldValue::Str(s) => w.str(key, s),
+                FieldValue::U64(v) => w.uint(key, *v),
+                FieldValue::I64(v) => w.int(key, *v),
+                FieldValue::Bool(v) => w.bool(key, *v),
+                FieldValue::List(vs) => w.uints(key, vs.iter().copied()),
+            };
+        }
+        let mut line = w.finish();
+        line.push('\n');
+        let mut sink = self.sink.lock().unwrap();
+        let _ = sink.write_all(line.as_bytes());
+    }
+}
+
+impl<W: Write + Send> Tracer for Recorder<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, phase: Phase, fields: &[TraceField]) -> SpanId {
+        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed));
+        self.emit("span_start", Some(id), ("phase", phase.name()), fields);
+        id
+    }
+
+    fn span_end(&self, id: SpanId, phase: Phase, fields: &[TraceField]) {
+        self.emit("span_end", Some(id), ("phase", phase.name()), fields);
+    }
+
+    fn event(&self, name: &str, fields: &[TraceField]) {
+        self.emit("event", None, ("name", name), fields);
+    }
+}
+
+impl<W: Write + Send> Drop for Recorder<W> {
+    fn drop(&mut self) {
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn recorder_emits_schema_valid_jsonl() {
+        let (rec, buf) = Recorder::in_memory();
+        let span = rec.span_start(
+            Phase::Undo,
+            &[
+                ("xform", FieldValue::U64(3)),
+                ("kind", FieldValue::Str("inx")),
+            ],
+        );
+        rec.event("candidate", &[("in_region", FieldValue::Bool(true))]);
+        rec.span_end(span, Phase::Undo, &[("undone", FieldValue::List(&[3, 4]))]);
+        rec.flush().unwrap();
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("ev").unwrap().as_str(), Some("span_start"));
+        assert_eq!(first.get("phase").unwrap().as_str(), Some("undo"));
+        assert_eq!(first.get("xform").unwrap().as_int(), Some(3));
+        assert_eq!(first.get("seq").unwrap().as_int(), Some(0));
+        let last = json::parse(lines[2]).unwrap();
+        assert_eq!(last.get("span"), first.get("span"));
+        assert_eq!(last.get("undone").unwrap().as_array().unwrap().len(), 2);
+        // Timestamps are monotone in sequence order.
+        let t: Vec<i64> = lines
+            .iter()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("t_us")
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
+            .collect();
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn noop_tracer_is_disabled() {
+        let t = NoopTracer;
+        assert!(!t.enabled());
+        let id = t.span_start(Phase::SafetyCheck, &[]);
+        t.span_end(id, Phase::SafetyCheck, &[]);
+        t.event("anything", &[]);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "undo",
+                "affecting_chase",
+                "safety_check",
+                "reversibility_check",
+                "region_scan",
+                "inverse_action",
+                "rep_rebuild"
+            ]
+        );
+    }
+}

@@ -74,7 +74,11 @@ pub fn emit(b: &mut ProgramBuilder, kind: XformKind, tag: usize, rng: &mut impl 
                 b.assign_ix(&n("F"), vec![v(&n("i"))], mul(v(&n("i")), c(2)));
             });
             b.do_loop(&n("i"), c(1), c(trip), |b| {
-                b.assign_ix(&n("G"), vec![v(&n("i"))], add(ix(&n("F"), vec![v(&n("i"))]), c(1)));
+                b.assign_ix(
+                    &n("G"),
+                    vec![v(&n("i"))],
+                    add(ix(&n("F"), vec![v(&n("i"))]), c(1)),
+                );
             });
             b.write(ix(&n("G"), vec![c(1)]));
         }
@@ -102,7 +106,11 @@ pub fn figure1(b: &mut ProgramBuilder, tag: usize) {
     b.assign(&n("C"), c(1));
     b.do_loop(&n("i"), c(1), c(10), |b| {
         b.do_loop(&n("j"), c(1), c(5), |b| {
-            b.assign_ix(&n("A"), vec![v(&n("j"))], add(ix(&n("B"), vec![v(&n("j"))]), v(&n("C"))));
+            b.assign_ix(
+                &n("A"),
+                vec![v(&n("j"))],
+                add(ix(&n("B"), vec![v(&n("j"))]), v(&n("C"))),
+            );
             b.assign_ix(
                 &n("R"),
                 vec![v(&n("i")), v(&n("j"))],
@@ -154,8 +162,16 @@ mod tests {
         let mut b = ProgramBuilder::new();
         figure1(&mut b, 0);
         let mut s = Session::new(b.finish());
-        for k in [XformKind::Cse, XformKind::Ctp, XformKind::Inx, XformKind::Icm] {
-            assert!(s.apply_kind(k).is_some(), "{k} must apply to the figure1 fragment");
+        for k in [
+            XformKind::Cse,
+            XformKind::Ctp,
+            XformKind::Inx,
+            XformKind::Icm,
+        ] {
+            assert!(
+                s.apply_kind(k).is_some(),
+                "{k} must apply to the figure1 fragment"
+            );
         }
     }
 
@@ -165,7 +181,11 @@ mod tests {
         let mut b = ProgramBuilder::new();
         noise(&mut b, 0, &mut rng);
         let s = Session::new(b.finish());
-        assert!(s.find_all().is_empty(), "noise must enable nothing:\n{}", s.source());
+        assert!(
+            s.find_all().is_empty(),
+            "noise must enable nothing:\n{}",
+            s.source()
+        );
     }
 
     #[test]

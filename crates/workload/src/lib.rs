@@ -34,7 +34,12 @@ pub struct WorkloadCfg {
 
 impl Default for WorkloadCfg {
     fn default() -> Self {
-        WorkloadCfg { fragments: 8, noise_ratio: 0.5, kinds: None, figure1_chains: 0 }
+        WorkloadCfg {
+            fragments: 8,
+            noise_ratio: 0.5,
+            kinds: None,
+            figure1_chains: 0,
+        }
     }
 }
 
@@ -114,9 +119,11 @@ pub fn gen_edit(session: &Session, seed: u64) -> pivot_undo::Edit {
         .filter_map(|r| match &r.params {
             pivot_undo::XformParams::Ctp { def_stmt, var, .. } => Some((*def_stmt, *var)),
             pivot_undo::XformParams::Cpp { def_stmt, to, .. } => Some((*def_stmt, *to)),
-            pivot_undo::XformParams::Cse { def_stmt, operand_syms, .. } => {
-                operand_syms.first().map(|&s| (*def_stmt, s))
-            }
+            pivot_undo::XformParams::Cse {
+                def_stmt,
+                operand_syms,
+                ..
+            } => operand_syms.first().map(|&s| (*def_stmt, s)),
             _ => None,
         })
         .filter(|(d, _)| prog.is_live(*d) && prog.stmt(*d).parent == Some(pivot_lang::Parent::Root))
@@ -149,7 +156,10 @@ pub fn gen_edit(session: &Session, seed: u64) -> pivot_undo::Edit {
         let anchor = body[rng.gen_range(0..body.len())];
         pivot_lang::Loc::after(pivot_lang::Parent::Root, anchor)
     };
-    pivot_undo::Edit::Insert { src: format!("{name} = {}\n", rng.gen_range(0..100)), at }
+    pivot_undo::Edit::Insert {
+        src: format!("{name} = {}\n", rng.gen_range(0..100)),
+        at,
+    }
 }
 
 /// Random input stream for the interpreter (generated programs `read` at
@@ -179,16 +189,26 @@ mod tests {
 
     #[test]
     fn prepare_applies_transformations() {
-        let cfg = WorkloadCfg { fragments: 10, ..Default::default() };
+        let cfg = WorkloadCfg {
+            fragments: 10,
+            ..Default::default()
+        };
         let prepared = prepare(5, &cfg, 8);
-        assert!(prepared.applied.len() >= 6, "got {}", prepared.applied.len());
+        assert!(
+            prepared.applied.len() >= 6,
+            "got {}",
+            prepared.applied.len()
+        );
         prepared.session.assert_consistent();
     }
 
     #[test]
     fn transformations_preserve_semantics_on_workloads() {
         for seed in 0..6 {
-            let cfg = WorkloadCfg { fragments: 8, ..Default::default() };
+            let cfg = WorkloadCfg {
+                fragments: 8,
+                ..Default::default()
+            };
             let prepared = prepare(seed, &cfg, 10);
             let inputs = gen_inputs(seed, 64);
             let before = interp::run_default(&prepared.session.original, &inputs).unwrap();
@@ -200,7 +220,11 @@ mod tests {
     #[test]
     fn undo_roundtrip_on_workloads() {
         for seed in 0..4 {
-            let cfg = WorkloadCfg { fragments: 6, figure1_chains: 1, ..Default::default() };
+            let cfg = WorkloadCfg {
+                fragments: 6,
+                figure1_chains: 1,
+                ..Default::default()
+            };
             let mut prepared = prepare(seed, &cfg, 12);
             let mut rng = StdRng::seed_from_u64(seed);
             let mut order = prepared.applied.clone();

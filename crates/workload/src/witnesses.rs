@@ -252,7 +252,10 @@ pub fn replay(w: &Witness) -> WitnessResult {
         Err(_) => return WitnessResult::FromNotApplicable,
     };
     let sig = |s: &Session| -> std::collections::HashSet<String> {
-        s.find(w.to).iter().map(|o| format!("{:?}", o.params)).collect()
+        s.find(w.to)
+            .iter()
+            .map(|o| format!("{:?}", o.params))
+            .collect()
     };
     let before = sig(&s);
     if s.apply_kind(w.from).is_none() {
@@ -328,8 +331,10 @@ mod tests {
         // Of the paper's five printed rows, most marks have constructive
         // single-step witnesses under our (conservative) preconditions.
         let (derived, _) = derive_matrix();
-        let count: usize =
-            derived.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
+        let count: usize = derived
+            .iter()
+            .map(|r| r.iter().filter(|&&b| b).count())
+            .sum();
         assert!(count >= 25, "only {count} cells demonstrated");
     }
 }

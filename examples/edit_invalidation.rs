@@ -33,12 +33,19 @@ write x
 
 fn main() {
     let mut s = build();
-    println!("== transformed program ({}) ==\n{}", s.history.summary(), s.source());
+    println!(
+        "== transformed program ({}) ==\n{}",
+        s.history.summary(),
+        s.source()
+    );
 
     // The user edits the program: a new definition of e0 lands between the
     // first CSE's definition and its reuse.
     let d0 = s.prog.body[0];
-    let edit = Edit::Insert { src: "e0 = 42\n".into(), at: Loc::after(Parent::Root, d0) };
+    let edit = Edit::Insert {
+        src: "e0 = 42\n".into(),
+        at: Loc::after(Parent::Root, d0),
+    };
     s.edit(&edit).expect("edit applies");
     println!("== after edit (inserted `e0 = 42`) ==\n{}", s.source());
 
@@ -53,15 +60,21 @@ fn main() {
         report.removed, report.retired, report.safety_checks
     );
     println!("== after selective removal ==\n{}", s.source());
-    assert!(s.source().contains("r0 = e0 + f0"), "invalidated CSE reversed");
+    assert!(
+        s.source().contains("r0 = e0 + f0"),
+        "invalidated CSE reversed"
+    );
     assert!(s.source().contains("r1 = d1"), "unrelated CSE survived");
     assert!(s.source().contains("x = 1 + 2"), "unrelated CTP survived");
 
     // Baseline: revert everything and redo from scratch.
     let mut b = build();
     let d0 = b.prog.body[0];
-    b.edit(&Edit::Insert { src: "e0 = 42\n".into(), at: Loc::after(Parent::Root, d0) })
-        .expect("edit applies");
+    b.edit(&Edit::Insert {
+        src: "e0 = 42\n".into(),
+        at: Loc::after(Parent::Root, d0),
+    })
+    .expect("edit applies");
     let (undone, redone, searched) = b.revert_all_and_redo();
     println!(
         "\n== baseline (revert all + redo) ==\nundone {undone}, redone {redone}, \

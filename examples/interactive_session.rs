@@ -86,10 +86,18 @@ fn main() {
             },
             Some("annotations") => println!(
                 "{}",
-                session.log.render_annotations(&session.prog, &session.history.stamp_order())
+                session
+                    .log
+                    .render_annotations(&session.prog, &session.history.stamp_order())
             ),
             Some("regions") => {
-                println!("{}", session.rep.pdg(&session.prog).dump(&session.prog, session.rep.ddg(&session.prog)))
+                println!(
+                    "{}",
+                    session
+                        .rep
+                        .pdg(&session.prog)
+                        .dump(&session.prog, session.rep.ddg(&session.prog))
+                )
             }
             Some("edit") => {
                 let (line_no, rest): (Option<u32>, Vec<&str>) =
@@ -144,8 +152,13 @@ fn run_demo(session: &mut Session) {
     println!("\n{}", session.source());
     println!("history: {}\n", session.history.summary());
     println!("undoing inx(3) in independent order…");
-    let r = session.undo(pivot_undo::XformId(3), Strategy::Regional).expect("undo works");
-    println!("removed {:?} (icm first — the affecting transformation)\n", r.undone);
+    let r = session
+        .undo(pivot_undo::XformId(3), Strategy::Regional)
+        .expect("undo works");
+    println!(
+        "removed {:?} (icm first — the affecting transformation)\n",
+        r.undone
+    );
     println!("{}", session.source());
     println!("history: {}", session.history.summary());
 }

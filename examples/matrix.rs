@@ -81,12 +81,20 @@ fn table2() {
             XformKind::Fus,
             "do i = 1, 6\n  A(i) = 1\nenddo\ndo i = 1, 6\n  B(i) = A(i)\nenddo\nwrite B(1)\n",
         ),
-        (XformKind::Lur, "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n"),
-        (XformKind::Smi, "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n"),
+        (
+            XformKind::Lur,
+            "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n",
+        ),
+        (
+            XformKind::Smi,
+            "do i = 1, 8\n  A(i) = i\nenddo\nwrite A(2)\n",
+        ),
     ];
     for (kind, src) in samples {
         let mut s = Session::from_source(src).unwrap();
-        let id = s.apply_kind(*kind).unwrap_or_else(|| panic!("{kind} sample applies"));
+        let id = s
+            .apply_kind(*kind)
+            .unwrap_or_else(|| panic!("{kind} sample applies"));
         let r = s.history.get(id);
         println!("{} ({})", kind, kind.name());
         println!("  pre_pattern : {}", r.pre.shape);
@@ -121,7 +129,16 @@ fn table4() {
             paper[k.index()][i] = m == b'x';
         }
     }
-    print_rows(&paper, &[XformKind::Dce, XformKind::Cse, XformKind::Ctp, XformKind::Icm, XformKind::Inx]);
+    print_rows(
+        &paper,
+        &[
+            XformKind::Dce,
+            XformKind::Cse,
+            XformKind::Ctp,
+            XformKind::Icm,
+            XformKind::Inx,
+        ],
+    );
 
     println!("-- this library's full static table (completed rows justified) --");
     let table = interact::default_matrix();
@@ -132,12 +149,23 @@ fn table4() {
     println!("{}", interact::render(&derived));
     assert!(failures.is_empty(), "witness failures: {failures:?}");
 
-    let witnessed: usize = derived.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
+    let witnessed: usize = derived
+        .iter()
+        .map(|r| r.iter().filter(|&&b| b).count())
+        .sum();
     let marked: usize = table.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
-    println!("witnessed {witnessed} of {marked} marked cells; unmarked cells are never witnessed ✓");
+    println!(
+        "witnessed {witnessed} of {marked} marked cells; unmarked cells are never witnessed ✓"
+    );
 
     println!("\n-- justifications for completed (non-paper) rows --");
-    for from in [XformKind::Cpp, XformKind::Cfo, XformKind::Lur, XformKind::Smi, XformKind::Fus] {
+    for from in [
+        XformKind::Cpp,
+        XformKind::Cfo,
+        XformKind::Lur,
+        XformKind::Smi,
+        XformKind::Fus,
+    ] {
         for to in ALL_KINDS {
             if table[from.index()][to.index()] {
                 println!("  {from} → {to}: {}", interact::justification(from, to));

@@ -41,7 +41,13 @@ fn main() {
         .find(|&st| s.prog.stmt(st).label == 5)
         .expect("statement 5 exists");
     println!("---- DAG of the innermost block (pre-transformation) ----");
-    println!("{}", s.rep.block_dag_of(&s.prog, inner_stmt).unwrap().dump(&s.prog));
+    println!(
+        "{}",
+        s.rep
+            .block_dag_of(&s.prog, inner_stmt)
+            .unwrap()
+            .dump(&s.prog)
+    );
 
     // Apply the paper's sequence: cse(1) ctp(2) inx(3) icm(4).
     let _cse = s.apply_kind(XformKind::Cse).expect("cse(1)");
@@ -54,7 +60,10 @@ fn main() {
 
     // Figure 2: annotations based on primitive actions, with order stamps.
     println!("---- annotations (Figure 2 style) ----");
-    println!("{}", s.log.render_annotations(&s.prog, &s.history.stamp_order()));
+    println!(
+        "{}",
+        s.log.render_annotations(&s.prog, &s.history.stamp_order())
+    );
 
     // Table 2 info for what was stored.
     println!("\n---- stored patterns (Table 2) ----");
@@ -65,7 +74,10 @@ fn main() {
             println!("      {sid}: {snap}");
         }
         println!("  post_pattern: {}", r.post.shape);
-        println!("  actions     : {} stamped primitive action(s)", r.stamps.len());
+        println!(
+            "  actions     : {} stamped primitive action(s)",
+            r.stamps.len()
+        );
     }
 
     // Section 5.2: undo INX. Its post pattern (Tight Loops) is invalidated

@@ -36,16 +36,18 @@ write A(3)
     let cse = session.apply_kind(XformKind::Cse).expect("CSE applies");
     let ctp = session.apply_kind(XformKind::Ctp).expect("CTP applies");
     let icm = session.apply_kind(XformKind::Icm).expect("ICM applies");
-    println!("\n== after {} ==\n{}", session.history.summary(), session.source());
+    println!(
+        "\n== after {} ==\n{}",
+        session.history.summary(),
+        session.source()
+    );
 
     // Undo the *first* transformation — not the last. CTP and ICM are
     // unrelated to it and stay in place.
-    let report = session.undo(cse, Strategy::Regional).expect("undo succeeds");
-    println!(
-        "== after undoing cse({}) ==\n{}",
-        cse.0,
-        session.source()
-    );
+    let report = session
+        .undo(cse, Strategy::Regional)
+        .expect("undo succeeds");
+    println!("== after undoing cse({}) ==\n{}", cse.0, session.source());
     println!(
         "undone: {:?} | candidates considered: {} | safety checks: {}",
         report.undone, report.candidates_considered, report.safety_checks

@@ -30,8 +30,16 @@ fn undo_strategy_study() {
         "frags", "applied", "strategy", "candidates", "safety", "time"
     );
     for &frags in &[8usize, 16, 32, 64] {
-        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() };
-        for strategy in [Strategy::Regional, Strategy::NoHeuristic, Strategy::FullScan] {
+        let cfg = WorkloadCfg {
+            fragments: frags,
+            noise_ratio: 0.3,
+            ..Default::default()
+        };
+        for strategy in [
+            Strategy::Regional,
+            Strategy::NoHeuristic,
+            Strategy::FullScan,
+        ] {
             let mut prepared = prepare(0xC0FFEE ^ frags as u64, &cfg, frags * 2);
             let applied = prepared.applied.clone();
             if applied.len() < 4 {
@@ -64,7 +72,11 @@ fn reverse_vs_independent() {
         "frags", "applied", "method", "removed", "surviving"
     );
     for &frags in &[8usize, 16, 32] {
-        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() };
+        let cfg = WorkloadCfg {
+            fragments: frags,
+            noise_ratio: 0.3,
+            ..Default::default()
+        };
         // Independent order.
         let mut p1 = prepare(7 + frags as u64, &cfg, frags * 2);
         let n = p1.applied.len();
@@ -114,7 +126,11 @@ fn edit_study() {
         "frags", "applied", "unsafe", "removed", "surviving", "time"
     );
     for &frags in &[8usize, 16, 32] {
-        let cfg = WorkloadCfg { fragments: frags, noise_ratio: 0.3, ..Default::default() };
+        let cfg = WorkloadCfg {
+            fragments: frags,
+            noise_ratio: 0.3,
+            ..Default::default()
+        };
         let mut p = prepare(99 + frags as u64, &cfg, frags * 2);
         let n = p.applied.len();
         let edit = gen_edit(&p.session, 5);

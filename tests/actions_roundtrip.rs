@@ -5,7 +5,7 @@
 use pivot_lang::equiv::programs_equal;
 use pivot_lang::printer::to_source;
 use pivot_lang::{ExprKind, Loc, Parent, Program};
-use pivot_undo::{ActionLog, ActionKind};
+use pivot_undo::{ActionKind, ActionLog};
 use pivot_workload::{gen_program, WorkloadCfg};
 use proptest::prelude::*;
 
@@ -21,7 +21,15 @@ fn random_action(prog: &mut Program, log: &mut ActionLog, pick: u64) -> bool {
         1 => {
             // Move to the front of its own block.
             let parent = prog.stmt(s).parent.unwrap();
-            log.move_stmt(prog, s, Loc { parent, anchor: pivot_lang::AnchorPos::Start }).is_ok()
+            log.move_stmt(
+                prog,
+                s,
+                Loc {
+                    parent,
+                    anchor: pivot_lang::AnchorPos::Start,
+                },
+            )
+            .is_ok()
         }
         2 => {
             let loc = prog.loc_of(s).unwrap();
@@ -30,7 +38,9 @@ fn random_action(prog: &mut Program, log: &mut ActionLog, pick: u64) -> bool {
         3 => {
             // Modify the first expression root to a constant.
             match prog.stmt_expr_roots(s).first().copied() {
-                Some(e) => log.modify_expr(prog, e, ExprKind::Const(pick as i64 % 100)).is_ok(),
+                Some(e) => log
+                    .modify_expr(prog, e, ExprKind::Const(pick as i64 % 100))
+                    .is_ok(),
                 None => false,
             }
         }

@@ -7,9 +7,9 @@
 //! unsafe) and one reversibility-disabling condition (a later action makes
 //! it non-immediately-reversible, with correct blame).
 
+use pivot_ir::Rep;
 use pivot_lang::parser::parse;
 use pivot_lang::{Loc, Parent, Program, StmtKind};
-use pivot_ir::Rep;
 use pivot_undo::actions::ActionLog;
 use pivot_undo::history::History;
 use pivot_undo::revers::check_reversible;
@@ -27,7 +27,12 @@ impl Rig {
     fn new(src: &str) -> Rig {
         let prog = parse(src).unwrap();
         let rep = Rep::build(&prog);
-        Rig { prog, rep, log: ActionLog::new(), hist: History::new() }
+        Rig {
+            prog,
+            rep,
+            log: ActionLog::new(),
+            hist: History::new(),
+        }
     }
 
     fn apply(&mut self, kind: XformKind) -> XformId {
@@ -124,7 +129,10 @@ fn dce_reversibility_disabled_by_copying_context() {
     };
     r.prog.detach(body[0]).unwrap();
     r.rep.refresh(&r.prog);
-    assert!(!r.reversible(dce), "anchor removal invalidates the original location");
+    assert!(
+        !r.reversible(dce),
+        "anchor removal invalidates the original location"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -155,10 +163,14 @@ fn ctp_safety_disabled_by_constant_change() {
     assert!(r.safe(ctp));
     let def = r.prog.body[0];
     if let StmtKind::Assign { value, .. } = r.prog.stmt(def).kind {
-        r.prog.replace_expr_kind(value, pivot_lang::ExprKind::Const(2));
+        r.prog
+            .replace_expr_kind(value, pivot_lang::ExprKind::Const(2));
     }
     r.rep.refresh(&r.prog);
-    assert!(!r.safe(ctp), "the propagated constant no longer matches its source");
+    assert!(
+        !r.safe(ctp),
+        "the propagated constant no longer matches its source"
+    );
 }
 
 #[test]
@@ -169,7 +181,9 @@ fn cpp_safety_disabled_by_source_redefinition() {
     // Insert y = 0 between the copy and the use.
     let copy_stmt = r.prog.body[1];
     let stmts = pivot_lang::parser::parse_stmts_into(&mut r.prog, "y = 0\n").unwrap();
-    r.prog.attach(stmts[0], Loc::after(Parent::Root, copy_stmt)).unwrap();
+    r.prog
+        .attach(stmts[0], Loc::after(Parent::Root, copy_stmt))
+        .unwrap();
     r.rep.refresh(&r.prog);
     assert!(!r.safe(cpp));
 }
@@ -225,9 +239,7 @@ fn icm_safety_disabled_by_bound_change_to_zero_trip() {
 
 #[test]
 fn inx_safety_disabled_by_new_blocking_dependence() {
-    let mut r = Rig::new(
-        "do i = 1, 10\n  do j = 1, 10\n    A(i, j) = B(i, j)\n  enddo\nenddo\n",
-    );
+    let mut r = Rig::new("do i = 1, 10\n  do j = 1, 10\n    A(i, j) = B(i, j)\n  enddo\nenddo\n");
     let inx = r.apply(XformKind::Inx);
     assert!(r.safe(inx));
     // Edit: add a (<,>)-carried dependence statement into the inner body.
@@ -256,9 +268,7 @@ fn inx_safety_disabled_by_new_blocking_dependence() {
 #[test]
 fn inx_reversibility_disabled_by_statement_between_loops() {
     // The Section 5.2 condition, driven by an edit rather than ICM.
-    let mut r = Rig::new(
-        "do i = 1, 10\n  do j = 1, 10\n    A(i, j) = 0\n  enddo\nenddo\n",
-    );
+    let mut r = Rig::new("do i = 1, 10\n  do j = 1, 10\n    A(i, j) = 0\n  enddo\nenddo\n");
     let inx = r.apply(XformKind::Inx);
     assert!(r.reversible(inx));
     let outer = r.prog.body[0];
@@ -274,14 +284,16 @@ fn inx_reversibility_disabled_by_statement_between_loops() {
         .unwrap();
     r.rep.refresh(&r.prog);
     let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(inx)).unwrap_err();
-    assert_eq!(err.affecting, None, "an edit, not a transformation, is to blame");
+    assert_eq!(
+        err.affecting, None,
+        "an edit, not a transformation, is to blame"
+    );
 }
 
 #[test]
 fn fus_safety_disabled_by_new_backward_dependence() {
-    let mut r = Rig::new(
-        "do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = 2\nenddo\nwrite B(3)\n",
-    );
+    let mut r =
+        Rig::new("do i = 1, 10\n  A(i) = 1\nenddo\ndo i = 1, 10\n  B(i) = 2\nenddo\nwrite B(3)\n");
     let fus = r.apply(XformKind::Fus);
     assert!(r.safe(fus));
     // Edit the second body statement to read A(i + 1): a backward
@@ -344,7 +356,12 @@ fn performing_never_destroys_earlier_safety() {
         "D = E + F\nC = 1\ndo i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\n",
     );
     let mut ids = Vec::new();
-    for k in [XformKind::Cse, XformKind::Ctp, XformKind::Inx, XformKind::Icm] {
+    for k in [
+        XformKind::Cse,
+        XformKind::Ctp,
+        XformKind::Inx,
+        XformKind::Icm,
+    ] {
         ids.push(r.apply(k));
         for &earlier in &ids {
             assert!(r.safe(earlier), "{earlier} lost safety after applying {k}");

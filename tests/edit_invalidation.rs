@@ -9,7 +9,11 @@ use pivot_workload::{gen_edit, gen_inputs, prepare, WorkloadCfg};
 use proptest::prelude::*;
 
 fn cfg() -> WorkloadCfg {
-    WorkloadCfg { fragments: 8, noise_ratio: 0.3, ..Default::default() }
+    WorkloadCfg {
+        fragments: 8,
+        noise_ratio: 0.3,
+        ..Default::default()
+    }
 }
 
 /// Apply an `Insert` edit to a clone of the pre-edit source program. The
@@ -20,7 +24,9 @@ fn edit_source(
     source: &pivot_lang::Program,
     edit: &pivot_undo::Edit,
 ) -> Option<pivot_lang::Program> {
-    let pivot_undo::Edit::Insert { src, at } = edit else { return None };
+    let pivot_undo::Edit::Insert { src, at } = edit else {
+        return None;
+    };
     // Only anchors shared by both arenas are faithfully replayable.
     match at.anchor {
         pivot_lang::AnchorPos::Start => {}
@@ -120,5 +126,9 @@ fn harmless_edit_invalidates_nothing() {
     let report = p.session.remove_unsafe(Strategy::Regional);
     assert!(report.removed.is_empty());
     assert!(report.retired.is_empty());
-    assert_eq!(p.session.history.active_len(), n, "all transformations survive");
+    assert_eq!(
+        p.session.history.active_len(),
+        n,
+        "all transformations survive"
+    );
 }

@@ -19,7 +19,12 @@ enddo
 
 fn transformed() -> Session {
     let mut s = Session::from_source(FIG1).unwrap();
-    for k in [XformKind::Cse, XformKind::Ctp, XformKind::Inx, XformKind::Icm] {
+    for k in [
+        XformKind::Cse,
+        XformKind::Ctp,
+        XformKind::Inx,
+        XformKind::Icm,
+    ] {
         s.apply_kind(k).unwrap();
     }
     s

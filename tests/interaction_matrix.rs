@@ -76,8 +76,11 @@ fn reverse_destroy_reading_holds_for_witnessed_chains() {
         let mut s = Session::from_source(w.source).unwrap();
         let inputs: Vec<i64> = vec![3; 16];
         let expected = pivot_lang::interp::run_default(&s.prog, &inputs).unwrap();
-        let before: std::collections::HashSet<String> =
-            s.find(w.to).iter().map(|o| format!("{:?}", o.params)).collect();
+        let before: std::collections::HashSet<String> = s
+            .find(w.to)
+            .iter()
+            .map(|o| format!("{:?}", o.params))
+            .collect();
         let from_id = s.apply_kind(w.from).expect("witness from applies");
         let new_opp = s
             .find(w.to)
@@ -95,20 +98,34 @@ fn reverse_destroy_reading_holds_for_witnessed_chains() {
         assert_eq!(now, expected, "{} → {}: semantics broke", w.from, w.to);
         if s.history.get(to_id).state == XformState::Active {
             // Survivors must still be safe, and reversible on demand.
-            assert!(s.find_unsafe().is_empty(), "{} → {}: unsafe survivor", w.from, w.to);
+            assert!(
+                s.find_unsafe().is_empty(),
+                "{} → {}: unsafe survivor",
+                w.from,
+                w.to
+            );
             kept.push((w.from, w.to));
             s.undo(to_id, Strategy::Regional)
                 .unwrap_or_else(|e| panic!("{} → {}: undo(to): {e}", w.from, w.to));
         }
         // Everything removed: the source must be restored exactly.
-        assert_eq!(s.source(), w.source, "{} → {} did not restore", w.from, w.to);
+        assert_eq!(
+            s.source(),
+            w.source,
+            "{} → {} did not restore",
+            w.from,
+            w.to
+        );
         let now = pivot_lang::interp::run_default(&s.prog, &inputs).unwrap();
         assert_eq!(now, expected);
     }
     // The cascade must fire for most chains; only genuinely
     // still-valid survivors (e.g. an invariant returning into a fused
     // loop) may remain.
-    assert!(kept.len() <= 4, "too many chains kept the enabled transformation: {kept:?}");
+    assert!(
+        kept.len() <= 4,
+        "too many chains kept the enabled transformation: {kept:?}"
+    );
 }
 
 #[test]
@@ -131,7 +148,11 @@ fn spec_generated_checker_agrees_with_handwritten() {
     use pivot_undo::spec::eval_spec;
     use pivot_workload::{prepare, WorkloadCfg};
     for seed in 0..8u64 {
-        let cfg = WorkloadCfg { fragments: 8, noise_ratio: 0.3, ..Default::default() };
+        let cfg = WorkloadCfg {
+            fragments: 8,
+            noise_ratio: 0.3,
+            ..Default::default()
+        };
         let p = prepare(seed, &cfg, 12);
         let s = &p.session;
         for r in s.history.active() {

@@ -1,0 +1,262 @@
+//! Observability integration tests: the JSONL trace schema over the paper's
+//! Figure 1 cascade, the provenance explanation trees, and the invariance of
+//! engine behaviour under the no-op tracer.
+
+use pivot_obs::{json, CauseKind, Phase, Recorder};
+use pivot_undo::engine::{Session, Strategy, UndoReport};
+use pivot_undo::{XformId, XformKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const FIG1: &str = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+";
+
+/// Figure 1 sequence: cse(1) ctp(2) inx(3) icm(4).
+fn figure1_session() -> (Session, [XformId; 4]) {
+    let mut s = Session::from_source(FIG1).unwrap();
+    let cse = s.apply_kind(XformKind::Cse).expect("cse applies");
+    let ctp = s.apply_kind(XformKind::Ctp).expect("ctp applies");
+    let inx = s.apply_kind(XformKind::Inx).expect("inx applies");
+    let icm = s.apply_kind(XformKind::Icm).expect("icm applies");
+    (s, [cse, ctp, inx, icm])
+}
+
+/// Golden schema test: undoing INX in Figure 1 (which cascades ICM) must
+/// produce a well-formed JSONL trace — every line parses, sequence numbers
+/// and timestamps are monotone, every span start has exactly one matching
+/// end, and phase names come from the published set.
+#[test]
+fn figure1_inx_trace_is_schema_valid() {
+    let (mut s, [_, _, inx, _]) = figure1_session();
+    let (rec, buf) = Recorder::in_memory();
+    let rec = Arc::new(rec);
+    s.set_tracer(rec.clone());
+    s.undo(inx, Strategy::Regional).unwrap();
+    rec.flush().unwrap();
+
+    let text = buf.contents();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 8, "expected a real trace, got:\n{text}");
+
+    let valid_phases: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+    let mut last_seq: i64 = -1;
+    let mut last_t: i64 = -1;
+    let mut starts: HashMap<i64, i64> = HashMap::new(); // span -> start seq
+    let mut ended: HashMap<i64, i64> = HashMap::new();
+    let mut phases_seen: Vec<String> = Vec::new();
+    for line in &lines {
+        let obj = json::parse(line).unwrap_or_else(|e| panic!("bad JSON line `{line}`: {e:?}"));
+        let ev = obj.get("ev").and_then(|v| v.as_str()).expect("ev field");
+        assert!(
+            matches!(ev, "span_start" | "span_end" | "event"),
+            "unknown ev `{ev}`"
+        );
+        let seq = obj.get("seq").and_then(|v| v.as_int()).expect("seq field");
+        assert_eq!(seq, last_seq + 1, "seq must be dense and monotone");
+        last_seq = seq;
+        let t = obj
+            .get("t_us")
+            .and_then(|v| v.as_int())
+            .expect("t_us field");
+        assert!(t >= last_t, "t_us must be monotone");
+        last_t = t;
+        if ev != "event" {
+            let span = obj
+                .get("span")
+                .and_then(|v| v.as_int())
+                .expect("span id on spans");
+            let phase = obj
+                .get("phase")
+                .and_then(|v| v.as_str())
+                .expect("phase on spans");
+            assert!(valid_phases.contains(&phase), "unknown phase `{phase}`");
+            if ev == "span_start" {
+                assert!(
+                    starts.insert(span, seq).is_none(),
+                    "span {span} started twice"
+                );
+                phases_seen.push(phase.to_owned());
+            } else {
+                let started = starts.get(&span).copied().expect("end without start");
+                assert!(seq > started, "span {span} ends before it starts");
+                assert!(ended.insert(span, seq).is_none(), "span {span} ended twice");
+            }
+        }
+    }
+    assert_eq!(starts.len(), ended.len(), "every span start must be ended");
+
+    // The cascade exercises every phase except the candidate safety check
+    // (ICM cascades through the *affecting* chase, and nothing active
+    // follows INX afterwards — the DCE-chain test below covers
+    // `safety_check`).
+    for p in Phase::ALL {
+        if p == Phase::SafetyCheck {
+            continue;
+        }
+        assert!(
+            phases_seen.iter().any(|n| n == p.name()),
+            "phase `{}` missing from trace:\n{text}",
+            p.name()
+        );
+    }
+
+    // The root span carries the request metadata.
+    let root = json::parse(lines[0]).unwrap();
+    assert_eq!(root.get("phase").and_then(|v| v.as_str()), Some("undo"));
+    assert_eq!(root.get("xform").and_then(|v| v.as_int()), Some(3));
+    assert_eq!(root.get("kind").and_then(|v| v.as_str()), Some("INX"));
+    assert_eq!(
+        root.get("strategy").and_then(|v| v.as_str()),
+        Some("regional")
+    );
+    // Its end reports both removals (INX and the cascaded ICM).
+    let last = json::parse(lines[lines.len() - 1]).unwrap();
+    assert_eq!(last.get("phase").and_then(|v| v.as_str()), Some("undo"));
+    assert_eq!(last.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let undone = last
+        .get("undone")
+        .and_then(|v| v.as_array())
+        .expect("undone list");
+    assert_eq!(undone.len(), 2, "{text}");
+}
+
+/// Undoing INX cascades ICM as an *affecting* transformation (Section 5.2):
+/// the explanation tree must say so, with the causing action attached.
+#[test]
+fn figure1_inx_explanation_has_affecting_icm() {
+    let (mut s, [_, _, inx, icm]) = figure1_session();
+    s.undo(inx, Strategy::Regional).unwrap();
+
+    let tree = s.explain(inx).expect("inx was undone");
+    assert_eq!(tree.root.xform, inx.0);
+    assert_eq!(tree.root.kind, "inx");
+    assert_eq!(tree.root.cause, CauseKind::Requested);
+    assert_eq!(tree.size(), 2, "exactly INX and ICM were removed");
+
+    let child = tree.find(icm.0).expect("icm is in the cascade");
+    assert_eq!(child.kind, "icm");
+    assert_eq!(child.cause.tag(), "affecting");
+    match &child.cause {
+        CauseKind::Affecting {
+            disabling,
+            causing_action,
+        } => {
+            assert!(!disabling.is_empty());
+            assert!(
+                causing_action.contains(" t"),
+                "causing action names a stamped action: {causing_action}"
+            );
+        }
+        other => panic!("expected affecting cause, got {other:?}"),
+    }
+
+    // Both lookups resolve to the same tree; the render is the tree shape.
+    assert!(std::ptr::eq(s.explain(icm).unwrap(), tree));
+    let text = tree.render();
+    assert!(
+        text.starts_with(&format!("#{} inx (requested by user)\n", inx.0)),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("└─ #{} icm (affecting:", icm.0)),
+        "{text}"
+    );
+}
+
+/// Undoing the first DCE of a dead chain revives a use of the second's
+/// target, so the second cascades as an *affected* transformation: a region
+/// member whose safety predicate failed. (The dead statement sits at the
+/// end so its restore anchor survives — otherwise the second DCE blocks the
+/// restore and cascades through the affecting chase instead.)
+#[test]
+fn dce_chain_explanation_has_affected_edge() {
+    let mut s = Session::from_source("x = 1\nwrite 0\ny = x\n").unwrap();
+    let d1 = s.apply_kind(XformKind::Dce).expect("y = x is dead");
+    let d2 = s.apply_kind(XformKind::Dce).expect("x = 1 becomes dead");
+    assert_eq!(s.source(), "write 0\n");
+
+    let (rec, buf) = Recorder::in_memory();
+    s.set_tracer(Arc::new(rec));
+    let report = s.undo(d1, Strategy::Regional).unwrap();
+    assert!(report.undone.contains(&d2), "d2 must cascade");
+    assert!(report.safety_checks >= 1, "d2 was re-checked, not chased");
+
+    let tree = s.explain(d1).expect("d1 was undone");
+    assert_eq!(tree.root.cause, CauseKind::Requested);
+    let child = tree.find(d2.0).expect("d2 cascaded");
+    assert_eq!(child.cause.tag(), "affected");
+    match &child.cause {
+        CauseKind::Affected {
+            region_member,
+            heuristic_marked,
+            failed_predicate,
+        } => {
+            assert!(
+                *region_member,
+                "the revived use lies in the affected region"
+            );
+            assert!(*heuristic_marked, "DCE reverse-destroys DCE in Table 4");
+            assert_eq!(failed_predicate, "target dead at original location");
+        }
+        other => panic!("expected affected cause, got {other:?}"),
+    }
+    assert!(tree.render().contains("[in region]"), "{}", tree.render());
+
+    // The trace shows the failed safety check that triggered the cascade.
+    let trace = buf.contents();
+    let failed_check = trace.lines().map(|l| json::parse(l).unwrap()).any(|o| {
+        o.get("phase").and_then(|v| v.as_str()) == Some("safety_check")
+            && o.get("ev").and_then(|v| v.as_str()) == Some("span_end")
+            && o.get("safe").and_then(|v| v.as_bool()) == Some(false)
+    });
+    assert!(failed_check, "{trace}");
+
+    // Transformations never undone have no explanation tree.
+    assert!(s.explain(XformId(99)).is_none());
+}
+
+/// The default (no-op) tracer must not change engine behaviour: identical
+/// removal sets and identical work counters, and nothing is ever emitted.
+#[test]
+fn noop_tracer_emits_nothing_and_preserves_counters() {
+    fn counters(r: &UndoReport) -> (Vec<XformId>, u64, u64, u64, u64) {
+        (
+            r.undone.clone(),
+            r.candidates_considered,
+            r.safety_checks,
+            r.reversibility_checks,
+            r.affecting_chases,
+        )
+    }
+
+    let (mut plain, [_, _, inx, _]) = figure1_session();
+    assert!(
+        !plain.tracer().enabled(),
+        "sessions default to the no-op tracer"
+    );
+    let r_plain = plain.undo(inx, Strategy::Regional).unwrap();
+
+    let (mut traced, [_, _, inx2, _]) = figure1_session();
+    let (rec, buf) = Recorder::in_memory();
+    traced.set_tracer(Arc::new(rec));
+    let r_traced = traced.undo(inx2, Strategy::Regional).unwrap();
+
+    assert_eq!(counters(&r_plain), counters(&r_traced));
+    assert_eq!(plain.source(), traced.source());
+    assert!(!buf.is_empty(), "the recorder session must have traced");
+
+    // A recorder that is never attached sees nothing from an untraced run.
+    let (rec, silent) = Recorder::in_memory();
+    let _keep_alive = rec;
+    let (mut s, [cse, ..]) = figure1_session();
+    s.undo(cse, Strategy::Regional).unwrap();
+    assert!(silent.is_empty());
+}

@@ -105,9 +105,16 @@ fn all_24_undo_orders_restore_the_source() {
                 Err(e) => panic!("order {perm:?}: {e}"),
             }
         }
-        assert_eq!(s.source(), FIG1, "order {perm:?} failed to restore the source");
+        assert_eq!(
+            s.source(),
+            FIG1,
+            "order {perm:?} failed to restore the source"
+        );
         assert!(programs_equal(&s.prog, &s.original));
-        assert!(s.log.actions.is_empty(), "order {perm:?} left annotations behind");
+        assert!(
+            s.log.actions.is_empty(),
+            "order {perm:?} left annotations behind"
+        );
         s.assert_consistent();
     }
 }
@@ -117,11 +124,8 @@ fn every_intermediate_state_is_semantics_preserving() {
     // After each undo step (any order), the program output equals the
     // original program's output.
     let input: Vec<i64> = vec![];
-    let expected = pivot_lang::interp::run_default(
-        &pivot_lang::parser::parse(FIG1).unwrap(),
-        &input,
-    )
-    .unwrap();
+    let expected =
+        pivot_lang::interp::run_default(&pivot_lang::parser::parse(FIG1).unwrap(), &input).unwrap();
     for perm in permutations(&[0, 1, 2, 3]) {
         let (mut s, ids) = figure1_session();
         for &i in &perm {

@@ -58,7 +58,10 @@ proptest! {
 #[test]
 fn transformed_programs_remain_structurally_valid() {
     for seed in 0..12u64 {
-        let cfg = WorkloadCfg { fragments: 8, ..Default::default() };
+        let cfg = WorkloadCfg {
+            fragments: 8,
+            ..Default::default()
+        };
         let prog = gen_program(seed, &cfg);
         let mut s = Session::new(prog);
         for kind in ALL_KINDS {

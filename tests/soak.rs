@@ -27,7 +27,9 @@ use rand::{Rng, SeedableRng};
 /// statement): session-allocated ids (transformation products or earlier
 /// edit statements) mean something different in the source arena.
 fn anchor_is_original(edit: &Edit, original_len: usize) -> bool {
-    let Edit::Insert { at, .. } = edit else { return false };
+    let Edit::Insert { at, .. } = edit else {
+        return false;
+    };
     if !matches!(at.parent, pivot_lang::Parent::Root) {
         return false;
     }
@@ -38,8 +40,12 @@ fn anchor_is_original(edit: &Edit, original_len: usize) -> bool {
 }
 
 fn replay_on_source(source: &mut Program, edit: &Edit) -> bool {
-    let Edit::Insert { src, at } = edit else { return false };
-    let Ok(stmts) = pivot_lang::parser::parse_stmts_into(source, src) else { return false };
+    let Edit::Insert { src, at } = edit else {
+        return false;
+    };
+    let Ok(stmts) = pivot_lang::parser::parse_stmts_into(source, src) else {
+        return false;
+    };
     let mut loc = *at;
     for s in stmts {
         if source.attach(s, loc).is_err() {
@@ -113,7 +119,9 @@ fn soak(seed: u64, steps: usize) {
                 if !anchor_is_original(&edit, original_len) {
                     continue;
                 }
-                let Edit::Insert { at, .. } = &edit else { continue };
+                let Edit::Insert { at, .. } = &edit else {
+                    continue;
+                };
                 if !used_anchors.insert(at.anchor) {
                     continue;
                 }
@@ -126,9 +134,7 @@ fn soak(seed: u64, steps: usize) {
                 edits_made += 1;
                 session.edit(&edit).expect("edit applies");
                 let report = session.remove_unsafe(Strategy::Regional);
-                live.retain(|x| {
-                    !report.removed.contains(x) && !report.retired.contains(x)
-                });
+                live.retain(|x| !report.removed.contains(x) && !report.retired.contains(x));
                 assert!(
                     session.find_unsafe().is_empty(),
                     "seed {seed} step {step}: unsafe remain after removal"
@@ -142,7 +148,8 @@ fn soak(seed: u64, steps: usize) {
         // Semantic ground truth holds after every step.
         let got = interp::run_default(&session.prog, &inputs).unwrap();
         assert_eq!(
-            got, truth,
+            got,
+            truth,
             "seed {seed} step {step}: semantics diverged from source+edits\n{}",
             session.source()
         );
@@ -179,8 +186,10 @@ fn soak(seed: u64, steps: usize) {
         );
     } else {
         let lines = |p: &Program| {
-            let mut v: Vec<String> =
-                pivot_lang::printer::to_source(p).lines().map(|l| l.trim().to_owned()).collect();
+            let mut v: Vec<String> = pivot_lang::printer::to_source(p)
+                .lines()
+                .map(|l| l.trim().to_owned())
+                .collect();
             v.sort();
             v
         };

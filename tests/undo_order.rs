@@ -17,7 +17,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn cfg() -> WorkloadCfg {
-    WorkloadCfg { fragments: 6, noise_ratio: 0.4, figure1_chains: 1, ..Default::default() }
+    WorkloadCfg {
+        fragments: 6,
+        noise_ratio: 0.4,
+        figure1_chains: 1,
+        ..Default::default()
+    }
 }
 
 proptest! {
@@ -124,7 +129,10 @@ fn figure1_chain_dense_interactions_roundtrip() {
     };
     for seed in 0..8u64 {
         let mut prepared = prepare(seed, &cfg, 16);
-        assert!(prepared.applied.len() >= 8, "chains should apply many transformations");
+        assert!(
+            prepared.applied.len() >= 8,
+            "chains should apply many transformations"
+        );
         let mut order = prepared.applied.clone();
         order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed * 31 + 1));
         for id in order {
@@ -133,7 +141,10 @@ fn figure1_chain_dense_interactions_roundtrip() {
                 Err(e) => panic!("seed {seed}: {e}"),
             }
         }
-        assert!(programs_equal(&prepared.session.prog, &prepared.session.original));
+        assert!(programs_equal(
+            &prepared.session.prog,
+            &prepared.session.original
+        ));
     }
 }
 

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API shape the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `BatchSize`, the `criterion_group!` /
+//! `criterion_main!` macros) with a simple wall-clock measurement: each
+//! bench runs `sample_size` timed iterations and reports min/mean. No
+//! statistical analysis, HTML reports, or saved baselines. When the binary
+//! is invoked with `--test` (as `cargo test --benches` does), each bench
+//! runs a single iteration so the target merely smoke-tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// every batch size runs setup once per timed iteration here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small inputs (real criterion batches these; we do not).
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Parse CLI arguments (only `--test` is honoured).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single stand-alone bench.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let samples = self.samples(None);
+        run_bench(&id.into().id, samples, f);
+    }
+
+    fn samples(&self, group_override: Option<usize>) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            group_override.unwrap_or(self.sample_size)
+        }
+    }
+}
+
+/// A group of related benches sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the per-bench iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one bench in the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.c.samples(self.sample_size);
+        run_bench(&full, samples, f);
+    }
+
+    /// Run one bench with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each bench closure; records the timed routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        self.ran = true;
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh `setup` outputs (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.ran = true;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples as u64,
+        elapsed: Duration::ZERO,
+        ran: false,
+    };
+    f(&mut b);
+    if !b.ran {
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    let mean = b.elapsed.as_nanos() as f64 / samples as f64;
+    println!(
+        "{name:<48} time: {:>12} /iter  ({samples} iters)",
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a bench group function (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * x, BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn api_smoke() {
+        let mut c = Criterion::default().sample_size(2);
+        demo(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

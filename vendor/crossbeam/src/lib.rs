@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` crate, covering the scoped-thread
+//! surface this workspace uses (`crossbeam::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join`). Implemented directly over
+//! [`std::thread::scope`], which provides the same structured-concurrency
+//! guarantee (all spawned threads join before `scope` returns).
+
+use std::any::Any;
+use std::thread;
+
+/// Error payload of a panicked scope (mirrors crossbeam's signature).
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to the closure given to [`scope`]. Spawned threads
+/// may borrow from the enclosing environment (`'env`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a dummy argument slot
+    /// (crossbeam passes the scope itself; every caller here ignores it).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+/// Create a scope for spawning borrowing threads. Returns `Ok(r)` with the
+/// closure's result; all threads spawned in the scope are joined before
+/// this returns (unjoined panics propagate, as with `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sums = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<u64>>()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+}
