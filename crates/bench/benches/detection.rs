@@ -21,7 +21,7 @@ fn bench_detection(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table3_conditions");
     g.bench_function("safety_check_one", |b| {
-        let record = s.history.get(prepared.applied[2]).clone();
+        let record = s.history.get(prepared.applied[2]).unwrap().clone();
         b.iter(|| still_safe(&s.prog, &s.rep, &s.log, &record))
     });
     g.bench_function("safety_check_all_applied", |b| {
@@ -33,7 +33,7 @@ fn bench_detection(c: &mut Criterion) {
         })
     });
     g.bench_function("reversibility_check_one", |b| {
-        let record = s.history.get(prepared.applied[2]).clone();
+        let record = s.history.get(prepared.applied[2]).unwrap().clone();
         b.iter(|| check_reversible(&s.prog, &s.log, &s.history, &record).is_ok())
     });
     g.finish();

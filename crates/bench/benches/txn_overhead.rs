@@ -1,0 +1,89 @@
+//! Transactional-undo overhead: what the checkpoint/rollback machinery and
+//! the write-ahead journal cost on the standard mid-sequence undo.
+//!
+//! Expected shape (recorded in EXPERIMENTS.md): the checkpoint is a plain
+//! clone of the four session structures, so `undo` with no journal stays
+//! within noise of the pre-transactional engine; attaching a journal adds
+//! two synced line writes per request and dominates on fast undos.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pivot_undo::engine::Strategy;
+use pivot_undo::Journal;
+use pivot_workload::{prepare, WorkloadCfg};
+
+fn setup(frags: usize) -> (WorkloadCfg, u64) {
+    (
+        WorkloadCfg {
+            fragments: frags,
+            noise_ratio: 0.3,
+            ..Default::default()
+        },
+        0xBEEF ^ frags as u64,
+    )
+}
+
+fn bench_txn(c: &mut Criterion) {
+    let (cfg, seed) = setup(16);
+    let probe = prepare(seed, &cfg, 32);
+    let target = probe.applied[probe.applied.len() / 4];
+
+    let mut g = c.benchmark_group("txn_overhead");
+    g.sample_size(20);
+
+    // Raw snapshot cost: what every apply/undo request pays up front.
+    g.bench_function("checkpoint", |b| {
+        b.iter_batched(
+            || prepare(seed, &cfg, 32),
+            |p| p.session.checkpoint(),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Mid-sequence undo with the checkpoint/rollback machinery but no
+    // journal — the default configuration.
+    g.bench_function("undo_no_journal", |b| {
+        b.iter_batched(
+            || prepare(seed, &cfg, 32),
+            |mut p| {
+                p.session
+                    .undo(target, Strategy::Regional)
+                    .expect("undo")
+                    .undone
+                    .len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // The same undo with a write-ahead journal attached (begin + commit,
+    // each flushed and synced).
+    let path = std::env::temp_dir().join("pivot_bench_txn.journal");
+    let _ = std::fs::remove_file(&path);
+    g.bench_function("undo_journal", |b| {
+        b.iter_batched(
+            || {
+                let mut p = prepare(seed, &cfg, 32);
+                p.session
+                    .set_journal(Journal::open(&path).expect("journal"));
+                p
+            },
+            |mut p| {
+                p.session
+                    .undo(target, Strategy::Regional)
+                    .expect("undo")
+                    .undone
+                    .len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    let _ = std::fs::remove_file(&path);
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_txn
+}
+criterion_main!(benches);

@@ -9,10 +9,15 @@
 //! pivot run <file> [ints…]           interpret; prints the output stream
 //! pivot ops <file>                   list applicable transformations
 //! pivot opt <file> [KINDS] [max=N]   greedily apply transformations
-//! pivot script <file> <script> [--trace <out.jsonl>]
+//! pivot script <file> <script> [--trace <out.jsonl>] [--journal <out.jsonl>]
 //!                                    drive a session from a command script,
 //!                                    optionally recording a JSONL trace of
-//!                                    every undo phase
+//!                                    every undo phase and/or a write-ahead
+//!                                    journal of every transaction
+//! pivot recover <file> <journal>     rebuild a session from a program plus
+//!                                    its write-ahead journal (committed
+//!                                    transactions replay; the uncommitted
+//!                                    tail is discarded)
 //! pivot tables                       print the regenerated paper tables
 //! ```
 //!
@@ -37,7 +42,7 @@
 #![warn(missing_docs)]
 
 use pivot_obs::Recorder;
-use pivot_undo::engine::{Session, Strategy};
+use pivot_undo::engine::{Session, Strategy, UndoError};
 use pivot_undo::{XformId, XformKind};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -65,8 +70,10 @@ usage: pivot <command> [args]
   run <file> [ints…]           interpret; prints the output stream
   ops <file>                   list applicable transformations
   opt <file> [KINDS] [max=N]   greedily apply transformations (KINDS = e.g. CSE,CTP)
-  script <file> <script> [--trace <out.jsonl>]
+  script <file> <script> [--trace <out.jsonl>] [--journal <out.jsonl>]
                                drive a session from a command script
+  recover <file> <journal>     replay a write-ahead journal's committed
+                               transactions; discard the uncommitted tail
   tables                       print the regenerated paper tables
 ";
 
@@ -141,11 +148,16 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .get(2)
                 .ok_or_else(|| err("script: missing script file"))?;
             let mut trace_path = None;
+            let mut journal_path = None;
             let mut rest = args[3..].iter();
             while let Some(a) = rest.next() {
                 match a.as_str() {
                     "--trace" => {
                         trace_path = Some(rest.next().ok_or_else(|| err("--trace needs a file"))?);
+                    }
+                    "--journal" => {
+                        journal_path =
+                            Some(rest.next().ok_or_else(|| err("--journal needs a file"))?);
                     }
                     other => return Err(err(format!("script: unknown option `{other}`"))),
                 }
@@ -164,11 +176,31 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 }
                 None => None,
             };
+            if let Some(p) = journal_path {
+                let journal = pivot_undo::Journal::open(std::path::Path::new(p))
+                    .map_err(|e| err(format!("cannot open journal {p}: {e}")))?;
+                session.set_journal(journal);
+            }
             let result = run_script(&mut session, &script, &mut out);
             if let Some(rec) = recorder {
                 let _ = rec.flush();
             }
             result?;
+        }
+        Some("recover") => {
+            let prog = load(args.get(1))?;
+            let journal_path = args
+                .get(2)
+                .ok_or_else(|| err("recover: missing journal file"))?;
+            let recovery = Session::recover(prog, std::path::Path::new(journal_path))
+                .map_err(|e| err(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "recovered: {} committed, {} aborted, {} discarded",
+                recovery.committed, recovery.aborted, recovery.discarded
+            );
+            let _ = writeln!(out, "history: {}", recovery.session.history.summary());
+            out.push_str(&recovery.session.source());
         }
         Some("tables") => {
             out.push_str("== Table 3 (generated from specifications) ==\n");
@@ -239,13 +271,13 @@ pub fn run_script(session: &mut Session, script: &str, out: &mut String) -> Resu
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| fail("undo needs a transformation number".into()))?;
-                if n == 0 || n as usize > session.history.records.len() {
-                    return Err(fail(format!("no transformation #{n}")));
-                }
                 match session.undo(XformId(n), Strategy::Regional) {
                     Ok(r) => {
                         let _ = writeln!(out, "undone: {:?}", r.undone);
                         let _ = writeln!(out, "{r}");
+                    }
+                    Err(UndoError::NoSuchXform(id)) => {
+                        return Err(fail(format!("no transformation {id}")));
                     }
                     Err(e) => {
                         let _ = writeln!(out, "cannot undo #{n}: {e}");
@@ -257,10 +289,14 @@ pub fn run_script(session: &mut Session, script: &str, out: &mut String) -> Resu
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| fail("explain needs a transformation number".into()))?;
-                match session.explain(XformId(n)) {
-                    Some(tree) => out.push_str(&tree.render()),
-                    None => {
-                        let _ = writeln!(out, "#{n} has not been undone");
+                if session.history.get(XformId(n)).is_err() {
+                    let _ = writeln!(out, "no transformation #{n}");
+                } else {
+                    match session.explain(XformId(n)) {
+                        Some(tree) => out.push_str(&tree.render()),
+                        None => {
+                            let _ = writeln!(out, "#{n} has not been undone");
+                        }
                     }
                 }
             }
@@ -373,14 +409,15 @@ mod tests {
         let mut out = String::new();
         run_script(
             &mut s,
-            "apply CSE\nundo 1\nexplain 1\nstats\nexplain 2\n",
+            "apply CSE\nexplain 1\nundo 1\nexplain 1\nstats\nexplain 2\n",
             &mut out,
         )
         .unwrap();
+        assert!(out.contains("#1 has not been undone"), "{out}");
         assert!(out.contains("undone 1 [#1]"), "{out}");
         assert!(out.contains("#1 cse (requested by user)"), "{out}");
         assert!(out.contains("undo.requests"), "{out}");
-        assert!(out.contains("#2 has not been undone"), "{out}");
+        assert!(out.contains("no transformation #2"), "{out}");
     }
 
     #[test]
@@ -452,5 +489,37 @@ mod tests {
             "--bogus".into()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn cli_journal_and_recover() {
+        let dir = std::env::temp_dir().join("pivot_cli_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("prog.pv");
+        std::fs::write(&f, "d = e + f\nr = e + f\nwrite r\nwrite d\n").unwrap();
+        let fs = f.to_string_lossy().to_string();
+        let sf = dir.join("script.txt");
+        std::fs::write(&sf, "apply CSE\nundo 1\nshow\n").unwrap();
+        let jf = dir.join("session.journal");
+        let _ = std::fs::remove_file(&jf);
+        let out = run_cli(&[
+            "script".into(),
+            fs.clone(),
+            sf.to_string_lossy().to_string(),
+            "--journal".into(),
+            jf.to_string_lossy().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("undone: [x1]"), "{out}");
+        let journal = std::fs::read_to_string(&jf).unwrap();
+        assert!(journal.contains("\"rec\":\"begin\""), "{journal}");
+        assert!(journal.contains("\"rec\":\"commit\""), "{journal}");
+        // Replaying the journal reproduces the session end state.
+        let out = run_cli(&["recover".into(), fs, jf.to_string_lossy().to_string()]).unwrap();
+        assert!(
+            out.contains("recovered: 2 committed, 0 aborted, 0 discarded"),
+            "{out}"
+        );
+        assert!(out.contains("r = e + f"), "{out}");
     }
 }

@@ -185,11 +185,13 @@ impl Session {
             match self.undo(first, strategy) {
                 Ok(UndoReport { undone, .. }) => report.removed.extend(undone),
                 Err(UndoError::Stuck(id, _)) => {
-                    self.retire_without_reversal(id);
+                    if self.retire_without_reversal(id).is_err() {
+                        break;
+                    }
                     report.retired.push(id);
                 }
                 Err(UndoError::AlreadyUndone(_)) => {}
-                Err(UndoError::DepthExceeded) => break,
+                Err(_) => break,
             }
         }
         report
@@ -198,10 +200,14 @@ impl Session {
     /// Retire a record whose mechanical reversal is impossible (its context
     /// was destroyed by an edit): drop its actions and mark it undone. The
     /// program is left as-is — the edit superseded the transformed code.
-    pub fn retire_without_reversal(&mut self, id: XformId) {
-        let stamps = self.history.get(id).stamps.clone();
+    pub fn retire_without_reversal(
+        &mut self,
+        id: XformId,
+    ) -> Result<(), crate::history::HistoryError> {
+        let stamps = self.history.get(id)?.stamps.clone();
         self.log.retire(&stamps);
-        self.history.get_mut(id).state = XformState::Undone;
+        self.history.get_mut(id)?.state = XformState::Undone;
+        Ok(())
     }
 
     /// Baseline: reverse-undo **all** active transformations, then re-apply
@@ -217,7 +223,9 @@ impl Session {
             match self.undo_reverse_to(last) {
                 Ok(r) => undone += r.undone.len(),
                 Err(_) => {
-                    self.retire_without_reversal(last);
+                    if self.retire_without_reversal(last).is_err() {
+                        break;
+                    }
                     undone += 1;
                 }
             }
@@ -225,7 +233,9 @@ impl Session {
         let mut redone = 0usize;
         let mut searched = 0usize;
         for old_id in plan {
-            let old = self.history.get(old_id).clone();
+            let Ok(old) = self.history.get(old_id).cloned() else {
+                continue;
+            };
             let opps = self.find(old.kind);
             searched += opps.len();
             let site = crate::engine::primary_site(&old.params);
@@ -284,7 +294,7 @@ write d1
         assert_eq!(report.removed, vec![a]);
         assert!(report.retired.is_empty());
         // The surviving CSE is still applied.
-        assert_eq!(s.history.get(b).state, XformState::Active);
+        assert_eq!(s.history.get(b).unwrap().state, XformState::Active);
         assert!(s.source().contains("r1 = d1"));
         assert!(s.source().contains("r0 = e0 + f0"));
         s.assert_consistent();
@@ -343,11 +353,11 @@ write d0
         // an undo request gets Stuck, and remove via retire works.
         match s.undo(dce, Strategy::Regional) {
             Err(UndoError::Stuck(id, _)) => {
-                s.retire_without_reversal(id);
+                s.retire_without_reversal(id).unwrap();
             }
             other => panic!("expected Stuck, got {other:?}"),
         }
-        assert_eq!(s.history.get(dce).state, XformState::Undone);
+        assert_eq!(s.history.get(dce).unwrap().state, XformState::Undone);
         assert!(s.log.actions.is_empty());
     }
 

@@ -23,13 +23,15 @@
 
 use crate::actions::{ActionError, ActionKind, ActionLog};
 use crate::catalog::{self, Opportunity};
-use crate::history::{History, XformId, XformState};
+use crate::history::{History, HistoryError, XformId, XformState};
 use crate::interact::{self, Matrix};
+use crate::journal::{Journal, JournalOp};
 use crate::kind::XformKind;
 use crate::pattern::XformParams;
 use crate::region::affected_region;
 use crate::revers::check_reversible;
 use crate::safety::still_safe;
+use crate::txn::{EngineError, FaultState};
 use pivot_ir::Rep;
 use pivot_lang::{Program, StmtId};
 use pivot_obs::provenance::{CauseKind, ProvenanceNode, ProvenanceTree};
@@ -56,6 +58,16 @@ impl Strategy {
             Strategy::Regional => "regional",
             Strategy::NoHeuristic => "no_heuristic",
             Strategy::FullScan => "full_scan",
+        }
+    }
+
+    /// Inverse of [`Strategy::name`] (journal replay).
+    pub fn from_name(s: &str) -> Option<Strategy> {
+        match s {
+            "regional" => Some(Strategy::Regional),
+            "no_heuristic" => Some(Strategy::NoHeuristic),
+            "full_scan" => Some(Strategy::FullScan),
+            _ => None,
         }
     }
 }
@@ -98,9 +110,14 @@ impl fmt::Display for UndoReport {
     }
 }
 
-/// Why an undo failed.
+/// Why an undo failed. Every failure is atomic: the session is left exactly
+/// as it was before the request (for `Stuck`/`DepthExceeded`/`RolledBack`
+/// this means the partial cascade was rolled back to the checkpoint taken
+/// at the top of the request).
 #[derive(Clone, Debug)]
 pub enum UndoError {
+    /// The id does not name a recorded transformation.
+    NoSuchXform(XformId),
     /// The transformation was already undone.
     AlreadyUndone(XformId),
     /// Irreversible and no affecting transformation identified (e.g. the
@@ -108,19 +125,71 @@ pub enum UndoError {
     Stuck(XformId, ActionError),
     /// Cascade depth exceeded (defensive bound).
     DepthExceeded,
+    /// A phase fault (failed inverse action, refused representation
+    /// rebuild, journal write failure, or an injected fault) aborted the
+    /// cascade; the session was restored to the pre-request checkpoint.
+    RolledBack {
+        /// The Figure-4 phase that faulted.
+        phase: Phase,
+        /// The typed fault.
+        cause: EngineError,
+    },
 }
 
 impl fmt::Display for UndoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            UndoError::NoSuchXform(x) => write!(f, "no transformation {x}"),
             UndoError::AlreadyUndone(x) => write!(f, "{x} is already undone"),
             UndoError::Stuck(x, e) => write!(f, "{x} cannot be reversed: {e}"),
             UndoError::DepthExceeded => write!(f, "undo cascade exceeded depth bound"),
+            UndoError::RolledBack { phase, cause } => {
+                write!(f, "rolled back at {}: {cause}", phase.name())
+            }
         }
     }
 }
 
 impl std::error::Error for UndoError {}
+
+/// Internal cascade failure, raised inside `undo_rec`/`reverse_to_inner`
+/// before the rollback decision is made at the request boundary.
+enum CascadeError {
+    Stuck(XformId, ActionError),
+    DepthExceeded,
+    Fault { phase: Phase, cause: EngineError },
+}
+
+impl CascadeError {
+    fn fault(phase: Phase, cause: EngineError) -> CascadeError {
+        CascadeError::Fault { phase, cause }
+    }
+
+    fn reason(&self) -> String {
+        match self {
+            CascadeError::Stuck(x, e) => format!("{x} cannot be reversed: {e}"),
+            CascadeError::DepthExceeded => "undo cascade exceeded depth bound".to_string(),
+            CascadeError::Fault { phase, cause } => format!("{}: {cause}", phase.name()),
+        }
+    }
+
+    fn into_undo_error(self) -> UndoError {
+        match self {
+            CascadeError::Stuck(x, e) => UndoError::Stuck(x, e),
+            CascadeError::DepthExceeded => UndoError::DepthExceeded,
+            CascadeError::Fault { phase, cause } => UndoError::RolledBack { phase, cause },
+        }
+    }
+}
+
+impl From<HistoryError> for CascadeError {
+    fn from(e: HistoryError) -> Self {
+        CascadeError::Fault {
+            phase: Phase::Undo,
+            cause: EngineError::History(e),
+        }
+    }
+}
 
 /// An interactive transformation session over one program: the paper's
 /// user-facing model (apply transformations, undo any of them later).
@@ -137,7 +206,6 @@ impl std::error::Error for UndoError {}
 /// assert!(s.source().contains("r = e + f"));
 /// assert!(pivot_lang::equiv::programs_equal(&s.prog, &s.original));
 /// ```
-#[derive(Clone)]
 pub struct Session {
     /// The program being transformed.
     pub prog: Program,
@@ -155,6 +223,30 @@ pub struct Session {
     pub explanations: Vec<ProvenanceTree>,
     /// Telemetry sink for the undo phases (default: the no-op tracer).
     tracer: Arc<dyn Tracer>,
+    /// Armed fault-injection plan (testing hook; `None` in production).
+    pub(crate) faults: Option<FaultState>,
+    /// Attached write-ahead journal (not inherited by forks).
+    pub(crate) journal: Option<Journal>,
+}
+
+impl Clone for Session {
+    /// Forks share everything except the journal: two sessions appending
+    /// interleaved transactions to one write-ahead file would make replay
+    /// ambiguous, so the clone starts unjournaled.
+    fn clone(&self) -> Session {
+        Session {
+            prog: self.prog.clone(),
+            rep: self.rep.clone(),
+            log: self.log.clone(),
+            history: self.history.clone(),
+            matrix: self.matrix,
+            original: self.original.clone(),
+            explanations: self.explanations.clone(),
+            tracer: Arc::clone(&self.tracer),
+            faults: self.faults.clone(),
+            journal: None,
+        }
+    }
 }
 
 impl Session {
@@ -171,6 +263,8 @@ impl Session {
             original,
             explanations: Vec::new(),
             tracer: Arc::new(NoopTracer),
+            faults: None,
+            journal: None,
         }
     }
 
@@ -215,17 +309,95 @@ impl Session {
     }
 
     /// Apply an opportunity; records history and refreshes the
-    /// representation.
-    pub fn apply(&mut self, opp: &Opportunity) -> Result<XformId, ActionError> {
-        let applied = catalog::apply(&mut self.prog, &mut self.log, opp)?;
-        self.rep.refresh(&self.prog);
-        Ok(self.history.record(
-            opp.kind(),
-            applied.params,
-            applied.pre,
-            applied.post,
-            applied.stamps,
-        ))
+    /// representation. Transactional: when a journal is attached, a `begin`
+    /// record hits disk before any mutation; any failure (inapplicable
+    /// action, refused representation rebuild, injected fault, journal
+    /// write error) rolls the session back to its pre-apply state.
+    pub fn apply(&mut self, opp: &Opportunity) -> Result<XformId, EngineError> {
+        let cp = self.checkpoint();
+        let txn = self.journal_begin(JournalOp::Apply {
+            kind: opp.kind(),
+            site: primary_site(&opp.params),
+        })?;
+        let result = (|| -> Result<XformId, EngineError> {
+            let applied = catalog::apply(&mut self.prog, &mut self.log, opp)?;
+            self.refresh_rep()?;
+            Ok(self.history.record(
+                opp.kind(),
+                applied.params,
+                applied.pre,
+                applied.post,
+                applied.stamps,
+            ))
+        })();
+        match result {
+            Ok(id) => match self.journal_commit(txn) {
+                Ok(()) => Ok(id),
+                Err(cause) => {
+                    self.rollback(cp);
+                    self.emit_rollback("apply", &cause.to_string());
+                    Err(cause)
+                }
+            },
+            Err(cause) => {
+                self.rollback(cp);
+                self.journal_abort(txn, &cause.to_string());
+                self.emit_rollback("apply", &cause.to_string());
+                Err(cause)
+            }
+        }
+    }
+
+    /// Rebuild the representation, honouring an armed fault plan and
+    /// refusing (via [`pivot_ir::RebuildError`]) on a structurally invalid
+    /// program.
+    fn refresh_rep(&mut self) -> Result<(), EngineError> {
+        if let Some(f) = self.faults.as_mut() {
+            f.trip_rebuild()?;
+        }
+        self.rep.try_refresh(&self.prog)?;
+        Ok(())
+    }
+
+    /// Journal a `begin` record for `op`, when a journal is attached. The
+    /// returned token is passed to [`Session::journal_commit`] /
+    /// [`Session::journal_abort`].
+    fn journal_begin(&mut self, op: JournalOp) -> Result<Option<u64>, EngineError> {
+        match self.journal.as_mut() {
+            None => Ok(None),
+            Some(j) => j.begin(&op).map(Some),
+        }
+    }
+
+    /// Journal the matching `commit` record, if the request was journaled.
+    fn journal_commit(&mut self, txn: Option<u64>) -> Result<(), EngineError> {
+        match (self.journal.as_mut(), txn) {
+            (Some(j), Some(txn)) => j.commit(txn),
+            _ => Ok(()),
+        }
+    }
+
+    /// Journal the matching `abort` record (best-effort), if the request
+    /// was journaled.
+    fn journal_abort(&mut self, txn: Option<u64>, reason: &str) {
+        if let (Some(j), Some(txn)) = (self.journal.as_mut(), txn) {
+            j.abort(txn, reason);
+        }
+    }
+
+    /// Emit a `rollback` point event to the tracer and count it in the
+    /// process-wide metrics registry.
+    fn emit_rollback(&self, op: &str, cause: &str) {
+        pivot_obs::metrics::global().counter("txn.rollbacks").inc();
+        if self.tracer.enabled() {
+            self.tracer.event(
+                "rollback",
+                &[
+                    ("op", FieldValue::Str(op)),
+                    ("cause", FieldValue::Str(cause)),
+                ],
+            );
+        }
     }
 
     /// Apply the first available opportunity of `kind`, if any.
@@ -253,11 +425,22 @@ impl Session {
     /// process-wide [`pivot_obs::metrics`] registry. When a tracer is set
     /// ([`Session::set_tracer`]), every phase additionally emits a span.
     pub fn undo(&mut self, target: XformId, strategy: Strategy) -> Result<UndoReport, UndoError> {
-        if self.history.get(target).state == XformState::Undone {
+        let record = self
+            .history
+            .get(target)
+            .map_err(|_| UndoError::NoSuchXform(target))?;
+        if record.state == XformState::Undone {
             return Err(UndoError::AlreadyUndone(target));
         }
+        let kind = record.kind;
+        let cp = self.checkpoint();
+        let txn = self
+            .journal_begin(JournalOp::Undo { target, strategy })
+            .map_err(|cause| UndoError::RolledBack {
+                phase: Phase::Undo,
+                cause,
+            })?;
         let t0 = Instant::now();
-        let kind = self.history.get(target).kind;
         let span = self.tracer.enabled().then(|| {
             self.tracer.span_start(
                 Phase::Undo,
@@ -272,7 +455,7 @@ impl Session {
         let before = self.rep.builds;
         let mut root = ProvenanceNode::new(target.0, kind_slug(kind), CauseKind::Requested);
         let result = self.undo_rec(target, strategy, &mut report, 0, &mut root);
-        report.rep_rebuilds = self.rep.builds - before;
+        report.rep_rebuilds = self.rep.builds.saturating_sub(before);
         report.phase_ns.add(Phase::Undo, elapsed_ns(t0));
         if let Some(span) = span {
             let undone: Vec<u64> = report.undone.iter().map(|x| u64::from(x.0)).collect();
@@ -288,7 +471,17 @@ impl Session {
                 ],
             );
         }
-        result?;
+        let result = result.and_then(|()| {
+            self.journal_commit(txn)
+                .map_err(|cause| CascadeError::fault(Phase::Undo, cause))
+        });
+        if let Err(cascade) = result {
+            let reason = cascade.reason();
+            self.rollback(cp);
+            self.journal_abort(txn, &reason);
+            self.emit_rollback("undo", &reason);
+            return Err(cascade.into_undo_error());
+        }
         self.explanations.push(ProvenanceTree::new(root));
         record_undo_metrics(&report);
         Ok(report)
@@ -301,11 +494,11 @@ impl Session {
         report: &mut UndoReport,
         depth: usize,
         node: &mut ProvenanceNode,
-    ) -> Result<(), UndoError> {
+    ) -> Result<(), CascadeError> {
         if depth > self.history.records.len() + 4 {
-            return Err(UndoError::DepthExceeded);
+            return Err(CascadeError::DepthExceeded);
         }
-        if self.history.get(t).state == XformState::Undone {
+        if self.history.get(t)?.state == XformState::Undone {
             return Ok(()); // removed by an earlier cascade step
         }
         let traced = self.tracer.enabled();
@@ -313,7 +506,7 @@ impl Session {
         let mut guard = 0usize;
         loop {
             report.reversibility_checks += 1;
-            let record = self.history.get(t).clone();
+            let record = self.history.get(t)?.clone();
             let rc0 = Instant::now();
             let span = traced.then(|| {
                 self.tracer.span_start(
@@ -338,9 +531,16 @@ impl Session {
             match checked {
                 Ok(()) => break,
                 Err(irr) => match irr.affecting {
-                    Some(a) if a != t && self.history.get(a).state == XformState::Active => {
+                    Some(a)
+                        if a != t
+                            && self
+                                .history
+                                .get(a)
+                                .map(|r| r.state == XformState::Active)
+                                .unwrap_or(false) =>
+                    {
                         report.affecting_chases += 1;
-                        let blocker = self.history.get(a).clone();
+                        let blocker = self.history.get(a)?.clone();
                         let mut child = ProvenanceNode::new(
                             a.0,
                             kind_slug(blocker.kind),
@@ -365,16 +565,16 @@ impl Session {
                         }
                         node.children.push(child);
                     }
-                    _ => return Err(UndoError::Stuck(t, irr.error)),
+                    _ => return Err(CascadeError::Stuck(t, irr.error)),
                 },
             }
             guard += 1;
             if guard > self.history.records.len() + 4 {
-                return Err(UndoError::DepthExceeded);
+                return Err(CascadeError::DepthExceeded);
             }
         }
         // Line 12: perform the inverse actions, newest first.
-        let record = self.history.get(t).clone();
+        let record = self.history.get(t)?.clone();
         let mut reversed: Vec<ActionKind> = Vec::new();
         for sa in self.log.actions_with(&record.stamps).into_iter().rev() {
             reversed.push(sa.kind.clone());
@@ -390,11 +590,18 @@ impl Session {
             )
         });
         for kind in &reversed {
+            if let Some(f) = self.faults.as_mut() {
+                f.trip_inverse(record.kind)
+                    .map_err(|cause| CascadeError::fault(Phase::InverseAction, cause))?;
+            }
+            // Applicability was verified by the simulation above, but a
+            // faulted simulation (or a concurrent bug) must abort the
+            // transaction, not the process.
             ActionLog::apply_inverse(&mut self.prog, kind)
-                .expect("inverse applicability was just verified");
+                .map_err(|e| CascadeError::fault(Phase::InverseAction, EngineError::Action(e)))?;
         }
         self.log.retire(&record.stamps);
-        self.history.get_mut(t).state = XformState::Undone;
+        self.history.get_mut(t)?.state = XformState::Undone;
         report.undone.push(t);
         report.phase_ns.add(Phase::InverseAction, elapsed_ns(ia0));
         if let Some(span) = span {
@@ -403,7 +610,8 @@ impl Session {
         // Line 13: dependence and data flow update.
         let rb0 = Instant::now();
         let span = traced.then(|| self.tracer.span_start(Phase::RepRebuild, &[]));
-        self.rep.refresh(&self.prog);
+        self.refresh_rep()
+            .map_err(|cause| CascadeError::fault(Phase::RepRebuild, cause))?;
         report.phase_ns.add(Phase::RepRebuild, elapsed_ns(rb0));
         if let Some(span) = span {
             self.tracer.span_end(
@@ -431,7 +639,7 @@ impl Session {
         report.phase_ns.add(Phase::RegionScan, elapsed_ns(rs0));
         for tk in candidates {
             report.candidates_considered += 1;
-            let rk = self.history.get(tk);
+            let rk = self.history.get(tk)?;
             let heuristic_marked = interact::may_affect(&self.matrix, record.kind, rk.kind);
             let region_member = region.overlaps(
                 &live_sites(&self.prog, &rk.params),
@@ -446,7 +654,11 @@ impl Session {
                 continue;
             }
             report.safety_checks += 1;
-            let rk = self.history.get(tk).clone();
+            if let Some(f) = self.faults.as_mut() {
+                f.trip_safety()
+                    .map_err(|cause| CascadeError::fault(Phase::SafetyCheck, cause))?;
+            }
+            let rk = self.history.get(tk)?.clone();
             let sc0 = Instant::now();
             let span = traced.then(|| {
                 self.tracer.span_start(
@@ -468,7 +680,7 @@ impl Session {
                 );
             }
             if !safe {
-                let was_active = self.history.get(tk).state == XformState::Active;
+                let was_active = self.history.get(tk)?.state == XformState::Active;
                 let mut child = ProvenanceNode::new(
                     tk.0,
                     kind_slug(rk.kind),
@@ -516,32 +728,75 @@ impl Session {
     /// always immediately reversible — but every later transformation is
     /// removed along the way.
     pub fn undo_reverse_to(&mut self, target: XformId) -> Result<UndoReport, UndoError> {
-        if self.history.get(target).state == XformState::Undone {
+        let state = self
+            .history
+            .get(target)
+            .map_err(|_| UndoError::NoSuchXform(target))?
+            .state;
+        if state == XformState::Undone {
             return Err(UndoError::AlreadyUndone(target));
         }
+        let cp = self.checkpoint();
+        let txn = self
+            .journal_begin(JournalOp::UndoReverseTo { target })
+            .map_err(|cause| UndoError::RolledBack {
+                phase: Phase::Undo,
+                cause,
+            })?;
         let mut report = UndoReport::default();
         let before = self.rep.builds;
+        let result = self.reverse_to_inner(target, &mut report).and_then(|()| {
+            self.journal_commit(txn)
+                .map_err(|cause| CascadeError::fault(Phase::Undo, cause))
+        });
+        report.rep_rebuilds = self.rep.builds.saturating_sub(before);
+        if let Err(cascade) = result {
+            let reason = cascade.reason();
+            self.rollback(cp);
+            self.journal_abort(txn, &reason);
+            self.emit_rollback("undo_reverse_to", &reason);
+            return Err(cascade.into_undo_error());
+        }
+        Ok(report)
+    }
+
+    fn reverse_to_inner(
+        &mut self,
+        target: XformId,
+        report: &mut UndoReport,
+    ) -> Result<(), CascadeError> {
         loop {
-            let last = self.history.last_active().expect("target is still active");
-            let record = self.history.get(last).clone();
+            // `target` is verified active on entry and only becomes undone
+            // by the final iteration, so an exhausted history is a logic
+            // fault, not a panic.
+            let Some(last) = self.history.last_active() else {
+                return Err(CascadeError::fault(
+                    Phase::Undo,
+                    EngineError::History(HistoryError(target)),
+                ));
+            };
+            let record = self.history.get(last)?.clone();
             let mut reversed: Vec<ActionKind> = Vec::new();
             for sa in self.log.actions_with(&record.stamps).into_iter().rev() {
                 reversed.push(sa.kind.clone());
             }
             for kind in &reversed {
+                if let Some(f) = self.faults.as_mut() {
+                    f.trip_inverse(record.kind)
+                        .map_err(|cause| CascadeError::fault(Phase::InverseAction, cause))?;
+                }
                 ActionLog::apply_inverse(&mut self.prog, kind)
-                    .map_err(|e| UndoError::Stuck(last, e))?;
+                    .map_err(|e| CascadeError::Stuck(last, e))?;
             }
             self.log.retire(&record.stamps);
-            self.history.get_mut(last).state = XformState::Undone;
+            self.history.get_mut(last)?.state = XformState::Undone;
             report.undone.push(last);
-            self.rep.refresh(&self.prog);
+            self.refresh_rep()
+                .map_err(|cause| CascadeError::fault(Phase::RepRebuild, cause))?;
             if last == target {
-                break;
+                return Ok(());
             }
         }
-        report.rep_rebuilds = self.rep.builds - before;
-        Ok(report)
     }
 
     /// Fair reverse-order baseline: undo to `target`, then try to re-apply
@@ -562,7 +817,9 @@ impl Session {
         let mut ordered = collateral;
         ordered.sort();
         for old_id in ordered {
-            let old = self.history.get(old_id).clone();
+            let Ok(old) = self.history.get(old_id).cloned() else {
+                continue;
+            };
             let site = primary_site(&old.params);
             let opps = self.find(old.kind);
             if let Some(opp) = opps.iter().find(|o| primary_site(&o.params) == site) {
@@ -572,36 +829,6 @@ impl Session {
             }
         }
         Ok((report, redone))
-    }
-
-    /// History/annotation/program consistency check (test support): every
-    /// logged action's stamp belongs to an active transformation, and the
-    /// program invariants hold.
-    pub fn assert_consistent(&self) {
-        self.prog.assert_consistent();
-        for a in &self.log.actions {
-            let owner = self
-                .history
-                .owner_of(a.stamp)
-                .unwrap_or_else(|| panic!("orphan action stamp {}", a.stamp));
-            assert_eq!(
-                self.history.get(owner).state,
-                XformState::Active,
-                "logged action {} belongs to undone {}",
-                a.stamp,
-                owner
-            );
-        }
-        for r in self.history.active() {
-            for s in &r.stamps {
-                assert!(
-                    self.log.actions.iter().any(|a| a.stamp == *s),
-                    "active {} lost its action {}",
-                    r.id,
-                    s
-                );
-            }
-        }
     }
 }
 

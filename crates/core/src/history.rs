@@ -18,7 +18,24 @@ impl XformId {
     pub fn index(self) -> usize {
         self.0 as usize - 1
     }
+
+    /// Raw index, `None` for the (invalid) zero id.
+    pub fn checked_index(self) -> Option<usize> {
+        (self.0 as usize).checked_sub(1)
+    }
 }
+
+/// A transformation id that does not name a recorded transformation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HistoryError(pub XformId);
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no transformation {}", self.0)
+    }
+}
+
+impl std::error::Error for HistoryError {}
 
 impl fmt::Debug for XformId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -110,14 +127,19 @@ impl History {
         id
     }
 
-    /// Borrow a record.
-    pub fn get(&self, id: XformId) -> &AppliedXform {
-        &self.records[id.index()]
+    /// Borrow a record; `Err` when `id` is out of range (user-supplied ids
+    /// reach this through the CLI's `explain <n>` and script `undo <n>`).
+    pub fn get(&self, id: XformId) -> Result<&AppliedXform, HistoryError> {
+        id.checked_index()
+            .and_then(|i| self.records.get(i))
+            .ok_or(HistoryError(id))
     }
 
-    /// Mutably borrow a record.
-    pub fn get_mut(&mut self, id: XformId) -> &mut AppliedXform {
-        &mut self.records[id.index()]
+    /// Mutably borrow a record; `Err` when `id` is out of range.
+    pub fn get_mut(&mut self, id: XformId) -> Result<&mut AppliedXform, HistoryError> {
+        id.checked_index()
+            .and_then(|i| self.records.get_mut(i))
+            .ok_or(HistoryError(id))
     }
 
     /// The transformation that performed the action with this stamp.
@@ -218,7 +240,10 @@ mod tests {
         assert_eq!(h.owner_of(Stamp(0)), Some(a));
         assert_eq!(h.owner_of(Stamp(1)), Some(b));
         assert_eq!(h.owner_of(Stamp(99)), None);
-        assert_eq!(h.get(a).kind, XformKind::Cse);
+        assert_eq!(h.get(a).unwrap().kind, XformKind::Cse);
+        assert_eq!(h.get(XformId(0)).unwrap_err(), HistoryError(XformId(0)));
+        assert_eq!(h.get(XformId(99)).unwrap_err(), HistoryError(XformId(99)));
+        assert!(h.get_mut(XformId(99)).is_err());
     }
 
     #[test]
@@ -228,7 +253,7 @@ mod tests {
         let b = dummy_record(&mut h, XformKind::Ctp, 1);
         let c = dummy_record(&mut h, XformKind::Inx, 2);
         assert_eq!(h.active_after(a), vec![b, c]);
-        h.get_mut(b).state = XformState::Undone;
+        h.get_mut(b).unwrap().state = XformState::Undone;
         assert_eq!(h.active_after(a), vec![c]);
         assert_eq!(h.active_len(), 2);
         assert_eq!(h.last_active(), Some(c));
@@ -239,7 +264,7 @@ mod tests {
         let mut h = History::new();
         let a = dummy_record(&mut h, XformKind::Cse, 0);
         dummy_record(&mut h, XformKind::Inx, 1);
-        h.get_mut(a).state = XformState::Undone;
+        h.get_mut(a).unwrap().state = XformState::Undone;
         assert_eq!(h.summary(), "!cse(1) inx(2)");
     }
 }

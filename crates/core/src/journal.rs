@@ -1,0 +1,390 @@
+//! Durable write-ahead session journal.
+//!
+//! The journal is a JSONL file of intent/outcome records. Before a session
+//! mutates anything on behalf of `apply`/`undo`/`undo_reverse_to`, it
+//! writes (and flushes) a `begin` record describing the request; after the
+//! transaction commits in memory it writes a `commit` record; a rolled-back
+//! transaction writes an `abort`. A process killed mid-transaction
+//! therefore loses at most the in-flight transaction:
+//! [`Session::recover`] replays the committed records against the original
+//! program and discards the uncommitted tail (including a torn final line).
+//!
+//! Record schema (one JSON object per line, written with
+//! [`pivot_obs::json`]):
+//!
+//! ```text
+//! {"rec":"begin","txn":1,"op":"apply","kind":"CSE","site":4}
+//! {"rec":"begin","txn":2,"op":"undo","target":1,"strategy":"regional"}
+//! {"rec":"begin","txn":3,"op":"undo_reverse_to","target":2}
+//! {"rec":"commit","txn":1}
+//! {"rec":"abort","txn":2,"reason":"injected fault at safety check #1"}
+//! ```
+//!
+//! `site` is the transformation's primary site (the statement id that
+//! identifies an instance across re-discovery), so replay re-finds the same
+//! opportunity in the rebuilt program rather than trusting raw node ids.
+
+use crate::engine::{primary_site, Session, Strategy};
+use crate::history::XformId;
+use crate::kind::XformKind;
+use crate::txn::EngineError;
+use pivot_lang::{Program, StmtId};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One journaled request, as recorded in a `begin` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalOp {
+    /// `Session::apply` of a `kind` opportunity at a primary site.
+    Apply {
+        /// Transformation kind.
+        kind: XformKind,
+        /// Primary site identifying the opportunity instance.
+        site: StmtId,
+    },
+    /// `Session::undo` of a target with a strategy.
+    Undo {
+        /// The transformation being undone.
+        target: XformId,
+        /// Candidate-filtering strategy.
+        strategy: Strategy,
+    },
+    /// `Session::undo_reverse_to` a target.
+    UndoReverseTo {
+        /// The transformation being undone (with everything after it).
+        target: XformId,
+    },
+}
+
+/// An append-only write-ahead journal attached to a session.
+///
+/// Not `Clone`: a forked session ([`Session::fork`]) deliberately does not
+/// inherit the journal — two sessions appending interleaved transactions to
+/// one file would make replay ambiguous.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    next_txn: u64,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("next_txn", &self.next_txn)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Open (or create) a journal for appending. Existing records are
+    /// scanned leniently to continue the transaction numbering.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let max_txn = existing
+            .lines()
+            .filter_map(|l| pivot_obs::json::parse(l).ok())
+            .filter_map(|v| v.get("txn").and_then(|t| t.as_int()))
+            .max()
+            .unwrap_or(0);
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            next_txn: max_txn as u64 + 1,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), EngineError> {
+        let io = (|| {
+            self.file.write_all(line.as_bytes())?;
+            self.file.write_all(b"\n")?;
+            // The begin record is the write-ahead guarantee: it must be on
+            // disk before the in-memory mutation starts.
+            self.file.flush()?;
+            self.file.sync_data()
+        })();
+        io.map_err(|e| EngineError::Journal(format!("{}: {e}", self.path.display())))
+    }
+
+    /// Write and flush a `begin` record; returns the transaction number.
+    pub(crate) fn begin(&mut self, op: &JournalOp) -> Result<u64, EngineError> {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        let mut w = pivot_obs::json::ObjectWriter::new();
+        w.str("rec", "begin").uint("txn", txn);
+        match op {
+            JournalOp::Apply { kind, site } => {
+                w.str("op", "apply")
+                    .str("kind", kind.abbrev())
+                    .uint("site", u64::from(site.0));
+            }
+            JournalOp::Undo { target, strategy } => {
+                w.str("op", "undo")
+                    .uint("target", u64::from(target.0))
+                    .str("strategy", strategy.name());
+            }
+            JournalOp::UndoReverseTo { target } => {
+                w.str("op", "undo_reverse_to")
+                    .uint("target", u64::from(target.0));
+            }
+        }
+        self.write_line(&w.finish())?;
+        Ok(txn)
+    }
+
+    /// Write and flush a `commit` record.
+    pub(crate) fn commit(&mut self, txn: u64) -> Result<(), EngineError> {
+        let mut w = pivot_obs::json::ObjectWriter::new();
+        w.str("rec", "commit").uint("txn", txn);
+        self.write_line(&w.finish())
+    }
+
+    /// Write an `abort` record. Best-effort: the transaction is already
+    /// rolled back in memory, and an unrecorded abort is indistinguishable
+    /// from a crash mid-transaction — recovery discards it either way.
+    pub(crate) fn abort(&mut self, txn: u64, reason: &str) {
+        let mut w = pivot_obs::json::ObjectWriter::new();
+        w.str("rec", "abort").uint("txn", txn).str("reason", reason);
+        let _ = self.write_line(&w.finish());
+    }
+}
+
+/// Why recovery failed.
+#[derive(Clone, Debug)]
+pub enum RecoverError {
+    /// The journal file could not be read.
+    Io(String),
+    /// A non-final record failed to parse (a torn *final* line is expected
+    /// after a crash and is discarded, not an error).
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        msg: String,
+    },
+    /// A committed record could not be replayed against the program.
+    Replay {
+        /// The failing transaction number.
+        txn: u64,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "cannot read journal: {e}"),
+            RecoverError::Corrupt { line, msg } => {
+                write!(f, "corrupt journal record at line {line}: {msg}")
+            }
+            RecoverError::Replay { txn, msg } => {
+                write!(f, "cannot replay committed txn {txn}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Result of [`Session::recover`].
+pub struct Recovery {
+    /// The recovered session, at the last committed state. No journal is
+    /// attached; call [`Session::set_journal`] to resume journaling.
+    pub session: Session,
+    /// Committed transactions replayed.
+    pub committed: usize,
+    /// Aborted transactions skipped.
+    pub aborted: usize,
+    /// Uncommitted transactions discarded (the in-flight tail; includes a
+    /// torn final line).
+    pub discarded: usize,
+}
+
+struct ParsedBegin {
+    txn: u64,
+    op: JournalOp,
+}
+
+fn parse_begin(v: &pivot_obs::json::Value, line: usize) -> Result<ParsedBegin, RecoverError> {
+    let corrupt = |msg: &str| RecoverError::Corrupt {
+        line,
+        msg: msg.to_string(),
+    };
+    let txn = v
+        .get("txn")
+        .and_then(|t| t.as_int())
+        .ok_or_else(|| corrupt("begin without txn"))? as u64;
+    let op_name = v
+        .get("op")
+        .and_then(|o| o.as_str())
+        .ok_or_else(|| corrupt("begin without op"))?;
+    let uint_field = |key: &str| -> Result<u64, RecoverError> {
+        v.get(key)
+            .and_then(|x| x.as_int())
+            .map(|x| x as u64)
+            .ok_or_else(|| corrupt(&format!("begin missing {key}")))
+    };
+    let op = match op_name {
+        "apply" => {
+            let kind_s = v
+                .get("kind")
+                .and_then(|k| k.as_str())
+                .ok_or_else(|| corrupt("apply without kind"))?;
+            let kind = XformKind::from_abbrev(kind_s)
+                .ok_or_else(|| corrupt(&format!("unknown kind `{kind_s}`")))?;
+            let site = StmtId(uint_field("site")? as u32);
+            JournalOp::Apply { kind, site }
+        }
+        "undo" => {
+            let strat_s = v
+                .get("strategy")
+                .and_then(|s| s.as_str())
+                .ok_or_else(|| corrupt("undo without strategy"))?;
+            let strategy = Strategy::from_name(strat_s)
+                .ok_or_else(|| corrupt(&format!("unknown strategy `{strat_s}`")))?;
+            let target = XformId(uint_field("target")? as u32);
+            JournalOp::Undo { target, strategy }
+        }
+        "undo_reverse_to" => {
+            let target = XformId(uint_field("target")? as u32);
+            JournalOp::UndoReverseTo { target }
+        }
+        other => return Err(corrupt(&format!("unknown op `{other}`"))),
+    };
+    Ok(ParsedBegin { txn, op })
+}
+
+impl Session {
+    /// Attach a write-ahead journal: every subsequent `apply`/`undo`/
+    /// `undo_reverse_to` writes begin/commit (or abort) records to it.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// Detach and return the journal, if one is attached.
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// Rebuild a session from the original program plus a journal: replay
+    /// every committed transaction in order, skip aborted ones, and discard
+    /// the uncommitted tail. A torn final line (crash mid-write) is
+    /// discarded silently; a malformed record anywhere earlier is an error.
+    pub fn recover(prog: Program, path: &Path) -> Result<Recovery, RecoverError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RecoverError::Io(format!("{}: {e}", path.display())))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut begins: Vec<ParsedBegin> = Vec::new();
+        let mut committed: Vec<u64> = Vec::new();
+        let mut aborted: Vec<u64> = Vec::new();
+        let mut discarded_torn = 0usize;
+        for (i, raw) in lines.iter().enumerate() {
+            let line = i + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let v = match pivot_obs::json::parse(raw) {
+                Ok(v) => v,
+                Err(msg) => {
+                    if line == lines.len() {
+                        // Torn tail from a crash mid-write.
+                        discarded_torn = 1;
+                        continue;
+                    }
+                    return Err(RecoverError::Corrupt { line, msg });
+                }
+            };
+            let rec = v.get("rec").and_then(|r| r.as_str()).unwrap_or("");
+            match rec {
+                "begin" => begins.push(parse_begin(&v, line)?),
+                "commit" => {
+                    if let Some(t) = v.get("txn").and_then(|t| t.as_int()) {
+                        committed.push(t as u64);
+                    }
+                }
+                "abort" => {
+                    if let Some(t) = v.get("txn").and_then(|t| t.as_int()) {
+                        aborted.push(t as u64);
+                    }
+                }
+                other => {
+                    return Err(RecoverError::Corrupt {
+                        line,
+                        msg: format!("unknown record `{other}`"),
+                    })
+                }
+            }
+        }
+        let mut session = Session::new(prog);
+        let mut n_committed = 0usize;
+        let mut n_aborted = 0usize;
+        let mut n_discarded = discarded_torn;
+        for b in &begins {
+            if aborted.contains(&b.txn) {
+                n_aborted += 1;
+                continue;
+            }
+            if !committed.contains(&b.txn) {
+                n_discarded += 1;
+                continue;
+            }
+            replay(&mut session, b).map_err(|msg| RecoverError::Replay { txn: b.txn, msg })?;
+            n_committed += 1;
+        }
+        session.tracer().event(
+            "recovered",
+            &[
+                (
+                    "journal",
+                    pivot_obs::trace::FieldValue::U64(n_committed as u64),
+                ),
+                (
+                    "discarded",
+                    pivot_obs::trace::FieldValue::U64(n_discarded as u64),
+                ),
+            ],
+        );
+        Ok(Recovery {
+            session,
+            committed: n_committed,
+            aborted: n_aborted,
+            discarded: n_discarded,
+        })
+    }
+}
+
+/// Replay one committed transaction against the recovering session.
+fn replay(session: &mut Session, b: &ParsedBegin) -> Result<(), String> {
+    match b.op {
+        JournalOp::Apply { kind, site } => {
+            let opps = session.find(kind);
+            let opp = opps
+                .iter()
+                .find(|o| primary_site(&o.params) == site)
+                .ok_or_else(|| format!("no {kind} opportunity at site {site}"))?
+                .clone();
+            session.apply(&opp).map(|_| ()).map_err(|e| e.to_string())
+        }
+        JournalOp::Undo { target, strategy } => session
+            .undo(target, strategy)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        JournalOp::UndoReverseTo { target } => session
+            .undo_reverse_to(target)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+    }
+}

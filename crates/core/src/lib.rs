@@ -31,6 +31,7 @@ pub mod edits;
 pub mod engine;
 pub mod history;
 pub mod interact;
+pub mod journal;
 pub mod kind;
 pub mod parcheck;
 pub mod pattern;
@@ -38,11 +39,14 @@ pub mod region;
 pub mod revers;
 pub mod safety;
 pub mod spec;
+pub mod txn;
 
 pub use actions::{ActionError, ActionKind, ActionLog, Stamp};
 pub use catalog::{Applied, Opportunity};
 pub use edits::{Edit, InvalidationReport};
 pub use engine::{Session, Strategy, UndoError, UndoReport};
-pub use history::{AppliedXform, History, XformId, XformState};
+pub use history::{AppliedXform, History, HistoryError, XformId, XformState};
+pub use journal::{Journal, JournalOp, RecoverError, Recovery};
 pub use kind::{XformKind, ALL_KINDS};
 pub use pattern::{Pattern, XformParams};
+pub use txn::{Checkpoint, ConsistencyViolation, EngineError, FaultPlan, FaultPoint};

@@ -110,8 +110,16 @@ pub fn check_reversible(
     for sa in log.actions_with(&record.stamps).into_iter().rev() {
         match ActionLog::inverse_applicable(&sim, &sa.kind) {
             Ok(()) => {
-                ActionLog::apply_inverse(&mut sim, &sa.kind)
-                    .expect("applicable inverse must apply in simulation");
+                // Applicability and application agree by construction, but
+                // a disagreement must read as "not reversible", not panic.
+                if let Err(error) = ActionLog::apply_inverse(&mut sim, &sa.kind) {
+                    let affecting = blame(&sim, log, history, record, &sa.kind, &error);
+                    return Err(Irreversible {
+                        failing_stamp: sa.stamp,
+                        error,
+                        affecting,
+                    });
+                }
             }
             Err(error) => {
                 let affecting = blame(&sim, log, history, record, &sa.kind, &error);
@@ -569,7 +577,7 @@ mod tests {
         let mut log = ActionLog::new();
         let mut hist = History::new();
         let id = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Dce);
-        assert!(check_reversible(&p, &log, &hist, hist.get(id)).is_ok());
+        assert!(check_reversible(&p, &log, &hist, hist.get(id).unwrap()).is_ok());
     }
 
     #[test]
@@ -589,11 +597,11 @@ mod tests {
         // i-loop — it lands between the two loop headers.
         let icm = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Icm);
         // INX is no longer immediately reversible…
-        let err = check_reversible(&p, &log, &hist, hist.get(inx)).unwrap_err();
+        let err = check_reversible(&p, &log, &hist, hist.get(inx).unwrap()).unwrap_err();
         // …and the affecting transformation is the ICM.
         assert_eq!(err.affecting, Some(icm));
         // ICM itself is immediately reversible.
-        assert!(check_reversible(&p, &log, &hist, hist.get(icm)).is_ok());
+        assert!(check_reversible(&p, &log, &hist, hist.get(icm).unwrap()).is_ok());
     }
 
     #[test]
@@ -606,7 +614,7 @@ mod tests {
         let id = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Fus);
         // All inverses chain: delete-inverse re-adds L2, then move-inverses
         // return the body. The simulation must validate the whole chain.
-        assert!(check_reversible(&p, &log, &hist, hist.get(id)).is_ok());
+        assert!(check_reversible(&p, &log, &hist, hist.get(id).unwrap()).is_ok());
     }
 
     #[test]
@@ -620,7 +628,7 @@ mod tests {
         let mut hist = History::new();
         let lur = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Lur);
         // Find a CTP whose use expression lives inside a copy.
-        let lur_params = hist.get(lur).params.clone();
+        let lur_params = hist.get(lur).unwrap().params.clone();
         let copies = match lur_params {
             crate::pattern::XformParams::Lur { copies, .. } => copies,
             _ => unreachable!(),
@@ -642,13 +650,13 @@ mod tests {
             applied.post,
             applied.stamps,
         );
-        let err = check_reversible(&p, &log, &hist, hist.get(lur)).unwrap_err();
+        let err = check_reversible(&p, &log, &hist, hist.get(lur).unwrap()).unwrap_err();
         assert_eq!(
             err.affecting,
             Some(ctp),
             "the in-copy CTP blocks LUR's reversal"
         );
-        assert!(check_reversible(&p, &log, &hist, hist.get(ctp)).is_ok());
+        assert!(check_reversible(&p, &log, &hist, hist.get(ctp).unwrap()).is_ok());
     }
 
     #[test]
@@ -662,13 +670,13 @@ mod tests {
         let mut hist = History::new();
         let ctp = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Ctp);
         let smi = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Smi);
-        let err = check_reversible(&p, &log, &hist, hist.get(ctp)).unwrap_err();
+        let err = check_reversible(&p, &log, &hist, hist.get(ctp).unwrap()).unwrap_err();
         assert_eq!(
             err.affecting,
             Some(smi),
             "SMI orphaned the propagated bound"
         );
-        assert!(check_reversible(&p, &log, &hist, hist.get(smi)).is_ok());
+        assert!(check_reversible(&p, &log, &hist, hist.get(smi).unwrap()).is_ok());
     }
 
     #[test]
@@ -680,8 +688,8 @@ mod tests {
         let ctp = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Ctp);
         // x = 1 + 2 now folds; the fold modifies the node CTP modified.
         let cfo = apply_kind(&mut p, &mut rep, &mut log, &mut hist, XformKind::Cfo);
-        let err = check_reversible(&p, &log, &hist, hist.get(ctp)).unwrap_err();
+        let err = check_reversible(&p, &log, &hist, hist.get(ctp).unwrap()).unwrap_err();
         assert_eq!(err.affecting, Some(cfo));
-        assert!(check_reversible(&p, &log, &hist, hist.get(cfo)).is_ok());
+        assert!(check_reversible(&p, &log, &hist, hist.get(cfo).unwrap()).is_ok());
     }
 }

@@ -626,7 +626,7 @@ mod tests {
         let mut log = ActionLog::new();
         let mut hist = History::new();
         let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Ctp);
-        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(still_safe(&p, &rep, &log, hist.get(id).unwrap()));
         // Change the defining constant (simulating an edit / another undo).
         let def = p.body[0];
         let rhs = match p.stmt(def).kind {
@@ -635,7 +635,7 @@ mod tests {
         };
         p.replace_expr_kind(rhs, pivot_lang::ExprKind::Const(9));
         rep.refresh(&p);
-        assert!(!still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(!still_safe(&p, &rep, &log, hist.get(id).unwrap()));
     }
 
     #[test]
@@ -645,7 +645,7 @@ mod tests {
         let mut log = ActionLog::new();
         let mut hist = History::new();
         let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Cse);
-        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(still_safe(&p, &rep, &log, hist.get(id).unwrap()));
         // Insert `e = 0` between def and use (as an edit would).
         let s = p.alloc_stmt(StmtKind::Write {
             value: pivot_lang::ExprId(0),
@@ -662,7 +662,7 @@ mod tests {
         )
         .unwrap();
         rep.refresh(&p);
-        assert!(!still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(!still_safe(&p, &rep, &log, hist.get(id).unwrap()));
     }
 
     #[test]
@@ -672,7 +672,7 @@ mod tests {
         let mut log = ActionLog::new();
         let mut hist = History::new();
         let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Icm);
-        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(still_safe(&p, &rep, &log, hist.get(id).unwrap()));
         // Insert `e = i` into the loop body.
         let lp = p.body[1];
         let s = p.alloc_stmt(StmtKind::Write {
@@ -694,7 +694,7 @@ mod tests {
         )
         .unwrap();
         rep.refresh(&p);
-        assert!(!still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(!still_safe(&p, &rep, &log, hist.get(id).unwrap()));
     }
 
     #[test]
@@ -704,7 +704,7 @@ mod tests {
         let mut log = ActionLog::new();
         let mut hist = History::new();
         let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Cfo);
-        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(still_safe(&p, &rep, &log, hist.get(id).unwrap()));
     }
 
     #[test]
@@ -735,13 +735,13 @@ mod tests {
         let mut log = ActionLog::new();
         let mut hist = History::new();
         let id = apply_one(&mut p, &mut rep, &mut log, &mut hist, XformKind::Lur);
-        assert!(still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(still_safe(&p, &rep, &log, hist.get(id).unwrap()));
         // Tamper with the upper bound: 1..7 is 7 iterations, not divisible.
         let lp = p.body[0];
         if let StmtKind::DoLoop { hi, .. } = p.stmt(lp).kind {
             p.replace_expr_kind(hi, pivot_lang::ExprKind::Const(7));
         }
         rep.refresh(&p);
-        assert!(!still_safe(&p, &rep, &log, hist.get(id)));
+        assert!(!still_safe(&p, &rep, &log, hist.get(id).unwrap()));
     }
 }

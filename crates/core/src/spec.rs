@@ -723,7 +723,7 @@ mod tests {
         ];
         for (kind, src) in samples {
             let (prog, rep, _log, hist, id) = apply_one(src, *kind);
-            let v = eval_spec(&prog, &rep, hist.get(id));
+            let v = eval_spec(&prog, &rep, hist.get(id).unwrap());
             // DCE's site is deleted (None → deferred); the rest must hold.
             match kind {
                 XformKind::Dce => assert_eq!(v, None),
@@ -745,7 +745,7 @@ mod tests {
         )
         .unwrap();
         rep.refresh(&prog);
-        assert_eq!(eval_spec(&prog, &rep, hist.get(id)), Some(false));
+        assert_eq!(eval_spec(&prog, &rep, hist.get(id).unwrap()), Some(false));
     }
 
     #[test]
@@ -765,7 +765,7 @@ mod tests {
         )
         .unwrap();
         rep.refresh(&prog);
-        assert_eq!(eval_spec(&prog, &rep, hist.get(id)), Some(false));
+        assert_eq!(eval_spec(&prog, &rep, hist.get(id).unwrap()), Some(false));
     }
 
     #[test]
@@ -779,7 +779,7 @@ mod tests {
             prog.replace_expr_kind(hi, pivot_lang::ExprKind::Const(7));
         }
         rep.refresh(&prog);
-        assert_eq!(eval_spec(&prog, &rep, hist.get(id)), Some(false));
+        assert_eq!(eval_spec(&prog, &rep, hist.get(id).unwrap()), Some(false));
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Transactional core: checkpoints, rollback, typed engine faults, and
+//! deterministic fault injection.
+//!
+//! The paper's UNDO algorithm (Figure 4) mutates the program, the action
+//! log, the history, and the two-level representation across several phases.
+//! A failure in the middle of that cascade — an inverse action that cannot
+//! apply, a representation rebuild that refuses a corrupt program, an
+//! injected fault — would otherwise strand the session in a state that is
+//! neither "undone" nor "not undone". This module makes every
+//! [`Session::undo`](crate::engine::Session::undo) /
+//! [`Session::apply`](crate::engine::Session::apply) /
+//! [`Session::undo_reverse_to`](crate::engine::Session::undo_reverse_to)
+//! atomic:
+//!
+//! * [`Checkpoint`] snapshots the session's mutable state (program, action
+//!   log, history, representation) at the top of each request;
+//! * any phase error rolls the session back to the checkpoint and surfaces
+//!   as [`UndoError::RolledBack`](crate::engine::UndoError::RolledBack)
+//!   carrying the failing phase and a typed [`EngineError`];
+//! * [`FaultPlan`] injects deterministic faults at the engine's phase
+//!   boundaries (the Nth inverse action, the Nth safety re-check, the Nth
+//!   representation rebuild, or every reversal of a poisoned kind), so the
+//!   rollback path is exercised by the workload fault sweep
+//!   (`pivot-workload faults`) rather than trusted on faith;
+//! * [`ConsistencyViolation`] is the non-panicking form of the session
+//!   consistency check, so harnesses can report *all* violations at once.
+
+use crate::actions::{ActionError, ActionLog, Stamp};
+use crate::engine::Session;
+use crate::history::{History, HistoryError, XformId, XformState};
+use crate::kind::XformKind;
+use pivot_ir::{RebuildError, Rep};
+use pivot_lang::Program;
+use std::fmt;
+
+/// A typed fault from inside an engine transaction. Every previously
+/// panicking path in the undo/apply hot loop surfaces as one of these, so a
+/// fault is catchable (and rolled back) rather than fatal.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// A transformation id did not name a recorded transformation.
+    History(HistoryError),
+    /// A primitive action (or its inverse) failed to apply.
+    Action(ActionError),
+    /// The representation rebuild refused a structurally invalid program.
+    Rebuild(RebuildError),
+    /// The write-ahead journal could not be written.
+    Journal(String),
+    /// A deliberately injected fault (see [`FaultPlan`]).
+    Injected(FaultPoint),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::History(e) => write!(f, "{e}"),
+            EngineError::Action(e) => write!(f, "{e}"),
+            EngineError::Rebuild(e) => write!(f, "{e}"),
+            EngineError::Journal(e) => write!(f, "journal write failed: {e}"),
+            EngineError::Injected(p) => write!(f, "injected fault at {p}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<HistoryError> for EngineError {
+    fn from(e: HistoryError) -> Self {
+        EngineError::History(e)
+    }
+}
+
+impl From<ActionError> for EngineError {
+    fn from(e: ActionError) -> Self {
+        EngineError::Action(e)
+    }
+}
+
+impl From<RebuildError> for EngineError {
+    fn from(e: RebuildError) -> Self {
+        EngineError::Rebuild(e)
+    }
+}
+
+/// Where an injected fault fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultPoint {
+    /// The Nth inverse primitive action performed by the session
+    /// (1-based, counted across cascades).
+    InverseAction(u64),
+    /// The Nth candidate safety re-check (Figure 4, lines 22–23).
+    SafetyCheck(u64),
+    /// The Nth representation rebuild (`Dependence_and_data_flow_update`).
+    RepRebuild(u64),
+    /// Any reversal of a transformation of this kind.
+    PoisonedKind(XformKind),
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPoint::InverseAction(n) => write!(f, "inverse action #{n}"),
+            FaultPoint::SafetyCheck(n) => write!(f, "safety check #{n}"),
+            FaultPoint::RepRebuild(n) => write!(f, "rep rebuild #{n}"),
+            FaultPoint::PoisonedKind(k) => write!(f, "poisoned kind {k}"),
+        }
+    }
+}
+
+/// A deterministic fault-injection plan. Counters are 1-based and count
+/// engine events from the moment the plan is armed
+/// ([`Session::arm_faults`]); `None` fields never fire. Plans are plain
+/// data, so a sweep driver can enumerate them from a seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the Nth inverse primitive action.
+    pub inverse_action: Option<u64>,
+    /// Fail the Nth candidate safety re-check.
+    pub safety_check: Option<u64>,
+    /// Fail the Nth representation rebuild.
+    pub rebuild: Option<u64>,
+    /// Fail every inverse action performed while reversing this kind.
+    pub poison_kind: Option<XformKind>,
+}
+
+impl FaultPlan {
+    /// Plan failing only the Nth inverse action.
+    pub fn nth_inverse_action(n: u64) -> FaultPlan {
+        FaultPlan {
+            inverse_action: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Plan failing only the Nth safety re-check.
+    pub fn nth_safety_check(n: u64) -> FaultPlan {
+        FaultPlan {
+            safety_check: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Plan failing only the Nth representation rebuild.
+    pub fn nth_rebuild(n: u64) -> FaultPlan {
+        FaultPlan {
+            rebuild: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Plan poisoning every reversal of `kind`.
+    pub fn poison(kind: XformKind) -> FaultPlan {
+        FaultPlan {
+            poison_kind: Some(kind),
+            ..Default::default()
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_armed(&self) -> bool {
+        self.inverse_action.is_some()
+            || self.safety_check.is_some()
+            || self.rebuild.is_some()
+            || self.poison_kind.is_some()
+    }
+}
+
+/// Armed fault plan plus its occurrence counters.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    inverse_seen: u64,
+    safety_seen: u64,
+    rebuild_seen: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            plan,
+            inverse_seen: 0,
+            safety_seen: 0,
+            rebuild_seen: 0,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Count one inverse action of a `kind` reversal; `Err` when the plan
+    /// says this one fails.
+    pub(crate) fn trip_inverse(&mut self, kind: XformKind) -> Result<(), EngineError> {
+        self.inverse_seen += 1;
+        if self.plan.poison_kind == Some(kind) {
+            return Err(EngineError::Injected(FaultPoint::PoisonedKind(kind)));
+        }
+        if self.plan.inverse_action == Some(self.inverse_seen) {
+            return Err(EngineError::Injected(FaultPoint::InverseAction(
+                self.inverse_seen,
+            )));
+        }
+        Ok(())
+    }
+
+    /// Count one candidate safety re-check.
+    pub(crate) fn trip_safety(&mut self) -> Result<(), EngineError> {
+        self.safety_seen += 1;
+        if self.plan.safety_check == Some(self.safety_seen) {
+            return Err(EngineError::Injected(FaultPoint::SafetyCheck(
+                self.safety_seen,
+            )));
+        }
+        Ok(())
+    }
+
+    /// Count one representation rebuild.
+    pub(crate) fn trip_rebuild(&mut self) -> Result<(), EngineError> {
+        self.rebuild_seen += 1;
+        if self.plan.rebuild == Some(self.rebuild_seen) {
+            return Err(EngineError::Injected(FaultPoint::RepRebuild(
+                self.rebuild_seen,
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot of a session's transactional state (program, representation,
+/// action log, history), taken at the top of every `undo`/`apply`/
+/// `undo_reverse_to` request. The program and analyses live in flat arenas,
+/// so the snapshot is a handful of `memcpy`-shaped vector clones — cheap
+/// enough to take unconditionally (measured by the `txn_overhead` bench).
+/// `rollback` restores the session to exactly this state.
+pub struct Checkpoint {
+    prog: Program,
+    rep: Rep,
+    log: ActionLog,
+    history: History,
+}
+
+impl Checkpoint {
+    pub(crate) fn take(s: &Session) -> Checkpoint {
+        Checkpoint {
+            prog: s.prog.clone(),
+            rep: s.rep.clone(),
+            log: s.log.clone(),
+            history: s.history.clone(),
+        }
+    }
+}
+
+/// One detected session inconsistency (the non-panicking form of
+/// [`Session::assert_consistent`]).
+#[derive(Clone, Debug)]
+pub enum ConsistencyViolation {
+    /// A program structural invariant does not hold.
+    ProgramInvariant(String),
+    /// A logged action's stamp belongs to no recorded transformation.
+    OrphanAction(Stamp),
+    /// A logged action belongs to a transformation marked undone.
+    ActionOfUndone {
+        /// The action's stamp.
+        stamp: Stamp,
+        /// The undone transformation that owns it.
+        owner: XformId,
+    },
+    /// An active transformation's recorded stamp is missing from the log.
+    LostAction {
+        /// The active transformation.
+        xform: XformId,
+        /// The missing stamp.
+        stamp: Stamp,
+    },
+}
+
+impl fmt::Display for ConsistencyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyViolation::ProgramInvariant(e) => write!(f, "program invariant: {e}"),
+            ConsistencyViolation::OrphanAction(s) => write!(f, "orphan action stamp {s}"),
+            ConsistencyViolation::ActionOfUndone { stamp, owner } => {
+                write!(f, "logged action {stamp} belongs to undone {owner}")
+            }
+            ConsistencyViolation::LostAction { xform, stamp } => {
+                write!(f, "active {xform} lost its action {stamp}")
+            }
+        }
+    }
+}
+
+impl Session {
+    /// Snapshot the session's transactional state. Public so drivers (the
+    /// fault sweep, benches) can measure and reason about checkpoints; the
+    /// engine takes one automatically at the top of every mutating request.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::take(self)
+    }
+
+    /// Restore the session to a previously taken checkpoint, discarding
+    /// every mutation since. Explanations, metrics, and the tracer are
+    /// observability state and are deliberately left untouched.
+    pub fn rollback(&mut self, cp: Checkpoint) {
+        self.prog = cp.prog;
+        self.rep = cp.rep;
+        self.log = cp.log;
+        self.history = cp.history;
+    }
+
+    /// Arm a deterministic fault-injection plan. Counters start at zero;
+    /// the plan stays armed (and keeps counting) until
+    /// [`Session::disarm_faults`]. Forked sessions inherit the armed plan
+    /// with its current counters.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// Disarm fault injection, returning the plan that was armed, if any.
+    pub fn disarm_faults(&mut self) -> Option<FaultPlan> {
+        self.faults.take().map(|f| f.plan())
+    }
+
+    /// History/annotation/program consistency screen: every logged action's
+    /// stamp belongs to an active transformation, every active
+    /// transformation's stamps are present in the log, and the program's
+    /// structural invariants hold. Returns *all* violations (empty = clean)
+    /// so fault harnesses can report everything at once.
+    pub fn consistency_violations(&self) -> Vec<ConsistencyViolation> {
+        let mut out: Vec<ConsistencyViolation> = self
+            .prog
+            .check_invariants()
+            .into_iter()
+            .map(ConsistencyViolation::ProgramInvariant)
+            .collect();
+        for a in &self.log.actions {
+            match self.history.owner_of(a.stamp) {
+                None => out.push(ConsistencyViolation::OrphanAction(a.stamp)),
+                Some(owner) => {
+                    let undone = self
+                        .history
+                        .get(owner)
+                        .map(|r| r.state == XformState::Undone)
+                        .unwrap_or(true);
+                    if undone {
+                        out.push(ConsistencyViolation::ActionOfUndone {
+                            stamp: a.stamp,
+                            owner,
+                        });
+                    }
+                }
+            }
+        }
+        for r in self.history.active() {
+            for s in &r.stamps {
+                if !self.log.actions.iter().any(|a| a.stamp == *s) {
+                    out.push(ConsistencyViolation::LostAction {
+                        xform: r.id,
+                        stamp: *s,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Panicking wrapper over [`Session::consistency_violations`] (test
+    /// support): panics with every violation listed.
+    pub fn assert_consistent(&self) {
+        let violations = self.consistency_violations();
+        assert!(
+            violations.is_empty(),
+            "session inconsistent:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Strategy;
+    use pivot_lang::equiv::programs_equal;
+
+    fn cse_session() -> (Session, XformId) {
+        let mut s = Session::from_source("d = e + f\nr = e + f\nwrite r\nwrite d\n").unwrap();
+        let id = s.apply_kind(XformKind::Cse).expect("cse applies");
+        (s, id)
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_everything() {
+        let (mut s, cse) = cse_session();
+        let cp = s.checkpoint();
+        let src = s.source();
+        s.undo(cse, Strategy::Regional).unwrap();
+        assert_ne!(s.source(), src);
+        s.rollback(cp);
+        assert_eq!(s.source(), src);
+        assert_eq!(s.history.active_len(), 1);
+        assert!(!s.log.actions.is_empty());
+        s.assert_consistent();
+        // The restored session still works.
+        s.undo(cse, Strategy::Regional).unwrap();
+        assert!(programs_equal(&s.prog, &s.original));
+    }
+
+    #[test]
+    fn fault_plan_counters_are_one_based() {
+        let mut f = FaultState::new(FaultPlan::nth_inverse_action(2));
+        assert!(f.trip_inverse(XformKind::Cse).is_ok());
+        let err = f.trip_inverse(XformKind::Cse).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Injected(FaultPoint::InverseAction(2))
+        ));
+        assert!(f.trip_inverse(XformKind::Cse).is_ok(), "fires exactly once");
+    }
+
+    #[test]
+    fn poison_kind_fires_on_every_occurrence() {
+        let mut f = FaultState::new(FaultPlan::poison(XformKind::Inx));
+        assert!(f.trip_inverse(XformKind::Cse).is_ok());
+        assert!(f.trip_inverse(XformKind::Inx).is_err());
+        assert!(f.trip_inverse(XformKind::Inx).is_err());
+    }
+
+    #[test]
+    fn consistency_violations_reports_all() {
+        let (mut s, cse) = cse_session();
+        assert!(s.consistency_violations().is_empty());
+        // Corrupt the session: mark the transformation undone while leaving
+        // its actions in the log.
+        s.history.get_mut(cse).unwrap().state = XformState::Undone;
+        let violations = s.consistency_violations();
+        assert!(
+            violations
+                .iter()
+                .all(|v| matches!(v, ConsistencyViolation::ActionOfUndone { .. })),
+            "{violations:?}"
+        );
+        let logged = s.log.actions.len();
+        assert_eq!(violations.len(), logged, "one per logged action");
+    }
+
+    #[test]
+    fn assert_consistent_panics_with_violations() {
+        let (mut s, cse) = cse_session();
+        s.history.get_mut(cse).unwrap().state = XformState::Undone;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.assert_consistent()))
+            .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("session inconsistent"), "{msg}");
+    }
+}

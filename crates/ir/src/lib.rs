@@ -42,4 +42,4 @@ pub mod pdg;
 pub mod reaching;
 pub mod twolevel;
 
-pub use twolevel::Rep;
+pub use twolevel::{RebuildError, Rep};

@@ -22,6 +22,29 @@ use crate::pdg::Pdg;
 use crate::reaching::{self, ReachingDefs};
 use pivot_lang::{Program, StmtId};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A representation rebuild refused to run: the program failed its
+/// structural invariant check, so the analyses would be built over garbage.
+/// The undo engine treats this as a phase fault and rolls the transaction
+/// back instead of propagating a corrupt representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RebuildError {
+    /// The invariant violations reported by the program.
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "representation rebuild refused: {}",
+            self.violations.join("; ")
+        )
+    }
+}
+
+impl std::error::Error for RebuildError {}
 
 /// The integrated two-level representation.
 #[derive(Clone, Debug)]
@@ -122,6 +145,20 @@ impl Rep {
         self.builds = builds;
     }
 
+    /// Fallible rebuild: validate the program's structural invariants first
+    /// and refuse (without touching `self`) when they do not hold. This is
+    /// the rebuild the transactional engine calls — a refusal aborts the
+    /// surrounding transaction instead of baking a corrupt program into the
+    /// analyses.
+    pub fn try_refresh(&mut self, prog: &Program) -> Result<(), RebuildError> {
+        let violations = prog.check_invariants();
+        if !violations.is_empty() {
+            return Err(RebuildError { violations });
+        }
+        self.refresh(prog);
+        Ok(())
+    }
+
     /// Textual (pre-order) position of a statement, if attached.
     pub fn position(&self, s: StmtId) -> Option<usize> {
         self.pos.get(&s).copied()
@@ -184,6 +221,8 @@ mod tests {
         rep.refresh(&p);
         rep.refresh(&p);
         assert_eq!(rep.builds, 3);
+        rep.try_refresh(&p).unwrap();
+        assert_eq!(rep.builds, 4);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Fault-injection sweep driver.
+//!
+//! For every transformation applied to a set of seeded workloads (plus a
+//! Figure 1 interaction cascade), this module re-runs the undo request with
+//! a deterministic fault armed at each reachable fault point — the Nth
+//! inverse action, the Nth safety re-check, the Nth IR rebuild, and a
+//! poisoned transformation kind — and asserts the transactional guarantees
+//! after every induced rollback:
+//!
+//! 1. the program source is byte-identical to the pre-undo checkpoint;
+//! 2. the interpreter produces identical outputs on seeded input streams;
+//! 3. [`Session::consistency_violations`] reports nothing.
+//!
+//! The sweep is exhaustive per fault family: N is incremented until the
+//! request survives (the cascade performed fewer than N such operations),
+//! so every reachable fault point in every cascade is exercised once.
+
+use crate::{gen_inputs, prepare, Prepared, WorkloadCfg};
+use pivot_lang::interp;
+use pivot_undo::engine::Session;
+use pivot_undo::{FaultPlan, Strategy, UndoError, XformId, XformKind, ALL_KINDS};
+
+/// Hard cap on per-family fault indices; a single undo cascade in these
+/// workloads performs far fewer than this many operations of any one kind.
+const MAX_FAULT_INDEX: u64 = 64;
+
+/// Aggregate result of a fault sweep.
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Undo requests attempted with a fault armed.
+    pub trials: usize,
+    /// Trials where the armed fault tripped and the engine rolled back.
+    pub rollbacks: usize,
+    /// Trials where the cascade finished before reaching the fault point.
+    pub survived: usize,
+    /// Invariant violations observed after rollbacks (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl SweepOutcome {
+    /// True when every induced rollback preserved all invariants.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Reference state captured before a faulted undo attempt.
+struct Reference {
+    source: String,
+    outputs: Vec<Vec<i64>>,
+    inputs: Vec<Vec<i64>>,
+}
+
+impl Reference {
+    fn capture(session: &Session, seed: u64) -> Reference {
+        let inputs: Vec<Vec<i64>> = (0..3u64).map(|i| gen_inputs(seed ^ (i + 1), 64)).collect();
+        let outputs = inputs
+            .iter()
+            .map(|inp| interp::run_default(&session.prog, inp).unwrap_or_default())
+            .collect();
+        Reference {
+            source: session.source(),
+            outputs,
+            inputs,
+        }
+    }
+
+    fn check(&self, session: &Session, label: &str, violations: &mut Vec<String>) {
+        if session.source() != self.source {
+            violations.push(format!(
+                "{label}: post-rollback source differs from checkpoint"
+            ));
+        }
+        for (inp, want) in self.inputs.iter().zip(&self.outputs) {
+            let got = interp::run_default(&session.prog, inp).unwrap_or_default();
+            if &got != want {
+                violations.push(format!("{label}: post-rollback interpreter output differs"));
+                break;
+            }
+        }
+        for v in session.consistency_violations() {
+            violations.push(format!("{label}: {v}"));
+        }
+    }
+}
+
+/// Run one undo attempt with `plan` armed on a clone of `base`.
+/// Returns true when the fault tripped (rollback observed).
+fn trial(
+    base: &Session,
+    target: XformId,
+    plan: FaultPlan,
+    reference: &Reference,
+    label: &str,
+    outcome: &mut SweepOutcome,
+) -> bool {
+    let mut s = base.clone();
+    s.arm_faults(plan);
+    outcome.trials += 1;
+    match s.undo(target, Strategy::Regional) {
+        Err(UndoError::RolledBack { .. }) => {
+            outcome.rollbacks += 1;
+            reference.check(&s, label, &mut outcome.violations);
+            true
+        }
+        Ok(_) => {
+            outcome.survived += 1;
+            // The fault point was past the end of the cascade; the undo
+            // must still leave a consistent session.
+            for v in s.consistency_violations() {
+                outcome.violations.push(format!("{label} (clean): {v}"));
+            }
+            false
+        }
+        Err(e) => {
+            outcome
+                .violations
+                .push(format!("{label}: unexpected undo error: {e}"));
+            false
+        }
+    }
+}
+
+/// Sweep every fault family over every applied transformation of `base`.
+fn sweep_session(base: &Session, applied: &[XformId], seed: u64, outcome: &mut SweepOutcome) {
+    let reference = Reference::capture(base, seed);
+    for &target in applied {
+        for n in 1..=MAX_FAULT_INDEX {
+            let label = format!("seed {seed} undo {target} inverse-action #{n}");
+            if !trial(
+                base,
+                target,
+                FaultPlan::nth_inverse_action(n),
+                &reference,
+                &label,
+                outcome,
+            ) {
+                break;
+            }
+        }
+        for n in 1..=MAX_FAULT_INDEX {
+            let label = format!("seed {seed} undo {target} safety-check #{n}");
+            if !trial(
+                base,
+                target,
+                FaultPlan::nth_safety_check(n),
+                &reference,
+                &label,
+                outcome,
+            ) {
+                break;
+            }
+        }
+        for n in 1..=MAX_FAULT_INDEX {
+            let label = format!("seed {seed} undo {target} rebuild #{n}");
+            if !trial(
+                base,
+                target,
+                FaultPlan::nth_rebuild(n),
+                &reference,
+                &label,
+                outcome,
+            ) {
+                break;
+            }
+        }
+        let kinds: Vec<XformKind> = ALL_KINDS
+            .iter()
+            .copied()
+            .filter(|k| base.history.records.iter().any(|r| r.kind == *k))
+            .collect();
+        for kind in kinds {
+            let label = format!("seed {seed} undo {target} poisoned {kind}");
+            trial(
+                base,
+                target,
+                FaultPlan::poison(kind),
+                &reference,
+                &label,
+                outcome,
+            );
+        }
+    }
+}
+
+/// Run the full sweep: several seeded workloads plus one with Figure 1
+/// interaction cascades, each prepared with up to `max` transformations.
+pub fn sweep_faults(seed: u64, max: usize) -> SweepOutcome {
+    let mut outcome = SweepOutcome::default();
+    let shapes = [
+        WorkloadCfg {
+            fragments: 6,
+            ..Default::default()
+        },
+        WorkloadCfg {
+            fragments: 4,
+            figure1_chains: 1,
+            ..Default::default()
+        },
+    ];
+    for (i, cfg) in shapes.iter().enumerate() {
+        let s = seed.wrapping_add(i as u64);
+        let Prepared { session, applied } = prepare(s, cfg, max);
+        sweep_session(&session, &applied, s, &mut outcome);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_small_workload_passes() {
+        let outcome = sweep_faults(7, 4);
+        assert!(outcome.trials > 0);
+        assert!(outcome.rollbacks > 0, "no fault ever tripped: {outcome:?}");
+        assert!(outcome.passed(), "violations: {:#?}", outcome.violations);
+    }
+}

@@ -1,0 +1,70 @@
+//! Workload driver binary.
+//!
+//! ```text
+//! pivot-workload faults [--seed N] [--max N]
+//! ```
+//!
+//! Runs the deterministic fault-injection sweep ([`pivot_workload::faults`])
+//! and exits non-zero if any induced rollback violated a transactional
+//! invariant.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pivot-workload <command>
+
+commands:
+  faults [--seed N] [--max N]  sweep deterministic faults over seeded
+                               workloads and check rollback invariants
+                               (defaults: --seed 7 --max 10)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("faults") => {
+            let mut seed = 7u64;
+            let mut max = 10usize;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--seed" => value(&mut rest, "--seed").map(|v| seed = v),
+                    "--max" => value(&mut rest, "--max").map(|v| max = v as usize),
+                    other => Err(format!("faults: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let outcome = pivot_workload::faults::sweep_faults(seed, max);
+            println!(
+                "fault sweep: {} trials, {} rollbacks, {} survived, {} violations",
+                outcome.trials,
+                outcome.rollbacks,
+                outcome.survived,
+                outcome.violations.len()
+            );
+            if outcome.passed() {
+                ExitCode::SUCCESS
+            } else {
+                for v in &outcome.violations {
+                    eprintln!("violation: {v}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -95,7 +95,7 @@ fn table2() {
         let id = s
             .apply_kind(*kind)
             .unwrap_or_else(|| panic!("{kind} sample applies"));
-        let r = s.history.get(id);
+        let r = s.history.get(id).unwrap();
         println!("{} ({})", kind, kind.name());
         println!("  pre_pattern : {}", r.pre.shape);
         println!("  actions     : {}", describe_actions(&s));

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Deny `.unwrap()` / `.expect(` in the engine's transactional hot paths.
+# Test modules (everything from `#[cfg(test)]` down) and comment lines are
+# exempt. The undo/apply cascades must surface typed errors and roll back,
+# never panic mid-mutation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILES=(
+  crates/core/src/engine.rs
+  crates/core/src/revers.rs
+)
+
+status=0
+for f in "${FILES[@]}"; do
+  hits=$(sed '/#\[cfg(test)\]/,$d' "$f" \
+    | grep -v '^\s*//' \
+    | grep -nE '\.unwrap\(\)|\.expect\(' || true)
+  if [ -n "$hits" ]; then
+    echo "error: panic-prone call in non-test code of $f:" >&2
+    echo "$hits" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "ok: no unwrap/expect in transactional hot paths"
+fi
+exit "$status"

@@ -44,11 +44,17 @@ impl Rig {
     }
 
     fn safe(&self, id: XformId) -> bool {
-        still_safe(&self.prog, &self.rep, &self.log, self.hist.get(id))
+        still_safe(&self.prog, &self.rep, &self.log, self.hist.get(id).unwrap())
     }
 
     fn reversible(&self, id: XformId) -> bool {
-        check_reversible(&self.prog, &self.log, &self.hist, self.hist.get(id)).is_ok()
+        check_reversible(
+            &self.prog,
+            &self.log,
+            &self.hist,
+            self.hist.get(id).unwrap(),
+        )
+        .is_ok()
     }
 
     /// Simulate a program edit: insert parsed statements after `anchor_idx`
@@ -108,7 +114,7 @@ fn dce_reversibility_disabled_by_deleting_location_context() {
     let lp = r.prog.body[0];
     r.prog.detach(lp).unwrap();
     r.rep.refresh(&r.prog);
-    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(dce)).unwrap_err();
+    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(dce).unwrap()).unwrap_err();
     // An edit (not a transformation) destroyed the context: no blame.
     assert_eq!(err.affecting, None);
 }
@@ -195,7 +201,7 @@ fn rewrite_reversibility_disabled_by_later_modify() {
     let mut r = Rig::new("c = 1\nx = c + 2\nwrite x\n");
     let ctp = r.apply(XformKind::Ctp);
     let cfo = r.apply(XformKind::Cfo); // folds 1 + 2, consuming CTP's node
-    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(ctp)).unwrap_err();
+    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(ctp).unwrap()).unwrap_err();
     assert_eq!(err.affecting, Some(cfo));
     assert!(r.reversible(cfo));
 }
@@ -283,7 +289,7 @@ fn inx_reversibility_disabled_by_statement_between_loops() {
         )
         .unwrap();
     r.rep.refresh(&r.prog);
-    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(inx)).unwrap_err();
+    let err = check_reversible(&r.prog, &r.log, &r.hist, r.hist.get(inx).unwrap()).unwrap_err();
     assert_eq!(
         err.affecting, None,
         "an edit, not a transformation, is to blame"

@@ -96,7 +96,7 @@ fn reverse_destroy_reading_holds_for_witnessed_chains() {
         // Semantics must hold whether or not `to` survived.
         let now = pivot_lang::interp::run_default(&s.prog, &inputs).unwrap();
         assert_eq!(now, expected, "{} → {}: semantics broke", w.from, w.to);
-        if s.history.get(to_id).state == XformState::Active {
+        if s.history.get(to_id).unwrap().state == XformState::Active {
             // Survivors must still be safe, and reversible on demand.
             assert!(
                 s.find_unsafe().is_empty(),

@@ -1,0 +1,139 @@
+//! Golden crash-recovery test for the write-ahead session journal.
+//!
+//! A scripted session (applies, an independent-order undo, a faulted —
+//! aborted — undo) runs with a journal attached while we snapshot the
+//! source after every committed transaction. The journal file is then
+//! truncated at **every byte boundary** and recovered; each prefix must
+//! recover, without panicking, to exactly the state reached by the
+//! transactions whose commit records survive in that prefix.
+
+use pivot_lang::parser::parse;
+use pivot_undo::engine::{Session, Strategy};
+use pivot_undo::{FaultPlan, Journal, UndoError, XformKind};
+use std::path::PathBuf;
+
+const SRC: &str = "d = e + f\nr = e + f\nwrite r\nwrite d\nx = 3 * 4\nwrite x\n";
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pivot_journal_recovery");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Run the scripted session; returns the journal bytes and the source
+/// snapshot after each committed transaction (snapshots[0] = original).
+fn scripted_session() -> (Vec<u8>, Vec<String>) {
+    let path = tmp("session.journal");
+    let _ = std::fs::remove_file(&path);
+    let mut s = Session::from_source(SRC).unwrap();
+    s.set_journal(Journal::open(&path).unwrap());
+    let mut snapshots = vec![s.source()];
+    let cse = s.apply_kind(XformKind::Cse).expect("e + f recurs");
+    snapshots.push(s.source());
+    s.apply_kind(XformKind::Cfo).expect("3 * 4 folds");
+    snapshots.push(s.source());
+    s.undo(cse, Strategy::Regional).unwrap();
+    snapshots.push(s.source());
+    // A faulted undo: begin + abort in the journal, no state change.
+    s.arm_faults(FaultPlan::nth_inverse_action(1));
+    let last = *s
+        .history
+        .active()
+        .map(|r| r.id)
+        .collect::<Vec<_>>()
+        .last()
+        .unwrap();
+    match s.undo(last, Strategy::Regional) {
+        Err(UndoError::RolledBack { .. }) => {}
+        other => panic!("expected rollback, got {other:?}"),
+    }
+    s.disarm_faults();
+    let bytes = std::fs::read(&path).unwrap();
+    (bytes, snapshots)
+}
+
+/// Committed transactions whose commit record fully survives in `prefix`.
+/// A final line cut before its newline still counts when the record itself
+/// is complete (it ends with `}` and parses), matching recovery: the
+/// newline is framing, not part of the durable record.
+fn commits_in(prefix: &[u8]) -> usize {
+    let text = String::from_utf8_lossy(prefix);
+    let segments: Vec<&str> = text.split('\n').collect();
+    let last = segments.len().saturating_sub(1);
+    segments
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| {
+            l.contains("\"rec\":\"commit\"")
+                && (*i < last || text.ends_with('\n') || l.ends_with('}'))
+        })
+        .count()
+}
+
+#[test]
+fn recovery_is_exact_at_every_truncation_boundary() {
+    let (bytes, snapshots) = scripted_session();
+    assert!(!bytes.is_empty(), "journal must not be empty");
+    assert_eq!(snapshots.len(), 4, "three committed transactions");
+    let path = tmp("truncated.journal");
+    for len in 0..=bytes.len() {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        let prog = parse(SRC).unwrap();
+        let recovery = Session::recover(prog, &path)
+            .unwrap_or_else(|e| panic!("truncation at byte {len}: {e}"));
+        let want_commits = commits_in(&bytes[..len]);
+        assert_eq!(
+            recovery.committed, want_commits,
+            "truncation at byte {len} replayed the wrong transaction count"
+        );
+        assert_eq!(
+            recovery.session.source(),
+            snapshots[want_commits],
+            "truncation at byte {len} recovered to the wrong state"
+        );
+        assert!(
+            recovery.session.consistency_violations().is_empty(),
+            "truncation at byte {len} left an inconsistent session"
+        );
+    }
+}
+
+#[test]
+fn full_journal_recovers_final_state_and_skips_the_abort() {
+    let (bytes, snapshots) = scripted_session();
+    let path = tmp("full.journal");
+    std::fs::write(&path, &bytes).unwrap();
+    let recovery = Session::recover(parse(SRC).unwrap(), &path).unwrap();
+    assert_eq!(recovery.committed, 3);
+    assert_eq!(
+        recovery.aborted, 1,
+        "the faulted undo must appear as an abort"
+    );
+    assert_eq!(recovery.discarded, 0);
+    assert_eq!(recovery.session.source(), *snapshots.last().unwrap());
+}
+
+#[test]
+fn recovered_session_continues_journaling_and_undoing() {
+    let (bytes, _) = scripted_session();
+    let path = tmp("resume.journal");
+    std::fs::write(&path, &bytes).unwrap();
+    let recovery = Session::recover(parse(SRC).unwrap(), &path).unwrap();
+    let mut s = recovery.session;
+    // The recovered session is a normal session: attach the journal again
+    // and keep going; transaction ids continue past the replayed ones.
+    s.set_journal(Journal::open(&path).unwrap());
+    let remaining: Vec<_> = s.history.active().map(|r| r.id).collect();
+    for id in remaining {
+        match s.undo(id, Strategy::Regional) {
+            Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+            Err(e) => panic!("undo {id}: {e}"),
+        }
+    }
+    assert_eq!(s.source(), Session::from_source(SRC).unwrap().source());
+    s.assert_consistent();
+    // And the re-attached journal recovers to the same final (empty) state.
+    let r2 = Session::recover(parse(SRC).unwrap(), &path).unwrap();
+    assert_eq!(r2.session.source(), s.source());
+    assert!(r2.session.history.active().next().is_none());
+}

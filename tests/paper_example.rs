@@ -62,7 +62,7 @@ fn section_5_2_cse_and_ctp_reverse_immediately() {
     // it is the last transformation applied".
     let (s, [cse, ctp, _inx, icm]) = figure1_session();
     for id in [cse, ctp, icm] {
-        let record = s.history.get(id).clone();
+        let record = s.history.get(id).unwrap().clone();
         assert!(
             pivot_undo::revers::check_reversible(&s.prog, &s.log, &s.history, &record).is_ok(),
             "{id} should be immediately reversible"
@@ -73,7 +73,7 @@ fn section_5_2_cse_and_ctp_reverse_immediately() {
 #[test]
 fn section_5_2_inx_requires_icm_first() {
     let (s, [_, _, inx, icm]) = figure1_session();
-    let record = s.history.get(inx).clone();
+    let record = s.history.get(inx).unwrap().clone();
     let err = pivot_undo::revers::check_reversible(&s.prog, &s.log, &s.history, &record)
         .expect_err("INX post pattern (Tight Loops) is invalidated by mv4");
     assert_eq!(err.affecting, Some(icm));
@@ -84,8 +84,14 @@ fn undo_inx_cascades_exactly_icm() {
     let (mut s, [cse, ctp, inx, icm]) = figure1_session();
     let report = s.undo(inx, Strategy::Regional).unwrap();
     assert_eq!(report.undone, vec![icm, inx]);
-    assert_eq!(s.history.get(cse).state, pivot_undo::XformState::Active);
-    assert_eq!(s.history.get(ctp).state, pivot_undo::XformState::Active);
+    assert_eq!(
+        s.history.get(cse).unwrap().state,
+        pivot_undo::XformState::Active
+    );
+    assert_eq!(
+        s.history.get(ctp).unwrap().state,
+        pivot_undo::XformState::Active
+    );
     // The surviving rewrites are still in the code.
     assert!(s.source().contains("R(i, j) = D"));
     assert!(s.source().contains("A(j) = B(j) + 1"));

@@ -1,0 +1,176 @@
+//! Transactional-undo property tests: for every reachable fault point in a
+//! randomly generated transformation script, a fault-induced rollback must
+//! restore the exact pre-request state — byte-identical source, identical
+//! interpreter outputs on seeded inputs, and a consistent
+//! history/log/program triple.
+
+use pivot_lang::interp;
+use pivot_undo::engine::{Session, Strategy};
+use pivot_undo::{EngineError, FaultPlan, UndoError, XformKind, ALL_KINDS};
+use pivot_workload::{gen_inputs, prepare, WorkloadCfg};
+use proptest::prelude::*;
+
+fn cfg() -> WorkloadCfg {
+    WorkloadCfg {
+        fragments: 6,
+        noise_ratio: 0.4,
+        figure1_chains: 1,
+        ..Default::default()
+    }
+}
+
+/// Reference state captured before a faulted request.
+struct Reference {
+    source: String,
+    inputs: Vec<Vec<i64>>,
+    outputs: Vec<Vec<i64>>,
+}
+
+impl Reference {
+    fn capture(session: &Session, seed: u64) -> Reference {
+        let inputs: Vec<Vec<i64>> = (0..3u64).map(|i| gen_inputs(seed ^ (i + 1), 64)).collect();
+        let outputs = inputs
+            .iter()
+            .map(|inp| interp::run_default(&session.prog, inp).unwrap())
+            .collect();
+        Reference {
+            source: session.source(),
+            inputs,
+            outputs,
+        }
+    }
+
+    fn assert_restored(&self, session: &Session) -> Result<(), TestCaseError> {
+        prop_assert_eq!(session.source(), self.source.clone(), "source not restored");
+        for (inp, want) in self.inputs.iter().zip(&self.outputs) {
+            let got = interp::run_default(&session.prog, inp)
+                .map_err(|e| TestCaseError::fail(format!("post-rollback exec: {e}")))?;
+            prop_assert_eq!(&got, want, "interpreter output changed by rollback");
+        }
+        let violations = session.consistency_violations();
+        prop_assert!(
+            violations.is_empty(),
+            "inconsistent after rollback: {violations:?}"
+        );
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sweep N upward per fault family until the cascade completes without
+    /// tripping; every trip must roll back to the reference state.
+    #[test]
+    fn every_fault_point_rolls_back_cleanly(seed in 0u64..200, pick in 0usize..64) {
+        let prepared = prepare(seed, &cfg(), 6);
+        prop_assume!(prepared.applied.len() >= 3);
+        let target = prepared.applied[pick % prepared.applied.len()];
+        let base = prepared.session;
+        let reference = Reference::capture(&base, seed);
+        let mut tripped = 0usize;
+        for family in 0..3usize {
+            for n in 1..=64u64 {
+                let plan = match family {
+                    0 => FaultPlan::nth_inverse_action(n),
+                    1 => FaultPlan::nth_safety_check(n),
+                    _ => FaultPlan::nth_rebuild(n),
+                };
+                let mut s = base.clone();
+                s.arm_faults(plan);
+                match s.undo(target, Strategy::Regional) {
+                    Err(UndoError::RolledBack { .. }) => {
+                        tripped += 1;
+                        reference.assert_restored(&s)?;
+                    }
+                    Ok(_) => break,
+                    Err(e) => return Err(TestCaseError::fail(format!("family {family} n={n}: {e}"))),
+                }
+            }
+        }
+        // Every cascade performs at least one inverse action and one rebuild.
+        prop_assert!(tripped >= 2, "sweep never tripped a fault");
+    }
+
+    /// Poisoning any kind that the cascade actually reverses must roll back
+    /// with the injected fault as cause; other kinds leave the undo intact.
+    #[test]
+    fn poisoned_kinds_roll_back_or_pass_through(seed in 0u64..200, pick in 0usize..64) {
+        let prepared = prepare(seed, &cfg(), 6);
+        prop_assume!(prepared.applied.len() >= 3);
+        let target = prepared.applied[pick % prepared.applied.len()];
+        let base = prepared.session;
+        let reference = Reference::capture(&base, seed);
+        let present: Vec<XformKind> = ALL_KINDS
+            .iter()
+            .copied()
+            .filter(|k| base.history.records.iter().any(|r| r.kind == *k))
+            .collect();
+        for kind in present {
+            let mut s = base.clone();
+            s.arm_faults(FaultPlan::poison(kind));
+            match s.undo(target, Strategy::Regional) {
+                Err(UndoError::RolledBack { cause, .. }) => {
+                    prop_assert!(
+                        matches!(cause, EngineError::Injected(_)),
+                        "poison rollback with unexpected cause: {cause}"
+                    );
+                    reference.assert_restored(&s)?;
+                }
+                Ok(_) => {
+                    let violations = s.consistency_violations();
+                    prop_assert!(violations.is_empty(), "{violations:?}");
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("poison {kind}: {e}"))),
+            }
+        }
+    }
+
+    /// After a rollback the session is not wedged: disarming the faults and
+    /// repeating the identical request succeeds.
+    #[test]
+    fn session_usable_after_rollback(seed in 0u64..200, pick in 0usize..64) {
+        let prepared = prepare(seed, &cfg(), 6);
+        prop_assume!(prepared.applied.len() >= 3);
+        let target = prepared.applied[pick % prepared.applied.len()];
+        let mut s = prepared.session;
+        s.arm_faults(FaultPlan::nth_inverse_action(1));
+        match s.undo(target, Strategy::Regional) {
+            Err(UndoError::RolledBack { .. }) => {}
+            other => return Err(TestCaseError::fail(format!("expected rollback, got {other:?}"))),
+        }
+        s.disarm_faults();
+        let r = s.undo(target, Strategy::Regional)
+            .map_err(|e| TestCaseError::fail(format!("retry after rollback: {e}")))?;
+        prop_assert!(r.undone.contains(&target));
+        s.assert_consistent();
+    }
+}
+
+/// `undo_reverse_to` shares the transactional wrapper: a fault mid-way
+/// through the reverse sweep restores the full pre-request state, not a
+/// partially rewound one.
+#[test]
+fn reverse_to_rolls_back_atomically() {
+    for seed in 0..6u64 {
+        let prepared = prepare(seed, &cfg(), 6);
+        if prepared.applied.len() < 3 {
+            continue;
+        }
+        let target = prepared.applied[0];
+        let base = prepared.session;
+        let pre = base.source();
+        for n in 1..=64u64 {
+            let mut s = base.clone();
+            s.arm_faults(FaultPlan::nth_inverse_action(n));
+            match s.undo_reverse_to(target) {
+                Err(UndoError::RolledBack { .. }) => {
+                    assert_eq!(s.source(), pre, "seed {seed} n={n}");
+                    assert!(s.consistency_violations().is_empty());
+                }
+                Ok(_) => break,
+                Err(e) => panic!("seed {seed} n={n}: {e}"),
+            }
+        }
+    }
+}

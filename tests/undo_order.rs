@@ -214,8 +214,14 @@ fn interaction_heuristic_prunes_checks_beyond_region() {
     assert_eq!(ra.safety_checks, 0, "heuristic skips the unmarked CTP");
     assert_eq!(rb.safety_checks, 1, "region alone still checks it");
     // The CTP survives in both.
-    assert_eq!(a.history.get(ctp_a).state, pivot_undo::XformState::Active);
-    assert_eq!(b.history.get(ctp_b).state, pivot_undo::XformState::Active);
+    assert_eq!(
+        a.history.get(ctp_a).unwrap().state,
+        pivot_undo::XformState::Active
+    );
+    assert_eq!(
+        b.history.get(ctp_b).unwrap().state,
+        pivot_undo::XformState::Active
+    );
 }
 
 #[test]
