@@ -1,0 +1,169 @@
+//! Batch vs. incremental representation refresh (E13).
+//!
+//! The `Dependence_and_data_flow_update` of Figure 4 is the dominant cost
+//! of every undo (E8/E11). This bench measures what the delta-driven
+//! incremental path (`Rep::try_refresh_delta`) saves over the batch
+//! rebuild (`Rep::refresh`) for the paper's common case: a localized
+//! change — a single statement's RHS rewritten — and a cascade touching
+//! several statements, across small/medium/large workload programs.
+//!
+//! Each iteration starts from a clone of the *pre-edit* representation
+//! (setup, untimed) and refreshes it against the post-edit program, so the
+//! incremental path pays its full cost: CFG rebuild + shape check, fact
+//! remapping, dirty seeding, frontier-restarted solves and chain patching.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use pivot_ir::{incr, EditDelta, RefreshOutcome, Rep};
+use pivot_lang::{ExprKind, Program, StmtId, StmtKind};
+use pivot_workload::{gen_program, WorkloadCfg};
+
+/// Attached assignment statements, in program order.
+fn assigns(p: &Program) -> Vec<StmtId> {
+    p.attached_stmts()
+        .into_iter()
+        .filter(|&s| matches!(p.stmt(s).kind, StmtKind::Assign { .. }))
+        .collect()
+}
+
+/// Rewrite the RHS of `stmt` to a fresh constant, returning it as the
+/// touched statement of the resulting delta.
+fn rewrite_rhs(p: &mut Program, stmt: StmtId, c: i64) {
+    let value = match &p.stmt(stmt).kind {
+        StmtKind::Assign { value, .. } => *value,
+        other => panic!("expected Assign, got {other:?}"),
+    };
+    p.replace_expr_kind(value, ExprKind::Const(c));
+}
+
+/// One benched scenario: the pre-edit rep, the post-edit program, and the
+/// delta linking them.
+struct Scenario {
+    rep: Rep,
+    prog: Program,
+    delta: EditDelta,
+    stmts: usize,
+}
+
+/// The edit the scenario applies between the two representation states.
+#[derive(Clone, Copy)]
+enum Shape {
+    /// Rewrite the RHS of this many statements in place (fast path).
+    Touch(usize),
+    /// Detach one assignment (structural delta: remapping + cone restart).
+    Detach,
+}
+
+fn scenario(fragments: usize, shape: Shape) -> Scenario {
+    let mut prog = gen_program(
+        11,
+        &WorkloadCfg {
+            fragments,
+            noise_ratio: 0.5,
+            ..Default::default()
+        },
+    );
+    let rep = Rep::build(&prog);
+    let targets = assigns(&prog);
+    let delta = match shape {
+        Shape::Touch(touch) => {
+            assert!(
+                targets.len() >= touch,
+                "workload too small for {touch} edits"
+            );
+            // Spread the touched statements across the program so a cascade
+            // is not one dirty block by accident.
+            let stride = targets.len() / touch;
+            let touched: Vec<StmtId> = (0..touch).map(|i| targets[i * stride]).collect();
+            for (i, &s) in touched.iter().enumerate() {
+                rewrite_rhs(&mut prog, s, 7 + i as i64);
+            }
+            EditDelta {
+                touched,
+                ..Default::default()
+            }
+        }
+        Shape::Detach => {
+            // Detach an assignment that shares its basic block with other
+            // plain statements, so the CFG keeps its shape and the general
+            // incremental path (fact remapping + cone restart) is measured
+            // rather than the fallback.
+            let victim = rep
+                .cfg
+                .blocks
+                .iter()
+                .filter(|b| b.stmts.len() >= 2)
+                .flat_map(|b| b.stmts.iter().copied())
+                .find(|&s| matches!(prog.stmt(s).kind, StmtKind::Assign { .. }))
+                .expect("no multi-statement block with an assignment");
+            prog.detach(victim).unwrap();
+            EditDelta {
+                removed: vec![victim],
+                ..Default::default()
+            }
+        }
+    };
+    let stmts = prog.attached_len();
+
+    // The scenario must actually exercise the incremental path, and the
+    // updated rep must conform to a batch rebuild — otherwise the numbers
+    // below compare nothing.
+    let mut probe = rep.clone();
+    match probe.try_refresh_delta(&prog, &delta).unwrap() {
+        RefreshOutcome::Incremental(_) => {}
+        RefreshOutcome::Fallback(r) => panic!("scenario fell back: {}", r.name()),
+    }
+    incr::check_against_batch(&probe, &prog);
+
+    Scenario {
+        rep,
+        prog,
+        delta,
+        stmts,
+    }
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rep_refresh");
+    g.sample_size(30);
+    for (label, fragments) in [("small", 4usize), ("medium", 16), ("large", 64)] {
+        for (shape_name, shape) in [
+            ("single", Shape::Touch(1)),
+            ("cascade", Shape::Touch(5)),
+            ("structural", Shape::Detach),
+        ] {
+            let s = scenario(fragments, shape);
+            let id = format!("{label}_{}stmts/{shape_name}", s.stmts);
+            // `try_refresh` is the engine's Batch-mode path; like
+            // `try_refresh_delta` it validates program invariants first,
+            // so the two arms measure the same engine-level operation.
+            g.bench_function(BenchmarkId::new("batch", &id), |b| {
+                b.iter_batched(
+                    || s.rep.clone(),
+                    |mut r| {
+                        r.try_refresh(&s.prog).unwrap();
+                        r
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+            g.bench_function(BenchmarkId::new("incremental", &id), |b| {
+                b.iter_batched(
+                    || s.rep.clone(),
+                    |mut r| {
+                        r.try_refresh_delta(&s.prog, &s.delta).unwrap();
+                        r
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_refresh
+}
+criterion_main!(benches);

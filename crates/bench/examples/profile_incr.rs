@@ -1,0 +1,141 @@
+//! Ad-hoc phase profile of batch rebuild vs incremental refresh.
+
+use pivot_ir::{cfg, chains, dom, live, reaching, EditDelta, Rep};
+use pivot_lang::{ExprKind, StmtKind};
+use pivot_workload::{gen_program, WorkloadCfg};
+use std::time::Instant;
+
+fn time<T>(label: &str, n: u32, mut f: impl FnMut() -> T) {
+    let start = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(f());
+    }
+    println!(
+        "{label:<28} {:>10.2} us",
+        start.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
+}
+
+fn main() {
+    let mut prog = gen_program(
+        11,
+        &WorkloadCfg {
+            fragments: 64,
+            noise_ratio: 0.5,
+            ..Default::default()
+        },
+    );
+    let rep = Rep::build(&prog);
+    let target = prog
+        .attached_stmts()
+        .into_iter()
+        .find(|&s| matches!(prog.stmt(s).kind, StmtKind::Assign { .. }))
+        .unwrap();
+    let value = match &prog.stmt(target).kind {
+        StmtKind::Assign { value, .. } => *value,
+        _ => unreachable!(),
+    };
+    prog.replace_expr_kind(value, ExprKind::Const(7));
+    let delta = EditDelta {
+        touched: vec![target],
+        ..Default::default()
+    };
+
+    let n = 200;
+    println!("== batch layers ({} stmts) ==", prog.attached_len());
+    let c = cfg::build(&prog);
+    let rd = reaching::compute(&prog, &c);
+    time("cfg::build", n, || cfg::build(&prog));
+    time("dom+pdom", n, || {
+        (dom::dominators(&c), dom::postdominators(&c))
+    });
+    time("reaching::compute", n, || reaching::compute(&prog, &c));
+    time("live::compute", n, || live::compute(&prog, &c));
+    time("chains::compute", n, || chains::compute(&prog, &c, &rd));
+    time("def_sites", n, || reaching::def_sites(&prog));
+    time("Rep::build", n, || Rep::build(&prog));
+    time("rep.clone", n, || rep.clone());
+
+    println!("== refresh paths ==");
+    time("refresh (batch)", n, || {
+        let mut r = rep.clone();
+        r.refresh(&prog);
+        r
+    });
+    time("try_refresh_delta", n, || {
+        let mut r = rep.clone();
+        r.try_refresh_delta(&prog, &delta).unwrap();
+        r
+    });
+
+    println!("== fast-path pieces ==");
+    use pivot_ir::bitset::BitSet;
+    use pivot_ir::dataflow::{self, Direction, Meet, Problem};
+    let dirty = vec![rep.cfg.block_of(target).unwrap()];
+    time("def-invariance check", n, || {
+        pivot_ir::access::stmt_def_use(&prog, target)
+    });
+    time("check_invariants", n, || prog.check_invariants());
+    time("grow_and_redo", n, || {
+        let mut l = rep.live.clone();
+        l.grow_and_redo(&prog, &rep.cfg, &dirty);
+        l
+    });
+    time("live resolve_dirty", n, || {
+        let mut l = rep.live.clone();
+        l.grow_and_redo(&prog, &rep.cfg, &dirty);
+        let u = l.universe();
+        let prob = Problem {
+            direction: Direction::Backward,
+            meet: Meet::Union,
+            universe: u,
+            gen: std::mem::take(&mut l.gen),
+            kill: std::mem::take(&mut l.kill),
+            boundary: BitSet::new(u),
+        };
+        dataflow::resolve_dirty(&rep.cfg, &prob, &mut l.sol, &dirty);
+        l
+    });
+    time("live.clone", n, || rep.live.clone());
+    time("chains::patch 1 block", n, || {
+        let mut ch = rep.chains.clone();
+        pivot_ir::chains::patch(&mut ch, &prog, &rep.cfg, &rep.reach, &dirty, &[]);
+        ch
+    });
+    time("chains.clone", n, || rep.chains.clone());
+
+    println!("== structural (detach) general path ==");
+    let mut prog2 = gen_program(
+        11,
+        &WorkloadCfg {
+            fragments: 64,
+            noise_ratio: 0.5,
+            ..Default::default()
+        },
+    );
+    let rep2 = Rep::build(&prog2);
+    let victim = rep2
+        .cfg
+        .blocks
+        .iter()
+        .filter(|b| b.stmts.len() >= 2)
+        .flat_map(|b| b.stmts.iter().copied())
+        .find(|&s| matches!(prog2.stmt(s).kind, StmtKind::Assign { .. }))
+        .unwrap();
+    prog2.detach(victim).unwrap();
+    let delta2 = EditDelta {
+        removed: vec![victim],
+        ..Default::default()
+    };
+    time("rep2.clone", n, || rep2.clone());
+    time("detach: batch refresh", n, || {
+        let mut r = rep2.clone();
+        r.try_refresh(&prog2).unwrap();
+        r
+    });
+    time("detach: try_refresh_delta", n, || {
+        let mut r = rep2.clone();
+        r.try_refresh_delta(&prog2, &delta2).unwrap();
+        r
+    });
+}

@@ -1,0 +1,88 @@
+//! Structured edit deltas for the incremental representation update.
+//!
+//! The engine mutates the program through primitive actions ([`ActionKind`])
+//! and raw edits ([`crate::edits::Edit`]); the incremental updater
+//! ([`pivot_ir::incr`]) consumes an [`EditDelta`] summary instead of
+//! re-deriving everything from program text. This module translates between
+//! the two vocabularies:
+//!
+//! * [`forward_delta`] — after *applying* a transformation, from the stamped
+//!   actions it recorded;
+//! * [`inverse_delta`] — after *undoing* one, from the forward actions whose
+//!   inverses were just performed;
+//! * [`edit_delta`] — after a raw user edit.
+//!
+//! Compound-statement insertions and deletions (loops, branches) change the
+//! CFG shape, which the updater detects itself and answers with a batch
+//! fallback — the delta only has to be *complete* (mention every statement
+//! whose defs or uses may have changed), never minimal.
+
+use crate::actions::ActionKind;
+use crate::edits::Edit;
+use pivot_ir::EditDelta;
+use pivot_lang::{Program, StmtId};
+
+/// Append `root` and (when attached or detached-with-subtree) every
+/// statement below it.
+fn extend_subtree(prog: &Program, root: StmtId, out: &mut Vec<StmtId>) {
+    out.extend(prog.subtree(root));
+}
+
+/// Delta describing the *application* of the given stamped actions, in terms
+/// of the post-application program.
+pub fn forward_delta(prog: &Program, kinds: &[&ActionKind]) -> EditDelta {
+    let mut d = EditDelta::default();
+    for kind in kinds {
+        match kind {
+            ActionKind::Add { stmt, .. } => extend_subtree(prog, *stmt, &mut d.inserted),
+            ActionKind::Delete { stmt, .. } => extend_subtree(prog, *stmt, &mut d.removed),
+            ActionKind::Move { stmt, .. } => d.moved.push(*stmt),
+            ActionKind::Copy { copy, .. } => extend_subtree(prog, *copy, &mut d.inserted),
+            ActionKind::ModifyExpr { expr, .. } => d.touched.push(prog.expr(*expr).owner),
+            ActionKind::ModifyHeader { stmt, .. } => d.touched.push(*stmt),
+        }
+    }
+    d
+}
+
+/// Delta describing the *undo* of the given forward actions (their inverses
+/// have just been applied), in terms of the post-undo program.
+pub fn inverse_delta(prog: &Program, kinds: &[ActionKind]) -> EditDelta {
+    let mut d = EditDelta::default();
+    for kind in kinds {
+        match kind {
+            // Inverse of add: the statement was detached again.
+            ActionKind::Add { stmt, .. } => extend_subtree(prog, *stmt, &mut d.removed),
+            // Inverse of delete: the statement was re-attached.
+            ActionKind::Delete { stmt, .. } => extend_subtree(prog, *stmt, &mut d.inserted),
+            ActionKind::Move { stmt, .. } => d.moved.push(*stmt),
+            // Inverse of copy: the copy was detached.
+            ActionKind::Copy { copy, .. } => extend_subtree(prog, *copy, &mut d.removed),
+            ActionKind::ModifyExpr { expr, .. } => d.touched.push(prog.expr(*expr).owner),
+            ActionKind::ModifyHeader { stmt, .. } => d.touched.push(*stmt),
+        }
+    }
+    d
+}
+
+/// Delta describing a raw user edit, in terms of the post-edit program.
+/// `touched` is the statement list [`crate::engine::Session::edit`]
+/// computed while applying the edit (inserted roots, the deleted root, or
+/// the rewritten statement).
+pub fn edit_delta(prog: &Program, edit: &Edit, touched: &[StmtId]) -> EditDelta {
+    let mut d = EditDelta::default();
+    match edit {
+        Edit::Insert { .. } => {
+            for &s in touched {
+                extend_subtree(prog, s, &mut d.inserted);
+            }
+        }
+        Edit::Delete(_) => {
+            for &s in touched {
+                extend_subtree(prog, s, &mut d.removed);
+            }
+        }
+        Edit::ReplaceRhs { .. } => d.touched.extend_from_slice(touched),
+    }
+    d
+}

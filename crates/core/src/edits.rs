@@ -141,7 +141,25 @@ impl Session {
                 vec![*stmt]
             }
         };
-        self.rep.refresh(&self.prog);
+        match self.rep_mode {
+            pivot_ir::RepMode::Batch => self.rep.refresh(&self.prog),
+            mode => {
+                let delta = crate::delta::edit_delta(&self.prog, edit, &touched);
+                match self.rep.try_refresh_delta(&self.prog, &delta) {
+                    Ok(pivot_ir::RefreshOutcome::Incremental(_)) => {
+                        if mode == pivot_ir::RepMode::Checked {
+                            pivot_ir::incr::check_against_batch(&self.rep, &self.prog);
+                        }
+                    }
+                    Ok(pivot_ir::RefreshOutcome::Fallback(reason)) => {
+                        self.note_incr_fallback(reason)
+                    }
+                    // Edits never refuse the refresh (pre-incremental
+                    // behavior): rebuild unconditionally.
+                    Err(_) => self.rep.refresh(&self.prog),
+                }
+            }
+        }
         self.original = edited_snapshot(&self.prog);
         Ok(touched)
     }

@@ -32,7 +32,7 @@ use crate::region::affected_region;
 use crate::revers::check_reversible;
 use crate::safety::still_safe;
 use crate::txn::{EngineError, FaultState};
-use pivot_ir::Rep;
+use pivot_ir::{incr, EditDelta, FallbackReason, RefreshOutcome, Rep, RepMode};
 use pivot_lang::{Program, StmtId};
 use pivot_obs::provenance::{CauseKind, ProvenanceNode, ProvenanceTree};
 use pivot_obs::trace::{FieldValue, NoopTracer, Phase, PhaseNanos, Tracer};
@@ -217,6 +217,9 @@ pub struct Session {
     pub history: History,
     /// Interaction matrix used by the Regional strategy.
     pub matrix: Matrix,
+    /// How the representation is refreshed after structural changes
+    /// (default: [`RepMode::Batch`], the pre-incremental behavior).
+    pub rep_mode: RepMode,
     /// Snapshot of the program at session start (round-trip oracle).
     pub original: Program,
     /// Explanation trees, one per completed `undo` request (oldest first).
@@ -240,6 +243,7 @@ impl Clone for Session {
             log: self.log.clone(),
             history: self.history.clone(),
             matrix: self.matrix,
+            rep_mode: self.rep_mode,
             original: self.original.clone(),
             explanations: self.explanations.clone(),
             tracer: Arc::clone(&self.tracer),
@@ -260,6 +264,7 @@ impl Session {
             log: ActionLog::new(),
             history: History::new(),
             matrix: interact::default_matrix(),
+            rep_mode: RepMode::default(),
             original,
             explanations: Vec::new(),
             tracer: Arc::new(NoopTracer),
@@ -272,6 +277,13 @@ impl Session {
     /// [`pivot_obs::Recorder`]). Forked sessions inherit the tracer.
     pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
         self.tracer = tracer;
+    }
+
+    /// Select how the representation is refreshed after structural changes.
+    /// [`RepMode::Checked`] rebuilds from scratch after every incremental
+    /// update and panics on divergence — the differential-testing oracle.
+    pub fn set_rep_mode(&mut self, mode: RepMode) {
+        self.rep_mode = mode;
     }
 
     /// The session's current tracer.
@@ -321,7 +333,16 @@ impl Session {
         })?;
         let result = (|| -> Result<XformId, EngineError> {
             let applied = catalog::apply(&mut self.prog, &mut self.log, opp)?;
-            self.refresh_rep()?;
+            let delta = {
+                let kinds: Vec<&ActionKind> = self
+                    .log
+                    .actions_with(&applied.stamps)
+                    .into_iter()
+                    .map(|sa| &sa.kind)
+                    .collect();
+                crate::delta::forward_delta(&self.prog, &kinds)
+            };
+            self.refresh_rep(Some(&delta))?;
             Ok(self.history.record(
                 opp.kind(),
                 applied.params,
@@ -348,15 +369,45 @@ impl Session {
         }
     }
 
-    /// Rebuild the representation, honouring an armed fault plan and
-    /// refusing (via [`pivot_ir::RebuildError`]) on a structurally invalid
-    /// program.
-    fn refresh_rep(&mut self) -> Result<(), EngineError> {
+    /// Refresh the representation (`Dependence_and_data_flow_update`),
+    /// honouring an armed fault plan and refusing (via
+    /// [`pivot_ir::RebuildError`]) on a structurally invalid program.
+    ///
+    /// In [`RepMode::Batch`] — or when the caller has no [`EditDelta`] —
+    /// this rebuilds from scratch. Otherwise the delta drives an
+    /// incremental update; a bail to batch is **never silent**: it bumps
+    /// the `rep.incr.fallback` counter (in `try_refresh_delta`) and emits
+    /// an `incr_fallback` trace event. [`RepMode::Checked`] additionally
+    /// verifies every incremental success against a from-scratch rebuild.
+    fn refresh_rep(&mut self, delta: Option<&EditDelta>) -> Result<(), EngineError> {
         if let Some(f) = self.faults.as_mut() {
             f.trip_rebuild()?;
         }
-        self.rep.try_refresh(&self.prog)?;
+        match (self.rep_mode, delta) {
+            (RepMode::Batch, _) | (_, None) => {
+                self.rep.try_refresh(&self.prog)?;
+            }
+            (mode, Some(delta)) => match self.rep.try_refresh_delta(&self.prog, delta)? {
+                RefreshOutcome::Incremental(_) => {
+                    if mode == RepMode::Checked {
+                        incr::check_against_batch(&self.rep, &self.prog);
+                    }
+                }
+                RefreshOutcome::Fallback(reason) => self.note_incr_fallback(reason),
+            },
+        }
         Ok(())
+    }
+
+    /// Emit the `incr_fallback` trace event (the counter is bumped by
+    /// [`Rep::try_refresh_delta`] so unmonitored sessions still record it).
+    pub(crate) fn note_incr_fallback(&self, reason: FallbackReason) {
+        if self.tracer.enabled() {
+            self.tracer.event(
+                "incr_fallback",
+                &[("reason", FieldValue::Str(reason.name()))],
+            );
+        }
     }
 
     /// Journal a `begin` record for `op`, when a journal is attached. The
@@ -610,7 +661,8 @@ impl Session {
         // Line 13: dependence and data flow update.
         let rb0 = Instant::now();
         let span = traced.then(|| self.tracer.span_start(Phase::RepRebuild, &[]));
-        self.refresh_rep()
+        let delta = crate::delta::inverse_delta(&self.prog, &reversed);
+        self.refresh_rep(Some(&delta))
             .map_err(|cause| CascadeError::fault(Phase::RepRebuild, cause))?;
         report.phase_ns.add(Phase::RepRebuild, elapsed_ns(rb0));
         if let Some(span) = span {
@@ -791,7 +843,8 @@ impl Session {
             self.log.retire(&record.stamps);
             self.history.get_mut(last)?.state = XformState::Undone;
             report.undone.push(last);
-            self.refresh_rep()
+            let delta = crate::delta::inverse_delta(&self.prog, &reversed);
+            self.refresh_rep(Some(&delta))
                 .map_err(|cause| CascadeError::fault(Phase::RepRebuild, cause))?;
             if last == target {
                 return Ok(());

@@ -27,6 +27,7 @@
 
 pub mod actions;
 pub mod catalog;
+pub mod delta;
 pub mod edits;
 pub mod engine;
 pub mod history;
@@ -49,4 +50,5 @@ pub use history::{AppliedXform, History, HistoryError, XformId, XformState};
 pub use journal::{Journal, JournalOp, RecoverError, Recovery};
 pub use kind::{XformKind, ALL_KINDS};
 pub use pattern::{Pattern, XformParams};
+pub use pivot_ir::{EditDelta, FallbackReason, IncrStats, RefreshOutcome, RepMode};
 pub use txn::{Checkpoint, ConsistencyViolation, EngineError, FaultPlan, FaultPoint};

@@ -101,6 +101,16 @@ impl BitSet {
         }
     }
 
+    /// Change the universe size in place, keeping the bits that survive.
+    /// Growing leaves new indices clear; shrinking drops bits past the new
+    /// end. The incremental layer uses this when an analysis universe grows
+    /// (liveness facts are interned symbols, and the interner only appends).
+    pub fn resize(&mut self, new_len: usize) {
+        self.words.resize(new_len.div_ceil(64), 0);
+        self.len = new_len;
+        self.trim();
+    }
+
     /// Copy `other` into `self`.
     pub fn copy_from(&mut self, other: &BitSet) {
         debug_assert_eq!(self.len, other.len);
@@ -215,6 +225,20 @@ mod tests {
         b.insert(3);
         b.copy_from(&a);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let mut s: BitSet = [0, 63, 64, 100].into_iter().collect();
+        s.resize(130);
+        assert_eq!(s.universe(), 130);
+        assert!(s.insert(129));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 100, 129]);
+        s.resize(64);
+        assert_eq!(s.universe(), 64);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63]);
+        s.fill();
+        assert_eq!(s.count(), 64);
     }
 
     #[test]

@@ -26,40 +26,7 @@ pub struct Chains {
 pub fn compute(prog: &Program, cfg: &Cfg, rd: &ReachingDefs) -> Chains {
     let mut chains = Chains::default();
     for b in cfg.ids() {
-        let mut reach = rd.sol.ins[b.index()].clone();
-        for &s in &cfg.block(b).stmts {
-            let du = stmt_def_use(prog, s);
-            // Record uses against current reaching defs.
-            for &sym in du.use_scalars.iter().chain(&du.use_arrays) {
-                if let Some(facts) = rd.by_sym.get(&sym) {
-                    for &f in facts {
-                        if reach.contains(f) {
-                            let d = rd.sites[f].stmt;
-                            chains.ud.entry((s, sym)).or_default().push(d);
-                            chains.du.entry((d, sym)).or_default().push(s);
-                        }
-                    }
-                }
-            }
-            // Apply the statement's transfer.
-            for sym in du.def_scalars {
-                if let Some(facts) = rd.by_sym.get(&sym) {
-                    for &f in facts {
-                        if rd.sites[f].stmt != s {
-                            reach.remove(f);
-                        }
-                    }
-                }
-                if let Some(&f) = rd.site_index.get(&(s, sym)) {
-                    reach.insert(f);
-                }
-            }
-            for sym in du.def_arrays {
-                if let Some(&f) = rd.site_index.get(&(s, sym)) {
-                    reach.insert(f);
-                }
-            }
-        }
+        walk_block(prog, cfg, rd, b, &mut chains);
     }
     for v in chains.ud.values_mut() {
         v.sort_unstable();
@@ -70,6 +37,217 @@ pub fn compute(prog: &Program, cfg: &Cfg, rd: &ReachingDefs) -> Chains {
         v.dedup();
     }
     chains
+}
+
+/// Walk one block, threading the reaching set through its statements and
+/// appending use/def links to `chains` (lists are not yet sorted/deduped).
+fn walk_block(
+    prog: &Program,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    b: crate::cfg::BlockId,
+    chains: &mut Chains,
+) {
+    let mut reach = rd.sol.ins[b.index()].clone();
+    for &s in &cfg.block(b).stmts {
+        let du = stmt_def_use(prog, s);
+        // Record uses against current reaching defs.
+        for &sym in du.use_scalars.iter().chain(&du.use_arrays) {
+            if let Some(facts) = rd.by_sym.get(&sym) {
+                for &f in facts {
+                    if reach.contains(f) {
+                        let d = rd.sites[f].stmt;
+                        chains.ud.entry((s, sym)).or_default().push(d);
+                        chains.du.entry((d, sym)).or_default().push(s);
+                    }
+                }
+            }
+        }
+        // Apply the statement's transfer.
+        for sym in du.def_scalars {
+            if let Some(facts) = rd.by_sym.get(&sym) {
+                for &f in facts {
+                    if rd.sites[f].stmt != s {
+                        reach.remove(f);
+                    }
+                }
+            }
+            if let Some(&f) = rd.site_index.get(&(s, sym)) {
+                reach.insert(f);
+            }
+        }
+        for sym in du.def_arrays {
+            if let Some(&f) = rd.site_index.get(&(s, sym)) {
+                reach.insert(f);
+            }
+        }
+    }
+}
+
+/// Localized recomputation: rebuild the chain entries contributed by
+/// `blocks` (blocks whose statements or reaching-in sets changed), purging
+/// links to `removed` (now-detached) statements everywhere.
+///
+/// Soundness: `ud` is keyed by the use's statement, and a statement sits in
+/// exactly one block, so dropping keys owned by the re-walked blocks (plus
+/// removed statements) and re-walking those blocks reconstructs every entry
+/// that could have changed. `du` is the exact inverse relation: its lists
+/// are filtered of the same uses before the walk re-adds them. A def whose
+/// fact disappeared loses its last uses in that filter — the caller must
+/// include every block whose reaching-IN contained the vanished fact in
+/// `blocks` — leaving an empty list that is dropped.
+pub fn patch(
+    chains: &mut Chains,
+    prog: &Program,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    blocks: &[crate::cfg::BlockId],
+    removed: &[StmtId],
+) {
+    let mut stale: std::collections::HashSet<StmtId> = removed.iter().copied().collect();
+    for &b in blocks {
+        stale.extend(cfg.block(b).stmts.iter().copied());
+    }
+    chains.ud.retain(|(s, _), _| !stale.contains(s));
+    for v in chains.du.values_mut() {
+        v.retain(|u| !stale.contains(u));
+    }
+    chains.du.retain(|_, v| !v.is_empty());
+    let mut fresh = Chains::default();
+    for &b in blocks {
+        walk_block(prog, cfg, rd, b, &mut fresh);
+    }
+    for (k, mut v) in fresh.ud {
+        v.sort_unstable();
+        v.dedup();
+        chains.ud.insert(k, v);
+    }
+    for (k, v) in fresh.du {
+        let dst = chains.du.entry(k).or_default();
+        dst.extend(v);
+        dst.sort_unstable();
+        dst.dedup();
+    }
+}
+
+/// [`patch`] specialized for updates where every block's reaching-in set
+/// is a **superset** of its old one (the expression-rewrite fast path,
+/// where the solution is unchanged, and the warm-restart tail of
+/// [`patch_removal`], where it only grew). Under that precondition the
+/// only definitions whose `du` lists can mention a statement of `blocks`
+/// are the facts reaching those blocks plus the definitions inside them —
+/// filter exactly those lists instead of sweeping the whole map.
+pub(crate) fn patch_local(
+    chains: &mut Chains,
+    prog: &Program,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    blocks: &[crate::cfg::BlockId],
+) {
+    let mut stale: std::collections::HashSet<StmtId> = std::collections::HashSet::new();
+    for &b in blocks {
+        stale.extend(cfg.block(b).stmts.iter().copied());
+    }
+    chains.ud.retain(|(s, _), _| !stale.contains(s));
+    // Candidate defs: reaching-in facts of the re-walked blocks, plus every
+    // def *inside* them (a def killed later in its own block is absent from
+    // gen yet still supplies the uses between itself and the kill).
+    let mut cand: Vec<(StmtId, Sym)> = Vec::new();
+    for &b in blocks {
+        for f in rd.sol.ins[b.index()].iter() {
+            let d = &rd.sites[f];
+            cand.push((d.stmt, d.sym));
+        }
+        for &s in &cfg.block(b).stmts {
+            let du = stmt_def_use(prog, s);
+            for sym in du.def_scalars.into_iter().chain(du.def_arrays) {
+                cand.push((s, sym));
+            }
+        }
+    }
+    cand.sort_unstable();
+    cand.dedup();
+    for key in cand {
+        if let Some(v) = chains.du.get_mut(&key) {
+            v.retain(|u| !stale.contains(u));
+            if v.is_empty() {
+                chains.du.remove(&key);
+            }
+        }
+    }
+    let mut fresh = Chains::default();
+    for &b in blocks {
+        walk_block(prog, cfg, rd, b, &mut fresh);
+    }
+    for (k, mut v) in fresh.ud {
+        v.sort_unstable();
+        v.dedup();
+        chains.ud.insert(k, v);
+    }
+    for (k, v) in fresh.du {
+        let dst = chains.du.entry(k).or_default();
+        dst.extend(v);
+        dst.sort_unstable();
+        dst.dedup();
+    }
+}
+
+/// [`patch`] specialized for deltas whose reaching solution could only have
+/// *grown* (removal-only deltas solved by a warm restart). Links to
+/// `removed` statements and `vanished` definitions are purged surgically
+/// through the chain maps themselves: a removed use's `ud` lists name
+/// exactly the `du` lists it appears in, and a vanished def's `du` list
+/// names exactly the `ud` entries that mention it. Blocks that merely
+/// *contained* a vanished fact therefore need no re-walk — `blocks` covers
+/// only the blocks whose statements or reaching-in sets changed. Growth
+/// also keeps the candidate filter of [`patch_local`] sound here: a block's
+/// old suppliers are a subset of its new reaching-in facts.
+pub(crate) fn patch_removal(
+    chains: &mut Chains,
+    prog: &Program,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    blocks: &[crate::cfg::BlockId],
+    removed: &[StmtId],
+    vanished: &[(StmtId, Sym)],
+) {
+    // Removed statements as uses: drop their ud entries, and unlink them
+    // from the du list of every def that supplied them.
+    let removed_set: std::collections::HashSet<StmtId> = removed.iter().copied().collect();
+    let mut dropped: Vec<(Sym, Vec<StmtId>)> = Vec::new();
+    chains.ud.retain(|&(s, sym), defs| {
+        if removed_set.contains(&s) {
+            dropped.push((sym, std::mem::take(defs)));
+            false
+        } else {
+            true
+        }
+    });
+    for (sym, defs) in dropped {
+        for d in defs {
+            if let Some(v) = chains.du.get_mut(&(d, sym)) {
+                v.retain(|u| !removed_set.contains(u));
+                if v.is_empty() {
+                    chains.du.remove(&(d, sym));
+                }
+            }
+        }
+    }
+    // Vanished definitions: drop their du entries, and unlink them from the
+    // ud list of every use they supplied.
+    for &(d, sym) in vanished {
+        if let Some(uses) = chains.du.remove(&(d, sym)) {
+            for u in uses {
+                if let Some(v) = chains.ud.get_mut(&(u, sym)) {
+                    v.retain(|&x| x != d);
+                    if v.is_empty() {
+                        chains.ud.remove(&(u, sym));
+                    }
+                }
+            }
+        }
+    }
+    patch_local(chains, prog, cfg, rd, blocks);
 }
 
 impl Chains {
@@ -162,6 +340,23 @@ mod tests {
         let mut defs = ch.ud.get(&(ss[2], a)).cloned().unwrap();
         defs.sort();
         assert_eq!(defs, vec![ss[0], ss[1]]);
+    }
+
+    #[test]
+    fn patch_all_blocks_matches_compute() {
+        let p = parse("s = 0\ndo i = 1, 5\n  s = s + i\nenddo\nwrite s\n").unwrap();
+        let cfg = build(&p);
+        let rd = reaching::compute(&p, &cfg);
+        let full = compute(&p, &cfg, &rd);
+        // Start from a deliberately wrong state and patch every block.
+        let mut patched = full.clone();
+        patched
+            .ud
+            .insert((p.attached_stmts()[0], p.symbols.get("s").unwrap()), vec![]);
+        let blocks: Vec<_> = cfg.ids().collect();
+        patch(&mut patched, &p, &cfg, &rd, &blocks, &[]);
+        assert_eq!(full.ud, patched.ud);
+        assert_eq!(full.du, patched.du);
     }
 
     #[test]

@@ -151,6 +151,271 @@ pub fn solve(cfg: &Cfg, p: &Problem) -> Solution {
     Solution { ins, outs }
 }
 
+/// Statistics from a dirty-restart re-solve ([`resolve_dirty`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RestartStats {
+    /// Blocks whose transfer functions changed (the dirty seed).
+    pub dirty_blocks: usize,
+    /// Blocks in the direction-aware cone of influence that were re-solved.
+    pub cone_blocks: usize,
+    /// Block transfer evaluations performed until the fixpoint was reached.
+    pub worklist_iters: u64,
+}
+
+/// Re-solve `p` over `cfg`, starting from a previous `sol` of which only the
+/// blocks in `dirty` have changed transfer functions.
+///
+/// The cone of influence — every block reachable from a dirty block along
+/// the propagation direction — is reset to the framework's initial value
+/// (⊥ for union, ⊤ for intersection) and re-iterated; blocks outside the
+/// cone keep their old values and act as a fixed boundary. A clean block's
+/// dataflow equation has no changed transfer function upstream of it, so its
+/// old value is still its fixpoint value; the cone, restarted from the
+/// initial value against that boundary, converges to exactly the restriction
+/// of the global fixpoint. Restarting from the *stale* values instead would
+/// be unsound for deletions: a too-large (union) or too-small (intersection)
+/// consistent point can survive iteration.
+///
+/// `sol` must already be shaped for `p` (same block count, bitsets over
+/// `p.universe`): the caller remaps fact numberings before calling.
+pub fn resolve_dirty(
+    cfg: &Cfg,
+    p: &Problem,
+    sol: &mut Solution,
+    dirty: &[BlockId],
+) -> RestartStats {
+    let n = cfg.len();
+    assert_eq!(p.gen.len(), n, "gen sets must cover all blocks");
+    assert_eq!(p.kill.len(), n, "kill sets must cover all blocks");
+    // Direction-aware cone of influence.
+    let mut in_cone = vec![false; n];
+    let mut stack: Vec<BlockId> = Vec::new();
+    for &b in dirty {
+        if !in_cone[b.index()] {
+            in_cone[b.index()] = true;
+            stack.push(b);
+        }
+    }
+    while let Some(b) = stack.pop() {
+        let nexts: &[BlockId] = match p.direction {
+            Direction::Forward => &cfg.block(b).succs,
+            Direction::Backward => &cfg.block(b).preds,
+        };
+        for &q in nexts {
+            if !in_cone[q.index()] {
+                in_cone[q.index()] = true;
+                stack.push(q);
+            }
+        }
+    }
+    let (order, boundary_block) = match p.direction {
+        Direction::Forward => (cfg.rpo(), cfg.entry),
+        Direction::Backward => {
+            let mut o = cfg.rpo();
+            o.reverse();
+            (o, cfg.exit)
+        }
+    };
+    let order: Vec<BlockId> = order.into_iter().filter(|b| in_cone[b.index()]).collect();
+    // Reset the cone to the initial value on both sides; the meet-input side
+    // of the boundary block keeps the boundary condition.
+    let init = || -> BitSet {
+        match p.meet {
+            Meet::Union => BitSet::new(p.universe),
+            Meet::Intersect => {
+                let mut s = BitSet::new(p.universe);
+                s.fill();
+                s
+            }
+        }
+    };
+    for &b in &order {
+        let bi = b.index();
+        sol.ins[bi] = init();
+        sol.outs[bi] = init();
+        if b == boundary_block {
+            let v = p.boundary.clone();
+            match p.direction {
+                Direction::Forward => sol.ins[bi] = v,
+                Direction::Backward => sol.outs[bi] = v,
+            }
+        }
+    }
+    let mut stats = RestartStats {
+        dirty_blocks: dirty.len(),
+        cone_blocks: order.len(),
+        worklist_iters: 0,
+    };
+    let mut changed = true;
+    let mut tmp = BitSet::new(p.universe);
+    while changed {
+        changed = false;
+        for &b in &order {
+            let bi = b.index();
+            stats.worklist_iters += 1;
+            if b != boundary_block {
+                let inputs: &[BlockId] = match p.direction {
+                    Direction::Forward => &cfg.block(b).preds,
+                    Direction::Backward => &cfg.block(b).succs,
+                };
+                if !inputs.is_empty() {
+                    let first = inputs[0].index();
+                    match p.direction {
+                        Direction::Forward => tmp.copy_from(&sol.outs[first]),
+                        Direction::Backward => tmp.copy_from(&sol.ins[first]),
+                    }
+                    for &q in &inputs[1..] {
+                        let other = match p.direction {
+                            Direction::Forward => &sol.outs[q.index()],
+                            Direction::Backward => &sol.ins[q.index()],
+                        };
+                        match p.meet {
+                            Meet::Union => {
+                                tmp.union_with(other);
+                            }
+                            Meet::Intersect => {
+                                tmp.intersect_with(other);
+                            }
+                        }
+                    }
+                    let dst = match p.direction {
+                        Direction::Forward => &mut sol.ins[bi],
+                        Direction::Backward => &mut sol.outs[bi],
+                    };
+                    if *dst != tmp {
+                        dst.copy_from(&tmp);
+                        changed = true;
+                    }
+                }
+            }
+            let (src, dst) = match p.direction {
+                Direction::Forward => (&sol.ins[bi], &mut sol.outs[bi]),
+                Direction::Backward => (&sol.outs[bi], &mut sol.ins[bi]),
+            };
+            tmp.copy_from(src);
+            tmp.subtract(&p.kill[bi]);
+            tmp.union_with(&p.gen[bi]);
+            if *dst != tmp {
+                dst.copy_from(&tmp);
+                changed = true;
+            }
+        }
+    }
+    stats
+}
+
+/// Warm restart: re-propagate from `dirty` over the *existing* solution
+/// without resetting anything. Returns the blocks whose meet-input value
+/// (ins for forward, outs for backward) changed.
+///
+/// Soundness: this is exact only when every transfer-function change can
+/// only *grow* a union-meet solution — each gen set grew or stayed, each
+/// kill set shrank or stayed (per remaining fact). The old solution is then
+/// a pre-fixpoint of the new equations and chaotic iteration from it
+/// converges to exactly the new least fixpoint. Reaching definitions after
+/// a pure statement removal is the motivating case: a removed definition
+/// can only un-kill other facts and expose earlier definitions. Callers
+/// must use [`resolve_dirty`] whenever the change can shrink the solution.
+pub fn resolve_warm(
+    cfg: &Cfg,
+    p: &Problem,
+    sol: &mut Solution,
+    dirty: &[BlockId],
+) -> (RestartStats, Vec<BlockId>) {
+    let n = cfg.len();
+    assert_eq!(p.gen.len(), n, "gen sets must cover all blocks");
+    assert_eq!(p.kill.len(), n, "kill sets must cover all blocks");
+    let boundary_block = match p.direction {
+        Direction::Forward => cfg.entry,
+        Direction::Backward => cfg.exit,
+    };
+    let mut stats = RestartStats {
+        dirty_blocks: dirty.len(),
+        cone_blocks: 0,
+        worklist_iters: 0,
+    };
+    let mut visited = vec![false; n];
+    let mut input_changed = vec![false; n];
+    let mut queued = vec![false; n];
+    let mut queue: std::collections::VecDeque<BlockId> = std::collections::VecDeque::new();
+    for &b in dirty {
+        if !queued[b.index()] {
+            queued[b.index()] = true;
+            queue.push_back(b);
+        }
+    }
+    let mut tmp = BitSet::new(p.universe);
+    while let Some(b) = queue.pop_front() {
+        let bi = b.index();
+        queued[bi] = false;
+        if !visited[bi] {
+            visited[bi] = true;
+            stats.cone_blocks += 1;
+        }
+        stats.worklist_iters += 1;
+        if b != boundary_block {
+            let inputs: &[BlockId] = match p.direction {
+                Direction::Forward => &cfg.block(b).preds,
+                Direction::Backward => &cfg.block(b).succs,
+            };
+            if !inputs.is_empty() {
+                let first = inputs[0].index();
+                match p.direction {
+                    Direction::Forward => tmp.copy_from(&sol.outs[first]),
+                    Direction::Backward => tmp.copy_from(&sol.ins[first]),
+                }
+                for &q in &inputs[1..] {
+                    let other = match p.direction {
+                        Direction::Forward => &sol.outs[q.index()],
+                        Direction::Backward => &sol.ins[q.index()],
+                    };
+                    match p.meet {
+                        Meet::Union => {
+                            tmp.union_with(other);
+                        }
+                        Meet::Intersect => {
+                            tmp.intersect_with(other);
+                        }
+                    }
+                }
+                let dst = match p.direction {
+                    Direction::Forward => &mut sol.ins[bi],
+                    Direction::Backward => &mut sol.outs[bi],
+                };
+                if *dst != tmp {
+                    dst.copy_from(&tmp);
+                    input_changed[bi] = true;
+                }
+            }
+        }
+        let (src, dst) = match p.direction {
+            Direction::Forward => (&sol.ins[bi], &mut sol.outs[bi]),
+            Direction::Backward => (&sol.outs[bi], &mut sol.ins[bi]),
+        };
+        tmp.copy_from(src);
+        tmp.subtract(&p.kill[bi]);
+        tmp.union_with(&p.gen[bi]);
+        if *dst != tmp {
+            dst.copy_from(&tmp);
+            let nexts: &[BlockId] = match p.direction {
+                Direction::Forward => &cfg.block(b).succs,
+                Direction::Backward => &cfg.block(b).preds,
+            };
+            for &q in nexts {
+                if !queued[q.index()] {
+                    queued[q.index()] = true;
+                    queue.push_back(q);
+                }
+            }
+        }
+    }
+    let changed = (0..n)
+        .filter(|&i| input_changed[i])
+        .map(|i| BlockId(i as u32))
+        .collect();
+    (stats, changed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +489,136 @@ mod tests {
         // ...but each branch arm is only on one path.
         assert!(!at_c.contains(2));
         assert!(!at_c.contains(3));
+    }
+
+    /// Build the per-statement "constant reachability" problem used by the
+    /// forward test, returning (cfg, problem, stmts).
+    fn stmt_fact_problem(
+        src: &str,
+        direction: Direction,
+        meet: Meet,
+    ) -> (Cfg, Problem, Vec<pivot_lang::StmtId>) {
+        let p = parse(src).unwrap();
+        let cfg = build(&p);
+        let n = cfg.len();
+        let stmts = p.attached_stmts();
+        let universe = stmts.len();
+        let mut gen: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+        let kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
+        for (k, &s) in stmts.iter().enumerate() {
+            if let Some(b) = cfg.block_of(s) {
+                gen[b.index()].insert(k);
+            }
+        }
+        let prob = Problem {
+            direction,
+            meet,
+            universe,
+            gen,
+            kill,
+            boundary: BitSet::new(universe),
+        };
+        (cfg, prob, stmts)
+    }
+
+    /// Perturbing one block's transfer and restarting from the dirty block
+    /// must agree with a full re-solve — including when facts are *removed*
+    /// (the case a stale warm start gets wrong).
+    #[test]
+    fn dirty_restart_matches_full_solve() {
+        let src = "a = 1\ndo i = 1, 3\n  b = 2\nenddo\nc = 3\n";
+        for (dir, meet) in [
+            (Direction::Forward, Meet::Union),
+            (Direction::Forward, Meet::Intersect),
+            (Direction::Backward, Meet::Union),
+        ] {
+            let (cfg, mut prob, stmts) = stmt_fact_problem(src, dir, meet);
+            let mut sol = solve(&cfg, &prob);
+            // Remove the loop-body fact and add a new one in the same block.
+            let body_b = cfg.block_of(stmts[2]).unwrap();
+            prob.gen[body_b.index()].remove(2);
+            prob.gen[body_b.index()].insert(0);
+            let stats = resolve_dirty(&cfg, &prob, &mut sol, &[body_b]);
+            let full = solve(&cfg, &prob);
+            assert_eq!(sol.ins, full.ins, "{dir:?}/{meet:?} ins diverged");
+            assert_eq!(sol.outs, full.outs, "{dir:?}/{meet:?} outs diverged");
+            assert!(stats.cone_blocks >= 1);
+            assert!(stats.cone_blocks <= cfg.len());
+        }
+    }
+
+    /// A growth-only perturbation (gen grows, kill shrinks) warm-restarted
+    /// from the dirty block must agree with a full re-solve, and the
+    /// changed list must name exactly the blocks whose ins moved.
+    #[test]
+    fn warm_restart_matches_full_solve_on_growth() {
+        let src = "a = 1\ndo i = 1, 3\n  b = 2\nenddo\nc = 3\n";
+        for dir in [Direction::Forward, Direction::Backward] {
+            let (cfg, mut prob, stmts) = stmt_fact_problem(src, dir, Meet::Union);
+            let mut sol = solve(&cfg, &prob);
+            let before = sol.clone();
+            let body_b = cfg.block_of(stmts[2]).unwrap();
+            prob.gen[body_b.index()].insert(0);
+            let (stats, changed) = resolve_warm(&cfg, &prob, &mut sol, &[body_b]);
+            let full = solve(&cfg, &prob);
+            assert_eq!(sol.ins, full.ins, "{dir:?} ins diverged");
+            assert_eq!(sol.outs, full.outs, "{dir:?} outs diverged");
+            assert!(stats.worklist_iters >= 1);
+            let meet_side = |s: &Solution, i: usize| match dir {
+                Direction::Forward => s.ins[i].clone(),
+                Direction::Backward => s.outs[i].clone(),
+            };
+            for b in cfg.ids() {
+                let moved = meet_side(&before, b.index()) != meet_side(&sol, b.index());
+                assert_eq!(
+                    changed.contains(&b),
+                    moved,
+                    "{dir:?} changed list wrong at {b}"
+                );
+            }
+        }
+    }
+
+    /// Warm restart with an empty dirty set is a no-op.
+    #[test]
+    fn warm_restart_empty_is_noop() {
+        let (cfg, prob, _) = stmt_fact_problem("a = 1\nb = 2\n", Direction::Forward, Meet::Union);
+        let mut sol = solve(&cfg, &prob);
+        let before = sol.clone();
+        let (stats, changed) = resolve_warm(&cfg, &prob, &mut sol, &[]);
+        assert_eq!(sol.ins, before.ins);
+        assert_eq!(sol.outs, before.outs);
+        assert_eq!(stats.cone_blocks, 0);
+        assert!(changed.is_empty());
+    }
+
+    /// An empty dirty set leaves the solution untouched.
+    #[test]
+    fn dirty_restart_empty_is_noop() {
+        let (cfg, prob, _) = stmt_fact_problem("a = 1\nb = 2\n", Direction::Forward, Meet::Union);
+        let mut sol = solve(&cfg, &prob);
+        let before = sol.clone();
+        let stats = resolve_dirty(&cfg, &prob, &mut sol, &[]);
+        assert_eq!(sol.ins, before.ins);
+        assert_eq!(sol.outs, before.outs);
+        assert_eq!(stats.cone_blocks, 0);
+    }
+
+    /// Dirtying the entry block re-solves everything forward-reachable,
+    /// which is the whole graph — still identical to a batch solve.
+    #[test]
+    fn dirty_restart_from_entry_covers_graph() {
+        let (cfg, prob, _) = stmt_fact_problem(
+            "read x\nif (x > 0) then\n  a = 1\nelse\n  b = 2\nendif\nc = 3\n",
+            Direction::Forward,
+            Meet::Union,
+        );
+        let mut sol = solve(&cfg, &prob);
+        let stats = resolve_dirty(&cfg, &prob, &mut sol, &[cfg.entry]);
+        let full = solve(&cfg, &prob);
+        assert_eq!(sol.ins, full.ins);
+        assert_eq!(sol.outs, full.outs);
+        assert_eq!(stats.cone_blocks, cfg.len());
     }
 
     #[test]

@@ -1,0 +1,725 @@
+//! Incremental update of the two-level representation.
+//!
+//! The paper assumes "incremental data flow analysis using the CFG" after
+//! every transformation and undo; this module supplies it. Instead of
+//! rebuilding every analysis from the program text ([`Rep::build`]), the
+//! engine summarizes each structural change as an [`EditDelta`] and calls
+//! [`Rep::try_refresh_delta`], which:
+//!
+//! 1. rebuilds the CFG (linear, deterministic) and checks **shape
+//!    compatibility** with the previous one — same block count, kinds and
+//!    edges. The builder is deterministic, so an unchanged control
+//!    structure reproduces identical block ids; if the shape changed
+//!    (a loop or branch appeared/disappeared), the update falls back to a
+//!    batch rebuild (counted in `rep.incr.fallback`);
+//! 2. seeds a **dirty-block set** from the delta and from per-block
+//!    statement-list differences, remaps the reaching-definition fact
+//!    numbering old→new, and restarts the bitset dataflow solvers from the
+//!    dirty frontier ([`crate::dataflow::resolve_dirty`]) rather than from
+//!    scratch;
+//! 3. recomputes def-use/use-def chains only for blocks whose statements or
+//!    reaching-in sets changed ([`crate::chains::patch`]);
+//! 4. reuses the dominator and postdominator trees verbatim (shape
+//!    compatibility means the edge sets are identical) and drops the lazy
+//!    layers (available expressions, DDG/PDG) to be rebuilt on demand.
+//!
+//! Deltas consisting solely of in-place expression rewrites (`touched`
+//! statements — single RHS edits, the modify actions of rewriting
+//! transformations) take a fast path: the statement tree is unchanged, so
+//! the CFG, dominators, positions and the entire reaching-definitions
+//! layer are reused verbatim; only liveness and the touched blocks'
+//! chains are recomputed.
+//!
+//! [`RepMode::Checked`] is the conformance oracle: it performs the
+//! incremental update, then builds a from-scratch representation and panics
+//! on any structural divergence ([`check_against_batch`]). The differential
+//! test harness (`tests/incr_differential.rs`) and the CI soak matrix drive
+//! sessions in this mode.
+
+use crate::bitset::BitSet;
+use crate::cfg::{self, BlockId, Cfg};
+use crate::chains;
+use crate::dataflow::{self, Direction, Meet, Problem, Solution};
+use crate::reaching::{self, ReachingDefs};
+use crate::twolevel::Rep;
+use pivot_lang::{Program, StmtId, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// How the engine refreshes the representation after a structural change.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RepMode {
+    /// Rebuild every analysis from scratch (the pre-incremental behavior).
+    #[default]
+    Batch,
+    /// Apply [`EditDelta`]-driven incremental updates, falling back to a
+    /// batch rebuild when the CFG shape changed.
+    Incremental,
+    /// Incremental, plus a from-scratch rebuild after every update with a
+    /// panic on divergence — the differential-testing oracle.
+    Checked,
+}
+
+impl RepMode {
+    /// Stable snake_case name (metric labels, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            RepMode::Batch => "batch",
+            RepMode::Incremental => "incremental",
+            RepMode::Checked => "checked",
+        }
+    }
+}
+
+/// Summary of one structural change to the program, in terms the analyses
+/// understand. Produced by the engine from the primitive actions of an
+/// apply/undo (or from a user edit) and consumed by
+/// [`Rep::try_refresh_delta`].
+#[derive(Clone, Debug, Default)]
+pub struct EditDelta {
+    /// Statements newly attached (inverse-of-delete, add, copy targets).
+    pub inserted: Vec<StmtId>,
+    /// Statements detached (delete, inverse-of-add/copy), with their
+    /// subtrees.
+    pub removed: Vec<StmtId>,
+    /// Statements relocated (move, inverse-of-move).
+    pub moved: Vec<StmtId>,
+    /// Statements whose expressions were rewritten in place (modify-expr
+    /// owners, modify-header targets, RHS edits).
+    pub touched: Vec<StmtId>,
+}
+
+impl EditDelta {
+    /// No recorded changes.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty()
+            && self.removed.is_empty()
+            && self.moved.is_empty()
+            && self.touched.is_empty()
+    }
+}
+
+/// Why an incremental update bailed to a batch rebuild.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FallbackReason {
+    /// The CFG shape changed (block count, kinds, or edges differ), so
+    /// block ids cannot be carried over.
+    CfgShapeChanged,
+}
+
+impl FallbackReason {
+    /// Stable snake_case name (trace events, metric labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackReason::CfgShapeChanged => "cfg_shape_changed",
+        }
+    }
+}
+
+/// Statistics from one successful incremental update.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrStats {
+    /// Blocks seeded dirty (statement lists or transfer functions changed).
+    pub dirty_blocks: usize,
+    /// Blocks re-solved across both dataflow restarts (cone of influence).
+    pub cone_blocks: usize,
+    /// Total blocks in the CFG (for dirty-ratio reporting).
+    pub total_blocks: usize,
+    /// Block transfer evaluations across both dataflow restarts.
+    pub worklist_iters: u64,
+}
+
+/// Outcome of a delta-driven refresh: either the update was applied
+/// incrementally, or it fell back to a batch rebuild for `reason`.
+#[derive(Clone, Copy, Debug)]
+pub enum RefreshOutcome {
+    /// The incremental path ran to completion.
+    Incremental(IncrStats),
+    /// The update bailed and a batch rebuild was performed instead.
+    Fallback(FallbackReason),
+}
+
+/// Same block count, kinds, and edge lists: the deterministic builder
+/// guarantees identical block ids for identical control structure, so
+/// everything keyed by [`BlockId`] can be carried over.
+fn shape_compatible(old: &Cfg, new: &Cfg) -> bool {
+    if old.len() != new.len() || old.entry != new.entry || old.exit != new.exit {
+        return false;
+    }
+    for b in new.ids() {
+        let (o, n) = (old.block(b), new.block(b));
+        if o.kind != n.kind || o.succs != n.succs || o.preds != n.preds {
+            return false;
+        }
+    }
+    true
+}
+
+/// Map a bitset through an old→new fact renumbering.
+fn remap_bits(old: &BitSet, map: &[Option<usize>], new_universe: usize) -> BitSet {
+    let mut out = BitSet::new(new_universe);
+    for i in old.iter() {
+        if let Some(j) = map[i] {
+            out.insert(j);
+        }
+    }
+    out
+}
+
+/// Blocks reachable from `seed` along the propagation direction (including
+/// the seed itself), in ascending id order.
+fn cone_of(cfg: &Cfg, seed: &[BlockId], direction: Direction) -> Vec<BlockId> {
+    let mut seen = vec![false; cfg.len()];
+    let mut stack: Vec<BlockId> = Vec::new();
+    for &b in seed {
+        if !seen[b.index()] {
+            seen[b.index()] = true;
+            stack.push(b);
+        }
+    }
+    while let Some(b) = stack.pop() {
+        let nexts: &[BlockId] = match direction {
+            Direction::Forward => &cfg.block(b).succs,
+            Direction::Backward => &cfg.block(b).preds,
+        };
+        for &q in nexts {
+            if !seen[q.index()] {
+                seen[q.index()] = true;
+                stack.push(q);
+            }
+        }
+    }
+    cfg.ids().filter(|b| seen[b.index()]).collect()
+}
+
+/// Apply a delta-driven incremental update to `rep` in place. On
+/// `Err(reason)` nothing has been modified and the caller performs a batch
+/// rebuild instead.
+pub(crate) fn update(
+    rep: &mut Rep,
+    prog: &Program,
+    delta: &EditDelta,
+) -> Result<IncrStats, FallbackReason> {
+    // Fast path: a delta of pure in-place expression rewrites (`touched`
+    // only) leaves the statement tree untouched — and with it the CFG,
+    // the dominator trees, the pre-order positions, and every reaching-
+    // definition transfer function (def sites are (stmt, sym) pairs; an
+    // expression rewrite can change neither). Only liveness use sets and
+    // the touched blocks' chains can differ, so skip the CFG rebuild, the
+    // shape check, the fact renumbering and the forward solve entirely.
+    if delta.inserted.is_empty() && delta.removed.is_empty() && delta.moved.is_empty() {
+        if let Some(stats) = try_update_exprs_only(rep, prog, delta) {
+            return Ok(stats);
+        }
+    }
+    let new_cfg = cfg::build(prog);
+    if !shape_compatible(&rep.cfg, &new_cfg) {
+        return Err(FallbackReason::CfgShapeChanged);
+    }
+    // From here on the update always succeeds; `rep` may be mutated freely.
+
+    // ---- reaching definitions: fact renumbering ------------------------
+    // Both paths enumerate def sites with `reaching::def_sites`, so the
+    // incremental numbering is bit-for-bit the batch numbering.
+    let sites = reaching::def_sites(prog);
+    let universe = sites.len();
+    let mut site_index: HashMap<(StmtId, Sym), usize> = HashMap::with_capacity(universe);
+    let mut by_sym: HashMap<Sym, Vec<usize>> = HashMap::new();
+    for (i, d) in sites.iter().enumerate() {
+        site_index.insert((d.stmt, d.sym), i);
+        by_sym.entry(d.sym).or_default().push(i);
+    }
+    let fact_map: Vec<Option<usize>> = rep
+        .reach
+        .sites
+        .iter()
+        .map(|d| {
+            site_index
+                .get(&(d.stmt, d.sym))
+                .copied()
+                .filter(|&j| sites[j].is_array == d.is_array)
+        })
+        .collect();
+    // Symbols whose def-site set changed. A scalar def kills *every other
+    // def site of its symbol*, program-wide — so when a symbol gains or
+    // loses a site, every block defining that symbol has a changed kill set
+    // and must be re-seeded dirty, not just the block that changed. A
+    // symbol's set changed exactly when one of its old sites vanished (no
+    // image under `fact_map`) or a new site has no preimage; reordering
+    // surviving sites renumbers facts but cannot change any kill *set*.
+    let mut changed_syms: HashSet<Sym> = HashSet::new();
+    let mut vanished: Vec<(StmtId, Sym)> = Vec::new();
+    let mut covered = vec![false; universe];
+    for (i, d) in rep.reach.sites.iter().enumerate() {
+        match fact_map[i] {
+            Some(j) => covered[j] = true,
+            None => {
+                changed_syms.insert(d.sym);
+                vanished.push((d.stmt, d.sym));
+            }
+        }
+    }
+    let mut has_new_site = false;
+    for (j, d) in sites.iter().enumerate() {
+        if !covered[j] {
+            changed_syms.insert(d.sym);
+            has_new_site = true;
+        }
+    }
+
+    // ---- dirty-block seed ---------------------------------------------
+    let mut dirty: HashSet<BlockId> = HashSet::new();
+    for b in new_cfg.ids() {
+        if new_cfg.block(b).stmts != rep.cfg.block(b).stmts {
+            dirty.insert(b);
+        }
+    }
+    for &s in delta
+        .touched
+        .iter()
+        .chain(&delta.inserted)
+        .chain(&delta.moved)
+    {
+        if let Some(b) = new_cfg.block_of(s) {
+            dirty.insert(b);
+        }
+    }
+    for sym in &changed_syms {
+        if let Some(facts) = by_sym.get(sym) {
+            for &f in facts {
+                if let Some(b) = new_cfg.block_of(sites[f].stmt) {
+                    dirty.insert(b);
+                }
+            }
+        }
+    }
+    let mut dirty: Vec<BlockId> = dirty.into_iter().collect();
+    dirty.sort();
+
+    let mut stats = IncrStats {
+        dirty_blocks: dirty.len(),
+        total_blocks: new_cfg.len(),
+        ..IncrStats::default()
+    };
+
+    // ---- reaching: remap clean transfers, recompute dirty, re-solve ----
+    let n = new_cfg.len();
+    let remap_all = |v: &[BitSet]| -> Vec<BitSet> {
+        v.iter()
+            .map(|s| remap_bits(s, &fact_map, universe))
+            .collect()
+    };
+    // Remapping *drops* facts of vanished def sites silently: a clean
+    // block whose IN contained such a fact shows no change across the
+    // re-solve, yet its use-def entries may still name the vanished def.
+    // Record those blocks so the chains patch re-walks them.
+    let mut lost_fact: Vec<BlockId> = Vec::new();
+    let ins: Vec<BitSet> = rep
+        .reach
+        .sol
+        .ins
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut out = BitSet::new(universe);
+            let mut lost = false;
+            for f in s.iter() {
+                match fact_map[f] {
+                    Some(j) => {
+                        out.insert(j);
+                    }
+                    None => lost = true,
+                }
+            }
+            if lost {
+                lost_fact.push(BlockId(i as u32));
+            }
+            out
+        })
+        .collect();
+    let gen = remap_all(&rep.reach.gen);
+    let kill = remap_all(&rep.reach.kill);
+    // The old solution satisfies `out = gen ∪ (in − kill)` per block, and
+    // remapping is a per-bit injection, so the remapped outs can be
+    // *recomputed* from the remapped ins and transfers with word-level
+    // operations instead of a fourth dense per-bit pass. Dirty blocks get
+    // fresh transfers below and are re-solved either way.
+    let outs: Vec<BitSet> = ins
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut o = s.clone();
+            o.subtract(&kill[i]);
+            o.union_with(&gen[i]);
+            o
+        })
+        .collect();
+    let mut reach = ReachingDefs {
+        gen,
+        kill,
+        sol: Solution { ins, outs },
+        sites,
+        site_index,
+        by_sym,
+    };
+    for &b in &dirty {
+        reach.recompute_block(prog, &new_cfg, b);
+    }
+    // A delta that only *removes* statements can only grow the remaining
+    // reaching facts (a removed definition un-kills other sites and exposes
+    // earlier ones), so the remapped solution is a pre-fixpoint and a warm
+    // worklist restart converges to the exact new fixpoint without any cone
+    // reset. Any new def site (insert, move, or a header rewrite swapping
+    // induction variables) can grow a kill set and needs the reset path.
+    let growth_only = delta.inserted.is_empty() && delta.moved.is_empty() && !has_new_site;
+    // For the reset path: blocks whose reaching-in sets may change = the
+    // forward cone; snapshot their remapped values so the chains patch can
+    // re-walk only the blocks where they actually did. The warm path
+    // reports changed blocks directly.
+    let (fwd_cone, ins_before) = if growth_only {
+        (Vec::new(), Vec::new())
+    } else {
+        let cone = cone_of(&new_cfg, &dirty, Direction::Forward);
+        let before: Vec<BitSet> = cone
+            .iter()
+            .map(|b| reach.sol.ins[b.index()].clone())
+            .collect();
+        (cone, before)
+    };
+    let prob = Problem {
+        direction: Direction::Forward,
+        meet: Meet::Union,
+        universe,
+        gen: std::mem::take(&mut reach.gen),
+        kill: std::mem::take(&mut reach.kill),
+        boundary: BitSet::new(universe),
+    };
+    let (rstats, ins_grew) = if growth_only {
+        let (st, changed) = dataflow::resolve_warm(&new_cfg, &prob, &mut reach.sol, &dirty);
+        (st, Some(changed))
+    } else {
+        (
+            dataflow::resolve_dirty(&new_cfg, &prob, &mut reach.sol, &dirty),
+            None,
+        )
+    };
+    reach.gen = prob.gen;
+    reach.kill = prob.kill;
+    stats.cone_blocks += rstats.cone_blocks;
+    stats.worklist_iters += rstats.worklist_iters;
+
+    // ---- liveness: grow the symbol universe, re-solve backward ---------
+    rep.live.grow_and_redo(prog, &new_cfg, &dirty);
+    let live_universe = rep.live.universe();
+    let prob = Problem {
+        direction: Direction::Backward,
+        meet: Meet::Union,
+        universe: live_universe,
+        gen: std::mem::take(&mut rep.live.gen),
+        kill: std::mem::take(&mut rep.live.kill),
+        boundary: BitSet::new(live_universe),
+    };
+    let lstats = dataflow::resolve_dirty(&new_cfg, &prob, &mut rep.live.sol, &dirty);
+    rep.live.gen = prob.gen;
+    rep.live.kill = prob.kill;
+    stats.cone_blocks += lstats.cone_blocks;
+    stats.worklist_iters += lstats.worklist_iters;
+    debug_assert_eq!(n, rep.live.sol.ins.len());
+
+    // ---- chains: re-walk dirty blocks plus blocks whose IN changed ------
+    let mut rewalk: Vec<BlockId> = dirty.clone();
+    if let Some(grew) = ins_grew {
+        // Warm path: links to vanished defs are purged surgically through
+        // the chain maps, so blocks that merely *contained* a vanished fact
+        // need no re-walk — only the dirty blocks and those whose reaching
+        // IN actually grew.
+        for b in grew {
+            if !rewalk.contains(&b) {
+                rewalk.push(b);
+            }
+        }
+        rewalk.sort();
+        chains::patch_removal(
+            &mut rep.chains,
+            prog,
+            &new_cfg,
+            &reach,
+            &rewalk,
+            &delta.removed,
+            &vanished,
+        );
+    } else {
+        // Reset path: also re-walk blocks that lost a fact in the
+        // renumbering (their use-def entries may still name the vanished
+        // def) and cone blocks whose IN moved across the re-solve.
+        for &b in &lost_fact {
+            if !rewalk.contains(&b) {
+                rewalk.push(b);
+            }
+        }
+        for (i, &b) in fwd_cone.iter().enumerate() {
+            if reach.sol.ins[b.index()] != ins_before[i] && !rewalk.contains(&b) {
+                rewalk.push(b);
+            }
+        }
+        rewalk.sort();
+        chains::patch(
+            &mut rep.chains,
+            prog,
+            &new_cfg,
+            &reach,
+            &rewalk,
+            &delta.removed,
+        );
+    }
+    // ---- commit ---------------------------------------------------------
+    // Dominators and postdominators depend only on the edge sets, which
+    // shape compatibility proved unchanged — reuse them verbatim. The lazy
+    // layers (available expressions, DDG/PDG) are dropped and rebuilt on
+    // first demand.
+    rep.reach = reach;
+    rep.cfg = new_cfg;
+    rep.pos = prog
+        .attached_stmts()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i))
+        .collect();
+    rep.invalidate_lazy();
+    Ok(stats)
+}
+
+/// The expression-rewrite fast path of [`update`]: recompute the liveness
+/// transfers of the touched blocks and restart the backward solve from
+/// them, re-walk their chains against the (unchanged) reaching facts, and
+/// drop the lazy layers. Everything else is reused verbatim.
+///
+/// Returns `None` — leaving `rep` untouched — when a touched statement no
+/// longer defines exactly what it did: a header rewrite may swap which
+/// induction variable a statement defines (loop interchange), which
+/// renumbers the reaching facts and needs the general path.
+fn try_update_exprs_only(rep: &mut Rep, prog: &Program, delta: &EditDelta) -> Option<IncrStats> {
+    let touched: HashSet<StmtId> = delta.touched.iter().copied().collect();
+    let mut old_defs: HashMap<StmtId, Vec<(Sym, bool)>> = HashMap::new();
+    for d in &rep.reach.sites {
+        if touched.contains(&d.stmt) {
+            old_defs
+                .entry(d.stmt)
+                .or_default()
+                .push((d.sym, d.is_array));
+        }
+    }
+    for &s in &touched {
+        let du = crate::access::stmt_def_use(prog, s);
+        let new_defs: Vec<(Sym, bool)> = du
+            .def_scalars
+            .iter()
+            .map(|&y| (y, false))
+            .chain(du.def_arrays.iter().map(|&y| (y, true)))
+            .collect();
+        if !old_defs
+            .get(&s)
+            .map_or(new_defs.is_empty(), |v| *v == new_defs)
+        {
+            return None;
+        }
+    }
+
+    let mut dirty: Vec<BlockId> = delta
+        .touched
+        .iter()
+        .filter_map(|&s| rep.cfg.block_of(s))
+        .collect();
+    dirty.sort();
+    dirty.dedup();
+    let mut stats = IncrStats {
+        dirty_blocks: dirty.len(),
+        total_blocks: rep.cfg.len(),
+        ..IncrStats::default()
+    };
+
+    rep.live.grow_and_redo(prog, &rep.cfg, &dirty);
+    let live_universe = rep.live.universe();
+    let prob = Problem {
+        direction: Direction::Backward,
+        meet: Meet::Union,
+        universe: live_universe,
+        gen: std::mem::take(&mut rep.live.gen),
+        kill: std::mem::take(&mut rep.live.kill),
+        boundary: BitSet::new(live_universe),
+    };
+    let lstats = dataflow::resolve_dirty(&rep.cfg, &prob, &mut rep.live.sol, &dirty);
+    rep.live.gen = prob.gen;
+    rep.live.kill = prob.kill;
+    stats.cone_blocks += lstats.cone_blocks;
+    stats.worklist_iters += lstats.worklist_iters;
+
+    chains::patch_local(&mut rep.chains, prog, &rep.cfg, &rep.reach, &dirty);
+    rep.invalidate_lazy();
+    Some(stats)
+}
+
+/// First structural difference between two representations, or `None` when
+/// every eagerly-built layer agrees. The comparison is exact: block lists,
+/// dominator trees, fact numberings, bitset solutions, transfer sets,
+/// chains, and pre-order positions.
+pub fn divergence(batch: &Rep, other: &Rep) -> Option<String> {
+    if batch.cfg.len() != other.cfg.len() {
+        return Some(format!(
+            "cfg block count {} != {}",
+            batch.cfg.len(),
+            other.cfg.len()
+        ));
+    }
+    for b in batch.cfg.ids() {
+        let (x, y) = (batch.cfg.block(b), other.cfg.block(b));
+        if x.kind != y.kind {
+            return Some(format!("cfg {b} kind {:?} != {:?}", x.kind, y.kind));
+        }
+        if x.stmts != y.stmts {
+            return Some(format!("cfg {b} stmts {:?} != {:?}", x.stmts, y.stmts));
+        }
+        if x.succs != y.succs || x.preds != y.preds {
+            return Some(format!("cfg {b} edges differ"));
+        }
+    }
+    if batch.cfg.stmt_block != other.cfg.stmt_block {
+        return Some("stmt→block map differs".into());
+    }
+    if batch.dom.idom != other.dom.idom || batch.dom.root != other.dom.root {
+        return Some("dominator tree differs".into());
+    }
+    if batch.pdom.idom != other.pdom.idom || batch.pdom.root != other.pdom.root {
+        return Some("postdominator tree differs".into());
+    }
+    if batch.reach.sites != other.reach.sites {
+        return Some("reaching def-site numbering differs".into());
+    }
+    if batch.reach.gen != other.reach.gen || batch.reach.kill != other.reach.kill {
+        return Some("reaching gen/kill sets differ".into());
+    }
+    if batch.reach.sol.ins != other.reach.sol.ins || batch.reach.sol.outs != other.reach.sol.outs {
+        return Some("reaching solution differs".into());
+    }
+    if batch.live.universe() != other.live.universe() {
+        return Some(format!(
+            "liveness universe {} != {}",
+            batch.live.universe(),
+            other.live.universe()
+        ));
+    }
+    if batch.live.gen != other.live.gen || batch.live.kill != other.live.kill {
+        return Some("liveness gen/kill sets differ".into());
+    }
+    if batch.live.sol.ins != other.live.sol.ins || batch.live.sol.outs != other.live.sol.outs {
+        return Some("liveness solution differs".into());
+    }
+    if batch.chains.ud != other.chains.ud {
+        return Some("use-def chains differ".into());
+    }
+    if batch.chains.du != other.chains.du {
+        return Some("def-use chains differ".into());
+    }
+    if batch.pos != other.pos {
+        return Some("pre-order positions differ".into());
+    }
+    None
+}
+
+/// The [`RepMode::Checked`] oracle: rebuild from scratch and panic on any
+/// divergence from the incrementally-maintained representation.
+///
+/// # Panics
+///
+/// Panics when `rep` structurally diverges from a batch rebuild — that is
+/// the point: the differential harness and the CI soak matrix surface
+/// incremental-update bugs as test failures.
+pub fn check_against_batch(rep: &Rep, prog: &Program) {
+    let batch = Rep::build(prog);
+    if let Some(d) = divergence(&batch, rep) {
+        panic!("RepMode::Checked: incremental representation diverged from batch rebuild: {d}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    #[test]
+    fn empty_delta_update_is_identity() {
+        let p = parse("x = 1\ndo i = 1, 3\n  y = x + i\nenddo\nwrite y\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let stats = update(&mut rep, &p, &EditDelta::default()).unwrap();
+        assert_eq!(stats.dirty_blocks, 0);
+        assert_eq!(stats.worklist_iters, 0);
+        check_against_batch(&rep, &p);
+    }
+
+    #[test]
+    fn rhs_rewrite_updates_incrementally() {
+        let mut p = parse("c = 1\nx = c + 2\ndo i = 1, 3\n  y = x + i\nenddo\nwrite y\n").unwrap();
+        let mut rep = Rep::build(&p);
+        // Rewrite `x = c + 2` to `x = 5` in place (a CTP-style modify).
+        let x_stmt = p.body[1];
+        let value = match &p.stmt(x_stmt).kind {
+            pivot_lang::StmtKind::Assign { value, .. } => *value,
+            _ => unreachable!(),
+        };
+        p.replace_expr_kind(value, pivot_lang::ExprKind::Const(5));
+        let delta = EditDelta {
+            touched: vec![x_stmt],
+            ..EditDelta::default()
+        };
+        let stats = update(&mut rep, &p, &delta).unwrap();
+        assert!(stats.dirty_blocks >= 1);
+        assert!(stats.dirty_blocks < rep.cfg.len());
+        check_against_batch(&rep, &p);
+        // The use of c is gone from the chains.
+        let c = p.symbols.get("c").unwrap();
+        assert!(!rep.chains.ud.contains_key(&(x_stmt, c)));
+    }
+
+    #[test]
+    fn structural_change_falls_back() {
+        let p = parse("x = 1\nwrite x\n").unwrap();
+        let mut rep = Rep::build(&p);
+        let p2 = parse("x = 1\nif (x > 0) then\n  write x\nendif\n").unwrap();
+        let delta = EditDelta {
+            inserted: vec![p2.body[1]],
+            ..EditDelta::default()
+        };
+        let err = update(&mut rep, &p2, &delta).unwrap_err();
+        assert_eq!(err, FallbackReason::CfgShapeChanged);
+        assert_eq!(err.name(), "cfg_shape_changed");
+    }
+
+    #[test]
+    fn detach_updates_def_sites_and_chains() {
+        let mut p = parse("x = 1\nx = 2\nwrite x\n").unwrap();
+        let mut rep = Rep::build(&p);
+        // Detach the killing second definition: the first def now reaches
+        // the write — kill sets of every x-defining block change.
+        let second = p.body[1];
+        p.detach(second).unwrap();
+        let delta = EditDelta {
+            removed: vec![second],
+            ..EditDelta::default()
+        };
+        update(&mut rep, &p, &delta).unwrap();
+        check_against_batch(&rep, &p);
+        let x = p.symbols.get("x").unwrap();
+        let w = p.body[1]; // the write shifted up
+        assert_eq!(rep.chains.sole_def(w, x), Some(p.body[0]));
+    }
+
+    #[test]
+    fn divergence_reports_chain_mismatch() {
+        let p = parse("x = 1\nwrite x\n").unwrap();
+        let a = Rep::build(&p);
+        let mut b = Rep::build(&p);
+        let x = p.symbols.get("x").unwrap();
+        b.chains.ud.insert((p.body[0], x), vec![p.body[1]]);
+        assert!(divergence(&a, &b).unwrap().contains("use-def"));
+        assert!(divergence(&a, &a).is_none());
+    }
+}

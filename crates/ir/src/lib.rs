@@ -22,7 +22,10 @@
 //! * [`pdg`] — control dependence, region nodes, LCR, and data-dependence
 //!   summaries on region nodes (Figure 3);
 //! * [`twolevel`] — [`twolevel::Rep`], the integrated two-level
-//!   representation of Section 3.
+//!   representation of Section 3;
+//! * [`incr`] — delta-driven incremental maintenance of [`twolevel::Rep`]
+//!   (dirty-region dataflow restarts, chain patching, and the
+//!   [`incr::RepMode::Checked`] batch-vs-incremental conformance oracle).
 
 #![warn(missing_docs)]
 
@@ -35,6 +38,7 @@ pub mod dag;
 pub mod dataflow;
 pub mod depend;
 pub mod dom;
+pub mod incr;
 pub mod linear;
 pub mod live;
 pub mod loops;
@@ -42,4 +46,5 @@ pub mod pdg;
 pub mod reaching;
 pub mod twolevel;
 
+pub use incr::{EditDelta, FallbackReason, IncrStats, RefreshOutcome, RepMode};
 pub use twolevel::{RebuildError, Rep};

@@ -19,6 +19,10 @@ use pivot_lang::{Program, StmtId, Sym};
 pub struct Liveness {
     /// Block-level solution.
     pub sol: Solution,
+    /// Per-block generated facts (kept for incremental re-solves).
+    pub gen: Vec<BitSet>,
+    /// Per-block killed facts (kept for incremental re-solves).
+    pub kill: Vec<BitSet>,
     universe: usize,
 }
 
@@ -44,8 +48,11 @@ pub fn compute(prog: &Program, cfg: &Cfg) -> Liveness {
         kill,
         boundary: BitSet::new(universe),
     };
+    let sol = solve(cfg, &prob);
     Liveness {
-        sol: solve(cfg, &prob),
+        sol,
+        gen: prob.gen,
+        kill: prob.kill,
         universe,
     }
 }
@@ -67,6 +74,40 @@ fn apply_stmt_backward(prog: &Program, s: StmtId, gen: &mut BitSet, kill: &mut B
 }
 
 impl Liveness {
+    /// Universe size (number of interned symbols at analysis time).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Grow the fact universe to the current symbol count (the interner only
+    /// appends, so old symbol indices stay valid) and recompute the transfer
+    /// sets of the given dirty blocks. Part of the incremental update; the
+    /// solution bitsets are resized but not re-solved here.
+    pub fn grow_and_redo(&mut self, prog: &Program, cfg: &Cfg, dirty: &[crate::cfg::BlockId]) {
+        let universe = prog.symbols.len();
+        if universe != self.universe {
+            self.universe = universe;
+            for s in self
+                .gen
+                .iter_mut()
+                .chain(&mut self.kill)
+                .chain(&mut self.sol.ins)
+                .chain(&mut self.sol.outs)
+            {
+                s.resize(universe);
+            }
+        }
+        for &b in dirty {
+            let g = &mut self.gen[b.index()];
+            let k = &mut self.kill[b.index()];
+            g.clear();
+            k.clear();
+            for &s in cfg.block(b).stmts.iter().rev() {
+                apply_stmt_backward(prog, s, g, k);
+            }
+        }
+    }
+
     /// Symbols live immediately **after** statement `s`.
     pub fn live_after(&self, prog: &Program, cfg: &Cfg, s: StmtId) -> BitSet {
         let b = cfg.block_of(s).expect("statement must be in the CFG");

@@ -33,6 +33,10 @@ pub struct ReachingDefs {
     pub site_index: HashMap<(StmtId, Sym), usize>,
     /// Fact numbers per symbol.
     pub by_sym: HashMap<Sym, Vec<usize>>,
+    /// Per-block generated facts (kept for incremental re-solves).
+    pub gen: Vec<BitSet>,
+    /// Per-block killed facts (kept for incremental re-solves).
+    pub kill: Vec<BitSet>,
     /// Block-level solution (facts at block entry/exit).
     pub sol: Solution,
 }
@@ -92,6 +96,8 @@ pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
         sites,
         site_index,
         by_sym,
+        gen: prob.gen,
+        kill: prob.kill,
         sol,
     }
 }
@@ -149,6 +155,23 @@ fn apply_stmt(
 }
 
 impl ReachingDefs {
+    /// Recompute one block's transfer sets from its current statements
+    /// (incremental update of a dirty block; the fact numbering must already
+    /// reflect the current program).
+    pub fn recompute_block(&mut self, prog: &Program, cfg: &Cfg, b: crate::cfg::BlockId) {
+        let (g, k) = block_transfer(
+            prog,
+            cfg,
+            b,
+            &self.sites,
+            &self.site_index,
+            &self.by_sym,
+            self.sites.len(),
+        );
+        self.gen[b.index()] = g;
+        self.kill[b.index()] = k;
+    }
+
     /// Facts reaching the **entry of** statement `s` (before it executes),
     /// computed by walking its block from the block's IN.
     pub fn reaching_before(&self, prog: &Program, cfg: &Cfg, s: StmtId) -> BitSet {

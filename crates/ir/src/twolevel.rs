@@ -73,6 +73,9 @@ pub struct Rep {
     /// How many times this representation has been (re)built — benches use
     /// this to count `Dependence_and_data_flow_update` work.
     pub builds: u64,
+    /// How many times this representation was updated incrementally (delta
+    /// refreshes that did *not* trigger a batch rebuild).
+    pub incr_updates: u64,
 }
 
 impl Rep {
@@ -108,7 +111,16 @@ impl Rep {
             high: std::sync::OnceLock::new(),
             pos,
             builds: 1,
+            incr_updates: 0,
         }
+    }
+
+    /// Drop the lazily-built layers (available expressions, DDG/PDG) so
+    /// they are recomputed on next access. Called by the incremental
+    /// updater, which maintains the eager layers in place.
+    pub(crate) fn invalidate_lazy(&mut self) {
+        self.avail = std::sync::OnceLock::new();
+        self.high = std::sync::OnceLock::new();
     }
 
     /// Available expressions (built on first access).
@@ -141,8 +153,10 @@ impl Rep {
     /// Rebuild after a program change (`Dependence_and_data_flow_update`).
     pub fn refresh(&mut self, prog: &Program) {
         let builds = self.builds + 1;
+        let incr_updates = self.incr_updates;
         *self = Rep::build(prog);
         self.builds = builds;
+        self.incr_updates = incr_updates;
     }
 
     /// Fallible rebuild: validate the program's structural invariants first
@@ -157,6 +171,46 @@ impl Rep {
         }
         self.refresh(prog);
         Ok(())
+    }
+
+    /// Delta-driven refresh: attempt an incremental update of the eager
+    /// layers and fall back to a batch rebuild when the CFG shape changed.
+    /// Invariants are validated exactly as in [`Rep::try_refresh`]. The
+    /// outcome reports which path ran so the engine can count and trace
+    /// fallbacks — an incremental success does **not** bump
+    /// [`Rep::builds`]; it bumps [`Rep::incr_updates`] instead.
+    pub fn try_refresh_delta(
+        &mut self,
+        prog: &Program,
+        delta: &crate::incr::EditDelta,
+    ) -> Result<crate::incr::RefreshOutcome, RebuildError> {
+        let violations = prog.check_invariants();
+        if !violations.is_empty() {
+            return Err(RebuildError { violations });
+        }
+        let t0 = std::time::Instant::now();
+        match crate::incr::update(self, prog, delta) {
+            Ok(stats) => {
+                self.incr_updates += 1;
+                let m = pivot_obs::metrics::global();
+                m.counter("rep.incr.updates").inc();
+                m.counter("rep.incr.dirty_blocks")
+                    .add(stats.dirty_blocks as u64);
+                m.counter("rep.incr.total_blocks")
+                    .add(stats.total_blocks as u64);
+                m.counter("rep.incr.worklist_iters")
+                    .add(stats.worklist_iters);
+                m.histogram("rep.incr.update_ns").record(t0.elapsed());
+                Ok(crate::incr::RefreshOutcome::Incremental(stats))
+            }
+            Err(reason) => {
+                pivot_obs::metrics::global()
+                    .counter("rep.incr.fallback")
+                    .inc();
+                self.refresh(prog);
+                Ok(crate::incr::RefreshOutcome::Fallback(reason))
+            }
+        }
     }
 
     /// Textual (pre-order) position of a statement, if attached.

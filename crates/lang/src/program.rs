@@ -602,10 +602,9 @@ impl Program {
         stack.reverse();
         while let Some(e) = stack.pop() {
             out.push(e);
-            let mut kids = Vec::new();
-            collect_children(&self.expr(e).kind, &mut kids);
-            kids.reverse();
-            stack.extend(kids);
+            let mark = stack.len();
+            collect_children(&self.expr(e).kind, &mut stack);
+            stack[mark..].reverse();
         }
         out
     }
@@ -753,6 +752,7 @@ impl Program {
                 _ => {}
             }
         }
+        let mut estack: Vec<ExprId> = Vec::new();
         for id in self.all_stmt_ids() {
             if self.stmt(id).parent != membership[id.index()] {
                 errs.push(format!(
@@ -772,14 +772,17 @@ impl Program {
                     break;
                 }
             }
-            // Expression ownership.
-            for e in self.stmt_exprs(id) {
+            // Expression ownership (reuses one stack across statements;
+            // visit order is irrelevant here).
+            estack.extend(self.stmt_expr_roots(id));
+            while let Some(e) = estack.pop() {
                 if self.expr(e).owner != id {
                     errs.push(format!(
                         "expression {e} reachable from {id} but owned by {:?}",
                         self.expr(e).owner
                     ));
                 }
+                collect_children(&self.expr(e).kind, &mut estack);
             }
         }
         errs

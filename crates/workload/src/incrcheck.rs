@@ -1,0 +1,120 @@
+//! Checked-mode incremental-update sweep driver.
+//!
+//! Runs seeded workloads end to end — build-up applies, a shuffled
+//! independent-order undo of everything, and an edit with the
+//! unsafe-removal sweep — entirely in [`RepMode::Checked`], where every
+//! representation refresh performs the delta-driven incremental update
+//! *and* a from-scratch rebuild, panicking on any structural divergence.
+//! A completed sweep is therefore itself the conformance verdict; the
+//! outcome additionally reports how much work the incremental path saved
+//! (dirty-block ratios, fallback share) from the `rep.incr.*` counters.
+
+use crate::{gen_edit, prepare_in_mode, WorkloadCfg};
+use pivot_undo::{RepMode, Strategy, UndoError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Aggregate result of a Checked-mode sweep.
+#[derive(Debug, Default)]
+pub struct IncrCheckOutcome {
+    /// Seeds driven.
+    pub seeds: usize,
+    /// Apply/undo/edit operations performed (each refreshed the rep).
+    pub operations: usize,
+    /// Refreshes that took the incremental path.
+    pub incremental_updates: u64,
+    /// Refreshes that fell back to a batch rebuild.
+    pub fallbacks: u64,
+    /// Blocks seeded dirty across all incremental updates.
+    pub dirty_blocks: u64,
+    /// Total CFG blocks across all incremental updates.
+    pub total_blocks: u64,
+}
+
+impl IncrCheckOutcome {
+    /// Mean fraction of blocks an incremental update re-seeded as dirty.
+    pub fn dirty_ratio(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.dirty_blocks as f64 / self.total_blocks as f64
+        }
+    }
+
+    /// Fraction of delta refreshes that stayed incremental.
+    pub fn incremental_share(&self) -> f64 {
+        let total = self.incremental_updates + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.incremental_updates as f64 / total as f64
+        }
+    }
+
+    /// A sweep proves nothing if the incremental path never ran.
+    pub fn passed(&self) -> bool {
+        self.incremental_updates > 0
+    }
+}
+
+/// Drive `count` seeds starting at `seed0`, up to `max` transformations
+/// each, in [`RepMode::Checked`]. Panics on any batch/incremental
+/// divergence (that is the check).
+pub fn sweep_incr(seed0: u64, count: usize, max: usize) -> IncrCheckOutcome {
+    let cfg = WorkloadCfg {
+        fragments: 6,
+        noise_ratio: 0.3,
+        figure1_chains: 1,
+        ..Default::default()
+    };
+    let m = pivot_obs::metrics::global();
+    let snap = |name: &str| m.counter(name).get();
+    let before = (
+        snap("rep.incr.updates"),
+        snap("rep.incr.fallback"),
+        snap("rep.incr.dirty_blocks"),
+        snap("rep.incr.total_blocks"),
+    );
+
+    let mut outcome = IncrCheckOutcome::default();
+    for seed in seed0..seed0 + count as u64 {
+        let mut p = prepare_in_mode(seed, &cfg, max, RepMode::Checked);
+        outcome.operations += p.applied.len();
+        let mut order = p.applied.clone();
+        order.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x1C4A));
+        for id in order {
+            match p.session.undo(id, Strategy::Regional) {
+                Ok(_) | Err(UndoError::AlreadyUndone(_)) => outcome.operations += 1,
+                Err(e) => panic!("seed {seed}: undo {id}: {e}"),
+            }
+        }
+        let edit = gen_edit(&p.session, seed.wrapping_mul(131).wrapping_add(7));
+        if p.session.edit(&edit).is_ok() {
+            outcome.operations += 1;
+            p.session.remove_unsafe(Strategy::Regional);
+        }
+        p.session.assert_consistent();
+        outcome.seeds += 1;
+    }
+
+    outcome.incremental_updates = snap("rep.incr.updates") - before.0;
+    outcome.fallbacks = snap("rep.incr.fallback") - before.1;
+    outcome.dirty_blocks = snap("rep.incr.dirty_blocks") - before.2;
+    outcome.total_blocks = snap("rep.incr.total_blocks") - before.3;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_takes_incremental_path() {
+        let o = sweep_incr(40, 3, 6);
+        assert_eq!(o.seeds, 3);
+        assert!(o.operations > 0);
+        assert!(o.passed(), "incremental path never ran: {o:?}");
+        assert!(o.dirty_ratio() > 0.0 && o.dirty_ratio() <= 1.0);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod faults;
 pub mod fragments;
+pub mod incrcheck;
 pub mod witnesses;
 
 use pivot_lang::builder::ProgramBuilder;
@@ -77,8 +78,21 @@ pub struct Prepared {
 /// Build a session and greedily apply up to `max` transformations,
 /// round-robin over kinds, deterministically under `seed`.
 pub fn prepare(seed: u64, cfg: &WorkloadCfg, max: usize) -> Prepared {
+    prepare_in_mode(seed, cfg, max, pivot_undo::RepMode::Batch)
+}
+
+/// [`prepare`] with an explicit representation-refresh mode, selected
+/// *before* the first transformation so incremental (or checked) updates
+/// cover the whole build-up, not just later operations.
+pub fn prepare_in_mode(
+    seed: u64,
+    cfg: &WorkloadCfg,
+    max: usize,
+    mode: pivot_undo::RepMode,
+) -> Prepared {
     let prog = gen_program(seed, cfg);
     let mut session = Session::new(prog);
+    session.set_rep_mode(mode);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
     let mut applied = Vec::new();
     let mut kinds: Vec<XformKind> = cfg.kinds.clone().unwrap_or_else(|| ALL_KINDS.to_vec());

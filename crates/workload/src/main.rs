@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! pivot-workload faults [--seed N] [--max N]
+//! pivot-workload incrcheck [--seed N] [--count N] [--max N]
 //! ```
 //!
-//! Runs the deterministic fault-injection sweep ([`pivot_workload::faults`])
-//! and exits non-zero if any induced rollback violated a transactional
-//! invariant.
+//! `faults` runs the deterministic fault-injection sweep
+//! ([`pivot_workload::faults`]) and exits non-zero if any induced rollback
+//! violated a transactional invariant. `incrcheck` drives seeded workloads
+//! in `RepMode::Checked` ([`pivot_workload::incrcheck`]), panicking on any
+//! batch/incremental divergence and reporting dirty-block ratios.
 
 use std::process::ExitCode;
 
@@ -16,6 +19,12 @@ commands:
   faults [--seed N] [--max N]  sweep deterministic faults over seeded
                                workloads and check rollback invariants
                                (defaults: --seed 7 --max 10)
+  incrcheck [--seed N] [--count N] [--max N]
+                               drive seeded apply/undo/edit workloads in
+                               Checked mode (incremental update verified
+                               against a batch rebuild at every step) and
+                               report dirty-block ratios
+                               (defaults: --seed 0 --count 8 --max 8)
 ";
 
 fn main() -> ExitCode {
@@ -55,6 +64,46 @@ fn main() -> ExitCode {
                 for v in &outcome.violations {
                     eprintln!("violation: {v}");
                 }
+                ExitCode::FAILURE
+            }
+        }
+        Some("incrcheck") => {
+            let mut seed = 0u64;
+            let mut count = 8usize;
+            let mut max = 8usize;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--seed" => value(&mut rest, "--seed").map(|v| seed = v),
+                    "--count" => value(&mut rest, "--count").map(|v| count = v as usize),
+                    "--max" => value(&mut rest, "--max").map(|v| max = v as usize),
+                    other => Err(format!("incrcheck: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let o = pivot_workload::incrcheck::sweep_incr(seed, count, max);
+            println!(
+                "incrcheck: {} seeds, {} ops, {} incremental updates, {} fallbacks \
+                 ({:.0}% incremental), mean dirty-block ratio {:.2}",
+                o.seeds,
+                o.operations,
+                o.incremental_updates,
+                o.fallbacks,
+                o.incremental_share() * 100.0,
+                o.dirty_ratio()
+            );
+            if o.passed() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("incrcheck: the incremental path never ran — sweep proves nothing");
                 ExitCode::FAILURE
             }
         }

@@ -1,0 +1,166 @@
+//! Differential oracle for the incremental representation update.
+//!
+//! Every session here runs in [`RepMode::Checked`]: each apply, undo
+//! cascade, and edit performs the delta-driven incremental update *and* a
+//! from-scratch batch rebuild, panicking on any structural divergence of
+//! the eagerly-maintained layers (CFG blocks and edges, dominator and
+//! postdominator trees, reaching-definition fact numbering and bitsets,
+//! liveness bitsets, def-use/use-def chains, pre-order positions). On top
+//! of that, `assert_conforms` rebuilds a batch representation after every
+//! operation and compares the lazily-derived high level too — DDG edges and
+//! PDG regions/summaries — so a stale lazy layer (e.g. a missed
+//! invalidation) cannot hide.
+//!
+//! Regressions persist in `incr_differential.proptest-regressions`
+//! alongside the other suites' files.
+
+use pivot_ir::{incr, Rep};
+use pivot_lang::interp;
+use pivot_undo::engine::{Session, Strategy};
+use pivot_undo::{RepMode, UndoError};
+use pivot_workload::{gen_edit, gen_inputs, prepare_in_mode, WorkloadCfg};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn cfg() -> WorkloadCfg {
+    WorkloadCfg {
+        fragments: 6,
+        noise_ratio: 0.3,
+        kinds: None,
+        figure1_chains: 1,
+    }
+}
+
+/// Sorted, hash-order-independent projection of a PDG.
+fn pdg_fingerprint(pdg: &pivot_ir::pdg::Pdg) -> (String, Vec<String>, Vec<Vec<usize>>) {
+    let regions = format!("{:?}", pdg.regions);
+    let mut membership: Vec<String> = pdg
+        .region_of
+        .iter()
+        .map(|(s, r)| format!("{s:?}->{r:?}"))
+        .chain(
+            pdg.regions_of_stmt
+                .iter()
+                .map(|(k, r)| format!("{k:?}=>{r:?}")),
+        )
+        .collect();
+    membership.sort();
+    (regions, membership, pdg.summaries.clone())
+}
+
+/// Full conformance check: eager layers via [`incr::divergence`], then the
+/// lazily-built high level (DDG, PDG) against a fresh batch build.
+fn assert_conforms(s: &Session, context: &str) {
+    let batch = Rep::build(&s.prog);
+    if let Some(d) = incr::divergence(&batch, &s.rep) {
+        panic!("{context}: incremental rep diverged from batch: {d}");
+    }
+    let ddg_b = format!("{:?}", batch.ddg(&s.prog).deps);
+    let ddg_i = format!("{:?}", s.rep.ddg(&s.prog).deps);
+    assert_eq!(ddg_b, ddg_i, "{context}: DDG edges diverged");
+    assert_eq!(
+        pdg_fingerprint(batch.pdg(&s.prog)),
+        pdg_fingerprint(s.rep.pdg(&s.prog)),
+        "{context}: PDG diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Apply a full workload and undo everything in a random order, all in
+    /// Checked mode, verifying conformance (including the lazy layers)
+    /// after every step. Semantics must also survive, as in the batch-mode
+    /// suites.
+    #[test]
+    fn checked_apply_undo_roundtrip(seed in 0u64..400, shuffle in 0u64..1000) {
+        let mut prepared = prepare_in_mode(seed, &cfg(), 8, RepMode::Checked);
+        prop_assume!(prepared.applied.len() >= 2);
+        assert_conforms(&prepared.session, "after applies");
+        let inputs = gen_inputs(seed, 96);
+        let expected = interp::run_default(&prepared.session.original, &inputs).unwrap();
+        let mut order = prepared.applied.clone();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(shuffle));
+        for id in order {
+            match prepared.session.undo(id, Strategy::Regional) {
+                Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("undo {id}: {e}"))),
+            }
+            assert_conforms(&prepared.session, "after undo cascade");
+            let now = interp::run_default(&prepared.session.prog, &inputs).unwrap();
+            prop_assert_eq!(&now, &expected, "semantics broke mid-undo");
+            prepared.session.assert_consistent();
+        }
+        prop_assert!(prepared.session.log.actions.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Edits (insert/delete/rewrite) drive the incremental path through raw
+    /// program changes and the unsafe-transformation removal cascade.
+    #[test]
+    fn checked_edit_and_removal(seed in 0u64..300, edit_seed in 0u64..1000) {
+        let mut prepared = prepare_in_mode(seed, &cfg(), 6, RepMode::Checked);
+        prop_assume!(!prepared.applied.is_empty());
+        let edit = gen_edit(&prepared.session, edit_seed);
+        if prepared.session.edit(&edit).is_ok() {
+            assert_conforms(&prepared.session, "after edit");
+            prepared.session.remove_unsafe(Strategy::Regional);
+            assert_conforms(&prepared.session, "after remove_unsafe");
+            prepared.session.assert_consistent();
+        }
+    }
+}
+
+/// Deterministic mixed script (applies, undos, edits) — a fixed-seed
+/// complement to the property tests that always runs the same trace.
+#[test]
+fn checked_mixed_script_fixed_seeds() {
+    for seed in 0..6u64 {
+        let mut p = prepare_in_mode(seed, &cfg(), 8, RepMode::Checked);
+        assert_conforms(&p.session, "after applies");
+        // Undo half in application order (exercises affecting chases).
+        let half: Vec<_> = p
+            .applied
+            .iter()
+            .copied()
+            .take(p.applied.len() / 2)
+            .collect();
+        for id in half {
+            match p.session.undo(id, Strategy::Regional) {
+                Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+                Err(e) => panic!("seed {seed}: undo {id}: {e}"),
+            }
+            assert_conforms(&p.session, "after undo");
+        }
+        // An edit, then the invalidation sweep.
+        let edit = gen_edit(&p.session, seed.wrapping_mul(97).wrapping_add(13));
+        if p.session.edit(&edit).is_ok() {
+            assert_conforms(&p.session, "after edit");
+            p.session.remove_unsafe(Strategy::Regional);
+            assert_conforms(&p.session, "after remove_unsafe");
+        }
+        p.session.assert_consistent();
+    }
+}
+
+/// The incremental path must actually run: across the seed sweep the
+/// sessions take it (counted on the rep itself, not the global registry,
+/// so parallel tests cannot interfere).
+#[test]
+fn checked_mode_exercises_incremental_path() {
+    let mut updates = 0u64;
+    let mut builds = 0u64;
+    for seed in 0..8u64 {
+        let p = prepare_in_mode(seed, &cfg(), 8, RepMode::Checked);
+        updates += p.session.rep.incr_updates;
+        builds += p.session.rep.builds;
+    }
+    assert!(
+        updates > 0,
+        "no session ever took the incremental path (builds={builds})"
+    );
+}

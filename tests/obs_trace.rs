@@ -223,6 +223,71 @@ fn dce_chain_explanation_has_affected_edge() {
     assert!(s.explain(XformId(99)).is_none());
 }
 
+/// An incremental refresh that bails to a batch rebuild must never be
+/// silent: it bumps the `rep.incr.fallback` counter and emits an
+/// `incr_fallback` event carrying the reason. Inserting a do-loop changes
+/// the CFG shape, which is the deterministic fallback trigger.
+#[test]
+fn incremental_fallback_is_counted_and_traced() {
+    use pivot_undo::{Edit, RepMode};
+
+    let mut s = Session::from_source("x = 1\nwrite x\n").unwrap();
+    s.set_rep_mode(RepMode::Incremental);
+    let (rec, buf) = Recorder::in_memory();
+    let rec = Arc::new(rec);
+    s.set_tracer(rec.clone());
+
+    let before = pivot_obs::metrics::global()
+        .counter("rep.incr.fallback")
+        .get();
+    let anchor = s.prog.body[0];
+    s.edit(&Edit::Insert {
+        src: "do k = 1, 3\n  y = k\nenddo\n".to_owned(),
+        at: pivot_lang::Loc::after(pivot_lang::Parent::Root, anchor),
+    })
+    .expect("loop insert applies");
+    rec.flush().unwrap();
+
+    let after = pivot_obs::metrics::global()
+        .counter("rep.incr.fallback")
+        .get();
+    assert!(after > before, "fallback counter must increase");
+
+    // Golden schema: the event line parses, is a point event (no span or
+    // phase fields), and names the machine-readable reason.
+    let text = buf.contents();
+    let fallback = text
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad JSON line `{l}`: {e:?}")))
+        .find(|o| o.get("name").and_then(|v| v.as_str()) == Some("incr_fallback"))
+        .unwrap_or_else(|| panic!("no incr_fallback event in trace:\n{text}"));
+    assert_eq!(fallback.get("ev").and_then(|v| v.as_str()), Some("event"));
+    assert_eq!(
+        fallback.get("reason").and_then(|v| v.as_str()),
+        Some("cfg_shape_changed")
+    );
+    assert!(fallback.get("seq").and_then(|v| v.as_int()).is_some());
+    assert!(fallback.get("t_us").and_then(|v| v.as_int()).is_some());
+    assert!(fallback.get("span").is_none(), "point events carry no span");
+
+    // A shape-preserving follow-up (RHS rewrite) stays incremental: no
+    // second fallback event, and the update counter moves instead.
+    let updates_before = s.rep.incr_updates;
+    s.edit(&Edit::ReplaceRhs {
+        stmt: anchor,
+        src: "7".to_owned(),
+    })
+    .expect("rhs edit applies");
+    assert_eq!(s.rep.incr_updates, updates_before + 1);
+    rec.flush().unwrap();
+    let fallbacks = buf
+        .contents()
+        .lines()
+        .filter(|l| l.contains("incr_fallback"))
+        .count();
+    assert_eq!(fallbacks, 1, "shape-preserving edit must not fall back");
+}
+
 /// The default (no-op) tracer must not change engine behaviour: identical
 /// removal sets and identical work counters, and nothing is ever emitted.
 #[test]

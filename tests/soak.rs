@@ -14,7 +14,7 @@
 use pivot_lang::interp;
 use pivot_lang::Program;
 use pivot_undo::engine::{Session, Strategy};
-use pivot_undo::{Edit, UndoError, XformId};
+use pivot_undo::{Edit, RepMode, UndoError, XformId};
 use pivot_workload::{gen_inputs, gen_program, WorkloadCfg};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +57,10 @@ fn replay_on_source(source: &mut Program, edit: &Edit) -> bool {
 }
 
 fn soak(seed: u64, steps: usize) {
+    soak_in_mode(seed, steps, RepMode::Batch);
+}
+
+fn soak_in_mode(seed: u64, steps: usize, mode: RepMode) {
     let cfg = WorkloadCfg {
         fragments: 6,
         noise_ratio: 0.3,
@@ -66,6 +70,7 @@ fn soak(seed: u64, steps: usize) {
     let prog = gen_program(seed, &cfg);
     let mut source = prog.clone(); // evolving ground truth
     let mut session = Session::new(prog);
+    session.set_rep_mode(mode);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x50AC);
     let inputs = gen_inputs(seed, 128);
     let mut live: Vec<XformId> = Vec::new();
@@ -214,6 +219,17 @@ fn soak_short_many_seeds() {
 fn soak_long_few_seeds() {
     for seed in 100..116 {
         soak(seed, 150);
+    }
+}
+
+/// The incremental-update conformance matrix: the same interleaved
+/// apply/undo/edit soak, with every representation refresh cross-checked
+/// against a from-scratch rebuild ([`RepMode::Checked`] panics on
+/// divergence). Wired into CI as its own step.
+#[test]
+fn soak_checked_seed_matrix() {
+    for seed in 300..310 {
+        soak_in_mode(seed, 40, RepMode::Checked);
     }
 }
 
