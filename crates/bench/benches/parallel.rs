@@ -1,12 +1,16 @@
-//! Experiment E10 (ablation beyond the paper): parallel vs sequential
-//! screening of candidate transformations' safety — the independent
-//! per-candidate checks fan out over crossbeam scoped threads.
+//! Experiments E10/E14: parallel vs sequential kernels. The independent
+//! per-candidate safety checks, the whole-catalog opportunity scan, and
+//! batch undo planning fan out over the `pivot-par` work-stealing pool;
+//! the 1-thread arm routes through the literally unchanged sequential
+//! code (`Pool::is_sequential` gate), so each group measures parallel
+//! overhead/speedup against the true oracle.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pivot_undo::parcheck::{screen_parallel, screen_sequential};
+use pivot_undo::Pool;
 use pivot_workload::{prepare, WorkloadCfg};
 
-fn bench_parallel(c: &mut Criterion) {
+fn bench_screen(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_safety_screen");
     g.sample_size(20);
     for frags in [16usize, 48] {
@@ -33,9 +37,48 @@ fn bench_parallel(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_opportunity_scan");
+    g.sample_size(20);
+    let cfg = WorkloadCfg {
+        fragments: 48,
+        noise_ratio: 0.2,
+        ..Default::default()
+    };
+    let prepared = prepare(0xE14, &cfg, 96);
+    let s = &prepared.session;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| pivot_undo::catalog::find_all_with(&s.prog, &s.rep, &pool))
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_batch_plan");
+    g.sample_size(20);
+    let cfg = WorkloadCfg {
+        fragments: 48,
+        noise_ratio: 0.2,
+        ..Default::default()
+    };
+    let prepared = prepare(0xE14 ^ 1, &cfg, 96);
+    let targets = prepared.applied.clone();
+    for threads in [1usize, 2, 4, 8] {
+        let mut fork = prepared.session.fork();
+        fork.set_pool(Pool::new(threads));
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| fork.plan_undo(&targets))
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_parallel
+    targets = bench_screen, bench_scan, bench_plan
 }
 criterion_main!(benches);

@@ -78,6 +78,24 @@ pub fn find_all(prog: &Program, rep: &Rep) -> Vec<Opportunity> {
         .collect()
 }
 
+/// [`find_all`] over a worker pool: the ten per-kind finders run
+/// concurrently (each reads only the immutable program/representation) and
+/// the per-kind result lists are concatenated in Table 4 order — so the
+/// output is identical to [`find_all`] at any thread count.
+pub fn find_all_with(prog: &Program, rep: &Rep, pool: &pivot_par::Pool) -> Vec<Opportunity> {
+    if pool.is_sequential() {
+        return find_all(prog, rep);
+    }
+    let m = pivot_obs::metrics::global();
+    m.counter("par.find.batches").inc();
+    pool.run(crate::kind::ALL_KINDS.len(), |i| {
+        find(prog, rep, crate::kind::ALL_KINDS[i])
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Apply an opportunity through the action log.
 pub fn apply(
     prog: &mut Program,

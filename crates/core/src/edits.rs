@@ -14,7 +14,6 @@
 
 use crate::engine::{Session, Strategy, UndoError, UndoReport};
 use crate::history::{XformId, XformState};
-use crate::safety::still_safe;
 use pivot_lang::parser::{parse_expr_into, parse_stmts_into, ParseError};
 use pivot_lang::{AnchorPos, Loc, Program, StmtId, StmtKind};
 use std::fmt;
@@ -141,8 +140,9 @@ impl Session {
                 vec![*stmt]
             }
         };
+        let pool = self.pool().clone();
         match self.rep_mode {
-            pivot_ir::RepMode::Batch => self.rep.refresh(&self.prog),
+            pivot_ir::RepMode::Batch => self.rep.refresh_with(&self.prog, &pool),
             mode => {
                 let delta = crate::delta::edit_delta(&self.prog, edit, &touched);
                 match self.rep.try_refresh_delta(&self.prog, &delta) {
@@ -156,7 +156,7 @@ impl Session {
                     }
                     // Edits never refuse the refresh (pre-incremental
                     // behavior): rebuild unconditionally.
-                    Err(_) => self.rep.refresh(&self.prog),
+                    Err(_) => self.rep.refresh_with(&self.prog, &pool),
                 }
             }
         }
@@ -164,16 +164,39 @@ impl Session {
         Ok(touched)
     }
 
-    /// Screen all active transformations for edit-destroyed safety.
+    /// Screen all active transformations for edit-destroyed safety. With a
+    /// parallel session pool the per-record `still_safe` checks fan out
+    /// through [`crate::parcheck::screen_with`]; verdicts are positional,
+    /// so the result is identical at any thread count.
     pub fn find_unsafe(&self) -> Vec<XformId> {
-        self.history
-            .active()
-            .filter(|r| !still_safe(&self.prog, &self.rep, &self.log, r))
-            .map(|r| r.id)
+        let records: Vec<&crate::history::AppliedXform> = self.history.active().collect();
+        let verdicts =
+            crate::parcheck::screen_with(&self.prog, &self.rep, &self.log, &records, self.pool());
+        if !self.pool().is_sequential() && self.tracer().enabled() {
+            self.tracer().event(
+                "par_screen",
+                &[
+                    (
+                        "records",
+                        pivot_obs::trace::FieldValue::U64(records.len() as u64),
+                    ),
+                    (
+                        "threads",
+                        pivot_obs::trace::FieldValue::U64(self.pool().threads() as u64),
+                    ),
+                ],
+            );
+        }
+        records
+            .iter()
+            .zip(verdicts)
+            .filter(|(_, safe)| !safe)
+            .map(|(r, _)| r.id)
             .collect()
     }
 
-    /// Parallel variant of [`Session::find_unsafe`].
+    /// [`Session::find_unsafe`] over an explicit worker count (ignores the
+    /// session pool).
     pub fn find_unsafe_parallel(&self, threads: usize) -> Vec<XformId> {
         let records: Vec<&crate::history::AppliedXform> = self.history.active().collect();
         let verdicts =

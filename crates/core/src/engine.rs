@@ -23,12 +23,12 @@
 
 use crate::actions::{ActionError, ActionKind, ActionLog};
 use crate::catalog::{self, Opportunity};
-use crate::history::{History, HistoryError, XformId, XformState};
+use crate::history::{AppliedXform, History, HistoryError, XformId, XformState};
 use crate::interact::{self, Matrix};
 use crate::journal::{Journal, JournalOp};
 use crate::kind::XformKind;
 use crate::pattern::XformParams;
-use crate::region::affected_region;
+use crate::region::{affected_region, AffectedRegion};
 use crate::revers::check_reversible;
 use crate::safety::still_safe;
 use crate::txn::{EngineError, FaultState};
@@ -36,6 +36,8 @@ use pivot_ir::{incr, EditDelta, FallbackReason, RefreshOutcome, Rep, RepMode};
 use pivot_lang::{Program, StmtId};
 use pivot_obs::provenance::{CauseKind, ProvenanceNode, ProvenanceTree};
 use pivot_obs::trace::{FieldValue, NoopTracer, Phase, PhaseNanos, Tracer};
+use pivot_par::Pool;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -152,6 +154,55 @@ impl fmt::Display for UndoError {
 
 impl std::error::Error for UndoError {}
 
+/// Advisory, read-only undo plan for one target, computed by
+/// [`Session::plan_undo`] without mutating the session.
+///
+/// The affecting chain is the *static* blocker chase: each link is the
+/// transformation `check_reversible` names as blocking the previous one, in
+/// the current program state. It predicts the cascade the paper's Figure 4
+/// lines 4–11 would walk, but — being read-only — it cannot simulate the
+/// state after each removal, so an actual undo may stop earlier (a single
+/// removal can unblock several links) or find additional affected
+/// transformations.
+#[derive(Clone, Debug)]
+pub struct UndoPlan {
+    /// The transformation this plan is for.
+    pub target: XformId,
+    /// Is the target currently active (not yet undone)?
+    pub active: bool,
+    /// Is the target immediately reversible in the current state? When
+    /// `false` and `affecting` is empty, the blocker is not a
+    /// transformation (e.g. a program edit destroyed the reversal context)
+    /// and an undo request would get [`UndoError::Stuck`].
+    pub reversible: bool,
+    /// Static affecting chain: transformations that would have to be undone
+    /// first, in chase order.
+    pub affecting: Vec<XformId>,
+    /// Advisory affected set: active later transformations the interaction
+    /// table (Table 4) marks as possibly reverse-destroyed by removing the
+    /// target.
+    pub affected: Vec<XformId>,
+}
+
+/// Outcome of [`Session::undo_batch`].
+#[derive(Clone, Debug, Default)]
+pub struct BatchUndoReport {
+    /// Advisory plans, one per requested target, in request order.
+    pub plans: Vec<UndoPlan>,
+    /// Reports of the undos actually performed, in execution order.
+    pub reports: Vec<UndoReport>,
+    /// Targets skipped because an earlier cascade in the batch (or a prior
+    /// request) had already removed them.
+    pub skipped: Vec<XformId>,
+}
+
+impl BatchUndoReport {
+    /// Every transformation removed by the batch, in removal order.
+    pub fn undone(&self) -> Vec<XformId> {
+        self.reports.iter().flat_map(|r| r.undone.clone()).collect()
+    }
+}
+
 /// Internal cascade failure, raised inside `undo_rec`/`reverse_to_inner`
 /// before the rollback decision is made at the request boundary.
 enum CascadeError {
@@ -224,6 +275,10 @@ pub struct Session {
     pub original: Program,
     /// Explanation trees, one per completed `undo` request (oldest first).
     pub explanations: Vec<ProvenanceTree>,
+    /// Worker pool for the parallel kernels (opportunity finding, safety
+    /// screens, dataflow, undo planning). Defaults to [`Pool::from_env`]:
+    /// `PIVOT_THREADS` threads, or the sequential oracle when unset.
+    pool: Pool,
     /// Telemetry sink for the undo phases (default: the no-op tracer).
     tracer: Arc<dyn Tracer>,
     /// Armed fault-injection plan (testing hook; `None` in production).
@@ -246,6 +301,7 @@ impl Clone for Session {
             rep_mode: self.rep_mode,
             original: self.original.clone(),
             explanations: self.explanations.clone(),
+            pool: self.pool.clone(),
             tracer: Arc::clone(&self.tracer),
             faults: self.faults.clone(),
             journal: None,
@@ -256,7 +312,8 @@ impl Clone for Session {
 impl Session {
     /// Start a session on a program.
     pub fn new(prog: Program) -> Session {
-        let rep = Rep::build(&prog);
+        let pool = Pool::from_env();
+        let rep = Rep::build_with(&prog, &pool);
         let original = prog.clone();
         Session {
             prog,
@@ -267,6 +324,7 @@ impl Session {
             rep_mode: RepMode::default(),
             original,
             explanations: Vec::new(),
+            pool,
             tracer: Arc::new(NoopTracer),
             faults: None,
             journal: None,
@@ -289,6 +347,25 @@ impl Session {
     /// The session's current tracer.
     pub fn tracer(&self) -> &Arc<dyn Tracer> {
         &self.tracer
+    }
+
+    /// The worker pool driving the parallel kernels.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Set the worker count for the parallel kernels: `1` selects the
+    /// sequential oracle (the literally unchanged code paths), `0` the
+    /// machine's available parallelism. Observable behavior is identical at
+    /// every setting; only wall time changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = Pool::new(threads.max(1));
+    }
+
+    /// Replace the pool wholesale (e.g. to attach a scripted scheduler for
+    /// interleaving stress tests).
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
     }
 
     /// The explanation tree whose cascade removed transformation `x`, if
@@ -315,9 +392,23 @@ impl Session {
         catalog::find(&self.prog, &self.rep, kind)
     }
 
-    /// Opportunities of every kind.
+    /// Opportunities of every kind. With a parallel pool the per-kind
+    /// finders fan out across workers; results are merged in `ALL_KINDS`
+    /// order, so the list is identical at any thread count.
     pub fn find_all(&self) -> Vec<Opportunity> {
-        catalog::find_all(&self.prog, &self.rep)
+        let t0 = Instant::now();
+        let opps = catalog::find_all_with(&self.prog, &self.rep, &self.pool);
+        if !self.pool.is_sequential() && self.tracer.enabled() {
+            self.tracer.event(
+                "par_find",
+                &[
+                    ("opportunities", FieldValue::U64(opps.len() as u64)),
+                    ("threads", FieldValue::U64(self.pool.threads() as u64)),
+                    ("ns", FieldValue::U64(elapsed_ns(t0))),
+                ],
+            );
+        }
+        opps
     }
 
     /// Apply an opportunity; records history and refreshes the
@@ -385,7 +476,7 @@ impl Session {
         }
         match (self.rep_mode, delta) {
             (RepMode::Batch, _) | (_, None) => {
-                self.rep.try_refresh(&self.prog)?;
+                self.rep.try_refresh_with(&self.prog, &self.pool)?;
             }
             (mode, Some(delta)) => match self.rep.try_refresh_delta(&self.prog, delta)? {
                 RefreshOutcome::Incremental(_) => {
@@ -689,7 +780,16 @@ impl Session {
         let candidates = self.history.active_after(t);
         let scanned = candidates.len() as u64;
         report.phase_ns.add(Phase::RegionScan, elapsed_ns(rs0));
-        for tk in candidates {
+        // Speculative parallel prefetch of the safety verdicts. Each verdict
+        // is a pure function of the current (program, rep, log) state, so the
+        // batch can be evaluated concurrently up front; the sequential loop
+        // below consumes it while emitting the exact counters, spans and
+        // provenance of the sequential oracle. Any cascade step mutates the
+        // state, which stales the remaining verdicts — they are invalidated
+        // and the tail is recomputed against the post-cascade state.
+        let mut prefetch = self.prefetch_safety(&candidates, &region, record.kind, strategy);
+        let mut prefetch_base = 0usize;
+        for (ci, &tk) in candidates.iter().enumerate() {
             report.candidates_considered += 1;
             let rk = self.history.get(tk)?;
             let heuristic_marked = interact::may_affect(&self.matrix, record.kind, rk.kind);
@@ -722,7 +822,20 @@ impl Session {
                     ],
                 )
             });
-            let safe = still_safe(&self.prog, &self.rep, &self.log, &rk);
+            let prefetched = prefetch
+                .as_ref()
+                .and_then(|p| p.get(ci - prefetch_base))
+                .copied()
+                .flatten();
+            let safe = match prefetched {
+                Some(v) => {
+                    pivot_obs::metrics::global()
+                        .counter("par.prefetch.hits")
+                        .inc();
+                    v
+                }
+                None => still_safe(&self.prog, &self.rep, &self.log, &rk),
+            };
             report.phase_ns.add(Phase::SafetyCheck, elapsed_ns(sc0));
             if let Some(span) = span {
                 self.tracer.span_end(
@@ -746,6 +859,15 @@ impl Session {
                 if was_active {
                     node.children.push(child);
                 }
+                // The cascade mutated program/rep/log: every speculative
+                // verdict still pending is stale. Recompute the tail.
+                prefetch_base = ci + 1;
+                prefetch = self.prefetch_safety(
+                    &candidates[prefetch_base..],
+                    &region,
+                    record.kind,
+                    strategy,
+                );
             }
         }
         if let Some(span) = scan_span {
@@ -759,6 +881,66 @@ impl Session {
             );
         }
         Ok(())
+    }
+
+    /// Evaluate the safety verdicts of the cascade candidates concurrently,
+    /// ahead of the sequential scan. Returns `None` when the pool is
+    /// sequential (the oracle path runs unchanged), when a fault plan is
+    /// armed (fault trip order must follow the sequential scan exactly), or
+    /// when the batch is too small to be worth a fan-out. Each task is a
+    /// pure function of the current immutable state, and verdicts come back
+    /// positionally, so a consumed verdict equals what `still_safe` would
+    /// return at the same point of the sequential scan — provided the state
+    /// has not changed since the batch was computed (the caller invalidates
+    /// on every cascade mutation).
+    fn prefetch_safety(
+        &self,
+        candidates: &[XformId],
+        region: &AffectedRegion,
+        undone_kind: XformKind,
+        strategy: Strategy,
+    ) -> Option<Vec<Option<bool>>> {
+        if self.pool.is_sequential() || self.faults.is_some() || candidates.len() < 2 {
+            return None;
+        }
+        let records: Vec<Option<AppliedXform>> = candidates
+            .iter()
+            .map(|&tk| self.history.get(tk).ok().cloned())
+            .collect();
+        let t0 = Instant::now();
+        let verdicts = self.pool.run(records.len(), |i| {
+            let rk = records[i].as_ref()?;
+            let heuristic_marked = interact::may_affect(&self.matrix, undone_kind, rk.kind);
+            let region_member = region.overlaps(
+                &live_sites(&self.prog, &rk.params),
+                &rk.params.watched_syms(),
+            );
+            let in_scope = match strategy {
+                Strategy::FullScan => true,
+                Strategy::NoHeuristic => region_member,
+                Strategy::Regional => heuristic_marked && region_member,
+            };
+            if in_scope {
+                Some(still_safe(&self.prog, &self.rep, &self.log, rk))
+            } else {
+                None
+            }
+        });
+        let m = pivot_obs::metrics::global();
+        m.counter("par.prefetch.batches").inc();
+        m.counter("par.prefetch.candidates")
+            .add(verdicts.len() as u64);
+        if self.tracer.enabled() {
+            self.tracer.event(
+                "par_prefetch",
+                &[
+                    ("candidates", FieldValue::U64(verdicts.len() as u64)),
+                    ("threads", FieldValue::U64(self.pool.threads() as u64)),
+                    ("ns", FieldValue::U64(elapsed_ns(t0))),
+                ],
+            );
+        }
+        Some(verdicts)
     }
 
     /// Undo the most recent active transformation (the paper's in-order
@@ -882,6 +1064,126 @@ impl Session {
             }
         }
         Ok((report, redone))
+    }
+
+    /// Compute read-only [`UndoPlan`]s for a batch of targets, fanning the
+    /// per-target analyses (reversibility, static affecting chase, advisory
+    /// affected set) out over the session pool. Nothing is mutated; plans
+    /// come back positionally, so the result is identical at any thread
+    /// count.
+    pub fn plan_undo(&self, targets: &[XformId]) -> Vec<UndoPlan> {
+        let t0 = Instant::now();
+        let plans = self.pool.map(targets, |&target| {
+            plan_one(&self.prog, &self.log, &self.history, &self.matrix, target)
+        });
+        if !self.pool.is_sequential() && self.tracer.enabled() {
+            self.tracer.event(
+                "par_plan",
+                &[
+                    ("targets", FieldValue::U64(targets.len() as u64)),
+                    ("threads", FieldValue::U64(self.pool.threads() as u64)),
+                    ("ns", FieldValue::U64(elapsed_ns(t0))),
+                ],
+            );
+        }
+        plans
+    }
+
+    /// Undo several transformations in one request: the plans are computed
+    /// concurrently ([`Session::plan_undo`]), then the undos execute
+    /// strictly sequentially in request order — so batch outcomes are
+    /// identical to issuing the individual [`Session::undo`] calls, at any
+    /// thread count. Targets a previous cascade already removed are
+    /// reported in [`BatchUndoReport::skipped`]; any other failure aborts
+    /// the batch (completed undos stand — each undo is its own
+    /// transaction).
+    pub fn undo_batch(
+        &mut self,
+        targets: &[XformId],
+        strategy: Strategy,
+    ) -> Result<BatchUndoReport, UndoError> {
+        for &t in targets {
+            self.history.get(t).map_err(|_| UndoError::NoSuchXform(t))?;
+        }
+        let plans = self.plan_undo(targets);
+        let mut out = BatchUndoReport {
+            plans,
+            ..BatchUndoReport::default()
+        };
+        for &t in targets {
+            match self.undo(t, strategy) {
+                Ok(report) => out.reports.push(report),
+                Err(UndoError::AlreadyUndone(x)) => out.skipped.push(x),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One read-only plan (see [`UndoPlan`] for the advisory semantics). A free
+/// function over the session's immutable parts so [`Session::plan_undo`]
+/// can evaluate plans on pool workers.
+fn plan_one(
+    prog: &Program,
+    log: &ActionLog,
+    history: &History,
+    matrix: &Matrix,
+    target: XformId,
+) -> UndoPlan {
+    let inactive = UndoPlan {
+        target,
+        active: false,
+        reversible: false,
+        affecting: Vec::new(),
+        affected: Vec::new(),
+    };
+    let Ok(record) = history.get(target) else {
+        return inactive;
+    };
+    if record.state != XformState::Active {
+        return inactive;
+    }
+    let reversible = check_reversible(prog, log, history, record).is_ok();
+    let mut affecting = Vec::new();
+    let mut seen: HashSet<XformId> = HashSet::new();
+    seen.insert(target);
+    let mut cur = record;
+    loop {
+        match check_reversible(prog, log, history, cur) {
+            Ok(()) => break,
+            Err(irr) => match irr.affecting {
+                Some(a) if !seen.contains(&a) => {
+                    let Ok(blocker) = history.get(a) else {
+                        break;
+                    };
+                    if blocker.state != XformState::Active {
+                        break;
+                    }
+                    seen.insert(a);
+                    affecting.push(a);
+                    cur = blocker;
+                }
+                _ => break,
+            },
+        }
+    }
+    let affected = history
+        .active_after(target)
+        .into_iter()
+        .filter(|&tk| {
+            history
+                .get(tk)
+                .map(|rk| interact::may_affect(matrix, record.kind, rk.kind))
+                .unwrap_or(false)
+        })
+        .collect();
+    UndoPlan {
+        target,
+        active: true,
+        reversible,
+        affecting,
+        affected,
     }
 }
 
@@ -1180,5 +1482,107 @@ enddo
         let report = s.undo(icm, Strategy::Regional).unwrap();
         assert_eq!(report.undone, vec![icm]);
         assert_eq!(report.affecting_chases, 0);
+    }
+
+    #[test]
+    fn plan_undo_reports_static_affecting_chain() {
+        let (s, [cse, ctp, inx, icm]) = figure1_session();
+        let plans = s.plan_undo(&[cse, ctp, inx, icm]);
+        assert_eq!(plans.len(), 4);
+        // CSE, CTP, ICM are immediately reversible; INX is blocked by ICM.
+        assert!(plans[0].reversible && plans[0].affecting.is_empty());
+        assert!(plans[1].reversible && plans[1].affecting.is_empty());
+        assert!(!plans[2].reversible, "INX is blocked");
+        assert_eq!(plans[2].affecting, vec![icm]);
+        assert!(plans[3].reversible);
+        // Planning mutates nothing.
+        assert_eq!(s.history.active_len(), 4);
+    }
+
+    #[test]
+    fn plan_undo_identical_across_thread_counts() {
+        let (mut s, ids) = figure1_session();
+        let seq = s.plan_undo(&ids);
+        for threads in [2, 4, 8] {
+            s.set_threads(threads);
+            let par = s.plan_undo(&ids);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.target, b.target);
+                assert_eq!(a.active, b.active);
+                assert_eq!(a.reversible, b.reversible);
+                assert_eq!(a.affecting, b.affecting);
+                assert_eq!(a.affected, b.affected);
+            }
+        }
+    }
+
+    #[test]
+    fn undo_batch_matches_individual_undos() {
+        let (mut batch, [cse, _, inx, icm]) = figure1_session();
+        let (mut indiv, _) = figure1_session();
+        let out = batch
+            .undo_batch(&[inx, icm, cse], Strategy::Regional)
+            .unwrap();
+        // INX cascades ICM, so the explicit ICM request is skipped.
+        assert_eq!(out.skipped, vec![icm]);
+        assert_eq!(out.reports.len(), 2);
+        indiv.undo(inx, Strategy::Regional).unwrap();
+        assert!(matches!(
+            indiv.undo(icm, Strategy::Regional),
+            Err(UndoError::AlreadyUndone(_))
+        ));
+        indiv.undo(cse, Strategy::Regional).unwrap();
+        assert_eq!(batch.source(), indiv.source());
+        batch.assert_consistent();
+    }
+
+    #[test]
+    fn undo_batch_rejects_unknown_target() {
+        let (mut s, _) = figure1_session();
+        assert!(matches!(
+            s.undo_batch(&[XformId(99)], Strategy::Regional),
+            Err(UndoError::NoSuchXform(_))
+        ));
+        assert_eq!(s.history.active_len(), 4, "nothing was undone");
+    }
+
+    #[test]
+    fn parallel_session_is_bit_identical() {
+        // The whole Figure 1 apply/undo cycle at 1 vs N threads: same
+        // sources, same report counters, same provenance.
+        let run = |threads: usize| {
+            let (mut s, [_, _, inx, _]) = figure1_session();
+            s.set_threads(threads);
+            let report = s.undo(inx, Strategy::Regional).unwrap();
+            let prov: Vec<String> = s.explanations.iter().map(|t| t.render()).collect();
+            (
+                s.source(),
+                report.undone,
+                report.candidates_considered,
+                report.safety_checks,
+                report.reversibility_checks,
+                report.affecting_chases,
+                report.rep_rebuilds,
+                prov,
+            )
+        };
+        let seq = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(seq, run(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_find_all_matches_sequential() {
+        let (mut s, _) = figure1_session();
+        // Undo everything so finders have opportunities again.
+        while let Ok(Some(_)) = s.undo_last() {}
+        let seq: Vec<String> = s.find_all().iter().map(|o| o.description.clone()).collect();
+        assert!(!seq.is_empty());
+        for threads in [2, 4, 8] {
+            s.set_threads(threads);
+            let par: Vec<String> = s.find_all().iter().map(|o| o.description.clone()).collect();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
     }
 }

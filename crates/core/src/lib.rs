@@ -45,10 +45,11 @@ pub mod txn;
 pub use actions::{ActionError, ActionKind, ActionLog, Stamp};
 pub use catalog::{Applied, Opportunity};
 pub use edits::{Edit, InvalidationReport};
-pub use engine::{Session, Strategy, UndoError, UndoReport};
+pub use engine::{BatchUndoReport, Session, Strategy, UndoError, UndoPlan, UndoReport};
 pub use history::{AppliedXform, History, HistoryError, XformId, XformState};
 pub use journal::{Journal, JournalOp, RecoverError, Recovery};
 pub use kind::{XformKind, ALL_KINDS};
 pub use pattern::{Pattern, XformParams};
 pub use pivot_ir::{EditDelta, FallbackReason, IncrStats, RefreshOutcome, RepMode};
+pub use pivot_par::{Pool, SchedScript};
 pub use txn::{Checkpoint, ConsistencyViolation, EngineError, FaultPlan, FaultPoint};

@@ -3,15 +3,19 @@
 //! When an undo or an edit leaves many candidate transformations to
 //! re-check, the per-candidate [`crate::safety::still_safe`] evaluations are
 //! independent reads over the same program/representation — a natural
-//! data-parallel screen. This module fans the checks out over scoped
-//! threads (crossbeam) and is benchmarked against the sequential screen
-//! (experiment E10, an ablation beyond the paper).
+//! data-parallel screen. This module fans the checks out over a
+//! [`pivot_par::Pool`]: verdicts come back positionally, so the screen is
+//! bit-identical to [`screen_sequential`] at any thread count (asserted by
+//! the `parcheck` sweep and the differential suite). It is benchmarked
+//! against the sequential screen (experiment E10, an ablation beyond the
+//! paper).
 
 use crate::actions::ActionLog;
 use crate::history::AppliedXform;
 use crate::safety::still_safe;
 use pivot_ir::Rep;
 use pivot_lang::Program;
+use pivot_par::Pool;
 
 /// Sequential baseline: evaluate `still_safe` for each record.
 pub fn screen_sequential(
@@ -26,8 +30,27 @@ pub fn screen_sequential(
         .collect()
 }
 
-/// Parallel screen over `threads` workers (contiguous chunks). Results are
-/// positionally identical to [`screen_sequential`].
+/// Screen over the given pool. Sequential pools (and screens of fewer than
+/// two records) run [`screen_sequential`] inline; parallel pools fan the
+/// candidates out work-stealing and collect the verdicts positionally.
+pub fn screen_with(
+    prog: &Program,
+    rep: &Rep,
+    log: &ActionLog,
+    records: &[&AppliedXform],
+    pool: &Pool,
+) -> Vec<bool> {
+    if pool.is_sequential() || records.len() < 2 {
+        return screen_sequential(prog, rep, log, records);
+    }
+    let m = pivot_obs::metrics::global();
+    m.counter("par.screen.batches").inc();
+    m.counter("par.screen.candidates").add(records.len() as u64);
+    pool.map(records, |r| still_safe(prog, rep, log, r))
+}
+
+/// Parallel screen over `threads` workers. Results are positionally
+/// identical to [`screen_sequential`].
 pub fn screen_parallel(
     prog: &Program,
     rep: &Rep,
@@ -35,31 +58,7 @@ pub fn screen_parallel(
     records: &[&AppliedXform],
     threads: usize,
 ) -> Vec<bool> {
-    let threads = threads.max(1);
-    if threads == 1 || records.len() < 2 {
-        return screen_sequential(prog, rep, log, records);
-    }
-    let chunk = records.len().div_ceil(threads);
-    let mut out = vec![false; records.len()];
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for (ci, recs) in records.chunks(chunk).enumerate() {
-            handles.push((
-                ci,
-                scope.spawn(move |_| {
-                    recs.iter()
-                        .map(|r| still_safe(prog, rep, log, r))
-                        .collect::<Vec<bool>>()
-                }),
-            ));
-        }
-        for (ci, h) in handles {
-            let res = h.join().expect("safety screen worker panicked");
-            out[ci * chunk..ci * chunk + res.len()].copy_from_slice(&res);
-        }
-    })
-    .expect("crossbeam scope");
-    out
+    screen_with(prog, rep, log, records, &Pool::new(threads.max(1)))
 }
 
 #[cfg(test)]
@@ -92,6 +91,18 @@ mod tests {
         }
         // All are currently safe.
         assert!(seq.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn scripted_schedules_do_not_change_verdicts() {
+        let s = many_cse_session(10);
+        let records: Vec<&crate::history::AppliedXform> = s.history.active().collect();
+        let seq = screen_sequential(&s.prog, &s.rep, &s.log, &records);
+        for seed in 0..4u64 {
+            let pool = Pool::new(4).with_script(pivot_par::SchedScript::new(seed));
+            let par = screen_with(&s.prog, &s.rep, &s.log, &records, &pool);
+            assert_eq!(seq, par, "seed = {seed}");
+        }
     }
 
     #[test]

@@ -21,12 +21,40 @@ pub struct Chains {
     pub du: HashMap<(StmtId, Sym), Vec<StmtId>>,
 }
 
-/// Compute chains for the whole live program. Each block is walked once,
-/// threading the reaching set through its statements.
+/// Chain links contributed by one block: `((key_stmt, sym), linked_stmt)`
+/// pairs for the `ud` and `du` maps respectively, in walk order.
+type BlockLinks = (Vec<((StmtId, Sym), StmtId)>, Vec<((StmtId, Sym), StmtId)>);
+
+/// Compute chains for the whole live program (sequentially). Each block is
+/// walked once, threading the reaching set through its statements.
 pub fn compute(prog: &Program, cfg: &Cfg, rd: &ReachingDefs) -> Chains {
+    compute_with(prog, cfg, rd, &pivot_par::Pool::sequential())
+}
+
+/// Compute chains, fanning the per-block walks out over `pool` when the
+/// CFG is large enough. A block's links are a pure function of the block
+/// and the (immutable) reaching solution; the per-block link lists come
+/// back positionally and are merged into the maps in block order — the
+/// exact insertion sequence of the sequential walk — so the result is
+/// identical to [`compute`] at any thread count.
+pub fn compute_with(
+    prog: &Program,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    pool: &pivot_par::Pool,
+) -> Chains {
+    let n = cfg.len();
+    let per_block: Vec<BlockLinks> = if pool.is_sequential() || n < crate::dataflow::PAR_MIN_BLOCKS
+    {
+        cfg.ids().map(|b| walk_block(prog, cfg, rd, b)).collect()
+    } else {
+        pool.run(n, |i| {
+            walk_block(prog, cfg, rd, crate::cfg::BlockId(i as u32))
+        })
+    };
     let mut chains = Chains::default();
-    for b in cfg.ids() {
-        walk_block(prog, cfg, rd, b, &mut chains);
+    for (ud, du) in per_block {
+        merge_links(&mut chains, ud, du);
     }
     for v in chains.ud.values_mut() {
         v.sort_unstable();
@@ -39,15 +67,26 @@ pub fn compute(prog: &Program, cfg: &Cfg, rd: &ReachingDefs) -> Chains {
     chains
 }
 
-/// Walk one block, threading the reaching set through its statements and
-/// appending use/def links to `chains` (lists are not yet sorted/deduped).
-fn walk_block(
-    prog: &Program,
-    cfg: &Cfg,
-    rd: &ReachingDefs,
-    b: crate::cfg::BlockId,
+/// Append one block's links to the chain maps (lists are not yet
+/// sorted/deduped).
+fn merge_links(
     chains: &mut Chains,
+    ud: Vec<((StmtId, Sym), StmtId)>,
+    du: Vec<((StmtId, Sym), StmtId)>,
 ) {
+    for (k, v) in ud {
+        chains.ud.entry(k).or_default().push(v);
+    }
+    for (k, v) in du {
+        chains.du.entry(k).or_default().push(v);
+    }
+}
+
+/// Walk one block, threading the reaching set through its statements and
+/// emitting its use/def links in walk order.
+fn walk_block(prog: &Program, cfg: &Cfg, rd: &ReachingDefs, b: crate::cfg::BlockId) -> BlockLinks {
+    let mut ud_links: Vec<((StmtId, Sym), StmtId)> = Vec::new();
+    let mut du_links: Vec<((StmtId, Sym), StmtId)> = Vec::new();
     let mut reach = rd.sol.ins[b.index()].clone();
     for &s in &cfg.block(b).stmts {
         let du = stmt_def_use(prog, s);
@@ -57,8 +96,8 @@ fn walk_block(
                 for &f in facts {
                     if reach.contains(f) {
                         let d = rd.sites[f].stmt;
-                        chains.ud.entry((s, sym)).or_default().push(d);
-                        chains.du.entry((d, sym)).or_default().push(s);
+                        ud_links.push(((s, sym), d));
+                        du_links.push(((d, sym), s));
                     }
                 }
             }
@@ -82,6 +121,7 @@ fn walk_block(
             }
         }
     }
+    (ud_links, du_links)
 }
 
 /// Localized recomputation: rebuild the chain entries contributed by
@@ -115,7 +155,8 @@ pub fn patch(
     chains.du.retain(|_, v| !v.is_empty());
     let mut fresh = Chains::default();
     for &b in blocks {
-        walk_block(prog, cfg, rd, b, &mut fresh);
+        let (ud, du) = walk_block(prog, cfg, rd, b);
+        merge_links(&mut fresh, ud, du);
     }
     for (k, mut v) in fresh.ud {
         v.sort_unstable();
@@ -177,7 +218,8 @@ pub(crate) fn patch_local(
     }
     let mut fresh = Chains::default();
     for &b in blocks {
-        walk_block(prog, cfg, rd, b, &mut fresh);
+        let (ud, du) = walk_block(prog, cfg, rd, b);
+        merge_links(&mut fresh, ud, du);
     }
     for (k, mut v) in fresh.ud {
         v.sort_unstable();
@@ -357,6 +399,29 @@ mod tests {
         patch(&mut patched, &p, &cfg, &rd, &blocks, &[]);
         assert_eq!(full.ud, patched.ud);
         assert_eq!(full.du, patched.du);
+    }
+
+    /// The parallel per-block walk must rebuild exactly the sequential
+    /// maps on a CFG large enough to take the parallel path.
+    #[test]
+    fn parallel_compute_matches_sequential() {
+        let mut src = String::from("read c\ns = 0\n");
+        for i in 0..24 {
+            src.push_str(&format!(
+                "if (c > {i}) then\n  s = s + c\nelse\n  c = c + 1\nendif\ndo i = 1, 3\n  s = s + i\nenddo\n"
+            ));
+        }
+        src.push_str("write s\n");
+        let p = parse(&src).unwrap();
+        let cfg = build(&p);
+        assert!(cfg.len() >= crate::dataflow::PAR_MIN_BLOCKS);
+        let rd = reaching::compute(&p, &cfg);
+        let seq = compute(&p, &cfg, &rd);
+        for threads in [2, 4, 8] {
+            let par = compute_with(&p, &cfg, &rd, &pivot_par::Pool::new(threads));
+            assert_eq!(seq.ud, par.ud, "ud diverged at {threads} threads");
+            assert_eq!(seq.du, par.du, "du diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub struct Solution {
     pub outs: Vec<BitSet>,
 }
 
+/// Minimum CFG size before [`solve_with`] fans block evaluations out over
+/// the pool. Below this the per-round spawn/steal overhead dominates the
+/// µs-scale transfer functions. The threshold is a pure function of the
+/// input, so which path runs — and therefore the result — never depends on
+/// the schedule.
+pub const PAR_MIN_BLOCKS: usize = 64;
+
 /// Solve the problem over `cfg` to a fixed point.
 pub fn solve(cfg: &Cfg, p: &Problem) -> Solution {
     let n = cfg.len();
@@ -148,6 +155,210 @@ pub fn solve(cfg: &Cfg, p: &Problem) -> Solution {
             }
         }
     }
+    Solution { ins, outs }
+}
+
+/// Solve the problem over `cfg`, partitioning the worklist over `pool`
+/// when the CFG is large enough ([`PAR_MIN_BLOCKS`]).
+///
+/// The parallel path is a block-partitioned (additive-Schwarz) iteration:
+/// the (reverse) postorder is split into one contiguous partition per
+/// worker, and each round every worker runs the sequential Gauss–Seidel
+/// worklist to a *local* fixpoint inside its own partition, reading
+/// frontier values from an immutable snapshot of the previous round.
+/// Updated partitions are merged positionally at a barrier and rounds
+/// repeat until nothing changes. Both solvers are chaotic iterations of
+/// the same monotone equations from the same initial value, so both
+/// converge to the identical (unique) extreme-fixpoint solution — the
+/// partitioning changes only how fast information crosses partition
+/// frontiers (one edge per round), not where it settles. Sequential pools
+/// take the [`solve`] path untouched.
+pub fn solve_with(cfg: &Cfg, p: &Problem, pool: &pivot_par::Pool) -> Solution {
+    if pool.is_sequential() || cfg.len() < PAR_MIN_BLOCKS {
+        return solve(cfg, p);
+    }
+    solve_partitioned(cfg, p, pool)
+}
+
+/// The block-partitioned parallel solver behind [`solve_with`].
+fn solve_partitioned(cfg: &Cfg, p: &Problem, pool: &pivot_par::Pool) -> Solution {
+    let n = cfg.len();
+    assert_eq!(p.gen.len(), n, "gen sets must cover all blocks");
+    assert_eq!(p.kill.len(), n, "kill sets must cover all blocks");
+    let init = |is_boundary: bool| -> BitSet {
+        if is_boundary {
+            p.boundary.clone()
+        } else {
+            match p.meet {
+                Meet::Union => BitSet::new(p.universe),
+                Meet::Intersect => {
+                    let mut s = BitSet::new(p.universe);
+                    s.fill();
+                    s
+                }
+            }
+        }
+    };
+    let (order, boundary_block) = match p.direction {
+        Direction::Forward => (cfg.rpo(), cfg.entry),
+        Direction::Backward => {
+            let mut o = cfg.rpo();
+            o.reverse();
+            (o, cfg.exit)
+        }
+    };
+    let mut ins: Vec<BitSet> = (0..n).map(|_| BitSet::new(p.universe)).collect();
+    let mut outs: Vec<BitSet> = (0..n).map(|_| BitSet::new(p.universe)).collect();
+    for b in cfg.ids() {
+        let v = init(b == boundary_block);
+        match p.direction {
+            Direction::Forward => ins[b.index()] = v,
+            Direction::Backward => outs[b.index()] = v,
+        }
+    }
+
+    // Contiguous partitions of the iteration order, one per worker;
+    // `owner`/`order_pos` let a worker tell local neighbors (read from its
+    // in-progress local values) apart from frontier neighbors (read from
+    // the previous round's snapshot).
+    let nparts = pool.threads().min(order.len()).max(1);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(nparts);
+    let base = order.len() / nparts;
+    let extra = order.len() % nparts;
+    let mut lo = 0usize;
+    for ci in 0..nparts {
+        let len = base + usize::from(ci < extra);
+        ranges.push((lo, lo + len));
+        lo += len;
+    }
+    let mut owner = vec![usize::MAX; n];
+    let mut order_pos = vec![usize::MAX; n];
+    for (ci, &(lo, hi)) in ranges.iter().enumerate() {
+        for (pos, &b) in order.iter().enumerate().take(hi).skip(lo) {
+            owner[b.index()] = ci;
+            order_pos[b.index()] = pos;
+        }
+    }
+
+    let mut rounds = 0u64;
+    let mut changed = true;
+    while changed {
+        rounds += 1;
+        let snap_ins = ins.clone();
+        let snap_outs = outs.clone();
+        // One round: every partition runs its own Gauss–Seidel worklist to a
+        // local fixpoint against the frozen frontier snapshot.
+        let next: Vec<Vec<(BitSet, BitSet)>> = {
+            let order = &order;
+            let ranges = &ranges;
+            let owner = &owner;
+            let order_pos = &order_pos;
+            let snap_ins = &snap_ins;
+            let snap_outs = &snap_outs;
+            pool.run(nparts, |ci| {
+                let (lo, hi) = ranges[ci];
+                let mut loc: Vec<(BitSet, BitSet)> = (lo..hi)
+                    .map(|pos| {
+                        let bi = order[pos].index();
+                        (snap_ins[bi].clone(), snap_outs[bi].clone())
+                    })
+                    .collect();
+                let mut tmp = BitSet::new(p.universe);
+                let mut local_changed = true;
+                while local_changed {
+                    local_changed = false;
+                    for li in 0..loc.len() {
+                        let b = order[lo + li];
+                        let bi = b.index();
+                        // Meet over inputs: local neighbors come from `loc`,
+                        // frontier neighbors from the round snapshot.
+                        if b != boundary_block {
+                            let inputs: &[BlockId] = match p.direction {
+                                Direction::Forward => &cfg.block(b).preds,
+                                Direction::Backward => &cfg.block(b).succs,
+                            };
+                            if !inputs.is_empty() {
+                                let read = |q: BlockId, tmp: &mut BitSet, first: bool| {
+                                    let qi = q.index();
+                                    let v = if owner[qi] == ci {
+                                        let lq = &loc[order_pos[qi] - lo];
+                                        match p.direction {
+                                            Direction::Forward => &lq.1,
+                                            Direction::Backward => &lq.0,
+                                        }
+                                    } else {
+                                        match p.direction {
+                                            Direction::Forward => &snap_outs[qi],
+                                            Direction::Backward => &snap_ins[qi],
+                                        }
+                                    };
+                                    if first {
+                                        tmp.copy_from(v);
+                                    } else {
+                                        match p.meet {
+                                            Meet::Union => {
+                                                tmp.union_with(v);
+                                            }
+                                            Meet::Intersect => {
+                                                tmp.intersect_with(v);
+                                            }
+                                        }
+                                    }
+                                };
+                                let mut meet_val = BitSet::new(p.universe);
+                                read(inputs[0], &mut meet_val, true);
+                                for &q in &inputs[1..] {
+                                    read(q, &mut meet_val, false);
+                                }
+                                let dst = match p.direction {
+                                    Direction::Forward => &mut loc[li].0,
+                                    Direction::Backward => &mut loc[li].1,
+                                };
+                                if *dst != meet_val {
+                                    dst.copy_from(&meet_val);
+                                    local_changed = true;
+                                }
+                            }
+                        }
+                        // Transfer: OUT = gen ∪ (IN − kill) (or IN, backward).
+                        match p.direction {
+                            Direction::Forward => tmp.copy_from(&loc[li].0),
+                            Direction::Backward => tmp.copy_from(&loc[li].1),
+                        }
+                        tmp.subtract(&p.kill[bi]);
+                        tmp.union_with(&p.gen[bi]);
+                        let xfer_dst = match p.direction {
+                            Direction::Forward => &mut loc[li].1,
+                            Direction::Backward => &mut loc[li].0,
+                        };
+                        if *xfer_dst != tmp {
+                            xfer_dst.copy_from(&tmp);
+                            local_changed = true;
+                        }
+                    }
+                }
+                loc
+            })
+        };
+        changed = false;
+        for (ci, part) in next.into_iter().enumerate() {
+            let (lo, _) = ranges[ci];
+            for (li, (new_in, new_out)) in part.into_iter().enumerate() {
+                let bi = order[lo + li].index();
+                if ins[bi] != new_in {
+                    ins[bi] = new_in;
+                    changed = true;
+                }
+                if outs[bi] != new_out {
+                    outs[bi] = new_out;
+                    changed = true;
+                }
+            }
+        }
+    }
+    let m = pivot_obs::metrics::global();
+    m.counter("par.df.solves").inc();
+    m.counter("par.df.rounds").add(rounds);
     Solution { ins, outs }
 }
 
@@ -619,6 +830,52 @@ mod tests {
         assert_eq!(sol.ins, full.ins);
         assert_eq!(sol.outs, full.outs);
         assert_eq!(stats.cone_blocks, cfg.len());
+    }
+
+    /// The block-partitioned parallel solver must reach the exact fixpoint
+    /// of the sequential Gauss–Seidel sweep, for every direction/meet
+    /// combination, on a CFG large enough to actually take the parallel
+    /// path.
+    #[test]
+    fn partitioned_solver_matches_gauss_seidel() {
+        let mut src = String::from("read c\n");
+        for i in 0..24 {
+            src.push_str(&format!(
+                "if (c > {i}) then\n  a = a + 1\nelse\n  b = b + 1\nendif\ndo i = 1, 3\n  s = s + a\nenddo\n"
+            ));
+        }
+        for (dir, meet) in [
+            (Direction::Forward, Meet::Union),
+            (Direction::Forward, Meet::Intersect),
+            (Direction::Backward, Meet::Union),
+            (Direction::Backward, Meet::Intersect),
+        ] {
+            let (cfg, prob, _) = stmt_fact_problem(&src, dir, meet);
+            assert!(
+                cfg.len() >= PAR_MIN_BLOCKS,
+                "test CFG too small to exercise the parallel path"
+            );
+            let seq = solve(&cfg, &prob);
+            for threads in [2, 4, 8] {
+                let par = solve_with(&cfg, &prob, &pivot_par::Pool::new(threads));
+                assert_eq!(seq.ins, par.ins, "{dir:?}/{meet:?} ins at {threads}t");
+                assert_eq!(seq.outs, par.outs, "{dir:?}/{meet:?} outs at {threads}t");
+            }
+        }
+    }
+
+    /// Below the block threshold (or with a sequential pool) `solve_with`
+    /// is exactly `solve`.
+    #[test]
+    fn solve_with_sequential_paths() {
+        let (cfg, prob, _) = stmt_fact_problem("a = 1\nb = 2\n", Direction::Forward, Meet::Union);
+        let seq = solve(&cfg, &prob);
+        let small = solve_with(&cfg, &prob, &pivot_par::Pool::new(4));
+        let inline = solve_with(&cfg, &prob, &pivot_par::Pool::sequential());
+        assert_eq!(seq.ins, small.ins);
+        assert_eq!(seq.ins, inline.ins);
+        assert_eq!(seq.outs, small.outs);
+        assert_eq!(seq.outs, inline.outs);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::access::stmt_def_use;
 use crate::bitset::BitSet;
 use crate::cfg::Cfg;
-use crate::dataflow::{solve, Direction, Meet, Problem, Solution};
+use crate::dataflow::{solve_with, Direction, Meet, Problem, Solution, PAR_MIN_BLOCKS};
 use pivot_lang::{Program, StmtId, Sym};
 
 /// Liveness analysis result. Facts are symbol indices ([`Sym::index`]).
@@ -26,19 +26,38 @@ pub struct Liveness {
     universe: usize,
 }
 
-/// Compute liveness over the CFG.
+/// Compute liveness over the CFG (sequentially).
 pub fn compute(prog: &Program, cfg: &Cfg) -> Liveness {
+    compute_with(prog, cfg, &pivot_par::Pool::sequential())
+}
+
+/// Compute liveness over the CFG, fanning the per-block transfer
+/// composition and the dataflow rounds out over `pool` when the CFG is
+/// large enough. Bit-identical to [`compute`] at any thread count: transfer
+/// sets are per-block pure functions collected positionally, and
+/// [`solve_with`] reaches the identical fixpoint.
+pub fn compute_with(prog: &Program, cfg: &Cfg, pool: &pivot_par::Pool) -> Liveness {
     let universe = prog.symbols.len();
     let n = cfg.len();
-    let mut gen: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
-    let mut kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
-    for b in cfg.ids() {
-        // Compose backwards: process statements in reverse order.
-        let g = &mut gen[b.index()];
-        let k = &mut kill[b.index()];
+    // Compose each block backwards: statements in reverse order.
+    let block_gk = |b: crate::cfg::BlockId| -> (BitSet, BitSet) {
+        let mut g = BitSet::new(universe);
+        let mut k = BitSet::new(universe);
         for &s in cfg.block(b).stmts.iter().rev() {
-            apply_stmt_backward(prog, s, g, k);
+            apply_stmt_backward(prog, s, &mut g, &mut k);
         }
+        (g, k)
+    };
+    let mut gen: Vec<BitSet> = Vec::with_capacity(n);
+    let mut kill: Vec<BitSet> = Vec::with_capacity(n);
+    let pairs = if pool.is_sequential() || n < PAR_MIN_BLOCKS {
+        cfg.ids().map(block_gk).collect()
+    } else {
+        pool.run(n, |i| block_gk(crate::cfg::BlockId(i as u32)))
+    };
+    for (g, k) in pairs {
+        gen.push(g);
+        kill.push(k);
     }
     let prob = Problem {
         direction: Direction::Backward,
@@ -48,7 +67,7 @@ pub fn compute(prog: &Program, cfg: &Cfg) -> Liveness {
         kill,
         boundary: BitSet::new(universe),
     };
-    let sol = solve(cfg, &prob);
+    let sol = solve_with(cfg, &prob, pool);
     Liveness {
         sol,
         gen: prob.gen,

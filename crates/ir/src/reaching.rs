@@ -9,7 +9,7 @@
 use crate::access::stmt_def_use;
 use crate::bitset::BitSet;
 use crate::cfg::Cfg;
-use crate::dataflow::{solve, Direction, Meet, Problem, Solution};
+use crate::dataflow::{solve_with, Direction, Meet, Problem, Solution, PAR_MIN_BLOCKS};
 use pivot_lang::{Program, StmtId, Sym};
 use std::collections::HashMap;
 
@@ -64,8 +64,18 @@ pub fn def_sites(prog: &Program) -> Vec<DefSite> {
     out
 }
 
-/// Compute reaching definitions over the CFG.
+/// Compute reaching definitions over the CFG (sequentially).
 pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
+    compute_with(prog, cfg, &pivot_par::Pool::sequential())
+}
+
+/// Compute reaching definitions over the CFG, fanning the per-block
+/// transfer-set construction and the dataflow rounds out over `pool` when
+/// the CFG is large enough. Transfer sets are a pure function of the block,
+/// assembled positionally, and the parallel solve reaches the identical
+/// fixpoint ([`solve_with`]) — so the result is bit-identical to
+/// [`compute`] at any thread count.
+pub fn compute_with(prog: &Program, cfg: &Cfg, pool: &pivot_par::Pool) -> ReachingDefs {
     let sites = def_sites(prog);
     let universe = sites.len();
     let mut site_index = HashMap::with_capacity(universe);
@@ -76,12 +86,25 @@ pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
     }
 
     let n = cfg.len();
-    let mut gen: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
-    let mut kill: Vec<BitSet> = (0..n).map(|_| BitSet::new(universe)).collect();
-    for b in cfg.ids() {
-        let (g, k) = block_transfer(prog, cfg, b, &sites, &site_index, &by_sym, universe);
-        gen[b.index()] = g;
-        kill[b.index()] = k;
+    let mut gen: Vec<BitSet> = Vec::with_capacity(n);
+    let mut kill: Vec<BitSet> = Vec::with_capacity(n);
+    if pool.is_sequential() || n < PAR_MIN_BLOCKS {
+        for b in cfg.ids() {
+            let (g, k) = block_transfer(prog, cfg, b, &sites, &site_index, &by_sym, universe);
+            gen.push(g);
+            kill.push(k);
+        }
+    } else {
+        // cfg.ids() enumerates blocks in index order, so task i is block i
+        // and the positional results land in gen[i]/kill[i] directly.
+        let pairs = pool.run(n, |i| {
+            let b = crate::cfg::BlockId(i as u32);
+            block_transfer(prog, cfg, b, &sites, &site_index, &by_sym, universe)
+        });
+        for (g, k) in pairs {
+            gen.push(g);
+            kill.push(k);
+        }
     }
     let prob = Problem {
         direction: Direction::Forward,
@@ -91,7 +114,7 @@ pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
         kill,
         boundary: BitSet::new(universe),
     };
-    let sol = solve(cfg, &prob);
+    let sol = solve_with(cfg, &prob, pool);
     ReachingDefs {
         sites,
         site_index,

@@ -84,13 +84,27 @@ impl Rep {
     /// the high-level layer (DDG, PDG) on first access via
     /// [`Rep::ddg`]/[`Rep::pdg`].
     pub fn build(prog: &Program) -> Rep {
+        Rep::build_with(prog, &pivot_par::Pool::sequential())
+    }
+
+    /// [`Rep::build`] with the analysis layers fanned out over `pool`:
+    /// the (post)dominator pair runs concurrently with the dataflow pair,
+    /// and reaching/live/chains additionally shard their per-block work
+    /// through the pool. Every layer is a pure function of the program, so
+    /// the built representation is identical at any thread count.
+    pub fn build_with(prog: &Program, pool: &pivot_par::Pool) -> Rep {
         let t0 = std::time::Instant::now();
         let cfg = cfg::build(prog);
-        let dom = dom::dominators(&cfg);
-        let pdom = dom::postdominators(&cfg);
-        let reach = reaching::compute(prog, &cfg);
-        let live = live::compute(prog, &cfg);
-        let chains = chains::compute(prog, &cfg, &reach);
+        let ((dom, pdom), (reach, live)) = pool.join(
+            || (dom::dominators(&cfg), dom::postdominators(&cfg)),
+            || {
+                pool.join(
+                    || reaching::compute_with(prog, &cfg, pool),
+                    || live::compute_with(prog, &cfg, pool),
+                )
+            },
+        );
+        let chains = chains::compute_with(prog, &cfg, &reach, pool);
         let pos = prog
             .attached_stmts()
             .into_iter()
@@ -152,9 +166,15 @@ impl Rep {
 
     /// Rebuild after a program change (`Dependence_and_data_flow_update`).
     pub fn refresh(&mut self, prog: &Program) {
+        self.refresh_with(prog, &pivot_par::Pool::sequential());
+    }
+
+    /// [`Rep::refresh`] with the rebuild fanned out over `pool`
+    /// ([`Rep::build_with`]).
+    pub fn refresh_with(&mut self, prog: &Program, pool: &pivot_par::Pool) {
         let builds = self.builds + 1;
         let incr_updates = self.incr_updates;
-        *self = Rep::build(prog);
+        *self = Rep::build_with(prog, pool);
         self.builds = builds;
         self.incr_updates = incr_updates;
     }
@@ -165,11 +185,20 @@ impl Rep {
     /// surrounding transaction instead of baking a corrupt program into the
     /// analyses.
     pub fn try_refresh(&mut self, prog: &Program) -> Result<(), RebuildError> {
+        self.try_refresh_with(prog, &pivot_par::Pool::sequential())
+    }
+
+    /// [`Rep::try_refresh`] with the rebuild fanned out over `pool`.
+    pub fn try_refresh_with(
+        &mut self,
+        prog: &Program,
+        pool: &pivot_par::Pool,
+    ) -> Result<(), RebuildError> {
         let violations = prog.check_invariants();
         if !violations.is_empty() {
             return Err(RebuildError { violations });
         }
-        self.refresh(prog);
+        self.refresh_with(prog, pool);
         Ok(())
     }
 
@@ -296,6 +325,56 @@ mod tests {
         assert!(!rep.stmt_dominates(ss[1], ss[0]));
         // Reflexive.
         assert!(rep.stmt_dominates(ss[0], ss[0]));
+    }
+
+    /// A pooled build must produce the same representation as the
+    /// sequential one on a program large enough to shard.
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let mut src = String::from("read c\ns = 0\n");
+        for i in 0..24 {
+            src.push_str(&format!(
+                "if (c > {i}) then\n  s = s + c\nelse\n  c = c + 1\nendif\ndo i = 1, 3\n  s = s + i\nenddo\n"
+            ));
+        }
+        src.push_str("write s\n");
+        let p = parse(&src).unwrap();
+        let seq = Rep::build(&p);
+        for threads in [2, 4, 8] {
+            let par = Rep::build_with(&p, &pivot_par::Pool::new(threads));
+            assert_eq!(seq.reach.sol.ins, par.reach.sol.ins, "{threads}t reach");
+            assert_eq!(seq.reach.sol.outs, par.reach.sol.outs, "{threads}t reach");
+            assert_eq!(seq.live.sol.ins, par.live.sol.ins, "{threads}t live");
+            assert_eq!(seq.live.sol.outs, par.live.sol.outs, "{threads}t live");
+            assert_eq!(seq.chains.ud, par.chains.ud, "{threads}t ud");
+            assert_eq!(seq.chains.du, par.chains.du, "{threads}t du");
+            assert_eq!(seq.pos, par.pos, "{threads}t pos");
+            for b in seq.cfg.ids() {
+                assert_eq!(
+                    seq.dom.parent(b),
+                    par.dom.parent(b),
+                    "{threads}t dom at {b}"
+                );
+                assert_eq!(
+                    seq.pdom.parent(b),
+                    par.pdom.parent(b),
+                    "{threads}t pdom at {b}"
+                );
+            }
+        }
+    }
+
+    /// `refresh_with` keeps the build/incremental counters exactly like
+    /// the sequential refresh.
+    #[test]
+    fn refresh_with_counts_builds() {
+        let p = parse("a = 1\n").unwrap();
+        let mut rep = Rep::build(&p);
+        rep.refresh_with(&p, &pivot_par::Pool::new(4));
+        assert_eq!(rep.builds, 2);
+        rep.try_refresh_with(&p, &pivot_par::Pool::new(4)).unwrap();
+        assert_eq!(rep.builds, 3);
+        assert_eq!(rep.incr_updates, 0);
     }
 
     #[test]

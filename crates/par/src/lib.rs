@@ -1,0 +1,71 @@
+//! # pivot-par
+//!
+//! Scoped work-stealing thread pool for the PIVOT engine's
+//! embarrassingly-parallel kernels: safety-predicate screens, opportunity
+//! detection, per-block dataflow rounds, and batch undo planning.
+//!
+//! The design constraint is **determinism**: every fan-out returns results
+//! positionally (task `i`'s result lands at index `i`), so callers merge in
+//! a stable order and a parallel run is bit-identical to the sequential
+//! one. Scheduling only decides *when* a task runs, never what any task
+//! computes or where its result goes — see `DESIGN.md` §11 for the full
+//! argument.
+//!
+//! A [`Pool`] with one thread ([`Pool::is_sequential`]) runs every task
+//! inline on the caller's thread, byte-for-byte the pre-parallel code path;
+//! it is the oracle the differential suite compares against. Thread count
+//! comes from the `PIVOT_THREADS` environment variable (via
+//! [`Pool::from_env`]) or an explicit [`Pool::new`].
+//!
+//! For interleaving stress tests, a seeded [`SchedScript`] injects
+//! per-task yield points ([`Pool::with_script`], `PIVOT_SCHED_SEED`),
+//! perturbing the schedule without touching any result.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod sched;
+
+pub use pool::Pool;
+pub use sched::SchedScript;
+
+/// Resolve a thread count: an explicit request wins, then the
+/// `PIVOT_THREADS` environment variable, then `1` (the sequential oracle
+/// path — parallelism is opt-in). A requested or configured `0` means "use
+/// the machine": [`std::thread::available_parallelism`].
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    let configured = requested.or_else(|| {
+        std::env::var("PIVOT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+    });
+    match configured {
+        Some(0) => machine_threads(),
+        Some(n) => n,
+        None => 1,
+    }
+}
+
+/// The machine's available parallelism (1 if unknown).
+pub fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_explicit_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(1)), 1);
+    }
+
+    #[test]
+    fn resolve_zero_means_machine() {
+        assert_eq!(resolve_threads(Some(0)), machine_threads());
+        assert!(machine_threads() >= 1);
+    }
+}

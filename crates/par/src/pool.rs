@@ -1,0 +1,308 @@
+//! The scoped work-stealing pool.
+//!
+//! [`Pool::run`] fans `n` index-tasks out over scoped `std::thread`
+//! workers. Tasks are pre-distributed into per-worker deques in contiguous
+//! chunks; an idle worker pops from its own deque's back and, when empty,
+//! steals from the front of a victim's — the classic owner-LIFO /
+//! thief-FIFO discipline, here over short mutexed deques (task bodies in
+//! this workspace are µs-scale predicate evaluations, so queue operations
+//! are not the bottleneck).
+//!
+//! Determinism: task `i` always computes `f(i)` over immutable inputs and
+//! its result is returned at index `i`; the schedule decides only
+//! execution order. A pool with `threads <= 1` (or a run with fewer than
+//! two tasks) executes inline on the caller's thread — the unchanged
+//! sequential code path.
+//!
+//! Pool activity is recorded in the process-wide [`pivot_obs::metrics`]
+//! registry: `par.runs`, `par.tasks`, `par.steals` counters and a
+//! `par.run_ns` histogram (parallel runs only; the sequential path adds
+//! zero overhead).
+
+use crate::sched::SchedScript;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// A scoped work-stealing thread pool (see the module docs).
+///
+/// `Pool` is a lightweight descriptor — threads are spawned per
+/// [`Pool::run`] via [`std::thread::scope`], so tasks may borrow from the
+/// caller's stack and every worker has joined when `run` returns. Cloning
+/// is cheap.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+    script: Option<SchedScript>,
+}
+
+/// Lock a mutex, recovering the guard from a poisoned lock (a worker panic
+/// is re-raised at join; the queue of task indices stays valid).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Pool {
+    /// A pool over `threads` workers. `0` means "use the machine"
+    /// ([`crate::machine_threads`]); `1` is the sequential oracle path.
+    pub fn new(threads: usize) -> Pool {
+        let threads = if threads == 0 {
+            crate::machine_threads()
+        } else {
+            threads
+        };
+        Pool {
+            threads,
+            script: None,
+        }
+    }
+
+    /// The sequential pool: every task runs inline on the caller's thread.
+    pub fn sequential() -> Pool {
+        Pool::new(1)
+    }
+
+    /// Pool configured from the environment: thread count from
+    /// `PIVOT_THREADS` (default 1), scheduler script from
+    /// `PIVOT_SCHED_SEED` (default none).
+    pub fn from_env() -> Pool {
+        let mut pool = Pool::new(crate::resolve_threads(None));
+        pool.script = SchedScript::from_env();
+        pool
+    }
+
+    /// Attach a scripted scheduler: every task is perturbed with seeded
+    /// yield points before it runs (interleaving stress; results are
+    /// unaffected by construction).
+    pub fn with_script(mut self, script: SchedScript) -> Pool {
+        self.script = Some(script);
+        self
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Does this pool run everything inline on the caller's thread?
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Run tasks `0..n`, returning `f(i)` at index `i` regardless of the
+    /// schedule. Sequential pools (and runs with fewer than two tasks)
+    /// execute inline, in index order, with no pool machinery at all.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads <= 1 || n < 2 {
+            return (0..n).map(f).collect();
+        }
+        let t0 = Instant::now();
+        let workers = self.threads.min(n);
+        let chunk = n.div_ceil(workers);
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w * chunk..n.min((w + 1) * chunk)).collect()))
+            .collect();
+        let steals = AtomicU64::new(0);
+        let queues = &queues;
+        let steals_ref = &steals;
+        let f = &f;
+        let script = self.script.as_ref();
+        let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        let buckets = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            // Own deque first (back = most recently queued
+                            // of the contiguous chunk), then steal from a
+                            // victim's front.
+                            let mut task = lock(&queues[w]).pop_back();
+                            if task.is_none() {
+                                for off in 1..workers {
+                                    let victim = (w + off) % workers;
+                                    if let Some(i) = lock(&queues[victim]).pop_front() {
+                                        steals_ref.fetch_add(1, Ordering::Relaxed);
+                                        task = Some(i);
+                                        break;
+                                    }
+                                }
+                            }
+                            match task {
+                                None => break,
+                                Some(i) => {
+                                    if let Some(s) = script {
+                                        s.perturb(i);
+                                    }
+                                    local.push((i, f(i)));
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut buckets = Vec::with_capacity(workers);
+            for h in handles {
+                match h.join() {
+                    Ok(local) => buckets.push(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            buckets
+        });
+        for bucket in buckets {
+            for (i, v) in bucket {
+                out[i] = Some(v);
+            }
+        }
+        let m = pivot_obs::metrics::global();
+        m.counter("par.runs").inc();
+        m.counter("par.tasks").add(n as u64);
+        m.counter("par.steals").add(steals.load(Ordering::Relaxed));
+        m.histogram("par.run_ns").record(t0.elapsed());
+        out.into_iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                Some(v) => v,
+                // Every index 0..n is queued exactly once and every queue
+                // is drained before the scope joins.
+                None => panic!("pool: task {i} produced no result"),
+            })
+            .collect()
+    }
+
+    /// Map `f` over a slice, preserving item order in the output.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+
+    /// Run two heterogeneous closures, `fb` on a scoped thread when the
+    /// pool is parallel, and return both results.
+    pub fn join<A, B, FA, FB>(&self, fa: FA, fb: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        if self.is_sequential() {
+            return (fa(), fb());
+        }
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(fb);
+            let a = fa();
+            match hb.join() {
+                Ok(b) => (a, b),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let pool = Pool::sequential();
+        assert!(pool.is_sequential());
+        let out = pool.run(5, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn parallel_results_are_positional() {
+        let pool = Pool::new(4);
+        for n in [0usize, 1, 2, 3, 7, 64, 257] {
+            let out = pool.run(n, |i| i as u64 + 1);
+            let expected: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+            assert_eq!(out, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_uneven_load() {
+        let seq = Pool::sequential();
+        let par = Pool::new(8);
+        let work = |i: usize| -> u64 {
+            // Skewed task costs to force stealing.
+            let mut acc = i as u64;
+            for _ in 0..(i % 13) * 800 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        assert_eq!(seq.run(300, work), par.run(300, work));
+    }
+
+    #[test]
+    fn scripted_schedule_does_not_change_results() {
+        let base = Pool::new(4);
+        for seed in 0..4u64 {
+            let scripted = Pool::new(4).with_script(SchedScript::new(seed));
+            assert_eq!(
+                base.run(97, |i| i.wrapping_mul(31)),
+                scripted.run(97, |i| i.wrapping_mul(31)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tasks_borrow_from_caller() {
+        let data: Vec<u64> = (0..100).collect();
+        let pool = Pool::new(3);
+        let doubled = pool.map(&data, |&x| x * 2);
+        assert_eq!(doubled[99], 198);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        for pool in [Pool::sequential(), Pool::new(2)] {
+            let (a, b) = pool.join(|| 1 + 1, || "b");
+            assert_eq!((a, b), (2, "b"));
+        }
+    }
+
+    #[test]
+    fn pool_records_metrics() {
+        let m = pivot_obs::metrics::global();
+        let before = (m.counter("par.runs").get(), m.counter("par.tasks").get());
+        Pool::new(4).run(64, |i| i);
+        let after = (m.counter("par.runs").get(), m.counter("par.tasks").get());
+        assert!(after.0 > before.0);
+        assert!(after.1 >= before.1 + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "task body panicked")]
+    fn worker_panic_propagates() {
+        Pool::new(2).run(8, |i| {
+            if i == 5 {
+                panic!("task body panicked");
+            }
+            i
+        });
+    }
+}

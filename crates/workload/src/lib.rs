@@ -11,6 +11,7 @@
 pub mod faults;
 pub mod fragments;
 pub mod incrcheck;
+pub mod parcheck;
 pub mod witnesses;
 
 use pivot_lang::builder::ProgramBuilder;
@@ -90,8 +91,22 @@ pub fn prepare_in_mode(
     max: usize,
     mode: pivot_undo::RepMode,
 ) -> Prepared {
+    prepare_with_pool(seed, cfg, max, mode, pivot_undo::Pool::from_env())
+}
+
+/// [`prepare_in_mode`] with an explicit worker pool, installed *before* the
+/// first transformation so the parallel kernels cover the whole build-up.
+/// The prepared session keeps the pool.
+pub fn prepare_with_pool(
+    seed: u64,
+    cfg: &WorkloadCfg,
+    max: usize,
+    mode: pivot_undo::RepMode,
+    pool: pivot_undo::Pool,
+) -> Prepared {
     let prog = gen_program(seed, cfg);
     let mut session = Session::new(prog);
+    session.set_pool(pool);
     session.set_rep_mode(mode);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
     let mut applied = Vec::new();

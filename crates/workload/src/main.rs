@@ -3,6 +3,7 @@
 //! ```text
 //! pivot-workload faults [--seed N] [--max N]
 //! pivot-workload incrcheck [--seed N] [--count N] [--max N]
+//! pivot-workload parcheck [--seed N] [--count N] [--max N]
 //! ```
 //!
 //! `faults` runs the deterministic fault-injection sweep
@@ -10,6 +11,9 @@
 //! violated a transactional invariant. `incrcheck` drives seeded workloads
 //! in `RepMode::Checked` ([`pivot_workload::incrcheck`]), panicking on any
 //! batch/incremental divergence and reporting dirty-block ratios.
+//! `parcheck` runs the same seeded workloads across worker counts and
+//! scripted schedules ([`pivot_workload::parcheck`]) and exits non-zero on
+//! any behavioral divergence from the one-thread oracle.
 
 use std::process::ExitCode;
 
@@ -25,6 +29,12 @@ commands:
                                against a batch rebuild at every step) and
                                report dirty-block ratios
                                (defaults: --seed 0 --count 8 --max 8)
+  parcheck [--seed N] [--count N] [--max N]
+                               run seeded apply/undo/edit workloads at
+                               2/4/8 worker threads under scripted
+                               schedules and compare full behavioral
+                               fingerprints against the 1-thread oracle
+                               (defaults: --seed 0 --count 6 --max 10)
 ";
 
 fn main() -> ExitCode {
@@ -104,6 +114,44 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 eprintln!("incrcheck: the incremental path never ran — sweep proves nothing");
+                ExitCode::FAILURE
+            }
+        }
+        Some("parcheck") => {
+            let mut seed = 0u64;
+            let mut count = 6usize;
+            let mut max = 10usize;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--seed" => value(&mut rest, "--seed").map(|v| seed = v),
+                    "--count" => value(&mut rest, "--count").map(|v| count = v as usize),
+                    "--max" => value(&mut rest, "--max").map(|v| max = v as usize),
+                    other => Err(format!("parcheck: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let o = pivot_workload::parcheck::sweep_par(seed, count, max);
+            println!(
+                "parcheck: {} seeds x {} parallel configs, {} divergences",
+                o.seeds,
+                o.configs,
+                o.mismatches.len()
+            );
+            if o.passed() {
+                ExitCode::SUCCESS
+            } else {
+                for m in &o.mismatches {
+                    eprintln!("divergence: {m}");
+                }
                 ExitCode::FAILURE
             }
         }

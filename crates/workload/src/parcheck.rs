@@ -1,0 +1,188 @@
+//! Determinism sweep for the parallel kernels.
+//!
+//! Runs the same seeded apply/undo/edit script once on the sequential
+//! oracle (one thread) and then across a grid of worker counts × scripted
+//! schedules ([`pivot_undo::SchedScript`] perturbs per-task timing from a
+//! seed, forcing different steal interleavings), comparing a full
+//! behavioral fingerprint of every run against the oracle: program source
+//! after build-up and after every undo, per-undo report counters,
+//! provenance trees, the edit-invalidation screen, and the final source.
+//! Any divergence is a determinism bug in `pivot-par` or its call sites.
+//!
+//! Exposed as `pivot-workload parcheck`, wired into CI next to the `faults`
+//! and `incrcheck` sweeps.
+
+use crate::{gen_edit, prepare_with_pool, WorkloadCfg};
+use pivot_undo::{Pool, RepMode, SchedScript, Strategy, UndoError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Aggregate result of a parallel-determinism sweep.
+#[derive(Debug, Default)]
+pub struct ParCheckOutcome {
+    /// Seeds driven.
+    pub seeds: usize,
+    /// Parallel configurations (threads × schedule seeds) compared per seed.
+    pub configs: usize,
+    /// Human-readable description of each fingerprint divergence (empty on
+    /// a passing sweep).
+    pub mismatches: Vec<String>,
+}
+
+impl ParCheckOutcome {
+    /// Did every parallel run reproduce the sequential fingerprint?
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty() && self.seeds > 0
+    }
+}
+
+/// Run the canonical seeded script with the given pool and return its
+/// behavioral fingerprint.
+fn run_script(seed: u64, cfg: &WorkloadCfg, max: usize, pool: Pool) -> String {
+    let mut fp = String::new();
+    let mut p = prepare_with_pool(seed, cfg, max, RepMode::Batch, pool);
+    let _ = writeln!(fp, "applied: {:?}", p.applied);
+    let _ = writeln!(fp, "built:\n{}", p.session.source());
+    let mut order = p.applied.clone();
+    order.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x9A7C));
+    // Undo the first half in a shuffled independent order, one per request.
+    let (solo, batch) = order.split_at(order.len() / 2);
+    for &id in solo {
+        match p.session.undo(id, Strategy::Regional) {
+            Ok(r) => {
+                let _ = writeln!(
+                    fp,
+                    "undo {id}: undone {:?} cand {} safety {} rev {} chases {} rebuilds {}",
+                    r.undone,
+                    r.candidates_considered,
+                    r.safety_checks,
+                    r.reversibility_checks,
+                    r.affecting_chases,
+                    r.rep_rebuilds
+                );
+            }
+            Err(UndoError::AlreadyUndone(_)) => {
+                let _ = writeln!(fp, "undo {id}: already undone");
+            }
+            Err(e) => {
+                let _ = writeln!(fp, "undo {id}: error {e}");
+            }
+        }
+        let _ = writeln!(fp, "{}", p.session.source());
+    }
+    // Undo the rest as one batch request (parallel planning phase).
+    if !batch.is_empty() {
+        match p.session.undo_batch(batch, Strategy::Regional) {
+            Ok(out) => {
+                for plan in &out.plans {
+                    let _ = writeln!(
+                        fp,
+                        "plan {}: active {} reversible {} affecting {:?} affected {:?}",
+                        plan.target, plan.active, plan.reversible, plan.affecting, plan.affected
+                    );
+                }
+                let _ = writeln!(
+                    fp,
+                    "batch undone {:?} skipped {:?}",
+                    out.undone(),
+                    out.skipped
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(fp, "batch error {e}");
+            }
+        }
+        let _ = writeln!(fp, "{}", p.session.source());
+    }
+    for t in &p.session.explanations {
+        let _ = writeln!(fp, "{}", t.render());
+    }
+    // Edit + screen + selective removal (parallel safety screen).
+    let edit = gen_edit(&p.session, seed.wrapping_mul(977).wrapping_add(13));
+    if p.session.edit(&edit).is_ok() {
+        let _ = writeln!(fp, "unsafe: {:?}", p.session.find_unsafe());
+        let inv = p.session.remove_unsafe(Strategy::Regional);
+        let _ = writeln!(fp, "removed {:?} retired {:?}", inv.removed, inv.retired);
+    }
+    p.session.assert_consistent();
+    let _ = writeln!(fp, "final:\n{}", p.session.source());
+    fp
+}
+
+/// Drive `count` seeds starting at `seed0`, up to `max` transformations
+/// each, comparing every (threads, schedule-seed) configuration against the
+/// one-thread oracle.
+pub fn sweep_par(seed0: u64, count: usize, max: usize) -> ParCheckOutcome {
+    let cfg = WorkloadCfg {
+        fragments: 8,
+        noise_ratio: 0.3,
+        figure1_chains: 1,
+        ..Default::default()
+    };
+    let threads = [2usize, 4, 8];
+    let sched_seeds = [0u64, 1, 2];
+    let mut outcome = ParCheckOutcome {
+        configs: threads.len() * sched_seeds.len(),
+        ..Default::default()
+    };
+    for seed in seed0..seed0 + count as u64 {
+        let oracle = run_script(seed, &cfg, max, Pool::new(1));
+        for &t in &threads {
+            for &ss in &sched_seeds {
+                let pool = Pool::new(t).with_script(SchedScript::new(ss));
+                let got = run_script(seed, &cfg, max, pool);
+                if got != oracle {
+                    outcome
+                        .mismatches
+                        .push(diff_summary(seed, t, ss, &oracle, &got));
+                }
+            }
+        }
+        outcome.seeds += 1;
+    }
+    outcome
+}
+
+/// First diverging fingerprint line, for the failure message.
+fn diff_summary(seed: u64, threads: usize, sched: u64, oracle: &str, got: &str) -> String {
+    let line = oracle
+        .lines()
+        .zip(got.lines())
+        .position(|(a, b)| a != b)
+        .map(|i| {
+            format!(
+                "line {}: oracle `{}` vs got `{}`",
+                i + 1,
+                oracle.lines().nth(i).unwrap_or(""),
+                got.lines().nth(i).unwrap_or("")
+            )
+        })
+        .unwrap_or_else(|| "fingerprints differ in length".to_owned());
+    format!("seed {seed} threads {threads} sched {sched}: {line}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_across_pools() {
+        let o = sweep_par(11, 2, 8);
+        assert_eq!(o.seeds, 2);
+        assert!(o.passed(), "divergences: {:#?}", o.mismatches);
+    }
+
+    #[test]
+    fn fingerprint_captures_behavior() {
+        let cfg = WorkloadCfg {
+            fragments: 6,
+            figure1_chains: 1,
+            ..Default::default()
+        };
+        let fp = run_script(3, &cfg, 6, Pool::new(1));
+        assert!(fp.contains("applied:"));
+        assert!(fp.contains("final:"));
+    }
+}

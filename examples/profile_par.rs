@@ -1,0 +1,122 @@
+//! Experiment E14 driver: wall-time profile of the parallel kernels at
+//! 1/2/4/8 worker threads on a large prepared session.
+//!
+//! Phases measured (median of repeated runs):
+//! - `scan`      — the large-program opportunity scan: find every
+//!   opportunity of every kind *and* re-evaluate the safety predicate of
+//!   every applied transformation (the hot path of edit invalidation);
+//! - `build`     — full two-level representation build (CFG, dominators,
+//!   reaching definitions, liveness, du/ud-chains);
+//! - `plan`      — read-only batch undo planning over every applied
+//!   transformation.
+//!
+//! Prints a human table and, with `--json`, machine-readable lines used to
+//! record `BENCH_par.json`.
+
+use pivot_undo::Pool;
+use pivot_workload::{prepare_with_pool, WorkloadCfg};
+use std::time::Instant;
+
+fn median_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cfg = WorkloadCfg {
+        fragments: 220,
+        noise_ratio: 0.2,
+        figure1_chains: 4,
+        ..Default::default()
+    };
+    let prepared = prepare_with_pool(0xE14, &cfg, 400, pivot_undo::RepMode::Batch, Pool::new(1));
+    let s = &prepared.session;
+    let n_active = s.history.active_len();
+    let n_blocks = pivot_ir::cfg::build(&s.prog).len();
+    eprintln!(
+        "prepared: {} stmts, {} blocks, {} active transformations",
+        s.prog.attached_stmts().len(),
+        n_blocks,
+        n_active
+    );
+
+    let threads = [1usize, 2, 4, 8];
+    let reps = 7;
+    let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+
+    let scan = |pool: &Pool| {
+        let opps = pivot_undo::catalog::find_all_with(&s.prog, &s.rep, pool);
+        let records: Vec<&pivot_undo::AppliedXform> = s.history.active().collect();
+        let verdicts = pivot_undo::parcheck::screen_with(&s.prog, &s.rep, &s.log, &records, pool);
+        (opps.len(), verdicts.len())
+    };
+    rows.push((
+        "scan",
+        threads
+            .iter()
+            .map(|&t| {
+                let pool = Pool::new(t);
+                median_ms(reps, || scan(&pool))
+            })
+            .collect(),
+    ));
+
+    rows.push((
+        "build",
+        threads
+            .iter()
+            .map(|&t| {
+                let pool = Pool::new(t);
+                median_ms(reps, || pivot_ir::Rep::build_with(&s.prog, &pool))
+            })
+            .collect(),
+    ));
+
+    let targets: Vec<pivot_undo::XformId> = prepared.applied.clone();
+    rows.push((
+        "plan",
+        threads
+            .iter()
+            .map(|&t| {
+                let mut fork = s.fork();
+                fork.set_pool(Pool::new(t));
+                median_ms(reps, || fork.plan_undo(&targets))
+            })
+            .collect(),
+    ));
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "phase", "1t (ms)", "2t (ms)", "4t (ms)", "8t (ms)", "x @4t"
+    );
+    for (name, ms) in &rows {
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>8.2}",
+            name,
+            ms[0],
+            ms[1],
+            ms[2],
+            ms[3],
+            ms[0] / ms[2]
+        );
+        if json {
+            println!(
+                "{{\"phase\":\"{}\",\"ms_1t\":{:.3},\"ms_2t\":{:.3},\"ms_4t\":{:.3},\"ms_8t\":{:.3},\"speedup_4t\":{:.2}}}",
+                name,
+                ms[0],
+                ms[1],
+                ms[2],
+                ms[3],
+                ms[0] / ms[2]
+            );
+        }
+    }
+}

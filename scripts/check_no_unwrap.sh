@@ -10,6 +10,10 @@ cd "$(dirname "$0")/.."
 FILES=(
   crates/core/src/engine.rs
   crates/core/src/revers.rs
+  crates/core/src/parcheck.rs
+  crates/par/src/pool.rs
+  crates/par/src/sched.rs
+  crates/ir/src/dataflow.rs
 )
 
 status=0

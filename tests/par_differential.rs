@@ -1,0 +1,166 @@
+//! Determinism-differential suite for the parallel kernels (experiment
+//! E14): the same seeded apply/undo/edit script, run on the one-thread
+//! sequential oracle and on 2/4/8-thread work-stealing pools (including
+//! scripted adversarial schedules), must produce **byte-identical**
+//! behavior — program sources at every step, undo-report counters,
+//! representation build counters, provenance trees, and the
+//! edit-invalidation screen. Only wall time may differ.
+//!
+//! The oracle is not a mock: a sequential pool routes every kernel through
+//! the pre-parallel code paths, so these properties pin the parallel
+//! implementation to the original semantics.
+
+use pivot_undo::{Pool, RepMode, SchedScript, Strategy, UndoError};
+use pivot_workload::{gen_edit, prepare_with_pool, WorkloadCfg};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+fn cfg() -> WorkloadCfg {
+    WorkloadCfg {
+        fragments: 6,
+        noise_ratio: 0.4,
+        figure1_chains: 1,
+        ..Default::default()
+    }
+}
+
+/// Full behavioral fingerprint of the canonical script under `pool`.
+fn fingerprint(seed: u64, shuffle: u64, pool: Pool) -> String {
+    let mut fp = String::new();
+    let mut p = prepare_with_pool(seed, &cfg(), 10, RepMode::Batch, pool);
+    let _ = writeln!(fp, "applied {:?}", p.applied);
+    let _ = writeln!(fp, "built:\n{}", p.session.source());
+    let mut order = p.applied.clone();
+    order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(shuffle));
+    for id in order {
+        match p.session.undo(id, Strategy::Regional) {
+            Ok(r) => {
+                let _ = writeln!(
+                    fp,
+                    "undo {id}: undone {:?} cand {} safety {} rev {} chases {} rebuilds {}",
+                    r.undone,
+                    r.candidates_considered,
+                    r.safety_checks,
+                    r.reversibility_checks,
+                    r.affecting_chases,
+                    r.rep_rebuilds
+                );
+            }
+            Err(UndoError::AlreadyUndone(_)) => {
+                let _ = writeln!(fp, "undo {id}: already undone");
+            }
+            Err(e) => {
+                let _ = writeln!(fp, "undo {id}: error {e}");
+            }
+        }
+        let _ = writeln!(fp, "{}", p.session.source());
+    }
+    for t in &p.session.explanations {
+        let _ = writeln!(fp, "{}", t.render());
+    }
+    let _ = writeln!(
+        fp,
+        "rep builds {} incr {}",
+        p.session.rep.builds, p.session.rep.incr_updates
+    );
+    p.session.assert_consistent();
+    fp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole invariant: 1 vs 2/4/8 threads, byte-identical fingerprints.
+    #[test]
+    fn script_identical_across_thread_counts(seed in 0u64..400, shuffle in 0u64..1000) {
+        let oracle = fingerprint(seed, shuffle, Pool::new(1));
+        for threads in [2usize, 4, 8] {
+            let par = fingerprint(seed, shuffle, Pool::new(threads));
+            prop_assert_eq!(&oracle, &par, "threads = {}", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adversarial schedules (seeded yield/sleep perturbation of every
+    /// pool task) must not change behavior, only interleavings.
+    #[test]
+    fn scripted_schedules_are_behavior_invariant(seed in 0u64..200, sched in 0u64..64) {
+        let oracle = fingerprint(seed, seed ^ 0x5bd1, Pool::new(1));
+        let pool = Pool::new(4).with_script(SchedScript::new(sched));
+        let par = fingerprint(seed, seed ^ 0x5bd1, pool);
+        prop_assert_eq!(&oracle, &par, "sched seed = {}", sched);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch undo (parallel read-only planning + sequential execution)
+    /// ends in the same program and removal set as individual sequential
+    /// undos in the same order.
+    #[test]
+    fn batch_undo_matches_individual_undos(seed in 0u64..200, shuffle in 0u64..1000) {
+        let mut batch = prepare_with_pool(seed, &cfg(), 10, RepMode::Batch, Pool::new(4));
+        prop_assume!(batch.applied.len() >= 3);
+        let mut order = batch.applied.clone();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(shuffle));
+        let out = batch.session.undo_batch(&order, Strategy::Regional)
+            .map_err(|e| TestCaseError::fail(format!("batch: {e}")))?;
+
+        let mut indiv = prepare_with_pool(seed, &cfg(), 10, RepMode::Batch, Pool::new(1));
+        let mut undone = Vec::new();
+        let mut skipped = Vec::new();
+        for &id in &order {
+            match indiv.session.undo(id, Strategy::Regional) {
+                Ok(r) => undone.extend(r.undone),
+                Err(UndoError::AlreadyUndone(x)) => skipped.push(x),
+                Err(e) => return Err(TestCaseError::fail(format!("individual: {e}"))),
+            }
+        }
+        prop_assert_eq!(out.undone(), undone);
+        prop_assert_eq!(out.skipped, skipped);
+        prop_assert_eq!(batch.session.source(), indiv.session.source());
+        batch.session.assert_consistent();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The edit-invalidation path — parallel safety screen plus selective
+    /// removal — is identical at 1 vs 4 threads.
+    #[test]
+    fn edit_invalidation_identical_across_pools(seed in 0u64..200, eseed in 0u64..1000) {
+        let run = |threads: usize| -> Result<(Vec<_>, Vec<_>, Vec<_>, String), TestCaseError> {
+            let mut p = prepare_with_pool(seed, &cfg(), 8, RepMode::Batch, Pool::new(threads));
+            let edit = gen_edit(&p.session, eseed);
+            if p.session.edit(&edit).is_err() {
+                return Ok((Vec::new(), Vec::new(), Vec::new(), p.session.source()));
+            }
+            let found = p.session.find_unsafe();
+            let inv = p.session.remove_unsafe(Strategy::Regional);
+            p.session.assert_consistent();
+            Ok((found, inv.removed, inv.retired, p.session.source()))
+        };
+        prop_assert_eq!(run(1)?, run(4)?);
+    }
+}
+
+/// `PIVOT_THREADS=1` (or unset) must select the sequential oracle; the
+/// resolution rules are part of the public contract.
+#[test]
+fn thread_resolution_contract() {
+    assert_eq!(pivot_par::resolve_threads(Some(1)), 1);
+    assert_eq!(pivot_par::resolve_threads(Some(5)), 5);
+    assert!(pivot_par::resolve_threads(Some(0)) >= 1);
+    assert!(Pool::new(1).is_sequential());
+    assert!(!Pool::new(2).is_sequential());
+}
+
+// Pool-metrics assertions live in `tests/par_metrics.rs` (their own
+// process — the global registry would race with the parallel cases here).

@@ -1,0 +1,44 @@
+//! Pool observability contract, isolated in its own test binary because it
+//! reads the process-wide metrics registry: the sequential oracle must not
+//! touch any `par.*` counter (proving the one-thread path is the unchanged
+//! code), while a parallel pool must record its activity.
+
+use pivot_undo::{Pool, RepMode, Strategy, UndoError};
+use pivot_workload::{prepare_with_pool, WorkloadCfg};
+
+fn run(threads: usize) {
+    let cfg = WorkloadCfg {
+        fragments: 6,
+        figure1_chains: 1,
+        ..Default::default()
+    };
+    let mut p = prepare_with_pool(31, &cfg, 8, RepMode::Batch, Pool::new(threads));
+    let order = p.applied.clone();
+    for id in order {
+        match p.session.undo(id, Strategy::Regional) {
+            Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+            Err(e) => panic!("undo {id}: {e}"),
+        }
+    }
+    p.session.assert_consistent();
+}
+
+#[test]
+fn par_metrics_track_pool_activity_only() {
+    let m = pivot_obs::metrics::global();
+    let snap = |name: &str| m.counter(name).get();
+    let names = ["par.runs", "par.tasks", "par.prefetch.batches"];
+    let before: Vec<u64> = names.iter().map(|n| snap(n)).collect();
+    run(1);
+    let after_seq: Vec<u64> = names.iter().map(|n| snap(n)).collect();
+    assert_eq!(
+        before, after_seq,
+        "sequential run must not touch par.* metrics"
+    );
+    run(4);
+    assert!(
+        snap("par.runs") > after_seq[0],
+        "parallel run must record pool activity"
+    );
+    assert!(snap("par.tasks") > after_seq[1]);
+}

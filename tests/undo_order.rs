@@ -100,6 +100,45 @@ proptest! {
         }
     }
 
+    /// The fair reverse-order baseline (undo to target, then re-apply the
+    /// collateral): every re-applied transformation must be one that the
+    /// reverse pass removed, the target must stay removed, semantics hold,
+    /// and the whole procedure is byte-identical through the sequential
+    /// and parallel planners.
+    #[test]
+    fn reverse_redo_is_sound_and_pool_invariant(seed in 0u64..200, pick in 0usize..64) {
+        let probe = prepare(seed, &cfg(), 10);
+        prop_assume!(probe.applied.len() >= 3);
+        let target = probe.applied[pick % probe.applied.len()];
+
+        let run = |threads: usize| -> Result<_, TestCaseError> {
+            let mut p = pivot_workload::prepare_with_pool(
+                seed, &cfg(), 10, pivot_undo::RepMode::Batch, pivot_undo::Pool::new(threads));
+            let (report, redone) = p.session.undo_reverse_redo(target)
+                .map_err(|e| TestCaseError::fail(format!("{threads} threads: {e}")))?;
+            p.session.assert_consistent();
+            Ok((report.undone, redone, p.session.source(), p.session))
+        };
+        let (undone, redone, source, session) = run(1)?;
+        // Soundness of the sequential result.
+        prop_assert!(undone.contains(&target));
+        prop_assert!(redone < undone.len(), "the target itself must not be re-applied");
+        prop_assert_eq!(
+            session.history.get(target).unwrap().state,
+            pivot_undo::XformState::Undone
+        );
+        let inputs = gen_inputs(seed, 96);
+        let expected = interp::run_default(&session.original, &inputs).unwrap();
+        prop_assert_eq!(interp::run_default(&session.prog, &inputs).unwrap(), expected);
+        // Pool invariance.
+        for threads in [2usize, 4] {
+            let (u, r, s, _) = run(threads)?;
+            prop_assert_eq!(&undone, &u, "undone diverged at {} threads", threads);
+            prop_assert_eq!(redone, r, "redone diverged at {} threads", threads);
+            prop_assert_eq!(&source, &s, "source diverged at {} threads", threads);
+        }
+    }
+
     #[test]
     fn pruning_never_increases_safety_checks(seed in 0u64..100, pick in 0usize..64) {
         let prepared = prepare(seed, &cfg(), 10);
