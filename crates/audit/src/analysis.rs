@@ -1,0 +1,881 @@
+//! Audit-local static analysis over the structured AST.
+//!
+//! This module is the heart of the N-version oracle: it re-derives
+//! liveness, reaching definitions, dominance, and the value-intactness
+//! path condition **directly on the structured program tree**, with code
+//! written independently of `pivot-ir`'s CFG/bitset solvers and of the
+//! engine's `safety.rs`. The structured language has no unstructured
+//! control flow, so a tree walk with local loop fixpoints computes the
+//! same (exact) may/must facts the engine derives from its CFG — but via
+//! a disjoint code path, which is what makes disagreement meaningful.
+//!
+//! Modeling choices deliberately match the engine's program semantics
+//! (not its code): loop headers define the induction variable and use the
+//! bounds; loops may execute zero times; `if` branches join; array-element
+//! writes generate but never kill; statement-level facts are taken at the
+//! statement's control position (for compound statements, at the header).
+
+use pivot_lang::{BinOp, ExprId, ExprKind, Program, StmtId, StmtKind, Sym, UnOp};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A deterministic scalar-symbol set.
+pub type SymSet = BTreeSet<Sym>;
+
+/// Reaching environment: per symbol, the set of definition statements that
+/// may reach the current point.
+pub type ReachEnv = BTreeMap<Sym, BTreeSet<StmtId>>;
+
+// ---------------------------------------------------------------------
+// Expression helpers (audit-local, no pivot-ir)
+// ---------------------------------------------------------------------
+
+/// Evaluate a constant expression with the language's wrapping integer
+/// semantics. Returns `None` for anything touching a variable, an array,
+/// or a division/remainder by zero.
+pub fn eval_const(prog: &Program, e: ExprId) -> Option<i64> {
+    match &prog.expr(e).kind {
+        ExprKind::Const(c) => Some(*c),
+        ExprKind::Var(_) | ExprKind::Index(..) => None,
+        ExprKind::Unary(op, a) => {
+            let a = eval_const(prog, *a)?;
+            Some(match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::Not => i64::from(a == 0),
+            })
+        }
+        ExprKind::Binary(op, a, b) => {
+            let a = eval_const(prog, *a)?;
+            let b = eval_const(prog, *b)?;
+            fold_binop(*op, a, b)
+        }
+    }
+}
+
+/// The language's binary-operator arithmetic, re-stated here so the audit
+/// does not lean on `BinOp::eval` for its verdicts.
+pub fn fold_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+    })
+}
+
+/// Collect symbols read by an expression subtree into `out`: scalar
+/// variables, plus arrays at whole-array granularity (subscripts recurse).
+pub fn expr_uses(prog: &Program, e: ExprId, out: &mut SymSet) {
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match &prog.expr(e).kind {
+            ExprKind::Const(_) => {}
+            ExprKind::Var(v) => {
+                out.insert(*v);
+            }
+            ExprKind::Index(arr, subs) => {
+                out.insert(*arr);
+                stack.extend(subs.iter().copied());
+            }
+            ExprKind::Unary(_, a) => stack.push(*a),
+            ExprKind::Binary(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+        }
+    }
+}
+
+/// Does the statement's **header** define `sym` (scalar target, array
+/// target, read target, or induction variable)? Bodies are not included.
+pub fn header_defines(prog: &Program, s: StmtId, sym: Sym) -> bool {
+    match &prog.stmt(s).kind {
+        StmtKind::Assign { target, .. } | StmtKind::Read { target } => target.var == sym,
+        StmtKind::DoLoop { var, .. } => *var == sym,
+        StmtKind::Write { .. } | StmtKind::If { .. } => false,
+    }
+}
+
+/// Scalar variables read by the statement's header (loop bounds, branch
+/// condition, assignment right-hand side and subscripts).
+pub fn header_uses_of(prog: &Program, s: StmtId) -> SymSet {
+    let mut out = SymSet::new();
+    match &prog.stmt(s).kind {
+        StmtKind::Assign { target, value } => {
+            expr_uses(prog, *value, &mut out);
+            for &sub in &target.subs {
+                expr_uses(prog, sub, &mut out);
+            }
+        }
+        StmtKind::Read { target } => {
+            for &sub in &target.subs {
+                expr_uses(prog, sub, &mut out);
+            }
+        }
+        StmtKind::Write { value } => expr_uses(prog, *value, &mut out),
+        StmtKind::DoLoop { lo, hi, step, .. } => {
+            expr_uses(prog, *lo, &mut out);
+            expr_uses(prog, *hi, &mut out);
+            if let Some(st) = step {
+                expr_uses(prog, *st, &mut out);
+            }
+        }
+        StmtKind::If { cond, .. } => expr_uses(prog, *cond, &mut out),
+    }
+    out
+}
+
+/// The body statements of a `do` loop, if `s` is one.
+pub fn loop_body_of(prog: &Program, s: StmtId) -> Option<&Vec<StmtId>> {
+    match &prog.stmt(s).kind {
+        StmtKind::DoLoop { body, .. } => Some(body),
+        _ => None,
+    }
+}
+
+/// Constant loop bounds `(lo, hi, step)` re-derived with the audit's own
+/// constant folder; `None` for symbolic bounds or a zero step.
+pub fn const_bounds_local(prog: &Program, s: StmtId) -> Option<(i64, i64, i64)> {
+    match &prog.stmt(s).kind {
+        StmtKind::DoLoop { lo, hi, step, .. } => {
+            let lo = eval_const(prog, *lo)?;
+            let hi = eval_const(prog, *hi)?;
+            let step = match step {
+                Some(e) => eval_const(prog, *e)?,
+                None => 1,
+            };
+            if step == 0 {
+                return None;
+            }
+            Some((lo, hi, step))
+        }
+        _ => None,
+    }
+}
+
+/// Trip count of constant bounds (0 when the range is empty).
+pub fn trip_count(lo: i64, hi: i64, step: i64) -> i64 {
+    if step > 0 {
+        if lo > hi {
+            0
+        } else {
+            (hi - lo) / step + 1
+        }
+    } else if lo < hi {
+        0
+    } else {
+        (lo - hi) / (-step) + 1
+    }
+}
+
+/// Collect symbols read by an expression subtree, split into scalar reads
+/// and whole-array reads.
+pub fn expr_uses_split(prog: &Program, e: ExprId, scalars: &mut SymSet, arrays: &mut SymSet) {
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match &prog.expr(e).kind {
+            ExprKind::Const(_) => {}
+            ExprKind::Var(v) => {
+                scalars.insert(*v);
+            }
+            ExprKind::Index(arr, subs) => {
+                arrays.insert(*arr);
+                stack.extend(subs.iter().copied());
+            }
+            ExprKind::Unary(_, a) => stack.push(*a),
+            ExprKind::Binary(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+        }
+    }
+}
+
+/// Header-granularity def/use summary of a statement subtree, split by
+/// scalar/array class (the audit-local analogue of the engine's subtree
+/// def/use used by the ICM disabling condition).
+#[derive(Clone, Debug, Default)]
+pub struct SubtreeDu {
+    /// Scalars defined somewhere in the subtree.
+    pub def_scalars: SymSet,
+    /// Arrays stored to somewhere in the subtree.
+    pub def_arrays: SymSet,
+    /// Scalars read somewhere in the subtree.
+    pub use_scalars: SymSet,
+    /// Arrays read somewhere in the subtree.
+    pub use_arrays: SymSet,
+}
+
+/// Compute the subtree def/use summary rooted at `root`.
+pub fn subtree_du(prog: &Program, root: StmtId) -> SubtreeDu {
+    let mut du = SubtreeDu::default();
+    for s in prog.subtree(root) {
+        match &prog.stmt(s).kind {
+            StmtKind::Assign { target, value } => {
+                expr_uses_split(prog, *value, &mut du.use_scalars, &mut du.use_arrays);
+                for &sub in &target.subs {
+                    expr_uses_split(prog, sub, &mut du.use_scalars, &mut du.use_arrays);
+                }
+                if target.is_scalar() {
+                    du.def_scalars.insert(target.var);
+                } else {
+                    du.def_arrays.insert(target.var);
+                }
+            }
+            StmtKind::Read { target } => {
+                for &sub in &target.subs {
+                    expr_uses_split(prog, sub, &mut du.use_scalars, &mut du.use_arrays);
+                }
+                if target.is_scalar() {
+                    du.def_scalars.insert(target.var);
+                } else {
+                    du.def_arrays.insert(target.var);
+                }
+            }
+            StmtKind::Write { value } => {
+                expr_uses_split(prog, *value, &mut du.use_scalars, &mut du.use_arrays)
+            }
+            StmtKind::DoLoop {
+                var, lo, hi, step, ..
+            } => {
+                du.def_scalars.insert(*var);
+                expr_uses_split(prog, *lo, &mut du.use_scalars, &mut du.use_arrays);
+                expr_uses_split(prog, *hi, &mut du.use_scalars, &mut du.use_arrays);
+                if let Some(st) = step {
+                    expr_uses_split(prog, *st, &mut du.use_scalars, &mut du.use_arrays);
+                }
+            }
+            StmtKind::If { cond, .. } => {
+                expr_uses_split(prog, *cond, &mut du.use_scalars, &mut du.use_arrays)
+            }
+        }
+    }
+    du
+}
+
+/// The pair of global analyses the rule families share, computed once per
+/// audit run.
+pub struct Analyses {
+    /// Audit-local liveness.
+    pub live: LiveMap,
+    /// Audit-local reaching definitions.
+    pub reach: ReachMap,
+}
+
+impl Analyses {
+    /// Compute both analyses for the current program.
+    pub fn compute(prog: &Program) -> Analyses {
+        Analyses {
+            live: LiveMap::compute(prog),
+            reach: ReachMap::compute(prog),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Liveness (backward may-analysis on the tree)
+// ---------------------------------------------------------------------
+
+/// Scalar liveness at every attached statement, computed by a backward
+/// tree walk with per-loop fixpoints.
+pub struct LiveMap {
+    after: HashMap<StmtId, SymSet>,
+    /// Variables live at program entry (read before any definition).
+    pub entry: SymSet,
+}
+
+impl LiveMap {
+    /// Compute liveness for the whole (live) program.
+    pub fn compute(prog: &Program) -> LiveMap {
+        let mut b = LiveBuilder {
+            prog,
+            after: HashMap::new(),
+        };
+        let entry = b.seq(&prog.body, SymSet::new(), true);
+        LiveMap {
+            after: b.after,
+            entry,
+        }
+    }
+
+    /// The set live immediately after `s` (for compound statements: after
+    /// the header, i.e. the union over successor arms, matching the
+    /// engine's per-statement query). `None` if `s` was not attached.
+    pub fn after(&self, s: StmtId) -> Option<&SymSet> {
+        self.after.get(&s)
+    }
+
+    /// Is `sym` live immediately after `s`?
+    pub fn is_live_after(&self, s: StmtId, sym: Sym) -> bool {
+        self.after.get(&s).is_some_and(|set| set.contains(&sym))
+    }
+}
+
+struct LiveBuilder<'p> {
+    prog: &'p Program,
+    after: HashMap<StmtId, SymSet>,
+}
+
+impl LiveBuilder<'_> {
+    fn seq(&mut self, stmts: &[StmtId], mut out: SymSet, record: bool) -> SymSet {
+        for &s in stmts.iter().rev() {
+            out = self.stmt(s, out, record);
+        }
+        out
+    }
+
+    fn stmt(&mut self, s: StmtId, out: SymSet, record: bool) -> SymSet {
+        match self.prog.stmt(s).kind.clone() {
+            StmtKind::Assign { target, value } => {
+                if record {
+                    self.after.insert(s, out.clone());
+                }
+                let mut live = out;
+                if target.is_scalar() {
+                    live.remove(&target.var);
+                }
+                expr_uses(self.prog, value, &mut live);
+                for &sub in &target.subs {
+                    expr_uses(self.prog, sub, &mut live);
+                }
+                live
+            }
+            StmtKind::Read { target } => {
+                if record {
+                    self.after.insert(s, out.clone());
+                }
+                let mut live = out;
+                if target.is_scalar() {
+                    live.remove(&target.var);
+                }
+                for &sub in &target.subs {
+                    expr_uses(self.prog, sub, &mut live);
+                }
+                live
+            }
+            StmtKind::Write { value } => {
+                if record {
+                    self.after.insert(s, out.clone());
+                }
+                let mut live = out;
+                expr_uses(self.prog, value, &mut live);
+                live
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let then_in = self.seq(&then_body, out.clone(), record);
+                let else_in = self.seq(&else_body, out.clone(), record);
+                let mut joined: SymSet = then_in.union(&else_in).copied().collect();
+                if record {
+                    // After the header, control is in one of the arms.
+                    self.after.insert(s, joined.clone());
+                }
+                expr_uses(self.prog, cond, &mut joined);
+                joined
+            }
+            StmtKind::DoLoop { var, body, .. } => {
+                let header_uses = header_uses_of(self.prog, s);
+                // Live at the end of the body = live into the header on
+                // the latch side: bounds uses, plus whatever the next
+                // iteration or the loop exit needs, minus the induction
+                // variable the header redefines.
+                let body_out = |body_in: &SymSet, out: &SymSet| -> SymSet {
+                    let mut x: SymSet = body_in.union(out).copied().collect();
+                    x.remove(&var);
+                    x.extend(header_uses.iter().copied());
+                    x
+                };
+                let mut body_in = SymSet::new();
+                loop {
+                    let next = self.seq(&body, body_out(&body_in, &out), false);
+                    if next == body_in {
+                        break;
+                    }
+                    body_in = next;
+                }
+                let final_out = body_out(&body_in, &out);
+                let body_in = self.seq(&body, final_out.clone(), record);
+                if record {
+                    // After the header: the body entry or the loop exit.
+                    self.after.insert(s, body_in.union(&out).copied().collect());
+                }
+                final_out
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reaching definitions (forward may-analysis on the tree)
+// ---------------------------------------------------------------------
+
+/// Reaching definitions before every attached statement.
+pub struct ReachMap {
+    before: HashMap<StmtId, ReachEnv>,
+}
+
+impl ReachMap {
+    /// Compute reaching definitions for the whole (live) program.
+    pub fn compute(prog: &Program) -> ReachMap {
+        let mut b = ReachBuilder {
+            prog,
+            before: HashMap::new(),
+        };
+        b.seq(&prog.body, ReachEnv::new(), true);
+        ReachMap { before: b.before }
+    }
+
+    /// The reaching-definition set of `sym` (scalar kills, array-element
+    /// gens) immediately before `s`, if any definition reaches.
+    pub fn reaching(&self, s: StmtId, sym: Sym) -> Option<&BTreeSet<StmtId>> {
+        self.before.get(&s).and_then(|env| env.get(&sym))
+    }
+}
+
+fn reach_join(mut a: ReachEnv, b: ReachEnv) -> ReachEnv {
+    for (sym, defs) in b {
+        a.entry(sym).or_default().extend(defs);
+    }
+    a
+}
+
+struct ReachBuilder<'p> {
+    prog: &'p Program,
+    before: HashMap<StmtId, ReachEnv>,
+}
+
+impl ReachBuilder<'_> {
+    fn seq(&mut self, stmts: &[StmtId], mut env: ReachEnv, record: bool) -> ReachEnv {
+        for &s in stmts {
+            env = self.stmt(s, env, record);
+        }
+        env
+    }
+
+    fn stmt(&mut self, s: StmtId, env: ReachEnv, record: bool) -> ReachEnv {
+        if record {
+            self.before.insert(s, env.clone());
+        }
+        match self.prog.stmt(s).kind.clone() {
+            StmtKind::Assign { target, .. } | StmtKind::Read { target } => {
+                let mut env = env;
+                if target.is_scalar() {
+                    env.insert(target.var, BTreeSet::from([s]));
+                } else {
+                    // Array-element write: generates, never kills.
+                    env.entry(target.var).or_default().insert(s);
+                }
+                env
+            }
+            StmtKind::Write { .. } => env,
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let t = self.seq(&then_body, env.clone(), record);
+                let e = self.seq(&else_body, env, record);
+                reach_join(t, e)
+            }
+            StmtKind::DoLoop { var, body, .. } => {
+                // The header kills var and generates itself; the body may
+                // run zero or more times, feeding back into the header.
+                let header_out = |mut env: ReachEnv| -> ReachEnv {
+                    env.insert(var, BTreeSet::from([s]));
+                    env
+                };
+                let mut acc = env.clone();
+                loop {
+                    let body_end = self.seq(&body, header_out(acc.clone()), false);
+                    let next = reach_join(env.clone(), body_end);
+                    if next == acc {
+                        break;
+                    }
+                    acc = next;
+                }
+                if record {
+                    // Before the header: loop entry joined with the latch.
+                    self.before.insert(s, acc.clone());
+                }
+                let hout = header_out(acc);
+                self.seq(&body, hout.clone(), record);
+                hout
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dominance and the value-intactness path condition
+// ---------------------------------------------------------------------
+
+/// Structured dominance: every execution path reaching `b` passes `a`.
+/// On this structured language that holds exactly when `a` is an ancestor
+/// of `b`, or `a` itself sits on the spine of the deepest block shared
+/// with `b`, strictly before `b`'s branch of it.
+pub fn dominates(prog: &Program, a: StmtId, b: StmtId) -> bool {
+    if a == b {
+        return true;
+    }
+    if prog.is_ancestor(a, b) {
+        return true;
+    }
+    if prog.is_ancestor(b, a) {
+        return false;
+    }
+    // Top-down ancestor chains (self included).
+    let chain = |x: StmtId| -> Vec<StmtId> {
+        let mut c = prog.ancestors(x);
+        let mut v: Vec<StmtId> = vec![x];
+        v.append(&mut c);
+        v.reverse();
+        v
+    };
+    let ca = chain(a);
+    let cb = chain(b);
+    let mut k = 0;
+    while k < ca.len() && k < cb.len() && ca[k] == cb[k] {
+        k += 1;
+    }
+    let (Some(&sa), Some(&sb)) = (ca.get(k), cb.get(k)) else {
+        return false;
+    };
+    // `a` dominates only if it is itself the spine statement (a nested
+    // statement may be skipped by a zero-trip loop or an untaken branch).
+    if sa != a {
+        return false;
+    }
+    if prog.stmt(sa).parent != prog.stmt(sb).parent {
+        return false; // different arms of the same `if`
+    }
+    match (prog.index_in_parent(sa), prog.index_in_parent(sb)) {
+        (Ok(ia), Ok(ib)) => ia < ib,
+        _ => false,
+    }
+}
+
+/// Must-analysis mirror of the engine's value-intactness condition: `from`
+/// dominates `to`, and on **every** path from `from` to `to` no watched
+/// symbol is (re)defined after `from` last executes. Executing `from`
+/// itself re-establishes intactness.
+pub fn value_intact(prog: &Program, from: StmtId, to: StmtId, watched: &[Sym]) -> bool {
+    if from == to || !dominates(prog, from, to) {
+        return false;
+    }
+    let mut walk = IntactWalk {
+        prog,
+        from,
+        to,
+        watched,
+        at_to: None,
+    };
+    walk.seq(&prog.body, false, true);
+    walk.at_to.unwrap_or(false)
+}
+
+struct IntactWalk<'p> {
+    prog: &'p Program,
+    from: StmtId,
+    to: StmtId,
+    watched: &'p [Sym],
+    at_to: Option<bool>,
+}
+
+impl IntactWalk<'_> {
+    fn seq(&mut self, stmts: &[StmtId], mut state: bool, record: bool) -> bool {
+        for &s in stmts {
+            state = self.stmt(s, state, record);
+        }
+        state
+    }
+
+    fn header_transfer(&self, s: StmtId, state: bool) -> bool {
+        if s == self.from {
+            return true;
+        }
+        if self
+            .watched
+            .iter()
+            .any(|&y| header_defines(self.prog, s, y))
+        {
+            return false;
+        }
+        state
+    }
+
+    fn stmt(&mut self, s: StmtId, state: bool, record: bool) -> bool {
+        if record && s == self.to && self.at_to.is_none() {
+            self.at_to = Some(state);
+        }
+        match self.prog.stmt(s).kind.clone() {
+            StmtKind::Assign { .. } | StmtKind::Read { .. } | StmtKind::Write { .. } => {
+                self.header_transfer(s, state)
+            }
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let st = self.header_transfer(s, state);
+                let t = self.seq(&then_body, st, record);
+                let e = self.seq(&else_body, st, record);
+                t && e
+            }
+            StmtKind::DoLoop { body, .. } => {
+                // Must-fixpoint over the back edge, descending from `true`.
+                let mut back = true;
+                loop {
+                    let hin = state && back;
+                    let hout = self.header_transfer(s, hin);
+                    let bend = self.seq(&body, hout, false);
+                    if bend == back {
+                        break;
+                    }
+                    back = bend;
+                }
+                let hout = self.header_transfer(s, state && back);
+                self.seq(&body, hout, record);
+                hout
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Affine subscript recognition (for the dependence re-derivation)
+// ---------------------------------------------------------------------
+
+/// An affine subscript `c0 + Σ coeffs[k] * vars[k]` over the given loop
+/// variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Affine {
+    /// Constant term.
+    pub c0: i64,
+    /// Per-variable coefficients, aligned with the `vars` the recognizer
+    /// was called with.
+    pub coeffs: Vec<i64>,
+}
+
+/// Recognize an expression as affine in `vars`. Any other variable, array
+/// reference, or nonlinear operator returns `None` (the caller treats the
+/// subscript as un-analyzable and stays silent).
+pub fn affine_of(prog: &Program, e: ExprId, vars: &[Sym]) -> Option<Affine> {
+    match &prog.expr(e).kind {
+        ExprKind::Const(c) => Some(Affine {
+            c0: *c,
+            coeffs: vec![0; vars.len()],
+        }),
+        ExprKind::Var(v) => {
+            let k = vars.iter().position(|x| x == v)?;
+            let mut coeffs = vec![0; vars.len()];
+            coeffs[k] = 1;
+            Some(Affine { c0: 0, coeffs })
+        }
+        ExprKind::Index(..) => None,
+        ExprKind::Unary(UnOp::Neg, a) => {
+            let a = affine_of(prog, *a, vars)?;
+            Some(Affine {
+                c0: a.c0.wrapping_neg(),
+                coeffs: a.coeffs.iter().map(|c| c.wrapping_neg()).collect(),
+            })
+        }
+        ExprKind::Unary(UnOp::Not, _) => None,
+        ExprKind::Binary(op, a, b) => match op {
+            BinOp::Add | BinOp::Sub => {
+                let a = affine_of(prog, *a, vars)?;
+                let b = affine_of(prog, *b, vars)?;
+                let sign = if *op == BinOp::Add { 1i64 } else { -1i64 };
+                Some(Affine {
+                    c0: a.c0.wrapping_add(sign.wrapping_mul(b.c0)),
+                    coeffs: a
+                        .coeffs
+                        .iter()
+                        .zip(&b.coeffs)
+                        .map(|(x, y)| x.wrapping_add(sign.wrapping_mul(*y)))
+                        .collect(),
+                })
+            }
+            BinOp::Mul => {
+                // One side must be a compile-time constant.
+                if let Some(k) = eval_const(prog, *a) {
+                    let b = affine_of(prog, *b, vars)?;
+                    Some(Affine {
+                        c0: b.c0.wrapping_mul(k),
+                        coeffs: b.coeffs.iter().map(|c| c.wrapping_mul(k)).collect(),
+                    })
+                } else if let Some(k) = eval_const(prog, *b) {
+                    let a = affine_of(prog, *a, vars)?;
+                    Some(Affine {
+                        c0: a.c0.wrapping_mul(k),
+                        coeffs: a.coeffs.iter().map(|c| c.wrapping_mul(k)).collect(),
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_ir::Rep;
+    use pivot_lang::parser::parse;
+
+    /// Differential: the audit-local liveness must agree with the engine's
+    /// CFG liveness at every attached statement.
+    fn assert_live_matches(src: &str) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        let mine = LiveMap::compute(&p);
+        for s in p.attached_stmts() {
+            for (sym, _) in p.symbols.iter() {
+                let engine = rep.live.is_live_after(&p, &rep.cfg, s, sym);
+                let local = mine.is_live_after(s, sym);
+                assert_eq!(
+                    engine,
+                    local,
+                    "liveness mismatch for {} after stmt {s} in:\n{src}",
+                    p.symbols.name(sym)
+                );
+            }
+        }
+    }
+
+    /// Differential: audit-local reaching defs vs the engine's.
+    fn assert_reach_matches(src: &str) {
+        let p = parse(src).unwrap();
+        let rep = Rep::build(&p);
+        let mine = ReachMap::compute(&p);
+        for s in p.attached_stmts() {
+            for (sym, _) in p.symbols.iter() {
+                let mut engine = rep.reach.defs_reaching(&p, &rep.cfg, s, sym);
+                engine.sort_unstable();
+                let local: Vec<StmtId> = mine
+                    .reaching(s, sym)
+                    .map(|set| set.iter().copied().collect())
+                    .unwrap_or_default();
+                assert_eq!(
+                    engine,
+                    local,
+                    "reaching mismatch for {} before stmt {s} in:\n{src}",
+                    p.symbols.name(sym)
+                );
+            }
+        }
+    }
+
+    const CASES: &[&str] = &[
+        "x = 1\ny = x + 2\nwrite y\n",
+        "read x\nif (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\nwrite y\nwrite x\n",
+        "do i = 1, 10\n  x = i + c\n  A(i) = x\nenddo\nwrite x\n",
+        "c = 7\ndo i = 1, 10\n  do j = 1, 5\n    A(i) = A(i) + B(j) * c\n  enddo\nenddo\nwrite A(1)\n",
+        "x = 1\nx = 2\nwrite x\n",
+        "read n\ndo i = 1, 10\n  if (i > n) then\n    s = s + i\n  endif\nenddo\nwrite s\n",
+    ];
+
+    #[test]
+    fn liveness_matches_engine() {
+        for src in CASES {
+            assert_live_matches(src);
+        }
+    }
+
+    #[test]
+    fn reaching_matches_engine() {
+        for src in CASES {
+            assert_reach_matches(src);
+        }
+    }
+
+    #[test]
+    fn dominance_matches_engine() {
+        for src in CASES {
+            let p = parse(src).unwrap();
+            let rep = Rep::build(&p);
+            let stmts = p.attached_stmts();
+            for &a in &stmts {
+                for &b in &stmts {
+                    assert_eq!(
+                        rep.stmt_dominates(a, b),
+                        dominates(&p, a, b),
+                        "dominance mismatch {a} vs {b} in:\n{src}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_eval_matches_language() {
+        let p = parse("x = (3 + 4) * 2 - 6 / 4\nwrite x\n").unwrap();
+        let s = p.attached_stmts()[0];
+        let rhs = match p.stmt(s).kind {
+            StmtKind::Assign { value, .. } => value,
+            _ => unreachable!(),
+        };
+        assert_eq!(eval_const(&p, rhs), p.const_eval(rhs));
+        assert_eq!(eval_const(&p, rhs), Some(13));
+    }
+
+    #[test]
+    fn value_intact_detects_intervening_defs() {
+        let p = parse("c = 1\nx = c + 2\nwrite x\n").unwrap();
+        let ss = p.attached_stmts();
+        let c = p.symbols.get("c").unwrap();
+        assert!(value_intact(&p, ss[0], ss[1], &[c]));
+        let q = parse("c = 1\nc = 2\nx = c + 2\nwrite x\n").unwrap();
+        let qs = q.attached_stmts();
+        let qc = q.symbols.get("c").unwrap();
+        assert!(!value_intact(&q, qs[0], qs[2], &[qc]));
+        // A redefinition on only one branch still breaks must-intactness.
+        let r = parse("c = 1\nif (x > 0) then\n  c = 2\nendif\ny = c\nwrite y\n").unwrap();
+        let rs = r.attached_stmts();
+        let rc = r.symbols.get("c").unwrap();
+        assert!(!value_intact(&r, rs[0], rs[3], &[rc]));
+    }
+
+    #[test]
+    fn affine_recognizer() {
+        let p = parse("do i = 1, 10\n  A(2 * i + 3) = i\nenddo\n").unwrap();
+        let lp = p.body[0];
+        let body = loop_body_of(&p, lp).unwrap().clone();
+        let i = p.symbols.get("i").unwrap();
+        let a_sym = p.symbols.get("A").unwrap();
+        let target_sub = match &p.stmt(body[0]).kind {
+            StmtKind::Assign { target, .. } => {
+                assert_eq!(target.var, a_sym);
+                target.subs[0]
+            }
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            affine_of(&p, target_sub, &[i]),
+            Some(Affine {
+                c0: 3,
+                coeffs: vec![2]
+            })
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! The diagnostics framework: stable lint codes, severities, structured
+//! spans, findings, configuration, and the report with its human and JSON
+//! renderers.
+//!
+//! Lint codes are **stable identifiers** (`PV001`, `PV102`, …): tools and
+//! suppression lists key on them, so a code is never renumbered or reused.
+//! The registry ([`LINTS`]) is the single source of truth for the code →
+//! family/severity/summary mapping.
+
+use pivot_lang::{ExprId, StmtId};
+use pivot_undo::history::XformId;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory observation; never fails a gate.
+    Note,
+    /// Suspicious but not provably state-corrupting.
+    Warning,
+    /// The audited invariant is definitely violated.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name used by both renderers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Which rule family produced a finding (the three families of the audit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Structural lints over the session quadruple.
+    Structural,
+    /// Independent legality re-derivation (the N-version oracle).
+    Legality,
+    /// Bounded translation validation of observable semantics.
+    Semantic,
+}
+
+impl Family {
+    /// Family number used in trace events and the JSON renderer.
+    pub fn number(self) -> u64 {
+        match self {
+            Family::Structural => 1,
+            Family::Legality => 2,
+            Family::Semantic => 3,
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Structural => "structural",
+            Family::Legality => "legality",
+            Family::Semantic => "semantic",
+        }
+    }
+}
+
+/// Where in the session a finding is anchored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditSpan {
+    /// The session as a whole (no narrower anchor).
+    Session,
+    /// A statement node.
+    Stmt(StmtId),
+    /// An expression node.
+    Expr(ExprId),
+    /// An applied transformation record.
+    Xform(XformId),
+    /// An action stamp in the transformation log.
+    Stamp(u64),
+}
+
+impl AuditSpan {
+    /// Render as a short stable string (`stmt:4`, `xform:2`, …).
+    pub fn render(&self) -> String {
+        match self {
+            AuditSpan::Session => "session".to_owned(),
+            AuditSpan::Stmt(s) => format!("stmt:{}", s.0),
+            AuditSpan::Expr(e) => format!("expr:{}", e.0),
+            AuditSpan::Xform(x) => format!("xform:{}", x.0),
+            AuditSpan::Stamp(t) => format!("stamp:{t}"),
+        }
+    }
+}
+
+/// One registered lint.
+#[derive(Clone, Copy, Debug)]
+pub struct LintSpec {
+    /// Stable code (`PVnnn`).
+    pub code: &'static str,
+    /// Producing rule family.
+    pub family: Family,
+    /// Default severity of findings with this code.
+    pub severity: Severity,
+    /// One-line summary of what the lint checks.
+    pub summary: &'static str,
+}
+
+/// The lint registry: every code the auditor can emit, in code order.
+pub const LINTS: &[LintSpec] = &[
+    LintSpec {
+        code: "PV001",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "program arena/tree invariant violated",
+    },
+    LintSpec {
+        code: "PV002",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "dangling StmtId/ExprId reference in log or history",
+    },
+    LintSpec {
+        code: "PV003",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "session rep disagrees with a freshly rebuilt batch Rep",
+    },
+    LintSpec {
+        code: "PV004",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "log action owned by no history record (orphan)",
+    },
+    LintSpec {
+        code: "PV005",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "duplicate stamp in the transformation log",
+    },
+    LintSpec {
+        code: "PV006",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "log action owned by an undone transformation",
+    },
+    LintSpec {
+        code: "PV007",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "active record stamp missing from the log (lost action)",
+    },
+    LintSpec {
+        code: "PV008",
+        family: Family::Structural,
+        severity: Severity::Warning,
+        summary: "stale ADAG annotation (node unaccounted for by the log)",
+    },
+    LintSpec {
+        code: "PV009",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "history/journal divergence",
+    },
+    LintSpec {
+        code: "PV010",
+        family: Family::Structural,
+        severity: Severity::Error,
+        summary: "stamp at or beyond the log's allocator (non-monotone)",
+    },
+    LintSpec {
+        code: "PV101",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "DCE: deleted value would be used at the restoration point",
+    },
+    LintSpec {
+        code: "PV102",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "CSE: common-subexpression equivalence no longer holds",
+    },
+    LintSpec {
+        code: "PV103",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "CTP: propagated constant no longer matches its definition",
+    },
+    LintSpec {
+        code: "PV104",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "CFO: independent refold of the snapshot disagrees",
+    },
+    LintSpec {
+        code: "PV105",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "CPP: copy relation between source and use is broken",
+    },
+    LintSpec {
+        code: "PV106",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "ICM: hoisted statement is no longer loop-invariant",
+    },
+    LintSpec {
+        code: "PV107",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "INX: interchange now reverses a carried dependence",
+    },
+    LintSpec {
+        code: "PV108",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "FUS: fused bodies carry a backward dependence",
+    },
+    LintSpec {
+        code: "PV109",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "LUR: unroll header arithmetic no longer divides the trip",
+    },
+    LintSpec {
+        code: "PV110",
+        family: Family::Legality,
+        severity: Severity::Error,
+        summary: "SMI: strip header arithmetic no longer covers the range",
+    },
+    LintSpec {
+        code: "PV201",
+        family: Family::Semantic,
+        severity: Severity::Error,
+        summary: "transformation log is not mechanically invertible",
+    },
+    LintSpec {
+        code: "PV202",
+        family: Family::Semantic,
+        severity: Severity::Error,
+        summary: "reverse replay of the log does not restore the snapshot",
+    },
+    LintSpec {
+        code: "PV203",
+        family: Family::Semantic,
+        severity: Severity::Error,
+        summary: "observable output diverges from the snapshot program",
+    },
+];
+
+/// Look up a lint by code.
+pub fn lint(code: &str) -> Option<&'static LintSpec> {
+    LINTS.iter().find(|l| l.code == code)
+}
+
+/// One audit finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable lint code (always present in [`LINTS`]).
+    pub code: &'static str,
+    /// Severity (the lint's default unless a rule downgraded it).
+    pub severity: Severity,
+    /// Producing family.
+    pub family: Family,
+    /// Anchor in the session.
+    pub span: AuditSpan,
+    /// Human-oriented detail.
+    pub message: String,
+}
+
+impl Finding {
+    /// Build a finding for a registered lint code, inheriting the lint's
+    /// default severity and family. Unregistered codes (impossible for the
+    /// rules in this crate) degrade to a structural error.
+    pub fn new(code: &'static str, span: AuditSpan, message: impl Into<String>) -> Finding {
+        let (severity, family) = match lint(code) {
+            Some(spec) => (spec.severity, spec.family),
+            None => (Severity::Error, Family::Structural),
+        };
+        Finding {
+            code,
+            severity,
+            family,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Render one finding as a single JSON object (JSONL-friendly).
+    pub fn render_json(&self) -> String {
+        let mut w = pivot_obs::json::ObjectWriter::new();
+        w.str("code", self.code)
+            .str("severity", self.severity.name())
+            .uint("family", self.family.number())
+            .str("site", &self.span.render())
+            .str("message", &self.message);
+        w.finish()
+    }
+
+    /// Render one finding as a human-readable line.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{} [{}] at {}: {}",
+            self.severity.name(),
+            self.code,
+            self.span.render(),
+            self.message
+        )
+    }
+}
+
+/// Audit configuration: family toggles, suppression, and the bounds of the
+/// semantic (translation validation) family.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Run family 1 (structural lints).
+    pub structural: bool,
+    /// Run family 2 (independent legality re-derivation).
+    pub legality: bool,
+    /// Run family 3 (bounded translation validation).
+    pub semantic: bool,
+    /// Also require the reverse replay to restore the original snapshot
+    /// structurally (PV202). Sound only for sessions that have not been
+    /// edited since the snapshot was taken, so off by default.
+    pub pristine: bool,
+    /// Lint codes to suppress (findings with these codes are dropped).
+    pub suppress: Vec<String>,
+    /// Number of generated input vectors for the semantic family.
+    pub inputs: usize,
+    /// Length of each generated input vector.
+    pub input_len: usize,
+    /// Seed for deterministic input generation.
+    pub seed: u64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            structural: true,
+            legality: true,
+            semantic: true,
+            pristine: false,
+            suppress: Vec::new(),
+            inputs: 3,
+            input_len: 128,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl AuditConfig {
+    /// Is `code` suppressed by this configuration?
+    pub fn suppressed(&self, code: &str) -> bool {
+        self.suppress.iter().any(|c| c == code)
+    }
+}
+
+/// The result of one audit run.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// All findings, in rule order (family 1, then 2, then 3).
+    pub findings: Vec<Finding>,
+    /// Number of individual rule evaluations performed.
+    pub rules_run: u64,
+    /// Wall time of the run, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl AuditReport {
+    /// True when no findings survived suppression.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings at [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+    }
+
+    /// Human-readable report: one line per finding plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render_human());
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        out.push_str(&format!(
+            "audit: {} finding(s), {} error(s), {} rule(s) evaluated\n",
+            self.findings.len(),
+            errors,
+            self.rules_run
+        ));
+        out
+    }
+
+    /// JSONL report: one JSON object per finding, then a `summary` object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render_json());
+            out.push('\n');
+        }
+        let mut w = pivot_obs::json::ObjectWriter::new();
+        w.str("summary", "audit")
+            .uint("findings", self.findings.len() as u64)
+            .uint("errors", self.errors().count() as u64)
+            .uint("rules_run", self.rules_run);
+        out.push_str(&w.finish());
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = LINTS.iter().map(|l| l.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes.len(), sorted.len(), "duplicate lint code");
+        assert_eq!(codes, sorted, "registry must stay in code order");
+        assert!(lint("PV001").is_some());
+        assert!(lint("PV999").is_none());
+    }
+
+    #[test]
+    fn finding_renders_both_ways() {
+        let f = Finding {
+            code: "PV001",
+            severity: Severity::Error,
+            family: Family::Structural,
+            span: AuditSpan::Stmt(StmtId(3)),
+            message: "broken \"thing\"".to_owned(),
+        };
+        assert!(f.render_human().contains("PV001"));
+        let v = pivot_obs::json::parse(&f.render_json()).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some("PV001"));
+        assert_eq!(v.get("site").unwrap().as_str(), Some("stmt:3"));
+        assert_eq!(v.get("family").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn report_renderers_summarize() {
+        let r = AuditReport {
+            rules_run: 7,
+            ..AuditReport::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.render_human().contains("0 finding(s)"));
+        let json = r.render_json();
+        let last = json.lines().last().unwrap();
+        let v = pivot_obs::json::parse(last).unwrap();
+        assert_eq!(v.get("rules_run").unwrap().as_int(), Some(7));
+    }
+
+    #[test]
+    fn suppression_matches_codes() {
+        let cfg = AuditConfig {
+            suppress: vec!["PV008".to_owned()],
+            ..AuditConfig::default()
+        };
+        assert!(cfg.suppressed("PV008"));
+        assert!(!cfg.suppressed("PV001"));
+    }
+}

@@ -1,0 +1,1050 @@
+//! Family 2 — independent legality re-derivation (`PV101`–`PV110`).
+//!
+//! For every **active** record in the transformation history, this module
+//! re-checks the transformation's disabling conditions against the current
+//! program, using only the audit's own analyses ([`crate::analysis`]) and
+//! the public `(Program, ActionLog, History)` data. It is an N-version
+//! oracle: none of the engine's legality machinery is called, so a bug
+//! there (or a poisoned session state) shows up as a disagreement here.
+//!
+//! Verdicts are three-valued. Only a definite `Illegal` produces a finding;
+//! `Unknown` (non-affine subscripts, unevaluable operands) stays silent so
+//! that conservatively-unprovable-but-engine-accepted states do not flag
+//! clean sessions.
+
+use crate::analysis::{
+    self, const_bounds_local, eval_const, fold_binop, subtree_du, trip_count, Analyses,
+};
+use crate::diag::{AuditSpan, Finding};
+use pivot_lang::equiv::exprs_equal_in;
+use pivot_lang::{AnchorPos, ExprId, ExprKind, Parent, Program, StmtId, StmtKind, Sym, UnOp};
+use pivot_undo::actions::{ActionKind, ActionLog, Stamp};
+use pivot_undo::history::{AppliedXform, History, XformState};
+use pivot_undo::pattern::XformParams;
+use std::collections::BTreeMap;
+
+/// Outcome of re-deriving one record's legality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The disabling conditions verifiably do not hold.
+    Legal,
+    /// A disabling condition verifiably holds (the payload says which).
+    Illegal(String),
+    /// The audit cannot decide (e.g. non-affine subscripts); no finding.
+    Unknown,
+}
+
+/// Re-derive legality for every active history record. Returns the
+/// findings plus the number of `Unknown` verdicts (reported, not flagged).
+pub fn check(
+    prog: &Program,
+    log: &ActionLog,
+    history: &History,
+    a: &Analyses,
+) -> (Vec<Finding>, u64) {
+    let mut findings = Vec::new();
+    let mut unknown = 0u64;
+    for record in &history.records {
+        if record.state != XformState::Active {
+            continue;
+        }
+        let (code, verdict) = verdict_for(prog, log, record, a);
+        match verdict {
+            Verdict::Legal => {}
+            Verdict::Unknown => unknown += 1,
+            Verdict::Illegal(why) => {
+                findings.push(Finding::new(
+                    code,
+                    AuditSpan::Xform(record.id),
+                    format!("{} no longer legal: {why}", record.kind),
+                ));
+            }
+        }
+    }
+    (findings, unknown)
+}
+
+/// The per-kind lint code and verdict for one record.
+pub fn verdict_for(
+    prog: &Program,
+    log: &ActionLog,
+    record: &AppliedXform,
+    a: &Analyses,
+) -> (&'static str, Verdict) {
+    match &record.params {
+        XformParams::Dce { stmt, target } => {
+            ("PV101", dce_verdict(prog, log, record, a, *stmt, *target))
+        }
+        XformParams::Ctp {
+            def_stmt,
+            use_stmt,
+            var,
+            value,
+            reaching_at_use,
+            ..
+        } => (
+            "PV103",
+            rewrite_verdict(
+                prog,
+                log,
+                record,
+                a,
+                *def_stmt,
+                *use_stmt,
+                &[*var],
+                reaching_at_use,
+                |p, d| {
+                    matches!(
+                        &p.stmt(d).kind,
+                        StmtKind::Assign { target, value: v }
+                            if target.is_scalar()
+                                && target.var == *var
+                                && matches!(p.expr(*v).kind, ExprKind::Const(c) if c == *value)
+                    )
+                },
+            ),
+        ),
+        XformParams::Cpp {
+            def_stmt,
+            use_stmt,
+            from,
+            to,
+            reaching_at_use,
+            ..
+        } => (
+            "PV105",
+            rewrite_verdict(
+                prog,
+                log,
+                record,
+                a,
+                *def_stmt,
+                *use_stmt,
+                &[*from, *to],
+                reaching_at_use,
+                |p, d| {
+                    matches!(
+                        &p.stmt(d).kind,
+                        StmtKind::Assign { target, value: v }
+                            if target.is_scalar()
+                                && target.var == *from
+                                && matches!(p.expr(*v).kind, ExprKind::Var(y) if y == *to)
+                    )
+                },
+            ),
+        ),
+        XformParams::Cse {
+            def_stmt,
+            use_stmt,
+            result_var,
+            operand_syms,
+            old_kind,
+            reaching_at_use,
+            ..
+        } => (
+            "PV102",
+            rewrite_verdict(
+                prog,
+                log,
+                record,
+                a,
+                *def_stmt,
+                *use_stmt,
+                operand_syms,
+                reaching_at_use,
+                |p, d| match &p.stmt(d).kind {
+                    StmtKind::Assign { target, value } => {
+                        target.is_scalar()
+                            && target.var == *result_var
+                            && kind_matches_live(p, *value, old_kind)
+                    }
+                    _ => false,
+                },
+            ),
+        ),
+        XformParams::Cfo {
+            expr,
+            old_kind,
+            value,
+            ..
+        } => ("PV104", cfo_verdict(prog, *expr, old_kind, *value)),
+        XformParams::Icm {
+            stmt,
+            loop_stmt,
+            target,
+            operand_syms,
+            array_reads,
+        } => (
+            "PV106",
+            icm_verdict(
+                prog,
+                log,
+                last_stamp(record),
+                *stmt,
+                *loop_stmt,
+                *target,
+                operand_syms,
+                array_reads,
+            ),
+        ),
+        XformParams::Inx { outer, inner } => ("PV107", inx_verdict(prog, log, *outer, *inner)),
+        XformParams::Fus {
+            l1, moved, body1, ..
+        } => ("PV108", fus_verdict(prog, *l1, body1, moved)),
+        XformParams::Lur {
+            loop_stmt,
+            factor,
+            orig_step,
+            orig_body,
+            copies,
+        } => (
+            "PV109",
+            lur_verdict(
+                prog,
+                log,
+                last_stamp(record),
+                *loop_stmt,
+                *factor,
+                *orig_step,
+                orig_body,
+                copies,
+            ),
+        ),
+        XformParams::Smi {
+            outer,
+            inner,
+            strip,
+            ..
+        } => (
+            "PV110",
+            smi_verdict(prog, log, last_stamp(record), *outer, *inner, *strip),
+        ),
+    }
+}
+
+fn last_stamp(record: &AppliedXform) -> Stamp {
+    record.stamps.last().copied().unwrap_or(Stamp(0))
+}
+
+// ---------------------------------------------------------------------
+// Vouching — reconstructed from the public action log
+// ---------------------------------------------------------------------
+
+/// Is this (detached) statement held by an active logged `Delete`?
+fn deleted_by_active_log(log: &ActionLog, stmt: StmtId) -> bool {
+    log.actions
+        .iter()
+        .any(|a| matches!(a.kind, ActionKind::Delete { stmt: s, .. } if s == stmt))
+}
+
+/// Was this statement's content modified by an active logged action newer
+/// than `after` (a value-preserving transformation rewrite)?
+fn reshaped_after(prog: &Program, log: &ActionLog, stmt: StmtId, after: Stamp) -> bool {
+    log.actions.iter().any(|a| {
+        a.stamp > after
+            && match &a.kind {
+                ActionKind::ModifyExpr { expr, .. } => prog.expr(*expr).owner == stmt,
+                ActionKind::ModifyHeader { stmt: s, .. } => *s == stmt,
+                _ => false,
+            }
+    })
+}
+
+/// Is statement `s` positioned by an active logged Move/Add/Copy?
+fn placed_by_active_log(log: &ActionLog, s: StmtId) -> bool {
+    log.actions.iter().any(|a| match &a.kind {
+        ActionKind::Move { stmt, .. } => *stmt == s,
+        ActionKind::Add { stmt, .. } => *stmt == s,
+        ActionKind::Copy { copy, .. } => *copy == s,
+        _ => false,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Per-kind verdicts
+// ---------------------------------------------------------------------
+
+fn dce_verdict(
+    prog: &Program,
+    log: &ActionLog,
+    record: &AppliedXform,
+    a: &Analyses,
+    stmt: StmtId,
+    target: Sym,
+) -> Verdict {
+    let orig = log
+        .actions_with(&record.stamps)
+        .into_iter()
+        .find_map(|act| match &act.kind {
+            ActionKind::Delete { stmt: s, orig } if *s == stmt => Some(*orig),
+            _ => None,
+        });
+    let Some(orig) = orig else {
+        return Verdict::Legal; // record retired: nothing to protect
+    };
+    if prog.resolve_loc(orig).is_err() {
+        return Verdict::Illegal(
+            "the deleted statement's original location is no longer resolvable".into(),
+        );
+    }
+    let live_there = match orig.anchor {
+        AnchorPos::After(prev) => a.live.is_live_after(prev, target),
+        AnchorPos::Start => match orig.parent {
+            Parent::Block(h, _) => a.live.is_live_after(h, target),
+            Parent::Root => a.live.entry.contains(&target),
+        },
+    };
+    if live_there {
+        Verdict::Illegal(format!(
+            "target {} would be live at the deletion site (the eliminated value is now needed)",
+            prog.symbols.name(target)
+        ))
+    } else {
+        Verdict::Legal
+    }
+}
+
+/// Structural comparison between a live expression and a recorded
+/// `ExprKind` snapshot (children resolved in the same arena).
+fn kind_matches_live(prog: &Program, live: ExprId, snap: &ExprKind) -> bool {
+    match (&prog.expr(live).kind, snap) {
+        (ExprKind::Const(a), ExprKind::Const(b)) => a == b,
+        (ExprKind::Var(a), ExprKind::Var(b)) => a == b,
+        (ExprKind::Index(a, xs), ExprKind::Index(b, ys)) => {
+            a == b
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(&x, &y)| exprs_equal_in(prog, x, y))
+        }
+        (ExprKind::Unary(oa, a), ExprKind::Unary(ob, b)) => {
+            oa == ob && exprs_equal_in(prog, *a, *b)
+        }
+        (ExprKind::Binary(oa, al, ar), ExprKind::Binary(ob, bl, br)) => {
+            oa == ob && exprs_equal_in(prog, *al, *bl) && exprs_equal_in(prog, *ar, *br)
+        }
+        _ => false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_verdict(
+    prog: &Program,
+    log: &ActionLog,
+    record: &AppliedXform,
+    a: &Analyses,
+    def_stmt: StmtId,
+    use_stmt: StmtId,
+    watched: &[Sym],
+    reaching_at_use: &[(Sym, Vec<StmtId>)],
+    def_shape_ok: impl Fn(&Program, StmtId) -> bool,
+) -> Verdict {
+    if !prog.is_live(use_stmt) {
+        return Verdict::Legal; // vacuous: the rewritten code is gone
+    }
+    if !prog.is_live(def_stmt) {
+        if !deleted_by_active_log(log, def_stmt) {
+            return Verdict::Illegal(
+                "the defining statement was removed by an unlogged edit".into(),
+            );
+        }
+        // Legally deleted (e.g. the CTP→DCE chain): safe only while no new
+        // definition of a watched symbol reaches the rewritten use.
+        for (sym, recorded) in reaching_at_use {
+            if let Some(now) = a.reach.reaching(use_stmt, *sym) {
+                if now.iter().any(|d| !recorded.contains(d)) {
+                    return Verdict::Illegal(format!(
+                        "a new definition of {} reaches the rewritten use",
+                        prog.symbols.name(*sym)
+                    ));
+                }
+            }
+        }
+        return Verdict::Legal;
+    }
+    if !def_shape_ok(prog, def_stmt) && !reshaped_after(prog, log, def_stmt, last_stamp(record)) {
+        return Verdict::Illegal("the defining statement no longer has the recorded shape".into());
+    }
+    if analysis::value_intact(prog, def_stmt, use_stmt, watched) {
+        Verdict::Legal
+    } else {
+        Verdict::Illegal(
+            "a watched operand is redefined on a path between definition and use".into(),
+        )
+    }
+}
+
+/// CFO: re-fold the recorded original expression with the audit's own
+/// arithmetic and compare against the recorded constant. (The engine holds
+/// folding always-safe; the audit additionally cross-checks the fold
+/// itself, catching a tampered constant.)
+fn cfo_verdict(prog: &Program, expr: ExprId, old_kind: &ExprKind, value: i64) -> Verdict {
+    let refolded = match old_kind {
+        ExprKind::Const(c) => Some(*c),
+        ExprKind::Unary(op, a) => eval_const(prog, *a).map(|a| match op {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => i64::from(a == 0),
+        }),
+        ExprKind::Binary(op, a, b) => match (eval_const(prog, *a), eval_const(prog, *b)) {
+            (Some(a), Some(b)) => fold_binop(*op, a, b),
+            _ => None,
+        },
+        ExprKind::Var(_) | ExprKind::Index(..) => None,
+    };
+    match refolded {
+        None => Verdict::Unknown, // operands no longer evaluable
+        Some(v) if v == value => {
+            // The live node, if still a constant, must also agree.
+            match &prog.expr(expr).kind {
+                ExprKind::Const(c) if *c != value => Verdict::Illegal(format!(
+                    "folded node holds {c} but the recorded fold of the original expression is {value}"
+                )),
+                _ => Verdict::Legal,
+            }
+        }
+        Some(v) => Verdict::Illegal(format!(
+            "re-folding the recorded expression yields {v}, not the recorded {value}"
+        )),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn icm_verdict(
+    prog: &Program,
+    log: &ActionLog,
+    after: Stamp,
+    stmt: StmtId,
+    loop_stmt: StmtId,
+    target: Sym,
+    operand_syms: &[Sym],
+    array_reads: &[Sym],
+) -> Verdict {
+    if !prog.is_live(stmt) || !prog.is_live(loop_stmt) {
+        return Verdict::Illegal("the hoisted statement or its loop is no longer live".into());
+    }
+    if !matches!(prog.stmt(loop_stmt).kind, StmtKind::DoLoop { .. }) {
+        return Verdict::Illegal("the hoist source is no longer a loop".into());
+    }
+    match const_bounds_local(prog, loop_stmt) {
+        Some((lo, hi, step)) if trip_count(lo, hi, step) >= 1 => {}
+        _ if reshaped_after(prog, log, loop_stmt, after) => {}
+        _ => return Verdict::Illegal("the loop no longer provably iterates at least once".into()),
+    }
+    let du = subtree_du(prog, loop_stmt);
+    let array_target = match &prog.stmt(stmt).kind {
+        StmtKind::Assign { target: t, .. } => !t.is_scalar(),
+        _ => return Verdict::Illegal("the hoisted statement is no longer an assignment".into()),
+    };
+    if array_target {
+        if du.def_arrays.contains(&target) || du.use_arrays.contains(&target) {
+            return Verdict::Illegal(format!(
+                "the loop now touches hoisted array {}",
+                prog.symbols.name(target)
+            ));
+        }
+    } else if du.def_scalars.contains(&target) {
+        return Verdict::Illegal(format!(
+            "the loop now defines hoisted target {}",
+            prog.symbols.name(target)
+        ));
+    }
+    if let Some(&s) = operand_syms.iter().find(|s| du.def_scalars.contains(s)) {
+        return Verdict::Illegal(format!(
+            "the loop now defines hoisted operand {}",
+            prog.symbols.name(s)
+        ));
+    }
+    if let Some(&s) = array_reads.iter().find(|s| du.def_arrays.contains(s)) {
+        return Verdict::Illegal(format!(
+            "the loop now stores to hoisted array operand {}",
+            prog.symbols.name(s)
+        ));
+    }
+    Verdict::Legal
+}
+
+fn inx_verdict(prog: &Program, log: &ActionLog, outer: StmtId, inner: StmtId) -> Verdict {
+    if !prog.is_live(outer) || !prog.is_live(inner) {
+        return Verdict::Illegal("an interchanged loop is no longer live".into());
+    }
+    let (Some(_), Some(_)) = (loop_var_of(prog, outer), loop_var_of(prog, inner)) else {
+        return Verdict::Illegal("an interchanged statement is no longer a loop".into());
+    };
+    let tightly = match analysis::loop_body_of(prog, outer).map(|b| b.as_slice()) {
+        Some([only]) => *only == inner,
+        _ => false,
+    };
+    if !tightly {
+        let between_ok = analysis::loop_body_of(prog, outer)
+            .map(|b| {
+                b.iter()
+                    .all(|&s| s == inner || placed_by_active_log(log, s))
+            })
+            .unwrap_or(false);
+        if !between_ok {
+            return Verdict::Illegal(
+                "a foreign statement sits between the interchanged headers".into(),
+            );
+        }
+    }
+    interchange_verdict(prog, outer, inner)
+}
+
+fn fus_verdict(prog: &Program, l1: StmtId, body1: &[StmtId], moved: &[StmtId]) -> Verdict {
+    if !prog.is_live(l1) {
+        return Verdict::Illegal("the fused loop is no longer live".into());
+    }
+    let Some(var) = loop_var_of(prog, l1) else {
+        return Verdict::Illegal("the fused statement is no longer a loop".into());
+    };
+    let body_now: Vec<StmtId> = analysis::loop_body_of(prog, l1)
+        .cloned()
+        .unwrap_or_default();
+    for s in body1.iter().chain(moved) {
+        if !body_now.contains(s) {
+            return Verdict::Illegal("part of the fused body was dismantled".into());
+        }
+    }
+    let acc1 = collect_accesses(prog, body1);
+    let acc2 = collect_accesses(prog, moved);
+    let level = Level {
+        var_src: var,
+        var_dst: var,
+        bounds: const_bounds_local(prog, l1),
+    };
+    for a in &acc1 {
+        for b in &acc2 {
+            if a.var != b.var || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            if let PairOutcome::Dep(dirs) = test_pair(prog, a, b, std::slice::from_ref(&level), &[])
+            {
+                if dirs[0].allows(Dir::Gt) {
+                    return Verdict::Illegal(format!(
+                        "fusion now carries a backward dependence on array {}",
+                        prog.symbols.name(a.var)
+                    ));
+                }
+            }
+        }
+    }
+    Verdict::Legal
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lur_verdict(
+    prog: &Program,
+    log: &ActionLog,
+    after: Stamp,
+    loop_stmt: StmtId,
+    factor: i64,
+    orig_step: i64,
+    orig_body: &[StmtId],
+    copies: &[StmtId],
+) -> Verdict {
+    if !prog.is_live(loop_stmt) {
+        return Verdict::Illegal("the unrolled loop is no longer live".into());
+    }
+    let body_ok = analysis::loop_body_of(prog, loop_stmt)
+        .map(|b| {
+            b.iter().all(|&s| {
+                orig_body.contains(&s) || copies.contains(&s) || placed_by_active_log(log, s)
+            })
+        })
+        .unwrap_or(false);
+    if !body_ok {
+        return Verdict::Illegal("a foreign statement entered the unrolled body".into());
+    }
+    if reshaped_after(prog, log, loop_stmt, after) {
+        return Verdict::Legal; // a later transformation re-headed the loop
+    }
+    match const_bounds_local(prog, loop_stmt) {
+        Some((lo, hi, step)) => {
+            if step != factor.wrapping_mul(orig_step) {
+                return Verdict::Illegal(format!(
+                    "unrolled step is {step}, expected factor {factor} x original step {orig_step}"
+                ));
+            }
+            if trip_count(lo, hi, orig_step) % factor != 0 {
+                Verdict::Illegal(format!(
+                    "original trip count no longer divisible by unroll factor {factor}"
+                ))
+            } else {
+                Verdict::Legal
+            }
+        }
+        None => Verdict::Illegal("unrolled loop bounds are no longer constant".into()),
+    }
+}
+
+fn smi_verdict(
+    prog: &Program,
+    log: &ActionLog,
+    after: Stamp,
+    outer: StmtId,
+    inner: StmtId,
+    strip: i64,
+) -> Verdict {
+    if !prog.is_live(outer) || !prog.is_live(inner) {
+        return Verdict::Illegal("a strip-mine loop is no longer live".into());
+    }
+    let body_ok = analysis::loop_body_of(prog, outer)
+        .map(|b| {
+            b.iter()
+                .all(|&s| s == inner || placed_by_active_log(log, s))
+        })
+        .unwrap_or(false);
+    if !body_ok {
+        return Verdict::Illegal("a foreign statement entered the strip nest".into());
+    }
+    if reshaped_after(prog, log, outer, after) || reshaped_after(prog, log, inner, after) {
+        return Verdict::Legal;
+    }
+    match const_bounds_local(prog, outer) {
+        Some((lo, hi, step)) if step == strip => {
+            if trip_count(lo, hi, 1) % strip != 0 {
+                Verdict::Illegal(format!(
+                    "strip length {strip} no longer divides the original trip count"
+                ))
+            } else {
+                Verdict::Legal
+            }
+        }
+        _ => Verdict::Illegal(format!(
+            "outer strip loop no longer steps by the strip length {strip}"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Audit-local dependence testing (a second implementation of the
+// ZIV/SIV/MIV screens over the audit's own linear forms)
+// ---------------------------------------------------------------------
+
+fn loop_var_of(prog: &Program, s: StmtId) -> Option<Sym> {
+    match &prog.stmt(s).kind {
+        StmtKind::DoLoop { var, .. } => Some(*var),
+        _ => None,
+    }
+}
+
+/// One array access site.
+struct Access {
+    stmt: StmtId,
+    var: Sym,
+    subs: Vec<ExprId>,
+    is_write: bool,
+}
+
+fn collect_expr_accesses(prog: &Program, e: ExprId, stmt: StmtId, out: &mut Vec<Access>) {
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match &prog.expr(e).kind {
+            ExprKind::Index(a, subs) => {
+                out.push(Access {
+                    stmt,
+                    var: *a,
+                    subs: subs.clone(),
+                    is_write: false,
+                });
+                stack.extend(subs.iter().copied());
+            }
+            ExprKind::Unary(_, a) => stack.push(*a),
+            ExprKind::Binary(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_accesses(prog: &Program, roots: &[StmtId]) -> Vec<Access> {
+    let mut out = Vec::new();
+    for &root in roots {
+        for s in prog.subtree(root) {
+            match &prog.stmt(s).kind {
+                StmtKind::Assign { target, value } => {
+                    collect_expr_accesses(prog, *value, s, &mut out);
+                    for &sub in &target.subs {
+                        collect_expr_accesses(prog, sub, s, &mut out);
+                    }
+                    if !target.is_scalar() {
+                        out.push(Access {
+                            stmt: s,
+                            var: target.var,
+                            subs: target.subs.clone(),
+                            is_write: true,
+                        });
+                    }
+                }
+                StmtKind::Read { target } => {
+                    for &sub in &target.subs {
+                        collect_expr_accesses(prog, sub, s, &mut out);
+                    }
+                    if !target.is_scalar() {
+                        out.push(Access {
+                            stmt: s,
+                            var: target.var,
+                            subs: target.subs.clone(),
+                            is_write: true,
+                        });
+                    }
+                }
+                StmtKind::Write { value } => collect_expr_accesses(prog, *value, s, &mut out),
+                StmtKind::DoLoop { lo, hi, step, .. } => {
+                    collect_expr_accesses(prog, *lo, s, &mut out);
+                    collect_expr_accesses(prog, *hi, s, &mut out);
+                    if let Some(st) = step {
+                        collect_expr_accesses(prog, *st, s, &mut out);
+                    }
+                }
+                StmtKind::If { cond, .. } => collect_expr_accesses(prog, *cond, s, &mut out),
+            }
+        }
+    }
+    out
+}
+
+/// An affine form `constant + Σ coeff·sym` over all symbols.
+#[derive(Clone, Debug, Default)]
+struct Lin {
+    constant: i64,
+    coeffs: BTreeMap<Sym, i64>,
+}
+
+impl Lin {
+    fn constant(c: i64) -> Lin {
+        Lin {
+            constant: c,
+            ..Lin::default()
+        }
+    }
+
+    fn var(sym: Sym) -> Lin {
+        let mut l = Lin::default();
+        l.coeffs.insert(sym, 1);
+        l
+    }
+
+    fn coeff(&self, sym: Sym) -> i64 {
+        self.coeffs.get(&sym).copied().unwrap_or(0)
+    }
+
+    fn add(mut self, other: &Lin) -> Lin {
+        self.constant = self.constant.wrapping_add(other.constant);
+        for (&s, &c) in &other.coeffs {
+            let e = self.coeffs.entry(s).or_insert(0);
+            *e = e.wrapping_add(c);
+            if *e == 0 {
+                self.coeffs.remove(&s);
+            }
+        }
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Lin {
+        if k == 0 {
+            return Lin::constant(0);
+        }
+        self.constant = self.constant.wrapping_mul(k);
+        for c in self.coeffs.values_mut() {
+            *c = c.wrapping_mul(k);
+        }
+        self
+    }
+
+    fn sub(&self, other: &Lin) -> Lin {
+        self.clone().add(&other.clone().scale(-1))
+    }
+
+    fn without(&self, vars: &[Sym]) -> Lin {
+        Lin {
+            constant: self.constant,
+            coeffs: self
+                .coeffs
+                .iter()
+                .filter(|(s, _)| !vars.contains(s))
+                .map(|(&s, &c)| (s, c))
+                .collect(),
+        }
+    }
+}
+
+fn lin_of(prog: &Program, e: ExprId) -> Option<Lin> {
+    match &prog.expr(e).kind {
+        ExprKind::Const(c) => Some(Lin::constant(*c)),
+        ExprKind::Var(v) => Some(Lin::var(*v)),
+        ExprKind::Index(..) => None,
+        ExprKind::Unary(UnOp::Neg, a) => Some(lin_of(prog, *a)?.scale(-1)),
+        ExprKind::Unary(UnOp::Not, _) => None,
+        ExprKind::Binary(op, a, b) => {
+            let la = lin_of(prog, *a)?;
+            let lb = lin_of(prog, *b)?;
+            match op {
+                pivot_lang::BinOp::Add => Some(la.add(&lb)),
+                pivot_lang::BinOp::Sub => Some(la.add(&lb.scale(-1))),
+                pivot_lang::BinOp::Mul => {
+                    if la.coeffs.is_empty() {
+                        Some(lb.scale(la.constant))
+                    } else if lb.coeffs.is_empty() {
+                        Some(la.scale(lb.constant))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// A dependence direction on one loop level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Dir {
+    Lt,
+    Eq,
+    Gt,
+    Star,
+}
+
+impl Dir {
+    fn allows(self, d: Dir) -> bool {
+        self == Dir::Star || self == d
+    }
+}
+
+/// One alignment level for the pair test.
+struct Level {
+    var_src: Sym,
+    var_dst: Sym,
+    bounds: Option<(i64, i64, i64)>,
+}
+
+enum PairOutcome {
+    Independent,
+    Dep(Vec<Dir>),
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+enum DimOutcome {
+    Independent,
+    NoConstraint,
+    Constrain(usize, Dir),
+}
+
+fn test_pair(
+    prog: &Program,
+    src: &Access,
+    dst: &Access,
+    levels: &[Level],
+    other_loop_vars: &[Sym],
+) -> PairOutcome {
+    if src.subs.len() != dst.subs.len() {
+        return PairOutcome::Dep(vec![Dir::Star; levels.len()]);
+    }
+    let mut constraint: Vec<Option<Dir>> = vec![None; levels.len()];
+    for (sa, sb) in src.subs.iter().zip(&dst.subs) {
+        let (la, lb) = match (lin_of(prog, *sa), lin_of(prog, *sb)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => continue, // non-affine: no information from this dimension
+        };
+        match test_dimension(&la, &lb, levels, other_loop_vars) {
+            DimOutcome::Independent => return PairOutcome::Independent,
+            DimOutcome::NoConstraint => {}
+            DimOutcome::Constrain(level, d) => match constraint[level] {
+                None => constraint[level] = Some(d),
+                Some(prev) if prev == d => {}
+                Some(_) => return PairOutcome::Independent, // conflicting equalities
+            },
+        }
+    }
+    PairOutcome::Dep(
+        constraint
+            .into_iter()
+            .map(|c| c.unwrap_or(Dir::Star))
+            .collect(),
+    )
+}
+
+fn test_dimension(la: &Lin, lb: &Lin, levels: &[Level], other_loop_vars: &[Sym]) -> DimOutcome {
+    for (&s, &c) in la.coeffs.iter() {
+        if c != 0 && other_loop_vars.contains(&s) && !levels.iter().any(|l| l.var_src == s) {
+            return DimOutcome::NoConstraint;
+        }
+    }
+    for (&s, &c) in lb.coeffs.iter() {
+        if c != 0 && other_loop_vars.contains(&s) && !levels.iter().any(|l| l.var_dst == s) {
+            return DimOutcome::NoConstraint;
+        }
+    }
+    let src_vars: Vec<Sym> = levels.iter().map(|l| l.var_src).collect();
+    let dst_vars: Vec<Sym> = levels.iter().map(|l| l.var_dst).collect();
+    let ak: Vec<i64> = levels.iter().map(|l| la.coeff(l.var_src)).collect();
+    let bk: Vec<i64> = levels.iter().map(|l| lb.coeff(l.var_dst)).collect();
+    let diff = lb.without(&dst_vars).sub(&la.without(&src_vars));
+    if !diff.coeffs.is_empty() {
+        return DimOutcome::NoConstraint; // uncancelled symbolic terms
+    }
+    let c = diff.constant;
+    let involved: Vec<usize> = (0..levels.len())
+        .filter(|&k| ak[k] != 0 || bk[k] != 0)
+        .collect();
+    match involved.as_slice() {
+        [] => {
+            if c != 0 {
+                DimOutcome::Independent
+            } else {
+                DimOutcome::NoConstraint
+            }
+        }
+        [k] => {
+            let k = *k;
+            let (a, b) = (ak[k], bk[k]);
+            if a == b {
+                // Strong SIV: a(i − i') = c ⇒ i' − i = −c/a.
+                if c % a != 0 {
+                    return DimOutcome::Independent;
+                }
+                let d_val = -c / a;
+                let lv = &levels[k];
+                let step = lv.bounds.map(|(_, _, s)| s).unwrap_or(1);
+                if step != 0 && d_val % step != 0 {
+                    return DimOutcome::Independent;
+                }
+                let d_iter = if step != 0 { d_val / step } else { d_val };
+                if let Some((lo, hi, st)) = lv.bounds {
+                    if d_iter.abs() >= trip_count(lo, hi, st).max(0) {
+                        return DimOutcome::Independent;
+                    }
+                }
+                let dir = match d_iter.cmp(&0) {
+                    std::cmp::Ordering::Greater => Dir::Lt,
+                    std::cmp::Ordering::Equal => Dir::Eq,
+                    std::cmp::Ordering::Less => Dir::Gt,
+                };
+                DimOutcome::Constrain(k, dir)
+            } else {
+                // Weak SIV: GCD feasibility only.
+                let g = gcd(a, b);
+                if g != 0 && c % g != 0 {
+                    DimOutcome::Independent
+                } else {
+                    DimOutcome::NoConstraint
+                }
+            }
+        }
+        many => {
+            let mut g = 0;
+            for &k in many {
+                g = gcd(g, ak[k]);
+                g = gcd(g, bk[k]);
+            }
+            if g != 0 && c % g != 0 {
+                DimOutcome::Independent
+            } else {
+                DimOutcome::NoConstraint
+            }
+        }
+    }
+}
+
+/// Does the subtree under `root` define a non-induction scalar or perform
+/// I/O (a reorder hazard for loop restructuring)?
+fn reorder_hazard(prog: &Program, root: StmtId, induction_ok: &[Sym]) -> bool {
+    for s in prog.subtree(root) {
+        match &prog.stmt(s).kind {
+            StmtKind::Read { .. } | StmtKind::Write { .. } => return true,
+            StmtKind::Assign { target, .. } => {
+                if target.is_scalar() && !induction_ok.contains(&target.var) {
+                    return true;
+                }
+            }
+            StmtKind::DoLoop { var, .. } => {
+                if !induction_ok.contains(var) {
+                    return true;
+                }
+            }
+            StmtKind::If { .. } => {}
+        }
+    }
+    false
+}
+
+/// The dependence/hazard core of the interchange re-check (the engine's
+/// "loose" variant, sufficient here because body membership was already
+/// screened by the caller).
+fn interchange_verdict(prog: &Program, outer: StmtId, inner: StmtId) -> Verdict {
+    let (ov, iv) = match (loop_var_of(prog, outer), loop_var_of(prog, inner)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Verdict::Illegal("an interchanged statement is no longer a loop".into()),
+    };
+    if !prog.is_ancestor(outer, inner) {
+        return Verdict::Illegal("the interchanged loops are no longer nested".into());
+    }
+    if reorder_hazard(prog, inner, &[ov, iv]) {
+        return Verdict::Illegal("the nest gained a scalar-definition or I/O hazard".into());
+    }
+    if let StmtKind::DoLoop { lo, hi, step, .. } = &prog.stmt(inner).kind {
+        let mut used = analysis::SymSet::new();
+        analysis::expr_uses(prog, *lo, &mut used);
+        analysis::expr_uses(prog, *hi, &mut used);
+        if let Some(st) = step {
+            analysis::expr_uses(prog, *st, &mut used);
+        }
+        if used.contains(&ov) {
+            return Verdict::Illegal(
+                "the inner bounds now depend on the outer induction variable".into(),
+            );
+        }
+    }
+    let body: Vec<StmtId> = analysis::loop_body_of(prog, inner)
+        .cloned()
+        .unwrap_or_default();
+    let accesses = collect_accesses(prog, &body);
+    let levels: Vec<Level> = [outer, inner]
+        .iter()
+        .filter_map(|&l| {
+            loop_var_of(prog, l).map(|v| Level {
+                var_src: v,
+                var_dst: v,
+                bounds: const_bounds_local(prog, l),
+            })
+        })
+        .collect();
+    if levels.len() != 2 {
+        return Verdict::Illegal("an interchanged statement is no longer a loop".into());
+    }
+    for (i, a) in accesses.iter().enumerate() {
+        for b in accesses.iter().skip(i) {
+            if a.var != b.var || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            let other: Vec<Sym> = prog
+                .enclosing_loops(a.stmt)
+                .into_iter()
+                .chain(prog.enclosing_loops(b.stmt))
+                .filter(|&l| l != outer && l != inner)
+                .filter_map(|l| loop_var_of(prog, l))
+                .collect();
+            for (src, dst) in [(a, b), (b, a)] {
+                if let PairOutcome::Dep(dirs) = test_pair(prog, src, dst, &levels, &other) {
+                    if dirs[0].allows(Dir::Lt) && dirs[1].allows(Dir::Gt) {
+                        return Verdict::Illegal(format!(
+                            "the nest now carries a dependence on array {} that interchange reverses",
+                            prog.symbols.name(a.var)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Verdict::Legal
+}

@@ -1,0 +1,146 @@
+//! # pivot-audit
+//!
+//! An independent static legality auditor and lint framework for the
+//! PIVOT engine's `(Program, Rep, TransformLog, History)` quadruple.
+//!
+//! The auditor runs three rule families:
+//!
+//! 1. **Structural** ([`structural`], `PV001`–`PV010`) — internal
+//!    coherence: arena invariants, dangling ids, the incremental `Rep`
+//!    versus a fresh rebuild, ADAG annotation drift, stamp bookkeeping
+//!    between log and history, and history/journal divergence.
+//! 2. **Legality** ([`legality`], `PV101`–`PV110`) — an N-version
+//!    re-derivation of the paper's disabling conditions. The rules use
+//!    audit-local dataflow ([`analysis`]) over the structured AST and
+//!    deliberately share **no code** with the engine's `safety`/CFG
+//!    machinery, so a bug in either implementation surfaces as a
+//!    disagreement instead of passing silently.
+//! 3. **Semantic** ([`semantic`], `PV201`–`PV203`) — bounded translation
+//!    validation: the log must stay mechanically invertible, and the
+//!    transformed program must be observationally equivalent to the
+//!    session baseline on generated inputs.
+//!
+//! Entry points: [`audit_session`] for a one-call sweep, or the
+//! [`SessionAuditExt`] extension trait (`session.audit()`).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod diag;
+pub mod legality;
+pub mod semantic;
+pub mod structural;
+
+pub use diag::{AuditConfig, AuditReport, AuditSpan, Family, Finding, Severity};
+
+use pivot_obs::trace::FieldValue;
+use pivot_undo::Session;
+use std::time::Instant;
+
+/// Audit a session against `cfg`. Structural rules run first; when they
+/// find broken arena references (`PV001`/`PV002` errors) the legality and
+/// semantic families are skipped — they index the arenas directly and
+/// would compound the damage into panics instead of findings.
+pub fn audit_session(session: &Session, cfg: &AuditConfig) -> AuditReport {
+    audit_session_with_journal(session, cfg, None)
+}
+
+/// [`audit_session`] plus history/journal divergence checking (`PV009`)
+/// over the journal's JSONL text. The session's own journal handle is
+/// private to the engine, so callers that persist one pass its contents
+/// here (the CLI's `--journal` flag does exactly that).
+pub fn audit_session_with_journal(
+    session: &Session,
+    cfg: &AuditConfig,
+    journal_text: Option<&str>,
+) -> AuditReport {
+    let t0 = Instant::now();
+    let mut findings = Vec::new();
+    let mut rules_run = 0u64;
+
+    let mut arenas_ok = true;
+    if cfg.structural {
+        arenas_ok = structural::check(
+            &session.prog,
+            &session.rep,
+            &session.log,
+            &session.history,
+            &mut findings,
+        );
+        rules_run += 5;
+        if let Some(text) = journal_text {
+            findings.extend(structural::check_journal(text, &session.history));
+            rules_run += 1;
+        }
+    }
+
+    if cfg.legality && arenas_ok {
+        let analyses = analysis::Analyses::compute(&session.prog);
+        let (fs, _unknown) =
+            legality::check(&session.prog, &session.log, &session.history, &analyses);
+        rules_run += session.history.active_len() as u64;
+        findings.extend(fs);
+    }
+
+    if cfg.semantic && arenas_ok {
+        let (fs, rules) = semantic::check(&session.prog, &session.original, &session.log, cfg);
+        rules_run += rules;
+        findings.extend(fs);
+    }
+
+    findings.retain(|f| !cfg.suppressed(f.code));
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(b.code)));
+
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let report = AuditReport {
+        findings,
+        rules_run,
+        elapsed_ns,
+    };
+    publish(session, &report);
+    report
+}
+
+/// Record the run in the global metrics registry and emit one
+/// `audit_finding` trace event per finding (when the session's tracer is
+/// live). The audit itself never mutates the session.
+fn publish(session: &Session, report: &AuditReport) {
+    let m = pivot_obs::metrics::global();
+    m.counter("audit.runs").inc();
+    m.counter("audit.rules").add(report.rules_run);
+    m.counter("audit.findings")
+        .add(report.findings.len() as u64);
+    m.histogram("audit.run_ns").record_ns(report.elapsed_ns);
+    let tracer = session.tracer();
+    if tracer.enabled() {
+        for f in &report.findings {
+            tracer.event(
+                "audit_finding",
+                &[
+                    ("code", FieldValue::Str(f.code)),
+                    ("severity", FieldValue::Str(f.severity.name())),
+                    ("family", FieldValue::U64(f.family.number())),
+                    ("site", FieldValue::Str(&f.span.render())),
+                ],
+            );
+        }
+    }
+}
+
+/// Extension methods hanging the auditor off [`Session`] itself.
+pub trait SessionAuditExt {
+    /// Audit with the default configuration.
+    fn audit(&self) -> AuditReport;
+    /// Audit with an explicit configuration.
+    fn audit_with(&self, cfg: &AuditConfig) -> AuditReport;
+}
+
+impl SessionAuditExt for Session {
+    fn audit(&self) -> AuditReport {
+        audit_session(self, &AuditConfig::default())
+    }
+
+    fn audit_with(&self, cfg: &AuditConfig) -> AuditReport {
+        audit_session(self, cfg)
+    }
+}

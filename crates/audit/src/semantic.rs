@@ -1,0 +1,155 @@
+//! Family 3 — semantic preservation (`PV201`–`PV203`).
+//!
+//! Bounded translation validation: instead of trusting the engine's
+//! safety reasoning, these rules check the *observable* contract
+//! directly. `PV201` mechanically reverse-replays the action log's
+//! inverses on a scratch clone (the log must stay invertible at all
+//! times); `PV202` additionally demands the replay land exactly on the
+//! pristine source (only sound for sessions that were never edited, so
+//! it is gated on [`crate::diag::AuditConfig::pristine`]); `PV203`
+//! executes the current program and the replayed base on generated
+//! input vectors and compares the full observable outcome, including
+//! runtime errors — i.e. the composite of all *active* transformations
+//! must preserve observable behavior over the (possibly edited) base
+//! program. The session's own `original` snapshot is deliberately not
+//! used as the `PV203` baseline: the engine snapshots it at edit time,
+//! *before* `remove_unsafe` reverses the edit-invalidated records, so
+//! after a reconciliation sweep its semantics legitimately differ from
+//! the session's.
+
+use crate::diag::{AuditConfig, AuditSpan, Finding};
+use pivot_lang::{equiv, interp, Program};
+use pivot_undo::actions::ActionLog;
+
+/// Run the semantic family. Returns the findings and the number of
+/// rules exercised.
+pub fn check(
+    prog: &Program,
+    original: &Program,
+    log: &ActionLog,
+    cfg: &AuditConfig,
+) -> (Vec<Finding>, u64) {
+    let mut findings = Vec::new();
+    let mut rules = 0u64;
+
+    rules += 1;
+    let replayed = reverse_replay(prog, log, &mut findings);
+
+    if cfg.pristine {
+        rules += 1;
+        if let Some(replayed) = &replayed {
+            if !equiv::programs_equal(replayed, original) {
+                findings.push(Finding::new(
+                    "PV202",
+                    AuditSpan::Session,
+                    "reverse-replaying the action log does not reproduce the pristine source"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    if let Some(base) = &replayed {
+        rules += 1;
+        observable_differential(prog, base, cfg, &mut findings);
+    }
+
+    (findings, rules)
+}
+
+/// PV201 — every logged action's inverse must be mechanically applicable
+/// in reverse stamp order. Returns the fully-unwound program when the
+/// replay succeeds.
+fn reverse_replay(prog: &Program, log: &ActionLog, findings: &mut Vec<Finding>) -> Option<Program> {
+    let mut ordered: Vec<_> = log.actions.iter().collect();
+    ordered.sort_by_key(|a| a.stamp);
+    let mut sim = prog.clone();
+    for sa in ordered.into_iter().rev() {
+        if let Err(err) = ActionLog::inverse_applicable(&sim, &sa.kind) {
+            findings.push(Finding::new(
+                "PV201",
+                AuditSpan::Stamp(sa.stamp.0),
+                format!("logged action is not mechanically invertible: {err}"),
+            ));
+            return None;
+        }
+        if let Err(err) = ActionLog::apply_inverse(&mut sim, &sa.kind) {
+            findings.push(Finding::new(
+                "PV201",
+                AuditSpan::Stamp(sa.stamp.0),
+                format!("inverse action failed to apply: {err}"),
+            ));
+            return None;
+        }
+    }
+    Some(sim)
+}
+
+/// PV203 — execute the current program and the replayed base on
+/// generated inputs and compare the exact observable result (output
+/// stream or runtime error).
+fn observable_differential(
+    prog: &Program,
+    base: &Program,
+    cfg: &AuditConfig,
+    findings: &mut Vec<Finding>,
+) {
+    if equiv::programs_equal(prog, base) {
+        return; // syntactically identical — nothing to validate
+    }
+    let mut rng = Xorshift::new(cfg.seed);
+    for i in 0..cfg.inputs {
+        let input: Vec<i64> = (0..cfg.input_len).map(|_| rng.small()).collect();
+        let got = interp::run_default(prog, &input);
+        let want = interp::run_default(base, &input);
+        if got != want {
+            findings.push(Finding::new(
+                "PV203",
+                AuditSpan::Session,
+                format!(
+                    "observable behavior diverges from the baseline on generated input {i}: \
+                     current {}, baseline {}",
+                    describe(&got),
+                    describe(&want)
+                ),
+            ));
+            return; // one witness is enough; further inputs add noise
+        }
+    }
+}
+
+fn describe(r: &Result<Vec<i64>, interp::ExecError>) -> String {
+    match r {
+        Ok(out) => format!("produced {} output values", out.len()),
+        Err(e) => format!("failed with {e}"),
+    }
+}
+
+/// Deterministic xorshift64* generator — the audit must not depend on
+/// ambient randomness, so inputs derive entirely from the config seed.
+struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    fn new(seed: u64) -> Xorshift {
+        Xorshift {
+            state: seed | 1, // zero state would be a fixed point
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Small signed values (−10..=10): exercise loop bounds, division by
+    /// zero, and subscript arithmetic without overflowing fuel.
+    fn small(&mut self) -> i64 {
+        (self.next() % 21) as i64 - 10
+    }
+}

@@ -1,0 +1,422 @@
+//! Family 1 — structural lints (`PV001`–`PV010`).
+//!
+//! These rules check that the session quadruple is *internally* coherent:
+//! the program arena invariants hold, every id the log and history mention
+//! resolves, the incrementally-maintained `Rep` agrees with a fresh batch
+//! rebuild, the ADAG/APDG annotations derived from the action log agree
+//! with attachment state, and the stamp bookkeeping between log and
+//! history is exact.
+
+use crate::diag::{AuditSpan, Finding};
+use pivot_ir::Rep;
+use pivot_lang::{AnchorPos, Parent, Program, StmtId};
+use pivot_undo::actions::{ActionKind, ActionLog, ActionTag, NodeRef};
+use pivot_undo::history::{History, XformState};
+use std::collections::{HashMap, HashSet};
+
+/// Run the structural family. `findings` gains one entry per violation.
+/// Returns `true` when the arena-level checks (PV001/PV002) passed — the
+/// caller must not run rep-rebuild or legality rules on a session whose
+/// basic references are broken (they index the arenas directly).
+pub fn check(
+    prog: &Program,
+    rep: &Rep,
+    log: &ActionLog,
+    history: &History,
+    findings: &mut Vec<Finding>,
+) -> bool {
+    let before = findings.len();
+    check_program_invariants(prog, findings);
+    check_id_bounds(prog, log, history, findings);
+    let arenas_ok = findings.len() == before;
+    check_stamp_bookkeeping(log, history, findings);
+    if arenas_ok {
+        check_annotation_drift(prog, log, findings);
+        check_rep_freshness(prog, rep, findings);
+    }
+    arenas_ok
+}
+
+/// PV001 — the program's own structural invariants.
+fn check_program_invariants(prog: &Program, findings: &mut Vec<Finding>) {
+    for violation in prog.check_invariants() {
+        findings.push(Finding::new("PV001", AuditSpan::Session, violation));
+    }
+}
+
+/// PV002 — every statement/expression id mentioned by the log or the
+/// history must be inside the arenas.
+fn check_id_bounds(
+    prog: &Program,
+    log: &ActionLog,
+    history: &History,
+    findings: &mut Vec<Finding>,
+) {
+    let slen = prog.stmt_arena_len();
+    let elen = prog.expr_arena_len();
+    let bad_stmt = |s: StmtId, what: &str, span: AuditSpan, findings: &mut Vec<Finding>| {
+        if s.index() >= slen {
+            findings.push(Finding::new(
+                "PV002",
+                span,
+                format!("{what} references statement {s} outside the arena (len {slen})"),
+            ));
+        }
+    };
+    let check_loc =
+        |loc: &pivot_lang::Loc, what: &str, span: AuditSpan, findings: &mut Vec<Finding>| {
+            if let Parent::Block(h, _) = loc.parent {
+                if h.index() >= slen {
+                    findings.push(Finding::new(
+                        "PV002",
+                        span,
+                        format!("{what} anchors inside out-of-arena statement {h}"),
+                    ));
+                }
+            }
+            if let AnchorPos::After(p) = loc.anchor {
+                if p.index() >= slen {
+                    findings.push(Finding::new(
+                        "PV002",
+                        span,
+                        format!("{what} anchors after out-of-arena statement {p}"),
+                    ));
+                }
+            }
+        };
+    for a in &log.actions {
+        let span = AuditSpan::Stamp(a.stamp.0);
+        match &a.kind {
+            ActionKind::Add { stmt, loc } => {
+                bad_stmt(*stmt, "Add action", span, findings);
+                check_loc(loc, "Add action", span, findings);
+            }
+            ActionKind::Delete { stmt, orig } => {
+                bad_stmt(*stmt, "Delete action", span, findings);
+                check_loc(orig, "Delete action", span, findings);
+            }
+            ActionKind::Move { stmt, from, to } => {
+                bad_stmt(*stmt, "Move action", span, findings);
+                check_loc(from, "Move action", span, findings);
+                check_loc(to, "Move action", span, findings);
+            }
+            ActionKind::Copy { src, copy, loc } => {
+                bad_stmt(*src, "Copy action (source)", span, findings);
+                bad_stmt(*copy, "Copy action (copy)", span, findings);
+                check_loc(loc, "Copy action", span, findings);
+            }
+            ActionKind::ModifyExpr { expr, .. } => {
+                if expr.index() >= elen {
+                    findings.push(Finding::new(
+                        "PV002",
+                        span,
+                        format!(
+                            "ModifyExpr action references expression {expr} outside the arena (len {elen})"
+                        ),
+                    ));
+                }
+            }
+            ActionKind::ModifyHeader { stmt, .. } => {
+                bad_stmt(*stmt, "ModifyHeader action", span, findings);
+            }
+        }
+    }
+    for record in &history.records {
+        let span = AuditSpan::Xform(record.id);
+        for s in record.params.site_stmts() {
+            bad_stmt(s, "history record", span, findings);
+        }
+        for e in record.params.site_exprs() {
+            if e.index() >= elen {
+                findings.push(Finding::new(
+                    "PV002",
+                    span,
+                    format!(
+                        "history record references expression {e} outside the arena (len {elen})"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// PV004/PV005/PV006/PV007/PV010 — stamp bookkeeping between the action
+/// log and the transformation history.
+fn check_stamp_bookkeeping(log: &ActionLog, history: &History, findings: &mut Vec<Finding>) {
+    let next = log.next_stamp();
+    let mut seen = HashSet::new();
+    for a in &log.actions {
+        if !seen.insert(a.stamp) {
+            findings.push(Finding::new(
+                "PV005",
+                AuditSpan::Stamp(a.stamp.0),
+                "duplicate stamp in the action log".to_string(),
+            ));
+        }
+        if a.stamp >= next {
+            findings.push(Finding::new(
+                "PV010",
+                AuditSpan::Stamp(a.stamp.0),
+                format!("stamp is not below the log's next stamp {}", next.0),
+            ));
+        }
+        match history.owner_of(a.stamp) {
+            None => {
+                findings.push(Finding::new(
+                    "PV004",
+                    AuditSpan::Stamp(a.stamp.0),
+                    "logged action is owned by no history record".to_string(),
+                ));
+            }
+            Some(id) => {
+                if let Ok(rec) = history.get(id) {
+                    if rec.state == XformState::Undone {
+                        findings.push(Finding::new(
+                            "PV006",
+                            AuditSpan::Stamp(a.stamp.0),
+                            format!("logged action belongs to undone transformation {id}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for record in &history.records {
+        if record.state != XformState::Active {
+            continue;
+        }
+        for &stamp in &record.stamps {
+            if !seen.contains(&stamp) {
+                findings.push(Finding::new(
+                    "PV007",
+                    AuditSpan::Xform(record.id),
+                    format!(
+                        "active record's action with stamp {} is missing from the log",
+                        stamp.0
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// PV008 — ADAG/APDG annotation drift: the attachment state of annotated
+/// statements must agree with what the annotations say. A detached
+/// statement must be held by an active `del` annotation; a live statement
+/// must not be.
+fn check_annotation_drift(prog: &Program, log: &ActionLog, findings: &mut Vec<Finding>) {
+    for (node, tags) in log.annotations() {
+        let NodeRef::Stmt(s) = node else {
+            // Expression nodes legitimately go dormant when a rewrite
+            // replaces their parent; no attachment state to cross-check.
+            continue;
+        };
+        let has_del = tags.iter().any(|(_, t)| *t == ActionTag::Del);
+        if prog.is_live(s) {
+            if has_del {
+                findings.push(Finding::new(
+                    "PV008",
+                    AuditSpan::Stmt(s),
+                    "statement is attached but an active del annotation holds it deleted"
+                        .to_string(),
+                ));
+            }
+        } else if !has_del {
+            findings.push(Finding::new(
+                "PV008",
+                AuditSpan::Stmt(s),
+                "statement is detached but no active del annotation accounts for it".to_string(),
+            ));
+        }
+    }
+}
+
+/// PV003 — the incrementally-maintained `Rep` must agree with a fresh
+/// batch rebuild of the current program.
+fn check_rep_freshness(prog: &Program, rep: &Rep, findings: &mut Vec<Finding>) {
+    let fresh = Rep::build(prog);
+    if rep.pos != fresh.pos {
+        findings.push(Finding::new(
+            "PV003",
+            AuditSpan::Session,
+            "statement position index disagrees with a fresh rebuild".to_string(),
+        ));
+    }
+    if let Some(why) = chains_diff(&rep.chains.ud, &fresh.chains.ud) {
+        findings.push(Finding::new(
+            "PV003",
+            AuditSpan::Session,
+            format!("ud-chains disagree with a fresh rebuild ({why})"),
+        ));
+    }
+    if let Some(why) = chains_diff(&rep.chains.du, &fresh.chains.du) {
+        findings.push(Finding::new(
+            "PV003",
+            AuditSpan::Session,
+            format!("du-chains disagree with a fresh rebuild ({why})"),
+        ));
+    }
+    if rep.live.sol.ins != fresh.live.sol.ins || rep.live.sol.outs != fresh.live.sol.outs {
+        findings.push(Finding::new(
+            "PV003",
+            AuditSpan::Session,
+            "liveness solution disagrees with a fresh rebuild".to_string(),
+        ));
+    }
+    if rep.reach.sol.ins != fresh.reach.sol.ins || rep.reach.sol.outs != fresh.reach.sol.outs {
+        findings.push(Finding::new(
+            "PV003",
+            AuditSpan::Session,
+            "reaching-defs solution disagrees with a fresh rebuild".to_string(),
+        ));
+    }
+    if rep.dom.idom != fresh.dom.idom {
+        findings.push(Finding::new(
+            "PV003",
+            AuditSpan::Session,
+            "dominator tree disagrees with a fresh rebuild".to_string(),
+        ));
+    }
+    if rep.pdom.idom != fresh.pdom.idom {
+        findings.push(Finding::new(
+            "PV003",
+            AuditSpan::Session,
+            "postdominator tree disagrees with a fresh rebuild".to_string(),
+        ));
+    }
+}
+
+/// Compare two chain maps, ignoring value ordering (incremental patching
+/// appends in discovery order). Returns a short description of the first
+/// difference.
+fn chains_diff(
+    a: &HashMap<(StmtId, pivot_lang::Sym), Vec<StmtId>>,
+    b: &HashMap<(StmtId, pivot_lang::Sym), Vec<StmtId>>,
+) -> Option<String> {
+    for (key, va) in a {
+        match b.get(key) {
+            None => {
+                if !va.is_empty() {
+                    return Some(format!("entry ({}, sym {}) is stale", key.0, key.1.index()));
+                }
+            }
+            Some(vb) => {
+                let mut sa = va.clone();
+                let mut sb = vb.clone();
+                sa.sort_unstable();
+                sa.dedup();
+                sb.sort_unstable();
+                sb.dedup();
+                if sa != sb {
+                    return Some(format!("entry ({}, sym {}) differs", key.0, key.1.index()));
+                }
+            }
+        }
+    }
+    for (key, vb) in b {
+        if !vb.is_empty() && !a.contains_key(key) {
+            return Some(format!(
+                "entry ({}, sym {}) is missing",
+                key.0,
+                key.1.index()
+            ));
+        }
+    }
+    None
+}
+
+/// PV009 — history/journal divergence, checked against the journal's JSONL
+/// text. Tolerates a torn final line (crash mid-write) exactly as recovery
+/// does, but flags malformed interior lines, dangling non-tail `begin`
+/// records, and a journal that claims more committed applies than the
+/// history holds.
+pub fn check_journal(text: &str, history: &History) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut open: HashMap<i64, usize> = HashMap::new(); // txn -> line no
+    let mut committed_applies = 0usize;
+    let mut begin_ops: HashMap<i64, String> = HashMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = pivot_obs::json::parse(line);
+        let Ok(v) = parsed else {
+            if i + 1 == lines.len() {
+                continue; // torn tail is expected after a crash
+            }
+            findings.push(Finding::new(
+                "PV009",
+                AuditSpan::Session,
+                format!("journal line {} is not valid JSON", i + 1),
+            ));
+            continue;
+        };
+        let rec = v.get("rec").and_then(|r| r.as_str()).unwrap_or("");
+        let txn = v.get("txn").and_then(|t| t.as_int()).unwrap_or(-1);
+        match rec {
+            "begin" => {
+                let op = v
+                    .get("op")
+                    .and_then(|o| o.as_str())
+                    .unwrap_or("")
+                    .to_string();
+                if open.insert(txn, i + 1).is_some() {
+                    findings.push(Finding::new(
+                        "PV009",
+                        AuditSpan::Session,
+                        format!("journal line {}: begin for already-open txn {txn}", i + 1),
+                    ));
+                }
+                begin_ops.insert(txn, op);
+            }
+            "commit" | "abort" => {
+                if open.remove(&txn).is_none() {
+                    findings.push(Finding::new(
+                        "PV009",
+                        AuditSpan::Session,
+                        format!(
+                            "journal line {}: {rec} for txn {txn} with no open begin",
+                            i + 1
+                        ),
+                    ));
+                } else if rec == "commit"
+                    && begin_ops.get(&txn).map(String::as_str) == Some("apply")
+                {
+                    committed_applies += 1;
+                }
+            }
+            other => {
+                findings.push(Finding::new(
+                    "PV009",
+                    AuditSpan::Session,
+                    format!("journal line {}: unknown record kind {other:?}", i + 1),
+                ));
+            }
+        }
+    }
+    // Only the latest transaction may legitimately be open (in flight or
+    // lost to a crash); earlier dangling begins mean records were skipped.
+    if open.len() > 1 {
+        let mut line_nos: Vec<usize> = open.values().copied().collect();
+        line_nos.sort_unstable();
+        for &ln in &line_nos[..line_nos.len() - 1] {
+            findings.push(Finding::new(
+                "PV009",
+                AuditSpan::Session,
+                format!("journal line {ln}: begin record was never committed or aborted"),
+            ));
+        }
+    }
+    if committed_applies > history.records.len() {
+        findings.push(Finding::new(
+            "PV009",
+            AuditSpan::Session,
+            format!(
+                "journal commits {committed_applies} applies but the history holds {} records",
+                history.records.len()
+            ),
+        ));
+    }
+    findings
+}

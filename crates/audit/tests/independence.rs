@@ -1,0 +1,97 @@
+//! Enforce the N-version property of the legality family: the auditor's
+//! verdict code must share **no implementation** with the engine's safety
+//! machinery. A common-mode bug (both sides wrong the same way) is the
+//! one failure the audit architecture cannot catch, so the ban is
+//! enforced mechanically over the crate's sources.
+
+use std::fs;
+use std::path::Path;
+
+/// Strip `//` comments (doc comments mention the engine freely; only
+/// code references are banned) and drop everything from the first
+/// `#[cfg(test)]` on — the in-crate differential tests *deliberately*
+/// compare the independent analyses against the engine, which is the
+/// point, not a violation. Shipped (non-test) code is what must stay
+/// disjoint.
+fn code_only(src: &str) -> String {
+    src.lines()
+        .take_while(|l| !l.contains("#[cfg(test)]"))
+        .map(|l| match l.find("//") {
+            Some(i) => &l[..i],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn src_files() -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut out = Vec::new();
+    let entries = fs::read_dir(&dir).expect("audit src dir exists");
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .expect("utf8 file name")
+                .to_string();
+            let text = fs::read_to_string(&path).expect("readable source");
+            out.push((name, code_only(&text)));
+        }
+    }
+    assert!(
+        out.iter().any(|(n, _)| n == "legality.rs"),
+        "expected to find legality.rs in {}",
+        dir.display()
+    );
+    out
+}
+
+/// No audit source may call into the engine's safety or screening code,
+/// in any form.
+#[test]
+fn no_engine_safety_machinery_anywhere() {
+    let banned = [
+        "safety",
+        "parcheck",
+        "still_safe",
+        "find_unsafe",
+        "rewrite_safe",
+        "dce_safe",
+        "catalog::",
+        "interchange_legal",
+        "fusion_legal",
+    ];
+    for (name, code) in src_files() {
+        for b in banned {
+            assert!(
+                !code.contains(b),
+                "{name} references banned engine machinery: {b:?}"
+            );
+        }
+    }
+}
+
+/// The legality family and its dataflow substrate must not even touch the
+/// engine's IR crate: every fact they use (liveness, reaching defs,
+/// dominance, dependence directions) is re-derived over the structured
+/// AST. The structural family is exempt — comparing the session `Rep`
+/// against a fresh `pivot_ir` rebuild is its entire job.
+#[test]
+fn legality_family_is_ir_free() {
+    for (name, code) in src_files() {
+        if name != "legality.rs" && name != "analysis.rs" && name != "semantic.rs" {
+            continue;
+        }
+        for b in ["pivot_ir", "pivot_undo::revers", "inverse_applicable"] {
+            if name == "semantic.rs" && b == "inverse_applicable" {
+                // The semantic family replays the log's *mechanical*
+                // inverses — that is the contract under test, not a
+                // legality re-derivation.
+                continue;
+            }
+            assert!(!code.contains(b), "{name} must not reference {b:?}");
+        }
+    }
+}

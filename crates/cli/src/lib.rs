@@ -18,6 +18,10 @@
 //!                                    its write-ahead journal (committed
 //!                                    transactions replay; the uncommitted
 //!                                    tail is discarded)
+//! pivot audit <file> [--script <script>] [--journal <journal>] [--json] [--pristine]
+//!                                    run the independent static auditor over
+//!                                    the session (optionally after driving a
+//!                                    script); non-zero exit on any finding
 //! pivot tables                       print the regenerated paper tables
 //! ```
 //!
@@ -74,6 +78,10 @@ usage: pivot <command> [args]
                                drive a session from a command script
   recover <file> <journal>     replay a write-ahead journal's committed
                                transactions; discard the uncommitted tail
+  audit <file> [--script <script>] [--journal <journal>] [--json] [--pristine]
+                               run the independent static auditor (structural,
+                               legality, and semantic lint families) over the
+                               session; exits non-zero on any finding
   tables                       print the regenerated paper tables
 ";
 
@@ -201,6 +209,63 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             );
             let _ = writeln!(out, "history: {}", recovery.session.history.summary());
             out.push_str(&recovery.session.source());
+        }
+        Some("audit") => {
+            let prog = load(args.get(1))?;
+            let mut script_path = None;
+            let mut journal_path = None;
+            let mut json = false;
+            let mut pristine = false;
+            let mut rest = args[2..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--script" => {
+                        script_path =
+                            Some(rest.next().ok_or_else(|| err("--script needs a file"))?);
+                    }
+                    "--journal" => {
+                        journal_path =
+                            Some(rest.next().ok_or_else(|| err("--journal needs a file"))?);
+                    }
+                    "--json" => json = true,
+                    "--pristine" => pristine = true,
+                    other => return Err(err(format!("audit: unknown option `{other}`"))),
+                }
+            }
+            let mut session = Session::new(prog);
+            if let Some(p) = script_path {
+                let script =
+                    std::fs::read_to_string(p).map_err(|e| err(format!("cannot read {p}: {e}")))?;
+                let mut scratch = String::new();
+                run_script(&mut session, &script, &mut scratch)?;
+            }
+            let journal_text = match journal_path {
+                Some(p) => Some(
+                    std::fs::read_to_string(p)
+                        .map_err(|e| err(format!("cannot read journal {p}: {e}")))?,
+                ),
+                None => None,
+            };
+            // A session that ran no script is trivially pristine (empty
+            // log); with a script, the caller vouches via --pristine that
+            // no edit commands were used, enabling the stricter
+            // replay-to-source rule (PV202).
+            let cfg = pivot_audit::AuditConfig {
+                pristine: pristine || script_path.is_none(),
+                ..pivot_audit::AuditConfig::default()
+            };
+            let report =
+                pivot_audit::audit_session_with_journal(&session, &cfg, journal_text.as_deref());
+            let rendered = if json {
+                report.render_json()
+            } else {
+                report.render_human()
+            };
+            if report.is_clean() {
+                out.push_str(&rendered);
+            } else {
+                return Err(CliError(rendered));
+            }
         }
         Some("tables") => {
             out.push_str("== Table 3 (generated from specifications) ==\n");
@@ -489,6 +554,50 @@ mod tests {
             "--bogus".into()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn cli_audit() {
+        let dir = std::env::temp_dir().join("pivot_cli_audit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("prog.pv");
+        std::fs::write(&f, "d = e + f\nr = e + f\nwrite r\nwrite d\n").unwrap();
+        let fs = f.to_string_lossy().to_string();
+        // Fresh session audits clean.
+        let out = run_cli(&["audit".into(), fs.clone()]).unwrap();
+        assert!(out.contains("0 finding(s)"), "{out}");
+        // Transformed session (script-driven) audits clean, JSON output.
+        let sf = dir.join("script.txt");
+        std::fs::write(&sf, "apply CSE\n").unwrap();
+        let out = run_cli(&[
+            "audit".into(),
+            fs.clone(),
+            "--script".into(),
+            sf.to_string_lossy().to_string(),
+            "--pristine".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("\"rules_run\""), "{out}");
+        // A journal whose committed transactions outnumber the history is
+        // divergence: the audit fails and the finding names PV009.
+        let jf = dir.join("bogus.journal");
+        std::fs::write(
+            &jf,
+            "{\"rec\":\"begin\",\"txn\":1,\"op\":\"apply\",\"kind\":\"CSE\",\"site\":4}\n\
+             {\"rec\":\"commit\",\"txn\":1}\n",
+        )
+        .unwrap();
+        let e = run_cli(&[
+            "audit".into(),
+            fs.clone(),
+            "--journal".into(),
+            jf.to_string_lossy().to_string(),
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("PV009"), "{e}");
+        // Unknown options are rejected.
+        assert!(run_cli(&["audit".into(), fs, "--bogus".into()]).is_err());
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! Audit sweep driver: exercise the independent auditor
+//! ([`pivot_audit`]) against seeded workloads from three directions.
+//!
+//! 1. **Clean phase** — drive apply/undo/edit workloads and audit at
+//!    every *reconciled* boundary (the engine's own `find_unsafe()`
+//!    empty). Any finding is a false positive: either an auditor bug or
+//!    a real engine bug, and both demand attention.
+//! 2. **Poison phase** — fork the session, corrupt exactly one facet of
+//!    the `(Program, Rep, Log, History)` quadruple, and demand the
+//!    expected lint fires. A missed poison means a blind spot.
+//! 3. **Fault cross-check** — arm the engine's deterministic
+//!    [`FaultPlan`] injection, force mid-cascade rollbacks, and audit
+//!    the rolled-back session: transactional recovery must leave
+//!    nothing for an independent observer to find.
+
+use crate::{gen_edit, prepare, WorkloadCfg};
+use pivot_audit::{audit_session, AuditConfig};
+use pivot_lang::{ExprKind, StmtId, StmtKind};
+use pivot_undo::actions::{ActionKind, ActionTag, NodeRef, Stamp, StampedAction};
+use pivot_undo::engine::Session;
+use pivot_undo::history::XformState;
+use pivot_undo::{FaultPlan, Strategy, UndoError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Aggregate result of an audit sweep.
+#[derive(Debug, Default)]
+pub struct AuditSweepOutcome {
+    /// Seeds driven through the clean phase.
+    pub seeds: usize,
+    /// Audits performed on reconciled clean states.
+    pub clean_audits: u64,
+    /// Findings reported on those states (must be zero).
+    pub clean_findings: u64,
+    /// Poisoned forks audited.
+    pub poisons: u64,
+    /// Poisoned forks where the expected lint fired.
+    pub detected: u64,
+    /// Descriptions of poisons the auditor missed (empty = pass).
+    pub missed: Vec<String>,
+    /// Faulted undo attempts audited after rollback or survival.
+    pub fault_trials: u64,
+    /// Invariant violations (clean-state findings, missed poisons with
+    /// detail, post-rollback findings).
+    pub violations: Vec<String>,
+}
+
+impl AuditSweepOutcome {
+    /// Overall detection rate over the poison phase, in [0, 1].
+    pub fn detection_rate(&self) -> f64 {
+        if self.poisons == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.poisons as f64
+    }
+
+    /// True when clean states audit clean, every poison was detected,
+    /// and every induced rollback left nothing to find.
+    pub fn passed(&self) -> bool {
+        self.clean_findings == 0 && self.missed.is_empty() && self.violations.is_empty()
+    }
+}
+
+fn workload_cfg() -> WorkloadCfg {
+    WorkloadCfg {
+        fragments: 6,
+        noise_ratio: 0.3,
+        figure1_chains: 1,
+        ..Default::default()
+    }
+}
+
+/// Reconcile the session (sweep edit-invalidated records until the
+/// engine reports none) and audit. Returns the number of findings.
+fn audit_reconciled(
+    session: &mut Session,
+    cfg: &AuditConfig,
+    label: &str,
+    outcome: &mut AuditSweepOutcome,
+) {
+    for _ in 0..3 {
+        if session.find_unsafe().is_empty() {
+            break;
+        }
+        session.remove_unsafe(Strategy::Regional);
+    }
+    if !session.find_unsafe().is_empty() {
+        outcome
+            .violations
+            .push(format!("{label}: session refused to reconcile"));
+        return;
+    }
+    let report = audit_session(session, cfg);
+    outcome.clean_audits += 1;
+    outcome.clean_findings += report.findings.len() as u64;
+    for f in &report.findings {
+        outcome.violations.push(format!(
+            "{label}: clean-state finding: {}",
+            f.render_human()
+        ));
+    }
+}
+
+/// Phase 1: seeded apply/undo/edit workloads audited at every
+/// reconciled step boundary.
+fn clean_phase(seed: u64, steps: usize, outcome: &mut AuditSweepOutcome) {
+    let cfg = workload_cfg();
+    let mut session = Session::new(crate::gen_program(seed, &cfg));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC1EA);
+    let mut audit_cfg = AuditConfig {
+        pristine: true,
+        ..AuditConfig::default()
+    };
+    audit_reconciled(
+        &mut session,
+        &audit_cfg,
+        &format!("seed {seed} initial"),
+        outcome,
+    );
+    for step in 0..steps {
+        match rng.gen_range(0..9) {
+            0..=4 => {
+                let opps = session.find_all();
+                if opps.is_empty() {
+                    continue;
+                }
+                let opp = opps[rng.gen_range(0..opps.len())].clone();
+                let _ = session.apply(&opp);
+            }
+            5..=7 => {
+                let Some(id) = session.history.last_active() else {
+                    continue;
+                };
+                match session.undo(id, Strategy::Regional) {
+                    Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+                    Err(e) => {
+                        outcome
+                            .violations
+                            .push(format!("seed {seed} step {step}: undo failed: {e}"));
+                    }
+                }
+            }
+            _ => {
+                let edit = gen_edit(&session, rng.gen());
+                if session.edit(&edit).is_ok() {
+                    audit_cfg.pristine = false;
+                }
+            }
+        }
+        audit_reconciled(
+            &mut session,
+            &audit_cfg,
+            &format!("seed {seed} step {step}"),
+            outcome,
+        );
+    }
+}
+
+/// One poison: a label, a corruption, and the lint codes of which at
+/// least one must fire.
+struct Poison {
+    label: &'static str,
+    expect: &'static [&'static str],
+    corrupt: fn(&mut Session) -> bool,
+}
+
+const POISONS: &[Poison] = &[
+    Poison {
+        label: "record marked undone with its actions still logged",
+        expect: &["PV006"],
+        corrupt: |s| {
+            let Some(id) = s.history.last_active() else {
+                return false;
+            };
+            match s.history.get_mut(id) {
+                Ok(rec) => {
+                    rec.state = XformState::Undone;
+                    true
+                }
+                Err(_) => false,
+            }
+        },
+    },
+    Poison {
+        label: "action dropped from the log",
+        expect: &["PV007"],
+        corrupt: |s| s.log.actions.pop().is_some(),
+    },
+    Poison {
+        label: "orphan action with a future stamp",
+        expect: &["PV004"],
+        corrupt: |s| {
+            let Some(first) = s.log.actions.first() else {
+                return false;
+            };
+            let kind = first.kind.clone();
+            let stamp = Stamp(s.log.next_stamp().0 + 3);
+            s.log.actions.push(StampedAction { stamp, kind });
+            true
+        },
+    },
+    Poison {
+        label: "stamp at or above the allocator",
+        expect: &["PV010"],
+        corrupt: |s| {
+            let Some(first) = s.log.actions.first() else {
+                return false;
+            };
+            let kind = first.kind.clone();
+            let stamp = s.log.next_stamp();
+            s.log.actions.push(StampedAction { stamp, kind });
+            true
+        },
+    },
+    Poison {
+        label: "duplicated log entry",
+        expect: &["PV005"],
+        corrupt: |s| {
+            let Some(first) = s.log.actions.first() else {
+                return false;
+            };
+            let dup = first.clone();
+            s.log.actions.push(dup);
+            true
+        },
+    },
+    Poison {
+        label: "stale position index in the representation",
+        expect: &["PV003"],
+        corrupt: |s| {
+            let Some(&key) = s.rep.pos.keys().next() else {
+                return false;
+            };
+            s.rep.pos.remove(&key);
+            true
+        },
+    },
+    Poison {
+        label: "dangling statement id in a logged action",
+        expect: &["PV002"],
+        corrupt: |s| {
+            for a in s.log.actions.iter_mut() {
+                let slot = match &mut a.kind {
+                    ActionKind::Add { stmt, .. }
+                    | ActionKind::Delete { stmt, .. }
+                    | ActionKind::Move { stmt, .. }
+                    | ActionKind::ModifyHeader { stmt, .. } => stmt,
+                    ActionKind::Copy { copy, .. } => copy,
+                    ActionKind::ModifyExpr { .. } => continue,
+                };
+                *slot = StmtId(u32::MAX - 1);
+                return true;
+            }
+            false
+        },
+    },
+    Poison {
+        label: "unlogged constant flip in the program",
+        expect: &["PV202", "PV003"],
+        corrupt: |s| {
+            for stmt in s.prog.attached_stmts() {
+                if let StmtKind::Assign { value, .. } = s.prog.stmt(stmt).kind {
+                    if let ExprKind::Const(v) = s.prog.expr(value).kind {
+                        s.prog.replace_expr_kind(value, ExprKind::Const(v ^ 1));
+                        return true;
+                    }
+                }
+            }
+            false
+        },
+    },
+    Poison {
+        label: "annotated statement detached behind the log's back",
+        expect: &["PV008"],
+        corrupt: |s| {
+            let target = s
+                .log
+                .annotations()
+                .into_iter()
+                .find_map(|(node, tags)| match node {
+                    NodeRef::Stmt(stmt)
+                        if s.prog.is_live(stmt)
+                            && !tags.iter().any(|(_, t)| *t == ActionTag::Del) =>
+                    {
+                        Some(stmt)
+                    }
+                    _ => None,
+                });
+            match target {
+                Some(stmt) => s.prog.detach(stmt).is_ok(),
+                None => false,
+            }
+        },
+    },
+];
+
+/// Phase 2: every poison against a prepared pristine session.
+fn poison_phase(seed: u64, max: usize, outcome: &mut AuditSweepOutcome) {
+    let prepared = prepare(seed, &workload_cfg(), max);
+    let base = prepared.session;
+    if base.history.records.is_empty() {
+        return;
+    }
+    let audit_cfg = AuditConfig {
+        pristine: true,
+        ..AuditConfig::default()
+    };
+    for poison in POISONS {
+        let mut fork = base.clone();
+        if !(poison.corrupt)(&mut fork) {
+            continue; // poison not expressible on this session shape
+        }
+        outcome.poisons += 1;
+        let report = audit_session(&fork, &audit_cfg);
+        let hit = report
+            .findings
+            .iter()
+            .any(|f| poison.expect.contains(&f.code));
+        if hit {
+            outcome.detected += 1;
+        } else {
+            outcome.missed.push(format!(
+                "seed {seed}: {} (expected one of {:?}, audit said: {})",
+                poison.label,
+                poison.expect,
+                if report.is_clean() {
+                    "clean".to_string()
+                } else {
+                    report.render_human()
+                }
+            ));
+        }
+    }
+}
+
+/// Phase 3: induced mid-cascade rollbacks must leave nothing for an
+/// independent observer to find.
+fn fault_phase(seed: u64, max: usize, outcome: &mut AuditSweepOutcome) {
+    let prepared = prepare(seed, &workload_cfg(), max);
+    let base = prepared.session;
+    let audit_cfg = AuditConfig {
+        pristine: true,
+        ..AuditConfig::default()
+    };
+    let plans = [
+        FaultPlan::nth_inverse_action(1),
+        FaultPlan::nth_safety_check(1),
+        FaultPlan::nth_rebuild(1),
+    ];
+    for &target in &prepared.applied {
+        for (i, plan) in plans.iter().enumerate() {
+            let mut fork = base.clone();
+            fork.arm_faults(*plan);
+            let label = format!("seed {seed} faulted undo {target} plan #{i}");
+            match fork.undo(target, Strategy::Regional) {
+                Err(UndoError::RolledBack { .. }) | Ok(_) => {
+                    outcome.fault_trials += 1;
+                    let report = audit_session(&fork, &audit_cfg);
+                    for f in &report.findings {
+                        outcome.violations.push(format!(
+                            "{label}: post-rollback finding: {}",
+                            f.render_human()
+                        ));
+                    }
+                }
+                Err(UndoError::AlreadyUndone(_)) => {}
+                Err(e) => {
+                    outcome
+                        .violations
+                        .push(format!("{label}: unexpected undo error: {e}"));
+                }
+            }
+        }
+    }
+}
+
+/// Run the full audit sweep over `count` seeds starting at `seed`, with
+/// up to `max` prepared transformations and `steps` clean-phase steps
+/// per seed.
+pub fn sweep_audit(seed: u64, count: usize, steps: usize, max: usize) -> AuditSweepOutcome {
+    let mut outcome = AuditSweepOutcome::default();
+    for i in 0..count {
+        let s = seed + i as u64;
+        outcome.seeds += 1;
+        clean_phase(s, steps, &mut outcome);
+        poison_phase(s, max, &mut outcome);
+        fault_phase(s, max, &mut outcome);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_passes_on_small_run() {
+        let o = sweep_audit(3, 2, 10, 6);
+        assert!(
+            o.passed(),
+            "audit sweep failed:\nmissed: {:?}\nviolations: {:?}",
+            o.missed,
+            o.violations
+        );
+        assert!(o.clean_audits > 0);
+        assert!(o.poisons > 0);
+        assert!((o.detection_rate() - 1.0).abs() < f64::EPSILON);
+    }
+}

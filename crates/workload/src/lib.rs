@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod auditcheck;
 pub mod faults;
 pub mod fragments;
 pub mod incrcheck;

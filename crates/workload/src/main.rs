@@ -13,7 +13,10 @@
 //! batch/incremental divergence and reporting dirty-block ratios.
 //! `parcheck` runs the same seeded workloads across worker counts and
 //! scripted schedules ([`pivot_workload::parcheck`]) and exits non-zero on
-//! any behavioral divergence from the one-thread oracle.
+//! any behavioral divergence from the one-thread oracle. `auditcheck`
+//! runs the independent static auditor ([`pivot_workload::auditcheck`])
+//! over clean, poisoned, and fault-rolled-back sessions, and exits
+//! non-zero on any clean-state finding or undetected poison.
 
 use std::process::ExitCode;
 
@@ -35,6 +38,14 @@ commands:
                                schedules and compare full behavioral
                                fingerprints against the 1-thread oracle
                                (defaults: --seed 0 --count 6 --max 10)
+  auditcheck [--seed N] [--count N] [--steps N] [--max N]
+                               run the independent static auditor over
+                               seeded workloads: reconciled states must
+                               audit clean, every poisoned fork must be
+                               detected, and induced rollbacks must
+                               leave nothing to find
+                               (defaults: --seed 0 --count 4 --steps 20
+                               --max 8)
 ";
 
 fn main() -> ExitCode {
@@ -151,6 +162,53 @@ fn main() -> ExitCode {
             } else {
                 for m in &o.mismatches {
                     eprintln!("divergence: {m}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Some("auditcheck") => {
+            let mut seed = 0u64;
+            let mut count = 4usize;
+            let mut steps = 20usize;
+            let mut max = 8usize;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--seed" => value(&mut rest, "--seed").map(|v| seed = v),
+                    "--count" => value(&mut rest, "--count").map(|v| count = v as usize),
+                    "--steps" => value(&mut rest, "--steps").map(|v| steps = v as usize),
+                    "--max" => value(&mut rest, "--max").map(|v| max = v as usize),
+                    other => Err(format!("auditcheck: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let o = pivot_workload::auditcheck::sweep_audit(seed, count, steps, max);
+            println!(
+                "auditcheck: {} seeds, {} clean audits ({} findings), \
+                 {} poisons ({:.0}% detected), {} fault trials",
+                o.seeds,
+                o.clean_audits,
+                o.clean_findings,
+                o.poisons,
+                o.detection_rate() * 100.0,
+                o.fault_trials
+            );
+            if o.passed() {
+                ExitCode::SUCCESS
+            } else {
+                for m in &o.missed {
+                    eprintln!("missed poison: {m}");
+                }
+                for v in &o.violations {
+                    eprintln!("violation: {v}");
                 }
                 ExitCode::FAILURE
             }

@@ -1,0 +1,103 @@
+//! Experiment E15 driver: audit wall-time versus program size, per family.
+//!
+//! For a ladder of seeded workload sizes this prepares a session with a
+//! realistic transformation history, then times `audit_session` in four
+//! configurations (median of repeated runs):
+//! - `structural` — family 1 only (program/log/history/rep lints);
+//! - `legality`   — families 1+2 (adds the independent legality
+//!   re-derivation, including the audit-local dataflow pass);
+//! - `semantic`   — families 1+3 (adds reverse replay plus bounded
+//!   translation validation over generated inputs);
+//! - `full`       — all three families, the default `Session::audit()`.
+//!
+//! Prints a human table and, with `--json`, machine-readable lines used to
+//! record `BENCH_audit.json`. Every configuration is asserted clean so a
+//! regression cannot silently time the failure path.
+
+use pivot_audit::{audit_session, AuditConfig};
+use pivot_workload::{prepare, WorkloadCfg};
+use std::time::Instant;
+
+fn median_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    // (fragments, figure1 chains, max applied) ladder: roughly 4x program
+    // growth per rung.
+    let sizes: [(usize, usize, usize); 4] = [(6, 1, 8), (24, 2, 30), (96, 3, 80), (220, 4, 200)];
+    let reps = 7;
+
+    type ConfigRow = (&'static str, fn() -> AuditConfig);
+    let configs: [ConfigRow; 4] = [
+        ("structural", || AuditConfig {
+            legality: false,
+            semantic: false,
+            ..AuditConfig::default()
+        }),
+        ("legality", || AuditConfig {
+            semantic: false,
+            ..AuditConfig::default()
+        }),
+        ("semantic", || AuditConfig {
+            legality: false,
+            ..AuditConfig::default()
+        }),
+        ("full", AuditConfig::default),
+    ];
+
+    println!(
+        "{:>6} {:>7} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "stmts", "active", "rules", "struct (ms)", "legal (ms)", "seman (ms)", "full (ms)"
+    );
+    for &(fragments, chains, max) in &sizes {
+        let cfg = WorkloadCfg {
+            fragments,
+            noise_ratio: 0.2,
+            figure1_chains: chains,
+            ..Default::default()
+        };
+        let prepared = prepare(0xE15, &cfg, max);
+        let s = &prepared.session;
+        let stmts = s.prog.attached_stmts().len();
+        let active = s.history.active_len();
+
+        let mut ms = [0.0f64; 4];
+        let mut rules = 0u64;
+        for (i, (name, make)) in configs.iter().enumerate() {
+            let acfg = make();
+            let report = audit_session(s, &acfg);
+            assert!(
+                report.is_clean(),
+                "{name} audit of a prepared session must be clean, found {:?}",
+                report.findings
+            );
+            if *name == "full" {
+                rules = report.rules_run;
+            }
+            ms[i] = median_ms(reps, || audit_session(s, &acfg));
+        }
+
+        println!(
+            "{:>6} {:>7} {:>7} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            stmts, active, rules, ms[0], ms[1], ms[2], ms[3]
+        );
+        if json {
+            println!(
+                "{{\"stmts\":{stmts},\"active\":{active},\"rules\":{rules},\
+                 \"ms_structural\":{:.3},\"ms_legality\":{:.3},\
+                 \"ms_semantic\":{:.3},\"ms_full\":{:.3}}}",
+                ms[0], ms[1], ms[2], ms[3]
+            );
+        }
+    }
+}

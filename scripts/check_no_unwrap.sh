@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Deny `.unwrap()` / `.expect(` in the engine's transactional hot paths.
-# Test modules (everything from `#[cfg(test)]` down) and comment lines are
-# exempt. The undo/apply cascades must surface typed errors and roll back,
-# never panic mid-mutation.
+# Deny `.unwrap()` / `.expect(` in the engine's transactional hot paths
+# and in the whole auditor. Test modules (everything from `#[cfg(test)]`
+# down) and comment lines are exempt. The undo/apply cascades must surface
+# typed errors and roll back, never panic mid-mutation — and an auditor
+# that panics on the corrupt states it exists to diagnose is useless.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,6 +16,9 @@ FILES=(
   crates/par/src/sched.rs
   crates/ir/src/dataflow.rs
 )
+while IFS= read -r f; do
+  FILES+=("$f")
+done < <(find crates/audit/src -name '*.rs' | sort)
 
 status=0
 for f in "${FILES[@]}"; do

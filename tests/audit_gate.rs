@@ -1,0 +1,209 @@
+//! Audit gate: drive soak-style sessions (random interleavings of apply,
+//! independent-order undo, and edit + invalidation sweeps) and run the
+//! independent auditor at every step boundary.
+//!
+//! The auditor re-derives legality with its own structured-AST dataflow,
+//! rebuilds the representation from scratch, cross-checks the stamp
+//! bookkeeping, and replays the log's inverses — all without calling the
+//! engine's safety code. Two properties are enforced:
+//!
+//! 1. **N-version agreement** — the set of transformations the audit's
+//!    legality family flags must equal the engine's own `find_unsafe()`
+//!    verdicts at every step. Disabling conditions *do* transiently trip
+//!    mid-session (e.g. an undo can unresolve the anchor a DCE's
+//!    restoration needs); both implementations must trip on exactly the
+//!    same records.
+//! 2. **Clean families** — the structural and semantic families must
+//!    report nothing on engine-produced states, and all three families
+//!    must be silent at reconciled boundaries (`find_unsafe()` empty).
+//!
+//! The test honors `PIVOT_THREADS`, so the CI matrix exercises the
+//! sequential oracle and the parallel screening paths against the same
+//! gate.
+
+use pivot_audit::{audit_session, AuditConfig, AuditSpan, Family};
+use pivot_undo::engine::{Session, Strategy};
+use pivot_undo::{UndoError, XformId};
+use pivot_workload::{gen_program, WorkloadCfg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Audit and cross-check against the engine's own screening.
+fn assert_agreement(session: &Session, cfg: &AuditConfig, seed: u64, when: &str) {
+    let report = audit_session(session, cfg);
+    for f in &report.findings {
+        assert!(
+            f.family != Family::Structural && f.family != Family::Semantic,
+            "seed {seed}, {when}: non-legality finding on an engine-produced state\n{}",
+            report.render_human()
+        );
+    }
+    let flagged: BTreeSet<XformId> = report
+        .findings
+        .iter()
+        .filter(|f| f.family == Family::Legality)
+        .filter_map(|f| match f.span {
+            AuditSpan::Xform(id) => Some(id),
+            _ => None,
+        })
+        .collect();
+    let engine: BTreeSet<XformId> = session.find_unsafe().into_iter().collect();
+    assert_eq!(
+        flagged,
+        engine,
+        "seed {seed}, {when}: audit legality verdicts disagree with the engine\n\
+         audit flagged {flagged:?}, engine flagged {engine:?}\n{}",
+        report.render_human()
+    );
+}
+
+fn audited_soak(seed: u64, steps: usize) {
+    let cfg = WorkloadCfg {
+        fragments: 6,
+        noise_ratio: 0.3,
+        figure1_chains: 1,
+        ..Default::default()
+    };
+    let mut session = Session::new(gen_program(seed, &cfg));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA0D1);
+    let mut live: Vec<XformId> = Vec::new();
+    // Until the first edit the baseline is the untouched source, so the
+    // stronger pristine contract (reverse replay must land exactly on it)
+    // is in force.
+    let mut audit_cfg = AuditConfig {
+        pristine: true,
+        ..AuditConfig::default()
+    };
+
+    assert_agreement(&session, &audit_cfg, seed, "before any step");
+
+    for step in 0..steps {
+        match rng.gen_range(0..9) {
+            0..=4 => {
+                let opps = session.find_all();
+                if opps.is_empty() {
+                    continue;
+                }
+                let opp = opps[rng.gen_range(0..opps.len())].clone();
+                if let Ok(id) = session.apply(&opp) {
+                    live.push(id);
+                }
+            }
+            5..=7 => {
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = rng.gen_range(0..live.len());
+                let id = live[idx];
+                match session.undo(id, Strategy::Regional) {
+                    Ok(report) => live.retain(|x| !report.undone.contains(x)),
+                    Err(UndoError::AlreadyUndone(_)) => {
+                        live.remove(idx);
+                    }
+                    Err(e) => panic!("seed {seed} step {step}: undo {id} failed: {e}"),
+                }
+            }
+            _ => {
+                let edit = pivot_workload::gen_edit(&session, rng.gen());
+                if session.edit(&edit).is_err() {
+                    continue;
+                }
+                audit_cfg.pristine = false;
+                let report = session.remove_unsafe(Strategy::Regional);
+                live.retain(|x| !report.removed.contains(x) && !report.retired.contains(x));
+                assert!(
+                    session.find_unsafe().is_empty(),
+                    "seed {seed} step {step}: unsafe remain after removal"
+                );
+                // A reconciled boundary: with the engine's screening empty,
+                // agreement means all three families are silent here.
+            }
+        }
+        assert_agreement(&session, &audit_cfg, seed, &format!("after step {step}"));
+    }
+
+    // Unwind everything; a fully-undone session must audit completely
+    // clean (nothing active means nothing left to disagree about).
+    for id in session.history.active().map(|r| r.id).collect::<Vec<_>>() {
+        match session.undo(id, Strategy::Regional) {
+            Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+            Err(e) => panic!("seed {seed} final undo {id}: {e}"),
+        }
+    }
+    let report = audit_session(&session, &audit_cfg);
+    assert!(
+        report.is_clean(),
+        "seed {seed}, after full unwind: auditor reported findings\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn audit_gate_seed_1() {
+    audited_soak(1, 40);
+}
+
+#[test]
+fn audit_gate_seed_2() {
+    audited_soak(2, 40);
+}
+
+#[test]
+fn audit_gate_seed_3() {
+    audited_soak(3, 40);
+}
+
+#[test]
+fn audit_gate_seed_7() {
+    audited_soak(7, 40);
+}
+
+#[test]
+fn audit_gate_seed_11() {
+    audited_soak(11, 40);
+}
+
+/// Apply-only pristine marathon: no edits ever happen, so the strict
+/// reverse-replay-to-source contract (`PV202`) holds across a long pure
+/// transformation prefix and its staged unwinding.
+#[test]
+fn audit_gate_pristine_apply_then_unwind() {
+    for seed in [5u64, 9, 13] {
+        let cfg = WorkloadCfg {
+            fragments: 6,
+            noise_ratio: 0.3,
+            figure1_chains: 1,
+            ..Default::default()
+        };
+        let mut session = Session::new(gen_program(seed, &cfg));
+        let audit_cfg = AuditConfig {
+            pristine: true,
+            ..AuditConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9021);
+        let mut applied = Vec::new();
+        for _ in 0..12 {
+            let opps = session.find_all();
+            if opps.is_empty() {
+                break;
+            }
+            let opp = opps[rng.gen_range(0..opps.len())].clone();
+            if let Ok(id) = session.apply(&opp) {
+                applied.push(id);
+            }
+            assert_agreement(&session, &audit_cfg, seed, "pristine apply");
+        }
+        // Undo in a scrambled (independent) order.
+        while !applied.is_empty() {
+            let idx = rng.gen_range(0..applied.len());
+            let id = applied.remove(idx);
+            match session.undo(id, Strategy::Regional) {
+                Ok(report) => applied.retain(|x| !report.undone.contains(x)),
+                Err(UndoError::AlreadyUndone(_)) => {}
+                Err(e) => panic!("seed {seed}: pristine undo {id}: {e}"),
+            }
+            assert_agreement(&session, &audit_cfg, seed, "pristine unwind");
+        }
+    }
+}

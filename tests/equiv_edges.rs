@@ -1,0 +1,135 @@
+//! Edge cases for structural program equality (`pivot_lang::equiv`).
+//!
+//! The auditor's semantic family (`PV202`/`PV203` fast paths) and the
+//! engine's undo round-trip assertions both lean on `programs_equal`, so
+//! its corner behavior is load-bearing: empty programs, single-statement
+//! loops, aliasing array references, tombstone insensitivity, and the
+//! explicit-vs-implicit loop step must all compare the way the paper's
+//! notion of "restored" demands.
+
+use pivot_lang::equiv::{exprs_equal_in, programs_equal, stmts_equal};
+use pivot_lang::parser::{parse, parse_stmts_into};
+use pivot_lang::StmtKind;
+
+fn p(src: &str) -> pivot_lang::Program {
+    parse(src).expect("test source parses")
+}
+
+#[test]
+fn empty_programs_are_equal() {
+    let a = p("");
+    let b = p("");
+    assert!(programs_equal(&a, &b));
+    // Empty vs non-empty must not compare equal.
+    let c = p("x = 1\n");
+    assert!(!programs_equal(&a, &c));
+    assert!(!programs_equal(&c, &a));
+}
+
+#[test]
+fn single_statement_loops_compare_by_structure() {
+    let a = p("do i = 1, 10\n  A(i) = i\nenddo\n");
+    let b = p("do i = 1, 10\n  A(i) = i\nenddo\n");
+    assert!(programs_equal(&a, &b));
+    // Same body, different induction variable name: not equal.
+    let c = p("do j = 1, 10\n  A(j) = j\nenddo\n");
+    assert!(!programs_equal(&a, &c));
+    // Same header, body differs in one subscript: not equal.
+    let d = p("do i = 1, 10\n  A(1) = i\nenddo\n");
+    assert!(!programs_equal(&a, &d));
+    // Nested single-statement loop towers compare depth-sensitively.
+    let e = p("do i = 1, 10\n  do j = 1, 5\n    A(i) = j\n  enddo\nenddo\n");
+    let f = p("do i = 1, 10\n  do j = 1, 5\n    A(i) = j\n  enddo\nenddo\n");
+    assert!(programs_equal(&e, &f));
+    assert!(!programs_equal(&a, &e));
+}
+
+#[test]
+fn implicit_and_explicit_unit_steps_are_distinct() {
+    // `do i = 1, 10` parses with no step; `do i = 1, 10, 1` records an
+    // explicit one. They execute identically but are *structurally*
+    // different programs — undo restores the exact surface form, so
+    // equality must distinguish them.
+    let implicit = p("do i = 1, 10\n  write i\nenddo\n");
+    let explicit = p("do i = 1, 10, 1\n  write i\nenddo\n");
+    assert!(!programs_equal(&implicit, &explicit));
+    assert!(programs_equal(
+        &implicit,
+        &p("do i = 1, 10\n  write i\nenddo\n")
+    ));
+}
+
+#[test]
+fn aliasing_array_references_compare_by_name_and_subscripts() {
+    let a = p("A(i) = B(i)\n");
+    // Same array, different subscript variable: not equal.
+    assert!(!programs_equal(&a, &p("A(j) = B(i)\n")));
+    // Different array, same subscripts: not equal.
+    assert!(!programs_equal(&a, &p("C(i) = B(i)\n")));
+    // Extra subscript dimension: not equal.
+    assert!(!programs_equal(&a, &p("A(i, 1) = B(i)\n")));
+    // Same reference spelled in a separately-parsed program: equal (symbol
+    // identity resolves by name, not by arena id).
+    assert!(programs_equal(&a, &p("A(i) = B(i)\n")));
+    // Within one program: A(i) and A(i) in different statements are the
+    // same expression structurally, A(i) vs A(k) are not.
+    let two = p("A(i) = 1\nA(i) = 2\nA(k) = 3\n");
+    let stmts = two.attached_stmts();
+    let sub = |s: pivot_lang::StmtId| match &two.stmt(s).kind {
+        StmtKind::Assign { target, .. } => target.subs[0],
+        _ => unreachable!("assign statements only"),
+    };
+    assert!(exprs_equal_in(&two, sub(stmts[0]), sub(stmts[1])));
+    assert!(!exprs_equal_in(&two, sub(stmts[0]), sub(stmts[2])));
+}
+
+#[test]
+fn equality_ignores_tombstones_and_arena_layout() {
+    // Grow a program, detach the extra statement, and compare against a
+    // clean parse: the dead arena entry must be invisible to equality.
+    let mut grown = p("x = 1\nwrite x\n");
+    let added = parse_stmts_into(&mut grown, "y = 2\n").expect("fragment parses");
+    let loc = pivot_lang::Loc {
+        parent: pivot_lang::Parent::Root,
+        anchor: pivot_lang::AnchorPos::Start,
+    };
+    grown.attach(added[0], loc).expect("attaches");
+    grown.detach(added[0]).expect("detaches");
+    let clean = p("x = 1\nwrite x\n");
+    assert!(programs_equal(&grown, &clean));
+    assert!(programs_equal(&clean, &grown));
+}
+
+#[test]
+fn if_statements_compare_branch_by_branch() {
+    let a = p("if (x) then\n  write 1\nelse\n  write 2\nendif\n");
+    assert!(programs_equal(
+        &a,
+        &p("if (x) then\n  write 1\nelse\n  write 2\nendif\n")
+    ));
+    // Swapped branches: not equal.
+    assert!(!programs_equal(
+        &a,
+        &p("if (x) then\n  write 2\nelse\n  write 1\nendif\n")
+    ));
+    // Missing else: not equal.
+    assert!(!programs_equal(&a, &p("if (x) then\n  write 1\nendif\n")));
+    // Kind mismatch at statement level (if vs write): stmts_equal is false
+    // rather than a panic.
+    let b = p("write 1\n");
+    let sa = a.attached_stmts()[0];
+    let sb = b.attached_stmts()[0];
+    assert!(!stmts_equal(&a, sa, &b, sb));
+}
+
+#[test]
+fn read_write_statements_compare_by_target() {
+    let a = p("read x\nwrite x + 1\n");
+    assert!(programs_equal(&a, &p("read x\nwrite x + 1\n")));
+    assert!(!programs_equal(&a, &p("read y\nwrite x + 1\n")));
+    assert!(!programs_equal(&a, &p("read x\nwrite x + 2\n")));
+    // Array read target with subscript.
+    let b = p("read A(i)\n");
+    assert!(programs_equal(&b, &p("read A(i)\n")));
+    assert!(!programs_equal(&b, &p("read A(j)\n")));
+}

@@ -288,6 +288,82 @@ fn incremental_fallback_is_counted_and_traced() {
     assert_eq!(fallbacks, 1, "shape-preserving edit must not fall back");
 }
 
+/// `Session::audit()` publishes to the global metrics registry and, with a
+/// live tracer, emits one `audit_finding` point event per finding matching
+/// the golden schema. On a clean session the audit is a pure observer:
+/// no findings, no trace output, and no session state change.
+#[test]
+fn audit_findings_are_traced_and_counted() {
+    use pivot_audit::SessionAuditExt;
+    use pivot_undo::XformState;
+
+    let m = pivot_obs::metrics::global();
+    let runs0 = m.counter("audit.runs").get();
+    let rules0 = m.counter("audit.rules").get();
+    let found0 = m.counter("audit.findings").get();
+
+    // Clean session: metrics move, the trace stays silent, state intact.
+    let (mut s, [cse, ..]) = figure1_session();
+    let (rec, buf) = Recorder::in_memory();
+    let rec = Arc::new(rec);
+    s.set_tracer(rec.clone());
+    let src_before = s.source();
+    let log_before = s.log.actions.len();
+    let history_before = s.history.records.len();
+    let report = s.audit();
+    rec.flush().unwrap();
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(s.source(), src_before, "audit must not touch the program");
+    assert_eq!(
+        s.log.actions.len(),
+        log_before,
+        "audit must not touch the log"
+    );
+    assert_eq!(s.history.records.len(), history_before);
+    assert!(buf.is_empty(), "a clean audit must emit no trace events");
+    assert_eq!(m.counter("audit.runs").get(), runs0 + 1);
+    assert!(m.counter("audit.rules").get() >= rules0 + report.rules_run);
+
+    // Poison: mark CSE undone while its actions stay live in the log.
+    s.history.get_mut(cse).expect("cse exists").state = XformState::Undone;
+    let report = s.audit();
+    rec.flush().unwrap();
+    assert!(!report.is_clean(), "PV006 poison must be found");
+    assert_eq!(m.counter("audit.runs").get(), runs0 + 2);
+    assert!(m.counter("audit.findings").get() >= found0 + report.findings.len() as u64);
+
+    // Golden schema: one audit_finding point event per finding, in report
+    // order — each parses, is a point event (no span/phase), and carries
+    // code/severity/family/site alongside the envelope fields.
+    let text = buf.contents();
+    let events: Vec<_> = text
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad JSON line `{l}`: {e:?}")))
+        .filter(|o| o.get("name").and_then(|v| v.as_str()) == Some("audit_finding"))
+        .collect();
+    assert_eq!(events.len(), report.findings.len(), "{text}");
+    for (ev, f) in events.iter().zip(&report.findings) {
+        assert_eq!(ev.get("ev").and_then(|v| v.as_str()), Some("event"));
+        assert!(ev.get("span").is_none(), "point events carry no span");
+        assert!(ev.get("phase").is_none(), "point events carry no phase");
+        assert_eq!(ev.get("code").and_then(|v| v.as_str()), Some(f.code));
+        assert_eq!(
+            ev.get("severity").and_then(|v| v.as_str()),
+            Some(f.severity.name())
+        );
+        assert_eq!(
+            ev.get("family").and_then(|v| v.as_int()),
+            Some(f.family.number() as i64)
+        );
+        assert_eq!(
+            ev.get("site").and_then(|v| v.as_str()),
+            Some(f.span.render().as_str())
+        );
+        assert!(ev.get("seq").and_then(|v| v.as_int()).is_some());
+        assert!(ev.get("t_us").and_then(|v| v.as_int()).is_some());
+    }
+}
+
 /// The default (no-op) tracer must not change engine behaviour: identical
 /// removal sets and identical work counters, and nothing is ever emitted.
 #[test]
