@@ -9,11 +9,23 @@
 //! pivot run <file> [ints…]           interpret; prints the output stream
 //! pivot ops <file>                   list applicable transformations
 //! pivot opt <file> [KINDS] [max=N]   greedily apply transformations
-//! pivot script <file> <script> [--trace <out.jsonl>] [--journal <out.jsonl>]
+//! pivot script <file> <script> [--trace <out.jsonl>] [--ring <out.jsonl>]
+//!                              [--profile] [--journal <out.jsonl>]
 //!                                    drive a session from a command script,
 //!                                    optionally recording a JSONL trace of
-//!                                    every undo phase and/or a write-ahead
-//!                                    journal of every transaction
+//!                                    every undo phase (unbounded `--trace`
+//!                                    file, sampled bounded `--ring` buffer,
+//!                                    or both), a per-(kind × phase) latency
+//!                                    profile (`--profile`), and/or a
+//!                                    write-ahead journal of every
+//!                                    transaction
+//! pivot serve-metrics --addr <host:port> [<file> <script>] [--hold-ms <ms>]
+//!                                    serve the process-wide metrics registry
+//!                                    over HTTP: Prometheus text on /metrics,
+//!                                    JSON on /metrics.json (optionally after
+//!                                    driving a script workload)
+//! pivot top <host:port> [--frames <n>] [--interval-ms <ms>]
+//!                                    live terminal view of a scrape endpoint
 //! pivot recover <file> <journal>     rebuild a session from a program plus
 //!                                    its write-ahead journal (committed
 //!                                    transactions replay; the uncommitted
@@ -45,11 +57,16 @@
 
 #![warn(missing_docs)]
 
-use pivot_obs::Recorder;
+use pivot_obs::export::ScrapeServer;
+use pivot_obs::{Fanout, PhaseProfiler, Recorder, RingConfig, RingTracer, Tracer};
 use pivot_undo::engine::{Session, Strategy, UndoError};
 use pivot_undo::{XformId, XformKind};
 use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// Slow-op threshold for `script --profile`: undo requests slower than
+/// this land in the profiler's slow-op log (10 ms).
+const SLOW_OP_NS: u64 = 10_000_000;
 
 /// CLI failure.
 #[derive(Debug)]
@@ -74,8 +91,15 @@ usage: pivot <command> [args]
   run <file> [ints…]           interpret; prints the output stream
   ops <file>                   list applicable transformations
   opt <file> [KINDS] [max=N]   greedily apply transformations (KINDS = e.g. CSE,CTP)
-  script <file> <script> [--trace <out.jsonl>] [--journal <out.jsonl>]
+  script <file> <script> [--trace <out.jsonl>] [--ring <out.jsonl>]
+         [--profile] [--journal <out.jsonl>]
                                drive a session from a command script
+  serve-metrics --addr <host:port> [<file> <script>] [--hold-ms <ms>]
+                               serve the metrics registry over HTTP
+                               (Prometheus text on /metrics, JSON on
+                               /metrics.json, liveness on /healthz)
+  top <host:port> [--frames <n>] [--interval-ms <ms>]
+                               live terminal view of a scrape endpoint
   recover <file> <journal>     replay a write-ahead journal's committed
                                transactions; discard the uncommitted tail
   audit <file> [--script <script>] [--journal <journal>] [--json] [--pristine]
@@ -156,13 +180,19 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .get(2)
                 .ok_or_else(|| err("script: missing script file"))?;
             let mut trace_path = None;
+            let mut ring_path = None;
             let mut journal_path = None;
+            let mut profile = false;
             let mut rest = args[3..].iter();
             while let Some(a) = rest.next() {
                 match a.as_str() {
                     "--trace" => {
                         trace_path = Some(rest.next().ok_or_else(|| err("--trace needs a file"))?);
                     }
+                    "--ring" => {
+                        ring_path = Some(rest.next().ok_or_else(|| err("--ring needs a file"))?);
+                    }
+                    "--profile" => profile = true,
                     "--journal" => {
                         journal_path =
                             Some(rest.next().ok_or_else(|| err("--journal needs a file"))?);
@@ -174,16 +204,28 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| err(format!("cannot read {script_path}: {e}")))?;
             let mut session = Session::new(prog);
             let recorder = match trace_path {
-                Some(p) => {
-                    let rec = Arc::new(
-                        Recorder::to_file(std::path::Path::new(p))
-                            .map_err(|e| err(format!("cannot create {p}: {e}")))?,
-                    );
-                    session.set_tracer(rec.clone());
-                    Some(rec)
-                }
+                Some(p) => Some(Arc::new(
+                    Recorder::to_file(std::path::Path::new(p))
+                        .map_err(|e| err(format!("cannot create {p}: {e}")))?,
+                )),
                 None => None,
             };
+            let ring = ring_path.map(|_| RingTracer::shared(RingConfig::default()));
+            // One tracer each goes in directly; both tee through a Fanout.
+            match (&recorder, &ring) {
+                (Some(rec), Some(ring)) => session.set_tracer(Arc::new(Fanout::new(vec![
+                    Arc::clone(rec) as Arc<dyn Tracer>,
+                    Arc::clone(ring) as Arc<dyn Tracer>,
+                ]))),
+                (Some(rec), None) => session.set_tracer(Arc::clone(rec) as Arc<dyn Tracer>),
+                (None, Some(ring)) => session.set_tracer(Arc::clone(ring) as Arc<dyn Tracer>),
+                (None, None) => {}
+            }
+            let profiler = profile.then(|| {
+                let p = Arc::new(PhaseProfiler::new(SLOW_OP_NS));
+                session.set_profiler(Arc::clone(&p));
+                p
+            });
             if let Some(p) = journal_path {
                 let journal = pivot_undo::Journal::open(std::path::Path::new(p))
                     .map_err(|e| err(format!("cannot open journal {p}: {e}")))?;
@@ -193,7 +235,114 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             if let Some(rec) = recorder {
                 let _ = rec.flush();
             }
+            if let (Some(ring), Some(p)) = (ring, ring_path) {
+                std::fs::write(p, ring.contents())
+                    .map_err(|e| err(format!("cannot write {p}: {e}")))?;
+            }
+            if let Some(profiler) = profiler {
+                out.push_str("== profile ==\n");
+                out.push_str(&profiler.render());
+            }
             result?;
+        }
+        Some("serve-metrics") => {
+            let mut addr = None;
+            let mut hold_ms = None;
+            let mut files: Vec<&String> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        addr = Some(rest.next().ok_or_else(|| err("--addr needs host:port"))?);
+                    }
+                    "--hold-ms" => {
+                        hold_ms = Some(
+                            rest.next()
+                                .ok_or_else(|| err("--hold-ms needs a number"))?
+                                .parse::<u64>()
+                                .map_err(|_| err("bad --hold-ms value"))?,
+                        );
+                    }
+                    other if !other.starts_with("--") => files.push(a),
+                    other => return Err(err(format!("serve-metrics: unknown option `{other}`"))),
+                }
+            }
+            let addr = addr.ok_or_else(|| err("serve-metrics: --addr is required"))?;
+            match files.as_slice() {
+                [] => {}
+                [file, script_path] => {
+                    let prog = load(Some(file))?;
+                    let script = std::fs::read_to_string(script_path)
+                        .map_err(|e| err(format!("cannot read {script_path}: {e}")))?;
+                    let mut session = Session::new(prog);
+                    run_script(&mut session, &script, &mut out)?;
+                }
+                _ => return Err(err("serve-metrics: expected `<file> <script>` or nothing")),
+            }
+            let server = ScrapeServer::bind(addr, pivot_obs::global())
+                .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
+            let bound = server
+                .local_addr()
+                .map_err(|e| err(format!("cannot resolve bound address: {e}")))?;
+            let _ = writeln!(out, "serving metrics on http://{bound}/metrics");
+            match hold_ms {
+                // Bounded run (tests, smoke checks): serve in the
+                // background for the hold window, then shut down.
+                Some(ms) => {
+                    let handle = server
+                        .spawn()
+                        .map_err(|e| err(format!("cannot start server: {e}")))?;
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    handle.shutdown();
+                }
+                // Production mode: serve on this thread until killed.
+                None => {
+                    eprintln!("serving metrics on http://{bound}/metrics");
+                    server
+                        .serve()
+                        .map_err(|e| err(format!("serve failed: {e}")))?;
+                }
+            }
+        }
+        Some("top") => {
+            let addr_arg = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| err("top: missing <host:port>"))?;
+            let mut frames = 1u64;
+            let mut interval_ms = 1000u64;
+            let mut rest = args[2..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--frames" => {
+                        frames = rest
+                            .next()
+                            .ok_or_else(|| err("--frames needs a number"))?
+                            .parse()
+                            .map_err(|_| err("bad --frames value"))?;
+                    }
+                    "--interval-ms" => {
+                        interval_ms = rest
+                            .next()
+                            .ok_or_else(|| err("--interval-ms needs a number"))?
+                            .parse()
+                            .map_err(|_| err("bad --interval-ms value"))?;
+                    }
+                    other => return Err(err(format!("top: unknown option `{other}`"))),
+                }
+            }
+            let addr: std::net::SocketAddr = addr_arg
+                .parse()
+                .map_err(|_| err(format!("top: bad address `{addr_arg}`")))?;
+            for frame in 0..frames.max(1) {
+                if frame > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                    out.push('\n');
+                }
+                let body = pivot_obs::export::http_get(&addr, "/metrics.json")
+                    .map_err(|e| err(format!("top: scrape failed: {e}")))?;
+                out.push_str(&render_top_json(&body)?);
+            }
         }
         Some("recover") => {
             let prog = load(args.get(1))?;
@@ -277,6 +426,38 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         }
         Some("help") | None => out.push_str(USAGE),
         Some(other) => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+    Ok(out)
+}
+
+/// Render a `/metrics.json` body as the `pivot top` frame.
+fn render_top_json(body: &str) -> Result<String, CliError> {
+    let v = pivot_obs::json::parse(body).map_err(|e| err(format!("top: bad JSON: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>12}  |  window p50/p95/p99 (us)",
+        "metric", "value"
+    );
+    if let Some(counters) = v.get("counters").and_then(|c| c.as_object()) {
+        for (name, value) in counters {
+            let _ = writeln!(out, "{:<44} {:>12}", name, value.as_int().unwrap_or(0));
+        }
+    }
+    if let Some(hists) = v.get("histograms").and_then(|h| h.as_object()) {
+        for (name, h) in hists {
+            let get = |k: &str| h.get(k).and_then(|x| x.as_int()).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12}  |  {}/{}/{} (n={})",
+                name,
+                get("count"),
+                get("win_p50_ns") / 1_000,
+                get("win_p95_ns") / 1_000,
+                get("win_p99_ns") / 1_000,
+                get("win_count")
+            );
+        }
     }
     Ok(out)
 }
@@ -554,6 +735,68 @@ mod tests {
             "--bogus".into()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn cli_ring_profile_and_serve_metrics() {
+        let dir = std::env::temp_dir().join("pivot_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("prog.pv");
+        std::fs::write(&f, "d = e + f\nr = e + f\nwrite r\nwrite d\n").unwrap();
+        let fs = f.to_string_lossy().to_string();
+        let sf = dir.join("script.txt");
+        std::fs::write(&sf, "apply CSE\nundo 1\n").unwrap();
+        let sfs = sf.to_string_lossy().to_string();
+        // --ring drains the sampled ring to a JSONL file; --profile
+        // appends the per-(kind x phase) table.
+        let rf = dir.join("ring.jsonl");
+        let out = run_cli(&[
+            "script".into(),
+            fs.clone(),
+            sfs.clone(),
+            "--ring".into(),
+            rf.to_string_lossy().to_string(),
+            "--profile".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("== profile =="), "{out}");
+        assert!(out.contains("region_scan"), "{out}");
+        let ring = std::fs::read_to_string(&rf).unwrap();
+        assert!(ring.contains("\"phase\":\"undo\""), "{ring}");
+        // serve-metrics with a workload and a bounded hold window; then a
+        // `top` frame against the same endpoint would race the shutdown,
+        // so top gets its own server below.
+        let out = run_cli(&[
+            "serve-metrics".into(),
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            fs.clone(),
+            sfs,
+            "--hold-ms".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        assert!(
+            out.contains("serving metrics on http://127.0.0.1:"),
+            "{out}"
+        );
+        // `top` against a live endpoint renders counters + histograms.
+        let server = ScrapeServer::bind("127.0.0.1:0", pivot_obs::global()).unwrap();
+        let handle = server.spawn().unwrap();
+        let out = run_cli(&[
+            "top".into(),
+            handle.addr().to_string(),
+            "--frames".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("undo.requests"), "{out}");
+        assert!(out.contains("undo.phase_ns{phase=\"undo\"}"), "{out}");
+        handle.shutdown();
+        // Bad invocations are rejected.
+        assert!(run_cli(&["serve-metrics".into()]).is_err());
+        assert!(run_cli(&["top".into()]).is_err());
+        assert!(run_cli(&["top".into(), "not-an-addr".into()]).is_err());
     }
 
     #[test]

@@ -281,6 +281,12 @@ pub struct Session {
     pool: Pool,
     /// Telemetry sink for the undo phases (default: the no-op tracer).
     tracer: Arc<dyn Tracer>,
+    /// Continuous phase profiler fed by completed undo requests
+    /// (`None` = profiling off).
+    profiler: Option<Arc<pivot_obs::PhaseProfiler>>,
+    /// Value of the `session` label on this session's labeled metric
+    /// families (`None` = unlabeled).
+    obs_label: Option<String>,
     /// Armed fault-injection plan (testing hook; `None` in production).
     pub(crate) faults: Option<FaultState>,
     /// Attached write-ahead journal (not inherited by forks).
@@ -303,6 +309,8 @@ impl Clone for Session {
             explanations: self.explanations.clone(),
             pool: self.pool.clone(),
             tracer: Arc::clone(&self.tracer),
+            profiler: self.profiler.clone(),
+            obs_label: self.obs_label.clone(),
             faults: self.faults.clone(),
             journal: None,
         }
@@ -326,6 +334,8 @@ impl Session {
             explanations: Vec::new(),
             pool,
             tracer: Arc::new(NoopTracer),
+            profiler: None,
+            obs_label: None,
             faults: None,
             journal: None,
         }
@@ -347,6 +357,27 @@ impl Session {
     /// The session's current tracer.
     pub fn tracer(&self) -> &Arc<dyn Tracer> {
         &self.tracer
+    }
+
+    /// Feed completed undo requests into a continuous
+    /// [`pivot_obs::PhaseProfiler`]: per-(kind × phase) latency profiles
+    /// plus slow-op detection (`slow_op` trace events through the
+    /// session's tracer). Forked sessions share the profiler.
+    pub fn set_profiler(&mut self, profiler: Arc<pivot_obs::PhaseProfiler>) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The attached phase profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<pivot_obs::PhaseProfiler>> {
+        self.profiler.as_ref()
+    }
+
+    /// Tag this session's labeled metric series (`undo.phase_ns`,
+    /// `session.apply_ns`) with `session="label"`, so several sessions
+    /// sharing the process-wide registry stay distinguishable. Keep the
+    /// label set small — every distinct label is a live time series.
+    pub fn set_obs_label(&mut self, label: impl Into<String>) {
+        self.obs_label = Some(label.into());
     }
 
     /// The worker pool driving the parallel kernels.
@@ -417,6 +448,7 @@ impl Session {
     /// action, refused representation rebuild, injected fault, journal
     /// write error) rolls the session back to its pre-apply state.
     pub fn apply(&mut self, opp: &Opportunity) -> Result<XformId, EngineError> {
+        let t0 = Instant::now();
         let cp = self.checkpoint();
         let txn = self.journal_begin(JournalOp::Apply {
             kind: opp.kind(),
@@ -444,7 +476,10 @@ impl Session {
         })();
         match result {
             Ok(id) => match self.journal_commit(txn) {
-                Ok(()) => Ok(id),
+                Ok(()) => {
+                    self.record_apply_metrics(opp.kind(), elapsed_ns(t0));
+                    Ok(id)
+                }
                 Err(cause) => {
                     self.rollback(cp);
                     self.emit_rollback("apply", &cause.to_string());
@@ -625,8 +660,52 @@ impl Session {
             return Err(cascade.into_undo_error());
         }
         self.explanations.push(ProvenanceTree::new(root));
-        record_undo_metrics(&report);
+        self.record_undo_metrics(&report);
+        if let Some(profiler) = &self.profiler {
+            profiler.observe(&kind_slug(kind), &report.phase_ns, self.tracer.as_ref());
+        }
         Ok(report)
+    }
+
+    /// Record one completed undo request into the process-wide metrics
+    /// registry (per-phase timings go to the `undo.phase_ns` family,
+    /// labeled with the phase and, when set, the session's
+    /// [`Session::set_obs_label`] tag).
+    fn record_undo_metrics(&self, report: &UndoReport) {
+        let m = pivot_obs::metrics::global();
+        m.counter("undo.requests").inc();
+        m.counter("undo.xforms_undone")
+            .add(report.undone.len() as u64);
+        m.counter("undo.candidates_considered")
+            .add(report.candidates_considered);
+        m.counter("undo.safety_checks").add(report.safety_checks);
+        m.counter("undo.affecting_chases")
+            .add(report.affecting_chases);
+        m.counter("undo.rep_rebuilds").add(report.rep_rebuilds);
+        for (phase, ns) in report.phase_ns.nonzero() {
+            match self.obs_label.as_deref() {
+                Some(session) => m.histogram_with(
+                    "undo.phase_ns",
+                    &[("phase", phase.name()), ("session", session)],
+                ),
+                None => m.histogram_with("undo.phase_ns", &[("phase", phase.name())]),
+            }
+            .record_ns(ns);
+        }
+    }
+
+    /// Record one successful apply into the process-wide metrics registry.
+    fn record_apply_metrics(&self, kind: XformKind, ns: u64) {
+        let m = pivot_obs::metrics::global();
+        m.counter("session.applies").inc();
+        let kind = kind_slug(kind);
+        match self.obs_label.as_deref() {
+            Some(session) => {
+                m.histogram_with("session.apply_ns", &[("kind", &kind), ("session", session)])
+            }
+            None => m.histogram_with("session.apply_ns", &[("kind", &kind)]),
+        }
+        .record_ns(ns);
     }
 
     fn undo_rec(
@@ -1220,24 +1299,6 @@ fn safety_predicate_name(kind: XformKind) -> &'static str {
         XformKind::Fus => "no backward dependence across fused bodies",
         XformKind::Lur => "unroll factor divides trip count",
         XformKind::Smi => "strip covers iteration space",
-    }
-}
-
-/// Record one completed undo request into the process-wide metrics registry.
-fn record_undo_metrics(report: &UndoReport) {
-    let m = pivot_obs::metrics::global();
-    m.counter("undo.requests").inc();
-    m.counter("undo.xforms_undone")
-        .add(report.undone.len() as u64);
-    m.counter("undo.candidates_scanned")
-        .add(report.candidates_considered);
-    m.counter("undo.safety_checks").add(report.safety_checks);
-    m.counter("undo.affecting_chases")
-        .add(report.affecting_chases);
-    m.counter("undo.rep_rebuilds").add(report.rep_rebuilds);
-    for (phase, ns) in report.phase_ns.nonzero() {
-        m.histogram(&format!("undo.phase.{}_ns", phase.name()))
-            .record_ns(ns);
     }
 }
 

@@ -294,7 +294,13 @@ impl Session {
     /// fault sweep, benches) can measure and reason about checkpoints; the
     /// engine takes one automatically at the top of every mutating request.
     pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint::take(self)
+        let t0 = std::time::Instant::now();
+        let cp = Checkpoint::take(self);
+        let m = pivot_obs::metrics::global();
+        m.counter("txn.checkpoints").inc();
+        m.histogram("txn.checkpoint_ns")
+            .record_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        cp
     }
 
     /// Restore the session to a previously taken checkpoint, discarding

@@ -112,8 +112,8 @@ impl Rep {
             .map(|(i, s)| (s, i))
             .collect();
         let m = pivot_obs::metrics::global();
-        m.counter("ir.rep_builds").inc();
-        m.histogram("ir.build_ns").record(t0.elapsed());
+        m.counter("rep.builds").inc();
+        m.histogram("rep.build_ns").record(t0.elapsed());
         Rep {
             cfg,
             dom,
@@ -148,8 +148,8 @@ impl Rep {
             let ddg = depend::build_ddg(prog);
             let pdg = Pdg::build(prog, &ddg);
             let m = pivot_obs::metrics::global();
-            m.counter("ir.high_builds").inc();
-            m.histogram("ir.high_ns").record(t0.elapsed());
+            m.counter("rep.high.builds").inc();
+            m.histogram("rep.high.build_ns").record(t0.elapsed());
             (ddg, pdg)
         })
     }

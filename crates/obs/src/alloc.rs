@@ -1,0 +1,117 @@
+//! Optional allocation accounting for the phase profiler.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation (calls and bytes) into process-wide relaxed atomics. A
+//! binary opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pivot_obs::alloc::CountingAlloc = pivot_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! after which [`snapshot`] is live; without the opt-in it reports zeros
+//! and profiles simply omit allocation columns. Counter reads and the
+//! [`AllocStats::delta`] helper let callers bracket an operation:
+//!
+//! ```ignore
+//! let before = alloc::snapshot();
+//! // ... work ...
+//! let d = alloc::snapshot().delta(&before); // allocations by `work`
+//! ```
+//!
+//! The counts are process-global, so deltas taken around a multi-threaded
+//! region include the other threads' traffic — good enough for the
+//! profiler's per-operation *scale* column, not a per-thread attribution.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that counts calls/bytes, then defers to [`System`].
+pub struct CountingAlloc;
+
+// SAFETY: defers every allocation verbatim to `System`; the only addition
+// is relaxed counter traffic, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Cumulative allocation counts at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocation calls (`alloc` + growing `realloc`).
+    pub calls: u64,
+    /// Bytes requested (growth bytes for `realloc`).
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// Counts accumulated since `earlier`.
+    pub fn delta(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Current process-wide counts (zeros unless a binary installed
+/// [`CountingAlloc`] as its global allocator).
+pub fn snapshot() -> AllocStats {
+    AllocStats {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_monotone_and_saturating() {
+        let a = AllocStats {
+            calls: 10,
+            bytes: 100,
+        };
+        let b = AllocStats {
+            calls: 25,
+            bytes: 160,
+        };
+        assert_eq!(
+            b.delta(&a),
+            AllocStats {
+                calls: 15,
+                bytes: 60
+            }
+        );
+        assert_eq!(a.delta(&b), AllocStats::default());
+    }
+
+    #[test]
+    fn snapshot_reads_do_not_panic() {
+        // The test binary does not install the allocator, so counts are
+        // whatever the statics hold (zero) — the API must still work.
+        let s = snapshot();
+        let _ = s.delta(&snapshot());
+    }
+}

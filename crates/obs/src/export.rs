@@ -1,0 +1,441 @@
+//! Metric exposition: Prometheus text format, a JSON variant, a compact
+//! terminal view, and a std-only blocking scrape server.
+//!
+//! ## Exposition mapping
+//!
+//! Registry names are dot-separated ([`crate::names`]); Prometheus wants
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, so exposition prefixes every family with
+//! `pivot_` and replaces dots with underscores:
+//!
+//! * counters gain the conventional `_total` suffix —
+//!   `undo.requests` → `pivot_undo_requests_total`;
+//! * histograms export as **summaries**: `quantile`-labeled series carry
+//!   the *sliding-window* percentiles (p50/p95/p99 over the last
+//!   [`crate::metrics::WINDOW_SECS`] seconds — the operationally useful
+//!   number), while `_sum`/`_count` are cumulative since process start
+//!   (so `rate()` works), and an extra `_max` gauge reports the all-time
+//!   maximum;
+//! * a series' labels (`undo.phase_ns{phase="undo"}`) pass through; the
+//!   registry already stores them in exposition syntax.
+//!
+//! `# HELP`/`# TYPE` lines come from the [`crate::names`] catalog.
+//!
+//! ## The server
+//!
+//! [`ScrapeServer`] is a deliberately tiny blocking HTTP/1.1 listener —
+//! one request per connection, no keep-alive, no TLS, std only. Routes:
+//! `/metrics` (Prometheus text), `/metrics.json`, `/healthz`. Run it on a
+//! background thread via [`ScrapeServer::spawn`]; the handle's
+//! [`ServerHandle::shutdown`] wakes the accept loop with a self-connect
+//! and joins the thread.
+
+use crate::json::{write_str, ObjectWriter};
+use crate::metrics::{HistogramStats, Registry, RegistrySnapshot, WINDOW_SECS};
+use crate::names;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `name{labels}` → (`pivot_name_with_underscores`, `{labels}` or "").
+fn split_series(key: &str) -> (String, &str) {
+    let (family, labels) = match key.find('{') {
+        Some(i) => (&key[..i], &key[i..]),
+        None => (key, ""),
+    };
+    let mut mangled = String::with_capacity(family.len() + 6);
+    mangled.push_str("pivot_");
+    for c in family.chars() {
+        mangled.push(if c == '.' { '_' } else { c });
+    }
+    (mangled, labels)
+}
+
+/// Family name (label suffix stripped) of a snapshot key.
+fn family_of(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+fn help_and_type(
+    out: &mut String,
+    family: &str,
+    mangled: &str,
+    kind: &str,
+    seen: &mut Vec<String>,
+) {
+    if seen.iter().any(|s| s == mangled) {
+        return;
+    }
+    seen.push(mangled.to_owned());
+    if let Some(def) = names::lookup(family) {
+        let _ = writeln!(out, "# HELP {mangled} {}", def.help);
+    }
+    let _ = writeln!(out, "# TYPE {mangled} {kind}");
+}
+
+/// Merge a `quantile="…"` label into an existing `{…}` suffix.
+fn with_quantile(labels: &str, q: &str) -> String {
+    match labels.strip_suffix('}') {
+        Some(open) if open.len() > 1 => format!("{open},quantile=\"{q}\"}}"),
+        _ => format!("{{quantile=\"{q}\"}}"),
+    }
+}
+
+/// Render a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4).
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<String> = Vec::new();
+    for (key, value) in &snap.counters {
+        let (mangled, labels) = split_series(key);
+        let name = format!("{mangled}_total");
+        help_and_type(&mut out, family_of(key), &name, "counter", &mut seen);
+        let _ = writeln!(out, "{name}{labels} {value}");
+    }
+    for (key, h) in &snap.histograms {
+        let (mangled, labels) = split_series(key);
+        help_and_type(&mut out, family_of(key), &mangled, "summary", &mut seen);
+        for (q, v) in [
+            ("0.5", h.win_p50_ns),
+            ("0.95", h.win_p95_ns),
+            ("0.99", h.win_p99_ns),
+        ] {
+            let _ = writeln!(out, "{mangled}{} {v}", with_quantile(labels, q));
+        }
+        let _ = writeln!(out, "{mangled}_sum{labels} {}", h.sum_ns);
+        let _ = writeln!(out, "{mangled}_count{labels} {}", h.count);
+        let max_name = format!("{mangled}_max");
+        help_and_type(&mut out, family_of(key), &max_name, "gauge", &mut seen);
+        let _ = writeln!(out, "{max_name}{labels} {}", h.max_ns);
+    }
+    out
+}
+
+fn histogram_json(h: &HistogramStats) -> String {
+    let mut w = ObjectWriter::new();
+    w.uint("count", h.count)
+        .uint("sum_ns", h.sum_ns)
+        .uint("max_ns", h.max_ns)
+        .uint("p50_ns", h.p50_ns)
+        .uint("p95_ns", h.p95_ns)
+        .uint("p99_ns", h.p99_ns)
+        .uint("win_count", h.win_count)
+        .uint("win_max_ns", h.win_max_ns)
+        .uint("win_p50_ns", h.win_p50_ns)
+        .uint("win_p95_ns", h.win_p95_ns)
+        .uint("win_p99_ns", h.win_p99_ns);
+    w.finish()
+}
+
+/// Render a registry snapshot as one JSON object:
+/// `{"window_secs":N,"counters":{…},"histograms":{…}}`.
+pub fn render_json(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"window_secs\":");
+    let _ = write!(out, "{WINDOW_SECS}");
+    out.push_str(",\"counters\":{");
+    for (i, (key, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(&mut out, key);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (key, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(&mut out, key);
+        out.push(':');
+        out.push_str(&histogram_json(h));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Render a compact fixed-width view of a snapshot for a live terminal
+/// display (`pivot top`).
+pub fn render_top(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>12}  |  window p50/p95/p99 (us)",
+        "metric", "value"
+    );
+    for (key, value) in &snap.counters {
+        let _ = writeln!(out, "{key:<44} {value:>12}");
+    }
+    for (key, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12}  |  {}/{}/{} (n={})",
+            key,
+            h.count,
+            h.win_p50_ns / 1_000,
+            h.win_p95_ns / 1_000,
+            h.win_p99_ns / 1_000,
+            h.win_count
+        );
+    }
+    out
+}
+
+fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn handle_conn(mut conn: TcpStream, registry: &Registry) {
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read up to the end of the request line; ignore headers/body.
+    let mut buf = [0u8; 1024];
+    let mut req = Vec::new();
+    loop {
+        match conn.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(2).any(|w| w == b"\r\n") || req.len() >= 8 * 1024 {
+                    break;
+                }
+            }
+        }
+    }
+    let line = String::from_utf8_lossy(&req);
+    let path = line.split_whitespace().nth(1).unwrap_or("/");
+    let response = match path {
+        "/metrics" => {
+            registry.counter("export.scrapes").inc();
+            http_response(
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &render_prometheus(&registry.snapshot()),
+            )
+        }
+        "/metrics.json" => {
+            registry.counter("export.scrapes").inc();
+            http_response(
+                "200 OK",
+                "application/json",
+                &render_json(&registry.snapshot()),
+            )
+        }
+        "/healthz" => http_response("200 OK", "text/plain", "ok\n"),
+        _ => http_response("404 Not Found", "text/plain", "not found\n"),
+    };
+    let _ = conn.write_all(response.as_bytes());
+}
+
+/// A std-only blocking scrape server. See the module docs.
+pub struct ScrapeServer {
+    listener: TcpListener,
+    registry: &'static Registry,
+}
+
+/// Handle to a spawned [`ScrapeServer`] thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            let _ = join.join();
+        }
+    }
+}
+
+impl ScrapeServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9099"`; port 0 picks an ephemeral
+    /// port) serving `registry`.
+    pub fn bind(addr: &str, registry: &'static Registry) -> std::io::Result<ScrapeServer> {
+        Ok(ScrapeServer {
+            listener: TcpListener::bind(addr)?,
+            registry,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve forever on the calling thread (one request per connection).
+    pub fn serve(self) -> std::io::Result<()> {
+        loop {
+            let (conn, _) = self.listener.accept()?;
+            handle_conn(conn, self.registry);
+        }
+    }
+
+    /// Serve on a background thread; the returned handle shuts it down.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("pivot-scrape".into())
+            .spawn(move || {
+                for conn in self.listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(conn) = conn {
+                        handle_conn(conn, self.registry);
+                    }
+                }
+            })?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+}
+
+/// Minimal HTTP GET against a scrape endpoint; returns the response body.
+/// (Client side of the tiny protocol [`ScrapeServer`] speaks — used by
+/// `pivot top` and the exporter tests.)
+pub fn http_get(addr: &SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect_timeout(addr, Duration::from_secs(2))?;
+    conn.set_read_timeout(Some(Duration::from_secs(2)))?;
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: pivot\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_owned()),
+        Some((head, _)) => Err(std::io::Error::other(format!(
+            "scrape failed: {}",
+            head.lines().next().unwrap_or("?")
+        ))),
+        None => Err(std::io::Error::other("malformed HTTP response")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::time::Duration;
+
+    fn leaked_registry() -> &'static Registry {
+        Box::leak(Box::new(Registry::new()))
+    }
+
+    fn seeded() -> &'static Registry {
+        let r = leaked_registry();
+        r.counter("undo.requests").add(7);
+        let h = r.histogram_with("undo.phase_ns", &[("phase", "undo")]);
+        for ns in [1_000u64, 2_000, 4_000] {
+            h.record_ns(ns);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = render_prometheus(&seeded().snapshot());
+        assert!(text.contains("# TYPE pivot_undo_requests_total counter"));
+        assert!(text.contains("pivot_undo_requests_total 7"));
+        assert!(text.contains("# HELP pivot_undo_requests_total Session::undo requests"));
+        assert!(text.contains("# TYPE pivot_undo_phase_ns summary"));
+        assert!(text.contains("pivot_undo_phase_ns{phase=\"undo\",quantile=\"0.5\"}"));
+        assert!(text.contains("pivot_undo_phase_ns_sum{phase=\"undo\"} 7000"));
+        assert!(text.contains("pivot_undo_phase_ns_count{phase=\"undo\"} 3"));
+        assert!(text.contains("# TYPE pivot_undo_phase_ns_max gauge"));
+        assert!(text.contains("pivot_undo_phase_ns_max{phase=\"undo\"} 4000"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("series value");
+            assert!(!series.is_empty() && series.starts_with("pivot_"), "{line}");
+            value
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad value in {line}"));
+        }
+    }
+
+    #[test]
+    fn json_exposition_parses_and_matches() {
+        let text = render_json(&seeded().snapshot());
+        let v = json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("undo.requests")
+                .unwrap()
+                .as_int(),
+            Some(7)
+        );
+        let h = v
+            .get("histograms")
+            .unwrap()
+            .get("undo.phase_ns{phase=\"undo\"}")
+            .expect("labeled series key");
+        assert_eq!(h.get("count").unwrap().as_int(), Some(3));
+        assert_eq!(h.get("max_ns").unwrap().as_int(), Some(4000));
+    }
+
+    #[test]
+    fn server_serves_and_shuts_down() {
+        let reg = seeded();
+        let server = ScrapeServer::bind("127.0.0.1:0", reg).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let addr = handle.addr();
+        let body = http_get(&addr, "/metrics").expect("scrape");
+        assert!(body.contains("pivot_undo_requests_total 7"));
+        let json_body = http_get(&addr, "/metrics.json").expect("json scrape");
+        assert!(json::parse(&json_body).is_ok());
+        assert_eq!(http_get(&addr, "/healthz").expect("healthz"), "ok\n");
+        assert!(http_get(&addr, "/nope").is_err());
+        assert_eq!(reg.counter("export.scrapes").get(), 2);
+        handle.shutdown();
+        // The port should stop answering (give the OS a beat).
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200))
+                .map(|mut c| {
+                    let _ = c.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                    let mut s = String::new();
+                    c.read_to_string(&mut s).map(|_| s).unwrap_or_default()
+                })
+                .map(|s| s.is_empty())
+                .unwrap_or(true),
+            "server kept serving after shutdown"
+        );
+    }
+
+    #[test]
+    fn top_view_lists_everything() {
+        let text = render_top(&seeded().snapshot());
+        assert!(text.contains("undo.requests"));
+        assert!(text.contains("undo.phase_ns{phase=\"undo\"}"));
+    }
+}

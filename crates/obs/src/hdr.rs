@@ -1,0 +1,458 @@
+//! HDR-style log-linear histograms: bounded relative error, mergeable
+//! snapshots, and a sliding time window for "p99 over the last N seconds".
+//!
+//! ## Bucket layout
+//!
+//! Values (nanoseconds) are mapped to buckets that are **exact** below
+//! [`SUB`] and **log-linear** above: each power-of-two octave is split into
+//! [`SUB`] equal sub-buckets, so the relative quantization error is bounded
+//! by `1/SUB` (6.25%) everywhere, instead of the 2x error of plain
+//! power-of-two buckets. The whole `u64` range fits in [`NBUCKETS`]
+//! buckets (~7.6 KiB of counters per histogram).
+//!
+//! Three layers share the layout:
+//!
+//! * [`AtomicHdr`] — the live, concurrently recorded histogram (one relaxed
+//!   `fetch_add` into a bucket plus count/sum/max bookkeeping per record);
+//! * [`HdrSnapshot`] — a plain-data copy that can be merged with other
+//!   snapshots (shards, time slices, processes) and queried for quantiles;
+//! * [`WindowedHdr`] — a ring of [`AtomicHdr`] time slices giving
+//!   percentiles over (approximately) the last
+//!   `slices × slice_ms` milliseconds.
+//!
+//! Windowed recording is deliberately racy at slice boundaries: a slice
+//! being recycled while another thread records into it can smear a handful
+//! of samples between adjacent windows. That is harmless for telemetry and
+//! keeps the hot path lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Sub-bucket resolution: each octave is split into `SUB` linear buckets.
+pub const SUB_BITS: u32 = 4;
+
+/// Number of sub-buckets per octave (`1 << SUB_BITS`).
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the whole `u64` range.
+/// (`(63 - SUB_BITS + 1) * SUB + SUB` = exact region + 60 octaves.)
+pub const NBUCKETS: usize = ((64 - SUB_BITS as usize) * SUB as usize) + SUB as usize;
+
+/// Bucket index of a value. Exact below [`SUB`]; log-linear above.
+#[inline]
+pub fn index_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // >= SUB_BITS
+    let shift = msb - SUB_BITS as u64;
+    let offset = (v >> shift) - SUB; // in [0, SUB)
+    ((shift + 1) * SUB + offset) as usize
+}
+
+/// Lowest value mapping to bucket `i` (inverse of [`index_of`]).
+#[inline]
+pub fn lower_bound(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let shift = i / SUB - 1;
+    let offset = i % SUB;
+    (SUB + offset) << shift
+}
+
+/// Width of bucket `i` (1 in the exact region).
+#[inline]
+pub fn bucket_width(i: usize) -> u64 {
+    if (i as u64) < SUB {
+        1
+    } else {
+        1u64 << (i as u64 / SUB - 1)
+    }
+}
+
+/// Representative (midpoint) value of bucket `i`.
+#[inline]
+fn midpoint(i: usize) -> u64 {
+    lower_bound(i) + bucket_width(i) / 2
+}
+
+/// Milliseconds since the process-wide epoch (first call). Monotonic;
+/// shared by every windowed histogram so slices line up across metrics.
+pub fn epoch_ms() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_millis().min(u64::MAX as u128) as u64
+}
+
+/// A live, concurrently recorded log-linear histogram.
+#[derive(Debug)]
+pub struct AtomicHdr {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHdr {
+    fn default() -> Self {
+        AtomicHdr {
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHdr {
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[index_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Plain-data copy for merging and quantile queries.
+    pub fn snapshot(&self) -> HdrSnapshot {
+        let mut s = HdrSnapshot::empty();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                s.counts[i] = n;
+                s.count += n;
+            }
+        }
+        // count/sum/max are read separately from the buckets; under
+        // concurrent recording they may differ by in-flight samples.
+        s.sum = self.sum();
+        s.max = self.max();
+        s
+    }
+
+    /// Quantile estimate without allocating a snapshot (`q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_of(
+            self.count(),
+            self.max(),
+            q,
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Zero every counter (used when recycling a window slice).
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Shared quantile walk over a bucket-count iterator.
+fn quantile_of(count: u64, max: u64, q: f64, counts: impl Iterator<Item = u64>) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    if target >= count {
+        // p100 is the recorded maximum, exactly.
+        return max;
+    }
+    let mut seen = 0u64;
+    for (i, n) in counts.enumerate() {
+        seen += n;
+        if seen >= target {
+            // The midpoint estimate, never beyond the recorded max (the
+            // top bucket of a distribution is usually part-filled).
+            return midpoint(i).min(max.max(lower_bound(i)));
+        }
+    }
+    max
+}
+
+/// A mergeable, plain-data histogram snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HdrSnapshot {
+    counts: Box<[u64; NBUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HdrSnapshot {
+    fn default() -> Self {
+        HdrSnapshot::empty()
+    }
+}
+
+impl HdrSnapshot {
+    /// An empty snapshot (identity for [`HdrSnapshot::merge`]).
+    pub fn empty() -> HdrSnapshot {
+        HdrSnapshot {
+            counts: Box::new([0; NBUCKETS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one value into the snapshot (accumulator use, e.g. the
+    /// phase profiler).
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another snapshot in (shards, slices, processes).
+    pub fn merge(&mut self, other: &HdrSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`), bounded relative error `1/SUB`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_of(self.count, self.max, q, self.counts.iter().copied())
+    }
+}
+
+/// A ring of time slices giving sliding-window percentiles.
+///
+/// The window covers between `(slices - 1) × slice_ms` and
+/// `slices × slice_ms` milliseconds depending on the phase of the current
+/// slice — the usual trade of slice-granular windows.
+#[derive(Debug)]
+pub struct WindowedHdr {
+    slices: Box<[Slice]>,
+    slice_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct Slice {
+    /// 1 + absolute slice number this slot currently holds (0 = never used).
+    tag: AtomicU64,
+    hdr: AtomicHdr,
+}
+
+impl WindowedHdr {
+    /// Window of `slices` slices of `slice_ms` milliseconds each.
+    pub fn new(slice_ms: u64, slices: usize) -> WindowedHdr {
+        WindowedHdr {
+            slices: (0..slices.max(2)).map(|_| Slice::default()).collect(),
+            slice_ms: slice_ms.max(1),
+        }
+    }
+
+    /// Total window span in milliseconds.
+    pub fn span_ms(&self) -> u64 {
+        self.slice_ms * self.slices.len() as u64
+    }
+
+    #[inline]
+    fn slice_at(&self, now_ms: u64) -> &AtomicHdr {
+        let cur = now_ms / self.slice_ms;
+        let slot = &self.slices[(cur % self.slices.len() as u64) as usize];
+        let want = cur + 1;
+        let tag = slot.tag.load(Ordering::Relaxed);
+        if tag != want
+            && slot
+                .tag
+                .compare_exchange(tag, want, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            slot.hdr.reset();
+        }
+        &slot.hdr
+    }
+
+    /// Record one value at time `now_ms` (see [`epoch_ms`]).
+    #[inline]
+    pub fn record(&self, now_ms: u64, v: u64) {
+        self.slice_at(now_ms).record(v);
+    }
+
+    /// Merge every still-live slice into one snapshot of the window.
+    pub fn snapshot(&self, now_ms: u64) -> HdrSnapshot {
+        let cur = now_ms / self.slice_ms;
+        let n = self.slices.len() as u64;
+        let mut out = HdrSnapshot::empty();
+        for slot in self.slices.iter() {
+            let tag = slot.tag.load(Ordering::Relaxed);
+            // tag holds absolute slice + 1; live iff within the last n
+            // slices (inclusive of the current one).
+            if tag > 0 && cur < tag - 1 + n {
+                out.merge(&slot.hdr.snapshot());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotone_and_invertible() {
+        let mut last = 0usize;
+        for v in [
+            0u64,
+            1,
+            2,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1000,
+            65_535,
+            65_536,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let i = index_of(v);
+            assert!(i >= last || v <= 1, "monotone at {v}");
+            last = i;
+            let lo = lower_bound(i);
+            let width = bucket_width(i);
+            assert!(lo <= v, "{v} below its bucket lower bound {lo}");
+            assert!(
+                v - lo < width,
+                "{v} beyond bucket [{lo}, {lo}+{width}) (index {i})"
+            );
+        }
+        assert!(index_of(u64::MAX) < NBUCKETS);
+        // Buckets are contiguous: every bucket's end is the next one's start.
+        for i in 0..NBUCKETS - 1 {
+            assert_eq!(lower_bound(i) + bucket_width(i), lower_bound(i + 1));
+        }
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let h = AtomicHdr::default();
+        // 1..=10_000 uniformly: true p50 = 5000, p99 = 9900.
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        for (q, truth) in [(0.50, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - truth).abs() / truth;
+            assert!(rel <= 1.0 / SUB as f64, "q={q}: got {got}, want {truth}");
+        }
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn snapshots_merge_like_one_population() {
+        let a = AtomicHdr::default();
+        let b = AtomicHdr::default();
+        let whole = AtomicHdr::default();
+        for v in 0..1000u64 {
+            if v % 2 == 0 { &a } else { &b }.record(v * 3);
+            whole.record(v * 3);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+        assert_eq!(merged.count(), 1000);
+        assert_eq!(merged.max(), 999 * 3);
+        assert_eq!(merged.quantile(0.5), whole.snapshot().quantile(0.5));
+    }
+
+    #[test]
+    fn snapshot_records_directly() {
+        let mut s = HdrSnapshot::empty();
+        for v in [10u64, 20, 30, 40] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 100);
+        assert_eq!(s.mean(), 25);
+        assert_eq!(s.max(), 40);
+        assert!(s.quantile(0.5) >= 20 && s.quantile(0.5) <= 21);
+    }
+
+    #[test]
+    fn window_expires_old_slices() {
+        let w = WindowedHdr::new(10, 4); // 40 ms window
+        w.record(0, 100);
+        w.record(5, 200);
+        assert_eq!(w.snapshot(5).count(), 2);
+        // 25 ms later the first slice is still inside the window…
+        assert_eq!(w.snapshot(30).count(), 2);
+        // …but 45 ms later it has aged out.
+        assert_eq!(w.snapshot(45).count(), 0);
+        // Recording again after expiry recycles slots cleanly.
+        w.record(47, 300);
+        let s = w.snapshot(47);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.max(), 300);
+    }
+
+    #[test]
+    fn window_slot_reuse_resets_counts() {
+        let w = WindowedHdr::new(10, 2); // slots recycle every 20 ms
+        w.record(0, 1);
+        w.record(21, 2); // same slot as t=0, different slice number
+        let s = w.snapshot(21);
+        assert_eq!(s.count(), 1, "recycled slot must forget old samples");
+        assert_eq!(s.max(), 2);
+    }
+
+    #[test]
+    fn epoch_ms_is_monotone() {
+        let a = epoch_ms();
+        let b = epoch_ms();
+        assert!(b >= a);
+    }
+}

@@ -7,10 +7,26 @@
 //! performance change) measurable:
 //!
 //! * [`trace`] — structured event tracing: a [`trace::Tracer`] trait with a
-//!   no-op default and a JSONL [`trace::Recorder`], emitting typed
-//!   spans/events for every phase of the paper's UNDO algorithm (Figure 4);
-//! * [`metrics`] — a registry of named atomic counters and coarse latency
-//!   histograms, cheap enough to stay on in production builds;
+//!   no-op default, a JSONL [`trace::Recorder`], and a [`trace::Fanout`]
+//!   tee, emitting typed spans/events for every phase of the paper's UNDO
+//!   algorithm (Figure 4);
+//! * [`ring`] — a bounded, sampling ring-buffer tracer
+//!   ([`ring::RingTracer`]) that keeps tracing affordable in long-running
+//!   processes, with drop accounting;
+//! * [`hdr`] — HDR (log-linear) histograms: mergeable snapshots, bounded
+//!   relative error, and sliding-window percentiles;
+//! * [`metrics`] — a registry of named atomic counters and HDR latency
+//!   histograms (with labeled families), cheap enough to stay on in
+//!   production builds;
+//! * [`names`] — the stable catalog of every metric and trace-event name
+//!   the workspace emits, with deprecation aliases;
+//! * [`profile`] — the continuous phase profiler: per-(kind × phase)
+//!   latency profiles aggregated from Figure-4 span timings, with a
+//!   slow-operation threshold log;
+//! * [`export`] — Prometheus/JSON text exposition and a std-only blocking
+//!   scrape server;
+//! * [`alloc`] — an optional counting wrapper around the system allocator
+//!   so profiles can carry allocation deltas;
 //! * [`provenance`] — the causal record of an undo cascade: one edge per
 //!   removed transformation (*affecting* vs *affected*, with the disabling
 //!   condition or failed safety predicate), rendered as an explanation tree;
@@ -23,11 +39,22 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod export;
+pub mod hdr;
 pub mod json;
 pub mod metrics;
+pub mod names;
+pub mod profile;
 pub mod provenance;
+pub mod ring;
 pub mod trace;
 
+pub use hdr::{AtomicHdr, HdrSnapshot, WindowedHdr};
 pub use metrics::{global, Registry};
+pub use profile::PhaseProfiler;
 pub use provenance::{CauseKind, ProvenanceNode, ProvenanceTree};
-pub use trace::{FieldValue, NoopTracer, Phase, PhaseNanos, Recorder, SpanId, TraceField, Tracer};
+pub use ring::{RingConfig, RingTracer};
+pub use trace::{
+    Fanout, FieldValue, NoopTracer, Phase, PhaseNanos, Recorder, SpanId, TraceField, Tracer,
+};

@@ -1,21 +1,44 @@
-//! Named atomic counters and coarse latency histograms.
+//! Named atomic counters and HDR log-linear latency histograms, with
+//! labeled metric families and a sliding window for recent percentiles.
 //!
 //! The enabled path of a counter is one relaxed `fetch_add`; a histogram
-//! record is two relaxed adds plus one indexed add into a power-of-two
-//! bucket. Handles ([`Counter`], [`Histogram`]) are `Arc`s handed out by a
-//! [`Registry`]; hot call sites look them up once and cache them. A
-//! process-wide registry is available via [`global`] — the `pivot-ir`
-//! rebuild path and the CLI `stats` command use it — while anything that
-//! needs isolation (tests, benches) can own a private `Registry`.
+//! record is a handful of relaxed adds into log-linear buckets (see
+//! [`crate::hdr`]) — once into the cumulative histogram and once into the
+//! current slice of a sliding window, so scrapes can report both all-time
+//! totals and p50/p95/p99 over (roughly) the last
+//! [`WINDOW_SECS`] seconds. Handles ([`Counter`], [`Histogram`]) are
+//! `Arc`s handed out by a [`Registry`]; hot call sites look them up once
+//! and cache them. A process-wide registry is available via [`global`] —
+//! the engine, `pivot-ir`, `pivot-par`, `pivot-audit`, and the CLI `stats`
+//! command all use it — while anything that needs isolation (tests,
+//! benches) can own a private `Registry`.
+//!
+//! Metric **names** come from the stable catalog in [`crate::names`]:
+//! lookups canonicalize through its deprecation aliases, so a caller
+//! asking for a retired name (`ir.rep_builds`) shares the counter with the
+//! canonical one (`rep.builds`). Labeled families
+//! ([`Registry::counter_with`], [`Registry::histogram_with`]) append a
+//! canonical `{k="v",…}` suffix to the family name; keep label
+//! cardinality low — every distinct label set is a live time series.
 
+use crate::hdr::{epoch_ms, AtomicHdr, HdrSnapshot, WindowedHdr};
+use crate::names;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
-/// Number of power-of-two latency buckets (bucket `i` covers
-/// `[2^i, 2^(i+1))` nanoseconds; 40 buckets reach ~18 minutes).
-pub const BUCKETS: usize = 40;
+/// Sliding-window span of every histogram, seconds.
+pub const WINDOW_SECS: u64 = 60;
+
+/// Number of slices the window is divided into (expiry granularity).
+pub const WINDOW_SLICES: usize = 6;
+
+/// Lock a mutex, recovering from poisoning: telemetry must keep working
+/// (and keep its data) even if some recording thread panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A monotonically increasing named counter.
 #[derive(Debug, Default)]
@@ -40,34 +63,35 @@ impl Counter {
     }
 }
 
-/// A coarse (power-of-two buckets) latency histogram in nanoseconds.
+/// An HDR log-linear latency histogram in nanoseconds: cumulative totals
+/// plus a sliding window for recent percentiles. Quantiles carry a bounded
+/// relative error of `1/`[`crate::hdr::SUB`] (6.25%).
 #[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-    max_ns: AtomicU64,
+    all: AtomicHdr,
+    window: WindowedHdr,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            max_ns: AtomicU64::new(0),
-        }
+        Histogram::with_window(WINDOW_SECS * 1000 / WINDOW_SLICES as u64, WINDOW_SLICES)
     }
 }
 
 impl Histogram {
+    /// Histogram with an explicit window geometry (tests; the registry
+    /// always uses the [`WINDOW_SECS`]/[`WINDOW_SLICES`] default).
+    pub fn with_window(slice_ms: u64, slices: usize) -> Histogram {
+        Histogram {
+            all: AtomicHdr::default(),
+            window: WindowedHdr::new(slice_ms, slices),
+        }
+    }
+
     /// Record a duration in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
-        let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.all.record(ns);
+        self.window.record(epoch_ms(), ns);
     }
 
     /// Record a [`Duration`].
@@ -75,41 +99,45 @@ impl Histogram {
         self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
-    /// Number of recorded samples.
+    /// Number of recorded samples (all-time).
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.all.count()
     }
 
-    /// Sum of all samples, ns.
+    /// Sum of all samples, ns (all-time).
     pub fn sum_ns(&self) -> u64 {
-        self.sum_ns.load(Ordering::Relaxed)
+        self.all.sum()
     }
 
-    /// Largest sample, ns.
+    /// Largest sample, ns (all-time).
     pub fn max_ns(&self) -> u64 {
-        self.max_ns.load(Ordering::Relaxed)
+        self.all.max()
     }
 
-    /// Mean sample, ns (0 when empty).
+    /// Mean sample, ns (0 when empty; all-time).
     pub fn mean_ns(&self) -> u64 {
-        self.sum_ns().checked_div(self.count()).unwrap_or(0)
+        self.all.sum().checked_div(self.all.count()).unwrap_or(0)
     }
 
-    /// Approximate quantile (lower bound of the bucket holding it).
+    /// Quantile estimate over all recorded samples.
     pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return 1u64 << i;
-            }
-        }
-        self.max_ns()
+        self.all.quantile(q)
+    }
+
+    /// Mergeable snapshot of the cumulative histogram.
+    pub fn snapshot(&self) -> HdrSnapshot {
+        self.all.snapshot()
+    }
+
+    /// Mergeable snapshot of the sliding window (the last
+    /// ~[`WINDOW_SECS`] seconds).
+    pub fn window_snapshot(&self) -> HdrSnapshot {
+        self.window.snapshot(epoch_ms())
+    }
+
+    /// Quantile estimate over the sliding window.
+    pub fn window_quantile_ns(&self, q: f64) -> u64 {
+        self.window_snapshot().quantile(q)
     }
 }
 
@@ -125,55 +153,187 @@ pub struct Registry {
     state: Mutex<State>,
 }
 
+/// One histogram's numbers in a [`RegistrySnapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct HistogramStats {
+    /// All-time sample count.
+    pub count: u64,
+    /// All-time sum, ns.
+    pub sum_ns: u64,
+    /// All-time maximum, ns.
+    pub max_ns: u64,
+    /// All-time p50, ns.
+    pub p50_ns: u64,
+    /// All-time p95, ns.
+    pub p95_ns: u64,
+    /// All-time p99, ns.
+    pub p99_ns: u64,
+    /// Sliding-window sample count.
+    pub win_count: u64,
+    /// Sliding-window maximum, ns.
+    pub win_max_ns: u64,
+    /// Sliding-window p50, ns.
+    pub win_p50_ns: u64,
+    /// Sliding-window p95, ns.
+    pub win_p95_ns: u64,
+    /// Sliding-window p99, ns.
+    pub win_p99_ns: u64,
+}
+
+impl HistogramStats {
+    fn of(h: &Histogram) -> HistogramStats {
+        let win = h.window_snapshot();
+        HistogramStats {
+            count: h.count(),
+            sum_ns: h.sum_ns(),
+            max_ns: h.max_ns(),
+            p50_ns: h.quantile_ns(0.50),
+            p95_ns: h.quantile_ns(0.95),
+            p99_ns: h.quantile_ns(0.99),
+            win_count: win.count(),
+            win_max_ns: win.max(),
+            win_p50_ns: win.quantile(0.50),
+            win_p95_ns: win.quantile(0.95),
+            win_p99_ns: win.quantile(0.99),
+        }
+    }
+}
+
+/// A coherent point-in-time copy of every metric in a registry, sorted by
+/// key (`name` or `name{labels}`). The exporter and `pivot top` consume
+/// these.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram statistics.
+    pub histograms: Vec<(String, HistogramStats)>,
+}
+
 impl Registry {
     /// Fresh, empty registry.
     pub fn new() -> Registry {
         Registry::default()
     }
 
+    /// Build the storage key `name{k="v",…}` (labels sorted by key).
+    fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
+        let canonical = names::canonical(name);
+        if labels.is_empty() {
+            return canonical.to_owned();
+        }
+        let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+        pairs.sort();
+        let mut key = String::with_capacity(canonical.len() + 16 * pairs.len());
+        key.push_str(canonical);
+        key.push('{');
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                key.push(',');
+            }
+            key.push_str(k);
+            key.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '"' => key.push_str("\\\""),
+                    '\\' => key.push_str("\\\\"),
+                    '\n' => key.push_str("\\n"),
+                    c => key.push(c),
+                }
+            }
+            key.push('"');
+        }
+        key.push('}');
+        key
+    }
+
     /// Get (or create) the counter `name`. Cache the handle at hot sites.
+    /// Deprecated names (see [`names::DEPRECATED`]) resolve to their
+    /// canonical counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut s = self.state.lock().unwrap();
-        Arc::clone(s.counters.entry(name.to_owned()).or_default())
+        self.counter_with(name, &[])
+    }
+
+    /// Get (or create) a counter in the labeled family `name`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = Registry::keyed(name, labels);
+        let mut s = lock(&self.state);
+        Arc::clone(s.counters.entry(key).or_default())
     }
 
     /// Get (or create) the histogram `name`. Cache the handle at hot sites.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut s = self.state.lock().unwrap();
-        Arc::clone(s.histograms.entry(name.to_owned()).or_default())
+        self.histogram_with(name, &[])
+    }
+
+    /// Get (or create) a histogram in the labeled family `name`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = Registry::keyed(name, labels);
+        let mut s = lock(&self.state);
+        Arc::clone(s.histograms.entry(key).or_default())
     }
 
     /// Counter values, sorted by name.
     pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
-        let s = self.state.lock().unwrap();
+        let s = lock(&self.state);
         s.counters
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect()
     }
 
+    /// Point-in-time copy of every metric (exporter / `pivot top` input).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        // Clone the Arcs out first so no histogram walk happens under the
+        // registry lock.
+        let (counters, histograms) = {
+            let s = lock(&self.state);
+            (
+                s.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect::<Vec<_>>(),
+                s.histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        RegistrySnapshot {
+            counters: counters.into_iter().map(|(k, c)| (k, c.get())).collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, h)| (k, HistogramStats::of(&h)))
+                .collect(),
+        }
+    }
+
     /// Human-readable dump of every metric (the CLI `stats` command).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let s = self.state.lock().unwrap();
+        let snap = self.snapshot();
         let mut out = String::new();
-        if !s.counters.is_empty() {
+        if !snap.counters.is_empty() {
             out.push_str("counters:\n");
-            for (name, c) in &s.counters {
-                let _ = writeln!(out, "  {name:<32} {}", c.get());
+            for (name, v) in &snap.counters {
+                let _ = writeln!(out, "  {name:<40} {v}");
             }
         }
-        if !s.histograms.is_empty() {
+        if !snap.histograms.is_empty() {
             out.push_str("histograms (ns):\n");
-            for (name, h) in &s.histograms {
+            for (name, h) in &snap.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<32} n={} mean={} p50={} p90={} max={}",
-                    h.count(),
-                    h.mean_ns(),
-                    h.quantile_ns(0.50),
-                    h.quantile_ns(0.90),
-                    h.max_ns()
+                    "  {name:<40} n={} mean={} p50={} p95={} p99={} max={} | {}s window: n={} p95={}",
+                    h.count,
+                    h.sum_ns.checked_div(h.count).unwrap_or(0),
+                    h.p50_ns,
+                    h.p95_ns,
+                    h.p99_ns,
+                    h.max_ns,
+                    WINDOW_SECS,
+                    h.win_count,
+                    h.win_p95_ns,
                 );
             }
         }
@@ -197,12 +357,12 @@ mod tests {
     #[test]
     fn counters_accumulate_and_share() {
         let r = Registry::new();
-        let a = r.counter("x");
-        let b = r.counter("x");
+        let a = r.counter("undo.requests");
+        let b = r.counter("undo.requests");
         a.inc();
         b.add(4);
-        assert_eq!(r.counter("x").get(), 5);
-        assert_eq!(r.counter_snapshot(), vec![("x".to_owned(), 5)]);
+        assert_eq!(r.counter("undo.requests").get(), 5);
+        assert_eq!(r.counter_snapshot(), vec![("undo.requests".to_owned(), 5)]);
     }
 
     #[test]
@@ -215,19 +375,59 @@ mod tests {
         assert_eq!(h.sum_ns(), 100_700);
         assert_eq!(h.max_ns(), 100_000);
         assert_eq!(h.mean_ns(), 25_175);
-        // p50 falls in the bucket of 128–255 ns (lower bound 128).
-        assert_eq!(h.quantile_ns(0.5), 128);
-        assert!(h.quantile_ns(1.0) >= 65_536);
+        // p50 lands in 200's log-linear bucket [200, 208); the estimate is
+        // within 6.25% of the true value, a far cry from the old
+        // power-of-two buckets' answer of 128.
+        let p50 = h.quantile_ns(0.5) as f64;
+        assert!((p50 - 200.0).abs() / 200.0 <= 1.0 / 16.0, "p50={p50}");
+        assert_eq!(h.quantile_ns(1.0), 100_000);
+        // Fresh samples are inside the window too.
+        assert_eq!(h.window_snapshot().count(), 4);
+        assert_eq!(h.window_quantile_ns(1.0), 100_000);
+    }
+
+    #[test]
+    fn deprecated_names_share_the_canonical_metric() {
+        let r = Registry::new();
+        r.counter("ir.rep_builds").add(2); // deprecated alias…
+        r.counter("rep.builds").inc(); // …of the canonical name
+        assert_eq!(r.counter("rep.builds").get(), 3);
+        let snap = r.counter_snapshot();
+        assert_eq!(snap, vec![("rep.builds".to_owned(), 3)]);
+    }
+
+    #[test]
+    fn labeled_families_are_distinct_series() {
+        let r = Registry::new();
+        r.histogram_with("undo.phase_ns", &[("phase", "undo")])
+            .record_ns(50);
+        r.histogram_with("undo.phase_ns", &[("phase", "region_scan")])
+            .record_ns(70);
+        // Label order does not matter; keys are canonicalized.
+        let h = r.counter_with("undo.phase_ns", &[("b", "2"), ("a", "1")]);
+        let h2 = r.counter_with("undo.phase_ns", &[("a", "1"), ("b", "2")]);
+        h.inc();
+        assert_eq!(h2.get(), 1);
+        let snap = r.snapshot();
+        let keys: Vec<&str> = snap.histograms.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "undo.phase_ns{phase=\"region_scan\"}",
+                "undo.phase_ns{phase=\"undo\"}"
+            ]
+        );
     }
 
     #[test]
     fn render_lists_everything() {
         let r = Registry::new();
-        r.counter("undo.total").add(2);
-        r.histogram("undo.ns").record(Duration::from_micros(5));
+        r.counter("undo.requests").add(2);
+        r.histogram("undo.phase_ns")
+            .record(Duration::from_micros(5));
         let text = r.render();
-        assert!(text.contains("undo.total"));
-        assert!(text.contains("undo.ns"));
+        assert!(text.contains("undo.requests"));
+        assert!(text.contains("undo.phase_ns"));
         assert!(text.contains("n=1"));
     }
 }

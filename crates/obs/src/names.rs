@@ -1,0 +1,400 @@
+//! The stable catalog of every metric and trace-event name in the
+//! workspace — the telemetry analogue of `pivot-audit`'s `LINTS` table.
+//!
+//! ## Naming scheme
+//!
+//! Metric names are dot-separated, snake_case segments:
+//!
+//! ```text
+//! <subsystem>.<component…>.<measure>
+//! ```
+//!
+//! * the **first** segment is the owning subsystem — `session` (engine
+//!   requests), `undo` (the Figure-4 cascade), `txn` (checkpoints and
+//!   rollbacks), `rep` (representation builds and incremental refresh),
+//!   `par` (the worker pool and parallel kernels), `audit` (the static
+//!   auditor), `trace` (the tracing pipeline itself), `profile` (the
+//!   phase profiler), `export` (the scrape endpoint);
+//! * zero or more middle segments name a component (`rep.incr.*`,
+//!   `par.df.*`);
+//! * the **last** segment is the measure; durations are histograms and end
+//!   in `_ns`;
+//! * labeled families keep the family name here and append a canonical
+//!   `{key="value",…}` suffix at the recording site
+//!   ([`crate::Registry::counter_with`] /
+//!   [`crate::Registry::histogram_with`]); the allowed label keys are
+//!   declared in [`MetricDef::labels`].
+//!
+//! Names are **append-only**: renames add the old name to [`DEPRECATED`]
+//! so existing consumers (dashboards, scrape configs, trace readers) keep
+//! working — a deprecated lookup transparently resolves to the canonical
+//! metric. The `names_consistency` integration test walks every source
+//! file in the workspace and fails if a literal metric/event name is
+//! emitted that this catalog does not declare, or if non-test code still
+//! emits a deprecated name.
+
+/// What a metric measures (drives the Prometheus `# TYPE` line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Log-linear latency histogram (exported as a summary).
+    Histogram,
+}
+
+/// One catalogued metric family.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricDef {
+    /// Canonical dot-separated name.
+    pub name: &'static str,
+    /// Counter or histogram.
+    pub kind: MetricKind,
+    /// Label keys this family may carry (empty for plain metrics).
+    pub labels: &'static [&'static str],
+    /// One-line help text (the Prometheus `# HELP` line).
+    pub help: &'static str,
+}
+
+/// One catalogued trace point-event name (`"ev":"event"` lines; span
+/// names come from [`crate::Phase`] and are catalogued there).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEventDef {
+    /// Stable snake_case event name.
+    pub name: &'static str,
+    /// One-line description of when it fires.
+    pub help: &'static str,
+}
+
+const fn c(name: &'static str, help: &'static str) -> MetricDef {
+    MetricDef {
+        name,
+        kind: MetricKind::Counter,
+        labels: &[],
+        help,
+    }
+}
+
+const fn h(name: &'static str, help: &'static str) -> MetricDef {
+    MetricDef {
+        name,
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help,
+    }
+}
+
+/// Every metric family the workspace may record, sorted by name.
+pub const METRICS: &[MetricDef] = &[
+    c("audit.findings", "audit findings reported"),
+    c("audit.rules", "audit rules evaluated"),
+    h("audit.run_ns", "wall time of one Session::audit run"),
+    c("audit.runs", "Session::audit invocations"),
+    c("export.scrapes", "scrape-endpoint requests served"),
+    c(
+        "par.df.rounds",
+        "frontier-exchange rounds of the parallel dataflow solver",
+    ),
+    c("par.df.solves", "parallel dataflow solves"),
+    c("par.find.batches", "parallel opportunity-scan batches"),
+    c(
+        "par.prefetch.batches",
+        "speculative safety prefetch batches",
+    ),
+    c(
+        "par.prefetch.candidates",
+        "candidates screened by safety prefetch",
+    ),
+    c("par.prefetch.hits", "prefetched safety verdicts consumed"),
+    h("par.run_ns", "wall time of one pool run"),
+    c("par.runs", "worker-pool runs"),
+    c("par.screen.batches", "parallel safety-screen batches"),
+    c(
+        "par.screen.candidates",
+        "candidates screened by the parallel safety screen",
+    ),
+    c("par.steals", "work-stealing steals"),
+    c("par.tasks", "tasks executed by the worker pool"),
+    c("profile.ops", "operations aggregated by the phase profiler"),
+    c(
+        "profile.slow_ops",
+        "profiled operations over the slow-op threshold",
+    ),
+    h("rep.build_ns", "wall time of one full representation build"),
+    c("rep.builds", "full representation builds"),
+    h(
+        "rep.high.build_ns",
+        "wall time of one high-level (region/summary) build",
+    ),
+    c("rep.high.builds", "high-level (region/summary) builds"),
+    c(
+        "rep.incr.dirty_blocks",
+        "blocks seeded dirty by incremental refresh",
+    ),
+    c(
+        "rep.incr.fallback",
+        "incremental refreshes that fell back to a batch rebuild",
+    ),
+    c(
+        "rep.incr.total_blocks",
+        "blocks present during incremental refreshes",
+    ),
+    h("rep.incr.update_ns", "wall time of one incremental refresh"),
+    c("rep.incr.updates", "successful incremental refreshes"),
+    c(
+        "rep.incr.worklist_iters",
+        "worklist iterations of incremental solves",
+    ),
+    c("session.applies", "successful Session::apply requests"),
+    MetricDef {
+        name: "session.apply_ns",
+        kind: MetricKind::Histogram,
+        labels: &["kind", "session"],
+        help: "wall time of one Session::apply request",
+    },
+    c(
+        "trace.dropped",
+        "trace lines dropped by the sampling ring tracer",
+    ),
+    c("trace.emitted", "trace lines accepted into the ring tracer"),
+    c(
+        "trace.sampled_units",
+        "top-level trace units (undo requests) seen by the sampler",
+    ),
+    h(
+        "txn.checkpoint_ns",
+        "wall time of one transactional checkpoint",
+    ),
+    c("txn.checkpoints", "transactional checkpoints taken"),
+    c("txn.rollbacks", "transactions rolled back"),
+    c("undo.affecting_chases", "affecting-transformation chases"),
+    c(
+        "undo.candidates_considered",
+        "candidates examined for region/heuristic membership",
+    ),
+    MetricDef {
+        name: "undo.phase_ns",
+        kind: MetricKind::Histogram,
+        labels: &["phase", "session"],
+        help: "wall time per Figure-4 undo phase",
+    },
+    c("undo.rep_rebuilds", "representation rebuilds during undo"),
+    c("undo.requests", "Session::undo requests"),
+    c("undo.safety_checks", "full safety re-checks run"),
+    c(
+        "undo.xforms_undone",
+        "transformations removed by undo cascades",
+    ),
+];
+
+/// Every trace point-event name the workspace may emit, sorted by name.
+pub const TRACE_EVENTS: &[TraceEventDef] = &[
+    TraceEventDef {
+        name: "audit_finding",
+        help: "one audit finding (code/severity/family/site)",
+    },
+    TraceEventDef {
+        name: "incr_fallback",
+        help: "incremental refresh bailed to a batch rebuild (reason)",
+    },
+    TraceEventDef {
+        name: "par_find",
+        help: "parallel opportunity scan completed",
+    },
+    TraceEventDef {
+        name: "par_plan",
+        help: "parallel batch-undo planning completed",
+    },
+    TraceEventDef {
+        name: "par_prefetch",
+        help: "speculative safety prefetch batch completed",
+    },
+    TraceEventDef {
+        name: "par_screen",
+        help: "parallel safety screen completed",
+    },
+    TraceEventDef {
+        name: "profile",
+        help: "one (kind x phase) row of the phase profiler",
+    },
+    TraceEventDef {
+        name: "recovered",
+        help: "a session was rebuilt from its write-ahead journal",
+    },
+    TraceEventDef {
+        name: "rollback",
+        help: "a mutating request rolled back (op, cause)",
+    },
+    TraceEventDef {
+        name: "slow_op",
+        help: "an operation exceeded the profiler's slow-op threshold",
+    },
+    TraceEventDef {
+        name: "trace_drop",
+        help: "summary of trace lines dropped by the sampling tracer",
+    },
+];
+
+/// Deprecated metric names and the canonical metric each resolves to.
+/// A target may be a fully keyed series (family name + labels) so the old
+/// flat name and the labeled family share storage.
+pub const DEPRECATED: &[(&str, &str)] = &[
+    ("ir.build_ns", "rep.build_ns"),
+    ("ir.high_builds", "rep.high.builds"),
+    ("ir.high_ns", "rep.high.build_ns"),
+    ("ir.rep_builds", "rep.builds"),
+    ("undo.candidates_scanned", "undo.candidates_considered"),
+    // PR-1-era flat per-phase histograms became the undo.phase_ns family.
+    (
+        "undo.phase.affecting_chase_ns",
+        "undo.phase_ns{phase=\"affecting_chase\"}",
+    ),
+    (
+        "undo.phase.inverse_action_ns",
+        "undo.phase_ns{phase=\"inverse_action\"}",
+    ),
+    (
+        "undo.phase.region_scan_ns",
+        "undo.phase_ns{phase=\"region_scan\"}",
+    ),
+    (
+        "undo.phase.rep_rebuild_ns",
+        "undo.phase_ns{phase=\"rep_rebuild\"}",
+    ),
+    (
+        "undo.phase.reversibility_check_ns",
+        "undo.phase_ns{phase=\"reversibility_check\"}",
+    ),
+    (
+        "undo.phase.safety_check_ns",
+        "undo.phase_ns{phase=\"safety_check\"}",
+    ),
+    ("undo.phase.undo_ns", "undo.phase_ns{phase=\"undo\"}"),
+];
+
+/// Resolve a (possibly deprecated) metric name to its canonical form.
+/// Unknown names pass through unchanged — the registry still records them
+/// (telemetry must not panic), and the `names_consistency` test is what
+/// keeps the source tree honest.
+pub fn canonical(name: &str) -> &str {
+    match DEPRECATED.binary_search_by(|(old, _)| (*old).cmp(name)) {
+        Ok(i) => DEPRECATED[i].1,
+        Err(_) => name,
+    }
+}
+
+/// Look up the catalog entry for a metric family name (no label suffix).
+pub fn lookup(name: &str) -> Option<&'static MetricDef> {
+    METRICS
+        .binary_search_by(|d| d.name.cmp(name))
+        .ok()
+        .map(|i| &METRICS[i])
+}
+
+/// Look up the catalog entry for a trace event name.
+pub fn lookup_event(name: &str) -> Option<&'static TraceEventDef> {
+    TRACE_EVENTS
+        .binary_search_by(|d| d.name.cmp(name))
+        .ok()
+        .map(|i| &TRACE_EVENTS[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_are_sorted_and_duplicate_free() {
+        for w in METRICS.windows(2) {
+            assert!(
+                w[0].name < w[1].name,
+                "METRICS out of order or duplicated at {}",
+                w[1].name
+            );
+        }
+        for w in TRACE_EVENTS.windows(2) {
+            assert!(
+                w[0].name < w[1].name,
+                "TRACE_EVENTS out of order or duplicated at {}",
+                w[1].name
+            );
+        }
+        for w in DEPRECATED.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "DEPRECATED out of order or duplicated at {}",
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn names_follow_the_scheme() {
+        for d in METRICS {
+            assert!(
+                d.name.split('.').count() >= 2,
+                "{}: need subsystem.measure",
+                d.name
+            );
+            for seg in d.name.split('.') {
+                assert!(!seg.is_empty(), "{}: empty segment", d.name);
+                assert!(
+                    seg.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                    "{}: segment `{seg}` is not snake_case",
+                    d.name
+                );
+            }
+            let is_duration = d.name.ends_with("_ns");
+            assert_eq!(
+                is_duration,
+                d.kind == MetricKind::Histogram,
+                "{}: durations are histograms and end in _ns",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn deprecated_targets_are_catalogued() {
+        for (old, new) in DEPRECATED {
+            assert!(lookup(old).is_none(), "{old} is both deprecated and live");
+            let family = new.split('{').next().unwrap_or(new);
+            let def =
+                lookup(family).unwrap_or_else(|| panic!("{old} points at uncatalogued {family}"));
+            if let Some(labels) = new
+                .strip_prefix(family)
+                .and_then(|s| s.strip_prefix('{').and_then(|s| s.strip_suffix('}')))
+            {
+                for pair in labels.split(',') {
+                    let key = pair.split('=').next().unwrap_or(pair);
+                    assert!(
+                        def.labels.contains(&key),
+                        "{old}: label `{key}` not declared on {family}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_resolves_aliases() {
+        assert_eq!(canonical("ir.rep_builds"), "rep.builds");
+        assert_eq!(
+            canonical("undo.phase.undo_ns"),
+            "undo.phase_ns{phase=\"undo\"}"
+        );
+        assert_eq!(canonical("undo.requests"), "undo.requests");
+        assert_eq!(canonical("made.up"), "made.up");
+    }
+
+    #[test]
+    fn lookup_finds_every_entry() {
+        for d in METRICS {
+            assert!(lookup(d.name).is_some(), "{}", d.name);
+        }
+        for d in TRACE_EVENTS {
+            assert!(lookup_event(d.name).is_some(), "{}", d.name);
+        }
+        assert!(lookup("undo.candidates_scanned").is_none());
+    }
+}

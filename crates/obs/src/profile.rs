@@ -1,0 +1,421 @@
+//! Continuous phase profiling: per-(kind × phase) latency profiles
+//! aggregated from the Figure-4 span timings, with a slow-operation
+//! threshold log.
+//!
+//! Every undo request already fills a [`PhaseNanos`] (the engine times each
+//! Figure-4 phase unconditionally). A [`PhaseProfiler`] folds those into
+//! HDR snapshots keyed by `(transformation kind, phase)`, so after any
+//! workload you can ask "where does undoing an `inx` spend its time, and
+//! how does the p95 compare to `del`?" — continuously, in production, with
+//! no trace post-processing.
+//!
+//! Operations whose total exceeds the profiler's threshold are counted
+//! (`profile.slow_ops`), remembered in a bounded recent-slow-ops log, and
+//! emitted as `slow_op` trace events — the "why was that undo slow?"
+//! breadcrumb. [`PhaseProfiler::emit`] writes the whole profile as
+//! `profile` trace events; [`PhaseProfiler::render`] prints it for humans.
+//!
+//! When the binary installs [`crate::alloc::CountingAlloc`], observations
+//! can also carry allocation deltas ([`PhaseProfiler::observe_with_alloc`])
+//! and the profile gains per-kind allocation columns.
+
+use crate::alloc::AllocStats;
+use crate::hdr::HdrSnapshot;
+use crate::metrics::Registry;
+use crate::trace::{FieldValue, Phase, PhaseNanos, Tracer};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+
+/// Slow operations remembered by the in-memory log.
+const SLOW_LOG_CAP: usize = 64;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One operation that crossed the slow threshold.
+#[derive(Clone, Debug)]
+pub struct SlowOp {
+    /// Transformation kind (or operation label) of the slow request.
+    pub kind: String,
+    /// Total wall time across phases, ns.
+    pub total_ns: u64,
+    /// The per-phase breakdown.
+    pub phases: PhaseNanos,
+    /// Ordinal of the observation (1-based over the profiler's lifetime).
+    pub seq: u64,
+}
+
+impl SlowOp {
+    /// The phase that dominated this operation.
+    pub fn hottest_phase(&self) -> Phase {
+        Phase::ALL
+            .into_iter()
+            .max_by_key(|p| self.phases.get(*p))
+            .unwrap_or(Phase::Undo)
+    }
+}
+
+/// One row of the aggregated profile.
+#[derive(Clone, Debug)]
+pub struct ProfileRow {
+    /// Transformation kind (or operation label).
+    pub kind: String,
+    /// Figure-4 phase name.
+    pub phase: &'static str,
+    /// Samples aggregated into this cell.
+    pub count: u64,
+    /// Mean latency, ns.
+    pub mean_ns: u64,
+    /// Median latency, ns.
+    pub p50_ns: u64,
+    /// 95th percentile latency, ns.
+    pub p95_ns: u64,
+    /// Maximum latency, ns.
+    pub max_ns: u64,
+}
+
+#[derive(Default)]
+struct KindAgg {
+    ops: u64,
+    total: HdrSnapshot,
+    alloc_calls: u64,
+    alloc_bytes: u64,
+}
+
+#[derive(Default)]
+struct State {
+    /// (kind, phase-name) → latency distribution of that phase.
+    cells: BTreeMap<(String, &'static str), HdrSnapshot>,
+    /// kind → whole-operation aggregate.
+    kinds: BTreeMap<String, KindAgg>,
+    slow_log: VecDeque<SlowOp>,
+    observed: u64,
+}
+
+/// The continuous phase profiler. See the module docs.
+pub struct PhaseProfiler {
+    slow_ns: u64,
+    registry: &'static Registry,
+    state: Mutex<State>,
+}
+
+impl PhaseProfiler {
+    /// Profiler flagging operations slower than `slow_ns` total
+    /// (`0` disables the slow-op log), counting into the global registry.
+    pub fn new(slow_ns: u64) -> PhaseProfiler {
+        PhaseProfiler::with_registry(slow_ns, crate::metrics::global())
+    }
+
+    /// Profiler counting `profile.*` metrics into an explicit registry.
+    pub fn with_registry(slow_ns: u64, registry: &'static Registry) -> PhaseProfiler {
+        PhaseProfiler {
+            slow_ns,
+            registry,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// The configured slow-operation threshold, ns (0 = disabled).
+    pub fn slow_ns(&self) -> u64 {
+        self.slow_ns
+    }
+
+    /// Fold one operation's phase breakdown into the profile. Returns the
+    /// slow-op record if the operation crossed the threshold (also counted
+    /// and, when `tracer` is enabled, emitted as a `slow_op` event).
+    pub fn observe(&self, kind: &str, phases: &PhaseNanos, tracer: &dyn Tracer) -> Option<SlowOp> {
+        self.observe_with_alloc(kind, phases, AllocStats::default(), tracer)
+    }
+
+    /// [`PhaseProfiler::observe`] with an allocation delta for the
+    /// operation (from [`crate::alloc::snapshot`] brackets).
+    pub fn observe_with_alloc(
+        &self,
+        kind: &str,
+        phases: &PhaseNanos,
+        alloc: AllocStats,
+        tracer: &dyn Tracer,
+    ) -> Option<SlowOp> {
+        let total_ns = phases.total();
+        let seq;
+        {
+            let mut s = lock(&self.state);
+            s.observed += 1;
+            seq = s.observed;
+            for (phase, ns) in phases.nonzero() {
+                s.cells
+                    .entry((kind.to_owned(), phase.name()))
+                    .or_default()
+                    .record(ns);
+            }
+            let agg = s.kinds.entry(kind.to_owned()).or_default();
+            agg.ops += 1;
+            agg.total.record(total_ns);
+            agg.alloc_calls += alloc.calls;
+            agg.alloc_bytes += alloc.bytes;
+        }
+        self.registry.counter("profile.ops").inc();
+        if self.slow_ns == 0 || total_ns < self.slow_ns {
+            return None;
+        }
+        self.registry.counter("profile.slow_ops").inc();
+        let slow = SlowOp {
+            kind: kind.to_owned(),
+            total_ns,
+            phases: *phases,
+            seq,
+        };
+        {
+            let mut s = lock(&self.state);
+            if s.slow_log.len() == SLOW_LOG_CAP {
+                s.slow_log.pop_front();
+            }
+            s.slow_log.push_back(slow.clone());
+        }
+        if tracer.enabled() {
+            let hot = slow.hottest_phase();
+            tracer.event(
+                "slow_op",
+                &[
+                    ("kind", FieldValue::Str(kind)),
+                    ("total_ns", FieldValue::U64(total_ns)),
+                    ("threshold_ns", FieldValue::U64(self.slow_ns)),
+                    ("hot_phase", FieldValue::Str(hot.name())),
+                    ("hot_ns", FieldValue::U64(slow.phases.get(hot))),
+                ],
+            );
+        }
+        Some(slow)
+    }
+
+    /// Operations observed so far.
+    pub fn observed(&self) -> u64 {
+        lock(&self.state).observed
+    }
+
+    /// The bounded log of recent slow operations, oldest first.
+    pub fn slow_log(&self) -> Vec<SlowOp> {
+        lock(&self.state).slow_log.iter().cloned().collect()
+    }
+
+    /// The aggregated profile, sorted by (kind, phase).
+    pub fn rows(&self) -> Vec<ProfileRow> {
+        let s = lock(&self.state);
+        s.cells
+            .iter()
+            .map(|((kind, phase), snap)| ProfileRow {
+                kind: kind.clone(),
+                phase,
+                count: snap.count(),
+                mean_ns: snap.mean(),
+                p50_ns: snap.quantile(0.50),
+                p95_ns: snap.quantile(0.95),
+                max_ns: snap.max(),
+            })
+            .collect()
+    }
+
+    /// Emit the whole profile as `profile` trace events (one per cell).
+    pub fn emit(&self, tracer: &dyn Tracer) {
+        if !tracer.enabled() {
+            return;
+        }
+        for row in self.rows() {
+            tracer.event(
+                "profile",
+                &[
+                    ("kind", FieldValue::Str(&row.kind)),
+                    ("phase", FieldValue::Str(row.phase)),
+                    ("count", FieldValue::U64(row.count)),
+                    ("mean_ns", FieldValue::U64(row.mean_ns)),
+                    ("p50_ns", FieldValue::U64(row.p50_ns)),
+                    ("p95_ns", FieldValue::U64(row.p95_ns)),
+                    ("max_ns", FieldValue::U64(row.max_ns)),
+                ],
+            );
+        }
+    }
+
+    /// Human-readable profile table (the CLI `--profile` report).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let rows = self.rows();
+        if rows.is_empty() {
+            return String::from("(no operations profiled)\n");
+        }
+        let mut out = String::from(
+            "kind        phase                     n     mean_ns      p50_ns      p95_ns      max_ns\n",
+        );
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{:<11} {:<20} {:>6} {:>11} {:>11} {:>11} {:>11}",
+                r.kind, r.phase, r.count, r.mean_ns, r.p50_ns, r.p95_ns, r.max_ns
+            );
+        }
+        let s = lock(&self.state);
+        out.push_str("per kind:\n");
+        for (kind, agg) in &s.kinds {
+            let _ = writeln!(
+                out,
+                "  {:<11} ops={} total_p95_ns={} alloc_calls={} alloc_bytes={}",
+                kind,
+                agg.ops,
+                agg.total.quantile(0.95),
+                agg.alloc_calls,
+                agg.alloc_bytes
+            );
+        }
+        if !s.slow_log.is_empty() {
+            let _ = writeln!(out, "slow ops (> {} ns), most recent last:", self.slow_ns);
+            for op in &s.slow_log {
+                let hot = op.hottest_phase();
+                let _ = writeln!(
+                    out,
+                    "  #{:<6} {:<11} total={}ns hottest={}({}ns)",
+                    op.seq,
+                    op.kind,
+                    op.total_ns,
+                    hot.name(),
+                    op.phases.get(hot)
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::trace::{NoopTracer, Recorder};
+
+    fn leaked_registry() -> &'static Registry {
+        Box::leak(Box::new(Registry::new()))
+    }
+
+    fn nanos(pairs: &[(Phase, u64)]) -> PhaseNanos {
+        let mut p = PhaseNanos::default();
+        for (phase, ns) in pairs {
+            p.add(*phase, *ns);
+        }
+        p
+    }
+
+    #[test]
+    fn aggregates_per_kind_and_phase() {
+        let reg = leaked_registry();
+        let prof = PhaseProfiler::with_registry(0, reg);
+        for i in 0..10u64 {
+            prof.observe(
+                "inx",
+                &nanos(&[(Phase::RegionScan, 100 + i), (Phase::SafetyCheck, 50)]),
+                &NoopTracer,
+            );
+        }
+        prof.observe("del", &nanos(&[(Phase::RegionScan, 900)]), &NoopTracer);
+        let rows = prof.rows();
+        let kinds: Vec<(&str, &str, u64)> = rows
+            .iter()
+            .map(|r| (r.kind.as_str(), r.phase, r.count))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("del", "region_scan", 1),
+                ("inx", "region_scan", 10),
+                ("inx", "safety_check", 10),
+            ]
+        );
+        let inx_scan = &rows[1];
+        assert!(inx_scan.p50_ns >= 100 && inx_scan.p50_ns <= 112);
+        assert_eq!(inx_scan.max_ns, 109);
+        assert_eq!(reg.counter("profile.ops").get(), 11);
+        assert_eq!(prof.observed(), 11);
+    }
+
+    #[test]
+    fn slow_ops_are_logged_counted_and_traced() {
+        let reg = leaked_registry();
+        let prof = PhaseProfiler::with_registry(1_000, reg);
+        let (rec, buf) = Recorder::in_memory();
+        assert!(prof
+            .observe("inx", &nanos(&[(Phase::RegionScan, 400)]), &rec)
+            .is_none());
+        let slow = prof
+            .observe(
+                "inx",
+                &nanos(&[(Phase::RegionScan, 300), (Phase::RepRebuild, 900)]),
+                &rec,
+            )
+            .expect("1200 ns total crosses the 1000 ns threshold");
+        assert_eq!(slow.total_ns, 1_200);
+        assert_eq!(slow.hottest_phase(), Phase::RepRebuild);
+        assert_eq!(reg.counter("profile.slow_ops").get(), 1);
+        assert_eq!(prof.slow_log().len(), 1);
+        let line = buf.contents();
+        let o = json::parse(line.lines().next().expect("one slow_op line")).unwrap();
+        assert_eq!(o.get("name").unwrap().as_str(), Some("slow_op"));
+        assert_eq!(o.get("total_ns").unwrap().as_int(), Some(1_200));
+        assert_eq!(o.get("hot_phase").unwrap().as_str(), Some("rep_rebuild"));
+        assert_eq!(o.get("hot_ns").unwrap().as_int(), Some(900));
+    }
+
+    #[test]
+    fn zero_threshold_disables_slow_tracking() {
+        let prof = PhaseProfiler::with_registry(0, leaked_registry());
+        assert!(prof
+            .observe("inx", &nanos(&[(Phase::Undo, u64::MAX / 2)]), &NoopTracer)
+            .is_none());
+        assert!(prof.slow_log().is_empty());
+    }
+
+    #[test]
+    fn emit_writes_schema_valid_profile_events() {
+        let prof = PhaseProfiler::with_registry(0, leaked_registry());
+        prof.observe(
+            "cse",
+            &nanos(&[(Phase::Undo, 10), (Phase::InverseAction, 5)]),
+            &NoopTracer,
+        );
+        let (rec, buf) = Recorder::in_memory();
+        prof.emit(&rec);
+        let text = buf.contents();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        for line in text.lines() {
+            let o = json::parse(line).unwrap();
+            assert_eq!(o.get("name").unwrap().as_str(), Some("profile"));
+            assert_eq!(o.get("kind").unwrap().as_str(), Some("cse"));
+            assert!(o.get("count").unwrap().as_int().unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn alloc_deltas_accumulate_per_kind() {
+        let prof = PhaseProfiler::with_registry(0, leaked_registry());
+        prof.observe_with_alloc(
+            "inx",
+            &nanos(&[(Phase::Undo, 10)]),
+            AllocStats {
+                calls: 3,
+                bytes: 128,
+            },
+            &NoopTracer,
+        );
+        prof.observe_with_alloc(
+            "inx",
+            &nanos(&[(Phase::Undo, 20)]),
+            AllocStats {
+                calls: 2,
+                bytes: 64,
+            },
+            &NoopTracer,
+        );
+        let text = prof.render();
+        assert!(text.contains("alloc_calls=5"), "{text}");
+        assert!(text.contains("alloc_bytes=192"), "{text}");
+    }
+}

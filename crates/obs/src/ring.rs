@@ -1,0 +1,504 @@
+//! Bounded, sampling ring-buffer tracer: tracing that can stay **on** in a
+//! long-running process.
+//!
+//! The PR-1 [`crate::Recorder`] writes every line to an unbounded JSONL
+//! sink — right for offline analysis, wrong for a service. [`RingTracer`]
+//! is the always-on alternative:
+//!
+//! * **bounded** — at most `capacity` retained lines; older lines are
+//!   overwritten (tail retention: a drain always returns the most recent
+//!   window of activity, which is what you want after an incident);
+//! * **sampled** — the unit of sampling is a *top-level span* (one
+//!   `undo` request and everything nested inside it), so retained spans
+//!   are always complete: the first [`RingConfig::head`] units are all
+//!   kept (startup is always visible), after which 1-in-
+//!   [`RingConfig::rate`] units are kept, decided by a deterministic
+//!   counter — never a random source, so identical runs retain identical
+//!   lines;
+//! * **accounted** — nothing disappears silently: dropped lines bump the
+//!   `trace.dropped` counter, and a `trace_drop` summary event is written
+//!   into the ring itself every [`RingConfig::report_every`] dropped
+//!   units and at the end of every [`RingTracer::contents`] drain.
+//!
+//! Lines use the exact [`crate::Recorder`] JSONL schema (same serializer),
+//! so every existing trace consumer can read a drained ring; `seq` numbers
+//! are allocated *before* sampling, so gaps in `seq` are themselves a
+//! visible record of what was sampled out. Point events that occur outside
+//! any top-level span (rollbacks, audit findings) bypass sampling — they
+//! are rare and precious.
+//!
+//! Claiming a slot is one `fetch_add`; writing the line takes that slot's
+//! (uncontended) mutex, so concurrent tracing never blocks on a global
+//! lock — "lock-free-ish".
+
+use crate::metrics::Registry;
+use crate::trace::{format_line, Phase, SpanId, TraceField, Tracer};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Ring capacity and sampling policy.
+#[derive(Clone, Copy, Debug)]
+pub struct RingConfig {
+    /// Retained-line capacity (rounded up to a power of two, min 64).
+    pub capacity: usize,
+    /// Keep every one of the first `head` top-level units unconditionally.
+    pub head: u64,
+    /// After the head, keep 1 in `rate` units (0 or 1 = keep all).
+    pub rate: u64,
+    /// Write a `trace_drop` summary into the ring every this many dropped
+    /// units (0 = only on drain).
+    pub report_every: u64,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            capacity: 4096,
+            head: 64,
+            rate: 16,
+            report_every: 64,
+        }
+    }
+}
+
+impl RingConfig {
+    /// Sampling disabled: every line is retained (until overwritten).
+    pub fn keep_all(capacity: usize) -> RingConfig {
+        RingConfig {
+            capacity,
+            head: 0,
+            rate: 1,
+            report_every: 0,
+        }
+    }
+}
+
+thread_local! {
+    /// The sampling decision of the enclosing top-level span on this
+    /// thread: `(root span id, keep)`. Sessions mutate on one thread, so
+    /// a unit's nested spans all land on the thread that opened the root.
+    static UNIT: Cell<Option<(u64, bool)>> = const { Cell::new(None) };
+}
+
+/// The sampling ring tracer. See the module docs.
+pub struct RingTracer {
+    cfg: RingConfig,
+    epoch: Instant,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    units: AtomicU64,
+    kept_units: AtomicU64,
+    dropped_units: AtomicU64,
+    dropped_lines: AtomicU64,
+    accepted: AtomicU64,
+    slots: Box<[Mutex<String>]>,
+    registry: &'static Registry,
+}
+
+impl RingTracer {
+    /// Ring over the process-wide metrics registry.
+    pub fn new(cfg: RingConfig) -> RingTracer {
+        RingTracer::with_registry(cfg, crate::metrics::global())
+    }
+
+    /// Ring counting its drop/emit metrics into an explicit registry.
+    pub fn with_registry(cfg: RingConfig, registry: &'static Registry) -> RingTracer {
+        let capacity = cfg.capacity.next_power_of_two().max(64);
+        RingTracer {
+            cfg: RingConfig { capacity, ..cfg },
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            next_span: AtomicU64::new(1),
+            units: AtomicU64::new(0),
+            kept_units: AtomicU64::new(0),
+            dropped_units: AtomicU64::new(0),
+            dropped_lines: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(String::new())).collect(),
+            registry,
+        }
+    }
+
+    /// Shared handle (the engine takes `Arc<dyn Tracer>`).
+    pub fn shared(cfg: RingConfig) -> Arc<RingTracer> {
+        Arc::new(RingTracer::new(cfg))
+    }
+
+    fn t_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    fn push(&self, line: String) {
+        let idx = self.accepted.fetch_add(1, Ordering::Relaxed) as usize & (self.slots.len() - 1);
+        *self.slots[idx].lock().unwrap_or_else(|p| p.into_inner()) = line;
+        self.registry.counter("trace.emitted").inc();
+    }
+
+    fn drop_line(&self) {
+        self.dropped_lines.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter("trace.dropped").inc();
+    }
+
+    /// Decide (and record) whether the `n`th top-level unit is kept.
+    fn decide_unit(&self) -> bool {
+        let n = self.units.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter("trace.sampled_units").inc();
+        let keep = n < self.cfg.head || self.cfg.rate <= 1 || n.is_multiple_of(self.cfg.rate);
+        if keep {
+            self.kept_units.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let dropped = self.dropped_units.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.cfg.report_every > 0 && dropped.is_multiple_of(self.cfg.report_every) {
+                self.push_drop_summary();
+            }
+        }
+        keep
+    }
+
+    fn push_drop_summary(&self) {
+        let line = format_line(
+            "event",
+            self.seq.fetch_add(1, Ordering::Relaxed),
+            self.t_us(),
+            None,
+            ("name", "trace_drop"),
+            &[
+                (
+                    "dropped_units",
+                    crate::FieldValue::U64(self.dropped_units.load(Ordering::Relaxed)),
+                ),
+                (
+                    "dropped_lines",
+                    crate::FieldValue::U64(self.dropped_lines.load(Ordering::Relaxed)),
+                ),
+                (
+                    "kept_units",
+                    crate::FieldValue::U64(self.kept_units.load(Ordering::Relaxed)),
+                ),
+            ],
+        );
+        self.push(line);
+    }
+
+    /// Lines dropped by sampling so far.
+    pub fn dropped_lines(&self) -> u64 {
+        self.dropped_lines.load(Ordering::Relaxed)
+    }
+
+    /// Top-level units dropped by sampling so far.
+    pub fn dropped_units(&self) -> u64 {
+        self.dropped_units.load(Ordering::Relaxed)
+    }
+
+    /// Lines accepted into the ring so far (including overwritten ones).
+    pub fn accepted_lines(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// The retained tail of the trace, oldest first, as JSONL — plus a
+    /// final `trace_drop` summary line when sampling dropped anything.
+    /// Read-only: draining does not consume.
+    pub fn contents(&self) -> String {
+        let accepted = self.accepted.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let start = accepted.saturating_sub(cap);
+        let mut out = String::new();
+        for i in start..accepted {
+            let slot = self.slots[(i & (cap - 1)) as usize]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if !slot.is_empty() {
+                out.push_str(&slot);
+                out.push('\n');
+            }
+        }
+        let dropped = self.dropped_lines.load(Ordering::Relaxed);
+        if dropped > 0 {
+            let line = format_line(
+                "event",
+                self.seq.load(Ordering::Relaxed),
+                self.t_us(),
+                None,
+                ("name", "trace_drop"),
+                &[
+                    (
+                        "dropped_units",
+                        crate::FieldValue::U64(self.dropped_units()),
+                    ),
+                    ("dropped_lines", crate::FieldValue::U64(dropped)),
+                    (
+                        "kept_units",
+                        crate::FieldValue::U64(self.kept_units.load(Ordering::Relaxed)),
+                    ),
+                ],
+            );
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether the line belonging to the current unit decision (or a
+    /// fresh per-line decision outside any unit) should be kept.
+    fn keep_current(&self) -> bool {
+        UNIT.with(|u| u.get().map(|(_, keep)| keep).unwrap_or(true))
+    }
+}
+
+impl Tracer for RingTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, phase: Phase, fields: &[TraceField]) -> SpanId {
+        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed));
+        // A span opened outside any active unit starts a new unit rooted
+        // at this span; nested spans inherit the unit's decision.
+        let keep = UNIT.with(|u| match u.get() {
+            Some((_, keep)) => keep,
+            None => {
+                let keep = self.decide_unit();
+                u.set(Some((id.0, keep)));
+                keep
+            }
+        });
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if keep {
+            self.push(format_line(
+                "span_start",
+                seq,
+                self.t_us(),
+                Some(id),
+                ("phase", phase.name()),
+                fields,
+            ));
+        } else {
+            self.drop_line();
+        }
+        id
+    }
+
+    fn span_end(&self, id: SpanId, phase: Phase, fields: &[TraceField]) {
+        let keep = self.keep_current();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if keep {
+            self.push(format_line(
+                "span_end",
+                seq,
+                self.t_us(),
+                Some(id),
+                ("phase", phase.name()),
+                fields,
+            ));
+        } else {
+            self.drop_line();
+        }
+        // Closing the unit's root span ends the unit.
+        UNIT.with(|u| {
+            if let Some((root, _)) = u.get() {
+                if root == id.0 {
+                    u.set(None);
+                }
+            }
+        });
+    }
+
+    fn event(&self, name: &str, fields: &[TraceField]) {
+        // Events inside a sampled-out unit follow the unit; stray events
+        // (rollbacks, audit findings) are always kept.
+        let keep = self.keep_current();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if keep {
+            self.push(format_line(
+                "event",
+                seq,
+                self.t_us(),
+                None,
+                ("name", name),
+                fields,
+            ));
+        } else {
+            self.drop_line();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::FieldValue;
+
+    fn leaked_registry() -> &'static Registry {
+        Box::leak(Box::new(Registry::new()))
+    }
+
+    /// One synthetic top-level unit: a root span with a nested span and an
+    /// event inside.
+    fn one_unit(t: &RingTracer) {
+        let root = t.span_start(Phase::Undo, &[("xform", FieldValue::U64(1))]);
+        let inner = t.span_start(Phase::SafetyCheck, &[]);
+        t.event("rollback", &[("op", FieldValue::Str("undo"))]);
+        t.span_end(inner, Phase::SafetyCheck, &[]);
+        t.span_end(root, Phase::Undo, &[("ok", FieldValue::Bool(true))]);
+    }
+
+    #[test]
+    fn keep_all_retains_everything_in_order() {
+        let t = RingTracer::with_registry(RingConfig::keep_all(64), leaked_registry());
+        for _ in 0..3 {
+            one_unit(&t);
+        }
+        let text = t.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 15);
+        assert_eq!(t.dropped_lines(), 0);
+        let mut last = -1i64;
+        for l in &lines {
+            let o = json::parse(l).unwrap();
+            let seq = o.get("seq").unwrap().as_int().unwrap();
+            assert_eq!(seq, last + 1, "dense seq when nothing is sampled out");
+            last = seq;
+        }
+    }
+
+    #[test]
+    fn unit_sampling_keeps_whole_spans() {
+        let reg = leaked_registry();
+        let t = RingTracer::with_registry(
+            RingConfig {
+                capacity: 256,
+                head: 1,
+                rate: 4,
+                report_every: 0,
+            },
+            reg,
+        );
+        for _ in 0..8 {
+            one_unit(&t);
+        }
+        // Units kept: #0 (head), #4 (rate); 6 of 8 units (5 lines each)
+        // are sampled out.
+        assert_eq!(t.dropped_units(), 6);
+        assert_eq!(t.dropped_lines(), 30);
+        assert_eq!(reg.counter("trace.dropped").get(), 30);
+        assert_eq!(reg.counter("trace.sampled_units").get(), 8);
+        let text = t.contents();
+        // Retained spans are balanced: every span_start has its span_end.
+        let mut open = std::collections::HashSet::new();
+        let mut kept_spans = 0;
+        for l in text.lines() {
+            let o = json::parse(l).unwrap();
+            match o.get("ev").unwrap().as_str().unwrap() {
+                "span_start" => {
+                    open.insert(o.get("span").unwrap().as_int().unwrap());
+                    kept_spans += 1;
+                }
+                "span_end" => {
+                    assert!(open.remove(&o.get("span").unwrap().as_int().unwrap()));
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "sampling must never orphan a span");
+        assert_eq!(kept_spans, 4, "2 kept units x 2 spans");
+        // The drain appends a trace_drop summary with the counts.
+        let last = json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(last.get("name").unwrap().as_str(), Some("trace_drop"));
+        assert_eq!(last.get("dropped_lines").unwrap().as_int(), Some(30));
+        assert_eq!(last.get("dropped_units").unwrap().as_int(), Some(6));
+    }
+
+    #[test]
+    fn stray_events_bypass_sampling() {
+        let t = RingTracer::with_registry(
+            RingConfig {
+                capacity: 64,
+                head: 0,
+                rate: 1_000_000,
+                report_every: 0,
+            },
+            leaked_registry(),
+        );
+        one_unit(&t); // unit 0 kept (0 % anything == 0)
+        one_unit(&t); // dropped
+        t.event("rollback", &[]); // outside any unit: always kept
+        let text = t.contents();
+        assert!(text.lines().any(|l| l.contains("rollback")), "{text}");
+    }
+
+    #[test]
+    fn tail_overwrites_oldest() {
+        let t = RingTracer::with_registry(RingConfig::keep_all(64), leaked_registry());
+        for i in 0..100u64 {
+            t.event("rollback", &[("op", FieldValue::U64(i))]);
+        }
+        let text = t.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 64, "bounded at capacity");
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("op").unwrap().as_int(),
+            Some(36),
+            "oldest evicted"
+        );
+        let last = json::parse(lines[63]).unwrap();
+        assert_eq!(last.get("op").unwrap().as_int(), Some(99));
+    }
+
+    #[test]
+    fn periodic_drop_summaries_land_in_the_ring() {
+        let t = RingTracer::with_registry(
+            RingConfig {
+                capacity: 64,
+                head: 0,
+                rate: 1_000_000,
+                report_every: 2,
+            },
+            leaked_registry(),
+        );
+        for _ in 0..5 {
+            one_unit(&t); // unit 0 kept, 1..4 dropped -> summaries at 2, 4
+        }
+        let text = t.contents();
+        let summaries = text
+            .lines()
+            .filter(|l| l.contains("\"name\":\"trace_drop\""))
+            .count();
+        assert_eq!(summaries, 3, "2 periodic + 1 drain summary:\n{text}");
+    }
+
+    #[test]
+    fn determinism_identical_runs_identical_retention() {
+        let run = || {
+            let t = RingTracer::with_registry(
+                RingConfig {
+                    capacity: 128,
+                    head: 2,
+                    rate: 3,
+                    report_every: 0,
+                },
+                leaked_registry(),
+            );
+            for _ in 0..9 {
+                one_unit(&t);
+            }
+            // Strip t_us (wall time) before comparing.
+            t.contents()
+                .lines()
+                .map(|l| {
+                    let o = json::parse(l).unwrap();
+                    format!(
+                        "{}:{}:{:?}",
+                        o.get("ev").unwrap().as_str().unwrap_or(""),
+                        o.get("seq").unwrap().as_int().unwrap_or(-1),
+                        o.get("span").map(|s| s.as_int())
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

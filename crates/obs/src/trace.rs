@@ -152,6 +152,95 @@ pub struct NoopTracer;
 
 impl Tracer for NoopTracer {}
 
+/// Serialize one schema line (shared by every JSONL-producing sink:
+/// [`Recorder`], the ring tracer). No trailing newline. Key order is part
+/// of the schema contract — the parallel-determinism fingerprints hash
+/// these bytes.
+pub(crate) fn format_line(
+    ev: &str,
+    seq: u64,
+    t_us: u64,
+    span: Option<SpanId>,
+    label: (&str, &str),
+    fields: &[TraceField],
+) -> String {
+    let mut w = ObjectWriter::new();
+    w.str("ev", ev);
+    w.uint("seq", seq);
+    w.uint("t_us", t_us);
+    if let Some(id) = span {
+        w.uint("span", id.0);
+    }
+    w.str(label.0, label.1);
+    for (key, value) in fields {
+        match value {
+            FieldValue::Str(s) => w.str(key, s),
+            FieldValue::U64(v) => w.uint(key, *v),
+            FieldValue::I64(v) => w.int(key, *v),
+            FieldValue::Bool(v) => w.bool(key, *v),
+            FieldValue::List(vs) => w.uints(key, vs.iter().copied()),
+        };
+    }
+    w.finish()
+}
+
+/// Tee: forwards every span/event to several child tracers (e.g. a JSONL
+/// [`Recorder`] *and* a sampling ring). Enabled iff any child is; span ids
+/// are the fanout's own, with per-child ids remapped internally.
+pub struct Fanout {
+    children: Vec<Arc<dyn Tracer>>,
+    next_span: AtomicU64,
+    /// Per-child map from our span id to the child's.
+    spans: Mutex<Vec<std::collections::HashMap<u64, SpanId>>>,
+}
+
+impl Fanout {
+    /// Fan out to `children`.
+    pub fn new(children: Vec<Arc<dyn Tracer>>) -> Fanout {
+        let n = children.len();
+        Fanout {
+            children,
+            next_span: AtomicU64::new(1),
+            spans: Mutex::new(vec![std::collections::HashMap::new(); n]),
+        }
+    }
+}
+
+impl Tracer for Fanout {
+    fn enabled(&self) -> bool {
+        self.children.iter().any(|c| c.enabled())
+    }
+
+    fn span_start(&self, phase: Phase, fields: &[TraceField]) -> SpanId {
+        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed));
+        let mut spans = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        for (i, child) in self.children.iter().enumerate() {
+            if child.enabled() {
+                let child_id = child.span_start(phase, fields);
+                spans[i].insert(id.0, child_id);
+            }
+        }
+        id
+    }
+
+    fn span_end(&self, id: SpanId, phase: Phase, fields: &[TraceField]) {
+        let mut spans = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        for (i, child) in self.children.iter().enumerate() {
+            if let Some(child_id) = spans[i].remove(&id.0) {
+                child.span_end(child_id, phase, fields);
+            }
+        }
+    }
+
+    fn event(&self, name: &str, fields: &[TraceField]) {
+        for child in &self.children {
+            if child.enabled() {
+                child.event(name, fields);
+            }
+        }
+    }
+}
+
 /// A clonable in-memory byte sink (for tests and benches).
 #[derive(Clone, Default)]
 pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
@@ -227,29 +316,16 @@ impl<W: Write + Send> Recorder<W> {
     }
 
     fn emit(&self, ev: &str, span: Option<SpanId>, label: (&str, &str), fields: &[TraceField]) {
-        let mut w = ObjectWriter::new();
-        w.str("ev", ev);
-        w.uint("seq", self.seq.fetch_add(1, Ordering::Relaxed));
-        w.uint(
-            "t_us",
+        let mut line = format_line(
+            ev,
+            self.seq.fetch_add(1, Ordering::Relaxed),
             self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            span,
+            label,
+            fields,
         );
-        if let Some(id) = span {
-            w.uint("span", id.0);
-        }
-        w.str(label.0, label.1);
-        for (key, value) in fields {
-            match value {
-                FieldValue::Str(s) => w.str(key, s),
-                FieldValue::U64(v) => w.uint(key, *v),
-                FieldValue::I64(v) => w.int(key, *v),
-                FieldValue::Bool(v) => w.bool(key, *v),
-                FieldValue::List(vs) => w.uints(key, vs.iter().copied()),
-            };
-        }
-        let mut line = w.finish();
         line.push('\n');
-        let mut sink = self.sink.lock().unwrap();
+        let mut sink = self.sink.lock().unwrap_or_else(|p| p.into_inner());
         let _ = sink.write_all(line.as_bytes());
     }
 }

@@ -1,0 +1,210 @@
+//! Registry-consistency sweep: every metric and trace-event name emitted
+//! anywhere in the workspace must be declared in the `pivot_obs::names`
+//! catalog, non-test code must not emit deprecated names, and the
+//! catalogs themselves must be duplicate-free.
+//!
+//! The scan is textual (the telemetry API takes `&str` names, so the
+//! compiler cannot enforce this): it walks every `crates/*/src` file plus
+//! the root `tests/` and `examples/` trees, strips test modules
+//! (everything from `#[cfg(test)]` down, matching
+//! `scripts/check_no_unwrap.sh`) and comment lines, and extracts the
+//! string literal of each `.counter("…")`, `.histogram("…")`,
+//! `counter_with("…")`, `histogram_with("…")`, and `.event("…")` call.
+
+use pivot_obs::names::{self, DEPRECATED, METRICS, TRACE_EVENTS};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/obs -> crates -> workspace
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The non-test prefix of a source file — everything above `#[cfg(test)]`,
+/// with comment lines dropped — flattened to a whitespace-free string so
+/// multi-line call expressions (`tracer.event(\n    "slow_op", …`) still
+/// match the needles.
+fn non_test_code(src: &str) -> String {
+    src.lines()
+        .take_while(|l| !l.contains("#[cfg(test)]"))
+        .filter(|l| !l.trim_start().starts_with("//"))
+        .flat_map(|l| l.split_whitespace())
+        .collect()
+}
+
+/// Extract the first string-literal argument of every call to `needle`
+/// (e.g. `.counter("`). Only literal arguments are captured — dynamic
+/// names (none exist today) would need their own review.
+fn literal_args<'a>(code: &str, needle: &'a str, out: &mut Vec<(String, &'a str)>) {
+    let mut rest = code;
+    while let Some(i) = rest.find(needle) {
+        rest = &rest[i + needle.len()..];
+        if let Some(end) = rest.find('"') {
+            out.push((rest[..end].to_owned(), needle));
+            rest = &rest[end + 1..];
+        }
+    }
+}
+
+struct Emission {
+    file: PathBuf,
+    name: String,
+    call: &'static str,
+}
+
+/// Every literal metric/event emission in the workspace's non-test code.
+fn workspace_emissions() -> (Vec<Emission>, Vec<Emission>) {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates).expect("crates/ dir").flatten() {
+        rust_files(&entry.path().join("src"), &mut files);
+    }
+    rust_files(&root.join("tests"), &mut files);
+    rust_files(&root.join("examples"), &mut files);
+    assert!(
+        files.len() > 20,
+        "suspiciously few files scanned ({}) — did the layout move?",
+        files.len()
+    );
+    let mut metrics = Vec::new();
+    let mut events = Vec::new();
+    for file in files {
+        let src = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let code = non_test_code(&src);
+        for needle in [
+            ".counter(\"",
+            ".histogram(\"",
+            "counter_with(\"",
+            "histogram_with(\"",
+        ] {
+            let mut found = Vec::new();
+            literal_args(&code, needle, &mut found);
+            for (name, call) in found {
+                metrics.push(Emission {
+                    file: file.clone(),
+                    name,
+                    call: match call {
+                        c if c.starts_with(".counter") => ".counter",
+                        c if c.starts_with(".histogram") => ".histogram",
+                        c if c.starts_with("counter_with") => "counter_with",
+                        _ => "histogram_with",
+                    },
+                });
+            }
+        }
+        let mut found = Vec::new();
+        literal_args(&code, ".event(\"", &mut found);
+        // `tracer.event("…")` emissions; `"event"` literals inside the obs
+        // crate's own serializers name the JSONL line type, not an event.
+        for (name, _) in found {
+            events.push(Emission {
+                file: file.clone(),
+                name,
+                call: ".event",
+            });
+        }
+    }
+    (metrics, events)
+}
+
+#[test]
+fn every_emitted_metric_is_catalogued() {
+    let (metrics, _) = workspace_emissions();
+    assert!(
+        metrics.len() >= 30,
+        "the scan found only {} metric emissions — extraction broke?",
+        metrics.len()
+    );
+    let mut problems = Vec::new();
+    for e in &metrics {
+        if names::lookup(&e.name).is_none() {
+            problems.push(format!(
+                "{}: {}(\"{}\") is not in pivot_obs::names::METRICS",
+                e.file.display(),
+                e.call,
+                e.name
+            ));
+        }
+    }
+    assert!(problems.is_empty(), "\n{}", problems.join("\n"));
+}
+
+#[test]
+fn non_test_code_never_emits_deprecated_names() {
+    let (metrics, _) = workspace_emissions();
+    let mut problems = Vec::new();
+    // The root `tests/` and `examples/` trees are test code end to end;
+    // the deprecation ban applies to crate sources.
+    for e in metrics
+        .iter()
+        .filter(|e| e.file.components().any(|c| c.as_os_str() == "src"))
+    {
+        if DEPRECATED.iter().any(|(old, _)| *old == e.name) {
+            problems.push(format!(
+                "{}: emits deprecated `{}` — use `{}`",
+                e.file.display(),
+                e.name,
+                names::canonical(&e.name)
+            ));
+        }
+    }
+    assert!(problems.is_empty(), "\n{}", problems.join("\n"));
+}
+
+#[test]
+fn every_emitted_trace_event_is_catalogued() {
+    let (_, events) = workspace_emissions();
+    assert!(
+        events.len() >= 8,
+        "the scan found only {} event emissions — extraction broke?",
+        events.len()
+    );
+    let mut problems = Vec::new();
+    for e in &events {
+        if names::lookup_event(&e.name).is_none() {
+            problems.push(format!(
+                "{}: .event(\"{}\") is not in pivot_obs::names::TRACE_EVENTS",
+                e.file.display(),
+                e.name
+            ));
+        }
+    }
+    assert!(problems.is_empty(), "\n{}", problems.join("\n"));
+}
+
+#[test]
+fn catalogs_have_no_duplicates_even_across_tables() {
+    // Sortedness within each table is unit-tested in names.rs; here make
+    // sure no name is simultaneously live and deprecated.
+    for (old, _) in DEPRECATED {
+        assert!(
+            names::lookup(old).is_none(),
+            "`{old}` is both in METRICS and DEPRECATED"
+        );
+    }
+    let mut all: Vec<&str> = METRICS.iter().map(|d| d.name).collect();
+    all.extend(TRACE_EVENTS.iter().map(|d| d.name));
+    all.sort_unstable();
+    for w in all.windows(2) {
+        assert_ne!(w[0], w[1], "duplicate name `{}` across catalogs", w[0]);
+    }
+}

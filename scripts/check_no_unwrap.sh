@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Deny `.unwrap()` / `.expect(` in the engine's transactional hot paths
-# and in the whole auditor. Test modules (everything from `#[cfg(test)]`
-# down) and comment lines are exempt. The undo/apply cascades must surface
-# typed errors and roll back, never panic mid-mutation — and an auditor
-# that panics on the corrupt states it exists to diagnose is useless.
+# Deny `.unwrap()` / `.expect(` in the engine's transactional hot paths,
+# in the whole auditor, and in the always-on telemetry layer. Test modules
+# (everything from `#[cfg(test)]` down) and comment lines are exempt. The
+# undo/apply cascades must surface typed errors and roll back, never panic
+# mid-mutation — an auditor that panics on the corrupt states it exists to
+# diagnose is useless, and telemetry that can panic (e.g. on a poisoned
+# lock) takes down the very process it is meant to observe.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,6 +17,13 @@ FILES=(
   crates/par/src/pool.rs
   crates/par/src/sched.rs
   crates/ir/src/dataflow.rs
+  crates/obs/src/alloc.rs
+  crates/obs/src/export.rs
+  crates/obs/src/hdr.rs
+  crates/obs/src/metrics.rs
+  crates/obs/src/names.rs
+  crates/obs/src/profile.rs
+  crates/obs/src/ring.rs
 )
 while IFS= read -r f; do
   FILES+=("$f")

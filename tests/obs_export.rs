@@ -1,0 +1,167 @@
+//! Exporter integration test: a [`ScrapeServer`] on an ephemeral port over
+//! the global registry, fed by a seeded workload. Two scrapes bracket extra
+//! work; the Prometheus exposition must be well formed line by line and
+//! every counter must be monotonically non-decreasing between scrapes. The
+//! JSON variant must parse and agree on the window length.
+
+use pivot_obs::export::{http_get, ScrapeServer};
+use pivot_obs::json;
+use pivot_undo::engine::Strategy;
+use pivot_workload::{prepare, WorkloadCfg};
+use std::collections::HashMap;
+
+/// Apply a seeded workload and undo everything in reverse application
+/// order, feeding the global metrics registry.
+fn run_workload(seed: u64) {
+    let mut prepared = prepare(seed, &WorkloadCfg::default(), 12);
+    for &id in prepared.applied.iter().rev() {
+        // Cascades may have removed later ids already; that is fine.
+        let _ = prepared.session.undo(id, Strategy::Regional);
+    }
+}
+
+fn is_prom_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validate the text exposition format (version 0.0.4) and return the
+/// counter series (`name{labels}` → value).
+fn validate_exposition(text: &str) -> HashMap<String, u64> {
+    let mut typed: HashMap<String, &str> = HashMap::new();
+    let mut counters = HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE name kind");
+            assert!(is_prom_name(name), "bad family name in `{line}`");
+            assert!(
+                matches!(kind, "counter" | "summary" | "gauge"),
+                "unexpected type in `{line}`"
+            );
+            assert!(
+                typed.insert(name.to_owned(), kind).is_none(),
+                "family `{name}` TYPEd twice"
+            );
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP
+        }
+        let (series, value) = line.rsplit_once(' ').expect("series value");
+        let value: u64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-integer sample in `{line}`"));
+        let name = series.split('{').next().expect("series name");
+        assert!(is_prom_name(name), "bad series name in `{line}`");
+        assert!(name.starts_with("pivot_"), "unprefixed series `{name}`");
+        if let Some(labels) = series.strip_prefix(name) {
+            if !labels.is_empty() {
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "bad label suffix in `{line}`"
+                );
+            }
+        }
+        // Every sample belongs to a TYPEd family: either the name itself
+        // (counters keep `_total` in their TYPE line) or a summary child
+        // (`_sum`/`_count`/quantile series of a typed summary).
+        let family_known = typed.contains_key(name)
+            || ["_sum", "_count"].iter().any(|suf| {
+                name.strip_suffix(suf)
+                    .is_some_and(|base| typed.get(base) == Some(&"summary"))
+            });
+        assert!(family_known, "sample `{series}` precedes its # TYPE line");
+        if typed.get(name) == Some(&"counter") {
+            counters.insert(series.to_owned(), value);
+        }
+    }
+    assert!(!counters.is_empty(), "no counters exported:\n{text}");
+    counters
+}
+
+#[test]
+fn scrape_twice_over_seeded_workload() {
+    run_workload(0xE16);
+
+    let server =
+        ScrapeServer::bind("127.0.0.1:0", pivot_obs::metrics::global()).expect("bind ephemeral");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    let first = http_get(&addr, "/metrics").expect("first scrape");
+    let counters1 = validate_exposition(&first);
+    // The workload must actually have shown up.
+    for required in [
+        "pivot_session_applies_total",
+        "pivot_undo_requests_total",
+        "pivot_export_scrapes_total",
+    ] {
+        assert!(
+            counters1.contains_key(required),
+            "`{required}` missing from exposition:\n{first}"
+        );
+    }
+    assert!(
+        first.contains("# TYPE pivot_undo_phase_ns summary"),
+        "phase histogram missing:\n{first}"
+    );
+    assert!(
+        first
+            .lines()
+            .any(|l| { l.starts_with("pivot_undo_phase_ns{") && l.contains("quantile=\"0.95\"") }),
+        "windowed quantiles missing:\n{first}"
+    );
+
+    // More work between the scrapes: counters may only move up.
+    run_workload(0xE17);
+    let second = http_get(&addr, "/metrics").expect("second scrape");
+    let counters2 = validate_exposition(&second);
+    for (series, v1) in &counters1 {
+        let v2 = counters2
+            .get(series)
+            .unwrap_or_else(|| panic!("series `{series}` vanished between scrapes"));
+        assert!(v2 >= v1, "counter `{series}` went backwards: {v1} -> {v2}");
+    }
+    assert!(
+        counters2["pivot_session_applies_total"] > counters1["pivot_session_applies_total"],
+        "second workload did not register"
+    );
+    assert!(
+        counters2["pivot_export_scrapes_total"] > counters1["pivot_export_scrapes_total"],
+        "the scrape counter must count scrapes"
+    );
+
+    // The JSON variant parses and agrees on the un-mangled series names.
+    let body = http_get(&addr, "/metrics.json").expect("json scrape");
+    let v = json::parse(&body).unwrap_or_else(|e| panic!("bad JSON exposition: {e:?}\n{body}"));
+    assert!(
+        v.get("window_secs")
+            .and_then(|w| w.as_int())
+            .is_some_and(|w| w > 0),
+        "{body}"
+    );
+    let json_counters = v.get("counters").expect("counters object");
+    assert!(
+        json_counters
+            .get("session.applies")
+            .and_then(|c| c.as_int())
+            .is_some_and(|c| c as u64 >= counters2["pivot_session_applies_total"]),
+        "JSON counters disagree with the text exposition:\n{body}"
+    );
+    let json_hists = v.get("histograms").expect("histograms object");
+    assert!(
+        json_hists
+            .get("undo.phase_ns{phase=\"undo\"}")
+            .and_then(|h| h.get("count"))
+            .and_then(|c| c.as_int())
+            .is_some_and(|c| c > 0),
+        "labeled histogram missing from JSON:\n{body}"
+    );
+
+    assert_eq!(http_get(&addr, "/healthz").expect("healthz"), "ok\n");
+    handle.shutdown();
+}

@@ -2,7 +2,7 @@
 //! Figure 1 cascade, the provenance explanation trees, and the invariance of
 //! engine behaviour under the no-op tracer.
 
-use pivot_obs::{json, CauseKind, Phase, Recorder};
+use pivot_obs::{json, CauseKind, Phase, PhaseProfiler, Recorder, RingConfig, RingTracer};
 use pivot_undo::engine::{Session, Strategy, UndoReport};
 use pivot_undo::{XformId, XformKind};
 use std::collections::HashMap;
@@ -400,4 +400,137 @@ fn noop_tracer_emits_nothing_and_preserves_counters() {
     let (mut s, [cse, ..]) = figure1_session();
     s.undo(cse, Strategy::Regional).unwrap();
     assert!(silent.is_empty());
+}
+
+/// An attached [`PhaseProfiler`] with a tiny threshold turns every undo
+/// into a `slow_op` point event matching the golden schema, and
+/// [`PhaseProfiler::emit`] writes one schema-valid `profile` event per
+/// (kind × phase) cell of the aggregated profile.
+#[test]
+fn profiler_slow_op_and_profile_events_match_schema() {
+    let (mut s, [_, _, inx, _]) = figure1_session();
+    let (rec, buf) = Recorder::in_memory();
+    let rec = Arc::new(rec);
+    s.set_tracer(rec.clone());
+    // 1 ns threshold: every real undo is "slow".
+    let profiler = Arc::new(PhaseProfiler::new(1));
+    s.set_profiler(profiler.clone());
+    let report = s.undo(inx, Strategy::Regional).unwrap();
+    rec.flush().unwrap();
+
+    let text = buf.contents();
+    let slow = text
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad JSON line `{l}`: {e:?}")))
+        .find(|o| o.get("name").and_then(|v| v.as_str()) == Some("slow_op"))
+        .unwrap_or_else(|| panic!("no slow_op event in trace:\n{text}"));
+    assert_eq!(slow.get("ev").and_then(|v| v.as_str()), Some("event"));
+    assert!(slow.get("span").is_none(), "point events carry no span");
+    assert_eq!(slow.get("kind").and_then(|v| v.as_str()), Some("inx"));
+    assert_eq!(slow.get("threshold_ns").and_then(|v| v.as_int()), Some(1));
+    let total = slow
+        .get("total_ns")
+        .and_then(|v| v.as_int())
+        .expect("total_ns");
+    assert_eq!(total as u64, report.phase_ns.total());
+    let hot = slow
+        .get("hot_phase")
+        .and_then(|v| v.as_str())
+        .expect("hot_phase");
+    assert!(
+        Phase::ALL.iter().any(|p| p.name() == hot),
+        "unknown hot_phase `{hot}`"
+    );
+    let hot_ns = slow.get("hot_ns").and_then(|v| v.as_int()).expect("hot_ns");
+    assert!(
+        hot_ns > 0 && hot_ns <= total,
+        "hot {hot_ns} vs total {total}"
+    );
+
+    // The aggregated profile replays as `profile` events.
+    let (rec2, buf2) = Recorder::in_memory();
+    profiler.emit(&rec2);
+    let text = buf2.contents();
+    let mut cells = 0usize;
+    for line in text.lines() {
+        let o = json::parse(line).unwrap_or_else(|e| panic!("bad JSON line `{line}`: {e:?}"));
+        assert_eq!(o.get("ev").and_then(|v| v.as_str()), Some("event"));
+        assert_eq!(o.get("name").and_then(|v| v.as_str()), Some("profile"));
+        assert!(o.get("span").is_none(), "point events carry no span");
+        assert_eq!(o.get("kind").and_then(|v| v.as_str()), Some("inx"));
+        let phase = o.get("phase").and_then(|v| v.as_str()).expect("phase");
+        assert!(
+            Phase::ALL.iter().any(|p| p.name() == phase),
+            "unknown phase `{phase}`"
+        );
+        assert!(o
+            .get("count")
+            .and_then(|v| v.as_int())
+            .is_some_and(|c| c >= 1));
+        let p50 = o.get("p50_ns").and_then(|v| v.as_int()).expect("p50_ns");
+        let p95 = o.get("p95_ns").and_then(|v| v.as_int()).expect("p95_ns");
+        let max = o.get("max_ns").and_then(|v| v.as_int()).expect("max_ns");
+        assert!(p50 <= p95 && p95 <= max, "quantiles out of order in {line}");
+        assert!(o.get("mean_ns").and_then(|v| v.as_int()).is_some());
+        cells += 1;
+    }
+    assert!(cells >= 3, "expected a multi-phase profile:\n{text}");
+}
+
+/// Under aggressive sampling the ring drops whole units, keeps retained
+/// spans balanced, and accounts for every loss with a `trace_drop`
+/// summary event matching the golden schema.
+#[test]
+fn ring_sampling_emits_schema_valid_trace_drop() {
+    let ring = Arc::new(RingTracer::new(RingConfig {
+        capacity: 1024,
+        head: 1,
+        rate: 1_000_000, // after the head, drop everything
+        report_every: 0,
+    }));
+    for _ in 0..5 {
+        let (mut s, [_, _, inx, _]) = figure1_session();
+        s.set_tracer(ring.clone());
+        s.undo(inx, Strategy::Regional).unwrap();
+    }
+    assert_eq!(ring.dropped_units(), 4, "head keeps only the first undo");
+    assert!(ring.dropped_lines() > 0);
+
+    let text = ring.contents();
+    let mut open: HashMap<i64, ()> = HashMap::new();
+    let mut drops = Vec::new();
+    for line in text.lines() {
+        let o = json::parse(line).unwrap_or_else(|e| panic!("bad JSON line `{line}`: {e:?}"));
+        match o.get("ev").and_then(|v| v.as_str()).expect("ev") {
+            "span_start" => {
+                open.insert(o.get("span").and_then(|v| v.as_int()).unwrap(), ());
+            }
+            "span_end" => {
+                assert!(
+                    open.remove(&o.get("span").and_then(|v| v.as_int()).unwrap())
+                        .is_some(),
+                    "sampling must never orphan a span end: {line}"
+                );
+            }
+            "event" => {
+                if o.get("name").and_then(|v| v.as_str()) == Some("trace_drop") {
+                    drops.push(o);
+                }
+            }
+            other => panic!("unknown ev `{other}`"),
+        }
+    }
+    assert!(open.is_empty(), "sampling must never orphan a span start");
+    let drop = drops
+        .last()
+        .unwrap_or_else(|| panic!("no trace_drop:\n{text}"));
+    assert!(drop.get("span").is_none(), "point events carry no span");
+    assert_eq!(drop.get("dropped_units").and_then(|v| v.as_int()), Some(4));
+    assert_eq!(
+        drop.get("dropped_lines").and_then(|v| v.as_int()),
+        Some(ring.dropped_lines() as i64)
+    );
+    assert_eq!(drop.get("kept_units").and_then(|v| v.as_int()), Some(1));
+    assert!(drop.get("seq").and_then(|v| v.as_int()).is_some());
+    assert!(drop.get("t_us").and_then(|v| v.as_int()).is_some());
 }
