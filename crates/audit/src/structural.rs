@@ -330,11 +330,18 @@ fn chains_diff(
 /// does, but flags malformed interior lines, dangling non-tail `begin`
 /// records, and a journal that claims more committed applies than the
 /// history holds.
+///
+/// Compaction-aware: a `checkpoint` record supersedes everything before it
+/// — open-transaction tracking restarts and its `history_len` becomes the
+/// baseline for the committed-applies reconciliation. A checkpoint missing
+/// its `snapshot` or `history_len`, and a torn *checkpoint* tail (recovery
+/// rejects those rather than discarding them), are findings.
 pub fn check_journal(text: &str, history: &History) -> Vec<Finding> {
     let mut findings = Vec::new();
     let lines: Vec<&str> = text.lines().collect();
     let mut open: HashMap<i64, usize> = HashMap::new(); // txn -> line no
     let mut committed_applies = 0usize;
+    let mut base_history_len = 0usize; // from the latest checkpoint
     let mut begin_ops: HashMap<i64, String> = HashMap::new();
     for (i, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
@@ -343,7 +350,28 @@ pub fn check_journal(text: &str, history: &History) -> Vec<Finding> {
         let parsed = pivot_obs::json::parse(line);
         let Ok(v) = parsed else {
             if i + 1 == lines.len() {
-                continue; // torn tail is expected after a crash
+                // Same detection floor as recovery: a torn line is
+                // identifiably a checkpoint once it has diverged from the
+                // ordinary record types (10th byte, the `h` of
+                // `{"rec":"ch`).
+                let t = line.trim_start();
+                let marker = "{\"rec\":\"checkpoint\"";
+                let is_ckpt = if t.len() >= marker.len() {
+                    t.starts_with(marker)
+                } else {
+                    t.len() >= 10 && marker.starts_with(t)
+                };
+                if is_ckpt {
+                    findings.push(Finding::new(
+                        "PV009",
+                        AuditSpan::Session,
+                        format!(
+                            "journal line {}: truncated checkpoint record (recovery would fail)",
+                            i + 1
+                        ),
+                    ));
+                }
+                continue; // an ordinary torn tail is expected after a crash
             }
             findings.push(Finding::new(
                 "PV009",
@@ -355,6 +383,32 @@ pub fn check_journal(text: &str, history: &History) -> Vec<Finding> {
         let rec = v.get("rec").and_then(|r| r.as_str()).unwrap_or("");
         let txn = v.get("txn").and_then(|t| t.as_int()).unwrap_or(-1);
         match rec {
+            "checkpoint" => {
+                for (_, ln) in open.drain() {
+                    findings.push(Finding::new(
+                        "PV009",
+                        AuditSpan::Session,
+                        format!("journal line {ln}: begin record open across a checkpoint"),
+                    ));
+                }
+                begin_ops.clear();
+                committed_applies = 0;
+                match v.get("history_len").and_then(|h| h.as_int()) {
+                    Some(h) => base_history_len = h as usize,
+                    None => findings.push(Finding::new(
+                        "PV009",
+                        AuditSpan::Session,
+                        format!("journal line {}: checkpoint without history_len", i + 1),
+                    )),
+                }
+                if v.get("snapshot").and_then(|s| s.as_object()).is_none() {
+                    findings.push(Finding::new(
+                        "PV009",
+                        AuditSpan::Session,
+                        format!("journal line {}: checkpoint without snapshot", i + 1),
+                    ));
+                }
+            }
             "begin" => {
                 let op = v
                     .get("op")
@@ -408,15 +462,76 @@ pub fn check_journal(text: &str, history: &History) -> Vec<Finding> {
             ));
         }
     }
-    if committed_applies > history.records.len() {
+    if base_history_len + committed_applies > history.records.len() {
         findings.push(Finding::new(
             "PV009",
             AuditSpan::Session,
             format!(
-                "journal commits {committed_applies} applies but the history holds {} records",
+                "journal accounts for {} applies ({base_history_len} at checkpoint + \
+                 {committed_applies} committed) but the history holds {} records",
+                base_history_len + committed_applies,
                 history.records.len()
             ),
         ));
     }
     findings
+}
+
+#[cfg(test)]
+mod journal_lint_tests {
+    use super::*;
+
+    fn msgs(text: &str) -> Vec<String> {
+        check_journal(text, &History::new())
+            .into_iter()
+            .map(|f| f.message)
+            .collect()
+    }
+
+    #[test]
+    fn clean_checkpoint_only_journal_is_quiet() {
+        let j = "{\"rec\":\"checkpoint\",\"txn\":5,\"history_len\":0,\"snapshot\":{}}\n";
+        assert!(msgs(j).is_empty(), "{:?}", msgs(j));
+    }
+
+    #[test]
+    fn checkpoint_history_len_feeds_reconciliation() {
+        // The checkpoint claims 2 applies already durable; the (empty)
+        // in-memory history cannot account for them.
+        let j = "{\"rec\":\"checkpoint\",\"txn\":5,\"history_len\":2,\"snapshot\":{}}\n";
+        let m = msgs(j);
+        assert_eq!(m.len(), 1, "{m:?}");
+        assert!(m[0].contains("2 at checkpoint"), "{m:?}");
+    }
+
+    #[test]
+    fn checkpoint_missing_fields_is_flagged() {
+        let m = msgs("{\"rec\":\"checkpoint\",\"txn\":5,\"history_len\":0}\n");
+        assert!(m.iter().any(|s| s.contains("without snapshot")), "{m:?}");
+        let m = msgs("{\"rec\":\"checkpoint\",\"txn\":5,\"snapshot\":{}}\n");
+        assert!(m.iter().any(|s| s.contains("without history_len")), "{m:?}");
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_is_flagged_but_torn_begin_is_not() {
+        let torn_ckpt = "{\"rec\":\"checkpoint\",\"txn\":5,\"history_len\":0,\"snap";
+        let m = msgs(torn_ckpt);
+        assert!(
+            m.iter().any(|s| s.contains("truncated checkpoint")),
+            "{m:?}"
+        );
+        let torn_begin = "{\"rec\":\"begin\",\"txn\":1,\"op\":\"ap";
+        assert!(msgs(torn_begin).is_empty());
+    }
+
+    #[test]
+    fn begin_open_across_checkpoint_is_flagged() {
+        let j = "{\"rec\":\"begin\",\"txn\":1,\"op\":\"apply\",\"kind\":\"CSE\",\"site\":0}\n\
+                 {\"rec\":\"checkpoint\",\"txn\":1,\"history_len\":0,\"snapshot\":{}}\n";
+        let m = msgs(j);
+        assert!(
+            m.iter().any(|s| s.contains("open across a checkpoint")),
+            "{m:?}"
+        );
+    }
 }

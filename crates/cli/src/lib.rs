@@ -26,10 +26,16 @@
 //!                                    driving a script workload)
 //! pivot top <host:port> [--frames <n>] [--interval-ms <ms>]
 //!                                    live terminal view of a scrape endpoint
+//! pivot serve --journal-dir <dir> [--addr <host:port>] [--hold-ms <ms>]
+//!                                    run the multi-session serving daemon
+//!                                    (line-oriented JSON over TCP/Unix
+//!                                    sockets, per-session write-ahead
+//!                                    journals, graceful drain on SIGTERM)
 //! pivot recover <file> <journal>     rebuild a session from a program plus
 //!                                    its write-ahead journal (committed
 //!                                    transactions replay; the uncommitted
-//!                                    tail is discarded)
+//!                                    tail is discarded; compaction
+//!                                    checkpoints anchor the replay)
 //! pivot audit <file> [--script <script>] [--journal <journal>] [--json] [--pristine]
 //!                                    run the independent static auditor over
 //!                                    the session (optionally after driving a
@@ -100,8 +106,18 @@ usage: pivot <command> [args]
                                /metrics.json, liveness on /healthz)
   top <host:port> [--frames <n>] [--interval-ms <ms>]
                                live terminal view of a scrape endpoint
+  serve --journal-dir <dir> [--addr <host:port>] [--scrape-addr <host:port>]
+        [--uds <path>] [--max-conns <n>] [--checkpoint-every <n>]
+        [--hold-ms <ms>]
+                               run the multi-session serving daemon: a
+                               line-oriented JSON protocol over TCP (and
+                               optionally a Unix socket), one write-ahead
+                               journal per session; drains gracefully on
+                               SIGTERM (or after --hold-ms)
   recover <file> <journal>     replay a write-ahead journal's committed
                                transactions; discard the uncommitted tail
+                               (reports when a compaction checkpoint
+                               anchored the recovery)
   audit <file> [--script <script>] [--journal <journal>] [--json] [--pristine]
                                run the independent static auditor (structural,
                                legality, and semantic lint families) over the
@@ -344,6 +360,75 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 out.push_str(&render_top_json(&body)?);
             }
         }
+        Some("serve") => {
+            let mut cfg = pivot_serve::ServeConfig::new("pivot-serve-journals");
+            let mut journal_dir_set = false;
+            let mut hold_ms = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let take = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err(format!("{flag} needs a value")))
+                };
+                match a.as_str() {
+                    "--journal-dir" => {
+                        cfg.journal_dir = take(&mut rest, "--journal-dir")?.into();
+                        journal_dir_set = true;
+                    }
+                    "--addr" => cfg.tcp_addr = take(&mut rest, "--addr")?,
+                    "--scrape-addr" => {
+                        cfg.scrape_addr = Some(take(&mut rest, "--scrape-addr")?);
+                    }
+                    "--uds" => cfg.uds_path = Some(take(&mut rest, "--uds")?.into()),
+                    "--max-conns" => {
+                        cfg.max_conns = take(&mut rest, "--max-conns")?
+                            .parse::<usize>()
+                            .map_err(|_| err("bad --max-conns value"))?;
+                    }
+                    "--checkpoint-every" => {
+                        cfg.checkpoint_every = take(&mut rest, "--checkpoint-every")?
+                            .parse::<u64>()
+                            .map_err(|_| err("bad --checkpoint-every value"))?;
+                    }
+                    "--hold-ms" => {
+                        hold_ms = Some(
+                            take(&mut rest, "--hold-ms")?
+                                .parse::<u64>()
+                                .map_err(|_| err("bad --hold-ms value"))?,
+                        );
+                    }
+                    other => return Err(err(format!("serve: unknown option `{other}`"))),
+                }
+            }
+            if !journal_dir_set {
+                return Err(err("serve: --journal-dir is required"));
+            }
+            cfg = cfg.from_env();
+            match hold_ms {
+                // Bounded run (tests, CI smoke): serve for the hold
+                // window, then drain gracefully.
+                Some(ms) => {
+                    let daemon = pivot_serve::spawn(cfg).map_err(|e| err(e.to_string()))?;
+                    let _ = writeln!(out, "listening tcp {}", daemon.tcp_addr());
+                    if let Some(scrape) = daemon.scrape_addr() {
+                        let _ = writeln!(out, "scrape {scrape}");
+                    }
+                    println!("listening tcp {}", daemon.tcp_addr());
+                    if let Some(scrape) = daemon.scrape_addr() {
+                        println!("scrape {scrape}");
+                    }
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    daemon.shutdown();
+                    let _ = writeln!(out, "drained");
+                }
+                // Production mode: serve until SIGTERM/SIGINT, then
+                // drain gracefully (run prints the addresses itself).
+                None => pivot_serve::run(cfg).map_err(|e| err(e.to_string()))?,
+            }
+        }
         Some("recover") => {
             let prog = load(args.get(1))?;
             let journal_path = args
@@ -353,8 +438,15 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| err(e.to_string()))?;
             let _ = writeln!(
                 out,
-                "recovered: {} committed, {} aborted, {} discarded",
-                recovery.committed, recovery.aborted, recovery.discarded
+                "recovered: {} committed, {} aborted, {} discarded{}",
+                recovery.committed,
+                recovery.aborted,
+                recovery.discarded,
+                if recovery.from_checkpoint {
+                    " (from checkpoint)"
+                } else {
+                    ""
+                }
             );
             let _ = writeln!(out, "history: {}", recovery.session.history.summary());
             out.push_str(&recovery.session.source());
@@ -873,5 +965,39 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("r = e + f"), "{out}");
+    }
+
+    #[test]
+    fn cli_recover_reports_checkpoint_anchored_recovery() {
+        let dir = std::env::temp_dir().join("pivot_cli_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = "d = e + f\nr = e + f\nwrite r\nwrite d\nx = 3 * 4\nwrite x\n";
+        let f = dir.join("prog.pv");
+        std::fs::write(&f, src).unwrap();
+        let jf = dir.join("compacted.journal");
+        let _ = std::fs::remove_file(&jf);
+        let mut s = Session::from_source(src).unwrap();
+        s.set_journal(pivot_undo::Journal::open(&jf).unwrap());
+        s.apply_kind(XformKind::Cse).unwrap();
+        assert!(s.compact_journal().unwrap());
+        s.apply_kind(XformKind::Cfo).unwrap();
+        let out = run_cli(&[
+            "recover".into(),
+            f.to_string_lossy().to_string(),
+            jf.to_string_lossy().to_string(),
+        ])
+        .unwrap();
+        assert!(
+            out.contains("recovered: 1 committed, 0 aborted, 0 discarded (from checkpoint)"),
+            "{out}"
+        );
+        assert_eq!(
+            out.lines().last().map(str::trim),
+            s.source().lines().last().map(str::trim),
+            "{out}"
+        );
+        // The serve command validates its arguments.
+        assert!(run_cli(&["serve".into()]).is_err());
+        assert!(run_cli(&["serve".into(), "--bogus".into()]).is_err());
     }
 }

@@ -286,6 +286,18 @@ impl ActionLog {
         Stamp(self.next_stamp)
     }
 
+    /// Reconstruct a log from recorded actions plus the stamp counter —
+    /// the inverse of reading `actions`/[`ActionLog::next_stamp`] out for a
+    /// snapshot. Restoring the counter exactly matters: stamps are the
+    /// global action order the undo algorithm chases, so a reset counter
+    /// would mint colliding stamps after recovery.
+    pub fn from_parts(actions: Vec<StampedAction>, next_stamp: Stamp) -> ActionLog {
+        ActionLog {
+            actions,
+            next_stamp: next_stamp.0,
+        }
+    }
+
     fn stamp(&mut self) -> Stamp {
         let s = Stamp(self.next_stamp);
         self.next_stamp += 1;

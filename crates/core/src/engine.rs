@@ -341,6 +341,39 @@ impl Session {
         }
     }
 
+    /// Reassemble a session from snapshot parts: the current program, the
+    /// session-start program, the action log, and the history. The
+    /// representation is rebuilt from `prog` (it is derived data), the
+    /// interaction matrix is the standard Table 4 default, and — like
+    /// [`Session::fork`] — no journal, tracer, profiler, or fault plan is
+    /// carried over; callers re-attach those explicitly.
+    pub fn from_parts(
+        prog: Program,
+        original: Program,
+        log: ActionLog,
+        history: History,
+        rep_mode: RepMode,
+    ) -> Session {
+        let pool = Pool::from_env();
+        let rep = Rep::build_with(&prog, &pool);
+        Session {
+            prog,
+            rep,
+            log,
+            history,
+            matrix: interact::default_matrix(),
+            rep_mode,
+            original,
+            explanations: Vec::new(),
+            pool,
+            tracer: Arc::new(NoopTracer),
+            profiler: None,
+            obs_label: None,
+            faults: None,
+            journal: None,
+        }
+    }
+
     /// Route engine telemetry to `tracer` (e.g. a JSONL
     /// [`pivot_obs::Recorder`]). Forked sessions inherit the tracer.
     pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {

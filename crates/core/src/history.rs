@@ -102,6 +102,22 @@ impl History {
         Self::default()
     }
 
+    /// Reconstruct a history from its records, rebuilding the stamp-owner
+    /// index (which is derived data and therefore not serialized by
+    /// snapshots). Records must already carry their application-order ids.
+    pub fn from_records(records: Vec<AppliedXform>) -> History {
+        let mut stamp_owner = HashMap::new();
+        for r in &records {
+            for &s in &r.stamps {
+                stamp_owner.insert(s, r.id);
+            }
+        }
+        History {
+            records,
+            stamp_owner,
+        }
+    }
+
     /// Record a newly applied transformation.
     pub fn record(
         &mut self,

@@ -23,6 +23,27 @@
 //! `site` is the transformation's primary site (the statement id that
 //! identifies an instance across re-discovery), so replay re-finds the same
 //! opportunity in the rebuilt program rather than trusting raw node ids.
+//!
+//! ## Compaction
+//!
+//! Replay cost grows with journal length, so a long-lived session bounds it
+//! with [`Session::compact_journal`]: the journal is atomically rewritten
+//! (write temp file, fsync, rename, fsync directory) to a single
+//! `checkpoint` record carrying a full [`crate::snapshot`] of the session
+//! plus the committed history length:
+//!
+//! ```text
+//! {"rec":"checkpoint","txn":17,"history_len":9,"snapshot":{…}}
+//! ```
+//!
+//! Recovery of a compacted journal restores the snapshot and replays only
+//! the post-checkpoint tail — cost is `O(tail)`, not `O(total history)`.
+//! The checkpoint's `txn` continues the transaction numbering across the
+//! rewrite. A *torn checkpoint* (crash or truncation inside the checkpoint
+//! record itself) is **not** silently discarded like an ordinary torn tail:
+//! the pre-checkpoint records it replaced are gone, so recovery reports it
+//! as [`RecoverError::Corrupt`] instead of quietly resurrecting an empty
+//! session.
 
 use crate::engine::{primary_site, Session, Strategy};
 use crate::history::XformId;
@@ -104,6 +125,11 @@ impl Journal {
     /// The journal's file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The next transaction number this journal will assign.
+    pub fn next_txn(&self) -> u64 {
+        self.next_txn
     }
 
     fn write_line(&mut self, line: &str) -> Result<(), EngineError> {
@@ -211,6 +237,10 @@ pub struct Recovery {
     /// Uncommitted transactions discarded (the in-flight tail; includes a
     /// torn final line).
     pub discarded: usize,
+    /// True when the journal started from a compaction checkpoint: the base
+    /// state was restored from the checkpoint snapshot and only the
+    /// post-checkpoint tail was replayed.
+    pub from_checkpoint: bool,
 }
 
 struct ParsedBegin {
@@ -279,10 +309,44 @@ impl Session {
         self.journal.take()
     }
 
-    /// Rebuild a session from the original program plus a journal: replay
-    /// every committed transaction in order, skip aborted ones, and discard
-    /// the uncommitted tail. A torn final line (crash mid-write) is
-    /// discarded silently; a malformed record anywhere earlier is an error.
+    /// Compact the attached journal down to a single `checkpoint` record
+    /// holding a full snapshot of the current session state, so recovery
+    /// cost is bounded by the post-checkpoint tail instead of the whole
+    /// transaction history. The rewrite is atomic (temp file + fsync +
+    /// rename + directory fsync); on any error the original journal file is
+    /// untouched and is re-attached. Returns `false` (and does nothing)
+    /// when no journal is attached.
+    pub fn compact_journal(&mut self) -> Result<bool, EngineError> {
+        let Some(journal) = self.journal.take() else {
+            return Ok(false);
+        };
+        let path = journal.path().to_path_buf();
+        // The checkpoint carries the last *assigned* txn so numbering
+        // continues seamlessly after the rewrite.
+        let checkpoint_txn = journal.next_txn().saturating_sub(1);
+        drop(journal);
+        let jerr = |e: std::io::Error| EngineError::Journal(format!("{}: {e}", path.display()));
+        let written = write_checkpoint(&path, checkpoint_txn, self);
+        if let Err(e) = written {
+            // The rename never happened: the original journal is intact, so
+            // keep journaling against it.
+            if let Ok(j) = Journal::open(&path) {
+                self.journal = Some(j);
+            }
+            return Err(e);
+        }
+        self.journal = Some(Journal::open(&path).map_err(jerr)?);
+        Ok(true)
+    }
+
+    /// Rebuild a session from the original program plus a journal: restore
+    /// the latest `checkpoint` snapshot if one is present (compacted
+    /// journal), then replay every later committed transaction in order,
+    /// skip aborted ones, and discard the uncommitted tail. A torn final
+    /// line (crash mid-write) is discarded silently — **except** a torn
+    /// checkpoint, which is an error: the history it replaced is gone, so
+    /// silently dropping it would resurrect a stale or empty session. A
+    /// malformed record anywhere earlier is likewise an error.
     pub fn recover(prog: Program, path: &Path) -> Result<Recovery, RecoverError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| RecoverError::Io(format!("{}: {e}", path.display())))?;
@@ -291,6 +355,7 @@ impl Session {
         let mut committed: Vec<u64> = Vec::new();
         let mut aborted: Vec<u64> = Vec::new();
         let mut discarded_torn = 0usize;
+        let mut base: Option<Session> = None;
         for (i, raw) in lines.iter().enumerate() {
             let line = i + 1;
             if raw.trim().is_empty() {
@@ -300,6 +365,15 @@ impl Session {
                 Ok(v) => v,
                 Err(msg) => {
                     if line == lines.len() {
+                        if torn_checkpoint(raw) {
+                            // A checkpoint replaced the records before it;
+                            // a truncated one must not be mistaken for an
+                            // ordinary in-flight tail.
+                            return Err(RecoverError::Corrupt {
+                                line,
+                                msg: "truncated checkpoint record".to_string(),
+                            });
+                        }
                         // Torn tail from a crash mid-write.
                         discarded_torn = 1;
                         continue;
@@ -309,6 +383,22 @@ impl Session {
             };
             let rec = v.get("rec").and_then(|r| r.as_str()).unwrap_or("");
             match rec {
+                "checkpoint" => {
+                    let snap = v.get("snapshot").ok_or(RecoverError::Corrupt {
+                        line,
+                        msg: "checkpoint without snapshot".to_string(),
+                    })?;
+                    let restored =
+                        crate::snapshot::restore(snap).map_err(|msg| RecoverError::Corrupt {
+                            line,
+                            msg: format!("checkpoint snapshot: {msg}"),
+                        })?;
+                    // Everything before the checkpoint is superseded by it.
+                    base = Some(restored);
+                    begins.clear();
+                    committed.clear();
+                    aborted.clear();
+                }
                 "begin" => begins.push(parse_begin(&v, line)?),
                 "commit" => {
                     if let Some(t) = v.get("txn").and_then(|t| t.as_int()) {
@@ -328,7 +418,11 @@ impl Session {
                 }
             }
         }
-        let mut session = Session::new(prog);
+        let from_checkpoint = base.is_some();
+        let mut session = match base {
+            Some(s) => s,
+            None => Session::new(prog),
+        };
         let mut n_committed = 0usize;
         let mut n_aborted = 0usize;
         let mut n_discarded = discarded_torn;
@@ -362,8 +456,57 @@ impl Session {
             committed: n_committed,
             aborted: n_aborted,
             discarded: n_discarded,
+            from_checkpoint,
         })
     }
+}
+
+/// True when a torn (unparseable) final line is identifiably the remains
+/// of a `checkpoint` record, which is unrecoverable corruption — the
+/// history it replaced is gone. Identification needs the prefix to have
+/// diverged from every ordinary record type: `begin`/`commit`/`abort`
+/// share `{"rec":"` with a checkpoint and `commit` shares one byte more
+/// (`{"rec":"c`), so the first distinguishing byte is the 10th. A torn
+/// line shorter than that is indistinguishable from a torn ordinary
+/// record and is tolerated like one; this floor is safe because a
+/// compaction rewrite is atomic (fsync + rename) — a sub-10-byte stub can
+/// only be an ordinary append crash, never a crashed compaction.
+fn torn_checkpoint(raw: &str) -> bool {
+    const MARKER: &str = "{\"rec\":\"checkpoint\"";
+    const DISTINGUISHING: usize = 10; // the `h` of `{"rec":"ch`
+    let t = raw.trim_start();
+    if t.len() >= MARKER.len() {
+        t.starts_with(MARKER)
+    } else {
+        t.len() >= DISTINGUISHING && MARKER.starts_with(t)
+    }
+}
+
+/// Atomically replace the journal at `path` with a single checkpoint line.
+fn write_checkpoint(path: &Path, txn: u64, session: &Session) -> Result<(), EngineError> {
+    let jerr = |e: std::io::Error| EngineError::Journal(format!("{}: {e}", path.display()));
+    let mut line = format!(
+        "{{\"rec\":\"checkpoint\",\"txn\":{txn},\"history_len\":{},\"snapshot\":",
+        session.history.records.len()
+    );
+    line.push_str(&crate::snapshot::snapshot_json(session));
+    line.push_str("}\n");
+    let mut tmp_os = path.as_os_str().to_os_string();
+    tmp_os.push(".tmp");
+    let tmp = PathBuf::from(tmp_os);
+    let mut f = File::create(&tmp).map_err(jerr)?;
+    f.write_all(line.as_bytes()).map_err(jerr)?;
+    f.sync_all().map_err(jerr)?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(jerr)?;
+    // Make the rename itself durable. Best-effort: not all filesystems
+    // support directory fsync, and the rename already happened.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Replay one committed transaction against the recovering session.

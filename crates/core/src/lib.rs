@@ -39,6 +39,7 @@ pub mod pattern;
 pub mod region;
 pub mod revers;
 pub mod safety;
+pub mod snapshot;
 pub mod spec;
 pub mod txn;
 

@@ -1,0 +1,1108 @@
+//! Exact session snapshots for journal compaction.
+//!
+//! A compaction checkpoint must let [`crate::engine::Session`] resume as if
+//! every journaled transaction up to the checkpoint had been replayed — so
+//! the snapshot serializes the *full* undo state, not just the live source:
+//! both program arenas **including tombstone statements and orphan
+//! expressions** (they are what inverse actions splice back), the stable
+//! labels and id counters (ids must not shift — history records point into
+//! the arenas), the action log with its stamp counter, the history records
+//! with their typed parameters and patterns, and the session-start program
+//! (the replay/audit baseline). The representation (`Rep`) and the
+//! stamp-owner index are derived data and are rebuilt on restore;
+//! explanation trees are deliberately dropped (documented in DESIGN.md §14:
+//! `explain` covers post-checkpoint requests only).
+//!
+//! The encoding is a single deterministic JSON object built with
+//! [`pivot_obs::json`] — deterministic because every collection serialized
+//! is an ordered `Vec`, which makes [`fingerprint`] a byte-stable identity
+//! for "same session state" across processes (the crash-recovery soak
+//! compares daemon-recovered sessions against single-session replays with
+//! it). Everything here is panic-free: restore runs on whatever bytes
+//! survived a crash and must surface typed errors, never unwind.
+
+use crate::actions::{ActionKind, ActionLog, LoopHeader, Stamp, StampedAction};
+use crate::engine::Session;
+use crate::history::{AppliedXform, History, XformId, XformState};
+use crate::kind::XformKind;
+use crate::pattern::{Pattern, XformParams};
+use pivot_ir::RepMode;
+use pivot_lang::ast::{BinOp, Expr, ExprKind, LValue, Parent, Stmt, StmtKind, UnOp};
+use pivot_lang::{AnchorPos, BlockRole, ExprId, Loc, Program, StmtId, Sym};
+use pivot_obs::json::{self, write_str, Value};
+use std::fmt::Write as _;
+
+/// Snapshot format version (bumped on incompatible encoding changes;
+/// restore refuses unknown versions instead of misreading them).
+pub const FORMAT: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+fn w_u32s(out: &mut String, ids: impl IntoIterator<Item = u32>) {
+    out.push('[');
+    for (i, v) in ids.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+fn w_parent(out: &mut String, p: Parent) {
+    match p {
+        Parent::Root => out.push_str("\"root\""),
+        Parent::Block(s, role) => {
+            let role = match role {
+                BlockRole::LoopBody => "loop",
+                BlockRole::Then => "then",
+                BlockRole::Else => "else",
+            };
+            let _ = write!(out, "{{\"s\":{},\"role\":\"{role}\"}}", s.0);
+        }
+    }
+}
+
+fn w_loc(out: &mut String, loc: &Loc) {
+    out.push_str("{\"parent\":");
+    w_parent(out, loc.parent);
+    match loc.anchor {
+        AnchorPos::Start => out.push_str(",\"anchor\":\"start\"}"),
+        AnchorPos::After(a) => {
+            let _ = write!(out, ",\"anchor\":{{\"after\":{}}}}}", a.0);
+        }
+    }
+}
+
+fn w_expr_kind(out: &mut String, k: &ExprKind) {
+    match k {
+        ExprKind::Const(c) => {
+            let _ = write!(out, "{{\"const\":{c}}}");
+        }
+        ExprKind::Var(v) => {
+            let _ = write!(out, "{{\"var\":{}}}", v.0);
+        }
+        ExprKind::Index(a, subs) => {
+            let _ = write!(out, "{{\"index\":{{\"sym\":{},\"subs\":", a.0);
+            w_u32s(out, subs.iter().map(|e| e.0));
+            out.push_str("}}");
+        }
+        ExprKind::Unary(op, a) => {
+            let _ = write!(out, "{{\"un\":{{\"op\":");
+            write_str(out, op.symbol());
+            let _ = write!(out, ",\"a\":{}}}}}", a.0);
+        }
+        ExprKind::Binary(op, a, b) => {
+            let _ = write!(out, "{{\"bin\":{{\"op\":");
+            write_str(out, op.symbol());
+            let _ = write!(out, ",\"a\":{},\"b\":{}}}}}", a.0, b.0);
+        }
+    }
+}
+
+fn w_lvalue(out: &mut String, lv: &LValue) {
+    let _ = write!(out, "{{\"var\":{},\"subs\":", lv.var.0);
+    w_u32s(out, lv.subs.iter().map(|e| e.0));
+    out.push('}');
+}
+
+fn w_stmt_kind(out: &mut String, k: &StmtKind) {
+    match k {
+        StmtKind::Assign { target, value } => {
+            out.push_str("{\"assign\":{\"target\":");
+            w_lvalue(out, target);
+            let _ = write!(out, ",\"value\":{}}}}}", value.0);
+        }
+        StmtKind::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"do\":{{\"var\":{},\"lo\":{},\"hi\":{}",
+                var.0, lo.0, hi.0
+            );
+            if let Some(s) = step {
+                let _ = write!(out, ",\"step\":{}", s.0);
+            }
+            out.push_str(",\"body\":");
+            w_u32s(out, body.iter().map(|s| s.0));
+            out.push_str("}}");
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = write!(out, "{{\"if\":{{\"cond\":{},\"then\":", cond.0);
+            w_u32s(out, then_body.iter().map(|s| s.0));
+            out.push_str(",\"else\":");
+            w_u32s(out, else_body.iter().map(|s| s.0));
+            out.push_str("}}");
+        }
+        StmtKind::Read { target } => {
+            out.push_str("{\"read\":{\"target\":");
+            w_lvalue(out, target);
+            out.push_str("}}");
+        }
+        StmtKind::Write { value } => {
+            let _ = write!(out, "{{\"write\":{{\"value\":{}}}}}", value.0);
+        }
+    }
+}
+
+fn w_program(out: &mut String, p: &Program) {
+    out.push_str("{\"syms\":[");
+    for (i, (_, name)) in p.symbols.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, name);
+    }
+    let _ = write!(out, "],\"next_label\":{},\"body\":", p.next_label());
+    w_u32s(out, p.body.iter().map(|s| s.0));
+    out.push_str(",\"stmts\":[");
+    for (i, id) in p.all_stmt_ids().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let s = p.stmt(id);
+        let _ = write!(out, "{{\"label\":{}", s.label);
+        if let Some(parent) = s.parent {
+            out.push_str(",\"parent\":");
+            w_parent(out, parent);
+        }
+        out.push_str(",\"kind\":");
+        w_stmt_kind(out, &s.kind);
+        out.push('}');
+    }
+    out.push_str("],\"exprs\":[");
+    for i in 0..p.expr_arena_len() {
+        if i > 0 {
+            out.push(',');
+        }
+        let e = p.expr(ExprId(i as u32));
+        let _ = write!(out, "{{\"owner\":{},\"kind\":", e.owner.0);
+        w_expr_kind(out, &e.kind);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn w_header(out: &mut String, h: &LoopHeader) {
+    let _ = write!(
+        out,
+        "{{\"var\":{},\"lo\":{},\"hi\":{}",
+        h.var.0, h.lo.0, h.hi.0
+    );
+    if let Some(s) = h.step {
+        let _ = write!(out, ",\"step\":{}", s.0);
+    }
+    out.push('}');
+}
+
+fn w_action(out: &mut String, a: &StampedAction) {
+    let _ = write!(out, "{{\"stamp\":{},\"act\":", a.stamp.0);
+    match &a.kind {
+        ActionKind::Add { stmt, loc } => {
+            let _ = write!(out, "{{\"add\":{{\"stmt\":{},\"loc\":", stmt.0);
+            w_loc(out, loc);
+            out.push_str("}}");
+        }
+        ActionKind::Delete { stmt, orig } => {
+            let _ = write!(out, "{{\"del\":{{\"stmt\":{},\"orig\":", stmt.0);
+            w_loc(out, orig);
+            out.push_str("}}");
+        }
+        ActionKind::Move { stmt, from, to } => {
+            let _ = write!(out, "{{\"mv\":{{\"stmt\":{},\"from\":", stmt.0);
+            w_loc(out, from);
+            out.push_str(",\"to\":");
+            w_loc(out, to);
+            out.push_str("}}");
+        }
+        ActionKind::Copy { src, copy, loc } => {
+            let _ = write!(
+                out,
+                "{{\"cp\":{{\"src\":{},\"copy\":{},\"loc\":",
+                src.0, copy.0
+            );
+            w_loc(out, loc);
+            out.push_str("}}");
+        }
+        ActionKind::ModifyExpr { expr, old, new } => {
+            let _ = write!(out, "{{\"mde\":{{\"expr\":{},\"old\":", expr.0);
+            w_expr_kind(out, old);
+            out.push_str(",\"new\":");
+            w_expr_kind(out, new);
+            out.push_str("}}");
+        }
+        ActionKind::ModifyHeader { stmt, old, new } => {
+            let _ = write!(out, "{{\"mdh\":{{\"stmt\":{},\"old\":", stmt.0);
+            w_header(out, old);
+            out.push_str(",\"new\":");
+            w_header(out, new);
+            out.push_str("}}");
+        }
+    }
+    out.push('}');
+}
+
+fn w_reaching(out: &mut String, reach: &[(Sym, Vec<StmtId>)]) {
+    out.push('[');
+    for (i, (sym, defs)) in reach.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"sym\":{},\"defs\":", sym.0);
+        w_u32s(out, defs.iter().map(|s| s.0));
+        out.push('}');
+    }
+    out.push(']');
+}
+
+fn w_params(out: &mut String, p: &XformParams) {
+    match p {
+        XformParams::Dce { stmt, target } => {
+            let _ = write!(
+                out,
+                "{{\"dce\":{{\"stmt\":{},\"target\":{}}}}}",
+                stmt.0, target.0
+            );
+        }
+        XformParams::Cse {
+            def_stmt,
+            use_stmt,
+            expr,
+            result_var,
+            operand_syms,
+            old_kind,
+            reaching_at_use,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"cse\":{{\"def\":{},\"use\":{},\"expr\":{},\"result\":{},\"ops\":",
+                def_stmt.0, use_stmt.0, expr.0, result_var.0
+            );
+            w_u32s(out, operand_syms.iter().map(|s| s.0));
+            out.push_str(",\"old\":");
+            w_expr_kind(out, old_kind);
+            out.push_str(",\"reach\":");
+            w_reaching(out, reaching_at_use);
+            out.push_str("}}");
+        }
+        XformParams::Ctp {
+            def_stmt,
+            use_stmt,
+            expr,
+            var,
+            value,
+            reaching_at_use,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ctp\":{{\"def\":{},\"use\":{},\"expr\":{},\"var\":{},\"value\":{value},\"reach\":",
+                def_stmt.0, use_stmt.0, expr.0, var.0
+            );
+            w_reaching(out, reaching_at_use);
+            out.push_str("}}");
+        }
+        XformParams::Cpp {
+            def_stmt,
+            use_stmt,
+            expr,
+            from,
+            to,
+            reaching_at_use,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"cpp\":{{\"def\":{},\"use\":{},\"expr\":{},\"from\":{},\"to\":{},\"reach\":",
+                def_stmt.0, use_stmt.0, expr.0, from.0, to.0
+            );
+            w_reaching(out, reaching_at_use);
+            out.push_str("}}");
+        }
+        XformParams::Cfo {
+            stmt,
+            expr,
+            old_kind,
+            value,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"cfo\":{{\"stmt\":{},\"expr\":{},\"value\":{value},\"old\":",
+                stmt.0, expr.0
+            );
+            w_expr_kind(out, old_kind);
+            out.push_str("}}");
+        }
+        XformParams::Icm {
+            stmt,
+            loop_stmt,
+            target,
+            operand_syms,
+            array_reads,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"icm\":{{\"stmt\":{},\"loop\":{},\"target\":{},\"ops\":",
+                stmt.0, loop_stmt.0, target.0
+            );
+            w_u32s(out, operand_syms.iter().map(|s| s.0));
+            out.push_str(",\"arrs\":");
+            w_u32s(out, array_reads.iter().map(|s| s.0));
+            out.push_str("}}");
+        }
+        XformParams::Inx { outer, inner } => {
+            let _ = write!(
+                out,
+                "{{\"inx\":{{\"outer\":{},\"inner\":{}}}}}",
+                outer.0, inner.0
+            );
+        }
+        XformParams::Fus {
+            l1,
+            l2,
+            moved,
+            body1,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"fus\":{{\"l1\":{},\"l2\":{},\"moved\":",
+                l1.0, l2.0
+            );
+            w_u32s(out, moved.iter().map(|s| s.0));
+            out.push_str(",\"body1\":");
+            w_u32s(out, body1.iter().map(|s| s.0));
+            out.push_str("}}");
+        }
+        XformParams::Lur {
+            loop_stmt,
+            factor,
+            orig_step,
+            orig_body,
+            copies,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"lur\":{{\"loop\":{},\"factor\":{factor},\"step\":{orig_step},\"body\":",
+                loop_stmt.0
+            );
+            w_u32s(out, orig_body.iter().map(|s| s.0));
+            out.push_str(",\"copies\":");
+            w_u32s(out, copies.iter().map(|s| s.0));
+            out.push_str("}}");
+        }
+        XformParams::Smi {
+            outer,
+            inner,
+            strip,
+            strip_var,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"smi\":{{\"outer\":{},\"inner\":{},\"strip\":{strip},\"var\":{}}}}}",
+                outer.0, inner.0, strip_var.0
+            );
+        }
+    }
+}
+
+fn w_pattern(out: &mut String, p: &Pattern) {
+    out.push_str("{\"shape\":");
+    write_str(out, &p.shape);
+    out.push_str(",\"snaps\":[");
+    for (i, (stmt, text)) in p.snapshots.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"stmt\":{},\"text\":", stmt.0);
+        write_str(out, text);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn w_record(out: &mut String, r: &AppliedXform) {
+    let _ = write!(out, "{{\"id\":{},\"kind\":", r.id.0);
+    write_str(out, r.kind.abbrev());
+    let state = match r.state {
+        XformState::Active => "active",
+        XformState::Undone => "undone",
+    };
+    let _ = write!(out, ",\"state\":\"{state}\",\"stamps\":[");
+    for (i, s) in r.stamps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", s.0);
+    }
+    out.push_str("],\"params\":");
+    w_params(out, &r.params);
+    out.push_str(",\"pre\":");
+    w_pattern(out, &r.pre);
+    out.push_str(",\"post\":");
+    w_pattern(out, &r.post);
+    out.push('}');
+}
+
+/// Serialize the session's complete undo state as one JSON object (no
+/// trailing newline). Deterministic: equal states produce equal bytes.
+pub fn snapshot_json(session: &Session) -> String {
+    let mode = match session.rep_mode {
+        RepMode::Batch => "batch",
+        RepMode::Incremental => "incremental",
+        RepMode::Checked => "checked",
+    };
+    let mut out = String::with_capacity(4096);
+    let _ = write!(out, "{{\"fmt\":{FORMAT},\"mode\":\"{mode}\",\"prog\":");
+    w_program(&mut out, &session.prog);
+    out.push_str(",\"orig\":");
+    w_program(&mut out, &session.original);
+    let _ = write!(
+        out,
+        ",\"log\":{{\"next\":{},\"acts\":[",
+        session.log.next_stamp().0
+    );
+    for (i, a) in session.log.actions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        w_action(&mut out, a);
+    }
+    out.push_str("]},\"hist\":[");
+    for (i, r) in session.history.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        w_record(&mut out, r);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// FNV-1a hash of the canonical snapshot bytes: a process-independent
+/// identity for "byte-identical session state". Two sessions fingerprint
+/// equal iff program arenas (incl. tombstones), labels, action log,
+/// history, and baseline all match exactly.
+pub fn fingerprint(session: &Session) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in snapshot_json(session).as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("snapshot missing `{key}`"))
+}
+
+fn u64_of(v: &Value, key: &str) -> Result<u64, String> {
+    get(v, key)?
+        .as_int()
+        .map(|i| i as u64)
+        .ok_or_else(|| format!("`{key}` is not an integer"))
+}
+
+fn u32_of(v: &Value, key: &str) -> Result<u32, String> {
+    Ok(u64_of(v, key)? as u32)
+}
+
+fn i64_of(v: &Value, key: &str) -> Result<i64, String> {
+    get(v, key)?
+        .as_int()
+        .ok_or_else(|| format!("`{key}` is not an integer"))
+}
+
+fn str_of<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    get(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("`{key}` is not a string"))
+}
+
+fn arr_of<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    get(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("`{key}` is not an array"))
+}
+
+fn u32s_of(v: &Value, key: &str) -> Result<Vec<u32>, String> {
+    arr_of(v, key)?
+        .iter()
+        .map(|e| {
+            e.as_int()
+                .map(|i| i as u32)
+                .ok_or_else(|| format!("`{key}` element is not an integer"))
+        })
+        .collect()
+}
+
+fn stmt_ids_of(v: &Value, key: &str) -> Result<Vec<StmtId>, String> {
+    Ok(u32s_of(v, key)?.into_iter().map(StmtId).collect())
+}
+
+fn syms_of(v: &Value, key: &str) -> Result<Vec<Sym>, String> {
+    Ok(u32s_of(v, key)?.into_iter().map(Sym).collect())
+}
+
+/// The single `(tag, payload)` pair of a tagged-union object.
+fn tagged(v: &Value) -> Result<(&str, &Value), String> {
+    let obj = v.as_object().ok_or("tagged value is not an object")?;
+    if obj.len() != 1 {
+        return Err(format!("tagged value has {} keys, want 1", obj.len()));
+    }
+    obj.iter()
+        .next()
+        .map(|(k, p)| (k.as_str(), p))
+        .ok_or_else(|| "empty tagged value".to_string())
+}
+
+fn r_parent(v: &Value) -> Result<Parent, String> {
+    if v.as_str() == Some("root") {
+        return Ok(Parent::Root);
+    }
+    let s = StmtId(u32_of(v, "s")?);
+    let role = match str_of(v, "role")? {
+        "loop" => BlockRole::LoopBody,
+        "then" => BlockRole::Then,
+        "else" => BlockRole::Else,
+        other => return Err(format!("unknown block role `{other}`")),
+    };
+    Ok(Parent::Block(s, role))
+}
+
+fn r_loc(v: &Value) -> Result<Loc, String> {
+    let parent = r_parent(get(v, "parent")?)?;
+    let anchor = get(v, "anchor")?;
+    let anchor = if anchor.as_str() == Some("start") {
+        AnchorPos::Start
+    } else {
+        AnchorPos::After(StmtId(u32_of(anchor, "after")?))
+    };
+    Ok(Loc { parent, anchor })
+}
+
+fn bin_op(sym: &str) -> Result<BinOp, String> {
+    Ok(match sym {
+        "+" => BinOp::Add,
+        "-" => BinOp::Sub,
+        "*" => BinOp::Mul,
+        "/" => BinOp::Div,
+        "%" => BinOp::Mod,
+        "<" => BinOp::Lt,
+        "<=" => BinOp::Le,
+        ">" => BinOp::Gt,
+        ">=" => BinOp::Ge,
+        "==" => BinOp::Eq,
+        "!=" => BinOp::Ne,
+        other => return Err(format!("unknown binary operator `{other}`")),
+    })
+}
+
+fn r_expr_kind(v: &Value) -> Result<ExprKind, String> {
+    let (tag, p) = tagged(v)?;
+    Ok(match tag {
+        "const" => ExprKind::Const(p.as_int().ok_or("const is not an integer")?),
+        "var" => ExprKind::Var(Sym(p.as_int().ok_or("var is not an integer")? as u32)),
+        "index" => ExprKind::Index(
+            Sym(u32_of(p, "sym")?),
+            u32s_of(p, "subs")?.into_iter().map(ExprId).collect(),
+        ),
+        "un" => {
+            let op = match str_of(p, "op")? {
+                "-" => UnOp::Neg,
+                "!" => UnOp::Not,
+                other => return Err(format!("unknown unary operator `{other}`")),
+            };
+            ExprKind::Unary(op, ExprId(u32_of(p, "a")?))
+        }
+        "bin" => ExprKind::Binary(
+            bin_op(str_of(p, "op")?)?,
+            ExprId(u32_of(p, "a")?),
+            ExprId(u32_of(p, "b")?),
+        ),
+        other => return Err(format!("unknown expression kind `{other}`")),
+    })
+}
+
+fn r_lvalue(v: &Value) -> Result<LValue, String> {
+    Ok(LValue {
+        var: Sym(u32_of(v, "var")?),
+        subs: u32s_of(v, "subs")?.into_iter().map(ExprId).collect(),
+    })
+}
+
+fn r_stmt_kind(v: &Value) -> Result<StmtKind, String> {
+    let (tag, p) = tagged(v)?;
+    Ok(match tag {
+        "assign" => StmtKind::Assign {
+            target: r_lvalue(get(p, "target")?)?,
+            value: ExprId(u32_of(p, "value")?),
+        },
+        "do" => StmtKind::DoLoop {
+            var: Sym(u32_of(p, "var")?),
+            lo: ExprId(u32_of(p, "lo")?),
+            hi: ExprId(u32_of(p, "hi")?),
+            step: match p.get("step") {
+                Some(s) => Some(ExprId(s.as_int().ok_or("step is not an integer")? as u32)),
+                None => None,
+            },
+            body: stmt_ids_of(p, "body")?,
+        },
+        "if" => StmtKind::If {
+            cond: ExprId(u32_of(p, "cond")?),
+            then_body: stmt_ids_of(p, "then")?,
+            else_body: stmt_ids_of(p, "else")?,
+        },
+        "read" => StmtKind::Read {
+            target: r_lvalue(get(p, "target")?)?,
+        },
+        "write" => StmtKind::Write {
+            value: ExprId(u32_of(p, "value")?),
+        },
+        other => return Err(format!("unknown statement kind `{other}`")),
+    })
+}
+
+/// Bounds-check every arena/symbol reference in a deserialized program.
+/// [`Program::check_invariants`] assumes in-range ids (it indexes the
+/// arenas directly), so a snapshot that survived a crash torn or mangled
+/// must be range-checked *before* any structural validation.
+fn check_ids(stmts: &[Stmt], exprs: &[Expr], body: &[StmtId], nsyms: usize) -> Result<(), String> {
+    let ns = stmts.len() as u32;
+    let ne = exprs.len() as u32;
+    let s_ok = |id: StmtId| {
+        if id.0 < ns {
+            Ok(())
+        } else {
+            Err(format!("statement id {} out of range ({ns})", id.0))
+        }
+    };
+    let e_ok = |id: ExprId| {
+        if id.0 < ne {
+            Ok(())
+        } else {
+            Err(format!("expression id {} out of range ({ne})", id.0))
+        }
+    };
+    let v_ok = |s: Sym| {
+        if (s.0 as usize) < nsyms {
+            Ok(())
+        } else {
+            Err(format!("symbol {} out of range ({nsyms})", s.0))
+        }
+    };
+    let lv_ok = |lv: &LValue| {
+        v_ok(lv.var)?;
+        lv.subs.iter().try_for_each(|&e| e_ok(e))
+    };
+    for &b in body {
+        s_ok(b)?;
+    }
+    for s in stmts {
+        if let Some(Parent::Block(p, _)) = s.parent {
+            s_ok(p)?;
+        }
+        match &s.kind {
+            StmtKind::Assign { target, value } => {
+                lv_ok(target)?;
+                e_ok(*value)?;
+            }
+            StmtKind::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                v_ok(*var)?;
+                e_ok(*lo)?;
+                e_ok(*hi)?;
+                if let Some(st) = step {
+                    e_ok(*st)?;
+                }
+                body.iter().try_for_each(|&b| s_ok(b))?;
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                e_ok(*cond)?;
+                then_body.iter().try_for_each(|&b| s_ok(b))?;
+                else_body.iter().try_for_each(|&b| s_ok(b))?;
+            }
+            StmtKind::Read { target } => lv_ok(target)?,
+            StmtKind::Write { value } => e_ok(*value)?,
+        }
+    }
+    for e in exprs {
+        s_ok(e.owner)?;
+        match &e.kind {
+            ExprKind::Var(s) => v_ok(*s)?,
+            ExprKind::Index(a, subs) => {
+                v_ok(*a)?;
+                subs.iter().try_for_each(|&x| e_ok(x))?;
+            }
+            ExprKind::Unary(_, a) => e_ok(*a)?,
+            ExprKind::Binary(_, a, b) => {
+                e_ok(*a)?;
+                e_ok(*b)?;
+            }
+            ExprKind::Const(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn r_program(v: &Value) -> Result<Program, String> {
+    let mut symbols = pivot_lang::SymbolTable::new();
+    for s in arr_of(v, "syms")? {
+        symbols.intern(s.as_str().ok_or("symbol name is not a string")?);
+    }
+    let mut stmts = Vec::new();
+    for s in arr_of(v, "stmts")? {
+        stmts.push(Stmt {
+            kind: r_stmt_kind(get(s, "kind")?)?,
+            parent: match s.get("parent") {
+                Some(p) => Some(r_parent(p)?),
+                None => None,
+            },
+            label: u32_of(s, "label")?,
+        });
+    }
+    let mut exprs = Vec::new();
+    for e in arr_of(v, "exprs")? {
+        exprs.push(Expr {
+            kind: r_expr_kind(get(e, "kind")?)?,
+            owner: StmtId(u32_of(e, "owner")?),
+        });
+    }
+    let body = stmt_ids_of(v, "body")?;
+    let next_label = u32_of(v, "next_label")?;
+    check_ids(&stmts, &exprs, &body, symbols.len())?;
+    Ok(Program::from_raw_parts(
+        stmts, exprs, body, symbols, next_label,
+    ))
+}
+
+fn r_header(v: &Value) -> Result<LoopHeader, String> {
+    Ok(LoopHeader {
+        var: Sym(u32_of(v, "var")?),
+        lo: ExprId(u32_of(v, "lo")?),
+        hi: ExprId(u32_of(v, "hi")?),
+        step: match v.get("step") {
+            Some(s) => Some(ExprId(s.as_int().ok_or("step is not an integer")? as u32)),
+            None => None,
+        },
+    })
+}
+
+fn r_action(v: &Value) -> Result<StampedAction, String> {
+    let stamp = Stamp(u64_of(v, "stamp")?);
+    let (tag, p) = tagged(get(v, "act")?)?;
+    let kind = match tag {
+        "add" => ActionKind::Add {
+            stmt: StmtId(u32_of(p, "stmt")?),
+            loc: r_loc(get(p, "loc")?)?,
+        },
+        "del" => ActionKind::Delete {
+            stmt: StmtId(u32_of(p, "stmt")?),
+            orig: r_loc(get(p, "orig")?)?,
+        },
+        "mv" => ActionKind::Move {
+            stmt: StmtId(u32_of(p, "stmt")?),
+            from: r_loc(get(p, "from")?)?,
+            to: r_loc(get(p, "to")?)?,
+        },
+        "cp" => ActionKind::Copy {
+            src: StmtId(u32_of(p, "src")?),
+            copy: StmtId(u32_of(p, "copy")?),
+            loc: r_loc(get(p, "loc")?)?,
+        },
+        "mde" => ActionKind::ModifyExpr {
+            expr: ExprId(u32_of(p, "expr")?),
+            old: r_expr_kind(get(p, "old")?)?,
+            new: r_expr_kind(get(p, "new")?)?,
+        },
+        "mdh" => ActionKind::ModifyHeader {
+            stmt: StmtId(u32_of(p, "stmt")?),
+            old: r_header(get(p, "old")?)?,
+            new: r_header(get(p, "new")?)?,
+        },
+        other => return Err(format!("unknown action `{other}`")),
+    };
+    Ok(StampedAction { stamp, kind })
+}
+
+fn r_reaching(v: &Value, key: &str) -> Result<Vec<(Sym, Vec<StmtId>)>, String> {
+    arr_of(v, key)?
+        .iter()
+        .map(|e| Ok((Sym(u32_of(e, "sym")?), stmt_ids_of(e, "defs")?)))
+        .collect()
+}
+
+fn r_params(v: &Value) -> Result<XformParams, String> {
+    let (tag, p) = tagged(v)?;
+    Ok(match tag {
+        "dce" => XformParams::Dce {
+            stmt: StmtId(u32_of(p, "stmt")?),
+            target: Sym(u32_of(p, "target")?),
+        },
+        "cse" => XformParams::Cse {
+            def_stmt: StmtId(u32_of(p, "def")?),
+            use_stmt: StmtId(u32_of(p, "use")?),
+            expr: ExprId(u32_of(p, "expr")?),
+            result_var: Sym(u32_of(p, "result")?),
+            operand_syms: syms_of(p, "ops")?,
+            old_kind: r_expr_kind(get(p, "old")?)?,
+            reaching_at_use: r_reaching(p, "reach")?,
+        },
+        "ctp" => XformParams::Ctp {
+            def_stmt: StmtId(u32_of(p, "def")?),
+            use_stmt: StmtId(u32_of(p, "use")?),
+            expr: ExprId(u32_of(p, "expr")?),
+            var: Sym(u32_of(p, "var")?),
+            value: i64_of(p, "value")?,
+            reaching_at_use: r_reaching(p, "reach")?,
+        },
+        "cpp" => XformParams::Cpp {
+            def_stmt: StmtId(u32_of(p, "def")?),
+            use_stmt: StmtId(u32_of(p, "use")?),
+            expr: ExprId(u32_of(p, "expr")?),
+            from: Sym(u32_of(p, "from")?),
+            to: Sym(u32_of(p, "to")?),
+            reaching_at_use: r_reaching(p, "reach")?,
+        },
+        "cfo" => XformParams::Cfo {
+            stmt: StmtId(u32_of(p, "stmt")?),
+            expr: ExprId(u32_of(p, "expr")?),
+            old_kind: r_expr_kind(get(p, "old")?)?,
+            value: i64_of(p, "value")?,
+        },
+        "icm" => XformParams::Icm {
+            stmt: StmtId(u32_of(p, "stmt")?),
+            loop_stmt: StmtId(u32_of(p, "loop")?),
+            target: Sym(u32_of(p, "target")?),
+            operand_syms: syms_of(p, "ops")?,
+            array_reads: syms_of(p, "arrs")?,
+        },
+        "inx" => XformParams::Inx {
+            outer: StmtId(u32_of(p, "outer")?),
+            inner: StmtId(u32_of(p, "inner")?),
+        },
+        "fus" => XformParams::Fus {
+            l1: StmtId(u32_of(p, "l1")?),
+            l2: StmtId(u32_of(p, "l2")?),
+            moved: stmt_ids_of(p, "moved")?,
+            body1: stmt_ids_of(p, "body1")?,
+        },
+        "lur" => XformParams::Lur {
+            loop_stmt: StmtId(u32_of(p, "loop")?),
+            factor: i64_of(p, "factor")?,
+            orig_step: i64_of(p, "step")?,
+            orig_body: stmt_ids_of(p, "body")?,
+            copies: stmt_ids_of(p, "copies")?,
+        },
+        "smi" => XformParams::Smi {
+            outer: StmtId(u32_of(p, "outer")?),
+            inner: StmtId(u32_of(p, "inner")?),
+            strip: i64_of(p, "strip")?,
+            strip_var: Sym(u32_of(p, "var")?),
+        },
+        other => return Err(format!("unknown params tag `{other}`")),
+    })
+}
+
+fn r_pattern(v: &Value) -> Result<Pattern, String> {
+    let snapshots = arr_of(v, "snaps")?
+        .iter()
+        .map(|s| Ok((StmtId(u32_of(s, "stmt")?), str_of(s, "text")?.to_string())))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Pattern {
+        shape: str_of(v, "shape")?.to_string(),
+        snapshots,
+    })
+}
+
+fn r_record(v: &Value) -> Result<AppliedXform, String> {
+    let kind_s = str_of(v, "kind")?;
+    let kind = XformKind::from_abbrev(kind_s).ok_or_else(|| format!("unknown kind `{kind_s}`"))?;
+    let state = match str_of(v, "state")? {
+        "active" => XformState::Active,
+        "undone" => XformState::Undone,
+        other => return Err(format!("unknown state `{other}`")),
+    };
+    let stamps = arr_of(v, "stamps")?
+        .iter()
+        .map(|s| {
+            s.as_int()
+                .map(|i| Stamp(i as u64))
+                .ok_or_else(|| "stamp is not an integer".to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    if stamps.is_empty() {
+        return Err("record without stamps".to_string());
+    }
+    Ok(AppliedXform {
+        id: XformId(u32_of(v, "id")?),
+        kind,
+        params: r_params(get(v, "params")?)?,
+        pre: r_pattern(get(v, "pre")?)?,
+        post: r_pattern(get(v, "post")?)?,
+        stamps,
+        state,
+    })
+}
+
+/// Rebuild a session from a parsed snapshot object. The representation is
+/// rebuilt from the restored program; the restored arenas are verified
+/// against the program's structural invariants so a corrupted snapshot
+/// surfaces here as a typed error instead of as undefined behavior later.
+pub fn restore(v: &Value) -> Result<Session, String> {
+    let fmt = u64_of(v, "fmt")?;
+    if fmt != FORMAT {
+        return Err(format!("unsupported snapshot format {fmt} (want {FORMAT})"));
+    }
+    let mode = match str_of(v, "mode")? {
+        "batch" => RepMode::Batch,
+        "incremental" => RepMode::Incremental,
+        "checked" => RepMode::Checked,
+        other => return Err(format!("unknown rep mode `{other}`")),
+    };
+    let prog = r_program(get(v, "prog")?)?;
+    let invariants = prog.check_invariants();
+    if !invariants.is_empty() {
+        return Err(format!(
+            "restored program violates invariants: {}",
+            invariants.join("; ")
+        ));
+    }
+    let orig = r_program(get(v, "orig")?)?;
+    let log_v = get(v, "log")?;
+    let actions = arr_of(log_v, "acts")?
+        .iter()
+        .map(r_action)
+        .collect::<Result<Vec<_>, String>>()?;
+    let log = ActionLog::from_parts(actions, Stamp(u64_of(log_v, "next")?));
+    let records = arr_of(v, "hist")?
+        .iter()
+        .map(r_record)
+        .collect::<Result<Vec<_>, String>>()?;
+    for (i, r) in records.iter().enumerate() {
+        if r.id.0 as usize != i + 1 {
+            return Err(format!("history record {} out of order (id {})", i, r.id.0));
+        }
+    }
+    let history = History::from_records(records);
+    Ok(Session::from_parts(prog, orig, log, history, mode))
+}
+
+/// [`restore`] from raw JSON text.
+pub fn restore_json(text: &str) -> Result<Session, String> {
+    restore(&json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Strategy;
+
+    const SRC: &str = "\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+x = 3 * 4
+write x
+";
+
+    /// A session with live history, tombstones, and an undone record.
+    fn worked_session() -> Session {
+        let mut s = Session::from_source(SRC).unwrap();
+        let cse = s.apply_kind(XformKind::Cse).expect("cse");
+        s.apply_kind(XformKind::Ctp).expect("ctp");
+        s.apply_kind(XformKind::Inx).expect("inx");
+        s.apply_kind(XformKind::Icm).expect("icm");
+        s.apply_kind(XformKind::Cfo).expect("cfo");
+        s.undo(cse, Strategy::Regional).expect("undo cse");
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let s = worked_session();
+        let snap = snapshot_json(&s);
+        let restored = restore_json(&snap).expect("restore");
+        assert_eq!(restored.source(), s.source());
+        assert_eq!(snapshot_json(&restored), snap, "roundtrip must be exact");
+        assert_eq!(fingerprint(&restored), fingerprint(&s));
+        assert!(restored.consistency_violations().is_empty());
+        assert_eq!(restored.history.summary(), s.history.summary());
+        assert_eq!(restored.log.next_stamp(), s.log.next_stamp());
+        // Tombstones survive: arena lengths match exactly.
+        assert_eq!(restored.prog.stmt_arena_len(), s.prog.stmt_arena_len());
+        assert_eq!(restored.prog.expr_arena_len(), s.prog.expr_arena_len());
+    }
+
+    #[test]
+    fn restored_session_keeps_undoing() {
+        let s = worked_session();
+        let mut restored = restore_json(&snapshot_json(&s)).expect("restore");
+        let mut reference = s.clone();
+        let ids: Vec<XformId> = reference.history.active().map(|r| r.id).collect();
+        for id in ids {
+            let a = reference.undo(id, Strategy::Regional).map(|r| r.undone);
+            let b = restored.undo(id, Strategy::Regional).map(|r| r.undone);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(_), Err(_)) => {}
+                (x, y) => panic!("reference {x:?} but restored {y:?}"),
+            }
+        }
+        assert_eq!(restored.source(), reference.source());
+        assert_eq!(fingerprint(&restored), fingerprint(&reference));
+        restored.assert_consistent();
+    }
+
+    #[test]
+    fn fingerprint_separates_states() {
+        let a = worked_session();
+        let mut b = worked_session();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let last = b.history.last_active().expect("active record");
+        b.undo(last, Strategy::Regional).expect("undo");
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn restore_rejects_corruption() {
+        let s = worked_session();
+        let snap = snapshot_json(&s);
+        assert!(restore_json("{}").is_err());
+        assert!(restore_json(&snap.replace("\"fmt\":1", "\"fmt\":99")).is_err());
+        // Dangling body reference: point the root body at a bogus statement.
+        let broken = snap.replace("\"body\":[", "\"body\":[4090,");
+        assert!(restore_json(&broken).is_err());
+        // Truncations never panic.
+        for cut in (0..snap.len()).step_by(97) {
+            let _ = restore_json(&snap[..cut]);
+        }
+    }
+}

@@ -154,6 +154,36 @@ impl Program {
         (0..self.stmts.len() as u32).map(StmtId)
     }
 
+    /// The next label [`Program::alloc_stmt`] would assign. Together with
+    /// [`Program::from_raw_parts`] this lets a serialized snapshot of the
+    /// arenas round-trip exactly (labels keep their original numbering).
+    pub fn next_label(&self) -> u32 {
+        self.next_label
+    }
+
+    /// Reconstruct a program from raw arena contents — the inverse of
+    /// reading the arenas out node by node (`stmt`/`expr`/`body`/`symbols`/
+    /// [`Program::next_label`]). This exists for checkpoint/snapshot
+    /// restore, where tombstone statements and orphan expressions must be
+    /// reproduced exactly (they are what undo replays against); it performs
+    /// no consistency checking — callers restore from trusted snapshots and
+    /// verify with [`Program::check_invariants`].
+    pub fn from_raw_parts(
+        stmts: Vec<Stmt>,
+        exprs: Vec<Expr>,
+        body: Vec<StmtId>,
+        symbols: SymbolTable,
+        next_label: u32,
+    ) -> Program {
+        Program {
+            stmts,
+            exprs,
+            body,
+            symbols,
+            next_label,
+        }
+    }
+
     /// Allocate a detached statement with a fresh label.
     pub fn alloc_stmt(&mut self, kind: StmtKind) -> StmtId {
         let id = StmtId(self.stmts.len() as u32);

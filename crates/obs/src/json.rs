@@ -287,13 +287,21 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Multi-byte UTF-8 sequences pass through unharmed: we
-                    // advance per char, not per byte.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Copy the whole contiguous run up to the next quote or
+                    // backslash in one go, validating it exactly once. Both
+                    // delimiters are ASCII, so they can never appear inside a
+                    // multi-byte UTF-8 sequence (continuation bytes are
+                    // >= 0x80) and splitting on them is safe.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| "invalid utf-8")?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }

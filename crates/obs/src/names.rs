@@ -144,6 +144,44 @@ pub const METRICS: &[MetricDef] = &[
         "rep.incr.worklist_iters",
         "worklist iterations of incremental solves",
     ),
+    c("serve.accepted", "connections accepted by the serve daemon"),
+    h(
+        "serve.checkpoint_ns",
+        "wall time of one journal compaction checkpoint",
+    ),
+    c(
+        "serve.checkpoints",
+        "journal compaction checkpoints written by the serve daemon",
+    ),
+    c("serve.closed", "sessions closed by the serve daemon"),
+    c(
+        "serve.drained",
+        "graceful drains completed by the serve daemon",
+    ),
+    c("serve.errors", "requests answered with a typed error reply"),
+    c("serve.opened", "sessions opened by the serve daemon"),
+    c(
+        "serve.panics",
+        "request panics caught at the session-slot boundary",
+    ),
+    h(
+        "serve.recover_ns",
+        "wall time of one journal recovery in the serve daemon",
+    ),
+    c(
+        "serve.recoveries",
+        "sessions rebuilt from their journal by the serve daemon",
+    ),
+    c("serve.rejected", "connections refused by admission control"),
+    h("serve.request_ns", "wall time of one serve request"),
+    c(
+        "serve.requests",
+        "request lines processed by the serve daemon",
+    ),
+    c(
+        "serve.timeouts",
+        "requests answered with a typed timeout reply",
+    ),
     c("session.applies", "successful Session::apply requests"),
     MetricDef {
         name: "session.apply_ns",

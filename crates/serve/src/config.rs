@@ -1,0 +1,83 @@
+//! Daemon configuration.
+
+use std::path::PathBuf;
+
+/// Everything a [`crate::daemon::Daemon`] needs to run. Defaults are
+/// production-shaped (long timeouts, generous connection budget);
+/// tests shrink them to force the robustness paths quickly.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// TCP listen address (`host:port`; port 0 picks a free port).
+    pub tcp_addr: String,
+    /// Optional Unix-domain socket path to also listen on.
+    pub uds_path: Option<PathBuf>,
+    /// Optional metrics scrape address; when set, the process-wide
+    /// registry is exposed on `/metrics` (Prometheus) and `/metrics.json`.
+    pub scrape_addr: Option<String>,
+    /// Directory holding the per-session `<name>.journal` write-ahead
+    /// journals and `<name>.src` source sidecars.
+    pub journal_dir: PathBuf,
+    /// Number of session-map shards (lookup contention, not session
+    /// serialization — each session has its own lock).
+    pub shards: usize,
+    /// Admission-control cap on concurrently served connections; excess
+    /// accepts receive an explicit `overloaded` reply and are closed.
+    pub max_conns: usize,
+    /// Maximum accepted request-line length; longer lines get a typed
+    /// `oversized` reply and the connection is closed.
+    pub max_line_bytes: usize,
+    /// Socket read timeout. A connection stalled mid-line past this
+    /// (slow-loris) gets a `timeout` reply and is closed; an idle
+    /// connection at a line boundary just keeps waiting.
+    pub read_timeout_ms: u64,
+    /// Per-request deadline. Mostly bounds the wait for the session lock:
+    /// a request that cannot acquire its session within the deadline gets
+    /// a typed `timeout` reply without blocking other sessions.
+    pub request_deadline_ms: u64,
+    /// Compact a session's journal after this many committed transactions
+    /// since the last checkpoint (0 disables automatic compaction).
+    pub checkpoint_every: u64,
+    /// Crash-injection kill point: abort the whole process after this many
+    /// committed operations across all sessions (the soak sets it via
+    /// `PIVOT_SERVE_KILL_AFTER_OPS`).
+    pub kill_after_ops: Option<u64>,
+    /// Enable the `panic`/`sleep` test-hook requests (and `open`'s
+    /// `fault_nth` field) used by the robustness tests and the soak.
+    pub test_hooks: bool,
+}
+
+impl ServeConfig {
+    /// Defaults with the given journal directory; binds TCP on an
+    /// ephemeral localhost port.
+    pub fn new(journal_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            tcp_addr: "127.0.0.1:0".to_string(),
+            uds_path: None,
+            scrape_addr: None,
+            journal_dir: journal_dir.into(),
+            shards: 8,
+            max_conns: 256,
+            max_line_bytes: 1 << 20,
+            read_timeout_ms: 5_000,
+            request_deadline_ms: 10_000,
+            checkpoint_every: 64,
+            kill_after_ops: None,
+            test_hooks: false,
+        }
+    }
+
+    /// Overlay the environment-driven knobs (`PIVOT_SERVE_KILL_AFTER_OPS`,
+    /// `PIVOT_SERVE_TEST_HOOKS`) — how the soak driver arms a child daemon
+    /// it spawns without plumbing flags through.
+    pub fn from_env(mut self) -> ServeConfig {
+        if let Ok(v) = std::env::var("PIVOT_SERVE_KILL_AFTER_OPS") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                self.kill_after_ops = Some(n);
+            }
+        }
+        if std::env::var("PIVOT_SERVE_TEST_HOOKS").is_ok_and(|v| v == "1") {
+            self.test_hooks = true;
+        }
+        self
+    }
+}

@@ -1,0 +1,899 @@
+//! The serving loop: listeners, admission control, per-connection
+//! handlers, request dispatch, graceful drain, and crash kill-points.
+//!
+//! Robustness invariants this module maintains:
+//!
+//! * **Admission control** — at most `max_conns` connections are served;
+//!   excess accepts receive one explicit `overloaded` reply and are
+//!   closed, so overload degrades into typed rejections, never into
+//!   unbounded queueing.
+//! * **Per-session serialization, no cross-session blocking** — a request
+//!   locks only its session's slot. Waiting is bounded by the request
+//!   deadline; expiry produces a typed `timeout` reply.
+//! * **Panic isolation** — engine calls run under `catch_unwind` with the
+//!   slot guard held *outside* the unwind boundary: a panicking request
+//!   poisons only its own slot (typed `poisoned` replies thereafter,
+//!   `recover` repairs it from the journal) and never a shard or the
+//!   process.
+//! * **Graceful drain** — shutdown stops accepting, waits for in-flight
+//!   connections, then checkpoints (fsynced compaction) every open
+//!   session.
+//! * **Kill-points** — with `kill_after_ops` armed, the process calls
+//!   [`std::process::abort`] at the N-th committed operation, right after
+//!   the journal commit record is durable: the crash-recovery soak uses
+//!   this to land crashes exactly on transaction boundaries (its child
+//!   `kill()` lands them on arbitrary byte boundaries).
+
+use crate::config::ServeConfig;
+use crate::proto::{self, ErrKind, ProtoError, Request};
+use crate::state::{new_slot, Shards, Slot, SlotState};
+use pivot_audit::{audit_session_with_journal, AuditConfig};
+use pivot_obs::metrics::{self, Counter, Histogram};
+use pivot_undo::history::XformId;
+use pivot_undo::snapshot;
+use pivot_undo::txn::FaultPlan;
+use pivot_undo::{Journal, Session};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, MutexGuard, TryLockError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Shared daemon state.
+struct Inner {
+    cfg: ServeConfig,
+    shards: Shards,
+    /// Connections currently being served (admission control).
+    active: AtomicUsize,
+    /// Set to begin a drain: accept loops exit, handlers close at their
+    /// next read wakeup, session requests get `shutting_down`.
+    stop: AtomicBool,
+    /// Committed operations across all sessions (kill-point counter).
+    ops: AtomicU64,
+    /// Where handlers wake the accept loop from (set once at bind).
+    tcp_addr: SocketAddr,
+    profiler: Arc<pivot_obs::PhaseProfiler>,
+    // Hot metric handles, looked up once.
+    m_requests: Arc<Counter>,
+    m_errors: Arc<Counter>,
+    m_timeouts: Arc<Counter>,
+    m_request_ns: Arc<Histogram>,
+}
+
+impl Inner {
+    fn journal_path(&self, name: &str) -> PathBuf {
+        self.cfg.journal_dir.join(format!("{name}.journal"))
+    }
+
+    fn src_path(&self, name: &str) -> PathBuf {
+        self.cfg.journal_dir.join(format!("{name}.src"))
+    }
+}
+
+/// Handle to an in-process daemon (tests and the blocking [`run`] wrapper).
+pub struct DaemonHandle {
+    inner: Arc<Inner>,
+    threads: Vec<thread::JoinHandle<()>>,
+    scrape: Option<pivot_obs::export::ServerHandle>,
+}
+
+impl DaemonHandle {
+    /// The bound TCP address.
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.inner.tcp_addr
+    }
+
+    /// The bound scrape address, when a scrape endpoint was requested.
+    pub fn scrape_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(|s| s.addr())
+    }
+
+    /// Number of currently open sessions.
+    pub fn sessions(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Graceful drain: stop accepting, wait for in-flight connections
+    /// (bounded by the read timeout plus the request deadline), then
+    /// checkpoint and close every open session.
+    pub fn shutdown(mut self) {
+        begin_stop(&self.inner);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let grace = Duration::from_millis(
+            self.inner.cfg.read_timeout_ms + self.inner.cfg.request_deadline_ms + 5_000,
+        );
+        let t0 = Instant::now();
+        while self.inner.active.load(Ordering::SeqCst) > 0 && t0.elapsed() < grace {
+            thread::sleep(Duration::from_millis(2));
+        }
+        drain_checkpoint(&self.inner);
+        metrics::global().counter("serve.drained").inc();
+        self.finish();
+    }
+
+    /// Simulated crash for in-process tests: stop serving *without*
+    /// draining or checkpointing — journals are left exactly as the last
+    /// fsync put them, as after a `kill -9`.
+    pub fn hard_stop(mut self) {
+        begin_stop(&self.inner);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.finish();
+    }
+
+    fn finish(self) {
+        if let Some(s) = self.scrape {
+            s.shutdown();
+        }
+        #[cfg(unix)]
+        if let Some(p) = &self.inner.cfg.uds_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+fn begin_stop(inner: &Inner) {
+    inner.stop.store(true, Ordering::SeqCst);
+    // Wake the blocking accept loops.
+    let _ = TcpStream::connect(inner.tcp_addr);
+    #[cfg(unix)]
+    if let Some(p) = &inner.cfg.uds_path {
+        let _ = UnixStream::connect(p);
+    }
+}
+
+/// Checkpoint (fsynced compaction) and drop every open session.
+fn drain_checkpoint(inner: &Inner) {
+    let ckpt = metrics::global().counter("serve.checkpoints");
+    let ckpt_ns = metrics::global().histogram("serve.checkpoint_ns");
+    for name in inner.shards.names() {
+        let Some(slot) = inner.shards.remove(&name) else {
+            continue;
+        };
+        let deadline = Instant::now() + Duration::from_millis(inner.cfg.request_deadline_ms);
+        let Some(mut st) = lock_deadline(&slot, deadline) else {
+            continue; // a wedged slot must not block the whole drain
+        };
+        if st.poisoned.is_none() {
+            if let Some(session) = st.session.as_mut() {
+                let t0 = Instant::now();
+                if session.compact_journal().is_ok() {
+                    ckpt.inc();
+                    ckpt_ns.record(t0.elapsed());
+                }
+            }
+        }
+        // Dropping the session closes (and thereby flushes) its journal.
+        st.session.take();
+    }
+}
+
+/// Start a daemon on background threads.
+pub fn spawn(cfg: ServeConfig) -> io::Result<DaemonHandle> {
+    std::fs::create_dir_all(&cfg.journal_dir)?;
+    let listener = TcpListener::bind(&cfg.tcp_addr)?;
+    let tcp_addr = listener.local_addr()?;
+    let scrape = match &cfg.scrape_addr {
+        Some(addr) => {
+            Some(pivot_obs::export::ScrapeServer::bind(addr, metrics::global())?.spawn()?)
+        }
+        None => None,
+    };
+    #[cfg(unix)]
+    let uds_listener = match &cfg.uds_path {
+        Some(p) => {
+            let _ = std::fs::remove_file(p);
+            Some(UnixListener::bind(p)?)
+        }
+        None => None,
+    };
+    let reg = metrics::global();
+    let shards = Shards::new(cfg.shards);
+    let inner = Arc::new(Inner {
+        shards,
+        active: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        ops: AtomicU64::new(0),
+        tcp_addr,
+        profiler: Arc::new(pivot_obs::PhaseProfiler::new(10_000_000)),
+        m_requests: reg.counter("serve.requests"),
+        m_errors: reg.counter("serve.errors"),
+        m_timeouts: reg.counter("serve.timeouts"),
+        m_request_ns: reg.histogram("serve.request_ns"),
+        cfg,
+    });
+    let mut threads = Vec::new();
+    {
+        let inner = Arc::clone(&inner);
+        threads.push(
+            thread::Builder::new()
+                .name("serve-accept-tcp".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if inner.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(s) = stream {
+                            admit(&inner, Conn::Tcp(s));
+                        }
+                    }
+                })?,
+        );
+    }
+    #[cfg(unix)]
+    if let Some(ul) = uds_listener {
+        let inner = Arc::clone(&inner);
+        threads.push(
+            thread::Builder::new()
+                .name("serve-accept-uds".into())
+                .spawn(move || {
+                    for stream in ul.incoming() {
+                        if inner.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(s) = stream {
+                            admit(&inner, Conn::Unix(s));
+                        }
+                    }
+                })?,
+        );
+    }
+    Ok(DaemonHandle {
+        inner,
+        threads,
+        scrape,
+    })
+}
+
+/// Run a daemon on the calling thread until `shutdown` is requested (over
+/// the protocol, or via SIGTERM/SIGINT on Unix), then drain gracefully.
+/// Prints the bound addresses to stdout so a parent process can parse
+/// them.
+pub fn run(cfg: ServeConfig) -> io::Result<()> {
+    let handle = spawn(cfg)?;
+    println!("listening tcp {}", handle.tcp_addr());
+    if let Some(a) = handle.scrape_addr() {
+        println!("scrape {a}");
+    }
+    #[cfg(unix)]
+    if let Some(p) = &handle.inner.cfg.uds_path {
+        println!("listening uds {}", p.display());
+    }
+    let _ = io::stdout().flush();
+    let signalled = install_signal_flag();
+    while !handle.inner.stop.load(Ordering::SeqCst) && !signalled.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(25));
+    }
+    handle.shutdown();
+    Ok(())
+}
+
+#[cfg(unix)]
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Install SIGTERM/SIGINT handlers that flip a flag (std-only: the C
+/// `signal` symbol from the libc std already links against).
+#[cfg(unix)]
+fn install_signal_flag() -> &'static AtomicBool {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNAL_FLAG.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        signal(15, handler); // SIGTERM
+        signal(2, handler); // SIGINT
+    }
+    &SIGNAL_FLAG
+}
+
+#[cfg(not(unix))]
+fn install_signal_flag() -> &'static AtomicBool {
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    &FLAG
+}
+
+// ---------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------
+
+/// A protocol connection over either transport.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Duration) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.set_read_timeout(Some(d));
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.set_read_timeout(Some(d));
+            }
+        }
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        let w: &mut dyn Write = match self {
+            Conn::Tcp(s) => s,
+            #[cfg(unix)]
+            Conn::Unix(s) => s,
+        };
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+}
+
+/// Outcome of trying to read one request line.
+enum Line {
+    /// A complete line.
+    Msg(String),
+    /// Peer closed (EOF or half-close with no pending line).
+    Eof,
+    /// Read timeout at a line boundary: the client is idle, keep waiting.
+    Idle,
+    /// Read timeout mid-line: slow-loris, reply `timeout` and close.
+    Stalled,
+    /// Line exceeded the size cap.
+    Oversized,
+    /// Transport error.
+    Gone,
+}
+
+#[derive(Default)]
+struct LineReader {
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn next(&mut self, conn: &mut Conn, max: usize) -> Line {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Line::Msg(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > max {
+                self.buf.clear();
+                return Line::Oversized;
+            }
+            let mut chunk = [0u8; 4096];
+            match conn.read_some(&mut chunk) {
+                Ok(0) => return Line::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return if self.buf.is_empty() {
+                        Line::Idle
+                    } else {
+                        Line::Stalled
+                    };
+                }
+                Err(_) => return Line::Gone,
+            }
+        }
+    }
+}
+
+/// Admission control at accept time.
+fn admit(inner: &Arc<Inner>, mut conn: Conn) {
+    metrics::global().counter("serve.accepted").inc();
+    let prev = inner.active.fetch_add(1, Ordering::SeqCst);
+    if prev >= inner.cfg.max_conns {
+        inner.active.fetch_sub(1, Ordering::SeqCst);
+        metrics::global().counter("serve.rejected").inc();
+        let _ = conn.write_line(&proto::err_reply(
+            ErrKind::Overloaded,
+            "connection limit reached, retry later",
+        ));
+        return;
+    }
+    let worker = Arc::clone(inner);
+    let spawned = thread::Builder::new()
+        .name("serve-conn".into())
+        .spawn(move || {
+            handle_conn(&worker, conn);
+            worker.active.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        inner.active.fetch_sub(1, Ordering::SeqCst);
+        metrics::global().counter("serve.rejected").inc();
+    }
+}
+
+/// What dispatch tells the connection loop to do next.
+enum Flow {
+    Continue,
+    Close,
+    Shutdown,
+}
+
+fn handle_conn(inner: &Arc<Inner>, mut conn: Conn) {
+    conn.set_read_timeout(Duration::from_millis(inner.cfg.read_timeout_ms));
+    let mut reader = LineReader::default();
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.next(&mut conn, inner.cfg.max_line_bytes) {
+            Line::Eof | Line::Gone => break,
+            Line::Idle => continue,
+            Line::Stalled => {
+                inner.m_timeouts.inc();
+                let _ = conn.write_line(&proto::err_reply(
+                    ErrKind::Timeout,
+                    "read deadline expired mid-request",
+                ));
+                break;
+            }
+            Line::Oversized => {
+                inner.m_errors.inc();
+                let _ = conn.write_line(&proto::err_reply(
+                    ErrKind::Oversized,
+                    "request line exceeds the size cap",
+                ));
+                break;
+            }
+            Line::Msg(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let t0 = Instant::now();
+                inner.m_requests.inc();
+                let (reply, flow) = dispatch(inner, &line);
+                inner.m_request_ns.record(t0.elapsed());
+                if conn.write_line(&reply).is_err() {
+                    break;
+                }
+                match flow {
+                    Flow::Continue => {}
+                    Flow::Close => break,
+                    Flow::Shutdown => {
+                        begin_stop(inner);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+fn dispatch(inner: &Arc<Inner>, line: &str) -> (String, Flow) {
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err((kind, msg)) => {
+            inner.m_errors.inc();
+            return (proto::err_reply(kind, &msg), Flow::Continue);
+        }
+    };
+    match req {
+        Request::Ping => (
+            proto::ok_reply(|w| {
+                w.str("pong", "pivot-serve");
+            }),
+            Flow::Continue,
+        ),
+        Request::Stats => (
+            proto::ok_reply(|w| {
+                w.uint("sessions", inner.shards.len() as u64)
+                    .uint("active_conns", inner.active.load(Ordering::SeqCst) as u64)
+                    .uint("committed_ops", inner.ops.load(Ordering::SeqCst))
+                    .bool("draining", inner.stop.load(Ordering::SeqCst));
+            }),
+            Flow::Continue,
+        ),
+        Request::Shutdown => (
+            proto::ok_reply(|w| {
+                w.bool("draining", true);
+            }),
+            Flow::Shutdown,
+        ),
+        other => {
+            if inner.stop.load(Ordering::SeqCst) {
+                return (
+                    proto::err_reply(ErrKind::ShuttingDown, "daemon is draining"),
+                    Flow::Close,
+                );
+            }
+            match session_request(inner, other) {
+                Ok(reply) => (reply, Flow::Continue),
+                Err((kind, msg)) => {
+                    inner.m_errors.inc();
+                    if kind == ErrKind::Timeout {
+                        inner.m_timeouts.inc();
+                    }
+                    (proto::err_reply(kind, &msg), Flow::Continue)
+                }
+            }
+        }
+    }
+}
+
+fn lock_deadline(slot: &Slot, deadline: Instant) -> Option<MutexGuard<'_, SlotState>> {
+    loop {
+        match slot.try_lock() {
+            Ok(g) => return Some(g),
+            // A poisoned std mutex only means the poison *recording* was
+            // itself interrupted; the slot-level `poisoned` field is the
+            // real gate.
+            Err(TryLockError::Poisoned(p)) => return Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+fn engine_err(e: impl std::fmt::Display) -> ProtoError {
+    (ErrKind::Engine, e.to_string())
+}
+
+fn io_err(what: &str, e: io::Error) -> ProtoError {
+    (ErrKind::Io, format!("{what}: {e}"))
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The kill-point: with `kill_after_ops` armed, abort the whole process —
+/// no drop handlers, no flushes beyond what the WAL already fsynced —
+/// once the N-th operation has committed.
+fn committed_op(inner: &Inner) {
+    let n = inner.ops.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(limit) = inner.cfg.kill_after_ops {
+        if n >= limit {
+            eprintln!("pivot-serve: kill-point reached after {n} committed ops, aborting");
+            std::process::abort();
+        }
+    }
+}
+
+/// Post-commit bookkeeping while still holding the slot: kill-point, then
+/// automatic journal compaction every `checkpoint_every` commits.
+fn after_commit(inner: &Inner, st: &mut SlotState) {
+    committed_op(inner);
+    st.ops_since_checkpoint += 1;
+    if inner.cfg.checkpoint_every > 0 && st.ops_since_checkpoint >= inner.cfg.checkpoint_every {
+        if let Some(session) = st.session.as_mut() {
+            let t0 = Instant::now();
+            if session.compact_journal().is_ok() {
+                st.ops_since_checkpoint = 0;
+                metrics::global().counter("serve.checkpoints").inc();
+                metrics::global()
+                    .histogram("serve.checkpoint_ns")
+                    .record(t0.elapsed());
+            }
+        }
+    }
+}
+
+/// Run an engine closure under panic isolation. The slot guard lives in
+/// the caller, *outside* the unwind boundary, so a panic can never poison
+/// the std mutex — it is caught here and recorded as slot poison instead.
+fn catching<T>(
+    _inner: &Inner,
+    st: &mut SlotState,
+    f: impl FnOnce(&mut Session) -> Result<T, ProtoError>,
+) -> Result<T, ProtoError> {
+    let Some(session) = st.session.as_mut() else {
+        return Err((ErrKind::UnknownSession, "session is closed".to_string()));
+    };
+    match catch_unwind(AssertUnwindSafe(|| f(session))) {
+        Ok(r) => r,
+        Err(p) => {
+            let msg = panic_text(p);
+            st.poisoned = Some(msg.clone());
+            metrics::global().counter("serve.panics").inc();
+            Err((
+                ErrKind::Poisoned,
+                format!("request panicked ({msg}); session poisoned, use `recover`"),
+            ))
+        }
+    }
+}
+
+fn session_request(inner: &Arc<Inner>, req: Request) -> Result<String, ProtoError> {
+    let Some(name) = req.session().map(str::to_string) else {
+        return Err((ErrKind::Malformed, "request without session".to_string()));
+    };
+    if !proto::valid_name(&name) {
+        return Err((
+            ErrKind::BadName,
+            "session names are [A-Za-z0-9_-], at most 128 bytes".to_string(),
+        ));
+    }
+    let deadline = Instant::now() + Duration::from_millis(inner.cfg.request_deadline_ms);
+    match req {
+        Request::Open {
+            source, fault_nth, ..
+        } => open_session(inner, &name, &source, fault_nth),
+        Request::Recover { .. } => recover_session(inner, &name, deadline),
+        other => {
+            let slot = inner
+                .shards
+                .get(&name)
+                .ok_or((ErrKind::UnknownSession, format!("no session `{name}`")))?;
+            let mut st = lock_deadline(&slot, deadline).ok_or((
+                ErrKind::Timeout,
+                "request deadline expired waiting for the session".to_string(),
+            ))?;
+            if let Some(p) = &st.poisoned {
+                return Err((
+                    ErrKind::Poisoned,
+                    format!("session poisoned by an earlier panic ({p}); use `recover`"),
+                ));
+            }
+            slot_request(inner, &name, &mut st, other)
+        }
+    }
+}
+
+fn open_session(
+    inner: &Arc<Inner>,
+    name: &str,
+    source: &str,
+    fault_nth: Option<u64>,
+) -> Result<String, ProtoError> {
+    let jpath = inner.journal_path(name);
+    if jpath.exists() {
+        return Err((
+            ErrKind::Exists,
+            format!("journal for `{name}` exists on disk; use `recover`"),
+        ));
+    }
+    let mut session = Session::from_source(source).map_err(engine_err)?;
+    if let Some(n) = fault_nth {
+        if inner.cfg.test_hooks {
+            session.arm_faults(FaultPlan::nth_inverse_action(n));
+        }
+    }
+    session.set_profiler(Arc::clone(&inner.profiler));
+    let slot = new_slot(session);
+    // Reserve the name first: the files below are created only by the
+    // winner of a racing pair of opens.
+    if !inner.shards.try_insert(name, Arc::clone(&slot)) {
+        return Err((ErrKind::Exists, format!("session `{name}` is open")));
+    }
+    let attach = (|| -> Result<(), ProtoError> {
+        std::fs::create_dir_all(&inner.cfg.journal_dir).map_err(|e| io_err("journal dir", e))?;
+        // The source sidecar is what recovery replays from: make it
+        // durable before the journal can accumulate records.
+        let spath = inner.src_path(name);
+        std::fs::write(&spath, source).map_err(|e| io_err("source sidecar", e))?;
+        let f = std::fs::File::open(&spath).map_err(|e| io_err("source sidecar", e))?;
+        f.sync_all().map_err(|e| io_err("source sidecar", e))?;
+        let journal = Journal::open(&jpath).map_err(|e| io_err("journal", e))?;
+        let mut st = lock_deadline(&slot, Instant::now() + Duration::from_secs(1)).ok_or((
+            ErrKind::Timeout,
+            "could not attach journal to the fresh session".to_string(),
+        ))?;
+        if let Some(s) = st.session.as_mut() {
+            s.set_journal(journal);
+        }
+        Ok(())
+    })();
+    if let Err(e) = attach {
+        inner.shards.remove(name);
+        return Err(e);
+    }
+    metrics::global().counter("serve.opened").inc();
+    Ok(proto::ok_reply(|w| {
+        w.str("session", name);
+    }))
+}
+
+fn recover_session(
+    inner: &Arc<Inner>,
+    name: &str,
+    deadline: Instant,
+) -> Result<String, ProtoError> {
+    let t0 = Instant::now();
+    let jpath = inner.journal_path(name);
+    let spath = inner.src_path(name);
+    let src = std::fs::read_to_string(&spath).map_err(|e| io_err("source sidecar", e))?;
+    let prog = pivot_lang::parser::parse(&src).map_err(engine_err)?;
+    // Serialize with any in-flight request still holding the old slot.
+    let old = inner.shards.get(name);
+    let _old_guard = match &old {
+        Some(slot) => Some(lock_deadline(slot, deadline).ok_or((
+            ErrKind::Timeout,
+            "request deadline expired waiting for the session".to_string(),
+        ))?),
+        None => None,
+    };
+    let rec = Session::recover(prog, &jpath).map_err(engine_err)?;
+    let mut session = rec.session;
+    session.set_journal(Journal::open(&jpath).map_err(|e| io_err("journal", e))?);
+    session.set_profiler(Arc::clone(&inner.profiler));
+    let fp = snapshot::fingerprint(&session);
+    let history_len = session.history.records.len() as u64;
+    inner.shards.put(name, new_slot(session));
+    metrics::global().counter("serve.recoveries").inc();
+    metrics::global()
+        .histogram("serve.recover_ns")
+        .record(t0.elapsed());
+    Ok(proto::ok_reply(move |w| {
+        w.uint("committed", rec.committed as u64)
+            .uint("aborted", rec.aborted as u64)
+            .uint("discarded", rec.discarded as u64)
+            .bool("from_checkpoint", rec.from_checkpoint)
+            .str("fingerprint", &format!("{fp:016x}"))
+            .uint("history_len", history_len);
+    }))
+}
+
+fn slot_request(
+    inner: &Arc<Inner>,
+    name: &str,
+    st: &mut SlotState,
+    req: Request,
+) -> Result<String, ProtoError> {
+    match req {
+        Request::Apply { kind, .. } => {
+            let id = catching(inner, st, |s| {
+                let opps = s.find(kind);
+                let opp = opps
+                    .first()
+                    .ok_or((ErrKind::Engine, format!("no {kind} opportunity")))?;
+                s.apply(&opp.clone()).map_err(engine_err)
+            })?;
+            after_commit(inner, st);
+            let history_len = st
+                .session
+                .as_ref()
+                .map(|s| s.history.records.len() as u64)
+                .unwrap_or(0);
+            Ok(proto::ok_reply(|w| {
+                w.uint("xform", u64::from(id.0))
+                    .uint("history_len", history_len);
+            }))
+        }
+        Request::Undo {
+            target, strategy, ..
+        } => {
+            let report = catching(inner, st, |s| {
+                s.undo(XformId(target), strategy).map_err(engine_err)
+            })?;
+            after_commit(inner, st);
+            Ok(proto::ok_reply(|w| {
+                w.uints("undone", report.undone.iter().map(|x| u64::from(x.0)))
+                    .uint("candidates_considered", report.candidates_considered);
+            }))
+        }
+        Request::UndoReverseTo { target, .. } => {
+            let report = catching(inner, st, |s| {
+                s.undo_reverse_to(XformId(target)).map_err(engine_err)
+            })?;
+            after_commit(inner, st);
+            Ok(proto::ok_reply(|w| {
+                w.uints("undone", report.undone.iter().map(|x| u64::from(x.0)));
+            }))
+        }
+        Request::Explain { target, .. } => catching(inner, st, |s| {
+            let tree = s.explain(XformId(target)).ok_or((
+                ErrKind::Engine,
+                format!("no explanation for #{target} (post-checkpoint undos only)"),
+            ))?;
+            let text = tree.render();
+            Ok(proto::ok_reply(|w| {
+                w.str("explanation", &text);
+            }))
+        }),
+        Request::Audit { .. } => {
+            let jpath = inner.journal_path(name);
+            let text = std::fs::read_to_string(&jpath).map_err(|e| io_err("journal", e))?;
+            catching(inner, st, |s| {
+                let report = audit_session_with_journal(s, &AuditConfig::default(), Some(&text));
+                Ok(proto::ok_reply(|w| {
+                    w.uint("findings", report.findings.len() as u64)
+                        .str("report", &report.render_human());
+                }))
+            })
+        }
+        Request::Source { .. } => catching(inner, st, |s| {
+            let src = s.source();
+            Ok(proto::ok_reply(|w| {
+                w.str("source", &src);
+            }))
+        }),
+        Request::Fingerprint { .. } => catching(inner, st, |s| {
+            let fp = snapshot::fingerprint(s);
+            let history_len = s.history.records.len() as u64;
+            let active = s.history.active_len() as u64;
+            Ok(proto::ok_reply(move |w| {
+                w.str("fingerprint", &format!("{fp:016x}"))
+                    .uint("history_len", history_len)
+                    .uint("active", active);
+            }))
+        }),
+        Request::Checkpoint { .. } => {
+            let t0 = Instant::now();
+            let compacted = catching(inner, st, |s| s.compact_journal().map_err(engine_err))?;
+            if compacted {
+                st.ops_since_checkpoint = 0;
+                metrics::global().counter("serve.checkpoints").inc();
+                metrics::global()
+                    .histogram("serve.checkpoint_ns")
+                    .record(t0.elapsed());
+            }
+            Ok(proto::ok_reply(|w| {
+                w.bool("compacted", compacted);
+            }))
+        }
+        Request::Close { .. } => {
+            catching(inner, st, |s| {
+                s.compact_journal().map_err(engine_err)?;
+                s.take_journal();
+                Ok(())
+            })?;
+            st.session.take();
+            inner.shards.remove(name);
+            metrics::global().counter("serve.closed").inc();
+            Ok(proto::ok_reply(|w| {
+                w.str("closed", name);
+            }))
+        }
+        Request::Panic { .. } => {
+            if !inner.cfg.test_hooks {
+                return Err((ErrKind::UnknownReq, "test hooks are disabled".to_string()));
+            }
+            catching(inner, st, |_s| -> Result<String, ProtoError> {
+                panic!("injected test panic");
+            })
+        }
+        Request::Sleep { ms, .. } => {
+            if !inner.cfg.test_hooks {
+                return Err((ErrKind::UnknownReq, "test hooks are disabled".to_string()));
+            }
+            thread::sleep(Duration::from_millis(ms.min(60_000)));
+            Ok(proto::ok_reply(|w| {
+                w.uint("slept_ms", ms.min(60_000));
+            }))
+        }
+        // Open/Recover/Stats/Ping/Shutdown are routed before slot_request.
+        _ => Err((ErrKind::UnknownReq, "not a session request".to_string())),
+    }
+}

@@ -1,0 +1,34 @@
+//! `pivot-serve` — a long-running daemon owning many concurrent undo
+//! sessions behind a line-oriented JSON protocol (TCP and, on Unix, a
+//! domain socket).
+//!
+//! Each session is an ordinary [`pivot_undo::Session`] with a write-ahead
+//! journal; the daemon adds the multi-tenant robustness layer the library
+//! does not: sharded session lookup with per-session serialization,
+//! admission control with explicit `overloaded` rejections, read and
+//! request deadlines with typed `timeout` errors, panic isolation at the
+//! slot boundary, graceful drain that checkpoints every open session, and
+//! periodic journal compaction so recovery cost is bounded by the journal
+//! tail rather than session lifetime.
+//!
+//! The protocol lives in [`proto`], the session table in [`state`], the
+//! serving loop in [`daemon`], and the knobs in [`config`].
+//!
+//! ```no_run
+//! let cfg = pivot_serve::ServeConfig::new("/tmp/pivot-journals");
+//! let handle = pivot_serve::spawn(cfg)?;
+//! println!("serving on {}", handle.tcp_addr());
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod daemon;
+pub mod proto;
+pub mod state;
+
+pub use config::ServeConfig;
+pub use daemon::{run, spawn, DaemonHandle};
+pub use proto::{ErrKind, Request};

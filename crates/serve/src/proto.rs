@@ -1,0 +1,372 @@
+//! The line-oriented JSON protocol: request parsing and reply building.
+//!
+//! One request per line, one reply per line. Requests are JSON objects
+//! with a `req` discriminator; replies are `{"ok":true,…}` or
+//! `{"ok":false,"error":"<kind>","msg":"…"}` where `<kind>` is one of the
+//! stable [`ErrKind`] strings — clients branch on the kind, never on the
+//! human-readable `msg`.
+
+use pivot_obs::json::{self, ObjectWriter, Value};
+use pivot_undo::{Strategy, XformKind};
+
+/// Typed error kinds, stable protocol vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrKind {
+    /// The request line is not valid JSON or is missing required fields.
+    Malformed,
+    /// The request line exceeded the configured size cap.
+    Oversized,
+    /// Admission control rejected the connection.
+    Overloaded,
+    /// The read or request deadline expired.
+    Timeout,
+    /// The named session is not open in this daemon.
+    UnknownSession,
+    /// `open` of a name that already exists (in memory or on disk).
+    Exists,
+    /// The session name contains characters outside `[A-Za-z0-9_-]`.
+    BadName,
+    /// The session was poisoned by a panic; `recover` restores it.
+    Poisoned,
+    /// The engine rejected the operation (typed engine/undo error text in
+    /// `msg`).
+    Engine,
+    /// Unknown `req` discriminator.
+    UnknownReq,
+    /// The daemon is draining and no longer serves session requests.
+    ShuttingDown,
+    /// Filesystem or socket failure while serving the request.
+    Io,
+}
+
+impl ErrKind {
+    /// Stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrKind::Malformed => "malformed",
+            ErrKind::Oversized => "oversized",
+            ErrKind::Overloaded => "overloaded",
+            ErrKind::Timeout => "timeout",
+            ErrKind::UnknownSession => "unknown_session",
+            ErrKind::Exists => "exists",
+            ErrKind::BadName => "bad_name",
+            ErrKind::Poisoned => "poisoned",
+            ErrKind::Engine => "engine",
+            ErrKind::UnknownReq => "unknown_req",
+            ErrKind::ShuttingDown => "shutting_down",
+            ErrKind::Io => "io",
+        }
+    }
+}
+
+/// A typed protocol error: kind + human-readable message.
+pub type ProtoError = (ErrKind, String);
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Create a session from source and attach a fresh journal.
+    Open {
+        /// Session name (journal/file key).
+        session: String,
+        /// Program source text.
+        source: String,
+        /// Test hook: arm `FaultPlan::nth_inverse_action(n)` so some undos
+        /// roll back and write `abort` records (requires `test_hooks`).
+        fault_nth: Option<u64>,
+    },
+    /// Apply the first opportunity of a kind.
+    Apply {
+        /// Session name.
+        session: String,
+        /// Transformation kind.
+        kind: XformKind,
+    },
+    /// Independent-order undo of one transformation.
+    Undo {
+        /// Session name.
+        session: String,
+        /// Transformation number.
+        target: u32,
+        /// Candidate-filtering strategy.
+        strategy: Strategy,
+    },
+    /// Reverse-order undo back through a transformation.
+    UndoReverseTo {
+        /// Session name.
+        session: String,
+        /// Transformation number.
+        target: u32,
+    },
+    /// Render the cascade explanation tree for an undone transformation.
+    Explain {
+        /// Session name.
+        session: String,
+        /// Transformation number.
+        target: u32,
+    },
+    /// Run the static auditor (including the PV009 journal lint).
+    Audit {
+        /// Session name.
+        session: String,
+    },
+    /// Pretty-print the current program.
+    Source {
+        /// Session name.
+        session: String,
+    },
+    /// Snapshot fingerprint + history shape (soak reconciliation).
+    Fingerprint {
+        /// Session name.
+        session: String,
+    },
+    /// Compact the session's journal to a checkpoint record.
+    Checkpoint {
+        /// Session name.
+        session: String,
+    },
+    /// Checkpoint and drop the session (files stay on disk).
+    Close {
+        /// Session name.
+        session: String,
+    },
+    /// Rebuild the session from its journal (after a crash or a panic
+    /// poisoning); clears any poison.
+    Recover {
+        /// Session name.
+        session: String,
+    },
+    /// Daemon-level counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin a graceful drain.
+    Shutdown,
+    /// Test hook: panic while holding the session lock.
+    Panic {
+        /// Session name.
+        session: String,
+    },
+    /// Test hook: sleep while holding the session lock.
+    Sleep {
+        /// Session name.
+        session: String,
+        /// How long to hold the lock.
+        ms: u64,
+    },
+}
+
+impl Request {
+    /// The session this request addresses, if any.
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            Request::Open { session, .. }
+            | Request::Apply { session, .. }
+            | Request::Undo { session, .. }
+            | Request::UndoReverseTo { session, .. }
+            | Request::Explain { session, .. }
+            | Request::Audit { session }
+            | Request::Source { session }
+            | Request::Fingerprint { session }
+            | Request::Checkpoint { session }
+            | Request::Close { session }
+            | Request::Recover { session }
+            | Request::Panic { session }
+            | Request::Sleep { session, .. } => Some(session),
+            Request::Stats | Request::Ping | Request::Shutdown => None,
+        }
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> ProtoError {
+    (ErrKind::Malformed, msg.into())
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, ProtoError> {
+    v.get(key)
+        .and_then(|s| s.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| malformed(format!("missing string field `{key}`")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, ProtoError> {
+    v.get(key)
+        .and_then(|s| s.as_int())
+        .filter(|&n| n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| malformed(format!("missing integer field `{key}`")))
+}
+
+fn target_field(v: &Value) -> Result<u32, ProtoError> {
+    Ok(u64_field(v, "target")? as u32)
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let v = json::parse(line).map_err(|e| malformed(format!("invalid JSON: {e}")))?;
+    let req = v
+        .get("req")
+        .and_then(|r| r.as_str())
+        .ok_or_else(|| malformed("missing string field `req`"))?;
+    match req {
+        "open" => Ok(Request::Open {
+            session: str_field(&v, "session")?,
+            source: str_field(&v, "source")?,
+            fault_nth: v
+                .get("fault_nth")
+                .and_then(|n| n.as_int())
+                .map(|n| n as u64),
+        }),
+        "apply" => {
+            let kind_s = str_field(&v, "kind")?;
+            let kind = XformKind::from_abbrev(&kind_s)
+                .ok_or_else(|| malformed(format!("unknown kind `{kind_s}`")))?;
+            Ok(Request::Apply {
+                session: str_field(&v, "session")?,
+                kind,
+            })
+        }
+        "undo" => {
+            let strat_s = v
+                .get("strategy")
+                .and_then(|s| s.as_str())
+                .unwrap_or("regional");
+            let strategy = Strategy::from_name(strat_s)
+                .ok_or_else(|| malformed(format!("unknown strategy `{strat_s}`")))?;
+            Ok(Request::Undo {
+                session: str_field(&v, "session")?,
+                target: target_field(&v)?,
+                strategy,
+            })
+        }
+        "undo_reverse_to" => Ok(Request::UndoReverseTo {
+            session: str_field(&v, "session")?,
+            target: target_field(&v)?,
+        }),
+        "explain" => Ok(Request::Explain {
+            session: str_field(&v, "session")?,
+            target: target_field(&v)?,
+        }),
+        "audit" => Ok(Request::Audit {
+            session: str_field(&v, "session")?,
+        }),
+        "source" => Ok(Request::Source {
+            session: str_field(&v, "session")?,
+        }),
+        "fingerprint" => Ok(Request::Fingerprint {
+            session: str_field(&v, "session")?,
+        }),
+        "checkpoint" => Ok(Request::Checkpoint {
+            session: str_field(&v, "session")?,
+        }),
+        "close" => Ok(Request::Close {
+            session: str_field(&v, "session")?,
+        }),
+        "recover" => Ok(Request::Recover {
+            session: str_field(&v, "session")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "panic" => Ok(Request::Panic {
+            session: str_field(&v, "session")?,
+        }),
+        "sleep" => Ok(Request::Sleep {
+            session: str_field(&v, "session")?,
+            ms: u64_field(&v, "ms")?,
+        }),
+        other => Err((ErrKind::UnknownReq, format!("unknown request `{other}`"))),
+    }
+}
+
+/// Build an `{"ok":false,…}` error reply line (no trailing newline).
+pub fn err_reply(kind: ErrKind, msg: &str) -> String {
+    let mut w = ObjectWriter::new();
+    w.bool("ok", false)
+        .str("error", kind.as_str())
+        .str("msg", msg);
+    w.finish()
+}
+
+/// Build an `{"ok":true,…}` reply line from extra fields.
+pub fn ok_reply(fill: impl FnOnce(&mut ObjectWriter)) -> String {
+    let mut w = ObjectWriter::new();
+    w.bool("ok", true);
+    fill(&mut w);
+    w.finish()
+}
+
+/// A session name is a filesystem key: restrict it to a safe alphabet so
+/// it can never traverse out of the journal directory.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_request_surface() {
+        let r = parse_request(r#"{"req":"open","session":"s1","source":"a = 1\n"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Open {
+                session: "s1".into(),
+                source: "a = 1\n".into(),
+                fault_nth: None
+            }
+        );
+        let r = parse_request(r#"{"req":"undo","session":"s1","target":2}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Undo {
+                session: "s1".into(),
+                target: 2,
+                strategy: Strategy::Regional
+            }
+        );
+        assert_eq!(parse_request(r#"{"req":"ping"}"#).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_requests() {
+        assert_eq!(parse_request("not json").unwrap_err().0, ErrKind::Malformed);
+        assert_eq!(parse_request("{}").unwrap_err().0, ErrKind::Malformed);
+        assert_eq!(
+            parse_request(r#"{"req":"frobnicate"}"#).unwrap_err().0,
+            ErrKind::UnknownReq
+        );
+        assert_eq!(
+            parse_request(r#"{"req":"apply","session":"s","kind":"ZZZ"}"#)
+                .unwrap_err()
+                .0,
+            ErrKind::Malformed
+        );
+    }
+
+    #[test]
+    fn name_validation_blocks_traversal() {
+        assert!(valid_name("sess-01_A"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("../etc/passwd"));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(200)));
+    }
+
+    #[test]
+    fn replies_are_single_json_lines() {
+        let e = err_reply(ErrKind::Timeout, "deadline exceeded");
+        assert!(e.contains("\"error\":\"timeout\""));
+        assert!(!e.contains('\n'));
+        let ok = ok_reply(|w| {
+            w.uint("xform", 3);
+        });
+        assert!(ok.starts_with("{\"ok\":true"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Sharded session table.
+//!
+//! Two lock levels: a shard mutex guards only map lookup/insert/remove
+//! (microseconds), while each session slot carries its own mutex that is
+//! held for the duration of an engine operation. Requests for different
+//! sessions therefore never wait on each other — per-session
+//! serialization without cross-session head-of-line blocking — and a
+//! panic inside one slot poisons only that slot's state, never a shard.
+
+use pivot_undo::Session;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Mutable state behind one session's lock.
+pub struct SlotState {
+    /// The live session; `None` only transiently.
+    pub session: Option<Session>,
+    /// Set when a request panicked inside this slot: the in-memory state
+    /// may be partially mutated, so every request except `recover` is
+    /// refused with a typed `poisoned` error. The journal (write-ahead,
+    /// fsynced) is the source of truth `recover` rebuilds from.
+    pub poisoned: Option<String>,
+    /// Committed transactions since the last checkpoint (auto-compaction
+    /// trigger).
+    pub ops_since_checkpoint: u64,
+}
+
+/// One session's slot: its own serialization point.
+pub type Slot = Arc<Mutex<SlotState>>;
+
+/// Lock a mutex, absorbing poison: the daemon catches panics at the slot
+/// boundary and records them in [`SlotState::poisoned`], so a poisoned
+/// std mutex here just means the recording itself was interrupted.
+pub fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The sharded name → slot table.
+pub struct Shards {
+    shards: Vec<Mutex<HashMap<String, Slot>>>,
+}
+
+impl Shards {
+    /// `n` shards (at least one).
+    pub fn new(n: usize) -> Shards {
+        Shards {
+            shards: (0..n.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Slot>> {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a session's slot.
+    pub fn get(&self, name: &str) -> Option<Slot> {
+        lock_shard(self.shard(name)).get(name).cloned()
+    }
+
+    /// Insert a slot; returns `false` (without inserting) if the name is
+    /// already present.
+    pub fn try_insert(&self, name: &str, slot: Slot) -> bool {
+        let mut map = lock_shard(self.shard(name));
+        if map.contains_key(name) {
+            return false;
+        }
+        map.insert(name.to_string(), slot);
+        true
+    }
+
+    /// Insert or replace a slot (recovery overwrites a poisoned one).
+    pub fn put(&self, name: &str, slot: Slot) {
+        lock_shard(self.shard(name)).insert(name.to_string(), slot);
+    }
+
+    /// Remove a session's slot.
+    pub fn remove(&self, name: &str) -> Option<Slot> {
+        lock_shard(self.shard(name)).remove(name)
+    }
+
+    /// All open session names (drain walks these).
+    pub fn names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(lock_shard(s).keys().cloned());
+        }
+        out.sort();
+        out
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+
+    /// True when no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Fresh slot around a session.
+pub fn new_slot(session: Session) -> Slot {
+    Arc::new(Mutex::new(SlotState {
+        session: Some(session),
+        poisoned: None,
+        ops_since_checkpoint: 0,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let sh = Shards::new(4);
+        let s = pivot_undo::Session::from_source("a = 1\nwrite a\n").unwrap();
+        assert!(sh.try_insert("one", new_slot(s)));
+        assert!(!sh.try_insert(
+            "one",
+            new_slot(pivot_undo::Session::from_source("b = 2\nwrite b\n").unwrap())
+        ));
+        assert_eq!(sh.len(), 1);
+        assert!(sh.get("one").is_some());
+        assert!(sh.get("two").is_none());
+        assert_eq!(sh.names(), vec!["one".to_string()]);
+        assert!(sh.remove("one").is_some());
+        assert!(sh.is_empty());
+    }
+}

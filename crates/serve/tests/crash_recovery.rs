@@ -1,0 +1,212 @@
+//! In-process crash/recovery gate for the serve daemon: `hard_stop`
+//! simulates a `kill -9` (no drain, no checkpoint), then a fresh daemon
+//! over the same journal directory must rebuild every session to the
+//! exact pre-crash fingerprint — including across compaction checkpoints
+//! and torn journal tails.
+
+mod util;
+
+use pivot_serve::spawn;
+use util::{assert_err, assert_ok, field, open_session, test_config, Client};
+
+/// Drive a session through a few applies and an undo; return its
+/// fingerprint as reported over the wire.
+fn work_session(c: &mut Client, name: &str) -> String {
+    for kind in ["CSE", "CTP", "INX", "ICM"] {
+        assert_ok(&c.req(&format!(
+            "{{\"req\":\"apply\",\"session\":\"{name}\",\"kind\":\"{kind}\"}}"
+        )));
+    }
+    assert_ok(&c.req(&format!(
+        "{{\"req\":\"undo\",\"session\":\"{name}\",\"target\":1}}"
+    )));
+    let r = c.req(&format!(
+        "{{\"req\":\"fingerprint\",\"session\":\"{name}\"}}"
+    ));
+    assert_ok(&r);
+    field(&r, "fingerprint").expect("fingerprint").to_string()
+}
+
+#[test]
+fn hard_stop_then_recover_restores_the_exact_fingerprint() {
+    let cfg = test_config("crash_basic");
+    let dir = cfg.journal_dir.clone();
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = open_session(&handle, "s1");
+    let fp = work_session(&mut c, "s1");
+    drop(c);
+    handle.hard_stop();
+
+    let mut cfg2 = test_config("crash_basic_2");
+    cfg2.journal_dir = dir;
+    let handle2 = spawn(cfg2).expect("respawn");
+    let mut c2 = Client::connect(handle2.tcp_addr());
+    let r = c2.req("{\"req\":\"recover\",\"session\":\"s1\"}");
+    assert_ok(&r);
+    assert_eq!(field(&r, "committed"), Some("5"), "4 applies + 1 undo: {r}");
+    assert_eq!(field(&r, "from_checkpoint"), Some("false"));
+    assert_eq!(field(&r, "fingerprint"), Some(fp.as_str()));
+    // The recovered session keeps serving.
+    assert_ok(&c2.req("{\"req\":\"apply\",\"session\":\"s1\",\"kind\":\"CFO\"}"));
+    // And the post-recovery auditor is clean.
+    let audit = c2.req("{\"req\":\"audit\",\"session\":\"s1\"}");
+    assert_ok(&audit);
+    assert_eq!(field(&audit, "findings"), Some("0"), "audit: {audit}");
+    handle2.shutdown();
+}
+
+#[test]
+fn recovery_across_a_compaction_checkpoint() {
+    let cfg = test_config("crash_ckpt");
+    let dir = cfg.journal_dir.clone();
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = open_session(&handle, "s1");
+    // Two applies, checkpoint, two more applies + undo: recovery must
+    // compose snapshot + journal tail.
+    for kind in ["CSE", "CTP"] {
+        assert_ok(&c.req(&format!(
+            "{{\"req\":\"apply\",\"session\":\"s1\",\"kind\":\"{kind}\"}}"
+        )));
+    }
+    let r = c.req("{\"req\":\"checkpoint\",\"session\":\"s1\"}");
+    assert_ok(&r);
+    assert_eq!(field(&r, "compacted"), Some("true"));
+    for kind in ["INX", "ICM"] {
+        assert_ok(&c.req(&format!(
+            "{{\"req\":\"apply\",\"session\":\"s1\",\"kind\":\"{kind}\"}}"
+        )));
+    }
+    assert_ok(&c.req("{\"req\":\"undo\",\"session\":\"s1\",\"target\":1}"));
+    let r = c.req("{\"req\":\"fingerprint\",\"session\":\"s1\"}");
+    assert_ok(&r);
+    let fp = field(&r, "fingerprint").expect("fp").to_string();
+    drop(c);
+    handle.hard_stop();
+
+    // The compacted journal: one checkpoint line + the three txns after.
+    let journal = std::fs::read_to_string(dir.join("s1.journal")).expect("journal");
+    assert!(journal.starts_with("{\"rec\":\"checkpoint\""));
+
+    let mut cfg2 = test_config("crash_ckpt_2");
+    cfg2.journal_dir = dir;
+    let handle2 = spawn(cfg2).expect("respawn");
+    let mut c2 = Client::connect(handle2.tcp_addr());
+    let r = c2.req("{\"req\":\"recover\",\"session\":\"s1\"}");
+    assert_ok(&r);
+    assert_eq!(field(&r, "from_checkpoint"), Some("true"), "reply: {r}");
+    assert_eq!(
+        field(&r, "committed"),
+        Some("3"),
+        "post-checkpoint txns: {r}"
+    );
+    assert_eq!(field(&r, "fingerprint"), Some(fp.as_str()));
+    handle2.shutdown();
+}
+
+#[test]
+fn torn_tail_after_a_checkpoint_recovers_to_last_durable_state() {
+    let cfg = test_config("crash_torn");
+    let dir = cfg.journal_dir.clone();
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = open_session(&handle, "s1");
+    assert_ok(&c.req("{\"req\":\"apply\",\"session\":\"s1\",\"kind\":\"CSE\"}"));
+    assert_ok(&c.req("{\"req\":\"checkpoint\",\"session\":\"s1\"}"));
+    assert_ok(&c.req("{\"req\":\"apply\",\"session\":\"s1\",\"kind\":\"CTP\"}"));
+    drop(c);
+    handle.hard_stop();
+
+    // Tear the final journal line mid-byte, as a crash mid-write would.
+    let jpath = dir.join("s1.journal");
+    let text = std::fs::read_to_string(&jpath).expect("journal");
+    let keep = text.len() - 7;
+    std::fs::write(&jpath, &text.as_bytes()[..keep]).expect("tear");
+
+    let mut cfg2 = test_config("crash_torn_2");
+    cfg2.journal_dir = dir;
+    let handle2 = spawn(cfg2).expect("respawn");
+    let mut c2 = Client::connect(handle2.tcp_addr());
+    let r = c2.req("{\"req\":\"recover\",\"session\":\"s1\"}");
+    assert_ok(&r);
+    assert_eq!(field(&r, "from_checkpoint"), Some("true"));
+    // The torn trailing txn is discarded; the checkpointed apply stands.
+    assert_eq!(field(&r, "history_len"), Some("1"), "reply: {r}");
+    handle2.shutdown();
+}
+
+#[test]
+fn truncation_inside_the_checkpoint_record_is_detected_not_swallowed() {
+    let cfg = test_config("crash_torn_ckpt");
+    let dir = cfg.journal_dir.clone();
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = open_session(&handle, "s1");
+    assert_ok(&c.req("{\"req\":\"apply\",\"session\":\"s1\",\"kind\":\"CSE\"}"));
+    assert_ok(&c.req("{\"req\":\"checkpoint\",\"session\":\"s1\"}"));
+    drop(c);
+    handle.hard_stop();
+
+    // Truncate *inside* the checkpoint record itself. A checkpoint is the
+    // sole carrier of the pre-compaction history — losing its tail is
+    // unrecoverable corruption and must be reported, never silently
+    // treated as an empty journal.
+    let jpath = dir.join("s1.journal");
+    let text = std::fs::read_to_string(&jpath).expect("journal");
+    assert!(text.starts_with("{\"rec\":\"checkpoint\""));
+    std::fs::write(&jpath, &text.as_bytes()[..text.len() / 2]).expect("tear");
+
+    let mut cfg2 = test_config("crash_torn_ckpt_2");
+    cfg2.journal_dir = dir;
+    let handle2 = spawn(cfg2).expect("respawn");
+    let mut c2 = Client::connect(handle2.tcp_addr());
+    let r = c2.req("{\"req\":\"recover\",\"session\":\"s1\"}");
+    assert_err(&r, "engine");
+    assert!(
+        r.contains("truncated checkpoint"),
+        "must name the corruption: {r}"
+    );
+    handle2.shutdown();
+}
+
+#[test]
+fn automatic_compaction_bounds_the_journal() {
+    let mut cfg = test_config("auto_ckpt");
+    cfg.checkpoint_every = 4;
+    let dir = cfg.journal_dir.clone();
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = open_session(&handle, "s1");
+    // 6 committed ops: auto-compaction fires at the 4th, leaving the
+    // journal at one checkpoint + 2 txn records.
+    for kind in ["CSE", "CTP", "INX", "ICM"] {
+        assert_ok(&c.req(&format!(
+            "{{\"req\":\"apply\",\"session\":\"s1\",\"kind\":\"{kind}\"}}"
+        )));
+    }
+    assert_ok(&c.req("{\"req\":\"undo\",\"session\":\"s1\",\"target\":1}"));
+    assert_ok(&c.req("{\"req\":\"apply\",\"session\":\"s1\",\"kind\":\"CSE\"}"));
+    let r = c.req("{\"req\":\"fingerprint\",\"session\":\"s1\"}");
+    assert_ok(&r);
+    let fp = field(&r, "fingerprint").expect("fp").to_string();
+    drop(c);
+    handle.hard_stop();
+
+    let journal = std::fs::read_to_string(dir.join("s1.journal")).expect("journal");
+    assert!(
+        journal.starts_with("{\"rec\":\"checkpoint\""),
+        "auto-compaction never fired:\n{}",
+        &journal[..journal.len().min(120)]
+    );
+    let lines = journal.lines().count();
+    assert!(
+        lines < 8,
+        "journal should be bounded by the post-checkpoint tail, got {lines} lines"
+    );
+
+    let mut cfg2 = test_config("auto_ckpt_2");
+    cfg2.journal_dir = dir;
+    let handle2 = spawn(cfg2).expect("respawn");
+    let mut c2 = Client::connect(handle2.tcp_addr());
+    let r = c2.req("{\"req\":\"recover\",\"session\":\"s1\"}");
+    assert_ok(&r);
+    assert_eq!(field(&r, "from_checkpoint"), Some("true"));
+    assert_eq!(field(&r, "fingerprint"), Some(fp.as_str()));
+    handle2.shutdown();
+}

@@ -1,0 +1,299 @@
+//! Protocol-robustness gate: malformed input, oversized requests,
+//! half-closed and slow-loris connections, unknown sessions, admission
+//! control, per-session serialization, and panic isolation. Every hostile
+//! input must produce a typed error reply — never a hang, never a crash,
+//! never collateral damage to another tenant's session.
+
+mod util;
+
+use pivot_serve::{spawn, ServeConfig};
+use std::thread;
+use std::time::{Duration, Instant};
+use util::{assert_err, assert_ok, field, open_session, test_config, Client, SRC};
+
+#[test]
+fn malformed_lines_get_typed_errors_and_do_not_wedge_the_connection() {
+    let handle = spawn(test_config("malformed")).expect("spawn");
+    let mut c = Client::connect(handle.tcp_addr());
+    assert_err(&c.req("this is not json"), "malformed");
+    assert_err(&c.req("{}"), "malformed");
+    assert_err(&c.req("{\"req\":\"frobnicate\"}"), "unknown_req");
+    assert_err(
+        &c.req("{\"req\":\"apply\",\"session\":\"s\",\"kind\":\"ZZZ\"}"),
+        "malformed",
+    );
+    // The connection survives hostile lines: a well-formed request still
+    // round-trips on it.
+    assert_ok(&c.req("{\"req\":\"ping\"}"));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_and_closed() {
+    let mut cfg = test_config("oversized");
+    cfg.max_line_bytes = 1024;
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = Client::connect(handle.tcp_addr());
+    let huge = format!("{{\"req\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(4096));
+    c.send_raw(huge.as_bytes());
+    c.send_raw(b"\n");
+    let reply = c.read_line().expect("reply before close");
+    assert_err(&reply, "oversized");
+    assert!(c.read_line().is_none(), "connection must close");
+    // Other connections are unaffected.
+    let mut c2 = Client::connect(handle.tcp_addr());
+    assert_ok(&c2.req("{\"req\":\"ping\"}"));
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_mid_line_hits_the_read_deadline() {
+    let handle = spawn(test_config("loris")).expect("spawn");
+    let mut c = Client::connect(handle.tcp_addr());
+    // A partial request line, then silence: the daemon must not wait
+    // forever for the newline.
+    c.send_raw(b"{\"req\":\"pi");
+    let t0 = Instant::now();
+    let reply = c.read_line().expect("timeout reply");
+    assert_err(&reply, "timeout");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "read deadline must fire promptly"
+    );
+    assert!(c.read_line().is_none(), "connection must close");
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connection_at_a_line_boundary_is_kept_open() {
+    let handle = spawn(test_config("idle")).expect("spawn");
+    let mut c = Client::connect(handle.tcp_addr());
+    assert_ok(&c.req("{\"req\":\"ping\"}"));
+    // Idle well past the read timeout — with no partial line this is a
+    // quiet client, not an attack.
+    thread::sleep(Duration::from_millis(900));
+    assert_ok(&c.req("{\"req\":\"ping\"}"));
+    handle.shutdown();
+}
+
+#[test]
+fn half_closed_connection_is_reaped_without_harm() {
+    let handle = spawn(test_config("halfclose")).expect("spawn");
+    let mut c = Client::connect(handle.tcp_addr());
+    assert_ok(&c.req("{\"req\":\"ping\"}"));
+    c.shutdown_write();
+    assert!(c.read_line().is_none(), "EOF closes the connection");
+    let mut c2 = Client::connect(handle.tcp_addr());
+    assert_ok(&c2.req("{\"req\":\"ping\"}"));
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_closed_and_invalid_session_names_are_typed() {
+    let handle = spawn(test_config("names")).expect("spawn");
+    let mut c = Client::connect(handle.tcp_addr());
+    assert_err(
+        &c.req("{\"req\":\"fingerprint\",\"session\":\"nope\"}"),
+        "unknown_session",
+    );
+    assert_err(
+        &c.req("{\"req\":\"fingerprint\",\"session\":\"../etc/passwd\"}"),
+        "bad_name",
+    );
+    let mut s = open_session(&handle, "gone");
+    assert_ok(&s.req("{\"req\":\"close\",\"session\":\"gone\"}"));
+    assert_err(
+        &s.req("{\"req\":\"fingerprint\",\"session\":\"gone\"}"),
+        "unknown_session",
+    );
+    // Opening a closed name again hits the on-disk journal guard.
+    let src_json = SRC.replace('\n', "\\n");
+    assert_err(
+        &s.req(&format!(
+            "{{\"req\":\"open\",\"session\":\"gone\",\"source\":\"{src_json}\"}}"
+        )),
+        "exists",
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn double_open_is_exists() {
+    let handle = spawn(test_config("dopen")).expect("spawn");
+    let mut c = open_session(&handle, "dup");
+    let src_json = SRC.replace('\n', "\\n");
+    assert_err(
+        &c.req(&format!(
+            "{{\"req\":\"open\",\"session\":\"dup\",\"source\":\"{src_json}\"}}"
+        )),
+        "exists",
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_excess_connections_explicitly() {
+    let mut cfg = test_config("overload");
+    cfg.max_conns = 2;
+    let handle = spawn(cfg).expect("spawn");
+    let mut held: Vec<Client> = (0..2)
+        .map(|_| {
+            let mut c = Client::connect(handle.tcp_addr());
+            assert_ok(&c.req("{\"req\":\"ping\"}"));
+            c
+        })
+        .collect();
+    // The third connection is refused with one typed reply, then closed.
+    let mut extra = Client::connect(handle.tcp_addr());
+    let reply = extra.read_line().expect("overloaded reply");
+    assert_err(&reply, "overloaded");
+    assert!(extra.read_line().is_none(), "rejected conn must close");
+    // Releasing a held connection frees a slot.
+    held.pop();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut retry = Client::connect(handle.tcp_addr());
+        // On a rejected connection the first line read is the overloaded
+        // reply; on an admitted one it is the pong.
+        match retry.try_req("{\"req\":\"ping\"}") {
+            Some(r) if r.contains("overloaded") => {
+                assert!(Instant::now() < deadline, "slot never freed");
+                thread::sleep(Duration::from_millis(20));
+            }
+            Some(r) => {
+                assert_ok(&r);
+                break;
+            }
+            None => {
+                assert!(Instant::now() < deadline, "slot never freed");
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn one_busy_session_does_not_block_another() {
+    let handle = spawn(test_config("hol")).expect("spawn");
+    let mut a = open_session(&handle, "busy");
+    let mut b = open_session(&handle, "quick");
+    // Hold `busy`'s lock for a while on a separate thread.
+    let t = thread::spawn(move || {
+        assert_ok(&a.req("{\"req\":\"sleep\",\"session\":\"busy\",\"ms\":1500}"));
+        a
+    });
+    thread::sleep(Duration::from_millis(100));
+    // Had `quick` queued behind `busy`'s lock it could not answer before
+    // the 1400ms still left of the sleep (it would hit its own 1000ms
+    // request deadline first and fail the assert_ok). The wall-clock
+    // bound stays below that remainder but loose enough to tolerate a
+    // loaded machine.
+    let t0 = Instant::now();
+    assert_ok(&b.req("{\"req\":\"fingerprint\",\"session\":\"quick\"}"));
+    assert!(
+        t0.elapsed() < Duration::from_millis(1300),
+        "an unrelated session must not wait on `busy`'s lock \
+         (took {:?})",
+        t0.elapsed()
+    );
+    // Meanwhile a second request *against the busy session* times out
+    // with a typed reply instead of queueing forever.
+    let mut a2 = Client::connect(handle.tcp_addr());
+    assert_err(
+        &a2.req("{\"req\":\"fingerprint\",\"session\":\"busy\"}"),
+        "timeout",
+    );
+    let _ = t.join().expect("sleeper thread");
+    handle.shutdown();
+}
+
+#[test]
+fn a_panicking_request_poisons_only_its_own_session() {
+    let handle = spawn(test_config("panic")).expect("spawn");
+    let mut a = open_session(&handle, "victim");
+    let mut b = open_session(&handle, "bystander");
+    assert_ok(&a.req("{\"req\":\"apply\",\"session\":\"victim\",\"kind\":\"CSE\"}"));
+    let fp_before = {
+        let r = b.req("{\"req\":\"fingerprint\",\"session\":\"bystander\"}");
+        assert_ok(&r);
+        field(&r, "fingerprint").expect("fp").to_string()
+    };
+    // Inject a panic while `victim`'s lock is held.
+    assert_err(
+        &a.req("{\"req\":\"panic\",\"session\":\"victim\"}"),
+        "poisoned",
+    );
+    // The victim is fenced off with typed errors…
+    assert_err(
+        &a.req("{\"req\":\"apply\",\"session\":\"victim\",\"kind\":\"CTP\"}"),
+        "poisoned",
+    );
+    // …the bystander, the daemon, and new sessions are untouched…
+    let r = b.req("{\"req\":\"fingerprint\",\"session\":\"bystander\"}");
+    assert_ok(&r);
+    assert_eq!(field(&r, "fingerprint").expect("fp"), fp_before);
+    assert_ok(&b.req("{\"req\":\"ping\"}"));
+    let mut c = open_session(&handle, "newcomer");
+    assert_ok(&c.req("{\"req\":\"fingerprint\",\"session\":\"newcomer\"}"));
+    // …and `recover` rebuilds the victim from its journal, clearing the
+    // poison: the committed apply survives.
+    let r = a.req("{\"req\":\"recover\",\"session\":\"victim\"}");
+    assert_ok(&r);
+    assert_eq!(field(&r, "committed"), Some("1"));
+    let r = a.req("{\"req\":\"fingerprint\",\"session\":\"victim\"}");
+    assert_ok(&r);
+    assert_eq!(field(&r, "history_len"), Some("1"));
+    handle.shutdown();
+}
+
+#[test]
+fn drain_refuses_new_session_work_with_a_typed_reply() {
+    let cfg = test_config("drain");
+    let dir = cfg.journal_dir.clone();
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = open_session(&handle, "parting");
+    assert_ok(&c.req("{\"req\":\"apply\",\"session\":\"parting\",\"kind\":\"CSE\"}"));
+    assert_ok(&c.req("{\"req\":\"shutdown\"}"));
+    handle.shutdown();
+    // The drain checkpointed the session: its journal is now a single
+    // compaction record.
+    let journal =
+        std::fs::read_to_string(dir.join("parting.journal")).expect("journal survives drain");
+    assert!(
+        journal.starts_with("{\"rec\":\"checkpoint\""),
+        "drain must compact the journal, got: {}",
+        &journal[..journal.len().min(80)]
+    );
+    assert_eq!(journal.lines().count(), 1);
+}
+
+#[test]
+fn stats_and_scrape_surface_serve_counters() {
+    let mut cfg = test_config("scrape");
+    cfg.scrape_addr = Some("127.0.0.1:0".to_string());
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = open_session(&handle, "metered");
+    assert_ok(&c.req("{\"req\":\"apply\",\"session\":\"metered\",\"kind\":\"CSE\"}"));
+    let stats = c.req("{\"req\":\"stats\"}");
+    assert_ok(&stats);
+    assert_eq!(field(&stats, "sessions"), Some("1"));
+    // The scrape endpoint speaks Prometheus text format and carries the
+    // serve.* families.
+    let addr = handle.scrape_addr().expect("scrape addr");
+    let mut s = std::net::TcpStream::connect(addr).expect("scrape connect");
+    use std::io::{Read, Write};
+    s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("get");
+    let mut body = String::new();
+    s.read_to_string(&mut body).expect("scrape body");
+    assert!(body.contains("serve_requests"), "scrape:\n{body}");
+    assert!(body.contains("serve_opened"), "scrape:\n{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn spawn_fails_cleanly_on_a_bad_bind() {
+    let mut cfg = ServeConfig::new(util::scratch("badbind"));
+    cfg.tcp_addr = "256.256.256.256:1".to_string();
+    assert!(spawn(cfg).is_err());
+}

@@ -1,0 +1,133 @@
+//! Shared helpers for the serve integration tests: a tiny line-JSON
+//! client and per-test scratch directories.
+// Each test binary compiles this module separately and uses a different
+// subset of it.
+#![allow(dead_code)]
+
+use pivot_serve::{DaemonHandle, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A program with opportunities for every transformation kind the tests
+/// exercise (same shape as the core snapshot tests).
+pub const SRC: &str = "D = E + F\nC = 1\ndo i = 1, 100\n  do j = 1, 50\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\nx = 3 * 4\nwrite x\n";
+
+/// Fresh scratch directory under the system temp dir.
+pub fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pivot_serve_test_{}_{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Test-shaped config: short deadlines, test hooks on.
+pub fn test_config(tag: &str) -> ServeConfig {
+    let mut cfg = ServeConfig::new(scratch(tag));
+    cfg.read_timeout_ms = 400;
+    cfg.request_deadline_ms = 1_000;
+    cfg.test_hooks = true;
+    cfg
+}
+
+/// One protocol connection.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    /// Send raw bytes without a newline (slow-loris / torn-line tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write");
+        self.stream.flush().expect("flush");
+    }
+
+    /// Read one reply line; `None` on EOF/close.
+    pub fn read_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+            Err(_) => None,
+        }
+    }
+
+    /// Send one request line and read its reply.
+    pub fn req(&mut self, line: &str) -> String {
+        self.send_raw(line.as_bytes());
+        self.send_raw(b"\n");
+        self.read_line().expect("reply")
+    }
+
+    /// Like [`Client::req`], but tolerates write failures and EOF (for
+    /// racing against a server that may be closing the connection).
+    pub fn try_req(&mut self, line: &str) -> Option<String> {
+        let mut buf = line.as_bytes().to_vec();
+        buf.push(b'\n');
+        use std::io::Write;
+        if self
+            .stream
+            .write_all(&buf)
+            .and_then(|()| self.stream.flush())
+            .is_err()
+        {
+            return self.read_line();
+        }
+        self.read_line()
+    }
+
+    /// Half-close the write side (the read side stays open).
+    pub fn shutdown_write(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// Assert a reply is `{"ok":true,…}`.
+pub fn assert_ok(reply: &str) {
+    assert!(
+        reply.starts_with("{\"ok\":true"),
+        "expected ok reply, got: {reply}"
+    );
+}
+
+/// Assert a reply is a typed error of the given kind.
+pub fn assert_err(reply: &str, kind: &str) {
+    assert!(
+        reply.contains(&format!("\"error\":\"{kind}\"")),
+        "expected `{kind}` error, got: {reply}"
+    );
+}
+
+/// Pull a string field out of a flat JSON reply (good enough for tests).
+pub fn field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = reply.find(&pat)? + pat.len();
+    let rest = &reply[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// Open a session named `name` over a fresh client.
+pub fn open_session(handle: &DaemonHandle, name: &str) -> Client {
+    let mut c = Client::connect(handle.tcp_addr());
+    let src_json = SRC.replace('\n', "\\n");
+    let reply = c.req(&format!(
+        "{{\"req\":\"open\",\"session\":\"{name}\",\"source\":\"{src_json}\"}}"
+    ));
+    assert_ok(&reply);
+    c
+}

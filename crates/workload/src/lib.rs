@@ -13,6 +13,7 @@ pub mod faults;
 pub mod fragments;
 pub mod incrcheck;
 pub mod parcheck;
+pub mod servecheck;
 pub mod witnesses;
 
 use pivot_lang::builder::ProgramBuilder;

@@ -46,6 +46,25 @@ commands:
                                leave nothing to find
                                (defaults: --seed 0 --count 4 --steps 20
                                --max 8)
+  serve --journal-dir DIR [--addr A] [--scrape-addr A] [--max-conns N]
+        [--read-timeout-ms N] [--request-deadline-ms N]
+        [--checkpoint-every N]
+                               run the session-serving daemon until
+                               SIGTERM/SIGINT, then drain gracefully
+                               (checkpointing every open session)
+  servecheck [--seed N] [--sessions N] [--rounds N] [--ops N]
+             [--bench-out PATH]
+                               crash-recovery soak: spawn the daemon,
+                               interleave sessions, kill it at random
+                               byte/packet and transaction boundaries,
+                               restart, recover, and reconcile every
+                               fingerprint against single-session
+                               replay; then check overload degradation
+                               (defaults: --seed 24142 --sessions 64
+                               --rounds 4 --ops 400)
+  servebench [--seed N] [--out PATH]
+                               measure how journal compaction bounds
+                               recovery time and journal size
 ";
 
 fn main() -> ExitCode {
@@ -211,6 +230,192 @@ fn main() -> ExitCode {
                     eprintln!("violation: {v}");
                 }
                 ExitCode::FAILURE
+            }
+        }
+        Some("serve") => {
+            let mut cfg = pivot_serve::ServeConfig::new("pivot-serve-journals");
+            let mut journal_dir_set = false;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                let number = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    value(it, flag)
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--journal-dir" => value(&mut rest, "--journal-dir").map(|v| {
+                        cfg.journal_dir = v.into();
+                        journal_dir_set = true;
+                    }),
+                    "--addr" => value(&mut rest, "--addr").map(|v| cfg.tcp_addr = v),
+                    "--scrape-addr" => {
+                        value(&mut rest, "--scrape-addr").map(|v| cfg.scrape_addr = Some(v))
+                    }
+                    "--uds" => value(&mut rest, "--uds").map(|v| cfg.uds_path = Some(v.into())),
+                    "--max-conns" => {
+                        number(&mut rest, "--max-conns").map(|v| cfg.max_conns = v as usize)
+                    }
+                    "--read-timeout-ms" => {
+                        number(&mut rest, "--read-timeout-ms").map(|v| cfg.read_timeout_ms = v)
+                    }
+                    "--request-deadline-ms" => number(&mut rest, "--request-deadline-ms")
+                        .map(|v| cfg.request_deadline_ms = v),
+                    "--checkpoint-every" => {
+                        number(&mut rest, "--checkpoint-every").map(|v| cfg.checkpoint_every = v)
+                    }
+                    other => Err(format!("serve: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !journal_dir_set {
+                eprintln!("serve: --journal-dir is required");
+                return ExitCode::FAILURE;
+            }
+            cfg = cfg.from_env();
+            match pivot_serve::run(cfg) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("servecheck") => {
+            let mut cfg = pivot_workload::servecheck::SoakCfg::default();
+            let mut bench_out: Option<String> = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--seed" => value(&mut rest, "--seed").map(|v| cfg.seed = v),
+                    "--sessions" => {
+                        value(&mut rest, "--sessions").map(|v| cfg.sessions = v as usize)
+                    }
+                    "--rounds" => value(&mut rest, "--rounds").map(|v| cfg.rounds = v as usize),
+                    "--ops" => value(&mut rest, "--ops").map(|v| cfg.ops_per_round = v as usize),
+                    "--bench-out" => rest
+                        .next()
+                        .map(|v| bench_out = Some(v.clone()))
+                        .ok_or_else(|| "--bench-out needs a value".to_string()),
+                    other => Err(format!("servecheck: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let o = pivot_workload::servecheck::soak(&cfg);
+            println!(
+                "servecheck: {} sessions x {} rounds, {} ops acked, {} crashes, \
+                 {} recoveries ({} from checkpoint), {} torn tails, \
+                 {} torn-checkpoint probes, {} audits ({} findings), \
+                 {} overload rejections, {} timeout replies, {} mismatches",
+                o.sessions,
+                o.rounds,
+                o.ops_acked,
+                o.crashes,
+                o.recoveries,
+                o.checkpoint_recoveries,
+                o.torn_tails,
+                o.torn_checkpoint_probes,
+                o.audits,
+                o.audit_findings,
+                o.overload_rejections,
+                o.timeout_replies,
+                o.mismatches.len()
+            );
+            if let Some(path) = bench_out {
+                match pivot_workload::servecheck::compaction_bench(cfg.seed, &[64, 256, 1024]) {
+                    Ok(rows) => {
+                        let doc = pivot_workload::servecheck::render_bench_json(&o, &rows);
+                        if let Err(e) = std::fs::write(&path, doc) {
+                            eprintln!("servecheck: write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("servecheck: wrote {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("servecheck: bench: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if o.passed() {
+                ExitCode::SUCCESS
+            } else {
+                for m in &o.mismatches {
+                    eprintln!("mismatch: {m}");
+                }
+                if o.overload_rejections == 0 {
+                    eprintln!("servecheck: overload phase produced no `overloaded` replies");
+                }
+                if o.timeout_replies == 0 {
+                    eprintln!("servecheck: slow-loris client got no `timeout` reply");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Some("servebench") => {
+            let mut seed = 0x5EEDu64;
+            let mut out_path: Option<String> = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let parsed = match a.as_str() {
+                    "--seed" => rest
+                        .next()
+                        .ok_or_else(|| "--seed needs a value".to_string())
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+                        .map(|v| seed = v),
+                    "--out" => rest
+                        .next()
+                        .map(|v| out_path = Some(v.clone()))
+                        .ok_or_else(|| "--out needs a value".to_string()),
+                    other => Err(format!("servebench: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match pivot_workload::servecheck::compaction_bench(seed, &[64, 256, 1024]) {
+                Ok(rows) => {
+                    for r in &rows {
+                        println!(
+                            "servebench: {} ops: full {} B / {:.2} ms, \
+                             compacted {} B / {:.2} ms",
+                            r.ops,
+                            r.full_bytes,
+                            r.full_recover_ns as f64 / 1e6,
+                            r.compacted_bytes,
+                            r.compacted_recover_ns as f64 / 1e6
+                        );
+                    }
+                    if let Some(path) = out_path {
+                        let o = pivot_workload::servecheck::SoakOutcome::default();
+                        let doc = pivot_workload::servecheck::render_bench_json(&o, &rows);
+                        if let Err(e) = std::fs::write(&path, doc) {
+                            eprintln!("servebench: write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("servebench: wrote {path}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("servebench: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         Some("help") | None => {

@@ -1,0 +1,962 @@
+//! Crash-recovery soak for the serve daemon.
+//!
+//! The driver spawns the daemon as a child process over a shared journal
+//! directory and keeps a local **replica** `Session` per served session —
+//! the single-session replay every recovery is judged against. Rounds
+//! alternate crash modes:
+//!
+//! * **kill-point** rounds arm `PIVOT_SERVE_KILL_AFTER_OPS`, so the child
+//!   calls `abort()` right after the N-th commit record is durable but
+//!   *before* the reply — the crash lands exactly on a transaction
+//!   boundary and leaves one committed-but-unacknowledged operation;
+//! * **hard-kill** rounds `kill()` the child from a timer thread while
+//!   requests are in flight — the crash lands on an arbitrary byte/packet
+//!   boundary;
+//! * the final round drains gracefully and verifies every journal was
+//!   compacted to a checkpoint.
+//!
+//! After each crash the driver may tear the journal tail (only a trailing
+//! `begin` record, which by construction was never acknowledged) before
+//! restarting, then recovers every session and reconciles the reported
+//! fingerprint against the replica — directly, or with the one ambiguous
+//! in-flight operation applied. Once per round it also probes checkpoint
+//! torn-tail *detection*: a journal truncated inside its checkpoint
+//! record must fail recovery, never silently shrink. A separate overload
+//! phase checks graceful degradation: explicit `overloaded` and `timeout`
+//! replies, surfaced on the scrape endpoint.
+
+use pivot_undo::engine::{Session, Strategy};
+use pivot_undo::{snapshot, XformId, XformKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Soak shape.
+#[derive(Clone, Debug)]
+pub struct SoakCfg {
+    /// Master seed for the op stream and crash timing.
+    pub seed: u64,
+    /// Concurrent sessions the daemon owns.
+    pub sessions: usize,
+    /// Crash/restart rounds (the last round drains gracefully).
+    pub rounds: usize,
+    /// Operation budget per round.
+    pub ops_per_round: usize,
+}
+
+impl Default for SoakCfg {
+    fn default() -> SoakCfg {
+        SoakCfg {
+            seed: 0x5EED,
+            sessions: 64,
+            rounds: 4,
+            ops_per_round: 400,
+        }
+    }
+}
+
+/// What the soak observed.
+#[derive(Debug, Default)]
+pub struct SoakOutcome {
+    /// Sessions opened.
+    pub sessions: usize,
+    /// Rounds driven.
+    pub rounds: usize,
+    /// Operations acknowledged by the daemon.
+    pub ops_acked: u64,
+    /// Crashes induced (kill-point aborts + hard kills).
+    pub crashes: usize,
+    /// Recoveries performed over the wire.
+    pub recoveries: u64,
+    /// Recoveries that restored from a compaction checkpoint.
+    pub checkpoint_recoveries: u64,
+    /// Torn journal tails injected before a restart.
+    pub torn_tails: usize,
+    /// Torn-checkpoint detection probes run (each must fail recovery).
+    pub torn_checkpoint_probes: usize,
+    /// Post-recovery audits run over the wire.
+    pub audits: u64,
+    /// Findings those audits reported (must be zero).
+    pub audit_findings: u64,
+    /// `overloaded` replies observed in the overload phase.
+    pub overload_rejections: u64,
+    /// `timeout` replies observed in the overload phase.
+    pub timeout_replies: u64,
+    /// Invariant violations; empty on a passing soak.
+    pub mismatches: Vec<String>,
+}
+
+impl SoakOutcome {
+    /// True when every fingerprint reconciled, every audit was clean, and
+    /// degradation under overload was explicit.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+            && self.audit_findings == 0
+            && self.overload_rejections > 0
+            && self.timeout_replies > 0
+    }
+}
+
+// -------------------------------------------------------------------
+// Wire client
+// -------------------------------------------------------------------
+
+struct Wire {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Wire {
+    fn connect(addr: &str) -> std::io::Result<Wire> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Wire { stream, reader })
+    }
+
+    /// One request/reply; `None` when the daemon died mid-exchange.
+    fn req(&mut self, line: &str) -> Option<String> {
+        let mut buf = line.as_bytes().to_vec();
+        buf.push(b'\n');
+        if self.stream.write_all(&buf).is_err() || self.stream.flush().is_err() {
+            return None;
+        }
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(reply.trim_end().to_string()),
+        }
+    }
+}
+
+fn reply_ok(reply: &str) -> bool {
+    reply.starts_with("{\"ok\":true")
+}
+
+fn reply_field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = reply.find(&pat)? + pat.len();
+    let rest = &reply[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+// -------------------------------------------------------------------
+// Child daemon
+// -------------------------------------------------------------------
+
+struct ChildDaemon {
+    child: Child,
+    addr: String,
+    scrape_addr: Option<String>,
+}
+
+fn spawn_child(
+    journal_dir: &Path,
+    kill_after_ops: Option<u64>,
+    extra_args: &[&str],
+) -> Result<ChildDaemon, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("serve")
+        .arg("--journal-dir")
+        .arg(journal_dir)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .args(extra_args)
+        .env("PIVOT_SERVE_TEST_HOOKS", "1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    match kill_after_ops {
+        Some(n) => {
+            cmd.env("PIVOT_SERVE_KILL_AFTER_OPS", n.to_string());
+        }
+        None => {
+            cmd.env_remove("PIVOT_SERVE_KILL_AFTER_OPS");
+        }
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("spawn daemon: {e}"))?;
+    let stdout = child.stdout.take().ok_or("daemon stdout not piped")?;
+    let mut lines = BufReader::new(stdout).lines();
+    let mut addr = None;
+    let mut scrape_addr = None;
+    // The daemon prints its bound addresses first; stop at the TCP one
+    // (and the scrape one when requested) so we never block on a quiet
+    // child.
+    let want_scrape = extra_args.contains(&"--scrape-addr");
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| format!("daemon stdout: {e}"))?;
+        if let Some(a) = line.strip_prefix("listening tcp ") {
+            addr = Some(a.trim().to_string());
+        } else if let Some(a) = line.strip_prefix("scrape ") {
+            scrape_addr = Some(a.trim().to_string());
+        }
+        if addr.is_some() && (!want_scrape || scrape_addr.is_some()) {
+            break;
+        }
+    }
+    let addr = addr.ok_or("daemon never reported its address")?;
+    Ok(ChildDaemon {
+        child,
+        addr,
+        scrape_addr,
+    })
+}
+
+// -------------------------------------------------------------------
+// Replicas and operations
+// -------------------------------------------------------------------
+
+/// Session source templates: every template offers CSE/CFO material plus
+/// kind-specific opportunities, parameterized so sessions differ.
+fn source_for(i: usize) -> String {
+    match i % 3 {
+        0 => format!(
+            "d = e + f\nc = {}\ndo i = 1, {}\n  a(i) = b(i) + c\n  s(i) = e + f\nenddo\nx = 3 * 4\nwrite x\nwrite d\n",
+            1 + i % 7,
+            10 + i % 90
+        ),
+        1 => format!(
+            "D = E + F\nC = 1\ndo i = 1, {}\n  do j = 1, {}\n    A(j) = B(j) + C\n    R(i, j) = E + F\n  enddo\nenddo\nx = {} * 4\nwrite x\n",
+            50 + i % 50,
+            10 + i % 40,
+            2 + i % 5
+        ),
+        _ => format!(
+            "t = u + v\nw = u + v\nk = {}\ndo i = 1, {}\n  m(i) = n(i) + k\nenddo\ny = 6 * 7\nwrite y\nwrite w\nwrite t\n",
+            3 + i % 5,
+            20 + i % 60
+        ),
+    }
+}
+
+const KINDS: &[XformKind] = &[
+    XformKind::Cse,
+    XformKind::Ctp,
+    XformKind::Cfo,
+    XformKind::Icm,
+    XformKind::Inx,
+    XformKind::Dce,
+];
+
+#[derive(Clone, Debug)]
+enum Op {
+    Apply(XformKind),
+    Undo(u32),
+}
+
+impl Op {
+    fn request(&self, session: &str) -> String {
+        match self {
+            Op::Apply(k) => {
+                format!("{{\"req\":\"apply\",\"session\":\"{session}\",\"kind\":\"{k}\"}}")
+            }
+            Op::Undo(t) => format!("{{\"req\":\"undo\",\"session\":\"{session}\",\"target\":{t}}}"),
+        }
+    }
+}
+
+/// Mirror one operation on a replica exactly the way the daemon executes
+/// it; returns true when it succeeded (changed state).
+fn apply_local(s: &mut Session, op: &Op) -> bool {
+    match op {
+        Op::Apply(kind) => {
+            let opps = s.find(*kind);
+            match opps.first() {
+                Some(opp) => s.apply(&opp.clone()).is_ok(),
+                None => false,
+            }
+        }
+        Op::Undo(target) => s.undo(XformId(*target), Strategy::Regional).is_ok(),
+    }
+}
+
+fn random_op(rng: &mut StdRng, replica: &Session) -> Op {
+    let history_len = replica.history.records.len() as u32;
+    if history_len > 0 && rng.gen_bool(0.35) {
+        Op::Undo(rng.gen_range(1..=history_len))
+    } else {
+        Op::Apply(KINDS[rng.gen_range(0..KINDS.len())])
+    }
+}
+
+// -------------------------------------------------------------------
+// The soak
+// -------------------------------------------------------------------
+
+enum Mode {
+    KillPoint(u64),
+    HardKill(u64),
+    Graceful,
+}
+
+/// Run the crash-recovery soak; see the module docs for the shape.
+pub fn soak(cfg: &SoakCfg) -> SoakOutcome {
+    let mut out = SoakOutcome {
+        sessions: cfg.sessions,
+        rounds: cfg.rounds,
+        ..SoakOutcome::default()
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "pivot_servecheck_{}_{}",
+        cfg.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        out.mismatches.push(format!("scratch dir: {e}"));
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut replicas: Vec<Session> = Vec::new();
+    let mut sources: Vec<String> = Vec::new();
+    for i in 0..cfg.sessions {
+        let src = source_for(i);
+        match Session::from_source(&src) {
+            Ok(s) => {
+                replicas.push(s);
+                sources.push(src);
+            }
+            Err(e) => {
+                out.mismatches.push(format!("template {i}: {e}"));
+                return out;
+            }
+        }
+    }
+    // The one operation whose reply never arrived before a crash.
+    let mut inflight: Option<(usize, Op)> = None;
+    let mut opened = false;
+
+    for round in 0..cfg.rounds {
+        let mode = if round + 1 == cfg.rounds {
+            Mode::Graceful
+        } else if round % 2 == 0 {
+            Mode::KillPoint(rng.gen_range(40..(40 + cfg.ops_per_round as u64 / 2)))
+        } else {
+            Mode::HardKill(rng.gen_range(200..1_500))
+        };
+        let kill_env = match mode {
+            Mode::KillPoint(n) => Some(n),
+            _ => None,
+        };
+        let daemon = match spawn_child(&dir, kill_env, &[]) {
+            Ok(d) => d,
+            Err(e) => {
+                out.mismatches.push(format!("round {round}: {e}"));
+                return out;
+            }
+        };
+        let mut child = daemon.child;
+        let mut wire = match Wire::connect(&daemon.addr) {
+            Ok(w) => w,
+            Err(e) => {
+                out.mismatches.push(format!("round {round}: connect: {e}"));
+                let _ = child.kill();
+                return out;
+            }
+        };
+
+        if !opened {
+            for (i, src) in sources.iter().enumerate() {
+                let line = format!(
+                    "{{\"req\":\"open\",\"session\":\"s{i}\",\"source\":\"{}\"}}",
+                    src.replace('\n', "\\n")
+                );
+                match wire.req(&line) {
+                    Some(r) if reply_ok(&r) => {}
+                    other => {
+                        out.mismatches.push(format!("open s{i} failed: {other:?}"));
+                        let _ = child.kill();
+                        return out;
+                    }
+                }
+            }
+            opened = true;
+        } else {
+            // Recover every session and reconcile its fingerprint against
+            // the replica — the single-session replay.
+            let audit_every = (cfg.sessions / 16).max(1);
+            for (i, replica) in replicas.iter_mut().enumerate() {
+                let name = format!("s{i}");
+                let r = match wire.req(&format!("{{\"req\":\"recover\",\"session\":\"{name}\"}}")) {
+                    Some(r) => r,
+                    None => {
+                        out.mismatches
+                            .push(format!("round {round}: daemon died recovering {name}"));
+                        let _ = child.kill();
+                        return out;
+                    }
+                };
+                if !reply_ok(&r) {
+                    out.mismatches
+                        .push(format!("round {round}: recover {name}: {r}"));
+                    continue;
+                }
+                out.recoveries += 1;
+                if reply_field(&r, "from_checkpoint") == Some("true") {
+                    out.checkpoint_recoveries += 1;
+                }
+                let got = reply_field(&r, "fingerprint").unwrap_or("?").to_string();
+                let plain = format!("{:016x}", snapshot::fingerprint(replica));
+                if got != plain {
+                    // One operation may have committed without its ack:
+                    // apply it and retry the match.
+                    let resolved = match &inflight {
+                        Some((sid, op)) if *sid == i => {
+                            let mut probe = replica.clone();
+                            apply_local(&mut probe, op);
+                            let with_op = format!("{:016x}", snapshot::fingerprint(&probe));
+                            if with_op == got {
+                                *replica = probe;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        _ => false,
+                    };
+                    if !resolved {
+                        out.mismatches.push(format!(
+                            "round {round}: {name} recovered to {got}, replica {plain}"
+                        ));
+                    }
+                }
+                if let Some((sid, _)) = &inflight {
+                    if *sid == i {
+                        inflight = None;
+                    }
+                }
+                if i % audit_every == 0 {
+                    let a = wire
+                        .req(&format!("{{\"req\":\"audit\",\"session\":\"{name}\"}}"))
+                        .unwrap_or_default();
+                    if reply_ok(&a) {
+                        out.audits += 1;
+                        let findings: u64 = reply_field(&a, "findings")
+                            .and_then(|f| f.parse().ok())
+                            .unwrap_or(0);
+                        if findings > 0 {
+                            out.audit_findings += findings;
+                            out.mismatches.push(format!(
+                                "round {round}: post-recovery audit of {name} found {findings}"
+                            ));
+                        }
+                    }
+                }
+            }
+            // An in-flight op whose session recovered without it: the torn
+            // tail discarded it, which is a legal outcome — drop it.
+            inflight = None;
+        }
+
+        // A timer kills hard-kill rounds while requests are in flight.
+        if let Mode::HardKill(delay_ms) = mode {
+            let pid = child.id();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                // SIGKILL via the child handle is not shareable; use the
+                // portable fallback of killing through a second handle.
+                #[cfg(unix)]
+                {
+                    extern "C" {
+                        fn kill(pid: i32, sig: i32) -> i32;
+                    }
+                    unsafe {
+                        kill(pid as i32, 9);
+                    }
+                }
+                #[cfg(not(unix))]
+                let _ = pid;
+            });
+        }
+
+        // Drive the op stream until the budget is spent or the daemon dies.
+        let mut crashed = false;
+        for _ in 0..cfg.ops_per_round {
+            let sid = rng.gen_range(0..cfg.sessions);
+            if rng.gen_bool(0.06) {
+                // Periodic live fingerprint probe: state must agree with
+                // the replica *between* crashes too.
+                match wire.req(&format!(
+                    "{{\"req\":\"fingerprint\",\"session\":\"s{sid}\"}}"
+                )) {
+                    Some(r) if reply_ok(&r) => {
+                        let want = format!("{:016x}", snapshot::fingerprint(&replicas[sid]));
+                        if reply_field(&r, "fingerprint") != Some(want.as_str()) {
+                            out.mismatches.push(format!(
+                                "round {round}: live fingerprint of s{sid} diverged: {r}"
+                            ));
+                        }
+                    }
+                    Some(r) => out
+                        .mismatches
+                        .push(format!("round {round}: fingerprint s{sid}: {r}")),
+                    None => {
+                        crashed = true;
+                        break;
+                    }
+                }
+                continue;
+            }
+            if rng.gen_bool(0.05) {
+                // Checkpoint requests interleave with the op stream; they
+                // change the journal, never the state.
+                if wire
+                    .req(&format!(
+                        "{{\"req\":\"checkpoint\",\"session\":\"s{sid}\"}}"
+                    ))
+                    .is_none()
+                {
+                    crashed = true;
+                    break;
+                }
+                continue;
+            }
+            let op = random_op(&mut rng, &replicas[sid]);
+            match wire.req(&op.request(&format!("s{sid}"))) {
+                Some(reply) => {
+                    let local_ok = apply_local(&mut replicas[sid], &op);
+                    let remote_ok = reply_ok(&reply);
+                    out.ops_acked += 1;
+                    if local_ok != remote_ok {
+                        out.mismatches.push(format!(
+                            "round {round}: s{sid} {op:?} parity: daemon {remote_ok} \
+                             ({reply}) vs replica {local_ok}"
+                        ));
+                    }
+                }
+                None => {
+                    inflight = Some((sid, op));
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+
+        match mode {
+            Mode::Graceful => {
+                if crashed {
+                    out.mismatches
+                        .push(format!("round {round}: daemon died in the graceful round"));
+                    let _ = child.kill();
+                } else {
+                    if wire.req("{\"req\":\"shutdown\"}").is_none() {
+                        out.mismatches
+                            .push(format!("round {round}: shutdown got no reply"));
+                    }
+                    let _ = child.wait();
+                    verify_drained(&dir, &sources, &replicas, &mut out);
+                }
+            }
+            Mode::KillPoint(_) | Mode::HardKill(_) => {
+                if !crashed {
+                    // Budget ran out before the kill landed; finish the
+                    // job so the round still exercises recovery.
+                    let _ = child.kill();
+                    inflight = None;
+                }
+                let _ = child.wait();
+                out.crashes += 1;
+                tear_unacked_tail(&dir, &mut rng, cfg.sessions, &inflight, &mut out);
+                torn_checkpoint_probe(&dir, &sources, &mut out);
+            }
+        }
+    }
+
+    overload_phase(&dir, &mut out);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Tear a journal tail before the restart.
+///
+/// Two flavors, both guaranteed never to touch an acknowledged operation:
+/// a trailing `begin` record of the in-flight session (the kill landed
+/// between begin and commit — a begin can never have been acked, since
+/// any acked outcome appends its commit/abort first) is torn in place;
+/// and on a random session we simulate a crash mid-append by appending a
+/// strict prefix of one of its own begin records, which recovery must
+/// discard as a torn final line.
+fn tear_unacked_tail(
+    dir: &Path,
+    rng: &mut StdRng,
+    sessions: usize,
+    inflight: &Option<(usize, Op)>,
+    out: &mut SoakOutcome,
+) {
+    if let Some((sid, _)) = inflight {
+        let jpath = dir.join(format!("s{sid}.journal"));
+        if let Ok(text) = std::fs::read_to_string(&jpath) {
+            if let Some(last) = text.lines().last() {
+                if last.contains("\"rec\":\"begin\"") {
+                    let cut = rng.gen_range(1..=last.len());
+                    let keep = text.trim_end_matches('\n').len() - cut;
+                    if std::fs::write(&jpath, &text.as_bytes()[..keep]).is_ok() {
+                        out.torn_tails += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Scan from a random start until we find a journal that has anything to
+    // tear — at full scale most sessions never see an op, so a single random
+    // pick would almost always land on an empty journal.
+    let start = rng.gen_range(0..sessions);
+    let Some((jpath, text, begin)) = (0..sessions).find_map(|off| {
+        let sid = (start + off) % sessions;
+        let jpath = dir.join(format!("s{sid}.journal"));
+        let text = std::fs::read_to_string(&jpath).ok()?;
+        if !text.ends_with('\n') {
+            return None; // already torn naturally; leave it be
+        }
+        let begin = text
+            .lines()
+            .rev()
+            .find(|l| l.contains("\"rec\":\"begin\""))?
+            .to_string();
+        Some((jpath, text, begin))
+    }) else {
+        return;
+    };
+    let begin = begin.as_str();
+    let cut = rng.gen_range(1..begin.len());
+    let stub = begin[..cut].to_string();
+    let mut bytes = text.into_bytes();
+    bytes.extend_from_slice(stub.as_bytes());
+    if std::fs::write(&jpath, bytes).is_ok() {
+        out.torn_tails += 1;
+    }
+}
+
+/// Recovery of a journal truncated *inside* its checkpoint record must
+/// fail loudly — run the probe on a copy so the real journal is untouched.
+fn torn_checkpoint_probe(dir: &Path, sources: &[String], out: &mut SoakOutcome) {
+    for (i, src) in sources.iter().enumerate() {
+        let jpath = dir.join(format!("s{i}.journal"));
+        let Ok(text) = std::fs::read_to_string(&jpath) else {
+            continue;
+        };
+        let Some(first) = text.lines().next() else {
+            continue;
+        };
+        if !first.starts_with("{\"rec\":\"checkpoint\"") || first.len() < 40 {
+            continue;
+        }
+        let probe = dir.join("torn_probe.journal");
+        if std::fs::write(&probe, &first.as_bytes()[..first.len() / 2]).is_err() {
+            continue;
+        }
+        out.torn_checkpoint_probes += 1;
+        let prog = match pivot_lang::parser::parse(src) {
+            Ok(p) => p,
+            Err(e) => {
+                out.mismatches.push(format!("probe parse: {e}"));
+                return;
+            }
+        };
+        match Session::recover(prog, &probe) {
+            Err(e) if e.to_string().contains("checkpoint") => {}
+            Err(e) => out
+                .mismatches
+                .push(format!("torn-checkpoint probe s{i}: wrong error: {e}")),
+            Ok(r) => out.mismatches.push(format!(
+                "torn-checkpoint probe s{i}: silently recovered {} txns",
+                r.committed
+            )),
+        }
+        let _ = std::fs::remove_file(&probe);
+        return;
+    }
+}
+
+/// After the graceful round: every journal must be compacted to a single
+/// checkpoint, and an independent in-process recovery of each must land
+/// on the replica's fingerprint exactly.
+fn verify_drained(dir: &Path, sources: &[String], replicas: &[Session], out: &mut SoakOutcome) {
+    for (i, (src, replica)) in sources.iter().zip(replicas).enumerate() {
+        let jpath = dir.join(format!("s{i}.journal"));
+        let text = match std::fs::read_to_string(&jpath) {
+            Ok(t) => t,
+            Err(e) => {
+                out.mismatches
+                    .push(format!("drain left no journal for s{i}: {e}"));
+                continue;
+            }
+        };
+        if !text.starts_with("{\"rec\":\"checkpoint\"") || text.lines().count() != 1 {
+            out.mismatches.push(format!(
+                "drain did not compact s{i}: {} lines",
+                text.lines().count()
+            ));
+            continue;
+        }
+        let prog = match pivot_lang::parser::parse(src) {
+            Ok(p) => p,
+            Err(e) => {
+                out.mismatches.push(format!("drain verify parse s{i}: {e}"));
+                continue;
+            }
+        };
+        match Session::recover(prog, &jpath) {
+            Ok(r) => {
+                let got = snapshot::fingerprint(&r.session);
+                let want = snapshot::fingerprint(replica);
+                if got != want {
+                    out.mismatches.push(format!(
+                        "final recovery of s{i}: {got:016x} vs replay {want:016x}"
+                    ));
+                }
+            }
+            Err(e) => out
+                .mismatches
+                .push(format!("final recovery of s{i} failed: {e}")),
+        }
+    }
+}
+
+/// Overload phase: a tiny daemon must reject excess connections and stall
+/// mid-line clients with *typed* replies, and surface both on its scrape
+/// endpoint.
+fn overload_phase(dir: &Path, out: &mut SoakOutcome) {
+    let odir = dir.join("overload");
+    let _ = std::fs::create_dir_all(&odir);
+    let daemon = match spawn_child(
+        &odir,
+        None,
+        &[
+            "--max-conns",
+            "4",
+            "--read-timeout-ms",
+            "300",
+            "--scrape-addr",
+            "127.0.0.1:0",
+        ],
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            out.mismatches.push(format!("overload phase: {e}"));
+            return;
+        }
+    };
+    let mut child = daemon.child;
+    // Fill the connection budget with live connections.
+    let mut held = Vec::new();
+    for _ in 0..4 {
+        match Wire::connect(&daemon.addr) {
+            Ok(mut w) => {
+                let _ = w.req("{\"req\":\"ping\"}");
+                held.push(w);
+            }
+            Err(e) => {
+                out.mismatches.push(format!("overload connect: {e}"));
+                let _ = child.kill();
+                return;
+            }
+        }
+    }
+    // Excess connections must be rejected explicitly.
+    for _ in 0..6 {
+        if let Ok(mut w) = Wire::connect(&daemon.addr) {
+            if let Some(reply) = w.req("{\"req\":\"ping\"}") {
+                if reply.contains("\"error\":\"overloaded\"") {
+                    out.overload_rejections += 1;
+                }
+            }
+        }
+    }
+    // A stalled mid-line client must get a typed timeout.
+    drop(held.pop());
+    std::thread::sleep(Duration::from_millis(50));
+    if let Ok(mut w) = Wire::connect(&daemon.addr) {
+        let _ = w.stream.write_all(b"{\"req\":\"pi");
+        let _ = w.stream.flush();
+        let mut reply = String::new();
+        if w.reader.read_line(&mut reply).is_ok() && reply.contains("\"error\":\"timeout\"") {
+            out.timeout_replies += 1;
+        }
+    }
+    // Both degradations are visible on the scrape endpoint.
+    if let Some(scrape) = &daemon.scrape_addr {
+        match scrape_text(scrape) {
+            Ok(text) => {
+                for family in ["pivot_serve_rejected_total", "pivot_serve_timeouts_total"] {
+                    let moved = text.lines().any(|l| {
+                        l.starts_with(family)
+                            && l.rsplit(' ')
+                                .next()
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .is_some_and(|v| v > 0)
+                    });
+                    if !moved {
+                        out.mismatches
+                            .push(format!("scrape endpoint missing nonzero {family}"));
+                    }
+                }
+            }
+            Err(e) => out.mismatches.push(format!("scrape: {e}")),
+        }
+    }
+    if let Ok(mut w) = Wire::connect(&daemon.addr) {
+        let _ = w.req("{\"req\":\"shutdown\"}");
+    }
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => break,
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            _ => {
+                let _ = child.kill();
+                break;
+            }
+        }
+    }
+}
+
+/// Minimal HTTP GET of `/metrics` against the scrape endpoint.
+fn scrape_text(addr: &str) -> Result<String, String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    s.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    let mut body = String::new();
+    s.read_to_string(&mut body).map_err(|e| e.to_string())?;
+    Ok(body)
+}
+
+// -------------------------------------------------------------------
+// Compaction bench
+// -------------------------------------------------------------------
+
+/// One row of the compaction bench.
+#[derive(Debug)]
+pub struct CompactionRow {
+    /// Committed transactions in the session's lifetime.
+    pub ops: usize,
+    /// Journal bytes before compaction.
+    pub full_bytes: u64,
+    /// Recovery wall time replaying the full journal.
+    pub full_recover_ns: u128,
+    /// Journal bytes after compaction (checkpoint + empty tail).
+    pub compacted_bytes: u64,
+    /// Recovery wall time from the checkpoint.
+    pub compacted_recover_ns: u128,
+}
+
+/// Measure how compaction bounds recovery for a long-lived session with
+/// *bounded live state*: apply/undo churn accumulates a journal whose
+/// length tracks the session's lifetime while the state stays small, so
+/// full-journal recovery replays O(lifetime) transactions where a
+/// checkpoint restores O(state). (With a state-growing op mix the
+/// checkpoint snapshot grows alongside the state and the bound
+/// disappears — the soak covers that shape; this bench isolates the
+/// one compaction exists for.)
+pub fn compaction_bench(seed: u64, op_counts: &[usize]) -> Result<Vec<CompactionRow>, String> {
+    let dir = std::env::temp_dir().join(format!("pivot_servebench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let src = source_for(1);
+    let prog = || pivot_lang::parser::parse(&src).map_err(|e| e.to_string());
+    let mut rows = Vec::new();
+    for &ops in op_counts {
+        let jpath = dir.join(format!("bench_{ops}.journal"));
+        let _ = std::fs::remove_file(&jpath);
+        let mut s = Session::from_source(&src).map_err(|e| e.to_string())?;
+        s.set_journal(pivot_undo::Journal::open(&jpath).map_err(|e| e.to_string())?);
+        let mut rng = StdRng::seed_from_u64(seed ^ ops as u64);
+        let mut committed = 0usize;
+        while committed < ops {
+            let kind = KINDS[rng.gen_range(0..KINDS.len())];
+            let applied = {
+                let opps = s.find(kind);
+                match opps.first() {
+                    Some(opp) => s.apply(&opp.clone()).ok(),
+                    None => None,
+                }
+            };
+            let Some(id) = applied else { continue };
+            committed += 1;
+            if committed >= ops {
+                break;
+            }
+            // Undo what was just applied: the journal grows two records
+            // per cycle, the live state returns to (near) the original.
+            if s.undo(id, Strategy::Regional).is_ok() {
+                committed += 1;
+            }
+        }
+        let full_bytes = std::fs::metadata(&jpath).map_err(|e| e.to_string())?.len();
+        let t0 = Instant::now();
+        let full = Session::recover(prog()?, &jpath).map_err(|e| e.to_string())?;
+        let full_recover_ns = t0.elapsed().as_nanos();
+        let want = snapshot::fingerprint(&full.session);
+        drop(full);
+        s.compact_journal().map_err(|e| e.to_string())?;
+        let compacted_bytes = std::fs::metadata(&jpath).map_err(|e| e.to_string())?.len();
+        let t0 = Instant::now();
+        let compacted = Session::recover(prog()?, &jpath).map_err(|e| e.to_string())?;
+        let compacted_recover_ns = t0.elapsed().as_nanos();
+        if snapshot::fingerprint(&compacted.session) != want || snapshot::fingerprint(&s) != want {
+            return Err(format!("bench at {ops} ops: fingerprints diverged"));
+        }
+        rows.push(CompactionRow {
+            ops,
+            full_bytes,
+            full_recover_ns,
+            compacted_bytes,
+            compacted_recover_ns,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(rows)
+}
+
+/// Render bench rows as the `BENCH_serve.json` document.
+pub fn render_bench_json(soak: &SoakOutcome, rows: &[CompactionRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"E17-serve\",\n  \"soak\": {\n");
+    out.push_str(&format!("    \"sessions\": {},\n", soak.sessions));
+    out.push_str(&format!("    \"rounds\": {},\n", soak.rounds));
+    out.push_str(&format!("    \"ops_acked\": {},\n", soak.ops_acked));
+    out.push_str(&format!("    \"crashes\": {},\n", soak.crashes));
+    out.push_str(&format!("    \"recoveries\": {},\n", soak.recoveries));
+    out.push_str(&format!(
+        "    \"checkpoint_recoveries\": {},\n",
+        soak.checkpoint_recoveries
+    ));
+    out.push_str(&format!("    \"torn_tails\": {},\n", soak.torn_tails));
+    out.push_str(&format!(
+        "    \"torn_checkpoint_probes\": {},\n",
+        soak.torn_checkpoint_probes
+    ));
+    out.push_str(&format!("    \"audits\": {},\n", soak.audits));
+    out.push_str(&format!(
+        "    \"overload_rejections\": {},\n",
+        soak.overload_rejections
+    ));
+    out.push_str(&format!(
+        "    \"timeout_replies\": {},\n",
+        soak.timeout_replies
+    ));
+    out.push_str(&format!("    \"mismatches\": {}\n", soak.mismatches.len()));
+    out.push_str("  },\n  \"compaction\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"ops\": {}, \"full_bytes\": {}, \"full_recover_ms\": {:.3}, \
+             \"compacted_bytes\": {}, \"compacted_recover_ms\": {:.3}}}{}\n",
+            r.ops,
+            r.full_bytes,
+            r.full_recover_ns as f64 / 1e6,
+            r.compacted_bytes,
+            r.compacted_recover_ns as f64 / 1e6,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -5,7 +5,9 @@
 # undo/apply cascades must surface typed errors and roll back, never panic
 # mid-mutation — an auditor that panics on the corrupt states it exists to
 # diagnose is useless, and telemetry that can panic (e.g. on a poisoned
-# lock) takes down the very process it is meant to observe.
+# lock) takes down the very process it is meant to observe. The serve
+# daemon is held to the same bar: a multi-tenant server that panics on one
+# bad request takes down every other tenant's session with it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +30,9 @@ FILES=(
 while IFS= read -r f; do
   FILES+=("$f")
 done < <(find crates/audit/src -name '*.rs' | sort)
+while IFS= read -r f; do
+  FILES+=("$f")
+done < <(find crates/serve/src -name '*.rs' | sort)
 
 status=0
 for f in "${FILES[@]}"; do

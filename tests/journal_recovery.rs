@@ -113,6 +113,118 @@ fn full_journal_recovers_final_state_and_skips_the_abort() {
     assert_eq!(recovery.session.source(), *snapshots.last().unwrap());
 }
 
+/// Run the scripted session, compact mid-script, and keep going; returns
+/// the journal bytes, the end of the checkpoint record within them, and
+/// source snapshots after each post-checkpoint committed transaction
+/// (snapshots[0] = the checkpointed state).
+fn compacted_session() -> (Vec<u8>, usize, Vec<String>) {
+    let path = tmp("compacted.journal");
+    let _ = std::fs::remove_file(&path);
+    let mut s = Session::from_source(SRC).unwrap();
+    s.set_journal(Journal::open(&path).unwrap());
+    let cse = s.apply_kind(XformKind::Cse).expect("e + f recurs");
+    s.apply_kind(XformKind::Cfo).expect("3 * 4 folds");
+    assert!(s.compact_journal().unwrap(), "journal attached");
+    let mut snapshots = vec![s.source()];
+    s.undo(cse, Strategy::Regional).unwrap();
+    snapshots.push(s.source());
+    let bytes = std::fs::read(&path).unwrap();
+    let ckpt_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("checkpoint line")
+        + 1;
+    assert!(
+        bytes.starts_with(b"{\"rec\":\"checkpoint\""),
+        "compaction must leave a checkpoint record first"
+    );
+    (bytes, ckpt_end, snapshots)
+}
+
+#[test]
+fn compacted_journal_recovers_at_every_truncation_boundary() {
+    let (bytes, ckpt_end, snapshots) = compacted_session();
+    let path = tmp("compacted_truncated.journal");
+    for len in 0..=bytes.len() {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        let prog = parse(SRC).unwrap();
+        let result = Session::recover(prog, &path);
+        // The checkpoint record parses once its closing brace is present;
+        // the trailing newline is framing, not part of the record.
+        if len < 10 {
+            // So short a stub is indistinguishable from a torn first
+            // `begin` (all records share the `{"rec":"` prefix, `commit`
+            // one byte more) and compaction's atomic rewrite can never
+            // crash into this shape, so it is tolerated like any torn
+            // ordinary record: a fresh, untransformed session.
+            let r = result.unwrap_or_else(|e| panic!("stub of {len} bytes: {e}"));
+            assert_eq!(r.committed, 0, "stub of {len} bytes");
+            assert!(!r.from_checkpoint, "stub of {len} bytes");
+            continue;
+        }
+        if len < ckpt_end - 1 {
+            // Truncation *inside* the checkpoint record. The checkpoint is
+            // the only carrier of the compacted-away history, so a torn
+            // one is unrecoverable corruption: it must be *detected*, not
+            // silently treated as an empty or shorter journal.
+            let err = match result {
+                Err(e) => e.to_string(),
+                Ok(r) => panic!(
+                    "truncation at byte {len} (inside the checkpoint) must \
+                     fail, but recovered {} txns",
+                    r.committed
+                ),
+            };
+            assert!(
+                err.contains("checkpoint"),
+                "truncation at byte {len}: error must name the checkpoint, \
+                 got: {err}"
+            );
+            continue;
+        }
+        // At or past the checkpoint: snapshot restore + surviving tail.
+        let r = result.unwrap_or_else(|e| panic!("truncation at byte {len}: {e}"));
+        assert!(r.from_checkpoint, "truncation at byte {len}");
+        let want_commits = commits_in(&bytes[..len]);
+        assert_eq!(
+            r.committed, want_commits,
+            "truncation at byte {len} replayed the wrong transaction count"
+        );
+        assert_eq!(
+            r.session.source(),
+            snapshots[want_commits],
+            "truncation at byte {len} recovered to the wrong state"
+        );
+        assert!(
+            r.session.consistency_violations().is_empty(),
+            "truncation at byte {len} left an inconsistent session"
+        );
+    }
+}
+
+#[test]
+fn compacted_recovery_preserves_undoability_of_checkpointed_history() {
+    let (bytes, _, _) = compacted_session();
+    let path = tmp("compacted_resume.journal");
+    std::fs::write(&path, &bytes).unwrap();
+    let recovery = Session::recover(parse(SRC).unwrap(), &path).unwrap();
+    assert!(recovery.from_checkpoint);
+    let mut s = recovery.session;
+    s.set_journal(Journal::open(&path).unwrap());
+    // The transformation applied *before* the checkpoint is still undoable
+    // after a snapshot-based recovery.
+    let remaining: Vec<_> = s.history.active().map(|r| r.id).collect();
+    assert!(!remaining.is_empty(), "cfo survives the checkpoint");
+    for id in remaining {
+        match s.undo(id, Strategy::Regional) {
+            Ok(_) | Err(UndoError::AlreadyUndone(_)) => {}
+            Err(e) => panic!("undo {id}: {e}"),
+        }
+    }
+    assert_eq!(s.source(), Session::from_source(SRC).unwrap().source());
+    s.assert_consistent();
+}
+
 #[test]
 fn recovered_session_continues_journaling_and_undoing() {
     let (bytes, _) = scripted_session();

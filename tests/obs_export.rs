@@ -165,3 +165,57 @@ fn scrape_twice_over_seeded_workload() {
     assert_eq!(http_get(&addr, "/healthz").expect("healthz"), "ok\n");
     handle.shutdown();
 }
+
+/// The serve daemon's own scrape endpoint: drive a session over the wire,
+/// then assert the `serve.*` families show up well formed in the same
+/// exposition (they share the process-global registry).
+#[test]
+fn serve_daemon_scrape_carries_serve_families() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = std::env::temp_dir().join(format!("pivot_obs_export_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = pivot_serve::ServeConfig::new(&dir);
+    cfg.scrape_addr = Some("127.0.0.1:0".to_string());
+    let daemon = pivot_serve::spawn(cfg).expect("spawn daemon");
+
+    // One session, a couple of requests — including a rejected one so the
+    // error counter moves.
+    let stream = std::net::TcpStream::connect(daemon.tcp_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut req = |line: &str| -> String {
+        let mut s = &stream;
+        s.write_all(line.as_bytes()).expect("write");
+        s.write_all(b"\n").expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        reply
+    };
+    let open = req("{\"req\":\"open\",\"session\":\"metered\",\"source\":\"d = e + f\\nr = e + f\\nwrite r\\nwrite d\\n\"}");
+    assert!(open.starts_with("{\"ok\":true"), "{open}");
+    let apply = req("{\"req\":\"apply\",\"session\":\"metered\",\"kind\":\"CSE\"}");
+    assert!(apply.starts_with("{\"ok\":true"), "{apply}");
+    let bad = req("{\"req\":\"fingerprint\",\"session\":\"absent\"}");
+    assert!(bad.contains("\"error\":\"unknown_session\""), "{bad}");
+
+    let scrape_addr = daemon.scrape_addr().expect("scrape addr");
+    let text = http_get(&scrape_addr, "/metrics").expect("daemon scrape");
+    let counters = validate_exposition(&text);
+    for required in [
+        "pivot_serve_requests_total",
+        "pivot_serve_opened_total",
+        "pivot_serve_accepted_total",
+        "pivot_serve_errors_total",
+    ] {
+        assert!(
+            counters.get(required).is_some_and(|&v| v > 0),
+            "`{required}` missing or zero in daemon exposition:\n{text}"
+        );
+    }
+    assert!(
+        text.contains("# TYPE pivot_serve_request_ns summary"),
+        "request-latency histogram missing:\n{text}"
+    );
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
