@@ -1,0 +1,60 @@
+//! Scratch review probe: append-after-torn-tail behavior.
+
+use pivot_lang::parser::parse;
+use pivot_undo::engine::Session;
+use pivot_undo::{Journal, XformKind};
+use std::path::PathBuf;
+
+const SRC: &str = "d = e + f\nr = e + f\nwrite r\nwrite d\nx = 3 * 4\nwrite x\n";
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pivot_review_probe");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn append_after_torn_tail() {
+    let path = tmp("probe.journal");
+    let _ = std::fs::remove_file(&path);
+    let mut s = Session::from_source(SRC).unwrap();
+    s.set_journal(Journal::open(&path).unwrap());
+    s.apply_kind(XformKind::Cse).expect("e + f recurs");
+    drop(s);
+
+    // Simulate a crash mid-append: a strict prefix of a begin record with
+    // no trailing newline (exactly what servecheck's tear does).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let begin = text
+        .lines()
+        .find(|l| l.contains("\"rec\":\"begin\""))
+        .unwrap()
+        .to_string();
+    let stub = &begin[..begin.len() / 2];
+    let mut bytes = text.clone().into_bytes();
+    bytes.extend_from_slice(stub.as_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    // First recovery: torn tail discarded, fine.
+    let prog = parse(SRC).unwrap();
+    let rec = Session::recover(prog, &path).expect("first recovery succeeds");
+    let mut s2 = rec.session;
+    eprintln!("first recovery: committed={}", rec.committed);
+
+    // Re-attach journal the way the daemon does, apply one more op.
+    s2.set_journal(Journal::open(&path).unwrap());
+    s2.apply_kind(XformKind::Cfo).expect("3 * 4 folds");
+    drop(s2);
+
+    eprintln!("journal now:\n{}", std::fs::read_to_string(&path).unwrap());
+
+    // Second recovery: does the committed op survive?
+    let prog2 = parse(SRC).unwrap();
+    match Session::recover(prog2, &path) {
+        Ok(r) => eprintln!(
+            "second recovery OK: committed={} aborted={} discarded={}",
+            r.committed, r.aborted, r.discarded
+        ),
+        Err(e) => panic!("second recovery failed: {e}"),
+    }
+}
