@@ -138,7 +138,7 @@ fn duplicate_stamp_detected() {
 fn stale_rep_detected() {
     let mut s = fig1_session();
     let key = *s.rep.pos.keys().next().expect("pos is populated");
-    s.rep.pos.remove(&key);
+    std::sync::Arc::make_mut(&mut s.rep).pos.remove(&key);
     let report = audit_session(&s, &pristine_cfg());
     assert!(
         has(&report, "PV003"),

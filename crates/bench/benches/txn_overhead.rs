@@ -1,12 +1,18 @@
 //! Transactional-undo overhead: what the checkpoint/rollback machinery and
 //! the write-ahead journal cost on the standard mid-sequence undo.
 //!
-//! Expected shape (recorded in EXPERIMENTS.md): the checkpoint is a plain
-//! clone of the four session structures, so `undo` with no journal stays
-//! within noise of the pre-transactional engine; attaching a journal adds
-//! two synced line writes per request and dominates on fast undos.
+//! Expected shape (recorded in EXPERIMENTS.md): the checkpoint is a
+//! copy-on-write capture of the four session structures — chunk-table
+//! copies plus refcount bumps, effectively O(1) in program size — so
+//! `undo` with no journal stays within noise of the pre-transactional
+//! engine; attaching a journal adds two synced line writes per request
+//! and dominates on fast undos. The `checkpoint` entries time take +
+//! release on a live session (the per-request cost); the size ladder
+//! (16/64/256 fragments) pins the flat-in-program-size claim, and
+//! `pivot-workload cowcheck` gates the speedup against the eager
+//! deep-copy baseline in CI.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use pivot_undo::engine::Strategy;
 use pivot_undo::Journal;
 use pivot_workload::{prepare, WorkloadCfg};
@@ -31,13 +37,20 @@ fn bench_txn(c: &mut Criterion) {
     g.sample_size(20);
 
     // Raw snapshot cost: what every apply/undo request pays up front.
-    g.bench_function("checkpoint", |b| {
-        b.iter_batched(
-            || prepare(seed, &cfg, 32),
-            |p| p.session.checkpoint(),
-            BatchSize::PerIteration,
-        )
-    });
+    // Timed on a live session so only take + release is measured (the old
+    // iter_batched form also timed tearing down the whole prepared
+    // session, swamping the number it existed to track).
+    g.bench_function("checkpoint", |b| b.iter(|| probe.session.checkpoint()));
+
+    // Same capture across a size ladder: copy-on-write checkpoints must
+    // stay flat as the program grows.
+    for frags in [64usize, 256] {
+        let (lcfg, lseed) = setup(frags);
+        let large = prepare(lseed, &lcfg, 32);
+        g.bench_function(BenchmarkId::new("checkpoint", frags), |b| {
+            b.iter(|| large.session.checkpoint())
+        });
+    }
 
     // Mid-sequence undo with the checkpoint/rollback machinery but no
     // journal — the default configuration.

@@ -268,10 +268,12 @@ impl From<EditError> for ActionError {
 /// The log of **active** primitive actions, with annotation lookup. Undoing
 /// a transformation removes its actions from the log (the annotations are
 /// "deleted from the program representation", as the paper puts it).
+/// The action list is a [`pivot_lang::PVec`], so checkpoint/fork clones
+/// share every untouched chunk and an append dirties only the tail chunk.
 #[derive(Clone, Debug, Default)]
 pub struct ActionLog {
     /// Active actions, in stamp order.
-    pub actions: Vec<StampedAction>,
+    pub actions: pivot_lang::PVec<StampedAction>,
     next_stamp: u64,
 }
 
@@ -293,8 +295,17 @@ impl ActionLog {
     /// would mint colliding stamps after recovery.
     pub fn from_parts(actions: Vec<StampedAction>, next_stamp: Stamp) -> ActionLog {
         ActionLog {
-            actions,
+            actions: actions.into(),
             next_stamp: next_stamp.0,
+        }
+    }
+
+    /// A copy sharing no chunks with `self` — the pre-CoW eager-clone cost
+    /// profile, kept for the `cowcheck` gate and differential oracles.
+    pub fn deep_clone(&self) -> ActionLog {
+        ActionLog {
+            actions: self.actions.unshared(),
+            next_stamp: self.next_stamp,
         }
     }
 

@@ -142,10 +142,13 @@ impl Session {
         };
         let pool = self.pool().clone();
         match self.rep_mode {
-            pivot_ir::RepMode::Batch => self.rep.refresh_with(&self.prog, &pool),
+            pivot_ir::RepMode::Batch => {
+                self.rep = std::sync::Arc::new(self.rep.rebuilt_with(&self.prog, &pool))
+            }
             mode => {
                 let delta = crate::delta::edit_delta(&self.prog, edit, &touched);
-                match self.rep.try_refresh_delta(&self.prog, &delta) {
+                match std::sync::Arc::make_mut(&mut self.rep).try_refresh_delta(&self.prog, &delta)
+                {
                     Ok(pivot_ir::RefreshOutcome::Incremental(_)) => {
                         if mode == pivot_ir::RepMode::Checked {
                             pivot_ir::incr::check_against_batch(&self.rep, &self.prog);
@@ -156,7 +159,9 @@ impl Session {
                     }
                     // Edits never refuse the refresh (pre-incremental
                     // behavior): rebuild unconditionally.
-                    Err(_) => self.rep.refresh_with(&self.prog, &pool),
+                    Err(_) => {
+                        self.rep = std::sync::Arc::new(self.rep.rebuilt_with(&self.prog, &pool))
+                    }
                 }
             }
         }

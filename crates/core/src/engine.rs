@@ -261,7 +261,13 @@ pub struct Session {
     /// The program being transformed.
     pub prog: Program,
     /// The two-level representation (rebuilt after structural changes).
-    pub rep: Rep,
+    /// Held behind an [`Arc`] so transactional checkpoints and session
+    /// forks share it by refcount: the batch refresh swaps in a freshly
+    /// built `Rep`, and in-place (incremental) updates go through
+    /// [`Arc::make_mut`], which copies the representation exactly once
+    /// when a live snapshot still references it. Use
+    /// [`Session::rep_mut`] to mutate it from outside the engine.
+    pub rep: Arc<Rep>,
     /// Active primitive actions (annotations).
     pub log: ActionLog,
     /// Applied-transformation history.
@@ -300,7 +306,7 @@ impl Clone for Session {
     fn clone(&self) -> Session {
         Session {
             prog: self.prog.clone(),
-            rep: self.rep.clone(),
+            rep: Arc::clone(&self.rep),
             log: self.log.clone(),
             history: self.history.clone(),
             matrix: self.matrix,
@@ -321,7 +327,7 @@ impl Session {
     /// Start a session on a program.
     pub fn new(prog: Program) -> Session {
         let pool = Pool::from_env();
-        let rep = Rep::build_with(&prog, &pool);
+        let rep = Arc::new(Rep::build_with(&prog, &pool));
         let original = prog.clone();
         Session {
             prog,
@@ -355,7 +361,7 @@ impl Session {
         rep_mode: RepMode,
     ) -> Session {
         let pool = Pool::from_env();
-        let rep = Rep::build_with(&prog, &pool);
+        let rep = Arc::new(Rep::build_with(&prog, &pool));
         Session {
             prog,
             rep,
@@ -416,6 +422,16 @@ impl Session {
     /// The worker pool driving the parallel kernels.
     pub fn pool(&self) -> &Pool {
         &self.pool
+    }
+
+    /// Mutably borrow the representation, copying it first when a live
+    /// checkpoint or fork still shares it (`Arc::make_mut` semantics).
+    /// Harness/test hook — the engine refreshes the representation itself;
+    /// note that borrowing through this method borrows the whole session,
+    /// so callers that also need `&self.prog` should use
+    /// `Arc::make_mut(&mut s.rep)` directly for disjoint field borrows.
+    pub fn rep_mut(&mut self) -> &mut Rep {
+        Arc::make_mut(&mut self.rep)
     }
 
     /// Set the worker count for the parallel kernels: `1` selects the
@@ -544,16 +560,22 @@ impl Session {
         }
         match (self.rep_mode, delta) {
             (RepMode::Batch, _) | (_, None) => {
-                self.rep.try_refresh_with(&self.prog, &self.pool)?;
+                // Build-and-swap rather than mutate-in-place: the live
+                // checkpoint shares `self.rep`, and `Arc::make_mut` would
+                // deep-copy a representation this branch immediately
+                // discards anyway.
+                self.rep = Arc::new(self.rep.try_rebuilt_with(&self.prog, &self.pool)?);
             }
-            (mode, Some(delta)) => match self.rep.try_refresh_delta(&self.prog, delta)? {
-                RefreshOutcome::Incremental(_) => {
-                    if mode == RepMode::Checked {
-                        incr::check_against_batch(&self.rep, &self.prog);
+            (mode, Some(delta)) => {
+                match Arc::make_mut(&mut self.rep).try_refresh_delta(&self.prog, delta)? {
+                    RefreshOutcome::Incremental(_) => {
+                        if mode == RepMode::Checked {
+                            incr::check_against_batch(&self.rep, &self.prog);
+                        }
                     }
+                    RefreshOutcome::Fallback(reason) => self.note_incr_fallback(reason),
                 }
-                RefreshOutcome::Fallback(reason) => self.note_incr_fallback(reason),
-            },
+            }
         }
         Ok(())
     }

@@ -78,20 +78,23 @@ pub struct AppliedXform {
 }
 
 impl AppliedXform {
-    /// First (lowest) action stamp.
+    /// First (lowest) action stamp. Every recorded transformation performed
+    /// at least one action; the (unreachable) empty case sorts after every
+    /// real stamp rather than panicking mid-cascade.
     pub fn first_stamp(&self) -> Stamp {
-        *self
-            .stamps
-            .first()
-            .expect("every transformation performs at least one action")
+        self.stamps.first().copied().unwrap_or(Stamp(u64::MAX))
     }
 }
 
 /// The full history.
+///
+/// Records live in a [`pivot_lang::PVec`], so checkpoint/fork clones share
+/// every untouched chunk; the stamp-owner index is derived data that
+/// checkpoints skip entirely (see [`History::from_shared`]).
 #[derive(Clone, Debug, Default)]
 pub struct History {
     /// All records, in application order (index = `XformId - 1`).
-    pub records: Vec<AppliedXform>,
+    pub records: pivot_lang::PVec<AppliedXform>,
     /// Stamp → transformation.
     stamp_owner: HashMap<Stamp, XformId>,
 }
@@ -106,6 +109,16 @@ impl History {
     /// index (which is derived data and therefore not serialized by
     /// snapshots). Records must already carry their application-order ids.
     pub fn from_records(records: Vec<AppliedXform>) -> History {
+        History::from_shared(records.into())
+    }
+
+    /// Reconstruct a history from a (possibly shared) record vector,
+    /// rebuilding the stamp-owner index. This is the rollback path: a
+    /// [`Checkpoint`](crate::txn::Checkpoint) holds only the structurally
+    /// shared records (the index is derived data and O(stamps) to clone),
+    /// and the rare rollback pays for the rebuild instead of every
+    /// checkpoint paying for the copy.
+    pub fn from_shared(records: pivot_lang::PVec<AppliedXform>) -> History {
         let mut stamp_owner = HashMap::new();
         for r in &records {
             for &s in &r.stamps {

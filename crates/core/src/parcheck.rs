@@ -125,7 +125,7 @@ mod tests {
             s.prog
                 .replace_expr_kind(value, pivot_lang::ExprKind::Const(0));
         }
-        s.rep.refresh(&s.prog);
+        std::sync::Arc::make_mut(&mut s.rep).refresh(&s.prog);
         let records: Vec<&crate::history::AppliedXform> = s.history.active().collect();
         let par = screen_parallel(&s.prog, &s.rep, &s.log, &records, 4);
         assert_eq!(par.iter().filter(|&&b| !b).count(), 1);

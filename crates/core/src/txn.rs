@@ -32,6 +32,7 @@ use crate::kind::XformKind;
 use pivot_ir::{RebuildError, Rep};
 use pivot_lang::Program;
 use std::fmt;
+use std::sync::Arc;
 
 /// A typed fault from inside an engine transaction. Every previously
 /// panicking path in the undo/apply hot loop surfaces as one of these, so a
@@ -228,24 +229,45 @@ impl FaultState {
 
 /// Snapshot of a session's transactional state (program, representation,
 /// action log, history), taken at the top of every `undo`/`apply`/
-/// `undo_reverse_to` request. The program and analyses live in flat arenas,
-/// so the snapshot is a handful of `memcpy`-shaped vector clones — cheap
-/// enough to take unconditionally (measured by the `txn_overhead` bench).
-/// `rollback` restores the session to exactly this state.
+/// `undo_reverse_to` request. The snapshot shares structure with the live
+/// session instead of copying it: the program arenas, action log, and
+/// history records are chunked persistent vectors
+/// ([`pivot_lang::PVec`] — clone = chunk-table copy + refcount bumps), and
+/// the representation is one `Arc` bump. `Checkpoint::take` is therefore
+/// O(chunks touched) — effectively O(1) in program size (measured by the
+/// `txn_overhead` bench and gated by `pivot-workload cowcheck`) — and the
+/// session's post-checkpoint mutations copy only the chunks they dirty,
+/// which is what keeps every held checkpoint immutable. `rollback`
+/// restores the session to exactly this state.
 pub struct Checkpoint {
     prog: Program,
-    rep: Rep,
+    rep: Arc<Rep>,
     log: ActionLog,
-    history: History,
+    /// History records only: the stamp-owner index is derived data,
+    /// rebuilt by the (rare) rollback instead of cloned by every take.
+    records: pivot_lang::PVec<crate::history::AppliedXform>,
 }
 
 impl Checkpoint {
     pub(crate) fn take(s: &Session) -> Checkpoint {
         Checkpoint {
             prog: s.prog.clone(),
-            rep: s.rep.clone(),
+            rep: Arc::clone(&s.rep),
             log: s.log.clone(),
-            history: s.history.clone(),
+            records: s.history.records.clone(),
+        }
+    }
+
+    /// Eager whole-state copy sharing nothing with the session — the
+    /// pre-CoW checkpoint semantics. Exists only as the measurable
+    /// baseline for the `cowcheck` regression gate; production paths use
+    /// [`Checkpoint::take`] via [`Session::checkpoint`].
+    pub fn take_deep(s: &Session) -> Checkpoint {
+        Checkpoint {
+            prog: s.prog.deep_clone(),
+            rep: Arc::new((*s.rep).clone()),
+            log: s.log.deep_clone(),
+            records: s.history.records.unshared(),
         }
     }
 }
@@ -310,7 +332,7 @@ impl Session {
         self.prog = cp.prog;
         self.rep = cp.rep;
         self.log = cp.log;
-        self.history = cp.history;
+        self.history = History::from_shared(cp.records);
     }
 
     /// Arm a deterministic fault-injection plan. Counters start at zero;

@@ -179,6 +179,35 @@ impl Rep {
         self.incr_updates = incr_updates;
     }
 
+    /// Build a replacement representation for `prog`, carrying this one's
+    /// build/incremental counters forward (exactly like [`Rep::refresh_with`],
+    /// but returning the rebuilt value instead of overwriting `self`). This
+    /// is the batch path for engines that hold the representation behind a
+    /// shared handle (`Arc<Rep>`): constructing the replacement and swapping
+    /// the handle avoids the deep copy that mutating a shared `Rep` in place
+    /// would force, while live snapshots keep the old representation intact.
+    pub fn rebuilt_with(&self, prog: &Program, pool: &pivot_par::Pool) -> Rep {
+        let mut fresh = Rep::build_with(prog, pool);
+        fresh.builds = self.builds + 1;
+        fresh.incr_updates = self.incr_updates;
+        fresh
+    }
+
+    /// [`Rep::rebuilt_with`] behind the same structural-invariant screen as
+    /// [`Rep::try_refresh_with`]: refuses (building nothing) when the
+    /// program's invariants do not hold.
+    pub fn try_rebuilt_with(
+        &self,
+        prog: &Program,
+        pool: &pivot_par::Pool,
+    ) -> Result<Rep, RebuildError> {
+        let violations = prog.check_invariants();
+        if !violations.is_empty() {
+            return Err(RebuildError { violations });
+        }
+        Ok(self.rebuilt_with(prog, pool))
+    }
+
     /// Fallible rebuild: validate the program's structural invariants first
     /// and refuse (without touching `self`) when they do not hold. This is
     /// the rebuild the transactional engine calls — a refusal aborts the

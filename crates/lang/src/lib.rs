@@ -35,11 +35,13 @@ pub mod lexer;
 pub mod parser;
 pub mod printer;
 pub mod program;
+pub mod pvec;
 pub mod symbols;
 
 pub use ast::{BinOp, BlockRole, Expr, ExprKind, LValue, Parent, Stmt, StmtKind, UnOp};
 pub use ids::{ExprId, StmtId, Sym};
 pub use program::{AnchorPos, EditError, Loc, Program};
+pub use pvec::PVec;
 pub use symbols::SymbolTable;
 
 #[cfg(test)]

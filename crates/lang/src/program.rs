@@ -15,6 +15,7 @@
 
 use crate::ast::{BlockRole, Expr, ExprKind, LValue, Parent, Stmt, StmtKind};
 use crate::ids::{ExprId, StmtId, Sym};
+use crate::pvec::PVec;
 use crate::symbols::SymbolTable;
 
 /// Insertion point within a block: at the start, or immediately after an
@@ -90,10 +91,15 @@ impl std::fmt::Display for EditError {
 impl std::error::Error for EditError {}
 
 /// The program: arenas, root body, and symbol table.
+///
+/// The arenas are [`PVec`]s — chunked persistent vectors — so cloning a
+/// `Program` (session forks, transactional checkpoints, the `original`
+/// round-trip baseline) copies only chunk tables and shares every
+/// untouched chunk; structural edits copy exactly the chunks they dirty.
 #[derive(Clone, Debug, Default)]
 pub struct Program {
-    stmts: Vec<Stmt>,
-    exprs: Vec<Expr>,
+    stmts: PVec<Stmt>,
+    exprs: PVec<Expr>,
     /// Top-level statement list.
     pub body: Vec<StmtId>,
     /// Interned names.
@@ -107,6 +113,20 @@ impl Program {
         Program {
             next_label: 1,
             ..Default::default()
+        }
+    }
+
+    /// A copy whose arenas share no chunks with `self` — the cost profile
+    /// of the pre-CoW eager clone. Only the `cowcheck` gate and the
+    /// differential oracles should need this; ordinary `clone()` shares
+    /// every untouched chunk.
+    pub fn deep_clone(&self) -> Program {
+        Program {
+            stmts: self.stmts.unshared(),
+            exprs: self.exprs.unshared(),
+            body: self.body.clone(),
+            symbols: self.symbols.deep_clone(),
+            next_label: self.next_label,
         }
     }
 
@@ -176,8 +196,8 @@ impl Program {
         next_label: u32,
     ) -> Program {
         Program {
-            stmts,
-            exprs,
+            stmts: stmts.into(),
+            exprs: exprs.into(),
             body,
             symbols,
             next_label,

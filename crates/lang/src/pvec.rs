@@ -1,0 +1,447 @@
+//! A chunked persistent vector with copy-on-write structural sharing.
+//!
+//! [`PVec`] stores its elements in fixed-capacity chunks, each behind an
+//! [`Arc`]. Cloning a `PVec` copies only the chunk *table* (one pointer per
+//! chunk) and bumps refcounts — O(len / CHUNK) pointer copies, no element
+//! is cloned. Mutation goes through [`Arc::make_mut`]: a chunk shared with
+//! another clone is copied once, privately, the first time it is touched;
+//! unshared chunks are edited in place. Two clones therefore share every
+//! chunk neither has written to, which is exactly the shape transactional
+//! checkpoints need: `Checkpoint::take` degenerates to a handful of
+//! refcount bumps, and the post-checkpoint mutations pay only for the
+//! chunks they actually dirty.
+//!
+//! The structure is a vector, not a general sequence: elements keep their
+//! indices, iteration order is storage order, and the observable behavior
+//! of every method matches the `Vec` method of the same name. That
+//! equivalence is what keeps snapshot serialization byte-identical to the
+//! pre-sharing representation — serializers only ever *iterate*, and the
+//! iteration they see is indistinguishable from a flat `Vec`.
+
+use std::sync::Arc;
+
+/// Log2 of the chunk capacity. 32 elements per chunk keeps the unit of
+/// copy-on-write small (one dirtied element copies at most 31 clean
+/// neighbours) while the chunk table stays tiny (one `Arc` per 32
+/// elements).
+const SHIFT: usize = 5;
+/// Elements per chunk.
+const CHUNK: usize = 1 << SHIFT;
+const MASK: usize = CHUNK - 1;
+
+/// A persistent vector: `Vec`-equivalent observable behavior, O(chunk
+/// table) clone, per-chunk copy-on-write mutation. See the module docs.
+pub struct PVec<T> {
+    /// All chunks are exactly [`CHUNK`] long except the last, which holds
+    /// `1..=CHUNK` elements (there is no trailing empty chunk).
+    chunks: Vec<Arc<Vec<T>>>,
+    len: usize,
+}
+
+impl<T> PVec<T> {
+    /// Empty vector.
+    pub fn new() -> Self {
+        PVec {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow element `i`, if in bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i < self.len {
+            self.chunks.get(i >> SHIFT).and_then(|c| c.get(i & MASK))
+        } else {
+            None
+        }
+    }
+
+    /// First element, if any.
+    pub fn first(&self) -> Option<&T> {
+        self.get(0)
+    }
+
+    /// Last element, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.len.checked_sub(1).and_then(|i| self.get(i))
+    }
+}
+
+impl<T: Clone> PVec<T> {
+    /// Mutably borrow element `i`, copying its chunk first if shared.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i < self.len {
+            self.chunks
+                .get_mut(i >> SHIFT)
+                .and_then(|c| Arc::make_mut(c).get_mut(i & MASK))
+        } else {
+            None
+        }
+    }
+
+    /// Append an element. Touches only the tail chunk (copied first when
+    /// shared); earlier chunks stay shared with every clone.
+    pub fn push(&mut self, value: T) {
+        if self.len & MASK == 0 {
+            // Tail chunk full (or no chunks yet): open a fresh one.
+            let mut c = Vec::with_capacity(CHUNK);
+            c.push(value);
+            self.chunks.push(Arc::new(c));
+        } else if let Some(tail) = self.chunks.last_mut() {
+            Arc::make_mut(tail).push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the last element, dropping the tail chunk when it
+    /// empties.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let out = self.chunks.last_mut().and_then(|c| Arc::make_mut(c).pop());
+        if out.is_some() {
+            self.len -= 1;
+            if self.len & MASK == 0 {
+                self.chunks.pop();
+            }
+        }
+        out
+    }
+
+    /// Keep only the elements `f` accepts, preserving order. Rebuilds the
+    /// storage, so survivors end up in fresh (unshared) chunks — clones
+    /// made before the `retain` keep the original elements untouched.
+    pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {
+        let mut kept = PVec::new();
+        for item in self.iter() {
+            if f(item) {
+                kept.push(item.clone());
+            }
+        }
+        *self = kept;
+    }
+
+    /// Iterate mutably over every element. All chunks are unshared first
+    /// (each shared chunk is copied once), so this costs a full copy when
+    /// the vector is shared — prefer [`PVec::get_mut`] for point edits.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.chunks
+            .iter_mut()
+            .flat_map(|c| Arc::make_mut(c).iter_mut())
+    }
+
+    /// A clone whose every chunk is freshly allocated — shares nothing with
+    /// `self` or any of its clones. This reproduces the cost profile of an
+    /// eager deep copy and exists so the `cowcheck` regression gate can
+    /// measure structural sharing against the pre-CoW baseline.
+    pub fn unshared(&self) -> PVec<T> {
+        let mut out = PVec::new();
+        for item in self.iter() {
+            out.push(item.clone());
+        }
+        out
+    }
+}
+
+impl<T> PVec<T> {
+    /// Iterate over the elements in index order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        let per_chunk: fn(&Arc<Vec<T>>) -> std::slice::Iter<'_, T> = chunk_iter;
+        Iter {
+            inner: self.chunks.iter().flat_map(per_chunk),
+        }
+    }
+
+    /// How many chunks are currently shared with at least one other clone
+    /// (diagnostics for the sharing tests and benches).
+    pub fn shared_chunks(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| Arc::strong_count(c) > 1)
+            .count()
+    }
+
+    /// Total number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+fn chunk_iter<T>(c: &Arc<Vec<T>>) -> std::slice::Iter<'_, T> {
+    c.iter()
+}
+
+type IterInner<'a, T> = std::iter::FlatMap<
+    std::slice::Iter<'a, Arc<Vec<T>>>,
+    std::slice::Iter<'a, T>,
+    fn(&'a Arc<Vec<T>>) -> std::slice::Iter<'a, T>,
+>;
+
+/// Borrowing iterator over a [`PVec`] (index order; double-ended).
+pub struct Iter<'a, T> {
+    inner: IterInner<'a, T>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, T> DoubleEndedIterator for Iter<'a, T> {
+    fn next_back(&mut self) -> Option<&'a T> {
+        self.inner.next_back()
+    }
+}
+
+impl<T> Clone for Iter<'_, T> {
+    fn clone(&self) -> Self {
+        Iter {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PVec<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> Clone for PVec<T> {
+    /// O(chunk table): copies one `Arc` per chunk, clones no element.
+    fn clone(&self) -> Self {
+        PVec {
+            chunks: self.chunks.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<T> Default for PVec<T> {
+    fn default() -> Self {
+        PVec::new()
+    }
+}
+
+impl<T> std::ops::Index<usize> for PVec<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        match self.get(i) {
+            Some(v) => v,
+            None => panic!(
+                "index out of bounds: the len is {} but the index is {i}",
+                self.len
+            ),
+        }
+    }
+}
+
+impl<T: Clone> std::ops::IndexMut<usize> for PVec<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        let len = self.len;
+        match self.get_mut(i) {
+            Some(v) => v,
+            None => panic!("index out of bounds: the len is {len} but the index is {i}"),
+        }
+    }
+}
+
+impl<T: Clone> From<Vec<T>> for PVec<T> {
+    fn from(items: Vec<T>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl<T: Clone> FromIterator<T> for PVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = PVec::new();
+        for item in iter {
+            out.push(item);
+        }
+        out
+    }
+}
+
+impl<T: PartialEq> PartialEq for PVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<T: Eq> Eq for PVec<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for PVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_equivalent_push_pop_index() {
+        let mut p: PVec<u32> = PVec::new();
+        let mut v: Vec<u32> = Vec::new();
+        for i in 0..200 {
+            p.push(i);
+            v.push(i);
+        }
+        assert_eq!(p.len(), v.len());
+        for i in 0..v.len() {
+            assert_eq!(p[i], v[i]);
+            assert_eq!(p.get(i), v.get(i));
+        }
+        assert_eq!(p.first(), v.first());
+        assert_eq!(p.last(), v.last());
+        for _ in 0..77 {
+            assert_eq!(p.pop(), v.pop());
+        }
+        assert_eq!(p.iter().copied().collect::<Vec<_>>(), v);
+        while p.pop().is_some() {}
+        assert!(p.is_empty());
+        assert_eq!(p.pop(), None);
+        assert_eq!(p.chunk_count(), 0);
+    }
+
+    #[test]
+    fn iteration_is_index_order_and_double_ended() {
+        let p: PVec<usize> = (0..100).collect();
+        assert_eq!(
+            p.iter().copied().collect::<Vec<_>>(),
+            (0..100).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            p.iter().rev().copied().collect::<Vec<_>>(),
+            (0..100).rev().collect::<Vec<_>>()
+        );
+        let mut it = p.iter();
+        assert_eq!(it.next(), Some(&0));
+        assert_eq!(it.next_back(), Some(&99));
+        assert_eq!(it.count(), 98);
+        // `for x in &p` works.
+        let mut n = 0usize;
+        for x in &p {
+            n += *x;
+        }
+        assert_eq!(n, (0..100).sum());
+    }
+
+    #[test]
+    fn clone_shares_all_chunks_and_mutation_unshares_one() {
+        let mut a: PVec<u32> = (0..100).collect();
+        let b = a.clone();
+        assert_eq!(a.shared_chunks(), a.chunk_count());
+        a[3] = 999;
+        assert_eq!(a.shared_chunks(), a.chunk_count() - 1, "one chunk copied");
+        assert_eq!(b[3], 3, "the clone kept the original element");
+        assert_eq!(a[3], 999);
+        // Every other element is untouched and still physically shared.
+        for i in 0..100 {
+            if i != 3 {
+                assert_eq!(a[i], b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn push_after_clone_leaves_clone_untouched() {
+        let mut a: PVec<u32> = (0..40).collect();
+        let b = a.clone();
+        a.push(40);
+        a.push(41);
+        assert_eq!(b.len(), 40);
+        assert_eq!(a.len(), 42);
+        assert_eq!(
+            b.iter().copied().collect::<Vec<_>>(),
+            (0..40).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pop_after_clone_leaves_clone_untouched() {
+        let mut a: PVec<u32> = (0..40).collect();
+        let b = a.clone();
+        for _ in 0..20 {
+            a.pop();
+        }
+        assert_eq!(b.len(), 40);
+        assert_eq!(b[39], 39);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn retain_matches_vec_and_preserves_clones() {
+        let mut p: PVec<u32> = (0..100).collect();
+        let snap = p.clone();
+        let mut v: Vec<u32> = (0..100).collect();
+        p.retain(|x| x % 3 == 0);
+        v.retain(|x| x % 3 == 0);
+        assert_eq!(p.iter().copied().collect::<Vec<_>>(), v);
+        assert_eq!(snap.len(), 100, "pre-retain clone unchanged");
+        assert_eq!(snap[97], 97);
+    }
+
+    #[test]
+    fn iter_mut_edits_all_and_preserves_clones() {
+        let mut p: PVec<u32> = (0..70).collect();
+        let snap = p.clone();
+        for x in p.iter_mut() {
+            *x += 1;
+        }
+        assert_eq!(
+            p.iter().copied().collect::<Vec<_>>(),
+            (1..71).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            snap.iter().copied().collect::<Vec<_>>(),
+            (0..70).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn equality_and_from_vec() {
+        let a: PVec<u8> = vec![1, 2, 3].into();
+        let b: PVec<u8> = (1..=3).collect();
+        assert_eq!(a, b);
+        let c: PVec<u8> = vec![1, 2, 4].into();
+        assert_ne!(a, c);
+        assert_eq!(format!("{a:?}"), "[1, 2, 3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn index_out_of_bounds_panics_like_vec() {
+        let p: PVec<u8> = vec![1].into();
+        let _ = p[1];
+    }
+}

@@ -2,10 +2,21 @@
 
 use crate::ids::Sym;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Interns variable/array names to small copyable [`Sym`] handles.
+///
+/// The table is copy-on-write: `clone()` is one refcount bump, and the
+/// first `intern`/`fresh` after a share copies the storage once. Programs
+/// are cloned on every checkpoint but intern new names only when a
+/// transformation mints a temporary, so sharing is the common case.
 #[derive(Clone, Debug, Default)]
 pub struct SymbolTable {
+    inner: Arc<Inner>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Inner {
     names: Vec<String>,
     map: HashMap<String, Sym>,
 }
@@ -18,33 +29,34 @@ impl SymbolTable {
 
     /// Intern `name`, returning its symbol (existing or fresh).
     pub fn intern(&mut self, name: &str) -> Sym {
-        if let Some(&s) = self.map.get(name) {
+        if let Some(&s) = self.inner.map.get(name) {
             return s;
         }
-        let s = Sym(self.names.len() as u32);
-        self.names.push(name.to_owned());
-        self.map.insert(name.to_owned(), s);
+        let inner = Arc::make_mut(&mut self.inner);
+        let s = Sym(inner.names.len() as u32);
+        inner.names.push(name.to_owned());
+        inner.map.insert(name.to_owned(), s);
         s
     }
 
     /// Look up an already-interned name.
     pub fn get(&self, name: &str) -> Option<Sym> {
-        self.map.get(name).copied()
+        self.inner.map.get(name).copied()
     }
 
     /// Resolve a symbol back to its name.
     pub fn name(&self, sym: Sym) -> &str {
-        &self.names[sym.index()]
+        &self.inner.names[sym.index()]
     }
 
     /// Number of interned symbols.
     pub fn len(&self) -> usize {
-        self.names.len()
+        self.inner.names.len()
     }
 
     /// True if no symbols are interned.
     pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
+        self.inner.names.is_empty()
     }
 
     /// Generate a fresh symbol not colliding with any interned name, using
@@ -65,10 +77,19 @@ impl SymbolTable {
 
     /// Iterate over `(Sym, name)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
-        self.names
+        self.inner
+            .names
             .iter()
             .enumerate()
             .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+
+    /// A copy sharing no storage with `self` — the pre-CoW eager-clone
+    /// cost profile, kept for the `cowcheck` baseline.
+    pub fn deep_clone(&self) -> SymbolTable {
+        SymbolTable {
+            inner: Arc::new((*self.inner).clone()),
+        }
     }
 }
 
@@ -114,5 +135,21 @@ mod tests {
         t.intern("B");
         let v: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
         assert_eq!(v, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn clone_shares_until_intern() {
+        let mut t = SymbolTable::new();
+        t.intern("A");
+        let before = t.clone();
+        let b = t.intern("B");
+        assert_eq!(
+            before.get("B"),
+            None,
+            "held clone must not see later interns"
+        );
+        assert_eq!(t.get("B"), Some(b));
+        let deep = t.deep_clone();
+        assert_eq!(deep.get("B"), Some(b));
     }
 }

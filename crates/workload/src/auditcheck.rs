@@ -231,7 +231,7 @@ const POISONS: &[Poison] = &[
             let Some(&key) = s.rep.pos.keys().next() else {
                 return false;
             };
-            s.rep.pos.remove(&key);
+            std::sync::Arc::make_mut(&mut s.rep).pos.remove(&key);
             true
         },
     },

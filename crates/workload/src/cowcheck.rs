@@ -1,0 +1,194 @@
+//! Copy-on-write checkpoint regression gate.
+//!
+//! Measures [`Session::checkpoint`] (structural sharing: chunk-table
+//! copies + refcount bumps) against [`Checkpoint::take_deep`] (the
+//! pre-CoW eager whole-state copy) on seeded workloads of increasing
+//! size, and verifies on every size that a checkpoint taken through the
+//! shared path still rolls the session back to a bit-identical
+//! fingerprint. The ratio between the two is hardware-independent enough
+//! to gate in CI: if someone reintroduces an eager copy into the
+//! checkpoint spine, the speedup collapses toward 1 and the gate fails.
+
+use crate::{prepare, WorkloadCfg};
+use pivot_undo::engine::Session;
+use pivot_undo::snapshot::fingerprint;
+use pivot_undo::txn::Checkpoint;
+use pivot_undo::Strategy;
+use std::time::Instant;
+
+/// Measurements for one workload size.
+#[derive(Clone, Debug)]
+pub struct CowRow {
+    /// Enabling fragments in the generated program.
+    pub fragments: usize,
+    /// Statements in the prepared program (size proxy).
+    pub stmts: usize,
+    /// Median eager deep-copy checkpoint time.
+    pub deep_ns: u64,
+    /// Median shared (production) checkpoint time.
+    pub cow_ns: u64,
+    /// Whether rollback through a shared checkpoint restored the exact
+    /// pre-checkpoint fingerprint.
+    pub rollback_exact: bool,
+}
+
+impl CowRow {
+    /// deep / cow — how many times cheaper the shared checkpoint is.
+    pub fn speedup(&self) -> f64 {
+        if self.cow_ns == 0 {
+            f64::INFINITY
+        } else {
+            self.deep_ns as f64 / self.cow_ns as f64
+        }
+    }
+}
+
+/// Aggregate result of a cowcheck run.
+#[derive(Clone, Debug, Default)]
+pub struct CowCheckOutcome {
+    /// One row per workload size, smallest first.
+    pub rows: Vec<CowRow>,
+}
+
+impl CowCheckOutcome {
+    /// Speedup on the largest workload — the number the gate compares.
+    pub fn large_speedup(&self) -> f64 {
+        self.rows.last().map(CowRow::speedup).unwrap_or(0.0)
+    }
+
+    /// Pass iff every rollback was exact and the largest workload's
+    /// checkpoint beat the eager baseline by at least `gate`.
+    pub fn passed(&self, gate: f64) -> bool {
+        !self.rows.is_empty()
+            && self.rows.iter().all(|r| r.rollback_exact)
+            && self.large_speedup() >= gate
+    }
+}
+
+fn median_ns(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples.get(samples.len() / 2).copied().unwrap_or(0)
+}
+
+/// Checkpoint, mutate, rollback: the session must come back bit-identical.
+fn rollback_exact(s: &mut Session, applied: &[pivot_undo::XformId]) -> bool {
+    let fp0 = fingerprint(s);
+    let cp = s.checkpoint();
+    if let Some(&id) = applied.first() {
+        // Any mutation will do; undo is the interesting one.
+        let _ = s.undo(id, Strategy::Regional);
+    }
+    s.rollback(cp);
+    fingerprint(s) == fp0
+}
+
+/// Measure one workload size.
+fn measure(seed: u64, fragments: usize, iters: usize) -> CowRow {
+    let cfg = WorkloadCfg {
+        fragments,
+        noise_ratio: 0.3,
+        ..Default::default()
+    };
+    let mut p = prepare(seed ^ fragments as u64, &cfg, 32);
+
+    // Warm both paths so first-touch allocator effects don't skew medians.
+    for _ in 0..4 {
+        drop(Checkpoint::take_deep(&p.session));
+        drop(p.session.checkpoint());
+    }
+
+    let deep_ns = median_ns(
+        (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                let cp = Checkpoint::take_deep(&p.session);
+                let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                drop(cp);
+                ns
+            })
+            .collect(),
+    );
+    let cow_ns = median_ns(
+        (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                let cp = p.session.checkpoint();
+                let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                drop(cp);
+                ns
+            })
+            .collect(),
+    );
+
+    let stmts = p.session.prog.stmt_arena_len();
+    let applied = p.applied.clone();
+    CowRow {
+        fragments,
+        stmts,
+        deep_ns,
+        cow_ns,
+        rollback_exact: rollback_exact(&mut p.session, &applied),
+    }
+}
+
+/// Run the sweep over the standard size ladder.
+pub fn sweep_cow(seed: u64, iters: usize) -> CowCheckOutcome {
+    let rows = [8usize, 32, 128]
+        .iter()
+        .map(|&f| measure(seed, f, iters))
+        .collect();
+    CowCheckOutcome { rows }
+}
+
+/// Render the outcome as the `BENCH_cow.json` document.
+pub fn render_cow_json(o: &CowCheckOutcome, gate: f64) -> String {
+    let mut out = String::from("{\n  \"bench\": \"cow_checkpoint\",\n  \"rows\": [\n");
+    for (i, r) in o.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fragments\": {}, \"stmts\": {}, \"deep_ns\": {}, \
+             \"cow_ns\": {}, \"speedup\": {:.1}, \"rollback_exact\": {}}}{}\n",
+            r.fragments,
+            r.stmts,
+            r.deep_ns,
+            r.cow_ns,
+            r.speedup(),
+            r.rollback_exact,
+            if i + 1 < o.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"gate\": {:.1},\n  \"large_speedup\": {:.1},\n  \"passed\": {}\n}}\n",
+        gate,
+        o.large_speedup(),
+        o.passed(gate)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measures_and_rolls_back_exactly() {
+        let o = sweep_cow(0xC0C0, 16);
+        assert_eq!(o.rows.len(), 3);
+        for r in &o.rows {
+            assert!(
+                r.rollback_exact,
+                "inexact rollback at {} fragments",
+                r.fragments
+            );
+            assert!(r.deep_ns > 0 && r.cow_ns > 0);
+        }
+        // Sharing must win by a comfortable margin even on modest sizes;
+        // CI gates the large size at 10x, tests stay conservative.
+        assert!(
+            o.large_speedup() >= 2.0,
+            "shared checkpoint not meaningfully cheaper: {o:?}"
+        );
+        let json = render_cow_json(&o, 2.0);
+        assert!(json.contains("\"bench\": \"cow_checkpoint\""));
+        assert!(json.contains("\"passed\": true"));
+    }
+}

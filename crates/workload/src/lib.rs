@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod auditcheck;
+pub mod cowcheck;
 pub mod faults;
 pub mod fragments;
 pub mod incrcheck;

@@ -46,6 +46,14 @@ commands:
                                leave nothing to find
                                (defaults: --seed 0 --count 4 --steps 20
                                --max 8)
+  cowcheck [--seed N] [--iters N] [--gate X] [--out PATH]
+                               measure shared (copy-on-write) checkpoints
+                               against the eager deep-copy baseline over
+                               a workload size ladder, verify rollback
+                               exactness, and fail unless the largest
+                               workload's checkpoint is at least X times
+                               cheaper (defaults: --seed 49344 --iters 64
+                               --gate 10)
   serve --journal-dir DIR [--addr A] [--scrape-addr A] [--max-conns N]
         [--read-timeout-ms N] [--request-deadline-ms N]
         [--checkpoint-every N]
@@ -232,6 +240,70 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("cowcheck") => {
+            let mut seed = 0xC0C0u64;
+            let mut iters = 64usize;
+            let mut gate = 10.0f64;
+            let mut out_path: Option<String> = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--seed" => value(&mut rest, "--seed").map(|v| seed = v),
+                    "--iters" => value(&mut rest, "--iters").map(|v| iters = v as usize),
+                    "--gate" => rest
+                        .next()
+                        .ok_or_else(|| "--gate needs a value".to_string())
+                        .and_then(|v| v.parse::<f64>().map_err(|e| format!("--gate: {e}")))
+                        .map(|v| gate = v),
+                    "--out" => rest
+                        .next()
+                        .map(|v| out_path = Some(v.clone()))
+                        .ok_or_else(|| "--out needs a value".to_string()),
+                    other => Err(format!("cowcheck: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let o = pivot_workload::cowcheck::sweep_cow(seed, iters);
+            for r in &o.rows {
+                println!(
+                    "cowcheck: {} fragments ({} stmts): deep {} ns, cow {} ns \
+                     ({:.1}x), rollback exact: {}",
+                    r.fragments,
+                    r.stmts,
+                    r.deep_ns,
+                    r.cow_ns,
+                    r.speedup(),
+                    r.rollback_exact
+                );
+            }
+            if let Some(path) = out_path {
+                let doc = pivot_workload::cowcheck::render_cow_json(&o, gate);
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("cowcheck: write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("cowcheck: wrote {path}");
+            }
+            if o.passed(gate) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "cowcheck: gate failed — large-workload speedup {:.1}x < {:.1}x \
+                     (or inexact rollback)",
+                    o.large_speedup(),
+                    gate
+                );
+                ExitCode::FAILURE
+            }
+        }
         Some("serve") => {
             let mut cfg = pivot_serve::ServeConfig::new("pivot-serve-journals");
             let mut journal_dir_set = false;
@@ -320,7 +392,8 @@ fn main() -> ExitCode {
                 "servecheck: {} sessions x {} rounds, {} ops acked, {} crashes, \
                  {} recoveries ({} from checkpoint), {} torn tails, \
                  {} torn-checkpoint probes, {} audits ({} findings), \
-                 {} overload rejections, {} timeout replies, {} mismatches",
+                 {} overload rejections, {} timeout replies \
+                 (uds: {} / {}), {} mismatches",
                 o.sessions,
                 o.rounds,
                 o.ops_acked,
@@ -333,6 +406,8 @@ fn main() -> ExitCode {
                 o.audit_findings,
                 o.overload_rejections,
                 o.timeout_replies,
+                o.uds_overload_rejections,
+                o.uds_timeout_replies,
                 o.mismatches.len()
             );
             if let Some(path) = bench_out {
@@ -362,6 +437,13 @@ fn main() -> ExitCode {
                 }
                 if o.timeout_replies == 0 {
                     eprintln!("servecheck: slow-loris client got no `timeout` reply");
+                }
+                if !o.uds_ok() {
+                    eprintln!(
+                        "servecheck: unix-socket overload phase incomplete \
+                         ({} rejections, {} timeouts)",
+                        o.uds_overload_rejections, o.uds_timeout_replies
+                    );
                 }
                 ExitCode::FAILURE
             }

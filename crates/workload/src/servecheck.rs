@@ -82,22 +82,40 @@ pub struct SoakOutcome {
     pub audits: u64,
     /// Findings those audits reported (must be zero).
     pub audit_findings: u64,
-    /// `overloaded` replies observed in the overload phase.
+    /// `overloaded` replies observed in the TCP overload phase.
     pub overload_rejections: u64,
-    /// `timeout` replies observed in the overload phase.
+    /// `timeout` replies observed in the TCP overload phase.
     pub timeout_replies: u64,
+    /// `overloaded` replies observed in the Unix-socket overload phase.
+    pub uds_overload_rejections: u64,
+    /// `timeout` replies observed in the Unix-socket overload phase.
+    pub uds_timeout_replies: u64,
     /// Invariant violations; empty on a passing soak.
     pub mismatches: Vec<String>,
 }
 
 impl SoakOutcome {
     /// True when every fingerprint reconciled, every audit was clean, and
-    /// degradation under overload was explicit.
+    /// degradation under overload was explicit on both transports.
     pub fn passed(&self) -> bool {
         self.mismatches.is_empty()
             && self.audit_findings == 0
             && self.overload_rejections > 0
             && self.timeout_replies > 0
+            && self.uds_ok()
+    }
+
+    /// Unix-socket overload degradation was explicit (vacuously true on
+    /// platforms without Unix sockets, where the phase does not run).
+    #[cfg(unix)]
+    pub fn uds_ok(&self) -> bool {
+        self.uds_overload_rejections > 0 && self.uds_timeout_replies > 0
+    }
+
+    /// See the Unix variant; non-Unix platforms skip the phase.
+    #[cfg(not(unix))]
+    pub fn uds_ok(&self) -> bool {
+        true
     }
 }
 
@@ -116,6 +134,37 @@ impl Wire {
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Wire { stream, reader })
+    }
+
+    /// One request/reply; `None` when the daemon died mid-exchange.
+    fn req(&mut self, line: &str) -> Option<String> {
+        let mut buf = line.as_bytes().to_vec();
+        buf.push(b'\n');
+        if self.stream.write_all(&buf).is_err() || self.stream.flush().is_err() {
+            return None;
+        }
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(reply.trim_end().to_string()),
+        }
+    }
+}
+
+/// Unix-socket twin of [`Wire`]: same line protocol, same timeouts.
+#[cfg(unix)]
+struct UdsWire {
+    stream: std::os::unix::net::UnixStream,
+    reader: BufReader<std::os::unix::net::UnixStream>,
+}
+
+#[cfg(unix)]
+impl UdsWire {
+    fn connect(path: &Path) -> std::io::Result<UdsWire> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(UdsWire { stream, reader })
     }
 
     /// One request/reply; `None` when the daemon died mid-exchange.
@@ -156,6 +205,8 @@ struct ChildDaemon {
     child: Child,
     addr: String,
     scrape_addr: Option<String>,
+    #[cfg_attr(not(unix), allow(dead_code))]
+    uds_path: Option<String>,
 }
 
 fn spawn_child(
@@ -191,14 +242,21 @@ fn spawn_child(
     // (and the scrape one when requested) so we never block on a quiet
     // child.
     let want_scrape = extra_args.contains(&"--scrape-addr");
+    let want_uds = extra_args.contains(&"--uds");
+    let mut uds_path = None;
     for line in lines.by_ref() {
         let line = line.map_err(|e| format!("daemon stdout: {e}"))?;
         if let Some(a) = line.strip_prefix("listening tcp ") {
             addr = Some(a.trim().to_string());
         } else if let Some(a) = line.strip_prefix("scrape ") {
             scrape_addr = Some(a.trim().to_string());
+        } else if let Some(p) = line.strip_prefix("listening uds ") {
+            uds_path = Some(p.trim().to_string());
         }
-        if addr.is_some() && (!want_scrape || scrape_addr.is_some()) {
+        if addr.is_some()
+            && (!want_scrape || scrape_addr.is_some())
+            && (!want_uds || uds_path.is_some())
+        {
             break;
         }
     }
@@ -207,6 +265,7 @@ fn spawn_child(
         child,
         addr,
         scrape_addr,
+        uds_path,
     })
 }
 
@@ -571,6 +630,8 @@ pub fn soak(cfg: &SoakCfg) -> SoakOutcome {
     }
 
     overload_phase(&dir, &mut out);
+    #[cfg(unix)]
+    overload_phase_uds(&dir, &mut out);
     let _ = std::fs::remove_dir_all(&dir);
     out
 }
@@ -820,6 +881,119 @@ fn overload_phase(dir: &Path, out: &mut SoakOutcome) {
     }
 }
 
+/// Unix-socket overload phase: the same tiny daemon, reached over its
+/// `--uds` listener, must degrade exactly like the TCP path — explicit
+/// `overloaded` rejections once the (transport-agnostic) connection
+/// budget is full, a typed `timeout` for a stalled mid-line client, and
+/// both surfaced through the same `serve.*` counter families on the
+/// scrape endpoint.
+#[cfg(unix)]
+fn overload_phase_uds(dir: &Path, out: &mut SoakOutcome) {
+    let odir = dir.join("overload_uds");
+    let _ = std::fs::create_dir_all(&odir);
+    let sock = odir.join("serve.sock");
+    let sock_arg = sock.to_string_lossy().into_owned();
+    let daemon = match spawn_child(
+        &odir,
+        None,
+        &[
+            "--uds",
+            &sock_arg,
+            "--max-conns",
+            "4",
+            "--read-timeout-ms",
+            "300",
+            "--scrape-addr",
+            "127.0.0.1:0",
+        ],
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            out.mismatches.push(format!("uds overload phase: {e}"));
+            return;
+        }
+    };
+    let mut child = daemon.child;
+    let Some(sock_path) = daemon.uds_path.as_deref().map(Path::new) else {
+        out.mismatches
+            .push("uds overload phase: daemon never reported its socket".into());
+        let _ = child.kill();
+        return;
+    };
+    // Fill the shared connection budget entirely over the Unix socket.
+    let mut held = Vec::new();
+    for _ in 0..4 {
+        match UdsWire::connect(sock_path) {
+            Ok(mut w) => {
+                let _ = w.req("{\"req\":\"ping\"}");
+                held.push(w);
+            }
+            Err(e) => {
+                out.mismatches.push(format!("uds overload connect: {e}"));
+                let _ = child.kill();
+                return;
+            }
+        }
+    }
+    // Excess Unix-socket connections must be rejected explicitly.
+    for _ in 0..6 {
+        if let Ok(mut w) = UdsWire::connect(sock_path) {
+            if let Some(reply) = w.req("{\"req\":\"ping\"}") {
+                if reply.contains("\"error\":\"overloaded\"") {
+                    out.uds_overload_rejections += 1;
+                }
+            }
+        }
+    }
+    // A stalled mid-line Unix-socket client must get a typed timeout.
+    drop(held.pop());
+    std::thread::sleep(Duration::from_millis(50));
+    if let Ok(mut w) = UdsWire::connect(sock_path) {
+        let _ = w.stream.write_all(b"{\"req\":\"pi");
+        let _ = w.stream.flush();
+        let mut reply = String::new();
+        if w.reader.read_line(&mut reply).is_ok() && reply.contains("\"error\":\"timeout\"") {
+            out.uds_timeout_replies += 1;
+        }
+    }
+    // The same counter families the TCP phase checks must have moved.
+    if let Some(scrape) = &daemon.scrape_addr {
+        match scrape_text(scrape) {
+            Ok(text) => {
+                for family in ["pivot_serve_rejected_total", "pivot_serve_timeouts_total"] {
+                    let moved = text.lines().any(|l| {
+                        l.starts_with(family)
+                            && l.rsplit(' ')
+                                .next()
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .is_some_and(|v| v > 0)
+                    });
+                    if !moved {
+                        out.mismatches
+                            .push(format!("uds scrape endpoint missing nonzero {family}"));
+                    }
+                }
+            }
+            Err(e) => out.mismatches.push(format!("uds scrape: {e}")),
+        }
+    }
+    if let Ok(mut w) = UdsWire::connect(sock_path) {
+        let _ = w.req("{\"req\":\"shutdown\"}");
+    }
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => break,
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            _ => {
+                let _ = child.kill();
+                break;
+            }
+        }
+    }
+}
+
 /// Minimal HTTP GET of `/metrics` against the scrape endpoint.
 fn scrape_text(addr: &str) -> Result<String, String> {
     let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -942,6 +1116,14 @@ pub fn render_bench_json(soak: &SoakOutcome, rows: &[CompactionRow]) -> String {
     out.push_str(&format!(
         "    \"timeout_replies\": {},\n",
         soak.timeout_replies
+    ));
+    out.push_str(&format!(
+        "    \"uds_overload_rejections\": {},\n",
+        soak.uds_overload_rejections
+    ));
+    out.push_str(&format!(
+        "    \"uds_timeout_replies\": {},\n",
+        soak.uds_timeout_replies
     ));
     out.push_str(&format!("    \"mismatches\": {}\n", soak.mismatches.len()));
     out.push_str("  },\n  \"compaction\": [\n");

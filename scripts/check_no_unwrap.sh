@@ -16,6 +16,11 @@ FILES=(
   crates/core/src/engine.rs
   crates/core/src/revers.rs
   crates/core/src/parcheck.rs
+  crates/core/src/txn.rs
+  crates/core/src/history.rs
+  crates/core/src/actions.rs
+  crates/lang/src/pvec.rs
+  crates/lang/src/symbols.rs
   crates/par/src/pool.rs
   crates/par/src/sched.rs
   crates/ir/src/dataflow.rs

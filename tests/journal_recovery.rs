@@ -225,6 +225,109 @@ fn compacted_recovery_preserves_undoability_of_checkpointed_history() {
     s.assert_consistent();
 }
 
+/// Like [`compacted_session`], but the checkpoint record is serialized
+/// while the session's state is *structurally shared*: clones and held
+/// transaction checkpoints keep every arena chunk and the rep referenced
+/// from several owners when compaction walks them. The journal bytes a
+/// shared writer produces must be byte-identical to the unshared writer's
+/// — and therefore recover identically at every truncation boundary.
+fn shared_compacted_session() -> (Vec<u8>, usize, Vec<String>) {
+    let path = tmp("shared_compacted.journal");
+    let _ = std::fs::remove_file(&path);
+    let mut s = Session::from_source(SRC).unwrap();
+    s.set_journal(Journal::open(&path).unwrap());
+    let cse = s.apply_kind(XformKind::Cse).expect("e + f recurs");
+    s.apply_kind(XformKind::Cfo).expect("3 * 4 folds");
+    // Force sharing: a live clone and a held checkpoint alias every chunk
+    // the compaction-time serializer reads.
+    let held_clone = s.clone();
+    let held_cp = s.checkpoint();
+    assert!(s.compact_journal().unwrap(), "journal attached");
+    let mut snapshots = vec![s.source()];
+    s.undo(cse, Strategy::Regional).unwrap();
+    snapshots.push(s.source());
+    drop(held_cp);
+    drop(held_clone);
+    let bytes = std::fs::read(&path).unwrap();
+    let ckpt_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("checkpoint line")
+        + 1;
+    assert!(
+        bytes.starts_with(b"{\"rec\":\"checkpoint\""),
+        "compaction must leave a checkpoint record first"
+    );
+    (bytes, ckpt_end, snapshots)
+}
+
+#[test]
+fn shared_snapshot_checkpoint_bytes_match_unshared_writer() {
+    let (shared_bytes, shared_ckpt_end, _) = shared_compacted_session();
+    let (bytes, ckpt_end, _) = compacted_session();
+    assert_eq!(
+        shared_ckpt_end, ckpt_end,
+        "checkpoint records differ in length"
+    );
+    assert_eq!(
+        shared_bytes, bytes,
+        "a shared-snapshot writer must serialize byte-identical journals"
+    );
+}
+
+#[test]
+fn shared_snapshot_checkpoint_recovers_at_every_truncation_boundary() {
+    let (bytes, ckpt_end, snapshots) = shared_compacted_session();
+    let path = tmp("shared_compacted_truncated.journal");
+    for len in 0..=bytes.len() {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        let prog = parse(SRC).unwrap();
+        let result = Session::recover(prog, &path);
+        if len < 10 {
+            // Same short-stub tolerance as the unshared sweep: the prefix
+            // is indistinguishable from a torn ordinary record.
+            let r = result.unwrap_or_else(|e| panic!("stub of {len} bytes: {e}"));
+            assert_eq!(r.committed, 0, "stub of {len} bytes");
+            assert!(!r.from_checkpoint, "stub of {len} bytes");
+            continue;
+        }
+        if len < ckpt_end - 1 {
+            // A torn checkpoint is unrecoverable corruption and must be
+            // detected, exactly as with an unshared writer.
+            let err = match result {
+                Err(e) => e.to_string(),
+                Ok(r) => panic!(
+                    "truncation at byte {len} (inside the checkpoint) must \
+                     fail, but recovered {} txns",
+                    r.committed
+                ),
+            };
+            assert!(
+                err.contains("checkpoint"),
+                "truncation at byte {len}: error must name the checkpoint, \
+                 got: {err}"
+            );
+            continue;
+        }
+        let r = result.unwrap_or_else(|e| panic!("truncation at byte {len}: {e}"));
+        assert!(r.from_checkpoint, "truncation at byte {len}");
+        let want_commits = commits_in(&bytes[..len]);
+        assert_eq!(
+            r.committed, want_commits,
+            "truncation at byte {len} replayed the wrong transaction count"
+        );
+        assert_eq!(
+            r.session.source(),
+            snapshots[want_commits],
+            "truncation at byte {len} recovered to the wrong state"
+        );
+        assert!(
+            r.session.consistency_violations().is_empty(),
+            "truncation at byte {len} left an inconsistent session"
+        );
+    }
+}
+
 #[test]
 fn recovered_session_continues_journaling_and_undoing() {
     let (bytes, _) = scripted_session();
