@@ -122,6 +122,12 @@ usage: pivot <command> [args]
                                run the independent static auditor (structural,
                                legality, and semantic lint families) over the
                                session; exits non-zero on any finding
+  search [<file>] [--seed <n>] [--moves <n>] [--temp <x>] [--fragments <n>]
+                               stochastic search: propose random catalog
+                               opportunities, score by interpreter step
+                               counts, reject via undo (simulated-annealing
+                               acceptance); over <file> or, without one, a
+                               seeded generated workload
   tables                       print the regenerated paper tables
 ";
 
@@ -506,6 +512,83 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 out.push_str(&rendered);
             } else {
                 return Err(CliError(rendered));
+            }
+        }
+        Some("search") => {
+            let mut cfg = pivot_workload::search::SearchCfg::default();
+            let mut file: Option<&String> = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--seed" => {
+                        cfg.seed = rest
+                            .next()
+                            .ok_or_else(|| err("--seed needs a number"))?
+                            .parse()
+                            .map_err(|_| err("bad --seed value"))?;
+                    }
+                    "--moves" => {
+                        cfg.moves = rest
+                            .next()
+                            .ok_or_else(|| err("--moves needs a number"))?
+                            .parse()
+                            .map_err(|_| err("bad --moves value"))?;
+                    }
+                    "--temp" => {
+                        cfg.temp = rest
+                            .next()
+                            .ok_or_else(|| err("--temp needs a number"))?
+                            .parse()
+                            .map_err(|_| err("bad --temp value"))?;
+                    }
+                    "--fragments" => {
+                        cfg.fragments = rest
+                            .next()
+                            .ok_or_else(|| err("--fragments needs a number"))?
+                            .parse()
+                            .map_err(|_| err("bad --fragments value"))?;
+                    }
+                    other if !other.starts_with("--") => file = Some(a),
+                    other => return Err(err(format!("search: unknown option `{other}`"))),
+                }
+            }
+            let session = match file {
+                Some(f) => Session::new(load(Some(f))?),
+                None => pivot_workload::search::search_session(&cfg),
+            };
+            let o = pivot_workload::search::Search::new(
+                session,
+                cfg,
+                pivot_workload::search::RejectMode::UndoReject,
+            )
+            .run();
+            let _ = writeln!(
+                out,
+                "proposed {} accepted {} ({} uphill) rejected {} (undo {} / rollback {}) \
+                 no-opp {} restarts {}",
+                o.proposed,
+                o.accepted,
+                o.uphill,
+                o.rejected,
+                o.undo_rejects,
+                o.rollback_rejects,
+                o.no_opportunity,
+                o.restarts
+            );
+            let _ = writeln!(
+                out,
+                "cost {} -> {} (best {}), {:.0} moves/sec",
+                o.initial_cost,
+                o.final_cost,
+                o.best_cost,
+                o.moves_per_sec()
+            );
+            out.push_str(&o.final_source);
+            if o.output_divergences > 0 {
+                return Err(err(format!(
+                    "search: {} candidate(s) changed the output stream",
+                    o.output_divergences
+                )));
             }
         }
         Some("tables") => {

@@ -102,12 +102,29 @@ impl fmt::Debug for Journal {
 impl Journal {
     /// Open (or create) a journal for appending. Existing records are
     /// scanned leniently to continue the transaction numbering.
+    ///
+    /// A torn tail — bytes after the last newline, left by a crash
+    /// mid-append — is truncated away first. Records are only durable once
+    /// their terminating newline is synced, so the tail was never
+    /// acknowledged; leaving it in place would glue the next appended
+    /// record onto the torn fragment and corrupt a *non*-final line, which
+    /// recovery correctly refuses to skip.
     pub fn open(path: &Path) -> std::io::Result<Journal> {
         let existing = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
         };
+        let retained = match existing.rfind('\n') {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        if retained < existing.len() {
+            OpenOptions::new()
+                .write(true)
+                .open(path)?
+                .set_len(retained as u64)?;
+        }
         let max_txn = existing
             .lines()
             .filter_map(|l| pivot_obs::json::parse(l).ok())

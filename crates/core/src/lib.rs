@@ -53,4 +53,4 @@ pub use kind::{XformKind, ALL_KINDS};
 pub use pattern::{Pattern, XformParams};
 pub use pivot_ir::{EditDelta, FallbackReason, IncrStats, RefreshOutcome, RepMode};
 pub use pivot_par::{Pool, SchedScript};
-pub use txn::{Checkpoint, ConsistencyViolation, EngineError, FaultPlan, FaultPoint};
+pub use txn::{Checkpoint, ConsistencyViolation, EngineError, FaultPlan, FaultPoint, RejectPath};

@@ -26,7 +26,7 @@
 //!   consistency check, so harnesses can report *all* violations at once.
 
 use crate::actions::{ActionError, ActionLog, Stamp};
-use crate::engine::Session;
+use crate::engine::{Session, Strategy, UndoError, UndoReport};
 use crate::history::{History, HistoryError, XformId, XformState};
 use crate::kind::XformKind;
 use pivot_ir::{RebuildError, Rep};
@@ -248,6 +248,21 @@ pub struct Checkpoint {
     records: pivot_lang::PVec<crate::history::AppliedXform>,
 }
 
+impl Clone for Checkpoint {
+    /// Cloning a checkpoint is as cheap as taking one — chunk-table copies
+    /// and refcount bumps — so a driver can hold a "best state so far" and
+    /// roll back to it more than once (the stochastic search's restart
+    /// path does exactly this).
+    fn clone(&self) -> Checkpoint {
+        Checkpoint {
+            prog: self.prog.clone(),
+            rep: Arc::clone(&self.rep),
+            log: self.log.clone(),
+            records: self.records.clone(),
+        }
+    }
+}
+
 impl Checkpoint {
     pub(crate) fn take(s: &Session) -> Checkpoint {
         Checkpoint {
@@ -269,6 +284,29 @@ impl Checkpoint {
             log: s.log.deep_clone(),
             records: s.history.records.unshared(),
         }
+    }
+}
+
+/// How [`Session::reject`] removed a rejected candidate transformation.
+#[derive(Debug)]
+pub enum RejectPath {
+    /// The paper's path: the Figure-4 undo removed exactly the target.
+    Undone(UndoReport),
+    /// The undo cascade would have removed more than the target (it chased
+    /// blockers into accepted work), so the pre-apply checkpoint was
+    /// restored instead. Carries the report of the overshooting undo that
+    /// was discarded by the rollback.
+    Overshot(UndoReport),
+    /// The undo refused (e.g. [`UndoError::Stuck`]) and the pre-apply
+    /// checkpoint was restored instead.
+    RolledBack(UndoError),
+}
+
+impl RejectPath {
+    /// Did the reject go through the undo algorithm (vs. checkpoint
+    /// rollback)?
+    pub fn via_undo(&self) -> bool {
+        matches!(self, RejectPath::Undone(_))
     }
 }
 
@@ -333,6 +371,29 @@ impl Session {
         self.rep = cp.rep;
         self.log = cp.log;
         self.history = History::from_shared(cp.records);
+    }
+
+    /// The stochastic search's reject step: remove the just-applied
+    /// transformation `target`, preferring the paper's undo algorithm and
+    /// falling back to restoring the pre-apply checkpoint `cp` when undo
+    /// cannot remove *exactly* the target. In the propose/reject loop the
+    /// target is always the newest active record, so undo is the immediate
+    /// Figure-4 fast path and `cp` is normally just dropped (a refcount
+    /// decrement); the fallback exists so a stuck or overshooting cascade
+    /// degrades to a byte-exact restore instead of corrupting the walk.
+    /// Either way the session ends in the pre-apply state.
+    pub fn reject(&mut self, target: XformId, strategy: Strategy, cp: Checkpoint) -> RejectPath {
+        match self.undo(target, strategy) {
+            Ok(report) if report.undone == [target] => RejectPath::Undone(report),
+            Ok(report) => {
+                self.rollback(cp);
+                RejectPath::Overshot(report)
+            }
+            Err(e) => {
+                self.rollback(cp);
+                RejectPath::RolledBack(e)
+            }
+        }
     }
 
     /// Arm a deterministic fault-injection plan. Counters start at zero;
@@ -434,6 +495,47 @@ mod tests {
         // The restored session still works.
         s.undo(cse, Strategy::Regional).unwrap();
         assert!(programs_equal(&s.prog, &s.original));
+    }
+
+    /// Like [`cse_session`] but with a constant-fold site left for the
+    /// reject tests to propose.
+    fn reject_session() -> Session {
+        let mut s =
+            Session::from_source("d = e + f\nr = e + f\nwrite r\nwrite d\nx = 3 * 4\nwrite x\n")
+                .unwrap();
+        s.apply_kind(XformKind::Cse).expect("cse applies");
+        s
+    }
+
+    #[test]
+    fn reject_newest_goes_through_undo() {
+        let mut s = reject_session();
+        let pre = s.source();
+        let active_before = s.history.active_len();
+        let cp = s.checkpoint();
+        let id = s.apply_kind(XformKind::Cfo).expect("cfo applies");
+        assert_ne!(s.source(), pre);
+        let path = s.reject(id, Strategy::Regional, cp);
+        assert!(path.via_undo(), "{path:?}");
+        assert_eq!(s.source(), pre);
+        assert_eq!(s.history.active_len(), active_before);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn reject_falls_back_to_rollback_when_undo_refuses() {
+        let mut s = reject_session();
+        let pre = s.source();
+        let cp = s.checkpoint();
+        let id = s.apply_kind(XformKind::Cfo).expect("cfo applies");
+        // Poison the reversal so the undo path fails mid-cascade; reject
+        // must fall back to the checkpoint and still land on `pre` exactly.
+        s.arm_faults(FaultPlan::poison(XformKind::Cfo));
+        let path = s.reject(id, Strategy::Regional, cp);
+        assert!(matches!(path, RejectPath::RolledBack(_)), "{path:?}");
+        assert_eq!(s.source(), pre);
+        s.disarm_faults();
+        s.assert_consistent();
     }
 
     #[test]

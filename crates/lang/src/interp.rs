@@ -67,8 +67,30 @@ struct Machine<'p> {
     fuel: u64,
 }
 
+/// Output stream plus the execution effort of one run — the cost number
+/// the stochastic search optimizes ([`run_counted`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counted {
+    /// The `write` stream (identical to what [`run`] returns).
+    pub output: Vec<i64>,
+    /// Statement executions spent, in fuel units: each statement execution
+    /// and each `do`-loop back-edge costs exactly one, so `steps` is
+    /// precisely the fuel consumed (`limits.fuel - remaining`).
+    pub steps: u64,
+}
+
 /// Run a program over `input`, returning the output stream.
 pub fn run(prog: &Program, input: &[i64], limits: Limits) -> Result<Vec<i64>, ExecError> {
+    run_counted(prog, input, limits).map(|c| c.output)
+}
+
+/// Run a program over `input`, returning the output stream *and* the number
+/// of fuel units spent. The count is deterministic: the same program on the
+/// same input always spends the same number of steps, and a run that
+/// completes with `steps = n` completes identically under `Limits { fuel: n }`
+/// (and exhausts under any smaller limit) — property-tested in
+/// `tests/search_differential.rs`.
+pub fn run_counted(prog: &Program, input: &[i64], limits: Limits) -> Result<Counted, ExecError> {
     let mut m = Machine {
         prog,
         scalars: HashMap::new(),
@@ -78,7 +100,10 @@ pub fn run(prog: &Program, input: &[i64], limits: Limits) -> Result<Vec<i64>, Ex
         fuel: limits.fuel,
     };
     m.run_block(&prog.body)?;
-    Ok(m.output)
+    Ok(Counted {
+        steps: limits.fuel - m.fuel,
+        output: m.output,
+    })
 }
 
 /// Run with default limits.

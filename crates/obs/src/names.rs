@@ -14,7 +14,8 @@
 //!   rollbacks), `rep` (representation builds and incremental refresh),
 //!   `par` (the worker pool and parallel kernels), `audit` (the static
 //!   auditor), `trace` (the tracing pipeline itself), `profile` (the
-//!   phase profiler), `export` (the scrape endpoint);
+//!   phase profiler), `export` (the scrape endpoint), `search` (the
+//!   stochastic search workload), `serve` (the session daemon);
 //! * zero or more middle segments name a component (`rep.incr.*`,
 //!   `par.df.*`);
 //! * the **last** segment is the measure; durations are histograms and end
@@ -143,6 +144,31 @@ pub const METRICS: &[MetricDef] = &[
     c(
         "rep.incr.worklist_iters",
         "worklist iterations of incremental solves",
+    ),
+    c("search.accepted", "moves accepted by the stochastic search"),
+    c(
+        "search.moves",
+        "moves proposed by the stochastic search (accepted + rejected + no-opportunity)",
+    ),
+    c(
+        "search.no_opportunity",
+        "search proposals whose drawn kind had no applicable opportunity",
+    ),
+    c(
+        "search.reject_rollbacks",
+        "search rejects that fell back to checkpoint rollback instead of undo",
+    ),
+    c(
+        "search.rejected",
+        "moves rejected by the stochastic search (removed via undo)",
+    ),
+    c(
+        "search.restarts",
+        "plateau restarts (rollback to the best checkpoint) in the stochastic search",
+    ),
+    h(
+        "search.undo_reject_ns",
+        "wall time of one undo-based reject step in the stochastic search",
     ),
     c("serve.accepted", "connections accepted by the serve daemon"),
     h(

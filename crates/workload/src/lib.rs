@@ -14,6 +14,8 @@ pub mod faults;
 pub mod fragments;
 pub mod incrcheck;
 pub mod parcheck;
+pub mod search;
+pub mod searchcheck;
 pub mod servecheck;
 pub mod witnesses;
 

@@ -73,6 +73,20 @@ commands:
   servebench [--seed N] [--out PATH]
                                measure how journal compaction bounds
                                recovery time and journal size
+  search [--seed N] [--moves N] [--temp X] [--fragments N]
+                               run the stochastic (simulated-annealing)
+                               search over a seeded workload, rejecting
+                               candidates via undo, and print the cost
+                               trajectory and throughput
+                               (defaults: --seed 0 --moves 10000
+                               --temp 64 --fragments 10)
+  searchcheck [--seed N] [--moves N]
+                               reduced-scale CI gate: walk the same
+                               seeded move sequence through the
+                               undo-reject loop and a fork-and-discard
+                               oracle in lockstep, failing on any state
+                               divergence or if nothing is accepted
+                               (defaults: --seed 1 --moves 3000)
 ";
 
 fn main() -> ExitCode {
@@ -498,6 +512,92 @@ fn main() -> ExitCode {
                     eprintln!("servebench: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        Some("search") => {
+            let mut cfg = pivot_workload::search::SearchCfg::default();
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--seed" => value(&mut rest, "--seed").map(|v| cfg.seed = v),
+                    "--moves" => value(&mut rest, "--moves").map(|v| cfg.moves = v),
+                    "--temp" => rest
+                        .next()
+                        .ok_or_else(|| "--temp needs a value".to_string())
+                        .and_then(|v| v.parse::<f64>().map_err(|e| format!("--temp: {e}")))
+                        .map(|v| cfg.temp = v),
+                    "--fragments" => {
+                        value(&mut rest, "--fragments").map(|v| cfg.fragments = v as usize)
+                    }
+                    other => Err(format!("search: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let o = pivot_workload::search::run_search(&cfg);
+            println!(
+                "search: seed {} proposed {} accepted {} ({} uphill) rejected {} \
+                 (undo {} / rollback {}) no-opp {} restarts {} cost {} -> {} \
+                 ({:.0} moves/sec)",
+                o.seed,
+                o.proposed,
+                o.accepted,
+                o.uphill,
+                o.rejected,
+                o.undo_rejects,
+                o.rollback_rejects,
+                o.no_opportunity,
+                o.restarts,
+                o.initial_cost,
+                o.final_cost,
+                o.moves_per_sec()
+            );
+            if o.output_divergences == 0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "search: {} candidate(s) changed the output stream — semantics bug",
+                    o.output_divergences
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Some("searchcheck") => {
+            let mut seed = 1u64;
+            let mut moves = 3_000u64;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                        .and_then(|v| v.parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+                };
+                let parsed = match a.as_str() {
+                    "--seed" => value(&mut rest, "--seed").map(|v| seed = v),
+                    "--moves" => value(&mut rest, "--moves").map(|v| moves = v),
+                    other => Err(format!("searchcheck: unknown option `{other}`")),
+                };
+                if let Err(e) = parsed {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let o = pivot_workload::searchcheck::run(seed, moves);
+            print!("{}", o.report);
+            if o.passed() {
+                ExitCode::SUCCESS
+            } else {
+                if o.accepted == 0 {
+                    eprintln!("searchcheck: no move was accepted — the walk proves nothing");
+                }
+                ExitCode::FAILURE
             }
         }
         Some("help") | None => {

@@ -1,0 +1,650 @@
+//! Stochastic search over the transformation catalog — undo as the reject
+//! step.
+//!
+//! The paper's thesis is that undo is cheap and order-independent enough to
+//! be used *casually*. This module takes that literally: a simulated-
+//! annealing optimizer whose inner loop is propose (draw a random catalog
+//! opportunity), score (interpreter step counts on seeded inputs,
+//! [`pivot_lang::interp::run_counted`]), and — for the overwhelming majority
+//! of moves — **reject by undoing** ([`Session::reject`], the Figure-4
+//! algorithm with a checkpoint-rollback fallback). Every move exercises the
+//! apply/undo hot path, so the loop's moves/sec is a standing regression
+//! gate on the whole engine (`examples/profile_search.rs`,
+//! `BENCH_search.json`).
+//!
+//! The same loop can run against a fork-and-discard oracle
+//! ([`RejectMode::ForkOracle`]) that builds each candidate in a
+//! [`Session::fork`] and simply drops rejected forks, never undoing.
+//! Because both modes share one `step()` body (identical RNG draw sequence,
+//! identical scoring and acceptance arithmetic), any divergence between
+//! them — in program source, move log, active-history length, or digest —
+//! is an undo defect, not a search artifact. The lockstep comparison lives
+//! in [`crate::searchcheck`] and `tests/search_differential.rs`.
+//!
+//! Everything is deterministic under [`SearchCfg::seed`]: the move log and
+//! accepted set are byte-identical across thread counts and rep modes
+//! (asserted by the differential suite), which is what makes a stochastic
+//! workload usable as a CI gate at all.
+
+use pivot_lang::interp::{self, Limits};
+use pivot_lang::Program;
+use pivot_undo::engine::Session;
+use pivot_undo::{Checkpoint, Strategy, ALL_KINDS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cost assigned to a candidate whose evaluation failed ([`interp::ExecError`]:
+/// fuel exhaustion, division by zero introduced by a bug, …). The acceptance
+/// rule treats it as an ordinary (astronomically bad) cost: the uphill delta
+/// drives the Metropolis exponential to zero, so a failing candidate is
+/// rejected rather than crashing the walk.
+pub const WORST_COST: u64 = u64::MAX;
+
+/// Search shape. Plain data, clonable, fully determines a run together with
+/// the starting session.
+#[derive(Clone, Debug)]
+pub struct SearchCfg {
+    /// RNG seed; also seeds the generated program and input sets.
+    pub seed: u64,
+    /// Move budget: total proposals (including no-opportunity draws).
+    pub moves: u64,
+    /// Initial annealing temperature, in cost (step-count) units.
+    pub temp: f64,
+    /// Geometric cooling factor applied once per proposal.
+    pub cooling: f64,
+    /// Proposals without a new best before a restart (rollback to the best
+    /// checkpoint) — and, once restarts are exhausted, before stopping.
+    pub plateau: u64,
+    /// Restarts allowed before the plateau rule stops the run.
+    pub max_restarts: u64,
+    /// Undo strategy for the reject step.
+    pub strategy: Strategy,
+    /// Generated-workload size (enabling fragments).
+    pub fragments: usize,
+    /// Seeded interpreter input sets scored per candidate.
+    pub input_sets: usize,
+    /// Length of each input stream.
+    pub input_len: usize,
+    /// Interpreter fuel per scoring run; exhaustion scores [`WORST_COST`].
+    pub fuel: u64,
+}
+
+impl Default for SearchCfg {
+    fn default() -> Self {
+        SearchCfg {
+            seed: 0,
+            moves: 10_000,
+            temp: 64.0,
+            cooling: 0.9995,
+            plateau: 5_000,
+            max_restarts: 64,
+            strategy: Strategy::Regional,
+            fragments: 10,
+            input_sets: 2,
+            input_len: 64,
+            fuel: 1_000_000,
+        }
+    }
+}
+
+/// How rejected candidates are discarded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectMode {
+    /// The product under test: build the candidate in place, reject via
+    /// [`Session::reject`] (Figure-4 undo, checkpoint fallback).
+    UndoReject,
+    /// The oracle: build the candidate in a [`Session::fork`], accept by
+    /// adopting the fork, reject by dropping it. Never undoes.
+    ForkOracle,
+}
+
+/// What one [`Search::step`] did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepKind {
+    /// Candidate accepted (downhill or equal cost).
+    Accepted,
+    /// Candidate accepted uphill by the Metropolis rule.
+    AcceptedUphill,
+    /// Candidate rejected and removed.
+    Rejected,
+    /// The drawn kind had no applicable opportunity.
+    NoOpportunity,
+    /// The opportunity was found but `apply` refused it.
+    ApplyError,
+    /// Move budget exhausted; the session is final.
+    Budget,
+    /// Plateau persisted with no restarts left; the session is final.
+    Plateaued,
+}
+
+/// Result of a finished search run. `move_log` and `accepted_moves` are the
+/// determinism witnesses: byte-identical for identical (seed, cfg)
+/// regardless of thread count, rep mode, or reject mode.
+#[derive(Clone, Debug, Default)]
+pub struct SearchOutcome {
+    /// Seed the run used.
+    pub seed: u64,
+    /// Proposals made (≤ cfg.moves; less only on plateau stop).
+    pub proposed: u64,
+    /// Moves accepted (including uphill).
+    pub accepted: u64,
+    /// Accepted moves that were uphill (Metropolis).
+    pub uphill: u64,
+    /// Moves rejected and removed.
+    pub rejected: u64,
+    /// Proposals whose drawn kind had no opportunity.
+    pub no_opportunity: u64,
+    /// Proposals whose apply refused (atomic rollback inside apply).
+    pub apply_errors: u64,
+    /// Rejects that went through the Figure-4 undo.
+    pub undo_rejects: u64,
+    /// Rejects that fell back to checkpoint rollback.
+    pub rollback_rejects: u64,
+    /// Plateau restarts taken.
+    pub restarts: u64,
+    /// Candidates whose output stream diverged from the baseline (always
+    /// rejected; any nonzero value is a semantics bug).
+    pub output_divergences: u64,
+    /// Cost of the starting program.
+    pub initial_cost: u64,
+    /// Best cost seen.
+    pub best_cost: u64,
+    /// Cost of the final program.
+    pub final_cost: u64,
+    /// Move numbers of accepted proposals, in order.
+    pub accepted_moves: Vec<u64>,
+    /// One line per proposal (plus restart lines). Structural only — no
+    /// arena or history ids — so undo-reject and fork-oracle runs produce
+    /// identical logs.
+    pub move_log: Vec<String>,
+    /// Per-accepted-move latency (propose+apply+score), nanoseconds.
+    pub accept_ns: Vec<u64>,
+    /// Per-reject latency of the discard step alone (undo or fork drop).
+    pub reject_ns: Vec<u64>,
+    /// Wall time of the whole run (set by [`Search::run`]).
+    pub elapsed_ns: u64,
+    /// Final program source.
+    pub final_source: String,
+    /// Active history records at termination.
+    pub active_len: usize,
+    /// Structural digest of the final state (see [`Search::digest`]).
+    pub digest: u64,
+}
+
+impl SearchOutcome {
+    /// Proposals per second over the whole run (0 if not timed).
+    pub fn moves_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.proposed as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+/// Metropolis acceptance: always downhill-or-equal; uphill with probability
+/// `exp(-delta / temp)`. Draws from `rng` only when the move is uphill and
+/// the temperature is positive, so callers that share a seed stay in RNG
+/// lockstep. A [`WORST_COST`] candidate against a finite current cost has
+/// an effectively infinite delta: the exponential underflows to zero and
+/// the draw (strictly less than) can never pass.
+pub fn accepts(rng: &mut StdRng, temp: f64, cur: u64, cand: u64) -> bool {
+    if cand <= cur {
+        return true;
+    }
+    if temp <= 0.0 {
+        return false;
+    }
+    let delta = (cand - cur) as f64;
+    rng.gen::<f64>() < (-delta / temp).exp()
+}
+
+/// Total interpreter steps to run `prog` over every input set;
+/// [`WORST_COST`] if any run fails.
+pub fn cost_of(prog: &Program, inputs: &[Vec<i64>], fuel: u64) -> u64 {
+    eval(prog, inputs, fuel).0
+}
+
+/// Cost plus the concatenated output streams (None when a run failed).
+fn eval(prog: &Program, inputs: &[Vec<i64>], fuel: u64) -> (u64, Option<Vec<Vec<i64>>>) {
+    let mut total = 0u64;
+    let mut outs = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        match interp::run_counted(prog, input, Limits { fuel }) {
+            Ok(c) => {
+                total = total.saturating_add(c.steps);
+                outs.push(c.output);
+            }
+            Err(_) => return (WORST_COST, None),
+        }
+    }
+    (total, Some(outs))
+}
+
+/// The seeded input sets a run scores against.
+pub fn search_inputs(cfg: &SearchCfg) -> Vec<Vec<i64>> {
+    (0..cfg.input_sets)
+        .map(|i| crate::gen_inputs(cfg.seed ^ (0xA5A5_0000 + i as u64), cfg.input_len))
+        .collect()
+}
+
+/// The generated program a seeded run starts from.
+pub fn search_session(cfg: &SearchCfg) -> Session {
+    let wcfg = crate::WorkloadCfg {
+        fragments: cfg.fragments,
+        ..Default::default()
+    };
+    Session::new(crate::gen_program(cfg.seed, &wcfg))
+}
+
+/// Counter/histogram handles resolved once per run — the registry lookup
+/// (global lock + hash) is off the per-move path.
+struct SearchMetrics {
+    moves: Arc<pivot_obs::metrics::Counter>,
+    accepted: Arc<pivot_obs::metrics::Counter>,
+    rejected: Arc<pivot_obs::metrics::Counter>,
+    no_opportunity: Arc<pivot_obs::metrics::Counter>,
+    reject_rollbacks: Arc<pivot_obs::metrics::Counter>,
+    restarts: Arc<pivot_obs::metrics::Counter>,
+    undo_reject_ns: Arc<pivot_obs::metrics::Histogram>,
+}
+
+impl SearchMetrics {
+    fn resolve() -> SearchMetrics {
+        let m = pivot_obs::metrics::global();
+        SearchMetrics {
+            moves: m.counter("search.moves"),
+            accepted: m.counter("search.accepted"),
+            rejected: m.counter("search.rejected"),
+            no_opportunity: m.counter("search.no_opportunity"),
+            reject_rollbacks: m.counter("search.reject_rollbacks"),
+            restarts: m.counter("search.restarts"),
+            undo_reject_ns: m.histogram("search.undo_reject_ns"),
+        }
+    }
+}
+
+/// Identity of one proposed move — number, kind, and which of the `n`
+/// opportunities was drawn — threaded to the bookkeeping helpers.
+#[derive(Clone, Copy)]
+struct Proposal {
+    m: u64,
+    kind: pivot_undo::XformKind,
+    pick: usize,
+    n: usize,
+}
+
+/// A stochastic search in progress. Step-wise so the differential harness
+/// can compare two modes after every single move; [`Search::run`] drives it
+/// to termination.
+pub struct Search {
+    session: Session,
+    cfg: SearchCfg,
+    mode: RejectMode,
+    rng: StdRng,
+    inputs: Vec<Vec<i64>>,
+    /// Output streams of the starting program (None if it cannot run, in
+    /// which case equivalence checking is off and cost-only search remains).
+    baseline: Option<Vec<Vec<i64>>>,
+    temp: f64,
+    cur_cost: u64,
+    best_cost: u64,
+    best_cp: Checkpoint,
+    since_improve: u64,
+    /// Cached per-kind opportunity lists, valid only while the program is
+    /// untouched (cleared on accept/reject/restart). No-opportunity draws —
+    /// the bulk of a converged walk — skip the catalog scan entirely.
+    found: Vec<Option<Vec<pivot_undo::Opportunity>>>,
+    metrics: SearchMetrics,
+    out: SearchOutcome,
+}
+
+impl Search {
+    /// Start a search over `session`.
+    pub fn new(session: Session, cfg: SearchCfg, mode: RejectMode) -> Search {
+        let inputs = search_inputs(&cfg);
+        let (initial_cost, baseline) = eval(&session.prog, &inputs, cfg.fuel);
+        let best_cp = session.checkpoint();
+        let out = SearchOutcome {
+            seed: cfg.seed,
+            initial_cost,
+            best_cost: initial_cost,
+            final_cost: initial_cost,
+            ..Default::default()
+        };
+        Search {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x005E_A2C4_1994),
+            temp: cfg.temp,
+            cur_cost: initial_cost,
+            best_cost: initial_cost,
+            best_cp,
+            since_improve: 0,
+            inputs,
+            baseline,
+            found: vec![None; ALL_KINDS.len()],
+            metrics: SearchMetrics::resolve(),
+            session,
+            cfg,
+            mode,
+            out,
+        }
+    }
+
+    /// The session in its current (mid-search) state.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Current-state cost.
+    pub fn cur_cost(&self) -> u64 {
+        self.cur_cost
+    }
+
+    /// The most recent move-log line.
+    pub fn last_log(&self) -> Option<&str> {
+        self.out.move_log.last().map(|s| s.as_str())
+    }
+
+    /// The outcome so far (counters and logs up to the last step).
+    pub fn outcome(&self) -> &SearchOutcome {
+        &self.out
+    }
+
+    /// FNV-1a digest of the *structural* search state: final source, active
+    /// history kinds in order, and current cost. Deliberately not the
+    /// session snapshot fingerprint: that hashes arena internals (node ids,
+    /// tombstones) and the append-only history, which legitimately differ
+    /// between an undo-reject walk and a fork-oracle walk even when the
+    /// states the paper claims are equal — the program and its active
+    /// transformation set — agree exactly.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv(0xcbf2_9ce4_8422_2325, self.session.source().as_bytes());
+        for r in self.session.history.active() {
+            h = fnv(h, r.kind.to_string().as_bytes());
+        }
+        fnv(h, &self.cur_cost.to_le_bytes())
+    }
+
+    /// One proposal. Returns what happened; [`StepKind::Budget`] and
+    /// [`StepKind::Plateaued`] mean the run is over and the session final.
+    pub fn step(&mut self) -> StepKind {
+        if self.out.proposed >= self.cfg.moves {
+            return StepKind::Budget;
+        }
+        if self.since_improve >= self.cfg.plateau && self.out.restarts >= self.cfg.max_restarts {
+            return StepKind::Plateaued;
+        }
+        let m = self.out.proposed;
+        self.out.proposed += 1;
+        self.metrics.moves.inc();
+
+        let ki = self.rng.gen_range(0..ALL_KINDS.len());
+        let kind = ALL_KINDS[ki];
+        if self.found[ki].is_none() {
+            self.found[ki] = Some(self.session.find(kind));
+        }
+        let n = match &self.found[ki] {
+            Some(opps) => opps.len(),
+            None => 0,
+        };
+        if n == 0 {
+            self.out.no_opportunity += 1;
+            self.metrics.no_opportunity.inc();
+            self.out.move_log.push(format!("{m:06} {kind} no-opp"));
+            self.since_improve += 1;
+            self.cool_and_maybe_restart(m);
+            return StepKind::NoOpportunity;
+        }
+        let pick = self.rng.gen_range(0..n);
+        let opp = match &self.found[ki] {
+            Some(opps) => opps[pick].clone(),
+            None => unreachable!("checked non-empty above"),
+        };
+        let p = Proposal { m, kind, pick, n };
+
+        let t0 = Instant::now();
+        let step = match self.mode {
+            RejectMode::UndoReject => {
+                let cp = self.session.checkpoint();
+                match self.session.apply(&opp) {
+                    Err(_) => self.note_apply_error(p),
+                    Ok(id) => {
+                        let (cand, outs) = eval(&self.session.prog, &self.inputs, self.cfg.fuel);
+                        let ok = self.outputs_match(&outs);
+                        if ok && accepts(&mut self.rng, self.temp, self.cur_cost, cand) {
+                            self.note_accept(p, cand, t0)
+                        } else {
+                            let r0 = Instant::now();
+                            let path = self.session.reject(id, self.cfg.strategy, cp);
+                            let ns = r0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            self.metrics.undo_reject_ns.record_ns(ns);
+                            if !path.via_undo() {
+                                self.out.rollback_rejects += 1;
+                                self.metrics.reject_rollbacks.inc();
+                            } else {
+                                self.out.undo_rejects += 1;
+                            }
+                            self.note_reject(p, cand, ok, ns)
+                        }
+                    }
+                }
+            }
+            RejectMode::ForkOracle => {
+                let mut fork = self.session.fork();
+                match fork.apply(&opp) {
+                    Err(_) => self.note_apply_error(p),
+                    Ok(_id) => {
+                        let (cand, outs) = eval(&fork.prog, &self.inputs, self.cfg.fuel);
+                        let ok = self.outputs_match(&outs);
+                        if ok && accepts(&mut self.rng, self.temp, self.cur_cost, cand) {
+                            self.session = fork;
+                            self.note_accept(p, cand, t0)
+                        } else {
+                            let r0 = Instant::now();
+                            drop(fork);
+                            let ns = r0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            self.note_reject(p, cand, ok, ns)
+                        }
+                    }
+                }
+            }
+        };
+        self.cool_and_maybe_restart(m);
+        step
+    }
+
+    /// Drive to termination, recording wall time.
+    pub fn run(mut self) -> SearchOutcome {
+        let t0 = Instant::now();
+        loop {
+            match self.step() {
+                StepKind::Budget | StepKind::Plateaued => break,
+                _ => {}
+            }
+        }
+        self.out.elapsed_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.finish()
+    }
+
+    /// Finalize the outcome from the current session state.
+    pub fn finish(mut self) -> SearchOutcome {
+        self.out.final_cost = self.cur_cost;
+        self.out.final_source = self.session.source();
+        self.out.active_len = self.session.history.active_len();
+        self.out.digest = self.digest();
+        self.out
+    }
+
+    fn outputs_match(&self, outs: &Option<Vec<Vec<i64>>>) -> bool {
+        match (&self.baseline, outs) {
+            (Some(base), Some(got)) => base == got,
+            // Failed candidate: scored WORST_COST, rejected by cost alone.
+            (Some(_), None) => true,
+            // No runnable baseline: equivalence checking is off.
+            (None, _) => true,
+        }
+    }
+
+    fn note_accept(&mut self, p: Proposal, cand: u64, t0: Instant) -> StepKind {
+        let Proposal { m, kind, pick, n } = p;
+        let uphill = cand > self.cur_cost;
+        self.cur_cost = cand;
+        self.out.accepted += 1;
+        if uphill {
+            self.out.uphill += 1;
+        }
+        self.metrics.accepted.inc();
+        self.out.accepted_moves.push(m);
+        self.out
+            .accept_ns
+            .push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        self.found.iter_mut().for_each(|f| *f = None);
+        if cand < self.best_cost {
+            self.best_cost = cand;
+            self.out.best_cost = cand;
+            self.best_cp = self.session.checkpoint();
+            self.since_improve = 0;
+        } else {
+            self.since_improve += 1;
+        }
+        let verdict = if uphill { "accept+" } else { "accept" };
+        self.out.move_log.push(format!(
+            "{m:06} {kind} opp {pick}/{n} cost {cand} {verdict}"
+        ));
+        if uphill {
+            StepKind::AcceptedUphill
+        } else {
+            StepKind::Accepted
+        }
+    }
+
+    fn note_reject(&mut self, p: Proposal, cand: u64, ok: bool, ns: u64) -> StepKind {
+        let Proposal { m, kind, pick, n } = p;
+        self.out.rejected += 1;
+        self.metrics.rejected.inc();
+        self.out.reject_ns.push(ns);
+        if !ok {
+            self.out.output_divergences += 1;
+        }
+        self.since_improve += 1;
+        self.found.iter_mut().for_each(|f| *f = None);
+        let verdict = if ok { "reject" } else { "reject-divergent" };
+        self.out.move_log.push(format!(
+            "{m:06} {kind} opp {pick}/{n} cost {cand} {verdict}"
+        ));
+        StepKind::Rejected
+    }
+
+    fn note_apply_error(&mut self, p: Proposal) -> StepKind {
+        let Proposal { m, kind, pick, n } = p;
+        self.out.apply_errors += 1;
+        self.since_improve += 1;
+        self.found.iter_mut().for_each(|f| *f = None);
+        self.out
+            .move_log
+            .push(format!("{m:06} {kind} opp {pick}/{n} apply-err"));
+        StepKind::ApplyError
+    }
+
+    fn cool_and_maybe_restart(&mut self, m: u64) {
+        self.temp *= self.cfg.cooling;
+        if self.since_improve >= self.cfg.plateau && self.out.restarts < self.cfg.max_restarts {
+            self.out.restarts += 1;
+            self.metrics.restarts.inc();
+            self.session.rollback(self.best_cp.clone());
+            self.cur_cost = self.best_cost;
+            self.temp = self.cfg.temp;
+            self.since_improve = 0;
+            self.found.iter_mut().for_each(|f| *f = None);
+            self.out
+                .move_log
+                .push(format!("{m:06} restart best {}", self.best_cost));
+        }
+    }
+}
+
+/// Run a seeded undo-reject search over a generated workload.
+pub fn run_search(cfg: &SearchCfg) -> SearchOutcome {
+    Search::new(search_session(cfg), cfg.clone(), RejectMode::UndoReject).run()
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    // Separate fields so ("ab","c") and ("a","bc") hash differently.
+    (h ^ 0xff).wrapping_mul(FNV_PRIME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_lang::parser::parse;
+
+    #[test]
+    fn cost_counts_steps_and_errors_are_worst() {
+        let p = parse("s = 0\ndo i = 1, 5\n  s = s + i\nenddo\nwrite s\n").unwrap();
+        let inputs = vec![vec![]];
+        let c = cost_of(&p, &inputs, 1_000);
+        assert!(c > 0 && c < 1_000);
+        // Same program, same inputs: same cost.
+        assert_eq!(c, cost_of(&p, &inputs, 1_000));
+        // Starve the fuel: evaluation fails, cost saturates to worst-case.
+        assert_eq!(cost_of(&p, &inputs, 3), WORST_COST);
+    }
+
+    #[test]
+    fn acceptance_never_takes_a_failed_candidate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            assert!(!accepts(&mut rng, 1e9, 100, WORST_COST));
+        }
+        // ... but downhill-or-equal always passes, even from a failed state.
+        assert!(accepts(&mut rng, 1.0, WORST_COST, WORST_COST));
+        assert!(accepts(&mut rng, 0.0, 100, 100));
+        assert!(accepts(&mut rng, 0.0, 100, 50));
+        // Zero temperature: strictly greedy.
+        assert!(!accepts(&mut rng, 0.0, 100, 101));
+    }
+
+    #[test]
+    fn uphill_probability_scales_with_temperature() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 2_000;
+        let hot = (0..trials)
+            .filter(|_| accepts(&mut rng, 1_000.0, 100, 110))
+            .count();
+        let cold = (0..trials)
+            .filter(|_| accepts(&mut rng, 1.0, 100, 110))
+            .count();
+        assert!(hot > trials / 2, "hot walk should accept most: {hot}");
+        assert_eq!(cold, 0, "10-step uphill at T=1 is e^-10");
+    }
+
+    #[test]
+    fn small_search_improves_and_stays_consistent() {
+        let cfg = SearchCfg {
+            seed: 3,
+            moves: 400,
+            fragments: 8,
+            ..Default::default()
+        };
+        let s = Search::new(search_session(&cfg), cfg.clone(), RejectMode::UndoReject);
+        let out = s.run();
+        assert!(out.accepted >= 1, "no accepted move in 400 proposals");
+        assert_eq!(out.output_divergences, 0);
+        assert!(out.best_cost <= out.initial_cost);
+        assert_eq!(
+            out.proposed as usize,
+            out.move_log.len() - out.restarts as usize
+        );
+        // Re-running the exact cfg reproduces the run byte-for-byte.
+        let again = run_search(&cfg);
+        assert_eq!(out.move_log, again.move_log);
+        assert_eq!(out.accepted_moves, again.accepted_moves);
+        assert_eq!(out.digest, again.digest);
+    }
+}

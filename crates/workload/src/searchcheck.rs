@@ -1,0 +1,202 @@
+//! `searchcheck`: the fork-oracle differential sweep for the stochastic
+//! search, runnable at reduced scale in CI.
+//!
+//! Two [`Search`] instances walk the *same* seeded move sequence over
+//! identically generated sessions: one rejects by undoing
+//! ([`RejectMode::UndoReject`]), the other builds every candidate in a fork
+//! and discards rejected forks ([`RejectMode::ForkOracle`]) — it never
+//! undoes. Because both share one step implementation and one RNG draw
+//! discipline, the runs must agree move-for-move: same step kinds, same
+//! move-log lines, and — after every rejected move and at termination —
+//! same program source, same active-history length, same structural digest,
+//! same cost. Any disagreement means the Figure-4 undo (or its checkpoint
+//! fallback) failed to restore the pre-apply state, which is exactly the
+//! paper's claim under test.
+
+use crate::search::{search_session, RejectMode};
+use crate::search::{Search, SearchCfg, StepKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Result of one lockstep differential run.
+pub struct SearchCheckOutcome {
+    /// Seed swept.
+    pub seed: u64,
+    /// Proposals walked by each loop.
+    pub proposed: u64,
+    /// Moves accepted (identical in both loops when the run agrees).
+    pub accepted: u64,
+    /// Moves rejected.
+    pub rejected: u64,
+    /// Rejects that fell back to checkpoint rollback in the undo loop.
+    pub rollback_rejects: u64,
+    /// Cost trajectory: (initial, best).
+    pub initial_cost: u64,
+    /// Best cost reached.
+    pub best_cost: u64,
+    /// Undo-loop throughput, proposals per second.
+    pub moves_per_sec: f64,
+    /// First few disagreements between the loops (empty = green).
+    pub mismatches: Vec<String>,
+    /// Human-readable report.
+    pub report: String,
+}
+
+impl SearchCheckOutcome {
+    /// Green iff the loops agreed everywhere and the search made progress.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty() && self.accepted >= 1
+    }
+}
+
+const MAX_MISMATCHES: usize = 5;
+
+/// Step the undo-reject loop and the fork oracle in lockstep under one
+/// seed, comparing after every move.
+pub fn run(seed: u64, moves: u64) -> SearchCheckOutcome {
+    let cfg = SearchCfg {
+        seed,
+        moves,
+        ..Default::default()
+    };
+    run_cfg(&cfg)
+}
+
+/// [`run`] with full control over the search shape.
+pub fn run_cfg(cfg: &SearchCfg) -> SearchCheckOutcome {
+    let mut undo_loop = Search::new(search_session(cfg), cfg.clone(), RejectMode::UndoReject);
+    let mut oracle = Search::new(search_session(cfg), cfg.clone(), RejectMode::ForkOracle);
+    let mut mismatches: Vec<String> = Vec::new();
+    let t0 = Instant::now();
+    let mut undo_elapsed_ns = 0u64;
+    loop {
+        let u0 = Instant::now();
+        let a = undo_loop.step();
+        undo_elapsed_ns += u0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let b = oracle.step();
+        let m = undo_loop.outcome().proposed;
+        if a != b && mismatches.len() < MAX_MISMATCHES {
+            mismatches.push(format!("move {m}: step kind {a:?} vs oracle {b:?}"));
+        }
+        if undo_loop.last_log() != oracle.last_log() && mismatches.len() < MAX_MISMATCHES {
+            mismatches.push(format!(
+                "move {m}: log {:?} vs oracle {:?}",
+                undo_loop.last_log(),
+                oracle.last_log()
+            ));
+        }
+        // After a rejected move the undo must have restored exactly the
+        // state the oracle never left; compare the full structural state.
+        let terminal = matches!(a, StepKind::Budget | StepKind::Plateaued);
+        if matches!(a, StepKind::Rejected) || terminal {
+            compare_states(&undo_loop, &oracle, m, &mut mismatches);
+        }
+        if terminal || mismatches.len() >= MAX_MISMATCHES {
+            break;
+        }
+    }
+    let wall = t0.elapsed();
+    let out_a = undo_loop.finish();
+    let out_b = oracle.finish();
+    if out_a.accepted_moves != out_b.accepted_moves && mismatches.len() < MAX_MISMATCHES {
+        mismatches.push(format!(
+            "accepted sets differ: {} vs oracle {}",
+            out_a.accepted_moves.len(),
+            out_b.accepted_moves.len()
+        ));
+    }
+    let moves_per_sec = if undo_elapsed_ns == 0 {
+        0.0
+    } else {
+        out_a.proposed as f64 * 1e9 / undo_elapsed_ns as f64
+    };
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "searchcheck seed={} proposed={} accepted={} rejected={} (undo {} / rollback {}) \
+         no-opp={} restarts={} cost {} -> {} wall={:?}",
+        out_a.seed,
+        out_a.proposed,
+        out_a.accepted,
+        out_a.rejected,
+        out_a.undo_rejects,
+        out_a.rollback_rejects,
+        out_a.no_opportunity,
+        out_a.restarts,
+        out_a.initial_cost,
+        out_a.best_cost,
+        wall,
+    );
+    let _ = writeln!(
+        report,
+        "undo-loop throughput: {moves_per_sec:.0} moves/sec (floor sanity: reduced-scale \
+         CI runs are expected well above 1000)",
+    );
+    for mm in &mismatches {
+        let _ = writeln!(report, "MISMATCH {mm}");
+    }
+    if out_a.output_divergences > 0 && mismatches.len() < MAX_MISMATCHES {
+        mismatches.push(format!(
+            "{} candidate(s) diverged from the baseline output stream",
+            out_a.output_divergences
+        ));
+    }
+    SearchCheckOutcome {
+        seed: out_a.seed,
+        proposed: out_a.proposed,
+        accepted: out_a.accepted,
+        rejected: out_a.rejected,
+        rollback_rejects: out_a.rollback_rejects,
+        initial_cost: out_a.initial_cost,
+        best_cost: out_a.best_cost,
+        moves_per_sec,
+        mismatches,
+        report,
+    }
+}
+
+fn compare_states(a: &Search, b: &Search, m: u64, mismatches: &mut Vec<String>) {
+    if mismatches.len() >= MAX_MISMATCHES {
+        return;
+    }
+    let (sa, sb) = (a.session().source(), b.session().source());
+    if sa != sb {
+        mismatches.push(format!(
+            "move {m}: program source diverged:\n{sa}--- vs oracle ---\n{sb}"
+        ));
+        return;
+    }
+    let (ha, hb) = (
+        a.session().history.active_len(),
+        b.session().history.active_len(),
+    );
+    if ha != hb {
+        mismatches.push(format!("move {m}: active history {ha} vs oracle {hb}"));
+    }
+    if a.cur_cost() != b.cur_cost() {
+        mismatches.push(format!(
+            "move {m}: cost {} vs oracle {}",
+            a.cur_cost(),
+            b.cur_cost()
+        ));
+    }
+    if a.digest() != b.digest() {
+        mismatches.push(format!(
+            "move {m}: digest {:016x} vs oracle {:016x}",
+            a.digest(),
+            b.digest()
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_sweep_is_green() {
+        let out = run(1, 300);
+        assert!(out.passed(), "{}", out.report);
+        assert!(out.rejected > 0, "a 300-move walk should reject something");
+    }
+}

@@ -1,0 +1,172 @@
+//! Experiment E19 driver: throughput of the stochastic search loop —
+//! undo as the reject step (`pivot-workload search`).
+//!
+//! Runs a full-scale seeded search (simulated-annealing walk over the
+//! transformation catalog, candidates scored by interpreter step counts,
+//! rejects removed via the Figure-4 undo) and reports moves/sec overall
+//! and split by move class: accepted moves (checkpoint + apply + score)
+//! vs. undo-reject moves (latency of the reject step alone). With
+//! `--out PATH` writes the machine-readable `BENCH_search.json`.
+
+use pivot_workload::search::{run_search, SearchCfg, SearchOutcome};
+
+/// (mean, p50, p99) of a latency sample, in microseconds.
+fn stats_us(ns: &[u64]) -> (f64, f64, f64) {
+    if ns.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = ns.to_vec();
+    sorted.sort_unstable();
+    let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e3;
+    let p50 = sorted[sorted.len() / 2] as f64 / 1e3;
+    let p99 = sorted[(sorted.len() * 99) / 100] as f64 / 1e3;
+    (mean, p50, p99)
+}
+
+/// Moves per second of one move class from its latency sample.
+fn class_rate(ns: &[u64]) -> f64 {
+    let total: u64 = ns.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    ns.len() as f64 * 1e9 / total as f64
+}
+
+fn render_json(o: &SearchOutcome, cfg: &SearchCfg, min_moves: u64) -> String {
+    let (am, a50, a99) = stats_us(&o.accept_ns);
+    let (rm, r50, r99) = stats_us(&o.reject_ns);
+    let met = o.proposed >= min_moves && o.output_divergences == 0;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"search\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"moves_budget\": {budget},\n",
+            "  \"fragments\": {fragments},\n",
+            "  \"proposed\": {proposed},\n",
+            "  \"accepted\": {accepted},\n",
+            "  \"uphill\": {uphill},\n",
+            "  \"rejected\": {rejected},\n",
+            "  \"undo_rejects\": {undo_rejects},\n",
+            "  \"rollback_rejects\": {rollback_rejects},\n",
+            "  \"no_opportunity\": {no_opp},\n",
+            "  \"apply_errors\": {apply_errors},\n",
+            "  \"restarts\": {restarts},\n",
+            "  \"output_divergences\": {divergences},\n",
+            "  \"initial_cost\": {initial_cost},\n",
+            "  \"best_cost\": {best_cost},\n",
+            "  \"final_cost\": {final_cost},\n",
+            "  \"elapsed_s\": {elapsed:.3},\n",
+            "  \"moves_per_sec\": {rate:.0},\n",
+            "  \"accept\": {{ \"count\": {an}, \"mean_us\": {am:.2}, \"p50_us\": {a50:.2}, ",
+            "\"p99_us\": {a99:.2}, \"moves_per_sec\": {arate:.0} }},\n",
+            "  \"undo_reject\": {{ \"count\": {rn}, \"mean_us\": {rm:.2}, \"p50_us\": {r50:.2}, ",
+            "\"p99_us\": {r99:.2}, \"moves_per_sec\": {rrate:.0} }},\n",
+            "  \"gate\": {{ \"min_moves\": {min_moves}, \"no_divergence\": true }},\n",
+            "  \"met\": {met}\n",
+            "}}\n",
+        ),
+        seed = o.seed,
+        budget = cfg.moves,
+        fragments = cfg.fragments,
+        proposed = o.proposed,
+        accepted = o.accepted,
+        uphill = o.uphill,
+        rejected = o.rejected,
+        undo_rejects = o.undo_rejects,
+        rollback_rejects = o.rollback_rejects,
+        no_opp = o.no_opportunity,
+        apply_errors = o.apply_errors,
+        restarts = o.restarts,
+        divergences = o.output_divergences,
+        initial_cost = o.initial_cost,
+        best_cost = o.best_cost,
+        final_cost = o.final_cost,
+        elapsed = o.elapsed_ns as f64 / 1e9,
+        rate = o.moves_per_sec(),
+        an = o.accept_ns.len(),
+        am = am,
+        a50 = a50,
+        a99 = a99,
+        arate = class_rate(&o.accept_ns),
+        rn = o.reject_ns.len(),
+        rm = rm,
+        r50 = r50,
+        r99 = r99,
+        rrate = class_rate(&o.reject_ns),
+        min_moves = min_moves,
+        met = met,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut cfg = SearchCfg {
+        seed: 0xE19,
+        moves: 120_000,
+        fragments: 16,
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().cloned(),
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--moves" => {
+                cfg.moves = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--moves needs a number")
+            }
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+    const MIN_MOVES: u64 = 100_000;
+
+    let o = run_search(&cfg);
+    let (am, a50, a99) = stats_us(&o.accept_ns);
+    let (rm, r50, r99) = stats_us(&o.reject_ns);
+    println!(
+        "search: {} proposals in {:.2} s ({:.0} moves/sec overall)",
+        o.proposed,
+        o.elapsed_ns as f64 / 1e9,
+        o.moves_per_sec()
+    );
+    println!(
+        "  cost {} -> {} (best {}), {} restarts, {} no-opp, {} apply-err",
+        o.initial_cost, o.final_cost, o.best_cost, o.restarts, o.no_opportunity, o.apply_errors
+    );
+    println!(
+        "  accept      : {:>7} moves  mean {am:>9.2} us  p50 {a50:>9.2} us  p99 {a99:>9.2} us  \
+         ({:.0} moves/sec)",
+        o.accept_ns.len(),
+        class_rate(&o.accept_ns)
+    );
+    println!(
+        "  undo-reject : {:>7} moves  mean {rm:>9.2} us  p50 {r50:>9.2} us  p99 {r99:>9.2} us  \
+         ({:.0} moves/sec)  [{} undo / {} rollback]",
+        o.reject_ns.len(),
+        class_rate(&o.reject_ns),
+        o.undo_rejects,
+        o.rollback_rejects
+    );
+    if let Some(path) = out_path {
+        std::fs::write(&path, render_json(&o, &cfg, MIN_MOVES)).expect("write bench json");
+        println!("wrote {path}");
+    }
+    assert_eq!(
+        o.output_divergences, 0,
+        "semantics divergence during search"
+    );
+    assert!(
+        o.proposed >= MIN_MOVES,
+        "search stopped at {} moves (< {MIN_MOVES})",
+        o.proposed
+    );
+}

@@ -7,7 +7,9 @@
 # diagnose is useless, and telemetry that can panic (e.g. on a poisoned
 # lock) takes down the very process it is meant to observe. The serve
 # daemon is held to the same bar: a multi-tenant server that panics on one
-# bad request takes down every other tenant's session with it.
+# bad request takes down every other tenant's session with it. So is the
+# stochastic search loop: a 100k-move walk that panics on one unlucky
+# candidate loses the whole run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,6 +40,9 @@ done < <(find crates/audit/src -name '*.rs' | sort)
 while IFS= read -r f; do
   FILES+=("$f")
 done < <(find crates/serve/src -name '*.rs' | sort)
+while IFS= read -r f; do
+  FILES+=("$f")
+done < <(find crates/workload/src -name 'search*.rs' | sort)
 
 status=0
 for f in "${FILES[@]}"; do

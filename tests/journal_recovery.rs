@@ -352,3 +352,55 @@ fn recovered_session_continues_journaling_and_undoing() {
     assert_eq!(r2.session.source(), s.source());
     assert!(r2.session.history.active().next().is_none());
 }
+
+/// A crash mid-append leaves a torn (newline-less) prefix of a begin
+/// record at the tail. Recovery must discard exactly that tail; a journal
+/// re-attached *after* the torn bytes (the daemon's restart path) must
+/// keep appending records that the next recovery replays — the tear cannot
+/// poison transactions committed after it. (Promoted from the PR-8 review
+/// probe `tmp_review_probe.rs`.)
+#[test]
+fn append_after_torn_tail_keeps_later_commits() {
+    let path = tmp("torn_append.journal");
+    let _ = std::fs::remove_file(&path);
+    let mut s = Session::from_source(SRC).unwrap();
+    s.set_journal(Journal::open(&path).unwrap());
+    s.apply_kind(XformKind::Cse).expect("e + f recurs");
+    let after_cse = s.source();
+    drop(s);
+
+    // Simulate the crash: a strict prefix of a begin record, no newline
+    // (the same tear servecheck's kill points produce).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let begin = text
+        .lines()
+        .find(|l| l.contains("\"rec\":\"begin\""))
+        .expect("journal has a begin record")
+        .to_string();
+    let mut bytes = text.into_bytes();
+    bytes.extend_from_slice(&begin.as_bytes()[..begin.len() / 2]);
+    std::fs::write(&path, &bytes).unwrap();
+
+    // First recovery: the torn tail is discarded, the committed apply is
+    // replayed.
+    let rec = Session::recover(parse(SRC).unwrap(), &path).expect("first recovery");
+    assert_eq!(rec.committed, 1);
+    assert_eq!(rec.discarded, 1, "the torn begin is a discarded tail");
+    assert_eq!(rec.session.source(), after_cse);
+
+    // Restart path: re-attach the journal — `Journal::open` truncates the
+    // never-durable torn tail so fresh records start on a clean line — and
+    // commit one more transaction.
+    let mut s2 = rec.session;
+    s2.set_journal(Journal::open(&path).unwrap());
+    s2.apply_kind(XformKind::Cfo).expect("3 * 4 folds");
+    let after_cfo = s2.source();
+    drop(s2);
+
+    // Second recovery: both committed transactions replay; the tear in the
+    // middle stays invisible.
+    let r2 = Session::recover(parse(SRC).unwrap(), &path).expect("second recovery");
+    assert_eq!(r2.committed, 2, "commit after the tear must survive");
+    assert_eq!(r2.session.source(), after_cfo);
+    assert!(r2.session.consistency_violations().is_empty());
+}

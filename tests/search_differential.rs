@@ -1,0 +1,186 @@
+//! The stochastic search's correctness battery (ISSUE 9 satellites):
+//!
+//! * **Fork-oracle differential** — the same seeded move sequence runs
+//!   through (a) the undo-reject loop and (b) a `Session::fork`-and-discard
+//!   oracle that never undoes. Program source, structural digest, active
+//!   history length, cost, and every move-log line must agree after every
+//!   rejected move and at termination ([`pivot_workload::searchcheck`]
+//!   compares in lockstep). The full session snapshot fingerprint is
+//!   deliberately *not* compared: it hashes arena node ids, tombstones, and
+//!   the append-only history, which legitimately differ between "applied
+//!   then undone" and "never applied" — the paper's claim is about the
+//!   program and the active transformation set, and that is what the
+//!   digest pins.
+//! * **Determinism** — same seed ⇒ byte-identical move log, accepted set,
+//!   and final digest across worker-pool sizes (the `PIVOT_THREADS` axis,
+//!   pinned here with explicit `Pool::new(1)` / `Pool::new(4)`) and across
+//!   `RepMode::{Batch, Incremental}`; plus a `Checked`-mode smoke run
+//!   (panic-on-divergence incremental oracle).
+//! * **Cost function** — `run_counted` steps agree exactly with fuel
+//!   consumption, are input-deterministic, and an `ExecError` scores as
+//!   worst-case cost in the acceptance rule instead of crashing the walk.
+
+use pivot_lang::interp::{self, ExecError, Limits};
+use pivot_lang::parser::parse;
+use pivot_undo::{Pool, RepMode};
+use pivot_workload::search::{
+    accepts, cost_of, run_search, search_session, RejectMode, Search, SearchCfg, WORST_COST,
+};
+use pivot_workload::searchcheck;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_cfg(seed: u64) -> SearchCfg {
+    SearchCfg {
+        seed,
+        moves: 250,
+        fragments: 8,
+        plateau: 120,
+        max_restarts: 2,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (a) undo-reject vs (b) fork-oracle: lockstep agreement on every
+    /// move under many seeds.
+    #[test]
+    fn undo_reject_loop_matches_fork_oracle(seed in 0u64..400) {
+        let out = searchcheck::run_cfg(&small_cfg(seed));
+        prop_assert!(
+            out.mismatches.is_empty(),
+            "seed {seed}:\n{}",
+            out.report
+        );
+    }
+
+    /// `run_counted` is exact: a run that spent `n` steps completes under
+    /// a fuel budget of exactly `n` and exhausts under `n - 1`.
+    #[test]
+    fn counted_steps_agree_with_fuel(seed in 0u64..200) {
+        let cfg = pivot_workload::WorkloadCfg { fragments: 6, ..Default::default() };
+        let prog = pivot_workload::gen_program(seed, &cfg);
+        let input = pivot_workload::gen_inputs(seed, 64);
+        let full = interp::run_counted(&prog, &input, Limits::default()).expect("runs");
+        prop_assert!(full.steps > 0);
+        let exact = interp::run_counted(&prog, &input, Limits { fuel: full.steps })
+            .expect("exact fuel suffices");
+        prop_assert_eq!(exact.steps, full.steps);
+        prop_assert_eq!(&exact.output, &full.output);
+        let starved = interp::run_counted(&prog, &input, Limits { fuel: full.steps - 1 });
+        prop_assert_eq!(starved, Err(ExecError::FuelExhausted));
+        // Input-deterministic: the same program on the same input always
+        // spends the same number of steps.
+        let again = interp::run_counted(&prog, &input, Limits::default()).expect("runs");
+        prop_assert_eq!(again.steps, full.steps);
+    }
+}
+
+/// The proptest sweep must actually exercise the reject path — pin one
+/// seed known to reject through undo so the suite can never silently
+/// shrink to walks that accept everything.
+#[test]
+fn differential_covers_undo_rejects() {
+    let out = searchcheck::run(1, 3_000);
+    assert!(out.passed(), "{}", out.report);
+    assert!(out.rejected > 0, "no rejected move in 3000 proposals");
+    assert_eq!(
+        out.rollback_rejects, 0,
+        "newest-record undo should never fall back"
+    );
+}
+
+/// Same seed ⇒ byte-identical move log, accepted set, and final digest at
+/// 1 and 4 worker threads (the engine's parallel kernels must not leak
+/// schedule into the walk).
+#[test]
+fn search_is_deterministic_across_thread_counts() {
+    let cfg = SearchCfg {
+        seed: 11,
+        moves: 500,
+        fragments: 8,
+        ..Default::default()
+    };
+    let run_with = |threads: usize| {
+        let mut session = search_session(&cfg);
+        session.set_pool(Pool::new(threads));
+        Search::new(session, cfg.clone(), RejectMode::UndoReject).run()
+    };
+    let one = run_with(1);
+    let four = run_with(4);
+    assert!(one.accepted >= 1, "walk did nothing");
+    assert_eq!(one.move_log, four.move_log);
+    assert_eq!(one.accepted_moves, four.accepted_moves);
+    assert_eq!(one.digest, four.digest);
+    assert_eq!(one.final_source, four.final_source);
+}
+
+/// Same seed ⇒ identical walk under batch and incremental representation
+/// refresh.
+#[test]
+fn search_is_deterministic_across_rep_modes() {
+    let cfg = SearchCfg {
+        seed: 13,
+        moves: 500,
+        fragments: 8,
+        ..Default::default()
+    };
+    let run_in = |mode: RepMode| {
+        let mut session = search_session(&cfg);
+        session.set_rep_mode(mode);
+        Search::new(session, cfg.clone(), RejectMode::UndoReject).run()
+    };
+    let batch = run_in(RepMode::Batch);
+    let incr = run_in(RepMode::Incremental);
+    assert!(batch.accepted >= 1, "walk did nothing");
+    assert_eq!(batch.move_log, incr.move_log);
+    assert_eq!(batch.accepted_moves, incr.accepted_moves);
+    assert_eq!(batch.digest, incr.digest);
+    assert_eq!(batch.final_source, incr.final_source);
+}
+
+/// `Checked` rep mode panics on any batch/incremental divergence; a clean
+/// run through the search loop is the smoke test.
+#[test]
+fn search_survives_checked_rep_mode() {
+    let cfg = SearchCfg {
+        seed: 17,
+        moves: 200,
+        fragments: 6,
+        ..Default::default()
+    };
+    let mut session = search_session(&cfg);
+    session.set_rep_mode(RepMode::Checked);
+    let out = Search::new(session, cfg, RejectMode::UndoReject).run();
+    assert_eq!(out.output_divergences, 0);
+}
+
+/// An `ExecError` during scoring (here: fuel starvation) is worst-case
+/// cost, not a crash: the walk completes, and a failed candidate can never
+/// beat a finite-cost state.
+#[test]
+fn exec_errors_score_worst_case_not_crash() {
+    let p = parse("s = 0\ndo i = 1, 50\n  s = s + i\nenddo\nwrite s\n").unwrap();
+    assert_eq!(cost_of(&p, &[vec![]], 5), WORST_COST);
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..500 {
+        assert!(
+            !accepts(&mut rng, 1e12, 10, WORST_COST),
+            "acceptance rule took a failed candidate over a finite state"
+        );
+    }
+    // A whole walk whose baseline cannot even run still terminates cleanly.
+    let cfg = SearchCfg {
+        seed: 23,
+        moves: 120,
+        fragments: 6,
+        fuel: 3,
+        ..Default::default()
+    };
+    let out = run_search(&cfg);
+    assert_eq!(out.proposed, 120);
+    assert_eq!(out.initial_cost, WORST_COST);
+}
